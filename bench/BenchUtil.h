@@ -1,0 +1,64 @@
+//===- bench/BenchUtil.h - Shared harness helpers ---------------*- C++ -*-===//
+///
+/// \file
+/// Column formatting and timing helpers shared by the table/figure
+/// benches. Each bench binary prints the rows of one reconstructed table
+/// or the series of one figure (see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_BENCH_BENCHUTIL_H
+#define LALR_BENCH_BENCHUTIL_H
+
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lalrbench {
+
+/// Prints a row of right-aligned columns under a fixed layout.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<int> Widths)
+      : Widths(std::move(Widths)) {}
+
+  void header(const std::vector<std::string> &Cells) {
+    row(Cells);
+    size_t Total = 0;
+    for (int W : Widths)
+      Total += static_cast<size_t>(W) + 2;
+    std::printf("%s\n", std::string(Total, '-').c_str());
+  }
+
+  void row(const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size() && I < Widths.size(); ++I)
+      std::printf("%*s  ", Widths[I], Cells[I].c_str());
+    std::printf("\n");
+  }
+
+private:
+  std::vector<int> Widths;
+};
+
+inline std::string fmt(size_t V) { return std::to_string(V); }
+
+inline std::string fmtUs(double Us) {
+  char Buf[32];
+  if (Us >= 10000)
+    std::snprintf(Buf, sizeof(Buf), "%.1f ms", Us / 1000.0);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.1f us", Us);
+  return Buf;
+}
+
+inline std::string fmtX(double Ratio) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1fx", Ratio);
+  return Buf;
+}
+
+} // namespace lalrbench
+
+#endif // LALR_BENCH_BENCHUTIL_H

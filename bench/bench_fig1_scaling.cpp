@@ -1,0 +1,43 @@
+//===- bench/bench_fig1_scaling.cpp - Figure 1 -------------------------------===//
+///
+/// \file
+/// Figure 1 (reconstructed): look-ahead computation time vs automaton
+/// size, DP vs YACC, over the expression-tower family. The paper's claim
+/// is that DP scales linearly in the relation sizes while the YACC method
+/// pays per-item LR(1) closures; the series below shows the gap widening
+/// with grammar size. Printed as series rows suitable for plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "baselines/YaccLalrBuilder.h"
+#include "corpus/SyntheticGrammars.h"
+#include "grammar/Analysis.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+
+using namespace lalr;
+using namespace lalrbench;
+
+int main() {
+  const int Reps = 9;
+  std::printf("Figure 1: look-ahead time vs grammar size "
+              "(expr towers, 2 ops/level, median of %d)\n\n",
+              Reps);
+  TablePrinter T({7, 7, 8, 10, 10, 9});
+  T.header({"levels", "states", "nt-trans", "DP", "YACC", "yacc/DP"});
+  for (unsigned Levels : {2u, 4u, 8u, 12u, 16u, 24u, 32u, 48u, 64u}) {
+    Grammar G = makeExprTower(Levels, 2);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    double DpUs =
+        medianTimeUs(Reps, [&] { LalrLookaheads::compute(A, An); });
+    double YaccUs =
+        medianTimeUs(Reps, [&] { YaccLalrLookaheads::compute(A, An); });
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    T.row({fmt(Levels), fmt(A.numStates()), fmt(LA.ntTransitions().size()),
+           fmtUs(DpUs), fmtUs(YaccUs), fmtX(YaccUs / DpUs)});
+  }
+  std::printf("\nSeries: plot DP and YACC columns against states.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+//===- bench/bench_fig2_speedup.cpp - Figure 2 -------------------------------===//
+///
+/// \file
+/// Figure 2 (reconstructed): DP speedup over the two slower LALR
+/// constructions as grammars grow, on a second synthetic family
+/// (nullable-heavy grammars, which stress the reads relation — the
+/// regime DP was designed for). Also reports the LR(1) state blow-up
+/// factor, the quantity that makes the merge construction infeasible for
+/// large grammars.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "baselines/MergedLalrBuilder.h"
+#include "baselines/YaccLalrBuilder.h"
+#include "corpus/SyntheticGrammars.h"
+#include "grammar/Analysis.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+
+using namespace lalr;
+using namespace lalrbench;
+
+int main() {
+  const int Reps = 9;
+  std::printf("Figure 2: DP speedup vs grammar size "
+              "(nullable chains, median of %d)\n\n",
+              Reps);
+  TablePrinter T({7, 8, 8, 9, 10, 9, 10});
+  T.header({"N", "lr0-st", "lr1-st", "blowup", "yacc/DP", "merge/DP",
+            "reads-e"});
+  for (unsigned N : {2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
+    Grammar G = makeNullableChain(N);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    Lr1Automaton L1 = Lr1Automaton::build(G, An);
+    double DpUs =
+        medianTimeUs(Reps, [&] { LalrLookaheads::compute(A, An); });
+    double YaccUs =
+        medianTimeUs(Reps, [&] { YaccLalrLookaheads::compute(A, An); });
+    double MergeUs = medianTimeUs(Reps, [&] {
+      Lr1Automaton L = Lr1Automaton::build(G, An);
+      MergedLalrLookaheads::compute(A, L);
+    });
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    char Blowup[16];
+    std::snprintf(Blowup, sizeof(Blowup), "%.2f",
+                  double(L1.numStates()) / A.numStates());
+    T.row({fmt(N), fmt(A.numStates()), fmt(L1.numStates()), Blowup,
+           fmtX(YaccUs / DpUs), fmtX(MergeUs / DpUs),
+           fmt(LA.relations().readsEdgeCount())});
+  }
+  std::printf("\nSeries: plot the speedup columns against N.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bench/bench_fig3_digraph_ablation.cpp - Figure 3 ----------------------===//
+///
+/// \file
+/// Figure 3 (ablation): the digraph algorithm vs a naive Gauss-Seidel
+/// fixpoint for solving the Follow equations, on the includes-ring family
+/// whose single large SCC is the digraph algorithm's best case (one
+/// traversal) and the naive solver's worst (many sweeps). Reports set
+/// unions performed and wall time for the Follow pass alone.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "corpus/SyntheticGrammars.h"
+#include "grammar/Analysis.h"
+#include "lalr/DigraphSolver.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+
+using namespace lalr;
+using namespace lalrbench;
+
+int main() {
+  const int Reps = 9;
+  std::printf("Figure 3: digraph vs naive fixpoint on the includes-ring "
+              "family (median of %d)\n\n",
+              Reps);
+  TablePrinter T({6, 9, 10, 10, 9, 9, 10, 10, 10});
+  T.header({"N", "incl-e", "dg-union", "nv-union", "nv-swp", "adv-swp",
+            "dg-time", "nv-time", "adv-time"});
+  for (unsigned N : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    Grammar G = makeIncludesRing(N);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    NtTransitionIndex NtIdx(A);
+    ReductionIndex RedIdx(A);
+    LalrRelations R = buildLalrRelations(A, An, NtIdx, RedIdx);
+
+    // Read pass is shared; ablate the Follow pass. "nv" processes nodes
+    // in ascending index order (which happens to suit BFS-numbered
+    // includes edges); "adv" is the same solver in descending order —
+    // the adversarial case that shows order sensitivity.
+    std::vector<BitSet> ReadSets = solveDigraph(R.Reads, R.DirectRead);
+
+    DigraphStats DStats, NStats, AStats;
+    solveDigraph(R.Includes, ReadSets, &DStats);
+    solveNaiveFixpoint(R.Includes, ReadSets, &NStats);
+    solveNaiveFixpoint(R.Includes, ReadSets, &AStats,
+                       /*ReverseOrder=*/true);
+
+    double DgUs = medianTimeUs(Reps, [&] {
+      std::vector<BitSet> Init = ReadSets;
+      solveDigraph(R.Includes, std::move(Init));
+    });
+    double NvUs = medianTimeUs(Reps, [&] {
+      std::vector<BitSet> Init = ReadSets;
+      solveNaiveFixpoint(R.Includes, std::move(Init));
+    });
+    double AdvUs = medianTimeUs(Reps, [&] {
+      std::vector<BitSet> Init = ReadSets;
+      solveNaiveFixpoint(R.Includes, std::move(Init), nullptr,
+                         /*ReverseOrder=*/true);
+    });
+    T.row({fmt(N), fmt(R.includesEdgeCount()), fmt(DStats.UnionOps),
+           fmt(NStats.UnionOps), fmt(NStats.Sweeps), fmt(AStats.Sweeps),
+           fmtUs(DgUs), fmtUs(NvUs), fmtUs(AdvUs)});
+  }
+  std::printf("\nThe digraph algorithm does one order-independent pass "
+              "(unions linear in edges).\nThe iterative fixpoint's sweep "
+              "count depends on node order: ascending order suits\nthese "
+              "relations, but the adversarial (descending) order needs "
+              "O(N) sweeps — the\nguarantee, not the lucky constant, is "
+              "what the paper's algorithm buys.\n");
+  return 0;
+}

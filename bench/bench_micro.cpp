@@ -1,0 +1,129 @@
+//===- bench/bench_micro.cpp - google-benchmark micro benches ----------------===//
+///
+/// \file
+/// Micro benchmarks for the design choices DESIGN.md calls out:
+///   * bitset unions vs sorted-vector set unions (the look-ahead set
+///     representation choice);
+///   * the digraph solver vs the naive fixpoint on a realistic grammar;
+///   * LR(0) automaton construction and the full DP pipeline per grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/YaccLalrBuilder.h"
+#include "corpus/CorpusGrammars.h"
+#include "grammar/Analysis.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+#include "support/BitSet.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace lalr;
+
+// ---------------------------------------------------------------------------
+// Set representation: bitset vs sorted vector
+// ---------------------------------------------------------------------------
+
+static void BM_BitSetUnion(benchmark::State &State) {
+  const size_t Universe = static_cast<size_t>(State.range(0));
+  BitSet A(Universe), B(Universe);
+  for (size_t I = 0; I < Universe; I += 3)
+    A.set(I);
+  for (size_t I = 0; I < Universe; I += 5)
+    B.set(I);
+  for (auto _ : State) {
+    BitSet C = A;
+    benchmark::DoNotOptimize(C.unionWith(B));
+  }
+}
+BENCHMARK(BM_BitSetUnion)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_SortedVectorUnion(benchmark::State &State) {
+  const size_t Universe = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> A, B;
+  for (size_t I = 0; I < Universe; I += 3)
+    A.push_back(I);
+  for (size_t I = 0; I < Universe; I += 5)
+    B.push_back(I);
+  for (auto _ : State) {
+    std::vector<uint32_t> C;
+    C.reserve(A.size() + B.size());
+    std::set_union(A.begin(), A.end(), B.begin(), B.end(),
+                   std::back_inserter(C));
+    benchmark::DoNotOptimize(C.data());
+  }
+}
+BENCHMARK(BM_SortedVectorUnion)->Arg(64)->Arg(256)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// Pipeline stages on a realistic grammar
+// ---------------------------------------------------------------------------
+
+static const char *kGrammarArg[] = {"minic", "ansic", "pascal"};
+
+static void BM_Lr0Build(benchmark::State &State) {
+  Grammar G = loadCorpusGrammar(kGrammarArg[State.range(0)]);
+  for (auto _ : State) {
+    Lr0Automaton A = Lr0Automaton::build(G);
+    benchmark::DoNotOptimize(A.numStates());
+  }
+  State.SetLabel(kGrammarArg[State.range(0)]);
+}
+BENCHMARK(BM_Lr0Build)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_DpLookaheads(benchmark::State &State) {
+  Grammar G = loadCorpusGrammar(kGrammarArg[State.range(0)]);
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  for (auto _ : State) {
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    benchmark::DoNotOptimize(LA.laSets().size());
+  }
+  State.SetLabel(kGrammarArg[State.range(0)]);
+}
+BENCHMARK(BM_DpLookaheads)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_DpLookaheadsNaiveSolver(benchmark::State &State) {
+  Grammar G = loadCorpusGrammar("minic");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  for (auto _ : State) {
+    LalrLookaheads LA =
+        LalrLookaheads::compute(A, An, SolverKind::NaiveFixpoint);
+    benchmark::DoNotOptimize(LA.laSets().size());
+  }
+}
+BENCHMARK(BM_DpLookaheadsNaiveSolver);
+
+static void BM_ClosureRecompute(benchmark::State &State) {
+  // The kernel-only state representation ablation: full item sets are
+  // recomputed on demand (reports/debugging); this measures that cost
+  // over the whole automaton, i.e. what storing closures would save.
+  Grammar G = loadCorpusGrammar(kGrammarArg[State.range(0)]);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  for (auto _ : State) {
+    size_t Items = 0;
+    for (StateId S = 0; S < A.numStates(); ++S)
+      Items += A.closureItems(S).size();
+    benchmark::DoNotOptimize(Items);
+  }
+  State.SetLabel(kGrammarArg[State.range(0)]);
+}
+BENCHMARK(BM_ClosureRecompute)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_YaccLookaheads(benchmark::State &State) {
+  Grammar G = loadCorpusGrammar(kGrammarArg[State.range(0)]);
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  for (auto _ : State) {
+    YaccLalrLookaheads LA = YaccLalrLookaheads::compute(A, An);
+    benchmark::DoNotOptimize(LA.laSets().size());
+  }
+  State.SetLabel(kGrammarArg[State.range(0)]);
+}
+BENCHMARK(BM_YaccLookaheads)->Arg(0)->Arg(1)->Arg(2);
+
+BENCHMARK_MAIN();

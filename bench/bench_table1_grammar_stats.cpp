@@ -1,0 +1,37 @@
+//===- bench/bench_table1_grammar_stats.cpp - Table 1 -----------------------===//
+///
+/// \file
+/// Table 1 (reconstructed): characteristics of the evaluation grammars —
+/// the per-grammar statistics the paper reports for its corpus of
+/// programming-language grammars.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "corpus/CorpusGrammars.h"
+#include "lalr/NtTransitionIndex.h"
+#include "lalr/Relations.h"
+#include "lr/Lr0Automaton.h"
+
+using namespace lalr;
+using namespace lalrbench;
+
+int main() {
+  std::printf("Table 1: grammar characteristics (evaluation corpus)\n\n");
+  TablePrinter T({12, 6, 6, 6, 6, 7, 7, 8, 6});
+  T.header({"grammar", "|T|", "|N|", "|P|", "|G|", "states", "trans",
+            "nt-trans", "reds"});
+  for (const CorpusEntry &E : realisticCorpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    NtTransitionIndex NtIdx(A);
+    ReductionIndex RedIdx(A);
+    T.row({E.Name, fmt(G.numTerminals()), fmt(G.numNonterminals()),
+           fmt(G.numProductions()), fmt(G.grammarSize()),
+           fmt(A.numStates()), fmt(A.numTransitions()), fmt(NtIdx.size()),
+           fmt(RedIdx.size())});
+  }
+  std::printf("\n|T|,|N| include $end/$accept; |P| includes the "
+              "augmentation; |G| = sum(1+|rhs|).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===- bench/bench_table2_relations.cpp - Table 2 ----------------------------===//
+///
+/// \file
+/// Table 2 (reconstructed): sizes of the DeRemer-Pennello relations per
+/// grammar — the quantities that bound the algorithm's running time
+/// (the paper's efficiency claim is O(|reads| + |includes|) set
+/// operations) — plus the SCC structure the solver encountered.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "corpus/CorpusGrammars.h"
+#include "grammar/Analysis.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+
+using namespace lalr;
+using namespace lalrbench;
+
+int main() {
+  std::printf("Table 2: DeRemer-Pennello relation sizes\n\n");
+  TablePrinter T({12, 8, 8, 9, 9, 9, 9, 10, 10});
+  T.header({"grammar", "nt-trans", "DR-bits", "reads", "includes",
+            "lookback", "unions", "reads-SCC", "incl-SCC"});
+  for (const CorpusEntry &E : realisticCorpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    const LalrRelations &R = LA.relations();
+    size_t DrBits = 0;
+    for (const BitSet &S : R.DirectRead)
+      DrBits += S.count();
+    size_t Unions = LA.readsSolverStats().UnionOps +
+                    LA.includesSolverStats().UnionOps;
+    T.row({E.Name, fmt(LA.ntTransitions().size()), fmt(DrBits),
+           fmt(R.readsEdgeCount()), fmt(R.includesEdgeCount()),
+           fmt(R.lookbackEdgeCount()), fmt(Unions),
+           fmt(LA.readsSolverStats().NontrivialSccs),
+           fmt(LA.includesSolverStats().NontrivialSccs)});
+  }
+  std::printf("\n'unions' counts BitSet unionWith calls across both "
+              "digraph passes; a nonzero reads-SCC\nwould certify the "
+              "grammar not LR(k) (none of the realistic grammars has "
+              "one).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- bench/bench_table3_timing.cpp - Table 3 -------------------------------===//
+///
+/// \file
+/// Table 3 (reconstructed): look-ahead computation time per grammar for
+/// four LALR(1) methods — DeRemer-Pennello (this paper), YACC's
+/// spontaneous+propagation method, the Bermudez-Logothetis derived-FOLLOW
+/// method, and the defining canonical-LR(1)-merge construction. All four
+/// produce identical LA sets (asserted by the test suite); the point of
+/// the table is the cost gap. The paper reports
+/// DP beating the YACC method by roughly an order of magnitude on its
+/// corpus and LR(1)-merge being far more expensive still; the reproduced
+/// *shape* is DP < YACC << merge.
+///
+/// Times are medians over repeated runs; LR(0) construction is excluded
+/// (it is shared by DP and YACC; the merge column includes LR(1)
+/// construction, which is its defining cost).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "baselines/BermudezLogothetis.h"
+#include "baselines/MergedLalrBuilder.h"
+#include "baselines/YaccLalrBuilder.h"
+#include "corpus/CorpusGrammars.h"
+#include "grammar/Analysis.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+
+#include <cmath>
+
+using namespace lalr;
+using namespace lalrbench;
+
+int main() {
+  const int Reps = 15;
+  std::printf("Table 3: LALR(1) look-ahead computation time "
+              "(median of %d runs)\n\n",
+              Reps);
+  TablePrinter T({12, 7, 10, 10, 10, 12, 9, 9});
+  T.header({"grammar", "states", "DP", "YACC", "BL-FOLLOW", "LR(1)-merge",
+            "yacc/DP", "merge/DP"});
+  double GeoYacc = 1.0, GeoMerge = 1.0;
+  size_t Count = 0;
+  for (const CorpusEntry &E : realisticCorpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+
+    double DpUs = medianTimeUs(
+        Reps, [&] { LalrLookaheads::compute(A, An); });
+    double YaccUs = medianTimeUs(
+        Reps, [&] { YaccLalrLookaheads::compute(A, An); });
+    double MergeUs = medianTimeUs(Reps, [&] {
+      Lr1Automaton L1 = Lr1Automaton::build(G, An);
+      MergedLalrLookaheads::compute(A, L1);
+    });
+    double BlUs = medianTimeUs(
+        Reps, [&] { DerivedFollowLookaheads::compute(A, An); });
+
+    T.row({E.Name, fmt(A.numStates()), fmtUs(DpUs), fmtUs(YaccUs),
+           fmtUs(BlUs), fmtUs(MergeUs), fmtX(YaccUs / DpUs),
+           fmtX(MergeUs / DpUs)});
+    GeoYacc *= YaccUs / DpUs;
+    GeoMerge *= MergeUs / DpUs;
+    ++Count;
+  }
+  double GY = std::pow(GeoYacc, 1.0 / Count);
+  double GM = std::pow(GeoMerge, 1.0 / Count);
+  std::printf("\ngeometric-mean speedup of DP: %s vs YACC, %s vs "
+              "LR(1)-merge\n",
+              fmtX(GY).c_str(), fmtX(GM).c_str());
+  return 0;
+}

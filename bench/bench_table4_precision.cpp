@@ -1,0 +1,41 @@
+//===- bench/bench_table4_precision.cpp - Table 4 ----------------------------===//
+///
+/// \file
+/// Table 4 (reconstructed): precision of the look-ahead methods — parse
+/// table conflicts per grammar under LR(0), SLR(1), NQLALR, LALR(1) and
+/// canonical LR(1), over the whole corpus (realistic grammars and the
+/// class-separating specimens). This reproduces the paper's comparison of
+/// LALR(1) against SLR(1) and the "not-quite LALR" shortcut: the LALR
+/// column must never exceed the SLR/NQLALR columns, and the specimen rows
+/// pin each inclusion in the hierarchy as strict.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "corpus/CorpusGrammars.h"
+#include "lalr/Classify.h"
+
+using namespace lalr;
+using namespace lalrbench;
+
+int main() {
+  std::printf("Table 4: parse-table conflicts by look-ahead method\n\n");
+  TablePrinter T({20, 6, 6, 8, 6, 6, 11});
+  T.header(
+      {"grammar", "LR0", "SLR", "NQLALR", "LALR", "LR1", "class"});
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    Classification C = classifyGrammar(G);
+    T.row({E.Name, fmt(C.Lr0Conflicts), fmt(C.SlrConflicts),
+           fmt(C.NqlalrConflicts), fmt(C.LalrConflicts),
+           fmt(C.Lr1Conflicts),
+           std::string(lrClassName(C.strongestClass())) +
+               (C.NotLrK ? "*" : "")});
+  }
+  std::printf("\n* = reads-relation cycle: the DP certificate that the "
+              "grammar is LR(k) for no k.\nColumns count all conflicts "
+              "before precedence resolution; 0 in a column places the\n"
+              "grammar in that class. Strict separations: slr_not_lr0, "
+              "lalr_not_slr, lalr_not_nqlalr,\nlr1_not_lalr.\n");
+  return 0;
+}

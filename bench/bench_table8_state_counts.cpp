@@ -1,0 +1,58 @@
+//===- bench/bench_table8_state_counts.cpp - Table 8 --------------------------===//
+///
+/// \file
+/// Table 8 (extension study): automaton sizes across the construction
+/// spectrum — LR(0) (shared by SLR/NQLALR/LALR), Pager's minimal LR(1),
+/// and canonical LR(1) — with each method's adequacy. This is the
+/// size-vs-power trade-off the DeRemer-Pennello algorithm resolves in
+/// LALR's favour: the DP method keeps the LR(0) state count, canonical
+/// LR(1) pays the blow-up shown here, and Pager's method (a later
+/// development) splits only where LR(1) power truly requires it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "baselines/Clr1Builder.h"
+#include "baselines/PagerLr1.h"
+#include "corpus/CorpusGrammars.h"
+#include "grammar/Analysis.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+
+using namespace lalr;
+using namespace lalrbench;
+
+int main() {
+  std::printf("Table 8: automaton sizes and adequacy across "
+              "constructions\n\n");
+  TablePrinter T({14, 7, 7, 7, 8, 7, 7, 7});
+  T.header({"grammar", "LR(0)", "Pager", "LR(1)", "blowup", "LALR?",
+            "Pager?", "LR(1)?"});
+  for (const CorpusEntry &E : corpusEntries()) {
+    if (!E.Realistic && std::string(E.Name) != "lr1_not_lalr")
+      continue; // realistic set + the motivating specimen
+    Grammar G = loadCorpusGrammar(E.Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A0 = Lr0Automaton::build(G);
+    ParseTable Lalr = buildLalrTable(A0, An);
+    PagerLr1Automaton AP = PagerLr1Automaton::build(G, An);
+    ParseTable Pager = buildPagerTable(AP);
+    Lr1Automaton A1 = Lr1Automaton::build(G, An);
+    ParseTable Clr = buildClr1Table(A1);
+    char Blowup[16];
+    std::snprintf(Blowup, sizeof(Blowup), "%.2f",
+                  double(A1.numStates()) / A0.numStates());
+    auto Mark = [](const ParseTable &T) {
+      return std::string(T.conflicts().empty() ? "yes" : "no");
+    };
+    T.row({E.Name, fmt(A0.numStates()), fmt(AP.numStates()),
+           fmt(A1.numStates()), Blowup, Mark(Lalr), Mark(Pager),
+           Mark(Clr)});
+  }
+  std::printf("\n'yes' = conflict-free before precedence resolution. The "
+              "DP algorithm delivers the LALR\ncolumn at the LR(0) state "
+              "count; Pager splits only where LR(1) power requires it\n"
+              "(see lr1_not_lalr); canonical LR(1) pays the full "
+              "blow-up.\n");
+  return 0;
+}

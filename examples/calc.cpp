@@ -1,0 +1,161 @@
+//===- examples/calc.cpp - Calculator with precedence and evaluation --------===//
+///
+/// \file
+/// A calculator built on an *ambiguous* expression grammar disambiguated
+/// by %left/%right declarations — the idiomatic yacc style — with
+/// semantic actions evaluating on the fly. Reads one expression per line
+/// from stdin (or evaluates a demo set with --demo).
+///
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Analysis.h"
+#include "grammar/GrammarParser.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+using namespace lalr;
+
+namespace {
+
+const char CalcGrammar[] = R"y(
+%name calc
+%token NUM
+%left '+' '-'
+%left '*' '/'
+%right '^'
+%right UMINUS
+%%
+e : e '+' e
+  | e '-' e
+  | e '*' e
+  | e '/' e
+  | e '^' e
+  | '-' e %prec UMINUS
+  | '(' e ')'
+  | NUM
+  ;
+)y";
+
+/// Tokenizes an arithmetic line: numbers and single-character operators.
+std::optional<std::vector<Token>> lexLine(const Grammar &G,
+                                          const std::string &Line,
+                                          std::string &Error) {
+  std::vector<Token> Out;
+  for (size_t I = 0; I < Line.size();) {
+    char C = Line[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    Token Tok;
+    Tok.Loc = {1, static_cast<uint32_t>(I + 1)};
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < Line.size() &&
+             (std::isdigit(static_cast<unsigned char>(Line[I])) ||
+              Line[I] == '.'))
+        ++I;
+      Tok.Kind = G.findSymbol("NUM");
+      Tok.Text = Line.substr(Start, I - Start);
+    } else {
+      SymbolId S = G.findSymbol(std::string("'") + C + "'");
+      if (S == InvalidSymbol) {
+        Error = std::string("unexpected character '") + C + "'";
+        return std::nullopt;
+      }
+      Tok.Kind = S;
+      Tok.Text = std::string(1, C);
+      ++I;
+    }
+    Out.push_back(std::move(Tok));
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(CalcGrammar, Diags);
+  if (!G) {
+    std::cerr << Diags.render();
+    return 1;
+  }
+  GrammarAnalysis An(*G);
+  Lr0Automaton A = Lr0Automaton::build(*G);
+  ParseTable Table = buildLalrTable(A, An);
+  // Every conflict of the ambiguous grammar must be precedence-resolved.
+  if (!Table.isAdequate()) {
+    std::cerr << "internal error: calc grammar has unresolved conflicts\n";
+    return 1;
+  }
+
+  auto evalLine = [&](const std::string &Line) {
+    std::string Error;
+    auto Tokens = lexLine(*G, Line, Error);
+    if (!Tokens) {
+      std::printf("error: %s\n", Error.c_str());
+      return;
+    }
+    if (Tokens->empty())
+      return;
+    auto Outcome = parseWithActions<double>(
+        *G, Table, *Tokens,
+        [&](const Token &Tok) {
+          if (Tok.Kind == G->findSymbol("NUM"))
+            return std::stod(Tok.Text);
+          return 0.0; // operators and parens carry no value
+        },
+        [&](ProductionId Prod, std::span<double> Rhs) -> double {
+          const Production &P = G->production(Prod);
+          if (P.Rhs.size() == 1)
+            return Rhs[0]; // e -> NUM (value already converted)
+          if (P.Rhs.size() == 2)
+            return -Rhs[1]; // unary minus
+          // Parenthesized or binary: look at the middle symbol.
+          const std::string &Op = G->name(P.Rhs[1]);
+          if (Op == "'+'")
+            return Rhs[0] + Rhs[2];
+          if (Op == "'-'")
+            return Rhs[0] - Rhs[2];
+          if (Op == "'*'")
+            return Rhs[0] * Rhs[2];
+          if (Op == "'/'")
+            return Rhs[0] / Rhs[2];
+          if (Op == "'^'") {
+            double Base = Rhs[0], Exp = Rhs[2], R = 1;
+            for (int I = 0; I < static_cast<int>(Exp); ++I)
+              R *= Base;
+            return R;
+          }
+          return Rhs[1]; // '(' e ')'
+        },
+        ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+    if (!Outcome.clean()) {
+      for (const ParseError &E : Outcome.Errors)
+        std::printf("error at column %u: %s\n", E.Loc.Column,
+                    E.Message.c_str());
+      return;
+    }
+    std::printf("%s = %g\n", Line.c_str(), *Outcome.Value);
+  };
+
+  if (Argc > 1 && std::string(Argv[1]) == "--demo") {
+    for (const char *Demo :
+         {"1 + 2 * 3", "(1 + 2) * 3", "2 ^ 3 ^ 2", "-4 + 10 / 2",
+          "1 - 2 - 3", "((((5))))"})
+      evalLine(Demo);
+    return 0;
+  }
+
+  std::string Line;
+  while (std::getline(std::cin, Line))
+    evalLine(Line);
+  return 0;
+}

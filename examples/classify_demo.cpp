@@ -1,0 +1,34 @@
+//===- examples/classify_demo.cpp - The LR hierarchy, demonstrated ----------===//
+///
+/// \file
+/// Runs the classifier over the corpus specimens and prints how each
+/// grammar separates the classes LR(0) ⊂ SLR(1) ⊂ NQLALR ⊂ LALR(1) ⊂
+/// LR(1) — including the paper's star witnesses: the grammar that is
+/// LALR(1) but breaks the "not-quite LALR" shortcut, and the grammar whose
+/// `reads` cycle certifies it is LR(k) for no k.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "lalr/Classify.h"
+
+#include <cstdio>
+
+using namespace lalr;
+
+int main() {
+  std::printf("%-22s %-10s %5s %5s %7s %5s %5s %5s  notes\n", "grammar",
+              "class", "LR0", "SLR", "NQLALR", "LALR", "LR1", "LL1");
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    Classification C = classifyGrammar(G);
+    std::printf("%-22s %-10s %5zu %5zu %7zu %5zu %5zu %5s  %s%s\n",
+                E.Name, lrClassName(C.strongestClass()), C.Lr0Conflicts,
+                C.SlrConflicts, C.NqlalrConflicts, C.LalrConflicts,
+                C.Lr1Conflicts, C.IsLl1 ? "yes" : "no", E.Description,
+                C.NotLrK ? " [reads cycle: not LR(k)]" : "");
+  }
+  std::printf("\n(columns are conflict counts under each method; 0 in a "
+              "column means the grammar is in that class)\n");
+  return 0;
+}

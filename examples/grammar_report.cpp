@@ -1,0 +1,168 @@
+//===- examples/grammar_report.cpp - CLI grammar analyzer -------------------===//
+///
+/// \file
+/// A yacc -v style command-line tool: reads a grammar file in the .y
+/// dialect (or a named corpus grammar with --corpus NAME) and prints the
+/// production listing, FIRST/FOLLOW sets, the automaton with DP look-ahead
+/// sets, the DP relations, the conflict report, and the grammar's place in
+/// the LR hierarchy.
+///
+/// Usage:
+///   grammar_report FILE.y [--states] [--relations] [--sets]
+///   grammar_report --corpus NAME [...]
+///   grammar_report --list
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/Analysis.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/GrammarPrinter.h"
+#include "grammar/Lint.h"
+#include "grammar/SentenceGen.h"
+#include "lalr/Classify.h"
+#include "lalr/LalrLookaheads.h"
+#include "lalr/LalrTableBuilder.h"
+#include "ll/Ll1Table.h"
+#include "lr/Lr0Automaton.h"
+#include "report/AutomatonReport.h"
+#include "report/DotExport.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace lalr;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: grammar_report FILE.y [--states] [--relations] "
+               "[--sets] [--ll] [--dot]\n"
+               "       grammar_report --corpus NAME [flags]\n"
+               "       grammar_report --list\n");
+  return 2;
+}
+
+int main(int Argc, char **Argv) {
+  bool ShowStates = false, ShowRelations = false, ShowSets = false;
+  bool ShowLl = false, DotOnly = false;
+  std::string File, CorpusName;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--states")
+      ShowStates = true;
+    else if (Arg == "--relations")
+      ShowRelations = true;
+    else if (Arg == "--sets")
+      ShowSets = true;
+    else if (Arg == "--ll")
+      ShowLl = true;
+    else if (Arg == "--dot")
+      DotOnly = true;
+    else if (Arg == "--list") {
+      for (const CorpusEntry &E : corpusEntries())
+        std::printf("%-22s %s\n", E.Name, E.Description);
+      return 0;
+    } else if (Arg == "--corpus" && I + 1 < Argc)
+      CorpusName = Argv[++I];
+    else if (!Arg.empty() && Arg[0] != '-')
+      File = Arg;
+    else
+      return usage();
+  }
+
+  std::optional<Grammar> G;
+  if (!CorpusName.empty()) {
+    if (!findCorpusEntry(CorpusName)) {
+      std::fprintf(stderr, "unknown corpus grammar '%s' (try --list)\n",
+                   CorpusName.c_str());
+      return 2;
+    }
+    G = loadCorpusGrammar(CorpusName);
+  } else if (!File.empty()) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", File.c_str());
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    DiagnosticEngine Diags;
+    G = parseGrammar(SS.str(), Diags, File);
+    if (!G) {
+      std::cerr << Diags.render();
+      return 1;
+    }
+  } else {
+    return usage();
+  }
+
+  GrammarAnalysis An(*G);
+  Lr0Automaton A = Lr0Automaton::build(*G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  ParseTable Table = buildLalrTable(A, LA);
+
+  if (DotOnly) {
+    std::fputs(exportDot(A, &LA).c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("Grammar %s: %zu terminals, %zu nonterminals, %zu "
+              "productions, |G| = %zu\n\n",
+              G->grammarName().c_str(), G->numTerminals(),
+              G->numNonterminals(), G->numProductions(), G->grammarSize());
+  std::printf("%s\n", printProductionListing(*G).c_str());
+
+  for (const LintFinding &F : lintGrammar(*G))
+    std::printf("warning: %s\n", F.toString(*G).c_str());
+
+  if (ShowSets) {
+    std::printf("FIRST / FOLLOW / nullable:\n");
+    for (uint32_t NtIdx = 0; NtIdx < G->numNonterminals(); ++NtIdx) {
+      SymbolId Nt = G->ntSymbol(NtIdx);
+      std::printf("  %-16s first=%s follow=%s%s\n", G->name(Nt).c_str(),
+                  renderTerminalSet(*G, An.first(Nt)).c_str(),
+                  renderTerminalSet(*G, An.follow(Nt)).c_str(),
+                  An.isNullable(Nt) ? " nullable" : "");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("LR(0) automaton: %zu states, %zu transitions\n",
+              A.numStates(), A.numTransitions());
+
+  if (ShowStates)
+    std::printf("\n%s", reportStates(A, &LA).c_str());
+  if (ShowRelations)
+    std::printf("\n%s", reportRelations(A, LA).c_str());
+
+  std::printf("\nconflicts:\n%s", reportConflicts(*G, Table).c_str());
+  if (G->expectedShiftReduce() >= 0) {
+    size_t Actual = Table.unresolvedShiftReduce();
+    if (Actual == static_cast<size_t>(G->expectedShiftReduce()))
+      std::printf("%%expect %d satisfied\n", G->expectedShiftReduce());
+    else
+      std::printf("warning: %%expect %d but %zu unresolved shift/reduce "
+                  "conflicts\n",
+                  G->expectedShiftReduce(), Actual);
+  }
+  // Explain each conflict with a concrete viable prefix.
+  for (const Conflict &C : Table.conflicts()) {
+    StateExample Ex = exampleForState(A, C.State);
+    std::printf("  state %u is reached after: %s\n", C.State,
+                renderSentence(*G, Ex.TerminalPrefix).c_str());
+  }
+
+  if (ShowLl) {
+    Ll1Table Ll = Ll1Table::build(*G, An);
+    std::printf("\nLL(1): %s\n", Ll.isLl1() ? "yes" : "no");
+    for (const LlConflict &C : Ll.conflicts())
+      std::printf("  %s\n", C.toString(*G).c_str());
+  }
+
+  Classification C = classifyGrammar(*G);
+  std::printf("\n%s\n", C.toString().c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- examples/quickstart.cpp - Five-minute tour ---------------------------===//
+///
+/// \file
+/// The README's quickstart: define a grammar programmatically, run the
+/// DeRemer-Pennello pipeline, inspect the look-ahead sets, build the
+/// LALR(1) table, and parse a sentence into a tree.
+///
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Analysis.h"
+#include "grammar/GrammarBuilder.h"
+#include "lalr/LalrLookaheads.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+#include "report/AutomatonReport.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace lalr;
+
+int main() {
+  // 1. Define a grammar: the classic unambiguous expression grammar.
+  GrammarBuilder B("quickstart");
+  SymbolId Num = B.terminal("NUM");
+  SymbolId Plus = B.terminal("'+'");
+  SymbolId Star = B.terminal("'*'");
+  SymbolId LPar = B.terminal("'('");
+  SymbolId RPar = B.terminal("')'");
+  SymbolId Expr = B.nonterminal("expr");
+  SymbolId Term = B.nonterminal("term");
+  SymbolId Factor = B.nonterminal("factor");
+  B.production(Expr, {Expr, Plus, Term});
+  B.production(Expr, {Term});
+  B.production(Term, {Term, Star, Factor});
+  B.production(Term, {Factor});
+  B.production(Factor, {LPar, Expr, RPar});
+  B.production(Factor, {Num});
+  B.startSymbol(Expr);
+
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = std::move(B).build(Diags);
+  if (!G) {
+    std::cerr << Diags.render();
+    return 1;
+  }
+
+  // 2. Build the LR(0) automaton and run the DeRemer-Pennello pipeline.
+  GrammarAnalysis An(*G);
+  Lr0Automaton A = Lr0Automaton::build(*G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+
+  std::printf("grammar '%s': %zu terminals, %zu nonterminals, %zu "
+              "productions\n",
+              G->grammarName().c_str(), G->numTerminals(),
+              G->numNonterminals(), G->numProductions());
+  std::printf("LR(0) automaton: %zu states, %zu nonterminal transitions\n",
+              A.numStates(), LA.ntTransitions().size());
+  std::printf("relations: %zu reads edges, %zu includes edges, %zu "
+              "lookback edges\n",
+              LA.relations().readsEdgeCount(),
+              LA.relations().includesEdgeCount(),
+              LA.relations().lookbackEdgeCount());
+
+  // 3. Look at one look-ahead set: where can "factor -> NUM" be reduced?
+  for (StateId S = 0; S < A.numStates(); ++S)
+    for (ProductionId P : A.state(S).Reductions)
+      if (G->production(P).Lhs == G->findSymbol("factor") &&
+          G->production(P).Rhs == std::vector<SymbolId>{Num})
+        std::printf("LA(state %u, factor -> NUM) = %s\n", S,
+                    renderTerminalSet(*G, LA.la(S, P)).c_str());
+
+  // 4. Build the LALR(1) table; this grammar is conflict-free.
+  ParseTable Table = buildLalrTable(A, LA);
+  std::printf("table: %zu states, %zu conflicts\n", Table.numStates(),
+              Table.conflicts().size());
+
+  // 5. Parse a sentence into a concrete tree.
+  std::string Error;
+  auto Tokens = tokenizeSymbols(*G, "NUM + NUM * ( NUM + NUM )", &Error);
+  if (!Tokens) {
+    std::cerr << Error << "\n";
+    return 1;
+  }
+  auto Outcome = parseToTree(*G, Table, *Tokens);
+  if (!Outcome.clean()) {
+    for (const ParseError &E : Outcome.Errors)
+      std::cerr << E.Message << "\n";
+    return 1;
+  }
+  std::printf("parse tree: %s\n", (*Outcome.Value)->toSExpr(*G).c_str());
+  std::printf("derivation length: %zu reductions\n",
+              Outcome.Reductions.size());
+  return 0;
+}

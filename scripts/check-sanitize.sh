@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Sanitizer pass: Debug build (assertions ON — the default build is
+# RelWithDebInfo where NDEBUG disables them) with ASan+UBSan, running the
+# full test suite except the example smoke tests and the generated-parser
+# compile test (which shells out to the system compiler).
+#
+# This configuration caught a real latent bug during development: the
+# YACC baseline unioned terminal-universe FIRST sets into look-ahead sets
+# carrying one extra dummy slot, which reads out of bounds exactly when
+# the terminal count is a multiple of 64 (see
+# YaccTest.WordBoundaryTerminalCountRegression).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure \
+  -E 'example_|CodeGenTest.GeneratedParserCompiles'

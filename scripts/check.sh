@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification pipeline: configure, build (warnings are errors in
+# spirit — the tree is kept warning-clean), run the complete test suite,
+# and regenerate every table/figure. This is what CI would run and what
+# produced test_output.txt / bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ ! -d "$b" ]; then
+      echo "============================================================"
+      echo "===== $b"
+      echo "============================================================"
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,100 @@
+//===- baselines/BermudezLogothetis.cpp - LALR via derived FOLLOW --------------===//
+
+#include "baselines/BermudezLogothetis.h"
+
+#include "grammar/GrammarBuilder.h"
+#include "lalr/NtTransitionIndex.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace lalr;
+
+DerivedFollowLookaheads
+DerivedFollowLookaheads::compute(const Lr0Automaton &A,
+                                 const GrammarAnalysis &An) {
+  (void)An; // the derived grammar's own analysis does all the work
+  const Grammar &G = A.grammar();
+  NtTransitionIndex NtIdx(A);
+
+  DerivedFollowLookaheads Out;
+  Out.RedIdx = std::make_unique<ReductionIndex>(A);
+
+  GrammarBuilder B("derived_" + G.grammarName());
+  // Terminals in original id order so FOLLOW bitsets align with the
+  // original grammar's terminal ids.
+  for (SymbolId T = 1; T < G.numTerminals(); ++T)
+    B.terminal(G.name(T));
+
+  // One derived nonterminal per nonterminal transition, named "p@A".
+  std::vector<SymbolId> Handle(NtIdx.size());
+  std::vector<std::string> DerivedName(NtIdx.size());
+  for (uint32_t X = 0; X < NtIdx.size(); ++X) {
+    DerivedName[X] = std::to_string(NtIdx[X].From) + "@" +
+                     G.name(NtIdx[X].Nt);
+    Handle[X] = B.nonterminal(DerivedName[X]);
+  }
+
+  // Derived productions: replay every production of A from every state
+  // carrying an A-transition, replacing nonterminal occurrences by the
+  // transition crossed at that point.
+  for (uint32_t X = 0; X < NtIdx.size(); ++X) {
+    const NtTransition &T = NtIdx[X];
+    for (ProductionId PId : G.productionsOf(T.Nt)) {
+      const Production &P = G.production(PId);
+      std::vector<SymbolId> Rhs;
+      StateId Cur = T.From;
+      for (SymbolId S : P.Rhs) {
+        if (G.isTerminal(S)) {
+          Rhs.push_back(B.terminal(G.name(S)));
+        } else {
+          uint32_t Inner = NtIdx.indexOf(Cur, S);
+          assert(Inner != NtTransitionIndex::Missing);
+          Rhs.push_back(Handle[Inner]);
+        }
+        Cur = A.gotoState(Cur, S);
+        assert(Cur != InvalidState);
+      }
+      B.production(Handle[X], std::move(Rhs));
+    }
+  }
+
+  uint32_t StartTrans = NtIdx.indexOf(A.startState(), G.startSymbol());
+  assert(StartTrans != NtTransitionIndex::Missing);
+  B.startSymbol(Handle[StartTrans]);
+
+  DiagnosticEngine Diags;
+  std::optional<Grammar> Derived = std::move(B).build(Diags);
+  if (!Derived) {
+    std::fprintf(stderr, "derived grammar failed to build:\n%s",
+                 Diags.render().c_str());
+    std::abort();
+  }
+  assert(Derived->numTerminals() == G.numTerminals() &&
+         "terminal id spaces must align");
+  Out.Derived = std::make_unique<Grammar>(std::move(*Derived));
+
+  // The theorem: FOLLOW in the derived grammar == DP's Follow(p, A).
+  GrammarAnalysis DerivedAn(*Out.Derived);
+
+  // LA(q, A->w) = union of derived FOLLOW over lookback: walk every
+  // production body from its transition's source to find the reducing
+  // state.
+  Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
+  for (uint32_t X = 0; X < NtIdx.size(); ++X) {
+    const NtTransition &T = NtIdx[X];
+    SymbolId DerivedNt = Out.Derived->findSymbol(DerivedName[X]);
+    assert(DerivedNt != InvalidSymbol);
+    const BitSet &Follow = DerivedAn.follow(DerivedNt);
+    for (ProductionId PId : G.productionsOf(T.Nt)) {
+      StateId Q = A.walk(T.From, G.production(PId).Rhs);
+      assert(Q != InvalidState);
+      Out.LaSets[Out.RedIdx->slot(Q, PId)].unionWith(Follow);
+    }
+  }
+  // The accept reduction, as in every other method.
+  Out.LaSets[Out.RedIdx->slot(A.acceptState(), 0)].set(G.eofSymbol());
+  return Out;
+}

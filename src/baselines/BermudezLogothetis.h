@@ -1,0 +1,58 @@
+//===- baselines/BermudezLogothetis.h - LALR via derived FOLLOW -*- C++ -*-===//
+///
+/// \file
+/// The Bermudez-Logothetis method ("Simple computation of LALR(1)
+/// look-ahead sets", IPL 1989): build a *derived grammar* whose
+/// nonterminals are the LR(0) automaton's nonterminal transitions —
+///
+///   for every transition (p, A) and production A -> X1...Xn:
+///     (p, A) -> Y1...Yn,  Yi = (p_i, Xi) for nonterminal Xi
+///                              (p_i = the state after walking X1..Xi-1
+///                               from p), Yi = Xi for terminal Xi
+///
+/// — then the ordinary FOLLOW sets of the derived grammar are exactly
+/// DeRemer-Pennello's per-transition Follow sets, and LA(q, A->w) is the
+/// union of them over lookback. A fifth independent computation of the
+/// same sets (after DP, YACC, LR(1)-merge and the definition itself),
+/// closing the historical circle: LALR(1) is "SLR(1) of the derived
+/// grammar".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_BASELINES_BERMUDEZLOGOTHETIS_H
+#define LALR_BASELINES_BERMUDEZLOGOTHETIS_H
+
+#include "grammar/Analysis.h"
+#include "lalr/Relations.h"
+#include "lr/Lr0Automaton.h"
+
+#include <memory>
+#include <vector>
+
+namespace lalr {
+
+/// LALR(1) look-aheads computed as FOLLOW sets of the derived grammar.
+class DerivedFollowLookaheads {
+public:
+  static DerivedFollowLookaheads compute(const Lr0Automaton &A,
+                                         const GrammarAnalysis &An);
+
+  const BitSet &la(StateId State, ProductionId Prod) const {
+    return LaSets[RedIdx->slot(State, Prod)];
+  }
+  const std::vector<BitSet> &laSets() const { return LaSets; }
+  const ReductionIndex &reductions() const { return *RedIdx; }
+
+  /// The derived grammar itself (nonterminals named "p@A"), exposed for
+  /// inspection and tests. Its terminal id space equals the original's.
+  const Grammar &derivedGrammar() const { return *Derived; }
+
+private:
+  std::unique_ptr<ReductionIndex> RedIdx;
+  std::unique_ptr<Grammar> Derived;
+  std::vector<BitSet> LaSets;
+};
+
+} // namespace lalr
+
+#endif // LALR_BASELINES_BERMUDEZLOGOTHETIS_H

@@ -1,0 +1,19 @@
+//===- baselines/Clr1Builder.cpp - Canonical LR(1) tables -------------------===//
+
+#include "baselines/Clr1Builder.h"
+
+using namespace lalr;
+
+ParseTable lalr::buildClr1Table(const Lr1Automaton &A) {
+  const Grammar &G = A.grammar();
+  return fillTableGeneric(
+      G, A.numStates(),
+      [&](uint32_t S, auto Emit) {
+        for (auto [Sym, Target] : A.state(S).Transitions)
+          Emit(Sym, Target);
+      },
+      [&](uint32_t S, auto Emit) {
+        for (const auto &[Prod, LA] : A.state(S).Reductions)
+          Emit(Prod, LA);
+      });
+}

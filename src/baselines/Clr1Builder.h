@@ -1,0 +1,24 @@
+//===- baselines/Clr1Builder.h - Canonical LR(1) tables ---------*- C++ -*-===//
+///
+/// \file
+/// CLR(1) parse tables over the canonical LR(1) automaton. Maximum
+/// precision, maximum state count — the other end of the trade-off the
+/// paper's evaluation contrasts with LALR(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_BASELINES_CLR1BUILDER_H
+#define LALR_BASELINES_CLR1BUILDER_H
+
+#include "baselines/Lr1Automaton.h"
+#include "lr/ParseTable.h"
+
+namespace lalr {
+
+/// Builds the canonical LR(1) parse table (states are \p A's LR(1)
+/// states).
+ParseTable buildClr1Table(const Lr1Automaton &A);
+
+} // namespace lalr
+
+#endif // LALR_BASELINES_CLR1BUILDER_H

@@ -1,0 +1,129 @@
+//===- baselines/Lr1Automaton.cpp - Canonical LR(1) collection --------------===//
+
+#include "baselines/Lr1Automaton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace lalr;
+
+namespace {
+
+/// Canonical key of an LR(1) kernel: packed cores followed by the raw
+/// look-ahead words of each item. Items must be sorted by core first.
+std::vector<uint64_t> kernelKey(const std::vector<Lr0Item> &Items,
+                                const std::vector<BitSet> &La) {
+  std::vector<uint64_t> Key;
+  Key.reserve(Items.size() * 3);
+  for (size_t I = 0; I < Items.size(); ++I) {
+    Key.push_back(Items[I].packed());
+    for (uint64_t W : La[I].words())
+      Key.push_back(W);
+  }
+  return Key;
+}
+
+} // namespace
+
+Lr1Automaton Lr1Automaton::build(const Grammar &G,
+                                 const GrammarAnalysis &An) {
+  const size_t NumT = G.numTerminals();
+  Lr1Automaton A(G);
+
+  std::map<std::vector<uint64_t>, uint32_t> StateByKernel;
+
+  // Interns a kernel given as parallel (unsorted) item/la vectors.
+  auto internState = [&](std::vector<Lr0Item> Items,
+                         std::vector<BitSet> La) -> uint32_t {
+    // Sort both by the item core.
+    std::vector<size_t> Order(Items.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(), [&](size_t L, size_t R) {
+      return Items[L].packed() < Items[R].packed();
+    });
+    std::vector<Lr0Item> SortedItems(Items.size());
+    std::vector<BitSet> SortedLa(Items.size());
+    for (size_t I = 0; I < Order.size(); ++I) {
+      SortedItems[I] = Items[Order[I]];
+      SortedLa[I] = std::move(La[Order[I]]);
+    }
+    std::vector<uint64_t> Key = kernelKey(SortedItems, SortedLa);
+    auto [It, Inserted] =
+        StateByKernel.try_emplace(std::move(Key), uint32_t(A.States.size()));
+    if (Inserted) {
+      Lr1State S;
+      S.KernelItems = std::move(SortedItems);
+      S.KernelLa = std::move(SortedLa);
+      A.States.push_back(std::move(S));
+    }
+    return It->second;
+  };
+
+  {
+    std::vector<Lr0Item> StartItems{Lr0Item{0, 0}};
+    std::vector<BitSet> StartLa(1, BitSet(NumT));
+    StartLa[0].set(G.eofSymbol());
+    uint32_t Start = internState(std::move(StartItems), std::move(StartLa));
+    assert(Start == 0 && "start state must be state 0");
+    (void)Start;
+  }
+
+  for (uint32_t Cur = 0; Cur < A.States.size(); ++Cur) {
+    // Closure of the kernel.
+    std::vector<Lr1ItemGroup> Seed(A.States[Cur].KernelItems.size());
+    for (size_t I = 0; I < Seed.size(); ++I) {
+      Seed[I].Item = A.States[Cur].KernelItems[I];
+      Seed[I].Lookaheads = A.States[Cur].KernelLa[I];
+    }
+    std::vector<Lr1ItemGroup> Closure =
+        lr1Closure(G, An, std::move(Seed), NumT);
+
+    // Group advances by symbol; collect reductions.
+    std::map<SymbolId, std::pair<std::vector<Lr0Item>, std::vector<BitSet>>>
+        Advances;
+    std::vector<std::pair<ProductionId, BitSet>> Reductions;
+    for (Lr1ItemGroup &CI : Closure) {
+      SymbolId X = CI.Item.nextSymbol(G);
+      if (X == InvalidSymbol) {
+        Reductions.emplace_back(CI.Item.Prod, std::move(CI.Lookaheads));
+        continue;
+      }
+      auto &[Items, La] = Advances[X];
+      Items.push_back(Lr0Item{CI.Item.Prod, CI.Item.Dot + 1});
+      La.push_back(std::move(CI.Lookaheads));
+    }
+    std::sort(Reductions.begin(), Reductions.end(),
+              [](const auto &L, const auto &R) { return L.first < R.first; });
+
+    std::vector<std::pair<SymbolId, uint32_t>> Transitions;
+    Transitions.reserve(Advances.size());
+    for (auto &[Sym, Kernel] : Advances) {
+      uint32_t Target =
+          internState(std::move(Kernel.first), std::move(Kernel.second));
+      Transitions.emplace_back(Sym, Target);
+    }
+    A.States[Cur].Transitions = std::move(Transitions);
+    A.States[Cur].Reductions = std::move(Reductions);
+  }
+  return A;
+}
+
+uint32_t Lr1Automaton::gotoState(uint32_t S, SymbolId X) const {
+  const auto &T = States[S].Transitions;
+  auto It = std::lower_bound(
+      T.begin(), T.end(), X,
+      [](const std::pair<SymbolId, uint32_t> &E, SymbolId X) {
+        return E.first < X;
+      });
+  return (It != T.end() && It->first == X) ? It->second : UINT32_MAX;
+}
+
+std::vector<uint64_t> Lr1Automaton::coreKey(uint32_t S) const {
+  std::vector<uint64_t> Key;
+  Key.reserve(States[S].KernelItems.size());
+  for (const Lr0Item &Item : States[S].KernelItems)
+    Key.push_back(Item.packed());
+  return Key;
+}

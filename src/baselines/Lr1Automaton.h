@@ -1,0 +1,63 @@
+//===- baselines/Lr1Automaton.h - Canonical LR(1) collection ----*- C++ -*-===//
+///
+/// \file
+/// Knuth's canonical LR(1) automaton. This is the ground truth of the test
+/// suite — the definition of LALR(1) look-ahead is "merge the LR(1) states
+/// with equal LR(0) cores and union the item look-aheads", and the DP
+/// algorithm must reproduce exactly those sets — and the CLR(1) baseline
+/// of the precision experiment (Table 4). States group items by core with
+/// a look-ahead bitset per kernel item; state identity includes the
+/// look-ahead sets (canonical construction, no merging).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_BASELINES_LR1AUTOMATON_H
+#define LALR_BASELINES_LR1AUTOMATON_H
+
+#include "baselines/Lr1Closure.h"
+#include "grammar/Analysis.h"
+#include "lr/Lr0Automaton.h"
+
+#include <vector>
+
+namespace lalr {
+
+/// One canonical LR(1) state.
+struct Lr1State {
+  /// Kernel cores, sorted by packed value, with their look-ahead sets.
+  std::vector<Lr0Item> KernelItems;
+  std::vector<BitSet> KernelLa;
+
+  /// Outgoing transitions, sorted by symbol.
+  std::vector<std::pair<SymbolId, uint32_t>> Transitions;
+
+  /// Reductions: production plus its LR(1) look-ahead set (includes the
+  /// non-kernel epsilon items).
+  std::vector<std::pair<ProductionId, BitSet>> Reductions;
+};
+
+/// The canonical collection of LR(1) item sets.
+class Lr1Automaton {
+public:
+  static Lr1Automaton build(const Grammar &G, const GrammarAnalysis &An);
+
+  const Grammar &grammar() const { return *G; }
+  size_t numStates() const { return States.size(); }
+  const Lr1State &state(uint32_t S) const { return States[S]; }
+
+  uint32_t gotoState(uint32_t S, SymbolId X) const;
+
+  /// The LR(0) core key of a state: the packed kernel items only. Two
+  /// LR(1) states with equal cores merge into one LALR(1) state.
+  std::vector<uint64_t> coreKey(uint32_t S) const;
+
+private:
+  explicit Lr1Automaton(const Grammar &G) : G(&G) {}
+
+  const Grammar *G;
+  std::vector<Lr1State> States;
+};
+
+} // namespace lalr
+
+#endif // LALR_BASELINES_LR1AUTOMATON_H

@@ -1,0 +1,52 @@
+//===- baselines/Lr1Closure.cpp - Shared LR(1) item closure -----------------===//
+
+#include "baselines/Lr1Closure.h"
+
+#include <unordered_map>
+
+using namespace lalr;
+
+std::vector<Lr1ItemGroup> lalr::lr1Closure(const Grammar &G,
+                                           const GrammarAnalysis &An,
+                                           std::vector<Lr1ItemGroup> Seed,
+                                           size_t LaUniverse) {
+  std::vector<Lr1ItemGroup> Items = std::move(Seed);
+  std::unordered_map<uint64_t, size_t> IndexOf;
+  for (size_t I = 0; I < Items.size(); ++I)
+    IndexOf.emplace(Items[I].Item.packed(), I);
+
+  std::vector<size_t> Work;
+  for (size_t I = 0; I < Items.size(); ++I)
+    Work.push_back(I);
+
+  BitSet NewLa(LaUniverse);
+  while (!Work.empty()) {
+    size_t Idx = Work.back();
+    Work.pop_back();
+    // Copy the core: Items may reallocate while we expand.
+    Lr0Item It = Items[Idx].Item;
+    SymbolId B = It.nextSymbol(G);
+    if (B == InvalidSymbol || G.isTerminal(B))
+      continue;
+    const Production &P = G.production(It.Prod);
+
+    NewLa.clear();
+    bool DeltaNullable = An.addFirstOfSeq(NewLa, P.Rhs, It.Dot + 1);
+    if (DeltaNullable)
+      NewLa.unionWith(Items[Idx].Lookaheads);
+
+    for (ProductionId BP : G.productionsOf(B)) {
+      Lr0Item New{BP, 0};
+      auto [MapIt, Inserted] =
+          IndexOf.try_emplace(New.packed(), Items.size());
+      if (Inserted) {
+        Items.push_back({New, BitSet(LaUniverse)});
+        Items.back().Lookaheads.unionWith(NewLa);
+        Work.push_back(MapIt->second);
+      } else if (Items[MapIt->second].Lookaheads.unionWith(NewLa)) {
+        Work.push_back(MapIt->second);
+      }
+    }
+  }
+  return Items;
+}

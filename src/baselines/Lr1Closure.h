@@ -1,0 +1,40 @@
+//===- baselines/Lr1Closure.h - Shared LR(1) item closure -------*- C++ -*-===//
+///
+/// \file
+/// LR(1) item-set closure shared by the YACC propagation baseline and the
+/// canonical LR(1) automaton. Items are grouped by core (production + dot)
+/// with a look-ahead bitset each; the universe may include one extra slot
+/// past the terminals for YACC's dummy propagation symbol '#'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_BASELINES_LR1CLOSURE_H
+#define LALR_BASELINES_LR1CLOSURE_H
+
+#include "grammar/Analysis.h"
+#include "lr/Lr0Item.h"
+#include "support/BitSet.h"
+
+#include <vector>
+
+namespace lalr {
+
+/// An LR(1) item group [core, look-ahead set].
+struct Lr1ItemGroup {
+  Lr0Item Item;
+  BitSet Lookaheads;
+};
+
+/// Computes the LR(1) closure of \p Seed: for every [A -> a.Bd, L] and
+/// production B -> g, the item [B -> .g, FIRST(d) U (L if d nullable)] is
+/// added, merging look-aheads of equal cores, to a fixpoint. Returns all
+/// groups (seeds included). \p LaUniverse is the look-ahead bitset size
+/// (numTerminals, +1 when a dummy symbol is in play).
+std::vector<Lr1ItemGroup> lr1Closure(const Grammar &G,
+                                     const GrammarAnalysis &An,
+                                     std::vector<Lr1ItemGroup> Seed,
+                                     size_t LaUniverse);
+
+} // namespace lalr
+
+#endif // LALR_BASELINES_LR1CLOSURE_H

@@ -1,0 +1,48 @@
+//===- baselines/MergedLalrBuilder.cpp - LALR by LR(1) merging --------------===//
+
+#include "baselines/MergedLalrBuilder.h"
+
+#include <cassert>
+#include <map>
+
+using namespace lalr;
+
+MergedLalrLookaheads MergedLalrLookaheads::compute(const Lr0Automaton &A,
+                                                   const Lr1Automaton &L1) {
+  const Grammar &G = A.grammar();
+  assert(&G == &L1.grammar() && "automata must share one grammar");
+
+  MergedLalrLookaheads Out;
+  Out.RedIdx = std::make_unique<ReductionIndex>(A);
+  Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
+
+  // Index the LR(0) states by their kernel core so LR(1) states can be
+  // mapped onto them.
+  std::map<std::vector<uint64_t>, StateId> Lr0ByCore;
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    std::vector<uint64_t> Key;
+    Key.reserve(A.state(S).Kernel.size());
+    for (const Lr0Item &Item : A.state(S).Kernel)
+      Key.push_back(Item.packed());
+    Lr0ByCore.emplace(std::move(Key), S);
+  }
+
+  for (uint32_t S1 = 0; S1 < L1.numStates(); ++S1) {
+    auto It = Lr0ByCore.find(L1.coreKey(S1));
+    assert(It != Lr0ByCore.end() &&
+           "every LR(1) core is an LR(0) kernel of the same grammar");
+    StateId S0 = It->second;
+    for (const auto &[Prod, LA] : L1.state(S1).Reductions)
+      Out.LaSets[Out.RedIdx->slot(S0, Prod)].unionWith(LA);
+  }
+  return Out;
+}
+
+ParseTable lalr::buildMergedLalrTable(const Lr0Automaton &A,
+                                      const GrammarAnalysis &Analysis) {
+  Lr1Automaton L1 = Lr1Automaton::build(A.grammar(), Analysis);
+  MergedLalrLookaheads LA = MergedLalrLookaheads::compute(A, L1);
+  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+    return LA.la(S, P);
+  });
+}

@@ -1,0 +1,51 @@
+//===- baselines/MergedLalrBuilder.h - LALR by LR(1) merging ----*- C++ -*-===//
+///
+/// \file
+/// The *defining* construction of LALR(1): build the canonical LR(1)
+/// automaton and merge states with equal LR(0) cores, unioning item
+/// look-aheads. Hopelessly slower than the DP algorithm (it materialises
+/// the whole LR(1) state space) but it is the semantic ground truth the
+/// property suite checks the DP and YACC computations against, and the
+/// third column of the timing experiment (Table 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_BASELINES_MERGEDLALRBUILDER_H
+#define LALR_BASELINES_MERGEDLALRBUILDER_H
+
+#include "baselines/Lr1Automaton.h"
+#include "lalr/Relations.h"
+#include "lr/ParseTable.h"
+
+#include <memory>
+
+namespace lalr {
+
+/// LALR(1) look-ahead sets obtained by merging the canonical LR(1) states
+/// onto the LR(0) automaton, keyed like the DP ones by (state, prod).
+class MergedLalrLookaheads {
+public:
+  /// \p A and \p L1 must be over the same grammar. Every LR(1) state maps
+  /// to the unique LR(0) state with the same kernel core.
+  static MergedLalrLookaheads compute(const Lr0Automaton &A,
+                                      const Lr1Automaton &L1);
+
+  const BitSet &la(StateId State, ProductionId Prod) const {
+    return LaSets[RedIdx->slot(State, Prod)];
+  }
+  const std::vector<BitSet> &laSets() const { return LaSets; }
+  const ReductionIndex &reductions() const { return *RedIdx; }
+
+private:
+  std::unique_ptr<ReductionIndex> RedIdx;
+  std::vector<BitSet> LaSets;
+};
+
+/// Builds the LALR(1) table the slow way: full LR(1) construction, then
+/// merging. Identical table to buildLalrTable.
+ParseTable buildMergedLalrTable(const Lr0Automaton &A,
+                                const GrammarAnalysis &Analysis);
+
+} // namespace lalr
+
+#endif // LALR_BASELINES_MERGEDLALRBUILDER_H

@@ -1,0 +1,72 @@
+//===- baselines/NqlalrBuilder.cpp - NQLALR baseline ------------------------===//
+
+#include "baselines/NqlalrBuilder.h"
+
+#include "lalr/DigraphSolver.h"
+#include "lalr/NtTransitionIndex.h"
+
+#include <algorithm>
+
+using namespace lalr;
+
+NqlalrLookaheads NqlalrLookaheads::compute(const Lr0Automaton &A,
+                                           const GrammarAnalysis &Analysis) {
+  const Grammar &G = A.grammar();
+  NqlalrLookaheads Out;
+  Out.RedIdx = std::make_unique<ReductionIndex>(A);
+  NtTransitionIndex NtIdx(A);
+  LalrRelations True = buildLalrRelations(A, Analysis, NtIdx, *Out.RedIdx);
+
+  // Quotient: every nonterminal transition collapses onto its target
+  // state. Assign dense node ids to the distinct target states.
+  std::vector<uint32_t> NodeOfState(A.numStates(), UINT32_MAX);
+  std::vector<uint32_t> NodeOfTrans(NtIdx.size());
+  uint32_t NumNodes = 0;
+  for (uint32_t X = 0; X < NtIdx.size(); ++X) {
+    StateId To = NtIdx[X].To;
+    if (NodeOfState[To] == UINT32_MAX)
+      NodeOfState[To] = NumNodes++;
+    NodeOfTrans[X] = NodeOfState[To];
+  }
+
+  // Merge DR sets and adjacency through the quotient map.
+  std::vector<BitSet> Dr(NumNodes, BitSet(G.numTerminals()));
+  std::vector<std::vector<uint32_t>> Reads(NumNodes), Includes(NumNodes);
+  for (uint32_t X = 0; X < NtIdx.size(); ++X) {
+    uint32_t N = NodeOfTrans[X];
+    Dr[N].unionWith(True.DirectRead[X]);
+    for (uint32_t Y : True.Reads[X])
+      Reads[N].push_back(NodeOfTrans[Y]);
+    for (uint32_t Y : True.Includes[X])
+      Includes[N].push_back(NodeOfTrans[Y]);
+  }
+  for (auto &E : Reads) {
+    std::sort(E.begin(), E.end());
+    E.erase(std::unique(E.begin(), E.end()), E.end());
+  }
+  for (auto &E : Includes) {
+    std::sort(E.begin(), E.end());
+    E.erase(std::unique(E.begin(), E.end()), E.end());
+  }
+
+  std::vector<BitSet> ReadSets = solveDigraph(Reads, std::move(Dr));
+  std::vector<BitSet> FollowSets =
+      solveDigraph(Includes, std::move(ReadSets));
+
+  Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
+  for (uint32_t Slot = 0; Slot < Out.RedIdx->size(); ++Slot)
+    for (uint32_t X : True.Lookback[Slot])
+      Out.LaSets[Slot].unionWith(FollowSets[NodeOfTrans[X]]);
+  // The accept reduction's look-ahead is the end marker by definition
+  // (no lookback exists for it; see LalrLookaheads::compute).
+  Out.LaSets[Out.RedIdx->slot(A.acceptState(), 0)].set(G.eofSymbol());
+  return Out;
+}
+
+ParseTable lalr::buildNqlalrTable(const Lr0Automaton &A,
+                                  const GrammarAnalysis &Analysis) {
+  NqlalrLookaheads LA = NqlalrLookaheads::compute(A, Analysis);
+  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+    return LA.la(S, P);
+  });
+}

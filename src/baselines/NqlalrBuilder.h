@@ -1,0 +1,53 @@
+//===- baselines/NqlalrBuilder.h - NQLALR baseline --------------*- C++ -*-===//
+///
+/// \file
+/// The "not-quite LALR(1)" method the paper analyses: several practical
+/// generators of the era attached follow information to *states* instead
+/// of *nonterminal transitions*. Because every state of an LR(0) automaton
+/// has a unique accessing symbol, this quotients the DP relations by the
+/// transition's target state — merging the contexts of all predecessors —
+/// and therefore computes supersets of the true LALR(1) look-ahead sets
+/// (strict supersets on grammars that are LALR(1) but not NQLALR-adequate).
+///
+/// Implementation: build the true DP relations, then collapse every
+/// nonterminal transition (p, A) onto its target state GOTO(p, A) and run
+/// the same digraph solver on the quotient graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_BASELINES_NQLALRBUILDER_H
+#define LALR_BASELINES_NQLALRBUILDER_H
+
+#include "grammar/Analysis.h"
+#include "lalr/Relations.h"
+#include "lr/ParseTable.h"
+
+#include <memory>
+#include <vector>
+
+namespace lalr {
+
+/// NQLALR look-ahead sets, keyed like the DP ones by (state, production).
+class NqlalrLookaheads {
+public:
+  static NqlalrLookaheads compute(const Lr0Automaton &A,
+                                  const GrammarAnalysis &Analysis);
+
+  const BitSet &la(StateId State, ProductionId Prod) const {
+    return LaSets[RedIdx->slot(State, Prod)];
+  }
+  const std::vector<BitSet> &laSets() const { return LaSets; }
+  const ReductionIndex &reductions() const { return *RedIdx; }
+
+private:
+  std::unique_ptr<ReductionIndex> RedIdx;
+  std::vector<BitSet> LaSets;
+};
+
+/// Builds the NQLALR parse table over \p A.
+ParseTable buildNqlalrTable(const Lr0Automaton &A,
+                            const GrammarAnalysis &Analysis);
+
+} // namespace lalr
+
+#endif // LALR_BASELINES_NQLALRBUILDER_H

@@ -1,0 +1,197 @@
+//===- baselines/PagerLr1.cpp - Pager's minimal LR(1) -------------------------===//
+
+#include "baselines/PagerLr1.h"
+
+#include "baselines/Lr1Closure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace lalr;
+
+namespace {
+
+/// Core key: the packed kernel items (no look-aheads).
+std::vector<uint64_t> coreKeyOf(const std::vector<Lr0Item> &Items) {
+  std::vector<uint64_t> Key;
+  Key.reserve(Items.size());
+  for (const Lr0Item &I : Items)
+    Key.push_back(I.packed());
+  return Key;
+}
+
+/// Pager's weak compatibility of the incoming vector \p New with the
+/// existing state's vector \p Old (same core, parallel order).
+bool weaklyCompatible(const std::vector<BitSet> &New,
+                      const std::vector<BitSet> &Old) {
+  const size_t N = New.size();
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = I + 1; J < N; ++J) {
+      bool CrossDisjoint =
+          New[I].disjointWith(Old[J]) && New[J].disjointWith(Old[I]);
+      if (CrossDisjoint)
+        continue;
+      if (!Old[I].disjointWith(Old[J]))
+        continue;
+      if (!New[I].disjointWith(New[J]))
+        continue;
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+PagerLr1Automaton PagerLr1Automaton::build(const Grammar &G,
+                                           const GrammarAnalysis &An) {
+  const size_t NumT = G.numTerminals();
+  PagerLr1Automaton A(G);
+
+  // All states sharing one core.
+  std::map<std::vector<uint64_t>, std::vector<uint32_t>> StatesByCore;
+  std::deque<uint32_t> Worklist;
+  std::vector<bool> InWorklist;
+
+  auto pushWork = [&](uint32_t S) {
+    if (S >= InWorklist.size())
+      InWorklist.resize(S + 1, false);
+    if (!InWorklist[S]) {
+      InWorklist[S] = true;
+      Worklist.push_back(S);
+    }
+  };
+
+  // Finds a weakly compatible same-core state and merges (returns its
+  // id), or creates a fresh state. Pushes to the worklist when the
+  // target's look-aheads changed or it is new.
+  auto internOrMerge = [&](std::vector<Lr0Item> Items,
+                           std::vector<BitSet> La) -> uint32_t {
+    // Sort by core.
+    std::vector<size_t> Order(Items.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(), [&](size_t L, size_t R) {
+      return Items[L].packed() < Items[R].packed();
+    });
+    std::vector<Lr0Item> SortedItems(Items.size());
+    std::vector<BitSet> SortedLa(Items.size());
+    for (size_t I = 0; I < Order.size(); ++I) {
+      SortedItems[I] = Items[Order[I]];
+      SortedLa[I] = std::move(La[Order[I]]);
+    }
+    std::vector<uint64_t> Key = coreKeyOf(SortedItems);
+    std::vector<uint32_t> &Candidates = StatesByCore[Key];
+    for (uint32_t S : Candidates) {
+      if (!weaklyCompatible(SortedLa, A.States[S].KernelLa))
+        continue;
+      bool Changed = false;
+      for (size_t I = 0; I < SortedLa.size(); ++I)
+        Changed |= A.States[S].KernelLa[I].unionWith(SortedLa[I]);
+      if (Changed) {
+        ++A.Reprocessed;
+        pushWork(S);
+      }
+      return S;
+    }
+    uint32_t Id = static_cast<uint32_t>(A.States.size());
+    Lr1State S;
+    S.KernelItems = std::move(SortedItems);
+    S.KernelLa = std::move(SortedLa);
+    A.States.push_back(std::move(S));
+    Candidates.push_back(Id);
+    pushWork(Id);
+    return Id;
+  };
+
+  {
+    std::vector<Lr0Item> StartItems{Lr0Item{0, 0}};
+    std::vector<BitSet> StartLa(1, BitSet(NumT));
+    StartLa[0].set(G.eofSymbol());
+    uint32_t Start = internOrMerge(std::move(StartItems), std::move(StartLa));
+    assert(Start == 0 && "start state must be state 0");
+    (void)Start;
+  }
+
+  while (!Worklist.empty()) {
+    uint32_t Cur = Worklist.front();
+    Worklist.pop_front();
+    InWorklist[Cur] = false;
+
+    std::vector<Lr1ItemGroup> Seed(A.States[Cur].KernelItems.size());
+    for (size_t I = 0; I < Seed.size(); ++I) {
+      Seed[I].Item = A.States[Cur].KernelItems[I];
+      Seed[I].Lookaheads = A.States[Cur].KernelLa[I];
+    }
+    std::vector<Lr1ItemGroup> Closure =
+        lr1Closure(G, An, std::move(Seed), NumT);
+
+    std::map<SymbolId, std::pair<std::vector<Lr0Item>, std::vector<BitSet>>>
+        Advances;
+    std::vector<std::pair<ProductionId, BitSet>> Reductions;
+    for (Lr1ItemGroup &CI : Closure) {
+      SymbolId X = CI.Item.nextSymbol(G);
+      if (X == InvalidSymbol) {
+        Reductions.emplace_back(CI.Item.Prod, std::move(CI.Lookaheads));
+        continue;
+      }
+      auto &[ItemsV, LaV] = Advances[X];
+      ItemsV.push_back(Lr0Item{CI.Item.Prod, CI.Item.Dot + 1});
+      LaV.push_back(std::move(CI.Lookaheads));
+    }
+    std::sort(Reductions.begin(), Reductions.end(),
+              [](const auto &L, const auto &R) { return L.first < R.first; });
+
+    std::vector<std::pair<SymbolId, uint32_t>> Transitions;
+    Transitions.reserve(Advances.size());
+    for (auto &[Sym, Kernel] : Advances) {
+      uint32_t Target =
+          internOrMerge(std::move(Kernel.first), std::move(Kernel.second));
+      Transitions.emplace_back(Sym, Target);
+    }
+    A.States[Cur].Transitions = std::move(Transitions);
+    A.States[Cur].Reductions = std::move(Reductions);
+  }
+
+  // Reprocessing can redirect edges away from a state that a merge
+  // split, leaving orphans; compact to the reachable subautomaton so
+  // state counts are honest.
+  std::vector<uint32_t> Remap(A.States.size(), UINT32_MAX);
+  std::vector<uint32_t> Order{0};
+  Remap[0] = 0;
+  for (size_t I = 0; I < Order.size(); ++I)
+    for (auto [Sym, Target] : A.States[Order[I]].Transitions) {
+      (void)Sym;
+      if (Remap[Target] == UINT32_MAX) {
+        Remap[Target] = static_cast<uint32_t>(Order.size());
+        Order.push_back(Target);
+      }
+    }
+  if (Order.size() != A.States.size()) {
+    std::vector<Lr1State> Compacted;
+    Compacted.reserve(Order.size());
+    for (uint32_t Old : Order)
+      Compacted.push_back(std::move(A.States[Old]));
+    for (Lr1State &S : Compacted)
+      for (auto &[Sym, Target] : S.Transitions)
+        Target = Remap[Target];
+    A.States = std::move(Compacted);
+  }
+  return A;
+}
+
+ParseTable lalr::buildPagerTable(const PagerLr1Automaton &A) {
+  const Grammar &G = A.grammar();
+  return fillTableGeneric(
+      G, A.numStates(),
+      [&](uint32_t S, auto Emit) {
+        for (auto [Sym, Target] : A.state(S).Transitions)
+          Emit(Sym, Target);
+      },
+      [&](uint32_t S, auto Emit) {
+        for (const auto &[Prod, LA] : A.state(S).Reductions)
+          Emit(Prod, LA);
+      });
+}

@@ -1,0 +1,58 @@
+//===- baselines/PagerLr1.h - Pager's minimal LR(1) -------------*- C++ -*-===//
+///
+/// \file
+/// Pager's practical general method (1977): build the LR(1) automaton but
+/// merge a new state into an existing same-core state whenever the two
+/// are *weakly compatible* — a sufficient condition guaranteeing the
+/// merge cannot manufacture a conflict the canonical construction would
+/// not have. The result has full LR(1) power at close to LR(0) size; it
+/// is the modern resolution of the LALR-vs-canonical trade-off the
+/// DeRemer-Pennello paper navigates, included as an extension baseline:
+///
+///   LR(0) states <= Pager states <= canonical LR(1) states,
+///   Pager table conflict-free whenever the grammar is LR(1).
+///
+/// Weak compatibility of look-ahead vectors V (incoming) and W (existing)
+/// over one core: for every item pair i != j,
+///   (V_i ∩ W_j = ∅ and V_j ∩ W_i = ∅)  or  W_i ∩ W_j ≠ ∅  or
+///   V_i ∩ V_j ≠ ∅.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_BASELINES_PAGERLR1_H
+#define LALR_BASELINES_PAGERLR1_H
+
+#include "baselines/Lr1Automaton.h"
+#include "lr/ParseTable.h"
+
+namespace lalr {
+
+/// A minimal-LR(1) automaton built with weak-compatibility merging.
+/// Shares the Lr1State representation with the canonical automaton.
+class PagerLr1Automaton {
+public:
+  static PagerLr1Automaton build(const Grammar &G,
+                                 const GrammarAnalysis &An);
+
+  const Grammar &grammar() const { return *G; }
+  size_t numStates() const { return States.size(); }
+  const Lr1State &state(uint32_t S) const { return States[S]; }
+
+  /// Number of worklist reprocessings performed (merges that grew an
+  /// existing state's look-aheads); an evaluation counter.
+  size_t reprocessCount() const { return Reprocessed; }
+
+private:
+  explicit PagerLr1Automaton(const Grammar &G) : G(&G) {}
+
+  const Grammar *G;
+  std::vector<Lr1State> States;
+  size_t Reprocessed = 0;
+};
+
+/// Builds the parse table over the Pager automaton.
+ParseTable buildPagerTable(const PagerLr1Automaton &A);
+
+} // namespace lalr
+
+#endif // LALR_BASELINES_PAGERLR1_H

@@ -1,0 +1,14 @@
+//===- baselines/SlrBuilder.cpp - SLR(1) baseline ---------------------------===//
+
+#include "baselines/SlrBuilder.h"
+
+using namespace lalr;
+
+ParseTable lalr::buildSlrTable(const Lr0Automaton &A,
+                               const GrammarAnalysis &Analysis) {
+  const Grammar &G = A.grammar();
+  return fillParseTable(
+      A, [&](StateId, ProductionId P) -> const BitSet & {
+        return Analysis.follow(G.production(P).Lhs);
+      });
+}

@@ -1,0 +1,25 @@
+//===- baselines/SlrBuilder.h - SLR(1) baseline -----------------*- C++ -*-===//
+///
+/// \file
+/// The SLR(1) baseline (DeRemer 1971): every reduction A -> w uses
+/// FOLLOW(A) as its look-ahead set, ignoring the state. The paper compares
+/// against SLR to show where the extra precision of true LALR(1) look-ahead
+/// matters; SLR look-aheads are always supersets of the LALR(1) ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_BASELINES_SLRBUILDER_H
+#define LALR_BASELINES_SLRBUILDER_H
+
+#include "grammar/Analysis.h"
+#include "lr/ParseTable.h"
+
+namespace lalr {
+
+/// Builds the SLR(1) parse table over the LR(0) automaton \p A.
+ParseTable buildSlrTable(const Lr0Automaton &A,
+                         const GrammarAnalysis &Analysis);
+
+} // namespace lalr
+
+#endif // LALR_BASELINES_SLRBUILDER_H

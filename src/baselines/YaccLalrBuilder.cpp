@@ -1,0 +1,132 @@
+//===- baselines/YaccLalrBuilder.cpp - YACC propagation baseline ------------===//
+
+#include "baselines/YaccLalrBuilder.h"
+
+#include "baselines/Lr1Closure.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lalr;
+
+namespace {
+
+/// Finds the position of \p Item within \p Kernel (sorted). Asserts on
+/// absence: the closure of a state can only advance into kernels of its
+/// successors.
+size_t kernelIndexOf(const std::vector<Lr0Item> &Kernel, Lr0Item Item) {
+  auto It = std::lower_bound(Kernel.begin(), Kernel.end(), Item);
+  assert(It != Kernel.end() && *It == Item && "advanced item not in kernel");
+  return static_cast<size_t>(It - Kernel.begin());
+}
+
+} // namespace
+
+YaccLalrLookaheads
+YaccLalrLookaheads::compute(const Lr0Automaton &A,
+                            const GrammarAnalysis &An) {
+  const Grammar &G = A.grammar();
+  const size_t NumT = G.numTerminals();
+  const size_t Dummy = NumT; // index of '#'
+  const size_t LaUniverse = NumT + 1;
+
+  YaccLalrLookaheads Out;
+  Out.RedIdx = std::make_unique<ReductionIndex>(A);
+
+  // Kernel look-ahead sets, per state and kernel-item position.
+  std::vector<std::vector<BitSet>> KernelLa(A.numStates());
+  // Flattened addressing of kernel items for the propagation links.
+  std::vector<uint32_t> KernelOffset(A.numStates() + 1, 0);
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    KernelLa[S].assign(A.state(S).Kernel.size(), BitSet(NumT));
+    KernelOffset[S + 1] =
+        KernelOffset[S] + static_cast<uint32_t>(A.state(S).Kernel.size());
+  }
+  struct Link {
+    uint32_t From;
+    uint32_t To;
+  };
+  std::vector<Link> Links;
+
+  // Pass 1: discover spontaneous look-aheads and propagation links by
+  // closing every kernel item with the dummy look-ahead.
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    const auto &Kernel = A.state(S).Kernel;
+    for (size_t KI = 0; KI < Kernel.size(); ++KI) {
+      std::vector<Lr1ItemGroup> Seed(1);
+      Seed[0].Item = Kernel[KI];
+      Seed[0].Lookaheads = BitSet(LaUniverse);
+      Seed[0].Lookaheads.set(Dummy);
+      std::vector<Lr1ItemGroup> Closure =
+          lr1Closure(G, An, std::move(Seed), LaUniverse);
+
+      for (const Lr1ItemGroup &CI : Closure) {
+        SymbolId X = CI.Item.nextSymbol(G);
+        if (X == InvalidSymbol)
+          continue; // complete items are handled in pass 3
+        StateId T = A.gotoState(S, X);
+        assert(T != InvalidState && "closure symbol must have a transition");
+        size_t TIdx = kernelIndexOf(A.state(T).Kernel,
+                                    Lr0Item{CI.Item.Prod, CI.Item.Dot + 1});
+        // Spontaneous look-aheads: every concrete terminal in the set.
+        for (size_t La : CI.Lookaheads) {
+          if (La == Dummy)
+            continue;
+          KernelLa[T][TIdx].set(La);
+        }
+        if (CI.Lookaheads.test(Dummy))
+          Links.push_back({KernelOffset[S] + static_cast<uint32_t>(KI),
+                           KernelOffset[T] + static_cast<uint32_t>(TIdx)});
+      }
+    }
+  }
+  Out.NumLinks = Links.size();
+
+  // Initialization: the start item sees end-of-input.
+  KernelLa[0][0].set(G.eofSymbol());
+
+  // Pass 2: propagate over the links until the fixpoint.
+  // Address decoding for the flattened link endpoints.
+  auto slotSet = [&](uint32_t Flat) -> BitSet & {
+    StateId S = static_cast<StateId>(
+        std::upper_bound(KernelOffset.begin(), KernelOffset.end(), Flat) -
+        KernelOffset.begin() - 1);
+    return KernelLa[S][Flat - KernelOffset[S]];
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Out.NumPasses;
+    for (const Link &L : Links)
+      Changed |= slotSet(L.To).unionWith(slotSet(L.From));
+  }
+
+  // Pass 3: attach look-aheads to reductions by re-closing each state's
+  // kernel with its final look-aheads (non-kernel epsilon items get their
+  // sets here).
+  Out.LaSets.assign(Out.RedIdx->size(), BitSet(NumT));
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    const auto &Kernel = A.state(S).Kernel;
+    std::vector<Lr1ItemGroup> Seed(Kernel.size());
+    for (size_t KI = 0; KI < Kernel.size(); ++KI) {
+      Seed[KI].Item = Kernel[KI];
+      Seed[KI].Lookaheads = KernelLa[S][KI]; // universe NumT, no dummy
+    }
+    std::vector<Lr1ItemGroup> Closure =
+        lr1Closure(G, An, std::move(Seed), NumT);
+    for (const Lr1ItemGroup &CI : Closure) {
+      if (!CI.Item.isComplete(G))
+        continue;
+      Out.LaSets[Out.RedIdx->slot(S, CI.Item.Prod)].unionWith(CI.Lookaheads);
+    }
+  }
+  return Out;
+}
+
+ParseTable lalr::buildYaccLalrTable(const Lr0Automaton &A,
+                                    const GrammarAnalysis &Analysis) {
+  YaccLalrLookaheads LA = YaccLalrLookaheads::compute(A, Analysis);
+  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+    return LA.la(S, P);
+  });
+}

@@ -1,0 +1,61 @@
+//===- baselines/YaccLalrBuilder.h - YACC propagation baseline --*- C++ -*-===//
+///
+/// \file
+/// The look-ahead method used by YACC and described as Algorithm 4.63 in
+/// Aho/Sethi/Ullman: for every kernel item, close it under LR(1) items
+/// with a dummy look-ahead to discover *spontaneous* look-aheads and
+/// *propagation links*, then iterate propagation over the links until
+/// nothing changes, and finally re-close each state to attach look-aheads
+/// to the (possibly non-kernel) reduction items.
+///
+/// This computes exactly the same LA sets as the DeRemer-Pennello pipeline
+/// — the property suite asserts that — but does per-item LR(1) closures
+/// and a multi-pass fixpoint, which is the running-time gap the paper's
+/// evaluation reports (Table 3, Figs. 1-2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_BASELINES_YACCLALRBUILDER_H
+#define LALR_BASELINES_YACCLALRBUILDER_H
+
+#include "grammar/Analysis.h"
+#include "lalr/Relations.h"
+#include "lr/ParseTable.h"
+
+#include <memory>
+#include <vector>
+
+namespace lalr {
+
+/// LALR(1) look-aheads computed by spontaneous generation + propagation.
+class YaccLalrLookaheads {
+public:
+  static YaccLalrLookaheads compute(const Lr0Automaton &A,
+                                    const GrammarAnalysis &Analysis);
+
+  const BitSet &la(StateId State, ProductionId Prod) const {
+    return LaSets[RedIdx->slot(State, Prod)];
+  }
+  const std::vector<BitSet> &laSets() const { return LaSets; }
+  const ReductionIndex &reductions() const { return *RedIdx; }
+
+  /// Evaluation counters: propagation links discovered and full passes
+  /// over them until the fixpoint was reached.
+  size_t propagationLinkCount() const { return NumLinks; }
+  size_t propagationPassCount() const { return NumPasses; }
+
+private:
+  std::unique_ptr<ReductionIndex> RedIdx;
+  std::vector<BitSet> LaSets;
+  size_t NumLinks = 0;
+  size_t NumPasses = 0;
+};
+
+/// Builds the LALR(1) parse table using the YACC method (identical table
+/// to buildLalrTable, different computation).
+ParseTable buildYaccLalrTable(const Lr0Automaton &A,
+                              const GrammarAnalysis &Analysis);
+
+} // namespace lalr
+
+#endif // LALR_BASELINES_YACCLALRBUILDER_H

@@ -1,0 +1,23 @@
+//===- corpus/AnsiCGrammar.h - The classic ANSI C89 grammar -----*- C++ -*-===//
+///
+/// \file
+/// The full ANSI C89 grammar in the .y dialect — the canonical large
+/// LALR(1) test case (the well-known yacc grammar with the lexer-resolved
+/// TYPE_NAME token), transcribed for this corpus. ~64 nonterminals and
+/// ~210 productions; its only conflict is the dangling else. This is the
+/// scale of grammar the paper's evaluation ran on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_CORPUS_ANSICGRAMMAR_H
+#define LALR_CORPUS_ANSICGRAMMAR_H
+
+namespace lalr {
+
+/// Grammar text; parse with parseGrammar or load the "ansic" corpus
+/// entry.
+extern const char AnsiCGrammarSource[];
+
+} // namespace lalr
+
+#endif // LALR_CORPUS_ANSICGRAMMAR_H

@@ -1,0 +1,1112 @@
+//===- corpus/CorpusGrammars.cpp - Evaluation grammar corpus -----------------===//
+
+#include "corpus/CorpusGrammars.h"
+
+#include "corpus/AnsiCGrammar.h"
+#include "corpus/JavaGrammar.h"
+#include "corpus/PascalGrammar.h"
+#include "grammar/GrammarParser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lalr;
+
+namespace {
+
+// -------------------------------------------------------------------------
+// Realistic grammars
+// -------------------------------------------------------------------------
+
+/// Classic unambiguous arithmetic expressions (the dragon-book E/T/F
+/// grammar with unary minus and two extra levels).
+const char ExprSrc[] = R"y(
+%name expr
+%token NUM IDENT
+%%
+expr    : expr '+' term
+        | expr '-' term
+        | term
+        ;
+term    : term '*' factor
+        | term '/' factor
+        | factor
+        ;
+factor  : '(' expr ')'
+        | '-' factor
+        | NUM
+        | IDENT
+        ;
+)y";
+
+/// Ambiguous expressions disambiguated by precedence declarations; the
+/// bare grammar is not LR(1), the declared table is conflict-free.
+const char ExprPrecSrc[] = R"y(
+%name expr_prec
+%token NUM IDENT
+%left '+' '-'
+%left '*' '/'
+%right POW
+%right UMINUS
+%%
+e : e '+' e
+  | e '-' e
+  | e '*' e
+  | e '/' e
+  | e POW e
+  | '-' e %prec UMINUS
+  | '(' e ')'
+  | NUM
+  | IDENT
+  ;
+)y";
+
+/// JSON (RFC 8259 structure, lexical tokens abstracted).
+const char JsonSrc[] = R"y(
+%name json
+%token STRING NUMBER TRUE FALSE NULL
+%%
+json     : value ;
+value    : object
+         | array
+         | STRING
+         | NUMBER
+         | TRUE
+         | FALSE
+         | NULL
+         ;
+object   : '{' '}'
+         | '{' members '}'
+         ;
+members  : member
+         | members ',' member
+         ;
+member   : STRING ':' value ;
+array    : '[' ']'
+         | '[' elements ']'
+         ;
+elements : value
+         | elements ',' value
+         ;
+)y";
+
+/// A Pascal subset: program header, declarations, procedures/functions,
+/// statements, and the full Pascal expression hierarchy. Keeps Pascal's
+/// dangling else, so the bare grammar has the classic shift/reduce
+/// conflict (resolved toward shift, the standard interpretation).
+const char MiniPascalSrc[] = R"y(
+%name minipascal
+%token PROGRAM VAR BEGIN END IF THEN ELSE WHILE DO REPEAT UNTIL FOR TO
+%token PROCEDURE FUNCTION INTEGER REAL BOOLEAN IDENT NUMBER
+%token ASSIGN NE LE GE TRUE FALSE NOT OR AND DIV MOD
+%%
+program    : PROGRAM IDENT ';' block '.' ;
+block      : var_part proc_part compound ;
+var_part   : %empty
+           | VAR var_decls
+           ;
+var_decls  : var_decl
+           | var_decls var_decl
+           ;
+var_decl   : ident_list ':' type ';' ;
+ident_list : IDENT
+           | ident_list ',' IDENT
+           ;
+type       : INTEGER | REAL | BOOLEAN ;
+proc_part  : %empty
+           | proc_part proc_decl
+           ;
+proc_decl  : PROCEDURE IDENT params ';' block ';'
+           | FUNCTION IDENT params ':' type ';' block ';'
+           ;
+params     : %empty
+           | '(' param_list ')'
+           ;
+param_list : param
+           | param_list ';' param
+           ;
+param      : ident_list ':' type ;
+compound   : BEGIN stmt_list END ;
+stmt_list  : stmt
+           | stmt_list ';' stmt
+           ;
+stmt       : %empty
+           | IDENT ASSIGN expr
+           | IDENT '(' expr_list ')'
+           | compound
+           | IF expr THEN stmt
+           | IF expr THEN stmt ELSE stmt
+           | WHILE expr DO stmt
+           | REPEAT stmt_list UNTIL expr
+           | FOR IDENT ASSIGN expr TO expr DO stmt
+           ;
+expr_list  : expr
+           | expr_list ',' expr
+           ;
+expr       : simple_expr
+           | simple_expr relop simple_expr
+           ;
+relop      : '=' | NE | '<' | LE | '>' | GE ;
+simple_expr : term
+           | sign term
+           | simple_expr addop term
+           ;
+sign       : '+' | '-' ;
+addop      : '+' | '-' | OR ;
+term       : factor
+           | term mulop factor
+           ;
+mulop      : '*' | '/' | DIV | MOD | AND ;
+factor     : IDENT
+           | IDENT '(' expr_list ')'
+           | NUMBER
+           | TRUE
+           | FALSE
+           | '(' expr ')'
+           | NOT factor
+           ;
+)y";
+
+/// A C subset: declarations, function definitions, the statement set, and
+/// the unambiguous binary-operator tower. Dangling else retained.
+const char MiniCSrc[] = R"y(
+%name minic
+%token IDENT CONSTANT STRING INT CHAR VOID IF ELSE WHILE FOR RETURN
+%token BREAK CONTINUE EQ NE LE GE ANDAND OROR INC DEC
+%%
+translation_unit : external_decl
+                 | translation_unit external_decl
+                 ;
+external_decl    : function_def
+                 | decl
+                 ;
+function_def     : type_spec IDENT '(' param_decls ')' compound_stmt
+                 ;
+decl             : type_spec declarators ';' ;
+type_spec        : INT | CHAR | VOID ;
+declarators      : declarator
+                 | declarators ',' declarator
+                 ;
+declarator       : IDENT
+                 | IDENT '=' assign_expr
+                 | IDENT '[' CONSTANT ']'
+                 ;
+param_decls      : %empty
+                 | VOID
+                 | param_list
+                 ;
+param_list       : param
+                 | param_list ',' param
+                 ;
+param            : type_spec IDENT ;
+compound_stmt    : '{' block_items '}' ;
+block_items      : %empty
+                 | block_items block_item
+                 ;
+block_item       : decl
+                 | stmt
+                 ;
+stmt             : expr_stmt
+                 | compound_stmt
+                 | if_stmt
+                 | while_stmt
+                 | for_stmt
+                 | jump_stmt
+                 ;
+expr_stmt        : ';'
+                 | expr ';'
+                 ;
+if_stmt          : IF '(' expr ')' stmt
+                 | IF '(' expr ')' stmt ELSE stmt
+                 ;
+while_stmt       : WHILE '(' expr ')' stmt ;
+for_stmt         : FOR '(' expr_stmt expr_stmt ')' stmt
+                 | FOR '(' expr_stmt expr_stmt expr ')' stmt
+                 ;
+jump_stmt        : RETURN ';'
+                 | RETURN expr ';'
+                 | BREAK ';'
+                 | CONTINUE ';'
+                 ;
+expr             : assign_expr
+                 | expr ',' assign_expr
+                 ;
+assign_expr      : logical_or
+                 | unary_expr '=' assign_expr
+                 ;
+logical_or       : logical_and
+                 | logical_or OROR logical_and
+                 ;
+logical_and      : equality
+                 | logical_and ANDAND equality
+                 ;
+equality         : relational
+                 | equality EQ relational
+                 | equality NE relational
+                 ;
+relational       : additive
+                 | relational '<' additive
+                 | relational '>' additive
+                 | relational LE additive
+                 | relational GE additive
+                 ;
+additive         : multiplicative
+                 | additive '+' multiplicative
+                 | additive '-' multiplicative
+                 ;
+multiplicative   : unary_expr
+                 | multiplicative '*' unary_expr
+                 | multiplicative '/' unary_expr
+                 | multiplicative '%' unary_expr
+                 ;
+unary_expr       : postfix_expr
+                 | '-' unary_expr
+                 | '!' unary_expr
+                 | '&' unary_expr
+                 | '*' unary_expr
+                 | INC unary_expr
+                 | DEC unary_expr
+                 ;
+postfix_expr     : primary_expr
+                 | postfix_expr '[' expr ']'
+                 | postfix_expr '(' args ')'
+                 | postfix_expr INC
+                 | postfix_expr DEC
+                 ;
+args             : %empty
+                 | arg_list
+                 ;
+arg_list         : assign_expr
+                 | arg_list ',' assign_expr
+                 ;
+primary_expr     : IDENT
+                 | CONSTANT
+                 | STRING
+                 | '(' expr ')'
+                 ;
+)y";
+
+/// An Ada-flavoured subset: end-terminated compound statements (END IF /
+/// END LOOP), so no dangling else; declarations with initialisers;
+/// procedure bodies. Conflict-free.
+const char MiniAdaSrc[] = R"y(
+%name miniada
+%token PROCEDURE IS BEGIN END IF THEN ELSIF ELSE WHILE LOOP EXIT RETURN
+%token DECLARE CONSTANT IDENT NUMBER STRING ASSIGN ARROW NE LE GE
+%token AND OR NOT MOD TRUE FALSE NULL
+%%
+compilation   : proc_body ;
+proc_body     : PROCEDURE IDENT IS decl_part BEGIN stmts END IDENT ';'
+              | PROCEDURE IDENT IS decl_part BEGIN stmts END ';'
+              ;
+decl_part     : %empty
+              | decl_part decl
+              ;
+decl          : IDENT ':' type_mark ';'
+              | IDENT ':' type_mark ASSIGN expr ';'
+              | IDENT ':' CONSTANT type_mark ASSIGN expr ';'
+              | proc_body
+              ;
+type_mark     : IDENT ;
+stmts         : stmt
+              | stmts stmt
+              ;
+stmt          : NULL ';'
+              | IDENT ASSIGN expr ';'
+              | IDENT ';'
+              | IDENT '(' arg_list ')' ';'
+              | if_stmt
+              | while_stmt
+              | block_stmt
+              | EXIT ';'
+              | RETURN ';'
+              | RETURN expr ';'
+              ;
+if_stmt       : IF expr THEN stmts elsif_list else_part END IF ';' ;
+elsif_list    : %empty
+              | elsif_list ELSIF expr THEN stmts
+              ;
+else_part     : %empty
+              | ELSE stmts
+              ;
+while_stmt    : WHILE expr LOOP stmts END LOOP ';' ;
+block_stmt    : DECLARE decl_part BEGIN stmts END ';' ;
+arg_list      : arg
+              | arg_list ',' arg
+              ;
+arg           : expr
+              | IDENT ARROW expr
+              ;
+expr          : relation
+              | expr AND relation
+              | expr OR relation
+              ;
+relation      : simple_expr
+              | simple_expr relop simple_expr
+              ;
+relop         : '=' | NE | '<' | LE | '>' | GE ;
+simple_expr   : term
+              | '-' term
+              | simple_expr '+' term
+              | simple_expr '-' term
+              | simple_expr '&' term
+              ;
+term          : factor
+              | term '*' factor
+              | term '/' factor
+              | term MOD factor
+              ;
+factor        : primary
+              | NOT primary
+              ;
+primary       : IDENT
+              | IDENT '(' arg_list ')'
+              | NUMBER
+              | STRING
+              | TRUE
+              | FALSE
+              | '(' expr ')'
+              ;
+)y";
+
+/// An Oberon-flavoured module language: modules, typed declarations,
+/// END-terminated control flow. Conflict-free.
+const char OberonSrc[] = R"y(
+%name oberon
+%token MODULE IMPORT TYPE VAR PROCEDURE BEGIN END IF THEN ELSIF ELSE
+%token WHILE DO RECORD ARRAY OF POINTER TO RETURN IDENT NUMBER STRING
+%token ASSIGN NE LE GE OR DIV MOD NIL
+%%
+module       : MODULE IDENT ';' imports decls body END IDENT '.' ;
+imports      : %empty
+             | IMPORT import_list ';'
+             ;
+import_list  : IDENT
+             | import_list ',' IDENT
+             ;
+decls        : %empty
+             | decls decl_section
+             ;
+decl_section : TYPE type_decls
+             | VAR var_decls
+             | proc_decl
+             ;
+type_decls   : %empty
+             | type_decls IDENT '=' type ';'
+             ;
+var_decls    : %empty
+             | var_decls ident_list ':' type ';'
+             ;
+ident_list   : IDENT
+             | ident_list ',' IDENT
+             ;
+type         : IDENT
+             | ARRAY NUMBER OF type
+             | RECORD field_list END
+             | POINTER TO type
+             ;
+field_list   : field
+             | field_list ';' field
+             ;
+field        : %empty
+             | ident_list ':' type
+             ;
+proc_decl    : PROCEDURE IDENT formal_params ';' decls body END IDENT ';' ;
+formal_params : %empty
+             | '(' fp_sections ')'
+             | '(' fp_sections ')' ':' IDENT
+             | '(' ')'
+             | '(' ')' ':' IDENT
+             ;
+fp_sections  : fp_section
+             | fp_sections ';' fp_section
+             ;
+fp_section   : ident_list ':' type
+             | VAR ident_list ':' type
+             ;
+body         : %empty
+             | BEGIN stmts
+             ;
+stmts        : stmt
+             | stmts ';' stmt
+             ;
+stmt         : %empty
+             | designator ASSIGN expr
+             | designator
+             | designator '(' exprs ')'
+             | IF expr THEN stmts elsifs else_opt END
+             | WHILE expr DO stmts END
+             | RETURN
+             | RETURN expr
+             ;
+elsifs       : %empty
+             | elsifs ELSIF expr THEN stmts
+             ;
+else_opt     : %empty
+             | ELSE stmts
+             ;
+designator   : IDENT
+             | designator '.' IDENT
+             | designator '[' expr ']'
+             | designator '^'
+             ;
+exprs        : expr
+             | exprs ',' expr
+             ;
+expr         : simple_expr
+             | simple_expr relop simple_expr
+             ;
+relop        : '=' | NE | '<' | LE | '>' | GE ;
+simple_expr  : term
+             | '+' term
+             | '-' term
+             | simple_expr '+' term
+             | simple_expr '-' term
+             | simple_expr OR term
+             ;
+term         : factor
+             | term '*' factor
+             | term DIV factor
+             | term MOD factor
+             | term '&' factor
+             ;
+factor       : designator
+             | designator '(' exprs ')'
+             | NUMBER
+             | STRING
+             | NIL
+             | '(' expr ')'
+             | '~' factor
+             ;
+)y";
+
+/// A SQL SELECT subset with joins, WHERE/GROUP/ORDER clauses and boolean
+/// conditions. Conflict-free.
+const char MiniSqlSrc[] = R"y(
+%name minisql
+%token SELECT FROM WHERE GROUP BY ORDER HAVING AS AND OR NOT IN IS NULL
+%token JOIN INNER LEFT OUTER ON DISTINCT ASC DESC COUNT SUM AVG MIN MAX
+%token IDENT NUMBER STRING NE LE GE
+%%
+query        : select_stmt ';' ;
+select_stmt  : SELECT distinct_opt select_list FROM table_refs
+               where_opt group_opt order_opt ;
+distinct_opt : %empty | DISTINCT ;
+select_list  : '*'
+             | select_items
+             ;
+select_items : select_item
+             | select_items ',' select_item
+             ;
+select_item  : expr
+             | expr AS IDENT
+             ;
+table_refs   : table_ref
+             | table_refs ',' table_ref
+             ;
+table_ref    : table_primary
+             | table_ref join_kind JOIN table_primary ON condition
+             ;
+join_kind    : %empty
+             | INNER
+             | LEFT
+             | LEFT OUTER
+             ;
+table_primary : IDENT
+             | IDENT AS IDENT
+             | '(' select_stmt ')' AS IDENT
+             ;
+where_opt    : %empty | WHERE condition ;
+group_opt    : %empty
+             | GROUP BY column_list having_opt
+             ;
+having_opt   : %empty | HAVING condition ;
+order_opt    : %empty | ORDER BY order_items ;
+order_items  : order_item
+             | order_items ',' order_item
+             ;
+order_item   : expr
+             | expr ASC
+             | expr DESC
+             ;
+column_list  : column
+             | column_list ',' column
+             ;
+column       : IDENT
+             | IDENT '.' IDENT
+             ;
+condition    : bool_term
+             | condition OR bool_term
+             ;
+bool_term    : bool_factor
+             | bool_term AND bool_factor
+             ;
+bool_factor  : bool_primary
+             | NOT bool_factor
+             ;
+bool_primary : expr compare expr
+             | expr IS NULL
+             | expr IS NOT NULL
+             | expr IN '(' expr_list ')'
+             | '(' condition ')'
+             ;
+compare      : '=' | NE | '<' | LE | '>' | GE ;
+expr_list    : expr
+             | expr_list ',' expr
+             ;
+expr         : term
+             | expr '+' term
+             | expr '-' term
+             ;
+term         : factor
+             | term '*' factor
+             | term '/' factor
+             ;
+factor       : column
+             | NUMBER
+             | STRING
+             | aggregate
+             | '(' expr ')'
+             ;
+aggregate    : COUNT '(' '*' ')'
+             | COUNT '(' expr ')'
+             | SUM '(' expr ')'
+             | AVG '(' expr ')'
+             | MIN '(' expr ')'
+             | MAX '(' expr ')'
+             ;
+)y";
+
+/// XML-ish element structure with attributes, text, comments. The open
+/// and close tag punctuation are multi-character literal tokens.
+const char XmlishSrc[] = R"y(
+%name xmlish
+%token IDENT STRING TEXT COMMENT
+%%
+document  : prolog element ;
+prolog    : %empty
+          | '<?' IDENT attrs '?>'
+          ;
+element   : '<' IDENT attrs '>' content '</' IDENT '>'
+          | '<' IDENT attrs '/>'
+          ;
+attrs     : %empty
+          | attrs attr
+          ;
+attr      : IDENT '=' STRING ;
+content   : %empty
+          | content item
+          ;
+item      : element
+          | TEXT
+          | COMMENT
+          ;
+)y";
+
+/// A Lua-flavoured statement/expression language, END-terminated.
+const char MiniLuaSrc[] = R"y(
+%name minilua
+%token IF THEN ELSE ELSEIF END WHILE DO FOR IN REPEAT UNTIL FUNCTION
+%token LOCAL RETURN BREAK NIL TRUE FALSE AND OR NOT IDENT NUMBER STRING
+%token EQ NE LE GE CONCAT
+%%
+chunk       : block ;
+block       : stats
+            | stats laststat
+            ;
+stats       : %empty
+            | stats stat
+            ;
+stat        : ';'
+            | IDENT '=' expr
+            | IDENT '(' args ')'
+            | DO block END
+            | WHILE expr DO block END
+            | REPEAT block UNTIL expr
+            | IF expr THEN block elseifs else_opt END
+            | FOR IDENT '=' expr ',' expr DO block END
+            | FOR IDENT IN expr DO block END
+            | FUNCTION IDENT funcbody
+            | LOCAL IDENT
+            | LOCAL IDENT '=' expr
+            ;
+laststat    : RETURN
+            | RETURN expr
+            | BREAK
+            ;
+elseifs     : %empty
+            | elseifs ELSEIF expr THEN block
+            ;
+else_opt    : %empty
+            | ELSE block
+            ;
+funcbody    : '(' params ')' block END ;
+params      : %empty
+            | namelist
+            ;
+namelist    : IDENT
+            | namelist ',' IDENT
+            ;
+args        : %empty
+            | exprlist
+            ;
+exprlist    : expr
+            | exprlist ',' expr
+            ;
+expr        : orexpr ;
+orexpr      : andexpr
+            | orexpr OR andexpr
+            ;
+andexpr     : cmpexpr
+            | andexpr AND cmpexpr
+            ;
+cmpexpr     : concatexpr
+            | cmpexpr cmpop concatexpr
+            ;
+cmpop       : '<' | '>' | LE | GE | EQ | NE ;
+concatexpr  : addexpr
+            | addexpr CONCAT concatexpr
+            ;
+addexpr     : mulexpr
+            | addexpr '+' mulexpr
+            | addexpr '-' mulexpr
+            ;
+mulexpr     : unexpr
+            | mulexpr '*' unexpr
+            | mulexpr '/' unexpr
+            | mulexpr '%' unexpr
+            ;
+unexpr      : powexpr
+            | NOT unexpr
+            | '-' unexpr
+            | '#' unexpr
+            ;
+powexpr     : primary
+            | primary '^' unexpr
+            ;
+primary     : NIL
+            | TRUE
+            | FALSE
+            | NUMBER
+            | STRING
+            | IDENT
+            | IDENT '(' args ')'
+            | FUNCTION funcbody
+            | '(' expr ')'
+            | tablecons
+            ;
+tablecons   : '{' fields '}' ;
+fields      : %empty
+            | fieldlist
+            ;
+fieldlist   : field
+            | fieldlist ',' field
+            ;
+field       : expr
+            | IDENT '=' expr
+            | '[' expr ']' '=' expr
+            ;
+)y";
+
+/// A Tiger-style expression language (Appel's compiler-course language):
+/// everything is an expression, let/in/end scoping, declarations for
+/// types/vars/functions, l-values, and the classic Tiger precedence
+/// declarations that resolve its dangling else and operator ambiguity.
+const char TigerSrc[] = R"y(
+%name tiger
+%token ID INT_LIT STRING_LIT
+%token TYPE VAR FUNCTION LET IN END IF THEN ELSE WHILE FOR TO DO
+%token BREAK NIL ARRAY OF ASSIGN NE LE GE
+%nonassoc THEN
+%nonassoc ELSE
+%nonassoc DO OF
+%nonassoc ASSIGN
+%left '|'
+%left '&'
+%nonassoc '=' NE '<' LE '>' GE
+%left '+' '-'
+%left '*' '/'
+%right UMINUS
+%%
+program : expr ;
+
+expr
+	: lvalue
+	| NIL
+	| INT_LIT
+	| STRING_LIT
+	| '(' expr_seq ')'
+	| '-' expr %prec UMINUS
+	| ID '(' arg_list ')'
+	| expr '+' expr
+	| expr '-' expr
+	| expr '*' expr
+	| expr '/' expr
+	| expr '=' expr
+	| expr NE expr
+	| expr '<' expr
+	| expr LE expr
+	| expr '>' expr
+	| expr GE expr
+	| expr '&' expr
+	| expr '|' expr
+	| ID '{' field_inits '}'
+	| ID '[' expr ']' OF expr
+	| lvalue ASSIGN expr
+	| IF expr THEN expr %prec THEN
+	| IF expr THEN expr ELSE expr
+	| WHILE expr DO expr
+	| FOR ID ASSIGN expr TO expr DO expr
+	| BREAK
+	| LET decls IN expr_seq END
+	;
+
+expr_seq
+	: %empty
+	| expr_seq_nonempty
+	;
+expr_seq_nonempty
+	: expr
+	| expr_seq_nonempty ';' expr
+	;
+
+arg_list
+	: %empty
+	| arg_list_nonempty
+	;
+arg_list_nonempty
+	: expr
+	| arg_list_nonempty ',' expr
+	;
+
+field_inits
+	: %empty
+	| field_inits_nonempty
+	;
+field_inits_nonempty
+	: ID '=' expr
+	| field_inits_nonempty ',' ID '=' expr
+	;
+
+lvalue
+	: ID
+	| lvalue '.' ID
+	| lvalue '[' expr ']'
+	| ID '[' expr ']'
+	;
+
+decls
+	: %empty
+	| decls decl
+	;
+decl
+	: type_decl
+	| var_decl
+	| func_decl
+	;
+type_decl
+	: TYPE ID '=' type
+	;
+type
+	: ID
+	| '{' type_fields '}'
+	| ARRAY OF ID
+	;
+type_fields
+	: %empty
+	| type_fields_nonempty
+	;
+type_fields_nonempty
+	: ID ':' ID
+	| type_fields_nonempty ',' ID ':' ID
+	;
+var_decl
+	: VAR ID ASSIGN expr
+	| VAR ID ':' ID ASSIGN expr
+	;
+func_decl
+	: FUNCTION ID '(' type_fields ')' '=' expr
+	| FUNCTION ID '(' type_fields ')' ':' ID '=' expr
+	;
+)y";
+
+/// The .y dialect described in itself: terminals are GrammarLexer's
+/// token kinds, rules mirror GrammarParser's recursive descent. The test
+/// suite lexes every corpus source with the real lexer and parses the
+/// token stream with tables generated from this grammar — the generator
+/// bootstrapping itself.
+const char MetaGrammarSrc[] = R"y(
+%name metagrammar
+%token IDENT LITERAL NUMBER PERCENT_PERCENT KW_TOKEN KW_LEFT KW_RIGHT
+%token KW_NONASSOC KW_START KW_PREC KW_EMPTY KW_NAME KW_EXPECT
+%%
+file        : decls PERCENT_PERCENT rules ;
+decls       : %empty
+            | decls decl
+            ;
+decl        : KW_TOKEN token_names
+            | KW_LEFT token_names
+            | KW_RIGHT token_names
+            | KW_NONASSOC token_names
+            | KW_START IDENT
+            | KW_NAME IDENT
+            | KW_EXPECT NUMBER
+            ;
+token_names : token_name
+            | token_names token_name
+            ;
+token_name  : IDENT
+            | LITERAL
+            ;
+rules       : rule
+            | rules rule
+            ;
+rule        : IDENT ':' alts ';' ;
+alts        : alt
+            | alts '|' alt
+            ;
+alt         : seq_opt prec_opt
+            | KW_EMPTY prec_opt
+            ;
+seq_opt     : %empty
+            | seq
+            ;
+seq         : symbol
+            | seq symbol
+            ;
+symbol      : IDENT
+            | LITERAL
+            ;
+prec_opt    : %empty
+            | KW_PREC token_name
+            ;
+)y";
+
+// -------------------------------------------------------------------------
+// Class-separation specimens
+// -------------------------------------------------------------------------
+
+/// LR(0): fully deterministic without look-ahead.
+const char Lr0SpecimenSrc[] = R"y(
+%name lr0_specimen
+%%
+s : '(' s ')'
+  | 'x'
+  ;
+)y";
+
+/// SLR(1) but not LR(0): a state holds both a complete item and a shift.
+const char SlrSpecimenSrc[] = R"y(
+%name slr_not_lr0
+%%
+s : a_rule ;
+a_rule : 'a'
+       | 'a' 'b'
+       ;
+)y";
+
+/// The dragon-book assignment grammar: LALR(1) but not SLR(1) (SLR sees a
+/// bogus shift/reduce on '=' because FOLLOW(r) contains '=').
+const char LalrNotSlrSrc[] = R"y(
+%name lalr_not_slr
+%token ID
+%%
+s : l '=' r
+  | r
+  ;
+l : '*' r
+  | ID
+  ;
+r : l ;
+)y";
+
+/// LALR(1) but not NQLALR: the aa-transitions from the 'a' and 'b'
+/// contexts share their GOTO target, so a per-state follow computation
+/// (NQLALR) merges their contexts and manufactures a shift/reduce
+/// conflict on 'd' that true (per-transition) LALR(1) look-ahead avoids.
+/// This is the construction the paper uses to show NQLALR is inadequate.
+const char LalrNotNqlalrSrc[] = R"y(
+%name lalr_not_nqlalr
+%%
+s : 'a' astuff 'c'
+  | 'b' bstuff
+  ;
+astuff : w
+       | yy
+       ;
+yy : 'x' 'd' ;
+bstuff : w 'd' 'z' ;
+w : aa opt ;
+opt : %empty
+    | 'y'
+    ;
+aa : 'x' ;
+)y";
+
+/// LR(1) but not LALR(1): merging the LR(0)-isomorphic states creates a
+/// reduce/reduce conflict between e and f.
+const char Lr1NotLalrSrc[] = R"y(
+%name lr1_not_lalr
+%%
+s : 'a' e 'c'
+  | 'a' f 'd'
+  | 'b' f 'c'
+  | 'b' e 'd'
+  ;
+e : 'e' ;
+f : 'e' ;
+)y";
+
+/// Ambiguous, hence not LR(1) (and not LR(k) for any k, though the
+/// reads-relation certificate does not fire here).
+const char AmbiguousSrc[] = R"y(
+%name not_lr1_ambiguous
+%%
+e : e '+' e
+  | 'a'
+  ;
+)y";
+
+/// Even-length palindromes: unambiguous yet LR(k) for no k (the parser
+/// cannot find the middle with bounded look-ahead). The reads-cycle
+/// certificate does NOT fire here — it is sufficient, not necessary —
+/// so the classifier reports "not LR(1)" without the star.
+const char PalindromeSrc[] = R"y(
+%name palindrome
+%%
+s : 'a' s 'a'
+  | 'b' s 'b'
+  | %empty
+  ;
+)y";
+
+/// A grammar with a cycle in the `reads` relation (nullable a_nt read
+/// repeatedly in the same state): the DP certificate that the grammar is
+/// LR(k) for no k.
+const char ReadsCycleSrc[] = R"y(
+%name not_lrk_reads_cycle
+%%
+s : a_nt s
+  | 'b'
+  ;
+a_nt : %empty ;
+)y";
+
+const CorpusEntry Entries[] = {
+    {"expr", "unambiguous arithmetic expressions (E/T/F)", ExprSrc,
+     LrClass::Slr1, "NUM + NUM * ( NUM - IDENT )", true},
+    {"expr_prec", "ambiguous expressions + %left/%right declarations",
+     ExprPrecSrc, LrClass::NotLr1, "NUM + NUM * NUM POW - NUM", true},
+    {"json", "RFC 8259 JSON structure", JsonSrc, LrClass::Lr0,
+     "{ STRING : [ NUMBER , TRUE , { } ] , STRING : NULL }", true},
+    {"minipascal", "Pascal subset with dangling else", MiniPascalSrc,
+     LrClass::NotLr1,
+     "PROGRAM IDENT ; VAR IDENT : INTEGER ; BEGIN IDENT ASSIGN NUMBER + "
+     "NUMBER END .",
+     true},
+    {"minic", "C subset with the full operator tower", MiniCSrc,
+     LrClass::NotLr1,
+     "INT IDENT ( VOID ) { IDENT = CONSTANT * IDENT ; RETURN IDENT ; }",
+     true},
+    {"miniada", "Ada-flavoured subset, END-terminated", MiniAdaSrc,
+     LrClass::Slr1,
+     "PROCEDURE IDENT IS IDENT : IDENT ; BEGIN IDENT ASSIGN NUMBER ; IF "
+     "IDENT THEN NULL ; END IF ; END IDENT ;",
+     true},
+    {"oberon", "Oberon-flavoured module language", OberonSrc, LrClass::Slr1,
+     "MODULE IDENT ; VAR IDENT : IDENT ; BEGIN IDENT ASSIGN NUMBER END "
+     "IDENT .",
+     true},
+    {"minisql", "SQL SELECT subset with joins", MiniSqlSrc, LrClass::Slr1,
+     "SELECT IDENT , COUNT ( * ) FROM IDENT WHERE IDENT . IDENT = NUMBER "
+     "GROUP BY IDENT ;",
+     true},
+    {"xmlish", "XML element structure", XmlishSrc, LrClass::Slr1,
+     "< IDENT IDENT = STRING > TEXT < IDENT /> </ IDENT >", true},
+    {"minilua", "Lua-flavoured language, END-terminated", MiniLuaSrc,
+     LrClass::Slr1,
+     "LOCAL IDENT = NUMBER IF IDENT < NUMBER THEN IDENT = IDENT + NUMBER "
+     "END RETURN IDENT",
+     true},
+    {"ansic", "full ANSI C89 (the classic yacc grammar)",
+     AnsiCGrammarSource, LrClass::NotLr1,
+     "INT IDENTIFIER ( ) { IDENTIFIER = CONSTANT * IDENTIFIER ; IF ( "
+     "IDENTIFIER EQ_OP CONSTANT ) RETURN IDENTIFIER ; RETURN CONSTANT ; }",
+     true},
+    {"pascal", "full ISO-7185-style Pascal", PascalGrammarSource,
+     LrClass::NotLr1,
+     "PROGRAM IDENT ; VAR IDENT : IDENT ; BEGIN IDENT ASSIGN UNSIGNED_INT "
+     "+ UNSIGNED_INT ; IF IDENT < UNSIGNED_INT THEN IDENT ( IDENT ) END .",
+     true},
+    {"tiger", "Tiger-style expression language (Appel)", TigerSrc,
+     LrClass::NotLr1,
+     "LET VAR ID ASSIGN INT_LIT IN IF ID '>' INT_LIT THEN ID ( ID ) ELSE "
+     "ID ASSIGN ID '+' INT_LIT END",
+     true},
+    {"metagrammar", "the .y dialect described in itself", MetaGrammarSrc,
+     LrClass::Slr1,
+     "KW_NAME IDENT KW_TOKEN IDENT IDENT PERCENT_PERCENT IDENT : IDENT "
+     "LITERAL | KW_EMPTY ;",
+     true},
+    {"javasub", "JLS-style Java subset (no generics)", JavaGrammarSource,
+     LrClass::Lalr1,
+     "PUBLIC CLASS IDENTIFIER { INT IDENTIFIER ; IDENTIFIER ( ) { "
+     "IDENTIFIER = INT_LIT + INT_LIT ; RETURN ; } }",
+     true},
+    // Specimens.
+    {"lr0_specimen", "parenthesized x: LR(0)", Lr0SpecimenSrc, LrClass::Lr0,
+     "( ( x ) )", false},
+    {"slr_not_lr0", "needs FOLLOW to separate reduce from shift",
+     SlrSpecimenSrc, LrClass::Slr1, "a b", false},
+    {"lalr_not_slr", "dragon-book assignment grammar", LalrNotSlrSrc,
+     LrClass::Nqlalr, "* ID = ID", false},
+    {"lalr_not_nqlalr", "per-state follow merging breaks NQLALR",
+     LalrNotNqlalrSrc, LrClass::Lalr1, "b x d z", false},
+    {"lr1_not_lalr", "core merging manufactures a reduce/reduce conflict",
+     Lr1NotLalrSrc, LrClass::Lr1, nullptr, false},
+    {"not_lr1_ambiguous", "ambiguous expression grammar", AmbiguousSrc,
+     LrClass::NotLr1, nullptr, false},
+    {"not_lrk_reads_cycle", "nullable reads cycle: not LR(k) for any k",
+     ReadsCycleSrc, LrClass::NotLr1, nullptr, false},
+    {"palindrome", "unambiguous but not LR(k); certificate silent",
+     PalindromeSrc, LrClass::NotLr1, nullptr, false},
+};
+
+} // namespace
+
+std::span<const CorpusEntry> lalr::corpusEntries() { return Entries; }
+
+std::span<const CorpusEntry> lalr::realisticCorpusEntries() {
+  size_t N = 0;
+  while (N < std::size(Entries) && Entries[N].Realistic)
+    ++N;
+  return std::span<const CorpusEntry>(Entries, N);
+}
+
+const CorpusEntry *lalr::findCorpusEntry(std::string_view Name) {
+  for (const CorpusEntry &E : Entries)
+    if (Name == E.Name)
+      return &E;
+  return nullptr;
+}
+
+Grammar lalr::loadCorpusGrammar(const CorpusEntry &Entry) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Entry.Source, Diags, Entry.Name);
+  if (!G) {
+    std::fprintf(stderr, "corpus grammar '%s' failed to parse:\n%s",
+                 Entry.Name, Diags.render().c_str());
+    std::abort();
+  }
+  return std::move(*G);
+}
+
+Grammar lalr::loadCorpusGrammar(std::string_view Name) {
+  const CorpusEntry *E = findCorpusEntry(Name);
+  if (!E) {
+    std::fprintf(stderr, "no corpus grammar named '%s'\n",
+                 std::string(Name).c_str());
+    std::abort();
+  }
+  return loadCorpusGrammar(*E);
+}

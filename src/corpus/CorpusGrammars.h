@@ -1,0 +1,60 @@
+//===- corpus/CorpusGrammars.h - Evaluation grammar corpus ------*- C++ -*-===//
+///
+/// \file
+/// The grammar corpus the experiments run on. The paper evaluated on
+/// programming-language grammars of its era (ALGOL, FORTRAN, Ada, ...);
+/// those exact grammar files are unavailable, so this corpus contains
+/// comparable-scale grammars written for this repository (documented
+/// substitution, see EXPERIMENTS.md): ten realistic language grammars and
+/// six small specimens that separate the LR classes
+/// (LR(0) ⊂ SLR ⊂ LALR ⊂ LR(1), plus not-LR(1) and not-LR(k) witnesses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_CORPUS_CORPUSGRAMMARS_H
+#define LALR_CORPUS_CORPUSGRAMMARS_H
+
+#include "grammar/Grammar.h"
+#include "lalr/Classify.h"
+
+#include <span>
+#include <string_view>
+
+namespace lalr {
+
+/// One corpus grammar with its documented expectations (asserted by the
+/// corpus test suite).
+struct CorpusEntry {
+  const char *Name;
+  const char *Description;
+  /// Grammar text in the .y dialect.
+  const char *Source;
+  /// The strongest LR class this grammar is expected to fall in.
+  LrClass Expected;
+  /// A sample sentence (space-separated terminal names, literals without
+  /// quotes) that the generated parser must accept; nullptr if the
+  /// grammar is not meant to be conflict-free under its declared
+  /// precedence.
+  const char *SampleInput;
+  /// Whether the grammar is a realistic language grammar (true) or a
+  /// class-separation specimen (false); Table 1/2/3 use realistic ones.
+  bool Realistic;
+};
+
+/// All corpus entries, specimens last.
+std::span<const CorpusEntry> corpusEntries();
+
+/// Entries with Realistic == true (the Table 1-3 workload).
+std::span<const CorpusEntry> realisticCorpusEntries();
+
+/// Finds an entry by name; nullptr if absent.
+const CorpusEntry *findCorpusEntry(std::string_view Name);
+
+/// Parses a corpus grammar. The corpus is trusted: a parse failure here is
+/// a bug and aborts with the diagnostics printed.
+Grammar loadCorpusGrammar(const CorpusEntry &Entry);
+Grammar loadCorpusGrammar(std::string_view Name);
+
+} // namespace lalr
+
+#endif // LALR_CORPUS_CORPUSGRAMMARS_H

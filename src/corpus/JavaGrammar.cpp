@@ -1,0 +1,462 @@
+//===- corpus/JavaGrammar.cpp - JLS-style Java subset --------------------------===//
+
+#include "corpus/JavaGrammar.h"
+
+namespace lalr {
+
+const char JavaGrammarSource[] = R"y(
+%name javasub
+%token IDENTIFIER INT_LIT FLOAT_LIT BOOL_LIT CHAR_LIT STRING_LIT NULL_LIT
+%token PACKAGE IMPORT CLASS INTERFACE EXTENDS IMPLEMENTS
+%token PUBLIC PROTECTED PRIVATE STATIC ABSTRACT FINAL NATIVE
+%token BOOLEAN BYTE SHORT INT LONG CHAR FLOAT DOUBLE VOID
+%token IF ELSE WHILE FOR RETURN BREAK CONTINUE THROW NEW THIS SUPER
+%token INSTANCEOF
+%token EQ_OP NE_OP LE_OP GE_OP AND_OP OR_OP INC_OP DEC_OP SHL_OP SHR_OP
+%token ADD_ASSIGN SUB_ASSIGN MUL_ASSIGN DIV_ASSIGN
+%start compilation_unit
+%%
+
+compilation_unit
+	: package_opt imports_opt type_decls_opt
+	;
+package_opt
+	: %empty
+	| PACKAGE name ';'
+	;
+imports_opt
+	: %empty
+	| imports_opt IMPORT name ';'
+	| imports_opt IMPORT name '.' '*' ';'
+	;
+type_decls_opt
+	: %empty
+	| type_decls_opt type_decl
+	;
+type_decl
+	: class_decl
+	| interface_decl
+	| ';'
+	;
+
+name
+	: IDENTIFIER
+	| name '.' IDENTIFIER
+	;
+
+type
+	: primitive_type
+	| reference_type
+	;
+primitive_type
+	: BOOLEAN | BYTE | SHORT | INT | LONG | CHAR | FLOAT | DOUBLE
+	;
+reference_type
+	: name
+	| array_type
+	;
+array_type
+	: primitive_type '[' ']'
+	| name '[' ']'
+	| array_type '[' ']'
+	;
+
+modifiers_opt
+	: %empty
+	| modifiers
+	;
+modifiers
+	: modifier
+	| modifiers modifier
+	;
+modifier
+	: PUBLIC | PROTECTED | PRIVATE | STATIC | ABSTRACT | FINAL | NATIVE
+	;
+
+class_decl
+	: modifiers_opt CLASS IDENTIFIER super_opt interfaces_opt class_body
+	;
+super_opt
+	: %empty
+	| EXTENDS name
+	;
+interfaces_opt
+	: %empty
+	| IMPLEMENTS name_list
+	;
+name_list
+	: name
+	| name_list ',' name
+	;
+class_body
+	: '{' class_body_decls_opt '}'
+	;
+class_body_decls_opt
+	: %empty
+	| class_body_decls_opt class_body_decl
+	;
+class_body_decl
+	: field_decl
+	| method_decl
+	| constructor_decl
+	;
+
+interface_decl
+	: modifiers_opt INTERFACE IDENTIFIER extends_ifaces_opt iface_body
+	;
+extends_ifaces_opt
+	: %empty
+	| EXTENDS name_list
+	;
+iface_body
+	: '{' iface_members_opt '}'
+	;
+iface_members_opt
+	: %empty
+	| iface_members_opt iface_member
+	;
+iface_member
+	: abstract_method_decl
+	| field_decl
+	;
+abstract_method_decl
+	: method_header ';'
+	;
+
+field_decl
+	: modifiers_opt type variable_declarators ';'
+	;
+variable_declarators
+	: variable_declarator
+	| variable_declarators ',' variable_declarator
+	;
+variable_declarator
+	: declarator_id
+	| declarator_id '=' variable_initializer
+	;
+declarator_id
+	: IDENTIFIER
+	| declarator_id '[' ']'
+	;
+variable_initializer
+	: expression
+	| array_initializer
+	;
+array_initializer
+	: '{' '}'
+	| '{' initializer_list '}'
+	;
+initializer_list
+	: variable_initializer
+	| initializer_list ',' variable_initializer
+	;
+
+method_decl
+	: method_header method_body
+	;
+method_header
+	: modifiers_opt type method_declarator
+	| modifiers_opt VOID method_declarator
+	;
+method_declarator
+	: IDENTIFIER '(' params_opt ')'
+	| method_declarator '[' ']'
+	;
+params_opt
+	: %empty
+	| param_list
+	;
+param_list
+	: param
+	| param_list ',' param
+	;
+param
+	: type declarator_id
+	;
+method_body
+	: block
+	| ';'
+	;
+
+constructor_decl
+	: modifiers_opt IDENTIFIER '(' params_opt ')' block
+	;
+
+block
+	: '{' block_statements_opt '}'
+	;
+block_statements_opt
+	: %empty
+	| block_statements_opt block_statement
+	;
+block_statement
+	: local_var_decl ';'
+	| statement
+	;
+local_var_decl
+	: type variable_declarators
+	;
+statement
+	: statement_no_trailing
+	| if_then_statement
+	| if_then_else_statement
+	| while_statement
+	| for_statement
+	;
+statement_no_short_if
+	: statement_no_trailing
+	| if_then_else_statement_no_short_if
+	| while_statement_no_short_if
+	| for_statement_no_short_if
+	;
+statement_no_trailing
+	: block
+	| ';'
+	| expression_statement
+	| return_statement
+	| break_statement
+	| continue_statement
+	| throw_statement
+	;
+expression_statement
+	: statement_expression ';'
+	;
+statement_expression
+	: assignment
+	| pre_increment
+	| pre_decrement
+	| post_increment
+	| post_decrement
+	| method_invocation
+	| class_instance_creation
+	;
+if_then_statement
+	: IF '(' expression ')' statement
+	;
+if_then_else_statement
+	: IF '(' expression ')' statement_no_short_if ELSE statement
+	;
+if_then_else_statement_no_short_if
+	: IF '(' expression ')' statement_no_short_if ELSE
+	  statement_no_short_if
+	;
+while_statement
+	: WHILE '(' expression ')' statement
+	;
+while_statement_no_short_if
+	: WHILE '(' expression ')' statement_no_short_if
+	;
+for_statement
+	: FOR '(' for_init_opt ';' expression_opt ';' for_update_opt ')'
+	  statement
+	;
+for_statement_no_short_if
+	: FOR '(' for_init_opt ';' expression_opt ';' for_update_opt ')'
+	  statement_no_short_if
+	;
+for_init_opt
+	: %empty
+	| statement_expression_list
+	| local_var_decl
+	;
+for_update_opt
+	: %empty
+	| statement_expression_list
+	;
+statement_expression_list
+	: statement_expression
+	| statement_expression_list ',' statement_expression
+	;
+expression_opt
+	: %empty
+	| expression
+	;
+return_statement
+	: RETURN expression_opt ';'
+	;
+break_statement
+	: BREAK ';'
+	;
+continue_statement
+	: CONTINUE ';'
+	;
+throw_statement
+	: THROW expression ';'
+	;
+
+primary
+	: primary_no_new_array
+	| array_creation
+	;
+primary_no_new_array
+	: literal
+	| THIS
+	| '(' expression ')'
+	| class_instance_creation
+	| field_access
+	| method_invocation
+	| array_access
+	;
+literal
+	: INT_LIT | FLOAT_LIT | BOOL_LIT | CHAR_LIT | STRING_LIT | NULL_LIT
+	;
+class_instance_creation
+	: NEW name '(' args_opt ')'
+	;
+args_opt
+	: %empty
+	| arg_list
+	;
+arg_list
+	: expression
+	| arg_list ',' expression
+	;
+array_creation
+	: NEW primitive_type dim_exprs dims_opt
+	| NEW name dim_exprs dims_opt
+	| NEW primitive_type dims array_initializer
+	| NEW name dims array_initializer
+	;
+dim_exprs
+	: dim_expr
+	| dim_exprs dim_expr
+	;
+dim_expr
+	: '[' expression ']'
+	;
+dims_opt
+	: %empty
+	| dims
+	;
+dims
+	: '[' ']'
+	| dims '[' ']'
+	;
+field_access
+	: primary '.' IDENTIFIER
+	| SUPER '.' IDENTIFIER
+	;
+method_invocation
+	: name '(' args_opt ')'
+	| primary '.' IDENTIFIER '(' args_opt ')'
+	| SUPER '.' IDENTIFIER '(' args_opt ')'
+	;
+array_access
+	: name '[' expression ']'
+	| primary_no_new_array '[' expression ']'
+	;
+
+postfix_expression
+	: primary
+	| name
+	| post_increment
+	| post_decrement
+	;
+post_increment
+	: postfix_expression INC_OP
+	;
+post_decrement
+	: postfix_expression DEC_OP
+	;
+unary_expression
+	: pre_increment
+	| pre_decrement
+	| '+' unary_expression
+	| '-' unary_expression
+	| unary_expression_not_plus_minus
+	;
+pre_increment
+	: INC_OP unary_expression
+	;
+pre_decrement
+	: DEC_OP unary_expression
+	;
+unary_expression_not_plus_minus
+	: postfix_expression
+	| '~' unary_expression
+	| '!' unary_expression
+	| cast_expression
+	;
+cast_expression
+	: '(' primitive_type dims_opt ')' unary_expression
+	| '(' expression ')' unary_expression_not_plus_minus
+	| '(' name dims ')' unary_expression_not_plus_minus
+	;
+multiplicative_expression
+	: unary_expression
+	| multiplicative_expression '*' unary_expression
+	| multiplicative_expression '/' unary_expression
+	| multiplicative_expression '%' unary_expression
+	;
+additive_expression
+	: multiplicative_expression
+	| additive_expression '+' multiplicative_expression
+	| additive_expression '-' multiplicative_expression
+	;
+shift_expression
+	: additive_expression
+	| shift_expression SHL_OP additive_expression
+	| shift_expression SHR_OP additive_expression
+	;
+relational_expression
+	: shift_expression
+	| relational_expression '<' shift_expression
+	| relational_expression '>' shift_expression
+	| relational_expression LE_OP shift_expression
+	| relational_expression GE_OP shift_expression
+	| relational_expression INSTANCEOF reference_type
+	;
+equality_expression
+	: relational_expression
+	| equality_expression EQ_OP relational_expression
+	| equality_expression NE_OP relational_expression
+	;
+and_expression
+	: equality_expression
+	| and_expression '&' equality_expression
+	;
+exclusive_or_expression
+	: and_expression
+	| exclusive_or_expression '^' and_expression
+	;
+inclusive_or_expression
+	: exclusive_or_expression
+	| inclusive_or_expression '|' exclusive_or_expression
+	;
+conditional_and_expression
+	: inclusive_or_expression
+	| conditional_and_expression AND_OP inclusive_or_expression
+	;
+conditional_or_expression
+	: conditional_and_expression
+	| conditional_or_expression OR_OP conditional_and_expression
+	;
+conditional_expression
+	: conditional_or_expression
+	| conditional_or_expression '?' expression ':' conditional_expression
+	;
+assignment_expression
+	: conditional_expression
+	| assignment
+	;
+assignment
+	: left_hand_side assignment_operator assignment_expression
+	;
+left_hand_side
+	: name
+	| field_access
+	| array_access
+	;
+assignment_operator
+	: '='
+	| ADD_ASSIGN
+	| SUB_ASSIGN
+	| MUL_ASSIGN
+	| DIV_ASSIGN
+	;
+expression
+	: assignment_expression
+	;
+)y";
+
+} // namespace lalr

@@ -1,0 +1,22 @@
+//===- corpus/JavaGrammar.h - JLS-style Java subset -------------*- C++ -*-===//
+///
+/// \file
+/// A Java (1.0-era, no generics) grammar in the style of the JLS
+/// appendix-19 LALR(1) grammar: class and interface declarations, fields,
+/// methods and constructors, the statement set, and the full expression
+/// grammar including the JLS cast-expression formulation (the part that
+/// makes naive Java grammars non-LR). ~150 productions; third large
+/// corpus entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_CORPUS_JAVAGRAMMAR_H
+#define LALR_CORPUS_JAVAGRAMMAR_H
+
+namespace lalr {
+
+extern const char JavaGrammarSource[];
+
+} // namespace lalr
+
+#endif // LALR_CORPUS_JAVAGRAMMAR_H

@@ -1,0 +1,316 @@
+//===- corpus/PascalGrammar.cpp - ISO-7185-style Pascal -----------------------===//
+
+#include "corpus/PascalGrammar.h"
+
+namespace lalr {
+
+const char PascalGrammarSource[] = R"y(
+%name pascal
+%token PROGRAM LABEL CONST TYPE VAR PROCEDURE FUNCTION BEGIN END
+%token IF THEN ELSE CASE OF WHILE DO REPEAT UNTIL FOR TO DOWNTO WITH
+%token GOTO ARRAY RECORD SET FILE PACKED NIL NOT DIV MOD AND OR IN
+%token IDENT UNSIGNED_INT UNSIGNED_REAL STRING CHAR_LIT
+%token ASSIGN NE LE GE DOTDOT UPARROW
+%start program
+%%
+
+program
+	: program_heading ';' block '.'
+	;
+program_heading
+	: PROGRAM IDENT
+	| PROGRAM IDENT '(' identifier_list ')'
+	;
+identifier_list
+	: IDENT
+	| identifier_list ',' IDENT
+	;
+
+block
+	: label_part const_part type_part var_part proc_part compound_statement
+	;
+
+label_part
+	: %empty
+	| LABEL label_list ';'
+	;
+label_list
+	: label
+	| label_list ',' label
+	;
+label
+	: UNSIGNED_INT
+	;
+
+const_part
+	: %empty
+	| CONST const_defs
+	;
+const_defs
+	: const_def ';'
+	| const_defs const_def ';'
+	;
+const_def
+	: IDENT '=' constant
+	;
+constant
+	: unsigned_number
+	| sign unsigned_number
+	| IDENT
+	| sign IDENT
+	| STRING
+	| CHAR_LIT
+	;
+unsigned_number
+	: UNSIGNED_INT
+	| UNSIGNED_REAL
+	;
+sign
+	: '+'
+	| '-'
+	;
+
+type_part
+	: %empty
+	| TYPE type_defs
+	;
+type_defs
+	: type_def ';'
+	| type_defs type_def ';'
+	;
+type_def
+	: IDENT '=' type_denoter
+	;
+type_denoter
+	: simple_type
+	| structured_type
+	| UPARROW IDENT
+	;
+simple_type
+	: IDENT
+	| '(' identifier_list ')'
+	| constant DOTDOT constant
+	;
+structured_type
+	: unpacked_structured_type
+	| PACKED unpacked_structured_type
+	;
+unpacked_structured_type
+	: array_type
+	| record_type
+	| set_type
+	| file_type
+	;
+array_type
+	: ARRAY '[' index_types ']' OF type_denoter
+	;
+index_types
+	: simple_type
+	| index_types ',' simple_type
+	;
+record_type
+	: RECORD field_list END
+	;
+field_list
+	: %empty
+	| fixed_part
+	| fixed_part ';' variant_part
+	| variant_part
+	| fixed_part ';'
+	;
+fixed_part
+	: record_section
+	| fixed_part ';' record_section
+	;
+record_section
+	: identifier_list ':' type_denoter
+	;
+variant_part
+	: CASE variant_selector OF variant_list
+	;
+variant_selector
+	: IDENT ':' IDENT
+	| IDENT
+	;
+variant_list
+	: variant
+	| variant_list ';' variant
+	;
+variant
+	: case_constant_list ':' '(' field_list ')'
+	;
+case_constant_list
+	: constant
+	| case_constant_list ',' constant
+	;
+set_type
+	: SET OF simple_type
+	;
+file_type
+	: FILE OF type_denoter
+	;
+
+var_part
+	: %empty
+	| VAR var_decls
+	;
+var_decls
+	: var_decl ';'
+	| var_decls var_decl ';'
+	;
+var_decl
+	: identifier_list ':' type_denoter
+	;
+
+proc_part
+	: %empty
+	| proc_part proc_or_func_decl ';'
+	;
+proc_or_func_decl
+	: procedure_heading ';' block
+	| function_heading ';' block
+	;
+procedure_heading
+	: PROCEDURE IDENT
+	| PROCEDURE IDENT '(' formal_parameter_list ')'
+	;
+function_heading
+	: FUNCTION IDENT ':' IDENT
+	| FUNCTION IDENT '(' formal_parameter_list ')' ':' IDENT
+	;
+formal_parameter_list
+	: formal_parameter_section
+	| formal_parameter_list ';' formal_parameter_section
+	;
+formal_parameter_section
+	: identifier_list ':' IDENT
+	| VAR identifier_list ':' IDENT
+	| procedure_heading
+	| function_heading
+	;
+
+compound_statement
+	: BEGIN statement_sequence END
+	;
+statement_sequence
+	: statement
+	| statement_sequence ';' statement
+	;
+statement
+	: open_statement
+	;
+open_statement
+	: label ':' unlabelled_statement
+	| unlabelled_statement
+	;
+unlabelled_statement
+	: %empty
+	| assignment_or_call
+	| compound_statement
+	| GOTO label
+	| if_statement
+	| case_statement
+	| WHILE expression DO statement
+	| REPEAT statement_sequence UNTIL expression
+	| for_statement
+	| with_statement
+	;
+assignment_or_call
+	: variable_access ASSIGN expression
+	| IDENT
+	| IDENT '(' actual_parameter_list ')'
+	;
+if_statement
+	: IF expression THEN statement
+	| IF expression THEN statement ELSE statement
+	;
+case_statement
+	: CASE expression OF case_elements END
+	| CASE expression OF case_elements ';' END
+	;
+case_elements
+	: case_element
+	| case_elements ';' case_element
+	;
+case_element
+	: case_constant_list ':' statement
+	;
+for_statement
+	: FOR IDENT ASSIGN expression TO expression DO statement
+	| FOR IDENT ASSIGN expression DOWNTO expression DO statement
+	;
+with_statement
+	: WITH variable_access_list DO statement
+	;
+variable_access_list
+	: variable_access
+	| variable_access_list ',' variable_access
+	;
+
+actual_parameter_list
+	: actual_parameter
+	| actual_parameter_list ',' actual_parameter
+	;
+actual_parameter
+	: expression
+	;
+
+variable_access
+	: IDENT
+	| variable_access '[' expression_list ']'
+	| variable_access '.' IDENT
+	| variable_access UPARROW
+	;
+expression_list
+	: expression
+	| expression_list ',' expression
+	;
+
+expression
+	: simple_expression
+	| simple_expression relational_operator simple_expression
+	;
+relational_operator
+	: '=' | NE | '<' | LE | '>' | GE | IN
+	;
+simple_expression
+	: term
+	| sign term
+	| simple_expression adding_operator term
+	;
+adding_operator
+	: '+' | '-' | OR
+	;
+term
+	: factor
+	| term multiplying_operator factor
+	;
+multiplying_operator
+	: '*' | '/' | DIV | MOD | AND
+	;
+factor
+	: variable_access
+	| IDENT '(' actual_parameter_list ')'
+	| unsigned_number
+	| STRING
+	| CHAR_LIT
+	| NIL
+	| set_constructor
+	| '(' expression ')'
+	| NOT factor
+	;
+set_constructor
+	: '[' ']'
+	| '[' member_designator_list ']'
+	;
+member_designator_list
+	: member_designator
+	| member_designator_list ',' member_designator
+	;
+member_designator
+	: expression
+	| expression DOTDOT expression
+	;
+)y";
+
+} // namespace lalr

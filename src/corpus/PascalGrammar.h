@@ -1,0 +1,23 @@
+//===- corpus/PascalGrammar.h - ISO-7185-style Pascal -----------*- C++ -*-===//
+///
+/// \file
+/// A full Pascal grammar (ISO 7185 flavour): labels, constants, type
+/// definitions with subranges / enumerations / arrays / records with
+/// variant parts / sets / files / pointers, procedures and functions with
+/// value and VAR parameters, the full statement set (assignment, call,
+/// goto, compound, if, case, repeat, while, for, with) and the full
+/// expression grammar including set constructors and IN. Roughly 160
+/// productions — the second large corpus entry besides ANSI C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_CORPUS_PASCALGRAMMAR_H
+#define LALR_CORPUS_PASCALGRAMMAR_H
+
+namespace lalr {
+
+extern const char PascalGrammarSource[];
+
+} // namespace lalr
+
+#endif // LALR_CORPUS_PASCALGRAMMAR_H

@@ -1,0 +1,150 @@
+//===- corpus/SyntheticGrammars.cpp - Parameterized grammar families ---------===//
+
+#include "corpus/SyntheticGrammars.h"
+
+#include "grammar/GrammarBuilder.h"
+#include "grammar/Transforms.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+/// Fails loudly: the generators only build well-formed grammars, so a
+/// build() failure here is a bug in the generator itself.
+Grammar buildOrDie(GrammarBuilder &&Builder, const char *What) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = std::move(Builder).build(Diags);
+  if (!G) {
+    std::fprintf(stderr, "synthetic generator '%s' built a bad grammar:\n%s",
+                 What, Diags.render().c_str());
+    std::abort();
+  }
+  return std::move(*G);
+}
+
+} // namespace
+
+Grammar lalr::makeExprTower(unsigned Levels, unsigned OpsPerLevel) {
+  assert(Levels >= 1 && OpsPerLevel >= 1);
+  GrammarBuilder B("expr_tower_" + std::to_string(Levels) + "x" +
+                   std::to_string(OpsPerLevel));
+  SymbolId Num = B.terminal("NUM");
+  SymbolId LParen = B.terminal("'('");
+  SymbolId RParen = B.terminal("')'");
+
+  std::vector<SymbolId> Nts;
+  for (unsigned L = 0; L <= Levels; ++L)
+    Nts.push_back(B.nonterminal("e" + std::to_string(L)));
+
+  for (unsigned L = 0; L < Levels; ++L) {
+    for (unsigned K = 0; K < OpsPerLevel; ++K) {
+      SymbolId Op =
+          B.terminal("op" + std::to_string(L) + "_" + std::to_string(K));
+      // Left-associative: e_L -> e_L op e_{L+1}.
+      B.production(Nts[L], {Nts[L], Op, Nts[L + 1]});
+    }
+    B.production(Nts[L], {Nts[L + 1]});
+  }
+  B.production(Nts[Levels], {LParen, Nts[0], RParen});
+  B.production(Nts[Levels], {Num});
+  B.startSymbol(Nts[0]);
+  return buildOrDie(std::move(B), "makeExprTower");
+}
+
+Grammar lalr::makeNullableChain(unsigned N) {
+  assert(N >= 1);
+  GrammarBuilder B("nullable_chain_" + std::to_string(N));
+  SymbolId S = B.nonterminal("s");
+  std::vector<SymbolId> Rhs;
+  for (unsigned I = 1; I <= N; ++I) {
+    SymbolId A = B.nonterminal("a" + std::to_string(I));
+    SymbolId T = B.terminal("t" + std::to_string(I));
+    B.production(A, {T});
+    B.production(A, {});
+    Rhs.push_back(A);
+  }
+  Rhs.push_back(B.terminal("'x'"));
+  B.production(S, std::move(Rhs));
+  B.startSymbol(S);
+  return buildOrDie(std::move(B), "makeNullableChain");
+}
+
+Grammar lalr::makeIncludesRing(unsigned N) {
+  assert(N >= 2);
+  GrammarBuilder B("includes_ring_" + std::to_string(N));
+  std::vector<SymbolId> Nts;
+  for (unsigned I = 1; I <= N; ++I)
+    Nts.push_back(B.nonterminal("a" + std::to_string(I)));
+  for (unsigned I = 0; I < N; ++I) {
+    SymbolId T = B.terminal("t" + std::to_string(I + 1));
+    B.production(Nts[I], {T, Nts[(I + 1) % N]});
+  }
+  // Break the derivation (not the includes ring) with a terminal escape.
+  B.production(Nts[N - 1], {B.terminal("'z'")});
+  B.startSymbol(Nts[0]);
+  return buildOrDie(std::move(B), "makeIncludesRing");
+}
+
+std::optional<Grammar>
+lalr::makeRandomGrammar(uint64_t Seed, const RandomGrammarParams &Params) {
+  assert(Params.NumTerminals >= 1 && Params.NumNonterminals >= 1);
+  assert(Params.MinProdsPerNt >= 1 &&
+         Params.MinProdsPerNt <= Params.MaxProdsPerNt);
+  Rng R(Seed);
+  GrammarBuilder B("random_" + std::to_string(Seed));
+
+  std::vector<SymbolId> Terms, Nts;
+  for (unsigned I = 0; I < Params.NumTerminals; ++I)
+    Terms.push_back(B.terminal("t" + std::to_string(I)));
+  for (unsigned I = 0; I < Params.NumNonterminals; ++I)
+    Nts.push_back(B.nonterminal("n" + std::to_string(I)));
+
+  for (unsigned I = 0; I < Params.NumNonterminals; ++I) {
+    unsigned NumProds = static_cast<unsigned>(
+        R.range(Params.MinProdsPerNt, Params.MaxProdsPerNt));
+    for (unsigned P = 0; P < NumProds; ++P) {
+      if (R.chance(Params.EpsilonPercent, 100)) {
+        B.production(Nts[I], {});
+        continue;
+      }
+      unsigned Len = static_cast<unsigned>(R.range(1, Params.MaxRhsLen));
+      std::vector<SymbolId> Rhs;
+      for (unsigned S = 0; S < Len; ++S) {
+        // Slight bias toward terminals keeps most draws productive.
+        if (R.chance(55, 100))
+          Rhs.push_back(Terms[R.below(Terms.size())]);
+        else
+          Rhs.push_back(Nts[R.below(Nts.size())]);
+      }
+      B.production(Nts[I], std::move(Rhs));
+    }
+  }
+  B.startSymbol(Nts[0]);
+
+  DiagnosticEngine BuildDiags;
+  std::optional<Grammar> Raw = std::move(B).build(BuildDiags);
+  if (!Raw)
+    return std::nullopt; // cannot happen with this generator, but be safe
+  DiagnosticEngine ReduceDiags;
+  return reduceGrammar(*Raw, ReduceDiags);
+}
+
+Grammar lalr::makeRandomReducedGrammar(uint64_t Seed,
+                                       const RandomGrammarParams &Params) {
+  for (uint64_t Attempt = 0; Attempt < 100; ++Attempt) {
+    std::optional<Grammar> G = makeRandomGrammar(Seed + Attempt, Params);
+    if (G)
+      return std::move(*G);
+  }
+  std::fprintf(stderr,
+               "makeRandomReducedGrammar: 100 draws produced empty "
+               "languages; parameters are degenerate\n");
+  std::abort();
+}

@@ -1,0 +1,66 @@
+//===- corpus/SyntheticGrammars.h - Parameterized grammar families -*-C++-*-===//
+///
+/// \file
+/// Grammar generators for the scaling experiments (Figs. 1-3) and the
+/// randomized property suites. All generators are deterministic functions
+/// of their parameters/seed.
+///
+///   * expression towers  — LALR(1) grammars whose LR(0) automata grow
+///     linearly with the tower height; the Fig. 1/2 sweep workload;
+///   * nullable chains    — long `reads` chains (stress the Read pass);
+///   * includes rings     — one large SCC in `includes` (the digraph-vs-
+///     naive-fixpoint ablation of Fig. 3 separates on these);
+///   * random CFGs        — arbitrary reduced grammars for differential
+///     testing of the look-ahead methods.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_CORPUS_SYNTHETICGRAMMARS_H
+#define LALR_CORPUS_SYNTHETICGRAMMARS_H
+
+#include "grammar/Grammar.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace lalr {
+
+/// A tower of \p Levels binary-operator precedence levels with
+/// \p OpsPerLevel distinct operators each, over NUM and parentheses.
+/// Unambiguous and LALR(1); ~linear growth of states with Levels.
+Grammar makeExprTower(unsigned Levels, unsigned OpsPerLevel);
+
+/// s -> a_1 a_2 ... a_N 'x' with every a_i -> 't_i' | %empty: produces
+/// `reads` chains of length up to N.
+Grammar makeNullableChain(unsigned N);
+
+/// A ring a_1 -> 't_1' a_2, ..., a_N -> 't_N' a_1 | 'z': a strongly
+/// connected `includes` component threading all N nonterminals.
+Grammar makeIncludesRing(unsigned N);
+
+/// Knobs for the random grammar generator.
+struct RandomGrammarParams {
+  unsigned NumTerminals = 6;
+  unsigned NumNonterminals = 8;
+  unsigned MinProdsPerNt = 1;
+  unsigned MaxProdsPerNt = 3;
+  unsigned MaxRhsLen = 4;
+  /// Percent chance that a generated production is epsilon.
+  unsigned EpsilonPercent = 15;
+};
+
+/// Generates a random grammar from \p Seed and reduces it. Returns
+/// std::nullopt when the draw produced an empty language (caller retries
+/// with the next seed); makeRandomReducedGrammar does the retrying.
+std::optional<Grammar> makeRandomGrammar(uint64_t Seed,
+                                         const RandomGrammarParams &Params);
+
+/// Retries makeRandomGrammar over consecutive seeds until one succeeds
+/// (bounded; aborts if 100 draws in a row generate empty languages, which
+/// indicates nonsensical parameters).
+Grammar makeRandomReducedGrammar(uint64_t Seed,
+                                 const RandomGrammarParams &Params);
+
+} // namespace lalr
+
+#endif // LALR_CORPUS_SYNTHETICGRAMMARS_H

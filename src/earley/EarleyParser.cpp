@@ -1,0 +1,84 @@
+//===- earley/EarleyParser.cpp - Earley recognition oracle --------------------===//
+
+#include "earley/EarleyParser.h"
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+/// An Earley item: production, dot, and origin position, packed for
+/// hashing. Dot and production fit 20 bits each comfortably; origin gets
+/// 24.
+struct Item {
+  ProductionId Prod;
+  uint32_t Dot;
+  uint32_t Origin;
+
+  uint64_t packed() const {
+    return (uint64_t(Prod) << 44) | (uint64_t(Dot) << 24) | Origin;
+  }
+};
+
+} // namespace
+
+bool lalr::earleyRecognize(const Grammar &G, const GrammarAnalysis &An,
+                           std::span<const SymbolId> Input) {
+  const size_t N = Input.size();
+  // Chart: one item list + dedup set per position.
+  std::vector<std::vector<Item>> Chart(N + 1);
+  std::vector<std::unordered_set<uint64_t>> InChart(N + 1);
+
+  auto add = [&](size_t Pos, Item It) {
+    if (InChart[Pos].insert(It.packed()).second)
+      Chart[Pos].push_back(It);
+  };
+
+  add(0, {0, 0, 0}); // $accept -> . start
+
+  for (size_t Pos = 0; Pos <= N; ++Pos) {
+    // Worklist semantics: Chart[Pos] grows while we scan it.
+    for (size_t I = 0; I < Chart[Pos].size(); ++I) {
+      Item It = Chart[Pos][I];
+      const Production &P = G.production(It.Prod);
+      if (It.Dot < P.Rhs.size()) {
+        SymbolId Next = P.Rhs[It.Dot];
+        if (G.isTerminal(Next)) {
+          // Scan.
+          if (Pos < N && Input[Pos] == Next)
+            add(Pos + 1, {It.Prod, It.Dot + 1, It.Origin});
+          continue;
+        }
+        // Predict.
+        for (ProductionId BP : G.productionsOf(Next))
+          add(Pos, {BP, 0, static_cast<uint32_t>(Pos)});
+        // Aycock-Horspool: a nullable nonterminal can be skipped
+        // immediately, covering empty completions that the plain
+        // worklist can miss.
+        if (An.isNullable(Next))
+          add(Pos, {It.Prod, It.Dot + 1, It.Origin});
+        continue;
+      }
+      // Complete: advance every item in Chart[Origin] waiting on Lhs.
+      for (size_t J = 0; J < Chart[It.Origin].size(); ++J) {
+        Item Wait = Chart[It.Origin][J];
+        const Production &WP = G.production(Wait.Prod);
+        if (Wait.Dot < WP.Rhs.size() && WP.Rhs[Wait.Dot] == P.Lhs)
+          add(Pos, {Wait.Prod, Wait.Dot + 1, Wait.Origin});
+      }
+    }
+  }
+
+  // Accept iff [$accept -> start . , 0] is in the final set.
+  Item Accept{0, 1, 0};
+  return InChart[N].count(Accept.packed()) != 0;
+}
+
+bool lalr::earleyRecognize(const Grammar &G,
+                           std::span<const SymbolId> Input) {
+  GrammarAnalysis An(G);
+  return earleyRecognize(G, An, Input);
+}

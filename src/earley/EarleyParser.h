@@ -1,0 +1,35 @@
+//===- earley/EarleyParser.h - Earley recognition oracle --------*- C++ -*-===//
+///
+/// \file
+/// An Earley recognizer — a general CFG parser with no LR machinery in
+/// common with the rest of the library. Its role here is *oracle*: for
+/// any grammar (ambiguous, non-LR, anything) it decides membership in
+/// L(G), so the differential test suites can check that every LR table
+/// kind accepts exactly the grammar's language, and that sentence
+/// generation really produces members. Implements the classic
+/// predict/scan/complete algorithm with the Aycock–Horspool nullable
+/// fix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_EARLEY_EARLEYPARSER_H
+#define LALR_EARLEY_EARLEYPARSER_H
+
+#include "grammar/Analysis.h"
+#include "grammar/Grammar.h"
+
+#include <span>
+
+namespace lalr {
+
+/// True iff the terminal sequence \p Input (ids of \p G, no $end) is in
+/// L(G). Runs in O(n^3 * |G|) worst case — fine for test workloads.
+bool earleyRecognize(const Grammar &G, const GrammarAnalysis &An,
+                     std::span<const SymbolId> Input);
+
+/// Convenience overload computing the analysis internally.
+bool earleyRecognize(const Grammar &G, std::span<const SymbolId> Input);
+
+} // namespace lalr
+
+#endif // LALR_EARLEY_EARLEYPARSER_H

@@ -1,0 +1,52 @@
+//===- gen/CodeGen.h - Standalone parser emission ---------------*- C++ -*-===//
+///
+/// \file
+/// Turns a grammar + parse table into a self-contained C++17 header with
+/// no dependency on this library — what yacc/bison emit as y.tab.c. The
+/// generated header contains the packed ACTION/GOTO tables, token-name
+/// metadata, and a table-driven parse function with an optional reduce
+/// callback. The test suite compiles a generated parser with the system
+/// compiler and runs it against sentences the library parser also
+/// judges, closing the loop on the whole generator pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GEN_CODEGEN_H
+#define LALR_GEN_CODEGEN_H
+
+#include "grammar/Grammar.h"
+#include "lr/ParseTable.h"
+
+#include <string>
+#include <string_view>
+
+namespace lalr {
+
+/// Options for the emitted code.
+struct CodeGenOptions {
+  /// Namespace the parser lives in.
+  std::string Namespace = "genparser";
+  /// Emit a `#define <NAME> <id>` style constant for each
+  /// identifier-named terminal (TOK_<NAME> constexpr).
+  bool EmitTokenConstants = true;
+};
+
+/// Renders the standalone parser header for \p G and \p T. The generated
+/// interface is:
+///
+///   namespace <ns> {
+///     constexpr int tokEof = 0;             // token ids == SymbolId
+///     extern const char *const kTokenNames[];
+///     struct Result { bool accepted; size_t errorPos; int errorState; };
+///     template <typename OnReduce>          // OnReduce(int production)
+///     Result parse(const int *toks, size_t n, OnReduce onReduce);
+///     Result parse(const int *toks, size_t n);
+///   }
+///
+/// Tokens are terminal ids of \p G (eof is implicit; do not pass it).
+std::string generateParserSource(const Grammar &G, const ParseTable &T,
+                                 const CodeGenOptions &Opts = {});
+
+} // namespace lalr
+
+#endif // LALR_GEN_CODEGEN_H

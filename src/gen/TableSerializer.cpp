@@ -1,0 +1,264 @@
+//===- gen/TableSerializer.cpp - Binary table persistence ----------------------===//
+
+#include "gen/TableSerializer.h"
+
+#include "grammar/GrammarBuilder.h"
+
+#include <cstring>
+
+using namespace lalr;
+
+namespace {
+
+constexpr uint32_t Magic = 0x4C414C52; // "LALR"
+constexpr uint32_t Version = 2;
+
+/// Little-endian u32/string writer.
+class Writer {
+public:
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Bytes.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Bytes.insert(Bytes.end(), S.begin(), S.end());
+  }
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Bounds-checked reader; any overrun poisons the reader.
+class Reader {
+public:
+  explicit Reader(std::span<const uint8_t> Blob) : Blob(Blob) {}
+
+  bool ok() const { return Ok; }
+
+  uint32_t u32() {
+    if (Pos + 4 > Blob.size()) {
+      Ok = false;
+      return 0;
+    }
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Blob[Pos + I]) << (8 * I);
+    Pos += 4;
+    return V;
+  }
+
+  std::string str() {
+    uint32_t Len = u32();
+    if (!Ok || Pos + Len > Blob.size() || Len > (1u << 20)) {
+      Ok = false;
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(Blob.data() + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+
+  bool atEnd() const { return Ok && Pos == Blob.size(); }
+
+private:
+  std::span<const uint8_t> Blob;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+} // namespace
+
+std::vector<uint8_t> lalr::serializeTable(const Grammar &G,
+                                          const ParseTable &T) {
+  Writer W;
+  W.u32(Magic);
+  W.u32(Version);
+  W.str(G.grammarName());
+  W.u32(static_cast<uint32_t>(G.expectedShiftReduce() + 1)); // 0 = unset
+
+  // Symbols: terminal names (skipping $end), then nonterminal names
+  // (skipping $accept) — the builder re-adds the specials in the same
+  // canonical positions.
+  W.u32(static_cast<uint32_t>(G.numTerminals()));
+  for (SymbolId S = 1; S < G.numTerminals(); ++S) {
+    W.str(G.name(S));
+    W.u32(G.precedence(S).Level);
+    W.u32(static_cast<uint32_t>(G.precedence(S).Associativity));
+  }
+  W.u32(static_cast<uint32_t>(G.numNonterminals()));
+  for (uint32_t NtIdx = 0; NtIdx + 1 < G.numNonterminals(); ++NtIdx)
+    W.str(G.name(G.ntSymbol(NtIdx)));
+  W.u32(G.startSymbol());
+
+  // Productions, skipping the augmentation (rebuilt automatically).
+  W.u32(static_cast<uint32_t>(G.numProductions()));
+  for (ProductionId P = 1; P < G.numProductions(); ++P) {
+    const Production &Prod = G.production(P);
+    W.u32(Prod.Lhs);
+    W.u32(Prod.PrecSymbol == InvalidSymbol ? UINT32_MAX : Prod.PrecSymbol);
+    W.u32(static_cast<uint32_t>(Prod.Rhs.size()));
+    for (SymbolId S : Prod.Rhs)
+      W.u32(S);
+  }
+
+  // Table cells.
+  W.u32(static_cast<uint32_t>(T.numStates()));
+  for (uint32_t S = 0; S < T.numStates(); ++S) {
+    for (SymbolId X = 0; X < G.numTerminals(); ++X) {
+      Action A = T.action(S, X);
+      W.u32(static_cast<uint32_t>(A.Kind));
+      W.u32(A.Value);
+    }
+    for (uint32_t NtIdx = 0; NtIdx < G.numNonterminals(); ++NtIdx)
+      W.u32(T.gotoNt(S, G.ntSymbol(NtIdx), G));
+  }
+  return W.take();
+}
+
+std::optional<LoadedTable>
+lalr::deserializeTable(std::span<const uint8_t> Blob) {
+  Reader R(Blob);
+  if (R.u32() != Magic || R.u32() != Version)
+    return std::nullopt;
+  std::string Name = R.str();
+  uint32_t ExpectPlus1 = R.u32();
+
+  uint32_t NumT = R.u32();
+  if (!R.ok() || NumT == 0 || NumT > (1u << 20))
+    return std::nullopt;
+  GrammarBuilder B(Name);
+  struct TermPrec {
+    SymbolId Handle;
+    uint16_t Level;
+    Assoc A;
+  };
+  std::vector<TermPrec> Precs;
+  for (uint32_t S = 1; S < NumT; ++S) {
+    std::string TName = R.str();
+    uint32_t Level = R.u32();
+    uint32_t AssocV = R.u32();
+    if (!R.ok() || TName.empty() || AssocV > 3)
+      return std::nullopt;
+    SymbolId H = B.terminal(TName);
+    if (Level != 0)
+      Precs.push_back({H, static_cast<uint16_t>(Level),
+                       static_cast<Assoc>(AssocV)});
+  }
+  uint32_t NumNt = R.u32();
+  if (!R.ok() || NumNt == 0 || NumNt > (1u << 20))
+    return std::nullopt;
+  std::vector<SymbolId> NtHandles;
+  for (uint32_t I = 0; I + 1 < NumNt; ++I) {
+    std::string NName = R.str();
+    if (!R.ok() || NName.empty())
+      return std::nullopt;
+    NtHandles.push_back(B.nonterminal(NName));
+  }
+  uint32_t Start = R.u32();
+
+  // Re-establish precedence levels in increasing order (levels are dense
+  // by construction but be liberal: group by level value).
+  uint16_t MaxLevel = 0;
+  for (const TermPrec &P : Precs)
+    MaxLevel = std::max(MaxLevel, P.Level);
+  for (uint16_t L = 1; L <= MaxLevel; ++L) {
+    std::vector<SymbolId> Toks;
+    Assoc A = Assoc::None;
+    for (const TermPrec &P : Precs)
+      if (P.Level == L) {
+        Toks.push_back(P.Handle);
+        A = P.A;
+      }
+    if (!Toks.empty())
+      B.precedenceLevel(A, Toks);
+  }
+
+  // Productions. Symbol ids in the blob use the canonical layout:
+  // terminal id == handle; nonterminal id NumT+i == NtHandles[i]
+  // (with NumT+NumNt-1 = $accept, which must not appear).
+  auto mapSym = [&](uint32_t Id, bool AllowAccept = false) -> SymbolId {
+    if (Id < NumT)
+      return Id; // terminal handles are the canonical ids
+    uint32_t NtIdx = Id - NumT;
+    if (NtIdx + (AllowAccept ? 0 : 1) >= NumNt ||
+        NtIdx >= NtHandles.size())
+      return InvalidSymbol;
+    return NtHandles[NtIdx];
+  };
+
+  uint32_t NumProds = R.u32();
+  if (!R.ok() || NumProds == 0 || NumProds > (1u << 22))
+    return std::nullopt;
+  for (uint32_t P = 1; P < NumProds; ++P) {
+    uint32_t Lhs = R.u32();
+    uint32_t PrecSym = R.u32();
+    uint32_t Len = R.u32();
+    if (!R.ok() || Len > (1u << 16))
+      return std::nullopt;
+    SymbolId LhsHandle = mapSym(Lhs);
+    if (LhsHandle == InvalidSymbol || Lhs < NumT)
+      return std::nullopt;
+    std::vector<SymbolId> Rhs;
+    for (uint32_t I = 0; I < Len; ++I) {
+      SymbolId S = mapSym(R.u32());
+      if (S == InvalidSymbol)
+        return std::nullopt;
+      Rhs.push_back(S);
+    }
+    SymbolId PrecHandle = InvalidSymbol;
+    if (PrecSym != UINT32_MAX) {
+      if (PrecSym >= NumT)
+        return std::nullopt;
+      PrecHandle = PrecSym;
+    }
+    if (!R.ok())
+      return std::nullopt;
+    B.production(LhsHandle, std::move(Rhs), PrecHandle);
+  }
+
+  SymbolId StartHandle = mapSym(Start);
+  if (StartHandle == InvalidSymbol || Start < NumT)
+    return std::nullopt;
+  B.startSymbol(StartHandle);
+  if (ExpectPlus1 != 0)
+    B.expectedShiftReduce(static_cast<int>(ExpectPlus1) - 1);
+
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = std::move(B).build(Diags);
+  if (!G)
+    return std::nullopt;
+  // The rebuilt grammar must have the same canonical dimensions.
+  if (G->numTerminals() != NumT || G->numNonterminals() != NumNt ||
+      G->numProductions() != NumProds)
+    return std::nullopt;
+
+  uint32_t NumStates = R.u32();
+  if (!R.ok() || NumStates == 0 || NumStates > (1u << 22))
+    return std::nullopt;
+  ParseTable T(NumStates, *G);
+  for (uint32_t S = 0; S < NumStates; ++S) {
+    for (SymbolId X = 0; X < NumT; ++X) {
+      uint32_t Kind = R.u32();
+      uint32_t Value = R.u32();
+      if (!R.ok() || Kind > 3)
+        return std::nullopt;
+      Action A{static_cast<ActionKind>(Kind), Value};
+      if (A.Kind == ActionKind::Shift && A.Value >= NumStates)
+        return std::nullopt;
+      if (A.Kind == ActionKind::Reduce && A.Value >= NumProds)
+        return std::nullopt;
+      T.setAction(S, X, A);
+    }
+    for (uint32_t NtIdx = 0; NtIdx < NumNt; ++NtIdx) {
+      uint32_t Target = R.u32();
+      if (!R.ok() || (Target != InvalidState && Target >= NumStates))
+        return std::nullopt;
+      T.setGotoNt(S, NtIdx, Target);
+    }
+  }
+  if (!R.atEnd())
+    return std::nullopt;
+  return LoadedTable{std::move(*G), std::move(T)};
+}

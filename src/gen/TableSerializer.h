@@ -1,0 +1,45 @@
+//===- gen/TableSerializer.h - Binary table persistence ---------*- C++ -*-===//
+///
+/// \file
+/// Versioned binary serialization of a grammar + its parse table, so a
+/// generator can compile once and load at runtime (the moral equivalent
+/// of shipping y.tab.c in data form). The format is a little-endian u32
+/// stream with a magic/version header; deserialization validates
+/// structure and rejects truncated or corrupted blobs instead of
+/// crashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GEN_TABLESERIALIZER_H
+#define LALR_GEN_TABLESERIALIZER_H
+
+#include "grammar/Grammar.h"
+#include "lr/ParseTable.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace lalr {
+
+/// A deserialized bundle: the rebuilt grammar and its table. The grammar
+/// reconstructs symbol names, productions, precedence and %expect; the
+/// table reconstructs every ACTION/GOTO cell (conflict records are not
+/// persisted — they are a build-time artifact).
+struct LoadedTable {
+  Grammar G;
+  ParseTable Table;
+};
+
+/// Serializes \p G and \p T into a self-contained blob.
+std::vector<uint8_t> serializeTable(const Grammar &G, const ParseTable &T);
+
+/// Parses a blob produced by serializeTable. Returns std::nullopt on any
+/// structural problem (bad magic, wrong version, truncation, counts that
+/// do not add up, dangling symbol references).
+std::optional<LoadedTable> deserializeTable(std::span<const uint8_t> Blob);
+
+} // namespace lalr
+
+#endif // LALR_GEN_TABLESERIALIZER_H

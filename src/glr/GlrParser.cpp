@@ -1,0 +1,215 @@
+//===- glr/GlrParser.cpp - Generalized LR (Tomita) recognition ----------------===//
+
+#include "glr/GlrParser.h"
+
+#include "lalr/LalrLookaheads.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lalr;
+
+GlrTable GlrTable::build(const Lr0Automaton &A, const LookaheadFn &LA) {
+  const Grammar &G = A.grammar();
+  GlrTable T;
+  T.NumStates = A.numStates();
+  T.NumTerminals = G.numTerminals();
+  T.NumNonterminals = G.numNonterminals();
+  T.Shifts.assign(T.NumStates * T.NumTerminals, InvalidState);
+  T.Reduces.assign(T.NumStates * T.NumTerminals, {});
+  T.Accepts.assign(T.NumStates * T.NumTerminals, false);
+  T.Gotos.assign(T.NumStates * T.NumNonterminals, InvalidState);
+
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    for (auto [Sym, Target] : A.state(S).Transitions) {
+      if (G.isTerminal(Sym))
+        T.Shifts[S * T.NumTerminals + Sym] = Target;
+      else
+        T.Gotos[S * T.NumNonterminals + G.ntIndex(Sym)] = Target;
+    }
+    for (ProductionId P : A.state(S).Reductions) {
+      const BitSet &Set = LA(S, P);
+      for (size_t Term : Set) {
+        if (P == 0)
+          T.Accepts[S * T.NumTerminals + Term] = true;
+        else
+          T.Reduces[S * T.NumTerminals + Term].push_back(P);
+      }
+    }
+  }
+  return T;
+}
+
+StateId GlrTable::shift(uint32_t State, SymbolId Term) const {
+  return Shifts[State * NumTerminals + Term];
+}
+
+std::span<const ProductionId> GlrTable::reduces(uint32_t State,
+                                                SymbolId Term) const {
+  return Reduces[State * NumTerminals + Term];
+}
+
+bool GlrTable::accepts(uint32_t State, SymbolId Term) const {
+  return Accepts[State * NumTerminals + Term];
+}
+
+uint32_t GlrTable::gotoNt(uint32_t State, uint32_t NtIdx) const {
+  return Gotos[State * NumNonterminals + NtIdx];
+}
+
+size_t GlrTable::conflictCells() const {
+  size_t N = 0;
+  for (size_t Cell = 0; Cell < Reduces.size(); ++Cell) {
+    size_t Actions = Reduces[Cell].size();
+    if (Shifts[Cell] != InvalidState)
+      ++Actions;
+    if (Accepts[Cell])
+      ++Actions;
+    if (Actions > 1)
+      ++N;
+  }
+  return N;
+}
+
+namespace {
+
+/// One GSS node: an LR state within one input frontier, with edges to
+/// its predecessor nodes (indices into the global node pool).
+struct GssNode {
+  StateId State;
+  std::vector<uint32_t> Preds;
+};
+
+} // namespace
+
+GlrResult lalr::glrRecognize(const Grammar &G, const GlrTable &Table,
+                             std::span<const SymbolId> Input) {
+  GlrResult Result;
+  std::vector<GssNode> Pool;
+  // Current frontier: node indices, unique per LR state.
+  std::vector<uint32_t> Frontier;
+
+  auto nodeInFrontier = [&](StateId S) -> uint32_t {
+    for (uint32_t N : Frontier)
+      if (Pool[N].State == S)
+        return N;
+    return UINT32_MAX;
+  };
+  auto addEdge = [&](uint32_t From, uint32_t To) -> bool {
+    auto &P = Pool[From].Preds;
+    if (std::find(P.begin(), P.end(), To) != P.end())
+      return false;
+    if (!P.empty())
+      ++Result.Merges;
+    P.push_back(To);
+    return true;
+  };
+
+  Pool.push_back({0, {}});
+  Frontier.push_back(0);
+  Result.TotalNodes = 1;
+  Result.PeakFrontier = 1;
+
+  const size_t N = Input.size();
+  for (size_t Pos = 0; Pos <= N; ++Pos) {
+    SymbolId Tok = Pos < N ? Input[Pos] : G.eofSymbol();
+
+    // Reduce phase: a worklist of (node, production) obligations. When a
+    // reduction adds an edge to an existing node, that node's
+    // reductions must be redone through the new edge (Farshi); redoing
+    // them wholesale is correct because addEdge dedups.
+    std::vector<std::pair<uint32_t, ProductionId>> Work;
+    auto scheduleAll = [&](uint32_t Node) {
+      for (ProductionId P : Table.reduces(Pool[Node].State, Tok))
+        Work.emplace_back(Node, P);
+    };
+    for (uint32_t Node : Frontier)
+      scheduleAll(Node);
+
+    std::vector<uint32_t> PathEnds;
+    while (!Work.empty()) {
+      auto [Node, Prod] = Work.back();
+      Work.pop_back();
+      const size_t Len = G.production(Prod).Rhs.size();
+      // Enumerate all predecessors at distance Len.
+      PathEnds.clear();
+      PathEnds.push_back(Node);
+      for (size_t Step = 0; Step < Len; ++Step) {
+        std::vector<uint32_t> Next;
+        for (uint32_t V : PathEnds)
+          for (uint32_t U : Pool[V].Preds)
+            if (std::find(Next.begin(), Next.end(), U) == Next.end())
+              Next.push_back(U);
+        PathEnds = std::move(Next);
+      }
+      for (uint32_t U : PathEnds) {
+        uint32_t Target =
+            Table.gotoNt(Pool[U].State, G.ntIndex(G.production(Prod).Lhs));
+        if (Target == InvalidState)
+          continue; // pruned by a coarse look-ahead fork; impossible path
+        uint32_t W = nodeInFrontier(Target);
+        if (W == UINT32_MAX) {
+          W = static_cast<uint32_t>(Pool.size());
+          Pool.push_back({Target, {}});
+          Frontier.push_back(W);
+          ++Result.TotalNodes;
+          addEdge(W, U);
+          scheduleAll(W);
+        } else if (addEdge(W, U)) {
+          // New edge into an existing node: any frontier reduction may
+          // now have new paths through it (Farshi's fix). Redo them all;
+          // edge dedup bounds the total work.
+          for (uint32_t Node2 : Frontier)
+            scheduleAll(Node2);
+        }
+      }
+    }
+
+    if (Pos == N) {
+      for (uint32_t Node : Frontier)
+        if (Table.accepts(Pool[Node].State, Tok)) {
+          Result.Accepted = true;
+          break;
+        }
+      return Result;
+    }
+
+    // Shift phase.
+    std::vector<uint32_t> NextFrontier;
+    for (uint32_t Node : Frontier) {
+      StateId Target = Table.shift(Pool[Node].State, Tok);
+      if (Target == InvalidState)
+        continue;
+      uint32_t W = UINT32_MAX;
+      for (uint32_t M : NextFrontier)
+        if (Pool[M].State == Target)
+          W = M;
+      if (W == UINT32_MAX) {
+        W = static_cast<uint32_t>(Pool.size());
+        Pool.push_back({Target, {}});
+        NextFrontier.push_back(W);
+        ++Result.TotalNodes;
+      }
+      addEdge(W, Node);
+    }
+    if (NextFrontier.empty())
+      return Result; // every stack died: syntax error
+    // Live parallel stacks after consuming the token: >1 means the
+    // parse genuinely forked.
+    Result.PeakFrontier = std::max(Result.PeakFrontier, NextFrontier.size());
+    Frontier = std::move(NextFrontier);
+  }
+  return Result;
+}
+
+GlrResult lalr::glrRecognize(const Grammar &G,
+                             std::span<const SymbolId> Input) {
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  GlrTable Table = GlrTable::build(
+      A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+        return LA.la(S, P);
+      });
+  return glrRecognize(G, Table, Input);
+}

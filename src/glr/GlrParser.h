@@ -1,0 +1,91 @@
+//===- glr/GlrParser.h - Generalized LR (Tomita) recognition ----*- C++ -*-===//
+///
+/// \file
+/// A generalized-LR recognizer over a *multi-action* table: where a
+/// deterministic LR table must resolve conflicts, the GLR table keeps
+/// every action and the driver forks a graph-structured stack (GSS),
+/// exploring all parses in parallel (Tomita's algorithm with Farshi's
+/// re-reduction fix). With DP LALR(1) look-aheads feeding the table the
+/// recognizer accepts exactly L(G) for any grammar — LALR look-ahead
+/// sets over-approximate the exact right context, so they can never
+/// prune a valid reduction, only impossible ones — which lets the
+/// ambiguous and non-LR(k) corpus grammars be *parsed*, not just
+/// Earley-recognized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GLR_GLRPARSER_H
+#define LALR_GLR_GLRPARSER_H
+
+#include "grammar/Analysis.h"
+#include "lr/Lr0Automaton.h"
+#include "lr/ParseTable.h"
+
+#include <span>
+#include <vector>
+
+namespace lalr {
+
+/// An LR table that keeps every action per (state, terminal) cell.
+class GlrTable {
+public:
+  /// Builds from the automaton and a look-ahead source (DP LALR(1) by
+  /// default callers; SLR or reduce-everywhere LR(0) also work — coarser
+  /// look-aheads only add doomed forks).
+  static GlrTable build(const Lr0Automaton &A, const LookaheadFn &LA);
+
+  /// Shift target for (State, T), or InvalidState.
+  StateId shift(uint32_t State, SymbolId T) const;
+
+  /// All productions reducible in State on look-ahead T (production 0 =
+  /// accept is excluded; see accepts()).
+  std::span<const ProductionId> reduces(uint32_t State, SymbolId T) const;
+
+  /// True if (State, T) carries the accept action.
+  bool accepts(uint32_t State, SymbolId T) const;
+
+  /// GOTO by dense nonterminal index (Grammar::ntIndex).
+  uint32_t gotoNt(uint32_t State, uint32_t NtIdx) const;
+
+  size_t numStates() const { return NumStates; }
+
+  /// Number of cells holding more than one action (the nondeterminism
+  /// the GSS must fork on); 0 means the grammar was deterministic under
+  /// the look-aheads used.
+  size_t conflictCells() const;
+
+private:
+  size_t NumStates = 0;
+  size_t NumTerminals = 0;
+  std::vector<StateId> Shifts;                    // dense, InvalidState
+  std::vector<std::vector<ProductionId>> Reduces; // dense cells
+  std::vector<bool> Accepts;                      // dense
+  std::vector<uint32_t> Gotos;                    // dense, InvalidState
+  size_t NumNonterminals = 0;
+};
+
+/// Result of a GLR run.
+struct GlrResult {
+  bool Accepted = false;
+  /// Peak number of parallel stacks alive after a shift — 1 everywhere
+  /// means distinct LR states never coexisted.
+  size_t PeakFrontier = 0;
+  /// Total GSS nodes created (a work measure).
+  size_t TotalNodes = 0;
+  /// GSS merges: edges added to a node that already had a predecessor.
+  /// 0 means the run was fully deterministic; nondeterminism (local
+  /// conflicts or real ambiguity) shows up here even when same-state
+  /// stacks immediately re-merge.
+  size_t Merges = 0;
+};
+
+/// Recognizes \p Input (terminal ids, no $end) with the GSS algorithm.
+GlrResult glrRecognize(const Grammar &G, const GlrTable &Table,
+                       std::span<const SymbolId> Input);
+
+/// Convenience: build the table with DP LALR(1) look-aheads and run.
+GlrResult glrRecognize(const Grammar &G, std::span<const SymbolId> Input);
+
+} // namespace lalr
+
+#endif // LALR_GLR_GLRPARSER_H

@@ -1,0 +1,261 @@
+//===- grammar/Analysis.cpp - Nullable / FIRST / FOLLOW --------------------===//
+
+#include "grammar/Analysis.h"
+
+#include <cassert>
+
+using namespace lalr;
+
+GrammarAnalysis::GrammarAnalysis(const Grammar &G) : G(G) {
+  computeNullable();
+  computeFirst();
+  computeFollow();
+}
+
+void GrammarAnalysis::computeNullable() {
+  NullableNt.assign(G.numNonterminals(), false);
+  // Standard worklist-free fixpoint: grammars are small enough that the
+  // quadratic sweep is dominated by everything else in the pipeline.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
+      const Production &P = G.production(PId);
+      uint32_t NtIdx = G.ntIndex(P.Lhs);
+      if (NullableNt[NtIdx])
+        continue;
+      bool AllNullable = true;
+      for (SymbolId S : P.Rhs) {
+        if (G.isTerminal(S) || !NullableNt[G.ntIndex(S)]) {
+          AllNullable = false;
+          break;
+        }
+      }
+      if (AllNullable) {
+        NullableNt[NtIdx] = true;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool GrammarAnalysis::isNullableSeq(std::span<const SymbolId> Seq) const {
+  for (SymbolId S : Seq)
+    if (!isNullable(S))
+      return false;
+  return true;
+}
+
+void GrammarAnalysis::computeFirst() {
+  const size_t NumT = G.numTerminals();
+  FirstSets.assign(G.numSymbols(), BitSet(NumT));
+  for (SymbolId T = 0; T < NumT; ++T)
+    FirstSets[T].set(T);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
+      const Production &P = G.production(PId);
+      BitSet &LhsFirst = FirstSets[P.Lhs];
+      for (SymbolId S : P.Rhs) {
+        Changed |= LhsFirst.unionWith(FirstSets[S]);
+        if (!isNullable(S))
+          break;
+      }
+    }
+  }
+}
+
+BitSet GrammarAnalysis::firstOfSeq(std::span<const SymbolId> Seq,
+                                   size_t From) const {
+  BitSet Out(G.numTerminals());
+  addFirstOfSeq(Out, Seq, From);
+  return Out;
+}
+
+bool GrammarAnalysis::addFirstOfSeq(BitSet &Out,
+                                    std::span<const SymbolId> Seq,
+                                    size_t From) const {
+  // Out may live in a universe with extra slots past the terminals
+  // (e.g. the YACC baseline's dummy propagation symbol), hence the
+  // subset union.
+  for (size_t I = From, E = Seq.size(); I != E; ++I) {
+    Out.unionWithSubset(FirstSets[Seq[I]]);
+    if (!isNullable(Seq[I]))
+      return false;
+  }
+  return true;
+}
+
+void GrammarAnalysis::computeFollow() {
+  const size_t NumT = G.numTerminals();
+  FollowSets.assign(G.numNonterminals(), BitSet(NumT));
+  // $accept is followed by end of input; through the augmentation
+  // production this seeds FOLLOW(start) as well.
+  FollowSets[G.ntIndex(G.acceptSymbol())].set(G.eofSymbol());
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
+      const Production &P = G.production(PId);
+      const BitSet &LhsFollow = FollowSets[G.ntIndex(P.Lhs)];
+      for (size_t I = 0, E = P.Rhs.size(); I != E; ++I) {
+        SymbolId S = P.Rhs[I];
+        if (G.isTerminal(S))
+          continue;
+        BitSet &F = FollowSets[G.ntIndex(S)];
+        bool SuffixNullable = true;
+        for (size_t J = I + 1; J != E; ++J) {
+          Changed |= F.unionWith(FirstSets[P.Rhs[J]]);
+          if (!isNullable(P.Rhs[J])) {
+            SuffixNullable = false;
+            break;
+          }
+        }
+        if (SuffixNullable)
+          Changed |= F.unionWith(LhsFollow);
+      }
+    }
+  }
+}
+
+std::vector<bool> lalr::computeProductive(const Grammar &G) {
+  std::vector<bool> Productive(G.numNonterminals(), false);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
+      const Production &P = G.production(PId);
+      uint32_t NtIdx = G.ntIndex(P.Lhs);
+      if (Productive[NtIdx])
+        continue;
+      bool All = true;
+      for (SymbolId S : P.Rhs)
+        if (G.isNonterminal(S) && !Productive[G.ntIndex(S)]) {
+          All = false;
+          break;
+        }
+      if (All) {
+        Productive[NtIdx] = true;
+        Changed = true;
+      }
+    }
+  }
+  return Productive;
+}
+
+std::vector<bool> lalr::computeReachable(const Grammar &G) {
+  std::vector<bool> Reachable(G.numSymbols(), false);
+  std::vector<SymbolId> Worklist;
+  Reachable[G.acceptSymbol()] = true;
+  Worklist.push_back(G.acceptSymbol());
+  while (!Worklist.empty()) {
+    SymbolId Nt = Worklist.back();
+    Worklist.pop_back();
+    for (ProductionId PId : G.productionsOf(Nt))
+      for (SymbolId S : G.production(PId).Rhs)
+        if (!Reachable[S]) {
+          Reachable[S] = true;
+          if (G.isNonterminal(S))
+            Worklist.push_back(S);
+        }
+  }
+  return Reachable;
+}
+
+namespace {
+
+/// Builds the "left corner" graph: edge A -> B when A -> alpha B beta with
+/// alpha nullable (LeftOnly), or when B is surrounded by nullable strings
+/// on both sides (unit graph for cycle detection).
+std::vector<std::vector<uint32_t>> buildNtGraph(const Grammar &G,
+                                                bool RequireRightNullable) {
+  GrammarAnalysis A(G);
+  std::vector<std::vector<uint32_t>> Adj(G.numNonterminals());
+  for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
+    const Production &P = G.production(PId);
+    for (size_t I = 0, E = P.Rhs.size(); I != E; ++I) {
+      SymbolId S = P.Rhs[I];
+      if (G.isTerminal(S))
+        break; // a terminal ends the nullable prefix
+      bool PrefixNullable = true;
+      for (size_t J = 0; J < I; ++J)
+        if (!A.isNullable(P.Rhs[J])) {
+          PrefixNullable = false;
+          break;
+        }
+      if (!PrefixNullable)
+        break;
+      bool SuffixOk = !RequireRightNullable ||
+                      A.isNullableSeq(std::span(P.Rhs).subspan(I + 1));
+      if (SuffixOk)
+        Adj[G.ntIndex(P.Lhs)].push_back(G.ntIndex(S));
+      if (!A.isNullable(S))
+        break; // symbols past a non-nullable one are not in the left corner
+    }
+  }
+  return Adj;
+}
+
+} // namespace
+
+std::vector<bool> lalr::computeLeftRecursive(const Grammar &G) {
+  std::vector<std::vector<uint32_t>> Adj =
+      buildNtGraph(G, /*RequireRightNullable=*/false);
+  // A is left-recursive iff A reaches A through the left-corner graph.
+  // Grammars are small; a per-node DFS is fine and keeps this independent
+  // of the SCC helper's ordering guarantees.
+  const size_t N = Adj.size();
+  std::vector<bool> Result(N, false);
+  std::vector<uint8_t> Mark(N);
+  std::vector<uint32_t> Stack;
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    std::fill(Mark.begin(), Mark.end(), 0);
+    Stack.assign(Adj[Root].begin(), Adj[Root].end());
+    while (!Stack.empty()) {
+      uint32_t U = Stack.back();
+      Stack.pop_back();
+      if (U == Root) {
+        Result[Root] = true;
+        break;
+      }
+      if (Mark[U])
+        continue;
+      Mark[U] = 1;
+      for (uint32_t V : Adj[U])
+        Stack.push_back(V);
+    }
+  }
+  return Result;
+}
+
+bool lalr::hasCycle(const Grammar &G) {
+  std::vector<std::vector<uint32_t>> Adj =
+      buildNtGraph(G, /*RequireRightNullable=*/true);
+  const size_t N = Adj.size();
+  std::vector<uint8_t> Mark(N);
+  std::vector<uint32_t> Stack;
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    std::fill(Mark.begin(), Mark.end(), 0);
+    Stack.assign(Adj[Root].begin(), Adj[Root].end());
+    bool Found = false;
+    while (!Stack.empty() && !Found) {
+      uint32_t U = Stack.back();
+      Stack.pop_back();
+      if (U == Root) {
+        Found = true;
+        break;
+      }
+      if (Mark[U])
+        continue;
+      Mark[U] = 1;
+      for (uint32_t V : Adj[U])
+        Stack.push_back(V);
+    }
+    if (Found)
+      return true;
+  }
+  return false;
+}

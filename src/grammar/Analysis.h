@@ -1,0 +1,103 @@
+//===- grammar/Analysis.h - Nullable / FIRST / FOLLOW -----------*- C++ -*-===//
+///
+/// \file
+/// Classic grammar analyses used as substrates by every table-construction
+/// method in the library:
+///   * nullable(X): X derives the empty string — used by the DP `reads`
+///     and `includes` relations;
+///   * FIRST sets — used by canonical LR(1) item closures and the YACC
+///     propagation baseline;
+///   * FOLLOW sets — the SLR(1) baseline's look-ahead sets.
+/// All fixpoints are computed eagerly at construction; a GrammarAnalysis is
+/// immutable afterwards and cheap to query.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_ANALYSIS_H
+#define LALR_GRAMMAR_ANALYSIS_H
+
+#include "grammar/Grammar.h"
+#include "support/BitSet.h"
+
+#include <span>
+#include <vector>
+
+namespace lalr {
+
+/// Eagerly computed nullable/FIRST/FOLLOW facts about one grammar.
+class GrammarAnalysis {
+public:
+  explicit GrammarAnalysis(const Grammar &G);
+
+  const Grammar &grammar() const { return G; }
+
+  /// \name Nullability
+  /// @{
+  /// True if symbol \p S derives epsilon (terminals never do).
+  bool isNullable(SymbolId S) const {
+    return G.isNonterminal(S) && NullableNt[G.ntIndex(S)];
+  }
+  /// True if every symbol of \p Seq is nullable (true for the empty
+  /// sequence).
+  bool isNullableSeq(std::span<const SymbolId> Seq) const;
+  /// @}
+
+  /// \name FIRST sets
+  /// @{
+  /// FIRST of a single symbol, as a bitset over terminal ids. For a
+  /// terminal t this is {t}.
+  const BitSet &first(SymbolId S) const { return FirstSets[S]; }
+
+  /// FIRST of the sequence Seq[From..), not including epsilon (use
+  /// isNullableSeq for that bit). This is the paper's FIRST(beta) used in
+  /// LR(1) closures.
+  BitSet firstOfSeq(std::span<const SymbolId> Seq, size_t From = 0) const;
+
+  /// Appends FIRST(Seq[From..)) into \p Out; returns true if the whole
+  /// suffix is nullable. This fused form is the hot path of LR(1)
+  /// closure. \p Out's universe may be larger than the terminal count
+  /// (extra sentinel slots are left untouched).
+  bool addFirstOfSeq(BitSet &Out, std::span<const SymbolId> Seq,
+                     size_t From = 0) const;
+  /// @}
+
+  /// \name FOLLOW sets
+  /// @{
+  /// FOLLOW of nonterminal \p Nt over terminal ids; FOLLOW($accept) is
+  /// {$end}.
+  const BitSet &follow(SymbolId Nt) const {
+    return FollowSets[G.ntIndex(Nt)];
+  }
+  /// @}
+
+private:
+  void computeNullable();
+  void computeFirst();
+  void computeFollow();
+
+  const Grammar &G;
+  std::vector<bool> NullableNt;     // by nt index
+  std::vector<BitSet> FirstSets;    // by symbol id, over terminals
+  std::vector<BitSet> FollowSets;   // by nt index, over terminals
+};
+
+/// Returns, by nt index, whether each nonterminal is productive (derives
+/// some terminal string).
+std::vector<bool> computeProductive(const Grammar &G);
+
+/// Returns, by symbol id, whether each symbol is reachable from $accept.
+std::vector<bool> computeReachable(const Grammar &G);
+
+/// Returns by nt index whether each nonterminal is left-recursive
+/// (A =>+ A gamma). Used by grammar reports and the LL-side diagnostics.
+std::vector<bool> computeLeftRecursive(const Grammar &G);
+
+/// True if the grammar has a cycle (some A =>+ A). Cyclic grammars are
+/// never LR(k); the DP solver independently detects them through a
+/// nontrivial `reads`/`includes` structure, and this predicate is the
+/// cheap syntactic check used in reports.
+bool hasCycle(const Grammar &G);
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_ANALYSIS_H

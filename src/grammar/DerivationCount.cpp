@@ -1,0 +1,112 @@
+//===- grammar/DerivationCount.cpp - Counting parse trees ----------------------===//
+
+#include "grammar/DerivationCount.h"
+
+#include "grammar/Analysis.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+/// Saturating addition and multiplication.
+uint64_t satAdd(uint64_t A, uint64_t B) {
+  uint64_t S = A + B;
+  return S < A ? DerivationCount::Saturated : S;
+}
+uint64_t satMul(uint64_t A, uint64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A > DerivationCount::Saturated / B)
+    return DerivationCount::Saturated;
+  return A * B;
+}
+
+/// The memoized counting engine over spans of the input.
+class Counter {
+public:
+  Counter(const Grammar &G, std::span<const SymbolId> Input)
+      : G(G), Input(Input) {}
+
+  /// Trees deriving Input[i, j) from symbol S.
+  uint64_t symbolCount(SymbolId S, uint32_t I, uint32_t J) {
+    if (G.isTerminal(S))
+      return (J == I + 1 && Input[I] == S) ? 1 : 0;
+    uint64_t Key = key(G.ntIndex(S), I, J, /*Tag=*/0, /*Pos=*/0);
+    auto It = SymMemo.find(Key);
+    if (It != SymMemo.end())
+      return It->second;
+    // Seed with 0: the grammar is cycle-free, so a recursive query of
+    // the same (S, i, j) cannot contribute trees... but it cannot occur
+    // at all, because a cycle-free grammar never derives S from S over
+    // the same span. Seeding keeps the lookup structure simple.
+    SymMemo.emplace(Key, 0);
+    uint64_t Total = 0;
+    for (ProductionId P : G.productionsOf(S))
+      Total = satAdd(Total, seqCount(P, 0, I, J));
+    SymMemo[Key] = Total;
+    return Total;
+  }
+
+private:
+  /// Trees deriving Input[i, j) from the rhs suffix of production P
+  /// starting at position Pos.
+  uint64_t seqCount(ProductionId P, uint32_t Pos, uint32_t I, uint32_t J) {
+    const Production &Prod = G.production(P);
+    if (Pos == Prod.Rhs.size())
+      return I == J ? 1 : 0;
+    uint64_t Key = key(P, I, J, /*Tag=*/1, Pos);
+    auto It = SeqMemo.find(Key);
+    if (It != SeqMemo.end())
+      return It->second;
+    SeqMemo.emplace(Key, 0);
+    uint64_t Total = 0;
+    SymbolId Head = Prod.Rhs[Pos];
+    for (uint32_t Mid = I; Mid <= J; ++Mid) {
+      uint64_t Left = symbolCount(Head, I, Mid);
+      if (Left == 0)
+        continue;
+      uint64_t Right = seqCount(P, Pos + 1, Mid, J);
+      Total = satAdd(Total, satMul(Left, Right));
+    }
+    SeqMemo[Key] = Total;
+    return Total;
+  }
+
+  static uint64_t key(uint32_t A, uint32_t I, uint32_t J, uint32_t Tag,
+                      uint32_t Pos) {
+    // Inputs in tests are short (< 2^12); ids < 2^20.
+    return (uint64_t(A) << 44) | (uint64_t(Pos) << 32) |
+           (uint64_t(Tag) << 28) | (uint64_t(I) << 14) | J;
+  }
+
+  const Grammar &G;
+  std::span<const SymbolId> Input;
+  std::unordered_map<uint64_t, uint64_t> SymMemo;
+  std::unordered_map<uint64_t, uint64_t> SeqMemo;
+};
+
+} // namespace
+
+std::optional<DerivationCount>
+lalr::countParseTrees(const Grammar &G, std::span<const SymbolId> Sentence) {
+  if (hasCycle(G))
+    return std::nullopt;
+  // The key packing above bounds spans to 2^14.
+  if (Sentence.size() >= (1u << 14))
+    return std::nullopt;
+
+  // A terminal symbol deriving an empty span recurses through epsilon
+  // productions; with no cycles, nullable recursion terminates because
+  // every recursive step consumes a production position or splits the
+  // span... except same-span nonterminal recursion through nullable
+  // siblings: A -> B C with B nullable re-queries C over the same span,
+  // which is fine (C != A chain is acyclic by the no-cycle guarantee).
+  Counter C(G, Sentence);
+  DerivationCount Out;
+  Out.Count = C.symbolCount(G.startSymbol(), 0,
+                            static_cast<uint32_t>(Sentence.size()));
+  return Out;
+}

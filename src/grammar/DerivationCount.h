@@ -1,0 +1,49 @@
+//===- grammar/DerivationCount.h - Counting parse trees ---------*- C++ -*-===//
+///
+/// \file
+/// Counts the distinct parse trees of a sentence — the sentence's degree
+/// of ambiguity. A span-based dynamic program (memoized over
+/// (symbol, i, j) and production positions) that works for any
+/// *cycle-free* grammar; grammars with derivation cycles (A =>+ A) have
+/// sentences with infinitely many trees, which is reported instead of
+/// looping. Used by the test suite to verify that
+///
+///   * ambiguous grammars show their textbook counts (Catalan numbers
+///     for e : e '+' e | 'a'),
+///   * every sentence of an LR-adequate grammar has exactly one tree
+///     (adequate tables really do imply unambiguity on the sample), and
+///   * the non-LR(k) palindrome grammar is nevertheless unambiguous.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_DERIVATIONCOUNT_H
+#define LALR_GRAMMAR_DERIVATIONCOUNT_H
+
+#include "grammar/Grammar.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace lalr {
+
+/// Result of a counting run. Counts saturate at Saturated to avoid
+/// overflow on explosively ambiguous inputs.
+struct DerivationCount {
+  static constexpr uint64_t Saturated = UINT64_MAX;
+  /// Number of distinct parse trees (Saturated = "at least 2^64-1").
+  uint64_t Count = 0;
+
+  bool isMember() const { return Count > 0; }
+  bool isAmbiguous() const { return Count > 1; }
+};
+
+/// Counts parse trees of \p Sentence (terminal ids) from the start
+/// symbol. Returns std::nullopt when the grammar has a derivation cycle
+/// (counts may be infinite there).
+std::optional<DerivationCount>
+countParseTrees(const Grammar &G, std::span<const SymbolId> Sentence);
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_DERIVATIONCOUNT_H

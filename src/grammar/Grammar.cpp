@@ -1,0 +1,32 @@
+//===- grammar/Grammar.cpp - Immutable context-free grammar -----------------===//
+
+#include "grammar/Grammar.h"
+
+#include <sstream>
+
+using namespace lalr;
+
+SymbolId Grammar::findSymbol(std::string_view Name) const {
+  auto It = IdByName.find(std::string(Name));
+  return It == IdByName.end() ? InvalidSymbol : It->second;
+}
+
+size_t Grammar::grammarSize() const {
+  size_t Size = 0;
+  for (const Production &P : Productions)
+    Size += 1 + P.Rhs.size();
+  return Size;
+}
+
+std::string Grammar::productionToString(ProductionId P) const {
+  const Production &Prod = production(P);
+  std::ostringstream OS;
+  OS << name(Prod.Lhs) << " ->";
+  if (Prod.Rhs.empty()) {
+    OS << " %empty";
+    return OS.str();
+  }
+  for (SymbolId S : Prod.Rhs)
+    OS << ' ' << name(S);
+  return OS.str();
+}

@@ -1,0 +1,150 @@
+//===- grammar/Grammar.h - Immutable context-free grammar -------*- C++ -*-===//
+///
+/// \file
+/// The frozen, augmented context-free grammar that every analysis in this
+/// library consumes. Instances are created by GrammarBuilder (programmatic
+/// API) or GrammarParser (the .y-dialect front end); once built, a Grammar
+/// never changes, so analyses can cache results keyed by reference.
+///
+/// Layout invariants (checked by assertions and relied on everywhere):
+///   * symbol ids [0, numTerminals()) are terminals; id 0 is "$end";
+///   * symbol ids [numTerminals(), numSymbols()) are nonterminals;
+///     the last nonterminal is the augmented start "$accept";
+///   * production 0 is "$accept -> start" (the augmentation production);
+///     reducing it on $end is the accept action.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_GRAMMAR_H
+#define LALR_GRAMMAR_GRAMMAR_H
+
+#include "grammar/Symbol.h"
+
+#include <cassert>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lalr {
+
+/// One production A -> X1 ... Xn. Rhs may be empty (an epsilon production).
+struct Production {
+  ProductionId Id = 0;
+  SymbolId Lhs = InvalidSymbol;
+  std::vector<SymbolId> Rhs;
+  /// Terminal whose precedence governs this production in conflict
+  /// resolution: the %prec token if given, else the rightmost terminal of
+  /// Rhs, else InvalidSymbol.
+  SymbolId PrecSymbol = InvalidSymbol;
+
+  size_t length() const { return Rhs.size(); }
+  bool isEpsilon() const { return Rhs.empty(); }
+};
+
+/// A frozen, augmented context-free grammar.
+class Grammar {
+public:
+  /// \name Symbol space
+  /// @{
+  size_t numTerminals() const { return NumTerminals; }
+  size_t numNonterminals() const { return Names.size() - NumTerminals; }
+  size_t numSymbols() const { return Names.size(); }
+
+  bool isTerminal(SymbolId S) const {
+    assert(S < numSymbols() && "symbol id out of range");
+    return S < NumTerminals;
+  }
+  bool isNonterminal(SymbolId S) const { return !isTerminal(S); }
+
+  /// The end-of-input terminal "$end".
+  SymbolId eofSymbol() const { return 0; }
+  /// The augmented start nonterminal "$accept" (always the last symbol).
+  SymbolId acceptSymbol() const {
+    return static_cast<SymbolId>(numSymbols() - 1);
+  }
+  /// The user's start nonterminal.
+  SymbolId startSymbol() const { return Start; }
+
+  /// Dense index of a nonterminal in [0, numNonterminals()).
+  uint32_t ntIndex(SymbolId S) const {
+    assert(isNonterminal(S) && "ntIndex of a terminal");
+    return S - static_cast<uint32_t>(NumTerminals);
+  }
+  /// Inverse of ntIndex.
+  SymbolId ntSymbol(uint32_t NtIdx) const {
+    assert(NtIdx < numNonterminals() && "nonterminal index out of range");
+    return static_cast<SymbolId>(NumTerminals + NtIdx);
+  }
+
+  const std::string &name(SymbolId S) const {
+    assert(S < numSymbols() && "symbol id out of range");
+    return Names[S];
+  }
+
+  /// Finds a symbol by spelling; returns InvalidSymbol if absent. This is
+  /// how clients of GrammarBuilder recover frozen ids (builder handles for
+  /// nonterminals are remapped during build()).
+  SymbolId findSymbol(std::string_view Name) const;
+
+  /// Declared precedence of a terminal (Level 0 if undeclared).
+  const Precedence &precedence(SymbolId Terminal) const {
+    assert(isTerminal(Terminal) && "precedence of a nonterminal");
+    return Precedences[Terminal];
+  }
+  /// @}
+
+  /// \name Productions
+  /// @{
+  size_t numProductions() const { return Productions.size(); }
+
+  const Production &production(ProductionId P) const {
+    assert(P < Productions.size() && "production id out of range");
+    return Productions[P];
+  }
+
+  /// Ids of the productions whose left-hand side is \p Nt.
+  std::span<const ProductionId> productionsOf(SymbolId Nt) const {
+    assert(isNonterminal(Nt) && "productionsOf of a terminal");
+    return ProductionsByNt[ntIndex(Nt)];
+  }
+
+  /// The augmentation production $accept -> start.
+  const Production &acceptProduction() const { return Productions[0]; }
+  /// @}
+
+  /// Total number of symbols on all right-hand sides (a standard grammar
+  /// size measure, |G| = sum of (1 + |rhs|)).
+  size_t grammarSize() const;
+
+  /// Human-readable one-line rendering "lhs -> x y z" of a production.
+  std::string productionToString(ProductionId P) const;
+
+  /// Optional name for reports; set by the front ends.
+  const std::string &grammarName() const { return GrammarName; }
+
+  /// %expect value: the number of unresolved shift/reduce conflicts the
+  /// grammar author declared acceptable, or -1 when not declared.
+  /// Consumers (grammar_report, generators) compare it against the built
+  /// table.
+  int expectedShiftReduce() const { return ExpectedSr; }
+
+private:
+  friend class GrammarBuilder;
+  Grammar() = default;
+
+  std::string GrammarName;
+  size_t NumTerminals = 0;
+  std::vector<std::string> Names;
+  std::vector<Precedence> Precedences; // indexed by terminal id
+  std::vector<Production> Productions;
+  std::vector<std::vector<ProductionId>> ProductionsByNt;
+  std::unordered_map<std::string, SymbolId> IdByName;
+  SymbolId Start = InvalidSymbol;
+  int ExpectedSr = -1;
+};
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_GRAMMAR_H

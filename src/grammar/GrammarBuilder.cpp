@@ -1,0 +1,159 @@
+//===- grammar/GrammarBuilder.cpp - Programmatic grammar construction ------===//
+
+#include "grammar/GrammarBuilder.h"
+
+#include <algorithm>
+
+using namespace lalr;
+
+GrammarBuilder::GrammarBuilder(std::string Name) : Name(std::move(Name)) {
+  // $end is terminal 0 in every grammar; it never appears in user
+  // productions but participates in look-ahead sets and the accept action.
+  Terminals.push_back({"$end", /*IsTerminal=*/true, Precedence{}});
+  HandleByName.emplace("$end", 0);
+}
+
+SymbolId GrammarBuilder::terminal(std::string_view NameStr) {
+  auto It = HandleByName.find(std::string(NameStr));
+  if (It != HandleByName.end()) {
+    assert(!isNtHandle(It->second) &&
+           "symbol already declared as a nonterminal");
+    return It->second;
+  }
+  SymbolId Handle = static_cast<SymbolId>(Terminals.size());
+  Terminals.push_back({std::string(NameStr), true, Precedence{}});
+  HandleByName.emplace(std::string(NameStr), Handle);
+  return Handle;
+}
+
+SymbolId GrammarBuilder::nonterminal(std::string_view NameStr) {
+  auto It = HandleByName.find(std::string(NameStr));
+  if (It != HandleByName.end()) {
+    assert(isNtHandle(It->second) && "symbol already declared as a terminal");
+    return It->second;
+  }
+  SymbolId Handle =
+      NonterminalFlag | static_cast<SymbolId>(Nonterminals.size());
+  Nonterminals.push_back({std::string(NameStr), false, Precedence{}});
+  HandleByName.emplace(std::string(NameStr), Handle);
+  return Handle;
+}
+
+ProductionId GrammarBuilder::production(SymbolId Lhs, std::vector<SymbolId> Rhs,
+                                        SymbolId PrecToken) {
+  ProductionId Id = static_cast<ProductionId>(Prods.size());
+  Prods.push_back({Lhs, std::move(Rhs), PrecToken});
+  return Id;
+}
+
+void GrammarBuilder::startSymbol(SymbolId Nt) {
+  assert(isNtHandle(Nt) && "start symbol must be a nonterminal");
+  Start = Nt;
+}
+
+void GrammarBuilder::precedenceLevel(Assoc Associativity,
+                                     const std::vector<SymbolId> &Tokens) {
+  uint16_t Level = NextPrecLevel++;
+  for (SymbolId T : Tokens) {
+    assert(!isNtHandle(T) && T < Terminals.size() &&
+           "precedence applies to terminals only");
+    Terminals[T].Prec = Precedence{Level, Associativity};
+  }
+}
+
+bool GrammarBuilder::isDeclared(std::string_view NameStr) const {
+  return HandleByName.count(std::string(NameStr)) != 0;
+}
+
+std::optional<Grammar> GrammarBuilder::build(DiagnosticEngine &Diags) && {
+  if (Prods.empty()) {
+    Diags.error({}, "grammar has no productions");
+    return std::nullopt;
+  }
+  if (Start == InvalidSymbol)
+    Start = Prods.front().Lhs;
+  if (!isNtHandle(Start)) {
+    Diags.error({}, "start symbol must be a nonterminal");
+    return std::nullopt;
+  }
+
+  // Every nonterminal needs at least one production; a nonterminal without
+  // one can never derive a terminal string and almost always indicates a
+  // typo in the grammar file.
+  std::vector<bool> HasProduction(Nonterminals.size(), false);
+  for (const ProdRecord &P : Prods) {
+    if (!isNtHandle(P.Lhs)) {
+      Diags.error({}, "terminal '" + Terminals[P.Lhs].Name +
+                          "' appears as the left-hand side of a production");
+      continue;
+    }
+    HasProduction[ntSlot(P.Lhs)] = true;
+  }
+  for (size_t I = 0; I < Nonterminals.size(); ++I)
+    if (!HasProduction[I])
+      Diags.error({}, "nonterminal '" + Nonterminals[I].Name +
+                          "' has no productions");
+  if (Diags.hasErrors())
+    return std::nullopt;
+
+  Grammar G;
+  G.GrammarName = std::move(Name);
+  G.ExpectedSr = ExpectedSr;
+  G.NumTerminals = Terminals.size();
+
+  // Canonical layout: terminals (declaration order, $end first), then
+  // nonterminals (declaration order), then $accept.
+  const uint32_t NumT = static_cast<uint32_t>(Terminals.size());
+  auto remap = [&](SymbolId Handle) -> SymbolId {
+    return isNtHandle(Handle) ? NumT + ntSlot(Handle) : Handle;
+  };
+
+  for (SymbolRecord &R : Terminals) {
+    G.Precedences.push_back(R.Prec);
+    G.Names.push_back(std::move(R.Name));
+  }
+  for (SymbolRecord &R : Nonterminals)
+    G.Names.push_back(std::move(R.Name));
+  G.Names.push_back("$accept");
+  for (uint32_t Id = 0; Id < G.Names.size(); ++Id)
+    G.IdByName.emplace(G.Names[Id], Id);
+
+  G.Start = remap(Start);
+  const SymbolId Accept = static_cast<SymbolId>(G.Names.size() - 1);
+
+  // Production 0: $accept -> start. Its reduction on $end is "accept".
+  Production AcceptProd;
+  AcceptProd.Id = 0;
+  AcceptProd.Lhs = Accept;
+  AcceptProd.Rhs = {G.Start};
+  G.Productions.push_back(std::move(AcceptProd));
+
+  for (ProdRecord &P : Prods) {
+    Production Prod;
+    Prod.Id = static_cast<ProductionId>(G.Productions.size());
+    Prod.Lhs = remap(P.Lhs);
+    Prod.Rhs.reserve(P.Rhs.size());
+    for (SymbolId S : P.Rhs)
+      Prod.Rhs.push_back(remap(S));
+    // Yacc rule: a production's precedence is its %prec token's, or the
+    // precedence of the rightmost terminal in its body.
+    if (P.PrecToken != InvalidSymbol) {
+      assert(!isNtHandle(P.PrecToken) && "%prec takes a terminal");
+      Prod.PrecSymbol = P.PrecToken;
+    } else {
+      for (auto It = Prod.Rhs.rbegin(); It != Prod.Rhs.rend(); ++It) {
+        if (*It < NumT) {
+          Prod.PrecSymbol = *It;
+          break;
+        }
+      }
+    }
+    G.Productions.push_back(std::move(Prod));
+  }
+
+  G.ProductionsByNt.resize(G.numNonterminals());
+  for (const Production &P : G.Productions)
+    G.ProductionsByNt[G.ntIndex(P.Lhs)].push_back(P.Id);
+
+  return G;
+}

@@ -1,0 +1,104 @@
+//===- grammar/GrammarBuilder.h - Programmatic grammar construction -------===//
+///
+/// \file
+/// Mutable builder producing frozen Grammar objects. This is the public
+/// programmatic API (the quickstart example uses it directly); the .y-dialect
+/// parser is implemented on top of it. The builder accepts symbols and
+/// productions in any order, then build() validates the grammar, lays out
+/// symbol ids canonically, and augments with $accept -> start.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_GRAMMARBUILDER_H
+#define LALR_GRAMMAR_GRAMMARBUILDER_H
+
+#include "grammar/Grammar.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lalr {
+
+/// Incrementally assembles a grammar, then freezes it into a Grammar.
+///
+/// Symbol handles returned by terminal()/nonterminal() are builder-local.
+/// Terminal handles survive the freeze unchanged ($end is pre-declared at
+/// id 0, so user terminals start at 1 in declaration order); nonterminal
+/// handles are remapped to ids following the terminals. Recover frozen ids
+/// with Grammar::findSymbol(name).
+class GrammarBuilder {
+public:
+  explicit GrammarBuilder(std::string Name = "grammar");
+
+  /// Declares (or finds) a terminal named \p Name. Returns a builder-local
+  /// handle that is also valid in the frozen Grammar (ids are stable).
+  SymbolId terminal(std::string_view Name);
+
+  /// Declares (or finds) a nonterminal named \p Name.
+  SymbolId nonterminal(std::string_view Name);
+
+  /// Adds production Lhs -> Rhs. \p Lhs must be a nonterminal handle.
+  /// Returns the production's index among user productions; the frozen
+  /// grammar offsets these by 1 (production 0 is the augmentation).
+  /// \p PrecToken, if valid, is the %prec terminal for the production.
+  ProductionId production(SymbolId Lhs, std::vector<SymbolId> Rhs,
+                          SymbolId PrecToken = InvalidSymbol);
+
+  /// Sets the start symbol. If never called, the Lhs of the first
+  /// production is used.
+  void startSymbol(SymbolId Nt);
+
+  /// Declares one precedence level (higher levels bind tighter; levels are
+  /// assigned in call order, mirroring yacc's %left/%right/%nonassoc).
+  void precedenceLevel(Assoc Associativity,
+                       const std::vector<SymbolId> &Terminals);
+
+  /// Returns true if \p Name is already declared (as either kind).
+  bool isDeclared(std::string_view Name) const;
+
+  /// Declares the %expect value (-1 = unspecified), recorded on the
+  /// frozen grammar for consumers to check against the built table.
+  void expectedShiftReduce(int N) { ExpectedSr = N; }
+
+  /// Validates and freezes. On failure, reports into \p Diags and returns
+  /// std::nullopt. Errors: no productions, undefined start symbol,
+  /// terminal used as a production Lhs (prevented by typing but validated
+  /// for the parser path), nonterminal with no productions.
+  std::optional<Grammar> build(DiagnosticEngine &Diags) &&;
+
+private:
+  struct SymbolRecord {
+    std::string Name;
+    bool IsTerminal;
+    Precedence Prec;
+  };
+  struct ProdRecord {
+    SymbolId Lhs;
+    std::vector<SymbolId> Rhs;
+    SymbolId PrecToken;
+  };
+
+  std::string Name;
+  // Builder-local handles: terminals get even-spaced ids in declaration
+  // order starting at 1 ($end is pre-declared at handle 0); nonterminals
+  // are tracked separately and remapped at build time.
+  std::vector<SymbolRecord> Terminals;    // index == final terminal id
+  std::vector<SymbolRecord> Nonterminals; // index == final nt index
+  std::unordered_map<std::string, SymbolId> HandleByName;
+  std::vector<ProdRecord> Prods;
+  SymbolId Start = InvalidSymbol;
+  uint16_t NextPrecLevel = 1;
+  int ExpectedSr = -1;
+
+  static constexpr SymbolId NonterminalFlag = 0x80000000u;
+  static bool isNtHandle(SymbolId H) { return H & NonterminalFlag; }
+  static uint32_t ntSlot(SymbolId H) { return H & ~NonterminalFlag; }
+};
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_GRAMMARBUILDER_H

@@ -1,0 +1,226 @@
+//===- grammar/GrammarLexer.cpp - Lexer for the .y dialect ------------------===//
+
+#include "grammar/GrammarLexer.h"
+
+#include <cctype>
+
+using namespace lalr;
+
+const char *lalr::tokenKindName(GTokKind Kind) {
+  switch (Kind) {
+  case GTokKind::Ident:
+    return "identifier";
+  case GTokKind::Literal:
+    return "literal";
+  case GTokKind::Number:
+    return "number";
+  case GTokKind::Colon:
+    return "':'";
+  case GTokKind::Pipe:
+    return "'|'";
+  case GTokKind::Semi:
+    return "';'";
+  case GTokKind::PercentPercent:
+    return "'%%'";
+  case GTokKind::KwToken:
+    return "%token";
+  case GTokKind::KwLeft:
+    return "%left";
+  case GTokKind::KwRight:
+    return "%right";
+  case GTokKind::KwNonassoc:
+    return "%nonassoc";
+  case GTokKind::KwStart:
+    return "%start";
+  case GTokKind::KwPrec:
+    return "%prec";
+  case GTokKind::KwEmpty:
+    return "%empty";
+  case GTokKind::KwName:
+    return "%name";
+  case GTokKind::KwExpect:
+    return "%expect";
+  case GTokKind::EndOfFile:
+    return "end of file";
+  case GTokKind::Invalid:
+    return "invalid token";
+  }
+  return "unknown";
+}
+
+char GrammarLexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void GrammarLexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Open = location();
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Open, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+static bool isIdentCont(char C) {
+  return isIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+GToken GrammarLexer::next() {
+  skipTrivia();
+  GToken Tok;
+  Tok.Loc = location();
+  if (Pos >= Source.size()) {
+    Tok.Kind = GTokKind::EndOfFile;
+    return Tok;
+  }
+
+  char C = peek();
+  switch (C) {
+  case ':':
+    advance();
+    Tok.Kind = GTokKind::Colon;
+    Tok.Text = ":";
+    return Tok;
+  case '|':
+    advance();
+    Tok.Kind = GTokKind::Pipe;
+    Tok.Text = "|";
+    return Tok;
+  case ';':
+    advance();
+    Tok.Kind = GTokKind::Semi;
+    Tok.Text = ";";
+    return Tok;
+  default:
+    break;
+  }
+
+  if (C == '%') {
+    advance();
+    if (peek() == '%') {
+      advance();
+      Tok.Kind = GTokKind::PercentPercent;
+      Tok.Text = "%%";
+      return Tok;
+    }
+    std::string Word;
+    while (Pos < Source.size() && isIdentCont(peek()))
+      Word.push_back(advance());
+    Tok.Text = "%" + Word;
+    if (Word == "token")
+      Tok.Kind = GTokKind::KwToken;
+    else if (Word == "left")
+      Tok.Kind = GTokKind::KwLeft;
+    else if (Word == "right")
+      Tok.Kind = GTokKind::KwRight;
+    else if (Word == "nonassoc")
+      Tok.Kind = GTokKind::KwNonassoc;
+    else if (Word == "start")
+      Tok.Kind = GTokKind::KwStart;
+    else if (Word == "prec")
+      Tok.Kind = GTokKind::KwPrec;
+    else if (Word == "empty")
+      Tok.Kind = GTokKind::KwEmpty;
+    else if (Word == "name")
+      Tok.Kind = GTokKind::KwName;
+    else if (Word == "expect")
+      Tok.Kind = GTokKind::KwExpect;
+    else {
+      Diags.error(Tok.Loc, "unknown directive '%" + Word + "'");
+      Tok.Kind = GTokKind::Invalid;
+    }
+    return Tok;
+  }
+
+  if (C == '\'' || C == '"') {
+    char Quote = advance();
+    std::string Body;
+    bool Closed = false;
+    while (Pos < Source.size()) {
+      char D = advance();
+      if (D == Quote) {
+        Closed = true;
+        break;
+      }
+      if (D == '\n')
+        break;
+      if (D == '\\' && Pos < Source.size())
+        D = advance();
+      Body.push_back(D);
+    }
+    if (!Closed) {
+      Diags.error(Tok.Loc, "unterminated literal");
+      Tok.Kind = GTokKind::Invalid;
+      return Tok;
+    }
+    if (Body.empty()) {
+      Diags.error(Tok.Loc, "empty literal");
+      Tok.Kind = GTokKind::Invalid;
+      return Tok;
+    }
+    // The symbol keeps its quotes so literals can never collide with
+    // identifier-named tokens.
+    Tok.Kind = GTokKind::Literal;
+    Tok.Text = "'" + Body + "'";
+    return Tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Digits;
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(peek())))
+      Digits.push_back(advance());
+    Tok.Kind = GTokKind::Number;
+    Tok.Text = std::move(Digits);
+    return Tok;
+  }
+
+  if (isIdentStart(C)) {
+    std::string Word;
+    while (Pos < Source.size() && isIdentCont(peek()))
+      Word.push_back(advance());
+    Tok.Kind = GTokKind::Ident;
+    Tok.Text = std::move(Word);
+    return Tok;
+  }
+
+  Diags.error(Tok.Loc, std::string("unexpected character '") + C + "'");
+  advance();
+  Tok.Kind = GTokKind::Invalid;
+  return Tok;
+}

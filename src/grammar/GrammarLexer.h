@@ -1,0 +1,89 @@
+//===- grammar/GrammarLexer.h - Lexer for the .y dialect --------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the yacc/bison-style grammar dialect accepted by this
+/// library. The dialect covers what the evaluation corpus needs:
+///
+///   %token NAME...            declare terminals
+///   %left / %right / %nonassoc TOK...   declare one precedence level
+///   %start name               select the start nonterminal
+///   %name ident               optional grammar name for reports
+///   %%                        separates declarations from rules
+///   lhs : a 'lit' b | %empty | c %prec TOK ;
+///
+/// Comments are // to end of line and /* ... */. A second %% ends the
+/// grammar; anything after it is ignored (yacc's user-code section).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_GRAMMARLEXER_H
+#define LALR_GRAMMAR_GRAMMARLEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+
+namespace lalr {
+
+/// Token kinds of the grammar dialect.
+enum class GTokKind {
+  Ident,          ///< rule or token name
+  Literal,        ///< 'c' or "str" literal terminal (text keeps the quotes)
+  Number,         ///< decimal integer (only used by %expect)
+  Colon,          ///< :
+  Pipe,           ///< |
+  Semi,           ///< ;
+  PercentPercent, ///< %%
+  KwToken,        ///< %token
+  KwLeft,         ///< %left
+  KwRight,        ///< %right
+  KwNonassoc,     ///< %nonassoc
+  KwStart,        ///< %start
+  KwPrec,         ///< %prec
+  KwEmpty,        ///< %empty
+  KwName,         ///< %name
+  KwExpect,       ///< %expect
+  EndOfFile,
+  Invalid,
+};
+
+/// One lexed token with its spelling and location.
+struct GToken {
+  GTokKind Kind = GTokKind::Invalid;
+  std::string Text;
+  SourceLocation Loc;
+};
+
+/// Returns a printable name for a token kind, used in diagnostics.
+const char *tokenKindName(GTokKind Kind);
+
+/// Hand-written single-pass lexer. Invalid input produces Invalid tokens
+/// with a diagnostic; the lexer always makes progress so the parser can
+/// recover by skipping.
+class GrammarLexer {
+public:
+  GrammarLexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes and returns the next token.
+  GToken next();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  SourceLocation location() const { return {Line, Column}; }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_GRAMMARLEXER_H

@@ -1,0 +1,387 @@
+//===- grammar/GrammarParser.cpp - Parser for the .y dialect ----------------===//
+
+#include "grammar/GrammarParser.h"
+
+#include "grammar/GrammarBuilder.h"
+#include "grammar/GrammarLexer.h"
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+/// Name + location, before symbol resolution.
+struct NameRef {
+  std::string Name;
+  SourceLocation Loc;
+  bool IsLiteral = false;
+};
+
+/// One parsed alternative of a rule.
+struct AltAst {
+  std::vector<NameRef> Symbols;
+  NameRef PrecToken; // empty Name when absent
+};
+
+/// One parsed rule (one lhs, >= 1 alternatives).
+struct RuleAst {
+  NameRef Lhs;
+  std::vector<AltAst> Alts;
+};
+
+/// One precedence level from %left/%right/%nonassoc, in declaration order.
+struct PrecLevelAst {
+  Assoc Associativity;
+  std::vector<NameRef> Tokens;
+};
+
+/// The whole parsed file before resolution.
+struct FileAst {
+  std::string Name;
+  std::vector<NameRef> TokenDecls;
+  std::vector<PrecLevelAst> PrecLevels;
+  NameRef Start;
+  std::vector<RuleAst> Rules;
+  int ExpectedSr = -1; // %expect N, or -1 when absent
+};
+
+/// Recursive-descent parser over GrammarLexer tokens.
+class Parser {
+public:
+  Parser(std::string_view Source, DiagnosticEngine &Diags)
+      : Lexer(Source, Diags), Diags(Diags) {
+    Tok = Lexer.next();
+  }
+
+  /// Parses the full file; returns false if a structural error makes the
+  /// AST unusable (diagnostics have been reported either way).
+  bool parseFile(FileAst &Out);
+
+private:
+  void consume() { Tok = Lexer.next(); }
+
+  bool expect(GTokKind Kind, const char *What) {
+    if (Tok.Kind == Kind) {
+      consume();
+      return true;
+    }
+    Diags.error(Tok.Loc, std::string("expected ") + What + " before " +
+                             tokenKindName(Tok.Kind));
+    return false;
+  }
+
+  void parseDeclarations(FileAst &Out);
+  void parseRules(FileAst &Out);
+  bool parseRule(FileAst &Out);
+
+  GrammarLexer Lexer;
+  DiagnosticEngine &Diags;
+  GToken Tok;
+};
+
+} // namespace
+
+void Parser::parseDeclarations(FileAst &Out) {
+  while (true) {
+    switch (Tok.Kind) {
+    case GTokKind::KwToken: {
+      consume();
+      size_t Declared = 0;
+      while (Tok.Kind == GTokKind::Ident || Tok.Kind == GTokKind::Literal) {
+        Out.TokenDecls.push_back(
+            {Tok.Text, Tok.Loc, Tok.Kind == GTokKind::Literal});
+        consume();
+        ++Declared;
+      }
+      if (Declared == 0)
+        Diags.error(Tok.Loc, "%token requires at least one name");
+      break;
+    }
+    case GTokKind::KwLeft:
+    case GTokKind::KwRight:
+    case GTokKind::KwNonassoc: {
+      Assoc A = Tok.Kind == GTokKind::KwLeft    ? Assoc::Left
+                : Tok.Kind == GTokKind::KwRight ? Assoc::Right
+                                                : Assoc::NonAssoc;
+      SourceLocation DirLoc = Tok.Loc;
+      consume();
+      PrecLevelAst Level;
+      Level.Associativity = A;
+      while (Tok.Kind == GTokKind::Ident || Tok.Kind == GTokKind::Literal) {
+        Level.Tokens.push_back(
+            {Tok.Text, Tok.Loc, Tok.Kind == GTokKind::Literal});
+        consume();
+      }
+      if (Level.Tokens.empty())
+        Diags.error(DirLoc, "precedence directive requires at least one "
+                            "token");
+      else
+        Out.PrecLevels.push_back(std::move(Level));
+      break;
+    }
+    case GTokKind::KwStart: {
+      consume();
+      if (Tok.Kind != GTokKind::Ident) {
+        Diags.error(Tok.Loc, "%start requires a nonterminal name");
+        break;
+      }
+      if (!Out.Start.Name.empty())
+        Diags.warning(Tok.Loc, "%start given more than once; the last one "
+                               "wins");
+      Out.Start = {Tok.Text, Tok.Loc, false};
+      consume();
+      break;
+    }
+    case GTokKind::KwName: {
+      consume();
+      if (Tok.Kind != GTokKind::Ident) {
+        Diags.error(Tok.Loc, "%name requires an identifier");
+        break;
+      }
+      Out.Name = Tok.Text;
+      consume();
+      break;
+    }
+    case GTokKind::KwExpect: {
+      consume();
+      if (Tok.Kind != GTokKind::Number) {
+        Diags.error(Tok.Loc, "%expect requires an integer");
+        break;
+      }
+      Out.ExpectedSr = std::atoi(Tok.Text.c_str());
+      consume();
+      break;
+    }
+    case GTokKind::Invalid:
+      consume(); // diagnostics already emitted by the lexer
+      break;
+    default:
+      return; // '%%' or anything else ends the declaration section
+    }
+  }
+}
+
+bool Parser::parseRule(FileAst &Out) {
+  if (Tok.Kind != GTokKind::Ident) {
+    Diags.error(Tok.Loc, std::string("expected a rule name before ") +
+                             tokenKindName(Tok.Kind));
+    // Recover: skip to the next ';' so later rules still parse.
+    while (Tok.Kind != GTokKind::Semi && Tok.Kind != GTokKind::EndOfFile &&
+           Tok.Kind != GTokKind::PercentPercent)
+      consume();
+    if (Tok.Kind == GTokKind::Semi)
+      consume();
+    return Tok.Kind != GTokKind::EndOfFile &&
+           Tok.Kind != GTokKind::PercentPercent;
+  }
+
+  RuleAst Rule;
+  Rule.Lhs = {Tok.Text, Tok.Loc, false};
+  consume();
+  if (!expect(GTokKind::Colon, "':'"))
+    return true;
+
+  AltAst Alt;
+  bool SawEmptyMarker = false;
+  auto finishAlt = [&]() {
+    if (SawEmptyMarker && !Alt.Symbols.empty())
+      Diags.error(Rule.Lhs.Loc, "%empty used in a nonempty alternative of '" +
+                                    Rule.Lhs.Name + "'");
+    Rule.Alts.push_back(std::move(Alt));
+    Alt = AltAst();
+    SawEmptyMarker = false;
+  };
+
+  while (true) {
+    switch (Tok.Kind) {
+    case GTokKind::Ident:
+    case GTokKind::Literal:
+      Alt.Symbols.push_back(
+          {Tok.Text, Tok.Loc, Tok.Kind == GTokKind::Literal});
+      consume();
+      break;
+    case GTokKind::KwEmpty:
+      SawEmptyMarker = true;
+      consume();
+      break;
+    case GTokKind::KwPrec:
+      consume();
+      if (Tok.Kind == GTokKind::Ident || Tok.Kind == GTokKind::Literal) {
+        Alt.PrecToken = {Tok.Text, Tok.Loc, Tok.Kind == GTokKind::Literal};
+        consume();
+      } else {
+        Diags.error(Tok.Loc, "%prec requires a token name");
+      }
+      break;
+    case GTokKind::Pipe:
+      finishAlt();
+      consume();
+      break;
+    case GTokKind::Semi:
+      finishAlt();
+      consume();
+      Out.Rules.push_back(std::move(Rule));
+      return true;
+    case GTokKind::EndOfFile:
+    case GTokKind::PercentPercent:
+      Diags.error(Tok.Loc, "rule '" + Rule.Lhs.Name +
+                               "' is not terminated by ';'");
+      finishAlt();
+      Out.Rules.push_back(std::move(Rule));
+      return false;
+    case GTokKind::Invalid:
+      consume();
+      break;
+    default:
+      Diags.error(Tok.Loc, std::string("unexpected ") +
+                               tokenKindName(Tok.Kind) + " in rule '" +
+                               Rule.Lhs.Name + "'");
+      consume();
+      break;
+    }
+  }
+}
+
+void Parser::parseRules(FileAst &Out) {
+  while (Tok.Kind != GTokKind::EndOfFile &&
+         Tok.Kind != GTokKind::PercentPercent)
+    if (!parseRule(Out))
+      return;
+}
+
+bool Parser::parseFile(FileAst &Out) {
+  parseDeclarations(Out);
+  if (!expect(GTokKind::PercentPercent, "'%%'"))
+    return false;
+  parseRules(Out);
+  // A second '%%' (and everything after it) is ignored, like yacc's user
+  // code section.
+  if (Out.Rules.empty()) {
+    Diags.error(Tok.Loc, "grammar has no rules");
+    return false;
+  }
+  return true;
+}
+
+std::optional<Grammar> lalr::parseGrammar(std::string_view Source,
+                                          DiagnosticEngine &Diags,
+                                          std::string_view DefaultName) {
+  FileAst Ast;
+  {
+    Parser P(Source, Diags);
+    if (!P.parseFile(Ast) || Diags.hasErrors())
+      return std::nullopt;
+  }
+
+  GrammarBuilder Builder(Ast.Name.empty() ? std::string(DefaultName)
+                                          : Ast.Name);
+
+  // Pass 1: left-hand sides define the nonterminals. 'error' is the
+  // reserved recovery terminal and cannot have rules.
+  std::set<std::string> NtNames;
+  for (const RuleAst &Rule : Ast.Rules) {
+    if (Rule.Lhs.Name == "error") {
+      Diags.error(Rule.Lhs.Loc,
+                  "'error' is the reserved recovery token and cannot "
+                  "have rules");
+      continue;
+    }
+    NtNames.insert(Rule.Lhs.Name);
+  }
+
+  // Declared tokens become terminals; clashing with a rule name is an
+  // error (a symbol cannot be both).
+  std::set<std::string> TokenNames;
+  for (const NameRef &Decl : Ast.TokenDecls) {
+    if (NtNames.count(Decl.Name)) {
+      Diags.error(Decl.Loc, "'" + Decl.Name +
+                                "' is declared %token but also has rules");
+      continue;
+    }
+    if (!TokenNames.insert(Decl.Name).second)
+      Diags.warning(Decl.Loc, "token '" + Decl.Name + "' declared twice");
+    Builder.terminal(Decl.Name);
+  }
+  // Precedence tokens are implicitly terminals too (yacc behaviour).
+  for (const PrecLevelAst &Level : Ast.PrecLevels)
+    for (const NameRef &T : Level.Tokens) {
+      if (NtNames.count(T.Name)) {
+        Diags.error(T.Loc, "'" + T.Name +
+                               "' has rules and cannot carry precedence");
+        continue;
+      }
+      TokenNames.insert(T.Name);
+      Builder.terminal(T.Name);
+    }
+  if (Diags.hasErrors())
+    return std::nullopt;
+
+  // Resolves a right-hand-side name to a builder handle, diagnosing
+  // undefined identifiers. Literals are always terminals, and the name
+  // 'error' is the implicitly declared recovery terminal (yacc).
+  auto resolve = [&](const NameRef &Ref) -> SymbolId {
+    if (Ref.IsLiteral)
+      return Builder.terminal(Ref.Name);
+    if (NtNames.count(Ref.Name))
+      return Builder.nonterminal(Ref.Name);
+    if (TokenNames.count(Ref.Name) || Ref.Name == "error")
+      return Builder.terminal(Ref.Name);
+    Diags.error(Ref.Loc, "symbol '" + Ref.Name +
+                             "' is used but is not declared %token and has "
+                             "no rules");
+    return InvalidSymbol;
+  };
+
+  for (const PrecLevelAst &Level : Ast.PrecLevels) {
+    std::vector<SymbolId> Toks;
+    for (const NameRef &T : Level.Tokens)
+      Toks.push_back(Builder.terminal(T.Name));
+    Builder.precedenceLevel(Level.Associativity, Toks);
+  }
+
+  for (const RuleAst &Rule : Ast.Rules) {
+    SymbolId Lhs = Builder.nonterminal(Rule.Lhs.Name);
+    for (const AltAst &Alt : Rule.Alts) {
+      std::vector<SymbolId> Rhs;
+      bool Bad = false;
+      for (const NameRef &Ref : Alt.Symbols) {
+        SymbolId S = resolve(Ref);
+        if (S == InvalidSymbol)
+          Bad = true;
+        else
+          Rhs.push_back(S);
+      }
+      SymbolId PrecTok = InvalidSymbol;
+      if (!Alt.PrecToken.Name.empty()) {
+        if (!Alt.PrecToken.IsLiteral && NtNames.count(Alt.PrecToken.Name)) {
+          Diags.error(Alt.PrecToken.Loc,
+                      "%prec argument '" + Alt.PrecToken.Name +
+                          "' must be a token");
+          Bad = true;
+        } else {
+          PrecTok = Builder.terminal(Alt.PrecToken.Name);
+        }
+      }
+      if (!Bad)
+        Builder.production(Lhs, std::move(Rhs), PrecTok);
+    }
+  }
+  if (Diags.hasErrors())
+    return std::nullopt;
+
+  if (!Ast.Start.Name.empty()) {
+    if (!NtNames.count(Ast.Start.Name)) {
+      Diags.error(Ast.Start.Loc, "%start symbol '" + Ast.Start.Name +
+                                     "' has no rules");
+      return std::nullopt;
+    }
+    Builder.startSymbol(Builder.nonterminal(Ast.Start.Name));
+  }
+
+  Builder.expectedShiftReduce(Ast.ExpectedSr);
+  return std::move(Builder).build(Diags);
+}

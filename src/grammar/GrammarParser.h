@@ -1,0 +1,32 @@
+//===- grammar/GrammarParser.h - Parser for the .y dialect ------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser turning .y-dialect text into a frozen Grammar.
+/// Resolution rules mirror yacc: a name is a nonterminal iff it appears as
+/// the left-hand side of some rule; literals and %token-declared names are
+/// terminals; any other name used on a right-hand side is an error ("used
+/// but not defined as a token and has no rules").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_GRAMMARPARSER_H
+#define LALR_GRAMMAR_GRAMMARPARSER_H
+
+#include "grammar/Grammar.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string_view>
+
+namespace lalr {
+
+/// Parses \p Source and builds the grammar. On any error, diagnostics are
+/// reported into \p Diags and std::nullopt is returned. \p DefaultName is
+/// used when the source has no %name directive.
+std::optional<Grammar> parseGrammar(std::string_view Source,
+                                    DiagnosticEngine &Diags,
+                                    std::string_view DefaultName = "grammar");
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_GRAMMARPARSER_H

@@ -1,0 +1,96 @@
+//===- grammar/GrammarPrinter.cpp - Render grammars as text ----------------===//
+
+#include "grammar/GrammarPrinter.h"
+
+#include <sstream>
+
+using namespace lalr;
+
+/// Renders a symbol name as dialect text. Literal names already carry their
+/// quotes; identifiers pass through.
+static const std::string &renderName(const Grammar &G, SymbolId S) {
+  return G.name(S);
+}
+
+std::string lalr::printGrammarText(const Grammar &G) {
+  std::ostringstream OS;
+  OS << "%name " << G.grammarName() << "\n";
+
+  // Token declarations: every terminal except $end and pure literals
+  // (literals do not need declaring, but redeclaring them is harmless and
+  // keeps the output stable).
+  bool AnyToken = false;
+  for (SymbolId T = 1; T < G.numTerminals(); ++T) {
+    if (G.name(T).front() == '\'')
+      continue;
+    if (!AnyToken) {
+      OS << "%token";
+      AnyToken = true;
+    }
+    OS << ' ' << G.name(T);
+  }
+  if (AnyToken)
+    OS << "\n";
+
+  // Precedence levels, in increasing level order.
+  uint16_t MaxLevel = 0;
+  for (SymbolId T = 0; T < G.numTerminals(); ++T)
+    MaxLevel = std::max(MaxLevel, G.precedence(T).Level);
+  for (uint16_t L = 1; L <= MaxLevel; ++L) {
+    Assoc A = Assoc::None;
+    std::ostringstream Toks;
+    for (SymbolId T = 0; T < G.numTerminals(); ++T)
+      if (G.precedence(T).Level == L) {
+        A = G.precedence(T).Associativity;
+        Toks << ' ' << renderName(G, T);
+      }
+    const char *Dir = A == Assoc::Left    ? "%left"
+                      : A == Assoc::Right ? "%right"
+                                          : "%nonassoc";
+    OS << Dir << Toks.str() << "\n";
+  }
+
+  OS << "%start " << G.name(G.startSymbol()) << "\n";
+  if (G.expectedShiftReduce() >= 0)
+    OS << "%expect " << G.expectedShiftReduce() << "\n";
+  OS << "%%\n";
+
+  // Rules grouped by nonterminal, skipping $accept.
+  for (uint32_t NtIdx = 0; NtIdx + 1 < G.numNonterminals(); ++NtIdx) {
+    SymbolId Nt = G.ntSymbol(NtIdx);
+    auto Prods = G.productionsOf(Nt);
+    if (Prods.empty())
+      continue;
+    OS << G.name(Nt) << " :";
+    bool First = true;
+    for (ProductionId PId : Prods) {
+      const Production &P = G.production(PId);
+      if (!First)
+        OS << "\n  |";
+      First = false;
+      if (P.Rhs.empty())
+        OS << " %empty";
+      for (SymbolId S : P.Rhs)
+        OS << ' ' << renderName(G, S);
+      // Emit %prec only when it differs from the default inference, to
+      // keep round-trips stable.
+      SymbolId Inferred = InvalidSymbol;
+      for (auto It = P.Rhs.rbegin(); It != P.Rhs.rend(); ++It)
+        if (G.isTerminal(*It)) {
+          Inferred = *It;
+          break;
+        }
+      if (P.PrecSymbol != InvalidSymbol && P.PrecSymbol != Inferred)
+        OS << " %prec " << renderName(G, P.PrecSymbol);
+    }
+    OS << "\n  ;\n";
+  }
+  return OS.str();
+}
+
+std::string lalr::printProductionListing(const Grammar &G) {
+  std::ostringstream OS;
+  for (ProductionId P = 0; P < G.numProductions(); ++P)
+    OS << "  " << P << ". " << G.productionToString(P) << "\n";
+  return OS.str();
+}

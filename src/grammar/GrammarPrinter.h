@@ -1,0 +1,29 @@
+//===- grammar/GrammarPrinter.h - Render grammars as text ------*- C++ -*-===//
+///
+/// \file
+/// Renders a frozen Grammar back into the .y dialect (round-trippable
+/// through parseGrammar) and as a numbered production listing for reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_GRAMMARPRINTER_H
+#define LALR_GRAMMAR_GRAMMARPRINTER_H
+
+#include "grammar/Grammar.h"
+
+#include <string>
+
+namespace lalr {
+
+/// Renders \p G in the .y dialect. The augmentation production and $end /
+/// $accept symbols are omitted, so parsing the output reproduces an
+/// equivalent grammar.
+std::string printGrammarText(const Grammar &G);
+
+/// Renders a numbered listing "  3. expr -> expr '+' term" of all
+/// productions including the augmentation, as used by reports and tests.
+std::string printProductionListing(const Grammar &G);
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_GRAMMARPRINTER_H

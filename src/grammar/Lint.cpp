@@ -1,0 +1,136 @@
+//===- grammar/Lint.cpp - Grammar hygiene warnings -----------------------------===//
+
+#include "grammar/Lint.h"
+
+#include "grammar/Analysis.h"
+
+#include <map>
+#include <sstream>
+
+using namespace lalr;
+
+std::string LintFinding::toString(const Grammar &G) const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case UnusedTerminal:
+    OS << "terminal '" << G.name(Symbol)
+       << "' is declared but never used";
+    break;
+  case UnreachableNonterminal:
+    OS << "nonterminal '" << G.name(Symbol)
+       << "' is unreachable from the start symbol";
+    break;
+  case UnproductiveNonterminal:
+    OS << "nonterminal '" << G.name(Symbol)
+       << "' derives no terminal string";
+    break;
+  case DuplicateProduction:
+    OS << "production " << Prod2 << " duplicates production " << Prod1
+       << " (" << G.productionToString(Prod1) << ")";
+    break;
+  case DerivationCycle:
+    OS << "nonterminal '" << G.name(Symbol)
+       << "' derives itself (cycle): the grammar cannot be LR(k)";
+    break;
+  case NullOnlyNonterminal:
+    OS << "nonterminal '" << G.name(Symbol)
+       << "' derives only the empty string";
+    break;
+  }
+  return OS.str();
+}
+
+std::vector<LintFinding> lalr::lintGrammar(const Grammar &G) {
+  std::vector<LintFinding> Out;
+  GrammarAnalysis An(G);
+  std::vector<bool> Reachable = computeReachable(G);
+  std::vector<bool> Productive = computeProductive(G);
+
+  // Unused terminals ($end is special and always "used"). Appearing in
+  // a production body or as a %prec symbol both count as uses.
+  std::vector<bool> UsedTerminal(G.numTerminals(), false);
+  for (ProductionId P = 0; P < G.numProductions(); ++P) {
+    for (SymbolId S : G.production(P).Rhs)
+      if (G.isTerminal(S))
+        UsedTerminal[S] = true;
+    if (G.production(P).PrecSymbol != InvalidSymbol)
+      UsedTerminal[G.production(P).PrecSymbol] = true;
+  }
+  for (SymbolId T = 1; T < G.numTerminals(); ++T)
+    if (!UsedTerminal[T])
+      Out.push_back({LintFinding::UnusedTerminal, T, InvalidProduction,
+                     InvalidProduction});
+
+  for (uint32_t NtIdx = 0; NtIdx + 1 < G.numNonterminals(); ++NtIdx) {
+    SymbolId Nt = G.ntSymbol(NtIdx);
+    if (!Reachable[Nt])
+      Out.push_back({LintFinding::UnreachableNonterminal, Nt,
+                     InvalidProduction, InvalidProduction});
+    if (!Productive[NtIdx])
+      Out.push_back({LintFinding::UnproductiveNonterminal, Nt,
+                     InvalidProduction, InvalidProduction});
+    else if (An.isNullable(Nt) && An.first(Nt).empty())
+      Out.push_back({LintFinding::NullOnlyNonterminal, Nt,
+                     InvalidProduction, InvalidProduction});
+  }
+
+  // Duplicate productions.
+  std::map<std::pair<SymbolId, std::vector<SymbolId>>, ProductionId> Seen;
+  for (ProductionId P = 1; P < G.numProductions(); ++P) {
+    auto Key = std::make_pair(G.production(P).Lhs, G.production(P).Rhs);
+    auto [It, Inserted] = Seen.try_emplace(Key, P);
+    if (!Inserted)
+      Out.push_back({LintFinding::DuplicateProduction,
+                     G.production(P).Lhs, It->second, P});
+  }
+
+  // Derivation cycles: detect per nonterminal via the nullable-bracketed
+  // unit graph (see hasCycle); report each nonterminal on a cycle.
+  if (hasCycle(G)) {
+    // Identify members: A is on a cycle iff A =>+ A; reuse the
+    // left-recursion machinery on the both-sides-nullable graph by
+    // checking reachability in that graph per node. Small grammars: do
+    // the simple quadratic scan.
+    GrammarAnalysis An2(G);
+    std::vector<std::vector<uint32_t>> Adj(G.numNonterminals());
+    for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
+      const Production &P = G.production(PId);
+      for (size_t I = 0; I < P.Rhs.size(); ++I) {
+        SymbolId S = P.Rhs[I];
+        if (G.isTerminal(S))
+          break;
+        bool PrefixNullable = true;
+        for (size_t J = 0; J < I; ++J)
+          if (!An2.isNullable(P.Rhs[J]))
+            PrefixNullable = false;
+        bool SuffixNullable = true;
+        for (size_t J = I + 1; J < P.Rhs.size(); ++J)
+          if (!An2.isNullable(P.Rhs[J]))
+            SuffixNullable = false;
+        if (PrefixNullable && SuffixNullable)
+          Adj[G.ntIndex(P.Lhs)].push_back(G.ntIndex(S));
+        if (!An2.isNullable(S))
+          break;
+      }
+    }
+    for (uint32_t Root = 0; Root < Adj.size(); ++Root) {
+      std::vector<uint8_t> Mark(Adj.size());
+      std::vector<uint32_t> Stack(Adj[Root].begin(), Adj[Root].end());
+      while (!Stack.empty()) {
+        uint32_t U = Stack.back();
+        Stack.pop_back();
+        if (U == Root) {
+          Out.push_back({LintFinding::DerivationCycle, G.ntSymbol(Root),
+                         InvalidProduction, InvalidProduction});
+          break;
+        }
+        if (Mark[U])
+          continue;
+        Mark[U] = 1;
+        for (uint32_t V : Adj[U])
+          Stack.push_back(V);
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- grammar/Lint.h - Grammar hygiene warnings ----------------*- C++ -*-===//
+///
+/// \file
+/// A lint pass over frozen grammars, reporting the hygiene problems a
+/// generator should warn about before table construction: unused
+/// terminals, unreachable/unproductive nonterminals, duplicate
+/// productions, derivation cycles (A =>+ A) and null-only nonterminals.
+/// Findings are warnings, not errors — every finding names the symbols
+/// involved so the report is directly actionable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_LINT_H
+#define LALR_GRAMMAR_LINT_H
+
+#include "grammar/Grammar.h"
+
+#include <string>
+#include <vector>
+
+namespace lalr {
+
+/// One lint finding.
+struct LintFinding {
+  enum KindT : uint8_t {
+    UnusedTerminal,          ///< declared but never used in a production
+    UnreachableNonterminal,  ///< not derivable from the start symbol
+    UnproductiveNonterminal, ///< derives no terminal string
+    DuplicateProduction,     ///< textually identical production repeated
+    DerivationCycle,         ///< A =>+ A (the grammar is then ambiguous
+                             ///< or infinitely ambiguous)
+    NullOnlyNonterminal,     ///< derives only the empty string
+  } Kind;
+  /// Principal symbol (or the production's Lhs for duplicates).
+  SymbolId Symbol = InvalidSymbol;
+  /// For DuplicateProduction: the two production ids.
+  ProductionId Prod1 = InvalidProduction;
+  ProductionId Prod2 = InvalidProduction;
+
+  std::string toString(const Grammar &G) const;
+};
+
+/// Runs all checks; findings are ordered by kind then symbol id, so the
+/// output is deterministic.
+std::vector<LintFinding> lintGrammar(const Grammar &G);
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_LINT_H

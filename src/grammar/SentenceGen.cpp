@@ -1,0 +1,201 @@
+//===- grammar/SentenceGen.cpp - Deriving sentences from grammars ------------===//
+
+#include "grammar/SentenceGen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+using namespace lalr;
+
+std::vector<uint32_t> lalr::computeMinYieldLengths(const Grammar &G) {
+  std::vector<uint32_t> MinLen(G.numSymbols(), UnproductiveLength);
+  for (SymbolId T = 0; T < G.numTerminals(); ++T)
+    MinLen[T] = 1;
+  // Bellman-Ford style relaxation; grammars are small enough that the
+  // simple sweep converges quickly.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
+      const Production &P = G.production(PId);
+      uint64_t Sum = 0;
+      bool Ok = true;
+      for (SymbolId S : P.Rhs) {
+        if (MinLen[S] == UnproductiveLength) {
+          Ok = false;
+          break;
+        }
+        Sum += MinLen[S];
+      }
+      if (!Ok)
+        continue;
+      uint32_t Candidate =
+          Sum > UnproductiveLength - 1 ? UnproductiveLength - 1
+                                       : static_cast<uint32_t>(Sum);
+      if (Candidate < MinLen[P.Lhs]) {
+        MinLen[P.Lhs] = Candidate;
+        Changed = true;
+      }
+    }
+  }
+  return MinLen;
+}
+
+std::vector<uint32_t>
+lalr::computeProductionMinYields(const Grammar &G,
+                                 const std::vector<uint32_t> &MinLen) {
+  std::vector<uint32_t> Out(G.numProductions(), UnproductiveLength);
+  for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
+    const Production &P = G.production(PId);
+    uint64_t Sum = 0;
+    bool Ok = true;
+    for (SymbolId S : P.Rhs) {
+      if (MinLen[S] == UnproductiveLength) {
+        Ok = false;
+        break;
+      }
+      Sum += MinLen[S];
+    }
+    if (Ok)
+      Out[PId] = static_cast<uint32_t>(
+          std::min<uint64_t>(Sum, UnproductiveLength - 1));
+  }
+  return Out;
+}
+
+namespace {
+
+/// Appends the shortest yield of \p S to \p Out using precomputed
+/// min-lengths (lowest-id production among the minimal ones).
+void expandShortest(const Grammar &G, const std::vector<uint32_t> &MinLen,
+                    const std::vector<uint32_t> &ProdMin, SymbolId S,
+                    std::vector<SymbolId> &Out) {
+  if (G.isTerminal(S)) {
+    Out.push_back(S);
+    return;
+  }
+  assert(MinLen[S] != UnproductiveLength &&
+         "cannot expand an unproductive nonterminal");
+  ProductionId Best = InvalidProduction;
+  for (ProductionId PId : G.productionsOf(S))
+    if (ProdMin[PId] == MinLen[S]) {
+      Best = PId;
+      break;
+    }
+  assert(Best != InvalidProduction && "min length must be witnessed");
+  for (SymbolId X : G.production(Best).Rhs)
+    expandShortest(G, MinLen, ProdMin, X, Out);
+}
+
+} // namespace
+
+std::vector<SymbolId> lalr::shortestExpansion(const Grammar &G,
+                                              SymbolId S) {
+  std::vector<SymbolId> Form{S};
+  return shortestExpansion(G, Form);
+}
+
+std::vector<SymbolId>
+lalr::shortestExpansion(const Grammar &G, std::span<const SymbolId> Form) {
+  std::vector<uint32_t> MinLen = computeMinYieldLengths(G);
+  std::vector<uint32_t> ProdMin = computeProductionMinYields(G, MinLen);
+  std::vector<SymbolId> Out;
+  for (SymbolId S : Form)
+    expandShortest(G, MinLen, ProdMin, S, Out);
+  return Out;
+}
+
+std::vector<SymbolId> lalr::randomSentence(const Grammar &G, Rng &R,
+                                           size_t MaxLen) {
+  std::vector<uint32_t> MinLen = computeMinYieldLengths(G);
+  std::vector<uint32_t> ProdMin = computeProductionMinYields(G, MinLen);
+
+  // Leftmost derivation over an explicit sentential form, kept as a
+  // stack of pending suffix symbols (reversed).
+  std::vector<SymbolId> Pending{G.startSymbol()};
+  std::vector<SymbolId> Sentence;
+  while (!Pending.empty()) {
+    SymbolId S = Pending.back();
+    Pending.pop_back();
+    if (G.isTerminal(S)) {
+      Sentence.push_back(S);
+      continue;
+    }
+    // Remaining minimal budget of everything still pending.
+    uint64_t PendingMin = 0;
+    for (SymbolId P : Pending)
+      PendingMin += MinLen[P];
+
+    auto Prods = G.productionsOf(S);
+    ProductionId Chosen = InvalidProduction;
+    // Try a uniformly random production whose minimal completion fits
+    // the budget; fall back to the overall minimal one.
+    ProductionId Candidate = Prods[R.below(Prods.size())];
+    if (ProdMin[Candidate] != UnproductiveLength &&
+        Sentence.size() + PendingMin + ProdMin[Candidate] <= MaxLen)
+      Chosen = Candidate;
+    if (Chosen == InvalidProduction) {
+      for (ProductionId PId : Prods)
+        if (ProdMin[PId] == MinLen[S]) {
+          Chosen = PId;
+          break;
+        }
+    }
+    assert(Chosen != InvalidProduction && "grammar must be productive");
+    const Production &P = G.production(Chosen);
+    for (auto It = P.Rhs.rbegin(); It != P.Rhs.rend(); ++It)
+      Pending.push_back(*It);
+  }
+  return Sentence;
+}
+
+StateExample lalr::exampleForState(const Lr0Automaton &A, StateId Target) {
+  const Grammar &G = A.grammar();
+  // BFS for the shortest symbol path.
+  std::vector<StateId> PrevState(A.numStates(), InvalidState);
+  std::vector<SymbolId> PrevSymbol(A.numStates(), InvalidSymbol);
+  std::vector<bool> Seen(A.numStates(), false);
+  std::deque<StateId> Queue{A.startState()};
+  Seen[A.startState()] = true;
+  while (!Queue.empty()) {
+    StateId Cur = Queue.front();
+    Queue.pop_front();
+    if (Cur == Target)
+      break;
+    for (auto [Sym, Next] : A.state(Cur).Transitions) {
+      if (Seen[Next])
+        continue;
+      Seen[Next] = true;
+      PrevState[Next] = Cur;
+      PrevSymbol[Next] = Sym;
+      Queue.push_back(Next);
+    }
+  }
+  assert(Seen[Target] && "all LR(0) states are reachable");
+
+  StateExample Out;
+  for (StateId S = Target; S != A.startState(); S = PrevState[S])
+    Out.SymbolPath.push_back(PrevSymbol[S]);
+  std::reverse(Out.SymbolPath.begin(), Out.SymbolPath.end());
+  Out.TerminalPrefix = shortestExpansion(G, Out.SymbolPath);
+  return Out;
+}
+
+std::string lalr::renderSentence(const Grammar &G,
+                                 std::span<const SymbolId> Sentence) {
+  std::ostringstream OS;
+  bool First = true;
+  for (SymbolId S : Sentence) {
+    if (!First)
+      OS << ' ';
+    First = false;
+    const std::string &Name = G.name(S);
+    if (Name.size() >= 2 && Name.front() == '\'' && Name.back() == '\'')
+      OS << Name.substr(1, Name.size() - 2);
+    else
+      OS << Name;
+  }
+  return OS.str();
+}

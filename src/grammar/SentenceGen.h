@@ -1,0 +1,78 @@
+//===- grammar/SentenceGen.h - Deriving sentences from grammars -*- C++ -*-===//
+///
+/// \file
+/// Sentence derivation utilities used for grammar debugging and for the
+/// end-to-end property suites:
+///
+///   * minimum terminal-yield lengths per symbol (Knuth-style
+///     relaxation), the basis of everything else;
+///   * shortest terminal expansion of any symbol (deterministic);
+///   * bounded random sentences of L(G) — every generated sentence must
+///     be accepted by every adequate parse table for the grammar, which
+///     is one of the strongest end-to-end checks in the test suite;
+///   * conflict examples: a viable prefix of terminals driving the
+///     parser into a given automaton state (how a generator explains
+///     conflicts to its user).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_SENTENCEGEN_H
+#define LALR_GRAMMAR_SENTENCEGEN_H
+
+#include "grammar/Grammar.h"
+#include "lr/Lr0Automaton.h"
+#include "support/Rng.h"
+
+#include <limits>
+#include <vector>
+
+namespace lalr {
+
+/// Sentinel for "derives no terminal string".
+constexpr uint32_t UnproductiveLength = UINT32_MAX;
+
+/// Minimum length of a terminal string derivable from each symbol
+/// (terminals: 1; unproductive nonterminals: UnproductiveLength).
+/// Indexed by symbol id.
+std::vector<uint32_t> computeMinYieldLengths(const Grammar &G);
+
+/// For each production, the summed min yield of its body, or
+/// UnproductiveLength if some body symbol is unproductive.
+std::vector<uint32_t>
+computeProductionMinYields(const Grammar &G,
+                           const std::vector<uint32_t> &MinLen);
+
+/// The shortest terminal string derivable from \p S (ties broken by the
+/// lowest production id, so the result is deterministic). \p S may be a
+/// terminal (yields {S}). Asserts \p S is productive.
+std::vector<SymbolId> shortestExpansion(const Grammar &G, SymbolId S);
+
+/// Expands a sentential form to its shortest terminal yield.
+std::vector<SymbolId> shortestExpansion(const Grammar &G,
+                                        std::span<const SymbolId> Form);
+
+/// Derives a pseudo-random sentence of L(G) with at most ~MaxLen
+/// terminals: productions are chosen uniformly while the budget allows,
+/// then steered to minimal expansions. Deterministic in \p R's state.
+std::vector<SymbolId> randomSentence(const Grammar &G, Rng &R,
+                                     size_t MaxLen);
+
+/// A worked example of how to reach an automaton state: the shortest
+/// symbol path from the start state and its terminal expansion (a
+/// viable prefix of the sentences passing through the state).
+struct StateExample {
+  std::vector<SymbolId> SymbolPath;
+  std::vector<SymbolId> TerminalPrefix;
+};
+
+/// Computes the example for \p Target via BFS over the automaton's
+/// transitions. Every state of an LR(0) automaton is reachable.
+StateExample exampleForState(const Lr0Automaton &A, StateId Target);
+
+/// Renders a terminal sequence as space-separated names (quotes of
+/// literal tokens stripped), suitable for tokenizeSymbols round-trips.
+std::string renderSentence(const Grammar &G, std::span<const SymbolId> S);
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_SENTENCEGEN_H

@@ -1,0 +1,48 @@
+//===- grammar/Symbol.h - Grammar symbol ids --------------------*- C++ -*-===//
+///
+/// \file
+/// Dense integer ids for grammar symbols. A frozen Grammar lays its symbols
+/// out canonically: terminal ids occupy [0, numTerminals()) with the
+/// end-of-input marker at id 0, and nonterminal ids occupy
+/// [numTerminals(), numSymbols()) with the augmented start symbol last.
+/// Everything downstream of the front end — item sets, relations, tables —
+/// indexes by these ids, so they are plain integers rather than a class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_SYMBOL_H
+#define LALR_GRAMMAR_SYMBOL_H
+
+#include <cstdint>
+
+namespace lalr {
+
+/// Identifier of a grammar symbol within one frozen Grammar.
+using SymbolId = uint32_t;
+
+/// Identifier of a production within one frozen Grammar. Production 0 is
+/// always the augmentation production $accept -> start.
+using ProductionId = uint32_t;
+
+/// Sentinel for "no symbol".
+constexpr SymbolId InvalidSymbol = UINT32_MAX;
+
+/// Sentinel for "no production".
+constexpr ProductionId InvalidProduction = UINT32_MAX;
+
+/// Associativity of a terminal at some precedence level, declared with
+/// %left / %right / %nonassoc.
+enum class Assoc : uint8_t { None, Left, Right, NonAssoc };
+
+/// Precedence record of a terminal. Level 0 means "no declared precedence";
+/// declared levels start at 1 and higher binds tighter.
+struct Precedence {
+  uint16_t Level = 0;
+  Assoc Associativity = Assoc::None;
+
+  bool isDeclared() const { return Level != 0; }
+};
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_SYMBOL_H

@@ -1,0 +1,219 @@
+//===- grammar/Transforms.cpp - Grammar transformations ---------------------===//
+
+#include "grammar/Transforms.h"
+
+#include "grammar/Analysis.h"
+#include "grammar/GrammarBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <string>
+#include <utility>
+
+using namespace lalr;
+
+namespace {
+
+/// Copies the user-visible part of \p G (skipping $end/$accept and the
+/// augmentation production) into \p Builder, keeping only productions for
+/// which \p KeepProduction returns true and only symbols for which
+/// \p KeepSymbol returns true. Returns false if the start symbol was
+/// dropped.
+template <typename KeepSymbolT, typename KeepProductionT>
+bool copyFiltered(const Grammar &G, GrammarBuilder &Builder,
+                  KeepSymbolT KeepSymbol, KeepProductionT KeepProduction) {
+  if (!KeepSymbol(G.startSymbol()))
+    return false;
+  // Declare terminals first so precedence levels can be re-established in
+  // order. Builder levels are assigned by call order, so walk levels.
+  uint16_t MaxLevel = 0;
+  for (SymbolId T = 1; T < G.numTerminals(); ++T)
+    MaxLevel = std::max(MaxLevel, G.precedence(T).Level);
+  for (uint16_t L = 1; L <= MaxLevel; ++L) {
+    std::vector<SymbolId> LevelToks;
+    Assoc A = Assoc::None;
+    for (SymbolId T = 1; T < G.numTerminals(); ++T)
+      if (KeepSymbol(T) && G.precedence(T).Level == L) {
+        A = G.precedence(T).Associativity;
+        LevelToks.push_back(Builder.terminal(G.name(T)));
+      }
+    if (!LevelToks.empty())
+      Builder.precedenceLevel(A, LevelToks);
+  }
+
+  for (ProductionId PId = 1; PId < G.numProductions(); ++PId) {
+    const Production &P = G.production(PId);
+    if (!KeepProduction(P))
+      continue;
+    SymbolId Lhs = Builder.nonterminal(G.name(P.Lhs));
+    std::vector<SymbolId> Rhs;
+    Rhs.reserve(P.Rhs.size());
+    for (SymbolId S : P.Rhs)
+      Rhs.push_back(G.isTerminal(S) ? Builder.terminal(G.name(S))
+                                    : Builder.nonterminal(G.name(S)));
+    SymbolId PrecTok = InvalidSymbol;
+    if (P.PrecSymbol != InvalidSymbol && KeepSymbol(P.PrecSymbol))
+      PrecTok = Builder.terminal(G.name(P.PrecSymbol));
+    Builder.production(Lhs, std::move(Rhs), PrecTok);
+  }
+  Builder.startSymbol(Builder.nonterminal(G.name(G.startSymbol())));
+  return true;
+}
+
+} // namespace
+
+std::optional<Grammar> lalr::reduceGrammar(const Grammar &G,
+                                           DiagnosticEngine &Diags) {
+  std::vector<bool> Productive = computeProductive(G);
+  if (!Productive[G.ntIndex(G.startSymbol())]) {
+    Diags.error({}, "start symbol '" + G.name(G.startSymbol()) +
+                        "' derives no terminal string; the grammar "
+                        "generates the empty language");
+    return std::nullopt;
+  }
+
+  // A production survives pass 1 if every nonterminal in it is productive.
+  auto ProductionProductive = [&](const Production &P) {
+    for (SymbolId S : P.Rhs)
+      if (G.isNonterminal(S) && !Productive[G.ntIndex(S)])
+        return false;
+    return true;
+  };
+
+  // Pass 2: reachability over the grammar restricted to productive
+  // productions.
+  std::vector<bool> Reach(G.numSymbols(), false);
+  std::vector<SymbolId> Work;
+  Reach[G.startSymbol()] = true;
+  Work.push_back(G.startSymbol());
+  while (!Work.empty()) {
+    SymbolId Nt = Work.back();
+    Work.pop_back();
+    for (ProductionId PId : G.productionsOf(Nt)) {
+      const Production &P = G.production(PId);
+      if (!ProductionProductive(P))
+        continue;
+      for (SymbolId S : P.Rhs)
+        if (!Reach[S]) {
+          Reach[S] = true;
+          if (G.isNonterminal(S))
+            Work.push_back(S);
+        }
+    }
+  }
+
+  GrammarBuilder Builder(G.grammarName());
+  bool Ok = copyFiltered(
+      G, Builder, [&](SymbolId S) { return Reach[S] || S == G.startSymbol(); },
+      [&](const Production &P) {
+        return Reach[P.Lhs] && ProductionProductive(P);
+      });
+  assert(Ok && "start symbol must survive reduction here");
+  (void)Ok;
+  return std::move(Builder).build(Diags);
+}
+
+bool lalr::isEpsilonFree(const Grammar &G) {
+  for (ProductionId PId = 1; PId < G.numProductions(); ++PId)
+    if (G.production(PId).isEpsilon())
+      return false;
+  return true;
+}
+
+std::optional<Grammar>
+lalr::removeEpsilonRules(const Grammar &G, DiagnosticEngine &Diags,
+                         unsigned MaxNullablePositions) {
+  GrammarAnalysis A(G);
+  GrammarBuilder Builder(G.grammarName());
+
+  // Re-establish precedence declarations.
+  uint16_t MaxLevel = 0;
+  for (SymbolId T = 1; T < G.numTerminals(); ++T)
+    MaxLevel = std::max(MaxLevel, G.precedence(T).Level);
+  for (uint16_t L = 1; L <= MaxLevel; ++L) {
+    std::vector<SymbolId> LevelToks;
+    Assoc Asc = Assoc::None;
+    for (SymbolId T = 1; T < G.numTerminals(); ++T)
+      if (G.precedence(T).Level == L) {
+        Asc = G.precedence(T).Associativity;
+        LevelToks.push_back(Builder.terminal(G.name(T)));
+      }
+    if (!LevelToks.empty())
+      Builder.precedenceLevel(Asc, LevelToks);
+  }
+
+  // Track which (lhs, rhs) pairs we already emitted: expansions of
+  // different productions can collide.
+  std::set<std::pair<std::string, std::vector<std::string>>> Emitted;
+  auto emit = [&](SymbolId LhsOld, const std::vector<SymbolId> &RhsOld) {
+    std::vector<std::string> Key;
+    for (SymbolId S : RhsOld)
+      Key.push_back(G.name(S));
+    if (!Emitted.insert({G.name(LhsOld), Key}).second)
+      return;
+    SymbolId Lhs = Builder.nonterminal(G.name(LhsOld));
+    std::vector<SymbolId> Rhs;
+    for (SymbolId S : RhsOld)
+      Rhs.push_back(G.isTerminal(S) ? Builder.terminal(G.name(S))
+                                    : Builder.nonterminal(G.name(S)));
+    Builder.production(Lhs, std::move(Rhs));
+  };
+
+  for (ProductionId PId = 1; PId < G.numProductions(); ++PId) {
+    const Production &P = G.production(PId);
+    // Positions of nullable nonterminals in the body. A "null-only"
+    // nonterminal (nullable with empty FIRST, i.e. L(B) = {epsilon}) is
+    // always omitted rather than enumerated: keeping it would reference a
+    // nonterminal that loses all of its productions.
+    std::vector<size_t> NullablePos;
+    std::vector<bool> AlwaysOmit(P.Rhs.size(), false);
+    for (size_t I = 0; I < P.Rhs.size(); ++I) {
+      if (!A.isNullable(P.Rhs[I]))
+        continue;
+      if (A.first(P.Rhs[I]).empty())
+        AlwaysOmit[I] = true;
+      else
+        NullablePos.push_back(I);
+    }
+    if (NullablePos.size() > MaxNullablePositions) {
+      Diags.error({}, "production '" + G.productionToString(PId) +
+                          "' has too many nullable positions (" +
+                          std::to_string(NullablePos.size()) +
+                          ") for epsilon elimination");
+      return std::nullopt;
+    }
+    // Enumerate all subsets of nullable positions to omit.
+    const size_t NumSubsets = size_t(1) << NullablePos.size();
+    for (size_t Mask = 0; Mask < NumSubsets; ++Mask) {
+      std::vector<SymbolId> Rhs;
+      for (size_t I = 0; I < P.Rhs.size(); ++I) {
+        if (AlwaysOmit[I])
+          continue;
+        auto It = std::find(NullablePos.begin(), NullablePos.end(), I);
+        if (It != NullablePos.end()) {
+          size_t Bit = It - NullablePos.begin();
+          if (Mask & (size_t(1) << Bit))
+            continue; // omit this nullable occurrence
+        }
+        Rhs.push_back(P.Rhs[I]);
+      }
+      if (Rhs.empty())
+        continue; // never emit an epsilon production
+      emit(P.Lhs, Rhs);
+    }
+  }
+
+  Builder.startSymbol(Builder.nonterminal(G.name(G.startSymbol())));
+  std::optional<Grammar> Out = std::move(Builder).build(Diags);
+  if (!Out)
+    return std::nullopt;
+  // Nonterminals that only derived epsilon lose all their productions and
+  // with them any production mentioning them; a reduction pass cleans
+  // those up. (build() has already failed above if some nonterminal kept
+  // references but lost all productions; in that case fall through with
+  // the diagnostics.)
+  DiagnosticEngine ReduceDiags;
+  std::optional<Grammar> Reduced = reduceGrammar(*Out, ReduceDiags);
+  return Reduced ? std::move(Reduced) : std::move(Out);
+}

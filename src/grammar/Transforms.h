@@ -1,0 +1,46 @@
+//===- grammar/Transforms.h - Grammar transformations -----------*- C++ -*-===//
+///
+/// \file
+/// Language-preserving grammar rewrites. These are not needed by the DP
+/// look-ahead computation itself, but they are part of the generator
+/// pipeline a practical tool exposes (and the synthetic-grammar benchmarks
+/// use reduction to guarantee well-formed inputs):
+///   * reduceGrammar: drop unproductive nonterminals and unreachable
+///     symbols (the "reduced grammar" canonical form);
+///   * removeEpsilonRules: classic epsilon-elimination producing a grammar
+///     with L(G') = L(G) \ {epsilon}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_TRANSFORMS_H
+#define LALR_GRAMMAR_TRANSFORMS_H
+
+#include "grammar/Grammar.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace lalr {
+
+/// Removes unproductive nonterminals, then unreachable symbols, rebuilding
+/// a fresh Grammar. Fails (with a diagnostic) if the start symbol is
+/// unproductive, i.e. the grammar generates the empty language.
+std::optional<Grammar> reduceGrammar(const Grammar &G,
+                                     DiagnosticEngine &Diags);
+
+/// Rewrites \p G into an epsilon-free grammar generating L(G) \ {epsilon}.
+/// Every production containing nullable nonterminals is expanded into the
+/// variants obtained by omitting subsets of them (empty expansions are
+/// dropped). Productions with more than \p MaxNullablePositions nullable
+/// occurrences are rejected with a diagnostic to bound the 2^k expansion.
+std::optional<Grammar> removeEpsilonRules(const Grammar &G,
+                                          DiagnosticEngine &Diags,
+                                          unsigned MaxNullablePositions = 16);
+
+/// True if \p G already contains no epsilon production (ignoring the
+/// augmentation production, which never is one).
+bool isEpsilonFree(const Grammar &G);
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_TRANSFORMS_H

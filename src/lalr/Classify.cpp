@@ -1,0 +1,98 @@
+//===- lalr/Classify.cpp - LR grammar-class detection ------------------------===//
+
+#include "lalr/Classify.h"
+
+#include "baselines/Clr1Builder.h"
+#include "baselines/MergedLalrBuilder.h"
+#include "baselines/NqlalrBuilder.h"
+#include "baselines/SlrBuilder.h"
+#include "grammar/Analysis.h"
+#include "ll/Ll1Table.h"
+#include "lalr/LalrLookaheads.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+
+#include <sstream>
+
+using namespace lalr;
+
+const char *lalr::lrClassName(LrClass C) {
+  switch (C) {
+  case LrClass::Lr0:
+    return "LR(0)";
+  case LrClass::Slr1:
+    return "SLR(1)";
+  case LrClass::Nqlalr:
+    return "NQLALR(1)";
+  case LrClass::Lalr1:
+    return "LALR(1)";
+  case LrClass::Lr1:
+    return "LR(1)";
+  case LrClass::NotLr1:
+    return "not LR(1)";
+  }
+  return "unknown";
+}
+
+std::string Classification::toString() const {
+  std::ostringstream OS;
+  OS << "class: " << lrClassName(strongestClass());
+  if (NotLrK)
+    OS << " (reads-cycle: not LR(k) for any k)";
+  OS << "; conflicts LR(0)/SLR/NQLALR/LALR/LR(1): " << Lr0Conflicts << '/'
+     << SlrConflicts << '/' << NqlalrConflicts << '/' << LalrConflicts << '/'
+     << Lr1Conflicts << "; states LR(0)=" << Lr0States
+     << " LR(1)=" << Lr1States << "; LL(1): " << (IsLl1 ? "yes" : "no");
+  return OS.str();
+}
+
+Classification lalr::classifyGrammar(const Grammar &G) {
+  Classification Out;
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  Out.Lr0States = A.numStates();
+
+  // LR(0): every reduction applies on every terminal — except the accept
+  // reduction, which (by the end-marker convention) applies on $end only.
+  // A grammar is LR(0) iff that table is conflict-free.
+  {
+    BitSet All(G.numTerminals());
+    for (SymbolId T = 0; T < G.numTerminals(); ++T)
+      All.set(T);
+    BitSet EofOnly(G.numTerminals());
+    EofOnly.set(G.eofSymbol());
+    ParseTable T = fillParseTable(
+        A, [&](StateId, ProductionId P) -> const BitSet & {
+          return P == 0 ? EofOnly : All;
+        });
+    Out.Lr0Conflicts = T.conflicts().size();
+    Out.IsLr0 = Out.Lr0Conflicts == 0;
+  }
+
+  {
+    ParseTable T = buildSlrTable(A, An);
+    Out.SlrConflicts = T.conflicts().size();
+    Out.IsSlr1 = Out.SlrConflicts == 0;
+  }
+  {
+    ParseTable T = buildNqlalrTable(A, An);
+    Out.NqlalrConflicts = T.conflicts().size();
+    Out.IsNqlalr = Out.NqlalrConflicts == 0;
+  }
+  {
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    Out.NotLrK = LA.grammarNotLrK();
+    ParseTable T = buildLalrTable(A, LA);
+    Out.LalrConflicts = T.conflicts().size();
+    Out.IsLalr1 = Out.LalrConflicts == 0;
+  }
+  {
+    Lr1Automaton L1 = Lr1Automaton::build(G, An);
+    Out.Lr1States = L1.numStates();
+    ParseTable T = buildClr1Table(L1);
+    Out.Lr1Conflicts = T.conflicts().size();
+    Out.IsLr1 = Out.Lr1Conflicts == 0;
+  }
+  Out.IsLl1 = Ll1Table::build(G, An).isLl1();
+  return Out;
+}

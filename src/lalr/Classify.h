@@ -1,0 +1,74 @@
+//===- lalr/Classify.h - LR grammar-class detection -------------*- C++ -*-===//
+///
+/// \file
+/// Places a grammar in the LR hierarchy LR(0) ⊂ SLR(1) ⊂ NQLALR ⊂ LALR(1)
+/// ⊂ LR(1) by building each method's table and counting conflicts (all
+/// collisions count, whether or not precedence declarations would resolve
+/// them — classification is a property of the bare grammar). Also carries
+/// the paper's not-LR(k) certificate: a nontrivial SCC in the `reads`
+/// relation proves the grammar is LR(k) for no k.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LALR_CLASSIFY_H
+#define LALR_LALR_CLASSIFY_H
+
+#include "grammar/Grammar.h"
+
+#include <string>
+
+namespace lalr {
+
+/// The strongest (smallest) class a grammar falls in.
+enum class LrClass : uint8_t { Lr0, Slr1, Nqlalr, Lalr1, Lr1, NotLr1 };
+
+/// Printable name ("LR(0)", "SLR(1)", ...).
+const char *lrClassName(LrClass C);
+
+/// Full classification result with per-method conflict counts (Table 4's
+/// row for one grammar).
+struct Classification {
+  bool IsLr0 = false;
+  bool IsSlr1 = false;
+  bool IsNqlalr = false;
+  bool IsLalr1 = false;
+  bool IsLr1 = false;
+  /// LL(1) membership — orthogonal to the LR chain (every LL(1) grammar
+  /// is LR(1), but not conversely).
+  bool IsLl1 = false;
+  /// Nontrivial `reads` SCC found: not LR(k) for any k.
+  bool NotLrK = false;
+
+  size_t Lr0Conflicts = 0;
+  size_t SlrConflicts = 0;
+  size_t NqlalrConflicts = 0;
+  size_t LalrConflicts = 0;
+  size_t Lr1Conflicts = 0;
+
+  size_t Lr0States = 0;
+  size_t Lr1States = 0;
+
+  LrClass strongestClass() const {
+    if (IsLr0)
+      return LrClass::Lr0;
+    if (IsSlr1)
+      return LrClass::Slr1;
+    if (IsNqlalr)
+      return LrClass::Nqlalr;
+    if (IsLalr1)
+      return LrClass::Lalr1;
+    if (IsLr1)
+      return LrClass::Lr1;
+    return LrClass::NotLr1;
+  }
+
+  /// One-paragraph human-readable summary.
+  std::string toString() const;
+};
+
+/// Runs every method over \p G and classifies it.
+Classification classifyGrammar(const Grammar &G);
+
+} // namespace lalr
+
+#endif // LALR_LALR_CLASSIFY_H

@@ -1,0 +1,144 @@
+//===- lalr/DigraphSolver.cpp - The paper's digraph algorithm ---------------===//
+
+#include "lalr/DigraphSolver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lalr;
+
+namespace {
+
+/// Explicit DFS frame: the paper presents the traversal recursively; we
+/// run it iteratively so synthetic grammars with very deep includes chains
+/// cannot overflow the C++ stack.
+struct Frame {
+  uint32_t Node;
+  uint32_t Depth;   ///< stack depth at the time Node was pushed (1-based)
+  size_t EdgeIdx;   ///< next out-edge to examine
+  bool SelfLoop;    ///< saw an edge Node -> Node
+};
+
+} // namespace
+
+std::vector<BitSet>
+lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
+                   std::vector<BitSet> Init, DigraphStats *Stats,
+                   std::vector<bool> *InNontrivialScc) {
+  const size_t NumNodes = Edges.size();
+  assert(Init.size() == NumNodes && "one initial set per node");
+  std::vector<BitSet> F = std::move(Init);
+
+  constexpr uint32_t Unvisited = 0;
+  constexpr uint32_t Done = UINT32_MAX;
+  std::vector<uint32_t> N(NumNodes, Unvisited);
+  std::vector<uint32_t> Stack;     // Tarjan's node stack
+  std::vector<Frame> CallStack;    // explicit recursion
+
+  DigraphStats LocalStats;
+  if (InNontrivialScc)
+    InNontrivialScc->assign(NumNodes, false);
+
+  auto pushNode = [&](uint32_t X) {
+    Stack.push_back(X);
+    uint32_t Depth = static_cast<uint32_t>(Stack.size());
+    N[X] = Depth;
+    CallStack.push_back({X, Depth, 0, false});
+  };
+
+  for (uint32_t Root = 0; Root < NumNodes; ++Root) {
+    if (N[Root] != Unvisited)
+      continue;
+    pushNode(Root);
+
+    while (!CallStack.empty()) {
+      Frame &Fr = CallStack.back();
+      uint32_t X = Fr.Node;
+
+      if (Fr.EdgeIdx < Edges[X].size()) {
+        uint32_t Y = Edges[X][Fr.EdgeIdx++];
+        if (Y == X)
+          Fr.SelfLoop = true;
+        if (N[Y] == Unvisited) {
+          pushNode(Y);
+          continue; // descend; the parent update happens at Y's pop
+        }
+        // Y already visited (on-stack, or completed): fold it in now,
+        // exactly as the recursive formulation does after traverse(Y).
+        N[X] = std::min(N[X], N[Y]);
+        F[X].unionWith(F[Y]);
+        ++LocalStats.UnionOps;
+        continue;
+      }
+
+      // All out-edges of X handled. If X is its component's root, pop the
+      // whole SCC and freeze its set.
+      bool PoppedComponent = false;
+      if (N[X] == Fr.Depth) {
+        bool Nontrivial = Stack.back() != X || Fr.SelfLoop;
+        if (Nontrivial) {
+          ++LocalStats.NontrivialSccs;
+          if (InNontrivialScc) {
+            // Mark every member (they are the stack suffix down to X).
+            for (size_t I = Stack.size(); I-- > 0;) {
+              (*InNontrivialScc)[Stack[I]] = true;
+              if (Stack[I] == X)
+                break;
+            }
+          }
+        }
+        while (true) {
+          uint32_t Z = Stack.back();
+          Stack.pop_back();
+          N[Z] = Done;
+          if (Z == X)
+            break;
+          // Every member of the component shares the root's solution.
+          F[Z] = F[X];
+          ++LocalStats.UnionOps;
+        }
+        PoppedComponent = true;
+      }
+      (void)PoppedComponent;
+
+      uint32_t ChildLow = N[X]; // Done if popped, else X's low-link
+      uint32_t Child = X;
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        Frame &Parent = CallStack.back();
+        N[Parent.Node] = std::min(N[Parent.Node], ChildLow);
+        F[Parent.Node].unionWith(F[Child]);
+        ++LocalStats.UnionOps;
+      }
+    }
+  }
+
+  LocalStats.Sweeps = 1;
+  if (Stats)
+    *Stats = LocalStats;
+  return F;
+}
+
+std::vector<BitSet>
+lalr::solveNaiveFixpoint(const std::vector<std::vector<uint32_t>> &Edges,
+                         std::vector<BitSet> Init, DigraphStats *Stats,
+                         bool ReverseOrder) {
+  std::vector<BitSet> F = std::move(Init);
+  DigraphStats LocalStats;
+  const size_t N = Edges.size();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++LocalStats.Sweeps;
+    for (size_t I = 0; I < N; ++I) {
+      size_t X = ReverseOrder ? N - 1 - I : I;
+      for (uint32_t Y : Edges[X]) {
+        Changed |= F[X].unionWith(F[Y]);
+        ++LocalStats.UnionOps;
+      }
+    }
+  }
+  if (Stats)
+    *Stats = LocalStats;
+  return F;
+}

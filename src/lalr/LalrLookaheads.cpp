@@ -1,0 +1,55 @@
+//===- lalr/LalrLookaheads.cpp - DP LALR(1) look-ahead sets -----------------===//
+
+#include "lalr/LalrLookaheads.h"
+
+using namespace lalr;
+
+LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
+                                       const GrammarAnalysis &Analysis,
+                                       SolverKind Solver) {
+  const Grammar &G = A.grammar();
+  LalrLookaheads Out;
+  Out.NtIdx = std::make_unique<NtTransitionIndex>(A);
+  Out.RedIdx = std::make_unique<ReductionIndex>(A);
+  Out.Relations =
+      buildLalrRelations(A, Analysis, *Out.NtIdx, *Out.RedIdx);
+
+  // Read = digraph(reads, DR). The initial sets are copies: the relations
+  // (with DR) are retained for reporting.
+  std::vector<BitSet> Initial = Out.Relations.DirectRead;
+  if (Solver == SolverKind::Digraph)
+    Out.ReadSets = solveDigraph(Out.Relations.Reads, std::move(Initial),
+                                &Out.ReadsStats, &Out.ReadsCycleMembers);
+  else {
+    Out.ReadSets = solveNaiveFixpoint(Out.Relations.Reads,
+                                      std::move(Initial), &Out.ReadsStats);
+    // Cycle membership still comes from the digraph structure; run a
+    // cheap no-set pass for the certificate.
+    std::vector<BitSet> Empty(Out.Relations.Reads.size(), BitSet(1));
+    DigraphStats Tmp;
+    solveDigraph(Out.Relations.Reads, std::move(Empty), &Tmp,
+                 &Out.ReadsCycleMembers);
+    Out.ReadsStats.NontrivialSccs = Tmp.NontrivialSccs;
+  }
+
+  // Follow = digraph(includes, Read).
+  Initial = Out.ReadSets;
+  if (Solver == SolverKind::Digraph)
+    Out.FollowSets = solveDigraph(Out.Relations.Includes,
+                                  std::move(Initial), &Out.IncludesStats);
+  else
+    Out.FollowSets = solveNaiveFixpoint(
+        Out.Relations.Includes, std::move(Initial), &Out.IncludesStats);
+
+  // LA(q, A->w) = union of Follow over lookback.
+  Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
+  for (uint32_t Slot = 0; Slot < Out.RedIdx->size(); ++Slot)
+    for (uint32_t X : Out.Relations.Lookback[Slot])
+      Out.LaSets[Slot].unionWith(Out.FollowSets[X]);
+
+  // The accept reduction $accept -> start has no lookback (no state has a
+  // $accept transition); its look-ahead is the end marker by definition.
+  Out.LaSets[Out.RedIdx->slot(A.acceptState(), 0)].set(G.eofSymbol());
+
+  return Out;
+}

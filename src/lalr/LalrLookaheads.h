@@ -1,0 +1,88 @@
+//===- lalr/LalrLookaheads.h - DP LALR(1) look-ahead sets -------*- C++ -*-===//
+///
+/// \file
+/// The top of the DeRemer–Pennello pipeline: given an LR(0) automaton,
+/// compute LA(q, A->w) for every reduction by
+///
+///   1. indexing nonterminal transitions,
+///   2. building DR / reads / includes / lookback,
+///   3. Read  = digraph(reads,    DR),
+///   4. Follow = digraph(includes, Read),
+///   5. LA(q, A->w) = union of Follow over lookback.
+///
+/// The intermediate artifacts (relations, Read/Follow sets, digraph stats)
+/// are retained: the evaluation section reports their sizes (Table 2) and
+/// the not-LR(k) certificate is a nontrivial SCC in `reads`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LALR_LALRLOOKAHEADS_H
+#define LALR_LALR_LALRLOOKAHEADS_H
+
+#include "grammar/Analysis.h"
+#include "lalr/DigraphSolver.h"
+#include "lalr/NtTransitionIndex.h"
+#include "lalr/Relations.h"
+#include "lr/Lr0Automaton.h"
+
+#include <memory>
+
+namespace lalr {
+
+/// Which equation solver to use; the naive fixpoint exists only for the
+/// Fig. 3 ablation.
+enum class SolverKind { Digraph, NaiveFixpoint };
+
+/// Computed LALR(1) look-ahead sets plus all intermediate artifacts.
+class LalrLookaheads {
+public:
+  /// Runs the full DP pipeline over \p A. \p Analysis must be for the
+  /// same grammar.
+  static LalrLookaheads compute(const Lr0Automaton &A,
+                                const GrammarAnalysis &Analysis,
+                                SolverKind Solver = SolverKind::Digraph);
+
+  /// LA(q, A->w): look-ahead set of reduction (State, Prod), over
+  /// terminal ids. The reduction must exist in that state.
+  const BitSet &la(StateId State, ProductionId Prod) const {
+    return LaSets[RedIdx->slot(State, Prod)];
+  }
+
+  /// True if `reads` has a nontrivial SCC; by Theorem (DeRemer–Pennello)
+  /// the grammar is then not LR(k) for any k.
+  bool grammarNotLrK() const { return ReadsStats.NontrivialSccs != 0; }
+
+  /// \name Introspection for reports, tests and the evaluation harness
+  /// @{
+  const NtTransitionIndex &ntTransitions() const { return *NtIdx; }
+  const ReductionIndex &reductions() const { return *RedIdx; }
+  const LalrRelations &relations() const { return Relations; }
+  const std::vector<BitSet> &readSets() const { return ReadSets; }
+  const std::vector<BitSet> &followSets() const { return FollowSets; }
+  const std::vector<BitSet> &laSets() const { return LaSets; }
+  const DigraphStats &readsSolverStats() const { return ReadsStats; }
+  const DigraphStats &includesSolverStats() const { return IncludesStats; }
+  /// Nonterminal transitions lying on a `reads` cycle (the not-LR(k)
+  /// witnesses).
+  const std::vector<bool> &readsCycleMembers() const {
+    return ReadsCycleMembers;
+  }
+  /// @}
+
+private:
+  LalrLookaheads() = default;
+
+  std::unique_ptr<NtTransitionIndex> NtIdx;
+  std::unique_ptr<ReductionIndex> RedIdx;
+  LalrRelations Relations;
+  std::vector<BitSet> ReadSets;
+  std::vector<BitSet> FollowSets;
+  std::vector<BitSet> LaSets;
+  DigraphStats ReadsStats;
+  DigraphStats IncludesStats;
+  std::vector<bool> ReadsCycleMembers;
+};
+
+} // namespace lalr
+
+#endif // LALR_LALR_LALRLOOKAHEADS_H

@@ -1,0 +1,18 @@
+//===- lalr/LalrTableBuilder.cpp - LALR(1) tables via DP --------------------===//
+
+#include "lalr/LalrTableBuilder.h"
+
+using namespace lalr;
+
+ParseTable lalr::buildLalrTable(const Lr0Automaton &A,
+                                const LalrLookaheads &LA) {
+  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+    return LA.la(S, P);
+  });
+}
+
+ParseTable lalr::buildLalrTable(const Lr0Automaton &A,
+                                const GrammarAnalysis &Analysis) {
+  LalrLookaheads LA = LalrLookaheads::compute(A, Analysis);
+  return buildLalrTable(A, LA);
+}

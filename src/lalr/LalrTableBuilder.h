@@ -1,0 +1,29 @@
+//===- lalr/LalrTableBuilder.h - LALR(1) tables via DP ----------*- C++ -*-===//
+///
+/// \file
+/// Convenience entry point: grammar -> LR(0) automaton -> DP look-aheads
+/// -> ACTION/GOTO table. This is the "one call" API the quickstart example
+/// uses; callers that want the intermediate artifacts run the pipeline
+/// pieces themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LALR_LALRTABLEBUILDER_H
+#define LALR_LALR_LALRTABLEBUILDER_H
+
+#include "lalr/LalrLookaheads.h"
+#include "lr/ParseTable.h"
+
+namespace lalr {
+
+/// Builds the LALR(1) parse table for \p A using look-aheads computed by
+/// the DeRemer-Pennello algorithm.
+ParseTable buildLalrTable(const Lr0Automaton &A,
+                          const GrammarAnalysis &Analysis);
+
+/// Same, from already computed look-aheads.
+ParseTable buildLalrTable(const Lr0Automaton &A, const LalrLookaheads &LA);
+
+} // namespace lalr
+
+#endif // LALR_LALR_LALRTABLEBUILDER_H

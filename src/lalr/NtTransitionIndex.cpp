@@ -1,0 +1,18 @@
+//===- lalr/NtTransitionIndex.cpp - Nonterminal transitions -----------------===//
+
+#include "lalr/NtTransitionIndex.h"
+
+using namespace lalr;
+
+NtTransitionIndex::NtTransitionIndex(const Lr0Automaton &A) {
+  const Grammar &G = A.grammar();
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    for (auto [Sym, Target] : A.state(S).Transitions) {
+      if (G.isTerminal(Sym))
+        continue;
+      uint32_t Idx = static_cast<uint32_t>(Transitions.size());
+      Transitions.push_back({S, Sym, Target});
+      IdxByKey.emplace(key(S, Sym), Idx);
+    }
+  }
+}

@@ -1,0 +1,59 @@
+//===- lalr/NtTransitionIndex.h - Nonterminal transitions -------*- C++ -*-===//
+///
+/// \file
+/// Dense numbering of the nonterminal transitions (p, A) of an LR(0)
+/// automaton. The DeRemer–Pennello relations (reads, includes) are digraphs
+/// over these transitions and the Read/Follow sets are arrays indexed by
+/// them, so a stable dense index is the first thing the algorithm builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LALR_NTTRANSITIONINDEX_H
+#define LALR_LALR_NTTRANSITIONINDEX_H
+
+#include "lr/Lr0Automaton.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace lalr {
+
+/// One nonterminal transition p --A--> r.
+struct NtTransition {
+  StateId From = InvalidState;
+  SymbolId Nt = InvalidSymbol;
+  StateId To = InvalidState;
+};
+
+/// Dense index over all nonterminal transitions of one automaton.
+class NtTransitionIndex {
+public:
+  explicit NtTransitionIndex(const Lr0Automaton &A);
+
+  size_t size() const { return Transitions.size(); }
+
+  const NtTransition &operator[](uint32_t Idx) const {
+    return Transitions[Idx];
+  }
+
+  /// Index of transition (From, Nt), or Missing when GOTO(From, Nt) is
+  /// undefined.
+  uint32_t indexOf(StateId From, SymbolId Nt) const {
+    auto It = IdxByKey.find(key(From, Nt));
+    return It == IdxByKey.end() ? Missing : It->second;
+  }
+
+  static constexpr uint32_t Missing = UINT32_MAX;
+
+private:
+  static uint64_t key(StateId From, SymbolId Nt) {
+    return (uint64_t(From) << 32) | Nt;
+  }
+
+  std::vector<NtTransition> Transitions;
+  std::unordered_map<uint64_t, uint32_t> IdxByKey;
+};
+
+} // namespace lalr
+
+#endif // LALR_LALR_NTTRANSITIONINDEX_H

@@ -1,0 +1,142 @@
+//===- lalr/Relations.cpp - The DeRemer-Pennello relations ------------------===//
+
+#include "lalr/Relations.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lalr;
+
+ReductionIndex::ReductionIndex(const Lr0Automaton &A) : A(A) {
+  Offsets.reserve(A.numStates() + 1);
+  Offsets.push_back(0);
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    for (ProductionId P : A.state(S).Reductions)
+      Prods.push_back(P);
+    Offsets.push_back(static_cast<uint32_t>(Prods.size()));
+  }
+  Total = Prods.size();
+}
+
+uint32_t ReductionIndex::slot(StateId State, ProductionId Prod) const {
+  const auto &Reds = A.state(State).Reductions;
+  auto It = std::lower_bound(Reds.begin(), Reds.end(), Prod);
+  assert(It != Reds.end() && *It == Prod &&
+         "reduction (state, production) does not exist");
+  return Offsets[State] + static_cast<uint32_t>(It - Reds.begin());
+}
+
+StateId ReductionIndex::stateOf(uint32_t Slot) const {
+  auto It = std::upper_bound(Offsets.begin(), Offsets.end(), Slot);
+  return static_cast<StateId>(It - Offsets.begin() - 1);
+}
+
+size_t LalrRelations::readsEdgeCount() const {
+  size_t N = 0;
+  for (const auto &E : Reads)
+    N += E.size();
+  return N;
+}
+size_t LalrRelations::includesEdgeCount() const {
+  size_t N = 0;
+  for (const auto &E : Includes)
+    N += E.size();
+  return N;
+}
+size_t LalrRelations::lookbackEdgeCount() const {
+  size_t N = 0;
+  for (const auto &E : Lookback)
+    N += E.size();
+  return N;
+}
+
+LalrRelations lalr::buildLalrRelations(const Lr0Automaton &A,
+                                       const GrammarAnalysis &Analysis,
+                                       const NtTransitionIndex &NtIdx,
+                                       const ReductionIndex &RedIdx) {
+  const Grammar &G = A.grammar();
+  const size_t NumNt = NtIdx.size();
+  LalrRelations R;
+  R.DirectRead.assign(NumNt, BitSet(G.numTerminals()));
+  R.Reads.resize(NumNt);
+  R.Includes.resize(NumNt);
+  R.Lookback.resize(RedIdx.size());
+
+  // DR and reads both look one transition past (p, A).
+  for (uint32_t X = 0; X < NumNt; ++X) {
+    const NtTransition &T = NtIdx[X];
+    for (auto [Sym, Target] : A.state(T.To).Transitions) {
+      (void)Target;
+      if (G.isTerminal(Sym)) {
+        R.DirectRead[X].set(Sym);
+        continue;
+      }
+      if (Analysis.isNullable(Sym)) {
+        uint32_t Y = NtIdx.indexOf(T.To, Sym);
+        assert(Y != NtTransitionIndex::Missing &&
+               "transition enumerated from the automaton must be indexed");
+        R.Reads[X].push_back(Y);
+      }
+    }
+  }
+
+  // The augmented grammar has no explicit end marker in production 0
+  // ($accept -> start), so the initial start-transition "reads" $end:
+  // seed its DR set. This makes LA(accept state, production 0) = {$end}
+  // fall out of the normal computation.
+  {
+    uint32_t StartTrans = NtIdx.indexOf(A.startState(), G.startSymbol());
+    assert(StartTrans != NtTransitionIndex::Missing &&
+           "the start transition always exists");
+    R.DirectRead[StartTrans].set(G.eofSymbol());
+  }
+
+  // includes and lookback are both built by replaying every production
+  // B -> w from every state p' that carries a B-transition: walking w
+  // through the automaton visits the states where each suffix begins.
+  for (uint32_t X = 0; X < NumNt; ++X) {
+    const NtTransition &T = NtIdx[X]; // (p', B)
+    for (ProductionId PId : G.productionsOf(T.Nt)) {
+      const Production &P = G.production(PId);
+      StateId Cur = T.From;
+      for (size_t I = 0, E = P.Rhs.size(); I != E; ++I) {
+        SymbolId S = P.Rhs[I];
+        if (G.isNonterminal(S)) {
+          // (Cur, S) includes (p', B) iff the rest of the body is
+          // nullable.
+          bool SuffixNullable = true;
+          for (size_t J = I + 1; J != E; ++J)
+            if (!Analysis.isNullable(P.Rhs[J])) {
+              SuffixNullable = false;
+              break;
+            }
+          if (SuffixNullable) {
+            uint32_t Inner = NtIdx.indexOf(Cur, S);
+            assert(Inner != NtTransitionIndex::Missing &&
+                   "every prefix of a production is traceable in the "
+                   "automaton");
+            R.Includes[Inner].push_back(X);
+          }
+        }
+        Cur = A.gotoState(Cur, S);
+        assert(Cur != InvalidState &&
+               "production bodies always walk within the automaton");
+      }
+      // Cur is now the state reached on the full body: the reduction
+      // (Cur, B -> w) looks back to (p', B).
+      R.Lookback[RedIdx.slot(Cur, PId)].push_back(X);
+    }
+  }
+
+  // Deduplicate includes edges: distinct occurrences of A in one body, or
+  // different productions, can generate the same edge.
+  for (auto &Edges : R.Includes) {
+    std::sort(Edges.begin(), Edges.end());
+    Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+  }
+  for (auto &Edges : R.Lookback) {
+    std::sort(Edges.begin(), Edges.end());
+    Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+  }
+  return R;
+}

@@ -1,0 +1,84 @@
+//===- lalr/Relations.h - The DeRemer-Pennello relations --------*- C++ -*-===//
+///
+/// \file
+/// Construction of the four relations of the paper over an LR(0)
+/// automaton's nonterminal transitions:
+///
+///   DR(p,A)   = { t : p --A--> r --t--> }           (direct read sets)
+///   (p,A) reads (r,C)    iff p --A--> r --C--> and C nullable
+///   (p,A) includes (p',B) iff B -> beta A gamma, gamma =>* eps,
+///                              p' --beta--> p
+///   (q, A->w) lookback (p,A) iff p --w--> q
+///
+/// The relations are pure data (adjacency lists + bitsets); the solving
+/// happens in DigraphSolver/LalrLookaheads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LALR_RELATIONS_H
+#define LALR_LALR_RELATIONS_H
+
+#include "grammar/Analysis.h"
+#include "lalr/NtTransitionIndex.h"
+#include "support/BitSet.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lalr {
+
+/// Dense index over the reductions (q, A->w) of an automaton: slot =
+/// ReductionOffset[q] + position of the production among state q's sorted
+/// Reductions list.
+class ReductionIndex {
+public:
+  explicit ReductionIndex(const Lr0Automaton &A);
+
+  size_t size() const { return Total; }
+
+  /// Slot of reduction (State, Prod). Asserts the reduction exists.
+  uint32_t slot(StateId State, ProductionId Prod) const;
+
+  /// Inverse mapping: the state and production of a slot.
+  StateId stateOf(uint32_t Slot) const;
+  ProductionId prodOf(uint32_t Slot) const { return Prods[Slot]; }
+
+private:
+  const Lr0Automaton &A;
+  std::vector<uint32_t> Offsets; // by state, size numStates+1
+  std::vector<ProductionId> Prods; // by slot
+  size_t Total = 0;
+};
+
+/// The assembled relations for one automaton.
+struct LalrRelations {
+  /// Direct read sets, by nonterminal-transition index, over terminals.
+  /// Seeded with $end on the (0, start) transition so that the accept
+  /// action falls out of the ordinary computation.
+  std::vector<BitSet> DirectRead;
+
+  /// reads adjacency, by nonterminal-transition index.
+  std::vector<std::vector<uint32_t>> Reads;
+
+  /// includes adjacency, by nonterminal-transition index.
+  std::vector<std::vector<uint32_t>> Includes;
+
+  /// lookback: for each reduction slot, the nonterminal transitions whose
+  /// Follow sets union into its LA set.
+  std::vector<std::vector<uint32_t>> Lookback;
+
+  size_t readsEdgeCount() const;
+  size_t includesEdgeCount() const;
+  size_t lookbackEdgeCount() const;
+};
+
+/// Builds all four relations. \p Analysis must belong to the automaton's
+/// grammar (only nullability is consulted).
+LalrRelations buildLalrRelations(const Lr0Automaton &A,
+                                 const GrammarAnalysis &Analysis,
+                                 const NtTransitionIndex &NtIdx,
+                                 const ReductionIndex &RedIdx);
+
+} // namespace lalr
+
+#endif // LALR_LALR_RELATIONS_H

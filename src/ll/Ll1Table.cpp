@@ -1,0 +1,139 @@
+//===- ll/Ll1Table.cpp - LL(1) analysis and parsing ---------------------------===//
+
+#include "ll/Ll1Table.h"
+
+#include <sstream>
+
+using namespace lalr;
+
+std::string LlConflict::toString(const Grammar &G) const {
+  std::ostringstream OS;
+  OS << (Kind == FirstFirst ? "FIRST/FIRST" : "FIRST/FOLLOW")
+     << " conflict on '" << G.name(Terminal) << "' for nonterminal '"
+     << G.name(Nonterminal) << "': productions " << Prod1 << " ("
+     << G.productionToString(Prod1) << ") and " << Prod2 << " ("
+     << G.productionToString(Prod2) << ")";
+  return OS.str();
+}
+
+Ll1Table Ll1Table::build(const Grammar &G, const GrammarAnalysis &An) {
+  Ll1Table T(G.numNonterminals(), G.numTerminals());
+  T.G = &G;
+  T.Predicts.assign(G.numProductions(), BitSet(G.numTerminals()));
+
+  // PREDICT sets.
+  for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
+    const Production &P = G.production(PId);
+    BitSet &Pred = T.Predicts[PId];
+    bool RhsNullable = An.addFirstOfSeq(Pred, P.Rhs);
+    if (RhsNullable)
+      Pred.unionWith(An.follow(P.Lhs));
+  }
+
+  // Fill cells; collisions become conflicts. To classify the collision
+  // kind: if the terminal is in both productions' FIRST(rhs) it is
+  // FIRST/FIRST; otherwise one of them sees it only via FOLLOW
+  // (FIRST/FOLLOW).
+  for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
+    const Production &P = G.production(PId);
+    uint32_t NtIdx = G.ntIndex(P.Lhs);
+    BitSet FirstOfRhs = An.firstOfSeq(P.Rhs);
+    for (size_t Term : T.Predicts[PId]) {
+      ProductionId &Cell = T.Cells[NtIdx * T.NumTerminals + Term];
+      if (Cell == InvalidProduction) {
+        Cell = PId;
+        continue;
+      }
+      if (Cell == PId)
+        continue;
+      LlConflict C;
+      C.Nonterminal = P.Lhs;
+      C.Terminal = static_cast<SymbolId>(Term);
+      C.Prod1 = std::min(Cell, PId);
+      C.Prod2 = std::max(Cell, PId);
+      BitSet OtherFirst = An.firstOfSeq(G.production(Cell).Rhs);
+      C.Kind = FirstOfRhs.test(Term) && OtherFirst.test(Term)
+                   ? LlConflict::FirstFirst
+                   : LlConflict::FirstFollow;
+      T.Conflicts.push_back(C);
+      // Keep the earlier production (stable, yacc-like default).
+      if (PId < Cell)
+        Cell = PId;
+    }
+  }
+  return T;
+}
+
+ProductionId Ll1Table::cell(SymbolId Nt, SymbolId Terminal) const {
+  return Cells[G->ntIndex(Nt) * NumTerminals + Terminal];
+}
+
+size_t Ll1Table::firstFirstConflicts() const {
+  size_t N = 0;
+  for (const LlConflict &C : Conflicts)
+    if (C.Kind == LlConflict::FirstFirst)
+      ++N;
+  return N;
+}
+
+size_t Ll1Table::firstFollowConflicts() const {
+  size_t N = 0;
+  for (const LlConflict &C : Conflicts)
+    if (C.Kind == LlConflict::FirstFollow)
+      ++N;
+  return N;
+}
+
+LlParseResult lalr::llParse(const Grammar &G, const Ll1Table &Table,
+                            std::span<const Token> Input) {
+  LlParseResult Out;
+  // Predictive stack: start with [$end-marker is implicit] $accept's
+  // body, i.e. just the start symbol.
+  std::vector<SymbolId> Stack{G.startSymbol()};
+  size_t Pos = 0;
+
+  Token EofTok;
+  EofTok.Kind = G.eofSymbol();
+  EofTok.Text = "$end";
+
+  while (true) {
+    const Token &Tok = Pos < Input.size() ? Input[Pos] : EofTok;
+    if (Stack.empty()) {
+      if (Tok.Kind == G.eofSymbol()) {
+        Out.Accepted = true;
+        return Out;
+      }
+      Out.Errors.push_back(
+          {Tok.Loc, "input continues after a complete sentence"});
+      return Out;
+    }
+    SymbolId Top = Stack.back();
+    if (G.isTerminal(Top)) {
+      if (Top != Tok.Kind) {
+        Out.Errors.push_back({Tok.Loc, "expected " + G.name(Top) +
+                                           ", found " + G.name(Tok.Kind)});
+        return Out;
+      }
+      Stack.pop_back();
+      ++Pos;
+      continue;
+    }
+    ProductionId PId = Table.cell(Top, Tok.Kind);
+    if (PId == InvalidProduction) {
+      Out.Errors.push_back({Tok.Loc, "unexpected " + G.name(Tok.Kind) +
+                                         " while expanding " +
+                                         G.name(Top)});
+      return Out;
+    }
+    Out.Derivation.push_back(PId);
+    Stack.pop_back();
+    const Production &P = G.production(PId);
+    for (auto It = P.Rhs.rbegin(); It != P.Rhs.rend(); ++It)
+      Stack.push_back(*It);
+  }
+}
+
+bool lalr::isLl1Grammar(const Grammar &G) {
+  GrammarAnalysis An(G);
+  return Ll1Table::build(G, An).isLl1();
+}

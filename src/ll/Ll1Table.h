@@ -1,0 +1,94 @@
+//===- ll/Ll1Table.h - LL(1) analysis and parsing ---------------*- C++ -*-===//
+///
+/// \file
+/// The top-down counterpart, included because the LALR-era papers framed
+/// their results against LL(1) and because grammar classification is only
+/// complete with it: PREDICT sets per production, the LL(1) parse table
+/// with FIRST/FIRST and FIRST/FOLLOW conflict detection, and a predictive
+/// (stack-driven) parser over the table. Also provides the LL(1)
+/// membership test used by the extended classifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LL_LL1TABLE_H
+#define LALR_LL_LL1TABLE_H
+
+#include "grammar/Analysis.h"
+#include "parser/ParserDriver.h"
+#include "support/BitSet.h"
+
+#include <string>
+#include <vector>
+
+namespace lalr {
+
+/// An LL(1) table-cell conflict.
+struct LlConflict {
+  enum KindT : uint8_t {
+    FirstFirst,  ///< two productions of one nonterminal share a predict
+                 ///< terminal through their FIRST sets
+    FirstFollow, ///< a nullable production's FOLLOW overlaps a sibling's
+                 ///< FIRST
+  } Kind = FirstFirst;
+  SymbolId Nonterminal = InvalidSymbol;
+  SymbolId Terminal = InvalidSymbol;
+  ProductionId Prod1 = InvalidProduction;
+  ProductionId Prod2 = InvalidProduction;
+
+  std::string toString(const Grammar &G) const;
+};
+
+/// The LL(1) parse table of a grammar: cell (nonterminal, terminal) ->
+/// production, plus PREDICT sets and conflicts.
+class Ll1Table {
+public:
+  /// Builds the table. Conflicted cells keep the lowest production id
+  /// (so a parser can still run, like yacc's default resolution), and
+  /// every collision is recorded.
+  static Ll1Table build(const Grammar &G, const GrammarAnalysis &An);
+
+  /// PREDICT(p) = FIRST(rhs) ∪ (FOLLOW(lhs) if rhs nullable); over
+  /// terminal ids, indexed by production.
+  const BitSet &predict(ProductionId P) const { return Predicts[P]; }
+
+  /// The production chosen for (Nt, Terminal), or InvalidProduction.
+  ProductionId cell(SymbolId Nt, SymbolId Terminal) const;
+
+  const std::vector<LlConflict> &conflicts() const { return Conflicts; }
+  bool isLl1() const { return Conflicts.empty(); }
+
+  /// Counts by kind, for the reports.
+  size_t firstFirstConflicts() const;
+  size_t firstFollowConflicts() const;
+
+private:
+  Ll1Table(size_t NumNts, size_t NumTs)
+      : NumTerminals(NumTs),
+        Cells(NumNts * NumTs, InvalidProduction) {}
+
+  size_t NumTerminals;
+  std::vector<ProductionId> Cells; // [ntIndex * NumTerminals + terminal]
+  std::vector<BitSet> Predicts;
+  std::vector<LlConflict> Conflicts;
+  const Grammar *G = nullptr;
+};
+
+/// Runs the predictive parser over \p Input using \p Table (which should
+/// be conflict-free for meaningful results). Returns the sequence of
+/// productions of the leftmost derivation, or the first syntax error.
+struct LlParseResult {
+  bool Accepted = false;
+  std::vector<ProductionId> Derivation; // leftmost derivation order
+  std::vector<ParseError> Errors;
+};
+LlParseResult llParse(const Grammar &G, const Ll1Table &Table,
+                      std::span<const Token> Input);
+
+/// True if \p G is LL(1) (no table conflicts and no left recursion —
+/// left-recursive grammars always conflict, but the explicit check makes
+/// the reason reportable).
+bool isLl1Grammar(const Grammar &G);
+
+} // namespace lalr
+
+#endif // LALR_LL_LL1TABLE_H

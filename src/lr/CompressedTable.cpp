@@ -1,0 +1,134 @@
+//===- lr/CompressedTable.cpp - Default reductions + sparse rows -------------===//
+
+#include "lr/CompressedTable.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace lalr;
+
+CompressedTable CompressedTable::compress(const ParseTable &Dense,
+                                          const Grammar &G) {
+  CompressedTable Out;
+  const size_t NumStates = Dense.numStates();
+  const size_t NumT = G.numTerminals();
+  const size_t NumNt = G.numNonterminals();
+
+  Out.Rows.resize(NumStates);
+  for (uint32_t S = 0; S < NumStates; ++S) {
+    // Count reduce frequencies to pick the row default.
+    std::map<uint32_t, size_t> ReduceFreq;
+    for (SymbolId T = 0; T < NumT; ++T) {
+      Action A = Dense.action(S, T);
+      if (A.Kind == ActionKind::Reduce)
+        ++ReduceFreq[A.Value];
+    }
+    Action Default{ActionKind::Error, 0};
+    size_t BestFreq = 0;
+    for (auto [Prod, Freq] : ReduceFreq)
+      if (Freq > BestFreq) {
+        BestFreq = Freq;
+        Default = {ActionKind::Reduce, Prod};
+      }
+    Row &R = Out.Rows[S];
+    R.Default = Default;
+    for (SymbolId T = 0; T < NumT; ++T) {
+      Action A = Dense.action(S, T);
+      if (A == Default)
+        continue;
+      if (A.Kind == ActionKind::Error && Default.Kind == ActionKind::Error)
+        continue;
+      // Error cells under a reduce default are *not* stored: the default
+      // reduction fires there, trading detection latency for space (the
+      // yacc behaviour). Everything else is explicit.
+      if (A.Kind == ActionKind::Error)
+        continue;
+      R.Explicit.emplace_back(T, A);
+    }
+  }
+
+  // GOTO columns: default = most frequent target of the column.
+  Out.GotoDefault.assign(NumNt, InvalidState);
+  Out.GotoRows.resize(NumStates);
+  for (uint32_t NtIdx = 0; NtIdx < NumNt; ++NtIdx) {
+    std::map<uint32_t, size_t> Freq;
+    for (uint32_t S = 0; S < NumStates; ++S) {
+      uint32_t Target = Dense.gotoNt(S, G.ntSymbol(NtIdx), G);
+      if (Target != InvalidState)
+        ++Freq[Target];
+    }
+    size_t BestFreq = 0;
+    for (auto [Target, F] : Freq)
+      if (F > BestFreq) {
+        BestFreq = F;
+        Out.GotoDefault[NtIdx] = Target;
+      }
+  }
+  for (uint32_t S = 0; S < NumStates; ++S)
+    for (uint32_t NtIdx = 0; NtIdx < NumNt; ++NtIdx) {
+      uint32_t Target = Dense.gotoNt(S, G.ntSymbol(NtIdx), G);
+      if (Target != InvalidState && Target != Out.GotoDefault[NtIdx])
+        Out.GotoRows[S].emplace_back(NtIdx, Target);
+    }
+  return Out;
+}
+
+Action CompressedTable::action(uint32_t State, SymbolId Terminal) const {
+  const Row &R = Rows[State];
+  auto It = std::lower_bound(
+      R.Explicit.begin(), R.Explicit.end(), Terminal,
+      [](const std::pair<SymbolId, Action> &E, SymbolId T) {
+        return E.first < T;
+      });
+  if (It != R.Explicit.end() && It->first == Terminal)
+    return It->second;
+  return R.Default;
+}
+
+uint32_t CompressedTable::gotoNt(uint32_t State, SymbolId Nt,
+                                 const Grammar &G) const {
+  uint32_t NtIdx = G.ntIndex(Nt);
+  const auto &Row = GotoRows[State];
+  auto It = std::lower_bound(
+      Row.begin(), Row.end(), NtIdx,
+      [](const std::pair<uint32_t, uint32_t> &E, uint32_t I) {
+        return E.first < I;
+      });
+  if (It != Row.end() && It->first == NtIdx)
+    return It->second;
+  return GotoDefault[NtIdx];
+}
+
+size_t CompressedTable::explicitActionEntries() const {
+  size_t N = 0;
+  for (const Row &R : Rows)
+    N += R.Explicit.size();
+  return N;
+}
+
+size_t CompressedTable::explicitGotoEntries() const {
+  size_t N = 0;
+  for (const auto &Row : GotoRows)
+    N += Row.size();
+  return N;
+}
+
+size_t CompressedTable::defaultReductionRows() const {
+  size_t N = 0;
+  for (const Row &R : Rows)
+    if (R.Default.Kind == ActionKind::Reduce)
+      ++N;
+  return N;
+}
+
+size_t CompressedTable::footprintBytes() const {
+  // Entries are (symbol, action) ~ 8 bytes; each row has an 8-byte
+  // header (default action + count); goto exceptions 8 bytes each.
+  size_t Bytes = 0;
+  for (const Row &R : Rows)
+    Bytes += 8 + R.Explicit.size() * 8;
+  for (const auto &Row : GotoRows)
+    Bytes += Row.size() * 8;
+  Bytes += GotoDefault.size() * 4;
+  return Bytes;
+}

@@ -1,0 +1,74 @@
+//===- lr/CompressedTable.h - Default reductions + sparse rows --*- C++ -*-===//
+///
+/// \file
+/// The classic yacc space optimization, included here as an ablation of
+/// the generator pipeline (Table 7): each state stores a sparse list of
+/// its non-default actions plus one *default reduction* (its most common
+/// reduce action); GOTO columns store exceptions against a per-column
+/// default target. On valid inputs the parse is identical to the dense
+/// table's; on erroneous inputs the default reductions fire before the
+/// error is detected, which is measured by the error-detection-latency
+/// experiment (Table 6).
+///
+/// CompressedTable exposes ParseTable's action()/gotoNt()/numStates()
+/// interface, so the templated ParserDriver runs on either.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LR_COMPRESSEDTABLE_H
+#define LALR_LR_COMPRESSEDTABLE_H
+
+#include "lr/ParseTable.h"
+
+#include <vector>
+
+namespace lalr {
+
+/// A row-compressed ACTION/GOTO table with default reductions.
+class CompressedTable {
+public:
+  /// Compresses \p Dense. Accept actions and shift actions are always
+  /// explicit; the most frequent Reduce of each row becomes its default
+  /// (applied to every terminal without an explicit entry). Rows without
+  /// reductions default to Error, preserving immediate detection there.
+  static CompressedTable compress(const ParseTable &Dense,
+                                  const Grammar &G);
+
+  size_t numStates() const { return Rows.size(); }
+
+  /// Same contract as ParseTable::action, with defaults applied.
+  Action action(uint32_t State, SymbolId Terminal) const;
+
+  /// Same contract as ParseTable::gotoNt, with column defaults applied.
+  uint32_t gotoNt(uint32_t State, SymbolId Nt, const Grammar &G) const;
+
+  /// \name Size accounting (Table 7)
+  /// @{
+  /// Explicit ACTION entries stored across all rows.
+  size_t explicitActionEntries() const;
+  /// Explicit GOTO exceptions stored across all rows.
+  size_t explicitGotoEntries() const;
+  /// Rows whose default is a reduction (not error).
+  size_t defaultReductionRows() const;
+  /// Rough memory footprint in bytes (entries * entry size + row
+  /// headers), comparable against the dense table's
+  /// states*(terminals+nonterminals)*4.
+  size_t footprintBytes() const;
+  /// @}
+
+private:
+  struct Row {
+    /// Sorted by terminal id.
+    std::vector<std::pair<SymbolId, Action>> Explicit;
+    Action Default; // Reduce or Error
+  };
+  std::vector<Row> Rows;
+  /// Per state: sorted (nt index, target) exceptions.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> GotoRows;
+  /// Per nonterminal index: the default target.
+  std::vector<uint32_t> GotoDefault;
+};
+
+} // namespace lalr
+
+#endif // LALR_LR_COMPRESSEDTABLE_H

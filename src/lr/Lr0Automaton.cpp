@@ -1,0 +1,176 @@
+//===- lr/Lr0Automaton.cpp - Canonical LR(0) collection ---------------------===//
+
+#include "lr/Lr0Automaton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace lalr;
+
+std::string Lr0Item::toString(const Grammar &G) const {
+  const Production &P = G.production(Prod);
+  std::ostringstream OS;
+  OS << G.name(P.Lhs) << " ->";
+  for (size_t I = 0; I <= P.Rhs.size(); ++I) {
+    if (I == Dot)
+      OS << " .";
+    if (I < P.Rhs.size())
+      OS << ' ' << G.name(P.Rhs[I]);
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// Computes the set of nonterminals contributing non-kernel items to the
+/// closure of \p Kernel: every B with an item X -> alpha . B gamma in the
+/// closure. Returned sorted.
+std::vector<SymbolId> closureNtsOfKernel(const Grammar &G,
+                                         const std::vector<Lr0Item> &Kernel) {
+  std::vector<bool> InSet(G.numNonterminals(), false);
+  std::vector<SymbolId> Worklist;
+  auto add = [&](SymbolId Nt) {
+    uint32_t Idx = G.ntIndex(Nt);
+    if (!InSet[Idx]) {
+      InSet[Idx] = true;
+      Worklist.push_back(Nt);
+    }
+  };
+  for (const Lr0Item &Item : Kernel) {
+    SymbolId Next = Item.nextSymbol(G);
+    if (Next != InvalidSymbol && G.isNonterminal(Next))
+      add(Next);
+  }
+  for (size_t I = 0; I < Worklist.size(); ++I) {
+    SymbolId B = Worklist[I];
+    for (ProductionId PId : G.productionsOf(B)) {
+      const Production &P = G.production(PId);
+      if (!P.Rhs.empty() && G.isNonterminal(P.Rhs[0]))
+        add(P.Rhs[0]);
+    }
+  }
+  std::vector<SymbolId> Out;
+  for (uint32_t Idx = 0; Idx < G.numNonterminals(); ++Idx)
+    if (InSet[Idx])
+      Out.push_back(G.ntSymbol(Idx));
+  return Out;
+}
+
+} // namespace
+
+Lr0Automaton Lr0Automaton::build(const Grammar &G) {
+  Lr0Automaton A(G);
+
+  // Deduplicate states by their (sorted) packed kernel.
+  std::map<std::vector<uint64_t>, StateId> StateByKernel;
+
+  auto internState = [&](std::vector<Lr0Item> Kernel,
+                         SymbolId Accessing) -> StateId {
+    std::sort(Kernel.begin(), Kernel.end());
+    Kernel.erase(std::unique(Kernel.begin(), Kernel.end()), Kernel.end());
+    std::vector<uint64_t> Key;
+    Key.reserve(Kernel.size());
+    for (const Lr0Item &Item : Kernel)
+      Key.push_back(Item.packed());
+    auto [It, Inserted] =
+        StateByKernel.try_emplace(std::move(Key), StateId(A.States.size()));
+    if (Inserted) {
+      Lr0State S;
+      S.Kernel = std::move(Kernel);
+      S.AccessingSymbol = Accessing;
+      A.States.push_back(std::move(S));
+    }
+    return It->second;
+  };
+
+  StateId Start =
+      internState({Lr0Item{/*Prod=*/0, /*Dot=*/0}}, InvalidSymbol);
+  assert(Start == 0 && "start state must be state 0");
+  (void)Start;
+
+  // Breadth-first exploration so state numbering is stable and matches
+  // the usual textbook presentation.
+  for (StateId Cur = 0; Cur < A.States.size(); ++Cur) {
+    // Collect the closure item list: kernel items plus (P, 0) for every
+    // production P of every closure nonterminal.
+    std::vector<Lr0Item> Items = A.States[Cur].Kernel;
+    for (SymbolId B : closureNtsOfKernel(G, A.States[Cur].Kernel))
+      for (ProductionId PId : G.productionsOf(B))
+        Items.push_back(Lr0Item{PId, 0});
+
+    // Group advances by the symbol after the dot; complete items become
+    // reductions.
+    std::map<SymbolId, std::vector<Lr0Item>> Advances;
+    std::vector<ProductionId> Reductions;
+    for (const Lr0Item &Item : Items) {
+      SymbolId Next = Item.nextSymbol(G);
+      if (Next == InvalidSymbol) {
+        Reductions.push_back(Item.Prod);
+        continue;
+      }
+      Advances[Next].push_back(Lr0Item{Item.Prod, Item.Dot + 1});
+    }
+    std::sort(Reductions.begin(), Reductions.end());
+    Reductions.erase(std::unique(Reductions.begin(), Reductions.end()),
+                     Reductions.end());
+
+    std::vector<std::pair<SymbolId, StateId>> Transitions;
+    Transitions.reserve(Advances.size());
+    for (auto &[Sym, Kernel] : Advances) {
+      StateId Target = internState(std::move(Kernel), Sym);
+      Transitions.emplace_back(Sym, Target);
+    }
+    // Note: interning may reallocate States, so write fields afterwards.
+    A.States[Cur].Transitions = std::move(Transitions);
+    A.States[Cur].Reductions = std::move(Reductions);
+  }
+
+  A.AcceptState = A.gotoState(0, G.startSymbol());
+  assert(A.AcceptState != InvalidState &&
+         "the start symbol transition always exists");
+  return A;
+}
+
+StateId Lr0Automaton::gotoState(StateId S, SymbolId X) const {
+  const auto &T = States[S].Transitions;
+  auto It = std::lower_bound(
+      T.begin(), T.end(), X,
+      [](const std::pair<SymbolId, StateId> &E, SymbolId X) {
+        return E.first < X;
+      });
+  return (It != T.end() && It->first == X) ? It->second : InvalidState;
+}
+
+StateId Lr0Automaton::walk(StateId From,
+                           std::span<const SymbolId> Word) const {
+  StateId Cur = From;
+  for (SymbolId X : Word) {
+    Cur = gotoState(Cur, X);
+    if (Cur == InvalidState)
+      return InvalidState;
+  }
+  return Cur;
+}
+
+std::vector<Lr0Item> Lr0Automaton::closureItems(StateId S) const {
+  std::vector<Lr0Item> Items = States[S].Kernel;
+  for (SymbolId B : closureNtsOfKernel(*G, States[S].Kernel))
+    for (ProductionId PId : G->productionsOf(B))
+      Items.push_back(Lr0Item{PId, 0});
+  std::sort(Items.begin(), Items.end());
+  Items.erase(std::unique(Items.begin(), Items.end()), Items.end());
+  return Items;
+}
+
+std::vector<SymbolId> Lr0Automaton::closureNonterminals(StateId S) const {
+  return closureNtsOfKernel(*G, States[S].Kernel);
+}
+
+size_t Lr0Automaton::numTransitions() const {
+  size_t N = 0;
+  for (const Lr0State &S : States)
+    N += S.Transitions.size();
+  return N;
+}

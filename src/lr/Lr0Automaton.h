@@ -1,0 +1,95 @@
+//===- lr/Lr0Automaton.h - Canonical LR(0) collection -----------*- C++ -*-===//
+///
+/// \file
+/// The LR(0) automaton (canonical collection of LR(0) item sets) over a
+/// frozen Grammar. States are stored kernel-only — non-kernel items are a
+/// pure function of the kernel and are recomputed on demand for reports —
+/// which keeps state identity checks and memory linear in kernel size.
+/// This is the substrate the DeRemer–Pennello relations are defined on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LR_LR0AUTOMATON_H
+#define LALR_LR_LR0AUTOMATON_H
+
+#include "grammar/Grammar.h"
+#include "lr/Lr0Item.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lalr {
+
+/// Identifier of a state in an Lr0Automaton (dense, 0 = start state).
+using StateId = uint32_t;
+
+/// Sentinel for "no state".
+constexpr StateId InvalidState = UINT32_MAX;
+
+/// One state: its kernel, its outgoing transitions, and the reductions
+/// available in it (complete items of its closure).
+struct Lr0State {
+  /// Kernel items, sorted by packed value. State 0's kernel is the start
+  /// item {$accept -> . start}; every other kernel contains only items
+  /// with the dot past position 0.
+  std::vector<Lr0Item> Kernel;
+
+  /// Outgoing transitions, sorted by symbol id for binary search.
+  std::vector<std::pair<SymbolId, StateId>> Transitions;
+
+  /// Productions reducible in this state (complete closure items),
+  /// sorted by production id.
+  std::vector<ProductionId> Reductions;
+
+  /// The symbol every in-edge of this state is labelled with (states of
+  /// an LR(0) automaton have a unique accessing symbol); InvalidSymbol
+  /// for the start state.
+  SymbolId AccessingSymbol = InvalidSymbol;
+};
+
+/// The canonical collection of LR(0) item sets.
+class Lr0Automaton {
+public:
+  /// Builds the automaton for \p G. Deterministic: state ids depend only
+  /// on the grammar (breadth-first discovery order from state 0).
+  static Lr0Automaton build(const Grammar &G);
+
+  const Grammar &grammar() const { return *G; }
+  size_t numStates() const { return States.size(); }
+  const Lr0State &state(StateId S) const { return States[S]; }
+  StateId startState() const { return 0; }
+
+  /// GOTO(S, X): target of the X-transition from S, or InvalidState.
+  StateId gotoState(StateId S, SymbolId X) const;
+
+  /// Walks GOTO along \p Word starting at \p From; returns InvalidState if
+  /// any step is undefined. Used to build the lookback/includes relations.
+  StateId walk(StateId From, std::span<const SymbolId> Word) const;
+
+  /// Full item set (kernel + non-kernel closure items) of \p S, sorted.
+  /// Recomputed on demand; used by reports and tests only.
+  std::vector<Lr0Item> closureItems(StateId S) const;
+
+  /// Nonterminals whose productions appear as non-kernel items in the
+  /// closure of \p S (i.e. nonterminals B with an item X -> alpha . B
+  /// gamma in the closure). Sorted by symbol id.
+  std::vector<SymbolId> closureNonterminals(StateId S) const;
+
+  /// The state reducing production 0 ($accept -> start .), i.e.
+  /// GOTO(0, start). Reading $end there is the accept action.
+  StateId acceptState() const { return AcceptState; }
+
+  /// Total number of transitions (edges) in the automaton.
+  size_t numTransitions() const;
+
+private:
+  explicit Lr0Automaton(const Grammar &G) : G(&G) {}
+
+  const Grammar *G;
+  std::vector<Lr0State> States;
+  StateId AcceptState = InvalidState;
+};
+
+} // namespace lalr
+
+#endif // LALR_LR_LR0AUTOMATON_H

@@ -1,0 +1,49 @@
+//===- lr/Lr0Item.h - LR(0) items -------------------------------*- C++ -*-===//
+///
+/// \file
+/// An LR(0) item is a production with a dot position: A -> alpha . beta.
+/// Items are value types packed into 64 bits for hashing and ordering;
+/// states of the LR(0) automaton are identified by their sorted kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LR_LR0ITEM_H
+#define LALR_LR_LR0ITEM_H
+
+#include "grammar/Grammar.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lalr {
+
+/// A dotted production A -> alpha . beta.
+struct Lr0Item {
+  ProductionId Prod = 0;
+  uint32_t Dot = 0;
+
+  /// Packs the item into one comparable/hashable word.
+  uint64_t packed() const { return (uint64_t(Prod) << 32) | Dot; }
+
+  bool operator==(const Lr0Item &O) const { return packed() == O.packed(); }
+  bool operator<(const Lr0Item &O) const { return packed() < O.packed(); }
+
+  /// True if the dot is at the end of the production (a complete item,
+  /// i.e. a reduction candidate).
+  bool isComplete(const Grammar &G) const {
+    return Dot == G.production(Prod).Rhs.size();
+  }
+
+  /// Symbol immediately after the dot, or InvalidSymbol for complete items.
+  SymbolId nextSymbol(const Grammar &G) const {
+    const Production &P = G.production(Prod);
+    return Dot < P.Rhs.size() ? P.Rhs[Dot] : InvalidSymbol;
+  }
+
+  /// Renders "A -> alpha . beta" for reports.
+  std::string toString(const Grammar &G) const;
+};
+
+} // namespace lalr
+
+#endif // LALR_LR_LR0ITEM_H

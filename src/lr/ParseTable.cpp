@@ -1,0 +1,129 @@
+//===- lr/ParseTable.cpp - LR parse tables and conflicts --------------------===//
+
+#include "lr/ParseTable.h"
+
+#include "lr/Precedence.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace lalr;
+
+std::string Conflict::toString(const Grammar &G) const {
+  std::ostringstream OS;
+  OS << "state " << State << " on '" << G.name(Terminal) << "': ";
+  if (Kind == ShiftReduce)
+    OS << "shift/reduce (shift to " << ShiftTarget << " vs reduce by "
+       << ReduceProd << ": " << G.productionToString(ReduceProd) << ")";
+  else
+    OS << "reduce/reduce (" << ReduceProd << " vs " << ReduceProd2 << ")";
+  switch (Resolution) {
+  case Unresolved:
+    break;
+  case TookShift:
+    OS << " [resolved: shift]";
+    break;
+  case TookReduce:
+    OS << " [resolved: reduce]";
+    break;
+  case MadeError:
+    OS << " [resolved: error (%nonassoc)]";
+    break;
+  }
+  return OS.str();
+}
+
+size_t ParseTable::unresolvedShiftReduce() const {
+  size_t N = 0;
+  for (const Conflict &C : Conflicts)
+    if (C.Kind == Conflict::ShiftReduce && C.Resolution == Conflict::Unresolved)
+      ++N;
+  return N;
+}
+
+size_t ParseTable::unresolvedReduceReduce() const {
+  size_t N = 0;
+  for (const Conflict &C : Conflicts)
+    if (C.Kind == Conflict::ReduceReduce &&
+        C.Resolution == Conflict::Unresolved)
+      ++N;
+  return N;
+}
+
+size_t ParseTable::countActions(ActionKind K) const {
+  size_t N = 0;
+  for (const Action &A : Actions)
+    if (A.Kind == K)
+      ++N;
+  return N;
+}
+
+void lalr::detail::insertReduceAction(ParseTable &Table, const Grammar &G,
+                                      uint32_t State, SymbolId Terminal,
+                                      ProductionId Prod) {
+  // Reducing the augmentation production on $end is the accept.
+  Action New = Prod == 0 ? Action{ActionKind::Accept, 0}
+                         : Action{ActionKind::Reduce, Prod};
+  Action Cur = Table.action(State, Terminal);
+  if (Cur.Kind == ActionKind::Error) {
+    Table.setAction(State, Terminal, New);
+    return;
+  }
+  if (Cur.Kind == ActionKind::Shift) {
+    Conflict C;
+    C.Kind = Conflict::ShiftReduce;
+    C.State = State;
+    C.Terminal = Terminal;
+    C.ReduceProd = Prod;
+    C.ShiftTarget = Cur.Value;
+    switch (resolveShiftReduce(G, Prod, Terminal)) {
+    case PrecDecision::Shift:
+      C.Resolution = Conflict::TookShift;
+      break;
+    case PrecDecision::Reduce:
+      C.Resolution = Conflict::TookReduce;
+      Table.setAction(State, Terminal, New);
+      break;
+    case PrecDecision::Error:
+      C.Resolution = Conflict::MadeError;
+      Table.setAction(State, Terminal, {ActionKind::Error, 0});
+      break;
+    case PrecDecision::NoPrecedence:
+      // yacc default: prefer the shift, report the conflict.
+      C.Resolution = Conflict::Unresolved;
+      break;
+    }
+    Table.conflicts().push_back(C);
+    return;
+  }
+  // Reduce or Accept already present.
+  ProductionId CurProd = Cur.Kind == ActionKind::Accept ? 0 : Cur.Value;
+  if (CurProd == Prod)
+    return; // the same reduction arriving twice is no conflict
+  Conflict C;
+  C.Kind = Conflict::ReduceReduce;
+  C.State = State;
+  C.Terminal = Terminal;
+  C.ReduceProd = std::min(CurProd, Prod);
+  C.ReduceProd2 = std::max(CurProd, Prod);
+  C.Resolution = Conflict::Unresolved;
+  Table.conflicts().push_back(C);
+  // yacc default: the earlier production wins.
+  if (Prod < CurProd)
+    Table.setAction(State, Terminal, New);
+}
+
+ParseTable lalr::fillParseTable(const Lr0Automaton &A,
+                                const LookaheadFn &Lookaheads) {
+  const Grammar &G = A.grammar();
+  return fillTableGeneric(
+      G, A.numStates(),
+      [&](uint32_t S, auto Emit) {
+        for (auto [Sym, Target] : A.state(S).Transitions)
+          Emit(Sym, Target);
+      },
+      [&](uint32_t S, auto Emit) {
+        for (ProductionId Prod : A.state(S).Reductions)
+          Emit(Prod, Lookaheads(S, Prod));
+      });
+}

@@ -1,0 +1,162 @@
+//===- lr/ParseTable.h - LR parse tables and conflicts ----------*- C++ -*-===//
+///
+/// \file
+/// Dense ACTION/GOTO tables plus the conflict records produced while
+/// filling them. A ParseTable is method-agnostic: the LALR (DeRemer–
+/// Pennello), SLR, NQLALR and canonical-LR(1) builders all produce one, so
+/// the precision experiments (Table 4) and the runtime parser work over a
+/// single representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LR_PARSETABLE_H
+#define LALR_LR_PARSETABLE_H
+
+#include "grammar/Grammar.h"
+#include "lr/Lr0Automaton.h"
+#include "support/BitSet.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lalr {
+
+/// What the parser does on (state, terminal).
+enum class ActionKind : uint8_t {
+  Error,  ///< no entry: syntax error
+  Shift,  ///< push terminal, go to Value
+  Reduce, ///< reduce by production Value
+  Accept, ///< input accepted
+};
+
+/// One ACTION entry.
+struct Action {
+  ActionKind Kind = ActionKind::Error;
+  uint32_t Value = 0; ///< Shift: target state; Reduce: production id
+
+  bool operator==(const Action &O) const {
+    return Kind == O.Kind && Value == O.Value;
+  }
+};
+
+/// A conflict discovered while filling a table cell. If precedence
+/// declarations decide it, Resolution says how and the conflict is not
+/// counted as unresolved.
+struct Conflict {
+  enum KindT : uint8_t { ShiftReduce, ReduceReduce } Kind = ShiftReduce;
+  enum ResolutionT : uint8_t {
+    Unresolved,     ///< kept default action (shift / lower production)
+    TookShift,      ///< precedence chose the shift
+    TookReduce,     ///< precedence chose the reduce
+    MadeError,      ///< %nonassoc turned the cell into an error
+  } Resolution = Unresolved;
+  uint32_t State = 0;
+  SymbolId Terminal = InvalidSymbol;
+  ProductionId ReduceProd = InvalidProduction;  ///< the (first) reduction
+  ProductionId ReduceProd2 = InvalidProduction; ///< RR: the second one
+  uint32_t ShiftTarget = 0;                     ///< SR: the shift target
+
+  /// Human-readable one-line description.
+  std::string toString(const Grammar &G) const;
+};
+
+/// Dense ACTION/GOTO tables for some LR automaton (LR(0)-based methods
+/// share the LR(0) state space; canonical LR(1) has its own, larger one).
+class ParseTable {
+public:
+  ParseTable(size_t NumStates, const Grammar &G)
+      : NumStates(NumStates), NumTerminals(G.numTerminals()),
+        NumNonterminals(G.numNonterminals()),
+        Actions(NumStates * G.numTerminals()),
+        Gotos(NumStates * G.numNonterminals(), InvalidState) {}
+
+  size_t numStates() const { return NumStates; }
+
+  Action action(uint32_t State, SymbolId Terminal) const {
+    return Actions[State * NumTerminals + Terminal];
+  }
+  void setAction(uint32_t State, SymbolId Terminal, Action A) {
+    Actions[State * NumTerminals + Terminal] = A;
+  }
+
+  uint32_t gotoNt(uint32_t State, SymbolId Nt, const Grammar &G) const {
+    return Gotos[State * NumNonterminals + G.ntIndex(Nt)];
+  }
+  void setGotoNt(uint32_t State, uint32_t NtIdx, uint32_t Target) {
+    Gotos[State * NumNonterminals + NtIdx] = Target;
+  }
+
+  const std::vector<Conflict> &conflicts() const { return Conflicts; }
+  std::vector<Conflict> &conflicts() { return Conflicts; }
+
+  /// Number of conflicts precedence did not resolve, by kind. These are
+  /// the numbers yacc prints ("N shift/reduce, M reduce/reduce").
+  size_t unresolvedShiftReduce() const;
+  size_t unresolvedReduceReduce() const;
+  bool isAdequate() const {
+    return unresolvedShiftReduce() == 0 && unresolvedReduceReduce() == 0;
+  }
+
+  /// Table statistics for the benchmark reports.
+  size_t countActions(ActionKind K) const;
+
+private:
+  size_t NumStates;
+  size_t NumTerminals;
+  size_t NumNonterminals;
+  std::vector<Action> Actions;
+  std::vector<uint32_t> Gotos;
+  std::vector<Conflict> Conflicts;
+};
+
+/// Produces per-(state, production) look-ahead terminal sets; the glue
+/// between a look-ahead method and fillParseTable. Implementations:
+/// DP LALR, SLR (FOLLOW), NQLALR, YACC propagation.
+using LookaheadFn =
+    std::function<const BitSet &(StateId State, ProductionId Prod)>;
+
+/// Fills a ParseTable for the LR(0) automaton \p A: shifts/gotos from the
+/// transitions, reduces from \p Lookaheads, accept for production 0 on
+/// $end. Conflicts are resolved with the grammar's precedence declarations
+/// (yacc rules) and recorded either way.
+ParseTable fillParseTable(const Lr0Automaton &A, const LookaheadFn &Lookaheads);
+
+namespace detail {
+
+/// Inserts the reduce action (or accept, for production 0) for
+/// (State, Terminal) into \p Table, applying yacc conflict resolution
+/// against whatever occupies the cell. Shared by every table builder.
+void insertReduceAction(ParseTable &Table, const Grammar &G, uint32_t State,
+                        SymbolId Terminal, ProductionId Prod);
+
+} // namespace detail
+
+/// Generic table filler shared by the LR(0)-state-space builders and the
+/// canonical LR(1) builder. \p ForEachTransition(State, Emit) must call
+/// Emit(Symbol, Target) for every transition of State; \p ForEachReduction
+/// (State, Emit) must call Emit(Prod, LaSet) for every reduction of State.
+template <typename TransCbT, typename RedCbT>
+ParseTable fillTableGeneric(const Grammar &G, size_t NumStates,
+                            TransCbT ForEachTransition,
+                            RedCbT ForEachReduction) {
+  ParseTable Table(NumStates, G);
+  for (uint32_t S = 0; S < NumStates; ++S)
+    ForEachTransition(S, [&](SymbolId Sym, uint32_t Target) {
+      if (G.isTerminal(Sym))
+        Table.setAction(S, Sym, {ActionKind::Shift, Target});
+      else
+        Table.setGotoNt(S, G.ntIndex(Sym), Target);
+    });
+  for (uint32_t S = 0; S < NumStates; ++S)
+    ForEachReduction(S, [&](ProductionId Prod, const BitSet &LA) {
+      for (size_t T : LA)
+        detail::insertReduceAction(Table, G, S, static_cast<SymbolId>(T),
+                                   Prod);
+    });
+  return Table;
+}
+
+} // namespace lalr
+
+#endif // LALR_LR_PARSETABLE_H

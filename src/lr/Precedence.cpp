@@ -1,0 +1,31 @@
+//===- lr/Precedence.cpp - Yacc-style conflict resolution -------------------===//
+
+#include "lr/Precedence.h"
+
+using namespace lalr;
+
+PrecDecision lalr::resolveShiftReduce(const Grammar &G, ProductionId Reduce,
+                                      SymbolId ShiftTerminal) {
+  const Production &P = G.production(Reduce);
+  if (P.PrecSymbol == InvalidSymbol)
+    return PrecDecision::NoPrecedence;
+  const Precedence &RulePrec = G.precedence(P.PrecSymbol);
+  const Precedence &TokPrec = G.precedence(ShiftTerminal);
+  if (!RulePrec.isDeclared() || !TokPrec.isDeclared())
+    return PrecDecision::NoPrecedence;
+  if (RulePrec.Level > TokPrec.Level)
+    return PrecDecision::Reduce;
+  if (RulePrec.Level < TokPrec.Level)
+    return PrecDecision::Shift;
+  switch (TokPrec.Associativity) {
+  case Assoc::Left:
+    return PrecDecision::Reduce;
+  case Assoc::Right:
+    return PrecDecision::Shift;
+  case Assoc::NonAssoc:
+    return PrecDecision::Error;
+  case Assoc::None:
+    break;
+  }
+  return PrecDecision::NoPrecedence;
+}

@@ -1,0 +1,33 @@
+//===- lr/Precedence.h - Yacc-style conflict resolution ---------*- C++ -*-===//
+///
+/// \file
+/// The yacc precedence/associativity rules for deciding shift-reduce
+/// conflicts, factored out so every table builder (and the tests) resolve
+/// identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LR_PRECEDENCE_H
+#define LALR_LR_PRECEDENCE_H
+
+#include "grammar/Grammar.h"
+
+namespace lalr {
+
+/// Outcome of consulting precedence on a shift(T)/reduce(P) conflict.
+enum class PrecDecision : uint8_t {
+  NoPrecedence, ///< one side lacks a declared level: genuine conflict
+  Shift,        ///< shift wins (token binds tighter, or equal level %right)
+  Reduce,       ///< reduce wins (rule binds tighter, or equal level %left)
+  Error,        ///< equal level %nonassoc: the cell becomes a syntax error
+};
+
+/// Applies yacc's rules: compare the production's precedence symbol level
+/// with the shifted terminal's level; on a tie use the terminal's
+/// associativity.
+PrecDecision resolveShiftReduce(const Grammar &G, ProductionId Reduce,
+                                SymbolId ShiftTerminal);
+
+} // namespace lalr
+
+#endif // LALR_LR_PRECEDENCE_H

@@ -1,0 +1,61 @@
+//===- parser/ParseTree.cpp - Concrete parse trees --------------------------===//
+
+#include "parser/ParseTree.h"
+
+#include <sstream>
+
+using namespace lalr;
+
+std::string ParseNode::toSExpr(const Grammar &G) const {
+  std::ostringstream OS;
+  if (isLeaf()) {
+    OS << '(' << G.name(Symbol);
+    if (!Text.empty() && Text != G.name(Symbol))
+      OS << ' ' << Text;
+    OS << ')';
+    return OS.str();
+  }
+  OS << '(' << G.name(Symbol);
+  for (const auto &Child : Children)
+    OS << ' ' << Child->toSExpr(G);
+  OS << ')';
+  return OS.str();
+}
+
+size_t ParseNode::size() const {
+  size_t N = 1;
+  for (const auto &Child : Children)
+    N += Child->size();
+  return N;
+}
+
+std::string ParseNode::leafText() const {
+  if (isLeaf())
+    return Text;
+  std::string Out;
+  for (const auto &Child : Children) {
+    std::string Part = Child->leafText();
+    if (!Out.empty() && !Part.empty())
+      Out += ' ';
+    Out += Part;
+  }
+  return Out;
+}
+
+std::unique_ptr<ParseNode> lalr::makeLeaf(SymbolId Terminal,
+                                          std::string Text) {
+  auto Node = std::make_unique<ParseNode>();
+  Node->Symbol = Terminal;
+  Node->Text = std::move(Text);
+  return Node;
+}
+
+std::unique_ptr<ParseNode>
+lalr::makeInterior(SymbolId Nt, ProductionId Prod,
+                   std::vector<std::unique_ptr<ParseNode>> Children) {
+  auto Node = std::make_unique<ParseNode>();
+  Node->Symbol = Nt;
+  Node->Prod = Prod;
+  Node->Children = std::move(Children);
+  return Node;
+}

@@ -1,0 +1,55 @@
+//===- parser/ParseTree.h - Concrete parse trees ----------------*- C++ -*-===//
+///
+/// \file
+/// Concrete syntax trees produced by the table-driven parser. Leaves carry
+/// the token text; interior nodes carry the production that built them, so
+/// a tree encodes the full (reversed rightmost) derivation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_PARSER_PARSETREE_H
+#define LALR_PARSER_PARSETREE_H
+
+#include "grammar/Grammar.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lalr {
+
+/// One node of a concrete parse tree.
+struct ParseNode {
+  SymbolId Symbol = InvalidSymbol;
+  /// Production that produced this node; InvalidProduction for leaves.
+  ProductionId Prod = InvalidProduction;
+  /// Token text (leaves only).
+  std::string Text;
+  std::vector<std::unique_ptr<ParseNode>> Children;
+
+  bool isLeaf() const { return Prod == InvalidProduction; }
+
+  /// Renders the subtree as an s-expression, e.g.
+  /// "(expr (expr (NUM 1)) + (term (NUM 2)))". Stable output used by the
+  /// round-trip tests.
+  std::string toSExpr(const Grammar &G) const;
+
+  /// Number of nodes in the subtree (this one included).
+  size_t size() const;
+
+  /// Concatenates the leaf texts left to right (the parsed terminal
+  /// string, for round-trip checks).
+  std::string leafText() const;
+};
+
+/// Makes a leaf node.
+std::unique_ptr<ParseNode> makeLeaf(SymbolId Terminal, std::string Text);
+
+/// Makes an interior node from popped children.
+std::unique_ptr<ParseNode>
+makeInterior(SymbolId Nt, ProductionId Prod,
+             std::vector<std::unique_ptr<ParseNode>> Children);
+
+} // namespace lalr
+
+#endif // LALR_PARSER_PARSETREE_H

@@ -1,0 +1,33 @@
+//===- parser/ParserDriver.cpp - Table-driven LR parsing --------------------===//
+
+#include "parser/ParserDriver.h"
+
+#include <sstream>
+
+using namespace lalr;
+
+std::optional<std::vector<Token>>
+lalr::tokenizeSymbols(const Grammar &G, std::string_view Text,
+                      std::string *Error) {
+  std::vector<Token> Out;
+  std::istringstream IS{std::string(Text)};
+  std::string Word;
+  uint32_t Col = 1;
+  while (IS >> Word) {
+    SymbolId S = G.findSymbol(Word);
+    // Allow bare literal spellings: "+" finds "'+'".
+    if (S == InvalidSymbol)
+      S = G.findSymbol("'" + Word + "'");
+    if (S == InvalidSymbol || G.isNonterminal(S)) {
+      if (Error)
+        *Error = "unknown terminal '" + Word + "'";
+      return std::nullopt;
+    }
+    Token Tok;
+    Tok.Kind = S;
+    Tok.Text = Word;
+    Tok.Loc = {1, Col++};
+    Out.push_back(std::move(Tok));
+  }
+  return Out;
+}

@@ -1,0 +1,263 @@
+//===- parser/ParserDriver.h - Table-driven LR parsing ----------*- C++ -*-===//
+///
+/// \file
+/// The runtime half of the generator: a shift-reduce driver over any
+/// ParseTable (LALR, SLR, or canonical LR(1) tables all run through the
+/// same loop). Semantic values are supplied by callbacks, so the driver is
+/// a header template usable with any value type; tree building and
+/// recognize-only parsing are thin wrappers.
+///
+/// Error handling is panic-mode: on a syntax error the driver reports the
+/// offending token and the expected set, then discards input tokens until
+/// one becomes shiftable (or gives up at end of input / after a bounded
+/// number of errors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_PARSER_PARSERDRIVER_H
+#define LALR_PARSER_PARSERDRIVER_H
+
+#include "grammar/Grammar.h"
+#include "lr/ParseTable.h"
+#include "parser/ParseTree.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lalr {
+
+/// One input token for the runtime parser.
+struct Token {
+  SymbolId Kind = InvalidSymbol;
+  std::string Text;
+  SourceLocation Loc;
+};
+
+/// Driver knobs.
+struct ParseOptions {
+  /// Attempt recovery instead of stopping at the first error.
+  bool Recover = true;
+  /// Hard cap on reported errors before giving up.
+  size_t MaxErrors = 25;
+  /// When the grammar declares an 'error' terminal, recover yacc-style:
+  /// pop states until 'error' is shiftable, shift it, then discard input
+  /// until a token has an action. Falls back to panic mode (discard one
+  /// token) when no state on the stack can shift 'error'.
+  bool UseErrorToken = true;
+};
+
+/// One syntax error: where, what was seen, what was possible.
+struct ParseError {
+  SourceLocation Loc;
+  std::string Message;
+  /// Reductions performed with the offending token as look-ahead before
+  /// the error was reported. Canonical LR(1) tables detect immediately
+  /// (0); LALR/SLR tables may reduce first (their LA sets merge
+  /// contexts); default-reduction-compressed tables reduce the most.
+  /// This is the error-detection-latency experiment's measurement.
+  size_t ReductionsBeforeDetection = 0;
+};
+
+/// Result of a parse, with or without a semantic value.
+template <typename ValueT> struct ParseOutcome {
+  bool Accepted = false;
+  std::optional<ValueT> Value;
+  std::vector<ParseError> Errors;
+  /// Reduction sequence = the reversed rightmost derivation.
+  std::vector<ProductionId> Reductions;
+  size_t Shifts = 0;
+
+  bool clean() const { return Accepted && Errors.empty(); }
+};
+
+namespace detail {
+
+/// Formats "unexpected X, expected one of: a b c". \p TableT is any type
+/// with ParseTable's action() interface (e.g. CompressedTable).
+template <typename TableT>
+std::string describeSyntaxError(const Grammar &G, const TableT &T,
+                                uint32_t State, SymbolId Got) {
+  std::ostringstream OS;
+  OS << "unexpected " << G.name(Got) << ", expected";
+  size_t Listed = 0;
+  for (SymbolId X = 0; X < G.numTerminals(); ++X) {
+    if (T.action(State, X).Kind == ActionKind::Error)
+      continue;
+    OS << (Listed == 0 ? ": " : " ") << G.name(X);
+    if (++Listed == 12) {
+      OS << " ...";
+      break;
+    }
+  }
+  if (Listed == 0)
+    OS << " nothing (parser state " << State << " is a dead end)";
+  return OS.str();
+}
+
+} // namespace detail
+
+/// Runs the LR driver over \p Input (an implicit $end is appended).
+/// \p OnToken maps a shifted token to a value; \p OnReduce maps a
+/// production and the values of its right-hand side (a mutable span —
+/// move out of it) to the value of the left-hand side. \p TableT is
+/// ParseTable or any type with the same action()/gotoNt() interface
+/// (CompressedTable).
+template <typename ValueT, typename TokenFnT, typename ReduceFnT,
+          typename TableT>
+ParseOutcome<ValueT>
+parseWithActions(const Grammar &G, const TableT &Table,
+                 std::span<const Token> Input, TokenFnT OnToken,
+                 ReduceFnT OnReduce, const ParseOptions &Opts = {}) {
+  ParseOutcome<ValueT> Out;
+  std::vector<uint32_t> States{0};
+  std::vector<ValueT> Values;
+
+  Token EofTok;
+  EofTok.Kind = G.eofSymbol();
+  EofTok.Text = "$end";
+
+  size_t Pos = 0;
+  size_t ReducesOnCurrentToken = 0;
+  while (true) {
+    const Token &Tok = Pos < Input.size() ? Input[Pos] : EofTok;
+    assert(Tok.Kind < G.numTerminals() && "token kind must be a terminal");
+    Action A = Table.action(States.back(), Tok.Kind);
+
+    if (A.Kind == ActionKind::Shift) {
+      States.push_back(A.Value);
+      Values.push_back(OnToken(Tok));
+      ++Out.Shifts;
+      ++Pos;
+      ReducesOnCurrentToken = 0;
+      continue;
+    }
+    if (A.Kind == ActionKind::Reduce) {
+      // Safety valve: with default-reduction tables an erroneous token
+      // can trigger a chain of reduces; a chain longer than the state
+      // count times the production count cannot be making progress.
+      if (ReducesOnCurrentToken >
+          Table.numStates() * G.numProductions() + 16) {
+        Out.Errors.push_back({Tok.Loc,
+                              "parser made no progress (runaway "
+                              "reduction chain); giving up",
+                              ReducesOnCurrentToken});
+        return Out;
+      }
+      const Production &P = G.production(A.Value);
+      size_t N = P.Rhs.size();
+      assert(Values.size() >= N && States.size() > N &&
+             "stack underflow on reduce");
+      std::span<ValueT> Popped(Values.data() + (Values.size() - N), N);
+      ValueT V = OnReduce(A.Value, Popped);
+      Values.resize(Values.size() - N);
+      States.resize(States.size() - N);
+      uint32_t Next = Table.gotoNt(States.back(), P.Lhs, G);
+      assert(Next != InvalidState && "missing GOTO after reduce");
+      States.push_back(Next);
+      Values.push_back(std::move(V));
+      Out.Reductions.push_back(A.Value);
+      ++ReducesOnCurrentToken;
+      continue;
+    }
+    if (A.Kind == ActionKind::Accept) {
+      Out.Reductions.push_back(0);
+      Out.Accepted = true;
+      if (!Values.empty())
+        Out.Value = std::move(Values.back());
+      return Out;
+    }
+
+    // Syntax error.
+    Out.Errors.push_back({Tok.Loc,
+                          detail::describeSyntaxError(G, Table,
+                                                      States.back(),
+                                                      Tok.Kind),
+                          ReducesOnCurrentToken});
+    ReducesOnCurrentToken = 0;
+    if (!Opts.Recover || Out.Errors.size() >= Opts.MaxErrors)
+      return Out;
+
+    // Yacc-style recovery via the reserved 'error' terminal, when the
+    // grammar declares one and some stacked state can shift it.
+    SymbolId ErrorTok =
+        Opts.UseErrorToken ? G.findSymbol("error") : InvalidSymbol;
+    if (ErrorTok != InvalidSymbol && G.isTerminal(ErrorTok)) {
+      size_t Depth = States.size();
+      while (Depth > 0 &&
+             Table.action(States[Depth - 1], ErrorTok).Kind !=
+                 ActionKind::Shift)
+        --Depth;
+      if (Depth > 0) {
+        // Pop to the recovery state, shift 'error' with a default value.
+        States.resize(Depth);
+        Values.erase(Values.begin() + (Depth - 1), Values.end());
+        Action ShiftErr = Table.action(States.back(), ErrorTok);
+        States.push_back(ShiftErr.Value);
+        Token Synth;
+        Synth.Kind = ErrorTok;
+        Synth.Text = "error";
+        Synth.Loc = Tok.Loc;
+        Values.push_back(OnToken(Synth));
+        // Discard input until a token with any action in the new state
+        // ($end always stops the scan).
+        while (Pos < Input.size() &&
+               Table.action(States.back(), Input[Pos].Kind).Kind ==
+                   ActionKind::Error)
+          ++Pos;
+        continue;
+      }
+    }
+
+    if (Pos >= Input.size())
+      return Out; // error at $end: nothing left to discard
+    // Panic mode: discard the offending token and retry.
+    ++Pos;
+  }
+}
+
+/// Recognize-only parse: no semantic values, cheapest possible run.
+template <typename TableT>
+ParseOutcome<int> recognize(const Grammar &G, const TableT &Table,
+                            std::span<const Token> Input,
+                            const ParseOptions &Opts = {}) {
+  return parseWithActions<int>(
+      G, Table, Input, [](const Token &) { return 0; },
+      [](ProductionId, std::span<int>) { return 0; }, Opts);
+}
+
+/// Parse into a concrete parse tree.
+template <typename TableT>
+ParseOutcome<std::unique_ptr<ParseNode>>
+parseToTree(const Grammar &G, const TableT &Table,
+            std::span<const Token> Input, const ParseOptions &Opts = {}) {
+  return parseWithActions<std::unique_ptr<ParseNode>>(
+      G, Table, Input,
+      [](const Token &Tok) { return makeLeaf(Tok.Kind, Tok.Text); },
+      [&G](ProductionId Prod, std::span<std::unique_ptr<ParseNode>> Rhs) {
+        std::vector<std::unique_ptr<ParseNode>> Children;
+        Children.reserve(Rhs.size());
+        for (auto &Child : Rhs)
+          Children.push_back(std::move(Child));
+        return makeInterior(G.production(Prod).Lhs, Prod,
+                            std::move(Children));
+      },
+      Opts);
+}
+
+/// Tokenizes a whitespace-separated string of symbol names into Tokens for
+/// the given grammar (convenience for tests/examples; real front ends use
+/// their own lexers). Unknown names produce an empty result and an error
+/// message in \p Error.
+std::optional<std::vector<Token>> tokenizeSymbols(const Grammar &G,
+                                                  std::string_view Text,
+                                                  std::string *Error = nullptr);
+
+} // namespace lalr
+
+#endif // LALR_PARSER_PARSERDRIVER_H

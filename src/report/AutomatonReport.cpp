@@ -1,0 +1,100 @@
+//===- report/AutomatonReport.cpp - yacc -v style reports -------------------===//
+
+#include "report/AutomatonReport.h"
+
+#include <sstream>
+
+using namespace lalr;
+
+std::string lalr::renderTerminalSet(const Grammar &G, const BitSet &Set) {
+  std::ostringstream OS;
+  OS << "{";
+  for (size_t T : Set)
+    OS << ' ' << G.name(static_cast<SymbolId>(T));
+  OS << " }";
+  return OS.str();
+}
+
+std::string lalr::reportStates(const Lr0Automaton &A,
+                               const LalrLookaheads *LA) {
+  const Grammar &G = A.grammar();
+  std::ostringstream OS;
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    OS << "state " << S;
+    if (A.state(S).AccessingSymbol != InvalidSymbol)
+      OS << "  (on " << G.name(A.state(S).AccessingSymbol) << ")";
+    OS << "\n";
+    for (const Lr0Item &Item : A.closureItems(S))
+      OS << "    " << Item.toString(G) << "\n";
+    if (!A.state(S).Transitions.empty()) {
+      OS << "  transitions:\n";
+      for (auto [Sym, Target] : A.state(S).Transitions)
+        OS << "    " << G.name(Sym) << " -> state " << Target << "\n";
+    }
+    if (!A.state(S).Reductions.empty()) {
+      OS << "  reductions:\n";
+      for (ProductionId P : A.state(S).Reductions) {
+        OS << "    by " << P << " (" << G.productionToString(P) << ")";
+        if (LA)
+          OS << "  on " << renderTerminalSet(G, LA->la(S, P));
+        OS << "\n";
+      }
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+std::string lalr::reportRelations(const Lr0Automaton &A,
+                                  const LalrLookaheads &LA) {
+  const Grammar &G = A.grammar();
+  const NtTransitionIndex &NtIdx = LA.ntTransitions();
+  const LalrRelations &R = LA.relations();
+  std::ostringstream OS;
+
+  auto transName = [&](uint32_t X) {
+    std::ostringstream N;
+    N << "(" << NtIdx[X].From << ", " << G.name(NtIdx[X].Nt) << ")";
+    return N.str();
+  };
+
+  OS << "nonterminal transitions: " << NtIdx.size() << "\n";
+  for (uint32_t X = 0; X < NtIdx.size(); ++X) {
+    OS << "  " << transName(X) << " -> state " << NtIdx[X].To << "\n";
+    OS << "    DR     = " << renderTerminalSet(G, R.DirectRead[X]) << "\n";
+    OS << "    Read   = " << renderTerminalSet(G, LA.readSets()[X]) << "\n";
+    OS << "    Follow = " << renderTerminalSet(G, LA.followSets()[X])
+       << "\n";
+    if (!R.Reads[X].empty()) {
+      OS << "    reads:";
+      for (uint32_t Y : R.Reads[X])
+        OS << ' ' << transName(Y);
+      OS << "\n";
+    }
+    if (!R.Includes[X].empty()) {
+      OS << "    includes:";
+      for (uint32_t Y : R.Includes[X])
+        OS << ' ' << transName(Y);
+      OS << "\n";
+    }
+  }
+  OS << "reads edges: " << R.readsEdgeCount()
+     << ", includes edges: " << R.includesEdgeCount()
+     << ", lookback edges: " << R.lookbackEdgeCount() << "\n";
+  if (LA.grammarNotLrK())
+    OS << "NOTE: nontrivial SCC in reads -- grammar is not LR(k) for any "
+          "k\n";
+  return OS.str();
+}
+
+std::string lalr::reportConflicts(const Grammar &G, const ParseTable &Table) {
+  std::ostringstream OS;
+  if (Table.conflicts().empty())
+    return "no conflicts\n";
+  for (const Conflict &C : Table.conflicts())
+    OS << C.toString(G) << "\n";
+  OS << Table.unresolvedShiftReduce() << " shift/reduce and "
+     << Table.unresolvedReduceReduce()
+     << " reduce/reduce conflicts unresolved\n";
+  return OS.str();
+}

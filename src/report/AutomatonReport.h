@@ -1,0 +1,37 @@
+//===- report/AutomatonReport.h - yacc -v style reports ---------*- C++ -*-===//
+///
+/// \file
+/// Human-readable dumps of the automaton, look-ahead sets, relations and
+/// conflicts — the equivalent of yacc's y.output. Used by the
+/// grammar_report example and handy when debugging grammars.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_REPORT_AUTOMATONREPORT_H
+#define LALR_REPORT_AUTOMATONREPORT_H
+
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+#include "lr/ParseTable.h"
+
+#include <string>
+
+namespace lalr {
+
+/// Renders every state: its full item set, transitions, and reductions
+/// with their LA sets (when \p LA is nonnull).
+std::string reportStates(const Lr0Automaton &A, const LalrLookaheads *LA);
+
+/// Renders the DP artifacts: nonterminal transitions with DR/Read/Follow
+/// sets, and the reads/includes edges.
+std::string reportRelations(const Lr0Automaton &A, const LalrLookaheads &LA);
+
+/// Renders the conflict list of a table (resolved and unresolved).
+std::string reportConflicts(const Grammar &G, const ParseTable &Table);
+
+/// Renders a compact terminal-set "{ a b c }".
+std::string renderTerminalSet(const Grammar &G, const BitSet &Set);
+
+} // namespace lalr
+
+#endif // LALR_REPORT_AUTOMATONREPORT_H

@@ -1,0 +1,33 @@
+//===- report/ConflictWitness.cpp - Full-sentence conflict examples -----------===//
+
+#include "report/ConflictWitness.h"
+
+#include "grammar/SentenceGen.h"
+#include "parser/ParserDriver.h"
+#include "support/Rng.h"
+
+using namespace lalr;
+
+std::optional<std::vector<SymbolId>>
+lalr::findConflictWitness(const Grammar &G, const ParseTable &Table,
+                          const Conflict &C, unsigned Tries, size_t MaxLen,
+                          uint64_t Seed) {
+  CellSpyTable Spy(Table, C.State, C.Terminal);
+  Rng R(Seed);
+  for (unsigned I = 0; I < Tries; ++I) {
+    std::vector<SymbolId> S = randomSentence(G, R, MaxLen);
+    std::vector<Token> Tokens;
+    Tokens.reserve(S.size());
+    for (SymbolId Sym : S) {
+      Token T;
+      T.Kind = Sym;
+      Tokens.push_back(std::move(T));
+    }
+    Spy.reset();
+    auto Out = recognize(G, Spy, Tokens,
+                         ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+    if (Spy.hit() && Out.clean())
+      return S;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,62 @@
+//===- report/ConflictWitness.h - Full-sentence conflict examples -*- C++ -*-===//
+///
+/// \file
+/// Upgrades the viable-prefix conflict explanation to a *complete
+/// sentence*: a member of L(G) whose parse actually consults the
+/// conflicted (state, terminal) cell. Found by sampling random sentences
+/// through a cell-spying wrapper around the parse table — probabilistic
+/// (an unlucky budget returns nothing), but when it returns a sentence,
+/// that sentence provably exercises the conflict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_REPORT_CONFLICTWITNESS_H
+#define LALR_REPORT_CONFLICTWITNESS_H
+
+#include "grammar/Grammar.h"
+#include "lr/ParseTable.h"
+
+#include <optional>
+#include <vector>
+
+namespace lalr {
+
+/// A wrapper exposing ParseTable's interface while recording whether one
+/// particular cell was consulted. Works with the templated driver.
+class CellSpyTable {
+public:
+  CellSpyTable(const ParseTable &Inner, uint32_t State, SymbolId Terminal)
+      : Inner(Inner), SpyState(State), SpyTerminal(Terminal) {}
+
+  Action action(uint32_t State, SymbolId Terminal) const {
+    if (State == SpyState && Terminal == SpyTerminal)
+      Hit = true;
+    return Inner.action(State, Terminal);
+  }
+  uint32_t gotoNt(uint32_t State, SymbolId Nt, const Grammar &G) const {
+    return Inner.gotoNt(State, Nt, G);
+  }
+  size_t numStates() const { return Inner.numStates(); }
+
+  bool hit() const { return Hit; }
+  void reset() { Hit = false; }
+
+private:
+  const ParseTable &Inner;
+  uint32_t SpyState;
+  SymbolId SpyTerminal;
+  mutable bool Hit = false;
+};
+
+/// Searches up to \p Tries random sentences (seeded deterministically
+/// from \p Seed) for one whose parse consults \p C's cell. Requires the
+/// reaching parse to succeed under the table's resolution, so the
+/// returned sentence is a real program exercising the conflict.
+std::optional<std::vector<SymbolId>>
+findConflictWitness(const Grammar &G, const ParseTable &Table,
+                    const Conflict &C, unsigned Tries = 2000,
+                    size_t MaxLen = 30, uint64_t Seed = 1);
+
+} // namespace lalr
+
+#endif // LALR_REPORT_CONFLICTWITNESS_H

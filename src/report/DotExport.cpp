@@ -1,0 +1,66 @@
+//===- report/DotExport.cpp - Graphviz export of automata ---------------------===//
+
+#include "report/DotExport.h"
+
+#include "report/AutomatonReport.h"
+
+#include <sstream>
+
+using namespace lalr;
+
+namespace {
+
+/// Escapes a string for a DOT label.
+std::string dotEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string lalr::exportDot(const Lr0Automaton &A, const LalrLookaheads *LA,
+                            const DotOptions &Opts) {
+  const Grammar &G = A.grammar();
+  const bool Detailed =
+      Opts.ShowItems && A.numStates() <= Opts.MaxDetailedStates;
+  std::ostringstream OS;
+  OS << "digraph \"" << dotEscape(G.grammarName()) << "\" {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    OS << "  s" << S << " [label=\"";
+    if (!Detailed) {
+      OS << "state " << S;
+    } else {
+      OS << "state " << S << "\\n";
+      for (const Lr0Item &Item : A.closureItems(S))
+        OS << dotEscape(Item.toString(G)) << "\\l";
+      if (Opts.ShowLookaheads && LA)
+        for (ProductionId P : A.state(S).Reductions)
+          OS << dotEscape("reduce " + std::to_string(P) + " on " +
+                          renderTerminalSet(G, LA->la(S, P)))
+             << "\\l";
+    }
+    OS << "\"";
+    if (S == A.acceptState())
+      OS << ", peripheries=2";
+    OS << "];\n";
+  }
+
+  for (StateId S = 0; S < A.numStates(); ++S)
+    for (auto [Sym, Target] : A.state(S).Transitions) {
+      OS << "  s" << S << " -> s" << Target << " [label=\""
+         << dotEscape(G.name(Sym)) << "\"";
+      if (G.isNonterminal(Sym))
+        OS << ", style=dashed";
+      OS << "];\n";
+    }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,37 @@
+//===- report/DotExport.h - Graphviz export of automata ---------*- C++ -*-===//
+///
+/// \file
+/// Renders an LR(0) automaton as a Graphviz digraph, optionally
+/// annotating reductions with their DP look-ahead sets — the picture
+/// every LR textbook draws, generated mechanically for any grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_REPORT_DOTEXPORT_H
+#define LALR_REPORT_DOTEXPORT_H
+
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+
+#include <string>
+
+namespace lalr {
+
+/// Options for the rendering.
+struct DotOptions {
+  /// Include the full item sets in state labels (false: state ids only).
+  bool ShowItems = true;
+  /// Annotate reductions with LA sets (requires a LalrLookaheads).
+  bool ShowLookaheads = true;
+  /// Cap on states rendered with items (larger automata fall back to
+  /// id-only labels to stay readable).
+  size_t MaxDetailedStates = 64;
+};
+
+/// Renders \p A as a DOT digraph. \p LA may be null.
+std::string exportDot(const Lr0Automaton &A, const LalrLookaheads *LA,
+                      const DotOptions &Opts = {});
+
+} // namespace lalr
+
+#endif // LALR_REPORT_DOTEXPORT_H

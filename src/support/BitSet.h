@@ -1,0 +1,194 @@
+//===- support/BitSet.h - Dynamic bit set -----------------------*- C++ -*-===//
+//
+// Part of the lalr project, a reproduction of DeRemer & Pennello,
+// "Efficient computation of LALR(1) look-ahead sets" (SIGPLAN '79).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dynamically sized bit set used throughout the library to represent
+/// terminal sets (DR, Read, Follow, LA, FIRST, FOLLOW). Look-ahead
+/// computation is dominated by set unions, so the representation is a packed
+/// array of 64-bit words and every union reports whether it changed anything,
+/// which the fixpoint algorithms rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SUPPORT_BITSET_H
+#define LALR_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace lalr {
+
+/// A fixed-universe dynamic bit set over indices [0, size()).
+///
+/// All binary operations require both operands to share the same universe
+/// size; this is asserted rather than resized silently, because mixing
+/// terminal sets from different grammars is always a bug.
+class BitSet {
+public:
+  BitSet() = default;
+
+  /// Creates an empty set over a universe of \p NumBits elements.
+  explicit BitSet(size_t NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  /// Returns the universe size (number of addressable bits).
+  size_t size() const { return NumBits; }
+
+  /// Returns true if no bit is set.
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  /// Returns the number of set bits.
+  size_t count() const;
+
+  /// Tests bit \p Idx.
+  bool test(size_t Idx) const {
+    assert(Idx < NumBits && "BitSet::test out of range");
+    return (Words[Idx / 64] >> (Idx % 64)) & 1;
+  }
+
+  /// Sets bit \p Idx. Returns true if the bit was previously clear.
+  bool set(size_t Idx) {
+    assert(Idx < NumBits && "BitSet::set out of range");
+    uint64_t &W = Words[Idx / 64];
+    uint64_t Mask = uint64_t(1) << (Idx % 64);
+    if (W & Mask)
+      return false;
+    W |= Mask;
+    return true;
+  }
+
+  /// Clears bit \p Idx.
+  void reset(size_t Idx) {
+    assert(Idx < NumBits && "BitSet::reset out of range");
+    Words[Idx / 64] &= ~(uint64_t(1) << (Idx % 64));
+  }
+
+  /// Clears all bits, keeping the universe size.
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Unions \p Other into this set. Returns true if any bit was added.
+  /// This is the hot operation of the digraph algorithm.
+  bool unionWith(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "BitSet universe mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      uint64_t New = Old | Other.Words[I];
+      if (New != Old) {
+        Words[I] = New;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  /// Unions a set over a smaller-or-equal universe into this one (the
+  /// extra high indices of this set are unaffected). Used where a
+  /// terminal set flows into a set with extra sentinel slots, e.g. the
+  /// YACC baseline's dummy look-ahead symbol.
+  bool unionWithSubset(const BitSet &Other) {
+    assert(Other.NumBits <= NumBits && "subset union needs a smaller "
+                                       "universe on the right");
+    bool Changed = false;
+    for (size_t I = 0, E = Other.Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      uint64_t New = Old | Other.Words[I];
+      if (New != Old) {
+        Words[I] = New;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  /// Intersects this set with \p Other in place.
+  void intersectWith(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "BitSet universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= Other.Words[I];
+  }
+
+  /// Removes every element of \p Other from this set.
+  void subtract(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "BitSet universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  /// Returns true if this set and \p Other share no element.
+  bool disjointWith(const BitSet &Other) const {
+    assert(NumBits == Other.NumBits && "BitSet universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & Other.Words[I])
+        return false;
+    return true;
+  }
+
+  /// Returns true if every element of this set is in \p Other.
+  bool subsetOf(const BitSet &Other) const {
+    assert(NumBits == Other.NumBits && "BitSet universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & ~Other.Words[I])
+        return false;
+    return true;
+  }
+
+  bool operator==(const BitSet &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+  bool operator!=(const BitSet &Other) const { return !(*this == Other); }
+
+  /// Returns the index of the first set bit at or after \p From, or
+  /// size() if there is none. Drives the iterator.
+  size_t findNext(size_t From) const;
+
+  /// Forward iterator over the indices of set bits, smallest first.
+  class ConstIterator {
+  public:
+    ConstIterator(const BitSet &Parent, size_t Idx)
+        : Parent(&Parent), Idx(Idx) {}
+    size_t operator*() const { return Idx; }
+    ConstIterator &operator++() {
+      Idx = Parent->findNext(Idx + 1);
+      return *this;
+    }
+    bool operator==(const ConstIterator &O) const { return Idx == O.Idx; }
+    bool operator!=(const ConstIterator &O) const { return Idx != O.Idx; }
+
+  private:
+    const BitSet *Parent;
+    size_t Idx;
+  };
+
+  ConstIterator begin() const { return ConstIterator(*this, findNext(0)); }
+  ConstIterator end() const { return ConstIterator(*this, NumBits); }
+
+  /// Collects the set bits into a vector, in increasing order.
+  std::vector<size_t> toVector() const;
+
+  /// Read-only view of the packed words; used for hashing/interning sets
+  /// (e.g. canonical LR(1) state identity).
+  const std::vector<uint64_t> &words() const { return Words; }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace lalr
+
+#endif // LALR_SUPPORT_BITSET_H

@@ -1,0 +1,29 @@
+//===- support/Diagnostics.cpp - Source locations and diagnostics ----------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace lalr;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Error:
+    return "error";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      OS << D.Loc.Line << ':' << D.Loc.Column << ": ";
+    OS << severityName(D.Severity) << ": " << D.Message << '\n';
+  }
+  return OS.str();
+}

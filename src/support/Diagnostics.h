@@ -1,0 +1,71 @@
+//===- support/Diagnostics.h - Source locations and diagnostics -*- C++ -*-===//
+///
+/// \file
+/// Lightweight diagnostic machinery for the grammar front end. Grammar files
+/// are small, so diagnostics carry full line/column locations and the engine
+/// collects every diagnostic rather than stopping at the first, which lets
+/// the tests assert on complete error lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SUPPORT_DIAGNOSTICS_H
+#define LALR_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lalr {
+
+/// A 1-based line/column position within a grammar source buffer.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SourceLocation &O) const {
+    return Line == O.Line && Column == O.Column;
+  }
+};
+
+/// Severity of a diagnostic. Errors make the front end fail; warnings and
+/// notes are advisory.
+enum class DiagSeverity { Error, Warning, Note };
+
+/// One reported problem: severity, location, and rendered message.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics during a front-end pass.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  size_t errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines,
+  /// suitable for printing to stderr.
+  std::string render() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  size_t NumErrors = 0;
+};
+
+} // namespace lalr
+
+#endif // LALR_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,29 @@
+//===- support/Rng.cpp - Deterministic random numbers ----------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace lalr;
+
+uint64_t Rng::next() {
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545F4914F6CDD1Dull;
+}
+
+uint64_t Rng::below(uint64_t Bound) {
+  assert(Bound != 0 && "Rng::below requires a nonzero bound");
+  return next() % Bound;
+}
+
+uint64_t Rng::range(uint64_t Lo, uint64_t Hi) {
+  assert(Lo <= Hi && "Rng::range requires Lo <= Hi");
+  return Lo + below(Hi - Lo + 1);
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den != 0 && "Rng::chance requires a nonzero denominator");
+  return below(Den) < Num;
+}

@@ -1,0 +1,41 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+///
+/// \file
+/// A small deterministic PRNG (xorshift*) used by the synthetic grammar
+/// generators and property tests. Determinism matters: every random grammar
+/// in the test suite and every synthetic benchmark workload is reproducible
+/// from its seed, so failures can be replayed exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SUPPORT_RNG_H
+#define LALR_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace lalr {
+
+/// xorshift64* generator. Not cryptographic; stable across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound);
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi);
+
+  /// Bernoulli draw: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+private:
+  uint64_t State;
+};
+
+} // namespace lalr
+
+#endif // LALR_SUPPORT_RNG_H

@@ -1,0 +1,95 @@
+//===- support/Scc.cpp - Strongly connected components ----------------------===//
+
+#include "support/Scc.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lalr;
+
+namespace {
+
+/// Explicit stack frame for the iterative Tarjan traversal.
+struct Frame {
+  uint32_t Node;
+  size_t EdgeIdx;
+};
+
+} // namespace
+
+SccResult lalr::computeSccs(const std::vector<std::vector<uint32_t>> &Adj) {
+  const size_t N = Adj.size();
+  constexpr uint32_t Unvisited = UINT32_MAX;
+
+  SccResult Result;
+  Result.ComponentOf.assign(N, Unvisited);
+
+  std::vector<uint32_t> Index(N, Unvisited);
+  std::vector<uint32_t> LowLink(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<uint32_t> Stack;
+  std::vector<Frame> CallStack;
+  uint32_t NextIndex = 0;
+
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+    CallStack.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      uint32_t U = F.Node;
+      if (F.EdgeIdx < Adj[U].size()) {
+        uint32_t V = Adj[U][F.EdgeIdx++];
+        if (Index[V] == Unvisited) {
+          Index[V] = LowLink[V] = NextIndex++;
+          Stack.push_back(V);
+          OnStack[V] = true;
+          CallStack.push_back({V, 0});
+        } else if (OnStack[V]) {
+          LowLink[U] = std::min(LowLink[U], Index[V]);
+        }
+        continue;
+      }
+      // All successors of U processed: maybe pop a component, then return
+      // the low-link to the parent frame.
+      if (LowLink[U] == Index[U]) {
+        uint32_t Comp = static_cast<uint32_t>(Result.Components.size());
+        Result.Components.emplace_back();
+        uint32_t V;
+        do {
+          V = Stack.back();
+          Stack.pop_back();
+          OnStack[V] = false;
+          Result.ComponentOf[V] = Comp;
+          Result.Components[Comp].push_back(V);
+        } while (V != U);
+      }
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        uint32_t Parent = CallStack.back().Node;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[U]);
+      }
+    }
+  }
+  return Result;
+}
+
+size_t SccResult::countNontrivial(
+    const std::vector<std::vector<uint32_t>> &Adj) const {
+  size_t Count = 0;
+  for (const std::vector<uint32_t> &Comp : Components) {
+    if (Comp.size() >= 2) {
+      ++Count;
+      continue;
+    }
+    // Singleton: nontrivial only with a self-loop.
+    uint32_t U = Comp.front();
+    if (std::find(Adj[U].begin(), Adj[U].end(), U) != Adj[U].end())
+      ++Count;
+  }
+  return Count;
+}

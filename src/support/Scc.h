@@ -1,0 +1,43 @@
+//===- support/Scc.h - Strongly connected components ------------*- C++ -*-===//
+///
+/// \file
+/// Tarjan's strongly-connected-components algorithm over an adjacency-list
+/// digraph. The look-ahead solver has its own fused Tarjan traversal (the
+/// paper's "digraph" algorithm); this standalone version is used for
+/// analysis and reporting — counting nontrivial SCCs in the reads and
+/// includes relations (Table 2) and for the not-LR(k) diagnosis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SUPPORT_SCC_H
+#define LALR_SUPPORT_SCC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lalr {
+
+/// Result of an SCC decomposition of a digraph with N nodes.
+struct SccResult {
+  /// Component index of each node; components are numbered in reverse
+  /// topological order (a component's successors have smaller indices).
+  std::vector<uint32_t> ComponentOf;
+  /// Members of each component.
+  std::vector<std::vector<uint32_t>> Components;
+
+  size_t componentCount() const { return Components.size(); }
+
+  /// A component is nontrivial if it has >= 2 nodes or a self-loop; the
+  /// self-loop information must be supplied by the caller via
+  /// \c countNontrivial.
+  size_t countNontrivial(const std::vector<std::vector<uint32_t>> &Adj) const;
+};
+
+/// Computes the SCCs of the digraph given by \p Adj (Adj[u] lists the
+/// successors of u). Iterative Tarjan; safe for large graphs.
+SccResult computeSccs(const std::vector<std::vector<uint32_t>> &Adj);
+
+} // namespace lalr
+
+#endif // LALR_SUPPORT_SCC_H

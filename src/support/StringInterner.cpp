@@ -1,0 +1,27 @@
+//===- support/StringInterner.cpp - String uniquing ------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace lalr;
+
+uint32_t StringInterner::intern(std::string_view Str) {
+  auto It = Ids.find(std::string(Str));
+  if (It != Ids.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Spellings.size());
+  Spellings.emplace_back(Str);
+  Ids.emplace(Spellings.back(), Id);
+  return Id;
+}
+
+uint32_t StringInterner::lookup(std::string_view Str) const {
+  auto It = Ids.find(std::string(Str));
+  return It == Ids.end() ? NotFound : It->second;
+}
+
+const std::string &StringInterner::spelling(uint32_t Id) const {
+  assert(Id < Spellings.size() && "invalid interned id");
+  return Spellings[Id];
+}

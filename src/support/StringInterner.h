@@ -1,0 +1,45 @@
+//===- support/StringInterner.h - String uniquing ---------------*- C++ -*-===//
+///
+/// \file
+/// Maps symbol spellings to dense integer ids and back. Grammar symbols are
+/// referred to by id everywhere past the front end, so interning happens once
+/// at grammar construction time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SUPPORT_STRINGINTERNER_H
+#define LALR_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lalr {
+
+/// Assigns consecutive uint32_t ids to distinct strings.
+class StringInterner {
+public:
+  /// Returns the id of \p Str, interning it if new.
+  uint32_t intern(std::string_view Str);
+
+  /// Returns the id of \p Str if it is already interned, or NotFound.
+  uint32_t lookup(std::string_view Str) const;
+
+  /// Returns the spelling for \p Id. \p Id must be a valid id.
+  const std::string &spelling(uint32_t Id) const;
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return Spellings.size(); }
+
+  static constexpr uint32_t NotFound = UINT32_MAX;
+
+private:
+  std::unordered_map<std::string, uint32_t> Ids;
+  std::vector<std::string> Spellings;
+};
+
+} // namespace lalr
+
+#endif // LALR_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,53 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+///
+/// \file
+/// Minimal steady-clock stopwatch for the benchmark harnesses. The table
+/// benches report medians of repeated runs; google-benchmark is used for the
+/// micro benches only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SUPPORT_TIMER_H
+#define LALR_SUPPORT_TIMER_H
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace lalr {
+
+/// Steady-clock stopwatch measuring elapsed microseconds.
+class Timer {
+public:
+  Timer() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+  /// Elapsed time since construction/reset, in microseconds.
+  double elapsedUs() const {
+    auto Now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(Now - Start).count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Runs \p Fn \p Reps times and returns the median elapsed time in
+/// microseconds. \p Fn must be idempotent.
+template <typename FnT> double medianTimeUs(int Reps, FnT &&Fn) {
+  std::vector<double> Samples;
+  Samples.reserve(Reps);
+  for (int I = 0; I < Reps; ++I) {
+    Timer T;
+    Fn();
+    Samples.push_back(T.elapsedUs());
+  }
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[Samples.size() / 2];
+}
+
+} // namespace lalr
+
+#endif // LALR_SUPPORT_TIMER_H

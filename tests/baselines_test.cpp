@@ -1,0 +1,223 @@
+//===- tests/baselines_test.cpp - Baseline method unit tests -----------------===//
+
+#include "baselines/Clr1Builder.h"
+#include "baselines/MergedLalrBuilder.h"
+#include "baselines/NqlalrBuilder.h"
+#include "baselines/SlrBuilder.h"
+#include "baselines/YaccLalrBuilder.h"
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarBuilder.h"
+#include "grammar/GrammarParser.h"
+#include "lalr/LalrLookaheads.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace lalr;
+
+namespace {
+
+std::set<std::string> names(const Grammar &G, const BitSet &S) {
+  std::set<std::string> Out;
+  for (size_t T : S)
+    Out.insert(G.name(static_cast<SymbolId>(T)));
+  return Out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// SLR
+// ---------------------------------------------------------------------------
+
+TEST(SlrTest, ConflictOnAssignmentGrammar) {
+  Grammar G = loadCorpusGrammar("lalr_not_slr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable Slr = buildSlrTable(A, An);
+  EXPECT_EQ(Slr.conflicts().size(), 1u);
+  EXPECT_EQ(Slr.conflicts()[0].Kind, Conflict::ShiftReduce);
+  EXPECT_EQ(G.name(Slr.conflicts()[0].Terminal), "'='");
+
+  ParseTable Lalr = buildLalrTable(A, An);
+  EXPECT_TRUE(Lalr.conflicts().empty());
+}
+
+TEST(SlrTest, AdequateOnExpr) {
+  Grammar G = loadCorpusGrammar("expr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable Slr = buildSlrTable(A, An);
+  EXPECT_TRUE(Slr.isAdequate());
+  EXPECT_TRUE(Slr.conflicts().empty());
+}
+
+// ---------------------------------------------------------------------------
+// NQLALR
+// ---------------------------------------------------------------------------
+
+TEST(NqlalrTest, BreaksOnTheMergedFollowSpecimen) {
+  Grammar G = loadCorpusGrammar("lalr_not_nqlalr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable Nq = buildNqlalrTable(A, An);
+  ParseTable Lalr = buildLalrTable(A, An);
+  EXPECT_FALSE(Nq.conflicts().empty())
+      << "per-state follow merging must manufacture a conflict";
+  EXPECT_TRUE(Lalr.conflicts().empty())
+      << "true LALR(1) look-ahead keeps the contexts apart";
+  // The manufactured conflict is a shift/reduce on 'd'.
+  EXPECT_EQ(Nq.conflicts()[0].Kind, Conflict::ShiftReduce);
+  EXPECT_EQ(G.name(Nq.conflicts()[0].Terminal), "'d'");
+}
+
+TEST(NqlalrTest, StrictSupersetOnSpecimen) {
+  Grammar G = loadCorpusGrammar("lalr_not_nqlalr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  LalrLookaheads Dp = LalrLookaheads::compute(A, An);
+  NqlalrLookaheads Nq = NqlalrLookaheads::compute(A, An);
+  bool Strict = false;
+  for (uint32_t Slot = 0; Slot < Dp.reductions().size(); ++Slot) {
+    ASSERT_TRUE(Dp.laSets()[Slot].subsetOf(Nq.laSets()[Slot]));
+    Strict |= Dp.laSets()[Slot] != Nq.laSets()[Slot];
+  }
+  EXPECT_TRUE(Strict) << "at least one NQLALR set must be strictly larger";
+}
+
+// ---------------------------------------------------------------------------
+// YACC propagation
+// ---------------------------------------------------------------------------
+
+TEST(YaccTest, CountsLinksAndPasses) {
+  Grammar G = loadCorpusGrammar("minipascal");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  YaccLalrLookaheads Yacc = YaccLalrLookaheads::compute(A, An);
+  EXPECT_GT(Yacc.propagationLinkCount(), 0u);
+  EXPECT_GE(Yacc.propagationPassCount(), 2u)
+      << "at least one working pass plus the confirming pass";
+}
+
+TEST(YaccTest, TableIdenticalToDp) {
+  for (const char *Name : {"expr", "json", "minic", "lalr_not_slr"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    ParseTable TDp = buildLalrTable(A, An);
+    ParseTable TYacc = buildYaccLalrTable(A, An);
+    ASSERT_EQ(TDp.numStates(), TYacc.numStates());
+    for (uint32_t S = 0; S < TDp.numStates(); ++S)
+      for (SymbolId T = 0; T < G.numTerminals(); ++T)
+        EXPECT_EQ(TDp.action(S, T), TYacc.action(S, T))
+            << Name << " state " << S << " on " << G.name(T);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical LR(1)
+// ---------------------------------------------------------------------------
+
+TEST(Lr1Test, HasAtLeastAsManyStatesAsLr0) {
+  for (const char *Name : {"expr", "json", "miniada", "lr1_not_lalr"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A0 = Lr0Automaton::build(G);
+    Lr1Automaton A1 = Lr1Automaton::build(G, An);
+    EXPECT_GE(A1.numStates(), A0.numStates()) << Name;
+  }
+}
+
+TEST(Lr1Test, EveryCoreIsAnLr0Kernel) {
+  Grammar G = loadCorpusGrammar("expr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A0 = Lr0Automaton::build(G);
+  Lr1Automaton A1 = Lr1Automaton::build(G, An);
+  std::set<std::vector<uint64_t>> Lr0Cores;
+  for (StateId S = 0; S < A0.numStates(); ++S) {
+    std::vector<uint64_t> Key;
+    for (const Lr0Item &I : A0.state(S).Kernel)
+      Key.push_back(I.packed());
+    Lr0Cores.insert(Key);
+  }
+  for (uint32_t S = 0; S < A1.numStates(); ++S)
+    EXPECT_TRUE(Lr0Cores.count(A1.coreKey(S)))
+        << "LR(1) state " << S << " has a core unknown to LR(0)";
+}
+
+TEST(Lr1Test, SplitsStatesOnLr1NotLalrSpecimen) {
+  Grammar G = loadCorpusGrammar("lr1_not_lalr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A0 = Lr0Automaton::build(G);
+  Lr1Automaton A1 = Lr1Automaton::build(G, An);
+  EXPECT_GT(A1.numStates(), A0.numStates())
+      << "the specimen exists precisely because LR(1) must split";
+  ParseTable Clr = buildClr1Table(A1);
+  EXPECT_TRUE(Clr.conflicts().empty());
+  ParseTable Lalr = buildLalrTable(A0, An);
+  EXPECT_FALSE(Lalr.conflicts().empty());
+  // And the LALR conflicts are reduce/reduce, as the construction says.
+  for (const Conflict &C : Lalr.conflicts())
+    EXPECT_EQ(C.Kind, Conflict::ReduceReduce);
+}
+
+TEST(Lr1Test, StartStateLookaheadIsEof) {
+  Grammar G = loadCorpusGrammar("expr");
+  GrammarAnalysis An(G);
+  Lr1Automaton A1 = Lr1Automaton::build(G, An);
+  const Lr1State &S0 = A1.state(0);
+  ASSERT_EQ(S0.KernelItems.size(), 1u);
+  EXPECT_EQ(names(G, S0.KernelLa[0]), (std::set<std::string>{"$end"}));
+}
+
+// ---------------------------------------------------------------------------
+// Merged LALR
+// ---------------------------------------------------------------------------
+
+TEST(MergedTest, TableIdenticalToDp) {
+  for (const char *Name : {"expr", "lalr_not_slr", "lr1_not_lalr"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    ParseTable TDp = buildLalrTable(A, An);
+    ParseTable TMerged = buildMergedLalrTable(A, An);
+    ASSERT_EQ(TDp.numStates(), TMerged.numStates());
+    for (uint32_t S = 0; S < TDp.numStates(); ++S)
+      for (SymbolId T = 0; T < G.numTerminals(); ++T)
+        EXPECT_EQ(TDp.action(S, T), TMerged.action(S, T)) << Name;
+    EXPECT_EQ(TDp.conflicts().size(), TMerged.conflicts().size());
+  }
+}
+
+TEST(YaccTest, WordBoundaryTerminalCountRegression) {
+  // Regression: the YACC baseline's dummy look-ahead slot lives one past
+  // the terminals, so a grammar with a multiple-of-64 terminal count
+  // puts the dummy in a new bitset word. Unioning FIRST sets (terminal
+  // universe) into such look-ahead sets used to read out of bounds.
+  GrammarBuilder B("word_boundary");
+  // 63 user terminals + $end = exactly 64 terminals.
+  std::vector<SymbolId> Toks;
+  for (int I = 0; I < 63; ++I)
+    Toks.push_back(B.terminal("t" + std::to_string(I)));
+  SymbolId S = B.nonterminal("s");
+  SymbolId X = B.nonterminal("x");
+  // Use a handful of terminals; x is nullable so LR(1) closures compute
+  // FIRST of nontrivial suffixes.
+  B.production(S, {X, Toks[0], X, Toks[62]});
+  B.production(X, {Toks[30]});
+  B.production(X, {});
+  B.startSymbol(S);
+  DiagnosticEngine Diags;
+  auto G = std::move(B).build(Diags);
+  ASSERT_TRUE(G) << Diags.render();
+  ASSERT_EQ(G->numTerminals(), 64u);
+
+  GrammarAnalysis An(*G);
+  Lr0Automaton A = Lr0Automaton::build(*G);
+  LalrLookaheads Dp = LalrLookaheads::compute(A, An);
+  YaccLalrLookaheads Yacc = YaccLalrLookaheads::compute(A, An);
+  EXPECT_EQ(Dp.laSets(), Yacc.laSets());
+}

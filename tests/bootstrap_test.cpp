@@ -1,0 +1,159 @@
+//===- tests/bootstrap_test.cpp - The generator parsing its own dialect --------===//
+///
+/// \file
+/// Bootstrap: tables generated from the metagrammar (the .y dialect
+/// described in itself) parse the real corpus sources, tokenized by the
+/// real GrammarLexer. A classic parser-generator rite of passage, and an
+/// end-to-end test of lexer, front end, DP pipeline and driver at once.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarLexer.h"
+#include "grammar/GrammarPrinter.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+/// Maps a dialect lexer token onto the metagrammar's terminal ids.
+SymbolId metaTerminal(const Grammar &Meta, const GToken &Tok) {
+  switch (Tok.Kind) {
+  case GTokKind::Ident:
+    return Meta.findSymbol("IDENT");
+  case GTokKind::Literal:
+    return Meta.findSymbol("LITERAL");
+  case GTokKind::Number:
+    return Meta.findSymbol("NUMBER");
+  case GTokKind::Colon:
+    return Meta.findSymbol("':'");
+  case GTokKind::Pipe:
+    return Meta.findSymbol("'|'");
+  case GTokKind::Semi:
+    return Meta.findSymbol("';'");
+  case GTokKind::PercentPercent:
+    return Meta.findSymbol("PERCENT_PERCENT");
+  case GTokKind::KwToken:
+    return Meta.findSymbol("KW_TOKEN");
+  case GTokKind::KwLeft:
+    return Meta.findSymbol("KW_LEFT");
+  case GTokKind::KwRight:
+    return Meta.findSymbol("KW_RIGHT");
+  case GTokKind::KwNonassoc:
+    return Meta.findSymbol("KW_NONASSOC");
+  case GTokKind::KwStart:
+    return Meta.findSymbol("KW_START");
+  case GTokKind::KwPrec:
+    return Meta.findSymbol("KW_PREC");
+  case GTokKind::KwEmpty:
+    return Meta.findSymbol("KW_EMPTY");
+  case GTokKind::KwName:
+    return Meta.findSymbol("KW_NAME");
+  case GTokKind::KwExpect:
+    return Meta.findSymbol("KW_EXPECT");
+  case GTokKind::EndOfFile:
+  case GTokKind::Invalid:
+    return InvalidSymbol;
+  }
+  return InvalidSymbol;
+}
+
+/// Lexes a dialect source into metagrammar tokens.
+std::optional<std::vector<Token>> lexToMeta(const Grammar &Meta,
+                                            std::string_view Source) {
+  DiagnosticEngine Diags;
+  GrammarLexer Lexer(Source, Diags);
+  std::vector<Token> Out;
+  while (true) {
+    GToken Tok = Lexer.next();
+    if (Tok.Kind == GTokKind::EndOfFile)
+      break;
+    SymbolId S = metaTerminal(Meta, Tok);
+    if (S == InvalidSymbol)
+      return std::nullopt;
+    Token T;
+    T.Kind = S;
+    T.Text = Tok.Text;
+    T.Loc = Tok.Loc;
+    Out.push_back(std::move(T));
+  }
+  return Diags.hasErrors() ? std::nullopt : std::make_optional(Out);
+}
+
+struct MetaParser {
+  Grammar Meta;
+  GrammarAnalysis An;
+  Lr0Automaton A;
+  ParseTable T;
+
+  MetaParser()
+      : Meta(loadCorpusGrammar("metagrammar")), An(Meta),
+        A(Lr0Automaton::build(Meta)), T(buildLalrTable(A, An)) {}
+};
+
+} // namespace
+
+TEST(BootstrapTest, MetaTablesParseEveryCorpusSource) {
+  MetaParser M;
+  ASSERT_TRUE(M.T.isAdequate());
+  for (const CorpusEntry &E : corpusEntries()) {
+    auto Tokens = lexToMeta(M.Meta, E.Source);
+    ASSERT_TRUE(Tokens) << E.Name << ": lexing failed";
+    auto Out = recognize(M.Meta, M.T, *Tokens,
+                         ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+    EXPECT_TRUE(Out.clean()) << E.Name << ": "
+                             << (Out.Errors.empty()
+                                     ? "rejected"
+                                     : Out.Errors[0].Message);
+  }
+}
+
+TEST(BootstrapTest, MetaTablesParseTheirOwnSource) {
+  // The fixed point: the metagrammar's source is a sentence of the
+  // metagrammar.
+  MetaParser M;
+  const CorpusEntry *Self = findCorpusEntry("metagrammar");
+  ASSERT_NE(Self, nullptr);
+  auto Tokens = lexToMeta(M.Meta, Self->Source);
+  ASSERT_TRUE(Tokens);
+  auto Out = recognize(M.Meta, M.T, *Tokens,
+                       ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+  EXPECT_TRUE(Out.clean());
+}
+
+TEST(BootstrapTest, MetaTablesParsePrinterOutput) {
+  // Print any grammar, re-lex, and the meta parser accepts it: the
+  // printer emits only valid dialect.
+  MetaParser M;
+  for (const char *Name : {"expr", "minipascal", "javasub"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    std::string Printed = printGrammarText(G);
+    auto Tokens = lexToMeta(M.Meta, Printed);
+    ASSERT_TRUE(Tokens) << Name;
+    auto Out = recognize(M.Meta, M.T, *Tokens,
+                         ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+    EXPECT_TRUE(Out.clean()) << Name;
+  }
+}
+
+TEST(BootstrapTest, MetaTablesRejectStructurallyBrokenSources) {
+  MetaParser M;
+  for (const char *Bad :
+       {"%%",                 // no rules
+        "x : 'a' ;",          // missing %%
+        "%% x 'a' ;",         // missing colon
+        "%% x : 'a'",         // missing semicolon
+        "%token %% x : 'a' ;" // %token without names
+       }) {
+    auto Tokens = lexToMeta(M.Meta, Bad);
+    ASSERT_TRUE(Tokens) << Bad;
+    auto Out = recognize(M.Meta, M.T, *Tokens,
+                         ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+    EXPECT_FALSE(Out.clean()) << Bad;
+  }
+}

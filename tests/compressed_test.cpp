@@ -1,0 +1,218 @@
+//===- tests/compressed_test.cpp - Compressed table and error latency --------===//
+
+#include "baselines/Clr1Builder.h"
+#include "baselines/SlrBuilder.h"
+#include "corpus/CorpusGrammars.h"
+#include "grammar/SentenceGen.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/CompressedTable.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+std::vector<Token> toTokens(const Grammar &G,
+                            const std::vector<SymbolId> &Sentence) {
+  std::vector<Token> Out;
+  for (size_t I = 0; I < Sentence.size(); ++I) {
+    Token T;
+    T.Kind = Sentence[I];
+    T.Text = G.name(Sentence[I]);
+    T.Loc = {1, uint32_t(I + 1)};
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// CompressedTable semantics
+// ---------------------------------------------------------------------------
+
+TEST(CompressedTableTest, ShiftsAndAcceptStayExplicit) {
+  Grammar G = loadCorpusGrammar("expr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable Dense = buildLalrTable(A, An);
+  CompressedTable C = CompressedTable::compress(Dense, G);
+  ASSERT_EQ(C.numStates(), Dense.numStates());
+  for (uint32_t S = 0; S < Dense.numStates(); ++S)
+    for (SymbolId T = 0; T < G.numTerminals(); ++T) {
+      Action D = Dense.action(S, T);
+      Action Got = C.action(S, T);
+      if (D.Kind == ActionKind::Shift || D.Kind == ActionKind::Accept ||
+          D.Kind == ActionKind::Reduce) {
+        EXPECT_EQ(Got, D) << "state " << S << " on " << G.name(T);
+      }
+      // Error cells may become default reductions; that is the point.
+    }
+}
+
+TEST(CompressedTableTest, GotoAgreesOnDefinedCells) {
+  Grammar G = loadCorpusGrammar("minic");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable Dense = buildLalrTable(A, An);
+  CompressedTable C = CompressedTable::compress(Dense, G);
+  for (uint32_t S = 0; S < Dense.numStates(); ++S)
+    for (uint32_t NtIdx = 0; NtIdx < G.numNonterminals(); ++NtIdx) {
+      SymbolId Nt = G.ntSymbol(NtIdx);
+      uint32_t D = Dense.gotoNt(S, Nt, G);
+      if (D != InvalidState) {
+        EXPECT_EQ(C.gotoNt(S, Nt, G), D);
+      }
+    }
+}
+
+TEST(CompressedTableTest, CompressesSubstantially) {
+  Grammar G = loadCorpusGrammar("minic");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable Dense = buildLalrTable(A, An);
+  CompressedTable C = CompressedTable::compress(Dense, G);
+  size_t DenseBytes =
+      Dense.numStates() * (G.numTerminals() + G.numNonterminals()) * 4;
+  EXPECT_LT(C.footprintBytes(), DenseBytes / 2)
+      << "sparse rows + defaults should at least halve a real table";
+  EXPECT_GT(C.defaultReductionRows(), 0u);
+}
+
+TEST(CompressedTableTest, IdenticalBehaviourOnValidInput) {
+  for (const char *Name : {"expr", "json", "miniada", "minilua"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    ParseTable Dense = buildLalrTable(A, An);
+    CompressedTable C = CompressedTable::compress(Dense, G);
+    Rng R(0xFEED);
+    for (int I = 0; I < 30; ++I) {
+      std::vector<SymbolId> S = randomSentence(G, R, 25);
+      auto Tokens = toTokens(G, S);
+      ParseOptions Strict{/*Recover=*/false, /*MaxErrors=*/1};
+      auto OutDense = recognize(G, Dense, Tokens, Strict);
+      auto OutCompr = recognize(G, C, Tokens, Strict);
+      ASSERT_TRUE(OutDense.clean()) << Name;
+      EXPECT_TRUE(OutCompr.clean()) << Name;
+      EXPECT_EQ(OutDense.Reductions, OutCompr.Reductions)
+          << Name << ": same derivation on valid input";
+    }
+  }
+}
+
+TEST(CompressedTableTest, StillRejectsInvalidInput) {
+  Grammar G = loadCorpusGrammar("expr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable Dense = buildLalrTable(A, An);
+  CompressedTable C = CompressedTable::compress(Dense, G);
+  for (const char *Bad : {"+", "NUM +", "NUM NUM", "( NUM", ")"}) {
+    std::string Error;
+    auto Tokens = tokenizeSymbols(G, Bad, &Error);
+    ASSERT_TRUE(Tokens) << Error;
+    ParseOptions Strict{/*Recover=*/false, /*MaxErrors=*/1};
+    EXPECT_FALSE(recognize(G, C, *Tokens, Strict).clean()) << Bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error-detection latency properties
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Builds a mutated sentence (one wrong token) and returns tokens, or
+/// nothing if the mutation stayed in the language.
+std::optional<std::vector<Token>>
+mutatedSentence(const Grammar &G, const ParseTable &Oracle, Rng &R) {
+  std::vector<SymbolId> S = randomSentence(G, R, 25);
+  if (S.empty())
+    return std::nullopt;
+  size_t Idx = R.below(S.size());
+  SymbolId Wrong = 1 + static_cast<SymbolId>(R.below(G.numTerminals() - 1));
+  if (Wrong == S[Idx])
+    return std::nullopt;
+  S[Idx] = Wrong;
+  auto Tokens = toTokens(G, S);
+  ParseOptions Strict{/*Recover=*/false, /*MaxErrors=*/1};
+  if (recognize(G, Oracle, Tokens, Strict).clean())
+    return std::nullopt;
+  return Tokens;
+}
+
+} // namespace
+
+TEST(ErrorLatencyTest, CanonicalLr1DetectsImmediately) {
+  for (const char *Name : {"expr", "json", "miniada"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr1Automaton L1 = Lr1Automaton::build(G, An);
+    ParseTable Clr = buildClr1Table(L1);
+    Rng R(0xDADA);
+    int Cases = 0;
+    for (int I = 0; I < 200 && Cases < 40; ++I) {
+      auto Tokens = mutatedSentence(G, Clr, R);
+      if (!Tokens)
+        continue;
+      ++Cases;
+      auto Out = recognize(G, Clr, *Tokens,
+                           ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+      ASSERT_FALSE(Out.Errors.empty());
+      EXPECT_EQ(Out.Errors[0].ReductionsBeforeDetection, 0u)
+          << Name << ": canonical LR(1) must detect errors immediately";
+    }
+    EXPECT_GT(Cases, 0);
+  }
+}
+
+TEST(ErrorLatencyTest, AllVariantsErrorAtTheSameToken) {
+  // The correct-prefix property: no LR variant shifts the bad token, so
+  // the reported error column is identical across table kinds.
+  for (const char *Name : {"expr", "json", "minilua"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    ParseTable Lalr = buildLalrTable(A, An);
+    ParseTable Slr = buildSlrTable(A, An);
+    Lr1Automaton L1 = Lr1Automaton::build(G, An);
+    ParseTable Clr = buildClr1Table(L1);
+    CompressedTable Dflt = CompressedTable::compress(Lalr, G);
+    Rng R(0xBEE);
+    ParseOptions Strict{/*Recover=*/false, /*MaxErrors=*/1};
+    int Cases = 0;
+    for (int I = 0; I < 200 && Cases < 40; ++I) {
+      auto Tokens = mutatedSentence(G, Clr, R);
+      if (!Tokens)
+        continue;
+      ++Cases;
+      auto OC = recognize(G, Clr, *Tokens, Strict);
+      auto OL = recognize(G, Lalr, *Tokens, Strict);
+      auto OS = recognize(G, Slr, *Tokens, Strict);
+      auto OD = recognize(G, Dflt, *Tokens, Strict);
+      ASSERT_FALSE(OC.Errors.empty());
+      ASSERT_FALSE(OL.Errors.empty());
+      ASSERT_FALSE(OS.Errors.empty());
+      ASSERT_FALSE(OD.Errors.empty());
+      uint32_t Col = OC.Errors[0].Loc.Column;
+      EXPECT_EQ(OL.Errors[0].Loc.Column, Col) << Name;
+      EXPECT_EQ(OS.Errors[0].Loc.Column, Col) << Name;
+      EXPECT_EQ(OD.Errors[0].Loc.Column, Col) << Name;
+      // Latency ordering: CLR <= LALR <= SLR; defaults >= LALR.
+      EXPECT_LE(OC.Errors[0].ReductionsBeforeDetection,
+                OL.Errors[0].ReductionsBeforeDetection)
+          << Name;
+      EXPECT_LE(OL.Errors[0].ReductionsBeforeDetection,
+                OS.Errors[0].ReductionsBeforeDetection)
+          << Name;
+      EXPECT_GE(OD.Errors[0].ReductionsBeforeDetection,
+                OL.Errors[0].ReductionsBeforeDetection)
+          << Name;
+    }
+    EXPECT_GT(Cases, 0);
+  }
+}

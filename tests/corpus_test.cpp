@@ -1,0 +1,174 @@
+//===- tests/corpus_test.cpp - Corpus and classification tests ---------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "corpus/SyntheticGrammars.h"
+#include "grammar/Analysis.h"
+#include "lalr/Classify.h"
+#include "lr/Lr0Automaton.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+// ---------------------------------------------------------------------------
+// Corpus integrity
+// ---------------------------------------------------------------------------
+
+TEST(CorpusTest, AllEntriesLoad) {
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    EXPECT_EQ(G.grammarName(), E.Name) << "%name matches the entry";
+    EXPECT_GE(G.numProductions(), 2u);
+  }
+}
+
+TEST(CorpusTest, NamesAreUnique) {
+  std::set<std::string> Seen;
+  for (const CorpusEntry &E : corpusEntries())
+    EXPECT_TRUE(Seen.insert(E.Name).second) << E.Name;
+}
+
+TEST(CorpusTest, RealisticEntriesComeFirst) {
+  bool SeenSpecimen = false;
+  for (const CorpusEntry &E : corpusEntries()) {
+    if (!E.Realistic)
+      SeenSpecimen = true;
+    else
+      EXPECT_FALSE(SeenSpecimen)
+          << "realistic entries must precede specimens (span contract)";
+  }
+  EXPECT_EQ(realisticCorpusEntries().size(), 15u);
+}
+
+TEST(CorpusTest, FindCorpusEntry) {
+  EXPECT_NE(findCorpusEntry("json"), nullptr);
+  EXPECT_EQ(findCorpusEntry("nonexistent"), nullptr);
+}
+
+TEST(CorpusTest, AllGrammarsAreReduced) {
+  // Corpus grammars must not contain useless symbols.
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    std::vector<bool> Productive = computeProductive(G);
+    std::vector<bool> Reachable = computeReachable(G);
+    for (uint32_t NtIdx = 0; NtIdx < G.numNonterminals(); ++NtIdx) {
+      SymbolId Nt = G.ntSymbol(NtIdx);
+      EXPECT_TRUE(Productive[NtIdx])
+          << E.Name << ": '" << G.name(Nt) << "' is unproductive";
+      EXPECT_TRUE(Reachable[Nt])
+          << E.Name << ": '" << G.name(Nt) << "' is unreachable";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Classification matches documented expectations
+// ---------------------------------------------------------------------------
+
+class CorpusClassTest : public ::testing::TestWithParam<const CorpusEntry *> {
+};
+
+TEST_P(CorpusClassTest, StrongestClassMatches) {
+  const CorpusEntry &E = *GetParam();
+  Grammar G = loadCorpusGrammar(E.Name);
+  Classification C = classifyGrammar(G);
+  EXPECT_EQ(C.strongestClass(), E.Expected)
+      << E.Name << ": " << C.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CorpusClassTest,
+    ::testing::ValuesIn([] {
+      std::vector<const CorpusEntry *> Out;
+      for (const CorpusEntry &E : corpusEntries())
+        Out.push_back(&E);
+      return Out;
+    }()),
+    [](const ::testing::TestParamInfo<const CorpusEntry *> &Info) {
+      return std::string(Info.param->Name);
+    });
+
+TEST(ClassifyTest, HierarchyIsRespected) {
+  // Membership in a class implies membership in all larger classes.
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    Classification C = classifyGrammar(G);
+    if (C.IsLr0) {
+      EXPECT_TRUE(C.IsSlr1) << E.Name;
+    }
+    if (C.IsSlr1) {
+      EXPECT_TRUE(C.IsNqlalr) << E.Name;
+    }
+    if (C.IsNqlalr) {
+      EXPECT_TRUE(C.IsLalr1) << E.Name;
+    }
+    if (C.IsLalr1) {
+      EXPECT_TRUE(C.IsLr1) << E.Name;
+    }
+    if (C.NotLrK) {
+      EXPECT_FALSE(C.IsLr1) << E.Name;
+    }
+  }
+}
+
+TEST(ClassifyTest, ReadsCycleCertificate) {
+  Grammar G = loadCorpusGrammar("not_lrk_reads_cycle");
+  Classification C = classifyGrammar(G);
+  EXPECT_TRUE(C.NotLrK);
+  EXPECT_EQ(C.strongestClass(), LrClass::NotLr1);
+  EXPECT_NE(C.toString().find("not LR(k)"), std::string::npos);
+}
+
+TEST(ClassifyTest, NamesAreStable) {
+  EXPECT_STREQ(lrClassName(LrClass::Lr0), "LR(0)");
+  EXPECT_STREQ(lrClassName(LrClass::Slr1), "SLR(1)");
+  EXPECT_STREQ(lrClassName(LrClass::Nqlalr), "NQLALR(1)");
+  EXPECT_STREQ(lrClassName(LrClass::Lalr1), "LALR(1)");
+  EXPECT_STREQ(lrClassName(LrClass::Lr1), "LR(1)");
+  EXPECT_STREQ(lrClassName(LrClass::NotLr1), "not LR(1)");
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generators
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticTest, ExprTowerSizes) {
+  Grammar G1 = makeExprTower(1, 1);
+  Grammar G4 = makeExprTower(4, 1);
+  Lr0Automaton A1 = Lr0Automaton::build(G1);
+  Lr0Automaton A4 = Lr0Automaton::build(G4);
+  EXPECT_GT(A4.numStates(), A1.numStates());
+  // Height-proportional growth (roughly): 4 levels at least double 1.
+  EXPECT_GE(A4.numStates(), A1.numStates() * 2);
+}
+
+TEST(SyntheticTest, ExprTowerIsDeterministicPerParams) {
+  Grammar A = makeExprTower(3, 2);
+  Grammar B = makeExprTower(3, 2);
+  EXPECT_EQ(A.numProductions(), B.numProductions());
+  EXPECT_EQ(A.numTerminals(), B.numTerminals());
+}
+
+TEST(SyntheticTest, NullableChainNullability) {
+  Grammar G = makeNullableChain(5);
+  GrammarAnalysis An(G);
+  for (int I = 1; I <= 5; ++I)
+    EXPECT_TRUE(An.isNullable(
+        G.findSymbol("a" + std::to_string(I))));
+}
+
+TEST(SyntheticTest, RandomGrammarsAreReducedAndDeterministic) {
+  RandomGrammarParams Params;
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    Grammar G = makeRandomReducedGrammar(Seed, Params);
+    std::vector<bool> Productive = computeProductive(G);
+    std::vector<bool> Reachable = computeReachable(G);
+    for (uint32_t NtIdx = 0; NtIdx < G.numNonterminals(); ++NtIdx) {
+      EXPECT_TRUE(Productive[NtIdx]) << "seed " << Seed;
+      EXPECT_TRUE(Reachable[G.ntSymbol(NtIdx)]) << "seed " << Seed;
+    }
+    // Determinism.
+    Grammar G2 = makeRandomReducedGrammar(Seed, Params);
+    EXPECT_EQ(G.numProductions(), G2.numProductions()) << "seed " << Seed;
+  }
+}

@@ -1,0 +1,167 @@
+//===- tests/derivation_count_test.cpp - Ambiguity degree tests ----------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/DerivationCount.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/SentenceGen.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+std::vector<SymbolId> toSyms(const Grammar &G, std::string_view Text) {
+  std::string Error;
+  auto Tokens = tokenizeSymbols(G, Text, &Error);
+  EXPECT_TRUE(Tokens) << Error;
+  std::vector<SymbolId> Out;
+  if (Tokens)
+    for (const Token &T : *Tokens)
+      Out.push_back(T.Kind);
+  return Out;
+}
+
+uint64_t countOf(const Grammar &G, std::string_view Text) {
+  auto R = countParseTrees(G, toSyms(G, Text));
+  EXPECT_TRUE(R) << "grammar must be cycle-free";
+  return R ? R->Count : 0;
+}
+
+} // namespace
+
+TEST(DerivationCountTest, CatalanNumbersForBinaryAmbiguity) {
+  // e : e '+' e | 'a' — the number of trees of a + a + ... (n pluses)
+  // is the n-th Catalan number: 1, 1, 2, 5, 14, 42.
+  Grammar G = loadCorpusGrammar("not_lr1_ambiguous");
+  EXPECT_EQ(countOf(G, "a"), 1u);
+  EXPECT_EQ(countOf(G, "a + a"), 1u);
+  EXPECT_EQ(countOf(G, "a + a + a"), 2u);
+  EXPECT_EQ(countOf(G, "a + a + a + a"), 5u);
+  EXPECT_EQ(countOf(G, "a + a + a + a + a"), 14u);
+  EXPECT_EQ(countOf(G, "a + a + a + a + a + a"), 42u);
+}
+
+TEST(DerivationCountTest, NonMembersCountZero) {
+  Grammar G = loadCorpusGrammar("not_lr1_ambiguous");
+  EXPECT_EQ(countOf(G, "a a"), 0u);
+  EXPECT_EQ(countOf(G, "+"), 0u);
+  EXPECT_EQ(countOf(G, ""), 0u);
+}
+
+TEST(DerivationCountTest, PalindromesAreUnambiguous) {
+  // Not LR(k), yet every member has exactly one tree.
+  Grammar G = loadCorpusGrammar("palindrome");
+  EXPECT_EQ(countOf(G, ""), 1u);
+  EXPECT_EQ(countOf(G, "a a"), 1u);
+  EXPECT_EQ(countOf(G, "a b b a"), 1u);
+  EXPECT_EQ(countOf(G, "b a a b b a a b"), 1u);
+  EXPECT_EQ(countOf(G, "a b"), 0u);
+}
+
+TEST(DerivationCountTest, CyclicGrammarsAreRejected) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : t | A ;
+t : s ;
+)");
+  EXPECT_FALSE(countParseTrees(G, {}));
+}
+
+TEST(DerivationCountTest, NullableGrammarsWork) {
+  Grammar G = mustParse(R"(
+%token X
+%%
+s : a a X ;
+a : %empty | X ;
+)");
+  EXPECT_EQ(countOf(G, "X"), 1u) << "both a's empty";
+  EXPECT_EQ(countOf(G, "X X"), 2u) << "either a consumed the first X";
+  EXPECT_EQ(countOf(G, "X X X"), 1u);
+  EXPECT_EQ(countOf(G, "X X X X"), 0u);
+}
+
+TEST(DerivationCountTest, AdequateTablesImplyUniqueTrees) {
+  // The soundness link: if the LALR(1) table is conflict-free, every
+  // generated sentence has exactly one parse tree.
+  for (const char *Name :
+       {"expr", "json", "miniada", "minisql", "minilua", "javasub"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    ParseTable T = buildLalrTable(A, An);
+    ASSERT_TRUE(T.isAdequate()) << Name;
+    Rng R(0xC0DE);
+    for (int I = 0; I < 10; ++I) {
+      std::vector<SymbolId> S = randomSentence(G, R, 12);
+      auto Count = countParseTrees(G, S);
+      ASSERT_TRUE(Count) << Name;
+      EXPECT_EQ(Count->Count, 1u)
+          << Name << ": " << renderSentence(G, S);
+    }
+  }
+}
+
+TEST(DerivationCountTest, PrecedenceResolvedGrammarShowsItsAmbiguity) {
+  // expr_prec parses deterministically only because of %left/%right; the
+  // bare grammar's ambiguity is real and measurable.
+  Grammar G = loadCorpusGrammar("expr_prec");
+  EXPECT_GT(countOf(G, "NUM + NUM * NUM"), 1u);
+}
+
+TEST(DerivationCountTest, SaturationOnExplosiveAmbiguity) {
+  // s : s s | 'a' | %empty — cycle-free? s => s s => s (with one empty)
+  // IS a cycle. Use s : s s 'a' | 'a' style instead: unbounded but
+  // finite counts; verify saturation rather than overflow on a long
+  // input.
+  Grammar G = mustParse(R"(
+%%
+s : s s | 'a' ;
+)");
+  std::vector<SymbolId> Long(40, G.findSymbol("'a'"));
+  auto R = countParseTrees(G, Long);
+  ASSERT_TRUE(R);
+  // Catalan(39) ~ 1.8e21 > 2^64? Catalan(39) ≈ 1.7e21, and 2^64 ≈
+  // 1.8e19, so the count must saturate.
+  EXPECT_EQ(R->Count, DerivationCount::Saturated);
+}
+
+TEST(DerivationCountTest, AgreesWithMembershipOracle) {
+  // Count > 0 iff member — spot-check against the LALR parser verdict on
+  // a deterministic grammar.
+  Grammar G = loadCorpusGrammar("expr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable T = buildLalrTable(A, An);
+  for (const char *Sentence :
+       {"NUM", "NUM + NUM", "NUM NUM", "( NUM", "( NUM ) * IDENT", ""}) {
+    auto Syms = toSyms(G, Sentence);
+    std::vector<Token> Tokens;
+    for (SymbolId S : Syms) {
+      Token Tok;
+      Tok.Kind = S;
+      Tokens.push_back(Tok);
+    }
+    bool Member =
+        recognize(G, T, Tokens,
+                  ParseOptions{/*Recover=*/false, /*MaxErrors=*/1})
+            .clean();
+    auto Count = countParseTrees(G, Syms);
+    ASSERT_TRUE(Count);
+    EXPECT_EQ(Count->isMember(), Member) << Sentence;
+  }
+}

@@ -1,0 +1,183 @@
+//===- tests/earley_test.cpp - Earley oracle and differential checks ----------===//
+
+#include "baselines/Clr1Builder.h"
+#include "corpus/CorpusGrammars.h"
+#include "corpus/SyntheticGrammars.h"
+#include "earley/EarleyParser.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/SentenceGen.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+std::vector<SymbolId> toSyms(const Grammar &G, std::string_view Text) {
+  std::string Error;
+  auto Tokens = tokenizeSymbols(G, Text, &Error);
+  EXPECT_TRUE(Tokens) << Error;
+  std::vector<SymbolId> Out;
+  if (Tokens)
+    for (const Token &T : *Tokens)
+      Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(EarleyTest, AcceptsAndRejectsExprSentences) {
+  Grammar G = loadCorpusGrammar("expr");
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "NUM")));
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "NUM + NUM * NUM")));
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "( NUM - NUM ) / IDENT")));
+  EXPECT_FALSE(earleyRecognize(G, toSyms(G, "NUM +")));
+  EXPECT_FALSE(earleyRecognize(G, toSyms(G, "NUM NUM")));
+  EXPECT_FALSE(earleyRecognize(G, toSyms(G, "")));
+}
+
+TEST(EarleyTest, HandlesAmbiguousGrammars) {
+  // The whole point of the oracle: it must work where LR cannot.
+  Grammar G = loadCorpusGrammar("not_lr1_ambiguous"); // e : e '+' e | 'a'
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "a")));
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "a + a")));
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "a + a + a + a")));
+  EXPECT_FALSE(earleyRecognize(G, toSyms(G, "a a")));
+  EXPECT_FALSE(earleyRecognize(G, toSyms(G, "+ a")));
+}
+
+TEST(EarleyTest, HandlesNonLrGrammars) {
+  Grammar G = loadCorpusGrammar("palindrome");
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "")));
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "a a")));
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "a b b a")));
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "b a a b b a a b")));
+}
+
+TEST(EarleyTest, PalindromeRejections) {
+  Grammar G = loadCorpusGrammar("palindrome");
+  EXPECT_FALSE(earleyRecognize(G, toSyms(G, "a b")));
+  EXPECT_FALSE(earleyRecognize(G, toSyms(G, "a a b")));
+  EXPECT_FALSE(earleyRecognize(G, toSyms(G, "a")));
+}
+
+TEST(EarleyTest, NullableHeavyGrammar) {
+  // The Aycock-Horspool corner: chains of nullables completing at the
+  // same position.
+  Grammar G = mustParse(R"(
+%token X
+%%
+s : a b c X ;
+a : %empty | X ;
+b : a a ;
+c : %empty ;
+)");
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "X")));
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "X X")));
+  EXPECT_TRUE(earleyRecognize(G, toSyms(G, "X X X X")));
+  EXPECT_FALSE(earleyRecognize(G, toSyms(G, "")));
+  EXPECT_FALSE(earleyRecognize(G, toSyms(G, "X X X X X")));
+}
+
+TEST(EarleyTest, AgreesWithLrTablesOnCorpusSentences) {
+  // Differential: Earley == LALR == CLR verdicts on generated sentences
+  // and their mutations, for conflict-free grammars.
+  for (const char *Name :
+       {"expr", "json", "miniada", "minisql", "minilua"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    ParseTable Lalr = buildLalrTable(A, An);
+    Lr1Automaton L1 = Lr1Automaton::build(G, An);
+    ParseTable Clr = buildClr1Table(L1);
+    Rng R(0xACE);
+    for (int I = 0; I < 30; ++I) {
+      std::vector<SymbolId> S = randomSentence(G, R, 15);
+      // Mutate half the cases.
+      if (I % 2 == 1 && !S.empty())
+        S[R.below(S.size())] =
+            1 + static_cast<SymbolId>(R.below(G.numTerminals() - 1));
+      std::vector<Token> Tokens;
+      for (SymbolId Sym : S) {
+        Token T;
+        T.Kind = Sym;
+        Tokens.push_back(T);
+      }
+      ParseOptions Strict{/*Recover=*/false, /*MaxErrors=*/1};
+      bool ByEarley = earleyRecognize(G, An, S);
+      bool ByLalr = recognize(G, Lalr, Tokens, Strict).clean();
+      bool ByClr = recognize(G, Clr, Tokens, Strict).clean();
+      EXPECT_EQ(ByEarley, ByLalr)
+          << Name << ": " << renderSentence(G, S);
+      EXPECT_EQ(ByEarley, ByClr) << Name << ": " << renderSentence(G, S);
+    }
+  }
+}
+
+TEST(EarleyTest, AgreesWithClrOnRandomGrammars) {
+  // For random LR(1)-adequate grammars, CLR and Earley define the same
+  // language on random strings.
+  RandomGrammarParams Params;
+  Params.NumTerminals = 4;
+  Params.NumNonterminals = 5;
+  int Checked = 0;
+  for (uint64_t Seed = 9000; Seed < 9100 && Checked < 20; ++Seed) {
+    Grammar G = makeRandomReducedGrammar(Seed, Params);
+    if (G.numTerminals() <= 1)
+      continue; // the language reduced to {epsilon}: nothing to mutate
+    GrammarAnalysis An(G);
+    Lr1Automaton L1 = Lr1Automaton::build(G, An);
+    ParseTable Clr = buildClr1Table(L1);
+    if (!Clr.conflicts().empty())
+      continue; // only adequate tables define the language by parsing
+    ++Checked;
+    Rng R(Seed * 31);
+    for (int I = 0; I < 20; ++I) {
+      // Random strings over the terminals (mostly not in the language).
+      size_t Len = R.below(8);
+      std::vector<SymbolId> S;
+      std::vector<Token> Tokens;
+      for (size_t J = 0; J < Len; ++J) {
+        SymbolId T = 1 + static_cast<SymbolId>(R.below(G.numTerminals() - 1));
+        S.push_back(T);
+        Token Tok;
+        Tok.Kind = T;
+        Tokens.push_back(Tok);
+      }
+      ParseOptions Strict{/*Recover=*/false, /*MaxErrors=*/1};
+      EXPECT_EQ(earleyRecognize(G, An, S),
+                recognize(G, Clr, Tokens, Strict).clean())
+          << "seed " << Seed << ": " << renderSentence(G, S);
+    }
+  }
+  EXPECT_GT(Checked, 5) << "enough adequate random grammars must exist";
+}
+
+TEST(EarleyTest, GeneratedSentencesAreAlwaysMembers) {
+  // Sentence generation must be sound for ALL grammars, including the
+  // ones no LR table can parse — only Earley can check those.
+  for (const char *Name : {"palindrome", "not_lr1_ambiguous", "expr_prec",
+                           "not_lrk_reads_cycle"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Rng R(0x600D);
+    for (int I = 0; I < 15; ++I) {
+      std::vector<SymbolId> S = randomSentence(G, R, 12);
+      EXPECT_TRUE(earleyRecognize(G, An, S))
+          << Name << ": " << renderSentence(G, S);
+    }
+  }
+}

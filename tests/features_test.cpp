@@ -1,0 +1,185 @@
+//===- tests/features_test.cpp - %expect and error-token recovery --------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/GrammarPrinter.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+/// A statement-list grammar with yacc-style error productions.
+const char RecoveryGrammar[] = R"(
+%token NUM ID
+%%
+stmts : stmt
+      | stmts stmt
+      ;
+stmt  : expr ';'
+      | error ';'
+      ;
+expr  : expr '+' term
+      | term
+      ;
+term  : NUM
+      | ID
+      ;
+)";
+
+struct Fixture {
+  Grammar G;
+  GrammarAnalysis An;
+  Lr0Automaton A;
+  ParseTable T;
+
+  explicit Fixture(std::string_view Src)
+      : G(mustParse(Src)), An(G), A(Lr0Automaton::build(G)),
+        T(buildLalrTable(A, An)) {}
+
+  ParseOutcome<int> run(std::string_view Sentence,
+                        ParseOptions Opts = ParseOptions{}) {
+    std::string Error;
+    auto Tokens = tokenizeSymbols(G, Sentence, &Error);
+    EXPECT_TRUE(Tokens) << Error;
+    return recognize(G, T, *Tokens, Opts);
+  }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// %expect
+// ---------------------------------------------------------------------------
+
+TEST(ExpectTest, ParsedAndExposed) {
+  Grammar G = mustParse(R"(
+%token IF THEN ELSE X
+%expect 1
+%%
+s : IF s THEN s | IF s THEN s ELSE s | X ;
+)");
+  EXPECT_EQ(G.expectedShiftReduce(), 1);
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable T = buildLalrTable(A, An);
+  EXPECT_EQ(T.unresolvedShiftReduce(),
+            static_cast<size_t>(G.expectedShiftReduce()));
+}
+
+TEST(ExpectTest, DefaultIsUnspecified) {
+  Grammar G = loadCorpusGrammar("expr");
+  EXPECT_EQ(G.expectedShiftReduce(), -1);
+}
+
+TEST(ExpectTest, RoundTripsThroughPrinter) {
+  Grammar G = mustParse("%expect 3\n%%\nx : 'a' ;\n");
+  EXPECT_EQ(G.expectedShiftReduce(), 3);
+  std::string Printed = printGrammarText(G);
+  EXPECT_NE(Printed.find("%expect 3"), std::string::npos);
+  DiagnosticEngine Diags;
+  auto G2 = parseGrammar(Printed, Diags);
+  ASSERT_TRUE(G2) << Diags.render();
+  EXPECT_EQ(G2->expectedShiftReduce(), 3);
+}
+
+TEST(ExpectTest, RequiresInteger) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseGrammar("%expect x\n%%\na : 'a' ;\n", Diags));
+  EXPECT_NE(Diags.render().find("%expect"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// error-token recovery
+// ---------------------------------------------------------------------------
+
+TEST(ErrorTokenTest, ImplicitlyDeclared) {
+  Grammar G = mustParse(RecoveryGrammar);
+  SymbolId Err = G.findSymbol("error");
+  ASSERT_NE(Err, InvalidSymbol);
+  EXPECT_TRUE(G.isTerminal(Err));
+}
+
+TEST(ErrorTokenTest, RulesForErrorAreRejected) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseGrammar(R"(
+%%
+s : error ;
+error : 'a' ;
+)",
+                            Diags));
+  EXPECT_NE(Diags.render().find("reserved"), std::string::npos);
+}
+
+TEST(ErrorTokenTest, CleanInputUnaffected) {
+  Fixture F(RecoveryGrammar);
+  auto Out = F.run("NUM + ID ; ID ;");
+  EXPECT_TRUE(Out.clean());
+}
+
+TEST(ErrorTokenTest, RecoversAtSynchronizingSemicolon) {
+  Fixture F(RecoveryGrammar);
+  // Second statement is garbage ("+ +"); the error production should
+  // swallow it up to the ';' and the third statement still parses.
+  auto Out = F.run("NUM ; + + ; ID ;");
+  EXPECT_TRUE(Out.Accepted);
+  EXPECT_EQ(Out.Errors.size(), 1u);
+  // The error production was actually used.
+  bool UsedErrorProd = false;
+  for (ProductionId P : Out.Reductions) {
+    const Production &Prod = F.G.production(P);
+    for (SymbolId S : Prod.Rhs)
+      UsedErrorProd |= S == F.G.findSymbol("error");
+  }
+  EXPECT_TRUE(UsedErrorProd);
+}
+
+TEST(ErrorTokenTest, MultipleRecoveries) {
+  Fixture F(RecoveryGrammar);
+  auto Out = F.run("+ ; + ; NUM ;");
+  EXPECT_TRUE(Out.Accepted);
+  EXPECT_EQ(Out.Errors.size(), 2u);
+}
+
+TEST(ErrorTokenTest, UnrecoverableWhenNoSyncTokenRemains) {
+  Fixture F(RecoveryGrammar);
+  auto Out = F.run("+ + +");
+  EXPECT_FALSE(Out.Accepted);
+  EXPECT_GE(Out.Errors.size(), 1u);
+}
+
+TEST(ErrorTokenTest, DisabledFallsBackToPanicMode) {
+  Fixture F(RecoveryGrammar);
+  ParseOptions Opts;
+  Opts.UseErrorToken = false;
+  auto Out = F.run("NUM ; + + ; ID ;", Opts);
+  // Panic mode discards tokens one at a time; it still salvages the
+  // parse but reports more errors than the error production does.
+  EXPECT_TRUE(Out.Accepted);
+  EXPECT_GE(Out.Errors.size(), 2u);
+}
+
+TEST(ErrorTokenTest, GrammarsWithoutErrorTokenUsePanicMode) {
+  Grammar G = loadCorpusGrammar("expr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable T = buildLalrTable(A, An);
+  std::string Error;
+  auto Tokens = tokenizeSymbols(G, "NUM + ) NUM", &Error);
+  ASSERT_TRUE(Tokens);
+  auto Out = recognize(G, T, *Tokens); // default options
+  EXPECT_TRUE(Out.Accepted) << "panic mode salvages NUM + NUM";
+}

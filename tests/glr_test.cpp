@@ -1,0 +1,154 @@
+//===- tests/glr_test.cpp - Generalized LR tests --------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "corpus/SyntheticGrammars.h"
+#include "earley/EarleyParser.h"
+#include "glr/GlrParser.h"
+#include "grammar/SentenceGen.h"
+#include "lalr/LalrLookaheads.h"
+#include "parser/ParserDriver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+std::vector<SymbolId> toSyms(const Grammar &G, std::string_view Text) {
+  std::string Error;
+  auto Tokens = tokenizeSymbols(G, Text, &Error);
+  EXPECT_TRUE(Tokens) << Error;
+  std::vector<SymbolId> Out;
+  if (Tokens)
+    for (const Token &T : *Tokens)
+      Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(GlrTest, DeterministicGrammarBehavesLikeLr) {
+  Grammar G = loadCorpusGrammar("expr");
+  GlrResult R = glrRecognize(G, toSyms(G, "NUM + NUM * NUM"));
+  EXPECT_TRUE(R.Accepted);
+  EXPECT_EQ(R.PeakFrontier, 1u) << "no forking on a conflict-free table";
+  EXPECT_EQ(R.Merges, 0u) << "fully deterministic run";
+  EXPECT_FALSE(glrRecognize(G, toSyms(G, "NUM +")).Accepted);
+  EXPECT_FALSE(glrRecognize(G, toSyms(G, "NUM NUM")).Accepted);
+}
+
+TEST(GlrTest, ParsesAmbiguousGrammar) {
+  Grammar G = loadCorpusGrammar("not_lr1_ambiguous");
+  EXPECT_TRUE(glrRecognize(G, toSyms(G, "a")).Accepted);
+  EXPECT_TRUE(glrRecognize(G, toSyms(G, "a + a + a")).Accepted);
+  EXPECT_FALSE(glrRecognize(G, toSyms(G, "a a")).Accepted);
+  EXPECT_FALSE(glrRecognize(G, toSyms(G, "+")).Accepted);
+  // Ambiguity shows up as GSS merges (forked stacks rejoining).
+  GlrResult R = glrRecognize(G, toSyms(G, "a + a + a + a"));
+  EXPECT_TRUE(R.Accepted);
+  EXPECT_GT(R.Merges, 0u);
+}
+
+TEST(GlrTest, ParsesThePalindromeLanguage) {
+  // The not-LR(k) showcase: GLR handles what no deterministic LR table
+  // can.
+  Grammar G = loadCorpusGrammar("palindrome");
+  EXPECT_TRUE(glrRecognize(G, toSyms(G, "")).Accepted);
+  EXPECT_TRUE(glrRecognize(G, toSyms(G, "a a")).Accepted);
+  EXPECT_TRUE(glrRecognize(G, toSyms(G, "a b b a")).Accepted);
+  EXPECT_TRUE(glrRecognize(G, toSyms(G, "b a a b b a a b")).Accepted);
+  EXPECT_FALSE(glrRecognize(G, toSyms(G, "a b")).Accepted);
+  EXPECT_FALSE(glrRecognize(G, toSyms(G, "a a a")).Accepted);
+}
+
+TEST(GlrTest, HandlesTheReadsCycleGrammar) {
+  // Ambiguous through epsilon cycles; the GSS must not loop forever.
+  Grammar G = loadCorpusGrammar("not_lrk_reads_cycle");
+  EXPECT_TRUE(glrRecognize(G, toSyms(G, "b")).Accepted);
+  EXPECT_FALSE(glrRecognize(G, toSyms(G, "b b")).Accepted);
+  EXPECT_FALSE(glrRecognize(G, toSyms(G, "")).Accepted);
+}
+
+TEST(GlrTest, AgreesWithEarleyOnEveryCorpusGrammar) {
+  // The capstone differential: GLR (over DP LALR look-aheads) and the
+  // Earley oracle define the same language — for ALL corpus grammars,
+  // deterministic, ambiguous, and non-LR(k) alike.
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    GlrTable Table = GlrTable::build(
+        A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+          return LA.la(S, P);
+        });
+    Rng R(0x61A2);
+    for (int I = 0; I < 12; ++I) {
+      std::vector<SymbolId> S = randomSentence(G, R, 10);
+      if (I % 2 == 1 && !S.empty() && G.numTerminals() > 1)
+        S[R.below(S.size())] =
+            1 + static_cast<SymbolId>(R.below(G.numTerminals() - 1));
+      EXPECT_EQ(glrRecognize(G, Table, S).Accepted,
+                earleyRecognize(G, An, S))
+          << E.Name << ": " << renderSentence(G, S);
+    }
+  }
+}
+
+TEST(GlrTest, AgreesWithEarleyOnRandomGrammars) {
+  RandomGrammarParams Params;
+  Params.NumTerminals = 4;
+  Params.NumNonterminals = 5;
+  Params.EpsilonPercent = 20;
+  for (uint64_t Seed = 7000; Seed < 7030; ++Seed) {
+    Grammar G = makeRandomReducedGrammar(Seed, Params);
+    if (G.numTerminals() <= 1)
+      continue;
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    GlrTable Table = GlrTable::build(
+        A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+          return LA.la(S, P);
+        });
+    Rng R(Seed);
+    for (int I = 0; I < 15; ++I) {
+      size_t Len = R.below(7);
+      std::vector<SymbolId> S;
+      for (size_t J = 0; J < Len; ++J)
+        S.push_back(1 +
+                    static_cast<SymbolId>(R.below(G.numTerminals() - 1)));
+      EXPECT_EQ(glrRecognize(G, Table, S).Accepted,
+                earleyRecognize(G, An, S))
+          << "seed " << Seed << ": " << renderSentence(G, S);
+    }
+  }
+}
+
+TEST(GlrTest, ConflictCellCountsMatchAdequacy) {
+  // A conflict-free LALR grammar yields a GLR table with no
+  // multi-action cells; the specimens yield some.
+  Grammar Clean = loadCorpusGrammar("miniada");
+  {
+    GrammarAnalysis An(Clean);
+    Lr0Automaton A = Lr0Automaton::build(Clean);
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    GlrTable T = GlrTable::build(
+        A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+          return LA.la(S, P);
+        });
+    EXPECT_EQ(T.conflictCells(), 0u);
+  }
+  Grammar Ambig = loadCorpusGrammar("not_lr1_ambiguous");
+  {
+    GrammarAnalysis An(Ambig);
+    Lr0Automaton A = Lr0Automaton::build(Ambig);
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    GlrTable T = GlrTable::build(
+        A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+          return LA.la(S, P);
+        });
+    EXPECT_GT(T.conflictCells(), 0u);
+  }
+}

@@ -1,0 +1,538 @@
+//===- tests/grammar_test.cpp - Grammar front end and analyses --------------===//
+
+#include "grammar/Analysis.h"
+#include "grammar/GrammarBuilder.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/GrammarPrinter.h"
+#include "grammar/Transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace lalr;
+
+namespace {
+
+/// Parses a grammar that must be valid; fails the test otherwise.
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+/// Returns the set of terminal names in a FIRST/FOLLOW bitset.
+std::set<std::string> names(const Grammar &G, const BitSet &S) {
+  std::set<std::string> Out;
+  for (size_t T : S)
+    Out.insert(G.name(static_cast<SymbolId>(T)));
+  return Out;
+}
+
+const char ExprSrc[] = R"(
+%token NUM
+%%
+e : e '+' t | t ;
+t : t '*' f | f ;
+f : '(' e ')' | NUM ;
+)";
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// GrammarBuilder
+// ---------------------------------------------------------------------------
+
+TEST(GrammarBuilderTest, CanonicalLayout) {
+  GrammarBuilder B("g");
+  SymbolId A = B.terminal("a");
+  SymbolId X = B.nonterminal("x");
+  B.production(X, {A});
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = std::move(B).build(Diags);
+  ASSERT_TRUE(G) << Diags.render();
+
+  EXPECT_EQ(G->numTerminals(), 2u) << "$end + a";
+  EXPECT_EQ(G->numNonterminals(), 2u) << "x + $accept";
+  EXPECT_EQ(G->name(G->eofSymbol()), "$end");
+  EXPECT_EQ(G->name(G->acceptSymbol()), "$accept");
+  EXPECT_EQ(G->name(G->startSymbol()), "x");
+  EXPECT_TRUE(G->isTerminal(G->findSymbol("a")));
+  EXPECT_TRUE(G->isNonterminal(G->findSymbol("x")));
+}
+
+TEST(GrammarBuilderTest, AugmentationProduction) {
+  GrammarBuilder B("g");
+  SymbolId X = B.nonterminal("x");
+  B.production(X, {B.terminal("a")});
+  DiagnosticEngine Diags;
+  auto G = std::move(B).build(Diags);
+  ASSERT_TRUE(G);
+  const Production &P0 = G->acceptProduction();
+  EXPECT_EQ(P0.Id, 0u);
+  EXPECT_EQ(P0.Lhs, G->acceptSymbol());
+  ASSERT_EQ(P0.Rhs.size(), 1u);
+  EXPECT_EQ(P0.Rhs[0], G->startSymbol());
+}
+
+TEST(GrammarBuilderTest, MissingProductionsIsAnError) {
+  GrammarBuilder B("g");
+  SymbolId X = B.nonterminal("x");
+  SymbolId Y = B.nonterminal("y");
+  B.production(X, {Y, B.terminal("a")});
+  // y has no productions.
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(std::move(B).build(Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.render().find("'y'"), std::string::npos);
+}
+
+TEST(GrammarBuilderTest, EmptyGrammarIsAnError) {
+  GrammarBuilder B("g");
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(std::move(B).build(Diags));
+}
+
+TEST(GrammarBuilderTest, PrecedenceLevelsAscend) {
+  GrammarBuilder B("g");
+  SymbolId Plus = B.terminal("'+'");
+  SymbolId Star = B.terminal("'*'");
+  SymbolId X = B.nonterminal("x");
+  B.production(X, {Plus});
+  B.precedenceLevel(Assoc::Left, {Plus});
+  B.precedenceLevel(Assoc::Right, {Star});
+  DiagnosticEngine Diags;
+  auto G = std::move(B).build(Diags);
+  ASSERT_TRUE(G);
+  SymbolId P = G->findSymbol("'+'");
+  SymbolId S = G->findSymbol("'*'");
+  EXPECT_EQ(G->precedence(P).Level, 1);
+  EXPECT_EQ(G->precedence(P).Associativity, Assoc::Left);
+  EXPECT_EQ(G->precedence(S).Level, 2);
+  EXPECT_EQ(G->precedence(S).Associativity, Assoc::Right);
+  EXPECT_FALSE(G->precedence(G->eofSymbol()).isDeclared());
+}
+
+TEST(GrammarBuilderTest, DefaultPrecSymbolIsRightmostTerminal) {
+  GrammarBuilder B("g");
+  SymbolId A = B.terminal("a");
+  SymbolId C = B.terminal("c");
+  SymbolId X = B.nonterminal("x");
+  B.production(X, {A, X, C, X});
+  B.production(X, {A});
+  DiagnosticEngine Diags;
+  auto G = std::move(B).build(Diags);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->production(1).PrecSymbol, G->findSymbol("c"));
+  EXPECT_EQ(G->production(2).PrecSymbol, G->findSymbol("a"));
+  EXPECT_EQ(G->acceptProduction().PrecSymbol, InvalidSymbol);
+}
+
+// ---------------------------------------------------------------------------
+// Grammar text parser
+// ---------------------------------------------------------------------------
+
+TEST(GrammarParserTest, ParsesExprGrammar) {
+  Grammar G = mustParse(ExprSrc);
+  EXPECT_EQ(G.numProductions(), 7u) << "6 user productions + augmentation";
+  EXPECT_EQ(G.name(G.startSymbol()), "e");
+  EXPECT_NE(G.findSymbol("NUM"), InvalidSymbol);
+  EXPECT_NE(G.findSymbol("'+'"), InvalidSymbol);
+}
+
+TEST(GrammarParserTest, StartDirective) {
+  Grammar G = mustParse(R"(
+%token A
+%start second
+%%
+first : A ;
+second : first first ;
+)");
+  EXPECT_EQ(G.name(G.startSymbol()), "second");
+}
+
+TEST(GrammarParserTest, EmptyAlternative) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+x : A x | %empty ;
+)");
+  bool FoundEpsilon = false;
+  for (ProductionId P = 1; P < G.numProductions(); ++P)
+    FoundEpsilon |= G.production(P).isEpsilon();
+  EXPECT_TRUE(FoundEpsilon);
+}
+
+TEST(GrammarParserTest, PrecAndAssociativityDirectives) {
+  Grammar G = mustParse(R"(
+%token NUM
+%left '+'
+%left '*'
+%right UMINUS
+%%
+e : e '+' e | e '*' e | '-' e %prec UMINUS | NUM ;
+)");
+  EXPECT_EQ(G.precedence(G.findSymbol("'+'")).Level, 1);
+  EXPECT_EQ(G.precedence(G.findSymbol("'*'")).Level, 2);
+  EXPECT_EQ(G.precedence(G.findSymbol("UMINUS")).Level, 3);
+  // The %prec production: '-' e, with PrecSymbol UMINUS.
+  bool Found = false;
+  for (ProductionId P = 1; P < G.numProductions(); ++P) {
+    const Production &Prod = G.production(P);
+    if (Prod.Rhs.size() == 2 && Prod.Rhs[0] == G.findSymbol("'-'")) {
+      EXPECT_EQ(Prod.PrecSymbol, G.findSymbol("UMINUS"));
+      Found = true;
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(GrammarParserTest, UndefinedSymbolIsDiagnosed) {
+  DiagnosticEngine Diags;
+  auto G = parseGrammar(R"(
+%%
+x : y ;
+)",
+                        Diags);
+  EXPECT_FALSE(G);
+  EXPECT_NE(Diags.render().find("'y'"), std::string::npos);
+}
+
+TEST(GrammarParserTest, TokenWithRulesIsDiagnosed) {
+  DiagnosticEngine Diags;
+  auto G = parseGrammar(R"(
+%token x
+%%
+x : 'a' ;
+)",
+                        Diags);
+  EXPECT_FALSE(G);
+  EXPECT_NE(Diags.render().find("also has rules"), std::string::npos);
+}
+
+TEST(GrammarParserTest, MissingSemicolonIsDiagnosed) {
+  DiagnosticEngine Diags;
+  auto G = parseGrammar(R"(
+%%
+x : 'a'
+)",
+                        Diags);
+  EXPECT_FALSE(G);
+  EXPECT_NE(Diags.render().find("not terminated"), std::string::npos);
+}
+
+TEST(GrammarParserTest, UnknownDirectiveIsDiagnosed) {
+  DiagnosticEngine Diags;
+  auto G = parseGrammar("%bogus\n%%\nx : 'a' ;\n", Diags);
+  EXPECT_FALSE(G);
+  EXPECT_NE(Diags.render().find("%bogus"), std::string::npos);
+}
+
+TEST(GrammarParserTest, CommentsAreSkipped) {
+  Grammar G = mustParse(R"(
+// line comment
+%token A /* block
+   comment */ B
+%%
+x : A /* inline */ B ; // trailing
+)");
+  EXPECT_NE(G.findSymbol("A"), InvalidSymbol);
+  EXPECT_NE(G.findSymbol("B"), InvalidSymbol);
+}
+
+TEST(GrammarParserTest, SecondPercentPercentEndsGrammar) {
+  Grammar G = mustParse(R"(
+%%
+x : 'a' ;
+%%
+arbitrary trailing garbage ( } that must be ignored
+)");
+  EXPECT_EQ(G.numProductions(), 2u);
+}
+
+TEST(GrammarParserTest, LiteralEscapes) {
+  Grammar G = mustParse(R"(
+%%
+x : '\\' | '\'' ;
+)");
+  EXPECT_NE(G.findSymbol("'\\'"), InvalidSymbol);
+  EXPECT_NE(G.findSymbol("'''"), InvalidSymbol) << "escaped quote literal";
+}
+
+TEST(GrammarParserTest, MultipleErrorsAllReported) {
+  DiagnosticEngine Diags;
+  auto G = parseGrammar(R"(
+%%
+x : y ;
+z : w ;
+x2 : 'a' ;
+)",
+                        Diags);
+  EXPECT_FALSE(G);
+  EXPECT_GE(Diags.errorCount(), 2u) << "both y and w undefined";
+}
+
+TEST(GrammarParserTest, RoundTripThroughPrinter) {
+  Grammar G = mustParse(R"(
+%name roundtrip
+%token NUM ID
+%left '+' '-'
+%left '*'
+%%
+e : e '+' e | e '-' e | e '*' e | '-' e %prec '*' | NUM | ID | %empty ;
+)");
+  std::string Printed = printGrammarText(G);
+  DiagnosticEngine Diags;
+  auto G2 = parseGrammar(Printed, Diags);
+  ASSERT_TRUE(G2) << "printer output must reparse:\n"
+                  << Printed << Diags.render();
+  EXPECT_EQ(G2->numProductions(), G.numProductions());
+  EXPECT_EQ(G2->numTerminals(), G.numTerminals());
+  EXPECT_EQ(G2->numNonterminals(), G.numNonterminals());
+  EXPECT_EQ(G2->grammarName(), "roundtrip");
+  // Precedence survives.
+  EXPECT_EQ(G2->precedence(G2->findSymbol("'*'")).Level,
+            G.precedence(G.findSymbol("'*'")).Level);
+}
+
+// ---------------------------------------------------------------------------
+// Analyses: nullable / FIRST / FOLLOW
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisTest, NullableBasics) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : x y A ;
+x : %empty ;
+y : x x | A ;
+)");
+  GrammarAnalysis An(G);
+  EXPECT_TRUE(An.isNullable(G.findSymbol("x")));
+  EXPECT_TRUE(An.isNullable(G.findSymbol("y")));
+  EXPECT_FALSE(An.isNullable(G.findSymbol("s")));
+  EXPECT_FALSE(An.isNullable(G.findSymbol("A")));
+  EXPECT_FALSE(An.isNullable(G.acceptSymbol()));
+}
+
+TEST(AnalysisTest, FirstOfDragonBookGrammar) {
+  // Dragon book 4.28: E -> T E'; E' -> + T E' | eps; T -> F T';
+  // T' -> * F T' | eps; F -> ( E ) | id.
+  Grammar G = mustParse(R"(
+%token id
+%%
+e  : t ep ;
+ep : '+' t ep | %empty ;
+t  : f tp ;
+tp : '*' f tp | %empty ;
+f  : '(' e ')' | id ;
+)");
+  GrammarAnalysis An(G);
+  EXPECT_EQ(names(G, An.first(G.findSymbol("e"))),
+            (std::set<std::string>{"'('", "id"}));
+  EXPECT_EQ(names(G, An.first(G.findSymbol("ep"))),
+            (std::set<std::string>{"'+'"}));
+  EXPECT_EQ(names(G, An.first(G.findSymbol("tp"))),
+            (std::set<std::string>{"'*'"}));
+  EXPECT_TRUE(An.isNullable(G.findSymbol("ep")));
+  EXPECT_TRUE(An.isNullable(G.findSymbol("tp")));
+  EXPECT_FALSE(An.isNullable(G.findSymbol("e")));
+}
+
+TEST(AnalysisTest, FollowOfDragonBookGrammar) {
+  Grammar G = mustParse(R"(
+%token id
+%%
+e  : t ep ;
+ep : '+' t ep | %empty ;
+t  : f tp ;
+tp : '*' f tp | %empty ;
+f  : '(' e ')' | id ;
+)");
+  GrammarAnalysis An(G);
+  // Textbook result: FOLLOW(E) = FOLLOW(E') = { ), $ };
+  // FOLLOW(T) = FOLLOW(T') = { +, ), $ }; FOLLOW(F) = { +, *, ), $ }.
+  EXPECT_EQ(names(G, An.follow(G.findSymbol("e"))),
+            (std::set<std::string>{"')'", "$end"}));
+  EXPECT_EQ(names(G, An.follow(G.findSymbol("ep"))),
+            (std::set<std::string>{"')'", "$end"}));
+  EXPECT_EQ(names(G, An.follow(G.findSymbol("t"))),
+            (std::set<std::string>{"'+'", "')'", "$end"}));
+  EXPECT_EQ(names(G, An.follow(G.findSymbol("f"))),
+            (std::set<std::string>{"'+'", "'*'", "')'", "$end"}));
+}
+
+TEST(AnalysisTest, FirstOfTerminalIsItself) {
+  Grammar G = mustParse(ExprSrc);
+  GrammarAnalysis An(G);
+  EXPECT_EQ(names(G, An.first(G.findSymbol("NUM"))),
+            std::set<std::string>{"NUM"});
+}
+
+TEST(AnalysisTest, FirstOfSequence) {
+  Grammar G = mustParse(R"(
+%token A B
+%%
+s : x B ;
+x : A | %empty ;
+)");
+  GrammarAnalysis An(G);
+  std::vector<SymbolId> Seq{G.findSymbol("x"), G.findSymbol("B")};
+  BitSet F = An.firstOfSeq(Seq);
+  EXPECT_EQ(names(G, F), (std::set<std::string>{"A", "B"}));
+  EXPECT_FALSE(An.isNullableSeq(Seq));
+  std::vector<SymbolId> JustX{G.findSymbol("x")};
+  EXPECT_TRUE(An.isNullableSeq(JustX));
+  EXPECT_TRUE(An.isNullableSeq({}));
+}
+
+TEST(AnalysisTest, LeftRecursionDetection) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+direct : direct A | A ;
+hidden : nul hidden A | A ;
+nul    : %empty ;
+rightr : A rightr | A ;
+)");
+  std::vector<bool> LR = computeLeftRecursive(G);
+  EXPECT_TRUE(LR[G.ntIndex(G.findSymbol("direct"))]);
+  EXPECT_TRUE(LR[G.ntIndex(G.findSymbol("hidden"))])
+      << "recursion through a nullable prefix is still left recursion";
+  EXPECT_FALSE(LR[G.ntIndex(G.findSymbol("rightr"))]);
+  EXPECT_FALSE(LR[G.ntIndex(G.findSymbol("nul"))]);
+}
+
+TEST(AnalysisTest, CycleDetection) {
+  Grammar Cyclic = mustParse(R"(
+%token A
+%%
+x : y | A ;
+y : x ;
+)");
+  EXPECT_TRUE(hasCycle(Cyclic));
+  Grammar Acyclic = mustParse(ExprSrc);
+  EXPECT_FALSE(hasCycle(Acyclic));
+}
+
+TEST(AnalysisTest, ProductiveAndReachable) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : x | dead_loop_entry ;
+x : A ;
+dead_loop_entry : dead_loop_entry A ;
+orphan : A ;
+)");
+  std::vector<bool> Productive = computeProductive(G);
+  EXPECT_TRUE(Productive[G.ntIndex(G.findSymbol("s"))]);
+  EXPECT_TRUE(Productive[G.ntIndex(G.findSymbol("x"))]);
+  EXPECT_FALSE(Productive[G.ntIndex(G.findSymbol("dead_loop_entry"))]);
+  EXPECT_TRUE(Productive[G.ntIndex(G.findSymbol("orphan"))]);
+
+  std::vector<bool> Reachable = computeReachable(G);
+  EXPECT_TRUE(Reachable[G.findSymbol("x")]);
+  EXPECT_FALSE(Reachable[G.findSymbol("orphan")]);
+}
+
+// ---------------------------------------------------------------------------
+// Transforms
+// ---------------------------------------------------------------------------
+
+TEST(TransformsTest, ReductionDropsUselessSymbols) {
+  Grammar G = mustParse(R"(
+%token A B
+%%
+s : x | unproductive ;
+x : A ;
+unproductive : unproductive B ;
+unreachable : A ;
+)");
+  DiagnosticEngine Diags;
+  auto Reduced = reduceGrammar(G, Diags);
+  ASSERT_TRUE(Reduced) << Diags.render();
+  EXPECT_EQ(Reduced->findSymbol("unproductive"), InvalidSymbol);
+  EXPECT_EQ(Reduced->findSymbol("unreachable"), InvalidSymbol);
+  EXPECT_NE(Reduced->findSymbol("x"), InvalidSymbol);
+  // 's : x' and 'x : A' survive (+ augmentation).
+  EXPECT_EQ(Reduced->numProductions(), 3u);
+}
+
+TEST(TransformsTest, ReductionOfEmptyLanguageFails) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : s A ;
+)");
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(reduceGrammar(G, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(TransformsTest, ReductionIsIdempotent) {
+  Grammar G = mustParse(ExprSrc);
+  DiagnosticEngine D1, D2;
+  auto R1 = reduceGrammar(G, D1);
+  ASSERT_TRUE(R1);
+  auto R2 = reduceGrammar(*R1, D2);
+  ASSERT_TRUE(R2);
+  EXPECT_EQ(R1->numProductions(), R2->numProductions());
+  EXPECT_EQ(R1->numSymbols(), R2->numSymbols());
+}
+
+TEST(TransformsTest, EpsilonRemovalBasic) {
+  Grammar G = mustParse(R"(
+%token A B
+%%
+s : x A x ;
+x : B | %empty ;
+)");
+  DiagnosticEngine Diags;
+  auto E = removeEpsilonRules(G, Diags);
+  ASSERT_TRUE(E) << Diags.render();
+  EXPECT_TRUE(isEpsilonFree(*E));
+  // Expansions of s: x A x -> {BAB, BA, AB, A}: four s-productions plus
+  // x : B and the augmentation.
+  size_t SProds = 0;
+  for (ProductionId P = 1; P < E->numProductions(); ++P)
+    if (E->production(P).Lhs == E->startSymbol())
+      ++SProds;
+  EXPECT_EQ(SProds, 4u);
+}
+
+TEST(TransformsTest, EpsilonRemovalDropsNullOnlyNonterminals) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : nul A ;
+nul : %empty ;
+)");
+  DiagnosticEngine Diags;
+  auto E = removeEpsilonRules(G, Diags);
+  ASSERT_TRUE(E) << Diags.render();
+  EXPECT_TRUE(isEpsilonFree(*E));
+  EXPECT_EQ(E->findSymbol("nul"), InvalidSymbol);
+}
+
+TEST(TransformsTest, EpsilonRemovalPreservesNonNullableGrammar) {
+  Grammar G = mustParse(ExprSrc);
+  DiagnosticEngine Diags;
+  auto E = removeEpsilonRules(G, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E->numProductions(), G.numProductions());
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+TEST(PrinterTest, ListingIncludesAugmentation) {
+  Grammar G = mustParse(ExprSrc);
+  std::string Listing = printProductionListing(G);
+  EXPECT_NE(Listing.find("0. $accept -> e"), std::string::npos);
+  EXPECT_NE(Listing.find("NUM"), std::string::npos);
+}

@@ -1,0 +1,151 @@
+//===- tests/invariants_test.cpp - Cross-corpus structural invariants ----------===//
+///
+/// \file
+/// Structural invariants asserted over every corpus grammar at once:
+/// analysis facts that must hold for any reduced grammar, automaton
+/// well-formedness, and consistency links between independently computed
+/// artifacts (min yields vs nullability, FIRST vs Earley one-token
+/// membership, lookback targets vs production walks).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/Analysis.h"
+#include "grammar/SentenceGen.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+class CorpusInvariantsTest
+    : public ::testing::TestWithParam<const CorpusEntry *> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CorpusInvariantsTest,
+    ::testing::ValuesIn([] {
+      std::vector<const CorpusEntry *> Out;
+      for (const CorpusEntry &E : corpusEntries())
+        Out.push_back(&E);
+      return Out;
+    }()),
+    [](const ::testing::TestParamInfo<const CorpusEntry *> &Info) {
+      return std::string(Info.param->Name);
+    });
+
+TEST_P(CorpusInvariantsTest, AnalysisFactsAgree) {
+  Grammar G = loadCorpusGrammar(GetParam()->Name);
+  GrammarAnalysis An(G);
+  std::vector<uint32_t> MinLen = computeMinYieldLengths(G);
+
+  for (uint32_t NtIdx = 0; NtIdx < G.numNonterminals(); ++NtIdx) {
+    SymbolId Nt = G.ntSymbol(NtIdx);
+    // Corpus grammars are reduced: every nonterminal productive.
+    ASSERT_NE(MinLen[Nt], UnproductiveLength) << G.name(Nt);
+    // nullable(A) <=> the shortest yield is empty.
+    EXPECT_EQ(An.isNullable(Nt), MinLen[Nt] == 0) << G.name(Nt);
+    // A non-nullable productive nonterminal derives some terminal, so
+    // its FIRST set is nonempty; FIRST(A) empty means A is null-only.
+    if (!An.isNullable(Nt)) {
+      EXPECT_FALSE(An.first(Nt).empty()) << G.name(Nt);
+    }
+  }
+  // The accept symbol's FOLLOW is exactly { $end }.
+  EXPECT_EQ(An.follow(G.acceptSymbol()).count(), 1u);
+  EXPECT_TRUE(An.follow(G.acceptSymbol()).test(G.eofSymbol()));
+}
+
+TEST_P(CorpusInvariantsTest, AutomatonWellFormed) {
+  Grammar G = loadCorpusGrammar(GetParam()->Name);
+  Lr0Automaton A = Lr0Automaton::build(G);
+
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    const Lr0State &St = A.state(S);
+    // Kernels sorted and unique.
+    for (size_t I = 1; I < St.Kernel.size(); ++I)
+      EXPECT_LT(St.Kernel[I - 1].packed(), St.Kernel[I].packed());
+    // Transitions sorted by symbol, targets valid, accessing symbols
+    // consistent.
+    for (size_t I = 0; I < St.Transitions.size(); ++I) {
+      if (I > 0) {
+        EXPECT_LT(St.Transitions[I - 1].first, St.Transitions[I].first);
+      }
+      auto [Sym, Target] = St.Transitions[I];
+      ASSERT_LT(Target, A.numStates());
+      EXPECT_EQ(A.state(Target).AccessingSymbol, Sym);
+      EXPECT_NE(Target, 0u) << "nothing transitions into the start state";
+    }
+    // Reductions are complete items of the closure.
+    std::vector<Lr0Item> Closure = A.closureItems(S);
+    for (ProductionId P : St.Reductions) {
+      Lr0Item Complete{P,
+                       static_cast<uint32_t>(G.production(P).Rhs.size())};
+      EXPECT_TRUE(std::binary_search(Closure.begin(), Closure.end(),
+                                     Complete))
+          << "state " << S << " production " << P;
+    }
+  }
+}
+
+TEST_P(CorpusInvariantsTest, LookbackTargetsMatchProductionWalks) {
+  Grammar G = loadCorpusGrammar(GetParam()->Name);
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  const NtTransitionIndex &NtIdx = LA.ntTransitions();
+  const ReductionIndex &RedIdx = LA.reductions();
+  const LalrRelations &R = LA.relations();
+
+  for (uint32_t Slot = 0; Slot < RedIdx.size(); ++Slot) {
+    StateId Q = RedIdx.stateOf(Slot);
+    ProductionId P = RedIdx.prodOf(Slot);
+    for (uint32_t X : R.Lookback[Slot]) {
+      // (q, A->w) lookback (p, A): the lookback transition's symbol is
+      // the production's Lhs, and walking w from p lands on q.
+      EXPECT_EQ(NtIdx[X].Nt, G.production(P).Lhs);
+      EXPECT_EQ(A.walk(NtIdx[X].From, G.production(P).Rhs), Q);
+    }
+  }
+}
+
+TEST_P(CorpusInvariantsTest, ReadSubsetsOfFollow) {
+  Grammar G = loadCorpusGrammar(GetParam()->Name);
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  for (uint32_t X = 0; X < LA.ntTransitions().size(); ++X) {
+    // DR ⊆ Read ⊆ Follow(p,A) ⊆ FOLLOW(A).
+    EXPECT_TRUE(LA.relations().DirectRead[X].subsetOf(LA.readSets()[X]));
+    EXPECT_TRUE(LA.readSets()[X].subsetOf(LA.followSets()[X]));
+    EXPECT_TRUE(
+        LA.followSets()[X].subsetOf(An.follow(LA.ntTransitions()[X].Nt)));
+  }
+}
+
+TEST_P(CorpusInvariantsTest, FollowDecomposesOverTransitions) {
+  // The paper's bridge to SLR: FOLLOW(A) is exactly the union of the
+  // per-transition Follow(p, A) sets — SLR is the method that loses the
+  // p. (Holds for every nonterminal of a reduced grammar that has at
+  // least one transition; $accept has none.)
+  Grammar G = loadCorpusGrammar(GetParam()->Name);
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  const NtTransitionIndex &NtIdx = LA.ntTransitions();
+
+  std::vector<BitSet> Union(G.numNonterminals(),
+                            BitSet(G.numTerminals()));
+  std::vector<bool> HasTransition(G.numNonterminals(), false);
+  for (uint32_t X = 0; X < NtIdx.size(); ++X) {
+    uint32_t Idx = G.ntIndex(NtIdx[X].Nt);
+    Union[Idx].unionWith(LA.followSets()[X]);
+    HasTransition[Idx] = true;
+  }
+  for (uint32_t Idx = 0; Idx < G.numNonterminals(); ++Idx) {
+    if (!HasTransition[Idx])
+      continue;
+    EXPECT_EQ(Union[Idx], An.follow(G.ntSymbol(Idx)))
+        << G.name(G.ntSymbol(Idx));
+  }
+}

@@ -1,0 +1,370 @@
+//===- tests/lalr_test.cpp - DeRemer-Pennello core unit tests ----------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "lalr/DigraphSolver.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+BitSet bits(size_t Universe, std::initializer_list<size_t> Elems) {
+  BitSet S(Universe);
+  for (size_t E : Elems)
+    S.set(E);
+  return S;
+}
+
+std::set<std::string> names(const Grammar &G, const BitSet &S) {
+  std::set<std::string> Out;
+  for (size_t T : S)
+    Out.insert(G.name(static_cast<SymbolId>(T)));
+  return Out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// DigraphSolver
+// ---------------------------------------------------------------------------
+
+TEST(DigraphTest, NoEdgesReturnsInitial) {
+  std::vector<std::vector<uint32_t>> Edges(3);
+  std::vector<BitSet> Init{bits(8, {1}), bits(8, {2}), bits(8, {})};
+  auto F = solveDigraph(Edges, Init);
+  EXPECT_EQ(F[0], bits(8, {1}));
+  EXPECT_EQ(F[1], bits(8, {2}));
+  EXPECT_TRUE(F[2].empty());
+}
+
+TEST(DigraphTest, ChainUnionsDownstream) {
+  // 0 -> 1 -> 2: F(0) = I0 u I1 u I2.
+  std::vector<std::vector<uint32_t>> Edges{{1}, {2}, {}};
+  std::vector<BitSet> Init{bits(8, {0}), bits(8, {1}), bits(8, {2})};
+  auto F = solveDigraph(Edges, Init);
+  EXPECT_EQ(F[0], bits(8, {0, 1, 2}));
+  EXPECT_EQ(F[1], bits(8, {1, 2}));
+  EXPECT_EQ(F[2], bits(8, {2}));
+}
+
+TEST(DigraphTest, CycleMembersShareTheUnion) {
+  // 0 <-> 1, plus 1 -> 2.
+  std::vector<std::vector<uint32_t>> Edges{{1}, {0, 2}, {}};
+  std::vector<BitSet> Init{bits(8, {0}), bits(8, {1}), bits(8, {2})};
+  DigraphStats Stats;
+  std::vector<bool> InScc;
+  auto F = solveDigraph(Edges, Init, &Stats, &InScc);
+  EXPECT_EQ(F[0], bits(8, {0, 1, 2}));
+  EXPECT_EQ(F[1], bits(8, {0, 1, 2}));
+  EXPECT_EQ(F[2], bits(8, {2}));
+  EXPECT_EQ(Stats.NontrivialSccs, 1u);
+  EXPECT_TRUE(InScc[0]);
+  EXPECT_TRUE(InScc[1]);
+  EXPECT_FALSE(InScc[2]);
+}
+
+TEST(DigraphTest, SelfLoopCountsAsNontrivial) {
+  std::vector<std::vector<uint32_t>> Edges{{0}};
+  DigraphStats Stats;
+  std::vector<bool> InScc;
+  auto F = solveDigraph(Edges, {bits(4, {1})}, &Stats, &InScc);
+  EXPECT_EQ(F[0], bits(4, {1}));
+  EXPECT_EQ(Stats.NontrivialSccs, 1u);
+  EXPECT_TRUE(InScc[0]);
+}
+
+TEST(DigraphTest, DiamondSharing) {
+  //   0 -> 1 -> 3, 0 -> 2 -> 3.
+  std::vector<std::vector<uint32_t>> Edges{{1, 2}, {3}, {3}, {}};
+  std::vector<BitSet> Init{bits(8, {}), bits(8, {1}), bits(8, {2}),
+                           bits(8, {3})};
+  auto F = solveDigraph(Edges, Init);
+  EXPECT_EQ(F[0], bits(8, {1, 2, 3}));
+  EXPECT_EQ(F[3], bits(8, {3}));
+}
+
+TEST(DigraphTest, MatchesNaiveFixpointOnRandomGraphs) {
+  // Differential test over pseudo-random digraphs.
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    uint64_t State = Seed * 0x9E3779B97F4A7C15ull;
+    auto Next = [&]() {
+      State ^= State >> 12;
+      State ^= State << 25;
+      State ^= State >> 27;
+      return State * 0x2545F4914F6CDD1Dull;
+    };
+    const size_t N = 20, Universe = 16;
+    std::vector<std::vector<uint32_t>> Edges(N);
+    std::vector<BitSet> Init(N, BitSet(Universe));
+    for (size_t U = 0; U < N; ++U) {
+      size_t Degree = Next() % 4;
+      for (size_t E = 0; E < Degree; ++E)
+        Edges[U].push_back(Next() % N);
+      Init[U].set(Next() % Universe);
+    }
+    auto A = solveDigraph(Edges, Init);
+    auto B = solveNaiveFixpoint(Edges, Init);
+    for (size_t U = 0; U < N; ++U)
+      EXPECT_EQ(A[U], B[U]) << "seed " << Seed << " node " << U;
+  }
+}
+
+TEST(DigraphTest, DeepChainDoesNotOverflowStack) {
+  const uint32_t N = 200000;
+  std::vector<std::vector<uint32_t>> Edges(N);
+  std::vector<BitSet> Init(N, BitSet(1));
+  for (uint32_t I = 0; I + 1 < N; ++I)
+    Edges[I].push_back(I + 1);
+  Init[N - 1].set(0);
+  auto F = solveDigraph(Edges, std::move(Init));
+  EXPECT_TRUE(F[0].test(0)) << "the seed at the chain end reaches the head";
+}
+
+TEST(DigraphTest, UnionCountIsLinearInEdges) {
+  // A tree with E edges: the digraph algorithm performs O(E) unions,
+  // the naive fixpoint at least one sweep more.
+  const uint32_t N = 1000;
+  std::vector<std::vector<uint32_t>> Edges(N);
+  for (uint32_t I = 1; I < N; ++I)
+    Edges[(I - 1) / 2].push_back(I);
+  std::vector<BitSet> Init(N, BitSet(4));
+  Init[N - 1].set(0); // seed a deep leaf so propagation has real work
+  DigraphStats DStats, NStats;
+  solveDigraph(Edges, Init, &DStats);
+  solveNaiveFixpoint(Edges, Init, &NStats);
+  EXPECT_LE(DStats.UnionOps, size_t(N) * 2)
+      << "one union per edge (plus SCC copies)";
+  EXPECT_GE(NStats.Sweeps, 2u) << "naive needs a confirming sweep";
+  EXPECT_GE(NStats.UnionOps, DStats.UnionOps)
+      << "the digraph algorithm never does more unions";
+}
+
+// ---------------------------------------------------------------------------
+// Relations on a hand-analyzable grammar
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The dragon-book assignment grammar (LALR but not SLR):
+///   s -> l = r | r ;  l -> * r | id ;  r -> l
+const char AssignGrammar[] = R"(
+%token ID
+%%
+s : l '=' r | r ;
+l : '*' r | ID ;
+r : l ;
+)";
+
+} // namespace
+
+TEST(RelationsTest, NtTransitionIndexCoversAllNtEdges) {
+  Grammar G = mustParse(AssignGrammar);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  NtTransitionIndex Idx(A);
+  size_t Count = 0;
+  for (StateId S = 0; S < A.numStates(); ++S)
+    for (auto [Sym, Target] : A.state(S).Transitions) {
+      if (G.isTerminal(Sym))
+        continue;
+      ++Count;
+      uint32_t X = Idx.indexOf(S, Sym);
+      ASSERT_NE(X, NtTransitionIndex::Missing);
+      EXPECT_EQ(Idx[X].From, S);
+      EXPECT_EQ(Idx[X].Nt, Sym);
+      EXPECT_EQ(Idx[X].To, Target);
+    }
+  EXPECT_EQ(Idx.size(), Count);
+  EXPECT_EQ(Idx.indexOf(0, G.eofSymbol()), NtTransitionIndex::Missing);
+}
+
+TEST(RelationsTest, DirectReadsOfExprGrammar) {
+  Grammar G = mustParse(R"(
+%token id
+%%
+e : e '+' t | t ;
+t : t '*' f | f ;
+f : '(' e ')' | id ;
+)");
+  Lr0Automaton A = Lr0Automaton::build(G);
+  GrammarAnalysis An(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  const NtTransitionIndex &Idx = LA.ntTransitions();
+
+  // DR(0, e) = { '+' } plus the seeded $end.
+  uint32_t X = Idx.indexOf(0, G.findSymbol("e"));
+  ASSERT_NE(X, NtTransitionIndex::Missing);
+  EXPECT_EQ(names(G, LA.relations().DirectRead[X]),
+            (std::set<std::string>{"'+'", "$end"}));
+
+  // DR(0, t) = { '*' } : after t we can only read '*'.
+  uint32_t XT = Idx.indexOf(0, G.findSymbol("t"));
+  EXPECT_EQ(names(G, LA.relations().DirectRead[XT]),
+            (std::set<std::string>{"'*'"}));
+}
+
+TEST(RelationsTest, NoReadsEdgesWithoutNullables) {
+  Grammar G = mustParse(AssignGrammar);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  GrammarAnalysis An(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  EXPECT_EQ(LA.relations().readsEdgeCount(), 0u)
+      << "reads requires nullable nonterminals";
+}
+
+TEST(RelationsTest, ReadsChainOnNullableGrammar) {
+  Grammar G = mustParse(R"(
+%token X
+%%
+s : a b c X ;
+a : %empty ;
+b : %empty ;
+c : %empty ;
+)");
+  Lr0Automaton A = Lr0Automaton::build(G);
+  GrammarAnalysis An(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  // (0,a) reads (q,b) reads (r,c): at least two reads edges.
+  EXPECT_GE(LA.relations().readsEdgeCount(), 2u);
+  // Read(0, a) therefore contains X (read through the nullables).
+  uint32_t X = LA.ntTransitions().indexOf(0, G.findSymbol("a"));
+  ASSERT_NE(X, NtTransitionIndex::Missing);
+  EXPECT_TRUE(LA.readSets()[X].test(G.findSymbol("X")));
+  EXPECT_FALSE(LA.grammarNotLrK());
+}
+
+TEST(RelationsTest, LookbackConnectsReductionsToTransitions) {
+  Grammar G = mustParse(AssignGrammar);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  GrammarAnalysis An(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  const LalrRelations &R = LA.relations();
+  const ReductionIndex &RedIdx = LA.reductions();
+  // Every reduction except the accept one has at least one lookback.
+  for (uint32_t Slot = 0; Slot < RedIdx.size(); ++Slot) {
+    if (RedIdx.prodOf(Slot) == 0)
+      continue;
+    EXPECT_FALSE(R.Lookback[Slot].empty())
+        << "reduction of production " << RedIdx.prodOf(Slot)
+        << " has no lookback";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LALR look-ahead sets: hand-checked values
+// ---------------------------------------------------------------------------
+
+TEST(LalrLaTest, AssignmentGrammarDistinguishesFromSlr) {
+  Grammar G = mustParse(AssignGrammar);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  GrammarAnalysis An(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  GrammarAnalysis FollowAn(G);
+
+  // Find the state whose kernel is { s -> l . '=' r,  r -> l . }: the
+  // famous state 2 of dragon-book Fig 4.39.
+  ProductionId RtoL = InvalidProduction;
+  for (ProductionId P = 1; P < G.numProductions(); ++P)
+    if (G.production(P).Lhs == G.findSymbol("r") &&
+        G.production(P).Rhs.size() == 1 &&
+        G.production(P).Rhs[0] == G.findSymbol("l"))
+      RtoL = P;
+  ASSERT_NE(RtoL, InvalidProduction);
+
+  bool FoundTheState = false;
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    const auto &Reds = A.state(S).Reductions;
+    if (std::find(Reds.begin(), Reds.end(), RtoL) == Reds.end())
+      continue;
+    bool HasShiftEq =
+        A.gotoState(S, G.findSymbol("'='")) != InvalidState;
+    if (!HasShiftEq)
+      continue;
+    FoundTheState = true;
+    // LALR: LA(S, r -> l) = { $end } — '=' is NOT in it, so no conflict.
+    EXPECT_EQ(names(G, LA.la(S, RtoL)), (std::set<std::string>{"$end"}));
+    // SLR would use FOLLOW(r) = { '=', $end }, creating the conflict.
+    EXPECT_EQ(names(G, FollowAn.follow(G.findSymbol("r"))),
+              (std::set<std::string>{"'='", "$end"}));
+  }
+  EXPECT_TRUE(FoundTheState);
+}
+
+TEST(LalrLaTest, AcceptReductionSeesOnlyEof) {
+  Grammar G = mustParse(AssignGrammar);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  GrammarAnalysis An(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  EXPECT_EQ(names(G, LA.la(A.acceptState(), 0)),
+            (std::set<std::string>{"$end"}));
+}
+
+TEST(LalrLaTest, LaSubsetsOfFollow) {
+  // Soundness: LALR look-ahead of A -> w is always a subset of FOLLOW(A).
+  for (const char *Name : {"expr", "json", "minipascal", "minic",
+                           "miniada", "oberon", "minisql", "minilua"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    GrammarAnalysis An(G);
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    for (StateId S = 0; S < A.numStates(); ++S)
+      for (ProductionId P : A.state(S).Reductions) {
+        if (P == 0)
+          continue;
+        EXPECT_TRUE(
+            LA.la(S, P).subsetOf(An.follow(G.production(P).Lhs)))
+            << Name << " state " << S << " prod " << P;
+      }
+  }
+}
+
+TEST(LalrLaTest, NotLrKCertificateFiresOnReadsCycle) {
+  Grammar G = loadCorpusGrammar("not_lrk_reads_cycle");
+  Lr0Automaton A = Lr0Automaton::build(G);
+  GrammarAnalysis An(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  EXPECT_TRUE(LA.grammarNotLrK());
+  EXPECT_GE(LA.readsSolverStats().NontrivialSccs, 1u);
+  // At least one transition is marked as a cycle member.
+  bool Any = false;
+  for (bool B : LA.readsCycleMembers())
+    Any |= B;
+  EXPECT_TRUE(Any);
+}
+
+TEST(LalrLaTest, CertificateSilentOnLalrGrammars) {
+  for (const char *Name : {"expr", "json", "miniada", "lalr_not_slr"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    GrammarAnalysis An(G);
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    EXPECT_FALSE(LA.grammarNotLrK()) << Name;
+  }
+}
+
+TEST(LalrLaTest, NaiveSolverComputesSameLookaheads) {
+  for (const char *Name : {"expr", "json", "minipascal", "lalr_not_slr",
+                           "lalr_not_nqlalr", "lr1_not_lalr"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    GrammarAnalysis An(G);
+    LalrLookaheads Fast = LalrLookaheads::compute(A, An);
+    LalrLookaheads Slow =
+        LalrLookaheads::compute(A, An, SolverKind::NaiveFixpoint);
+    EXPECT_EQ(Fast.laSets(), Slow.laSets()) << Name;
+  }
+}

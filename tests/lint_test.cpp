@@ -1,0 +1,134 @@
+//===- tests/lint_test.cpp - Grammar lint tests --------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/Lint.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+size_t countKind(const std::vector<LintFinding> &Fs,
+                 LintFinding::KindT Kind) {
+  size_t N = 0;
+  for (const LintFinding &F : Fs)
+    N += F.Kind == Kind;
+  return N;
+}
+
+} // namespace
+
+TEST(LintTest, CleanGrammarHasNoFindings) {
+  for (const char *Name : {"expr", "json", "miniada"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    EXPECT_TRUE(lintGrammar(G).empty()) << Name;
+  }
+}
+
+TEST(LintTest, UnusedTerminal) {
+  Grammar G = mustParse(R"(
+%token A GHOST
+%%
+s : A ;
+)");
+  auto Fs = lintGrammar(G);
+  ASSERT_EQ(countKind(Fs, LintFinding::UnusedTerminal), 1u);
+  bool Found = false;
+  for (const LintFinding &F : Fs)
+    if (F.Kind == LintFinding::UnusedTerminal) {
+      EXPECT_EQ(G.name(F.Symbol), "GHOST");
+      EXPECT_NE(F.toString(G).find("GHOST"), std::string::npos);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(LintTest, UnreachableAndUnproductive) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : A ;
+orphan : A ;
+dead : dead A ;
+)");
+  auto Fs = lintGrammar(G);
+  EXPECT_EQ(countKind(Fs, LintFinding::UnreachableNonterminal), 2u)
+      << "orphan and dead are both unreachable";
+  EXPECT_EQ(countKind(Fs, LintFinding::UnproductiveNonterminal), 1u);
+}
+
+TEST(LintTest, DuplicateProduction) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : A | A ;
+)");
+  auto Fs = lintGrammar(G);
+  ASSERT_EQ(countKind(Fs, LintFinding::DuplicateProduction), 1u);
+  for (const LintFinding &F : Fs)
+    if (F.Kind == LintFinding::DuplicateProduction) {
+      EXPECT_LT(F.Prod1, F.Prod2);
+      EXPECT_NE(F.toString(G).find("duplicates"), std::string::npos);
+    }
+}
+
+TEST(LintTest, DerivationCycle) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : t | A ;
+t : s ;
+)");
+  auto Fs = lintGrammar(G);
+  EXPECT_EQ(countKind(Fs, LintFinding::DerivationCycle), 2u)
+      << "both s and t lie on the cycle";
+}
+
+TEST(LintTest, HiddenCycleThroughNullable) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : nul s nul | A ;
+nul : %empty ;
+)");
+  auto Fs = lintGrammar(G);
+  EXPECT_GE(countKind(Fs, LintFinding::DerivationCycle), 1u);
+  EXPECT_EQ(countKind(Fs, LintFinding::NullOnlyNonterminal), 1u);
+}
+
+TEST(LintTest, NullOnlyNonterminal) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : nul A ;
+nul : %empty | nul nul ;
+)");
+  auto Fs = lintGrammar(G);
+  EXPECT_EQ(countKind(Fs, LintFinding::NullOnlyNonterminal), 1u);
+}
+
+TEST(LintTest, DeterministicOrder) {
+  Grammar G = mustParse(R"(
+%token A B C
+%%
+s : A ;
+)");
+  auto F1 = lintGrammar(G);
+  auto F2 = lintGrammar(G);
+  ASSERT_EQ(F1.size(), F2.size());
+  for (size_t I = 0; I < F1.size(); ++I) {
+    EXPECT_EQ(F1[I].Kind, F2[I].Kind);
+    EXPECT_EQ(F1[I].Symbol, F2[I].Symbol);
+  }
+}

@@ -1,0 +1,213 @@
+//===- tests/ll_test.cpp - LL(1) module tests ---------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "lalr/LalrTableBuilder.h"
+#include "ll/Ll1Table.h"
+#include "lr/Lr0Automaton.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+std::set<std::string> names(const Grammar &G, const BitSet &S) {
+  std::set<std::string> Out;
+  for (size_t T : S)
+    Out.insert(G.name(static_cast<SymbolId>(T)));
+  return Out;
+}
+
+/// The dragon-book LL(1) expression grammar.
+const char LlExpr[] = R"(
+%token id
+%%
+e  : t ep ;
+ep : '+' t ep | %empty ;
+t  : f tp ;
+tp : '*' f tp | %empty ;
+f  : '(' e ')' | id ;
+)";
+
+std::vector<Token> toTokens(const Grammar &G, std::string_view Text) {
+  std::string Error;
+  auto T = tokenizeSymbols(G, Text, &Error);
+  EXPECT_TRUE(T) << Error;
+  return T ? *T : std::vector<Token>{};
+}
+
+} // namespace
+
+TEST(Ll1Test, PredictSetsOfDragonGrammar) {
+  Grammar G = mustParse(LlExpr);
+  GrammarAnalysis An(G);
+  Ll1Table T = Ll1Table::build(G, An);
+  EXPECT_TRUE(T.isLl1());
+
+  // PREDICT(ep -> + t ep) = { + }; PREDICT(ep -> eps) = FOLLOW(ep) =
+  // { ), $end }.
+  for (ProductionId P = 1; P < G.numProductions(); ++P) {
+    const Production &Prod = G.production(P);
+    if (Prod.Lhs != G.findSymbol("ep"))
+      continue;
+    if (Prod.isEpsilon())
+      EXPECT_EQ(names(G, T.predict(P)),
+                (std::set<std::string>{"')'", "$end"}));
+    else
+      EXPECT_EQ(names(G, T.predict(P)), (std::set<std::string>{"'+'"}));
+  }
+}
+
+TEST(Ll1Test, TableCellsAreConsistentWithPredict) {
+  Grammar G = mustParse(LlExpr);
+  GrammarAnalysis An(G);
+  Ll1Table T = Ll1Table::build(G, An);
+  for (ProductionId P = 1; P < G.numProductions(); ++P)
+    for (size_t Term : T.predict(P))
+      EXPECT_EQ(T.cell(G.production(P).Lhs, static_cast<SymbolId>(Term)),
+                P);
+}
+
+TEST(Ll1Test, LeftRecursionCausesConflicts) {
+  Grammar G = loadCorpusGrammar("expr"); // left-recursive E/T/F
+  EXPECT_FALSE(isLl1Grammar(G));
+  GrammarAnalysis An(G);
+  Ll1Table T = Ll1Table::build(G, An);
+  EXPECT_GT(T.firstFirstConflicts(), 0u);
+}
+
+TEST(Ll1Test, FirstFollowConflictDetected) {
+  // Classic FIRST/FOLLOW conflict: s -> x 'a'; x -> 'a' | eps.
+  Grammar G = mustParse(R"(
+%%
+s : x 'a' ;
+x : 'a' | %empty ;
+)");
+  GrammarAnalysis An(G);
+  Ll1Table T = Ll1Table::build(G, An);
+  ASSERT_FALSE(T.isLl1());
+  EXPECT_EQ(T.firstFollowConflicts(), 1u);
+  EXPECT_EQ(T.firstFirstConflicts(), 0u);
+  EXPECT_NE(T.conflicts()[0].toString(G).find("FIRST/FOLLOW"),
+            std::string::npos);
+}
+
+TEST(Ll1Test, FirstFirstConflictDetected) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : A 'x' | A 'y' ;
+)");
+  GrammarAnalysis An(G);
+  Ll1Table T = Ll1Table::build(G, An);
+  ASSERT_FALSE(T.isLl1());
+  EXPECT_GE(T.firstFirstConflicts(), 1u);
+}
+
+TEST(Ll1Test, PredictiveParserAcceptsAndDerives) {
+  Grammar G = mustParse(LlExpr);
+  GrammarAnalysis An(G);
+  Ll1Table T = Ll1Table::build(G, An);
+  ASSERT_TRUE(T.isLl1());
+
+  auto Tokens = toTokens(G, "id + id * id");
+  LlParseResult R = llParse(G, T, Tokens);
+  EXPECT_TRUE(R.Accepted);
+  EXPECT_TRUE(R.Errors.empty());
+  // The first production of the leftmost derivation expands the start
+  // symbol.
+  ASSERT_FALSE(R.Derivation.empty());
+  EXPECT_EQ(G.production(R.Derivation.front()).Lhs, G.findSymbol("e"));
+}
+
+TEST(Ll1Test, PredictiveParserRejects) {
+  Grammar G = mustParse(LlExpr);
+  GrammarAnalysis An(G);
+  Ll1Table T = Ll1Table::build(G, An);
+  for (const char *Bad : {"id +", "+ id", "( id", "id id", ")"}) {
+    LlParseResult R = llParse(G, T, toTokens(G, Bad));
+    EXPECT_FALSE(R.Accepted) << Bad;
+    EXPECT_FALSE(R.Errors.empty()) << Bad;
+  }
+}
+
+TEST(Ll1Test, EmptyInputOnNullableStart) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : A s | %empty ;
+)");
+  GrammarAnalysis An(G);
+  Ll1Table T = Ll1Table::build(G, An);
+  ASSERT_TRUE(T.isLl1());
+  LlParseResult R = llParse(G, T, {});
+  EXPECT_TRUE(R.Accepted);
+}
+
+TEST(Ll1Test, Ll1ImpliesLalr1OnCorpus) {
+  // Every LL(1) grammar is LALR(1) (strictly: LL(1) ⊂ LR(1); and for
+  // our corpus all LL(1) grammars happen to be LALR-adequate too).
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    if (!isLl1Grammar(G))
+      continue;
+    EXPECT_NE(E.Expected, LrClass::NotLr1)
+        << E.Name << " is LL(1) so it must be LR(1)";
+  }
+}
+
+TEST(Ll1Test, DerivationLengthMatchesSentence) {
+  Grammar G = mustParse(LlExpr);
+  GrammarAnalysis An(G);
+  Ll1Table T = Ll1Table::build(G, An);
+  auto Tokens = toTokens(G, "( id )");
+  LlParseResult R = llParse(G, T, Tokens);
+  ASSERT_TRUE(R.Accepted);
+  // Leftmost derivation of "( id )": e, t, f->(e), e, t, f->id, tp->eps,
+  // ep->eps, tp->eps, ep->eps = 10 productions.
+  EXPECT_EQ(R.Derivation.size(), 10u);
+}
+
+TEST(Ll1Test, LlAndLrDeriveTheSameTree) {
+  // On an unambiguous grammar the leftmost (LL) and reversed rightmost
+  // (LR) derivations describe the same tree, so they use the same
+  // multiset of productions.
+  Grammar G = mustParse(LlExpr);
+  GrammarAnalysis An(G);
+  Ll1Table LlT = Ll1Table::build(G, An);
+  ASSERT_TRUE(LlT.isLl1());
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable LrT = buildLalrTable(A, An);
+  ASSERT_TRUE(LrT.isAdequate());
+
+  for (const char *Sentence :
+       {"id", "id + id", "id * ( id + id )", "( id )"}) {
+    auto Tokens = toTokens(G, Sentence);
+    LlParseResult Ll = llParse(G, LlT, Tokens);
+    auto Lr = recognize(G, LrT, Tokens,
+                        ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+    ASSERT_TRUE(Ll.Accepted) << Sentence;
+    ASSERT_TRUE(Lr.clean()) << Sentence;
+    std::vector<ProductionId> L = Ll.Derivation;
+    // The LR list ends with the accept production 0; LL has no such
+    // entry (its stack starts at the user start symbol).
+    std::vector<ProductionId> R(Lr.Reductions.begin(),
+                                Lr.Reductions.end() - 1);
+    std::sort(L.begin(), L.end());
+    std::sort(R.begin(), R.end());
+    EXPECT_EQ(L, R) << Sentence;
+  }
+}

@@ -1,0 +1,176 @@
+//===- tests/lr0_test.cpp - LR(0) automaton unit tests -----------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "lr/Lr0Automaton.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+/// The dragon-book grammar 4.40 whose canonical LR(0) collection (Fig.
+/// 4.31) has exactly 12 states:
+///   E -> E + T | T ;  T -> T * F | F ;  F -> ( E ) | id
+const char DragonExpr[] = R"(
+%token id
+%%
+e : e '+' t | t ;
+t : t '*' f | f ;
+f : '(' e ')' | id ;
+)";
+
+} // namespace
+
+TEST(Lr0Test, DragonBookStateCount) {
+  Grammar G = mustParse(DragonExpr);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  EXPECT_EQ(A.numStates(), 12u) << "canonical LR(0) collection of the "
+                                   "dragon-book expression grammar";
+}
+
+TEST(Lr0Test, StartStateKernel) {
+  Grammar G = mustParse(DragonExpr);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  const Lr0State &S0 = A.state(0);
+  ASSERT_EQ(S0.Kernel.size(), 1u);
+  EXPECT_EQ(S0.Kernel[0].Prod, 0u);
+  EXPECT_EQ(S0.Kernel[0].Dot, 0u);
+  EXPECT_EQ(S0.AccessingSymbol, InvalidSymbol);
+}
+
+TEST(Lr0Test, ClosureOfStartState) {
+  Grammar G = mustParse(DragonExpr);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  // Closure of state 0 contains all 7 productions dotted at 0 (the
+  // augmentation + 6 user productions; every nonterminal is in the
+  // closure).
+  std::vector<Lr0Item> Items = A.closureItems(0);
+  EXPECT_EQ(Items.size(), 7u);
+  for (const Lr0Item &I : Items)
+    EXPECT_EQ(I.Dot, 0u);
+}
+
+TEST(Lr0Test, GotoIsDeterministicAndComplete) {
+  Grammar G = mustParse(DragonExpr);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  // Every transition listed must round-trip through gotoState; absent
+  // symbols return InvalidState.
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    std::set<SymbolId> Present;
+    for (auto [Sym, Target] : A.state(S).Transitions) {
+      EXPECT_EQ(A.gotoState(S, Sym), Target);
+      Present.insert(Sym);
+    }
+    for (SymbolId Sym = 0; Sym < G.numSymbols(); ++Sym) {
+      if (!Present.count(Sym)) {
+        EXPECT_EQ(A.gotoState(S, Sym), InvalidState);
+      }
+    }
+  }
+}
+
+TEST(Lr0Test, AccessingSymbolIsConsistent) {
+  Grammar G = mustParse(DragonExpr);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  for (StateId S = 0; S < A.numStates(); ++S)
+    for (auto [Sym, Target] : A.state(S).Transitions)
+      EXPECT_EQ(A.state(Target).AccessingSymbol, Sym)
+          << "every in-edge carries the state's accessing symbol";
+}
+
+TEST(Lr0Test, WalkFollowsProductions) {
+  Grammar G = mustParse(DragonExpr);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  // Walking the body of every production from any state containing its
+  // dotted start must stay inside the automaton.
+  const Production &P = G.production(1); // e : e '+' t
+  StateId Q = A.walk(0, P.Rhs);
+  ASSERT_NE(Q, InvalidState);
+  // The state reached reduces production 1.
+  const auto &Reds = A.state(Q).Reductions;
+  EXPECT_NE(std::find(Reds.begin(), Reds.end(), 1u), Reds.end());
+}
+
+TEST(Lr0Test, WalkRejectsImpossibleWords) {
+  Grammar G = mustParse(DragonExpr);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  std::vector<SymbolId> Bad{G.findSymbol("'+'")};
+  EXPECT_EQ(A.walk(0, Bad), InvalidState)
+      << "'+' cannot be the first symbol";
+}
+
+TEST(Lr0Test, EpsilonProductionsReduceInClosureStates) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : x A ;
+x : %empty ;
+)");
+  Lr0Automaton A = Lr0Automaton::build(G);
+  // State 0's closure contains x -> . which is complete: the epsilon
+  // reduction must be available in state 0.
+  bool Found = false;
+  for (ProductionId P : A.state(0).Reductions)
+    Found |= G.production(P).isEpsilon();
+  EXPECT_TRUE(Found);
+}
+
+TEST(Lr0Test, AcceptStateReducesProductionZero) {
+  Grammar G = mustParse(DragonExpr);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  StateId Acc = A.acceptState();
+  ASSERT_NE(Acc, InvalidState);
+  const auto &Reds = A.state(Acc).Reductions;
+  EXPECT_NE(std::find(Reds.begin(), Reds.end(), 0u), Reds.end());
+}
+
+TEST(Lr0Test, StateIdsAreStableAcrossRebuilds) {
+  Grammar G = mustParse(DragonExpr);
+  Lr0Automaton A1 = Lr0Automaton::build(G);
+  Lr0Automaton A2 = Lr0Automaton::build(G);
+  ASSERT_EQ(A1.numStates(), A2.numStates());
+  for (StateId S = 0; S < A1.numStates(); ++S) {
+    EXPECT_EQ(A1.state(S).Kernel, A2.state(S).Kernel);
+    EXPECT_EQ(A1.state(S).Transitions, A2.state(S).Transitions);
+    EXPECT_EQ(A1.state(S).Reductions, A2.state(S).Reductions);
+  }
+}
+
+TEST(Lr0Test, TransitionCountMatchesSum) {
+  Grammar G = loadCorpusGrammar("minipascal");
+  Lr0Automaton A = Lr0Automaton::build(G);
+  size_t Sum = 0;
+  for (StateId S = 0; S < A.numStates(); ++S)
+    Sum += A.state(S).Transitions.size();
+  EXPECT_EQ(A.numTransitions(), Sum);
+  EXPECT_GT(A.numStates(), 50u) << "minipascal is a nontrivial automaton";
+}
+
+TEST(Lr0Test, KernelsNeverContainNonkernelItems) {
+  Grammar G = loadCorpusGrammar("minic");
+  Lr0Automaton A = Lr0Automaton::build(G);
+  for (StateId S = 1; S < A.numStates(); ++S)
+    for (const Lr0Item &I : A.state(S).Kernel)
+      EXPECT_GT(I.Dot, 0u) << "non-start kernels hold only advanced items";
+}
+
+TEST(Lr0Test, ItemToString) {
+  Grammar G = mustParse(DragonExpr);
+  Lr0Item I{1, 1}; // e -> e . '+' t
+  EXPECT_EQ(I.toString(G), "e -> e . '+' t");
+  Lr0Item Complete{1, 3};
+  EXPECT_EQ(Complete.toString(G), "e -> e '+' t .");
+}

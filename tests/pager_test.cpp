@@ -1,0 +1,131 @@
+//===- tests/pager_test.cpp - Pager minimal LR(1) tests ------------------------===//
+
+#include "baselines/Clr1Builder.h"
+#include "baselines/PagerLr1.h"
+#include "corpus/CorpusGrammars.h"
+#include "corpus/SyntheticGrammars.h"
+#include "earley/EarleyParser.h"
+#include "grammar/SentenceGen.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+TEST(PagerTest, StateCountBetweenLr0AndCanonical) {
+  for (const char *Name : {"expr", "json", "minipascal", "miniada",
+                           "minisql", "ansic", "pascal", "lr1_not_lalr"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A0 = Lr0Automaton::build(G);
+    Lr1Automaton A1 = Lr1Automaton::build(G, An);
+    PagerLr1Automaton AP = PagerLr1Automaton::build(G, An);
+    EXPECT_GE(AP.numStates(), A0.numStates()) << Name;
+    EXPECT_LE(AP.numStates(), A1.numStates()) << Name;
+  }
+}
+
+TEST(PagerTest, NearLr0SizeOnLalrGrammars) {
+  // For LALR(1) grammars the merge is maximally effective; Pager must be
+  // far below canonical (which blows up 5-12x on these grammars).
+  for (const char *Name : {"miniada", "minisql", "minilua"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A0 = Lr0Automaton::build(G);
+    Lr1Automaton A1 = Lr1Automaton::build(G, An);
+    PagerLr1Automaton AP = PagerLr1Automaton::build(G, An);
+    EXPECT_LT(AP.numStates(), A1.numStates() / 2)
+        << Name << ": " << AP.numStates() << " vs canonical "
+        << A1.numStates();
+  }
+}
+
+TEST(PagerTest, ConflictFreeWheneverCanonicalIs) {
+  // Pager's correctness theorem: weak-compatibility merging never
+  // manufactures a conflict, so LR(1) grammars stay adequate.
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    GrammarAnalysis An(G);
+    Lr1Automaton A1 = Lr1Automaton::build(G, An);
+    ParseTable Clr = buildClr1Table(A1);
+    PagerLr1Automaton AP = PagerLr1Automaton::build(G, An);
+    ParseTable Pager = buildPagerTable(AP);
+    if (Clr.conflicts().empty()) {
+      EXPECT_TRUE(Pager.conflicts().empty()) << E.Name;
+    }
+  }
+}
+
+TEST(PagerTest, SolvesTheLr1NotLalrSpecimen) {
+  // The point of minimal LR(1): full power without the canonical size.
+  Grammar G = loadCorpusGrammar("lr1_not_lalr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A0 = Lr0Automaton::build(G);
+  ParseTable Lalr = buildLalrTable(A0, An);
+  EXPECT_FALSE(Lalr.conflicts().empty()) << "LALR must fail here";
+  PagerLr1Automaton AP = PagerLr1Automaton::build(G, An);
+  ParseTable Pager = buildPagerTable(AP);
+  EXPECT_TRUE(Pager.conflicts().empty()) << "Pager must succeed";
+  // And it splits fewer states than it could: canonical adds several.
+  Lr1Automaton A1 = Lr1Automaton::build(G, An);
+  EXPECT_LE(AP.numStates(), A1.numStates());
+  EXPECT_GT(AP.numStates(), A0.numStates())
+      << "some split is unavoidable for a non-LALR grammar";
+}
+
+TEST(PagerTest, LanguageAgreesWithEarleyAndClr) {
+  for (const char *Name : {"expr", "json", "miniada", "lr1_not_lalr"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr1Automaton A1 = Lr1Automaton::build(G, An);
+    ParseTable Clr = buildClr1Table(A1);
+    PagerLr1Automaton AP = PagerLr1Automaton::build(G, An);
+    ParseTable Pager = buildPagerTable(AP);
+    if (!Clr.conflicts().empty())
+      continue;
+    Rng R(0x9A6E);
+    for (int I = 0; I < 25; ++I) {
+      std::vector<SymbolId> S = randomSentence(G, R, 15);
+      if (I % 2 == 1 && !S.empty() && G.numTerminals() > 1)
+        S[R.below(S.size())] =
+            1 + static_cast<SymbolId>(R.below(G.numTerminals() - 1));
+      std::vector<Token> Tokens;
+      for (SymbolId Sym : S) {
+        Token T;
+        T.Kind = Sym;
+        Tokens.push_back(T);
+      }
+      ParseOptions Strict{/*Recover=*/false, /*MaxErrors=*/1};
+      bool ByEarley = earleyRecognize(G, An, S);
+      EXPECT_EQ(ByEarley, recognize(G, Pager, Tokens, Strict).clean())
+          << Name << ": " << renderSentence(G, S);
+      EXPECT_EQ(ByEarley, recognize(G, Clr, Tokens, Strict).clean())
+          << Name << ": " << renderSentence(G, S);
+    }
+  }
+}
+
+TEST(PagerTest, AdequateOnRandomLr1Grammars) {
+  RandomGrammarParams Params;
+  Params.NumTerminals = 5;
+  Params.NumNonterminals = 6;
+  Params.EpsilonPercent = 15;
+  int Checked = 0;
+  for (uint64_t Seed = 4000; Seed < 4120 && Checked < 30; ++Seed) {
+    Grammar G = makeRandomReducedGrammar(Seed, Params);
+    GrammarAnalysis An(G);
+    Lr1Automaton A1 = Lr1Automaton::build(G, An);
+    ParseTable Clr = buildClr1Table(A1);
+    if (!Clr.conflicts().empty())
+      continue;
+    ++Checked;
+    PagerLr1Automaton AP = PagerLr1Automaton::build(G, An);
+    ParseTable Pager = buildPagerTable(AP);
+    EXPECT_TRUE(Pager.conflicts().empty()) << "seed " << Seed;
+    EXPECT_LE(AP.numStates(), A1.numStates()) << "seed " << Seed;
+  }
+  EXPECT_GT(Checked, 10);
+}

@@ -1,0 +1,254 @@
+//===- tests/parser_test.cpp - Runtime parser driver tests -------------------===//
+
+#include "baselines/Clr1Builder.h"
+#include "baselines/SlrBuilder.h"
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+struct Fixture {
+  Grammar G;
+  GrammarAnalysis An;
+  Lr0Automaton A;
+  ParseTable T;
+
+  explicit Fixture(Grammar GIn)
+      : G(std::move(GIn)), An(G), A(Lr0Automaton::build(G)),
+        T(buildLalrTable(A, An)) {}
+
+  bool accepts(std::string_view Sentence) {
+    std::string Error;
+    auto Tokens = tokenizeSymbols(G, Sentence, &Error);
+    EXPECT_TRUE(Tokens) << Error;
+    if (!Tokens)
+      return false;
+    auto Out = recognize(G, T, *Tokens,
+                         ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+    return Out.clean();
+  }
+};
+
+const char ExprSrc[] = R"(
+%token NUM
+%%
+e : e '+' t | t ;
+t : t '*' f | f ;
+f : '(' e ')' | NUM ;
+)";
+
+} // namespace
+
+TEST(ParserTest, AcceptsValidSentences) {
+  Fixture F(mustParse(ExprSrc));
+  EXPECT_TRUE(F.accepts("NUM"));
+  EXPECT_TRUE(F.accepts("NUM + NUM"));
+  EXPECT_TRUE(F.accepts("NUM + NUM * NUM"));
+  EXPECT_TRUE(F.accepts("( NUM + NUM ) * NUM"));
+  EXPECT_TRUE(F.accepts("( ( ( NUM ) ) )"));
+}
+
+TEST(ParserTest, RejectsInvalidSentences) {
+  Fixture F(mustParse(ExprSrc));
+  EXPECT_FALSE(F.accepts("+"));
+  EXPECT_FALSE(F.accepts("NUM +"));
+  EXPECT_FALSE(F.accepts("NUM NUM"));
+  EXPECT_FALSE(F.accepts("( NUM"));
+  EXPECT_FALSE(F.accepts(") NUM ("));
+  EXPECT_FALSE(F.accepts(""));
+}
+
+TEST(ParserTest, EmptyInputAcceptedWhenLanguageHasEpsilon) {
+  Fixture F(mustParse(R"(
+%token A
+%%
+s : A s | %empty ;
+)"));
+  EXPECT_TRUE(F.accepts(""));
+  EXPECT_TRUE(F.accepts("A A A"));
+}
+
+TEST(ParserTest, TreeStructureMatchesDerivation) {
+  Fixture F(mustParse(ExprSrc));
+  std::string Error;
+  auto Tokens = tokenizeSymbols(F.G, "NUM + NUM * NUM", &Error);
+  ASSERT_TRUE(Tokens);
+  auto Out = parseToTree(F.G, F.T, *Tokens);
+  ASSERT_TRUE(Out.clean());
+  const ParseNode &Root = **Out.Value;
+  EXPECT_EQ(F.G.name(Root.Symbol), "e");
+  // Root is e : e '+' t — '*' binds tighter.
+  ASSERT_EQ(Root.Children.size(), 3u);
+  EXPECT_EQ(F.G.name(Root.Children[0]->Symbol), "e");
+  EXPECT_EQ(F.G.name(Root.Children[1]->Symbol), "'+'");
+  EXPECT_EQ(F.G.name(Root.Children[2]->Symbol), "t");
+  // The right child holds the multiplication.
+  const ParseNode &T = *Root.Children[2];
+  ASSERT_EQ(T.Children.size(), 3u);
+  EXPECT_EQ(F.G.name(T.Children[1]->Symbol), "'*'");
+  // Leaf text round-trips.
+  EXPECT_EQ(Root.leafText(), "NUM + NUM * NUM");
+  EXPECT_EQ(Root.size(), 13u);
+}
+
+TEST(ParserTest, ReductionSequenceIsReversedRightmostDerivation) {
+  Fixture F(mustParse(ExprSrc));
+  std::string Error;
+  auto Tokens = tokenizeSymbols(F.G, "NUM", &Error);
+  ASSERT_TRUE(Tokens);
+  auto Out = recognize(F.G, F.T, *Tokens);
+  ASSERT_TRUE(Out.clean());
+  // NUM: f -> NUM, t -> f, e -> t, accept (production 0).
+  ASSERT_EQ(Out.Reductions.size(), 4u);
+  EXPECT_EQ(F.G.production(Out.Reductions[0]).Lhs, F.G.findSymbol("f"));
+  EXPECT_EQ(F.G.production(Out.Reductions[1]).Lhs, F.G.findSymbol("t"));
+  EXPECT_EQ(F.G.production(Out.Reductions[2]).Lhs, F.G.findSymbol("e"));
+  EXPECT_EQ(Out.Reductions[3], 0u);
+}
+
+TEST(ParserTest, SemanticActionsEvaluate) {
+  Fixture F(mustParse(R"(
+%token NUM
+%left '+'
+%left '*'
+%%
+e : e '+' e | e '*' e | NUM ;
+)"));
+  ASSERT_TRUE(F.T.isAdequate());
+  std::vector<Token> Tokens;
+  auto tok = [&](const char *Name, const char *Text) {
+    Token T;
+    T.Kind = F.G.findSymbol(Name);
+    T.Text = Text;
+    Tokens.push_back(T);
+  };
+  // 2 + 3 * 4 = 14 with correct precedence.
+  tok("NUM", "2");
+  tok("'+'", "+");
+  tok("NUM", "3");
+  tok("'*'", "*");
+  tok("NUM", "4");
+  auto Out = parseWithActions<long>(
+      F.G, F.T, Tokens,
+      [&](const Token &T) {
+        return T.Kind == F.G.findSymbol("NUM") ? std::stol(T.Text) : 0L;
+      },
+      [&](ProductionId P, std::span<long> Rhs) -> long {
+        const Production &Prod = F.G.production(P);
+        if (Prod.Rhs.size() == 1)
+          return Rhs[0];
+        return F.G.name(Prod.Rhs[1]) == "'+'" ? Rhs[0] + Rhs[2]
+                                              : Rhs[0] * Rhs[2];
+      });
+  ASSERT_TRUE(Out.clean());
+  EXPECT_EQ(*Out.Value, 14);
+}
+
+TEST(ParserTest, ErrorMessageListsExpectedTokens) {
+  Fixture F(mustParse(ExprSrc));
+  std::string Error;
+  auto Tokens = tokenizeSymbols(F.G, "NUM + )", &Error);
+  ASSERT_TRUE(Tokens);
+  auto Out = recognize(F.G, F.T, *Tokens,
+                       ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+  EXPECT_FALSE(Out.Accepted);
+  ASSERT_EQ(Out.Errors.size(), 1u);
+  EXPECT_NE(Out.Errors[0].Message.find("unexpected ')'"), std::string::npos);
+  EXPECT_NE(Out.Errors[0].Message.find("NUM"), std::string::npos)
+      << "NUM is expected after '+'";
+}
+
+TEST(ParserTest, PanicModeRecoversAndContinues) {
+  Fixture F(mustParse(ExprSrc));
+  std::string Error;
+  // One bad token in the middle; panic mode discards it.
+  auto Tokens = tokenizeSymbols(F.G, "NUM + ) NUM", &Error);
+  ASSERT_TRUE(Tokens);
+  auto Out = recognize(F.G, F.T, *Tokens, ParseOptions{});
+  EXPECT_TRUE(Out.Accepted) << "recovery should salvage NUM + NUM";
+  EXPECT_EQ(Out.Errors.size(), 1u);
+}
+
+TEST(ParserTest, MaxErrorsBoundsRecovery) {
+  Fixture F(mustParse(ExprSrc));
+  std::string Error;
+  auto Tokens = tokenizeSymbols(F.G, ") ) ) ) ) ) )", &Error);
+  ASSERT_TRUE(Tokens);
+  ParseOptions Opts;
+  Opts.MaxErrors = 3;
+  auto Out = recognize(F.G, F.T, *Tokens, Opts);
+  EXPECT_FALSE(Out.Accepted);
+  EXPECT_LE(Out.Errors.size(), 3u);
+}
+
+TEST(ParserTest, ErrorLocationsPropagate) {
+  Fixture F(mustParse(ExprSrc));
+  std::string Error;
+  auto Tokens = tokenizeSymbols(F.G, "NUM NUM", &Error);
+  ASSERT_TRUE(Tokens);
+  auto Out = recognize(F.G, F.T, *Tokens,
+                       ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+  ASSERT_EQ(Out.Errors.size(), 1u);
+  EXPECT_EQ(Out.Errors[0].Loc.Column, 2u) << "second token is the culprit";
+}
+
+TEST(ParserTest, SameLanguageUnderSlrAndClrTables) {
+  // For a conflict-free grammar all table flavours accept the same
+  // sentences.
+  Grammar G = loadCorpusGrammar("expr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable Lalr = buildLalrTable(A, An);
+  ParseTable Slr = buildSlrTable(A, An);
+  Lr1Automaton L1 = Lr1Automaton::build(G, An);
+  ParseTable Clr = buildClr1Table(L1);
+
+  for (const char *Sentence :
+       {"NUM", "NUM + NUM * NUM", "( NUM - NUM ) / NUM", "- NUM",
+        "NUM +", "* NUM", "", "NUM NUM"}) {
+    std::string Error;
+    auto Tokens = tokenizeSymbols(G, Sentence, &Error);
+    ASSERT_TRUE(Tokens) << Error;
+    ParseOptions Strict{/*Recover=*/false, /*MaxErrors=*/1};
+    bool ByLalr = recognize(G, Lalr, *Tokens, Strict).clean();
+    bool BySlr = recognize(G, Slr, *Tokens, Strict).clean();
+    bool ByClr = recognize(G, Clr, *Tokens, Strict).clean();
+    EXPECT_EQ(ByLalr, BySlr) << Sentence;
+    EXPECT_EQ(ByLalr, ByClr) << Sentence;
+  }
+}
+
+TEST(ParserTest, TokenizeSymbolsRejectsUnknownNames) {
+  Grammar G = loadCorpusGrammar("expr");
+  std::string Error;
+  EXPECT_FALSE(tokenizeSymbols(G, "NUM BOGUS", &Error));
+  EXPECT_NE(Error.find("BOGUS"), std::string::npos);
+  EXPECT_FALSE(tokenizeSymbols(G, "expr", &Error))
+      << "nonterminal names are not tokens";
+}
+
+TEST(ParserTest, CorpusSamplesParse) {
+  for (const CorpusEntry &E : corpusEntries()) {
+    if (!E.SampleInput)
+      continue;
+    Fixture F(loadCorpusGrammar(E.Name));
+    EXPECT_TRUE(F.accepts(E.SampleInput))
+        << E.Name << ": " << E.SampleInput;
+  }
+}

@@ -1,0 +1,190 @@
+//===- tests/report_test.cpp - Report rendering tests -------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/Analysis.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/GrammarPrinter.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+#include "report/AutomatonReport.h"
+#include "report/ConflictWitness.h"
+#include "report/DotExport.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace lalr;
+
+namespace {
+
+struct Fixture {
+  Grammar G;
+  GrammarAnalysis An;
+  Lr0Automaton A;
+  LalrLookaheads LA;
+
+  explicit Fixture(Grammar GIn)
+      : G(std::move(GIn)), An(G), A(Lr0Automaton::build(G)),
+        LA(LalrLookaheads::compute(A, An)) {}
+};
+
+} // namespace
+
+TEST(ReportTest, RenderTerminalSet) {
+  Grammar G = loadCorpusGrammar("expr");
+  BitSet S(G.numTerminals());
+  S.set(G.eofSymbol());
+  S.set(G.findSymbol("'+'"));
+  std::string R = renderTerminalSet(G, S);
+  EXPECT_EQ(R, "{ $end '+' }");
+  EXPECT_EQ(renderTerminalSet(G, BitSet(G.numTerminals())), "{ }");
+}
+
+TEST(ReportTest, StatesReportMentionsEveryState) {
+  Fixture F(loadCorpusGrammar("expr"));
+  std::string R = reportStates(F.A, &F.LA);
+  for (StateId S = 0; S < F.A.numStates(); ++S)
+    EXPECT_NE(R.find("state " + std::to_string(S)), std::string::npos);
+  EXPECT_NE(R.find("transitions:"), std::string::npos);
+  EXPECT_NE(R.find("reductions:"), std::string::npos);
+  EXPECT_NE(R.find("$accept -> . expr"), std::string::npos);
+}
+
+TEST(ReportTest, StatesReportWithoutLookaheads) {
+  Fixture F(loadCorpusGrammar("expr"));
+  std::string R = reportStates(F.A, nullptr);
+  EXPECT_NE(R.find("state 0"), std::string::npos);
+  EXPECT_EQ(R.find(" on { "), std::string::npos)
+      << "no LA sets without a lookahead source";
+}
+
+TEST(ReportTest, RelationsReportShowsDrReadFollow) {
+  Fixture F(loadCorpusGrammar("expr"));
+  std::string R = reportRelations(F.A, F.LA);
+  EXPECT_NE(R.find("DR     ="), std::string::npos);
+  EXPECT_NE(R.find("Read   ="), std::string::npos);
+  EXPECT_NE(R.find("Follow ="), std::string::npos);
+  EXPECT_NE(R.find("includes:"), std::string::npos);
+  EXPECT_NE(R.find("lookback edges:"), std::string::npos);
+}
+
+TEST(ReportTest, RelationsReportFlagsNotLrK) {
+  Fixture F(loadCorpusGrammar("not_lrk_reads_cycle"));
+  std::string R = reportRelations(F.A, F.LA);
+  EXPECT_NE(R.find("not LR(k)"), std::string::npos);
+}
+
+TEST(ReportTest, ConflictReportOnCleanGrammar) {
+  Fixture F(loadCorpusGrammar("expr"));
+  ParseTable T = buildLalrTable(F.A, F.LA);
+  EXPECT_EQ(reportConflicts(F.G, T), "no conflicts\n");
+}
+
+TEST(ReportTest, ConflictReportCountsUnresolved) {
+  Fixture F(loadCorpusGrammar("minipascal"));
+  ParseTable T = buildLalrTable(F.A, F.LA);
+  std::string R = reportConflicts(F.G, T);
+  EXPECT_NE(R.find("shift/reduce"), std::string::npos);
+  EXPECT_NE(R.find("1 shift/reduce and 0 reduce/reduce"),
+            std::string::npos);
+}
+
+TEST(ReportTest, PrinterRoundTripsWholeCorpus) {
+  // Print -> reparse -> identical structure, for every corpus grammar.
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    std::string Text = printGrammarText(G);
+    DiagnosticEngine Diags;
+    auto G2 = parseGrammar(Text, Diags);
+    ASSERT_TRUE(G2) << E.Name << ":\n" << Diags.render();
+    EXPECT_EQ(G2->numProductions(), G.numProductions()) << E.Name;
+    EXPECT_EQ(G2->numTerminals(), G.numTerminals()) << E.Name;
+    EXPECT_EQ(G2->numNonterminals(), G.numNonterminals()) << E.Name;
+    EXPECT_EQ(G2->name(G2->startSymbol()), G.name(G.startSymbol()))
+        << E.Name;
+    // And the LR(0) automata are isomorphic (same state count suffices
+    // as a strong structural check given deterministic numbering).
+    Lr0Automaton A1 = Lr0Automaton::build(G);
+    Lr0Automaton A2 = Lr0Automaton::build(*G2);
+    EXPECT_EQ(A1.numStates(), A2.numStates()) << E.Name;
+  }
+}
+
+TEST(DotExportTest, SmallAutomatonHasItemsAndEdges) {
+  Fixture F(loadCorpusGrammar("expr"));
+  std::string Dot = exportDot(F.A, &F.LA);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(Dot.find("$accept -> . expr"), std::string::npos);
+  EXPECT_NE(Dot.find("reduce"), std::string::npos);
+  EXPECT_NE(Dot.find("peripheries=2"), std::string::npos)
+      << "the accept state is highlighted";
+  // Every transition becomes an edge (edges are "sN -> sM"; item arrows
+  // inside labels never target node names).
+  size_t Edges = 0;
+  for (size_t Pos = Dot.find(" -> s"); Pos != std::string::npos;
+       Pos = Dot.find(" -> s", Pos + 1))
+    ++Edges;
+  EXPECT_EQ(Edges, F.A.numTransitions());
+}
+
+TEST(DotExportTest, LargeAutomatonFallsBackToCompactLabels) {
+  Fixture F(loadCorpusGrammar("ansic"));
+  std::string Dot = exportDot(F.A, &F.LA);
+  EXPECT_EQ(Dot.find("$accept -> ."), std::string::npos)
+      << "349 states exceed the detailed-label cap";
+  EXPECT_NE(Dot.find("state 348"), std::string::npos);
+}
+
+TEST(DotExportTest, LiteralTokenLabelsRender) {
+  Fixture F(loadCorpusGrammar("expr"));
+  std::string Dot = exportDot(F.A, nullptr);
+  // Single-quoted literal names are legal inside DOT's double-quoted
+  // labels and must appear on the '+' edges.
+  EXPECT_NE(Dot.find("label=\"'+'\""), std::string::npos);
+  // Nonterminal edges are dashed.
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(ConflictWitnessTest, FindsDanglingElseSentence) {
+  Grammar G = loadCorpusGrammar("minipascal");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable T = buildLalrTable(A, An);
+  ASSERT_FALSE(T.conflicts().empty());
+  const Conflict &C = T.conflicts()[0]; // the ELSE shift/reduce
+  auto Witness = findConflictWitness(G, T, C);
+  ASSERT_TRUE(Witness) << "sampling budget should find a dangling else";
+  // The witness is a valid sentence whose parse re-consults the cell.
+  CellSpyTable Spy(T, C.State, C.Terminal);
+  std::vector<Token> Tokens;
+  for (SymbolId S : *Witness) {
+    Token Tok;
+    Tok.Kind = S;
+    Tokens.push_back(Tok);
+  }
+  auto Out = recognize(G, Spy, Tokens,
+                       ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+  EXPECT_TRUE(Out.clean());
+  EXPECT_TRUE(Spy.hit());
+  // It genuinely contains the conflict token.
+  EXPECT_NE(std::find(Witness->begin(), Witness->end(), C.Terminal),
+            Witness->end());
+}
+
+TEST(ConflictWitnessTest, SpyTableIsTransparent) {
+  Grammar G = loadCorpusGrammar("expr");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable T = buildLalrTable(A, An);
+  CellSpyTable Spy(T, 0, G.eofSymbol());
+  std::string Error;
+  auto Tokens = tokenizeSymbols(G, "NUM + NUM", &Error);
+  ASSERT_TRUE(Tokens);
+  auto ViaSpy = recognize(G, Spy, *Tokens);
+  auto Direct = recognize(G, T, *Tokens);
+  EXPECT_EQ(ViaSpy.Accepted, Direct.Accepted);
+  EXPECT_EQ(ViaSpy.Reductions, Direct.Reductions);
+}

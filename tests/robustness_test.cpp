@@ -1,0 +1,162 @@
+//===- tests/robustness_test.cpp - Failure injection and round trips ----------===//
+///
+/// \file
+/// Robustness checks: the grammar front end must survive arbitrary
+/// mutations of real inputs (report diagnostics, never crash), and the
+/// runtime parser's trees must round-trip the token stream exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/SentenceGen.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+/// Applies \p Count random single-character mutations to \p Text.
+std::string mutate(std::string Text, Rng &R, int Count) {
+  for (int I = 0; I < Count && !Text.empty(); ++I) {
+    size_t Pos = R.below(Text.size());
+    switch (R.below(3)) {
+    case 0: // flip to a random printable (or newline) character
+      Text[Pos] = static_cast<char>(R.chance(1, 10) ? '\n'
+                                                    : 32 + R.below(95));
+      break;
+    case 1: // delete
+      Text.erase(Pos, 1);
+      break;
+    case 2: // duplicate
+      Text.insert(Pos, 1, Text[Pos]);
+      break;
+    }
+  }
+  return Text;
+}
+
+} // namespace
+
+TEST(FuzzTest, MutatedCorpusSourcesNeverCrashTheFrontEnd) {
+  Rng R(0xF00D);
+  for (const CorpusEntry &E : corpusEntries()) {
+    for (int Round = 0; Round < 25; ++Round) {
+      std::string Source = mutate(E.Source, R, 1 + int(R.below(8)));
+      DiagnosticEngine Diags;
+      // Must terminate without crashing; result may be anything.
+      auto G = parseGrammar(Source, Diags);
+      if (!G) {
+        EXPECT_TRUE(Diags.hasErrors())
+            << E.Name << ": failure must come with a diagnostic";
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, GarbageInputsProduceDiagnostics) {
+  const char *Garbage[] = {
+      "",
+      "%%",
+      "%%%%",
+      "%token",
+      "%token %token",
+      ": ;",
+      "%%\n: x ;",
+      "%%\nx : 'a' ; x",
+      "%start\n%%\nx:'a';",
+      "%%\nx : '",
+      "%%\nx : /*",
+      "\x01\x02\x03",
+      "%prec\n%%\nx:'a';",
+      "%%\nx : 'a' | | 'b' ;", // empty alternative without %empty is ok
+  };
+  for (const char *Src : Garbage) {
+    DiagnosticEngine Diags;
+    auto G = parseGrammar(Src, Diags);
+    if (!G) {
+      EXPECT_TRUE(Diags.hasErrors()) << "input: " << Src;
+    }
+  }
+}
+
+TEST(FuzzTest, DiagnosticsCarryLocations) {
+  DiagnosticEngine Diags;
+  auto G = parseGrammar("%token A\n%%\nx : A ($) ;\n", Diags);
+  EXPECT_FALSE(G);
+  ASSERT_TRUE(Diags.hasErrors());
+  bool AnyLocated = false;
+  for (const Diagnostic &D : Diags.diagnostics())
+    AnyLocated |= D.Loc.isValid() && D.Loc.Line == 3;
+  EXPECT_TRUE(AnyLocated) << Diags.render();
+}
+
+TEST(RoundTripTest, TreeLeavesReproduceTheTokenStream) {
+  for (const char *Name : {"expr", "json", "miniada", "minilua", "pascal",
+                           "ansic"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    ParseTable T = buildLalrTable(A, An);
+    Rng R(0xCAFE);
+    for (int I = 0; I < 20; ++I) {
+      std::vector<SymbolId> S = randomSentence(G, R, 20);
+      std::vector<Token> Tokens;
+      std::string Joined;
+      for (SymbolId Sym : S) {
+        Token Tok;
+        Tok.Kind = Sym;
+        Tok.Text = G.name(Sym);
+        Tokens.push_back(Tok);
+        if (!Joined.empty())
+          Joined += ' ';
+        Joined += G.name(Sym);
+      }
+      auto Out = parseToTree(G, T, Tokens);
+      ASSERT_TRUE(Out.clean())
+          << Name << ": " << renderSentence(G, S);
+      EXPECT_EQ((*Out.Value)->leafText(), Joined) << Name;
+      // The number of leaves equals the number of tokens.
+      size_t Leaves = 0;
+      std::vector<const ParseNode *> Stack{Out.Value->get()};
+      while (!Stack.empty()) {
+        const ParseNode *N = Stack.back();
+        Stack.pop_back();
+        if (N->isLeaf())
+          ++Leaves;
+        for (const auto &C : N->Children)
+          Stack.push_back(C.get());
+      }
+      EXPECT_EQ(Leaves, Tokens.size()) << Name;
+    }
+  }
+}
+
+TEST(RoundTripTest, ReductionSequencesAgreeAcrossRebuilds) {
+  // Parsing is deterministic: same grammar, same input, same derivation,
+  // across independently built automata and tables.
+  Grammar G1 = loadCorpusGrammar("minisql");
+  Grammar G2 = loadCorpusGrammar("minisql");
+  GrammarAnalysis An1(G1), An2(G2);
+  Lr0Automaton A1 = Lr0Automaton::build(G1), A2 = Lr0Automaton::build(G2);
+  ParseTable T1 = buildLalrTable(A1, An1), T2 = buildLalrTable(A2, An2);
+  Rng R(0x1CE);
+  for (int I = 0; I < 10; ++I) {
+    std::vector<SymbolId> S = randomSentence(G1, R, 25);
+    std::vector<Token> Tokens;
+    for (SymbolId Sym : S) {
+      Token Tok;
+      Tok.Kind = Sym;
+      Tokens.push_back(Tok);
+    }
+    auto O1 = recognize(G1, T1, Tokens);
+    auto O2 = recognize(G2, T2, Tokens);
+    ASSERT_TRUE(O1.clean());
+    EXPECT_EQ(O1.Reductions, O2.Reductions);
+  }
+}

@@ -1,0 +1,208 @@
+//===- tests/sentencegen_test.cpp - Sentence generation tests ----------------===//
+
+#include "baselines/Clr1Builder.h"
+#include "baselines/SlrBuilder.h"
+#include "corpus/CorpusGrammars.h"
+#include "corpus/SyntheticGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/SentenceGen.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+/// Converts a symbol sentence into parser tokens.
+std::vector<Token> toTokens(const Grammar &G,
+                            const std::vector<SymbolId> &Sentence) {
+  std::vector<Token> Out;
+  for (size_t I = 0; I < Sentence.size(); ++I) {
+    Token T;
+    T.Kind = Sentence[I];
+    T.Text = G.name(Sentence[I]);
+    T.Loc = {1, uint32_t(I + 1)};
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(MinYieldTest, SimpleGrammar) {
+  Grammar G = mustParse(R"(
+%token A B
+%%
+s : x x ;
+x : A | B x ;
+)");
+  std::vector<uint32_t> MinLen = computeMinYieldLengths(G);
+  EXPECT_EQ(MinLen[G.findSymbol("A")], 1u);
+  EXPECT_EQ(MinLen[G.findSymbol("x")], 1u);
+  EXPECT_EQ(MinLen[G.findSymbol("s")], 2u);
+  EXPECT_EQ(MinLen[G.acceptSymbol()], 2u);
+}
+
+TEST(MinYieldTest, NullableIsZero) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : x A ;
+x : %empty | A x ;
+)");
+  std::vector<uint32_t> MinLen = computeMinYieldLengths(G);
+  EXPECT_EQ(MinLen[G.findSymbol("x")], 0u);
+  EXPECT_EQ(MinLen[G.findSymbol("s")], 1u);
+}
+
+TEST(MinYieldTest, UnproductiveIsInfinite) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : A | dead ;
+dead : dead A ;
+)");
+  std::vector<uint32_t> MinLen = computeMinYieldLengths(G);
+  EXPECT_EQ(MinLen[G.findSymbol("dead")], UnproductiveLength);
+  EXPECT_EQ(MinLen[G.findSymbol("s")], 1u);
+}
+
+TEST(ShortestExpansionTest, IsDeterministicAndMinimal) {
+  Grammar G = loadCorpusGrammar("expr");
+  std::vector<SymbolId> S1 = shortestExpansion(G, G.startSymbol());
+  std::vector<SymbolId> S2 = shortestExpansion(G, G.startSymbol());
+  EXPECT_EQ(S1, S2);
+  std::vector<uint32_t> MinLen = computeMinYieldLengths(G);
+  EXPECT_EQ(S1.size(), MinLen[G.startSymbol()]);
+  // The shortest expr sentence is a single NUM or IDENT.
+  EXPECT_EQ(S1.size(), 1u);
+}
+
+TEST(ShortestExpansionTest, ShortestSentencesParse) {
+  for (const CorpusEntry &E : corpusEntries()) {
+    if (!E.SampleInput)
+      continue; // grammars without adequate default tables
+    Grammar G = loadCorpusGrammar(E.Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    ParseTable T = buildLalrTable(A, An);
+    if (!T.isAdequate())
+      continue;
+    std::vector<SymbolId> Sentence =
+        shortestExpansion(G, G.startSymbol());
+    auto Tokens = toTokens(G, Sentence);
+    auto Out = recognize(G, T, Tokens,
+                         ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+    EXPECT_TRUE(Out.clean())
+        << E.Name << ": " << renderSentence(G, Sentence);
+  }
+}
+
+TEST(RandomSentenceTest, RespectsBudgetRoughly) {
+  Grammar G = loadCorpusGrammar("json");
+  Rng R(99);
+  for (int I = 0; I < 50; ++I) {
+    std::vector<SymbolId> S = randomSentence(G, R, 30);
+    // The budget is approximate (one production may overshoot), but it
+    // must stay within one production body of the limit.
+    EXPECT_LE(S.size(), 40u);
+    EXPECT_GE(S.size(), 1u);
+  }
+}
+
+TEST(RandomSentenceTest, GeneratedSentencesAreAcceptedByAllTables) {
+  // The strongest end-to-end property: derivation and parsing are
+  // inverse operations, under every adequate table kind.
+  for (const char *Name :
+       {"expr", "json", "miniada", "oberon", "minisql", "minilua"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    ParseTable Lalr = buildLalrTable(A, An);
+    ParseTable Slr = buildSlrTable(A, An);
+    Lr1Automaton L1 = Lr1Automaton::build(G, An);
+    ParseTable Clr = buildClr1Table(L1);
+    ASSERT_TRUE(Lalr.isAdequate()) << Name;
+
+    Rng R(0xABCDEF);
+    for (int I = 0; I < 40; ++I) {
+      std::vector<SymbolId> S = randomSentence(G, R, 25);
+      auto Tokens = toTokens(G, S);
+      ParseOptions Strict{/*Recover=*/false, /*MaxErrors=*/1};
+      EXPECT_TRUE(recognize(G, Lalr, Tokens, Strict).clean())
+          << Name << " [LALR]: " << renderSentence(G, S);
+      EXPECT_TRUE(recognize(G, Slr, Tokens, Strict).clean())
+          << Name << " [SLR]: " << renderSentence(G, S);
+      EXPECT_TRUE(recognize(G, Clr, Tokens, Strict).clean())
+          << Name << " [CLR]: " << renderSentence(G, S);
+    }
+  }
+}
+
+TEST(RandomSentenceTest, DeterministicPerSeed) {
+  Grammar G = loadCorpusGrammar("json");
+  Rng R1(7), R2(7);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(randomSentence(G, R1, 20), randomSentence(G, R2, 20));
+}
+
+TEST(StateExampleTest, PrefixReachesTheState) {
+  Grammar G = loadCorpusGrammar("expr");
+  Lr0Automaton A = Lr0Automaton::build(G);
+  for (StateId S = 0; S < A.numStates(); ++S) {
+    StateExample Ex = exampleForState(A, S);
+    // Walking the symbol path from the start state lands exactly on S.
+    EXPECT_EQ(A.walk(A.startState(), Ex.SymbolPath), S);
+    // The terminal prefix expands the path, so |prefix| >= path symbols
+    // that are terminals.
+    EXPECT_GE(Ex.TerminalPrefix.size(),
+              static_cast<size_t>(std::count_if(
+                  Ex.SymbolPath.begin(), Ex.SymbolPath.end(),
+                  [&](SymbolId X) { return G.isTerminal(X); })));
+  }
+}
+
+TEST(StateExampleTest, ConflictStatePrefixIsViable) {
+  // The viable prefix for a conflict state must drive the parser there
+  // without a syntax error (the parser consumes the whole prefix).
+  Grammar G = loadCorpusGrammar("minipascal");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable T = buildLalrTable(A, An);
+  ASSERT_FALSE(T.conflicts().empty());
+  for (const Conflict &C : T.conflicts()) {
+    StateExample Ex = exampleForState(A, C.State);
+    auto Tokens = toTokens(G, Ex.TerminalPrefix);
+    auto Out = recognize(G, T, Tokens,
+                         ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+    // The prefix itself may not be a complete sentence; what matters is
+    // that no error fires before the end of the prefix. An error at the
+    // implicit $end (invalid location) just means the prefix is not a
+    // complete sentence, which is fine.
+    for (const ParseError &E : Out.Errors) {
+      if (!E.Loc.isValid())
+        continue;
+      EXPECT_GE(E.Loc.Column, Tokens.size())
+          << "error inside the viable prefix";
+    }
+  }
+}
+
+TEST(RenderSentenceTest, StripsLiteralQuotes) {
+  Grammar G = loadCorpusGrammar("expr");
+  std::vector<SymbolId> S{G.findSymbol("NUM"), G.findSymbol("'+'"),
+                          G.findSymbol("NUM")};
+  EXPECT_EQ(renderSentence(G, S), "NUM + NUM");
+}

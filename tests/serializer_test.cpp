@@ -1,0 +1,132 @@
+//===- tests/serializer_test.cpp - Table serialization tests -------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "gen/TableSerializer.h"
+#include "grammar/Analysis.h"
+#include "grammar/SentenceGen.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "parser/ParserDriver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+struct Built {
+  Grammar G;
+  GrammarAnalysis An;
+  Lr0Automaton A;
+  ParseTable T;
+
+  explicit Built(const char *Name)
+      : G(loadCorpusGrammar(Name)), An(G), A(Lr0Automaton::build(G)),
+        T(buildLalrTable(A, An)) {}
+};
+
+} // namespace
+
+TEST(SerializerTest, RoundTripPreservesEverything) {
+  for (const char *Name : {"expr", "expr_prec", "json", "minipascal",
+                           "miniada", "javasub"}) {
+    Built B(Name);
+    std::vector<uint8_t> Blob = serializeTable(B.G, B.T);
+    auto Loaded = deserializeTable(Blob);
+    ASSERT_TRUE(Loaded) << Name;
+
+    EXPECT_EQ(Loaded->G.grammarName(), B.G.grammarName());
+    EXPECT_EQ(Loaded->G.numTerminals(), B.G.numTerminals());
+    EXPECT_EQ(Loaded->G.numNonterminals(), B.G.numNonterminals());
+    EXPECT_EQ(Loaded->G.numProductions(), B.G.numProductions());
+    EXPECT_EQ(Loaded->G.expectedShiftReduce(), B.G.expectedShiftReduce());
+    for (SymbolId S = 0; S < B.G.numSymbols(); ++S)
+      EXPECT_EQ(Loaded->G.name(S), B.G.name(S)) << Name;
+    for (SymbolId S = 0; S < B.G.numTerminals(); ++S) {
+      EXPECT_EQ(Loaded->G.precedence(S).Level, B.G.precedence(S).Level);
+      EXPECT_EQ(Loaded->G.precedence(S).Associativity,
+                B.G.precedence(S).Associativity);
+    }
+
+    ASSERT_EQ(Loaded->Table.numStates(), B.T.numStates()) << Name;
+    for (uint32_t S = 0; S < B.T.numStates(); ++S) {
+      for (SymbolId X = 0; X < B.G.numTerminals(); ++X)
+        EXPECT_EQ(Loaded->Table.action(S, X), B.T.action(S, X)) << Name;
+      for (uint32_t Nt = 0; Nt < B.G.numNonterminals(); ++Nt)
+        EXPECT_EQ(Loaded->Table.gotoNt(S, B.G.ntSymbol(Nt), B.G),
+                  B.T.gotoNt(S, B.G.ntSymbol(Nt), B.G))
+            << Name;
+    }
+  }
+}
+
+TEST(SerializerTest, LoadedTableParses) {
+  Built B("json");
+  auto Loaded = deserializeTable(serializeTable(B.G, B.T));
+  ASSERT_TRUE(Loaded);
+  Rng R(0x5E7);
+  for (int I = 0; I < 20; ++I) {
+    std::vector<SymbolId> S = randomSentence(B.G, R, 20);
+    std::vector<Token> Tokens;
+    for (SymbolId Sym : S) {
+      Token Tok;
+      Tok.Kind = Sym; // ids match: canonical layout is preserved
+      Tokens.push_back(Tok);
+    }
+    ParseOptions Strict{/*Recover=*/false, /*MaxErrors=*/1};
+    auto Orig = recognize(B.G, B.T, Tokens, Strict);
+    auto Re = recognize(Loaded->G, Loaded->Table, Tokens, Strict);
+    ASSERT_TRUE(Orig.clean());
+    EXPECT_TRUE(Re.clean());
+    EXPECT_EQ(Orig.Reductions, Re.Reductions);
+  }
+}
+
+TEST(SerializerTest, RejectsBadMagicAndVersion) {
+  Built B("expr");
+  std::vector<uint8_t> Blob = serializeTable(B.G, B.T);
+  {
+    auto Bad = Blob;
+    Bad[0] ^= 0xFF;
+    EXPECT_FALSE(deserializeTable(Bad));
+  }
+  {
+    auto Bad = Blob;
+    Bad[4] ^= 0xFF; // version
+    EXPECT_FALSE(deserializeTable(Bad));
+  }
+}
+
+TEST(SerializerTest, RejectsTruncation) {
+  Built B("expr");
+  std::vector<uint8_t> Blob = serializeTable(B.G, B.T);
+  for (size_t Cut : {size_t(0), size_t(3), size_t(8), Blob.size() / 2,
+                     Blob.size() - 1}) {
+    std::vector<uint8_t> Bad(Blob.begin(), Blob.begin() + Cut);
+    EXPECT_FALSE(deserializeTable(Bad)) << "cut at " << Cut;
+  }
+}
+
+TEST(SerializerTest, RejectsTrailingGarbage) {
+  Built B("expr");
+  std::vector<uint8_t> Blob = serializeTable(B.G, B.T);
+  Blob.push_back(0);
+  EXPECT_FALSE(deserializeTable(Blob));
+}
+
+TEST(SerializerTest, FuzzedBlobsNeverCrash) {
+  Built B("json");
+  std::vector<uint8_t> Blob = serializeTable(B.G, B.T);
+  Rng R(0xFADE);
+  for (int I = 0; I < 200; ++I) {
+    std::vector<uint8_t> Bad = Blob;
+    // Flip a handful of bytes.
+    for (int K = 0; K < 4; ++K)
+      Bad[R.below(Bad.size())] ^= static_cast<uint8_t>(1 + R.below(255));
+    // Must terminate without crashing; result may be anything that
+    // validates, usually nullopt.
+    auto Loaded = deserializeTable(Bad);
+    (void)Loaded;
+  }
+}

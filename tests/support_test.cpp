@@ -1,0 +1,271 @@
+//===- tests/support_test.cpp - Support substrate unit tests ----------------===//
+
+#include "support/BitSet.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/Scc.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace lalr;
+
+// ---------------------------------------------------------------------------
+// BitSet
+// ---------------------------------------------------------------------------
+
+TEST(BitSetTest, StartsEmpty) {
+  BitSet S(100);
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.size(), 100u);
+  for (size_t I = 0; I < 100; ++I)
+    EXPECT_FALSE(S.test(I));
+}
+
+TEST(BitSetTest, SetReportsChange) {
+  BitSet S(70);
+  EXPECT_TRUE(S.set(0));
+  EXPECT_FALSE(S.set(0));
+  EXPECT_TRUE(S.set(69));
+  EXPECT_FALSE(S.set(69));
+  EXPECT_EQ(S.count(), 2u);
+}
+
+TEST(BitSetTest, SetTestResetRoundTrip) {
+  BitSet S(130);
+  for (size_t I = 0; I < 130; I += 7)
+    S.set(I);
+  for (size_t I = 0; I < 130; ++I)
+    EXPECT_EQ(S.test(I), I % 7 == 0) << I;
+  S.reset(0);
+  EXPECT_FALSE(S.test(0));
+  EXPECT_TRUE(S.test(7));
+}
+
+TEST(BitSetTest, UnionWithReportsChange) {
+  BitSet A(64), B(64);
+  B.set(3);
+  B.set(63);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_FALSE(A.unionWith(B)) << "second union adds nothing";
+  EXPECT_TRUE(A.test(3));
+  EXPECT_TRUE(A.test(63));
+}
+
+TEST(BitSetTest, UnionWithSelfIsNoop) {
+  BitSet A(40);
+  A.set(5);
+  EXPECT_FALSE(A.unionWith(A));
+  EXPECT_EQ(A.count(), 1u);
+}
+
+TEST(BitSetTest, IntersectAndSubtract) {
+  BitSet A(32), B(32);
+  for (size_t I : {1u, 2u, 3u, 10u})
+    A.set(I);
+  for (size_t I : {2u, 3u, 20u})
+    B.set(I);
+  BitSet C = A;
+  C.intersectWith(B);
+  EXPECT_EQ(C.toVector(), (std::vector<size_t>{2, 3}));
+  A.subtract(B);
+  EXPECT_EQ(A.toVector(), (std::vector<size_t>{1, 10}));
+}
+
+TEST(BitSetTest, SubsetAndDisjoint) {
+  BitSet A(64), B(64), C(64);
+  A.set(1);
+  B.set(1);
+  B.set(2);
+  C.set(50);
+  EXPECT_TRUE(A.subsetOf(B));
+  EXPECT_FALSE(B.subsetOf(A));
+  EXPECT_TRUE(A.disjointWith(C));
+  EXPECT_FALSE(A.disjointWith(B));
+  EXPECT_TRUE(BitSet(64).subsetOf(A)) << "empty set is subset of all";
+}
+
+TEST(BitSetTest, IterationOrderIsAscending) {
+  BitSet S(200);
+  std::vector<size_t> Expect{0, 63, 64, 65, 127, 128, 199};
+  for (size_t I : Expect)
+    S.set(I);
+  std::vector<size_t> Got;
+  for (size_t I : S)
+    Got.push_back(I);
+  EXPECT_EQ(Got, Expect);
+}
+
+TEST(BitSetTest, IterationOfEmptySet) {
+  BitSet S(128);
+  EXPECT_EQ(S.begin(), S.end());
+}
+
+TEST(BitSetTest, EqualityRequiresSameUniverse) {
+  BitSet A(10), B(11);
+  EXPECT_NE(A, B);
+  BitSet C(10);
+  EXPECT_EQ(A, C);
+  C.set(9);
+  EXPECT_NE(A, C);
+}
+
+TEST(BitSetTest, ZeroSizedSet) {
+  BitSet S(0);
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.begin(), S.end());
+}
+
+TEST(BitSetTest, ClearKeepsUniverse) {
+  BitSet S(77);
+  S.set(76);
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.size(), 77u);
+}
+
+// ---------------------------------------------------------------------------
+// StringInterner
+// ---------------------------------------------------------------------------
+
+TEST(StringInternerTest, InternIsIdempotent) {
+  StringInterner SI;
+  uint32_t A = SI.intern("alpha");
+  uint32_t B = SI.intern("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SI.intern("alpha"), A);
+  EXPECT_EQ(SI.size(), 2u);
+  EXPECT_EQ(SI.spelling(A), "alpha");
+  EXPECT_EQ(SI.spelling(B), "beta");
+}
+
+TEST(StringInternerTest, LookupMissing) {
+  StringInterner SI;
+  SI.intern("x");
+  EXPECT_EQ(SI.lookup("y"), StringInterner::NotFound);
+  EXPECT_EQ(SI.lookup("x"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(DiagnosticsTest, CountsOnlyErrors) {
+  DiagnosticEngine D;
+  D.warning({1, 1}, "w");
+  D.note({1, 2}, "n");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({2, 3}, "e");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticsTest, RenderFormat) {
+  DiagnosticEngine D;
+  D.error({3, 7}, "bad thing");
+  EXPECT_EQ(D.render(), "3:7: error: bad thing\n");
+  DiagnosticEngine D2;
+  D2.error({}, "no location");
+  EXPECT_EQ(D2.render(), "error: no location\n");
+}
+
+// ---------------------------------------------------------------------------
+// Scc
+// ---------------------------------------------------------------------------
+
+TEST(SccTest, Chain) {
+  // 0 -> 1 -> 2: three singleton components, reverse topological order.
+  std::vector<std::vector<uint32_t>> Adj{{1}, {2}, {}};
+  SccResult R = computeSccs(Adj);
+  EXPECT_EQ(R.componentCount(), 3u);
+  EXPECT_EQ(R.countNontrivial(Adj), 0u);
+  // Successors must be in earlier components.
+  EXPECT_LT(R.ComponentOf[2], R.ComponentOf[1]);
+  EXPECT_LT(R.ComponentOf[1], R.ComponentOf[0]);
+}
+
+TEST(SccTest, Cycle) {
+  std::vector<std::vector<uint32_t>> Adj{{1}, {2}, {0}};
+  SccResult R = computeSccs(Adj);
+  EXPECT_EQ(R.componentCount(), 1u);
+  EXPECT_EQ(R.countNontrivial(Adj), 1u);
+}
+
+TEST(SccTest, SelfLoopIsNontrivial) {
+  std::vector<std::vector<uint32_t>> Adj{{0}, {}};
+  SccResult R = computeSccs(Adj);
+  EXPECT_EQ(R.componentCount(), 2u);
+  EXPECT_EQ(R.countNontrivial(Adj), 1u);
+}
+
+TEST(SccTest, TwoComponentsWithBridge) {
+  // {0,1} cycle -> {2,3} cycle.
+  std::vector<std::vector<uint32_t>> Adj{{1}, {0, 2}, {3}, {2}};
+  SccResult R = computeSccs(Adj);
+  EXPECT_EQ(R.componentCount(), 2u);
+  EXPECT_EQ(R.countNontrivial(Adj), 2u);
+  EXPECT_EQ(R.ComponentOf[0], R.ComponentOf[1]);
+  EXPECT_EQ(R.ComponentOf[2], R.ComponentOf[3]);
+  EXPECT_LT(R.ComponentOf[2], R.ComponentOf[0]);
+}
+
+TEST(SccTest, EmptyGraph) {
+  SccResult R = computeSccs({});
+  EXPECT_EQ(R.componentCount(), 0u);
+}
+
+TEST(SccTest, DeepChainDoesNotOverflow) {
+  // 100k-node chain: the iterative Tarjan must not blow the stack.
+  const uint32_t N = 100000;
+  std::vector<std::vector<uint32_t>> Adj(N);
+  for (uint32_t I = 0; I + 1 < N; ++I)
+    Adj[I].push_back(I + 1);
+  SccResult R = computeSccs(Adj);
+  EXPECT_EQ(R.componentCount(), N);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t V = R.range(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 3u) << "all of 3,4,5 should appear";
+}
+
+TEST(RngTest, ZeroSeedIsRemapped) {
+  Rng R(0);
+  EXPECT_NE(R.next(), 0u);
+}

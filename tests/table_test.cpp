@@ -1,0 +1,199 @@
+//===- tests/table_test.cpp - Parse table and precedence unit tests ----------===//
+
+#include "grammar/Analysis.h"
+#include "grammar/GrammarParser.h"
+#include "lalr/LalrTableBuilder.h"
+#include "lr/Lr0Automaton.h"
+#include "lr/Precedence.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+ParseTable lalrTableOf(const Grammar &G) {
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  return buildLalrTable(A, An);
+}
+
+const char AmbigExpr[] = R"(
+%token NUM
+%left '+'
+%left '*'
+%%
+e : e '+' e | e '*' e | NUM ;
+)";
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// resolveShiftReduce
+// ---------------------------------------------------------------------------
+
+TEST(PrecedenceTest, HigherRuleLevelReduces) {
+  Grammar G = mustParse(AmbigExpr);
+  // Production e : e '*' e has precedence of '*' (level 2); shifting '+'
+  // (level 1) loses.
+  ProductionId StarProd = InvalidProduction;
+  for (ProductionId P = 1; P < G.numProductions(); ++P)
+    if (G.production(P).PrecSymbol == G.findSymbol("'*'"))
+      StarProd = P;
+  ASSERT_NE(StarProd, InvalidProduction);
+  EXPECT_EQ(resolveShiftReduce(G, StarProd, G.findSymbol("'+'")),
+            PrecDecision::Reduce);
+  EXPECT_EQ(resolveShiftReduce(G, StarProd, G.findSymbol("'*'")),
+            PrecDecision::Reduce)
+      << "equal level, %left => reduce";
+}
+
+TEST(PrecedenceTest, HigherTokenLevelShifts) {
+  Grammar G = mustParse(AmbigExpr);
+  ProductionId PlusProd = InvalidProduction;
+  for (ProductionId P = 1; P < G.numProductions(); ++P)
+    if (G.production(P).PrecSymbol == G.findSymbol("'+'"))
+      PlusProd = P;
+  ASSERT_NE(PlusProd, InvalidProduction);
+  EXPECT_EQ(resolveShiftReduce(G, PlusProd, G.findSymbol("'*'")),
+            PrecDecision::Shift);
+}
+
+TEST(PrecedenceTest, RightAssociativityShifts) {
+  Grammar G = mustParse(R"(
+%token NUM
+%right '^'
+%%
+e : e '^' e | NUM ;
+)");
+  ProductionId P = 1;
+  ASSERT_EQ(G.production(P).PrecSymbol, G.findSymbol("'^'"));
+  EXPECT_EQ(resolveShiftReduce(G, P, G.findSymbol("'^'")),
+            PrecDecision::Shift);
+}
+
+TEST(PrecedenceTest, NonAssocMakesError) {
+  Grammar G = mustParse(R"(
+%token NUM
+%nonassoc '<'
+%%
+e : e '<' e | NUM ;
+)");
+  EXPECT_EQ(resolveShiftReduce(G, 1, G.findSymbol("'<'")),
+            PrecDecision::Error);
+}
+
+TEST(PrecedenceTest, UndeclaredMeansNoPrecedence) {
+  Grammar G = mustParse(R"(
+%token NUM OP
+%%
+e : e OP e | NUM ;
+)");
+  EXPECT_EQ(resolveShiftReduce(G, 1, G.findSymbol("OP")),
+            PrecDecision::NoPrecedence);
+}
+
+// ---------------------------------------------------------------------------
+// Table construction with resolution
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, PrecedenceResolvesAllAmbiguity) {
+  Grammar G = mustParse(AmbigExpr);
+  ParseTable T = lalrTableOf(G);
+  EXPECT_FALSE(T.conflicts().empty()) << "conflicts exist but are resolved";
+  EXPECT_TRUE(T.isAdequate());
+  EXPECT_EQ(T.unresolvedShiftReduce(), 0u);
+  for (const Conflict &C : T.conflicts())
+    EXPECT_NE(C.Resolution, Conflict::Unresolved) << C.toString(G);
+}
+
+TEST(TableTest, NonassocProducesErrorCells) {
+  Grammar G = mustParse(R"(
+%token NUM
+%nonassoc '<'
+%%
+e : e '<' e | NUM ;
+)");
+  ParseTable T = lalrTableOf(G);
+  bool SawMadeError = false;
+  for (const Conflict &C : T.conflicts())
+    SawMadeError |= C.Resolution == Conflict::MadeError;
+  EXPECT_TRUE(SawMadeError);
+  // "NUM < NUM < NUM" must now be a syntax error: find the state after
+  // e '<' e and check action on '<' is Error. Indirectly: the table is
+  // adequate but some cell that would shift '<' is Error.
+  EXPECT_TRUE(T.isAdequate());
+}
+
+TEST(TableTest, UnresolvedShiftReduceDefaultsToShift) {
+  // Dangling else: shift must win.
+  Grammar G = mustParse(R"(
+%token IF THEN ELSE X
+%%
+s : IF s THEN s | IF s THEN s ELSE s | X ;
+)");
+  ParseTable T = lalrTableOf(G);
+  ASSERT_EQ(T.unresolvedShiftReduce(), 1u);
+  const Conflict &C = T.conflicts()[0];
+  EXPECT_EQ(G.name(C.Terminal), "ELSE");
+  // The kept action in that cell is the shift.
+  Action A = T.action(C.State, C.Terminal);
+  EXPECT_EQ(A.Kind, ActionKind::Shift);
+}
+
+TEST(TableTest, ReduceReduceDefaultsToEarlierProduction) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : x | y ;
+x : A ;
+y : A ;
+)");
+  ParseTable T = lalrTableOf(G);
+  ASSERT_EQ(T.unresolvedReduceReduce(), 1u);
+  const Conflict &C = T.conflicts()[0];
+  Action Kept = T.action(C.State, C.Terminal);
+  EXPECT_EQ(Kept.Kind, ActionKind::Reduce);
+  EXPECT_EQ(Kept.Value, C.ReduceProd) << "lower production id wins";
+}
+
+TEST(TableTest, AcceptActionOnEofOnly) {
+  Grammar G = mustParse(AmbigExpr);
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  ParseTable T = buildLalrTable(A, An);
+  StateId Acc = A.acceptState();
+  EXPECT_EQ(T.action(Acc, G.eofSymbol()).Kind, ActionKind::Accept);
+  size_t Accepts = T.countActions(ActionKind::Accept);
+  EXPECT_EQ(Accepts, 1u) << "exactly one accept cell";
+}
+
+TEST(TableTest, ActionStatistics) {
+  Grammar G = mustParse(AmbigExpr);
+  ParseTable T = lalrTableOf(G);
+  EXPECT_GT(T.countActions(ActionKind::Shift), 0u);
+  EXPECT_GT(T.countActions(ActionKind::Reduce), 0u);
+  EXPECT_GT(T.countActions(ActionKind::Error), 0u);
+}
+
+TEST(TableTest, ConflictToStringMentionsStateAndToken) {
+  Grammar G = mustParse(R"(
+%token IF THEN ELSE X
+%%
+s : IF s THEN s | IF s THEN s ELSE s | X ;
+)");
+  ParseTable T = lalrTableOf(G);
+  ASSERT_FALSE(T.conflicts().empty());
+  std::string S = T.conflicts()[0].toString(G);
+  EXPECT_NE(S.find("ELSE"), std::string::npos);
+  EXPECT_NE(S.find("shift/reduce"), std::string::npos);
+}
