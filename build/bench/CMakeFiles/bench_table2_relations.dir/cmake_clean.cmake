@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_relations.dir/bench_table2_relations.cpp.o"
+  "CMakeFiles/bench_table2_relations.dir/bench_table2_relations.cpp.o.d"
+  "bench_table2_relations"
+  "bench_table2_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

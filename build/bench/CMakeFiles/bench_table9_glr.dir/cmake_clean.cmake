@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_glr.dir/bench_table9_glr.cpp.o"
+  "CMakeFiles/bench_table9_glr.dir/bench_table9_glr.cpp.o.d"
+  "bench_table9_glr"
+  "bench_table9_glr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_glr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambiguity_probe.dir/ambiguity_probe.cpp.o"
+  "CMakeFiles/ambiguity_probe.dir/ambiguity_probe.cpp.o.d"
+  "ambiguity_probe"
+  "ambiguity_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambiguity_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_report.dir/grammar_report.cpp.o"
+  "CMakeFiles/grammar_report.dir/grammar_report.cpp.o.d"
+  "grammar_report"
+  "grammar_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_parser.dir/json_parser.cpp.o"
+  "CMakeFiles/json_parser.dir/json_parser.cpp.o.d"
+  "json_parser"
+  "json_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentence_gen.dir/sentence_gen.cpp.o"
+  "CMakeFiles/sentence_gen.dir/sentence_gen.cpp.o.d"
+  "sentence_gen"
+  "sentence_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentence_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_calc_demo "/root/repo/build/examples/calc" "--demo")
+set_tests_properties(example_calc_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_json_demo "/root/repo/build/examples/json_parser" "--demo")
+set_tests_properties(example_json_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_classify "/root/repo/build/examples/classify_demo")
+set_tests_properties(example_classify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_report "/root/repo/build/examples/grammar_report" "--corpus" "expr" "--states" "--relations" "--sets" "--ll")
+set_tests_properties(example_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_report_dot "/root/repo/build/examples/grammar_report" "--corpus" "json" "--dot")
+set_tests_properties(example_report_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sentences "/root/repo/build/examples/sentence_gen" "--corpus" "minilua" "--count" "5")
+set_tests_properties(example_sentences PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_conflicts "/root/repo/build/examples/sentence_gen" "--corpus" "ansic" "--explain-conflicts")
+set_tests_properties(example_conflicts PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_codegen "/root/repo/build/examples/codegen_demo" "--corpus" "json")
+set_tests_properties(example_codegen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ambiguity "/root/repo/build/examples/ambiguity_probe" "--corpus" "expr_prec" "--count" "100")
+set_tests_properties(example_ambiguity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;39;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/BermudezLogothetis.cpp" "src/CMakeFiles/lalr.dir/baselines/BermudezLogothetis.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/baselines/BermudezLogothetis.cpp.o.d"
+  "/root/repo/src/baselines/Clr1Builder.cpp" "src/CMakeFiles/lalr.dir/baselines/Clr1Builder.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/baselines/Clr1Builder.cpp.o.d"
+  "/root/repo/src/baselines/Lr1Automaton.cpp" "src/CMakeFiles/lalr.dir/baselines/Lr1Automaton.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/baselines/Lr1Automaton.cpp.o.d"
+  "/root/repo/src/baselines/Lr1Closure.cpp" "src/CMakeFiles/lalr.dir/baselines/Lr1Closure.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/baselines/Lr1Closure.cpp.o.d"
+  "/root/repo/src/baselines/MergedLalrBuilder.cpp" "src/CMakeFiles/lalr.dir/baselines/MergedLalrBuilder.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/baselines/MergedLalrBuilder.cpp.o.d"
+  "/root/repo/src/baselines/NqlalrBuilder.cpp" "src/CMakeFiles/lalr.dir/baselines/NqlalrBuilder.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/baselines/NqlalrBuilder.cpp.o.d"
+  "/root/repo/src/baselines/PagerLr1.cpp" "src/CMakeFiles/lalr.dir/baselines/PagerLr1.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/baselines/PagerLr1.cpp.o.d"
+  "/root/repo/src/baselines/SlrBuilder.cpp" "src/CMakeFiles/lalr.dir/baselines/SlrBuilder.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/baselines/SlrBuilder.cpp.o.d"
+  "/root/repo/src/baselines/YaccLalrBuilder.cpp" "src/CMakeFiles/lalr.dir/baselines/YaccLalrBuilder.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/baselines/YaccLalrBuilder.cpp.o.d"
+  "/root/repo/src/corpus/AnsiCGrammar.cpp" "src/CMakeFiles/lalr.dir/corpus/AnsiCGrammar.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/corpus/AnsiCGrammar.cpp.o.d"
+  "/root/repo/src/corpus/CorpusGrammars.cpp" "src/CMakeFiles/lalr.dir/corpus/CorpusGrammars.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/corpus/CorpusGrammars.cpp.o.d"
+  "/root/repo/src/corpus/JavaGrammar.cpp" "src/CMakeFiles/lalr.dir/corpus/JavaGrammar.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/corpus/JavaGrammar.cpp.o.d"
+  "/root/repo/src/corpus/PascalGrammar.cpp" "src/CMakeFiles/lalr.dir/corpus/PascalGrammar.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/corpus/PascalGrammar.cpp.o.d"
+  "/root/repo/src/corpus/SyntheticGrammars.cpp" "src/CMakeFiles/lalr.dir/corpus/SyntheticGrammars.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/corpus/SyntheticGrammars.cpp.o.d"
+  "/root/repo/src/earley/EarleyParser.cpp" "src/CMakeFiles/lalr.dir/earley/EarleyParser.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/earley/EarleyParser.cpp.o.d"
+  "/root/repo/src/gen/CodeGen.cpp" "src/CMakeFiles/lalr.dir/gen/CodeGen.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/gen/CodeGen.cpp.o.d"
+  "/root/repo/src/gen/TableSerializer.cpp" "src/CMakeFiles/lalr.dir/gen/TableSerializer.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/gen/TableSerializer.cpp.o.d"
+  "/root/repo/src/glr/GlrParser.cpp" "src/CMakeFiles/lalr.dir/glr/GlrParser.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/glr/GlrParser.cpp.o.d"
+  "/root/repo/src/grammar/Analysis.cpp" "src/CMakeFiles/lalr.dir/grammar/Analysis.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/grammar/Analysis.cpp.o.d"
+  "/root/repo/src/grammar/DerivationCount.cpp" "src/CMakeFiles/lalr.dir/grammar/DerivationCount.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/grammar/DerivationCount.cpp.o.d"
+  "/root/repo/src/grammar/Grammar.cpp" "src/CMakeFiles/lalr.dir/grammar/Grammar.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/grammar/Grammar.cpp.o.d"
+  "/root/repo/src/grammar/GrammarBuilder.cpp" "src/CMakeFiles/lalr.dir/grammar/GrammarBuilder.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/grammar/GrammarBuilder.cpp.o.d"
+  "/root/repo/src/grammar/GrammarLexer.cpp" "src/CMakeFiles/lalr.dir/grammar/GrammarLexer.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/grammar/GrammarLexer.cpp.o.d"
+  "/root/repo/src/grammar/GrammarParser.cpp" "src/CMakeFiles/lalr.dir/grammar/GrammarParser.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/grammar/GrammarParser.cpp.o.d"
+  "/root/repo/src/grammar/GrammarPrinter.cpp" "src/CMakeFiles/lalr.dir/grammar/GrammarPrinter.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/grammar/GrammarPrinter.cpp.o.d"
+  "/root/repo/src/grammar/Lint.cpp" "src/CMakeFiles/lalr.dir/grammar/Lint.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/grammar/Lint.cpp.o.d"
+  "/root/repo/src/grammar/SentenceGen.cpp" "src/CMakeFiles/lalr.dir/grammar/SentenceGen.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/grammar/SentenceGen.cpp.o.d"
+  "/root/repo/src/grammar/Transforms.cpp" "src/CMakeFiles/lalr.dir/grammar/Transforms.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/grammar/Transforms.cpp.o.d"
+  "/root/repo/src/lalr/Classify.cpp" "src/CMakeFiles/lalr.dir/lalr/Classify.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/lalr/Classify.cpp.o.d"
+  "/root/repo/src/lalr/DigraphSolver.cpp" "src/CMakeFiles/lalr.dir/lalr/DigraphSolver.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/lalr/DigraphSolver.cpp.o.d"
+  "/root/repo/src/lalr/LalrLookaheads.cpp" "src/CMakeFiles/lalr.dir/lalr/LalrLookaheads.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/lalr/LalrLookaheads.cpp.o.d"
+  "/root/repo/src/lalr/LalrTableBuilder.cpp" "src/CMakeFiles/lalr.dir/lalr/LalrTableBuilder.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/lalr/LalrTableBuilder.cpp.o.d"
+  "/root/repo/src/lalr/NtTransitionIndex.cpp" "src/CMakeFiles/lalr.dir/lalr/NtTransitionIndex.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/lalr/NtTransitionIndex.cpp.o.d"
+  "/root/repo/src/lalr/Relations.cpp" "src/CMakeFiles/lalr.dir/lalr/Relations.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/lalr/Relations.cpp.o.d"
+  "/root/repo/src/ll/Ll1Table.cpp" "src/CMakeFiles/lalr.dir/ll/Ll1Table.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/ll/Ll1Table.cpp.o.d"
+  "/root/repo/src/lr/CompressedTable.cpp" "src/CMakeFiles/lalr.dir/lr/CompressedTable.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/lr/CompressedTable.cpp.o.d"
+  "/root/repo/src/lr/Lr0Automaton.cpp" "src/CMakeFiles/lalr.dir/lr/Lr0Automaton.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/lr/Lr0Automaton.cpp.o.d"
+  "/root/repo/src/lr/ParseTable.cpp" "src/CMakeFiles/lalr.dir/lr/ParseTable.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/lr/ParseTable.cpp.o.d"
+  "/root/repo/src/lr/Precedence.cpp" "src/CMakeFiles/lalr.dir/lr/Precedence.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/lr/Precedence.cpp.o.d"
+  "/root/repo/src/parser/ParseTree.cpp" "src/CMakeFiles/lalr.dir/parser/ParseTree.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/parser/ParseTree.cpp.o.d"
+  "/root/repo/src/parser/ParserDriver.cpp" "src/CMakeFiles/lalr.dir/parser/ParserDriver.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/parser/ParserDriver.cpp.o.d"
+  "/root/repo/src/report/AutomatonReport.cpp" "src/CMakeFiles/lalr.dir/report/AutomatonReport.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/report/AutomatonReport.cpp.o.d"
+  "/root/repo/src/report/ConflictWitness.cpp" "src/CMakeFiles/lalr.dir/report/ConflictWitness.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/report/ConflictWitness.cpp.o.d"
+  "/root/repo/src/report/DotExport.cpp" "src/CMakeFiles/lalr.dir/report/DotExport.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/report/DotExport.cpp.o.d"
+  "/root/repo/src/support/BitSet.cpp" "src/CMakeFiles/lalr.dir/support/BitSet.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/support/BitSet.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/lalr.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/lalr.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Scc.cpp" "src/CMakeFiles/lalr.dir/support/Scc.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/support/Scc.cpp.o.d"
+  "/root/repo/src/support/StringInterner.cpp" "src/CMakeFiles/lalr.dir/support/StringInterner.cpp.o" "gcc" "src/CMakeFiles/lalr.dir/support/StringInterner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/lalr.dir/corpus/AnsiCGrammar.cpp.o: \
+ /root/repo/src/corpus/AnsiCGrammar.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/corpus/AnsiCGrammar.h

@@ -1,0 +1,3 @@
+src/CMakeFiles/lalr.dir/corpus/JavaGrammar.cpp.o: \
+ /root/repo/src/corpus/JavaGrammar.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/corpus/JavaGrammar.h

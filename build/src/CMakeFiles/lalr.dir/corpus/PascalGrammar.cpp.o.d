@@ -1,0 +1,3 @@
+src/CMakeFiles/lalr.dir/corpus/PascalGrammar.cpp.o: \
+ /root/repo/src/corpus/PascalGrammar.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/corpus/PascalGrammar.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivation_count_test.dir/derivation_count_test.cpp.o"
+  "CMakeFiles/derivation_count_test.dir/derivation_count_test.cpp.o.d"
+  "derivation_count_test"
+  "derivation_count_test.pdb"
+  "derivation_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivation_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

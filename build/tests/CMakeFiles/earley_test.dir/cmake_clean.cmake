@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earley_test.dir/earley_test.cpp.o"
+  "CMakeFiles/earley_test.dir/earley_test.cpp.o.d"
+  "earley_test"
+  "earley_test.pdb"
+  "earley_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earley_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

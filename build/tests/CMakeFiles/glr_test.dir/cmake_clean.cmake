@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glr_test.dir/glr_test.cpp.o"
+  "CMakeFiles/glr_test.dir/glr_test.cpp.o.d"
+  "glr_test"
+  "glr_test.pdb"
+  "glr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

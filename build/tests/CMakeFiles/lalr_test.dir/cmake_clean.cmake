@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalr_test.dir/lalr_test.cpp.o"
+  "CMakeFiles/lalr_test.dir/lalr_test.cpp.o.d"
+  "lalr_test"
+  "lalr_test.pdb"
+  "lalr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_test.dir/ll_test.cpp.o"
+  "CMakeFiles/ll_test.dir/ll_test.cpp.o.d"
+  "ll_test"
+  "ll_test.pdb"
+  "ll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr0_test.dir/lr0_test.cpp.o"
+  "CMakeFiles/lr0_test.dir/lr0_test.cpp.o.d"
+  "lr0_test"
+  "lr0_test.pdb"
+  "lr0_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr0_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentencegen_test.dir/sentencegen_test.cpp.o"
+  "CMakeFiles/sentencegen_test.dir/sentencegen_test.cpp.o.d"
+  "sentencegen_test"
+  "sentencegen_test.pdb"
+  "sentencegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentencegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/grammar_test[1]_include.cmake")
+include("/root/repo/build/tests/lr0_test[1]_include.cmake")
+include("/root/repo/build/tests/lalr_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/sentencegen_test[1]_include.cmake")
+include("/root/repo/build/tests/compressed_test[1]_include.cmake")
+include("/root/repo/build/tests/ll_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/lint_test[1]_include.cmake")
+include("/root/repo/build/tests/earley_test[1]_include.cmake")
+include("/root/repo/build/tests/pager_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/glr_test[1]_include.cmake")
+include("/root/repo/build/tests/derivation_count_test[1]_include.cmake")
+include("/root/repo/build/tests/serializer_test[1]_include.cmake")
+include("/root/repo/build/tests/bootstrap_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_equiv_test[1]_include.cmake")
