@@ -1,18 +1,22 @@
 //===- bench/BenchUtil.h - Shared harness helpers ---------------*- C++ -*-===//
 ///
 /// \file
-/// Column formatting and timing helpers shared by the table/figure
-/// benches. Each bench binary prints the rows of one reconstructed table
-/// or the series of one figure (see EXPERIMENTS.md).
+/// Column formatting helpers plus the PipelineStats JSON sink shared by
+/// the table/figure benches. Each bench binary prints the rows of one
+/// reconstructed table or the series of one figure (see EXPERIMENTS.md)
+/// and, via StatsSink, a machine-readable JSON array of the per-stage
+/// pipeline stats behind those rows.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LALR_BENCH_BENCHUTIL_H
 #define LALR_BENCH_BENCHUTIL_H
 
+#include "pipeline/PipelineStats.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -58,6 +62,62 @@ inline std::string fmtX(double Ratio) {
   std::snprintf(Buf, sizeof(Buf), "%.1fx", Ratio);
   return Buf;
 }
+
+/// Marker line separating the human-readable table from the JSON block a
+/// bench appends to stdout (when no --json path was given). Harness
+/// scripts split on it.
+inline constexpr const char *StatsJsonMarker = "--- pipeline-stats-json ---";
+
+/// Collects the PipelineStats behind a bench's rows and emits them as one
+/// JSON array — to the file named by a `--json PATH` argument (stripped
+/// from argc/argv by the constructor, so benches stay argument-free
+/// otherwise), or to stdout after StatsJsonMarker.
+class StatsSink {
+public:
+  StatsSink(int &Argc, char **Argv) {
+    for (int I = 1; I < Argc; ++I) {
+      if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+        Path = Argv[I + 1];
+        // Strip both arguments.
+        for (int J = I; J + 2 <= Argc; ++J)
+          Argv[J] = Argv[J + 2];
+        Argc -= 2;
+        break;
+      }
+    }
+  }
+
+  void add(const lalr::PipelineStats &Stats) {
+    Entries.push_back(Stats.toJson(/*Pretty=*/true));
+  }
+
+  /// Writes the collected array; returns the bench's exit code (1 only
+  /// when a --json path was given and cannot be written).
+  int flush() const {
+    std::string Out = "[";
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      Out += I ? ",\n" : "\n";
+      Out += Entries[I];
+    }
+    Out += Entries.empty() ? "]\n" : "\n]\n";
+    if (Path.empty()) {
+      std::printf("\n%s\n%s", StatsJsonMarker, Out.c_str());
+      return 0;
+    }
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return 1;
+    }
+    std::fwrite(Out.data(), 1, Out.size(), F);
+    std::fclose(F);
+    return 0;
+  }
+
+private:
+  std::string Path;
+  std::vector<std::string> Entries;
+};
 
 } // namespace lalrbench
 

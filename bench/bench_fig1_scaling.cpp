@@ -12,14 +12,13 @@
 #include "BenchUtil.h"
 #include "baselines/YaccLalrBuilder.h"
 #include "corpus/SyntheticGrammars.h"
-#include "grammar/Analysis.h"
-#include "lalr/LalrLookaheads.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildContext.h"
 
 using namespace lalr;
 using namespace lalrbench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   const int Reps = 9;
   std::printf("Figure 1: look-ahead time vs grammar size "
               "(expr towers, 2 ops/level, median of %d)\n\n",
@@ -27,17 +26,21 @@ int main() {
   TablePrinter T({7, 7, 8, 10, 10, 9});
   T.header({"levels", "states", "nt-trans", "DP", "YACC", "yacc/DP"});
   for (unsigned Levels : {2u, 4u, 8u, 12u, 16u, 24u, 32u, 48u, 64u}) {
-    Grammar G = makeExprTower(Levels, 2);
-    GrammarAnalysis An(G);
-    Lr0Automaton A = Lr0Automaton::build(G);
+    BuildContext Ctx(makeExprTower(Levels, 2));
+    const GrammarAnalysis &An = Ctx.analysis();
+    const Lr0Automaton &A = Ctx.lr0();
     double DpUs =
         medianTimeUs(Reps, [&] { LalrLookaheads::compute(A, An); });
     double YaccUs =
         medianTimeUs(Reps, [&] { YaccLalrLookaheads::compute(A, An); });
-    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    const LalrLookaheads &LA = Ctx.lookaheads();
     T.row({fmt(Levels), fmt(A.numStates()), fmt(LA.ntTransitions().size()),
            fmtUs(DpUs), fmtUs(YaccUs), fmtX(YaccUs / DpUs)});
+    PipelineStats &S = Ctx.stats();
+    S.Label = "expr-tower-" + std::to_string(Levels);
+    YaccLalrLookaheads::compute(A, An, &S);
+    Sink.add(S);
   }
   std::printf("\nSeries: plot DP and YACC columns against states.\n");
-  return 0;
+  return Sink.flush();
 }

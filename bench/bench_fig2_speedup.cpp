@@ -14,14 +14,13 @@
 #include "baselines/MergedLalrBuilder.h"
 #include "baselines/YaccLalrBuilder.h"
 #include "corpus/SyntheticGrammars.h"
-#include "grammar/Analysis.h"
-#include "lalr/LalrLookaheads.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildContext.h"
 
 using namespace lalr;
 using namespace lalrbench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   const int Reps = 9;
   std::printf("Figure 2: DP speedup vs grammar size "
               "(nullable chains, median of %d)\n\n",
@@ -30,10 +29,11 @@ int main() {
   T.header({"N", "lr0-st", "lr1-st", "blowup", "yacc/DP", "merge/DP",
             "reads-e"});
   for (unsigned N : {2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
-    Grammar G = makeNullableChain(N);
-    GrammarAnalysis An(G);
-    Lr0Automaton A = Lr0Automaton::build(G);
-    Lr1Automaton L1 = Lr1Automaton::build(G, An);
+    BuildContext Ctx(makeNullableChain(N));
+    const Grammar &G = Ctx.grammar();
+    const GrammarAnalysis &An = Ctx.analysis();
+    const Lr0Automaton &A = Ctx.lr0();
+    const Lr1Automaton &L1 = Ctx.lr1();
     double DpUs =
         medianTimeUs(Reps, [&] { LalrLookaheads::compute(A, An); });
     double YaccUs =
@@ -42,14 +42,18 @@ int main() {
       Lr1Automaton L = Lr1Automaton::build(G, An);
       MergedLalrLookaheads::compute(A, L);
     });
-    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    const LalrLookaheads &LA = Ctx.lookaheads();
     char Blowup[16];
     std::snprintf(Blowup, sizeof(Blowup), "%.2f",
                   double(L1.numStates()) / A.numStates());
     T.row({fmt(N), fmt(A.numStates()), fmt(L1.numStates()), Blowup,
            fmtX(YaccUs / DpUs), fmtX(MergeUs / DpUs),
            fmt(LA.relations().readsEdgeCount())});
+    PipelineStats &S = Ctx.stats();
+    S.Label = "nullable-chain-" + std::to_string(N);
+    YaccLalrLookaheads::compute(A, An, &S);
+    Sink.add(S);
   }
   std::printf("\nSeries: plot the speedup columns against N.\n");
-  return 0;
+  return Sink.flush();
 }

@@ -11,15 +11,14 @@
 
 #include "BenchUtil.h"
 #include "corpus/SyntheticGrammars.h"
-#include "grammar/Analysis.h"
 #include "lalr/DigraphSolver.h"
-#include "lalr/LalrLookaheads.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildContext.h"
 
 using namespace lalr;
 using namespace lalrbench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   const int Reps = 9;
   std::printf("Figure 3: digraph vs naive fixpoint on the includes-ring "
               "family (median of %d)\n\n",
@@ -28,18 +27,15 @@ int main() {
   T.header({"N", "incl-e", "dg-union", "nv-union", "nv-swp", "adv-swp",
             "dg-time", "nv-time", "adv-time"});
   for (unsigned N : {4u, 8u, 16u, 32u, 64u, 128u}) {
-    Grammar G = makeIncludesRing(N);
-    GrammarAnalysis An(G);
-    Lr0Automaton A = Lr0Automaton::build(G);
-    NtTransitionIndex NtIdx(A);
-    ReductionIndex RedIdx(A);
-    LalrRelations R = buildLalrRelations(A, An, NtIdx, RedIdx);
-
-    // Read pass is shared; ablate the Follow pass. "nv" processes nodes
-    // in ascending index order (which happens to suit BFS-numbered
-    // includes edges); "adv" is the same solver in descending order —
-    // the adversarial case that shows order sensitivity.
-    std::vector<BitSet> ReadSets = solveDigraph(R.Reads, R.DirectRead);
+    BuildContext Ctx(makeIncludesRing(N));
+    const LalrLookaheads &LA = Ctx.lookaheads();
+    const LalrRelations &R = LA.relations();
+    // Read pass is shared (the context already solved it); ablate the
+    // Follow pass. "nv" processes nodes in ascending index order (which
+    // happens to suit BFS-numbered includes edges); "adv" is the same
+    // solver in descending order — the adversarial case that shows order
+    // sensitivity.
+    const std::vector<BitSet> &ReadSets = LA.readSets();
 
     DigraphStats DStats, NStats, AStats;
     solveDigraph(R.Includes, ReadSets, &DStats);
@@ -63,6 +59,12 @@ int main() {
     T.row({fmt(N), fmt(R.includesEdgeCount()), fmt(DStats.UnionOps),
            fmt(NStats.UnionOps), fmt(NStats.Sweeps), fmt(AStats.Sweeps),
            fmtUs(DgUs), fmtUs(NvUs), fmtUs(AdvUs)});
+    PipelineStats &S = Ctx.stats();
+    S.Label = "includes-ring-" + std::to_string(N);
+    S.setCounter("naive_union_ops", NStats.UnionOps);
+    S.setCounter("naive_sweeps", NStats.Sweeps);
+    S.setCounter("naive_reverse_sweeps", AStats.Sweeps);
+    Sink.add(S);
   }
   std::printf("\nThe digraph algorithm does one order-independent pass "
               "(unions linear in edges).\nThe iterative fixpoint's sweep "
@@ -70,5 +72,5 @@ int main() {
               "relations, but the adversarial (descending) order needs "
               "O(N) sweeps — the\nguarantee, not the lucky constant, is "
               "what the paper's algorithm buys.\n");
-  return 0;
+  return Sink.flush();
 }

@@ -17,7 +17,8 @@
 using namespace lalr;
 using namespace lalrbench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   const int PerSize = 120;
   std::printf("Figure 4: class census over random reduced grammars "
               "(%d draws per size)\n\n",
@@ -33,19 +34,27 @@ int main() {
     Params.EpsilonPercent = 15;
     size_t ByClass[6] = {0, 0, 0, 0, 0, 0};
     size_t NotLrK = 0;
+    // One merged stats record per size: stage times and counters sum
+    // over the whole draw population.
+    PipelineStats SizeStats;
+    SizeStats.Label = "census-" + std::to_string(Size);
     for (int I = 0; I < PerSize; ++I) {
       Grammar G = makeRandomReducedGrammar(Seed, Params);
       Seed += 101;
-      Classification C = classifyGrammar(G);
+      PipelineStats Stats;
+      Classification C = classifyGrammar(G, &Stats);
+      Stats.Label = SizeStats.Label;
+      SizeStats.mergeFrom(Stats);
       ++ByClass[static_cast<size_t>(C.strongestClass())];
       NotLrK += C.NotLrK;
     }
     T.row({fmt(Size), fmt(Size), fmt(PerSize), fmt(ByClass[0]),
            fmt(ByClass[1]), fmt(ByClass[2]), fmt(ByClass[3]),
            fmt(ByClass[4]), fmt(ByClass[5]), fmt(NotLrK)});
+    Sink.add(SizeStats);
   }
   std::printf("\nColumns count grammars whose *strongest* class is the "
               "one named; notLRk* counts the\nreads-cycle certificates "
               "among the not-LR(1) draws.\n");
-  return 0;
+  return Sink.flush();
 }

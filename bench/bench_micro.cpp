@@ -9,11 +9,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "baselines/YaccLalrBuilder.h"
 #include "corpus/CorpusGrammars.h"
-#include "grammar/Analysis.h"
-#include "lalr/LalrLookaheads.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildPipeline.h"
 #include "support/BitSet.h"
 
 #include <benchmark/benchmark.h>
@@ -67,17 +66,19 @@ static const char *kGrammarArg[] = {"minic", "ansic", "pascal"};
 static void BM_Lr0Build(benchmark::State &State) {
   Grammar G = loadCorpusGrammar(kGrammarArg[State.range(0)]);
   for (auto _ : State) {
-    Lr0Automaton A = Lr0Automaton::build(G);
-    benchmark::DoNotOptimize(A.numStates());
+    // A fresh borrowing context per iteration: its lr0() accessor is the
+    // library's one LR(0) construction path.
+    BuildContext C(G);
+    benchmark::DoNotOptimize(C.lr0().numStates());
   }
   State.SetLabel(kGrammarArg[State.range(0)]);
 }
 BENCHMARK(BM_Lr0Build)->Arg(0)->Arg(1)->Arg(2);
 
 static void BM_DpLookaheads(benchmark::State &State) {
-  Grammar G = loadCorpusGrammar(kGrammarArg[State.range(0)]);
-  GrammarAnalysis An(G);
-  Lr0Automaton A = Lr0Automaton::build(G);
+  BuildContext Ctx(loadCorpusGrammar(kGrammarArg[State.range(0)]));
+  const GrammarAnalysis &An = Ctx.analysis();
+  const Lr0Automaton &A = Ctx.lr0();
   for (auto _ : State) {
     LalrLookaheads LA = LalrLookaheads::compute(A, An);
     benchmark::DoNotOptimize(LA.laSets().size());
@@ -87,9 +88,9 @@ static void BM_DpLookaheads(benchmark::State &State) {
 BENCHMARK(BM_DpLookaheads)->Arg(0)->Arg(1)->Arg(2);
 
 static void BM_DpLookaheadsNaiveSolver(benchmark::State &State) {
-  Grammar G = loadCorpusGrammar("minic");
-  GrammarAnalysis An(G);
-  Lr0Automaton A = Lr0Automaton::build(G);
+  BuildContext Ctx(loadCorpusGrammar("minic"));
+  const GrammarAnalysis &An = Ctx.analysis();
+  const Lr0Automaton &A = Ctx.lr0();
   for (auto _ : State) {
     LalrLookaheads LA =
         LalrLookaheads::compute(A, An, SolverKind::NaiveFixpoint);
@@ -102,8 +103,8 @@ static void BM_ClosureRecompute(benchmark::State &State) {
   // The kernel-only state representation ablation: full item sets are
   // recomputed on demand (reports/debugging); this measures that cost
   // over the whole automaton, i.e. what storing closures would save.
-  Grammar G = loadCorpusGrammar(kGrammarArg[State.range(0)]);
-  Lr0Automaton A = Lr0Automaton::build(G);
+  BuildContext Ctx(loadCorpusGrammar(kGrammarArg[State.range(0)]));
+  const Lr0Automaton &A = Ctx.lr0();
   for (auto _ : State) {
     size_t Items = 0;
     for (StateId S = 0; S < A.numStates(); ++S)
@@ -115,9 +116,9 @@ static void BM_ClosureRecompute(benchmark::State &State) {
 BENCHMARK(BM_ClosureRecompute)->Arg(0)->Arg(1)->Arg(2);
 
 static void BM_YaccLookaheads(benchmark::State &State) {
-  Grammar G = loadCorpusGrammar(kGrammarArg[State.range(0)]);
-  GrammarAnalysis An(G);
-  Lr0Automaton A = Lr0Automaton::build(G);
+  BuildContext Ctx(loadCorpusGrammar(kGrammarArg[State.range(0)]));
+  const GrammarAnalysis &An = Ctx.analysis();
+  const Lr0Automaton &A = Ctx.lr0();
   for (auto _ : State) {
     YaccLalrLookaheads LA = YaccLalrLookaheads::compute(A, An);
     benchmark::DoNotOptimize(LA.laSets().size());
@@ -126,4 +127,19 @@ static void BM_YaccLookaheads(benchmark::State &State) {
 }
 BENCHMARK(BM_YaccLookaheads)->Arg(0)->Arg(1)->Arg(2);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strip --json before the
+// benchmark library parses argv, then append one instrumented pipeline
+// run per micro-bench grammar so this binary too emits PipelineStats.
+int main(int Argc, char **Argv) {
+  lalrbench::StatsSink Sink(Argc, Argv);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  for (const char *Name : kGrammarArg) {
+    BuildContext Ctx(loadCorpusGrammar(Name));
+    Sink.add(BuildPipeline(Ctx).run().Stats);
+  }
+  return Sink.flush();
+}

@@ -9,29 +9,29 @@
 
 #include "BenchUtil.h"
 #include "corpus/CorpusGrammars.h"
-#include "lalr/NtTransitionIndex.h"
-#include "lalr/Relations.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildContext.h"
 
 using namespace lalr;
 using namespace lalrbench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   std::printf("Table 1: grammar characteristics (evaluation corpus)\n\n");
   TablePrinter T({12, 6, 6, 6, 6, 7, 7, 8, 6});
   T.header({"grammar", "|T|", "|N|", "|P|", "|G|", "states", "trans",
             "nt-trans", "reds"});
   for (const CorpusEntry &E : realisticCorpusEntries()) {
-    Grammar G = loadCorpusGrammar(E.Name);
-    Lr0Automaton A = Lr0Automaton::build(G);
-    NtTransitionIndex NtIdx(A);
-    ReductionIndex RedIdx(A);
+    BuildContext Ctx(loadCorpusGrammar(E.Name));
+    const Grammar &G = Ctx.grammar();
+    const Lr0Automaton &A = Ctx.lr0();
+    const LalrLookaheads &LA = Ctx.lookaheads();
     T.row({E.Name, fmt(G.numTerminals()), fmt(G.numNonterminals()),
            fmt(G.numProductions()), fmt(G.grammarSize()),
-           fmt(A.numStates()), fmt(A.numTransitions()), fmt(NtIdx.size()),
-           fmt(RedIdx.size())});
+           fmt(A.numStates()), fmt(A.numTransitions()),
+           fmt(LA.ntTransitions().size()), fmt(LA.reductions().size())});
+    Sink.add(Ctx.stats());
   }
   std::printf("\n|T|,|N| include $end/$accept; |P| includes the "
               "augmentation; |G| = sum(1+|rhs|).\n");
-  return 0;
+  return Sink.flush();
 }

@@ -10,23 +10,20 @@
 
 #include "BenchUtil.h"
 #include "corpus/CorpusGrammars.h"
-#include "grammar/Analysis.h"
-#include "lalr/LalrLookaheads.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildContext.h"
 
 using namespace lalr;
 using namespace lalrbench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   std::printf("Table 2: DeRemer-Pennello relation sizes\n\n");
   TablePrinter T({12, 8, 8, 9, 9, 9, 9, 10, 10});
   T.header({"grammar", "nt-trans", "DR-bits", "reads", "includes",
             "lookback", "unions", "reads-SCC", "incl-SCC"});
   for (const CorpusEntry &E : realisticCorpusEntries()) {
-    Grammar G = loadCorpusGrammar(E.Name);
-    GrammarAnalysis An(G);
-    Lr0Automaton A = Lr0Automaton::build(G);
-    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    BuildContext Ctx(loadCorpusGrammar(E.Name));
+    const LalrLookaheads &LA = Ctx.lookaheads();
     const LalrRelations &R = LA.relations();
     size_t DrBits = 0;
     for (const BitSet &S : R.DirectRead)
@@ -38,10 +35,11 @@ int main() {
            fmt(R.lookbackEdgeCount()), fmt(Unions),
            fmt(LA.readsSolverStats().NontrivialSccs),
            fmt(LA.includesSolverStats().NontrivialSccs)});
+    Sink.add(Ctx.stats());
   }
   std::printf("\n'unions' counts BitSet unionWith calls across both "
               "digraph passes; a nonzero reads-SCC\nwould certify the "
               "grammar not LR(k) (none of the realistic grammars has "
               "one).\n");
-  return 0;
+  return Sink.flush();
 }

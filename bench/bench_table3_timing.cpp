@@ -13,7 +13,9 @@
 ///
 /// Times are medians over repeated runs; LR(0) construction is excluded
 /// (it is shared by DP and YACC; the merge column includes LR(1)
-/// construction, which is its defining cost).
+/// construction, which is its defining cost). All four methods run over
+/// ONE BuildContext: the shared LR(0) automaton is built exactly once,
+/// which this bench asserts via the context's build counter.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,16 +24,15 @@
 #include "baselines/MergedLalrBuilder.h"
 #include "baselines/YaccLalrBuilder.h"
 #include "corpus/CorpusGrammars.h"
-#include "grammar/Analysis.h"
-#include "lalr/LalrLookaheads.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildContext.h"
 
 #include <cmath>
 
 using namespace lalr;
 using namespace lalrbench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   const int Reps = 15;
   std::printf("Table 3: LALR(1) look-ahead computation time "
               "(median of %d runs)\n\n",
@@ -42,9 +43,10 @@ int main() {
   double GeoYacc = 1.0, GeoMerge = 1.0;
   size_t Count = 0;
   for (const CorpusEntry &E : realisticCorpusEntries()) {
-    Grammar G = loadCorpusGrammar(E.Name);
-    GrammarAnalysis An(G);
-    Lr0Automaton A = Lr0Automaton::build(G);
+    BuildContext Ctx(loadCorpusGrammar(E.Name));
+    const Grammar &G = Ctx.grammar();
+    const GrammarAnalysis &An = Ctx.analysis();
+    const Lr0Automaton &A = Ctx.lr0();
 
     double DpUs = medianTimeUs(
         Reps, [&] { LalrLookaheads::compute(A, An); });
@@ -57,17 +59,37 @@ int main() {
     double BlUs = medianTimeUs(
         Reps, [&] { DerivedFollowLookaheads::compute(A, An); });
 
+    // Artifact-reuse regression: every method above consumed the one
+    // memoized automaton; a second accessor call must return the same
+    // instance without rebuilding.
+    if (&Ctx.lr0() != &A || Ctx.lr0BuildCount() != 1 ||
+        Ctx.analysisBuildCount() != 1) {
+      std::fprintf(stderr,
+                   "BuildContext memoization broken: lr0 built %zu times, "
+                   "analysis %zu times\n",
+                   Ctx.lr0BuildCount(), Ctx.analysisBuildCount());
+      return 1;
+    }
+
     T.row({E.Name, fmt(A.numStates()), fmtUs(DpUs), fmtUs(YaccUs),
            fmtUs(BlUs), fmtUs(MergeUs), fmtX(YaccUs / DpUs),
            fmtX(MergeUs / DpUs)});
     GeoYacc *= YaccUs / DpUs;
     GeoMerge *= MergeUs / DpUs;
     ++Count;
+
+    // One instrumented run per method so the JSON carries the per-stage
+    // split behind the medians.
+    PipelineStats &S = Ctx.stats();
+    LalrLookaheads::compute(A, An, SolverKind::Digraph, &S);
+    YaccLalrLookaheads::compute(A, An, &S);
+    DerivedFollowLookaheads::compute(A, An, &S);
+    Sink.add(S);
   }
   double GY = std::pow(GeoYacc, 1.0 / Count);
   double GM = std::pow(GeoMerge, 1.0 / Count);
   std::printf("\ngeometric-mean speedup of DP: %s vs YACC, %s vs "
               "LR(1)-merge\n",
               fmtX(GY).c_str(), fmtX(GM).c_str());
-  return 0;
+  return Sink.flush();
 }

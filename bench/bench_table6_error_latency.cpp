@@ -17,15 +17,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
-#include "baselines/Clr1Builder.h"
-#include "baselines/SlrBuilder.h"
 #include "corpus/CorpusGrammars.h"
-#include "grammar/Analysis.h"
 #include "grammar/SentenceGen.h"
-#include "lalr/LalrTableBuilder.h"
-#include "lr/CompressedTable.h"
-#include "lr/Lr0Automaton.h"
-#include "parser/ParserDriver.h"
+#include "pipeline/BuildPipeline.h"
 #include "support/Rng.h"
 
 #include <cstdio>
@@ -54,18 +48,17 @@ struct Latency {
 
 /// Parses strictly and records the first error's latency (if any error
 /// occurred; clean parses are skipped by the caller's mutation design).
-template <typename TableT>
-void measure(const Grammar &G, const TableT &T,
-             const std::vector<Token> &Tokens, Latency &L) {
-  auto Out = recognize(G, T, Tokens,
-                       ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+void measure(const BuildResult &R, const std::vector<Token> &Tokens,
+             Latency &L) {
+  auto Out = recognize(R, Tokens, ParseOptions::strict());
   if (!Out.Errors.empty())
     L.add(Out.Errors[0].ReductionsBeforeDetection);
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   std::printf("Table 6: error-detection latency (reductions performed on "
               "the erroneous token)\n\n");
   TablePrinter T({12, 7, 10, 10, 10, 13, 13});
@@ -73,14 +66,16 @@ int main() {
             "LALR+dflt", "max(dflt)"});
   for (const char *Name :
        {"expr", "json", "miniada", "oberon", "minisql", "minilua"}) {
-    Grammar G = loadCorpusGrammar(Name);
-    GrammarAnalysis An(G);
-    Lr0Automaton A = Lr0Automaton::build(G);
-    ParseTable Lalr = buildLalrTable(A, An);
-    ParseTable Slr = buildSlrTable(A, An);
-    Lr1Automaton L1 = Lr1Automaton::build(G, An);
-    ParseTable Clr = buildClr1Table(L1);
-    CompressedTable Dflt = CompressedTable::compress(Lalr, G);
+    // Four tables off one context: grammar analysis and the LR(0)
+    // automaton are computed once and shared.
+    BuildContext Ctx(loadCorpusGrammar(Name));
+    const Grammar &G = Ctx.grammar();
+    BuildResult Lalr = BuildPipeline(Ctx).run();
+    BuildResult Slr = BuildPipeline(Ctx, {.Kind = TableKind::Slr1}).run();
+    BuildResult Clr = BuildPipeline(Ctx, {.Kind = TableKind::Clr1}).run();
+    BuildResult Dflt =
+        BuildPipeline(Ctx, {.Kind = TableKind::Lalr1, .Compress = true})
+            .run();
 
     Rng R(0xC0FFEE ^ std::hash<std::string>{}(Name));
     Latency LClr, LLalr, LSlr, LDflt;
@@ -104,20 +99,19 @@ int main() {
         Tokens.push_back(Tok);
       }
       // Skip mutations that happen to stay in the language.
-      if (recognize(G, Clr, Tokens,
-                    ParseOptions{/*Recover=*/false, /*MaxErrors=*/1})
-              .clean())
+      if (recognize(Clr, Tokens, ParseOptions::strict()).clean())
         continue;
-      measure(G, Clr, Tokens, LClr);
-      measure(G, Lalr, Tokens, LLalr);
-      measure(G, Slr, Tokens, LSlr);
-      measure(G, Dflt, Tokens, LDflt);
+      measure(Clr, Tokens, LClr);
+      measure(Lalr, Tokens, LLalr);
+      measure(Slr, Tokens, LSlr);
+      measure(Dflt, Tokens, LDflt);
     }
     T.row({Name, fmt(LClr.Count), LClr.mean(), LLalr.mean(), LSlr.mean(),
            LDflt.mean(), fmt(LDflt.Max)});
+    Sink.add(Ctx.stats());
   }
   std::printf("\nExpected shape: CLR == 0 (immediate detection); "
               "LALR <= SLR <= LALR+default-reductions.\nNo variant ever "
               "shifts the erroneous token (asserted in tests).\n");
-  return 0;
+  return Sink.flush();
 }

@@ -10,37 +10,37 @@
 
 #include "BenchUtil.h"
 #include "corpus/CorpusGrammars.h"
-#include "grammar/Analysis.h"
-#include "lalr/LalrTableBuilder.h"
-#include "lr/CompressedTable.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildPipeline.h"
 
 using namespace lalr;
 using namespace lalrbench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   std::printf("Table 7: LALR(1) table compression "
               "(default reductions + sparse rows)\n\n");
   TablePrinter T({12, 7, 11, 11, 10, 10, 9});
   T.header({"grammar", "states", "dense-B", "compr-B", "ratio",
             "expl-act", "dflt-rows"});
   for (const CorpusEntry &E : realisticCorpusEntries()) {
-    Grammar G = loadCorpusGrammar(E.Name);
-    GrammarAnalysis An(G);
-    Lr0Automaton A = Lr0Automaton::build(G);
-    ParseTable Dense = buildLalrTable(A, An);
-    CompressedTable C = CompressedTable::compress(Dense, G);
+    BuildContext Ctx(loadCorpusGrammar(E.Name));
+    const Grammar &G = Ctx.grammar();
+    BuildResult R =
+        BuildPipeline(Ctx, {.Kind = TableKind::Lalr1, .Compress = true})
+            .run();
+    const CompressedTable &C = *R.Compressed;
     size_t DenseBytes =
-        Dense.numStates() * (G.numTerminals() + G.numNonterminals()) * 4;
+        R.Table.numStates() * (G.numTerminals() + G.numNonterminals()) * 4;
     char Ratio[16];
     std::snprintf(Ratio, sizeof(Ratio), "%.1f%%",
                   100.0 * C.footprintBytes() / DenseBytes);
-    T.row({E.Name, fmt(Dense.numStates()), fmt(DenseBytes),
+    T.row({E.Name, fmt(R.Table.numStates()), fmt(DenseBytes),
            fmt(C.footprintBytes()), Ratio, fmt(C.explicitActionEntries()),
            fmt(C.defaultReductionRows())});
+    Sink.add(R.Stats);
   }
   std::printf("\ndense-B assumes 4-byte cells over the full "
               "states x (terminals+nonterminals) matrix;\ncompr-B counts "
               "8-byte sparse entries plus row headers.\n");
-  return 0;
+  return Sink.flush();
 }

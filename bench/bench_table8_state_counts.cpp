@@ -12,17 +12,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
-#include "baselines/Clr1Builder.h"
-#include "baselines/PagerLr1.h"
 #include "corpus/CorpusGrammars.h"
-#include "grammar/Analysis.h"
-#include "lalr/LalrTableBuilder.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildPipeline.h"
 
 using namespace lalr;
 using namespace lalrbench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   std::printf("Table 8: automaton sizes and adequacy across "
               "constructions\n\n");
   TablePrinter T({14, 7, 7, 7, 8, 7, 7, 7});
@@ -31,28 +28,27 @@ int main() {
   for (const CorpusEntry &E : corpusEntries()) {
     if (!E.Realistic && std::string(E.Name) != "lr1_not_lalr")
       continue; // realistic set + the motivating specimen
-    Grammar G = loadCorpusGrammar(E.Name);
-    GrammarAnalysis An(G);
-    Lr0Automaton A0 = Lr0Automaton::build(G);
-    ParseTable Lalr = buildLalrTable(A0, An);
-    PagerLr1Automaton AP = PagerLr1Automaton::build(G, An);
-    ParseTable Pager = buildPagerTable(AP);
-    Lr1Automaton A1 = Lr1Automaton::build(G, An);
-    ParseTable Clr = buildClr1Table(A1);
+    BuildContext Ctx(loadCorpusGrammar(E.Name));
+    BuildResult Lalr = BuildPipeline(Ctx).run();
+    BuildResult Pager = BuildPipeline(Ctx, {.Kind = TableKind::Pager}).run();
+    BuildResult Clr = BuildPipeline(Ctx, {.Kind = TableKind::Clr1}).run();
+    size_t Lr0States = Ctx.lr0().numStates();
+    size_t PagerStates = Ctx.stats().counter("pager_states");
+    size_t Lr1States = Ctx.lr1().numStates();
     char Blowup[16];
     std::snprintf(Blowup, sizeof(Blowup), "%.2f",
-                  double(A1.numStates()) / A0.numStates());
-    auto Mark = [](const ParseTable &T) {
-      return std::string(T.conflicts().empty() ? "yes" : "no");
+                  double(Lr1States) / Lr0States);
+    auto Mark = [](const BuildResult &R) {
+      return std::string(R.Table.conflicts().empty() ? "yes" : "no");
     };
-    T.row({E.Name, fmt(A0.numStates()), fmt(AP.numStates()),
-           fmt(A1.numStates()), Blowup, Mark(Lalr), Mark(Pager),
-           Mark(Clr)});
+    T.row({E.Name, fmt(Lr0States), fmt(PagerStates), fmt(Lr1States),
+           Blowup, Mark(Lalr), Mark(Pager), Mark(Clr)});
+    Sink.add(Ctx.stats());
   }
   std::printf("\n'yes' = conflict-free before precedence resolution. The "
               "DP algorithm delivers the LALR\ncolumn at the LR(0) state "
               "count; Pager splits only where LR(1) power requires it\n"
               "(see lr1_not_lalr); canonical LR(1) pays the full "
               "blow-up.\n");
-  return 0;
+  return Sink.flush();
 }

@@ -13,18 +13,15 @@
 #include "BenchUtil.h"
 #include "corpus/CorpusGrammars.h"
 #include "glr/GlrParser.h"
-#include "grammar/Analysis.h"
 #include "grammar/SentenceGen.h"
-#include "lalr/LalrLookaheads.h"
-#include "lalr/LalrTableBuilder.h"
-#include "lr/Lr0Automaton.h"
-#include "parser/ParserDriver.h"
+#include "pipeline/BuildPipeline.h"
 #include "support/Rng.h"
 
 using namespace lalr;
 using namespace lalrbench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
   const int Reps = 9;
   std::printf("Table 9: deterministic LR driver vs GLR (GSS) driver "
               "(median of %d, 100-sentence batch)\n\n",
@@ -34,15 +31,14 @@ int main() {
             "peak", "merges"});
   for (const char *Name : {"expr", "json", "miniada", "minilua", "ansic",
                            "expr_prec", "not_lr1_ambiguous", "palindrome"}) {
-    Grammar G = loadCorpusGrammar(Name);
-    GrammarAnalysis An(G);
-    Lr0Automaton A = Lr0Automaton::build(G);
-    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    BuildContext Ctx(loadCorpusGrammar(Name));
+    const Grammar &G = Ctx.grammar();
+    const LalrLookaheads &LA = Ctx.lookaheads();
     auto LaFn = [&LA](StateId S, ProductionId P) -> const BitSet & {
       return LA.la(S, P);
     };
-    ParseTable Det = buildLalrTable(A, LA);
-    GlrTable Glr = GlrTable::build(A, LaFn);
+    BuildResult Det = BuildPipeline(Ctx).run();
+    GlrTable Glr = GlrTable::build(Ctx.lr0(), LaFn);
 
     // A fixed batch of sentences.
     Rng R(0xBA7C4);
@@ -59,13 +55,12 @@ int main() {
       TokenBatch.push_back(std::move(Toks));
     }
 
-    bool DetUsable = Det.isAdequate();
+    bool DetUsable = Det.Table.isAdequate();
     double LrUs = 0;
     if (DetUsable)
       LrUs = medianTimeUs(Reps, [&] {
         for (const auto &Toks : TokenBatch)
-          recognize(G, Det, Toks,
-                    ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+          recognize(Det, Toks, ParseOptions::strict());
       });
     double GlrUs = medianTimeUs(Reps, [&] {
       for (const auto &S : Batch)
@@ -81,10 +76,11 @@ int main() {
            DetUsable ? fmtUs(LrUs) : std::string("n/a"), fmtUs(GlrUs),
            DetUsable ? fmtX(GlrUs / LrUs) : std::string("-"), fmt(Peak),
            fmt(Merges)});
+    Sink.add(Ctx.stats());
   }
   std::printf("\n'cells>1' counts table cells carrying several actions; "
               "'n/a' rows are grammars no\ndeterministic table parses "
               "(precedence-less ambiguity / not LR(k)) — GLR handles "
               "them.\n");
-  return 0;
+  return Sink.flush();
 }

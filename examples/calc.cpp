@@ -8,11 +8,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "grammar/Analysis.h"
 #include "grammar/GrammarParser.h"
-#include "lalr/LalrTableBuilder.h"
-#include "lr/Lr0Automaton.h"
-#include "parser/ParserDriver.h"
+#include "pipeline/BuildPipeline.h"
 
 #include <cctype>
 #include <cstdio>
@@ -87,18 +84,22 @@ int main(int Argc, char **Argv) {
     std::cerr << Diags.render();
     return 1;
   }
-  GrammarAnalysis An(*G);
-  Lr0Automaton A = Lr0Automaton::build(*G);
-  ParseTable Table = buildLalrTable(A, An);
-  // Every conflict of the ambiguous grammar must be precedence-resolved.
-  if (!Table.isAdequate()) {
+  // Every conflict of the ambiguous grammar must be precedence-resolved,
+  // which the RequireAdequate policy checks for us.
+  BuildContext Ctx(std::move(*G));
+  BuildResult R =
+      BuildPipeline(Ctx, {.Conflicts = ConflictPolicy::RequireAdequate})
+          .run();
+  if (!R.ok()) {
     std::cerr << "internal error: calc grammar has unresolved conflicts\n";
     return 1;
   }
+  const Grammar &Gr = Ctx.grammar();
+  const ParseTable &Table = R.Table;
 
   auto evalLine = [&](const std::string &Line) {
     std::string Error;
-    auto Tokens = lexLine(*G, Line, Error);
+    auto Tokens = lexLine(Gr, Line, Error);
     if (!Tokens) {
       std::printf("error: %s\n", Error.c_str());
       return;
@@ -106,20 +107,20 @@ int main(int Argc, char **Argv) {
     if (Tokens->empty())
       return;
     auto Outcome = parseWithActions<double>(
-        *G, Table, *Tokens,
+        Gr, Table, *Tokens,
         [&](const Token &Tok) {
-          if (Tok.Kind == G->findSymbol("NUM"))
+          if (Tok.Kind == Gr.findSymbol("NUM"))
             return std::stod(Tok.Text);
           return 0.0; // operators and parens carry no value
         },
         [&](ProductionId Prod, std::span<double> Rhs) -> double {
-          const Production &P = G->production(Prod);
+          const Production &P = Gr.production(Prod);
           if (P.Rhs.size() == 1)
             return Rhs[0]; // e -> NUM (value already converted)
           if (P.Rhs.size() == 2)
             return -Rhs[1]; // unary minus
           // Parenthesized or binary: look at the middle symbol.
-          const std::string &Op = G->name(P.Rhs[1]);
+          const std::string &Op = Gr.name(P.Rhs[1]);
           if (Op == "'+'")
             return Rhs[0] + Rhs[2];
           if (Op == "'-'")
@@ -136,7 +137,7 @@ int main(int Argc, char **Argv) {
           }
           return Rhs[1]; // '(' e ')'
         },
-        ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+        ParseOptions::strict());
     if (!Outcome.clean()) {
       for (const ParseError &E : Outcome.Errors)
         std::printf("error at column %u: %s\n", E.Loc.Column,

@@ -10,11 +10,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/CorpusGrammars.h"
-#include "gen/CodeGen.h"
-#include "grammar/Analysis.h"
 #include "grammar/GrammarParser.h"
-#include "lalr/LalrTableBuilder.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildPipeline.h"
 
 #include <cstdio>
 #include <fstream>
@@ -68,14 +65,16 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  GrammarAnalysis An(*G);
-  Lr0Automaton A = Lr0Automaton::build(*G);
-  ParseTable T = buildLalrTable(A, An);
-  if (!T.isAdequate())
+  BuildContext Ctx(std::move(*G));
+  BuildResult R = BuildPipeline(Ctx).run();
+  if (!R.Table.isAdequate())
     std::fprintf(stderr,
                  "warning: %zu unresolved conflicts; the emitted parser "
                  "uses the default resolutions\n",
-                 T.unresolvedShiftReduce() + T.unresolvedReduceReduce());
-  std::fputs(generateParserSource(*G, T, Opts).c_str(), stdout);
+                 R.Table.unresolvedShiftReduce() +
+                     R.Table.unresolvedReduceReduce());
+  // The emitted header carries the pipeline stats as a provenance
+  // comment on its first line.
+  std::fputs(generateParserSource(R, Opts).c_str(), stdout);
   return 0;
 }

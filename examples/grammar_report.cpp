@@ -15,16 +15,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/CorpusGrammars.h"
-#include "grammar/Analysis.h"
 #include "grammar/GrammarParser.h"
 #include "grammar/GrammarPrinter.h"
 #include "grammar/Lint.h"
 #include "grammar/SentenceGen.h"
 #include "lalr/Classify.h"
-#include "lalr/LalrLookaheads.h"
-#include "lalr/LalrTableBuilder.h"
 #include "ll/Ll1Table.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildPipeline.h"
 #include "report/AutomatonReport.h"
 #include "report/DotExport.h"
 
@@ -39,7 +36,7 @@ using namespace lalr;
 static int usage() {
   std::fprintf(stderr,
                "usage: grammar_report FILE.y [--states] [--relations] "
-               "[--sets] [--ll] [--dot]\n"
+               "[--sets] [--ll] [--dot] [--stats]\n"
                "       grammar_report --corpus NAME [flags]\n"
                "       grammar_report --list\n");
   return 2;
@@ -47,7 +44,7 @@ static int usage() {
 
 int main(int Argc, char **Argv) {
   bool ShowStates = false, ShowRelations = false, ShowSets = false;
-  bool ShowLl = false, DotOnly = false;
+  bool ShowLl = false, DotOnly = false, ShowStats = false;
   std::string File, CorpusName;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -59,6 +56,8 @@ int main(int Argc, char **Argv) {
       ShowSets = true;
     else if (Arg == "--ll")
       ShowLl = true;
+    else if (Arg == "--stats")
+      ShowStats = true;
     else if (Arg == "--dot")
       DotOnly = true;
     else if (Arg == "--list") {
@@ -99,10 +98,13 @@ int main(int Argc, char **Argv) {
     return usage();
   }
 
-  GrammarAnalysis An(*G);
-  Lr0Automaton A = Lr0Automaton::build(*G);
-  LalrLookaheads LA = LalrLookaheads::compute(A, An);
-  ParseTable Table = buildLalrTable(A, LA);
+  BuildContext Ctx(std::move(*G));
+  BuildResult R = BuildPipeline(Ctx).run();
+  const Grammar &Gr = Ctx.grammar();
+  const GrammarAnalysis &An = Ctx.analysis();
+  const Lr0Automaton &A = Ctx.lr0();
+  const LalrLookaheads &LA = Ctx.lookaheads();
+  const ParseTable &Table = R.Table;
 
   if (DotOnly) {
     std::fputs(exportDot(A, &LA).c_str(), stdout);
@@ -111,20 +113,20 @@ int main(int Argc, char **Argv) {
 
   std::printf("Grammar %s: %zu terminals, %zu nonterminals, %zu "
               "productions, |G| = %zu\n\n",
-              G->grammarName().c_str(), G->numTerminals(),
-              G->numNonterminals(), G->numProductions(), G->grammarSize());
-  std::printf("%s\n", printProductionListing(*G).c_str());
+              Gr.grammarName().c_str(), Gr.numTerminals(),
+              Gr.numNonterminals(), Gr.numProductions(), Gr.grammarSize());
+  std::printf("%s\n", printProductionListing(Gr).c_str());
 
-  for (const LintFinding &F : lintGrammar(*G))
-    std::printf("warning: %s\n", F.toString(*G).c_str());
+  for (const LintFinding &F : lintGrammar(Gr))
+    std::printf("warning: %s\n", F.toString(Gr).c_str());
 
   if (ShowSets) {
     std::printf("FIRST / FOLLOW / nullable:\n");
-    for (uint32_t NtIdx = 0; NtIdx < G->numNonterminals(); ++NtIdx) {
-      SymbolId Nt = G->ntSymbol(NtIdx);
-      std::printf("  %-16s first=%s follow=%s%s\n", G->name(Nt).c_str(),
-                  renderTerminalSet(*G, An.first(Nt)).c_str(),
-                  renderTerminalSet(*G, An.follow(Nt)).c_str(),
+    for (uint32_t NtIdx = 0; NtIdx < Gr.numNonterminals(); ++NtIdx) {
+      SymbolId Nt = Gr.ntSymbol(NtIdx);
+      std::printf("  %-16s first=%s follow=%s%s\n", Gr.name(Nt).c_str(),
+                  renderTerminalSet(Gr, An.first(Nt)).c_str(),
+                  renderTerminalSet(Gr, An.follow(Nt)).c_str(),
                   An.isNullable(Nt) ? " nullable" : "");
     }
     std::printf("\n");
@@ -138,31 +140,34 @@ int main(int Argc, char **Argv) {
   if (ShowRelations)
     std::printf("\n%s", reportRelations(A, LA).c_str());
 
-  std::printf("\nconflicts:\n%s", reportConflicts(*G, Table).c_str());
-  if (G->expectedShiftReduce() >= 0) {
+  std::printf("\nconflicts:\n%s", reportConflicts(Gr, Table).c_str());
+  if (Gr.expectedShiftReduce() >= 0) {
     size_t Actual = Table.unresolvedShiftReduce();
-    if (Actual == static_cast<size_t>(G->expectedShiftReduce()))
-      std::printf("%%expect %d satisfied\n", G->expectedShiftReduce());
+    if (Actual == static_cast<size_t>(Gr.expectedShiftReduce()))
+      std::printf("%%expect %d satisfied\n", Gr.expectedShiftReduce());
     else
       std::printf("warning: %%expect %d but %zu unresolved shift/reduce "
                   "conflicts\n",
-                  G->expectedShiftReduce(), Actual);
+                  Gr.expectedShiftReduce(), Actual);
   }
   // Explain each conflict with a concrete viable prefix.
   for (const Conflict &C : Table.conflicts()) {
     StateExample Ex = exampleForState(A, C.State);
     std::printf("  state %u is reached after: %s\n", C.State,
-                renderSentence(*G, Ex.TerminalPrefix).c_str());
+                renderSentence(Gr, Ex.TerminalPrefix).c_str());
   }
 
   if (ShowLl) {
-    Ll1Table Ll = Ll1Table::build(*G, An);
+    Ll1Table Ll = Ll1Table::build(Gr, An);
     std::printf("\nLL(1): %s\n", Ll.isLl1() ? "yes" : "no");
     for (const LlConflict &C : Ll.conflicts())
-      std::printf("  %s\n", C.toString(*G).c_str());
+      std::printf("  %s\n", C.toString(Gr).c_str());
   }
 
-  Classification C = classifyGrammar(*G);
+  Classification C = classifyGrammar(Gr);
   std::printf("\n%s\n", C.toString().c_str());
+
+  if (ShowStats)
+    std::printf("\n%s", reportPipelineStats(Ctx.stats()).c_str());
   return 0;
 }

@@ -9,10 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/CorpusGrammars.h"
-#include "grammar/Analysis.h"
-#include "lalr/LalrTableBuilder.h"
-#include "lr/Lr0Automaton.h"
-#include "parser/ParserDriver.h"
+#include "pipeline/BuildPipeline.h"
 
 #include <cctype>
 #include <cstdio>
@@ -127,14 +124,16 @@ const char DemoDoc[] = R"({
 } // namespace
 
 int main(int Argc, char **Argv) {
-  Grammar G = loadCorpusGrammar("json");
-  GrammarAnalysis An(G);
-  Lr0Automaton A = Lr0Automaton::build(G);
-  ParseTable Table = buildLalrTable(A, An);
-  if (!Table.isAdequate()) {
+  BuildContext Ctx(loadCorpusGrammar("json"));
+  BuildResult R =
+      BuildPipeline(Ctx, {.Conflicts = ConflictPolicy::RequireAdequate})
+          .run();
+  if (!R.ok()) {
     std::cerr << "internal error: JSON grammar has conflicts\n";
     return 1;
   }
+  const Grammar &G = Ctx.grammar();
+  const ParseTable &Table = R.Table;
 
   std::string Input;
   if (Argc > 1 && std::string(Argv[1]) == "--demo") {
@@ -168,7 +167,7 @@ int main(int Argc, char **Argv) {
         }
         return Out;
       },
-      ParseOptions{/*Recover=*/false, /*MaxErrors=*/1});
+      ParseOptions::strict());
 
   if (!Outcome.clean()) {
     for (const ParseError &E : Outcome.Errors)

@@ -2,17 +2,14 @@
 ///
 /// \file
 /// The README's quickstart: define a grammar programmatically, run the
-/// DeRemer-Pennello pipeline, inspect the look-ahead sets, build the
-/// LALR(1) table, and parse a sentence into a tree.
+/// grammar -> table pipeline in one call, inspect the DeRemer-Pennello
+/// look-ahead sets, parse a sentence into a tree, and dump the per-stage
+/// timing the pipeline recorded along the way.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "grammar/Analysis.h"
 #include "grammar/GrammarBuilder.h"
-#include "lalr/LalrLookaheads.h"
-#include "lalr/LalrTableBuilder.h"
-#include "lr/Lr0Automaton.h"
-#include "parser/ParserDriver.h"
+#include "pipeline/BuildPipeline.h"
 #include "report/AutomatonReport.h"
 
 #include <cstdio>
@@ -40,21 +37,25 @@ int main() {
   B.startSymbol(Expr);
 
   DiagnosticEngine Diags;
-  std::optional<Grammar> G = std::move(B).build(Diags);
-  if (!G) {
+  std::optional<Grammar> Built = std::move(B).build(Diags);
+  if (!Built) {
     std::cerr << Diags.render();
     return 1;
   }
 
-  // 2. Build the LR(0) automaton and run the DeRemer-Pennello pipeline.
-  GrammarAnalysis An(*G);
-  Lr0Automaton A = Lr0Automaton::build(*G);
-  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  // 2. Run the pipeline: grammar -> LR(0) automaton -> DeRemer-Pennello
+  //    look-aheads -> LALR(1) table, all behind one call. The context
+  //    memoizes every intermediate artifact for later inspection.
+  BuildContext Ctx(std::move(*Built));
+  BuildResult R = BuildPipeline(Ctx).run();
+  const Grammar &G = Ctx.grammar();
+  const LalrLookaheads &LA = Ctx.lookaheads();
+  const Lr0Automaton &A = Ctx.lr0();
 
   std::printf("grammar '%s': %zu terminals, %zu nonterminals, %zu "
               "productions\n",
-              G->grammarName().c_str(), G->numTerminals(),
-              G->numNonterminals(), G->numProductions());
+              G.grammarName().c_str(), G.numTerminals(),
+              G.numNonterminals(), G.numProductions());
   std::printf("LR(0) automaton: %zu states, %zu nonterminal transitions\n",
               A.numStates(), LA.ntTransitions().size());
   std::printf("relations: %zu reads edges, %zu includes edges, %zu "
@@ -66,31 +67,33 @@ int main() {
   // 3. Look at one look-ahead set: where can "factor -> NUM" be reduced?
   for (StateId S = 0; S < A.numStates(); ++S)
     for (ProductionId P : A.state(S).Reductions)
-      if (G->production(P).Lhs == G->findSymbol("factor") &&
-          G->production(P).Rhs == std::vector<SymbolId>{Num})
+      if (G.production(P).Lhs == G.findSymbol("factor") &&
+          G.production(P).Rhs == std::vector<SymbolId>{Num})
         std::printf("LA(state %u, factor -> NUM) = %s\n", S,
-                    renderTerminalSet(*G, LA.la(S, P)).c_str());
+                    renderTerminalSet(G, LA.la(S, P)).c_str());
 
-  // 4. Build the LALR(1) table; this grammar is conflict-free.
-  ParseTable Table = buildLalrTable(A, LA);
-  std::printf("table: %zu states, %zu conflicts\n", Table.numStates(),
-              Table.conflicts().size());
+  // 4. The finished LALR(1) table; this grammar is conflict-free.
+  std::printf("table: %zu states, %zu conflicts\n", R.Table.numStates(),
+              R.Table.conflicts().size());
 
   // 5. Parse a sentence into a concrete tree.
   std::string Error;
-  auto Tokens = tokenizeSymbols(*G, "NUM + NUM * ( NUM + NUM )", &Error);
+  auto Tokens = tokenizeSymbols(G, "NUM + NUM * ( NUM + NUM )", &Error);
   if (!Tokens) {
     std::cerr << Error << "\n";
     return 1;
   }
-  auto Outcome = parseToTree(*G, Table, *Tokens);
+  auto Outcome = parseToTree(R, *Tokens);
   if (!Outcome.clean()) {
     for (const ParseError &E : Outcome.Errors)
       std::cerr << E.Message << "\n";
     return 1;
   }
-  std::printf("parse tree: %s\n", (*Outcome.Value)->toSExpr(*G).c_str());
+  std::printf("parse tree: %s\n", (*Outcome.Value)->toSExpr(G).c_str());
   std::printf("derivation length: %zu reductions\n",
               Outcome.Reductions.size());
+
+  // 6. Where did the time go? Every stage the pipeline ran was recorded.
+  std::printf("\n%s", reportPipelineStats(R.Stats).c_str());
   return 0;
 }

@@ -15,11 +15,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/CorpusGrammars.h"
-#include "grammar/Analysis.h"
 #include "grammar/GrammarParser.h"
 #include "grammar/SentenceGen.h"
-#include "lalr/LalrTableBuilder.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildPipeline.h"
 #include "report/ConflictWitness.h"
 #include "support/Rng.h"
 
@@ -87,26 +85,28 @@ int main(int Argc, char **Argv) {
     return usage();
   }
 
-  GrammarAnalysis An(*G);
-  Lr0Automaton A = Lr0Automaton::build(*G);
+  BuildContext Ctx(std::move(*G));
+  const Grammar &Gr = Ctx.grammar();
 
   if (ExplainConflicts) {
-    ParseTable T = buildLalrTable(A, An);
+    BuildResult Res = BuildPipeline(Ctx).run();
+    const ParseTable &T = Res.Table;
+    const Lr0Automaton &A = Ctx.lr0();
     if (T.conflicts().empty()) {
       std::printf("grammar '%s' has no LALR(1) conflicts\n",
-                  G->grammarName().c_str());
+                  Gr.grammarName().c_str());
       return 0;
     }
     for (const Conflict &C : T.conflicts()) {
-      std::printf("%s\n", C.toString(*G).c_str());
+      std::printf("%s\n", C.toString(Gr).c_str());
       StateExample Ex = exampleForState(A, C.State);
       std::printf("  reached after:  %s\n",
-                  renderSentence(*G, Ex.TerminalPrefix).c_str());
+                  renderSentence(Gr, Ex.TerminalPrefix).c_str());
       std::printf("  then seeing:    %s\n",
-                  G->name(C.Terminal).c_str());
-      if (auto Witness = findConflictWitness(*G, T, C))
+                  Gr.name(C.Terminal).c_str());
+      if (auto Witness = findConflictWitness(Gr, T, C))
         std::printf("  full example:   %s\n\n",
-                    renderSentence(*G, *Witness).c_str());
+                    renderSentence(Gr, *Witness).c_str());
       else
         std::printf("  (no complete example sentence found in the "
                     "sampling budget)\n\n");
@@ -115,14 +115,14 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("shortest sentence of %s:\n  %s\n\n",
-              G->grammarName().c_str(),
-              renderSentence(*G, shortestExpansion(*G, G->startSymbol()))
+              Gr.grammarName().c_str(),
+              renderSentence(Gr, shortestExpansion(Gr, Gr.startSymbol()))
                   .c_str());
   std::printf("%u random sentences (seed %llu, max-len %u):\n", Count,
               static_cast<unsigned long long>(Seed), MaxLen);
   Rng R(Seed);
   for (unsigned I = 0; I < Count; ++I)
     std::printf("  %s\n",
-                renderSentence(*G, randomSentence(*G, R, MaxLen)).c_str());
+                renderSentence(Gr, randomSentence(Gr, R, MaxLen)).c_str());
   return 0;
 }

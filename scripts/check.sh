@@ -11,13 +11,16 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+# Each bench also writes its per-stage PipelineStats as JSON under
+# build/bench-stats/ — the machine-readable record behind the tables.
+mkdir -p build/bench-stats
 {
   for b in build/bench/*; do
     if [ -x "$b" ] && [ ! -d "$b" ]; then
       echo "============================================================"
       echo "===== $b"
       echo "============================================================"
-      "$b"
+      "$b" --json "build/bench-stats/$(basename "$b").json"
       echo
     fi
   done

@@ -14,9 +14,11 @@ using namespace lalr;
 
 DerivedFollowLookaheads
 DerivedFollowLookaheads::compute(const Lr0Automaton &A,
-                                 const GrammarAnalysis &An) {
+                                 const GrammarAnalysis &An,
+                                 PipelineStats *Stats) {
   (void)An; // the derived grammar's own analysis does all the work
   const Grammar &G = A.grammar();
+  StageTimer DeriveT(Stats, "bl-derive");
   NtTransitionIndex NtIdx(A);
 
   DerivedFollowLookaheads Out;
@@ -75,13 +77,17 @@ DerivedFollowLookaheads::compute(const Lr0Automaton &A,
   assert(Derived->numTerminals() == G.numTerminals() &&
          "terminal id spaces must align");
   Out.Derived = std::make_unique<Grammar>(std::move(*Derived));
+  DeriveT.stop();
 
   // The theorem: FOLLOW in the derived grammar == DP's Follow(p, A).
+  StageTimer FollowT(Stats, "bl-follow");
   GrammarAnalysis DerivedAn(*Out.Derived);
+  FollowT.stop();
 
   // LA(q, A->w) = union of derived FOLLOW over lookback: walk every
   // production body from its transition's source to find the reducing
   // state.
+  StageTimer UnionT(Stats, "bl-la-union");
   Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
   for (uint32_t X = 0; X < NtIdx.size(); ++X) {
     const NtTransition &T = NtIdx[X];
@@ -96,5 +102,11 @@ DerivedFollowLookaheads::compute(const Lr0Automaton &A,
   }
   // The accept reduction, as in every other method.
   Out.LaSets[Out.RedIdx->slot(A.acceptState(), 0)].set(G.eofSymbol());
+  UnionT.stop();
+  if (Stats) {
+    Stats->setCounter("bl_derived_productions", Out.Derived->numProductions());
+    Stats->setCounter("bl_derived_nonterminals",
+                      Out.Derived->numNonterminals());
+  }
   return Out;
 }

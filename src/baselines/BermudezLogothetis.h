@@ -25,6 +25,7 @@
 #include "grammar/Analysis.h"
 #include "lalr/Relations.h"
 #include "lr/Lr0Automaton.h"
+#include "pipeline/PipelineStats.h"
 
 #include <memory>
 #include <vector>
@@ -34,8 +35,11 @@ namespace lalr {
 /// LALR(1) look-aheads computed as FOLLOW sets of the derived grammar.
 class DerivedFollowLookaheads {
 public:
+  /// If \p Stats is nonnull, records stages bl-derive / bl-follow /
+  /// bl-la-union and the derived grammar's size counters.
   static DerivedFollowLookaheads compute(const Lr0Automaton &A,
-                                         const GrammarAnalysis &An);
+                                         const GrammarAnalysis &An,
+                                         PipelineStats *Stats = nullptr);
 
   const BitSet &la(StateId State, ProductionId Prod) const {
     return LaSets[RedIdx->slot(State, Prod)];

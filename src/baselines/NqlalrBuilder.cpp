@@ -10,9 +10,11 @@
 using namespace lalr;
 
 NqlalrLookaheads NqlalrLookaheads::compute(const Lr0Automaton &A,
-                                           const GrammarAnalysis &Analysis) {
+                                           const GrammarAnalysis &Analysis,
+                                           PipelineStats *Stats) {
   const Grammar &G = A.grammar();
   NqlalrLookaheads Out;
+  StageTimer RelationsT(Stats, "nqlalr-relations");
   Out.RedIdx = std::make_unique<ReductionIndex>(A);
   NtTransitionIndex NtIdx(A);
   LalrRelations True = buildLalrRelations(A, Analysis, NtIdx, *Out.RedIdx);
@@ -49,10 +51,15 @@ NqlalrLookaheads NqlalrLookaheads::compute(const Lr0Automaton &A,
     E.erase(std::unique(E.begin(), E.end()), E.end());
   }
 
+  RelationsT.stop();
+
+  StageTimer SolveT(Stats, "nqlalr-solve");
   std::vector<BitSet> ReadSets = solveDigraph(Reads, std::move(Dr));
   std::vector<BitSet> FollowSets =
       solveDigraph(Includes, std::move(ReadSets));
+  SolveT.stop();
 
+  StageTimer UnionT(Stats, "nqlalr-la-union");
   Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
   for (uint32_t Slot = 0; Slot < Out.RedIdx->size(); ++Slot)
     for (uint32_t X : True.Lookback[Slot])
@@ -60,6 +67,9 @@ NqlalrLookaheads NqlalrLookaheads::compute(const Lr0Automaton &A,
   // The accept reduction's look-ahead is the end marker by definition
   // (no lookback exists for it; see LalrLookaheads::compute).
   Out.LaSets[Out.RedIdx->slot(A.acceptState(), 0)].set(G.eofSymbol());
+  UnionT.stop();
+  if (Stats)
+    Stats->setCounter("nqlalr_nodes", NumNodes);
   return Out;
 }
 

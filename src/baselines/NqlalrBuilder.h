@@ -21,6 +21,7 @@
 #include "grammar/Analysis.h"
 #include "lalr/Relations.h"
 #include "lr/ParseTable.h"
+#include "pipeline/PipelineStats.h"
 
 #include <memory>
 #include <vector>
@@ -30,8 +31,11 @@ namespace lalr {
 /// NQLALR look-ahead sets, keyed like the DP ones by (state, production).
 class NqlalrLookaheads {
 public:
+  /// If \p Stats is nonnull, records stages nqlalr-relations /
+  /// nqlalr-solve / nqlalr-la-union and the quotient node count.
   static NqlalrLookaheads compute(const Lr0Automaton &A,
-                                  const GrammarAnalysis &Analysis);
+                                  const GrammarAnalysis &Analysis,
+                                  PipelineStats *Stats = nullptr);
 
   const BitSet &la(StateId State, ProductionId Prod) const {
     return LaSets[RedIdx->slot(State, Prod)];

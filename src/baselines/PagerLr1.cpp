@@ -46,7 +46,9 @@ bool weaklyCompatible(const std::vector<BitSet> &New,
 } // namespace
 
 PagerLr1Automaton PagerLr1Automaton::build(const Grammar &G,
-                                           const GrammarAnalysis &An) {
+                                           const GrammarAnalysis &An,
+                                           PipelineStats *Stats) {
+  StageTimer BuildT(Stats, "pager-build");
   const size_t NumT = G.numTerminals();
   PagerLr1Automaton A(G);
 
@@ -178,6 +180,11 @@ PagerLr1Automaton PagerLr1Automaton::build(const Grammar &G,
       for (auto &[Sym, Target] : S.Transitions)
         Target = Remap[Target];
     A.States = std::move(Compacted);
+  }
+  BuildT.stop();
+  if (Stats) {
+    Stats->setCounter("pager_states", A.States.size());
+    Stats->setCounter("pager_reprocessed", A.Reprocessed);
   }
   return A;
 }

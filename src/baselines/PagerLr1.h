@@ -24,6 +24,7 @@
 
 #include "baselines/Lr1Automaton.h"
 #include "lr/ParseTable.h"
+#include "pipeline/PipelineStats.h"
 
 namespace lalr {
 
@@ -31,8 +32,10 @@ namespace lalr {
 /// Shares the Lr1State representation with the canonical automaton.
 class PagerLr1Automaton {
 public:
-  static PagerLr1Automaton build(const Grammar &G,
-                                 const GrammarAnalysis &An);
+  /// If \p Stats is nonnull, records the pager-build stage plus state and
+  /// reprocess counters.
+  static PagerLr1Automaton build(const Grammar &G, const GrammarAnalysis &An,
+                                 PipelineStats *Stats = nullptr);
 
   const Grammar &grammar() const { return *G; }
   size_t numStates() const { return States.size(); }

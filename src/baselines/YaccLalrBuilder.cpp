@@ -24,7 +24,8 @@ size_t kernelIndexOf(const std::vector<Lr0Item> &Kernel, Lr0Item Item) {
 
 YaccLalrLookaheads
 YaccLalrLookaheads::compute(const Lr0Automaton &A,
-                            const GrammarAnalysis &An) {
+                            const GrammarAnalysis &An,
+                            PipelineStats *Stats) {
   const Grammar &G = A.grammar();
   const size_t NumT = G.numTerminals();
   const size_t Dummy = NumT; // index of '#'
@@ -50,6 +51,7 @@ YaccLalrLookaheads::compute(const Lr0Automaton &A,
 
   // Pass 1: discover spontaneous look-aheads and propagation links by
   // closing every kernel item with the dummy look-ahead.
+  StageTimer SpontaneousT(Stats, "yacc-spontaneous");
   for (StateId S = 0; S < A.numStates(); ++S) {
     const auto &Kernel = A.state(S).Kernel;
     for (size_t KI = 0; KI < Kernel.size(); ++KI) {
@@ -81,11 +83,13 @@ YaccLalrLookaheads::compute(const Lr0Automaton &A,
     }
   }
   Out.NumLinks = Links.size();
+  SpontaneousT.stop();
 
   // Initialization: the start item sees end-of-input.
   KernelLa[0][0].set(G.eofSymbol());
 
   // Pass 2: propagate over the links until the fixpoint.
+  StageTimer PropagateT(Stats, "yacc-propagate");
   // Address decoding for the flattened link endpoints.
   auto slotSet = [&](uint32_t Flat) -> BitSet & {
     StateId S = static_cast<StateId>(
@@ -101,9 +105,12 @@ YaccLalrLookaheads::compute(const Lr0Automaton &A,
       Changed |= slotSet(L.To).unionWith(slotSet(L.From));
   }
 
+  PropagateT.stop();
+
   // Pass 3: attach look-aheads to reductions by re-closing each state's
   // kernel with its final look-aheads (non-kernel epsilon items get their
   // sets here).
+  StageTimer AttachT(Stats, "yacc-attach");
   Out.LaSets.assign(Out.RedIdx->size(), BitSet(NumT));
   for (StateId S = 0; S < A.numStates(); ++S) {
     const auto &Kernel = A.state(S).Kernel;
@@ -119,6 +126,11 @@ YaccLalrLookaheads::compute(const Lr0Automaton &A,
         continue;
       Out.LaSets[Out.RedIdx->slot(S, CI.Item.Prod)].unionWith(CI.Lookaheads);
     }
+  }
+  AttachT.stop();
+  if (Stats) {
+    Stats->setCounter("yacc_links", Out.NumLinks);
+    Stats->setCounter("yacc_passes", Out.NumPasses);
   }
   return Out;
 }

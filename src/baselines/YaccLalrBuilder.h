@@ -21,6 +21,7 @@
 #include "grammar/Analysis.h"
 #include "lalr/Relations.h"
 #include "lr/ParseTable.h"
+#include "pipeline/PipelineStats.h"
 
 #include <memory>
 #include <vector>
@@ -30,8 +31,12 @@ namespace lalr {
 /// LALR(1) look-aheads computed by spontaneous generation + propagation.
 class YaccLalrLookaheads {
 public:
+  /// If \p Stats is nonnull, records the three passes as stages
+  /// (yacc-spontaneous, yacc-propagate, yacc-attach) plus the link and
+  /// pass counters.
   static YaccLalrLookaheads compute(const Lr0Automaton &A,
-                                    const GrammarAnalysis &Analysis);
+                                    const GrammarAnalysis &Analysis,
+                                    PipelineStats *Stats = nullptr);
 
   const BitSet &la(StateId State, ProductionId Prod) const {
     return LaSets[RedIdx->slot(State, Prod)];

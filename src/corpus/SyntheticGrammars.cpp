@@ -16,6 +16,14 @@ using namespace lalr;
 
 namespace {
 
+/// "a" + std::to_string(I) without operator+(const char*, std::string&&),
+/// which GCC 12's -Wrestrict mis-analyzes when inlined at -O2.
+std::string numbered(const char *Prefix, unsigned I) {
+  std::string S(Prefix);
+  S += std::to_string(I);
+  return S;
+}
+
 /// Fails loudly: the generators only build well-formed grammars, so a
 /// build() failure here is a bug in the generator itself.
 Grammar buildOrDie(GrammarBuilder &&Builder, const char *What) {
@@ -41,12 +49,12 @@ Grammar lalr::makeExprTower(unsigned Levels, unsigned OpsPerLevel) {
 
   std::vector<SymbolId> Nts;
   for (unsigned L = 0; L <= Levels; ++L)
-    Nts.push_back(B.nonterminal("e" + std::to_string(L)));
+    Nts.push_back(B.nonterminal(numbered("e", L)));
 
   for (unsigned L = 0; L < Levels; ++L) {
     for (unsigned K = 0; K < OpsPerLevel; ++K) {
       SymbolId Op =
-          B.terminal("op" + std::to_string(L) + "_" + std::to_string(K));
+          B.terminal(numbered("op", L) + "_" + std::to_string(K));
       // Left-associative: e_L -> e_L op e_{L+1}.
       B.production(Nts[L], {Nts[L], Op, Nts[L + 1]});
     }
@@ -64,8 +72,8 @@ Grammar lalr::makeNullableChain(unsigned N) {
   SymbolId S = B.nonterminal("s");
   std::vector<SymbolId> Rhs;
   for (unsigned I = 1; I <= N; ++I) {
-    SymbolId A = B.nonterminal("a" + std::to_string(I));
-    SymbolId T = B.terminal("t" + std::to_string(I));
+    SymbolId A = B.nonterminal(numbered("a", I));
+    SymbolId T = B.terminal(numbered("t", I));
     B.production(A, {T});
     B.production(A, {});
     Rhs.push_back(A);
@@ -81,9 +89,9 @@ Grammar lalr::makeIncludesRing(unsigned N) {
   GrammarBuilder B("includes_ring_" + std::to_string(N));
   std::vector<SymbolId> Nts;
   for (unsigned I = 1; I <= N; ++I)
-    Nts.push_back(B.nonterminal("a" + std::to_string(I)));
+    Nts.push_back(B.nonterminal(numbered("a", I)));
   for (unsigned I = 0; I < N; ++I) {
-    SymbolId T = B.terminal("t" + std::to_string(I + 1));
+    SymbolId T = B.terminal(numbered("t", I + 1));
     B.production(Nts[I], {T, Nts[(I + 1) % N]});
   }
   // Break the derivation (not the includes ring) with a terminal escape.
@@ -102,9 +110,9 @@ lalr::makeRandomGrammar(uint64_t Seed, const RandomGrammarParams &Params) {
 
   std::vector<SymbolId> Terms, Nts;
   for (unsigned I = 0; I < Params.NumTerminals; ++I)
-    Terms.push_back(B.terminal("t" + std::to_string(I)));
+    Terms.push_back(B.terminal(numbered("t", I)));
   for (unsigned I = 0; I < Params.NumNonterminals; ++I)
-    Nts.push_back(B.nonterminal("n" + std::to_string(I)));
+    Nts.push_back(B.nonterminal(numbered("n", I)));
 
   for (unsigned I = 0; I < Params.NumNonterminals; ++I) {
     unsigned NumProds = static_cast<unsigned>(

@@ -29,6 +29,11 @@ struct CodeGenOptions {
   /// Emit a `#define <NAME> <id>` style constant for each
   /// identifier-named terminal (TOK_<NAME> constexpr).
   bool EmitTokenConstants = true;
+  /// When nonempty, stamped into the generated header as a
+  /// "// Provenance: ..." comment — the pipeline façade puts its
+  /// PipelineStats JSON here so a generated parser records how its table
+  /// was built. Must be a single line.
+  std::string ProvenanceJson;
 };
 
 /// Renders the standalone parser header for \p G and \p T. The generated

@@ -2,15 +2,8 @@
 
 #include "lalr/Classify.h"
 
-#include "baselines/Clr1Builder.h"
-#include "baselines/MergedLalrBuilder.h"
-#include "baselines/NqlalrBuilder.h"
-#include "baselines/SlrBuilder.h"
-#include "grammar/Analysis.h"
 #include "ll/Ll1Table.h"
-#include "lalr/LalrLookaheads.h"
-#include "lalr/LalrTableBuilder.h"
-#include "lr/Lr0Automaton.h"
+#include "pipeline/BuildPipeline.h"
 
 #include <sstream>
 
@@ -46,53 +39,39 @@ std::string Classification::toString() const {
   return OS.str();
 }
 
-Classification lalr::classifyGrammar(const Grammar &G) {
+Classification lalr::classifyGrammar(const Grammar &G,
+                                     PipelineStats *Stats) {
   Classification Out;
-  GrammarAnalysis An(G);
-  Lr0Automaton A = Lr0Automaton::build(G);
-  Out.Lr0States = A.numStates();
+  // One context: every method below shares the grammar analysis, the
+  // LR(0) automaton, and (for LALR and CLR) the look-ahead sets and the
+  // LR(1) automaton.
+  BuildContext Ctx(G);
 
-  // LR(0): every reduction applies on every terminal — except the accept
-  // reduction, which (by the end-marker convention) applies on $end only.
-  // A grammar is LR(0) iff that table is conflict-free.
-  {
-    BitSet All(G.numTerminals());
-    for (SymbolId T = 0; T < G.numTerminals(); ++T)
-      All.set(T);
-    BitSet EofOnly(G.numTerminals());
-    EofOnly.set(G.eofSymbol());
-    ParseTable T = fillParseTable(
-        A, [&](StateId, ProductionId P) -> const BitSet & {
-          return P == 0 ? EofOnly : All;
-        });
-    Out.Lr0Conflicts = T.conflicts().size();
-    Out.IsLr0 = Out.Lr0Conflicts == 0;
-  }
+  auto conflictsOf = [&](TableKind K) {
+    return BuildPipeline(Ctx, {.Kind = K}).run().Table.conflicts().size();
+  };
 
-  {
-    ParseTable T = buildSlrTable(A, An);
-    Out.SlrConflicts = T.conflicts().size();
-    Out.IsSlr1 = Out.SlrConflicts == 0;
-  }
-  {
-    ParseTable T = buildNqlalrTable(A, An);
-    Out.NqlalrConflicts = T.conflicts().size();
-    Out.IsNqlalr = Out.NqlalrConflicts == 0;
-  }
-  {
-    LalrLookaheads LA = LalrLookaheads::compute(A, An);
-    Out.NotLrK = LA.grammarNotLrK();
-    ParseTable T = buildLalrTable(A, LA);
-    Out.LalrConflicts = T.conflicts().size();
-    Out.IsLalr1 = Out.LalrConflicts == 0;
-  }
-  {
-    Lr1Automaton L1 = Lr1Automaton::build(G, An);
-    Out.Lr1States = L1.numStates();
-    ParseTable T = buildClr1Table(L1);
-    Out.Lr1Conflicts = T.conflicts().size();
-    Out.IsLr1 = Out.Lr1Conflicts == 0;
-  }
-  Out.IsLl1 = Ll1Table::build(G, An).isLl1();
+  Out.Lr0Conflicts = conflictsOf(TableKind::Lr0);
+  Out.IsLr0 = Out.Lr0Conflicts == 0;
+  Out.Lr0States = Ctx.lr0().numStates();
+
+  Out.SlrConflicts = conflictsOf(TableKind::Slr1);
+  Out.IsSlr1 = Out.SlrConflicts == 0;
+
+  Out.NqlalrConflicts = conflictsOf(TableKind::Nqlalr);
+  Out.IsNqlalr = Out.NqlalrConflicts == 0;
+
+  Out.LalrConflicts = conflictsOf(TableKind::Lalr1);
+  Out.IsLalr1 = Out.LalrConflicts == 0;
+  Out.NotLrK = Ctx.lookaheads().grammarNotLrK();
+
+  Out.Lr1Conflicts = conflictsOf(TableKind::Clr1);
+  Out.IsLr1 = Out.Lr1Conflicts == 0;
+  Out.Lr1States = Ctx.lr1().numStates();
+
+  Out.IsLl1 = Ll1Table::build(G, Ctx.analysis()).isLl1();
+
+  if (Stats)
+    Stats->mergeFrom(Ctx.stats());
   return Out;
 }

@@ -14,6 +14,7 @@
 #define LALR_LALR_CLASSIFY_H
 
 #include "grammar/Grammar.h"
+#include "pipeline/PipelineStats.h"
 
 #include <string>
 
@@ -66,8 +67,12 @@ struct Classification {
   std::string toString() const;
 };
 
-/// Runs every method over \p G and classifies it.
-Classification classifyGrammar(const Grammar &G);
+/// Runs every method over \p G (sharing one BuildContext, so the LR(0)
+/// automaton and grammar analysis are computed once) and classifies it.
+/// If \p Stats is nonnull, the context's stage timings and counters are
+/// merged into it.
+Classification classifyGrammar(const Grammar &G,
+                               PipelineStats *Stats = nullptr);
 
 } // namespace lalr
 

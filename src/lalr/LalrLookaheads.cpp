@@ -2,54 +2,102 @@
 
 #include "lalr/LalrLookaheads.h"
 
+#include <algorithm>
+
 using namespace lalr;
+
+namespace {
+
+/// Largest population count over a family of sets (the paper's evaluation
+/// reports peak set sizes; only computed when someone is listening).
+uint64_t peakBits(const std::vector<BitSet> &Sets) {
+  uint64_t Peak = 0;
+  for (const BitSet &S : Sets)
+    Peak = std::max<uint64_t>(Peak, S.count());
+  return Peak;
+}
+
+} // namespace
 
 LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
                                        const GrammarAnalysis &Analysis,
-                                       SolverKind Solver) {
+                                       SolverKind Solver,
+                                       PipelineStats *Stats) {
   const Grammar &G = A.grammar();
   LalrLookaheads Out;
-  Out.NtIdx = std::make_unique<NtTransitionIndex>(A);
-  Out.RedIdx = std::make_unique<ReductionIndex>(A);
-  Out.Relations =
-      buildLalrRelations(A, Analysis, *Out.NtIdx, *Out.RedIdx);
+  {
+    StageTimer T(Stats, "nt-index");
+    Out.NtIdx = std::make_unique<NtTransitionIndex>(A);
+    Out.RedIdx = std::make_unique<ReductionIndex>(A);
+  }
+  {
+    StageTimer T(Stats, "relations");
+    Out.Relations =
+        buildLalrRelations(A, Analysis, *Out.NtIdx, *Out.RedIdx);
+  }
 
   // Read = digraph(reads, DR). The initial sets are copies: the relations
   // (with DR) are retained for reporting.
-  std::vector<BitSet> Initial = Out.Relations.DirectRead;
-  if (Solver == SolverKind::Digraph)
-    Out.ReadSets = solveDigraph(Out.Relations.Reads, std::move(Initial),
-                                &Out.ReadsStats, &Out.ReadsCycleMembers);
-  else {
-    Out.ReadSets = solveNaiveFixpoint(Out.Relations.Reads,
-                                      std::move(Initial), &Out.ReadsStats);
-    // Cycle membership still comes from the digraph structure; run a
-    // cheap no-set pass for the certificate.
-    std::vector<BitSet> Empty(Out.Relations.Reads.size(), BitSet(1));
-    DigraphStats Tmp;
-    solveDigraph(Out.Relations.Reads, std::move(Empty), &Tmp,
-                 &Out.ReadsCycleMembers);
-    Out.ReadsStats.NontrivialSccs = Tmp.NontrivialSccs;
+  {
+    StageTimer T(Stats, "solve-read");
+    std::vector<BitSet> Initial = Out.Relations.DirectRead;
+    if (Solver == SolverKind::Digraph)
+      Out.ReadSets = solveDigraph(Out.Relations.Reads, std::move(Initial),
+                                  &Out.ReadsStats, &Out.ReadsCycleMembers);
+    else {
+      Out.ReadSets = solveNaiveFixpoint(Out.Relations.Reads,
+                                        std::move(Initial), &Out.ReadsStats);
+      // Cycle membership still comes from the digraph structure; run a
+      // cheap no-set pass for the certificate.
+      std::vector<BitSet> Empty(Out.Relations.Reads.size(), BitSet(1));
+      DigraphStats Tmp;
+      solveDigraph(Out.Relations.Reads, std::move(Empty), &Tmp,
+                   &Out.ReadsCycleMembers);
+      Out.ReadsStats.NontrivialSccs = Tmp.NontrivialSccs;
+    }
   }
 
   // Follow = digraph(includes, Read).
-  Initial = Out.ReadSets;
-  if (Solver == SolverKind::Digraph)
-    Out.FollowSets = solveDigraph(Out.Relations.Includes,
-                                  std::move(Initial), &Out.IncludesStats);
-  else
-    Out.FollowSets = solveNaiveFixpoint(
-        Out.Relations.Includes, std::move(Initial), &Out.IncludesStats);
+  {
+    StageTimer T(Stats, "solve-follow");
+    std::vector<BitSet> Initial = Out.ReadSets;
+    if (Solver == SolverKind::Digraph)
+      Out.FollowSets = solveDigraph(Out.Relations.Includes,
+                                    std::move(Initial), &Out.IncludesStats);
+    else
+      Out.FollowSets = solveNaiveFixpoint(
+          Out.Relations.Includes, std::move(Initial), &Out.IncludesStats);
+  }
 
   // LA(q, A->w) = union of Follow over lookback.
-  Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
-  for (uint32_t Slot = 0; Slot < Out.RedIdx->size(); ++Slot)
-    for (uint32_t X : Out.Relations.Lookback[Slot])
-      Out.LaSets[Slot].unionWith(Out.FollowSets[X]);
+  {
+    StageTimer T(Stats, "la-union");
+    Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
+    for (uint32_t Slot = 0; Slot < Out.RedIdx->size(); ++Slot)
+      for (uint32_t X : Out.Relations.Lookback[Slot])
+        Out.LaSets[Slot].unionWith(Out.FollowSets[X]);
 
-  // The accept reduction $accept -> start has no lookback (no state has a
-  // $accept transition); its look-ahead is the end marker by definition.
-  Out.LaSets[Out.RedIdx->slot(A.acceptState(), 0)].set(G.eofSymbol());
+    // The accept reduction $accept -> start has no lookback (no state has
+    // a $accept transition); its look-ahead is the end marker by
+    // definition.
+    Out.LaSets[Out.RedIdx->slot(A.acceptState(), 0)].set(G.eofSymbol());
+  }
+
+  if (Stats) {
+    Stats->setCounter("nt_transitions", Out.NtIdx->size());
+    Stats->setCounter("reduction_slots", Out.RedIdx->size());
+    Stats->setCounter("reads_edges", Out.Relations.readsEdgeCount());
+    Stats->setCounter("includes_edges", Out.Relations.includesEdgeCount());
+    Stats->setCounter("lookback_edges", Out.Relations.lookbackEdgeCount());
+    Stats->setCounter("read_union_ops", Out.ReadsStats.UnionOps);
+    Stats->setCounter("follow_union_ops", Out.IncludesStats.UnionOps);
+    Stats->setCounter("reads_nontrivial_sccs", Out.ReadsStats.NontrivialSccs);
+    Stats->setCounter("includes_nontrivial_sccs",
+                      Out.IncludesStats.NontrivialSccs);
+    Stats->setCounter("peak_read_bits", peakBits(Out.ReadSets));
+    Stats->setCounter("peak_follow_bits", peakBits(Out.FollowSets));
+    Stats->setCounter("peak_la_bits", peakBits(Out.LaSets));
+  }
 
   return Out;
 }

@@ -24,6 +24,7 @@
 #include "lalr/NtTransitionIndex.h"
 #include "lalr/Relations.h"
 #include "lr/Lr0Automaton.h"
+#include "pipeline/PipelineStats.h"
 
 #include <memory>
 
@@ -37,10 +38,14 @@ enum class SolverKind { Digraph, NaiveFixpoint };
 class LalrLookaheads {
 public:
   /// Runs the full DP pipeline over \p A. \p Analysis must be for the
-  /// same grammar.
+  /// same grammar. If \p Stats is nonnull, records the five stages
+  /// (nt-index, relations, solve-read, solve-follow, la-union) with
+  /// relation edge counts, solver union-op/SCC counters, and peak set
+  /// sizes.
   static LalrLookaheads compute(const Lr0Automaton &A,
                                 const GrammarAnalysis &Analysis,
-                                SolverKind Solver = SolverKind::Digraph);
+                                SolverKind Solver = SolverKind::Digraph,
+                                PipelineStats *Stats = nullptr);
 
   /// LA(q, A->w): look-ahead set of reduction (State, Prod), over
   /// terminal ids. The reduction must exist in that state.

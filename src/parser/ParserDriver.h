@@ -50,6 +50,10 @@ struct ParseOptions {
   /// until a token has an action. Falls back to panic mode (discard one
   /// token) when no state on the stack can shift 'error'.
   bool UseErrorToken = true;
+
+  /// Stop at the first error, no recovery — the configuration the
+  /// error-detection-latency experiment runs under.
+  static ParseOptions strict() { return {false, 1, true}; }
 };
 
 /// One syntax error: where, what was seen, what was possible.

@@ -1,0 +1,71 @@
+//===- pipeline/BuildContext.cpp - Memoized build artifacts --------------===//
+
+#include "pipeline/BuildContext.h"
+
+using namespace lalr;
+
+namespace {
+
+void recordGrammarCounters(PipelineStats &Stats, const Grammar &G) {
+  Stats.Label = G.grammarName();
+  Stats.setCounter("terminals", G.numTerminals());
+  Stats.setCounter("nonterminals", G.numNonterminals());
+  Stats.setCounter("productions", G.numProductions());
+  Stats.setCounter("grammar_size", G.grammarSize());
+}
+
+} // namespace
+
+BuildContext::BuildContext(Grammar &&Gr) : Owned(std::move(Gr)), G(&*Owned) {
+  recordGrammarCounters(Stats, *G);
+}
+
+BuildContext::BuildContext(const Grammar &Gr) : G(&Gr) {
+  recordGrammarCounters(Stats, *G);
+}
+
+const GrammarAnalysis &BuildContext::analysis() {
+  if (!An) {
+    StageTimer T(&Stats, "analysis");
+    An = std::make_unique<GrammarAnalysis>(*G);
+    ++AnalysisBuilds;
+  }
+  return *An;
+}
+
+const Lr0Automaton &BuildContext::lr0() {
+  if (!A) {
+    StageTimer T(&Stats, "lr0");
+    A = std::make_unique<Lr0Automaton>(Lr0Automaton::build(*G));
+    ++Lr0Builds;
+    T.stop();
+    Stats.setCounter("lr0_states", A->numStates());
+    Stats.setCounter("lr0_transitions", A->numTransitions());
+  }
+  return *A;
+}
+
+const LalrLookaheads &BuildContext::lookaheads(SolverKind Solver) {
+  std::unique_ptr<LalrLookaheads> &Slot =
+      Solver == SolverKind::Digraph ? DigraphLa : NaiveLa;
+  if (!Slot) {
+    const Lr0Automaton &Auto = lr0();
+    const GrammarAnalysis &Analysis = analysis();
+    Slot = std::make_unique<LalrLookaheads>(
+        LalrLookaheads::compute(Auto, Analysis, Solver, &Stats));
+    ++LookaheadBuilds;
+  }
+  return *Slot;
+}
+
+const Lr1Automaton &BuildContext::lr1() {
+  if (!L1) {
+    const GrammarAnalysis &Analysis = analysis();
+    StageTimer T(&Stats, "lr1");
+    L1 = std::make_unique<Lr1Automaton>(Lr1Automaton::build(*G, Analysis));
+    ++Lr1Builds;
+    T.stop();
+    Stats.setCounter("lr1_states", L1->numStates());
+  }
+  return *L1;
+}

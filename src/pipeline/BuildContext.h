@@ -1,0 +1,95 @@
+//===- pipeline/BuildContext.h - Memoized build artifacts -------*- C++ -*-===//
+///
+/// \file
+/// Owns the artifacts every table construction shares — the Grammar, its
+/// GrammarAnalysis, the LR(0) automaton, the DeRemer-Pennello look-ahead
+/// sets, and (for the LR(1)-family baselines) the canonical LR(1)
+/// automaton — and memoizes each so that a bench comparing four builders
+/// over one grammar computes the LR(0) automaton once instead of four
+/// times. All accessors hand out references whose lifetime is the
+/// context's; build counters expose how often each artifact was actually
+/// constructed, which the reuse regression tests assert on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_PIPELINE_BUILDCONTEXT_H
+#define LALR_PIPELINE_BUILDCONTEXT_H
+
+#include "baselines/Lr1Automaton.h"
+#include "grammar/Analysis.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+#include "pipeline/PipelineStats.h"
+
+#include <memory>
+#include <optional>
+
+namespace lalr {
+
+/// Shared, lazily-built, memoized artifacts for one grammar.
+/// Not copyable or movable: BuildResult and every accessor hand out
+/// pointers into this object.
+class BuildContext {
+public:
+  /// Takes ownership of \p G (the common case: build the grammar, hand it
+  /// to the context, use the context from then on).
+  explicit BuildContext(Grammar &&G);
+
+  /// Borrows \p G, which must outlive the context (for callers that keep
+  /// the grammar in a corpus registry).
+  explicit BuildContext(const Grammar &G);
+
+  BuildContext(const BuildContext &) = delete;
+  BuildContext &operator=(const BuildContext &) = delete;
+
+  const Grammar &grammar() const { return *G; }
+
+  /// \name Memoized artifacts
+  /// Each is built on first access (timed into stats()) and returned by
+  /// reference on every subsequent call.
+  /// @{
+  const GrammarAnalysis &analysis();
+  const Lr0Automaton &lr0();
+  /// DeRemer-Pennello look-ahead sets; one memo slot per solver kind, so
+  /// the Fig. 3 ablation can hold both without recomputation.
+  const LalrLookaheads &lookaheads(SolverKind Solver = SolverKind::Digraph);
+  /// Canonical LR(1) automaton (the merged-LALR / CLR(1) substrate).
+  const Lr1Automaton &lr1();
+  /// @}
+
+  /// \name Build counters
+  /// How many times each artifact was actually constructed. Memoization
+  /// working means these stay at 1 no matter how many builders ran.
+  /// @{
+  size_t analysisBuildCount() const { return AnalysisBuilds; }
+  size_t lr0BuildCount() const { return Lr0Builds; }
+  size_t lookaheadBuildCount() const { return LookaheadBuilds; }
+  size_t lr1BuildCount() const { return Lr1Builds; }
+  /// @}
+
+  /// Stage timings and size counters accumulated by this context and by
+  /// every BuildPipeline run over it.
+  PipelineStats &stats() { return Stats; }
+  const PipelineStats &stats() const { return Stats; }
+
+private:
+  std::optional<Grammar> Owned; ///< engaged iff the owning ctor was used
+  const Grammar *G;
+
+  std::unique_ptr<GrammarAnalysis> An;
+  std::unique_ptr<Lr0Automaton> A;
+  std::unique_ptr<LalrLookaheads> DigraphLa;
+  std::unique_ptr<LalrLookaheads> NaiveLa;
+  std::unique_ptr<Lr1Automaton> L1;
+
+  size_t AnalysisBuilds = 0;
+  size_t Lr0Builds = 0;
+  size_t LookaheadBuilds = 0;
+  size_t Lr1Builds = 0;
+
+  PipelineStats Stats;
+};
+
+} // namespace lalr
+
+#endif // LALR_PIPELINE_BUILDCONTEXT_H

@@ -1,0 +1,80 @@
+//===- pipeline/BuildOptions.h - Pipeline configuration ---------*- C++ -*-===//
+///
+/// \file
+/// One options struct selecting everything that varies across the repo's
+/// table builders: which look-ahead method (the precision ladder LR(0) ⊂
+/// SLR(1) ⊂ NQLALR ⊂ LALR(1) ⊂ LR(1), plus the alternative LALR
+/// computations and Pager's minimal LR(1)), which equation solver, the
+/// conflict policy, and whether to row-compress the result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_PIPELINE_BUILDOPTIONS_H
+#define LALR_PIPELINE_BUILDOPTIONS_H
+
+#include "lalr/LalrLookaheads.h"
+
+#include <cstdint>
+
+namespace lalr {
+
+/// Which table construction the pipeline runs. The first five form the
+/// precision ladder; YaccLalr / MergedLalr / DerivedFollowLalr compute the
+/// same table as Lalr1 by different algorithms (the paper's timing
+/// baselines); Pager is the minimal-LR(1) extension.
+enum class TableKind : uint8_t {
+  Lr0,              ///< reduce on every terminal
+  Slr1,             ///< FOLLOW-set look-aheads (DeRemer 1971)
+  Nqlalr,           ///< state-quotiented "not quite LALR"
+  Lalr1,            ///< DeRemer-Pennello relations + digraph (the paper)
+  Clr1,             ///< canonical LR(1) (Knuth)
+  YaccLalr,         ///< spontaneous + propagation (Algorithm 4.63)
+  MergedLalr,       ///< canonical LR(1) merged by core (the definition)
+  DerivedFollowLalr,///< Bermudez-Logothetis derived-grammar FOLLOW
+  Pager,            ///< weak-compatibility minimal LR(1)
+};
+
+/// Stable lower-case name, used in stats labels and JSON.
+inline const char *tableKindName(TableKind K) {
+  switch (K) {
+  case TableKind::Lr0:
+    return "lr0";
+  case TableKind::Slr1:
+    return "slr1";
+  case TableKind::Nqlalr:
+    return "nqlalr";
+  case TableKind::Lalr1:
+    return "lalr1";
+  case TableKind::Clr1:
+    return "clr1";
+  case TableKind::YaccLalr:
+    return "yacc-lalr";
+  case TableKind::MergedLalr:
+    return "merged-lalr";
+  case TableKind::DerivedFollowLalr:
+    return "derived-follow";
+  case TableKind::Pager:
+    return "pager";
+  }
+  return "unknown";
+}
+
+/// What to do about unresolved conflicts in the built table.
+enum class ConflictPolicy : uint8_t {
+  Allow,           ///< keep the table; conflicts are data (classification)
+  RequireAdequate, ///< flag the build as failed unless conflict-free
+};
+
+/// Everything a BuildPipeline run can vary.
+struct BuildOptions {
+  TableKind Kind = TableKind::Lalr1;
+  /// Equation solver for the Lalr1 kind (Fig. 3 ablation knob).
+  SolverKind Solver = SolverKind::Digraph;
+  ConflictPolicy Conflicts = ConflictPolicy::Allow;
+  /// Row-compress the dense table (default reductions + sparse rows).
+  bool Compress = false;
+};
+
+} // namespace lalr
+
+#endif // LALR_PIPELINE_BUILDOPTIONS_H

@@ -1,0 +1,168 @@
+//===- pipeline/BuildPipeline.cpp - Grammar -> table façade --------------===//
+
+#include "pipeline/BuildPipeline.h"
+
+#include "baselines/BermudezLogothetis.h"
+#include "baselines/Clr1Builder.h"
+#include "baselines/MergedLalrBuilder.h"
+#include "baselines/NqlalrBuilder.h"
+#include "baselines/PagerLr1.h"
+#include "baselines/SlrBuilder.h"
+#include "baselines/YaccLalrBuilder.h"
+#include "lalr/LalrTableBuilder.h"
+
+using namespace lalr;
+
+namespace {
+
+/// The LR(0) "table": every reduction applies on every terminal — except
+/// the accept reduction, which (by the end-marker convention) applies on
+/// $end only.
+ParseTable buildLr0Table(const Lr0Automaton &A) {
+  const Grammar &G = A.grammar();
+  BitSet All(G.numTerminals());
+  for (SymbolId T = 0; T < G.numTerminals(); ++T)
+    All.set(T);
+  BitSet EofOnly(G.numTerminals());
+  EofOnly.set(G.eofSymbol());
+  return fillParseTable(A, [&](StateId, ProductionId P) -> const BitSet & {
+    return P == 0 ? EofOnly : All;
+  });
+}
+
+} // namespace
+
+BuildResult BuildPipeline::run() {
+  const Grammar &G = Ctx.grammar();
+  PipelineStats &S = Ctx.stats();
+
+  ParseTable Table = [&]() -> ParseTable {
+    switch (Opts.Kind) {
+    case TableKind::Lr0: {
+      const Lr0Automaton &A = Ctx.lr0();
+      StageTimer T(&S, "table-fill");
+      return buildLr0Table(A);
+    }
+    case TableKind::Slr1: {
+      const GrammarAnalysis &An = Ctx.analysis();
+      const Lr0Automaton &A = Ctx.lr0();
+      StageTimer T(&S, "table-fill");
+      return buildSlrTable(A, An);
+    }
+    case TableKind::Nqlalr: {
+      NqlalrLookaheads LA =
+          NqlalrLookaheads::compute(Ctx.lr0(), Ctx.analysis(), &S);
+      StageTimer T(&S, "table-fill");
+      return fillParseTable(Ctx.lr0(),
+                            [&LA](StateId St, ProductionId P) -> const BitSet & {
+                              return LA.la(St, P);
+                            });
+    }
+    case TableKind::Lalr1: {
+      const LalrLookaheads &LA = Ctx.lookaheads(Opts.Solver);
+      StageTimer T(&S, "table-fill");
+      return fillParseTable(Ctx.lr0(),
+                            [&LA](StateId St, ProductionId P) -> const BitSet & {
+                              return LA.la(St, P);
+                            });
+    }
+    case TableKind::Clr1: {
+      const Lr1Automaton &L1 = Ctx.lr1();
+      StageTimer T(&S, "table-fill");
+      return buildClr1Table(L1);
+    }
+    case TableKind::YaccLalr: {
+      YaccLalrLookaheads LA =
+          YaccLalrLookaheads::compute(Ctx.lr0(), Ctx.analysis(), &S);
+      StageTimer T(&S, "table-fill");
+      return fillParseTable(Ctx.lr0(),
+                            [&LA](StateId St, ProductionId P) -> const BitSet & {
+                              return LA.la(St, P);
+                            });
+    }
+    case TableKind::MergedLalr: {
+      const Lr1Automaton &L1 = Ctx.lr1();
+      const Lr0Automaton &A = Ctx.lr0();
+      StageTimer MergeT(&S, "merge");
+      MergedLalrLookaheads LA = MergedLalrLookaheads::compute(A, L1);
+      MergeT.stop();
+      StageTimer T(&S, "table-fill");
+      return fillParseTable(A,
+                            [&LA](StateId St, ProductionId P) -> const BitSet & {
+                              return LA.la(St, P);
+                            });
+    }
+    case TableKind::DerivedFollowLalr: {
+      DerivedFollowLookaheads LA =
+          DerivedFollowLookaheads::compute(Ctx.lr0(), Ctx.analysis(), &S);
+      StageTimer T(&S, "table-fill");
+      return fillParseTable(Ctx.lr0(),
+                            [&LA](StateId St, ProductionId P) -> const BitSet & {
+                              return LA.la(St, P);
+                            });
+    }
+    case TableKind::Pager: {
+      PagerLr1Automaton P = PagerLr1Automaton::build(G, Ctx.analysis(), &S);
+      StageTimer T(&S, "table-fill");
+      return buildPagerTable(P);
+    }
+    }
+    __builtin_unreachable();
+  }();
+
+  BuildResult R(G, Opts.Kind, std::move(Table));
+
+  S.setCounter("table_states", R.Table.numStates());
+  S.setCounter("table_conflicts", R.Table.conflicts().size());
+  S.setCounter("unresolved_shift_reduce", R.Table.unresolvedShiftReduce());
+  S.setCounter("unresolved_reduce_reduce", R.Table.unresolvedReduceReduce());
+
+  if (Opts.Compress) {
+    StageTimer T(&S, "compress");
+    R.Compressed = CompressedTable::compress(R.Table, G);
+    T.stop();
+    S.setCounter("compressed_bytes", R.Compressed->footprintBytes());
+    S.setCounter("compressed_explicit_actions",
+                 R.Compressed->explicitActionEntries());
+    S.setCounter("default_reduction_rows",
+                 R.Compressed->defaultReductionRows());
+  }
+
+  R.PolicySatisfied = Opts.Conflicts == ConflictPolicy::Allow ||
+                      R.Table.isAdequate();
+
+  R.Stats = S;
+  R.Stats.Label = G.grammarName() + "/" + tableKindName(Opts.Kind);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Downstream conveniences
+//===----------------------------------------------------------------------===//
+
+ParseOutcome<int> lalr::recognize(const BuildResult &R,
+                                  std::span<const Token> Input,
+                                  const ParseOptions &Opts) {
+  if (R.Compressed)
+    return recognize(R.grammar(), *R.Compressed, Input, Opts);
+  return recognize(R.grammar(), R.Table, Input, Opts);
+}
+
+ParseOutcome<std::unique_ptr<ParseNode>>
+lalr::parseToTree(const BuildResult &R, std::span<const Token> Input,
+                  const ParseOptions &Opts) {
+  if (R.Compressed)
+    return parseToTree(R.grammar(), *R.Compressed, Input, Opts);
+  return parseToTree(R.grammar(), R.Table, Input, Opts);
+}
+
+std::string lalr::generateParserSource(const BuildResult &R,
+                                       CodeGenOptions Opts) {
+  if (Opts.ProvenanceJson.empty())
+    Opts.ProvenanceJson = R.Stats.toJson();
+  return generateParserSource(R.grammar(), R.Table, Opts);
+}
+
+std::vector<uint8_t> lalr::serializeTable(const BuildResult &R) {
+  return serializeTable(R.grammar(), R.Table);
+}

@@ -1,0 +1,99 @@
+//===- pipeline/BuildPipeline.h - Grammar -> table façade -------*- C++ -*-===//
+///
+/// \file
+/// The one entry point downstream consumers use to turn a grammar into a
+/// parse table. A pipeline runs over a BuildContext (which memoizes the
+/// shared artifacts) under a BuildOptions (which table construction,
+/// which solver, conflict policy, compression) and returns a BuildResult
+/// bundling the table, the optional compressed form, and a PipelineStats
+/// snapshot. Typical use:
+///
+///   BuildContext Ctx(std::move(G));
+///   BuildResult R = BuildPipeline(Ctx).run();          // LALR(1)
+///   BuildResult S = BuildPipeline(Ctx, {.Kind = TableKind::Clr1}).run();
+///   // Ctx computed GrammarAnalysis and the LR(0) automaton once.
+///
+/// The building blocks (GrammarAnalysis, Lr0Automaton::build,
+/// LalrLookaheads::compute, fillParseTable, the baselines) remain public
+/// as the low-level path — see docs/API.md — but benches and examples go
+/// through this façade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_PIPELINE_BUILDPIPELINE_H
+#define LALR_PIPELINE_BUILDPIPELINE_H
+
+#include "gen/CodeGen.h"
+#include "gen/TableSerializer.h"
+#include "lr/CompressedTable.h"
+#include "parser/ParserDriver.h"
+#include "pipeline/BuildContext.h"
+#include "pipeline/BuildOptions.h"
+
+#include <optional>
+
+namespace lalr {
+
+/// Everything one pipeline run produced. References the context's
+/// grammar, so the context must outlive the result.
+struct BuildResult {
+  BuildResult(const Grammar &G, TableKind Kind, ParseTable Table)
+      : G(&G), Kind(Kind), Table(std::move(Table)) {}
+
+  const Grammar *G;
+  TableKind Kind;
+  ParseTable Table;
+  /// Engaged when BuildOptions::Compress was set.
+  std::optional<CompressedTable> Compressed;
+  /// Snapshot of the context's stats at the end of the run, labelled
+  /// "<grammar>/<kind>".
+  PipelineStats Stats;
+  /// False iff ConflictPolicy::RequireAdequate was requested and the
+  /// table has unresolved conflicts.
+  bool PolicySatisfied = true;
+
+  const Grammar &grammar() const { return *G; }
+  bool ok() const { return PolicySatisfied; }
+};
+
+/// Façade running one configured table construction over a context.
+class BuildPipeline {
+public:
+  explicit BuildPipeline(BuildContext &Ctx, BuildOptions Opts = {})
+      : Ctx(Ctx), Opts(Opts) {}
+
+  /// Runs the configured construction. Artifacts already memoized in the
+  /// context are reused; new ones are built (and timed) on demand.
+  BuildResult run();
+
+private:
+  BuildContext &Ctx;
+  BuildOptions Opts;
+};
+
+/// \name Downstream conveniences over a BuildResult
+/// These dispatch to the compressed table when the build produced one.
+/// @{
+
+/// Recognize-only parse of \p Input with the result's table.
+ParseOutcome<int> recognize(const BuildResult &R, std::span<const Token> Input,
+                            const ParseOptions &Opts = {});
+
+/// Parse \p Input into a concrete parse tree with the result's table.
+ParseOutcome<std::unique_ptr<ParseNode>>
+parseToTree(const BuildResult &R, std::span<const Token> Input,
+            const ParseOptions &Opts = {});
+
+/// Emits the standalone parser for the result's (dense) table, stamping
+/// the result's PipelineStats JSON into the header comment as provenance
+/// unless \p Opts already set one.
+std::string generateParserSource(const BuildResult &R,
+                                 CodeGenOptions Opts = {});
+
+/// Serializes the result's (dense) table.
+std::vector<uint8_t> serializeTable(const BuildResult &R);
+/// @}
+
+} // namespace lalr
+
+#endif // LALR_PIPELINE_BUILDPIPELINE_H

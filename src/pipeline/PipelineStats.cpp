@@ -1,0 +1,392 @@
+//===- pipeline/PipelineStats.cpp - Per-stage build metrics --------------===//
+
+#include "pipeline/PipelineStats.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lalr;
+
+//===----------------------------------------------------------------------===//
+// Accumulation
+//===----------------------------------------------------------------------===//
+
+void PipelineStats::addStage(std::string_view Name, double WallUs) {
+  for (StageRecord &S : Stages)
+    if (S.Name == Name) {
+      S.WallUs += WallUs;
+      return;
+    }
+  Stages.push_back({std::string(Name), WallUs});
+}
+
+void PipelineStats::addCounter(std::string_view Name, uint64_t Delta) {
+  for (CounterRecord &C : Counters)
+    if (C.Name == Name) {
+      C.Value += Delta;
+      return;
+    }
+  Counters.push_back({std::string(Name), Delta});
+}
+
+void PipelineStats::setCounter(std::string_view Name, uint64_t Value) {
+  for (CounterRecord &C : Counters)
+    if (C.Name == Name) {
+      C.Value = Value;
+      return;
+    }
+  Counters.push_back({std::string(Name), Value});
+}
+
+bool PipelineStats::hasStage(std::string_view Name) const {
+  for (const StageRecord &S : Stages)
+    if (S.Name == Name)
+      return true;
+  return false;
+}
+
+double PipelineStats::stageUs(std::string_view Name) const {
+  for (const StageRecord &S : Stages)
+    if (S.Name == Name)
+      return S.WallUs;
+  return 0;
+}
+
+uint64_t PipelineStats::counter(std::string_view Name) const {
+  for (const CounterRecord &C : Counters)
+    if (C.Name == Name)
+      return C.Value;
+  return 0;
+}
+
+double PipelineStats::totalUs() const {
+  double Total = 0;
+  for (const StageRecord &S : Stages)
+    Total += S.WallUs;
+  return Total;
+}
+
+void PipelineStats::mergeFrom(const PipelineStats &O) {
+  for (const StageRecord &S : O.Stages)
+    addStage(S.Name, S.WallUs);
+  for (const CounterRecord &C : O.Counters)
+    addCounter(C.Name, C.Value);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON emission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendEscaped(std::string &Out, std::string_view S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+// Fixed precision so that emit -> parse -> emit is byte-identical.
+void appendUs(std::string &Out, double Us) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Us);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string PipelineStats::toJson(bool Pretty) const {
+  const char *Nl = Pretty ? "\n" : "";
+  const char *Ind = Pretty ? "  " : "";
+  const char *Ind2 = Pretty ? "    " : "";
+  const char *Sp = Pretty ? " " : "";
+
+  std::string Out;
+  Out += '{';
+  Out += Nl;
+  Out += Ind;
+  Out += "\"label\":";
+  Out += Sp;
+  appendEscaped(Out, Label);
+  Out += ',';
+  Out += Nl;
+  Out += Ind;
+  Out += "\"total_us\":";
+  Out += Sp;
+  appendUs(Out, totalUs());
+  Out += ',';
+  Out += Nl;
+  Out += Ind;
+  Out += "\"stages\":";
+  Out += Sp;
+  Out += '[';
+  for (size_t I = 0; I < Stages.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += Nl;
+    Out += Ind2;
+    Out += "{\"name\":";
+    Out += Sp;
+    appendEscaped(Out, Stages[I].Name);
+    Out += ",";
+    Out += Sp;
+    Out += "\"wall_us\":";
+    Out += Sp;
+    appendUs(Out, Stages[I].WallUs);
+    Out += '}';
+  }
+  if (!Stages.empty()) {
+    Out += Nl;
+    Out += Ind;
+  }
+  Out += "],";
+  Out += Nl;
+  Out += Ind;
+  Out += "\"counters\":";
+  Out += Sp;
+  Out += '[';
+  for (size_t I = 0; I < Counters.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += Nl;
+    Out += Ind2;
+    Out += "{\"name\":";
+    Out += Sp;
+    appendEscaped(Out, Counters[I].Name);
+    Out += ",";
+    Out += Sp;
+    Out += "\"value\":";
+    Out += Sp;
+    Out += std::to_string(Counters[I].Value);
+    Out += '}';
+  }
+  if (!Counters.empty()) {
+    Out += Nl;
+    Out += Ind;
+  }
+  Out += ']';
+  Out += Nl;
+  Out += '}';
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parsing (just enough for toJson round-trips)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Cursor over the JSON text. Every parse* method returns false on
+/// malformed input and the caller unwinds to fromJson's nullopt.
+class JsonCursor {
+public:
+  explicit JsonCursor(std::string_view S) : S(S) {}
+
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos >= S.size() || S[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool peek(char C) {
+    skipWs();
+    return Pos < S.size() && S[Pos] == C;
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos >= S.size();
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        return false;
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return false;
+        unsigned V = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = S[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return false;
+        }
+        if (V > 0x7f) // only escapes toJson itself emits
+          return false;
+        Out += static_cast<char>(V);
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return consume('"');
+  }
+
+  bool parseNumber(double &Out) {
+    skipWs();
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E' || S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out = std::strtod(std::string(S.substr(Start, Pos - Start)).c_str(),
+                      nullptr);
+    return true;
+  }
+
+private:
+  std::string_view S;
+  size_t Pos = 0;
+};
+
+/// Parses one {"name":..., "<ValueKey>":...} element.
+bool parseRecord(JsonCursor &C, const char *ValueKey, std::string &Name,
+                 double &Value) {
+  if (!C.consume('{'))
+    return false;
+  bool SawName = false, SawValue = false;
+  while (!C.peek('}')) {
+    if ((SawName || SawValue) && !C.consume(','))
+      return false;
+    std::string Key;
+    if (!C.parseString(Key) || !C.consume(':'))
+      return false;
+    if (Key == "name") {
+      if (!C.parseString(Name))
+        return false;
+      SawName = true;
+    } else if (Key == ValueKey) {
+      if (!C.parseNumber(Value))
+        return false;
+      SawValue = true;
+    } else {
+      return false;
+    }
+  }
+  return C.consume('}') && SawName && SawValue;
+}
+
+bool parseRecordArray(JsonCursor &C, const char *ValueKey, bool IsCounter,
+                      PipelineStats &Out) {
+  if (!C.consume('['))
+    return false;
+  bool First = true;
+  while (!C.peek(']')) {
+    if (!First && !C.consume(','))
+      return false;
+    First = false;
+    std::string Name;
+    double Value = 0;
+    if (!parseRecord(C, ValueKey, Name, Value))
+      return false;
+    if (IsCounter)
+      Out.addCounter(Name, static_cast<uint64_t>(Value));
+    else
+      Out.addStage(Name, Value);
+  }
+  return C.consume(']');
+}
+
+} // namespace
+
+std::optional<PipelineStats> PipelineStats::fromJson(std::string_view Json) {
+  JsonCursor C(Json);
+  PipelineStats Out;
+  if (!C.consume('{'))
+    return std::nullopt;
+  bool First = true;
+  while (!C.peek('}')) {
+    if (!First && !C.consume(','))
+      return std::nullopt;
+    First = false;
+    std::string Key;
+    if (!C.parseString(Key) || !C.consume(':'))
+      return std::nullopt;
+    if (Key == "label") {
+      if (!C.parseString(Out.Label))
+        return std::nullopt;
+    } else if (Key == "total_us") {
+      double Ignored; // derived from stages; re-derived after parsing
+      if (!C.parseNumber(Ignored))
+        return std::nullopt;
+    } else if (Key == "stages") {
+      if (!parseRecordArray(C, "wall_us", /*IsCounter=*/false, Out))
+        return std::nullopt;
+    } else if (Key == "counters") {
+      if (!parseRecordArray(C, "value", /*IsCounter=*/true, Out))
+        return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!C.consume('}') || !C.atEnd())
+    return std::nullopt;
+  return Out;
+}

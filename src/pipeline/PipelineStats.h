@@ -1,0 +1,125 @@
+//===- pipeline/PipelineStats.h - Per-stage build metrics -------*- C++ -*-===//
+///
+/// \file
+/// Observability for the grammar -> table pipeline: named wall-clock stage
+/// records plus integer counters (relation edge counts, digraph SCC
+/// counts, peak set sizes, table sizes), kept in first-seen order and
+/// exportable as JSON. The paper's headline result is a running-time
+/// comparison, so per-stage timing is the experiment itself — every bench
+/// serializes one of these per grammar, giving the perf trajectory a
+/// uniform machine-readable format.
+///
+/// This header is dependency-free (support/Timer.h only), so any layer —
+/// lalr, baselines, gen, report — can record into a PipelineStats without
+/// creating an include cycle with the pipeline façade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_PIPELINE_PIPELINESTATS_H
+#define LALR_PIPELINE_PIPELINESTATS_H
+
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lalr {
+
+/// One named pipeline stage with its accumulated wall-clock time.
+struct StageRecord {
+  std::string Name;
+  double WallUs = 0;
+};
+
+/// One named integer counter (edge counts, state counts, ...).
+struct CounterRecord {
+  std::string Name;
+  uint64_t Value = 0;
+};
+
+/// Accumulator for one pipeline's stage timings and size counters.
+/// Stages and counters are keyed by name: repeated additions accumulate
+/// into the existing record, and records keep first-seen order so the
+/// listing reads in pipeline order.
+class PipelineStats {
+public:
+  /// Free-form label, e.g. "ansic" or "ansic/lalr1".
+  std::string Label;
+
+  /// Accumulates \p WallUs into stage \p Name (appending it on first use).
+  void addStage(std::string_view Name, double WallUs);
+
+  /// Accumulates \p Delta into counter \p Name.
+  void addCounter(std::string_view Name, uint64_t Delta);
+
+  /// Overwrites counter \p Name (appending it on first use).
+  void setCounter(std::string_view Name, uint64_t Value);
+
+  const std::vector<StageRecord> &stages() const { return Stages; }
+  const std::vector<CounterRecord> &counters() const { return Counters; }
+
+  bool hasStage(std::string_view Name) const;
+  /// Accumulated wall-clock of one stage; 0 when absent.
+  double stageUs(std::string_view Name) const;
+  /// Value of one counter; 0 when absent.
+  uint64_t counter(std::string_view Name) const;
+
+  /// Sum of all stage wall-clock times. Monotonically non-decreasing as
+  /// stages are added.
+  double totalUs() const;
+
+  bool empty() const { return Stages.empty() && Counters.empty(); }
+
+  /// Sums \p O into this (stages and counters merge by name, new names
+  /// append in \p O's order). The label is kept. Used to aggregate stats
+  /// over many runs, e.g. the random-grammar census.
+  void mergeFrom(const PipelineStats &O);
+
+  /// Serializes to JSON:
+  ///   {"label":"...","total_us":..,"stages":[{"name":..,"wall_us":..}],
+  ///    "counters":[{"name":..,"value":..}]}
+  /// \p Pretty adds newlines/indentation for files meant for humans.
+  std::string toJson(bool Pretty = false) const;
+
+  /// Parses JSON produced by toJson (either form). Returns std::nullopt
+  /// on malformed input. toJson/fromJson round-trip exactly (wall-clock
+  /// values are emitted with fixed precision).
+  static std::optional<PipelineStats> fromJson(std::string_view Json);
+
+private:
+  std::vector<StageRecord> Stages;
+  std::vector<CounterRecord> Counters;
+};
+
+/// Scope guard recording elapsed wall-clock into one stage. A null stats
+/// sink makes it a no-op, so instrumented code paths cost nothing when
+/// nobody is listening.
+class StageTimer {
+public:
+  StageTimer(PipelineStats *Stats, std::string_view Name)
+      : Stats(Stats), Name(Name) {}
+  StageTimer(const StageTimer &) = delete;
+  StageTimer &operator=(const StageTimer &) = delete;
+  ~StageTimer() { stop(); }
+
+  /// Records the elapsed time now instead of at scope exit. Idempotent.
+  void stop() {
+    if (!Stats || Stopped)
+      return;
+    Stopped = true;
+    Stats->addStage(Name, T.elapsedUs());
+  }
+
+private:
+  PipelineStats *Stats;
+  std::string Name;
+  Timer T;
+  bool Stopped = false;
+};
+
+} // namespace lalr
+
+#endif // LALR_PIPELINE_PIPELINESTATS_H

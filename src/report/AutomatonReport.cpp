@@ -2,6 +2,8 @@
 
 #include "report/AutomatonReport.h"
 
+#include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 using namespace lalr;
@@ -96,5 +98,32 @@ std::string lalr::reportConflicts(const Grammar &G, const ParseTable &Table) {
   OS << Table.unresolvedShiftReduce() << " shift/reduce and "
      << Table.unresolvedReduceReduce()
      << " reduce/reduce conflicts unresolved\n";
+  return OS.str();
+}
+
+std::string lalr::reportPipelineStats(const PipelineStats &Stats) {
+  std::ostringstream OS;
+  OS << "pipeline stats";
+  if (!Stats.Label.empty())
+    OS << " for " << Stats.Label;
+  OS << ":\n";
+  size_t Width = 0;
+  for (const StageRecord &S : Stats.stages())
+    Width = std::max(Width, S.Name.size());
+  for (const CounterRecord &C : Stats.counters())
+    Width = std::max(Width, C.Name.size());
+  OS << "  stages:\n";
+  OS << std::fixed << std::setprecision(1);
+  for (const StageRecord &S : Stats.stages())
+    OS << "    " << std::left << std::setw(static_cast<int>(Width)) << S.Name
+       << "  " << S.WallUs << " us\n";
+  OS << "    " << std::left << std::setw(static_cast<int>(Width)) << "total"
+     << "  " << Stats.totalUs() << " us\n";
+  if (!Stats.counters().empty()) {
+    OS << "  counters:\n";
+    for (const CounterRecord &C : Stats.counters())
+      OS << "    " << std::left << std::setw(static_cast<int>(Width))
+         << C.Name << "  " << C.Value << "\n";
+  }
   return OS.str();
 }

@@ -13,6 +13,7 @@
 #include "lalr/LalrLookaheads.h"
 #include "lr/Lr0Automaton.h"
 #include "lr/ParseTable.h"
+#include "pipeline/PipelineStats.h"
 
 #include <string>
 
@@ -31,6 +32,10 @@ std::string reportConflicts(const Grammar &G, const ParseTable &Table);
 
 /// Renders a compact terminal-set "{ a b c }".
 std::string renderTerminalSet(const Grammar &G, const BitSet &Set);
+
+/// Renders pipeline stage timings and counters as an aligned two-column
+/// listing (the human-readable companion of PipelineStats::toJson).
+std::string reportPipelineStats(const PipelineStats &Stats);
 
 } // namespace lalr
 

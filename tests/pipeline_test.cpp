@@ -1,0 +1,322 @@
+//===- tests/pipeline_test.cpp - BuildPipeline layer unit tests --------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "pipeline/BuildPipeline.h"
+#include "report/AutomatonReport.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+const char ExprGrammar[] = R"(
+%token NUM
+%%
+e : e '+' t | t ;
+t : t '*' f | f ;
+f : '(' e ')' | NUM ;
+)";
+
+const char AmbigGrammar[] = R"(
+%token NUM
+%%
+e : e '+' e | NUM ;
+)";
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// PipelineStats
+// ---------------------------------------------------------------------------
+
+TEST(PipelineStatsTest, StagesKeepFirstSeenOrderAndAccumulate) {
+  PipelineStats S;
+  S.addStage("lr0", 10.0);
+  S.addStage("relations", 5.0);
+  S.addStage("lr0", 2.5);
+  ASSERT_EQ(S.stages().size(), 2u);
+  EXPECT_EQ(S.stages()[0].Name, "lr0");
+  EXPECT_EQ(S.stages()[1].Name, "relations");
+  EXPECT_DOUBLE_EQ(S.stageUs("lr0"), 12.5);
+  EXPECT_DOUBLE_EQ(S.stageUs("relations"), 5.0);
+  EXPECT_TRUE(S.hasStage("lr0"));
+  EXPECT_FALSE(S.hasStage("absent"));
+  EXPECT_DOUBLE_EQ(S.stageUs("absent"), 0.0);
+}
+
+TEST(PipelineStatsTest, TotalIsMonotonicUnderAddStage) {
+  PipelineStats S;
+  double Prev = S.totalUs();
+  for (double Us : {3.0, 0.0, 7.25, 1.0}) {
+    S.addStage("stage", Us);
+    EXPECT_GE(S.totalUs(), Prev);
+    Prev = S.totalUs();
+  }
+  EXPECT_DOUBLE_EQ(S.totalUs(), 11.25);
+}
+
+TEST(PipelineStatsTest, CountersAddAndSet) {
+  PipelineStats S;
+  S.addCounter("edges", 4);
+  S.addCounter("edges", 6);
+  EXPECT_EQ(S.counter("edges"), 10u);
+  S.setCounter("edges", 3);
+  EXPECT_EQ(S.counter("edges"), 3u);
+  EXPECT_EQ(S.counter("absent"), 0u);
+}
+
+TEST(PipelineStatsTest, MergeFromSumsByName) {
+  PipelineStats A, B;
+  A.Label = "a";
+  A.addStage("s1", 1.0);
+  A.addCounter("c1", 2);
+  B.addStage("s1", 4.0);
+  B.addStage("s2", 8.0);
+  B.addCounter("c2", 16);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.Label, "a");
+  EXPECT_DOUBLE_EQ(A.stageUs("s1"), 5.0);
+  EXPECT_DOUBLE_EQ(A.stageUs("s2"), 8.0);
+  EXPECT_EQ(A.counter("c1"), 2u);
+  EXPECT_EQ(A.counter("c2"), 16u);
+}
+
+TEST(PipelineStatsTest, JsonRoundTripCompactAndPretty) {
+  PipelineStats S;
+  S.Label = "grammar \"x\"\n(test)";
+  S.addStage("lr0", 123.456);
+  S.addStage("solve-follow", 0.001);
+  S.setCounter("lr0_states", 397);
+  S.setCounter("reads_edges", 0);
+
+  for (bool Pretty : {false, true}) {
+    std::optional<PipelineStats> R = PipelineStats::fromJson(S.toJson(Pretty));
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->Label, S.Label);
+    ASSERT_EQ(R->stages().size(), 2u);
+    EXPECT_EQ(R->stages()[0].Name, "lr0");
+    EXPECT_EQ(R->stages()[1].Name, "solve-follow");
+    EXPECT_EQ(R->counter("lr0_states"), 397u);
+    EXPECT_EQ(R->counter("reads_edges"), 0u);
+    // Wall-clock values are emitted with fixed precision, so a second
+    // serialization is byte-identical.
+    EXPECT_EQ(R->toJson(Pretty), S.toJson(Pretty));
+  }
+}
+
+TEST(PipelineStatsTest, EmptyStatsRoundTrip) {
+  PipelineStats S;
+  std::optional<PipelineStats> R = PipelineStats::fromJson(S.toJson());
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->empty());
+  EXPECT_EQ(R->Label, "");
+}
+
+TEST(PipelineStatsTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(PipelineStats::fromJson(""));
+  EXPECT_FALSE(PipelineStats::fromJson("not json"));
+  EXPECT_FALSE(PipelineStats::fromJson("{"));
+  EXPECT_FALSE(PipelineStats::fromJson("[]"));
+  EXPECT_FALSE(PipelineStats::fromJson(R"({"label": 7})"));
+  EXPECT_FALSE(PipelineStats::fromJson(R"({"unknown_key": 1})"));
+  EXPECT_FALSE(
+      PipelineStats::fromJson(R"({"label": "x", "stages": [{"name": "s"}]})"));
+  // Trailing content after the object is an error.
+  EXPECT_FALSE(PipelineStats::fromJson(R"({"label": "x"} trailing)"));
+}
+
+// ---------------------------------------------------------------------------
+// StageTimer
+// ---------------------------------------------------------------------------
+
+TEST(StageTimerTest, RecordsOnScopeExit) {
+  PipelineStats S;
+  {
+    StageTimer T(&S, "work");
+    (void)T;
+  }
+  EXPECT_TRUE(S.hasStage("work"));
+  EXPECT_GE(S.stageUs("work"), 0.0);
+}
+
+TEST(StageTimerTest, StopIsIdempotent) {
+  PipelineStats S;
+  {
+    StageTimer T(&S, "work");
+    T.stop();
+    T.stop(); // second stop must not add another record
+  }           // destructor must not re-record either
+  ASSERT_EQ(S.stages().size(), 1u);
+  double First = S.stageUs("work");
+  EXPECT_DOUBLE_EQ(S.stageUs("work"), First);
+}
+
+TEST(StageTimerTest, NullStatsIsNoOp) {
+  StageTimer T(nullptr, "ignored");
+  T.stop(); // must not crash
+}
+
+// ---------------------------------------------------------------------------
+// BuildContext memoization
+// ---------------------------------------------------------------------------
+
+TEST(BuildContextTest, ArtifactsAreMemoizedAcrossBuilderRuns) {
+  BuildContext Ctx(mustParse(ExprGrammar));
+
+  // Two different builders over the same context...
+  BuildResult Lalr = BuildPipeline(Ctx).run();
+  BuildResult Slr = BuildPipeline(Ctx, {.Kind = TableKind::Slr1}).run();
+  EXPECT_EQ(Lalr.Kind, TableKind::Lalr1);
+  EXPECT_EQ(Slr.Kind, TableKind::Slr1);
+
+  // ...share one LR(0) automaton and one analysis.
+  EXPECT_EQ(Ctx.lr0BuildCount(), 1u);
+  EXPECT_EQ(Ctx.analysisBuildCount(), 1u);
+
+  // Instance identity: repeated accessor calls return the same object.
+  const Lr0Automaton *A1 = &Ctx.lr0();
+  const Lr0Automaton *A2 = &Ctx.lr0();
+  EXPECT_EQ(A1, A2);
+  EXPECT_EQ(&Ctx.analysis(), &Ctx.analysis());
+  EXPECT_EQ(&Ctx.lookaheads(), &Ctx.lookaheads());
+  EXPECT_EQ(Ctx.lr0BuildCount(), 1u); // accessors did not rebuild
+}
+
+TEST(BuildContextTest, SolverKindsGetSeparateMemoSlots) {
+  BuildContext Ctx(mustParse(ExprGrammar));
+  const LalrLookaheads &Dg = Ctx.lookaheads(SolverKind::Digraph);
+  const LalrLookaheads &Nv = Ctx.lookaheads(SolverKind::NaiveFixpoint);
+  EXPECT_NE(&Dg, &Nv);
+  EXPECT_EQ(Ctx.lookaheadBuildCount(), 2u);
+  EXPECT_EQ(&Ctx.lookaheads(SolverKind::Digraph), &Dg);
+  EXPECT_EQ(&Ctx.lookaheads(SolverKind::NaiveFixpoint), &Nv);
+  EXPECT_EQ(Ctx.lookaheadBuildCount(), 2u);
+}
+
+TEST(BuildContextTest, BorrowingContextSharesCallerGrammar) {
+  Grammar G = mustParse(ExprGrammar);
+  BuildContext Ctx(G);
+  EXPECT_EQ(&Ctx.grammar(), &G);
+  BuildResult R = BuildPipeline(Ctx).run();
+  EXPECT_TRUE(R.Table.isAdequate());
+}
+
+TEST(BuildContextTest, StatsRecordStagesAndCounters) {
+  BuildContext Ctx(mustParse(ExprGrammar));
+  BuildPipeline(Ctx).run();
+  const PipelineStats &S = Ctx.stats();
+  for (const char *Stage :
+       {"lr0", "analysis", "nt-index", "relations", "solve-read",
+        "solve-follow", "la-union", "table-fill"})
+    EXPECT_TRUE(S.hasStage(Stage)) << Stage;
+  EXPECT_EQ(S.counter("lr0_states"), Ctx.lr0().numStates());
+  EXPECT_EQ(S.counter("table_states"), Ctx.lr0().numStates());
+  EXPECT_GT(S.counter("productions"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BuildPipeline
+// ---------------------------------------------------------------------------
+
+TEST(BuildPipelineTest, AllKindsProduceTables) {
+  for (TableKind K :
+       {TableKind::Lr0, TableKind::Slr1, TableKind::Nqlalr,
+        TableKind::Lalr1, TableKind::Clr1, TableKind::YaccLalr,
+        TableKind::MergedLalr, TableKind::DerivedFollowLalr,
+        TableKind::Pager}) {
+    BuildContext Ctx(mustParse(ExprGrammar));
+    BuildResult R = BuildPipeline(Ctx, {.Kind = K}).run();
+    EXPECT_GT(R.Table.numStates(), 0u) << tableKindName(K);
+    EXPECT_TRUE(R.PolicySatisfied) << tableKindName(K);
+    // The result label records grammar and method.
+    EXPECT_NE(R.Stats.Label.find(tableKindName(K)), std::string::npos);
+  }
+}
+
+TEST(BuildPipelineTest, EquivalentMethodsAgreeViaOneContext) {
+  BuildContext Ctx(mustParse(ExprGrammar));
+  BuildResult Dp = BuildPipeline(Ctx).run();
+  BuildResult Yacc = BuildPipeline(Ctx, {.Kind = TableKind::YaccLalr}).run();
+  const Grammar &G = Ctx.grammar();
+  for (uint32_t S = 0; S < Dp.Table.numStates(); ++S)
+    for (SymbolId T = 0; T < G.numTerminals(); ++T) {
+      Action A = Dp.Table.action(S, T);
+      Action B = Yacc.Table.action(S, T);
+      ASSERT_EQ(A.Kind, B.Kind);
+      ASSERT_EQ(A.Value, B.Value);
+    }
+}
+
+TEST(BuildPipelineTest, RequireAdequatePolicy) {
+  BuildContext Good(mustParse(ExprGrammar));
+  EXPECT_TRUE(
+      BuildPipeline(Good, {.Conflicts = ConflictPolicy::RequireAdequate})
+          .run()
+          .ok());
+
+  BuildContext Bad(mustParse(AmbigGrammar));
+  BuildResult R =
+      BuildPipeline(Bad, {.Conflicts = ConflictPolicy::RequireAdequate})
+          .run();
+  EXPECT_FALSE(R.ok());
+  EXPECT_FALSE(R.PolicySatisfied);
+  // The table is still produced for inspection.
+  EXPECT_FALSE(R.Table.conflicts().empty());
+}
+
+TEST(BuildPipelineTest, CompressedTableParsesLikeDense) {
+  BuildContext Ctx(loadCorpusGrammar("json"));
+  BuildResult Dense = BuildPipeline(Ctx).run();
+  BuildResult Packed =
+      BuildPipeline(Ctx, {.Kind = TableKind::Lalr1, .Compress = true}).run();
+  ASSERT_TRUE(Packed.Compressed.has_value());
+  EXPECT_GT(Packed.Stats.counter("compressed_bytes"), 0u);
+
+  const Grammar &G = Ctx.grammar();
+  std::string Error;
+  auto Tokens = tokenizeSymbols(
+      G, "'{' STRING ':' '[' NUMBER ',' TRUE ']' '}'", &Error);
+  ASSERT_TRUE(Tokens) << Error;
+  auto A = recognize(Dense, *Tokens, ParseOptions::strict());
+  auto B = recognize(Packed, *Tokens, ParseOptions::strict());
+  EXPECT_TRUE(A.clean());
+  EXPECT_TRUE(B.clean());
+  EXPECT_EQ(A.Reductions, B.Reductions);
+}
+
+TEST(BuildPipelineTest, GeneratedSourceCarriesProvenance) {
+  BuildContext Ctx(mustParse(ExprGrammar));
+  BuildResult R = BuildPipeline(Ctx).run();
+  std::string Src = generateParserSource(R);
+  EXPECT_NE(Src.find("Provenance:"), std::string::npos);
+  // The provenance line embeds the stats JSON, which must parse back.
+  size_t Pos = Src.find("// Provenance: ");
+  ASSERT_NE(Pos, std::string::npos);
+  size_t Start = Pos + std::string("// Provenance: ").size();
+  size_t End = Src.find('\n', Start);
+  ASSERT_NE(End, std::string::npos);
+  std::optional<PipelineStats> S =
+      PipelineStats::fromJson(Src.substr(Start, End - Start));
+  ASSERT_TRUE(S);
+  EXPECT_TRUE(S->hasStage("table-fill"));
+}
+
+TEST(ReportTest, PipelineStatsListing) {
+  BuildContext Ctx(mustParse(ExprGrammar));
+  BuildPipeline(Ctx).run();
+  std::string Listing = reportPipelineStats(Ctx.stats());
+  EXPECT_NE(Listing.find("lr0"), std::string::npos);
+  EXPECT_NE(Listing.find("table-fill"), std::string::npos);
+  EXPECT_NE(Listing.find("total"), std::string::npos);
+}
