@@ -14,10 +14,12 @@
 #include "corpus/CorpusGrammars.h"
 #include "pipeline/BuildPipeline.h"
 #include "support/BitSet.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 using namespace lalr;
@@ -114,6 +116,27 @@ static void BM_ClosureRecompute(benchmark::State &State) {
   State.SetLabel(kGrammarArg[State.range(0)]);
 }
 BENCHMARK(BM_ClosureRecompute)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_DpLookaheadsThreads(benchmark::State &State) {
+  // The --threads sweep: same DP pipeline as BM_DpLookaheads, sharded on
+  // a pool of range(1) workers (0 = the serial control). Pool built once
+  // outside the loop — reuse across builds is the BuildContext pattern.
+  BuildContext Ctx(loadCorpusGrammar("ansic"));
+  const GrammarAnalysis &An = Ctx.analysis();
+  const Lr0Automaton &A = Ctx.lr0();
+  const unsigned Workers = static_cast<unsigned>(State.range(0));
+  std::optional<ThreadPool> Pool;
+  if (Workers > 0)
+    Pool.emplace(Workers);
+  for (auto _ : State) {
+    LalrLookaheads LA = LalrLookaheads::compute(
+        A, An, SolverKind::Digraph, nullptr, Pool ? &*Pool : nullptr);
+    benchmark::DoNotOptimize(LA.laSets().size());
+  }
+  State.SetLabel(Workers == 0 ? "serial"
+                              : "threads:" + std::to_string(Workers));
+}
+BENCHMARK(BM_DpLookaheadsThreads)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 static void BM_YaccLookaheads(benchmark::State &State) {
   BuildContext Ctx(loadCorpusGrammar(kGrammarArg[State.range(0)]));

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# ThreadSanitizer pass over the parallel DP core: Debug build (assertions
+# ON) with TSan, running the parallel test suite — the ThreadPool unit
+# tests plus the serial/parallel bit-identity checks — and then the whole
+# look-ahead test binary with LALR_THREADS forced, so every sharded stage
+# (relations build, wavefront digraph solves, la-union) runs under the
+# race detector both directly and through the env-driven default path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+cmake --build build-tsan --target parallel_test lalr_test pipeline_test
+
+./build-tsan/tests/parallel_test
+LALR_THREADS=4 ./build-tsan/tests/lalr_test
+LALR_THREADS=4 ./build-tsan/tests/pipeline_test

@@ -11,6 +11,13 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+# Second pass with the parallel DP core forced on: LALR_THREADS seeds
+# every BuildContext's worker count, so the whole suite exercises the
+# sharded relations/solver/la-union paths. Results are bit-identical to
+# serial (tests/parallel_test.cpp), so the same expectations must hold.
+LALR_THREADS=2 ctest --test-dir build --output-on-failure 2>&1 \
+  | tee test_output_threads.txt
+
 # Each bench also writes its per-stage PipelineStats as JSON under
 # build/bench-stats/ — the machine-readable record behind the tables.
 mkdir -p build/bench-stats

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two bench-stats directories (as written by scripts/check.sh
+into build/bench-stats/: one JSON array of PipelineStats objects per bench
+binary) and flag regressions.
+
+Two kinds of drift are checked, per (file, label) entry present in both
+directories:
+
+  * Structural counters — relation/table sizes (edge counts, nt-transition
+    and reduction-slot counts, state counts, ...) — must match exactly:
+    the DP pipeline is deterministic and the parallel path is bit-identical
+    to serial, so any size drift is a correctness change, not noise.
+
+  * Per-stage wall-clock may regress by at most --threshold (a ratio;
+    default 1.5x) relative to the baseline, and only stages slower than
+    --min-us (default 100) are compared at all — micro-stage timings on CI
+    machines are noise.
+
+Exit status: 0 when clean, 1 on any regression or structural drift,
+2 on usage/IO errors. Typical use:
+
+  scripts/compare_stats.py baseline-stats/ build/bench-stats/
+  scripts/compare_stats.py --self build/bench-stats/   # structure self-check
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Counters whose values describe timing-independent structure; everything
+# else (union-op counts, speedup ratios, thread counts, peak bits) may
+# legitimately differ across configurations and machines.
+STRUCTURAL_COUNTERS = {
+    "terminals", "nonterminals", "productions", "grammar_size",
+    "lr0_states", "lr0_transitions", "lr1_states",
+    "nt_transitions", "reduction_slots",
+    "reads_edges", "includes_edges", "lookback_edges",
+    "table_states", "table_conflicts",
+    "unresolved_shift_reduce", "unresolved_reduce_reduce",
+    "compressed_explicit_actions", "default_reduction_rows",
+}
+
+
+def load_dir(path):
+    """{filename: {label: entry}} for every .json array in the directory."""
+    out = {}
+    for f in sorted(path.glob("*.json")):
+        try:
+            entries = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot parse {f}: {e}", file=sys.stderr)
+            sys.exit(2)
+        by_label = {}
+        for entry in entries:
+            # Benches may emit several entries per label (e.g. one per
+            # worker count with the same grammar label); keep the first
+            # and compare like-for-like only.
+            by_label.setdefault(entry.get("label", ""), entry)
+        out[f.name] = by_label
+    if not out:
+        print(f"error: no .json files in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def counters(entry):
+    return {c["name"]: c["value"] for c in entry.get("counters", [])}
+
+
+def stages(entry):
+    return {s["name"]: s["wall_us"] for s in entry.get("stages", [])}
+
+
+def compare(base, cand, threshold, min_us):
+    problems = []
+    for fname, base_labels in base.items():
+        cand_labels = cand.get(fname)
+        if cand_labels is None:
+            problems.append(f"{fname}: missing from candidate directory")
+            continue
+        for label, base_entry in base_labels.items():
+            cand_entry = cand_labels.get(label)
+            if cand_entry is None:
+                problems.append(f"{fname} [{label}]: entry missing")
+                continue
+            bc, cc = counters(base_entry), counters(cand_entry)
+            for name in sorted(STRUCTURAL_COUNTERS & bc.keys() & cc.keys()):
+                if bc[name] != cc[name]:
+                    problems.append(
+                        f"{fname} [{label}] counter {name}: "
+                        f"{bc[name]} -> {cc[name]} (structural drift)")
+            bs, cs = stages(base_entry), stages(cand_entry)
+            for name in sorted(bs.keys() & cs.keys()):
+                if bs[name] < min_us:
+                    continue
+                ratio = cs[name] / bs[name]
+                if ratio > threshold:
+                    problems.append(
+                        f"{fname} [{label}] stage {name}: "
+                        f"{bs[name]:.0f}us -> {cs[name]:.0f}us "
+                        f"({ratio:.2f}x > {threshold:.2f}x)")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("candidate", type=Path, nargs="?")
+    ap.add_argument("--threshold", type=float, default=1.5,
+                    help="max allowed wall-clock ratio (default 1.5)")
+    ap.add_argument("--min-us", type=float, default=100.0,
+                    help="ignore stages faster than this in the baseline")
+    ap.add_argument("--self", action="store_true",
+                    help="compare the baseline against itself (validates "
+                         "the files parse and the tool's plumbing)")
+    args = ap.parse_args()
+
+    if args.self != (args.candidate is None):
+        ap.error("give two directories, or one with --self")
+    base = load_dir(args.baseline)
+    cand = base if args.self else load_dir(args.candidate)
+
+    problems = compare(base, cand, args.threshold, args.min_us)
+    n_entries = sum(len(v) for v in base.values())
+    if problems:
+        print(f"{len(problems)} regression(s) across {n_entries} entries:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"OK: {n_entries} entries in {len(base)} files, "
+          f"no structural drift, no stage slower than "
+          f"{args.threshold:.2f}x baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

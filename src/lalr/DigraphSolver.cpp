@@ -2,6 +2,9 @@
 
 #include "lalr/DigraphSolver.h"
 
+#include "support/Scc.h"
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -112,6 +115,117 @@ lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
       }
     }
   }
+
+  LocalStats.Sweeps = 1;
+  if (Stats)
+    *Stats = LocalStats;
+  return F;
+}
+
+namespace {
+
+/// True iff component \p Comp of \p Scc is nontrivial (>= 2 nodes, or a
+/// self-loop on its single node).
+bool isNontrivialComponent(const std::vector<uint32_t> &Comp,
+                           const std::vector<std::vector<uint32_t>> &Edges) {
+  if (Comp.size() >= 2)
+    return true;
+  uint32_t U = Comp.front();
+  return std::find(Edges[U].begin(), Edges[U].end(), U) != Edges[U].end();
+}
+
+} // namespace
+
+size_t
+lalr::digraphCycleMembers(const std::vector<std::vector<uint32_t>> &Edges,
+                          std::vector<bool> &InNontrivialScc) {
+  InNontrivialScc.assign(Edges.size(), false);
+  SccResult Scc = computeSccs(Edges);
+  size_t Nontrivial = 0;
+  for (const std::vector<uint32_t> &Comp : Scc.Components) {
+    if (!isNontrivialComponent(Comp, Edges))
+      continue;
+    ++Nontrivial;
+    for (uint32_t U : Comp)
+      InNontrivialScc[U] = true;
+  }
+  return Nontrivial;
+}
+
+std::vector<BitSet>
+lalr::solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
+                           std::vector<BitSet> Init, ThreadPool &Pool,
+                           DigraphStats *Stats,
+                           std::vector<bool> *InNontrivialScc) {
+  const size_t NumNodes = Edges.size();
+  assert(Init.size() == NumNodes && "one initial set per node");
+  std::vector<BitSet> F = std::move(Init);
+  DigraphStats LocalStats;
+  if (InNontrivialScc)
+    InNontrivialScc->assign(NumNodes, false);
+
+  // Condense into SCCs. Components are numbered in reverse topological
+  // order: every successor component of C has an index < C, so one
+  // ascending pass computes both the deduped successor lists and the
+  // wavefront level (longest path to a sink) of every component.
+  SccResult Scc = computeSccs(Edges);
+  const size_t NumComps = Scc.componentCount();
+  std::vector<std::vector<uint32_t>> CompSucc(NumComps);
+  std::vector<uint32_t> Level(NumComps, 0);
+  uint32_t MaxLevel = 0;
+  for (uint32_t C = 0; C < NumComps; ++C) {
+    std::vector<uint32_t> &Succ = CompSucc[C];
+    for (uint32_t U : Scc.Components[C])
+      for (uint32_t V : Edges[U])
+        if (Scc.ComponentOf[V] != C)
+          Succ.push_back(Scc.ComponentOf[V]);
+    std::sort(Succ.begin(), Succ.end());
+    Succ.erase(std::unique(Succ.begin(), Succ.end()), Succ.end());
+    for (uint32_t D : Succ)
+      Level[C] = std::max(Level[C], Level[D] + 1);
+    MaxLevel = std::max(MaxLevel, Level[C]);
+    if (isNontrivialComponent(Scc.Components[C], Edges)) {
+      ++LocalStats.NontrivialSccs;
+      if (InNontrivialScc)
+        for (uint32_t U : Scc.Components[C])
+          (*InNontrivialScc)[U] = true;
+    }
+  }
+
+  std::vector<std::vector<uint32_t>> Wavefronts(MaxLevel + 1);
+  for (uint32_t C = 0; C < NumComps; ++C)
+    Wavefronts[Level[C]].push_back(C);
+
+  // Evaluate level by level: a component only reads the frozen solutions
+  // of strictly lower levels plus its own members' initial sets, so the
+  // components of one wavefront are data-independent. Union-op counts are
+  // accumulated per chunk and reduced after each level, keeping the
+  // reported total deterministic.
+  std::vector<size_t> ChunkOps(Pool.workerCount(), 0);
+  for (const std::vector<uint32_t> &Wave : Wavefronts) {
+    Pool.parallelFor(0, Wave.size(), [&](size_t Chunk, size_t Lo, size_t Hi) {
+      size_t Ops = 0;
+      for (size_t I = Lo; I < Hi; ++I) {
+        const std::vector<uint32_t> &Members = Scc.Components[Wave[I]];
+        uint32_t Rep = Members.front();
+        for (size_t M = 1; M < Members.size(); ++M) {
+          F[Rep].unionWith(F[Members[M]]);
+          ++Ops;
+        }
+        for (uint32_t D : CompSucc[Wave[I]]) {
+          F[Rep].unionWith(F[Scc.Components[D].front()]);
+          ++Ops;
+        }
+        for (size_t M = 1; M < Members.size(); ++M) {
+          F[Members[M]] = F[Rep];
+          ++Ops;
+        }
+      }
+      ChunkOps[Chunk] += Ops;
+    });
+  }
+  for (size_t Ops : ChunkOps)
+    LocalStats.UnionOps += Ops;
 
   LocalStats.Sweeps = 1;
   if (Stats)

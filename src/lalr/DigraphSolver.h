@@ -24,6 +24,8 @@
 
 namespace lalr {
 
+class ThreadPool;
+
 /// Counters exposed for the evaluation harness.
 struct DigraphStats {
   /// Number of BitSet::unionWith calls performed.
@@ -43,6 +45,30 @@ std::vector<BitSet>
 solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
              std::vector<BitSet> Init, DigraphStats *Stats = nullptr,
              std::vector<bool> *InNontrivialScc = nullptr);
+
+/// Structure-only variant of solveDigraph: computes the cycle certificate
+/// (which nodes lie on a nontrivial SCC of the relation) without touching
+/// any sets. \p InNontrivialScc is resized and filled; the return value is
+/// the number of nontrivial SCCs. Used where only the not-LR(k) witness is
+/// wanted — e.g. the naive-fixpoint ablation path, which has the sets but
+/// not the SCC structure.
+size_t digraphCycleMembers(const std::vector<std::vector<uint32_t>> &Edges,
+                           std::vector<bool> &InNontrivialScc);
+
+/// Parallel solver computing the same least solution as solveDigraph (the
+/// solution is unique, so the result is bit-identical): condenses the
+/// relation into SCCs, then evaluates one component per task across
+/// topological wavefronts — components whose successors are all solved are
+/// independent and run concurrently on \p Pool. The serial Tarjan
+/// traversal above remains the Threads == 0 path; this one pays an extra
+/// O(V+E) condensation pass to expose the parallelism. Stats counters are
+/// deterministic but not identical to the serial traversal's (the
+/// per-component evaluation order differs).
+std::vector<BitSet>
+solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
+                     std::vector<BitSet> Init, ThreadPool &Pool,
+                     DigraphStats *Stats = nullptr,
+                     std::vector<bool> *InNontrivialScc = nullptr);
 
 /// Ablation baseline: Gauss-Seidel sweeps over all edges until nothing
 /// changes. Produces the same least solution with O(n * |R|) worst-case

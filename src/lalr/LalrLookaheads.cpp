@@ -2,6 +2,8 @@
 
 #include "lalr/LalrLookaheads.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 
 using namespace lalr;
@@ -22,8 +24,10 @@ uint64_t peakBits(const std::vector<BitSet> &Sets) {
 LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
                                        const GrammarAnalysis &Analysis,
                                        SolverKind Solver,
-                                       PipelineStats *Stats) {
+                                       PipelineStats *Stats,
+                                       ThreadPool *Pool) {
   const Grammar &G = A.grammar();
+  const unsigned Workers = Pool ? Pool->workerCount() : 0;
   LalrLookaheads Out;
   {
     StageTimer T(Stats, "nt-index");
@@ -33,7 +37,7 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
   {
     StageTimer T(Stats, "relations");
     Out.Relations =
-        buildLalrRelations(A, Analysis, *Out.NtIdx, *Out.RedIdx);
+        buildLalrRelations(A, Analysis, *Out.NtIdx, *Out.RedIdx, Pool);
   }
 
   // Read = digraph(reads, DR). The initial sets are copies: the relations
@@ -41,19 +45,23 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
   {
     StageTimer T(Stats, "solve-read");
     std::vector<BitSet> Initial = Out.Relations.DirectRead;
-    if (Solver == SolverKind::Digraph)
-      Out.ReadSets = solveDigraph(Out.Relations.Reads, std::move(Initial),
-                                  &Out.ReadsStats, &Out.ReadsCycleMembers);
-    else {
+    if (Solver == SolverKind::Digraph) {
+      if (Pool)
+        Out.ReadSets =
+            solveDigraphParallel(Out.Relations.Reads, std::move(Initial),
+                                 *Pool, &Out.ReadsStats,
+                                 &Out.ReadsCycleMembers);
+      else
+        Out.ReadSets = solveDigraph(Out.Relations.Reads, std::move(Initial),
+                                    &Out.ReadsStats, &Out.ReadsCycleMembers);
+    } else {
       Out.ReadSets = solveNaiveFixpoint(Out.Relations.Reads,
                                         std::move(Initial), &Out.ReadsStats);
-      // Cycle membership still comes from the digraph structure; run a
-      // cheap no-set pass for the certificate.
-      std::vector<BitSet> Empty(Out.Relations.Reads.size(), BitSet(1));
-      DigraphStats Tmp;
-      solveDigraph(Out.Relations.Reads, std::move(Empty), &Tmp,
-                   &Out.ReadsCycleMembers);
-      Out.ReadsStats.NontrivialSccs = Tmp.NontrivialSccs;
+      // Cycle membership still comes from the digraph structure; the
+      // structure-only pass recovers the certificate without touching any
+      // sets.
+      Out.ReadsStats.NontrivialSccs =
+          digraphCycleMembers(Out.Relations.Reads, Out.ReadsCycleMembers);
     }
   }
 
@@ -61,21 +69,37 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
   {
     StageTimer T(Stats, "solve-follow");
     std::vector<BitSet> Initial = Out.ReadSets;
-    if (Solver == SolverKind::Digraph)
-      Out.FollowSets = solveDigraph(Out.Relations.Includes,
-                                    std::move(Initial), &Out.IncludesStats);
-    else
+    if (Solver == SolverKind::Digraph) {
+      if (Pool)
+        Out.FollowSets =
+            solveDigraphParallel(Out.Relations.Includes, std::move(Initial),
+                                 *Pool, &Out.IncludesStats);
+      else
+        Out.FollowSets = solveDigraph(Out.Relations.Includes,
+                                      std::move(Initial), &Out.IncludesStats);
+    } else {
       Out.FollowSets = solveNaiveFixpoint(
           Out.Relations.Includes, std::move(Initial), &Out.IncludesStats);
+    }
   }
 
-  // LA(q, A->w) = union of Follow over lookback.
+  // LA(q, A->w) = union of Follow over lookback. Each reduction slot
+  // unions into its own set only, so the pass shards over slot ranges.
   {
     StageTimer T(Stats, "la-union");
     Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
-    for (uint32_t Slot = 0; Slot < Out.RedIdx->size(); ++Slot)
-      for (uint32_t X : Out.Relations.Lookback[Slot])
-        Out.LaSets[Slot].unionWith(Out.FollowSets[X]);
+    auto UnionSlots = [&](size_t Lo, size_t Hi) {
+      for (size_t Slot = Lo; Slot < Hi; ++Slot)
+        for (uint32_t X : Out.Relations.Lookback[Slot])
+          Out.LaSets[Slot].unionWith(Out.FollowSets[X]);
+    };
+    if (Pool)
+      Pool->parallelFor(0, Out.RedIdx->size(),
+                        [&](size_t, size_t Lo, size_t Hi) {
+                          UnionSlots(Lo, Hi);
+                        });
+    else
+      UnionSlots(0, Out.RedIdx->size());
 
     // The accept reduction $accept -> start has no lookback (no state has
     // a $accept transition); its look-ahead is the end marker by
@@ -83,7 +107,15 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
     Out.LaSets[Out.RedIdx->slot(A.acceptState(), 0)].set(G.eofSymbol());
   }
 
+  // Everything below is observability only: counter scans (peak set
+  // sizes, edge counts) run strictly under the Stats check so the hot
+  // path does zero extra work when nobody is listening.
   if (Stats) {
+    if (Workers)
+      for (const char *Stage :
+           {"relations", "solve-read", "solve-follow", "la-union"})
+        Stats->setStageThreads(Stage, Workers);
+    Stats->setCounter("build_threads", Workers);
     Stats->setCounter("nt_transitions", Out.NtIdx->size());
     Stats->setCounter("reduction_slots", Out.RedIdx->size());
     Stats->setCounter("reads_edges", Out.Relations.readsEdgeCount());

@@ -30,6 +30,8 @@
 
 namespace lalr {
 
+class ThreadPool;
+
 /// Which equation solver to use; the naive fixpoint exists only for the
 /// Fig. 3 ablation.
 enum class SolverKind { Digraph, NaiveFixpoint };
@@ -41,11 +43,15 @@ public:
   /// same grammar. If \p Stats is nonnull, records the five stages
   /// (nt-index, relations, solve-read, solve-follow, la-union) with
   /// relation edge counts, solver union-op/SCC counters, and peak set
-  /// sizes.
+  /// sizes. With a non-null \p Pool the relations build, the digraph
+  /// solves and the la-union pass run sharded on the pool; the computed
+  /// sets are bit-identical to the serial path (asserted by
+  /// tests/parallel_test.cpp across the corpus).
   static LalrLookaheads compute(const Lr0Automaton &A,
                                 const GrammarAnalysis &Analysis,
                                 SolverKind Solver = SolverKind::Digraph,
-                                PipelineStats *Stats = nullptr);
+                                PipelineStats *Stats = nullptr,
+                                ThreadPool *Pool = nullptr);
 
   /// LA(q, A->w): look-ahead set of reduction (State, Prod), over
   /// terminal ids. The reduction must exist in that state.

@@ -2,6 +2,8 @@
 
 #include "lalr/Relations.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -50,10 +52,153 @@ size_t LalrRelations::lookbackEdgeCount() const {
   return N;
 }
 
+namespace {
+
+/// Fills DR[X] and Reads[X] for one nonterminal transition: both look one
+/// transition past (p, A). Writes only to index X, so slices of the
+/// transition range are independent.
+void buildDrAndReadsRow(uint32_t X, const Lr0Automaton &A, const Grammar &G,
+                        const GrammarAnalysis &Analysis,
+                        const NtTransitionIndex &NtIdx, LalrRelations &R) {
+  const NtTransition &T = NtIdx[X];
+  for (auto [Sym, Target] : A.state(T.To).Transitions) {
+    (void)Target;
+    if (G.isTerminal(Sym)) {
+      R.DirectRead[X].set(Sym);
+      continue;
+    }
+    if (Analysis.isNullable(Sym)) {
+      uint32_t Y = NtIdx.indexOf(T.To, Sym);
+      assert(Y != NtTransitionIndex::Missing &&
+             "transition enumerated from the automaton must be indexed");
+      R.Reads[X].push_back(Y);
+    }
+  }
+}
+
+/// Replays every production B -> w from the source state of transition
+/// X = (p', B): walking w through the automaton visits the states where
+/// each suffix begins. Emits includes edges (Inner includes X) and the
+/// lookback edge (slot lookback X) through the callbacks, so the serial
+/// path can scatter directly while the sharded path buffers per slice.
+template <typename IncludesFn, typename LookbackFn>
+void replayProductions(uint32_t X, const Lr0Automaton &A, const Grammar &G,
+                       const GrammarAnalysis &Analysis,
+                       const NtTransitionIndex &NtIdx,
+                       const ReductionIndex &RedIdx, IncludesFn EmitIncludes,
+                       LookbackFn EmitLookback) {
+  const NtTransition &T = NtIdx[X]; // (p', B)
+  for (ProductionId PId : G.productionsOf(T.Nt)) {
+    const Production &P = G.production(PId);
+    StateId Cur = T.From;
+    for (size_t I = 0, E = P.Rhs.size(); I != E; ++I) {
+      SymbolId S = P.Rhs[I];
+      if (G.isNonterminal(S)) {
+        // (Cur, S) includes (p', B) iff the rest of the body is
+        // nullable.
+        bool SuffixNullable = true;
+        for (size_t J = I + 1; J != E; ++J)
+          if (!Analysis.isNullable(P.Rhs[J])) {
+            SuffixNullable = false;
+            break;
+          }
+        if (SuffixNullable) {
+          uint32_t Inner = NtIdx.indexOf(Cur, S);
+          assert(Inner != NtTransitionIndex::Missing &&
+                 "every prefix of a production is traceable in the "
+                 "automaton");
+          EmitIncludes(Inner, X);
+        }
+      }
+      Cur = A.gotoState(Cur, S);
+      assert(Cur != InvalidState &&
+             "production bodies always walk within the automaton");
+    }
+    // Cur is now the state reached on the full body: the reduction
+    // (Cur, B -> w) looks back to (p', B).
+    EmitLookback(RedIdx.slot(Cur, PId), X);
+  }
+}
+
+void sortUnique(std::vector<uint32_t> &Edges) {
+  std::sort(Edges.begin(), Edges.end());
+  Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+}
+
+/// The sharded build: workers own contiguous slices of the transition
+/// range. DR/reads rows are written in place (row X belongs to exactly
+/// one slice); includes/lookback edges target arbitrary rows, so each
+/// slice buffers (target, source) pairs and a second parallel pass merges
+/// them — each merge worker owns a contiguous range of *target* rows and
+/// appends matching pairs in slice order, locklessly. The final
+/// sort+dedup per row (also sharded) canonicalizes edge order, making the
+/// result bit-identical to the serial build.
+void buildShardedRelations(const Lr0Automaton &A, const GrammarAnalysis &An,
+                           const NtTransitionIndex &NtIdx,
+                           const ReductionIndex &RedIdx, ThreadPool &Pool,
+                           LalrRelations &R) {
+  const Grammar &G = A.grammar();
+  const size_t NumNt = NtIdx.size();
+  const size_t NumChunks = Pool.workerCount();
+
+  struct SliceEdges {
+    std::vector<std::pair<uint32_t, uint32_t>> Includes; // (target, source)
+    std::vector<std::pair<uint32_t, uint32_t>> Lookback; // (slot, source)
+  };
+  std::vector<SliceEdges> Slices(NumChunks);
+
+  Pool.parallelFor(
+      0, NumNt,
+      [&](size_t Chunk, size_t Lo, size_t Hi) {
+        SliceEdges &Out = Slices[Chunk];
+        for (size_t X = Lo; X < Hi; ++X) {
+          buildDrAndReadsRow(static_cast<uint32_t>(X), A, G, An, NtIdx, R);
+          replayProductions(
+              static_cast<uint32_t>(X), A, G, An, NtIdx, RedIdx,
+              [&](uint32_t Inner, uint32_t Src) {
+                Out.Includes.emplace_back(Inner, Src);
+              },
+              [&](uint32_t Slot, uint32_t Src) {
+                Out.Lookback.emplace_back(Slot, Src);
+              });
+        }
+      },
+      NumChunks);
+
+  // Merge: worker W owns target rows [Lo, Hi) and scans every slice in
+  // slice order, so each row sees its edges in the same global order the
+  // serial build produced them — then canonicalizes by sort+dedup anyway.
+  Pool.parallelFor(
+      0, NumNt,
+      [&](size_t, size_t Lo, size_t Hi) {
+        for (const SliceEdges &S : Slices)
+          for (auto [Target, Src] : S.Includes)
+            if (Target >= Lo && Target < Hi)
+              R.Includes[Target].push_back(Src);
+        for (size_t T = Lo; T < Hi; ++T)
+          sortUnique(R.Includes[T]);
+      },
+      NumChunks);
+  Pool.parallelFor(
+      0, RedIdx.size(),
+      [&](size_t, size_t Lo, size_t Hi) {
+        for (const SliceEdges &S : Slices)
+          for (auto [Slot, Src] : S.Lookback)
+            if (Slot >= Lo && Slot < Hi)
+              R.Lookback[Slot].push_back(Src);
+        for (size_t T = Lo; T < Hi; ++T)
+          sortUnique(R.Lookback[T]);
+      },
+      NumChunks);
+}
+
+} // namespace
+
 LalrRelations lalr::buildLalrRelations(const Lr0Automaton &A,
                                        const GrammarAnalysis &Analysis,
                                        const NtTransitionIndex &NtIdx,
-                                       const ReductionIndex &RedIdx) {
+                                       const ReductionIndex &RedIdx,
+                                       ThreadPool *Pool) {
   const Grammar &G = A.grammar();
   const size_t NumNt = NtIdx.size();
   LalrRelations R;
@@ -62,22 +207,30 @@ LalrRelations lalr::buildLalrRelations(const Lr0Automaton &A,
   R.Includes.resize(NumNt);
   R.Lookback.resize(RedIdx.size());
 
-  // DR and reads both look one transition past (p, A).
-  for (uint32_t X = 0; X < NumNt; ++X) {
-    const NtTransition &T = NtIdx[X];
-    for (auto [Sym, Target] : A.state(T.To).Transitions) {
-      (void)Target;
-      if (G.isTerminal(Sym)) {
-        R.DirectRead[X].set(Sym);
-        continue;
-      }
-      if (Analysis.isNullable(Sym)) {
-        uint32_t Y = NtIdx.indexOf(T.To, Sym);
-        assert(Y != NtTransitionIndex::Missing &&
-               "transition enumerated from the automaton must be indexed");
-        R.Reads[X].push_back(Y);
-      }
-    }
+  if (Pool) {
+    buildShardedRelations(A, Analysis, NtIdx, RedIdx, *Pool, R);
+  } else {
+    for (uint32_t X = 0; X < NumNt; ++X)
+      buildDrAndReadsRow(X, A, G, Analysis, NtIdx, R);
+
+    // includes and lookback are both built by replaying every production
+    // from every state that carries a transition on its left-hand side.
+    for (uint32_t X = 0; X < NumNt; ++X)
+      replayProductions(
+          X, A, G, Analysis, NtIdx, RedIdx,
+          [&](uint32_t Inner, uint32_t Src) {
+            R.Includes[Inner].push_back(Src);
+          },
+          [&](uint32_t Slot, uint32_t Src) {
+            R.Lookback[Slot].push_back(Src);
+          });
+
+    // Deduplicate includes edges: distinct occurrences of A in one body,
+    // or different productions, can generate the same edge.
+    for (auto &Edges : R.Includes)
+      sortUnique(Edges);
+    for (auto &Edges : R.Lookback)
+      sortUnique(Edges);
   }
 
   // The augmented grammar has no explicit end marker in production 0
@@ -91,52 +244,5 @@ LalrRelations lalr::buildLalrRelations(const Lr0Automaton &A,
     R.DirectRead[StartTrans].set(G.eofSymbol());
   }
 
-  // includes and lookback are both built by replaying every production
-  // B -> w from every state p' that carries a B-transition: walking w
-  // through the automaton visits the states where each suffix begins.
-  for (uint32_t X = 0; X < NumNt; ++X) {
-    const NtTransition &T = NtIdx[X]; // (p', B)
-    for (ProductionId PId : G.productionsOf(T.Nt)) {
-      const Production &P = G.production(PId);
-      StateId Cur = T.From;
-      for (size_t I = 0, E = P.Rhs.size(); I != E; ++I) {
-        SymbolId S = P.Rhs[I];
-        if (G.isNonterminal(S)) {
-          // (Cur, S) includes (p', B) iff the rest of the body is
-          // nullable.
-          bool SuffixNullable = true;
-          for (size_t J = I + 1; J != E; ++J)
-            if (!Analysis.isNullable(P.Rhs[J])) {
-              SuffixNullable = false;
-              break;
-            }
-          if (SuffixNullable) {
-            uint32_t Inner = NtIdx.indexOf(Cur, S);
-            assert(Inner != NtTransitionIndex::Missing &&
-                   "every prefix of a production is traceable in the "
-                   "automaton");
-            R.Includes[Inner].push_back(X);
-          }
-        }
-        Cur = A.gotoState(Cur, S);
-        assert(Cur != InvalidState &&
-               "production bodies always walk within the automaton");
-      }
-      // Cur is now the state reached on the full body: the reduction
-      // (Cur, B -> w) looks back to (p', B).
-      R.Lookback[RedIdx.slot(Cur, PId)].push_back(X);
-    }
-  }
-
-  // Deduplicate includes edges: distinct occurrences of A in one body, or
-  // different productions, can generate the same edge.
-  for (auto &Edges : R.Includes) {
-    std::sort(Edges.begin(), Edges.end());
-    Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
-  }
-  for (auto &Edges : R.Lookback) {
-    std::sort(Edges.begin(), Edges.end());
-    Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
-  }
   return R;
 }

@@ -72,12 +72,18 @@ struct LalrRelations {
   size_t lookbackEdgeCount() const;
 };
 
+class ThreadPool;
+
 /// Builds all four relations. \p Analysis must belong to the automaton's
-/// grammar (only nullability is consulted).
+/// grammar (only nullability is consulted). With a non-null \p Pool the
+/// build is sharded over contiguous slices of the nonterminal-transition
+/// range (per-slice buffers, lock-free merge); the result is bit-identical
+/// to the serial build.
 LalrRelations buildLalrRelations(const Lr0Automaton &A,
                                  const GrammarAnalysis &Analysis,
                                  const NtTransitionIndex &NtIdx,
-                                 const ReductionIndex &RedIdx);
+                                 const ReductionIndex &RedIdx,
+                                 ThreadPool *Pool = nullptr);
 
 } // namespace lalr
 

@@ -2,6 +2,9 @@
 
 #include "pipeline/BuildContext.h"
 
+#include "pipeline/BuildOptions.h"
+#include "support/ThreadPool.h"
+
 using namespace lalr;
 
 namespace {
@@ -16,12 +19,32 @@ void recordGrammarCounters(PipelineStats &Stats, const Grammar &G) {
 
 } // namespace
 
-BuildContext::BuildContext(Grammar &&Gr) : Owned(std::move(Gr)), G(&*Owned) {
+BuildContext::BuildContext(Grammar &&Gr)
+    : Owned(std::move(Gr)), G(&*Owned), Threads(defaultBuildThreads()) {
   recordGrammarCounters(Stats, *G);
 }
 
-BuildContext::BuildContext(const Grammar &Gr) : G(&Gr) {
+BuildContext::BuildContext(const Grammar &Gr)
+    : G(&Gr), Threads(defaultBuildThreads()) {
   recordGrammarCounters(Stats, *G);
+}
+
+// Out of line for the ThreadPool member's incomplete type in the header.
+BuildContext::~BuildContext() = default;
+
+void BuildContext::setThreads(unsigned N) {
+  if (N == Threads)
+    return;
+  Threads = N;
+  Pool.reset(); // rebuilt lazily at the next threadPool() call
+}
+
+ThreadPool *BuildContext::threadPool() {
+  if (Threads == 0)
+    return nullptr;
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Threads);
+  return Pool.get();
 }
 
 const GrammarAnalysis &BuildContext::analysis() {
@@ -52,7 +75,8 @@ const LalrLookaheads &BuildContext::lookaheads(SolverKind Solver) {
     const Lr0Automaton &Auto = lr0();
     const GrammarAnalysis &Analysis = analysis();
     Slot = std::make_unique<LalrLookaheads>(
-        LalrLookaheads::compute(Auto, Analysis, Solver, &Stats));
+        LalrLookaheads::compute(Auto, Analysis, Solver, &Stats,
+                                threadPool()));
     ++LookaheadBuilds;
   }
   return *Slot;

@@ -26,6 +26,8 @@
 
 namespace lalr {
 
+class ThreadPool;
+
 /// Shared, lazily-built, memoized artifacts for one grammar.
 /// Not copyable or movable: BuildResult and every accessor hand out
 /// pointers into this object.
@@ -42,7 +44,24 @@ public:
   BuildContext(const BuildContext &) = delete;
   BuildContext &operator=(const BuildContext &) = delete;
 
+  ~BuildContext();
+
   const Grammar &grammar() const { return *G; }
+
+  /// \name Worker configuration
+  /// The DP core (relations build, digraph solves, la-union) shards onto
+  /// a context-owned ThreadPool when Threads > 0; 0 reverts to the serial
+  /// path. New contexts start at defaultBuildThreads() (the LALR_THREADS
+  /// environment override, normally 0). Parallel and serial builds are
+  /// bit-identical, so artifacts memoized under one setting stay valid
+  /// under another.
+  /// @{
+  void setThreads(unsigned N);
+  unsigned threads() const { return Threads; }
+  /// The pool when threads() > 0, else nullptr. Created lazily, reused
+  /// across every build on this context.
+  ThreadPool *threadPool();
+  /// @}
 
   /// \name Memoized artifacts
   /// Each is built on first access (timed into stats()) and returned by
@@ -75,6 +94,9 @@ public:
 private:
   std::optional<Grammar> Owned; ///< engaged iff the owning ctor was used
   const Grammar *G;
+
+  unsigned Threads; ///< 0 = serial; initialized from defaultBuildThreads()
+  std::unique_ptr<ThreadPool> Pool; ///< engaged iff Threads > 0
 
   std::unique_ptr<GrammarAnalysis> An;
   std::unique_ptr<Lr0Automaton> A;

@@ -15,6 +15,7 @@
 #include "lalr/LalrLookaheads.h"
 
 #include <cstdint>
+#include <cstdlib>
 
 namespace lalr {
 
@@ -65,6 +66,21 @@ enum class ConflictPolicy : uint8_t {
   RequireAdequate, ///< flag the build as failed unless conflict-free
 };
 
+/// Worker count forced by the LALR_THREADS environment variable, or 0
+/// (serial) when unset/invalid. Read once; lets scripts/check.sh run the
+/// whole tier-1 suite over the parallel path without touching call sites.
+inline unsigned defaultBuildThreads() {
+  static const unsigned Cached = [] {
+    const char *Env = std::getenv("LALR_THREADS");
+    if (!Env || !*Env)
+      return 0L;
+    char *End = nullptr;
+    long V = std::strtol(Env, &End, 10);
+    return (End && *End == '\0' && V > 0 && V <= 256) ? V : 0L;
+  }();
+  return Cached;
+}
+
 /// Everything a BuildPipeline run can vary.
 struct BuildOptions {
   TableKind Kind = TableKind::Lalr1;
@@ -73,6 +89,11 @@ struct BuildOptions {
   ConflictPolicy Conflicts = ConflictPolicy::Allow;
   /// Row-compress the dense table (default reductions + sparse rows).
   bool Compress = false;
+  /// Worker count for the DP core (relations build, digraph solves,
+  /// la-union): 0 = serial, N = pool of N workers (calling thread
+  /// included), -1 = inherit defaultBuildThreads(). Parallel and serial
+  /// builds produce bit-identical sets and tables.
+  int Threads = -1;
 };
 
 } // namespace lalr

@@ -36,6 +36,12 @@ BuildResult BuildPipeline::run() {
   const Grammar &G = Ctx.grammar();
   PipelineStats &S = Ctx.stats();
 
+  // Threads < 0 inherits the context's current setting (itself seeded
+  // from LALR_THREADS); an explicit 0/N overrides it for this and later
+  // runs on the context.
+  if (Opts.Threads >= 0)
+    Ctx.setThreads(static_cast<unsigned>(Opts.Threads));
+
   ParseTable Table = [&]() -> ParseTable {
     switch (Opts.Kind) {
     case TableKind::Lr0: {

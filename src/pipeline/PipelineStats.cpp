@@ -2,6 +2,7 @@
 
 #include "pipeline/PipelineStats.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +19,16 @@ void PipelineStats::addStage(std::string_view Name, double WallUs) {
       S.WallUs += WallUs;
       return;
     }
-  Stages.push_back({std::string(Name), WallUs});
+  Stages.push_back({std::string(Name), WallUs, 0});
+}
+
+void PipelineStats::setStageThreads(std::string_view Name, uint64_t Threads) {
+  for (StageRecord &S : Stages)
+    if (S.Name == Name) {
+      S.Threads = std::max(S.Threads, Threads);
+      return;
+    }
+  Stages.push_back({std::string(Name), 0, Threads});
 }
 
 void PipelineStats::addCounter(std::string_view Name, uint64_t Delta) {
@@ -53,6 +63,13 @@ double PipelineStats::stageUs(std::string_view Name) const {
   return 0;
 }
 
+uint64_t PipelineStats::stageThreads(std::string_view Name) const {
+  for (const StageRecord &S : Stages)
+    if (S.Name == Name)
+      return S.Threads;
+  return 0;
+}
+
 uint64_t PipelineStats::counter(std::string_view Name) const {
   for (const CounterRecord &C : Counters)
     if (C.Name == Name)
@@ -68,8 +85,11 @@ double PipelineStats::totalUs() const {
 }
 
 void PipelineStats::mergeFrom(const PipelineStats &O) {
-  for (const StageRecord &S : O.Stages)
+  for (const StageRecord &S : O.Stages) {
     addStage(S.Name, S.WallUs);
+    if (S.Threads)
+      setStageThreads(S.Name, S.Threads);
+  }
   for (const CounterRecord &C : O.Counters)
     addCounter(C.Name, C.Value);
 }
@@ -156,6 +176,13 @@ std::string PipelineStats::toJson(bool Pretty) const {
     Out += "\"wall_us\":";
     Out += Sp;
     appendUs(Out, Stages[I].WallUs);
+    if (Stages[I].Threads) {
+      Out += ",";
+      Out += Sp;
+      Out += "\"threads\":";
+      Out += Sp;
+      Out += std::to_string(Stages[I].Threads);
+    }
     Out += '}';
   }
   if (!Stages.empty()) {
@@ -306,15 +333,17 @@ private:
   size_t Pos = 0;
 };
 
-/// Parses one {"name":..., "<ValueKey>":...} element.
-bool parseRecord(JsonCursor &C, const char *ValueKey, std::string &Name,
-                 double &Value) {
+/// Parses one {"name":..., "<ValueKey>":...} element. Stage records
+/// (\p AllowThreads) may carry an optional "threads" field.
+bool parseRecord(JsonCursor &C, const char *ValueKey, bool AllowThreads,
+                 std::string &Name, double &Value, double &Threads) {
   if (!C.consume('{'))
     return false;
-  bool SawName = false, SawValue = false;
+  bool SawName = false, SawValue = false, SawAny = false;
   while (!C.peek('}')) {
-    if ((SawName || SawValue) && !C.consume(','))
+    if (SawAny && !C.consume(','))
       return false;
+    SawAny = true;
     std::string Key;
     if (!C.parseString(Key) || !C.consume(':'))
       return false;
@@ -326,6 +355,9 @@ bool parseRecord(JsonCursor &C, const char *ValueKey, std::string &Name,
       if (!C.parseNumber(Value))
         return false;
       SawValue = true;
+    } else if (AllowThreads && Key == "threads") {
+      if (!C.parseNumber(Threads))
+        return false;
     } else {
       return false;
     }
@@ -344,12 +376,17 @@ bool parseRecordArray(JsonCursor &C, const char *ValueKey, bool IsCounter,
     First = false;
     std::string Name;
     double Value = 0;
-    if (!parseRecord(C, ValueKey, Name, Value))
+    double Threads = 0;
+    if (!parseRecord(C, ValueKey, /*AllowThreads=*/!IsCounter, Name, Value,
+                     Threads))
       return false;
-    if (IsCounter)
+    if (IsCounter) {
       Out.addCounter(Name, static_cast<uint64_t>(Value));
-    else
+    } else {
       Out.addStage(Name, Value);
+      if (Threads > 0)
+        Out.setStageThreads(Name, static_cast<uint64_t>(Threads));
+    }
   }
   return C.consume(']');
 }

@@ -28,10 +28,13 @@
 
 namespace lalr {
 
-/// One named pipeline stage with its accumulated wall-clock time.
+/// One named pipeline stage with its accumulated wall-clock time and the
+/// worker count it ran with (0 = serial / not recorded — the JSON omits
+/// the field then, keeping pre-parallel consumers working unchanged).
 struct StageRecord {
   std::string Name;
   double WallUs = 0;
+  uint64_t Threads = 0;
 };
 
 /// One named integer counter (edge counts, state counts, ...).
@@ -52,6 +55,11 @@ public:
   /// Accumulates \p WallUs into stage \p Name (appending it on first use).
   void addStage(std::string_view Name, double WallUs);
 
+  /// Records that stage \p Name ran with \p Threads workers (appending
+  /// the stage with zero time on first use). Repeated settings keep the
+  /// maximum, so a context that reran a stage wider reports the widest.
+  void setStageThreads(std::string_view Name, uint64_t Threads);
+
   /// Accumulates \p Delta into counter \p Name.
   void addCounter(std::string_view Name, uint64_t Delta);
 
@@ -64,6 +72,8 @@ public:
   bool hasStage(std::string_view Name) const;
   /// Accumulated wall-clock of one stage; 0 when absent.
   double stageUs(std::string_view Name) const;
+  /// Worker count of one stage; 0 when absent or serial.
+  uint64_t stageThreads(std::string_view Name) const;
   /// Value of one counter; 0 when absent.
   uint64_t counter(std::string_view Name) const;
 
@@ -95,12 +105,17 @@ private:
 };
 
 /// Scope guard recording elapsed wall-clock into one stage. A null stats
-/// sink makes it a no-op, so instrumented code paths cost nothing when
-/// nobody is listening.
+/// sink makes it a true no-op — the constructor then neither copies the
+/// name nor reads the clock, so instrumented hot paths cost nothing when
+/// nobody is listening. \p Name must outlive the timer (every call site
+/// passes a string literal).
 class StageTimer {
 public:
   StageTimer(PipelineStats *Stats, std::string_view Name)
-      : Stats(Stats), Name(Name) {}
+      : Stats(Stats), Name(Name) {
+    if (Stats)
+      T.emplace();
+  }
   StageTimer(const StageTimer &) = delete;
   StageTimer &operator=(const StageTimer &) = delete;
   ~StageTimer() { stop(); }
@@ -110,13 +125,13 @@ public:
     if (!Stats || Stopped)
       return;
     Stopped = true;
-    Stats->addStage(Name, T.elapsedUs());
+    Stats->addStage(Name, T->elapsedUs());
   }
 
 private:
   PipelineStats *Stats;
-  std::string Name;
-  Timer T;
+  std::string_view Name;
+  std::optional<Timer> T; ///< engaged (and the clock read) only with stats
   bool Stopped = false;
 };
 

@@ -1,0 +1,116 @@
+//===- support/ThreadPool.cpp - Fixed worker pool ---------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace lalr;
+
+ThreadPool::ThreadPool(unsigned Workers) : NumWorkers(Workers) {
+  assert(Workers >= 1 && "a pool needs at least the calling thread");
+  Threads.reserve(Workers - 1);
+  for (unsigned I = 1; I < Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stop = true;
+  }
+  CvWork.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+std::pair<size_t, size_t> ThreadPool::chunkRange(size_t Begin, size_t End,
+                                                 size_t NumChunks,
+                                                 size_t Chunk) {
+  assert(NumChunks > 0 && Chunk < NumChunks);
+  size_t Size = End - Begin;
+  size_t Base = Size / NumChunks;
+  size_t Rem = Size % NumChunks;
+  size_t Lo = Begin + Chunk * Base + std::min(Chunk, Rem);
+  size_t Len = Base + (Chunk < Rem ? 1 : 0);
+  return {Lo, Lo + Len};
+}
+
+void ThreadPool::runChunks(Job &J) {
+  for (;;) {
+    size_t C = J.NextChunk.fetch_add(1, std::memory_order_relaxed);
+    if (C >= J.NumChunks)
+      return;
+    if (J.Aborted.load(std::memory_order_relaxed))
+      continue; // drain remaining claims without running bodies
+    auto [Lo, Hi] = chunkRange(J.Begin, J.End, J.NumChunks, C);
+    try {
+      (*J.Body)(C, Lo, Hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> L(J.ErrMu);
+      if (!J.Error)
+        J.Error = std::current_exception();
+      J.Aborted.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenSeq = 0;
+  for (;;) {
+    Job *J;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      CvWork.wait(L, [&] { return Stop || (Cur && SeenSeq != JobSeq); });
+      if (Stop)
+        return;
+      J = Cur;
+      SeenSeq = JobSeq;
+      ++Attached;
+    }
+    runChunks(*J);
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      --Attached;
+    }
+    CvDone.notify_one();
+  }
+}
+
+void ThreadPool::parallelFor(size_t Begin, size_t End, const ChunkBody &Body,
+                             size_t NumChunks) {
+  if (Begin >= End)
+    return;
+  if (NumChunks == 0)
+    NumChunks = NumWorkers;
+  NumChunks = std::min(NumChunks, End - Begin);
+
+  Job J;
+  J.Body = &Body;
+  J.Begin = Begin;
+  J.End = End;
+  J.NumChunks = NumChunks;
+
+  if (!Threads.empty()) {
+    std::lock_guard<std::mutex> L(Mu);
+    Cur = &J;
+    ++JobSeq;
+  }
+  CvWork.notify_all();
+
+  // The calling thread works too; with a 1-worker pool this is the whole
+  // loop.
+  runChunks(J);
+
+  if (!Threads.empty()) {
+    // All chunks are claimed once the caller's loop exits; wait for every
+    // worker still inside the job to detach before the stack frame (and
+    // the Body) die. Workers that never woke see Cur == nullptr and keep
+    // sleeping.
+    std::unique_lock<std::mutex> L(Mu);
+    Cur = nullptr;
+    CvDone.wait(L, [&] { return Attached == 0; });
+  }
+
+  if (J.Error)
+    std::rethrow_exception(J.Error);
+}

@@ -1,0 +1,100 @@
+//===- support/ThreadPool.h - Fixed worker pool -----------------*- C++ -*-===//
+///
+/// \file
+/// A small fixed-size worker pool built for the parallel build path of the
+/// look-ahead pipeline. The only primitive is parallelFor over an index
+/// range, which splits the range into contiguous chunks whose boundaries
+/// depend solely on (Begin, End, NumChunks) — so a caller that gives each
+/// chunk its own output slice gets deterministic, bit-identical results no
+/// matter which worker executes which chunk or in what order. The calling
+/// thread participates as one of the workers, so a pool of size N uses N
+/// OS threads in total (N-1 spawned), and a pool of size 1 degenerates to
+/// an inline loop exercising the exact same chunked code path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SUPPORT_THREADPOOL_H
+#define LALR_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace lalr {
+
+/// Fixed pool of worker threads executing chunked index-range loops.
+/// Reusable across any number of parallelFor submissions; submissions are
+/// serialized (parallelFor blocks until the loop completes), matching the
+/// pipeline's stage-at-a-time structure.
+class ThreadPool {
+public:
+  /// Creates a pool of \p Workers total executors (must be >= 1). The
+  /// constructor spawns Workers-1 OS threads; the thread calling
+  /// parallelFor is the remaining executor.
+  explicit ThreadPool(unsigned Workers);
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Joins all workers. Must not be called while a parallelFor is
+  /// running on another thread.
+  ~ThreadPool();
+
+  /// Total executor count (spawned threads + the calling thread).
+  unsigned workerCount() const { return NumWorkers; }
+
+  /// The body of one chunk: (ChunkIndex, ChunkBegin, ChunkEnd).
+  using ChunkBody = std::function<void(size_t, size_t, size_t)>;
+
+  /// Splits [Begin, End) into \p NumChunks contiguous chunks (0 = one per
+  /// worker) and runs \p Body over them on the pool, the calling thread
+  /// included. Blocks until every chunk has finished. Chunk boundaries
+  /// are a pure function of (Begin, End, NumChunks) — see chunkRange.
+  ///
+  /// If a body throws, remaining unclaimed chunks are skipped and the
+  /// first exception (in claim order) is rethrown here; the pool remains
+  /// usable afterwards.
+  void parallelFor(size_t Begin, size_t End, const ChunkBody &Body,
+                   size_t NumChunks = 0);
+
+  /// The half-open subrange of [Begin, End) owned by chunk \p Chunk when
+  /// split into \p NumChunks parts: sizes differ by at most one, earlier
+  /// chunks take the remainder. Exposed for callers pre-sizing per-chunk
+  /// output storage (and for the unit tests).
+  static std::pair<size_t, size_t> chunkRange(size_t Begin, size_t End,
+                                              size_t NumChunks, size_t Chunk);
+
+private:
+  struct Job {
+    const ChunkBody *Body = nullptr;
+    size_t Begin = 0, End = 0, NumChunks = 0;
+    std::atomic<size_t> NextChunk{0};
+    std::atomic<bool> Aborted{false};
+    std::mutex ErrMu;
+    std::exception_ptr Error;
+  };
+
+  void workerLoop();
+  static void runChunks(Job &J);
+
+  unsigned NumWorkers;
+  std::vector<std::thread> Threads;
+
+  std::mutex Mu;
+  std::condition_variable CvWork; ///< workers wait here for a job
+  std::condition_variable CvDone; ///< parallelFor waits here for detach
+  Job *Cur = nullptr;             ///< guarded by Mu
+  uint64_t JobSeq = 0;            ///< guarded by Mu; bumps per submission
+  size_t Attached = 0;            ///< workers currently inside Cur
+  bool Stop = false;
+};
+
+} // namespace lalr
+
+#endif // LALR_SUPPORT_THREADPOOL_H

@@ -1,0 +1,293 @@
+//===- tests/parallel_test.cpp - Parallel DP-core bit-identity ---------------===//
+///
+/// \file
+/// The contract of the parallel build path: for every corpus grammar and
+/// every worker count, the sharded relations build, the wavefront digraph
+/// solves and the sharded la-union produce artifacts bit-identical to the
+/// serial path. Plus unit tests for the ThreadPool primitive itself and
+/// for the structure-only cycle certificate the naive-solver path uses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "corpus/SyntheticGrammars.h"
+#include "lalr/DigraphSolver.h"
+#include "lalr/LalrLookaheads.h"
+#include "pipeline/BuildPipeline.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+using namespace lalr;
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ChunkRangePartitionsTheRange) {
+  for (size_t Begin : {0u, 7u}) {
+    for (size_t Len : {0u, 1u, 5u, 64u, 1000u}) {
+      for (size_t NumChunks : {1u, 2u, 3u, 8u, 64u}) {
+        size_t End = Begin + Len;
+        size_t Expect = Begin;
+        size_t MinSize = Len, MaxSize = 0;
+        for (size_t C = 0; C < NumChunks; ++C) {
+          auto [Lo, Hi] = ThreadPool::chunkRange(Begin, End, NumChunks, C);
+          EXPECT_EQ(Lo, Expect) << "gap or overlap at chunk " << C;
+          EXPECT_LE(Lo, Hi);
+          MinSize = std::min(MinSize, Hi - Lo);
+          MaxSize = std::max(MaxSize, Hi - Lo);
+          Expect = Hi;
+          // Pure function of its arguments: recomputing gives the same.
+          EXPECT_EQ(ThreadPool::chunkRange(Begin, End, NumChunks, C),
+                    std::make_pair(Lo, Hi));
+        }
+        EXPECT_EQ(Expect, End) << "chunks must cover [Begin, End)";
+        if (Len >= NumChunks) {
+          EXPECT_LE(MaxSize - MinSize, 1u) << "sizes differ by at most one";
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.workerCount(), 4u);
+  const size_t N = 10000;
+  std::vector<int> Hits(N, 0);
+  Pool.parallelFor(0, N, [&](size_t, size_t Lo, size_t Hi) {
+    for (size_t I = Lo; I < Hi; ++I)
+      ++Hits[I]; // chunks are disjoint, so no two workers share an index
+  });
+  EXPECT_EQ(std::accumulate(Hits.begin(), Hits.end(), 0),
+            static_cast<int>(N));
+}
+
+TEST(ThreadPoolTest, PoolOfOneRunsInline) {
+  ThreadPool Pool(1);
+  std::vector<int> Hits(100, 0);
+  Pool.parallelFor(0, Hits.size(), [&](size_t, size_t Lo, size_t Hi) {
+    for (size_t I = Lo; I < Hi; ++I)
+      ++Hits[I];
+  });
+  for (int H : Hits)
+    EXPECT_EQ(H, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool Pool(2);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(5, 5, [&](size_t, size_t, size_t) { ++Calls; });
+  Pool.parallelFor(9, 3, [&](size_t, size_t, size_t) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ExcessChunksAreClampedToRange) {
+  ThreadPool Pool(2);
+  std::vector<int> Hits(3, 0);
+  // More chunks than indices: the pool clamps instead of issuing empties.
+  Pool.parallelFor(
+      0, Hits.size(),
+      [&](size_t, size_t Lo, size_t Hi) {
+        for (size_t I = Lo; I < Hi; ++I)
+          ++Hits[I];
+      },
+      /*NumChunks=*/64);
+  for (int H : Hits)
+    EXPECT_EQ(H, 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool Pool(3);
+  EXPECT_THROW(Pool.parallelFor(0, 100,
+                                [&](size_t Chunk, size_t, size_t) {
+                                  if (Chunk == 1)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool must survive a throwing job and run the next one normally.
+  std::atomic<size_t> Visited{0};
+  Pool.parallelFor(0, 100, [&](size_t, size_t Lo, size_t Hi) {
+    Visited += Hi - Lo;
+  });
+  EXPECT_EQ(Visited.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManySubmissions) {
+  ThreadPool Pool(2);
+  size_t Total = 0;
+  for (int Round = 0; Round < 50; ++Round) {
+    std::atomic<size_t> Sum{0};
+    Pool.parallelFor(0, 64, [&](size_t, size_t Lo, size_t Hi) {
+      size_t S = 0;
+      for (size_t I = Lo; I < Hi; ++I)
+        S += I;
+      Sum += S;
+    });
+    EXPECT_EQ(Sum.load(), 64u * 63u / 2);
+    Total += Sum;
+  }
+  EXPECT_EQ(Total, 50u * (64u * 63u / 2));
+}
+
+// ---------------------------------------------------------------------------
+// Structure-only cycle certificate (the naive-solver satellite fix)
+// ---------------------------------------------------------------------------
+
+TEST(DigraphCycleMembersTest, MatchesSolveDigraphCertificate) {
+  // A 2-cycle, a self-loop, and two acyclic nodes.
+  std::vector<std::vector<uint32_t>> Edges(5);
+  Edges[0] = {1};
+  Edges[1] = {0};
+  Edges[2] = {2};
+  Edges[3] = {0, 2};
+  std::vector<bool> Structural;
+  size_t N = digraphCycleMembers(Edges, Structural);
+  EXPECT_EQ(N, 2u); // {0,1} and {2}
+
+  std::vector<BitSet> Init(5, BitSet(4));
+  DigraphStats Stats;
+  std::vector<bool> FromSolver;
+  solveDigraph(Edges, std::move(Init), &Stats, &FromSolver);
+  EXPECT_EQ(Stats.NontrivialSccs, N);
+  EXPECT_EQ(Structural, FromSolver);
+}
+
+TEST(DigraphCycleMembersTest, NaiveAndDigraphAgreeOnNotLrkWitness) {
+  BuildContext Ctx(loadCorpusGrammar("not_lrk_reads_cycle"));
+  const LalrLookaheads &Dg = Ctx.lookaheads(SolverKind::Digraph);
+  const LalrLookaheads &Nv = Ctx.lookaheads(SolverKind::NaiveFixpoint);
+  EXPECT_TRUE(Dg.grammarNotLrK());
+  EXPECT_TRUE(Nv.grammarNotLrK());
+  EXPECT_EQ(Dg.readsCycleMembers(), Nv.readsCycleMembers());
+  EXPECT_EQ(Dg.readsSolverStats().NontrivialSccs,
+            Nv.readsSolverStats().NontrivialSccs);
+  EXPECT_EQ(Dg.laSets(), Nv.laSets());
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity of the parallel DP core, across the corpus
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ParallelIdentityTest : public ::testing::TestWithParam<const char *> {};
+
+void expectIdentical(const LalrLookaheads &Serial,
+                     const LalrLookaheads &Parallel) {
+  // Relations first: per-row ownership + canonical edge order make even
+  // the intermediate adjacency lists identical, not just the solutions.
+  const LalrRelations &RS = Serial.relations();
+  const LalrRelations &RP = Parallel.relations();
+  EXPECT_EQ(RS.DirectRead, RP.DirectRead);
+  EXPECT_EQ(RS.Reads, RP.Reads);
+  EXPECT_EQ(RS.Includes, RP.Includes);
+  EXPECT_EQ(RS.Lookback, RP.Lookback);
+
+  EXPECT_EQ(Serial.readSets(), Parallel.readSets());
+  EXPECT_EQ(Serial.followSets(), Parallel.followSets());
+  EXPECT_EQ(Serial.laSets(), Parallel.laSets());
+  EXPECT_EQ(Serial.readsCycleMembers(), Parallel.readsCycleMembers());
+  EXPECT_EQ(Serial.grammarNotLrK(), Parallel.grammarNotLrK());
+}
+
+} // namespace
+
+TEST_P(ParallelIdentityTest, BitIdenticalAcrossWorkerCounts) {
+  Grammar G = loadCorpusGrammar(GetParam());
+  BuildContext Ctx(G);
+  const GrammarAnalysis &An = Ctx.analysis();
+  const Lr0Automaton &A = Ctx.lr0();
+  LalrLookaheads Serial = LalrLookaheads::compute(A, An);
+  for (unsigned Workers : {1u, 2u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(Workers));
+    ThreadPool Pool(Workers);
+    LalrLookaheads Parallel = LalrLookaheads::compute(
+        A, An, SolverKind::Digraph, nullptr, &Pool);
+    expectIdentical(Serial, Parallel);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ParallelIdentityTest,
+                         ::testing::Values("ansic", "javasub", "pascal",
+                                           "lalr_not_slr", "lalr_not_nqlalr",
+                                           "lr1_not_lalr", "not_lr1_ambiguous",
+                                           "not_lrk_reads_cycle",
+                                           "palindrome"),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+TEST(ParallelIdentityTest, SyntheticIncludesRingAndNullableChain) {
+  // The digraph-solver stress shapes: one large SCC (every node in one
+  // wavefront component) and a long nullable chain (deep reads edges).
+  for (Grammar G : {makeIncludesRing(64), makeNullableChain(64)}) {
+    BuildContext Ctx(G);
+    const GrammarAnalysis &An = Ctx.analysis();
+    const Lr0Automaton &A = Ctx.lr0();
+    LalrLookaheads Serial = LalrLookaheads::compute(A, An);
+    ThreadPool Pool(4);
+    LalrLookaheads Parallel = LalrLookaheads::compute(
+        A, An, SolverKind::Digraph, nullptr, &Pool);
+    expectIdentical(Serial, Parallel);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The BuildOptions::Threads knob through BuildPipeline
+// ---------------------------------------------------------------------------
+
+TEST(ParallelPipelineTest, ThreadsOptionYieldsIdenticalTable) {
+  Grammar G = loadCorpusGrammar("ansic");
+
+  BuildContext SerialCtx(G);
+  BuildOptions SerialOpts;
+  SerialOpts.Threads = 0;
+  BuildResult Serial = BuildPipeline(SerialCtx, SerialOpts).run();
+  EXPECT_EQ(SerialCtx.threads(), 0u);
+
+  BuildContext ParallelCtx(G);
+  BuildOptions ParallelOpts;
+  ParallelOpts.Threads = 2;
+  BuildResult Parallel = BuildPipeline(ParallelCtx, ParallelOpts).run();
+  EXPECT_EQ(ParallelCtx.threads(), 2u);
+
+  ASSERT_EQ(Serial.Table.numStates(), Parallel.Table.numStates());
+  for (uint32_t S = 0; S < Serial.Table.numStates(); ++S)
+    for (SymbolId T = 0; T < G.numTerminals(); ++T)
+      EXPECT_EQ(Serial.Table.action(S, T), Parallel.Table.action(S, T))
+          << "state " << S << " terminal " << T;
+
+  // The instrumented run must attribute worker counts to the sharded
+  // stages — and only on the parallel context.
+  EXPECT_EQ(Parallel.Stats.stageThreads("relations"), 2u);
+  EXPECT_EQ(Parallel.Stats.stageThreads("solve-follow"), 2u);
+  EXPECT_EQ(Parallel.Stats.counter("build_threads"), 2u);
+  EXPECT_EQ(Serial.Stats.stageThreads("relations"), 0u);
+  EXPECT_EQ(Serial.Stats.counter("build_threads"), 0u);
+}
+
+TEST(ParallelPipelineTest, ContextReusesOnePoolAcrossBuilds) {
+  BuildContext Ctx(loadCorpusGrammar("pascal"));
+  Ctx.setThreads(2);
+  ThreadPool *First = Ctx.threadPool();
+  ASSERT_NE(First, nullptr);
+  EXPECT_EQ(First->workerCount(), 2u);
+  BuildOptions Opts; // Threads = -1: inherit the context's setting
+  BuildPipeline(Ctx, Opts).run();
+  EXPECT_EQ(Ctx.threadPool(), First);
+  EXPECT_EQ(Ctx.threads(), 2u);
+
+  // Changing the count drops the old pool; 0 reverts to serial.
+  Ctx.setThreads(3);
+  ThreadPool *Second = Ctx.threadPool();
+  ASSERT_NE(Second, nullptr);
+  EXPECT_EQ(Second->workerCount(), 3u);
+  Ctx.setThreads(0);
+  EXPECT_EQ(Ctx.threadPool(), nullptr);
+}
