@@ -1,0 +1,141 @@
+//===- bench/bench_service_throughput.cpp - BuildService throughput ---------===//
+///
+/// \file
+/// Reproduction extension (not a paper table): quantifies what the
+/// grammar-build service layer adds on top of the DeRemer-Pennello core —
+/// context-cache amortization and batch-level parallelism. Each row runs
+/// one request composition through a fresh BuildService and reports
+/// requests/second, mean per-request service wall, and the cache hit
+/// ratio:
+///
+///   cold      every grammar requested once (all misses; the baseline)
+///   warm      the same grammar re-requested R times (hit path)
+///   kinds     the full TableKind matrix over one grammar (one LR(0)
+///             build amortized over 9 tables)
+///   mixed     realistic corpus x {lalr1, slr1, clr1}, serial vs 2 workers
+///
+/// Emits the standard pipeline-stats JSON (one entry per row via
+/// ServiceStats::toPipelineStats) for the compare_stats.py tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "corpus/CorpusGrammars.h"
+#include "service/BuildService.h"
+
+#include <string>
+#include <vector>
+
+using namespace lalr;
+using namespace lalrbench;
+
+namespace {
+
+ServiceRequest makeRequest(std::string_view Name, TableKind Kind) {
+  ServiceRequest R;
+  R.GrammarName = std::string(Name);
+  R.Options.Kind = Kind;
+  return R;
+}
+
+struct RowResult {
+  ServiceStats Stats;
+  double BatchUs = 0; ///< wall-clock of the runBatch call itself
+};
+
+RowResult runComposition(const std::vector<ServiceRequest> &Requests,
+                         unsigned Workers) {
+  BuildService::Options Opts;
+  Opts.Workers = Workers;
+  Opts.CacheCapacity = 32; // hold the whole realistic corpus
+  BuildService Svc(Opts);
+  Timer T;
+  std::vector<ServiceResponse> Responses = Svc.runBatch(Requests);
+  RowResult Out;
+  Out.BatchUs = T.elapsedUs();
+  for (const ServiceResponse &R : Responses)
+    if (!R.Ok)
+      std::fprintf(stderr, "request failed: %s\n", R.Error.c_str());
+  Out.Stats = Svc.stats();
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
+
+  struct Row {
+    std::string Label;
+    std::vector<ServiceRequest> Requests;
+    unsigned Workers = 0;
+  };
+  std::vector<Row> Rows;
+
+  // cold: one request per realistic corpus grammar — all misses.
+  {
+    Row R;
+    R.Label = "cold-corpus";
+    for (std::string_view Name : listCorpusGrammars(/*RealisticOnly=*/true))
+      R.Requests.push_back(makeRequest(Name, TableKind::Lalr1));
+    Rows.push_back(std::move(R));
+  }
+
+  // warm: the same grammar requested 32 times — one miss, 31 hits.
+  {
+    Row R;
+    R.Label = "warm-ansic-x32";
+    for (int I = 0; I < 32; ++I)
+      R.Requests.push_back(makeRequest("ansic", TableKind::Lalr1));
+    Rows.push_back(std::move(R));
+  }
+
+  // kinds: the full table-kind matrix over one grammar — one LR(0) and
+  // one LR(1) build amortized across all nine constructions.
+  {
+    Row R;
+    R.Label = "kinds-minic-x9";
+    for (TableKind K : AllTableKinds)
+      R.Requests.push_back(makeRequest("minic", K));
+    Rows.push_back(std::move(R));
+  }
+
+  // mixed: realistic corpus x three kinds, serial then two workers (the
+  // batch-parallelism knob; results are identical by contract).
+  for (unsigned Workers : {0u, 2u}) {
+    Row R;
+    R.Label = "mixed-corpus-w" + std::to_string(Workers);
+    for (std::string_view Name : listCorpusGrammars(/*RealisticOnly=*/true))
+      for (TableKind K : {TableKind::Lalr1, TableKind::Slr1, TableKind::Clr1})
+        R.Requests.push_back(makeRequest(Name, K));
+    R.Workers = Workers;
+    Rows.push_back(std::move(R));
+  }
+
+  std::printf("BuildService throughput (reproduction extension; see "
+              "docs/SERVICE.md)\n\n");
+  TablePrinter P({18, 9, 8, 11, 12, 10, 9});
+  P.header({"composition", "requests", "workers", "req/s", "mean req",
+            "hit-ratio", "misses"});
+
+  for (Row &R : Rows) {
+    RowResult Res = runComposition(R.Requests, R.Workers);
+    const ServiceStats &S = Res.Stats;
+    double ReqPerSec =
+        Res.BatchUs > 0 ? 1e6 * static_cast<double>(S.Requests) / Res.BatchUs
+                        : 0;
+    char Ratio[16], Rate[24];
+    std::snprintf(Ratio, sizeof(Ratio), "%.0f%%", S.cacheHitRatio() * 100.0);
+    std::snprintf(Rate, sizeof(Rate), "%.0f", ReqPerSec);
+    P.row({R.Label, fmt(S.Requests), fmt(R.Workers), Rate,
+           fmtUs(S.Requests ? S.RequestUs / static_cast<double>(S.Requests)
+                            : 0),
+           Ratio, fmt(S.CacheMisses)});
+
+    PipelineStats Stats = S.toPipelineStats("service-throughput/" + R.Label);
+    Stats.setCounter("service_workers", R.Workers);
+    Sink.add(Stats);
+  }
+
+  return Sink.flush();
+}

@@ -1,0 +1,244 @@
+//===- examples/lalr_batchd.cpp - Batched grammar-build driver --------------===//
+///
+/// \file
+/// The command-line front end of the grammar-build service: reads a batch
+/// of build requests — from a manifest file (see docs/SERVICE.md for the
+/// dialect) or from repeatable --request flags — runs them through one
+/// BuildService with a shared ContextCache, prints one line per result,
+/// and ends with the aggregate ServiceStats (optionally as JSON for the
+/// compare_stats.py tooling).
+///
+/// Usage:
+///   lalr_batchd --manifest FILE            # '-' reads stdin
+///   lalr_batchd --request NAME:KIND[:compress][:require-adequate]
+///               [:solver=naive] ...        # repeatable
+///   lalr_batchd [--workers N] [--cache-capacity N] [--repeat N]
+///               [--stats-json PATH|-] [--quiet]
+///   lalr_batchd --list                     # corpus grammar names
+///
+/// Grammar names resolve in the corpus registry; names ending in .y are
+/// loaded from disk instead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "service/BuildService.h"
+#include "service/Manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lalr_batchd --manifest FILE|- [options]\n"
+      "       lalr_batchd --request NAME:KIND[:compress][:require-adequate]"
+      "[:solver=naive|digraph] ... [options]\n"
+      "       lalr_batchd --list\n"
+      "options:\n"
+      "  --workers N         batch-level parallelism (default 0 = serial)\n"
+      "  --cache-capacity N  LRU bound on cached grammar contexts "
+      "(default 16)\n"
+      "  --repeat N          run the whole request list N times "
+      "(warm-cache knob)\n"
+      "  --stats-json PATH   write aggregate ServiceStats JSON "
+      "('-' = stdout)\n"
+      "  --quiet             suppress per-request lines\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out, bool AllowStdin) {
+  if (AllowStdin && Path == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Out = SS.str();
+    return true;
+  }
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// Parses one --request value: NAME:KIND[:option...]. Reuses the manifest
+/// option vocabulary by rewriting to a one-line manifest.
+bool parseRequestFlag(const std::string &Value, std::vector<ManifestEntry> &Out,
+                      std::string &Error) {
+  std::string Line = "build";
+  for (size_t I = 0, Start = 0; I <= Value.size(); ++I) {
+    if (I == Value.size() || Value[I] == ':') {
+      Line += ' ';
+      Line += Value.substr(Start, I - Start);
+      Start = I + 1;
+    }
+  }
+  std::optional<std::vector<ManifestEntry>> Parsed = parseManifest(Line, Error);
+  if (!Parsed)
+    return false;
+  for (ManifestEntry &E : *Parsed)
+    Out.push_back(std::move(E));
+  return true;
+}
+
+/// Loads .y-path grammars into inline sources so the service never does
+/// file IO. Corpus names pass through untouched.
+bool resolvePathGrammars(std::vector<ManifestEntry> &Entries,
+                         std::string &Error) {
+  for (ManifestEntry &E : Entries) {
+    if (!isGrammarPath(E.Request.GrammarName))
+      continue;
+    if (!readFile(E.Request.GrammarName, E.Request.Source,
+                  /*AllowStdin=*/false)) {
+      Error = "cannot open grammar file '" + E.Request.GrammarName + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+void printResponse(const ServiceRequest &Req, const ServiceResponse &R) {
+  if (!R.Ok) {
+    std::printf("FAIL %-18s %-14s %s\n", Req.GrammarName.c_str(),
+                tableKindName(Req.Options.Kind), R.Error.c_str());
+    return;
+  }
+  const ParseTable &T = R.Result->Table;
+  std::printf("ok   %-18s %-14s %5zu states %3zu conflicts %9.1f us %s%s%s\n",
+              Req.GrammarName.c_str(), tableKindName(Req.Options.Kind),
+              T.numStates(), T.conflicts().size(), R.WallUs,
+              R.CacheHit ? "hit " : "miss",
+              R.Result->Compressed ? " compressed" : "",
+              R.Result->PolicySatisfied ? "" : " POLICY-VIOLATED");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BuildService::Options SvcOpts;
+  std::string ManifestPath, StatsJsonPath;
+  std::vector<ManifestEntry> Entries;
+  unsigned Repeat = 1;
+  bool Quiet = false;
+  std::string Error;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--list") {
+      for (std::string_view Name : listCorpusGrammars()) {
+        const CorpusEntry *E = corpusGrammarByName(Name);
+        std::printf("%-22s %s\n", E->Name, E->Description);
+      }
+      return 0;
+    } else if (Arg == "--manifest" && I + 1 < Argc) {
+      ManifestPath = Argv[++I];
+    } else if (Arg == "--request" && I + 1 < Argc) {
+      if (!parseRequestFlag(Argv[++I], Entries, Error)) {
+        std::fprintf(stderr, "--request %s: %s\n", Argv[I], Error.c_str());
+        return 2;
+      }
+    } else if (Arg == "--workers" && I + 1 < Argc) {
+      SvcOpts.Workers = parseBuildThreads(Argv[++I]);
+    } else if (Arg == "--cache-capacity" && I + 1 < Argc) {
+      SvcOpts.CacheCapacity =
+          static_cast<size_t>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (Arg == "--repeat" && I + 1 < Argc) {
+      Repeat = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+      if (Repeat == 0)
+        Repeat = 1;
+    } else if (Arg == "--stats-json" && I + 1 < Argc) {
+      StatsJsonPath = Argv[++I];
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!ManifestPath.empty()) {
+    std::string Text;
+    if (!readFile(ManifestPath, Text, /*AllowStdin=*/true)) {
+      std::fprintf(stderr, "cannot open manifest '%s'\n", ManifestPath.c_str());
+      return 2;
+    }
+    std::optional<std::vector<ManifestEntry>> Parsed =
+        parseManifest(Text, Error);
+    if (!Parsed) {
+      std::fprintf(stderr, "%s: %s\n", ManifestPath.c_str(), Error.c_str());
+      return 2;
+    }
+    for (ManifestEntry &E : *Parsed)
+      Entries.push_back(std::move(E));
+  }
+  if (Entries.empty())
+    return usage();
+  if (!resolvePathGrammars(Entries, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 2;
+  }
+
+  BuildService Svc(SvcOpts);
+  bool AnyFailed = false;
+
+  // Replay the entry list --repeat times. Build entries accumulate into
+  // batch segments; an invalidate entry flushes the pending segment, then
+  // drops that grammar's artifacts (so order is preserved).
+  std::vector<ServiceRequest> Pending;
+  auto Flush = [&] {
+    if (Pending.empty())
+      return;
+    std::vector<ServiceResponse> Responses = Svc.runBatch(Pending);
+    for (size_t I = 0; I < Responses.size(); ++I) {
+      AnyFailed |= !Responses[I].Ok;
+      if (!Quiet)
+        printResponse(Pending[I], Responses[I]);
+    }
+    Pending.clear();
+  };
+
+  for (unsigned Round = 0; Round < Repeat; ++Round) {
+    for (const ManifestEntry &E : Entries) {
+      if (E.Act == ManifestEntry::Action::Invalidate) {
+        Flush();
+        if (!Quiet)
+          std::printf("inv  %-18s %s\n", E.Request.GrammarName.c_str(),
+                      Svc.invalidateGrammar(E.Request.GrammarName)
+                          ? "artifacts dropped"
+                          : "(not cached)");
+        continue;
+      }
+      for (unsigned R = 0; R < E.Repeat; ++R)
+        Pending.push_back(E.Request);
+    }
+  }
+  Flush();
+
+  ServiceStats S = Svc.stats();
+  std::printf("%s", reportServiceStats(S).c_str());
+
+  if (!StatsJsonPath.empty()) {
+    std::string Json = S.toJson(/*Pretty=*/true);
+    Json += '\n';
+    if (StatsJsonPath == "-") {
+      std::fputs(Json.c_str(), stdout);
+    } else {
+      std::ofstream Out(StatsJsonPath);
+      if (!Out) {
+        std::fprintf(stderr, "cannot write '%s'\n", StatsJsonPath.c_str());
+        return 2;
+      }
+      Out << Json;
+    }
+  }
+  return AnyFailed ? 1 : 0;
+}

@@ -5,13 +5,18 @@
 # look-ahead test binary with LALR_THREADS forced, so every sharded stage
 # (relations build, wavefront digraph solves, la-union) runs under the
 # race detector both directly and through the env-driven default path.
+# The service test rides along: it exercises the BuildService batch
+# scheduler, the shared ContextCache and the streaming dispatcher thread.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
-cmake --build build-tsan --target parallel_test lalr_test pipeline_test
+cmake --build build-tsan --target parallel_test lalr_test pipeline_test \
+  service_test
 
 ./build-tsan/tests/parallel_test
 LALR_THREADS=4 ./build-tsan/tests/lalr_test
 LALR_THREADS=4 ./build-tsan/tests/pipeline_test
+./build-tsan/tests/service_test
+LALR_THREADS=2 ./build-tsan/tests/service_test

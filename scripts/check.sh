@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 
+# The bench-stats comparison tool gates CI; validate it before trusting it.
+python3 scripts/test_compare_stats.py
+
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
 # Second pass with the parallel DP core forced on: LALR_THREADS seeds

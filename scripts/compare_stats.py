@@ -72,7 +72,7 @@ def stages(entry):
     return {s["name"]: s["wall_us"] for s in entry.get("stages", [])}
 
 
-def compare(base, cand, threshold, min_us):
+def compare(base, cand, threshold, min_us, structural_only=False):
     problems = []
     for fname, base_labels in base.items():
         cand_labels = cand.get(fname)
@@ -90,6 +90,8 @@ def compare(base, cand, threshold, min_us):
                     problems.append(
                         f"{fname} [{label}] counter {name}: "
                         f"{bc[name]} -> {cc[name]} (structural drift)")
+            if structural_only:
+                continue
             bs, cs = stages(base_entry), stages(cand_entry)
             for name in sorted(bs.keys() & cs.keys()):
                 if bs[name] < min_us:
@@ -114,6 +116,10 @@ def main():
     ap.add_argument("--self", action="store_true",
                     help="compare the baseline against itself (validates "
                          "the files parse and the tool's plumbing)")
+    ap.add_argument("--structural-only", action="store_true",
+                    help="check structural counters only, skipping the "
+                         "wall-clock comparison (for cross-machine or "
+                         "cross-commit runs where timings are noise)")
     args = ap.parse_args()
 
     if args.self != (args.candidate is None):
@@ -121,16 +127,18 @@ def main():
     base = load_dir(args.baseline)
     cand = base if args.self else load_dir(args.candidate)
 
-    problems = compare(base, cand, args.threshold, args.min_us)
+    problems = compare(base, cand, args.threshold, args.min_us,
+                       args.structural_only)
     n_entries = sum(len(v) for v in base.values())
     if problems:
         print(f"{len(problems)} regression(s) across {n_entries} entries:")
         for p in problems:
             print(f"  {p}")
         return 1
+    timing_note = ("timings skipped" if args.structural_only else
+                   f"no stage slower than {args.threshold:.2f}x baseline")
     print(f"OK: {n_entries} entries in {len(base)} files, "
-          f"no structural drift, no stage slower than "
-          f"{args.threshold:.2f}x baseline")
+          f"no structural drift, {timing_note}")
     return 0
 
 

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/compare_stats.py — stdlib unittest only, run by
+scripts/check.sh and CI before the tool gates anything:
+
+    python3 scripts/test_compare_stats.py
+
+Covers the comparison semantics the CI gate depends on: missing files and
+labels, structural-counter drift, the wall-clock threshold boundary
+(exactly at the threshold passes, just above fails), the --min-us noise
+filter, --structural-only, --self, and the process-level exit codes.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import compare_stats  # noqa: E402
+
+TOOL = Path(__file__).resolve().parent / "compare_stats.py"
+
+
+def entry(label, counters=None, stages=None):
+    return {
+        "label": label,
+        "counters": [{"name": n, "value": v}
+                     for n, v in (counters or {}).items()],
+        "stages": [{"name": n, "wall_us": us}
+                   for n, us in (stages or {}).items()],
+    }
+
+
+def write_dir(root, name, files):
+    """files: {filename: [entry, ...]} -> a bench-stats directory."""
+    d = Path(root) / name
+    d.mkdir()
+    for fname, entries in files.items():
+        (d / fname).write_text(json.dumps(entries))
+    return d
+
+
+class CompareFunctionTest(unittest.TestCase):
+    """Unit tests against compare_stats.compare / load_dir directly."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def load(self, name, files):
+        return compare_stats.load_dir(write_dir(self.tmp.name, name, files))
+
+    def test_identical_dirs_are_clean(self):
+        files = {"b.json": [entry("g/lalr1", {"lr0_states": 10},
+                                  {"lr0": 500.0})]}
+        base = self.load("base", files)
+        cand = self.load("cand", files)
+        self.assertEqual(compare_stats.compare(base, cand, 1.5, 100.0), [])
+
+    def test_missing_file_is_reported(self):
+        base = self.load("base", {"a.json": [entry("x")],
+                                  "b.json": [entry("y")]})
+        cand = self.load("cand", {"a.json": [entry("x")]})
+        problems = compare_stats.compare(base, cand, 1.5, 100.0)
+        self.assertEqual(len(problems), 1)
+        self.assertIn("b.json: missing from candidate directory", problems[0])
+
+    def test_missing_label_is_reported(self):
+        base = self.load("base", {"a.json": [entry("x"), entry("y")]})
+        cand = self.load("cand", {"a.json": [entry("x")]})
+        problems = compare_stats.compare(base, cand, 1.5, 100.0)
+        self.assertEqual(problems, ["a.json [y]: entry missing"])
+
+    def test_structural_counter_drift_fails(self):
+        base = self.load("base", {"a.json": [entry("g", {"lr0_states": 10})]})
+        cand = self.load("cand", {"a.json": [entry("g", {"lr0_states": 11})]})
+        problems = compare_stats.compare(base, cand, 1.5, 100.0)
+        self.assertEqual(len(problems), 1)
+        self.assertIn("counter lr0_states: 10 -> 11 (structural drift)",
+                      problems[0])
+
+    def test_non_structural_counter_drift_is_ignored(self):
+        # build_threads varies across configurations by design.
+        base = self.load("base", {"a.json": [entry("g", {"build_threads": 0})]})
+        cand = self.load("cand", {"a.json": [entry("g", {"build_threads": 4})]})
+        self.assertEqual(compare_stats.compare(base, cand, 1.5, 100.0), [])
+
+    def test_stage_exactly_at_threshold_passes(self):
+        base = self.load("base", {"a.json": [entry("g", None,
+                                                   {"lr0": 1000.0})]})
+        cand = self.load("cand", {"a.json": [entry("g", None,
+                                                   {"lr0": 1500.0})]})
+        self.assertEqual(compare_stats.compare(base, cand, 1.5, 100.0), [])
+
+    def test_stage_just_above_threshold_fails(self):
+        base = self.load("base", {"a.json": [entry("g", None,
+                                                   {"lr0": 1000.0})]})
+        cand = self.load("cand", {"a.json": [entry("g", None,
+                                                   {"lr0": 1500.1})]})
+        problems = compare_stats.compare(base, cand, 1.5, 100.0)
+        self.assertEqual(len(problems), 1)
+        self.assertIn("stage lr0", problems[0])
+
+    def test_min_us_filters_fast_stages(self):
+        # A 10x regression on a 50us stage is noise below min_us=100.
+        base = self.load("base", {"a.json": [entry("g", None,
+                                                   {"tiny": 50.0})]})
+        cand = self.load("cand", {"a.json": [entry("g", None,
+                                                   {"tiny": 500.0})]})
+        self.assertEqual(compare_stats.compare(base, cand, 1.5, 100.0), [])
+        # At min_us=10 the same drift is flagged.
+        self.assertEqual(
+            len(compare_stats.compare(base, cand, 1.5, 10.0)), 1)
+
+    def test_structural_only_skips_timing(self):
+        files_base = {"a.json": [entry("g", {"lr0_states": 10},
+                                       {"lr0": 1000.0})]}
+        files_cand = {"a.json": [entry("g", {"lr0_states": 10},
+                                       {"lr0": 9000.0})]}
+        base = self.load("base", files_base)
+        cand = self.load("cand", files_cand)
+        self.assertEqual(
+            compare_stats.compare(base, cand, 1.5, 100.0,
+                                  structural_only=True), [])
+        # Counter drift still fails in structural-only mode.
+        cand_bad = self.load(
+            "cand_bad", {"a.json": [entry("g", {"lr0_states": 99})]})
+        self.assertEqual(
+            len(compare_stats.compare(base, cand_bad, 1.5, 100.0,
+                                      structural_only=True)), 1)
+
+
+class CliExitCodeTest(unittest.TestCase):
+    """End-to-end: the exit codes CI branches on."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def run_tool(self, *args):
+        return subprocess.run([sys.executable, str(TOOL), *args],
+                              capture_output=True, text=True)
+
+    def test_clean_comparison_exits_zero(self):
+        files = {"b.json": [entry("g", {"lr0_states": 5}, {"lr0": 200.0})]}
+        base = write_dir(self.tmp.name, "base", files)
+        cand = write_dir(self.tmp.name, "cand", files)
+        proc = self.run_tool(str(base), str(cand))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK:", proc.stdout)
+
+    def test_drift_exits_one(self):
+        base = write_dir(self.tmp.name, "base",
+                         {"b.json": [entry("g", {"lr0_states": 5})]})
+        cand = write_dir(self.tmp.name, "cand",
+                         {"b.json": [entry("g", {"lr0_states": 6})]})
+        proc = self.run_tool(str(base), str(cand))
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("structural drift", proc.stdout)
+
+    def test_missing_directory_exits_two(self):
+        base = write_dir(self.tmp.name, "base", {"b.json": [entry("g")]})
+        proc = self.run_tool(str(base), str(Path(self.tmp.name) / "absent"))
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_unparseable_json_exits_two(self):
+        base = write_dir(self.tmp.name, "base", {"b.json": [entry("g")]})
+        bad = Path(self.tmp.name) / "bad"
+        bad.mkdir()
+        (bad / "b.json").write_text("{not json")
+        proc = self.run_tool(str(base), str(bad))
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_self_mode_exits_zero(self):
+        base = write_dir(self.tmp.name, "base",
+                         {"b.json": [entry("g", {"lr0_states": 5})]})
+        proc = self.run_tool("--self", str(base))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_self_with_candidate_is_usage_error(self):
+        base = write_dir(self.tmp.name, "base", {"b.json": [entry("g")]})
+        proc = self.run_tool("--self", str(base), str(base))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_structural_only_flag(self):
+        base = write_dir(self.tmp.name, "base",
+                         {"b.json": [entry("g", {"lr0_states": 5},
+                                           {"lr0": 100.0})]})
+        cand = write_dir(self.tmp.name, "cand",
+                         {"b.json": [entry("g", {"lr0_states": 5},
+                                           {"lr0": 100000.0})]})
+        proc = self.run_tool("--structural-only", str(base), str(cand))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("timings skipped", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

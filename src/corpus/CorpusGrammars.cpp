@@ -1090,6 +1090,20 @@ const CorpusEntry *lalr::findCorpusEntry(std::string_view Name) {
   return nullptr;
 }
 
+const CorpusEntry *lalr::corpusGrammarByName(std::string_view Name) {
+  return findCorpusEntry(Name);
+}
+
+std::vector<std::string_view> lalr::listCorpusGrammars(bool RealisticOnly) {
+  std::vector<std::string_view> Names;
+  for (const CorpusEntry &E : Entries) {
+    if (RealisticOnly && !E.Realistic)
+      continue;
+    Names.push_back(E.Name);
+  }
+  return Names;
+}
+
 Grammar lalr::loadCorpusGrammar(const CorpusEntry &Entry) {
   DiagnosticEngine Diags;
   std::optional<Grammar> G = parseGrammar(Entry.Source, Diags, Entry.Name);

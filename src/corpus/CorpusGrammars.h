@@ -19,6 +19,7 @@
 
 #include <span>
 #include <string_view>
+#include <vector>
 
 namespace lalr {
 
@@ -49,6 +50,20 @@ std::span<const CorpusEntry> realisticCorpusEntries();
 
 /// Finds an entry by name; nullptr if absent.
 const CorpusEntry *findCorpusEntry(std::string_view Name);
+
+/// \name By-name registry
+/// The string-keyed view of the corpus: service manifests, grammar_report
+/// and any future tooling reference corpus grammars by name through these
+/// instead of linking bespoke grammar headers.
+/// @{
+
+/// Same lookup as findCorpusEntry under the registry's naming convention.
+const CorpusEntry *corpusGrammarByName(std::string_view Name);
+
+/// All corpus grammar names in registry (listing) order; realistic
+/// grammars first. \p RealisticOnly restricts to the Table 1-3 workload.
+std::vector<std::string_view> listCorpusGrammars(bool RealisticOnly = false);
+/// @}
 
 /// Parses a corpus grammar. The corpus is trusted: a parse failure here is
 /// a bug and aborts with the diagnostics printed.

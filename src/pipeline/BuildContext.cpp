@@ -47,6 +47,14 @@ ThreadPool *BuildContext::threadPool() {
   return Pool.get();
 }
 
+void BuildContext::invalidateArtifacts() {
+  An.reset();
+  A.reset();
+  DigraphLa.reset();
+  NaiveLa.reset();
+  L1.reset();
+}
+
 const GrammarAnalysis &BuildContext::analysis() {
   if (!An) {
     StageTimer T(&Stats, "analysis");

@@ -76,6 +76,16 @@ public:
   const Lr1Automaton &lr1();
   /// @}
 
+  /// Drops every memoized artifact (analysis, LR(0) automaton, look-ahead
+  /// sets, LR(1) automaton) so the next accessor call rebuilds it. The
+  /// grammar, the thread configuration, the accumulated stats and the
+  /// build counters are kept — counters keep counting across an
+  /// invalidation, which is what lets a cache prove "invalidating this
+  /// grammar rebuilt the automaton exactly once more". This is the
+  /// invalidation hook for long-lived contexts (the service-layer
+  /// ContextCache and future incremental-rebuild tooling).
+  void invalidateArtifacts();
+
   /// \name Build counters
   /// How many times each artifact was actually constructed. Memoization
   /// working means these stay at 1 no matter how many builders ran.

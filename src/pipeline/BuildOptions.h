@@ -15,7 +15,10 @@
 #include "lalr/LalrLookaheads.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <optional>
+#include <string_view>
 
 namespace lalr {
 
@@ -60,23 +63,74 @@ inline const char *tableKindName(TableKind K) {
   return "unknown";
 }
 
+/// All table kinds in pipeline order; iterate this instead of spelling
+/// the enumerators out (the service manifest and the benches both sweep
+/// the full matrix).
+inline constexpr TableKind AllTableKinds[] = {
+    TableKind::Lr0,        TableKind::Slr1,
+    TableKind::Nqlalr,     TableKind::Lalr1,
+    TableKind::Clr1,       TableKind::YaccLalr,
+    TableKind::MergedLalr, TableKind::DerivedFollowLalr,
+    TableKind::Pager,
+};
+
+/// Inverse of tableKindName; nullopt for unknown names.
+inline std::optional<TableKind> tableKindByName(std::string_view Name) {
+  for (TableKind K : AllTableKinds)
+    if (Name == tableKindName(K))
+      return K;
+  return std::nullopt;
+}
+
 /// What to do about unresolved conflicts in the built table.
 enum class ConflictPolicy : uint8_t {
   Allow,           ///< keep the table; conflicts are data (classification)
   RequireAdequate, ///< flag the build as failed unless conflict-free
 };
 
+/// Largest worker count LALR_THREADS / BuildService accept; anything
+/// above is treated as a typo rather than a request for 10^6 threads.
+inline constexpr long MaxBuildThreads = 256;
+
+/// Parses a LALR_THREADS-style worker-count string: a plain decimal
+/// integer in [0, MaxBuildThreads], where 0 means serial. Garbage
+/// (non-numeric text, trailing characters), negative values and
+/// out-of-range counts set \p *Valid to false and fall back to 0 (serial)
+/// instead of silently misbehaving. Exposed separately from
+/// defaultBuildThreads so the rejection rules are unit-testable without
+/// mutating the environment.
+inline unsigned parseBuildThreads(const char *Text, bool *Valid = nullptr) {
+  if (Valid)
+    *Valid = true;
+  if (!Text || !*Text)
+    return 0;
+  char *End = nullptr;
+  long V = std::strtol(Text, &End, 10);
+  if (!End || *End != '\0' || V < 0 || V > MaxBuildThreads) {
+    if (Valid)
+      *Valid = false;
+    return 0;
+  }
+  return static_cast<unsigned>(V);
+}
+
 /// Worker count forced by the LALR_THREADS environment variable, or 0
-/// (serial) when unset/invalid. Read once; lets scripts/check.sh run the
-/// whole tier-1 suite over the parallel path without touching call sites.
+/// (serial) when unset. Read once; lets scripts/check.sh run the whole
+/// tier-1 suite over the parallel path without touching call sites. An
+/// invalid setting warns once on stderr and builds serially.
 inline unsigned defaultBuildThreads() {
   static const unsigned Cached = [] {
     const char *Env = std::getenv("LALR_THREADS");
     if (!Env || !*Env)
-      return 0L;
-    char *End = nullptr;
-    long V = std::strtol(Env, &End, 10);
-    return (End && *End == '\0' && V > 0 && V <= 256) ? V : 0L;
+      return 0u;
+    bool Valid = true;
+    unsigned N = parseBuildThreads(Env, &Valid);
+    if (!Valid)
+      std::fprintf(stderr,
+                   "warning: invalid LALR_THREADS='%s' (expected an integer "
+                   "in [0, %ld]); building serially\n",
+                   Env, MaxBuildThreads);
+    return N;
   }();
   return Cached;
 }

@@ -1,0 +1,209 @@
+//===- service/BuildService.cpp - Batched multi-grammar builds -----------===//
+
+#include "service/BuildService.h"
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+using namespace lalr;
+
+BuildService::BuildService(Options Opts)
+    : Opts(Opts), Cache(Opts.CacheCapacity) {
+  // Eager pool creation keeps runBatch free of construction races when
+  // batches arrive from several threads at once.
+  if (Opts.Workers > 1)
+    Pool = std::make_unique<ThreadPool>(Opts.Workers);
+}
+
+BuildService::~BuildService() {
+  Queue.close();
+  std::thread ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(TicketMu);
+    ToJoin = std::move(Dispatcher);
+  }
+  if (ToJoin.joinable())
+    ToJoin.join();
+}
+
+void BuildService::resolveAndExecute(const ServiceRequest &Request,
+                                     ServiceResponse &Response) {
+  Timer T;
+
+  // Resolve the grammar text: inline source wins, otherwise the name is
+  // looked up in the corpus registry.
+  std::string_view Source = Request.Source;
+  std::string Error;
+  if (Source.empty()) {
+    const CorpusEntry *Entry = corpusGrammarByName(Request.GrammarName);
+    if (!Entry) {
+      Response.Ok = false;
+      Response.Error =
+          "unknown grammar '" + Request.GrammarName + "' (not in the corpus "
+          "registry and no inline source given)";
+    } else {
+      Source = Entry->Source;
+    }
+  }
+
+  if (!Source.empty()) {
+    bool Hit = false;
+    std::shared_ptr<CachedGrammar> Entry = Cache.acquire(
+        Request.GrammarName, hashGrammarSource(Source),
+        [&]() -> std::optional<Grammar> {
+          DiagnosticEngine Diags;
+          std::optional<Grammar> G =
+              parseGrammar(Source, Diags, Request.GrammarName);
+          if (!G)
+            Error = "grammar '" + Request.GrammarName +
+                    "' failed to parse:\n" + Diags.render();
+          return G;
+        },
+        &Hit);
+    Response.CacheHit = Hit;
+    if (!Entry) {
+      Response.Ok = false;
+      Response.Error = std::move(Error);
+    } else {
+      Response.Context = Entry;
+      BuildOptions BO = Request.Options;
+      BO.Threads = Opts.ContextThreads;
+      // Builds on one grammar take turns: BuildContext memoization is
+      // not itself thread-safe.
+      std::lock_guard<std::mutex> BuildLock(Entry->BuildMu);
+      Response.Result.emplace(BuildPipeline(Entry->Ctx, BO).run());
+      Response.Ok = true;
+    }
+  }
+
+  Response.WallUs = T.elapsedUs();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Requests;
+    ++(Response.Ok ? Succeeded : Failed);
+    RequestUs += Response.WallUs;
+  }
+}
+
+std::vector<ServiceResponse>
+BuildService::runBatch(std::span<const ServiceRequest> Reqs) {
+  std::vector<ServiceResponse> Responses(Reqs.size());
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Batches;
+  }
+
+  // Group request indices by grammar name (first-seen order): one group
+  // shares one cached context and runs in submission order, so M kinds
+  // over one grammar pay one cold build; distinct groups are independent
+  // and fan out across the pool.
+  std::vector<std::vector<size_t>> Groups;
+  std::unordered_map<std::string_view, size_t> GroupOf;
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    auto [It, New] = GroupOf.try_emplace(Reqs[I].GrammarName, Groups.size());
+    if (New)
+      Groups.emplace_back();
+    Groups[It->second].push_back(I);
+  }
+
+  auto RunGroup = [&](size_t G) {
+    for (size_t I : Groups[G])
+      resolveAndExecute(Reqs[I], Responses[I]);
+  };
+
+  if (Pool && Groups.size() > 1) {
+    // One chunk per group: ThreadPool's atomic chunk claiming becomes
+    // dynamic load balancing across grammars of very different sizes.
+    // Responses land in pre-sized per-request slots, so claim order does
+    // not affect the output.
+    std::lock_guard<std::mutex> Lock(PoolMu);
+    Pool->parallelFor(
+        0, Groups.size(),
+        [&](size_t, size_t Lo, size_t Hi) {
+          for (size_t G = Lo; G < Hi; ++G)
+            RunGroup(G);
+        },
+        /*NumChunks=*/Groups.size());
+  } else {
+    for (size_t G = 0; G < Groups.size(); ++G)
+      RunGroup(G);
+  }
+  return Responses;
+}
+
+uint64_t BuildService::submit(ServiceRequest Request) {
+  uint64_t Ticket;
+  {
+    std::lock_guard<std::mutex> Lock(TicketMu);
+    Ticket = NextTicket++;
+    if (!DispatcherRunning) {
+      Dispatcher = std::thread([this] { dispatcherLoop(); });
+      DispatcherRunning = true;
+    }
+  }
+  if (!Queue.push({Ticket, std::move(Request)})) {
+    // Closed while shutting down: park a failed response so a racing
+    // wait() is not stranded.
+    ServiceResponse R;
+    R.Ok = false;
+    R.Error = "service is shutting down";
+    std::lock_guard<std::mutex> Lock(TicketMu);
+    Completed.emplace(Ticket, std::move(R));
+    TicketDone.notify_all();
+  }
+  return Ticket;
+}
+
+ServiceResponse BuildService::wait(uint64_t Ticket) {
+  std::unique_lock<std::mutex> Lock(TicketMu);
+  if (Ticket == 0 || Ticket >= NextTicket) {
+    ServiceResponse R;
+    R.Ok = false;
+    R.Error = "unknown ticket";
+    return R;
+  }
+  TicketDone.wait(Lock, [&] { return Completed.count(Ticket) != 0; });
+  auto It = Completed.find(Ticket);
+  ServiceResponse R = std::move(It->second);
+  Completed.erase(It);
+  return R;
+}
+
+void BuildService::dispatcherLoop() {
+  while (std::optional<std::pair<uint64_t, ServiceRequest>> Item = Queue.pop()) {
+    ServiceResponse R;
+    resolveAndExecute(Item->second, R);
+    {
+      std::lock_guard<std::mutex> Lock(TicketMu);
+      Completed.emplace(Item->first, std::move(R));
+    }
+    TicketDone.notify_all();
+  }
+}
+
+bool BuildService::invalidateGrammar(std::string_view GrammarName) {
+  return Cache.invalidate(GrammarName);
+}
+
+ServiceStats BuildService::stats() const {
+  ServiceStats S;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    S.Requests = Requests;
+    S.Succeeded = Succeeded;
+    S.Failed = Failed;
+    S.Batches = Batches;
+    S.RequestUs = RequestUs;
+  }
+  ContextCache::Counters C = Cache.counters();
+  S.CacheHits = C.Hits;
+  S.CacheMisses = C.Misses;
+  S.CacheEvictions = C.Evictions;
+  S.CacheInvalidations = C.Invalidations;
+  S.CachedContexts = Cache.size();
+  S.Aggregate.Label = "service";
+  Cache.collectStats(S.Aggregate);
+  return S;
+}

@@ -1,0 +1,179 @@
+//===- service/BuildService.h - Batched multi-grammar builds ----*- C++ -*-===//
+///
+/// \file
+/// The long-running serving layer over BuildPipeline: a BuildService
+/// accepts batches of build requests ({grammar, table kind, solver,
+/// conflict policy, compression}), shares one cached BuildContext per
+/// grammar across all of them (ContextCache), and schedules independent
+/// grammars onto the existing support/ThreadPool — so a batch of M table
+/// kinds over one grammar constructs the LR(0) automaton once, and a
+/// batch over N grammars builds N contexts concurrently. Results are
+/// bit-identical to running each request through BuildPipeline standalone
+/// (the pipeline is deterministic and parallel == serial); what the
+/// service adds is amortization, which ServiceStats quantifies.
+///
+/// Two usage shapes:
+///
+///   BuildService Svc({.Workers = 4});
+///   auto Responses = Svc.runBatch(Requests);      // synchronous batch
+///
+///   uint64_t T = Svc.submit(Req);                 // streaming front end
+///   ServiceResponse R = Svc.wait(T);              // FIFO dispatcher
+///
+/// See docs/SERVICE.md for the manifest front end (lalr_batchd) and the
+/// cache/invalidation semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SERVICE_BUILDSERVICE_H
+#define LALR_SERVICE_BUILDSERVICE_H
+
+#include "pipeline/BuildPipeline.h"
+#include "service/ContextCache.h"
+#include "service/RequestQueue.h"
+#include "service/ServiceStats.h"
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace lalr {
+
+class ThreadPool;
+
+/// One build request. The grammar is named by \p GrammarName (the cache
+/// key); \p Source carries its .y text, or is empty to resolve the name
+/// in the corpus registry (corpusGrammarByName).
+struct ServiceRequest {
+  std::string GrammarName;
+  std::string Source;
+  /// Kind / solver / conflict policy / compression for this request.
+  /// Options.Threads is ignored — the per-context DP worker count is the
+  /// service's BuildService::Options::ContextThreads, applied uniformly.
+  BuildOptions Options;
+};
+
+/// What one request produced. Failed requests (unknown grammar name,
+/// source that does not parse) carry Ok = false and a diagnostic; they
+/// never abort the rest of the batch.
+struct ServiceResponse {
+  bool Ok = false;
+  std::string Error;
+  /// Whether the grammar's context was already cached when this request
+  /// ran (the first request of a batch against a grammar is the miss the
+  /// later ones amortize).
+  bool CacheHit = false;
+  /// Keeps the grammar and its artifacts alive past cache eviction; the
+  /// BuildResult's grammar pointer targets Context->G.
+  std::shared_ptr<CachedGrammar> Context;
+  /// Engaged iff Ok: the same BuildResult a standalone BuildPipeline run
+  /// would return (table, optional compressed form, stats, verdict).
+  std::optional<BuildResult> Result;
+  /// Service-side wall-clock for this request, microseconds.
+  double WallUs = 0;
+};
+
+/// Batched multi-grammar table-construction service over a shared
+/// ContextCache. Thread-safe: batches, submissions and invalidations may
+/// race freely; builds on one grammar are serialized on its context.
+class BuildService {
+public:
+  struct Options {
+    /// Batch-level parallelism: distinct grammars of one batch build
+    /// concurrently on a service-owned ThreadPool of this many workers
+    /// (0 or 1 = in-line execution; requests against one grammar are
+    /// always serialized on its shared context either way).
+    unsigned Workers = 0;
+    /// LRU bound on cached grammar contexts (clamped to >= 1).
+    size_t CacheCapacity = 16;
+    /// DP-core worker count applied to every context (BuildOptions
+    /// semantics: 0 = serial, N = pool of N, -1 = inherit LALR_THREADS).
+    int ContextThreads = -1;
+  };
+
+  explicit BuildService(Options Opts);
+  BuildService() : BuildService(Options{}) {}
+
+  BuildService(const BuildService &) = delete;
+  BuildService &operator=(const BuildService &) = delete;
+
+  /// Closes the submission queue, drains the dispatcher and joins it.
+  ~BuildService();
+
+  /// Executes every request (Responses[i] answers Requests[i]).
+  /// Requests are grouped by grammar: each group shares one cached
+  /// context and runs in request order; distinct groups are claimed
+  /// dynamically by the pool workers.
+  std::vector<ServiceResponse> runBatch(std::span<const ServiceRequest> Requests);
+
+  /// \name Streaming front end
+  /// A FIFO dispatcher thread (started on first submit) executes
+  /// submitted requests in order against the same shared cache.
+  /// @{
+
+  /// Enqueues one request; returns its ticket.
+  uint64_t submit(ServiceRequest Request);
+
+  /// Blocks until the request behind \p Ticket completes and returns its
+  /// response. A ticket never issued by submit yields a failed response.
+  ServiceResponse wait(uint64_t Ticket);
+  /// @}
+
+  /// Drops the memoized artifacts of one grammar; the next request
+  /// against it rebuilds them (build counters keep accumulating, so the
+  /// rebuild is observable). Returns false when the grammar is not
+  /// cached. Grammar-text changes need no explicit call — a request
+  /// whose source hash differs from the cached one invalidates that
+  /// entry by itself.
+  bool invalidateGrammar(std::string_view GrammarName);
+
+  /// The shared context cache (tests assert build counts through it).
+  ContextCache &cache() { return Cache; }
+
+  /// Snapshot of the aggregate counters and merged pipeline stats.
+  ServiceStats stats() const;
+
+private:
+  /// Resolves the request's grammar through the cache (corpus lookup for
+  /// empty sources), runs the configured pipeline over the shared
+  /// context, and fills \p Response. Never throws; failures become
+  /// Ok = false responses.
+  void resolveAndExecute(const ServiceRequest &Request,
+                         ServiceResponse &Response);
+
+  void dispatcherLoop();
+
+  const Options Opts;
+  ContextCache Cache;
+
+  /// Batch scheduler. ThreadPool submissions are not concurrency-safe,
+  /// so PoolMu serializes whole batches; requests inside one batch still
+  /// fan out across the workers.
+  std::mutex PoolMu;
+  std::unique_ptr<ThreadPool> Pool; ///< engaged iff Opts.Workers > 1
+
+  mutable std::mutex StatsMu;
+  uint64_t Requests = 0;  ///< guarded by StatsMu
+  uint64_t Succeeded = 0; ///< guarded by StatsMu
+  uint64_t Failed = 0;    ///< guarded by StatsMu
+  uint64_t Batches = 0;   ///< guarded by StatsMu
+  double RequestUs = 0;   ///< guarded by StatsMu
+
+  /// Streaming state. Tickets are handed out under TicketMu; completed
+  /// responses are parked in Completed until wait() claims them.
+  std::mutex TicketMu;
+  std::condition_variable TicketDone;
+  uint64_t NextTicket = 1;                              ///< guarded by TicketMu
+  std::unordered_map<uint64_t, ServiceResponse> Completed; ///< guarded by TicketMu
+  RequestQueue<std::pair<uint64_t, ServiceRequest>> Queue;
+  std::thread Dispatcher;     ///< started lazily under TicketMu
+  bool DispatcherRunning = false; ///< guarded by TicketMu
+};
+
+} // namespace lalr
+
+#endif // LALR_SERVICE_BUILDSERVICE_H

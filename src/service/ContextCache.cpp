@@ -1,0 +1,122 @@
+//===- service/ContextCache.cpp - Keyed LRU cache of BuildContexts -------===//
+
+#include "service/ContextCache.h"
+
+#include <algorithm>
+
+using namespace lalr;
+
+ContextCache::ContextCache(size_t Capacity)
+    : Capacity(std::max<size_t>(Capacity, 1)) {}
+
+void ContextCache::retireLocked(LruList::iterator It) {
+  std::shared_ptr<CachedGrammar> Entry = *It;
+  {
+    // Builds on this entry hold BuildMu while mutating its stats; take it
+    // so the fold reads a quiescent snapshot even if a response holder is
+    // still running a pipeline over the evicted entry.
+    std::lock_guard<std::mutex> BuildLock(Entry->BuildMu);
+    Retired.mergeFrom(Entry->Ctx.stats());
+  }
+  Index.erase(Entry->Key);
+  Lru.erase(It);
+}
+
+std::shared_ptr<CachedGrammar>
+ContextCache::acquire(std::string_view Key, uint64_t SourceHash,
+                      const GrammarFactory &Factory, bool *WasHit) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string K(Key);
+
+  auto It = Index.find(K);
+  if (It != Index.end()) {
+    if ((*It->second)->SourceHash == SourceHash) {
+      // Current entry: promote and hand it out.
+      Lru.splice(Lru.begin(), Lru, It->second);
+      It->second = Lru.begin();
+      ++Counts.Hits;
+      if (WasHit)
+        *WasHit = true;
+      return Lru.front();
+    }
+    // The grammar text changed: discard exactly this grammar's artifacts
+    // (holders of the old entry keep it alive) and rebuild below.
+    ++Counts.Invalidations;
+    retireLocked(It->second);
+  }
+
+  if (WasHit)
+    *WasHit = false;
+  ++Counts.Misses;
+  std::optional<Grammar> G = Factory();
+  if (!G)
+    return nullptr;
+
+  auto Entry = std::make_shared<CachedGrammar>(K, SourceHash, std::move(*G));
+  Lru.push_front(Entry);
+  Index.emplace(std::move(K), Lru.begin());
+
+  while (Lru.size() > Capacity) {
+    ++Counts.Evictions;
+    retireLocked(std::prev(Lru.end()));
+  }
+  return Entry;
+}
+
+std::shared_ptr<CachedGrammar> ContextCache::peek(std::string_view Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(std::string(Key));
+  return It == Index.end() ? nullptr : *It->second;
+}
+
+bool ContextCache::invalidate(std::string_view Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(std::string(Key));
+  if (It == Index.end())
+    return false;
+  std::shared_ptr<CachedGrammar> Entry = *It->second;
+  {
+    std::lock_guard<std::mutex> BuildLock(Entry->BuildMu);
+    Entry->Ctx.invalidateArtifacts();
+  }
+  ++Counts.Invalidations;
+  return true;
+}
+
+bool ContextCache::erase(std::string_view Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(std::string(Key));
+  if (It == Index.end())
+    return false;
+  ++Counts.Invalidations;
+  retireLocked(It->second);
+  return true;
+}
+
+size_t ContextCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Lru.size();
+}
+
+ContextCache::Counters ContextCache::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counts;
+}
+
+std::vector<std::string> ContextCache::keysByRecency() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Keys;
+  Keys.reserve(Lru.size());
+  for (const std::shared_ptr<CachedGrammar> &E : Lru)
+    Keys.push_back(E->Key);
+  return Keys;
+}
+
+void ContextCache::collectStats(PipelineStats &Into) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Into.mergeFrom(Retired);
+  for (const std::shared_ptr<CachedGrammar> &E : Lru) {
+    std::lock_guard<std::mutex> BuildLock(E->BuildMu);
+    Into.mergeFrom(E->Ctx.stats());
+  }
+}

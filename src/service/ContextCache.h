@@ -1,0 +1,144 @@
+//===- service/ContextCache.h - Keyed LRU cache of BuildContexts *- C++ -*-===//
+///
+/// \file
+/// The memory of the grammar-build service: a capacity-bounded LRU cache
+/// mapping grammar keys to long-lived BuildContexts, so N requests
+/// against the same grammar share one GrammarAnalysis / Lr0Automaton /
+/// LalrLookaheads chain instead of paying a cold build each. Entries are
+/// handed out as shared_ptrs — an in-flight response keeps its artifacts
+/// alive even after the entry is evicted. Each acquire carries the hash
+/// of the request's grammar source: a hit with a different hash means the
+/// grammar text changed, and exactly that grammar's artifacts are
+/// discarded (the rest of the cache is untouched). Explicit invalidation
+/// keeps the entry (and its cumulative build counters) but drops the
+/// memoized artifacts, so "this rebuilt exactly once more" stays
+/// assertable. Hit / miss / eviction / invalidation counts are exposed
+/// for ServiceStats, and the PipelineStats of evicted entries are folded
+/// into a retired accumulator so aggregate stats survive eviction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SERVICE_CONTEXTCACHE_H
+#define LALR_SERVICE_CONTEXTCACHE_H
+
+#include "pipeline/BuildContext.h"
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace lalr {
+
+/// FNV-1a over the grammar source text — the change-detection fingerprint
+/// stored with each cache entry.
+inline uint64_t hashGrammarSource(std::string_view Source) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : Source) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// One cached grammar with its memoized build artifacts. Never copied or
+/// moved (BuildContext pins its address); shared ownership lets responses
+/// outlive eviction.
+struct CachedGrammar {
+  CachedGrammar(std::string Key, uint64_t SourceHash, Grammar Gr)
+      : Key(std::move(Key)), SourceHash(SourceHash), G(std::move(Gr)),
+        Ctx(G) {}
+
+  CachedGrammar(const CachedGrammar &) = delete;
+  CachedGrammar &operator=(const CachedGrammar &) = delete;
+
+  const std::string Key;
+  const uint64_t SourceHash; ///< hashGrammarSource of the entry's text
+  Grammar G;
+  BuildContext Ctx; ///< borrows G; destroyed first (declared last)
+  /// Serializes pipeline runs over Ctx: BuildContext memoization is not
+  /// thread-safe, so concurrent requests against one grammar take turns.
+  /// Lock order: this may be taken while holding the cache mutex (during
+  /// eviction/invalidation stat folds); never take the cache mutex while
+  /// holding a BuildMu.
+  std::mutex BuildMu;
+};
+
+/// Keyed, capacity-bounded, thread-safe LRU cache of CachedGrammar
+/// entries.
+class ContextCache {
+public:
+  /// \p Capacity bounds the number of live entries (clamped to >= 1);
+  /// acquiring beyond it evicts least-recently-used entries.
+  explicit ContextCache(size_t Capacity);
+
+  /// Monotonic event counts since construction.
+  struct Counters {
+    uint64_t Hits = 0;          ///< acquire found a current entry
+    uint64_t Misses = 0;        ///< acquire had to build an entry
+    uint64_t Evictions = 0;     ///< entries dropped by the LRU bound
+    uint64_t Invalidations = 0; ///< explicit + source-change invalidations
+  };
+
+  /// Builds the grammar for a cache miss; nullopt = unbuildable (parse
+  /// error), which caches nothing.
+  using GrammarFactory = std::function<std::optional<Grammar>()>;
+
+  /// Returns the entry for \p Key, promoting it to most-recently-used.
+  /// A hit requires the stored source hash to equal \p SourceHash; a
+  /// stale hash counts as an invalidation (the old entry is dropped —
+  /// holders keep it alive — and rebuilt from \p Factory). On a miss the
+  /// factory runs (inside the cache lock: concurrent misses for one key
+  /// must not build twice); a factory failure returns nullptr and caches
+  /// nothing. \p WasHit, when non-null, reports hit vs miss for the
+  /// caller's per-request accounting.
+  std::shared_ptr<CachedGrammar> acquire(std::string_view Key,
+                                         uint64_t SourceHash,
+                                         const GrammarFactory &Factory,
+                                         bool *WasHit = nullptr);
+
+  /// Looks up \p Key without promoting it or touching the counters (for
+  /// tests and introspection); nullptr when absent.
+  std::shared_ptr<CachedGrammar> peek(std::string_view Key);
+
+  /// Drops the memoized artifacts of \p Key's entry (the entry itself,
+  /// its stats and its build counters stay). Returns false when the key
+  /// is not cached.
+  bool invalidate(std::string_view Key);
+
+  /// Evicts \p Key's entry entirely (folding its stats into the retired
+  /// accumulator). Returns false when the key is not cached.
+  bool erase(std::string_view Key);
+
+  size_t size() const;
+  size_t capacity() const { return Capacity; }
+  Counters counters() const;
+
+  /// Keys in most-recently-used-first order (the eviction order is the
+  /// reverse); for tests and reports.
+  std::vector<std::string> keysByRecency() const;
+
+  /// Merges the PipelineStats of every live entry plus the retired
+  /// accumulator (stats folded out of evicted/erased entries) into
+  /// \p Into. The service's aggregate view of all build work ever done.
+  void collectStats(PipelineStats &Into) const;
+
+private:
+  using LruList = std::list<std::shared_ptr<CachedGrammar>>;
+
+  /// Pre: Mu held. Folds the entry's stats into Retired and unlinks it.
+  void retireLocked(LruList::iterator It);
+
+  const size_t Capacity;
+  mutable std::mutex Mu;
+  LruList Lru; ///< front = most recently used; guarded by Mu
+  std::unordered_map<std::string, LruList::iterator> Index; ///< guarded by Mu
+  Counters Counts;        ///< guarded by Mu
+  PipelineStats Retired;  ///< stats of evicted entries; guarded by Mu
+};
+
+} // namespace lalr
+
+#endif // LALR_SERVICE_CONTEXTCACHE_H

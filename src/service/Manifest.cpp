@@ -1,0 +1,134 @@
+//===- service/Manifest.cpp - Batch request manifests --------------------===//
+
+#include "service/Manifest.h"
+
+#include <charconv>
+#include <span>
+
+using namespace lalr;
+
+namespace {
+
+std::vector<std::string_view> splitTokens(std::string_view Line) {
+  std::vector<std::string_view> Tokens;
+  size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+      ++I;
+    size_t Start = I;
+    while (I < Line.size() && Line[I] != ' ' && Line[I] != '\t')
+      ++I;
+    if (I > Start)
+      Tokens.push_back(Line.substr(Start, I - Start));
+  }
+  return Tokens;
+}
+
+bool fail(std::string &Error, unsigned Line, std::string Message) {
+  Error = "line " + std::to_string(Line) + ": " + std::move(Message);
+  return false;
+}
+
+/// Parses the option tokens of one `build` line into \p Entry.
+bool parseBuildOptions(std::span<const std::string_view> Tokens,
+                       unsigned Line, ManifestEntry &Entry,
+                       std::string &Error) {
+  for (std::string_view Tok : Tokens) {
+    if (Tok == "compress") {
+      Entry.Request.Options.Compress = true;
+    } else if (Tok == "require-adequate") {
+      Entry.Request.Options.Conflicts = ConflictPolicy::RequireAdequate;
+    } else if (Tok.rfind("solver=", 0) == 0) {
+      std::string_view V = Tok.substr(7);
+      if (V == "digraph")
+        Entry.Request.Options.Solver = SolverKind::Digraph;
+      else if (V == "naive")
+        Entry.Request.Options.Solver = SolverKind::NaiveFixpoint;
+      else
+        return fail(Error, Line,
+                    "unknown solver '" + std::string(V) +
+                        "' (expected digraph or naive)");
+    } else if (Tok.rfind("repeat=", 0) == 0) {
+      std::string_view V = Tok.substr(7);
+      unsigned N = 0;
+      auto [Ptr, Ec] = std::from_chars(V.data(), V.data() + V.size(), N);
+      if (Ec != std::errc() || Ptr != V.data() + V.size() || N == 0)
+        return fail(Error, Line,
+                    "bad repeat count '" + std::string(V) +
+                        "' (expected a positive integer)");
+      Entry.Repeat = N;
+    } else {
+      return fail(Error, Line, "unknown option '" + std::string(Tok) + "'");
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<std::vector<ManifestEntry>>
+lalr::parseManifest(std::string_view Text, std::string &Error) {
+  std::vector<ManifestEntry> Entries;
+  unsigned LineNo = 0;
+  while (!Text.empty()) {
+    size_t Eol = Text.find('\n');
+    std::string_view Line =
+        Eol == std::string_view::npos ? Text : Text.substr(0, Eol);
+    Text = Eol == std::string_view::npos ? std::string_view()
+                                         : Text.substr(Eol + 1);
+    ++LineNo;
+
+    if (size_t Hash = Line.find('#'); Hash != std::string_view::npos)
+      Line = Line.substr(0, Hash);
+    std::vector<std::string_view> Tokens = splitTokens(Line);
+    if (Tokens.empty())
+      continue;
+
+    ManifestEntry Entry;
+    Entry.Line = LineNo;
+    if (Tokens[0] == "invalidate") {
+      if (Tokens.size() != 2) {
+        fail(Error, LineNo, "expected: invalidate <grammar>");
+        return std::nullopt;
+      }
+      Entry.Act = ManifestEntry::Action::Invalidate;
+      Entry.Request.GrammarName = std::string(Tokens[1]);
+    } else if (Tokens[0] == "build") {
+      if (Tokens.size() < 3) {
+        fail(Error, LineNo, "expected: build <grammar> <kind> [options]");
+        return std::nullopt;
+      }
+      Entry.Act = ManifestEntry::Action::Build;
+      Entry.Request.GrammarName = std::string(Tokens[1]);
+      std::optional<TableKind> Kind = tableKindByName(Tokens[2]);
+      if (!Kind) {
+        fail(Error, LineNo,
+             "unknown table kind '" + std::string(Tokens[2]) + "'");
+        return std::nullopt;
+      }
+      Entry.Request.Options.Kind = *Kind;
+      if (!parseBuildOptions(std::span(Tokens).subspan(3), LineNo, Entry,
+                             Error))
+        return std::nullopt;
+    } else {
+      fail(Error, LineNo,
+           "unknown command '" + std::string(Tokens[0]) +
+               "' (expected build or invalidate)");
+      return std::nullopt;
+    }
+    Entries.push_back(std::move(Entry));
+  }
+  return Entries;
+}
+
+std::vector<ServiceRequest>
+lalr::manifestRequests(const std::vector<ManifestEntry> &Entries) {
+  std::vector<ServiceRequest> Requests;
+  for (const ManifestEntry &E : Entries) {
+    if (E.Act != ManifestEntry::Action::Build)
+      continue;
+    for (unsigned I = 0; I < E.Repeat; ++I)
+      Requests.push_back(E.Request);
+  }
+  return Requests;
+}

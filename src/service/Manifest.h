@@ -1,0 +1,65 @@
+//===- service/Manifest.h - Batch request manifests -------------*- C++ -*-===//
+///
+/// \file
+/// The request-file dialect lalr_batchd reads: one command per line,
+/// `#` comments and blank lines ignored.
+///
+///   build <grammar> <kind> [solver=digraph|naive] [compress]
+///                          [require-adequate] [repeat=N]
+///   invalidate <grammar>
+///
+/// `<grammar>` is a corpus grammar name (see listCorpusGrammars) or a
+/// path ending in `.y` — the driver loads path grammars from disk and
+/// passes their text as the request's inline source; parsing here is
+/// IO-free. `<kind>` is a tableKindName ("lalr1", "clr1", ...).
+/// `repeat=N` expands into N identical requests (the warm-cache knob).
+/// See docs/SERVICE.md for the full schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SERVICE_MANIFEST_H
+#define LALR_SERVICE_MANIFEST_H
+
+#include "service/BuildService.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lalr {
+
+/// One parsed manifest line.
+struct ManifestEntry {
+  enum class Action : uint8_t {
+    Build,      ///< Request is a full build request
+    Invalidate, ///< Request.GrammarName names the grammar to invalidate
+  };
+  Action Act = Action::Build;
+  ServiceRequest Request;
+  unsigned Repeat = 1; ///< Build only: expansion count
+  unsigned Line = 0;   ///< 1-based source line, for diagnostics
+};
+
+/// True when the manifest grammar token is a .y path (to be loaded by the
+/// driver) rather than a corpus name.
+inline bool isGrammarPath(std::string_view Token) {
+  return Token.size() > 2 && Token.substr(Token.size() - 2) == ".y";
+}
+
+/// Parses manifest text. On success returns the entries in file order;
+/// on the first malformed line returns std::nullopt with a "line N: ..."
+/// message in \p Error.
+std::optional<std::vector<ManifestEntry>>
+parseManifest(std::string_view Text, std::string &Error);
+
+/// Expands parsed entries into the flat request list a batch run
+/// executes: Build entries repeat `Repeat` times, Invalidate entries
+/// become markers the driver replays between batch segments. Pure
+/// convenience over parseManifest for callers that only build.
+std::vector<ServiceRequest>
+manifestRequests(const std::vector<ManifestEntry> &Entries);
+
+} // namespace lalr
+
+#endif // LALR_SERVICE_MANIFEST_H

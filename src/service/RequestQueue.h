@@ -1,0 +1,95 @@
+//===- service/RequestQueue.h - Thread-safe FIFO work queue -----*- C++ -*-===//
+///
+/// \file
+/// The hand-off structure between the service front ends and the build
+/// executor: a mutex-guarded FIFO with optional depth bound and close
+/// semantics. Producers push requests (blocking while the queue is full),
+/// the dispatcher pops them in submission order, and close() releases
+/// everyone — pending items are still drained, so a closed queue finishes
+/// the work it accepted before reporting exhaustion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SERVICE_REQUESTQUEUE_H
+#define LALR_SERVICE_REQUESTQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lalr {
+
+/// FIFO queue of pending work items, safe for any number of producer and
+/// consumer threads.
+template <typename T> class RequestQueue {
+public:
+  /// \p MaxDepth bounds the number of queued items (0 = unbounded);
+  /// push blocks while the queue is full.
+  explicit RequestQueue(size_t MaxDepth = 0) : MaxDepth(MaxDepth) {}
+
+  RequestQueue(const RequestQueue &) = delete;
+  RequestQueue &operator=(const RequestQueue &) = delete;
+
+  /// Enqueues \p Item, blocking while the queue is at MaxDepth. Returns
+  /// false (and drops the item) once the queue is closed.
+  bool push(T Item) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotFull.wait(Lock, [&] {
+      return Closed || MaxDepth == 0 || Items.size() < MaxDepth;
+    });
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item, blocking while the queue is empty and
+  /// open. Returns nullopt once the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotEmpty.wait(Lock, [&] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// Rejects further pushes and wakes every blocked producer/consumer.
+  /// Already-queued items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Closed;
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Items.size();
+  }
+
+private:
+  const size_t MaxDepth;
+  mutable std::mutex Mu;
+  std::condition_variable NotEmpty; ///< consumers wait here
+  std::condition_variable NotFull;  ///< producers wait here (bounded mode)
+  std::deque<T> Items;              ///< guarded by Mu
+  bool Closed = false;              ///< guarded by Mu
+};
+
+} // namespace lalr
+
+#endif // LALR_SERVICE_REQUESTQUEUE_H

@@ -1,0 +1,112 @@
+//===- service/ServiceStats.cpp - Aggregate service metrics --------------===//
+
+#include "service/ServiceStats.h"
+
+#include <cstdio>
+
+using namespace lalr;
+
+std::string ServiceStats::toJson(bool Pretty) const {
+  const char *Nl = Pretty ? "\n" : "";
+  const char *Ind = Pretty ? "  " : "";
+  const char *Sp = Pretty ? " " : "";
+
+  auto Field = [&](std::string &Out, const char *Name, uint64_t V,
+                   bool Comma = true) {
+    Out += Ind;
+    Out += '"';
+    Out += Name;
+    Out += "\":";
+    Out += Sp;
+    Out += std::to_string(V);
+    if (Comma)
+      Out += ',';
+    Out += Nl;
+  };
+
+  std::string Out;
+  Out += '{';
+  Out += Nl;
+  Field(Out, "requests", Requests);
+  Field(Out, "succeeded", Succeeded);
+  Field(Out, "failed", Failed);
+  Field(Out, "batches", Batches);
+  Field(Out, "cache_hits", CacheHits);
+  Field(Out, "cache_misses", CacheMisses);
+  Field(Out, "cache_evictions", CacheEvictions);
+  Field(Out, "cache_invalidations", CacheInvalidations);
+  Field(Out, "cached_contexts", CachedContexts);
+  Out += Ind;
+  Out += "\"cache_hit_ratio\":";
+  Out += Sp;
+  {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.4f", cacheHitRatio());
+    Out += Buf;
+  }
+  Out += ',';
+  Out += Nl;
+  Out += Ind;
+  Out += "\"request_us\":";
+  Out += Sp;
+  {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", RequestUs);
+    Out += Buf;
+  }
+  Out += ',';
+  Out += Nl;
+  Out += Ind;
+  Out += "\"aggregate\":";
+  Out += Sp;
+  // The nested object keeps its own (compact) layout; pretty mode only
+  // formats the service-level fields.
+  Out += Aggregate.toJson(/*Pretty=*/false);
+  Out += Nl;
+  Out += '}';
+  return Out;
+}
+
+PipelineStats ServiceStats::toPipelineStats(std::string Label) const {
+  PipelineStats Out;
+  Out.mergeFrom(Aggregate);
+  Out.Label = std::move(Label);
+  Out.setCounter("service_requests", Requests);
+  Out.setCounter("service_succeeded", Succeeded);
+  Out.setCounter("service_failed", Failed);
+  Out.setCounter("service_cache_hits", CacheHits);
+  Out.setCounter("service_cache_misses", CacheMisses);
+  Out.setCounter("service_cache_evictions", CacheEvictions);
+  Out.setCounter("service_cache_invalidations", CacheInvalidations);
+  Out.addStage("service-requests", RequestUs);
+  return Out;
+}
+
+std::string lalr::reportServiceStats(const ServiceStats &S) {
+  char Buf[256];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf),
+                "service: %llu request(s) in %llu batch(es): %llu ok, %llu "
+                "failed, %.1f ms service wall\n",
+                static_cast<unsigned long long>(S.Requests),
+                static_cast<unsigned long long>(S.Batches),
+                static_cast<unsigned long long>(S.Succeeded),
+                static_cast<unsigned long long>(S.Failed),
+                S.RequestUs / 1000.0);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "cache:   %llu hit(s), %llu miss(es) (%.0f%% hit ratio), "
+                "%llu eviction(s), %llu invalidation(s), %llu live "
+                "context(s)\n",
+                static_cast<unsigned long long>(S.CacheHits),
+                static_cast<unsigned long long>(S.CacheMisses),
+                S.cacheHitRatio() * 100.0,
+                static_cast<unsigned long long>(S.CacheEvictions),
+                static_cast<unsigned long long>(S.CacheInvalidations),
+                static_cast<unsigned long long>(S.CachedContexts));
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "build:   %.1f ms total pipeline wall\n",
+                S.Aggregate.totalUs() / 1000.0);
+  Out += Buf;
+  return Out;
+}

@@ -1,0 +1,77 @@
+//===- service/ServiceStats.h - Aggregate service metrics -------*- C++ -*-===//
+///
+/// \file
+/// The service-level rollup of everything a BuildService did: request
+/// outcome counts, the ContextCache's hit/miss/eviction/invalidation
+/// counters, service-side wall-clock, and one aggregate PipelineStats
+/// merging the per-context stage timings and size counters of every build
+/// the service ever ran (including contexts since evicted). Emitted as
+/// JSON by lalr_batchd and bench_service_throughput so the same
+/// compare_stats.py tooling that tracks the offline benches tracks the
+/// serving layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SERVICE_SERVICESTATS_H
+#define LALR_SERVICE_SERVICESTATS_H
+
+#include "pipeline/PipelineStats.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lalr {
+
+/// Snapshot of a BuildService's lifetime counters. Plain data: take a
+/// copy via BuildService::stats() and read it without locking.
+struct ServiceStats {
+  /// \name Request accounting
+  /// @{
+  uint64_t Requests = 0;  ///< requests executed (batch + submitted)
+  uint64_t Succeeded = 0; ///< produced a table
+  uint64_t Failed = 0;    ///< unknown grammar, parse error, ...
+  uint64_t Batches = 0;   ///< runBatch calls
+  /// @}
+
+  /// \name ContextCache counters
+  /// @{
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  uint64_t CacheInvalidations = 0;
+  uint64_t CachedContexts = 0; ///< live entries at snapshot time
+  /// @}
+
+  /// Service-side wall-clock over all executed requests (queueing and
+  /// grammar resolution included), microseconds.
+  double RequestUs = 0;
+
+  /// Merge of every context's PipelineStats — the per-stage build cost
+  /// behind the requests, deduplicated by construction: a cache hit adds
+  /// nothing here, which is the point of the cache.
+  PipelineStats Aggregate;
+
+  /// Hits / (hits + misses); 0 when no cache traffic happened.
+  double cacheHitRatio() const {
+    uint64_t Total = CacheHits + CacheMisses;
+    return Total ? static_cast<double>(CacheHits) / Total : 0.0;
+  }
+
+  /// Serializes to one JSON object:
+  ///   {"requests":..,"succeeded":..,...,"request_us":..,
+  ///    "aggregate":<PipelineStats JSON>}
+  /// \p Pretty adds newlines/indentation.
+  std::string toJson(bool Pretty = false) const;
+
+  /// Folds the service counters into \p Into as "service_*" counters and
+  /// merges Aggregate, producing one PipelineStats a bench can hand to
+  /// the standard StatsSink machinery. \p Label becomes Into's label.
+  PipelineStats toPipelineStats(std::string Label) const;
+};
+
+/// Human-readable multi-line listing (the batch driver's summary block).
+std::string reportServiceStats(const ServiceStats &S);
+
+} // namespace lalr
+
+#endif // LALR_SERVICE_SERVICESTATS_H

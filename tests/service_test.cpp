@@ -1,0 +1,718 @@
+//===- tests/service_test.cpp - Grammar-build service unit tests -------------===//
+//
+// Covers the src/service/ subsystem end to end: the RequestQueue hand-off
+// structure, the ContextCache LRU/invalidation semantics, the BuildService
+// batch and streaming front ends (including the headline amortization
+// contract: a batch of M table kinds over one grammar constructs the LR(0)
+// automaton exactly once, and results are bit-identical to standalone
+// BuildPipeline runs), the ServiceStats rollup, the manifest dialect, and
+// the satellite surfaces (corpus by-name registry, LALR_THREADS parsing).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "service/BuildService.h"
+#include "service/Manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+const char ExprGrammar[] = R"(
+%token NUM
+%%
+e : e '+' t | t ;
+t : t '*' f | f ;
+f : '(' e ')' | NUM ;
+)";
+
+const char ListGrammar[] = R"(
+%token ID
+%%
+list : list ',' ID | ID ;
+)";
+
+/// A factory producing the expression grammar (the common test fixture).
+ContextCache::GrammarFactory exprFactory() {
+  return [] { return std::optional<Grammar>(mustParse(ExprGrammar)); };
+}
+
+ServiceRequest corpusRequest(std::string Name, TableKind Kind) {
+  ServiceRequest R;
+  R.GrammarName = std::move(Name);
+  R.Options.Kind = Kind;
+  return R;
+}
+
+/// Standalone (service-free) build of a corpus grammar, the bit-identity
+/// reference.
+std::vector<uint8_t> referenceTableBytes(std::string_view Name,
+                                         TableKind Kind) {
+  BuildContext Ctx(loadCorpusGrammar(Name));
+  BuildOptions Opts;
+  Opts.Kind = Kind;
+  BuildResult R = BuildPipeline(Ctx, Opts).run();
+  return serializeTable(R);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// RequestQueue
+// ---------------------------------------------------------------------------
+
+TEST(RequestQueueTest, PopsInFifoOrder) {
+  RequestQueue<int> Q;
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(Q.push(I));
+  EXPECT_EQ(Q.depth(), 5u);
+  for (int I = 0; I < 5; ++I) {
+    std::optional<int> Item = Q.pop();
+    ASSERT_TRUE(Item.has_value());
+    EXPECT_EQ(*Item, I);
+  }
+  EXPECT_EQ(Q.depth(), 0u);
+}
+
+TEST(RequestQueueTest, CloseDrainsPendingThenReportsExhaustion) {
+  RequestQueue<int> Q;
+  EXPECT_TRUE(Q.push(1));
+  EXPECT_TRUE(Q.push(2));
+  Q.close();
+  EXPECT_TRUE(Q.closed());
+  EXPECT_FALSE(Q.push(3)) << "closed queue must reject new items";
+  EXPECT_EQ(Q.pop(), std::optional<int>(1));
+  EXPECT_EQ(Q.pop(), std::optional<int>(2));
+  EXPECT_FALSE(Q.pop().has_value());
+  EXPECT_FALSE(Q.pop().has_value()) << "exhaustion is sticky";
+}
+
+TEST(RequestQueueTest, PopBlocksUntilPush) {
+  RequestQueue<int> Q;
+  std::atomic<bool> Got{false};
+  std::thread Consumer([&] {
+    std::optional<int> Item = Q.pop();
+    EXPECT_EQ(Item, std::optional<int>(42));
+    Got = true;
+  });
+  EXPECT_TRUE(Q.push(42));
+  Consumer.join();
+  EXPECT_TRUE(Got);
+}
+
+TEST(RequestQueueTest, BoundedPushBlocksUntilSpaceFrees) {
+  RequestQueue<int> Q(/*MaxDepth=*/1);
+  EXPECT_TRUE(Q.push(1));
+  std::atomic<bool> SecondPushDone{false};
+  std::thread Producer([&] {
+    EXPECT_TRUE(Q.push(2)); // blocks until the consumer pops
+    SecondPushDone = true;
+  });
+  EXPECT_EQ(Q.pop(), std::optional<int>(1));
+  EXPECT_EQ(Q.pop(), std::optional<int>(2));
+  Producer.join();
+  EXPECT_TRUE(SecondPushDone);
+}
+
+TEST(RequestQueueTest, CloseReleasesBlockedProducer) {
+  RequestQueue<int> Q(/*MaxDepth=*/1);
+  EXPECT_TRUE(Q.push(1));
+  std::thread Producer([&] {
+    EXPECT_FALSE(Q.push(2)) << "a producer blocked at close() must fail";
+  });
+  // Give the producer a chance to block, then close without popping.
+  std::this_thread::yield();
+  Q.close();
+  Producer.join();
+}
+
+// ---------------------------------------------------------------------------
+// ContextCache
+// ---------------------------------------------------------------------------
+
+TEST(ContextCacheTest, MissBuildsThenHitReuses) {
+  ContextCache Cache(4);
+  bool Hit = true;
+  uint64_t H = hashGrammarSource(ExprGrammar);
+  std::shared_ptr<CachedGrammar> A = Cache.acquire("expr", H, exprFactory(), &Hit);
+  ASSERT_TRUE(A);
+  EXPECT_FALSE(Hit);
+  std::shared_ptr<CachedGrammar> B = Cache.acquire("expr", H, exprFactory(), &Hit);
+  EXPECT_TRUE(Hit);
+  EXPECT_EQ(A.get(), B.get()) << "a hit must hand out the same entry";
+  ContextCache::Counters C = Cache.counters();
+  EXPECT_EQ(C.Hits, 1u);
+  EXPECT_EQ(C.Misses, 1u);
+  EXPECT_EQ(C.Evictions, 0u);
+  EXPECT_EQ(C.Invalidations, 0u);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(ContextCacheTest, FactoryFailureCachesNothing) {
+  ContextCache Cache(4);
+  bool Hit = true;
+  std::shared_ptr<CachedGrammar> E = Cache.acquire(
+      "broken", 1, [] { return std::optional<Grammar>(); }, &Hit);
+  EXPECT_FALSE(E);
+  EXPECT_FALSE(Hit);
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.counters().Misses, 1u);
+  EXPECT_FALSE(Cache.peek("broken"));
+}
+
+TEST(ContextCacheTest, LruBoundEvictsLeastRecentlyUsed) {
+  ContextCache Cache(2);
+  uint64_t H = hashGrammarSource(ExprGrammar);
+  Cache.acquire("a", H, exprFactory());
+  Cache.acquire("b", H, exprFactory());
+  // Touch "a" so "b" becomes the eviction candidate.
+  Cache.acquire("a", H, exprFactory());
+  Cache.acquire("c", H, exprFactory());
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.counters().Evictions, 1u);
+  EXPECT_FALSE(Cache.peek("b")) << "LRU entry must be the one evicted";
+  EXPECT_TRUE(Cache.peek("a"));
+  EXPECT_TRUE(Cache.peek("c"));
+  std::vector<std::string> Keys = Cache.keysByRecency();
+  ASSERT_EQ(Keys.size(), 2u);
+  EXPECT_EQ(Keys[0], "c");
+  EXPECT_EQ(Keys[1], "a");
+}
+
+TEST(ContextCacheTest, PeekDoesNotPromoteOrCount) {
+  ContextCache Cache(2);
+  uint64_t H = hashGrammarSource(ExprGrammar);
+  Cache.acquire("a", H, exprFactory());
+  Cache.acquire("b", H, exprFactory());
+  ContextCache::Counters Before = Cache.counters();
+  EXPECT_TRUE(Cache.peek("a"));
+  ContextCache::Counters After = Cache.counters();
+  EXPECT_EQ(Before.Hits, After.Hits);
+  EXPECT_EQ(Before.Misses, After.Misses);
+  // "a" was peeked but not promoted, so it is still the LRU victim.
+  Cache.acquire("c", H, exprFactory());
+  EXPECT_FALSE(Cache.peek("a"));
+  EXPECT_TRUE(Cache.peek("b"));
+}
+
+TEST(ContextCacheTest, SourceHashChangeReplacesOnlyThatEntry) {
+  ContextCache Cache(4);
+  std::shared_ptr<CachedGrammar> Old =
+      Cache.acquire("g", hashGrammarSource(ExprGrammar), exprFactory());
+  std::shared_ptr<CachedGrammar> Other =
+      Cache.acquire("other", hashGrammarSource(ExprGrammar), exprFactory());
+  ASSERT_TRUE(Old);
+  // Same key, different text: the entry is rebuilt; the old one stays
+  // alive through our shared_ptr.
+  bool Hit = true;
+  std::shared_ptr<CachedGrammar> New = Cache.acquire(
+      "g", hashGrammarSource(ListGrammar),
+      [] { return std::optional<Grammar>(mustParse(ListGrammar)); }, &Hit);
+  ASSERT_TRUE(New);
+  EXPECT_FALSE(Hit);
+  EXPECT_NE(Old.get(), New.get());
+  EXPECT_EQ(New->SourceHash, hashGrammarSource(ListGrammar));
+  EXPECT_EQ(Cache.counters().Invalidations, 1u);
+  EXPECT_EQ(Cache.peek("other").get(), Other.get())
+      << "a source change must only touch its own grammar";
+  // The replaced entry is still fully usable by its holders.
+  EXPECT_GT(Old->Ctx.lr0().numStates(), 0u);
+}
+
+TEST(ContextCacheTest, InvalidateDropsArtifactsKeepsEntryAndCounters) {
+  ContextCache Cache(4);
+  uint64_t H = hashGrammarSource(ExprGrammar);
+  std::shared_ptr<CachedGrammar> E = Cache.acquire("expr", H, exprFactory());
+  ASSERT_TRUE(E);
+  BuildPipeline(E->Ctx).run();
+  EXPECT_EQ(E->Ctx.lr0BuildCount(), 1u);
+
+  EXPECT_TRUE(Cache.invalidate("expr"));
+  EXPECT_FALSE(Cache.invalidate("absent"));
+  EXPECT_EQ(Cache.counters().Invalidations, 1u);
+  EXPECT_EQ(Cache.peek("expr").get(), E.get()) << "the entry must survive";
+  EXPECT_EQ(E->Ctx.lr0BuildCount(), 1u) << "counters must keep accumulating";
+
+  BuildPipeline(E->Ctx).run();
+  EXPECT_EQ(E->Ctx.lr0BuildCount(), 2u)
+      << "the rebuild after invalidation must be observable";
+}
+
+TEST(ContextCacheTest, CollectStatsSurvivesEviction) {
+  ContextCache Cache(1);
+  uint64_t H = hashGrammarSource(ExprGrammar);
+  std::shared_ptr<CachedGrammar> A = Cache.acquire("a", H, exprFactory());
+  BuildPipeline(A->Ctx).run();
+  double BuiltUs = A->Ctx.stats().totalUs();
+  EXPECT_GT(BuiltUs, 0.0);
+  // Evict "a" by acquiring a second key into a capacity-1 cache.
+  Cache.acquire("b", H, exprFactory());
+  EXPECT_EQ(Cache.counters().Evictions, 1u);
+  PipelineStats Merged;
+  Cache.collectStats(Merged);
+  EXPECT_GE(Merged.totalUs(), BuiltUs)
+      << "evicted entries' stats must fold into the aggregate";
+}
+
+TEST(ContextCacheTest, EraseRemovesEntry) {
+  ContextCache Cache(4);
+  Cache.acquire("expr", hashGrammarSource(ExprGrammar), exprFactory());
+  EXPECT_TRUE(Cache.erase("expr"));
+  EXPECT_FALSE(Cache.erase("expr"));
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(ContextCacheTest, CapacityClampedToAtLeastOne) {
+  ContextCache Cache(0);
+  EXPECT_EQ(Cache.capacity(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// BuildService: the amortization contract
+// ---------------------------------------------------------------------------
+
+TEST(BuildServiceTest, BatchOverOneGrammarBuildsLr0ExactlyOnce) {
+  BuildService Svc;
+  std::vector<ServiceRequest> Requests;
+  for (TableKind K : AllTableKinds)
+    Requests.push_back(corpusRequest("json", K));
+
+  std::vector<ServiceResponse> Responses = Svc.runBatch(Requests);
+  ASSERT_EQ(Responses.size(), Requests.size());
+  for (size_t I = 0; I < Responses.size(); ++I) {
+    EXPECT_TRUE(Responses[I].Ok) << Responses[I].Error;
+    ASSERT_TRUE(Responses[I].Result.has_value());
+    EXPECT_EQ(Responses[I].Result->Kind, Requests[I].Options.Kind);
+  }
+
+  std::shared_ptr<CachedGrammar> Entry = Svc.cache().peek("json");
+  ASSERT_TRUE(Entry);
+  EXPECT_EQ(Entry->Ctx.analysisBuildCount(), 1u);
+  EXPECT_EQ(Entry->Ctx.lr0BuildCount(), 1u)
+      << "all " << Requests.size()
+      << " table kinds must share one LR(0) automaton";
+  EXPECT_EQ(Entry->Ctx.lr1BuildCount(), 1u)
+      << "the three LR(1)-substrate kinds must share one LR(1) automaton";
+
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Requests, Requests.size());
+  EXPECT_EQ(S.Succeeded, Requests.size());
+  EXPECT_EQ(S.CacheMisses, 1u);
+  EXPECT_EQ(S.CacheHits, Requests.size() - 1);
+}
+
+TEST(BuildServiceTest, InvalidationRebuildsExactlyOnceMore) {
+  BuildService Svc;
+  std::vector<ServiceRequest> Requests = {
+      corpusRequest("json", TableKind::Lalr1),
+      corpusRequest("json", TableKind::Slr1),
+  };
+  Svc.runBatch(Requests);
+  std::shared_ptr<CachedGrammar> Entry = Svc.cache().peek("json");
+  ASSERT_TRUE(Entry);
+  EXPECT_EQ(Entry->Ctx.lr0BuildCount(), 1u);
+
+  EXPECT_TRUE(Svc.invalidateGrammar("json"));
+  EXPECT_FALSE(Svc.invalidateGrammar("nope"));
+
+  std::vector<ServiceResponse> After = Svc.runBatch(Requests);
+  for (const ServiceResponse &R : After)
+    EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(Svc.cache().peek("json").get(), Entry.get());
+  EXPECT_EQ(Entry->Ctx.lr0BuildCount(), 2u)
+      << "invalidation must cost exactly one rebuild, not one per request";
+  EXPECT_EQ(Svc.stats().CacheInvalidations, 1u);
+}
+
+TEST(BuildServiceTest, ResultsBitIdenticalToStandalonePipeline) {
+  BuildService Svc;
+  std::vector<ServiceRequest> Requests;
+  for (TableKind K : AllTableKinds)
+    Requests.push_back(corpusRequest("json", K));
+  std::vector<ServiceResponse> Responses = Svc.runBatch(Requests);
+
+  for (size_t I = 0; I < Responses.size(); ++I) {
+    ASSERT_TRUE(Responses[I].Ok) << Responses[I].Error;
+    EXPECT_EQ(serializeTable(*Responses[I].Result),
+              referenceTableBytes("json", Requests[I].Options.Kind))
+        << "service result for kind "
+        << tableKindName(Requests[I].Options.Kind)
+        << " must be bit-identical to a standalone build";
+  }
+}
+
+TEST(BuildServiceTest, ParallelBatchMatchesSerialBatch) {
+  std::vector<ServiceRequest> Requests;
+  for (const char *Name : {"json", "expr", "minipascal", "xmlish"})
+    for (TableKind K : {TableKind::Lalr1, TableKind::Slr1, TableKind::Clr1})
+      Requests.push_back(corpusRequest(Name, K));
+
+  BuildService Serial;
+  BuildService Parallel({.Workers = 4});
+  std::vector<ServiceResponse> A = Serial.runBatch(Requests);
+  std::vector<ServiceResponse> B = Parallel.runBatch(Requests);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    ASSERT_TRUE(A[I].Ok) << A[I].Error;
+    ASSERT_TRUE(B[I].Ok) << B[I].Error;
+    EXPECT_EQ(serializeTable(*A[I].Result), serializeTable(*B[I].Result))
+        << "request " << I << " diverged between serial and parallel batch";
+  }
+  // Each grammar still paid exactly one cold build in the parallel run.
+  for (const char *Name : {"json", "expr", "minipascal", "xmlish"}) {
+    std::shared_ptr<CachedGrammar> Entry = Parallel.cache().peek(Name);
+    ASSERT_TRUE(Entry) << Name;
+    EXPECT_EQ(Entry->Ctx.lr0BuildCount(), 1u) << Name;
+  }
+}
+
+TEST(BuildServiceTest, CacheHitFlagsFollowBatchOrder) {
+  BuildService Svc;
+  std::vector<ServiceRequest> Requests = {
+      corpusRequest("expr", TableKind::Lalr1),
+      corpusRequest("expr", TableKind::Slr1),
+      corpusRequest("expr", TableKind::Lr0),
+  };
+  std::vector<ServiceResponse> Responses = Svc.runBatch(Requests);
+  ASSERT_EQ(Responses.size(), 3u);
+  EXPECT_FALSE(Responses[0].CacheHit) << "first request pays the miss";
+  EXPECT_TRUE(Responses[1].CacheHit);
+  EXPECT_TRUE(Responses[2].CacheHit);
+  EXPECT_DOUBLE_EQ(Svc.stats().cacheHitRatio(), 2.0 / 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// BuildService: resolution, failures, options
+// ---------------------------------------------------------------------------
+
+TEST(BuildServiceTest, UnknownGrammarFailsWithoutAbortingBatch) {
+  BuildService Svc;
+  std::vector<ServiceRequest> Requests = {
+      corpusRequest("no_such_grammar", TableKind::Lalr1),
+      corpusRequest("json", TableKind::Lalr1),
+  };
+  std::vector<ServiceResponse> Responses = Svc.runBatch(Requests);
+  EXPECT_FALSE(Responses[0].Ok);
+  EXPECT_NE(Responses[0].Error.find("unknown grammar"), std::string::npos)
+      << Responses[0].Error;
+  EXPECT_FALSE(Responses[0].Result.has_value());
+  EXPECT_TRUE(Responses[1].Ok) << Responses[1].Error;
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.Succeeded, 1u);
+}
+
+TEST(BuildServiceTest, ParseErrorFailsAndCachesNothing) {
+  BuildService Svc;
+  ServiceRequest Bad;
+  Bad.GrammarName = "broken";
+  Bad.Source = "%% this is not a grammar";
+  std::vector<ServiceRequest> Requests = {Bad};
+  std::vector<ServiceResponse> Responses = Svc.runBatch(Requests);
+  EXPECT_FALSE(Responses[0].Ok);
+  EXPECT_NE(Responses[0].Error.find("failed to parse"), std::string::npos)
+      << Responses[0].Error;
+  EXPECT_FALSE(Svc.cache().peek("broken"));
+}
+
+TEST(BuildServiceTest, InlineSourceWinsOverCorpusLookup) {
+  BuildService Svc;
+  ServiceRequest R;
+  R.GrammarName = "expr"; // also a corpus name — inline source must win
+  R.Source = ListGrammar;
+  R.Options.Kind = TableKind::Lalr1;
+  std::vector<ServiceRequest> Requests = {R};
+  std::vector<ServiceResponse> Responses = Svc.runBatch(Requests);
+  ASSERT_TRUE(Responses[0].Ok) << Responses[0].Error;
+  std::shared_ptr<CachedGrammar> Entry = Svc.cache().peek("expr");
+  ASSERT_TRUE(Entry);
+  EXPECT_EQ(Entry->SourceHash, hashGrammarSource(ListGrammar));
+}
+
+TEST(BuildServiceTest, SourceChangeInvalidatesOnlyThatGrammar) {
+  BuildService Svc;
+  ServiceRequest A;
+  A.GrammarName = "g";
+  A.Source = ExprGrammar;
+  std::vector<ServiceRequest> First = {A, corpusRequest("json", TableKind::Lalr1)};
+  Svc.runBatch(First);
+  std::shared_ptr<CachedGrammar> Json = Svc.cache().peek("json");
+  ASSERT_TRUE(Json);
+
+  A.Source = ListGrammar; // the grammar text changed
+  std::vector<ServiceRequest> Second = {A};
+  std::vector<ServiceResponse> Responses = Svc.runBatch(Second);
+  ASSERT_TRUE(Responses[0].Ok) << Responses[0].Error;
+  EXPECT_FALSE(Responses[0].CacheHit);
+  EXPECT_EQ(Svc.stats().CacheInvalidations, 1u);
+  EXPECT_EQ(Svc.cache().peek("json").get(), Json.get())
+      << "other grammars' artifacts must be untouched";
+}
+
+TEST(BuildServiceTest, CompressedAndPolicyOptionsPassThrough) {
+  BuildService Svc;
+  ServiceRequest R = corpusRequest("json", TableKind::Lalr1);
+  R.Options.Compress = true;
+  R.Options.Conflicts = ConflictPolicy::RequireAdequate;
+  ServiceRequest Inadequate = corpusRequest("not_lr1_ambiguous", TableKind::Lalr1);
+  Inadequate.Options.Conflicts = ConflictPolicy::RequireAdequate;
+  std::vector<ServiceRequest> Requests = {R, Inadequate};
+  std::vector<ServiceResponse> Responses = Svc.runBatch(Requests);
+
+  ASSERT_TRUE(Responses[0].Ok) << Responses[0].Error;
+  ASSERT_TRUE(Responses[0].Result->Compressed.has_value())
+      << "Compress must reach the pipeline";
+  EXPECT_TRUE(Responses[0].Result->PolicySatisfied);
+  ASSERT_TRUE(Responses[1].Ok) << Responses[1].Error;
+  EXPECT_FALSE(Responses[1].Result->PolicySatisfied)
+      << "RequireAdequate must flag the ambiguous grammar";
+}
+
+TEST(BuildServiceTest, ResponsesOutliveEviction) {
+  BuildService::Options Opts;
+  Opts.CacheCapacity = 1;
+  BuildService Svc(Opts);
+  std::vector<ServiceRequest> First = {corpusRequest("expr", TableKind::Lalr1)};
+  std::vector<ServiceResponse> Kept = Svc.runBatch(First);
+  ASSERT_TRUE(Kept[0].Ok) << Kept[0].Error;
+  // Evict "expr" by building a different grammar into the capacity-1 cache.
+  std::vector<ServiceRequest> Second = {corpusRequest("json", TableKind::Lalr1)};
+  Svc.runBatch(Second);
+  EXPECT_FALSE(Svc.cache().peek("expr"));
+  EXPECT_EQ(Svc.stats().CacheEvictions, 1u);
+  // The evicted response still holds its context; its table is readable.
+  EXPECT_EQ(serializeTable(*Kept[0].Result),
+            referenceTableBytes("expr", TableKind::Lalr1));
+}
+
+// ---------------------------------------------------------------------------
+// BuildService: streaming front end
+// ---------------------------------------------------------------------------
+
+TEST(BuildServiceTest, SubmitAndWaitRoundTrip) {
+  BuildService Svc;
+  uint64_t T1 = Svc.submit(corpusRequest("json", TableKind::Lalr1));
+  uint64_t T2 = Svc.submit(corpusRequest("json", TableKind::Slr1));
+  uint64_t T3 = Svc.submit(corpusRequest("no_such_grammar", TableKind::Lalr1));
+  EXPECT_NE(T1, T2);
+
+  // Wait out of submission order: tickets are claims, not positions.
+  ServiceResponse R3 = Svc.wait(T3);
+  ServiceResponse R1 = Svc.wait(T1);
+  ServiceResponse R2 = Svc.wait(T2);
+  EXPECT_TRUE(R1.Ok) << R1.Error;
+  EXPECT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_FALSE(R3.Ok);
+
+  // The dispatcher runs against the same shared cache as runBatch.
+  std::shared_ptr<CachedGrammar> Entry = Svc.cache().peek("json");
+  ASSERT_TRUE(Entry);
+  EXPECT_EQ(Entry->Ctx.lr0BuildCount(), 1u);
+  EXPECT_EQ(serializeTable(*R1.Result),
+            referenceTableBytes("json", TableKind::Lalr1));
+}
+
+TEST(BuildServiceTest, WaitOnUnknownTicketFails) {
+  BuildService Svc;
+  ServiceResponse R = Svc.wait(0);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error, "unknown ticket");
+  EXPECT_FALSE(Svc.wait(12345).Ok);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceStats
+// ---------------------------------------------------------------------------
+
+TEST(ServiceStatsTest, JsonCarriesCountersAndAggregate) {
+  BuildService Svc;
+  std::vector<ServiceRequest> Requests = {
+      corpusRequest("json", TableKind::Lalr1),
+      corpusRequest("json", TableKind::Slr1),
+  };
+  Svc.runBatch(Requests);
+  ServiceStats S = Svc.stats();
+  std::string Json = S.toJson();
+  for (const char *Key :
+       {"\"requests\":2", "\"succeeded\":2", "\"failed\":0", "\"batches\":1",
+        "\"cache_hits\":1", "\"cache_misses\":1", "\"cache_hit_ratio\":0.5000",
+        "\"aggregate\":"})
+    EXPECT_NE(Json.find(Key), std::string::npos) << Key << " in " << Json;
+  // The aggregate must reflect real build work (the context's stages).
+  EXPECT_GT(S.Aggregate.totalUs(), 0.0);
+
+  PipelineStats P = S.toPipelineStats("svc-bench");
+  EXPECT_EQ(P.Label, "svc-bench");
+  EXPECT_EQ(P.counter("service_requests"), 2u);
+  EXPECT_EQ(P.counter("service_cache_hits"), 1u);
+  EXPECT_TRUE(P.hasStage("service-requests"));
+
+  std::string Report = reportServiceStats(S);
+  EXPECT_NE(Report.find("2 request(s)"), std::string::npos) << Report;
+}
+
+TEST(ServiceStatsTest, AggregateSurvivesEviction) {
+  BuildService::Options Opts;
+  Opts.CacheCapacity = 1;
+  BuildService Svc(Opts);
+  std::vector<ServiceRequest> Requests = {corpusRequest("expr", TableKind::Lalr1)};
+  Svc.runBatch(Requests);
+  double BeforeEviction = Svc.stats().Aggregate.totalUs();
+  EXPECT_GT(BeforeEviction, 0.0);
+  std::vector<ServiceRequest> Evictor = {corpusRequest("json", TableKind::Lalr1)};
+  Svc.runBatch(Evictor);
+  EXPECT_GT(Svc.stats().Aggregate.totalUs(), BeforeEviction)
+      << "evicted contexts' stats must stay in the aggregate";
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+TEST(ManifestTest, ParsesCommandsOptionsAndComments) {
+  const char Text[] = R"(# batch warming the json grammar
+build json lalr1
+build json clr1 compress
+build ansic lalr1 solver=naive require-adequate repeat=3
+
+invalidate json   # drop artifacts between segments
+build grammars/custom.y slr1
+)";
+  std::string Error;
+  std::optional<std::vector<ManifestEntry>> Entries = parseManifest(Text, Error);
+  ASSERT_TRUE(Entries) << Error;
+  ASSERT_EQ(Entries->size(), 5u);
+
+  EXPECT_EQ((*Entries)[0].Act, ManifestEntry::Action::Build);
+  EXPECT_EQ((*Entries)[0].Request.GrammarName, "json");
+  EXPECT_EQ((*Entries)[0].Request.Options.Kind, TableKind::Lalr1);
+  EXPECT_EQ((*Entries)[0].Line, 2u);
+
+  EXPECT_TRUE((*Entries)[1].Request.Options.Compress);
+  EXPECT_EQ((*Entries)[1].Request.Options.Kind, TableKind::Clr1);
+
+  EXPECT_EQ((*Entries)[2].Request.Options.Solver, SolverKind::NaiveFixpoint);
+  EXPECT_EQ((*Entries)[2].Request.Options.Conflicts,
+            ConflictPolicy::RequireAdequate);
+  EXPECT_EQ((*Entries)[2].Repeat, 3u);
+
+  EXPECT_EQ((*Entries)[3].Act, ManifestEntry::Action::Invalidate);
+  EXPECT_EQ((*Entries)[3].Request.GrammarName, "json");
+
+  EXPECT_EQ((*Entries)[4].Request.GrammarName, "grammars/custom.y");
+  EXPECT_TRUE(isGrammarPath((*Entries)[4].Request.GrammarName));
+  EXPECT_FALSE(isGrammarPath("json"));
+  EXPECT_FALSE(isGrammarPath(".y"));
+
+  std::vector<ServiceRequest> Requests = manifestRequests(*Entries);
+  EXPECT_EQ(Requests.size(), 1 + 1 + 3 + 1 + 0u)
+      << "repeat=3 must expand; invalidate must not become a request";
+}
+
+TEST(ManifestTest, RejectsMalformedLinesWithLineNumbers) {
+  struct Case {
+    const char *Text;
+    const char *ExpectedError;
+  };
+  const Case Cases[] = {
+      {"build json", "line 1: expected: build <grammar> <kind> [options]"},
+      {"\nbuild json nosuchkind", "line 2: unknown table kind 'nosuchkind'"},
+      {"invalidate", "line 1: expected: invalidate <grammar>"},
+      {"invalidate a b", "line 1: expected: invalidate <grammar>"},
+      {"destroy json", "line 1: unknown command 'destroy' (expected build or "
+                       "invalidate)"},
+      {"build json lalr1 solver=qux",
+       "line 1: unknown solver 'qux' (expected digraph or naive)"},
+      {"build json lalr1 repeat=0",
+       "line 1: bad repeat count '0' (expected a positive integer)"},
+      {"build json lalr1 repeat=x",
+       "line 1: bad repeat count 'x' (expected a positive integer)"},
+      {"build json lalr1 frobnicate", "line 1: unknown option 'frobnicate'"},
+  };
+  for (const Case &C : Cases) {
+    std::string Error;
+    EXPECT_FALSE(parseManifest(C.Text, Error)) << C.Text;
+    EXPECT_EQ(Error, C.ExpectedError) << C.Text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellites: corpus registry, LALR_THREADS hardening
+// ---------------------------------------------------------------------------
+
+TEST(CorpusRegistryTest, ByNameLookupMatchesEntries) {
+  const CorpusEntry *Json = corpusGrammarByName("json");
+  ASSERT_TRUE(Json);
+  EXPECT_STREQ(Json->Name, "json");
+  EXPECT_EQ(Json, findCorpusEntry("json"));
+  EXPECT_FALSE(corpusGrammarByName("no_such_grammar"));
+}
+
+TEST(CorpusRegistryTest, ListCoversEveryEntryRealisticFirst) {
+  std::vector<std::string_view> All = listCorpusGrammars();
+  std::vector<std::string_view> Realistic =
+      listCorpusGrammars(/*RealisticOnly=*/true);
+  EXPECT_EQ(All.size(), corpusEntries().size());
+  EXPECT_EQ(Realistic.size(), realisticCorpusEntries().size());
+  EXPECT_LT(Realistic.size(), All.size());
+  // Realistic grammars lead the full listing, in the same order.
+  for (size_t I = 0; I < Realistic.size(); ++I)
+    EXPECT_EQ(All[I], Realistic[I]);
+  // Every listed name resolves back through the registry.
+  for (std::string_view Name : All)
+    EXPECT_TRUE(corpusGrammarByName(Name)) << Name;
+}
+
+TEST(BuildThreadsTest, ParsesValidCounts) {
+  bool Valid = false;
+  EXPECT_EQ(parseBuildThreads("0", &Valid), 0u);
+  EXPECT_TRUE(Valid);
+  EXPECT_EQ(parseBuildThreads("1", &Valid), 1u);
+  EXPECT_TRUE(Valid);
+  EXPECT_EQ(parseBuildThreads("16", &Valid), 16u);
+  EXPECT_TRUE(Valid);
+  EXPECT_EQ(parseBuildThreads("256", &Valid), 256u);
+  EXPECT_TRUE(Valid);
+  // Unset / empty means "no override", which is valid.
+  EXPECT_EQ(parseBuildThreads(nullptr, &Valid), 0u);
+  EXPECT_TRUE(Valid);
+  EXPECT_EQ(parseBuildThreads("", &Valid), 0u);
+  EXPECT_TRUE(Valid);
+  // The Valid out-param is optional.
+  EXPECT_EQ(parseBuildThreads("4"), 4u);
+}
+
+TEST(BuildThreadsTest, RejectsGarbageAndOutOfRangeToSerial) {
+  for (const char *Bad : {"abc", "4x", "x4", "4 ", " 4y", "-1", "-99", "257",
+                          "1000000", "0x10", "3.5", "++2"}) {
+    bool Valid = true;
+    EXPECT_EQ(parseBuildThreads(Bad, &Valid), 0u)
+        << '\'' << Bad << "' must fall back to serial";
+    EXPECT_FALSE(Valid) << '\'' << Bad << "' must be flagged invalid";
+  }
+}
+
+TEST(BuildThreadsTest, TableKindNamesRoundTrip) {
+  for (TableKind K : AllTableKinds) {
+    std::optional<TableKind> Back = tableKindByName(tableKindName(K));
+    ASSERT_TRUE(Back.has_value()) << tableKindName(K);
+    EXPECT_EQ(*Back, K);
+  }
+  EXPECT_FALSE(tableKindByName("bogus").has_value());
+  EXPECT_FALSE(tableKindByName("").has_value());
+}
