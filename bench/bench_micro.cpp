@@ -89,6 +89,28 @@ static void BM_DpLookaheads(benchmark::State &State) {
 }
 BENCHMARK(BM_DpLookaheads)->Arg(0)->Arg(1)->Arg(2);
 
+static void BM_DpLookaheadsGuarded(benchmark::State &State) {
+  // Cancellation-overhead control: BM_DpLookaheads' exact workload with
+  // an armed BuildGuard (live token + wall budget) threaded through, so
+  // the report shows what the cooperative polls cost. Target: within 1%
+  // of the unguarded numbers above (the poll is one relaxed increment;
+  // the clock only every 64th call).
+  BuildContext Ctx(loadCorpusGrammar(kGrammarArg[State.range(0)]));
+  const GrammarAnalysis &An = Ctx.analysis();
+  const Lr0Automaton &A = Ctx.lr0();
+  CancellationToken Token;
+  BuildLimits Limits;
+  Limits.MaxWallMs = 3600 * 1000; // armed but never trips
+  BuildGuard Guard(Limits, &Token);
+  for (auto _ : State) {
+    LalrLookaheads LA = LalrLookaheads::compute(A, An, SolverKind::Digraph,
+                                                nullptr, nullptr, &Guard);
+    benchmark::DoNotOptimize(LA.laSets().size());
+  }
+  State.SetLabel(std::string(kGrammarArg[State.range(0)]) + "+guarded");
+}
+BENCHMARK(BM_DpLookaheadsGuarded)->Arg(0)->Arg(1)->Arg(2);
+
 static void BM_DpLookaheadsNaiveSolver(benchmark::State &State) {
   BuildContext Ctx(loadCorpusGrammar("minic"));
   const GrammarAnalysis &An = Ctx.analysis();
@@ -163,6 +185,19 @@ int main(int Argc, char **Argv) {
   for (const char *Name : kGrammarArg) {
     BuildContext Ctx(loadCorpusGrammar(Name));
     Sink.add(BuildPipeline(Ctx).run().Stats);
+  }
+  // Guarded control runs: the same pipelines under an armed cancellation
+  // token and wall budget. Their stats carry the guard_polls counter
+  // (deterministic for serial builds), which compare_stats.py gates, and
+  // their stage timings quantify the governance overhead end to end.
+  for (const char *Name : kGrammarArg) {
+    BuildContext Ctx(loadCorpusGrammar(Name));
+    BuildOptions Opts;
+    Opts.Cancel = std::make_shared<CancellationToken>();
+    Opts.Limits.MaxWallMs = 3600 * 1000;
+    PipelineStats S = BuildPipeline(Ctx, Opts).run().Stats;
+    S.Label += "+guarded";
+    Sink.add(S);
   }
   return Sink.flush();
 }

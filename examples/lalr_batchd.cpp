@@ -24,6 +24,7 @@
 #include "corpus/CorpusGrammars.h"
 #include "service/BuildService.h"
 #include "service/Manifest.h"
+#include "support/FailPoint.h"
 
 #include <cstdio>
 #include <fstream>
@@ -51,8 +52,44 @@ int usage() {
       "(warm-cache knob)\n"
       "  --stats-json PATH   write aggregate ServiceStats JSON "
       "('-' = stdout)\n"
-      "  --quiet             suppress per-request lines\n");
+      "  --quiet             suppress per-request lines\n"
+      "  --deadline-ms N     default per-request deadline (manifest "
+      "deadline-ms= overrides)\n"
+      "  --limit NAME=N      service-wide build limit; NAME is one of "
+      "lr0_states,\n"
+      "                      lr1_states, items, relation_edges, set_bits, "
+      "wall_ms\n"
+      "                      (repeatable; per-request limits override)\n"
+      "  --fail-fast         stop executing after the first failed "
+      "request\n");
   return 2;
+}
+
+/// Parses one --limit value NAME=N into \p Limits.
+bool parseLimitFlag(const std::string &Value, BuildLimits &Limits) {
+  size_t Eq = Value.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  std::string Name = Value.substr(0, Eq);
+  char *End = nullptr;
+  double N = std::strtod(Value.c_str() + Eq + 1, &End);
+  if (!End || *End != '\0' || N <= 0)
+    return false;
+  if (Name == "lr0_states")
+    Limits.MaxLr0States = static_cast<uint64_t>(N);
+  else if (Name == "lr1_states")
+    Limits.MaxLr1States = static_cast<uint64_t>(N);
+  else if (Name == "items")
+    Limits.MaxItems = static_cast<uint64_t>(N);
+  else if (Name == "relation_edges")
+    Limits.MaxRelationEdges = static_cast<uint64_t>(N);
+  else if (Name == "set_bits")
+    Limits.MaxSetBits = static_cast<uint64_t>(N);
+  else if (Name == "wall_ms")
+    Limits.MaxWallMs = N;
+  else
+    return false;
+  return true;
 }
 
 bool readFile(const std::string &Path, std::string &Out, bool AllowStdin) {
@@ -109,8 +146,9 @@ bool resolvePathGrammars(std::vector<ManifestEntry> &Entries,
 
 void printResponse(const ServiceRequest &Req, const ServiceResponse &R) {
   if (!R.Ok) {
-    std::printf("FAIL %-18s %-14s %s\n", Req.GrammarName.c_str(),
-                tableKindName(Req.Options.Kind), R.Error.c_str());
+    std::printf("FAIL %-18s %-14s [%s] %s\n", Req.GrammarName.c_str(),
+                tableKindName(Req.Options.Kind),
+                buildStatusCodeName(R.Status.Code), R.Error.c_str());
     return;
   }
   const ParseTable &T = R.Result->Table;
@@ -130,6 +168,8 @@ int main(int Argc, char **Argv) {
   std::vector<ManifestEntry> Entries;
   unsigned Repeat = 1;
   bool Quiet = false;
+  bool FailFast = false;
+  double DeadlineMs = 0;
   std::string Error;
 
   for (int I = 1; I < Argc; ++I) {
@@ -139,6 +179,10 @@ int main(int Argc, char **Argv) {
         const CorpusEntry *E = corpusGrammarByName(Name);
         std::printf("%-22s %s\n", E->Name, E->Description);
       }
+      return 0;
+    } else if (Arg == "--list-failpoints") {
+      for (const char *const *S = allFailPointSites(); *S; ++S)
+        std::printf("%s\n", *S);
       return 0;
     } else if (Arg == "--manifest" && I + 1 < Argc) {
       ManifestPath = Argv[++I];
@@ -160,10 +204,30 @@ int main(int Argc, char **Argv) {
       StatsJsonPath = Argv[++I];
     } else if (Arg == "--quiet") {
       Quiet = true;
+    } else if (Arg == "--fail-fast") {
+      FailFast = true;
+    } else if (Arg == "--deadline-ms" && I + 1 < Argc) {
+      DeadlineMs = std::strtod(Argv[++I], nullptr);
+      if (DeadlineMs <= 0) {
+        std::fprintf(stderr, "--deadline-ms %s: expected a positive "
+                             "millisecond count\n",
+                     Argv[I]);
+        return 2;
+      }
+    } else if (Arg == "--limit" && I + 1 < Argc) {
+      if (!parseLimitFlag(Argv[++I], SvcOpts.DefaultLimits)) {
+        std::fprintf(stderr,
+                     "--limit %s: expected NAME=N with NAME one of "
+                     "lr0_states, lr1_states, items, relation_edges, "
+                     "set_bits, wall_ms\n",
+                     Argv[I]);
+        return 2;
+      }
     } else {
       return usage();
     }
   }
+  SvcOpts.DefaultDeadlineMs = DeadlineMs;
 
   if (!ManifestPath.empty()) {
     std::string Text;
@@ -192,10 +256,13 @@ int main(int Argc, char **Argv) {
 
   // Replay the entry list --repeat times. Build entries accumulate into
   // batch segments; an invalidate entry flushes the pending segment, then
-  // drops that grammar's artifacts (so order is preserved).
+  // drops that grammar's artifacts (so order is preserved). With
+  // --fail-fast, the first failed response stops the run: pending entries
+  // after the failing segment are never executed.
   std::vector<ServiceRequest> Pending;
+  bool Stopped = false;
   auto Flush = [&] {
-    if (Pending.empty())
+    if (Pending.empty() || Stopped)
       return;
     std::vector<ServiceResponse> Responses = Svc.runBatch(Pending);
     for (size_t I = 0; I < Responses.size(); ++I) {
@@ -204,12 +271,20 @@ int main(int Argc, char **Argv) {
         printResponse(Pending[I], Responses[I]);
     }
     Pending.clear();
+    if (FailFast && AnyFailed) {
+      Stopped = true;
+      std::fprintf(stderr, "stopping: --fail-fast and a request failed\n");
+    }
   };
 
-  for (unsigned Round = 0; Round < Repeat; ++Round) {
+  for (unsigned Round = 0; Round < Repeat && !Stopped; ++Round) {
     for (const ManifestEntry &E : Entries) {
+      if (Stopped)
+        break;
       if (E.Act == ManifestEntry::Action::Invalidate) {
         Flush();
+        if (Stopped)
+          break;
         if (!Quiet)
           std::printf("inv  %-18s %s\n", E.Request.GrammarName.c_str(),
                       Svc.invalidateGrammar(E.Request.GrammarName)

@@ -7,16 +7,23 @@
 # race detector both directly and through the env-driven default path.
 # The service test rides along: it exercises the BuildService batch
 # scheduler, the shared ContextCache and the streaming dispatcher thread.
+# The robustness and fault-injection tests run here too: cancellation
+# tokens racing the parallel solver, bounded-queue close-while-full, and
+# injected aborts unwinding across pool workers are exactly the shapes
+# TSan exists to check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 cmake --build build-tsan --target parallel_test lalr_test pipeline_test \
-  service_test
+  service_test robustness_test faultinject_test
 
 ./build-tsan/tests/parallel_test
 LALR_THREADS=4 ./build-tsan/tests/lalr_test
 LALR_THREADS=4 ./build-tsan/tests/pipeline_test
 ./build-tsan/tests/service_test
 LALR_THREADS=2 ./build-tsan/tests/service_test
+LALR_THREADS=2 ./build-tsan/tests/robustness_test
+./build-tsan/tests/faultinject_test
+LALR_THREADS=4 ./build-tsan/tests/faultinject_test

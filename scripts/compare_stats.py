@@ -39,6 +39,10 @@ STRUCTURAL_COUNTERS = {
     "table_states", "table_conflicts",
     "unresolved_shift_reduce", "unresolved_reduce_reduce",
     "compressed_explicit_actions", "default_reduction_rows",
+    # Deterministic for serial builds: the cooperative-cancellation poll
+    # count is a pure function of the work done, so a drift means a stage
+    # changed its polling (or its shape) — exactly what this gate is for.
+    "guard_polls",
 }
 
 

@@ -4,7 +4,8 @@
 
 using namespace lalr;
 
-ParseTable lalr::buildClr1Table(const Lr1Automaton &A) {
+ParseTable lalr::buildClr1Table(const Lr1Automaton &A,
+                                const BuildGuard *Guard) {
   const Grammar &G = A.grammar();
   return fillTableGeneric(
       G, A.numStates(),
@@ -15,5 +16,6 @@ ParseTable lalr::buildClr1Table(const Lr1Automaton &A) {
       [&](uint32_t S, auto Emit) {
         for (const auto &[Prod, LA] : A.state(S).Reductions)
           Emit(Prod, LA);
-      });
+      },
+      Guard);
 }

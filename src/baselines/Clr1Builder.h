@@ -17,7 +17,8 @@ namespace lalr {
 
 /// Builds the canonical LR(1) parse table (states are \p A's LR(1)
 /// states).
-ParseTable buildClr1Table(const Lr1Automaton &A);
+ParseTable buildClr1Table(const Lr1Automaton &A,
+                          const BuildGuard *Guard = nullptr);
 
 } // namespace lalr
 

@@ -2,6 +2,8 @@
 
 #include "baselines/Lr1Automaton.h"
 
+#include "support/FailPoint.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -26,12 +28,16 @@ std::vector<uint64_t> kernelKey(const std::vector<Lr0Item> &Items,
 
 } // namespace
 
-Lr1Automaton Lr1Automaton::build(const Grammar &G,
-                                 const GrammarAnalysis &An) {
+Lr1Automaton Lr1Automaton::build(const Grammar &G, const GrammarAnalysis &An,
+                                 const BuildGuard *Guard) {
+  failPoint("lr1-build");
   const size_t NumT = G.numTerminals();
   Lr1Automaton A(G);
 
   std::map<std::vector<uint64_t>, uint32_t> StateByKernel;
+
+  // Running kernel-item total across interned states, for MaxItems.
+  uint64_t KernelItems = 0;
 
   // Interns a kernel given as parallel (unsorted) item/la vectors.
   auto internState = [&](std::vector<Lr0Item> Items,
@@ -56,7 +62,12 @@ Lr1Automaton Lr1Automaton::build(const Grammar &G,
       Lr1State S;
       S.KernelItems = std::move(SortedItems);
       S.KernelLa = std::move(SortedLa);
+      KernelItems += S.KernelItems.size();
       A.States.push_back(std::move(S));
+      if (Guard) {
+        Guard->checkLr1States(A.States.size());
+        Guard->checkItems(KernelItems);
+      }
     }
     return It->second;
   };
@@ -71,6 +82,7 @@ Lr1Automaton Lr1Automaton::build(const Grammar &G,
   }
 
   for (uint32_t Cur = 0; Cur < A.States.size(); ++Cur) {
+    guardPoll(Guard);
     // Closure of the kernel.
     std::vector<Lr1ItemGroup> Seed(A.States[Cur].KernelItems.size());
     for (size_t I = 0; I < Seed.size(); ++I) {

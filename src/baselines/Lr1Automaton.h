@@ -17,6 +17,7 @@
 #include "baselines/Lr1Closure.h"
 #include "grammar/Analysis.h"
 #include "lr/Lr0Automaton.h"
+#include "support/Cancellation.h"
 
 #include <vector>
 
@@ -39,7 +40,11 @@ struct Lr1State {
 /// The canonical collection of LR(1) item sets.
 class Lr1Automaton {
 public:
-  static Lr1Automaton build(const Grammar &G, const GrammarAnalysis &An);
+  /// \p Guard, when non-null, is polled once per explored state and
+  /// enforces MaxLr1States/MaxItems as states are interned — the defense
+  /// against the exponential-LR(1) grammar families.
+  static Lr1Automaton build(const Grammar &G, const GrammarAnalysis &An,
+                            const BuildGuard *Guard = nullptr);
 
   const Grammar &grammar() const { return *G; }
   size_t numStates() const { return States.size(); }

@@ -3,6 +3,7 @@
 #include "baselines/PagerLr1.h"
 
 #include "baselines/Lr1Closure.h"
+#include "support/FailPoint.h"
 
 #include <algorithm>
 #include <cassert>
@@ -47,10 +48,15 @@ bool weaklyCompatible(const std::vector<BitSet> &New,
 
 PagerLr1Automaton PagerLr1Automaton::build(const Grammar &G,
                                            const GrammarAnalysis &An,
-                                           PipelineStats *Stats) {
+                                           PipelineStats *Stats,
+                                           const BuildGuard *Guard) {
   StageTimer BuildT(Stats, "pager-build");
+  failPoint("pager-build");
   const size_t NumT = G.numTerminals();
   PagerLr1Automaton A(G);
+
+  // Running kernel-item total across created states, for MaxItems.
+  uint64_t KernelItems = 0;
 
   // All states sharing one core.
   std::map<std::vector<uint64_t>, std::vector<uint32_t>> StatesByCore;
@@ -102,7 +108,12 @@ PagerLr1Automaton PagerLr1Automaton::build(const Grammar &G,
     Lr1State S;
     S.KernelItems = std::move(SortedItems);
     S.KernelLa = std::move(SortedLa);
+    KernelItems += S.KernelItems.size();
     A.States.push_back(std::move(S));
+    if (Guard) {
+      Guard->checkLr1States(A.States.size());
+      Guard->checkItems(KernelItems);
+    }
     Candidates.push_back(Id);
     pushWork(Id);
     return Id;
@@ -118,6 +129,7 @@ PagerLr1Automaton PagerLr1Automaton::build(const Grammar &G,
   }
 
   while (!Worklist.empty()) {
+    guardPoll(Guard);
     uint32_t Cur = Worklist.front();
     Worklist.pop_front();
     InWorklist[Cur] = false;
@@ -189,7 +201,8 @@ PagerLr1Automaton PagerLr1Automaton::build(const Grammar &G,
   return A;
 }
 
-ParseTable lalr::buildPagerTable(const PagerLr1Automaton &A) {
+ParseTable lalr::buildPagerTable(const PagerLr1Automaton &A,
+                                 const BuildGuard *Guard) {
   const Grammar &G = A.grammar();
   return fillTableGeneric(
       G, A.numStates(),
@@ -200,5 +213,6 @@ ParseTable lalr::buildPagerTable(const PagerLr1Automaton &A) {
       [&](uint32_t S, auto Emit) {
         for (const auto &[Prod, LA] : A.state(S).Reductions)
           Emit(Prod, LA);
-      });
+      },
+      Guard);
 }

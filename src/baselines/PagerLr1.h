@@ -33,9 +33,12 @@ namespace lalr {
 class PagerLr1Automaton {
 public:
   /// If \p Stats is nonnull, records the pager-build stage plus state and
-  /// reprocess counters.
+  /// reprocess counters. \p Guard, when non-null, is polled per worklist
+  /// step and enforces MaxLr1States/MaxItems (Pager states count against
+  /// the LR(1) ceiling) as states are created.
   static PagerLr1Automaton build(const Grammar &G, const GrammarAnalysis &An,
-                                 PipelineStats *Stats = nullptr);
+                                 PipelineStats *Stats = nullptr,
+                                 const BuildGuard *Guard = nullptr);
 
   const Grammar &grammar() const { return *G; }
   size_t numStates() const { return States.size(); }
@@ -54,7 +57,8 @@ private:
 };
 
 /// Builds the parse table over the Pager automaton.
-ParseTable buildPagerTable(const PagerLr1Automaton &A);
+ParseTable buildPagerTable(const PagerLr1Automaton &A,
+                           const BuildGuard *Guard = nullptr);
 
 } // namespace lalr
 

@@ -5,10 +5,13 @@
 using namespace lalr;
 
 ParseTable lalr::buildSlrTable(const Lr0Automaton &A,
-                               const GrammarAnalysis &Analysis) {
+                               const GrammarAnalysis &Analysis,
+                               const BuildGuard *Guard) {
   const Grammar &G = A.grammar();
   return fillParseTable(
-      A, [&](StateId, ProductionId P) -> const BitSet & {
+      A,
+      [&](StateId, ProductionId P) -> const BitSet & {
         return Analysis.follow(G.production(P).Lhs);
-      });
+      },
+      Guard);
 }

@@ -17,8 +17,8 @@
 namespace lalr {
 
 /// Builds the SLR(1) parse table over the LR(0) automaton \p A.
-ParseTable buildSlrTable(const Lr0Automaton &A,
-                         const GrammarAnalysis &Analysis);
+ParseTable buildSlrTable(const Lr0Automaton &A, const GrammarAnalysis &Analysis,
+                         const BuildGuard *Guard = nullptr);
 
 } // namespace lalr
 

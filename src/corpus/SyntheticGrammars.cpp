@@ -100,6 +100,31 @@ Grammar lalr::makeIncludesRing(unsigned N) {
   return buildOrDie(std::move(B), "makeIncludesRing");
 }
 
+Grammar lalr::makeStateBlowup(unsigned N) {
+  assert(N >= 1);
+  GrammarBuilder B("state_blowup_" + std::to_string(N));
+  SymbolId A = B.terminal("'a'");
+  SymbolId C = B.terminal("'b'");
+  SymbolId X = B.terminal("'x'");
+  SymbolId S = B.nonterminal("s");
+  std::vector<SymbolId> Ts;
+  for (unsigned I = 1; I <= N; ++I)
+    Ts.push_back(B.nonterminal(numbered("t", I)));
+
+  // "(a|b)*" prefix loop, then the nondeterministic commit on 'a'.
+  B.production(S, {A, S});
+  B.production(S, {C, S});
+  B.production(S, {A, Ts[0]});
+  // The N-1 suffix positions the determinized automaton must remember.
+  for (unsigned I = 0; I + 1 < N; ++I) {
+    B.production(Ts[I], {A, Ts[I + 1]});
+    B.production(Ts[I], {C, Ts[I + 1]});
+  }
+  B.production(Ts[N - 1], {X});
+  B.startSymbol(S);
+  return buildOrDie(std::move(B), "makeStateBlowup");
+}
+
 std::optional<Grammar>
 lalr::makeRandomGrammar(uint64_t Seed, const RandomGrammarParams &Params) {
   assert(Params.NumTerminals >= 1 && Params.NumNonterminals >= 1);

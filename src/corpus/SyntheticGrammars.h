@@ -11,7 +11,10 @@
 ///   * includes rings     — one large SCC in `includes` (the digraph-vs-
 ///     naive-fixpoint ablation of Fig. 3 separates on these);
 ///   * random CFGs        — arbitrary reduced grammars for differential
-///     testing of the look-ahead methods.
+///     testing of the look-ahead methods;
+///   * state blowups      — adversarial right-linear grammars with
+///     exponentially many LR states from O(N) productions (the
+///     BuildLimits stress family).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +63,24 @@ std::optional<Grammar> makeRandomGrammar(uint64_t Seed,
 /// indicates nonsensical parameters).
 Grammar makeRandomReducedGrammar(uint64_t Seed,
                                  const RandomGrammarParams &Params);
+
+/// Adversarial family with exponential LR growth from a linear-size
+/// grammar: the right-linear encoding of the NFA for "(a|b)* a (a|b)^{N-1} x"
+///
+///   s   -> 'a' s | 'b' s | 'a' t1
+///   t_i -> 'a' t_{i+1} | 'b' t_{i+1}      (1 <= i < N)
+///   t_N -> 'x'
+///
+/// The grammar has 3N + O(1) symbols/productions, but the LR(0)
+/// automaton is the determinization of that NFA and must remember which
+/// of the last N inputs were 'a': Theta(2^N) states (2^N subset states
+/// plus the accept tail). Grammars like this are why BuildLimits exists —
+/// a handful of manifest lines can demand gigabyte-scale tables, and
+/// MaxLr0States / MaxItems trips deterministically (serial and parallel)
+/// at the same interned-state count. Unambiguous and LALR(1), so every
+/// table kind is exercised, including the LR(1) builders (whose blowup is
+/// the same, counted against MaxLr1States).
+Grammar makeStateBlowup(unsigned N);
 
 } // namespace lalr
 

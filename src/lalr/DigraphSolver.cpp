@@ -27,7 +27,8 @@ struct Frame {
 std::vector<BitSet>
 lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
                    std::vector<BitSet> Init, DigraphStats *Stats,
-                   std::vector<bool> *InNontrivialScc) {
+                   std::vector<bool> *InNontrivialScc,
+                   const BuildGuard *Guard) {
   const size_t NumNodes = Edges.size();
   assert(Init.size() == NumNodes && "one initial set per node");
   std::vector<BitSet> F = std::move(Init);
@@ -43,6 +44,7 @@ lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
     InNontrivialScc->assign(NumNodes, false);
 
   auto pushNode = [&](uint32_t X) {
+    guardPollStrided(Guard, X);
     Stack.push_back(X);
     uint32_t Depth = static_cast<uint32_t>(Stack.size());
     N[X] = Depth;
@@ -156,7 +158,8 @@ std::vector<BitSet>
 lalr::solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
                            std::vector<BitSet> Init, ThreadPool &Pool,
                            DigraphStats *Stats,
-                           std::vector<bool> *InNontrivialScc) {
+                           std::vector<bool> *InNontrivialScc,
+                           const BuildGuard *Guard) {
   const size_t NumNodes = Edges.size();
   assert(Init.size() == NumNodes && "one initial set per node");
   std::vector<BitSet> F = std::move(Init);
@@ -174,6 +177,7 @@ lalr::solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
   std::vector<uint32_t> Level(NumComps, 0);
   uint32_t MaxLevel = 0;
   for (uint32_t C = 0; C < NumComps; ++C) {
+    guardPollStrided(Guard, C);
     std::vector<uint32_t> &Succ = CompSucc[C];
     for (uint32_t U : Scc.Components[C])
       for (uint32_t V : Edges[U])
@@ -206,6 +210,7 @@ lalr::solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
     Pool.parallelFor(0, Wave.size(), [&](size_t Chunk, size_t Lo, size_t Hi) {
       size_t Ops = 0;
       for (size_t I = Lo; I < Hi; ++I) {
+        guardPollStrided(Guard, I);
         const std::vector<uint32_t> &Members = Scc.Components[Wave[I]];
         uint32_t Rep = Members.front();
         for (size_t M = 1; M < Members.size(); ++M) {
@@ -236,7 +241,7 @@ lalr::solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
 std::vector<BitSet>
 lalr::solveNaiveFixpoint(const std::vector<std::vector<uint32_t>> &Edges,
                          std::vector<BitSet> Init, DigraphStats *Stats,
-                         bool ReverseOrder) {
+                         bool ReverseOrder, const BuildGuard *Guard) {
   std::vector<BitSet> F = std::move(Init);
   DigraphStats LocalStats;
   const size_t N = Edges.size();
@@ -245,6 +250,7 @@ lalr::solveNaiveFixpoint(const std::vector<std::vector<uint32_t>> &Edges,
     Changed = false;
     ++LocalStats.Sweeps;
     for (size_t I = 0; I < N; ++I) {
+      guardPollStrided(Guard, I);
       size_t X = ReverseOrder ? N - 1 - I : I;
       for (uint32_t Y : Edges[X]) {
         Changed |= F[X].unionWith(F[Y]);

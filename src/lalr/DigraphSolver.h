@@ -18,6 +18,7 @@
 #define LALR_LALR_DIGRAPHSOLVER_H
 
 #include "support/BitSet.h"
+#include "support/Cancellation.h"
 
 #include <cstdint>
 #include <vector>
@@ -41,10 +42,14 @@ struct DigraphStats {
 /// sets \p Init (consumed and returned as the solution). If \p Stats is
 /// nonnull it is filled; if \p InNontrivialScc is nonnull it is resized
 /// and marks every node lying on a cycle of the relation.
+/// All three solvers poll \p Guard (when non-null) once per node visit /
+/// component / sweep node, so cancellation and deadlines interrupt even
+/// adversarially deep traversals.
 std::vector<BitSet>
 solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
              std::vector<BitSet> Init, DigraphStats *Stats = nullptr,
-             std::vector<bool> *InNontrivialScc = nullptr);
+             std::vector<bool> *InNontrivialScc = nullptr,
+             const BuildGuard *Guard = nullptr);
 
 /// Structure-only variant of solveDigraph: computes the cycle certificate
 /// (which nodes lie on a nontrivial SCC of the relation) without touching
@@ -68,7 +73,8 @@ std::vector<BitSet>
 solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
                      std::vector<BitSet> Init, ThreadPool &Pool,
                      DigraphStats *Stats = nullptr,
-                     std::vector<bool> *InNontrivialScc = nullptr);
+                     std::vector<bool> *InNontrivialScc = nullptr,
+                     const BuildGuard *Guard = nullptr);
 
 /// Ablation baseline: Gauss-Seidel sweeps over all edges until nothing
 /// changes. Produces the same least solution with O(n * |R|) worst-case
@@ -82,7 +88,8 @@ solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
 std::vector<BitSet>
 solveNaiveFixpoint(const std::vector<std::vector<uint32_t>> &Edges,
                    std::vector<BitSet> Init, DigraphStats *Stats = nullptr,
-                   bool ReverseOrder = false);
+                   bool ReverseOrder = false,
+                   const BuildGuard *Guard = nullptr);
 
 } // namespace lalr
 

@@ -2,6 +2,7 @@
 
 #include "lalr/LalrLookaheads.h"
 
+#include "support/FailPoint.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -25,38 +26,56 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
                                        const GrammarAnalysis &Analysis,
                                        SolverKind Solver,
                                        PipelineStats *Stats,
-                                       ThreadPool *Pool) {
+                                       ThreadPool *Pool,
+                                       const BuildGuard *Guard) {
   const Grammar &G = A.grammar();
   const unsigned Workers = Pool ? Pool->workerCount() : 0;
   LalrLookaheads Out;
   {
     StageTimer T(Stats, "nt-index");
+    failPoint("nt-index");
+    guardPoll(Guard);
     Out.NtIdx = std::make_unique<NtTransitionIndex>(A);
     Out.RedIdx = std::make_unique<ReductionIndex>(A);
   }
+
+  // The set families this pipeline allocates: DR + Read over nt
+  // transitions, Follow over nt transitions, LA over reduction slots —
+  // each BitSet is numTerminals() wide. Deterministic up-front check, so
+  // MaxSetBits trips before any allocation rather than mid-solve.
+  if (Guard) {
+    uint64_t Bits = (3 * uint64_t(Out.NtIdx->size()) +
+                     uint64_t(Out.RedIdx->size())) *
+                    G.numTerminals();
+    Guard->checkSetBits(Bits);
+  }
+
   {
     StageTimer T(Stats, "relations");
     Out.Relations =
-        buildLalrRelations(A, Analysis, *Out.NtIdx, *Out.RedIdx, Pool);
+        buildLalrRelations(A, Analysis, *Out.NtIdx, *Out.RedIdx, Pool, Guard);
   }
 
   // Read = digraph(reads, DR). The initial sets are copies: the relations
   // (with DR) are retained for reporting.
   {
     StageTimer T(Stats, "solve-read");
+    failPoint("solve-read");
     std::vector<BitSet> Initial = Out.Relations.DirectRead;
     if (Solver == SolverKind::Digraph) {
       if (Pool)
         Out.ReadSets =
             solveDigraphParallel(Out.Relations.Reads, std::move(Initial),
                                  *Pool, &Out.ReadsStats,
-                                 &Out.ReadsCycleMembers);
+                                 &Out.ReadsCycleMembers, Guard);
       else
         Out.ReadSets = solveDigraph(Out.Relations.Reads, std::move(Initial),
-                                    &Out.ReadsStats, &Out.ReadsCycleMembers);
+                                    &Out.ReadsStats, &Out.ReadsCycleMembers,
+                                    Guard);
     } else {
       Out.ReadSets = solveNaiveFixpoint(Out.Relations.Reads,
-                                        std::move(Initial), &Out.ReadsStats);
+                                        std::move(Initial), &Out.ReadsStats,
+                                        /*ReverseOrder=*/false, Guard);
       // Cycle membership still comes from the digraph structure; the
       // structure-only pass recovers the certificate without touching any
       // sets.
@@ -68,18 +87,21 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
   // Follow = digraph(includes, Read).
   {
     StageTimer T(Stats, "solve-follow");
+    failPoint("solve-follow");
     std::vector<BitSet> Initial = Out.ReadSets;
     if (Solver == SolverKind::Digraph) {
       if (Pool)
         Out.FollowSets =
             solveDigraphParallel(Out.Relations.Includes, std::move(Initial),
-                                 *Pool, &Out.IncludesStats);
+                                 *Pool, &Out.IncludesStats, nullptr, Guard);
       else
-        Out.FollowSets = solveDigraph(Out.Relations.Includes,
-                                      std::move(Initial), &Out.IncludesStats);
+        Out.FollowSets =
+            solveDigraph(Out.Relations.Includes, std::move(Initial),
+                         &Out.IncludesStats, nullptr, Guard);
     } else {
       Out.FollowSets = solveNaiveFixpoint(
-          Out.Relations.Includes, std::move(Initial), &Out.IncludesStats);
+          Out.Relations.Includes, std::move(Initial), &Out.IncludesStats,
+          /*ReverseOrder=*/false, Guard);
     }
   }
 
@@ -87,11 +109,14 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
   // unions into its own set only, so the pass shards over slot ranges.
   {
     StageTimer T(Stats, "la-union");
+    failPoint("la-union");
     Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
     auto UnionSlots = [&](size_t Lo, size_t Hi) {
-      for (size_t Slot = Lo; Slot < Hi; ++Slot)
+      for (size_t Slot = Lo; Slot < Hi; ++Slot) {
+        guardPollStrided(Guard, Slot);
         for (uint32_t X : Out.Relations.Lookback[Slot])
           Out.LaSets[Slot].unionWith(Out.FollowSets[X]);
+      }
     };
     if (Pool)
       Pool->parallelFor(0, Out.RedIdx->size(),

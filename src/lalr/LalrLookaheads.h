@@ -46,12 +46,17 @@ public:
   /// sizes. With a non-null \p Pool the relations build, the digraph
   /// solves and the la-union pass run sharded on the pool; the computed
   /// sets are bit-identical to the serial path (asserted by
-  /// tests/parallel_test.cpp across the corpus).
+  /// tests/parallel_test.cpp across the corpus). \p Guard, when non-null,
+  /// is polled throughout every stage (cancellation/deadline) and
+  /// enforces MaxRelationEdges during the relations build and MaxSetBits
+  /// against the total bits the Read/Follow/LA set families will
+  /// allocate, checked up front from the known family sizes.
   static LalrLookaheads compute(const Lr0Automaton &A,
                                 const GrammarAnalysis &Analysis,
                                 SolverKind Solver = SolverKind::Digraph,
                                 PipelineStats *Stats = nullptr,
-                                ThreadPool *Pool = nullptr);
+                                ThreadPool *Pool = nullptr,
+                                const BuildGuard *Guard = nullptr);
 
   /// LA(q, A->w): look-ahead set of reduction (State, Prod), over
   /// terminal ids. The reduction must exist in that state.

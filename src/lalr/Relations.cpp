@@ -2,9 +2,11 @@
 
 #include "lalr/Relations.h"
 
+#include "support/FailPoint.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 using namespace lalr;
@@ -136,7 +138,7 @@ void sortUnique(std::vector<uint32_t> &Edges) {
 void buildShardedRelations(const Lr0Automaton &A, const GrammarAnalysis &An,
                            const NtTransitionIndex &NtIdx,
                            const ReductionIndex &RedIdx, ThreadPool &Pool,
-                           LalrRelations &R) {
+                           LalrRelations &R, const BuildGuard *Guard) {
   const Grammar &G = A.grammar();
   const size_t NumNt = NtIdx.size();
   const size_t NumChunks = Pool.workerCount();
@@ -147,11 +149,19 @@ void buildShardedRelations(const Lr0Automaton &A, const GrammarAnalysis &An,
   };
   std::vector<SliceEdges> Slices(NumChunks);
 
+  // Shared running edge total for MaxRelationEdges: each worker adds its
+  // per-row delta (relaxed — the trip point is approximate but the trip
+  // itself is guaranteed once the total passes the limit).
+  std::atomic<uint64_t> EdgeTotal{0};
+
   Pool.parallelFor(
       0, NumNt,
       [&](size_t Chunk, size_t Lo, size_t Hi) {
         SliceEdges &Out = Slices[Chunk];
         for (size_t X = Lo; X < Hi; ++X) {
+          guardPollStrided(Guard, X);
+          size_t Before = Out.Includes.size() + Out.Lookback.size() +
+                          R.Reads[X].size();
           buildDrAndReadsRow(static_cast<uint32_t>(X), A, G, An, NtIdx, R);
           replayProductions(
               static_cast<uint32_t>(X), A, G, An, NtIdx, RedIdx,
@@ -161,6 +171,15 @@ void buildShardedRelations(const Lr0Automaton &A, const GrammarAnalysis &An,
               [&](uint32_t Slot, uint32_t Src) {
                 Out.Lookback.emplace_back(Slot, Src);
               });
+          if (Guard) {
+            size_t After = Out.Includes.size() + Out.Lookback.size() +
+                           R.Reads[X].size();
+            uint64_t Total =
+                EdgeTotal.fetch_add(After - Before,
+                                    std::memory_order_relaxed) +
+                (After - Before);
+            Guard->checkRelationEdges(Total);
+          }
         }
       },
       NumChunks);
@@ -198,7 +217,9 @@ LalrRelations lalr::buildLalrRelations(const Lr0Automaton &A,
                                        const GrammarAnalysis &Analysis,
                                        const NtTransitionIndex &NtIdx,
                                        const ReductionIndex &RedIdx,
-                                       ThreadPool *Pool) {
+                                       ThreadPool *Pool,
+                                       const BuildGuard *Guard) {
+  failPoint("relations-build");
   const Grammar &G = A.grammar();
   const size_t NumNt = NtIdx.size();
   LalrRelations R;
@@ -208,22 +229,36 @@ LalrRelations lalr::buildLalrRelations(const Lr0Automaton &A,
   R.Lookback.resize(RedIdx.size());
 
   if (Pool) {
-    buildShardedRelations(A, Analysis, NtIdx, RedIdx, *Pool, R);
+    buildShardedRelations(A, Analysis, NtIdx, RedIdx, *Pool, R, Guard);
   } else {
-    for (uint32_t X = 0; X < NumNt; ++X)
+    uint64_t Edges = 0;
+    for (uint32_t X = 0; X < NumNt; ++X) {
+      guardPollStrided(Guard, X);
       buildDrAndReadsRow(X, A, G, Analysis, NtIdx, R);
+      if (Guard) {
+        Edges += R.Reads[X].size();
+        Guard->checkRelationEdges(Edges);
+      }
+    }
 
     // includes and lookback are both built by replaying every production
     // from every state that carries a transition on its left-hand side.
-    for (uint32_t X = 0; X < NumNt; ++X)
+    for (uint32_t X = 0; X < NumNt; ++X) {
+      guardPollStrided(Guard, X);
       replayProductions(
           X, A, G, Analysis, NtIdx, RedIdx,
           [&](uint32_t Inner, uint32_t Src) {
             R.Includes[Inner].push_back(Src);
+            ++Edges;
           },
           [&](uint32_t Slot, uint32_t Src) {
             R.Lookback[Slot].push_back(Src);
+            ++Edges;
           });
+      // The limit bounds construction growth, so count pre-dedup edges.
+      if (Guard)
+        Guard->checkRelationEdges(Edges);
+    }
 
     // Deduplicate includes edges: distinct occurrences of A in one body,
     // or different productions, can generate the same edge.

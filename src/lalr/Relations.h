@@ -21,6 +21,7 @@
 #include "grammar/Analysis.h"
 #include "lalr/NtTransitionIndex.h"
 #include "support/BitSet.h"
+#include "support/Cancellation.h"
 
 #include <cstdint>
 #include <vector>
@@ -78,12 +79,17 @@ class ThreadPool;
 /// grammar (only nullability is consulted). With a non-null \p Pool the
 /// build is sharded over contiguous slices of the nonterminal-transition
 /// range (per-slice buffers, lock-free merge); the result is bit-identical
-/// to the serial build.
+/// to the serial build. \p Guard, when non-null, is polled once per
+/// transition row and enforces MaxRelationEdges over the running
+/// reads+includes+lookback edge total (exactly on the serial path; via a
+/// shared relaxed counter — so the trip row, not the outcome, may vary —
+/// on the sharded path).
 LalrRelations buildLalrRelations(const Lr0Automaton &A,
                                  const GrammarAnalysis &Analysis,
                                  const NtTransitionIndex &NtIdx,
                                  const ReductionIndex &RedIdx,
-                                 ThreadPool *Pool = nullptr);
+                                 ThreadPool *Pool = nullptr,
+                                 const BuildGuard *Guard = nullptr);
 
 } // namespace lalr
 

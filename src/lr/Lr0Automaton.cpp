@@ -2,6 +2,8 @@
 
 #include "lr/Lr0Automaton.h"
 
+#include "support/FailPoint.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -60,11 +62,15 @@ std::vector<SymbolId> closureNtsOfKernel(const Grammar &G,
 
 } // namespace
 
-Lr0Automaton Lr0Automaton::build(const Grammar &G) {
+Lr0Automaton Lr0Automaton::build(const Grammar &G, const BuildGuard *Guard) {
+  failPoint("lr0-build");
   Lr0Automaton A(G);
 
   // Deduplicate states by their (sorted) packed kernel.
   std::map<std::vector<uint64_t>, StateId> StateByKernel;
+
+  // Running kernel-item total across all interned states, for MaxItems.
+  uint64_t KernelItems = 0;
 
   auto internState = [&](std::vector<Lr0Item> Kernel,
                          SymbolId Accessing) -> StateId {
@@ -80,7 +86,12 @@ Lr0Automaton Lr0Automaton::build(const Grammar &G) {
       Lr0State S;
       S.Kernel = std::move(Kernel);
       S.AccessingSymbol = Accessing;
+      KernelItems += S.Kernel.size();
       A.States.push_back(std::move(S));
+      if (Guard) {
+        Guard->checkLr0States(A.States.size());
+        Guard->checkItems(KernelItems);
+      }
     }
     return It->second;
   };
@@ -93,6 +104,7 @@ Lr0Automaton Lr0Automaton::build(const Grammar &G) {
   // Breadth-first exploration so state numbering is stable and matches
   // the usual textbook presentation.
   for (StateId Cur = 0; Cur < A.States.size(); ++Cur) {
+    guardPoll(Guard);
     // Collect the closure item list: kernel items plus (P, 0) for every
     // production P of every closure nonterminal.
     std::vector<Lr0Item> Items = A.States[Cur].Kernel;

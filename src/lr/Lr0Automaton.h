@@ -14,6 +14,7 @@
 
 #include "grammar/Grammar.h"
 #include "lr/Lr0Item.h"
+#include "support/Cancellation.h"
 
 #include <cstdint>
 #include <vector>
@@ -52,7 +53,10 @@ class Lr0Automaton {
 public:
   /// Builds the automaton for \p G. Deterministic: state ids depend only
   /// on the grammar (breadth-first discovery order from state 0).
-  static Lr0Automaton build(const Grammar &G);
+  /// \p Guard, when non-null, is polled once per explored state and
+  /// enforces MaxLr0States/MaxItems as states are interned (BuildAbort).
+  static Lr0Automaton build(const Grammar &G,
+                            const BuildGuard *Guard = nullptr);
 
   const Grammar &grammar() const { return *G; }
   size_t numStates() const { return States.size(); }

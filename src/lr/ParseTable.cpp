@@ -114,7 +114,8 @@ void lalr::detail::insertReduceAction(ParseTable &Table, const Grammar &G,
 }
 
 ParseTable lalr::fillParseTable(const Lr0Automaton &A,
-                                const LookaheadFn &Lookaheads) {
+                                const LookaheadFn &Lookaheads,
+                                const BuildGuard *Guard) {
   const Grammar &G = A.grammar();
   return fillTableGeneric(
       G, A.numStates(),
@@ -125,5 +126,6 @@ ParseTable lalr::fillParseTable(const Lr0Automaton &A,
       [&](uint32_t S, auto Emit) {
         for (ProductionId Prod : A.state(S).Reductions)
           Emit(Prod, Lookaheads(S, Prod));
-      });
+      },
+      Guard);
 }

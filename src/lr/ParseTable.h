@@ -15,6 +15,8 @@
 #include "grammar/Grammar.h"
 #include "lr/Lr0Automaton.h"
 #include "support/BitSet.h"
+#include "support/Cancellation.h"
+#include "support/FailPoint.h"
 
 #include <functional>
 #include <string>
@@ -120,7 +122,8 @@ using LookaheadFn =
 /// transitions, reduces from \p Lookaheads, accept for production 0 on
 /// $end. Conflicts are resolved with the grammar's precedence declarations
 /// (yacc rules) and recorded either way.
-ParseTable fillParseTable(const Lr0Automaton &A, const LookaheadFn &Lookaheads);
+ParseTable fillParseTable(const Lr0Automaton &A, const LookaheadFn &Lookaheads,
+                          const BuildGuard *Guard = nullptr);
 
 namespace detail {
 
@@ -139,21 +142,27 @@ void insertReduceAction(ParseTable &Table, const Grammar &G, uint32_t State,
 template <typename TransCbT, typename RedCbT>
 ParseTable fillTableGeneric(const Grammar &G, size_t NumStates,
                             TransCbT ForEachTransition,
-                            RedCbT ForEachReduction) {
+                            RedCbT ForEachReduction,
+                            const BuildGuard *Guard = nullptr) {
+  failPoint("table-fill");
   ParseTable Table(NumStates, G);
-  for (uint32_t S = 0; S < NumStates; ++S)
+  for (uint32_t S = 0; S < NumStates; ++S) {
+    guardPollStrided(Guard, S);
     ForEachTransition(S, [&](SymbolId Sym, uint32_t Target) {
       if (G.isTerminal(Sym))
         Table.setAction(S, Sym, {ActionKind::Shift, Target});
       else
         Table.setGotoNt(S, G.ntIndex(Sym), Target);
     });
-  for (uint32_t S = 0; S < NumStates; ++S)
+  }
+  for (uint32_t S = 0; S < NumStates; ++S) {
+    guardPollStrided(Guard, S);
     ForEachReduction(S, [&](ProductionId Prod, const BitSet &LA) {
       for (size_t T : LA)
         detail::insertReduceAction(Table, G, S, static_cast<SymbolId>(T),
                                    Prod);
     });
+  }
   return Table;
 }
 

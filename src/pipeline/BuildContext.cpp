@@ -3,6 +3,7 @@
 #include "pipeline/BuildContext.h"
 
 #include "pipeline/BuildOptions.h"
+#include "support/FailPoint.h"
 #include "support/ThreadPool.h"
 
 using namespace lalr;
@@ -58,6 +59,9 @@ void BuildContext::invalidateArtifacts() {
 const GrammarAnalysis &BuildContext::analysis() {
   if (!An) {
     StageTimer T(&Stats, "analysis");
+    failPoint("analysis");
+    if (ActiveGuard)
+      ActiveGuard->poll();
     An = std::make_unique<GrammarAnalysis>(*G);
     ++AnalysisBuilds;
   }
@@ -67,7 +71,7 @@ const GrammarAnalysis &BuildContext::analysis() {
 const Lr0Automaton &BuildContext::lr0() {
   if (!A) {
     StageTimer T(&Stats, "lr0");
-    A = std::make_unique<Lr0Automaton>(Lr0Automaton::build(*G));
+    A = std::make_unique<Lr0Automaton>(Lr0Automaton::build(*G, ActiveGuard));
     ++Lr0Builds;
     T.stop();
     Stats.setCounter("lr0_states", A->numStates());
@@ -83,8 +87,8 @@ const LalrLookaheads &BuildContext::lookaheads(SolverKind Solver) {
     const Lr0Automaton &Auto = lr0();
     const GrammarAnalysis &Analysis = analysis();
     Slot = std::make_unique<LalrLookaheads>(
-        LalrLookaheads::compute(Auto, Analysis, Solver, &Stats,
-                                threadPool()));
+        LalrLookaheads::compute(Auto, Analysis, Solver, &Stats, threadPool(),
+                                ActiveGuard));
     ++LookaheadBuilds;
   }
   return *Slot;
@@ -94,7 +98,8 @@ const Lr1Automaton &BuildContext::lr1() {
   if (!L1) {
     const GrammarAnalysis &Analysis = analysis();
     StageTimer T(&Stats, "lr1");
-    L1 = std::make_unique<Lr1Automaton>(Lr1Automaton::build(*G, Analysis));
+    L1 = std::make_unique<Lr1Automaton>(
+        Lr1Automaton::build(*G, Analysis, ActiveGuard));
     ++Lr1Builds;
     T.stop();
     Stats.setCounter("lr1_states", L1->numStates());

@@ -20,6 +20,7 @@
 #include "lalr/LalrLookaheads.h"
 #include "lr/Lr0Automaton.h"
 #include "pipeline/PipelineStats.h"
+#include "support/Cancellation.h"
 
 #include <memory>
 #include <optional>
@@ -63,9 +64,21 @@ public:
   ThreadPool *threadPool();
   /// @}
 
+  /// \name Active build guard
+  /// BuildPipeline::run installs its BuildGuard here (RAII) so the lazy
+  /// artifact builds the accessors below trigger are governed by the
+  /// current run's cancellation token and limits. Null outside a guarded
+  /// run; not owned.
+  /// @{
+  void setActiveGuard(const BuildGuard *Guard) { ActiveGuard = Guard; }
+  const BuildGuard *activeGuard() const { return ActiveGuard; }
+  /// @}
+
   /// \name Memoized artifacts
   /// Each is built on first access (timed into stats()) and returned by
-  /// reference on every subsequent call.
+  /// reference on every subsequent call. When a guard is installed and a
+  /// build aborts (BuildAbort), the accessor leaves its memo slot empty —
+  /// a later retry rebuilds from scratch.
   /// @{
   const GrammarAnalysis &analysis();
   const Lr0Automaton &lr0();
@@ -107,6 +120,8 @@ private:
 
   unsigned Threads; ///< 0 = serial; initialized from defaultBuildThreads()
   std::unique_ptr<ThreadPool> Pool; ///< engaged iff Threads > 0
+
+  const BuildGuard *ActiveGuard = nullptr; ///< not owned; see setActiveGuard
 
   std::unique_ptr<GrammarAnalysis> An;
   std::unique_ptr<Lr0Automaton> A;

@@ -13,10 +13,12 @@
 #define LALR_PIPELINE_BUILDOPTIONS_H
 
 #include "lalr/LalrLookaheads.h"
+#include "support/Cancellation.h"
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string_view>
 
@@ -148,6 +150,16 @@ struct BuildOptions {
   /// included), -1 = inherit defaultBuildThreads(). Parallel and serial
   /// builds produce bit-identical sets and tables.
   int Threads = -1;
+  /// Hard resource ceilings for this run; all-zero (the default) governs
+  /// nothing. A tripped limit aborts the build with
+  /// BuildStatus::LimitExceeded naming the limit. (The explicit
+  /// initializers keep designated-initializer call sites clean under
+  /// -Wmissing-field-initializers.)
+  BuildLimits Limits = {};
+  /// Optional cooperative-cancellation handle (manual cancel and/or
+  /// deadline), shared with whoever may want to cancel the build. Null =
+  /// not cancellable.
+  std::shared_ptr<CancellationToken> Cancel = nullptr;
 };
 
 } // namespace lalr

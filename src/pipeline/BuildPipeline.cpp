@@ -10,6 +10,9 @@
 #include "baselines/SlrBuilder.h"
 #include "baselines/YaccLalrBuilder.h"
 #include "lalr/LalrTableBuilder.h"
+#include "support/FailPoint.h"
+
+#include <exception>
 
 using namespace lalr;
 
@@ -18,16 +21,19 @@ namespace {
 /// The LR(0) "table": every reduction applies on every terminal — except
 /// the accept reduction, which (by the end-marker convention) applies on
 /// $end only.
-ParseTable buildLr0Table(const Lr0Automaton &A) {
+ParseTable buildLr0Table(const Lr0Automaton &A, const BuildGuard *Guard) {
   const Grammar &G = A.grammar();
   BitSet All(G.numTerminals());
   for (SymbolId T = 0; T < G.numTerminals(); ++T)
     All.set(T);
   BitSet EofOnly(G.numTerminals());
   EofOnly.set(G.eofSymbol());
-  return fillParseTable(A, [&](StateId, ProductionId P) -> const BitSet & {
-    return P == 0 ? EofOnly : All;
-  });
+  return fillParseTable(
+      A,
+      [&](StateId, ProductionId P) -> const BitSet & {
+        return P == 0 ? EofOnly : All;
+      },
+      Guard);
 }
 
 } // namespace
@@ -42,104 +48,154 @@ BuildResult BuildPipeline::run() {
   if (Opts.Threads >= 0)
     Ctx.setThreads(static_cast<unsigned>(Opts.Threads));
 
-  ParseTable Table = [&]() -> ParseTable {
-    switch (Opts.Kind) {
-    case TableKind::Lr0: {
-      const Lr0Automaton &A = Ctx.lr0();
-      StageTimer T(&S, "table-fill");
-      return buildLr0Table(A);
-    }
-    case TableKind::Slr1: {
-      const GrammarAnalysis &An = Ctx.analysis();
-      const Lr0Automaton &A = Ctx.lr0();
-      StageTimer T(&S, "table-fill");
-      return buildSlrTable(A, An);
-    }
-    case TableKind::Nqlalr: {
-      NqlalrLookaheads LA =
-          NqlalrLookaheads::compute(Ctx.lr0(), Ctx.analysis(), &S);
-      StageTimer T(&S, "table-fill");
-      return fillParseTable(Ctx.lr0(),
-                            [&LA](StateId St, ProductionId P) -> const BitSet & {
-                              return LA.la(St, P);
-                            });
-    }
-    case TableKind::Lalr1: {
-      const LalrLookaheads &LA = Ctx.lookaheads(Opts.Solver);
-      StageTimer T(&S, "table-fill");
-      return fillParseTable(Ctx.lr0(),
-                            [&LA](StateId St, ProductionId P) -> const BitSet & {
-                              return LA.la(St, P);
-                            });
-    }
-    case TableKind::Clr1: {
-      const Lr1Automaton &L1 = Ctx.lr1();
-      StageTimer T(&S, "table-fill");
-      return buildClr1Table(L1);
-    }
-    case TableKind::YaccLalr: {
-      YaccLalrLookaheads LA =
-          YaccLalrLookaheads::compute(Ctx.lr0(), Ctx.analysis(), &S);
-      StageTimer T(&S, "table-fill");
-      return fillParseTable(Ctx.lr0(),
-                            [&LA](StateId St, ProductionId P) -> const BitSet & {
-                              return LA.la(St, P);
-                            });
-    }
-    case TableKind::MergedLalr: {
-      const Lr1Automaton &L1 = Ctx.lr1();
-      const Lr0Automaton &A = Ctx.lr0();
-      StageTimer MergeT(&S, "merge");
-      MergedLalrLookaheads LA = MergedLalrLookaheads::compute(A, L1);
-      MergeT.stop();
-      StageTimer T(&S, "table-fill");
-      return fillParseTable(A,
-                            [&LA](StateId St, ProductionId P) -> const BitSet & {
-                              return LA.la(St, P);
-                            });
-    }
-    case TableKind::DerivedFollowLalr: {
-      DerivedFollowLookaheads LA =
-          DerivedFollowLookaheads::compute(Ctx.lr0(), Ctx.analysis(), &S);
-      StageTimer T(&S, "table-fill");
-      return fillParseTable(Ctx.lr0(),
-                            [&LA](StateId St, ProductionId P) -> const BitSet & {
-                              return LA.la(St, P);
-                            });
-    }
-    case TableKind::Pager: {
-      PagerLr1Automaton P = PagerLr1Automaton::build(G, Ctx.analysis(), &S);
-      StageTimer T(&S, "table-fill");
-      return buildPagerTable(P);
-    }
-    }
-    __builtin_unreachable();
-  }();
+  // Install the run's guard on the context (so the lazy artifact builds
+  // are governed too) only when there is something to enforce; unguarded
+  // runs pay nothing. The scope clears the context pointer on every exit
+  // path, including unwinding.
+  std::optional<BuildGuard> GuardStorage;
+  if (Opts.Cancel || Opts.Limits.anySet())
+    GuardStorage.emplace(Opts.Limits, Opts.Cancel.get());
+  const BuildGuard *Guard = GuardStorage ? &*GuardStorage : nullptr;
+  struct GuardScope {
+    BuildContext &Ctx;
+    ~GuardScope() { Ctx.setActiveGuard(nullptr); }
+  } Scope{Ctx};
+  Ctx.setActiveGuard(Guard);
 
-  BuildResult R(G, Opts.Kind, std::move(Table));
+  auto failed = [&](BuildStatus Status) {
+    // Never leave a half-built memo behind: a ContextCache entry must be
+    // either fully built or empty, so the retry after a failure is
+    // bit-identical to an uninterrupted build.
+    Ctx.invalidateArtifacts();
+    if (Guard)
+      S.setCounter("guard_polls", Guard->pollCount());
+    BuildResult R(G, Opts.Kind, std::move(Status));
+    R.Stats = S;
+    R.Stats.Label = G.grammarName() + "/" + tableKindName(Opts.Kind);
+    return R;
+  };
 
-  S.setCounter("table_states", R.Table.numStates());
-  S.setCounter("table_conflicts", R.Table.conflicts().size());
-  S.setCounter("unresolved_shift_reduce", R.Table.unresolvedShiftReduce());
-  S.setCounter("unresolved_reduce_reduce", R.Table.unresolvedReduceReduce());
+  try {
+    ParseTable Table = [&]() -> ParseTable {
+      switch (Opts.Kind) {
+      case TableKind::Lr0: {
+        const Lr0Automaton &A = Ctx.lr0();
+        StageTimer T(&S, "table-fill");
+        return buildLr0Table(A, Guard);
+      }
+      case TableKind::Slr1: {
+        const GrammarAnalysis &An = Ctx.analysis();
+        const Lr0Automaton &A = Ctx.lr0();
+        StageTimer T(&S, "table-fill");
+        return buildSlrTable(A, An, Guard);
+      }
+      case TableKind::Nqlalr: {
+        NqlalrLookaheads LA =
+            NqlalrLookaheads::compute(Ctx.lr0(), Ctx.analysis(), &S);
+        StageTimer T(&S, "table-fill");
+        return fillParseTable(
+            Ctx.lr0(),
+            [&LA](StateId St, ProductionId P) -> const BitSet & {
+              return LA.la(St, P);
+            },
+            Guard);
+      }
+      case TableKind::Lalr1: {
+        const LalrLookaheads &LA = Ctx.lookaheads(Opts.Solver);
+        StageTimer T(&S, "table-fill");
+        return fillParseTable(
+            Ctx.lr0(),
+            [&LA](StateId St, ProductionId P) -> const BitSet & {
+              return LA.la(St, P);
+            },
+            Guard);
+      }
+      case TableKind::Clr1: {
+        const Lr1Automaton &L1 = Ctx.lr1();
+        StageTimer T(&S, "table-fill");
+        return buildClr1Table(L1, Guard);
+      }
+      case TableKind::YaccLalr: {
+        YaccLalrLookaheads LA =
+            YaccLalrLookaheads::compute(Ctx.lr0(), Ctx.analysis(), &S);
+        StageTimer T(&S, "table-fill");
+        return fillParseTable(
+            Ctx.lr0(),
+            [&LA](StateId St, ProductionId P) -> const BitSet & {
+              return LA.la(St, P);
+            },
+            Guard);
+      }
+      case TableKind::MergedLalr: {
+        const Lr1Automaton &L1 = Ctx.lr1();
+        const Lr0Automaton &A = Ctx.lr0();
+        StageTimer MergeT(&S, "merge");
+        MergedLalrLookaheads LA = MergedLalrLookaheads::compute(A, L1);
+        MergeT.stop();
+        StageTimer T(&S, "table-fill");
+        return fillParseTable(
+            A,
+            [&LA](StateId St, ProductionId P) -> const BitSet & {
+              return LA.la(St, P);
+            },
+            Guard);
+      }
+      case TableKind::DerivedFollowLalr: {
+        DerivedFollowLookaheads LA =
+            DerivedFollowLookaheads::compute(Ctx.lr0(), Ctx.analysis(), &S);
+        StageTimer T(&S, "table-fill");
+        return fillParseTable(
+            Ctx.lr0(),
+            [&LA](StateId St, ProductionId P) -> const BitSet & {
+              return LA.la(St, P);
+            },
+            Guard);
+      }
+      case TableKind::Pager: {
+        PagerLr1Automaton P =
+            PagerLr1Automaton::build(G, Ctx.analysis(), &S, Guard);
+        StageTimer T(&S, "table-fill");
+        return buildPagerTable(P, Guard);
+      }
+      }
+      __builtin_unreachable();
+    }();
 
-  if (Opts.Compress) {
-    StageTimer T(&S, "compress");
-    R.Compressed = CompressedTable::compress(R.Table, G);
-    T.stop();
-    S.setCounter("compressed_bytes", R.Compressed->footprintBytes());
-    S.setCounter("compressed_explicit_actions",
-                 R.Compressed->explicitActionEntries());
-    S.setCounter("default_reduction_rows",
-                 R.Compressed->defaultReductionRows());
+    BuildResult R(G, Opts.Kind, std::move(Table));
+
+    S.setCounter("table_states", R.Table.numStates());
+    S.setCounter("table_conflicts", R.Table.conflicts().size());
+    S.setCounter("unresolved_shift_reduce", R.Table.unresolvedShiftReduce());
+    S.setCounter("unresolved_reduce_reduce", R.Table.unresolvedReduceReduce());
+
+    if (Opts.Compress) {
+      StageTimer T(&S, "compress");
+      failPoint("compress");
+      R.Compressed = CompressedTable::compress(R.Table, G);
+      T.stop();
+      S.setCounter("compressed_bytes", R.Compressed->footprintBytes());
+      S.setCounter("compressed_explicit_actions",
+                   R.Compressed->explicitActionEntries());
+      S.setCounter("default_reduction_rows",
+                   R.Compressed->defaultReductionRows());
+    }
+
+    R.PolicySatisfied = Opts.Conflicts == ConflictPolicy::Allow ||
+                        R.Table.isAdequate();
+
+    // Deterministic for serial builds (a pure function of the work done),
+    // so compare_stats.py gates it as a structural counter.
+    if (Guard)
+      S.setCounter("guard_polls", Guard->pollCount());
+
+    R.Stats = S;
+    R.Stats.Label = G.grammarName() + "/" + tableKindName(Opts.Kind);
+    return R;
+  } catch (const BuildAbort &Abort) {
+    return failed(Abort.status());
+  } catch (const std::exception &E) {
+    return failed(BuildStatus::internal(E.what()));
   }
-
-  R.PolicySatisfied = Opts.Conflicts == ConflictPolicy::Allow ||
-                      R.Table.isAdequate();
-
-  R.Stats = S;
-  R.Stats.Label = G.grammarName() + "/" + tableKindName(Opts.Kind);
-  return R;
 }
 
 //===----------------------------------------------------------------------===//

@@ -40,9 +40,19 @@ struct BuildResult {
   BuildResult(const Grammar &G, TableKind Kind, ParseTable Table)
       : G(&G), Kind(Kind), Table(std::move(Table)) {}
 
+  /// A failed run: no table (an empty 0-state one stands in), the reason
+  /// in Status. Constructed by BuildPipeline::run when a build aborts on
+  /// cancellation, a deadline, a tripped limit, or an internal error.
+  BuildResult(const Grammar &G, TableKind Kind, BuildStatus FailureStatus)
+      : G(&G), Kind(Kind), Table(0, G), Status(std::move(FailureStatus)) {}
+
   const Grammar *G;
   TableKind Kind;
   ParseTable Table;
+  /// Why the run succeeded or failed. Status.ok() implies Table is the
+  /// complete table; otherwise Table is empty and the context's memoized
+  /// artifacts were invalidated (a retry rebuilds from scratch).
+  BuildStatus Status;
   /// Engaged when BuildOptions::Compress was set.
   std::optional<CompressedTable> Compressed;
   /// Snapshot of the context's stats at the end of the run, labelled
@@ -53,7 +63,7 @@ struct BuildResult {
   bool PolicySatisfied = true;
 
   const Grammar &grammar() const { return *G; }
-  bool ok() const { return PolicySatisfied; }
+  bool ok() const { return Status.ok() && PolicySatisfied; }
 };
 
 /// Façade running one configured table construction over a context.

@@ -4,13 +4,53 @@
 
 #include "corpus/CorpusGrammars.h"
 #include "grammar/GrammarParser.h"
+#include "support/FailPoint.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <chrono>
+
 using namespace lalr;
 
+namespace {
+
+/// Request limits win field-by-field; unset (0) fields inherit the
+/// service-wide ceiling.
+BuildLimits mergeLimits(const BuildLimits &Req, const BuildLimits &Default) {
+  BuildLimits L = Req;
+  if (!L.MaxLr0States)
+    L.MaxLr0States = Default.MaxLr0States;
+  if (!L.MaxLr1States)
+    L.MaxLr1States = Default.MaxLr1States;
+  if (!L.MaxItems)
+    L.MaxItems = Default.MaxItems;
+  if (!L.MaxRelationEdges)
+    L.MaxRelationEdges = Default.MaxRelationEdges;
+  if (!L.MaxSetBits)
+    L.MaxSetBits = Default.MaxSetBits;
+  if (L.MaxWallMs <= 0)
+    L.MaxWallMs = Default.MaxWallMs;
+  return L;
+}
+
+/// Arms the request's deadline on its token (creating one when absent).
+/// Called at acceptance time — submit() for streaming requests, so queue
+/// wait counts against the deadline — and again idempotently at execution
+/// (a token that already has a deadline keeps it).
+void armDeadline(ServiceRequest &Request, double DefaultDeadlineMs) {
+  double Ms = Request.DeadlineMs > 0 ? Request.DeadlineMs : DefaultDeadlineMs;
+  if (Ms <= 0)
+    return;
+  if (!Request.Options.Cancel)
+    Request.Options.Cancel = CancellationToken::withDeadlineMs(Ms);
+  else if (!Request.Options.Cancel->hasDeadline())
+    Request.Options.Cancel->setDeadlineMs(Ms);
+}
+
+} // namespace
+
 BuildService::BuildService(Options Opts)
-    : Opts(Opts), Cache(Opts.CacheCapacity) {
+    : Opts(Opts), Cache(Opts.CacheCapacity), Queue(Opts.QueueDepth) {
   // Eager pool creation keeps runBatch free of construction races when
   // batches arrive from several threads at once.
   if (Opts.Workers > 1)
@@ -32,50 +72,85 @@ void BuildService::resolveAndExecute(const ServiceRequest &Request,
                                      ServiceResponse &Response) {
   Timer T;
 
-  // Resolve the grammar text: inline source wins, otherwise the name is
-  // looked up in the corpus registry.
-  std::string_view Source = Request.Source;
-  std::string Error;
-  if (Source.empty()) {
-    const CorpusEntry *Entry = corpusGrammarByName(Request.GrammarName);
-    if (!Entry) {
-      Response.Ok = false;
-      Response.Error =
-          "unknown grammar '" + Request.GrammarName + "' (not in the corpus "
-          "registry and no inline source given)";
-    } else {
-      Source = Entry->Source;
-    }
+  BuildOptions BO = Request.Options;
+  BO.Threads = Opts.ContextThreads;
+  BO.Limits = mergeLimits(BO.Limits, Opts.DefaultLimits);
+  // Streaming requests were armed at submit() (queue wait counts); batch
+  // requests are armed here, at execution = acceptance.
+  if (!BO.Cancel || !BO.Cancel->hasDeadline()) {
+    ServiceRequest Armed;
+    Armed.DeadlineMs = Request.DeadlineMs;
+    Armed.Options.Cancel = BO.Cancel;
+    armDeadline(Armed, Opts.DefaultDeadlineMs);
+    BO.Cancel = Armed.Options.Cancel;
   }
 
-  if (!Source.empty()) {
-    bool Hit = false;
-    std::shared_ptr<CachedGrammar> Entry = Cache.acquire(
-        Request.GrammarName, hashGrammarSource(Source),
-        [&]() -> std::optional<Grammar> {
-          DiagnosticEngine Diags;
-          std::optional<Grammar> G =
-              parseGrammar(Source, Diags, Request.GrammarName);
-          if (!G)
-            Error = "grammar '" + Request.GrammarName +
-                    "' failed to parse:\n" + Diags.render();
-          return G;
-        },
-        &Hit);
-    Response.CacheHit = Hit;
-    if (!Entry) {
-      Response.Ok = false;
-      Response.Error = std::move(Error);
+  try {
+    failPoint("service-execute");
+
+    // Load shedding: a request whose caller already gave up (deadline
+    // passed while queued, or token cancelled) is answered without
+    // resolving or building anything.
+    if (BO.Cancel && BO.Cancel->deadlineExpired()) {
+      Response.Status = BuildStatus::deadlineExceeded(
+          "deadline expired before the build started");
+    } else if (BO.Cancel && BO.Cancel->cancelRequested()) {
+      Response.Status = BuildStatus::cancelled();
     } else {
-      Response.Context = Entry;
-      BuildOptions BO = Request.Options;
-      BO.Threads = Opts.ContextThreads;
-      // Builds on one grammar take turns: BuildContext memoization is
-      // not itself thread-safe.
-      std::lock_guard<std::mutex> BuildLock(Entry->BuildMu);
-      Response.Result.emplace(BuildPipeline(Entry->Ctx, BO).run());
-      Response.Ok = true;
+      // Resolve the grammar text: inline source wins, otherwise the name
+      // is looked up in the corpus registry.
+      std::string_view Source = Request.Source;
+      std::string Error;
+      if (Source.empty()) {
+        const CorpusEntry *Entry = corpusGrammarByName(Request.GrammarName);
+        if (!Entry)
+          Error = "unknown grammar '" + Request.GrammarName +
+                  "' (not in the corpus registry and no inline source given)";
+        else
+          Source = Entry->Source;
+      }
+
+      if (Source.empty()) {
+        Response.Status = BuildStatus::grammarError(std::move(Error));
+      } else {
+        bool Hit = false;
+        std::shared_ptr<CachedGrammar> Entry = Cache.acquire(
+            Request.GrammarName, hashGrammarSource(Source),
+            [&]() -> std::optional<Grammar> {
+              DiagnosticEngine Diags;
+              std::optional<Grammar> G =
+                  parseGrammar(Source, Diags, Request.GrammarName);
+              if (!G)
+                Error = "grammar '" + Request.GrammarName +
+                        "' failed to parse:\n" + Diags.render();
+              return G;
+            },
+            &Hit);
+        Response.CacheHit = Hit;
+        if (!Entry) {
+          Response.Status = BuildStatus::grammarError(std::move(Error));
+        } else {
+          Response.Context = Entry;
+          // Builds on one grammar take turns: BuildContext memoization is
+          // not itself thread-safe.
+          std::lock_guard<std::mutex> BuildLock(Entry->BuildMu);
+          Response.Result.emplace(BuildPipeline(Entry->Ctx, BO).run());
+          Response.Status = Response.Result->Status;
+        }
+      }
     }
+  } catch (const BuildAbort &Abort) {
+    // Injected service-execute faults (and any abort escaping outside the
+    // pipeline's own catch) land here as structured failures.
+    Response.Status = Abort.status();
+  } catch (const std::exception &E) {
+    Response.Status = BuildStatus::internal(E.what());
+  }
+
+  Response.Ok = Response.Status.ok();
+  if (!Response.Ok) {
+    Response.Error = Response.Status.Message;
+    Response.Result.reset(); // failed builds carry no (empty) table
   }
 
   Response.WallUs = T.elapsedUs();
@@ -83,6 +158,19 @@ void BuildService::resolveAndExecute(const ServiceRequest &Request,
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Requests;
     ++(Response.Ok ? Succeeded : Failed);
+    switch (Response.Status.Code) {
+    case BuildStatusCode::DeadlineExceeded:
+      ++Expired;
+      break;
+    case BuildStatusCode::Cancelled:
+      ++Cancelled;
+      break;
+    case BuildStatusCode::LimitExceeded:
+      ++LimitKilled;
+      break;
+    default:
+      break;
+    }
     RequestUs += Response.WallUs;
   }
 }
@@ -143,12 +231,40 @@ uint64_t BuildService::submit(ServiceRequest Request) {
       DispatcherRunning = true;
     }
   }
-  if (!Queue.push({Ticket, std::move(Request)})) {
-    // Closed while shutting down: park a failed response so a racing
-    // wait() is not stranded.
+
+  // Acceptance is now: the deadline clock starts here, so time spent
+  // queued behind slow builds counts against it and the dispatcher sheds
+  // requests that expired while waiting.
+  armDeadline(Request, Opts.DefaultDeadlineMs);
+
+  bool Pushed;
+  bool QueueFull = false;
+  if (Opts.QueueDepth == 0) {
+    Pushed = Queue.push({Ticket, std::move(Request)});
+  } else {
+    // Bounded mode: wait at most SubmitTimeoutMs for space, then shed.
+    // Backpressure with a bound beats unbounded memory growth when
+    // producers outrun the dispatcher.
+    Pushed = Queue.pushFor(
+        {Ticket, std::move(Request)},
+        std::chrono::duration<double, std::milli>(Opts.SubmitTimeoutMs));
+    QueueFull = !Pushed && !Queue.closed();
+  }
+
+  if (!Pushed) {
+    // Shed (queue stayed full) or closed while shutting down: park a
+    // failed response so a racing wait() is not stranded.
     ServiceResponse R;
     R.Ok = false;
-    R.Error = "service is shutting down";
+    if (QueueFull) {
+      R.Status = BuildStatus::deadlineExceeded(
+          "submission rejected: queue full (load shed)");
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Rejected;
+    } else {
+      R.Status = BuildStatus::internal("service is shutting down");
+    }
+    R.Error = R.Status.Message;
     std::lock_guard<std::mutex> Lock(TicketMu);
     Completed.emplace(Ticket, std::move(R));
     TicketDone.notify_all();
@@ -195,6 +311,10 @@ ServiceStats BuildService::stats() const {
     S.Succeeded = Succeeded;
     S.Failed = Failed;
     S.Batches = Batches;
+    S.Rejected = Rejected;
+    S.Expired = Expired;
+    S.Cancelled = Cancelled;
+    S.LimitKilled = LimitKilled;
     S.RequestUs = RequestUs;
   }
   ContextCache::Counters C = Cache.counters();

@@ -54,7 +54,17 @@ struct ServiceRequest {
   /// Kind / solver / conflict policy / compression for this request.
   /// Options.Threads is ignored — the per-context DP worker count is the
   /// service's BuildService::Options::ContextThreads, applied uniformly.
+  /// Options.Cancel and Options.Limits pass through to the build; any
+  /// limit field the request leaves at 0 falls back to the service's
+  /// Options::DefaultLimits.
   BuildOptions Options;
+  /// Per-request deadline, milliseconds from acceptance (submit() for
+  /// streaming requests, runBatch() entry for batch ones); 0 = none.
+  /// Queue wait counts against it: an expired request is shed without
+  /// building (BuildStatus::DeadlineExceeded, ServiceStats::Expired).
+  /// When Options.Cancel is null the service creates the token; when the
+  /// caller supplied one, the deadline is armed on it.
+  double DeadlineMs = 0;
 };
 
 /// What one request produced. Failed requests (unknown grammar name,
@@ -63,6 +73,12 @@ struct ServiceRequest {
 struct ServiceResponse {
   bool Ok = false;
   std::string Error;
+  /// Structured outcome: Ok mirrors Status.ok(). Resolution failures
+  /// (unknown grammar, parse errors) are GrammarError; aborted builds
+  /// carry the pipeline's Cancelled / DeadlineExceeded / LimitExceeded /
+  /// Internal status; queue-rejected submits are DeadlineExceeded with a
+  /// "queue full" message.
+  BuildStatus Status;
   /// Whether the grammar's context was already cached when this request
   /// ran (the first request of a batch against a grammar is the miss the
   /// later ones amortize).
@@ -93,6 +109,21 @@ public:
     /// DP-core worker count applied to every context (BuildOptions
     /// semantics: 0 = serial, N = pool of N, -1 = inherit LALR_THREADS).
     int ContextThreads = -1;
+    /// Service-wide resource ceilings, merged under each request's own
+    /// Options.Limits (a request field set to nonzero wins; 0 inherits
+    /// the default). All-zero = no service-side ceilings.
+    BuildLimits DefaultLimits = {};
+    /// Deadline applied to requests that carry none of their own
+    /// (milliseconds; 0 = none).
+    double DefaultDeadlineMs = 0;
+    /// Bound on the streaming submission queue (0 = unbounded). With a
+    /// bound, submit() blocks up to SubmitTimeoutMs for space, then sheds
+    /// the request (ServiceStats::Rejected, a failed response with a
+    /// "queue full" diagnostic).
+    size_t QueueDepth = 0;
+    /// How long a bounded submit() waits for queue space before shedding
+    /// (milliseconds; 0 = reject immediately when full).
+    double SubmitTimeoutMs = 0;
   };
 
   explicit BuildService(Options Opts);
@@ -157,11 +188,15 @@ private:
   std::unique_ptr<ThreadPool> Pool; ///< engaged iff Opts.Workers > 1
 
   mutable std::mutex StatsMu;
-  uint64_t Requests = 0;  ///< guarded by StatsMu
-  uint64_t Succeeded = 0; ///< guarded by StatsMu
-  uint64_t Failed = 0;    ///< guarded by StatsMu
-  uint64_t Batches = 0;   ///< guarded by StatsMu
-  double RequestUs = 0;   ///< guarded by StatsMu
+  uint64_t Requests = 0;    ///< guarded by StatsMu
+  uint64_t Succeeded = 0;   ///< guarded by StatsMu
+  uint64_t Failed = 0;      ///< guarded by StatsMu
+  uint64_t Batches = 0;     ///< guarded by StatsMu
+  uint64_t Rejected = 0;    ///< guarded by StatsMu
+  uint64_t Expired = 0;     ///< guarded by StatsMu
+  uint64_t Cancelled = 0;   ///< guarded by StatsMu
+  uint64_t LimitKilled = 0; ///< guarded by StatsMu
+  double RequestUs = 0;     ///< guarded by StatsMu
 
   /// Streaming state. Tickets are handed out under TicketMu; completed
   /// responses are parked in Completed until wait() claims them.

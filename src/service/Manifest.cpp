@@ -48,6 +48,15 @@ bool parseBuildOptions(std::span<const std::string_view> Tokens,
         return fail(Error, Line,
                     "unknown solver '" + std::string(V) +
                         "' (expected digraph or naive)");
+    } else if (Tok.rfind("deadline-ms=", 0) == 0) {
+      std::string_view V = Tok.substr(12);
+      double Ms = 0;
+      auto [Ptr, Ec] = std::from_chars(V.data(), V.data() + V.size(), Ms);
+      if (Ec != std::errc() || Ptr != V.data() + V.size() || Ms <= 0)
+        return fail(Error, Line,
+                    "bad deadline '" + std::string(V) +
+                        "' (expected a positive millisecond count)");
+      Entry.Request.DeadlineMs = Ms;
     } else if (Tok.rfind("repeat=", 0) == 0) {
       std::string_view V = Tok.substr(7);
       unsigned N = 0;

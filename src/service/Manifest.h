@@ -5,7 +5,7 @@
 /// `#` comments and blank lines ignored.
 ///
 ///   build <grammar> <kind> [solver=digraph|naive] [compress]
-///                          [require-adequate] [repeat=N]
+///                          [require-adequate] [repeat=N] [deadline-ms=N]
 ///   invalidate <grammar>
 ///
 /// `<grammar>` is a corpus grammar name (see listCorpusGrammars) or a

@@ -13,6 +13,7 @@
 #ifndef LALR_SERVICE_REQUESTQUEUE_H
 #define LALR_SERVICE_REQUESTQUEUE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -47,11 +48,48 @@ public:
     return true;
   }
 
+  /// Timed push: like push, but gives up (returning false, dropping the
+  /// item) when the queue is still full after \p Timeout. This is the
+  /// load-shedding hand-off: a bounded service rejects work instead of
+  /// stacking producers behind a slow build. A zero/negative timeout is a
+  /// try-push. Closed queues return false immediately either way.
+  template <typename Rep, typename Period>
+  bool pushFor(T Item, std::chrono::duration<Rep, Period> Timeout) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    if (!NotFull.wait_for(Lock, Timeout, [&] {
+          return Closed || MaxDepth == 0 || Items.size() < MaxDepth;
+        }))
+      return false; // still full
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    NotEmpty.notify_one();
+    return true;
+  }
+
   /// Dequeues the oldest item, blocking while the queue is empty and
   /// open. Returns nullopt once the queue is closed *and* drained.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> Lock(Mu);
     NotEmpty.wait(Lock, [&] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// Timed pop: like pop, but returns nullopt when the queue is still
+  /// empty (and open) after \p Timeout — callers cannot distinguish
+  /// "closed and drained" from "timed out" here; poll closed() if the
+  /// difference matters.
+  template <typename Rep, typename Period>
+  std::optional<T> popFor(std::chrono::duration<Rep, Period> Timeout) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    if (!NotEmpty.wait_for(Lock, Timeout,
+                           [&] { return Closed || !Items.empty(); }))
+      return std::nullopt; // timed out
     if (Items.empty())
       return std::nullopt;
     T Item = std::move(Items.front());

@@ -31,6 +31,10 @@ std::string ServiceStats::toJson(bool Pretty) const {
   Field(Out, "succeeded", Succeeded);
   Field(Out, "failed", Failed);
   Field(Out, "batches", Batches);
+  Field(Out, "rejected", Rejected);
+  Field(Out, "expired", Expired);
+  Field(Out, "cancelled", Cancelled);
+  Field(Out, "limit_killed", LimitKilled);
   Field(Out, "cache_hits", CacheHits);
   Field(Out, "cache_misses", CacheMisses);
   Field(Out, "cache_evictions", CacheEvictions);
@@ -74,6 +78,10 @@ PipelineStats ServiceStats::toPipelineStats(std::string Label) const {
   Out.setCounter("service_requests", Requests);
   Out.setCounter("service_succeeded", Succeeded);
   Out.setCounter("service_failed", Failed);
+  Out.setCounter("service_rejected", Rejected);
+  Out.setCounter("service_expired", Expired);
+  Out.setCounter("service_cancelled", Cancelled);
+  Out.setCounter("service_limit_killed", LimitKilled);
   Out.setCounter("service_cache_hits", CacheHits);
   Out.setCounter("service_cache_misses", CacheMisses);
   Out.setCounter("service_cache_evictions", CacheEvictions);
@@ -94,6 +102,16 @@ std::string lalr::reportServiceStats(const ServiceStats &S) {
                 static_cast<unsigned long long>(S.Failed),
                 S.RequestUs / 1000.0);
   Out += Buf;
+  if (S.Rejected || S.Expired || S.Cancelled || S.LimitKilled) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "shed:    %llu rejected (queue full), %llu expired, %llu "
+                  "cancelled, %llu limit-killed\n",
+                  static_cast<unsigned long long>(S.Rejected),
+                  static_cast<unsigned long long>(S.Expired),
+                  static_cast<unsigned long long>(S.Cancelled),
+                  static_cast<unsigned long long>(S.LimitKilled));
+    Out += Buf;
+  }
   std::snprintf(Buf, sizeof(Buf),
                 "cache:   %llu hit(s), %llu miss(es) (%.0f%% hit ratio), "
                 "%llu eviction(s), %llu invalidation(s), %llu live "

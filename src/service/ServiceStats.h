@@ -33,6 +33,17 @@ struct ServiceStats {
   uint64_t Batches = 0;   ///< runBatch calls
   /// @}
 
+  /// \name Robustness accounting
+  /// Sub-classification of how requests failed (each is also counted in
+  /// Failed, except Rejected — a rejected submit never executes and so is
+  /// counted nowhere else).
+  /// @{
+  uint64_t Rejected = 0;   ///< shed at submit: bounded queue stayed full
+  uint64_t Expired = 0;    ///< deadline passed (shed before or during build)
+  uint64_t Cancelled = 0;  ///< token cancelled by the caller
+  uint64_t LimitKilled = 0;///< a BuildLimits ceiling tripped
+  /// @}
+
   /// \name ContextCache counters
   /// @{
   uint64_t CacheHits = 0;

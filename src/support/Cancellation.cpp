@@ -1,0 +1,153 @@
+//===- support/Cancellation.cpp - Deadlines, limits, build status ---------===//
+
+#include "support/Cancellation.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lalr {
+
+const char *buildStatusCodeName(BuildStatusCode Code) {
+  switch (Code) {
+  case BuildStatusCode::Ok:
+    return "ok";
+  case BuildStatusCode::GrammarError:
+    return "grammar-error";
+  case BuildStatusCode::LimitExceeded:
+    return "limit-exceeded";
+  case BuildStatusCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case BuildStatusCode::Cancelled:
+    return "cancelled";
+  case BuildStatusCode::Internal:
+    return "internal";
+  }
+  return "internal";
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// mirrors the hand-rolled emitters in PipelineStats/ServiceStats.
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C & 0xff);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+} // namespace
+
+std::string BuildStatus::toJson() const {
+  std::string Out = "{\"code\":\"";
+  Out += buildStatusCodeName(Code);
+  Out += '"';
+  if (!Which.empty()) {
+    Out += ",\"which\":";
+    appendJsonString(Out, Which);
+  }
+  if (Observed || Limit) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), ",\"observed\":%" PRIu64 ",\"limit\":%" PRIu64,
+                  Observed, Limit);
+    Out += Buf;
+  }
+  if (!Message.empty()) {
+    Out += ",\"message\":";
+    appendJsonString(Out, Message);
+  }
+  Out += '}';
+  return Out;
+}
+
+BuildStatus BuildStatus::grammarError(std::string Message) {
+  BuildStatus S;
+  S.Code = BuildStatusCode::GrammarError;
+  S.Message = std::move(Message);
+  return S;
+}
+
+BuildStatus BuildStatus::limitExceeded(std::string Which, uint64_t Observed,
+                                       uint64_t Limit) {
+  BuildStatus S;
+  S.Code = BuildStatusCode::LimitExceeded;
+  S.Which = std::move(Which);
+  S.Observed = Observed;
+  S.Limit = Limit;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "build limit exceeded: %s = %" PRIu64 " > limit %" PRIu64,
+                S.Which.c_str(), Observed, Limit);
+  S.Message = Buf;
+  return S;
+}
+
+BuildStatus BuildStatus::deadlineExceeded(std::string Message) {
+  BuildStatus S;
+  S.Code = BuildStatusCode::DeadlineExceeded;
+  S.Message = Message.empty() ? "build deadline exceeded" : std::move(Message);
+  return S;
+}
+
+BuildStatus BuildStatus::cancelled() {
+  BuildStatus S;
+  S.Code = BuildStatusCode::Cancelled;
+  S.Message = "build cancelled";
+  return S;
+}
+
+BuildStatus BuildStatus::internal(std::string Message) {
+  BuildStatus S;
+  S.Code = BuildStatusCode::Internal;
+  S.Message = Message.empty() ? "internal error" : std::move(Message);
+  return S;
+}
+
+void BuildGuard::pollSlow() const {
+  if (Token && Token->cancelRequested())
+    throw BuildAbort(BuildStatus::cancelled());
+  checkDeadline();
+}
+
+void BuildGuard::checkDeadline() const {
+  if (Limits_.MaxWallMs > 0) {
+    std::chrono::duration<double, std::milli> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+    if (Elapsed.count() > Limits_.MaxWallMs) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf),
+                    "wall budget exceeded: %.1f ms elapsed > %.1f ms budget",
+                    Elapsed.count(), Limits_.MaxWallMs);
+      throw BuildAbort(BuildStatus::deadlineExceeded(Buf));
+    }
+  }
+  if (Token && Token->deadlineExpired())
+    throw BuildAbort(BuildStatus::deadlineExceeded("request deadline exceeded"));
+}
+
+} // namespace lalr

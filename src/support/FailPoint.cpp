@@ -1,0 +1,134 @@
+//===- support/FailPoint.cpp - Fault-injection sites ----------------------===//
+
+#include "support/FailPoint.h"
+
+#include "support/Cancellation.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lalr {
+
+static const char *const kAllSites[] = {
+    "analysis",   "lr0-build",    "nt-index",   "relations-build",
+    "solve-read", "solve-follow", "la-union",   "lr1-build",
+    "pager-build", "table-fill",  "compress",   "service-execute",
+    nullptr};
+
+const char *const *allFailPointSites() { return kAllSites; }
+
+FailPointRegistry &FailPointRegistry::instance() {
+  static FailPointRegistry R;
+  return R;
+}
+
+FailPointRegistry::FailPointRegistry() {
+  // Env arming: LALR_FAILPOINTS=site[=throw|limit|cancel][,site...].
+  // Unknown action names warn and default to throw; unknown sites are
+  // armed as given (they simply never fire) so typos are visible via
+  // armedSites() rather than silently dropped.
+  const char *Env = std::getenv("LALR_FAILPOINTS");
+  if (!Env || !*Env)
+    return;
+  std::string Spec(Env);
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Item = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() : Comma + 1;
+    if (Item.empty())
+      continue;
+    FailPointAction Action = FailPointAction::Throw;
+    size_t Eq = Item.find('=');
+    if (Eq != std::string::npos) {
+      std::string Act = Item.substr(Eq + 1);
+      Item.resize(Eq);
+      if (Act == "limit")
+        Action = FailPointAction::Limit;
+      else if (Act == "cancel")
+        Action = FailPointAction::Cancel;
+      else if (Act != "throw" && Act != "")
+        std::fprintf(stderr,
+                     "lalr: LALR_FAILPOINTS: unknown action '%s' for site "
+                     "'%s'; using 'throw'\n",
+                     Act.c_str(), Item.c_str());
+    }
+    if (!Item.empty()) {
+      Sites[Item] = Entry{Action, 0};
+      ArmedCount.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FailPointRegistry::arm(const std::string &Site, FailPointAction Action,
+                            uint64_t SkipHits) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Sites.find(Site);
+  if (It == Sites.end()) {
+    Sites.emplace(Site, Entry{Action, SkipHits});
+    ArmedCount.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    It->second = Entry{Action, SkipHits};
+  }
+}
+
+bool FailPointRegistry::disarm(const std::string &Site) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Sites.find(Site);
+  if (It == Sites.end())
+    return false;
+  Sites.erase(It);
+  ArmedCount.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FailPointRegistry::disarmAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ArmedCount.fetch_sub(static_cast<int>(Sites.size()),
+                       std::memory_order_relaxed);
+  Sites.clear();
+}
+
+std::vector<std::string> FailPointRegistry::armedSites() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Out;
+  Out.reserve(Sites.size());
+  for (const auto &KV : Sites)
+    Out.push_back(KV.first);
+  return Out;
+}
+
+void FailPointRegistry::onHit(const char *Site) {
+  FailPointAction Action;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Sites.find(Site);
+    if (It == Sites.end())
+      return;
+    if (It->second.SkipHits > 0) {
+      --It->second.SkipHits;
+      return;
+    }
+    Action = It->second.Action;
+  }
+  Trips.fetch_add(1, std::memory_order_relaxed);
+  switch (Action) {
+  case FailPointAction::Throw: {
+    BuildStatus S = BuildStatus::internal(std::string("injected fault at ") +
+                                          Site);
+    S.Which = Site;
+    throw BuildAbort(std::move(S));
+  }
+  case FailPointAction::Limit: {
+    BuildStatus S = BuildStatus::limitExceeded(Site, 0, 0);
+    S.Message = std::string("injected limit hit at ") + Site;
+    throw BuildAbort(std::move(S));
+  }
+  case FailPointAction::Cancel:
+    throw BuildAbort(BuildStatus::cancelled());
+  }
+}
+
+} // namespace lalr

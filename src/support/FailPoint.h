@@ -1,0 +1,123 @@
+//===- support/FailPoint.h - Fault-injection sites for the pipeline -*- C++ -*-===//
+///
+/// \file
+/// A tiny fault-injection harness: every build stage declares one named
+/// site (`failPoint("lr0-build")`); tests (or the `LALR_FAILPOINTS`
+/// environment variable) arm sites to force a structured failure there,
+/// proving each abort path produces a clean BuildStatus and never a
+/// poisoned cache entry.
+///
+/// Sites (one per stage, matching the stage names in PipelineStats):
+///   analysis, lr0-build, nt-index, relations-build, solve-read,
+///   solve-follow, la-union, lr1-build, pager-build, table-fill,
+///   compress, service-execute
+///
+/// The disarmed fast path is a single relaxed atomic load of a global
+/// armed-site count — measured noise even inside the DP inner stages.
+/// Arming is test-only and goes through a mutex.
+///
+/// Env syntax: `LALR_FAILPOINTS=site[=throw|limit|cancel][,site...]`
+///   throw  (default) — BuildAbort(Internal, which=site)
+///   limit  — BuildAbort(LimitExceeded, which=site)
+///   cancel — BuildAbort(Cancelled)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SUPPORT_FAILPOINT_H
+#define LALR_SUPPORT_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lalr {
+
+/// What an armed failpoint does when its site is reached.
+enum class FailPointAction : uint8_t {
+  Throw,  ///< BuildAbort(Internal) naming the site — "unexpected" failure
+  Limit,  ///< BuildAbort(LimitExceeded) naming the site as the limit
+  Cancel, ///< BuildAbort(Cancelled) — as if a token fired exactly here
+};
+
+/// Global registry of armed sites. Process-wide singleton; thread-safe.
+class FailPointRegistry {
+public:
+  static FailPointRegistry &instance();
+
+  /// Arms \p Site. \p SkipHits > 0 lets the first N hits pass (to fail
+  /// on a later traversal of the same site). Re-arming overwrites.
+  void arm(const std::string &Site,
+           FailPointAction Action = FailPointAction::Throw,
+           uint64_t SkipHits = 0);
+
+  /// Disarms \p Site; returns false when it was not armed.
+  bool disarm(const std::string &Site);
+
+  void disarmAll();
+
+  std::vector<std::string> armedSites() const;
+
+  /// Times any site fired since process start (test observability).
+  uint64_t totalTrips() const {
+    return Trips.load(std::memory_order_relaxed);
+  }
+
+  /// Slow path of failPoint(): called only when ArmedCount != 0.
+  /// Throws BuildAbort if \p Site is armed and past its skip count.
+  void onHit(const char *Site);
+
+  /// Fast-path gate read by failPoint().
+  int armedCount() const { return ArmedCount.load(std::memory_order_relaxed); }
+
+private:
+  FailPointRegistry();
+
+  struct Entry {
+    FailPointAction Action;
+    uint64_t SkipHits; ///< hits still to let pass before firing
+  };
+
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, Entry> Sites;
+  std::atomic<int> ArmedCount{0};
+  std::atomic<uint64_t> Trips{0};
+};
+
+/// The probe stages call. Free when nothing is armed (one relaxed load).
+inline void failPoint(const char *Site) {
+  FailPointRegistry &R = FailPointRegistry::instance();
+  if (R.armedCount() == 0)
+    return;
+  R.onHit(Site);
+}
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor, so an ASSERT mid-test cannot leak an armed site into the
+/// next test.
+class ScopedFailPoint {
+public:
+  explicit ScopedFailPoint(std::string Site,
+                           FailPointAction Action = FailPointAction::Throw,
+                           uint64_t SkipHits = 0)
+      : Site(std::move(Site)) {
+    FailPointRegistry::instance().arm(this->Site, Action, SkipHits);
+  }
+  ~ScopedFailPoint() { FailPointRegistry::instance().disarm(Site); }
+
+  ScopedFailPoint(const ScopedFailPoint &) = delete;
+  ScopedFailPoint &operator=(const ScopedFailPoint &) = delete;
+
+private:
+  std::string Site;
+};
+
+/// The canonical site list (for tests that sweep every stage and for
+/// `lalr_batchd --list-failpoints`). Terminated by nullptr.
+const char *const *allFailPointSites();
+
+} // namespace lalr
+
+#endif // LALR_SUPPORT_FAILPOINT_H

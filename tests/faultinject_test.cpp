@@ -1,0 +1,279 @@
+//===- tests/faultinject_test.cpp - Injected faults across every stage -------===//
+//
+// Drives the support/FailPoint.h harness through the whole build pipeline
+// and the service: every named site, when armed, must abort the build with
+// a structured BuildStatus (never a crash, never a hang), the context's
+// memoized artifacts must be invalidated (no poisoned cache), and a clean
+// retry on the same context must produce a table bit-identical to an
+// uninterrupted build. Also covers the registry semantics (arm/disarm,
+// skip counts, trip counting) and the cancellation race against the
+// parallel DP solver (run under TSan by scripts/check-tsan.sh).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "corpus/SyntheticGrammars.h"
+#include "pipeline/BuildPipeline.h"
+#include "service/BuildService.h"
+#include "support/FailPoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+/// Build options whose pipeline run reaches \p Site (every site except
+/// service-execute, which only the service layer hits).
+BuildOptions optionsReaching(std::string_view Site) {
+  BuildOptions O;
+  if (Site == "lr1-build")
+    O.Kind = TableKind::Clr1;
+  else if (Site == "pager-build")
+    O.Kind = TableKind::Pager;
+  else
+    O.Kind = TableKind::Lalr1;
+  if (Site == "compress")
+    O.Compress = true;
+  return O;
+}
+
+std::vector<uint8_t> cleanBytes(const Grammar &G, const BuildOptions &Opts) {
+  BuildContext Ctx(G);
+  return serializeTable(BuildPipeline(Ctx, Opts).run());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// FailPointRegistry semantics
+// ---------------------------------------------------------------------------
+
+TEST(FailPointRegistryTest, DisarmedSitesAreFree) {
+  ASSERT_EQ(FailPointRegistry::instance().armedCount(), 0)
+      << "a previous test leaked an armed site";
+  failPoint("lr0-build"); // must be a no-op, not a throw
+}
+
+TEST(FailPointRegistryTest, ArmDisarmAndTripCounting) {
+  FailPointRegistry &R = FailPointRegistry::instance();
+  uint64_t Before = R.totalTrips();
+  {
+    ScopedFailPoint Armed("lr0-build");
+    EXPECT_EQ(R.armedSites(), std::vector<std::string>{"lr0-build"});
+    EXPECT_THROW(failPoint("lr0-build"), BuildAbort);
+    failPoint("table-fill"); // different site: passes
+    EXPECT_EQ(R.totalTrips(), Before + 1);
+  }
+  EXPECT_EQ(R.armedCount(), 0);
+  failPoint("lr0-build"); // disarmed again
+}
+
+TEST(FailPointRegistryTest, SkipHitsLetEarlyTraversalsPass) {
+  ScopedFailPoint Armed("table-fill", FailPointAction::Throw, /*SkipHits=*/1);
+  failPoint("table-fill"); // first hit consumed by the skip
+  EXPECT_THROW(failPoint("table-fill"), BuildAbort);
+}
+
+TEST(FailPointRegistryTest, ActionsMapToStatusCodes) {
+  {
+    ScopedFailPoint Armed("solve-read", FailPointAction::Limit);
+    try {
+      failPoint("solve-read");
+      FAIL() << "armed site must throw";
+    } catch (const BuildAbort &A) {
+      EXPECT_EQ(A.status().Code, BuildStatusCode::LimitExceeded);
+    }
+  }
+  {
+    ScopedFailPoint Armed("solve-read", FailPointAction::Cancel);
+    try {
+      failPoint("solve-read");
+      FAIL() << "armed site must throw";
+    } catch (const BuildAbort &A) {
+      EXPECT_EQ(A.status().Code, BuildStatusCode::Cancelled);
+    }
+  }
+}
+
+TEST(FailPointRegistryTest, SiteListCoversTwelveStagesNullTerminated) {
+  size_t N = 0;
+  for (const char *const *S = allFailPointSites(); *S; ++S)
+    ++N;
+  EXPECT_EQ(N, 12u);
+}
+
+// ---------------------------------------------------------------------------
+// Every pipeline site: structured failure, clean retry, bit-identity
+// ---------------------------------------------------------------------------
+
+TEST(FaultSweepTest, EveryPipelineSiteFailsStructuredAndRetriesClean) {
+  Grammar G = loadCorpusGrammar("json");
+  for (const char *const *S = allFailPointSites(); *S; ++S) {
+    std::string Site = *S;
+    if (Site == "service-execute")
+      continue; // service layer only; covered below
+    BuildOptions Opts = optionsReaching(Site);
+    std::vector<uint8_t> Reference = cleanBytes(G, Opts);
+
+    BuildContext Ctx(G);
+    {
+      ScopedFailPoint Armed(Site);
+      BuildResult R = BuildPipeline(Ctx, Opts).run();
+      ASSERT_FALSE(R.ok()) << "site " << Site << " armed but build succeeded";
+      EXPECT_EQ(R.Status.Code, BuildStatusCode::Internal) << Site;
+      EXPECT_EQ(R.Status.Which, Site);
+      EXPECT_EQ(R.Table.numStates(), 0u)
+          << Site << ": failed builds must carry no table";
+    }
+    // The failure must have invalidated the memoized artifacts, so the
+    // retry rebuilds from scratch and is bit-identical to a clean build.
+    BuildResult Retry = BuildPipeline(Ctx, Opts).run();
+    ASSERT_TRUE(Retry.ok()) << Site << ": " << Retry.Status.Message;
+    EXPECT_EQ(serializeTable(Retry), Reference)
+        << Site << ": retry after injected fault must be bit-identical";
+  }
+}
+
+TEST(FaultSweepTest, InjectedLimitAndCancelActionsSurfaceAsTheirCodes) {
+  Grammar G = loadCorpusGrammar("expr");
+  BuildContext Ctx(G);
+  {
+    ScopedFailPoint Armed("relations-build", FailPointAction::Limit);
+    BuildResult R = BuildPipeline(Ctx).run();
+    ASSERT_FALSE(R.ok());
+    EXPECT_EQ(R.Status.Code, BuildStatusCode::LimitExceeded);
+    EXPECT_EQ(R.Status.Which, "relations-build");
+  }
+  {
+    ScopedFailPoint Armed("la-union", FailPointAction::Cancel);
+    BuildResult R = BuildPipeline(Ctx).run();
+    ASSERT_FALSE(R.ok());
+    EXPECT_EQ(R.Status.Code, BuildStatusCode::Cancelled);
+  }
+  EXPECT_TRUE(BuildPipeline(Ctx).run().ok());
+}
+
+TEST(FaultSweepTest, FailureOnSecondTraversalStillInvalidatesCleanly) {
+  // Skip the first hit so the fault lands on a later traversal of the
+  // same site — exercising abort from a partially-warm context.
+  Grammar G = loadCorpusGrammar("expr");
+  BuildOptions Opts; // Lalr1
+  std::vector<uint8_t> Reference = cleanBytes(G, Opts);
+
+  BuildContext Ctx(G);
+  ASSERT_TRUE(BuildPipeline(Ctx, Opts).run().ok());
+  {
+    // table-fill already fired once in the clean run above; arm with no
+    // skips and rebuild — the memoized artifacts are warm, so only
+    // table-fill runs and aborts.
+    ScopedFailPoint Armed("table-fill");
+    BuildResult R = BuildPipeline(Ctx, Opts).run();
+    ASSERT_FALSE(R.ok());
+    EXPECT_EQ(R.Status.Which, "table-fill");
+  }
+  BuildResult Retry = BuildPipeline(Ctx, Opts).run();
+  ASSERT_TRUE(Retry.ok());
+  EXPECT_EQ(serializeTable(Retry), Reference);
+}
+
+// ---------------------------------------------------------------------------
+// Service-layer injection
+// ---------------------------------------------------------------------------
+
+TEST(ServiceFaultTest, ServiceExecuteSiteFailsRequestNotProcess) {
+  BuildService Svc;
+  ServiceRequest Req;
+  Req.GrammarName = "expr";
+  {
+    ScopedFailPoint Armed("service-execute");
+    std::vector<ServiceResponse> Rs = Svc.runBatch({&Req, 1});
+    ASSERT_EQ(Rs.size(), 1u);
+    EXPECT_FALSE(Rs[0].Ok);
+    EXPECT_EQ(Rs[0].Status.Code, BuildStatusCode::Internal);
+    EXPECT_EQ(Rs[0].Status.Which, "service-execute");
+  }
+  // The service survives and the next run of the same request succeeds.
+  std::vector<ServiceResponse> Rs = Svc.runBatch({&Req, 1});
+  ASSERT_TRUE(Rs[0].Ok) << Rs[0].Error;
+  EXPECT_EQ(Svc.stats().Failed, 1u);
+  EXPECT_EQ(Svc.stats().Succeeded, 1u);
+}
+
+TEST(ServiceFaultTest, MidPipelineFaultNeverPoisonsTheServiceCache) {
+  BuildService Svc;
+  ServiceRequest Req;
+  Req.GrammarName = "json";
+  std::vector<uint8_t> Reference = cleanBytes(loadCorpusGrammar("json"), {});
+  {
+    ScopedFailPoint Armed("solve-follow");
+    std::vector<ServiceResponse> Rs = Svc.runBatch({&Req, 1});
+    EXPECT_FALSE(Rs[0].Ok);
+    EXPECT_EQ(Rs[0].Status.Which, "solve-follow");
+  }
+  std::vector<ServiceResponse> Rs = Svc.runBatch({&Req, 1});
+  ASSERT_TRUE(Rs[0].Ok) << Rs[0].Error;
+  EXPECT_EQ(serializeTable(*Rs[0].Result), Reference)
+      << "retry through the shared cache must be bit-identical";
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation racing the parallel solver (TSan target)
+// ---------------------------------------------------------------------------
+
+TEST(CancellationRaceTest, CancelRacingParallelSolveNeverHangsOrCorrupts) {
+  // A sizable includes-SCC makes the parallel digraph solve long enough
+  // for the cancel to land mid-flight at least sometimes; the assertion
+  // is the dichotomy: either the build finished (bit-identical) or it
+  // reports Cancelled — never a crash, hang, or corrupted table.
+  Grammar G = makeIncludesRing(200);
+  BuildOptions Clean;
+  Clean.Threads = 0;
+  std::vector<uint8_t> Reference = cleanBytes(G, Clean);
+
+  for (int Round = 0; Round < 6; ++Round) {
+    BuildContext Ctx(G);
+    BuildOptions Opts;
+    Opts.Threads = 4;
+    Opts.Cancel = std::make_shared<CancellationToken>();
+    std::thread Canceller([&, Round] {
+      // Stagger the cancel across rounds to hit different stages.
+      volatile int Sink = 0;
+      for (int Spin = 0; Spin < Round * 20000; ++Spin)
+        Sink = Spin;
+      (void)Sink;
+      Opts.Cancel->cancel();
+    });
+    BuildResult R = BuildPipeline(Ctx, Opts).run();
+    Canceller.join();
+    if (R.ok()) {
+      EXPECT_EQ(serializeTable(R), Reference);
+    } else {
+      EXPECT_EQ(R.Status.Code, BuildStatusCode::Cancelled);
+      EXPECT_EQ(R.Table.numStates(), 0u);
+    }
+    // Whatever happened, the context retries cleanly (serial to keep the
+    // round fast) and stays bit-identical.
+    BuildOptions RetryOpts;
+    RetryOpts.Threads = 2;
+    BuildResult Retry = BuildPipeline(Ctx, RetryOpts).run();
+    ASSERT_TRUE(Retry.ok()) << Retry.Status.Message;
+    EXPECT_EQ(serializeTable(Retry), Reference);
+  }
+}
+
+TEST(CancellationRaceTest, PreCancelledTokenAbortsParallelBuildPromptly) {
+  Grammar G = makeIncludesRing(150);
+  BuildContext Ctx(G);
+  BuildOptions Opts;
+  Opts.Threads = 4;
+  Opts.Cancel = std::make_shared<CancellationToken>();
+  Opts.Cancel->cancel();
+  BuildResult R = BuildPipeline(Ctx, Opts).run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Status.Code, BuildStatusCode::Cancelled);
+}

@@ -160,3 +160,174 @@ TEST(RoundTripTest, ReductionSequencesAgreeAcrossRebuilds) {
     EXPECT_EQ(O1.Reductions, O2.Reductions);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Resource limits and deadlines (support/Cancellation.h)
+// ---------------------------------------------------------------------------
+
+#include "corpus/SyntheticGrammars.h"
+#include "pipeline/BuildPipeline.h"
+
+namespace {
+
+/// Runs \p Opts over a fresh context for \p G and returns the result.
+BuildResult runOnce(const Grammar &G, const BuildOptions &Opts) {
+  BuildContext Ctx(G);
+  return BuildPipeline(Ctx, Opts).run();
+}
+
+} // namespace
+
+TEST(BuildLimitsTest, Lr0StateLimitTripsWithNameAndValues) {
+  Grammar G = loadCorpusGrammar("json");
+  BuildOptions Opts;
+  Opts.Limits.MaxLr0States = 5;
+  BuildResult R = runOnce(G, Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Status.Code, BuildStatusCode::LimitExceeded);
+  EXPECT_EQ(R.Status.Which, "lr0_states");
+  EXPECT_EQ(R.Status.Observed, 6u) << "must trip at the first state past the limit";
+  EXPECT_EQ(R.Status.Limit, 5u);
+  EXPECT_NE(R.Status.Message.find("lr0_states"), std::string::npos)
+      << "the message must name the tripped limit: " << R.Status.Message;
+}
+
+TEST(BuildLimitsTest, ItemLimitTrips) {
+  BuildOptions Opts;
+  Opts.Limits.MaxItems = 10;
+  BuildResult R = runOnce(loadCorpusGrammar("json"), Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Status.Which, "items");
+}
+
+TEST(BuildLimitsTest, RelationEdgeLimitTripsOnSerialBuilds) {
+  BuildOptions Opts;
+  Opts.Threads = 0; // the serial path counts edges exactly
+  Opts.Limits.MaxRelationEdges = 5;
+  BuildResult R = runOnce(loadCorpusGrammar("json"), Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Status.Code, BuildStatusCode::LimitExceeded);
+  EXPECT_EQ(R.Status.Which, "relation_edges");
+}
+
+TEST(BuildLimitsTest, SetBitLimitTripsUpFrontDeterministically) {
+  BuildOptions Opts;
+  Opts.Limits.MaxSetBits = 64;
+  BuildResult A = runOnce(loadCorpusGrammar("json"), Opts);
+  BuildResult B = runOnce(loadCorpusGrammar("json"), Opts);
+  ASSERT_FALSE(A.ok());
+  EXPECT_EQ(A.Status.Which, "set_bits");
+  EXPECT_EQ(A.Status.Observed, B.Status.Observed)
+      << "the up-front projection is a pure function of the grammar";
+}
+
+TEST(BuildLimitsTest, Lr1StateLimitGovernsCanonicalAndPager) {
+  for (TableKind K : {TableKind::Clr1, TableKind::Pager}) {
+    BuildOptions Opts;
+    Opts.Kind = K;
+    Opts.Limits.MaxLr1States = 4;
+    BuildResult R = runOnce(loadCorpusGrammar("json"), Opts);
+    ASSERT_FALSE(R.ok()) << tableKindName(K);
+    EXPECT_EQ(R.Status.Which, "lr1_states") << tableKindName(K);
+  }
+}
+
+TEST(BuildLimitsTest, WallBudgetReportsDeadlineExceeded) {
+  BuildOptions Opts;
+  Opts.Limits.MaxWallMs = 1e-6; // expires before the first poll stride
+  BuildResult R = runOnce(loadCorpusGrammar("minic"), Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Status.Code, BuildStatusCode::DeadlineExceeded);
+}
+
+TEST(BuildLimitsTest, GenerousLimitsChangeNothing) {
+  Grammar G = loadCorpusGrammar("json");
+  BuildResult Unlimited = runOnce(G, {});
+  BuildOptions Opts;
+  Opts.Limits.MaxLr0States = 1u << 20;
+  Opts.Limits.MaxItems = 1u << 24;
+  Opts.Limits.MaxRelationEdges = 1u << 24;
+  Opts.Limits.MaxSetBits = 1u << 30;
+  Opts.Limits.MaxWallMs = 60000;
+  BuildResult Limited = runOnce(G, Opts);
+  ASSERT_TRUE(Unlimited.ok());
+  ASSERT_TRUE(Limited.ok());
+  EXPECT_EQ(serializeTable(Limited), serializeTable(Unlimited))
+      << "untripped limits must not perturb the build";
+}
+
+TEST(CancellationTest, ExpiredTokenDeadlineAbortsTheBuild) {
+  BuildOptions Opts;
+  Opts.Cancel = CancellationToken::withDeadlineMs(-1); // already expired
+  BuildResult R = runOnce(loadCorpusGrammar("json"), Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Status.Code, BuildStatusCode::DeadlineExceeded);
+}
+
+TEST(CancellationTest, FailedBuildLeavesContextRetryable) {
+  Grammar G = loadCorpusGrammar("json");
+  BuildContext Ctx(G);
+  std::vector<uint8_t> Reference = serializeTable(runOnce(G, {}));
+
+  BuildOptions Cancelled;
+  Cancelled.Cancel = std::make_shared<CancellationToken>();
+  Cancelled.Cancel->cancel();
+  ASSERT_FALSE(BuildPipeline(Ctx, Cancelled).run().ok());
+  EXPECT_EQ(Ctx.lr0BuildCount(), 0u)
+      << "the aborted run must not leave a memoized automaton behind";
+
+  BuildResult Retry = BuildPipeline(Ctx).run();
+  ASSERT_TRUE(Retry.ok());
+  EXPECT_EQ(serializeTable(Retry), Reference);
+}
+
+// ---------------------------------------------------------------------------
+// The adversarial state-blowup family
+// ---------------------------------------------------------------------------
+
+TEST(StateBlowupTest, StatesGrowExponentiallyFromLinearGrammarSize) {
+  size_t Prev = 0;
+  for (unsigned N = 6; N <= 10; ++N) {
+    Grammar G = makeStateBlowup(N);
+    EXPECT_LE(G.numProductions(), size_t(2 * N + 4))
+        << "the grammar itself must stay linear in N";
+    size_t States = Lr0Automaton::build(G).numStates();
+    if (Prev) {
+      // Asymptotically 2x per step (2^N subsets plus an O(N) tail);
+      // 1.8x is the flake-proof floor.
+      EXPECT_GE(States * 5, Prev * 9)
+          << "N=" << N << ": expected ~2x growth per step, got " << Prev
+          << " -> " << States;
+    }
+    Prev = States;
+  }
+  EXPECT_GE(Prev, size_t(1) << 10) << "N=10 must exceed 2^10 states";
+}
+
+TEST(StateBlowupTest, LimitTripsDeterministicallySerialAndParallel) {
+  Grammar G = makeStateBlowup(14); // ~16k states unlimited; never built here
+  BuildStatus First;
+  for (int Threads : {0, 0, 2}) {
+    BuildOptions Opts;
+    Opts.Threads = Threads;
+    Opts.Limits.MaxLr0States = 1000;
+    BuildResult R = runOnce(G, Opts);
+    ASSERT_FALSE(R.ok());
+    ASSERT_EQ(R.Status.Code, BuildStatusCode::LimitExceeded);
+    EXPECT_EQ(R.Status.Which, "lr0_states");
+    if (First.Which.empty())
+      First = R.Status;
+    EXPECT_EQ(R.Status.Observed, First.Observed)
+        << "the LR(0) interning order is deterministic, so the trip point "
+           "must be too (threads=" << Threads << ")";
+  }
+  EXPECT_EQ(First.Observed, 1001u);
+}
+
+TEST(StateBlowupTest, GrammarIsHonestLalr1WhenSmall) {
+  // The family is adversarial in size, not in conflicts: a small instance
+  // builds an adequate LALR(1) table.
+  BuildResult R = runOnce(makeStateBlowup(4), {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Table.isAdequate());
+}

@@ -716,3 +716,179 @@ TEST(BuildThreadsTest, TableKindNamesRoundTrip) {
   EXPECT_FALSE(tableKindByName("bogus").has_value());
   EXPECT_FALSE(tableKindByName("").has_value());
 }
+
+// ---------------------------------------------------------------------------
+// Timed queue overloads, load shedding, deadlines and limits
+// ---------------------------------------------------------------------------
+
+#include "corpus/SyntheticGrammars.h"
+#include "grammar/GrammarPrinter.h"
+
+using namespace std::chrono_literals;
+
+TEST(RequestQueueTimedTest, PushForTimesOutOnAFullQueue) {
+  RequestQueue<int> Q(/*MaxDepth=*/1);
+  EXPECT_TRUE(Q.push(1));
+  EXPECT_FALSE(Q.pushFor(2, 5ms)) << "full queue must shed after the timeout";
+  EXPECT_FALSE(Q.pushFor(3, 0ms)) << "zero timeout is a try-push";
+  EXPECT_EQ(Q.pop(), std::optional<int>(1));
+  EXPECT_TRUE(Q.pushFor(4, 0ms)) << "freed space accepts a try-push";
+}
+
+TEST(RequestQueueTimedTest, PushForSucceedsWhenSpaceFreesInTime) {
+  RequestQueue<int> Q(/*MaxDepth=*/1);
+  EXPECT_TRUE(Q.push(1));
+  std::thread Consumer([&] {
+    std::this_thread::sleep_for(2ms);
+    EXPECT_EQ(Q.pop(), std::optional<int>(1));
+  });
+  EXPECT_TRUE(Q.pushFor(2, 10s)) << "must wake as soon as space frees";
+  Consumer.join();
+  EXPECT_EQ(Q.pop(), std::optional<int>(2));
+}
+
+TEST(RequestQueueTimedTest, PopForTimesOutEmptyAndDrainsOtherwise) {
+  RequestQueue<int> Q;
+  EXPECT_EQ(Q.popFor(2ms), std::nullopt);
+  EXPECT_TRUE(Q.push(7));
+  EXPECT_EQ(Q.popFor(0ms), std::optional<int>(7));
+  Q.close();
+  EXPECT_EQ(Q.popFor(10s), std::nullopt)
+      << "closed-and-drained must return immediately, not wait the timeout";
+}
+
+TEST(RequestQueueTimedTest, CloseWhileFullReleasesTimedAndUntimedProducers) {
+  // The close-while-full race: producers blocked on a full queue (both
+  // push flavors) must all observe the close and fail, never deadlock.
+  RequestQueue<int> Q(/*MaxDepth=*/1);
+  EXPECT_TRUE(Q.push(1));
+  std::vector<std::thread> Producers;
+  std::atomic<int> Failures{0};
+  for (int I = 0; I < 4; ++I)
+    Producers.emplace_back([&, I] {
+      bool Pushed = (I % 2) ? Q.push(100 + I) : Q.pushFor(100 + I, 10s);
+      if (!Pushed)
+        ++Failures;
+    });
+  std::this_thread::yield();
+  Q.close();
+  for (std::thread &T : Producers)
+    T.join();
+  EXPECT_EQ(Failures, 4) << "every producer blocked at close() must fail";
+  EXPECT_EQ(Q.pop(), std::optional<int>(1)) << "pending items still drain";
+  EXPECT_EQ(Q.pop(), std::nullopt);
+}
+
+TEST(ServiceRobustnessTest, PerRequestDeadlineShedsAndCounts) {
+  BuildService Svc;
+  ServiceRequest Req = corpusRequest("json", TableKind::Lalr1);
+  // A sub-microsecond deadline either sheds before execution or aborts at
+  // the first in-build poll — both must surface as DeadlineExceeded.
+  Req.DeadlineMs = 1e-7;
+  std::vector<ServiceResponse> Rs = Svc.runBatch({&Req, 1});
+  ASSERT_EQ(Rs.size(), 1u);
+  EXPECT_FALSE(Rs[0].Ok);
+  EXPECT_EQ(Rs[0].Status.Code, BuildStatusCode::DeadlineExceeded);
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Expired, 1u);
+  EXPECT_EQ(S.Failed, 1u);
+}
+
+TEST(ServiceRobustnessTest, AlreadyExpiredTokenIsShedWithoutTouchingCache) {
+  BuildService Svc;
+  ServiceRequest Req = corpusRequest("json", TableKind::Lalr1);
+  Req.Options.Cancel = CancellationToken::withDeadlineMs(-1);
+  std::vector<ServiceResponse> Rs = Svc.runBatch({&Req, 1});
+  EXPECT_FALSE(Rs[0].Ok);
+  EXPECT_EQ(Rs[0].Status.Code, BuildStatusCode::DeadlineExceeded);
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Expired, 1u);
+  EXPECT_EQ(S.CacheMisses, 0u) << "shed requests must not touch the cache";
+}
+
+TEST(ServiceRobustnessTest, DefaultLimitsGovernEveryRequest) {
+  BuildService::Options Opts;
+  Opts.DefaultLimits.MaxLr0States = 3;
+  BuildService Svc(Opts);
+  ServiceRequest Req = corpusRequest("json", TableKind::Lalr1);
+  std::vector<ServiceResponse> Rs = Svc.runBatch({&Req, 1});
+  EXPECT_FALSE(Rs[0].Ok);
+  EXPECT_EQ(Rs[0].Status.Code, BuildStatusCode::LimitExceeded);
+  EXPECT_EQ(Rs[0].Status.Which, "lr0_states");
+  EXPECT_EQ(Svc.stats().LimitKilled, 1u);
+
+  // A per-request limit overrides the service-wide default.
+  Req.Options.Limits.MaxLr0States = 1u << 20;
+  Rs = Svc.runBatch({&Req, 1});
+  EXPECT_TRUE(Rs[0].Ok) << Rs[0].Error;
+}
+
+TEST(ServiceRobustnessTest, CancelledTokenCountsAsCancelled) {
+  BuildService Svc;
+  ServiceRequest Req = corpusRequest("json", TableKind::Lalr1);
+  Req.Options.Cancel = std::make_shared<CancellationToken>();
+  Req.Options.Cancel->cancel();
+  std::vector<ServiceResponse> Rs = Svc.runBatch({&Req, 1});
+  EXPECT_FALSE(Rs[0].Ok);
+  EXPECT_EQ(Rs[0].Status.Code, BuildStatusCode::Cancelled);
+  EXPECT_EQ(Svc.stats().Cancelled, 1u);
+}
+
+TEST(ServiceRobustnessTest, BoundedSubmitShedsWhenTheQueueStaysFull) {
+  // One slow adversarial build clogs the single dispatcher; with
+  // QueueDepth=1 and a zero submit timeout, later submissions shed.
+  BuildService::Options Opts;
+  Opts.QueueDepth = 1;
+  Opts.SubmitTimeoutMs = 0;
+  Opts.DefaultLimits.MaxLr0States = 2000; // keeps the blowup build bounded
+  BuildService Svc(Opts);
+
+  std::string Blowup; // state_blowup_16 as inline source, via the printer
+  {
+    Grammar G = makeStateBlowup(16);
+    Blowup = printGrammarText(G);
+  }
+
+  ServiceRequest Slow;
+  Slow.GrammarName = "blowup";
+  Slow.Source = Blowup;
+  std::vector<uint64_t> Tickets;
+  for (int I = 0; I < 8; ++I)
+    Tickets.push_back(Svc.submit(Slow));
+
+  uint64_t Shed = 0, Executed = 0;
+  for (uint64_t T : Tickets) {
+    ServiceResponse R = Svc.wait(T);
+    EXPECT_FALSE(R.Ok) << "every build trips the state limit";
+    if (R.Status.Message.find("queue full") != std::string::npos)
+      ++Shed;
+    else
+      ++Executed;
+  }
+  EXPECT_EQ(Shed + Executed, 8u);
+  EXPECT_EQ(Svc.stats().Rejected, Shed);
+  EXPECT_GE(Executed, 1u) << "the dispatcher must still drain accepted work";
+}
+
+TEST(ServiceRobustnessTest, FailedStatusSerializesInResponseJson) {
+  BuildService Svc;
+  ServiceRequest Req = corpusRequest("json", TableKind::Lalr1);
+  Req.Options.Limits.MaxItems = 1;
+  std::vector<ServiceResponse> Rs = Svc.runBatch({&Req, 1});
+  ASSERT_FALSE(Rs[0].Ok);
+  std::string Json = Rs[0].Status.toJson();
+  EXPECT_NE(Json.find("\"code\":\"limit-exceeded\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"which\":\"items\""), std::string::npos) << Json;
+}
+
+TEST(ManifestTest, ParsesDeadlineMsOption) {
+  std::string Error;
+  auto Entries = parseManifest("build expr lalr1 deadline-ms=250\n", Error);
+  ASSERT_TRUE(Entries) << Error;
+  ASSERT_EQ(Entries->size(), 1u);
+  EXPECT_DOUBLE_EQ((*Entries)[0].Request.DeadlineMs, 250.0);
+
+  EXPECT_FALSE(parseManifest("build expr lalr1 deadline-ms=junk\n", Error));
+  EXPECT_NE(Error.find("deadline"), std::string::npos);
+  EXPECT_FALSE(parseManifest("build expr lalr1 deadline-ms=-5\n", Error));
+}
