@@ -111,6 +111,30 @@ static void BM_DpLookaheadsGuarded(benchmark::State &State) {
 }
 BENCHMARK(BM_DpLookaheadsGuarded)->Arg(0)->Arg(1)->Arg(2);
 
+static void BM_DpLookaheadsVerify(benchmark::State &State) {
+  // Verifier-overhead control: the pipeline's table build over a warm
+  // context (only table-fill reruns) with BuildOptions::Verify toggled
+  // by the second arg. The off rows confirm the flag costs nothing when
+  // unset (they must match a verify-free build of the same shape); the
+  // on rows price the full invariant recheck.
+  BuildContext Ctx(loadCorpusGrammar(kGrammarArg[State.range(0)]));
+  BuildOptions Opts;
+  Opts.Verify = State.range(1) != 0;
+  for (auto _ : State) {
+    BuildResult R = BuildPipeline(Ctx, Opts).run();
+    benchmark::DoNotOptimize(R.Table.numStates());
+  }
+  State.SetLabel(std::string(kGrammarArg[State.range(0)]) +
+                 (Opts.Verify ? "+verify" : "+no-verify"));
+}
+BENCHMARK(BM_DpLookaheadsVerify)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1});
+
 static void BM_DpLookaheadsNaiveSolver(benchmark::State &State) {
   BuildContext Ctx(loadCorpusGrammar("minic"));
   const GrammarAnalysis &An = Ctx.analysis();

@@ -61,7 +61,11 @@ int usage() {
       "wall_ms\n"
       "                      (repeatable; per-request limits override)\n"
       "  --fail-fast         stop executing after the first failed "
-      "request\n");
+      "request\n"
+      "  --verify            run the artifact verifier on every build "
+      "(manifest\n"
+      "                      lines may also opt in individually with "
+      "'verify')\n");
   return 2;
 }
 
@@ -152,11 +156,12 @@ void printResponse(const ServiceRequest &Req, const ServiceResponse &R) {
     return;
   }
   const ParseTable &T = R.Result->Table;
-  std::printf("ok   %-18s %-14s %5zu states %3zu conflicts %9.1f us %s%s%s\n",
+  std::printf("ok   %-18s %-14s %5zu states %3zu conflicts %9.1f us %s%s%s%s\n",
               Req.GrammarName.c_str(), tableKindName(Req.Options.Kind),
               T.numStates(), T.conflicts().size(), R.WallUs,
               R.CacheHit ? "hit " : "miss",
               R.Result->Compressed ? " compressed" : "",
+              R.Result->Verify ? " verified" : "",
               R.Result->PolicySatisfied ? "" : " POLICY-VIOLATED");
 }
 
@@ -206,6 +211,8 @@ int main(int Argc, char **Argv) {
       Quiet = true;
     } else if (Arg == "--fail-fast") {
       FailFast = true;
+    } else if (Arg == "--verify") {
+      SvcOpts.VerifyBuilds = true;
     } else if (Arg == "--deadline-ms" && I + 1 < Argc) {
       DeadlineMs = std::strtod(Argv[++I], nullptr);
       if (DeadlineMs <= 0) {

@@ -1,0 +1,170 @@
+//===- examples/lalr_verify.cpp - DP artifact verifier CLI ----------------===//
+///
+/// \file
+/// Sweeps the artifact verifier (verify/ArtifactVerifier.h) over grammars:
+/// for each one it builds the LALR(1) table through the normal pipeline,
+/// then independently re-derives every DeRemer-Pennello invariant and
+/// cross-checks the relations, Read/Follow/LA set families and table
+/// actions. Any violation is a red build somewhere upstream; the exit
+/// status makes this a CI gate.
+///
+/// Usage:
+///   lalr_verify                        # whole corpus
+///   lalr_verify --realistic            # Table 1-3 workload only
+///   lalr_verify --grammar NAME ...     # corpus names or .y paths
+///   lalr_verify [--solver naive|digraph] [--threads N]
+///               [--fixpoint-limit N] [--no-fixpoint] [--json] [--quiet]
+///
+/// Exit status: 0 when every grammar verifies clean, 1 on any issue,
+/// 2 on usage/load errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "pipeline/BuildPipeline.h"
+#include "verify/ArtifactVerifier.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lalr_verify [--grammar NAME|FILE.y ...] [--realistic]\n"
+      "                   [--solver naive|digraph] [--threads N]\n"
+      "                   [--fixpoint-limit N] [--no-fixpoint] [--json]\n"
+      "                   [--quiet] [--list]\n"
+      "With no --grammar the whole corpus is swept (--realistic restricts\n"
+      "to the realistic-language subset). Exit 1 when any invariant check\n"
+      "fails.\n");
+  return 2;
+}
+
+bool isPath(const std::string &Name) {
+  return Name.size() > 2 && Name.compare(Name.size() - 2, 2, ".y") == 0;
+}
+
+std::optional<Grammar> loadGrammar(const std::string &Name) {
+  if (!isPath(Name)) {
+    if (!findCorpusEntry(Name)) {
+      std::fprintf(stderr, "unknown corpus grammar '%s' (try --list)\n",
+                   Name.c_str());
+      return std::nullopt;
+    }
+    return loadCorpusGrammar(Name);
+  }
+  std::ifstream In(Name);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", Name.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(SS.str(), Diags, Name);
+  if (!G)
+    std::cerr << Diags.render();
+  return G;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Names;
+  bool RealisticOnly = false;
+  bool Json = false;
+  bool Quiet = false;
+  SolverKind Solver = SolverKind::Digraph;
+  int Threads = -1;
+  VerifyOptions VOpts;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--grammar" && I + 1 < Argc) {
+      Names.push_back(Argv[++I]);
+    } else if (Arg == "--realistic") {
+      RealisticOnly = true;
+    } else if (Arg == "--solver" && I + 1 < Argc) {
+      std::string V = Argv[++I];
+      if (V == "digraph")
+        Solver = SolverKind::Digraph;
+      else if (V == "naive")
+        Solver = SolverKind::NaiveFixpoint;
+      else
+        return usage();
+    } else if (Arg == "--threads" && I + 1 < Argc) {
+      bool Valid = true;
+      Threads = static_cast<int>(parseBuildThreads(Argv[++I], &Valid));
+      if (!Valid)
+        return usage();
+    } else if (Arg == "--fixpoint-limit" && I + 1 < Argc) {
+      VOpts.MaxFixpointNodes =
+          static_cast<size_t>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (Arg == "--no-fixpoint") {
+      VOpts.CheckFixpoint = false;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--list") {
+      for (std::string_view Name : listCorpusGrammars())
+        std::printf("%s\n", std::string(Name).c_str());
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+
+  if (Names.empty())
+    for (std::string_view Name : listCorpusGrammars(RealisticOnly))
+      Names.emplace_back(Name);
+
+  bool AnyIssues = false;
+  if (Json)
+    std::printf("[");
+  for (size_t N = 0; N < Names.size(); ++N) {
+    std::optional<Grammar> G = loadGrammar(Names[N]);
+    if (!G)
+      return 2;
+
+    BuildContext Ctx(std::move(*G));
+    BuildOptions BOpts;
+    BOpts.Solver = Solver;
+    BOpts.Threads = Threads;
+    BuildResult R = BuildPipeline(Ctx, BOpts).run();
+    if (!R.ok()) {
+      std::fprintf(stderr, "%s: build failed: %s\n", Names[N].c_str(),
+                   R.Status.Message.c_str());
+      return 2;
+    }
+
+    VerifyReport Report = verifyLalrBuild(
+        Ctx.lr0(), Ctx.analysis(), Ctx.lookaheads(Solver), &R.Table, VOpts);
+    AnyIssues |= !Report.ok();
+
+    if (Json) {
+      std::printf("%s\n{\"grammar\": \"%s\", \"report\": %s}",
+                  N ? "," : "", Names[N].c_str(), Report.toJson().c_str());
+    } else {
+      if (!Quiet || !Report.ok())
+        std::printf("%-6s %-22s %s%s\n", Report.ok() ? "ok" : "FAIL",
+                    Names[N].c_str(), Report.summary().c_str(),
+                    Report.FixpointSkipped ? " [fixpoint skipped]" : "");
+      for (const VerifyIssue &Issue : Report.Issues)
+        std::printf("       [%s] %s\n", Issue.Check.c_str(),
+                    Issue.Detail.c_str());
+    }
+  }
+  if (Json)
+    std::printf("\n]\n");
+  return AnyIssues ? 1 : 0;
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the repo's .clang-tidy profile.
+#
+#   scripts/check-tidy.sh              # full run over src/ + examples/
+#   scripts/check-tidy.sh --diff [REF] # only files changed vs REF
+#                                      # (default: merge-base with main)
+#
+# Needs a compile_commands.json, which the normal configure exports
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists).
+# Exits 0 with a notice when clang-tidy is not installed — local boxes
+# without LLVM tooling stay usable; the CI static-analysis job is the
+# enforcing run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "check-tidy: $TIDY not found; skipping (CI enforces this gate)"
+  exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "check-tidy: $BUILD_DIR/compile_commands.json missing;" \
+       "configure first (cmake -B $BUILD_DIR)" >&2
+  exit 2
+fi
+
+if [ "${1:-}" = "--diff" ]; then
+  REF="${2:-$(git merge-base HEAD main 2>/dev/null || echo HEAD~1)}"
+  mapfile -t FILES < <(git diff --name-only "$REF" -- \
+                         'src/*.cpp' 'examples/*.cpp' 'tests/*.cpp' \
+                         'bench/*.cpp' | while read -r f; do
+                         [ -f "$f" ] && echo "$f"; done)
+  if [ "${#FILES[@]}" -eq 0 ]; then
+    echo "check-tidy: no changed sources vs $REF"
+    exit 0
+  fi
+else
+  mapfile -t FILES < <(git ls-files 'src/*.cpp' 'examples/*.cpp')
+fi
+
+echo "check-tidy: ${#FILES[@]} file(s) with $("$TIDY" --version | head -1)"
+STATUS=0
+for f in "${FILES[@]}"; do
+  # Headers are covered transitively through HeaderFilterRegex.
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+exit $STATUS

@@ -43,6 +43,10 @@ STRUCTURAL_COUNTERS = {
     # count is a pure function of the work done, so a drift means a stage
     # changed its polling (or its shape) — exactly what this gate is for.
     "guard_polls",
+    # The artifact verifier runs a fixed check list over deterministic
+    # artifacts (parallel == serial), so both its work and its findings
+    # are structure; verify_issues must in fact stay 0 everywhere.
+    "verify_checks", "verify_issues",
 }
 
 

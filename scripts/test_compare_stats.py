@@ -81,6 +81,18 @@ class CompareFunctionTest(unittest.TestCase):
         self.assertIn("counter lr0_states: 10 -> 11 (structural drift)",
                       problems[0])
 
+    def test_verify_counters_are_structural(self):
+        # The verifier's check count is a pure function of the artifacts,
+        # and its issue count must stay 0; drift in either is a red flag.
+        base = self.load("base", {"a.json": [entry(
+            "g/lalr1", {"verify_checks": 543, "verify_issues": 0})]})
+        cand = self.load("cand", {"a.json": [entry(
+            "g/lalr1", {"verify_checks": 543, "verify_issues": 1})]})
+        problems = compare_stats.compare(base, cand, 1.5, 100.0)
+        self.assertEqual(len(problems), 1)
+        self.assertIn("counter verify_issues: 0 -> 1 (structural drift)",
+                      problems[0])
+
     def test_non_structural_counter_drift_is_ignored(self):
         # build_threads varies across configurations by design.
         base = self.load("base", {"a.json": [entry("g", {"build_threads": 0})]})

@@ -160,6 +160,14 @@ struct BuildOptions {
   /// deadline), shared with whoever may want to cancel the build. Null =
   /// not cancellable.
   std::shared_ptr<CancellationToken> Cancel = nullptr;
+  /// Run the ArtifactVerifier over the build's DP artifacts and table
+  /// (Lalr1 kind; other kinds have no DP artifact chain to verify and
+  /// ignore the flag). A failed verification fails the build with
+  /// BuildStatus::Internal (Which = "verify") and the structured report
+  /// attached to BuildResult::Verify. Off (the default) costs nothing —
+  /// the pipeline never constructs verifier state, mirroring the
+  /// StageTimer null-sink discipline.
+  bool Verify = false;
 };
 
 } // namespace lalr

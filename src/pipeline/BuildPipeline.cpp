@@ -168,6 +168,29 @@ BuildResult BuildPipeline::run() {
     S.setCounter("unresolved_shift_reduce", R.Table.unresolvedShiftReduce());
     S.setCounter("unresolved_reduce_reduce", R.Table.unresolvedReduceReduce());
 
+    // Verification is opt-in and scoped to the DP construction: the other
+    // kinds have no relations/Read/Follow/LA chain to cross-check. Off,
+    // this block costs one branch (the StageTimer discipline).
+    if (Opts.Verify && Opts.Kind == TableKind::Lalr1) {
+      StageTimer T(&S, "verify");
+      failPoint("verify");
+      VerifyReport VR = verifyLalrBuild(Ctx.lr0(), Ctx.analysis(),
+                                        Ctx.lookaheads(Opts.Solver), &R.Table);
+      T.stop();
+      S.setCounter("verify_checks", VR.ChecksRun);
+      S.setCounter("verify_issues", VR.TotalIssues);
+      bool VerifyOk = VR.ok();
+      if (!VerifyOk) {
+        BuildStatus St = BuildStatus::internal("artifact verification failed: " +
+                                               VR.summary());
+        St.Which = "verify";
+        BuildResult F = failed(std::move(St));
+        F.Verify = std::move(VR);
+        return F;
+      }
+      R.Verify = std::move(VR);
+    }
+
     if (Opts.Compress) {
       StageTimer T(&S, "compress");
       failPoint("compress");

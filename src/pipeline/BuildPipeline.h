@@ -29,6 +29,7 @@
 #include "parser/ParserDriver.h"
 #include "pipeline/BuildContext.h"
 #include "pipeline/BuildOptions.h"
+#include "verify/ArtifactVerifier.h"
 
 #include <optional>
 
@@ -55,6 +56,11 @@ struct BuildResult {
   BuildStatus Status;
   /// Engaged when BuildOptions::Compress was set.
   std::optional<CompressedTable> Compressed;
+  /// Engaged when BuildOptions::Verify ran (Lalr1 kind only): the
+  /// ArtifactVerifier's report. A failing report also fails the build
+  /// (Status becomes Internal with Which = "verify"), but the report
+  /// stays attached so callers can render the structured findings.
+  std::optional<VerifyReport> Verify;
   /// Snapshot of the context's stats at the end of the run, labelled
   /// "<grammar>/<kind>".
   PipelineStats Stats;

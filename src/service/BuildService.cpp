@@ -61,7 +61,7 @@ BuildService::~BuildService() {
   Queue.close();
   std::thread ToJoin;
   {
-    std::lock_guard<std::mutex> Lock(TicketMu);
+    MutexLock Lock(TicketMu);
     ToJoin = std::move(Dispatcher);
   }
   if (ToJoin.joinable())
@@ -74,6 +74,7 @@ void BuildService::resolveAndExecute(const ServiceRequest &Request,
 
   BuildOptions BO = Request.Options;
   BO.Threads = Opts.ContextThreads;
+  BO.Verify = BO.Verify || Opts.VerifyBuilds;
   BO.Limits = mergeLimits(BO.Limits, Opts.DefaultLimits);
   // Streaming requests were armed at submit() (queue wait counts); batch
   // requests are armed here, at execution = acceptance.
@@ -133,7 +134,7 @@ void BuildService::resolveAndExecute(const ServiceRequest &Request,
           Response.Context = Entry;
           // Builds on one grammar take turns: BuildContext memoization is
           // not itself thread-safe.
-          std::lock_guard<std::mutex> BuildLock(Entry->BuildMu);
+          MutexLock BuildLock(Entry->BuildMu);
           Response.Result.emplace(BuildPipeline(Entry->Ctx, BO).run());
           Response.Status = Response.Result->Status;
         }
@@ -155,7 +156,7 @@ void BuildService::resolveAndExecute(const ServiceRequest &Request,
 
   Response.WallUs = T.elapsedUs();
   {
-    std::lock_guard<std::mutex> Lock(StatsMu);
+    MutexLock Lock(StatsMu);
     ++Requests;
     ++(Response.Ok ? Succeeded : Failed);
     switch (Response.Status.Code) {
@@ -179,7 +180,7 @@ std::vector<ServiceResponse>
 BuildService::runBatch(std::span<const ServiceRequest> Reqs) {
   std::vector<ServiceResponse> Responses(Reqs.size());
   {
-    std::lock_guard<std::mutex> Lock(StatsMu);
+    MutexLock Lock(StatsMu);
     ++Batches;
   }
 
@@ -206,7 +207,7 @@ BuildService::runBatch(std::span<const ServiceRequest> Reqs) {
     // dynamic load balancing across grammars of very different sizes.
     // Responses land in pre-sized per-request slots, so claim order does
     // not affect the output.
-    std::lock_guard<std::mutex> Lock(PoolMu);
+    MutexLock Lock(PoolMu);
     Pool->parallelFor(
         0, Groups.size(),
         [&](size_t, size_t Lo, size_t Hi) {
@@ -224,7 +225,7 @@ BuildService::runBatch(std::span<const ServiceRequest> Reqs) {
 uint64_t BuildService::submit(ServiceRequest Request) {
   uint64_t Ticket;
   {
-    std::lock_guard<std::mutex> Lock(TicketMu);
+    MutexLock Lock(TicketMu);
     Ticket = NextTicket++;
     if (!DispatcherRunning) {
       Dispatcher = std::thread([this] { dispatcherLoop(); });
@@ -259,21 +260,21 @@ uint64_t BuildService::submit(ServiceRequest Request) {
     if (QueueFull) {
       R.Status = BuildStatus::deadlineExceeded(
           "submission rejected: queue full (load shed)");
-      std::lock_guard<std::mutex> Lock(StatsMu);
+      MutexLock Lock(StatsMu);
       ++Rejected;
     } else {
       R.Status = BuildStatus::internal("service is shutting down");
     }
     R.Error = R.Status.Message;
-    std::lock_guard<std::mutex> Lock(TicketMu);
+    MutexLock Lock(TicketMu);
     Completed.emplace(Ticket, std::move(R));
-    TicketDone.notify_all();
+    TicketDone.notifyAll();
   }
   return Ticket;
 }
 
 ServiceResponse BuildService::wait(uint64_t Ticket) {
-  std::unique_lock<std::mutex> Lock(TicketMu);
+  MutexLock Lock(TicketMu);
   if (Ticket == 0 || Ticket >= NextTicket) {
     ServiceResponse R;
     R.Ok = false;
@@ -292,10 +293,10 @@ void BuildService::dispatcherLoop() {
     ServiceResponse R;
     resolveAndExecute(Item->second, R);
     {
-      std::lock_guard<std::mutex> Lock(TicketMu);
+      MutexLock Lock(TicketMu);
       Completed.emplace(Item->first, std::move(R));
     }
-    TicketDone.notify_all();
+    TicketDone.notifyAll();
   }
 }
 
@@ -306,7 +307,7 @@ bool BuildService::invalidateGrammar(std::string_view GrammarName) {
 ServiceStats BuildService::stats() const {
   ServiceStats S;
   {
-    std::lock_guard<std::mutex> Lock(StatsMu);
+    MutexLock Lock(StatsMu);
     S.Requests = Requests;
     S.Succeeded = Succeeded;
     S.Failed = Failed;

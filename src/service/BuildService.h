@@ -32,6 +32,7 @@
 #include "service/ContextCache.h"
 #include "service/RequestQueue.h"
 #include "service/ServiceStats.h"
+#include "support/ThreadSafety.h"
 
 #include <cstdint>
 #include <memory>
@@ -124,6 +125,10 @@ public:
     /// How long a bounded submit() waits for queue space before shedding
     /// (milliseconds; 0 = reject immediately when full).
     double SubmitTimeoutMs = 0;
+    /// Forces BuildOptions::Verify on for every request the service runs
+    /// (requests may also opt in individually via their own Options).
+    /// See verify/ArtifactVerifier.h for what verification checks.
+    bool VerifyBuilds = false;
   };
 
   explicit BuildService(Options Opts);
@@ -184,29 +189,33 @@ private:
   /// Batch scheduler. ThreadPool submissions are not concurrency-safe,
   /// so PoolMu serializes whole batches; requests inside one batch still
   /// fan out across the workers.
-  std::mutex PoolMu;
-  std::unique_ptr<ThreadPool> Pool; ///< engaged iff Opts.Workers > 1
+  Mutex PoolMu;
+  /// Engaged iff Opts.Workers > 1. The pointer itself is set once in the
+  /// constructor and never reassigned, so only submissions (parallelFor
+  /// calls) need PoolMu — not the pointer reads.
+  std::unique_ptr<ThreadPool> Pool;
 
-  mutable std::mutex StatsMu;
-  uint64_t Requests = 0;    ///< guarded by StatsMu
-  uint64_t Succeeded = 0;   ///< guarded by StatsMu
-  uint64_t Failed = 0;      ///< guarded by StatsMu
-  uint64_t Batches = 0;     ///< guarded by StatsMu
-  uint64_t Rejected = 0;    ///< guarded by StatsMu
-  uint64_t Expired = 0;     ///< guarded by StatsMu
-  uint64_t Cancelled = 0;   ///< guarded by StatsMu
-  uint64_t LimitKilled = 0; ///< guarded by StatsMu
-  double RequestUs = 0;     ///< guarded by StatsMu
+  mutable Mutex StatsMu;
+  uint64_t Requests LALR_GUARDED_BY(StatsMu) = 0;
+  uint64_t Succeeded LALR_GUARDED_BY(StatsMu) = 0;
+  uint64_t Failed LALR_GUARDED_BY(StatsMu) = 0;
+  uint64_t Batches LALR_GUARDED_BY(StatsMu) = 0;
+  uint64_t Rejected LALR_GUARDED_BY(StatsMu) = 0;
+  uint64_t Expired LALR_GUARDED_BY(StatsMu) = 0;
+  uint64_t Cancelled LALR_GUARDED_BY(StatsMu) = 0;
+  uint64_t LimitKilled LALR_GUARDED_BY(StatsMu) = 0;
+  double RequestUs LALR_GUARDED_BY(StatsMu) = 0;
 
   /// Streaming state. Tickets are handed out under TicketMu; completed
   /// responses are parked in Completed until wait() claims them.
-  std::mutex TicketMu;
-  std::condition_variable TicketDone;
-  uint64_t NextTicket = 1;                              ///< guarded by TicketMu
-  std::unordered_map<uint64_t, ServiceResponse> Completed; ///< guarded by TicketMu
+  Mutex TicketMu;
+  CondVar TicketDone;
+  uint64_t NextTicket LALR_GUARDED_BY(TicketMu) = 1;
+  std::unordered_map<uint64_t, ServiceResponse> Completed
+      LALR_GUARDED_BY(TicketMu);
   RequestQueue<std::pair<uint64_t, ServiceRequest>> Queue;
-  std::thread Dispatcher;     ///< started lazily under TicketMu
-  bool DispatcherRunning = false; ///< guarded by TicketMu
+  std::thread Dispatcher LALR_GUARDED_BY(TicketMu); ///< started lazily
+  bool DispatcherRunning LALR_GUARDED_BY(TicketMu) = false;
 };
 
 } // namespace lalr

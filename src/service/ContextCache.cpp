@@ -15,7 +15,7 @@ void ContextCache::retireLocked(LruList::iterator It) {
     // Builds on this entry hold BuildMu while mutating its stats; take it
     // so the fold reads a quiescent snapshot even if a response holder is
     // still running a pipeline over the evicted entry.
-    std::lock_guard<std::mutex> BuildLock(Entry->BuildMu);
+    MutexLock BuildLock(Entry->BuildMu);
     Retired.mergeFrom(Entry->Ctx.stats());
   }
   Index.erase(Entry->Key);
@@ -25,7 +25,7 @@ void ContextCache::retireLocked(LruList::iterator It) {
 std::shared_ptr<CachedGrammar>
 ContextCache::acquire(std::string_view Key, uint64_t SourceHash,
                       const GrammarFactory &Factory, bool *WasHit) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   std::string K(Key);
 
   auto It = Index.find(K);
@@ -64,19 +64,19 @@ ContextCache::acquire(std::string_view Key, uint64_t SourceHash,
 }
 
 std::shared_ptr<CachedGrammar> ContextCache::peek(std::string_view Key) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = Index.find(std::string(Key));
   return It == Index.end() ? nullptr : *It->second;
 }
 
 bool ContextCache::invalidate(std::string_view Key) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = Index.find(std::string(Key));
   if (It == Index.end())
     return false;
   std::shared_ptr<CachedGrammar> Entry = *It->second;
   {
-    std::lock_guard<std::mutex> BuildLock(Entry->BuildMu);
+    MutexLock BuildLock(Entry->BuildMu);
     Entry->Ctx.invalidateArtifacts();
   }
   ++Counts.Invalidations;
@@ -84,7 +84,7 @@ bool ContextCache::invalidate(std::string_view Key) {
 }
 
 bool ContextCache::erase(std::string_view Key) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = Index.find(std::string(Key));
   if (It == Index.end())
     return false;
@@ -94,17 +94,17 @@ bool ContextCache::erase(std::string_view Key) {
 }
 
 size_t ContextCache::size() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Lru.size();
 }
 
 ContextCache::Counters ContextCache::counters() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Counts;
 }
 
 std::vector<std::string> ContextCache::keysByRecency() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   std::vector<std::string> Keys;
   Keys.reserve(Lru.size());
   for (const std::shared_ptr<CachedGrammar> &E : Lru)
@@ -113,10 +113,10 @@ std::vector<std::string> ContextCache::keysByRecency() const {
 }
 
 void ContextCache::collectStats(PipelineStats &Into) const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   Into.mergeFrom(Retired);
   for (const std::shared_ptr<CachedGrammar> &E : Lru) {
-    std::lock_guard<std::mutex> BuildLock(E->BuildMu);
+    MutexLock BuildLock(E->BuildMu);
     Into.mergeFrom(E->Ctx.stats());
   }
 }

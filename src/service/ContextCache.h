@@ -23,10 +23,11 @@
 
 #include "pipeline/BuildContext.h"
 
+#include "support/ThreadSafety.h"
+
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -57,13 +58,17 @@ struct CachedGrammar {
   const std::string Key;
   const uint64_t SourceHash; ///< hashGrammarSource of the entry's text
   Grammar G;
-  BuildContext Ctx; ///< borrows G; destroyed first (declared last)
+  /// Borrows G; destroyed first (declared last). Deliberately NOT
+  /// LALR_GUARDED_BY(BuildMu): builds mutate it under BuildMu, but tests
+  /// and reports read its monotonic build counters quiescently (no build
+  /// in flight) without the lock, which is safe and annotation-hostile.
+  BuildContext Ctx;
   /// Serializes pipeline runs over Ctx: BuildContext memoization is not
   /// thread-safe, so concurrent requests against one grammar take turns.
   /// Lock order: this may be taken while holding the cache mutex (during
   /// eviction/invalidation stat folds); never take the cache mutex while
   /// holding a BuildMu.
-  std::mutex BuildMu;
+  Mutex BuildMu;
 };
 
 /// Keyed, capacity-bounded, thread-safe LRU cache of CachedGrammar
@@ -128,15 +133,17 @@ public:
 private:
   using LruList = std::list<std::shared_ptr<CachedGrammar>>;
 
-  /// Pre: Mu held. Folds the entry's stats into Retired and unlinks it.
-  void retireLocked(LruList::iterator It);
+  /// Folds the entry's stats into Retired and unlinks it.
+  void retireLocked(LruList::iterator It) LALR_REQUIRES(Mu);
 
   const size_t Capacity;
-  mutable std::mutex Mu;
-  LruList Lru; ///< front = most recently used; guarded by Mu
-  std::unordered_map<std::string, LruList::iterator> Index; ///< guarded by Mu
-  Counters Counts;        ///< guarded by Mu
-  PipelineStats Retired;  ///< stats of evicted entries; guarded by Mu
+  mutable Mutex Mu;
+  /// Front = most recently used.
+  LruList Lru LALR_GUARDED_BY(Mu);
+  std::unordered_map<std::string, LruList::iterator> Index LALR_GUARDED_BY(Mu);
+  Counters Counts LALR_GUARDED_BY(Mu);
+  /// Stats of evicted entries.
+  PipelineStats Retired LALR_GUARDED_BY(Mu);
 };
 
 } // namespace lalr

@@ -36,6 +36,8 @@ bool parseBuildOptions(std::span<const std::string_view> Tokens,
   for (std::string_view Tok : Tokens) {
     if (Tok == "compress") {
       Entry.Request.Options.Compress = true;
+    } else if (Tok == "verify") {
+      Entry.Request.Options.Verify = true;
     } else if (Tok == "require-adequate") {
       Entry.Request.Options.Conflicts = ConflictPolicy::RequireAdequate;
     } else if (Tok.rfind("solver=", 0) == 0) {

@@ -4,7 +4,7 @@
 /// The request-file dialect lalr_batchd reads: one command per line,
 /// `#` comments and blank lines ignored.
 ///
-///   build <grammar> <kind> [solver=digraph|naive] [compress]
+///   build <grammar> <kind> [solver=digraph|naive] [compress] [verify]
 ///                          [require-adequate] [repeat=N] [deadline-ms=N]
 ///   invalidate <grammar>
 ///
@@ -13,7 +13,9 @@
 /// passes their text as the request's inline source; parsing here is
 /// IO-free. `<kind>` is a tableKindName ("lalr1", "clr1", ...).
 /// `repeat=N` expands into N identical requests (the warm-cache knob).
-/// See docs/SERVICE.md for the full schema.
+/// `verify` runs the ArtifactVerifier over the built artifacts (Lalr1
+/// kind; see verify/ArtifactVerifier.h) and fails the request on any
+/// invariant violation. See docs/SERVICE.md for the full schema.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -13,11 +13,11 @@
 #ifndef LALR_SERVICE_REQUESTQUEUE_H
 #define LALR_SERVICE_REQUESTQUEUE_H
 
+#include "support/ThreadSafety.h"
+
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -37,14 +37,14 @@ public:
   /// Enqueues \p Item, blocking while the queue is at MaxDepth. Returns
   /// false (and drops the item) once the queue is closed.
   bool push(T Item) {
-    std::unique_lock<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     NotFull.wait(Lock, [&] {
       return Closed || MaxDepth == 0 || Items.size() < MaxDepth;
     });
     if (Closed)
       return false;
     Items.push_back(std::move(Item));
-    NotEmpty.notify_one();
+    NotEmpty.notifyOne();
     return true;
   }
 
@@ -55,28 +55,28 @@ public:
   /// try-push. Closed queues return false immediately either way.
   template <typename Rep, typename Period>
   bool pushFor(T Item, std::chrono::duration<Rep, Period> Timeout) {
-    std::unique_lock<std::mutex> Lock(Mu);
-    if (!NotFull.wait_for(Lock, Timeout, [&] {
+    MutexLock Lock(Mu);
+    if (!NotFull.waitFor(Lock, Timeout, [&] {
           return Closed || MaxDepth == 0 || Items.size() < MaxDepth;
         }))
       return false; // still full
     if (Closed)
       return false;
     Items.push_back(std::move(Item));
-    NotEmpty.notify_one();
+    NotEmpty.notifyOne();
     return true;
   }
 
   /// Dequeues the oldest item, blocking while the queue is empty and
   /// open. Returns nullopt once the queue is closed *and* drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     NotEmpty.wait(Lock, [&] { return Closed || !Items.empty(); });
     if (Items.empty())
       return std::nullopt;
     T Item = std::move(Items.front());
     Items.pop_front();
-    NotFull.notify_one();
+    NotFull.notifyOne();
     return Item;
   }
 
@@ -86,15 +86,15 @@ public:
   /// difference matters.
   template <typename Rep, typename Period>
   std::optional<T> popFor(std::chrono::duration<Rep, Period> Timeout) {
-    std::unique_lock<std::mutex> Lock(Mu);
-    if (!NotEmpty.wait_for(Lock, Timeout,
+    MutexLock Lock(Mu);
+    if (!NotEmpty.waitFor(Lock, Timeout,
                            [&] { return Closed || !Items.empty(); }))
       return std::nullopt; // timed out
     if (Items.empty())
       return std::nullopt;
     T Item = std::move(Items.front());
     Items.pop_front();
-    NotFull.notify_one();
+    NotFull.notifyOne();
     return Item;
   }
 
@@ -102,30 +102,30 @@ public:
   /// Already-queued items remain poppable.
   void close() {
     {
-      std::lock_guard<std::mutex> Lock(Mu);
+      MutexLock Lock(Mu);
       Closed = true;
     }
-    NotEmpty.notify_all();
-    NotFull.notify_all();
+    NotEmpty.notifyAll();
+    NotFull.notifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     return Closed;
   }
 
   size_t depth() const {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     return Items.size();
   }
 
 private:
   const size_t MaxDepth;
-  mutable std::mutex Mu;
-  std::condition_variable NotEmpty; ///< consumers wait here
-  std::condition_variable NotFull;  ///< producers wait here (bounded mode)
-  std::deque<T> Items;              ///< guarded by Mu
-  bool Closed = false;              ///< guarded by Mu
+  mutable Mutex Mu;
+  CondVar NotEmpty; ///< consumers wait here
+  CondVar NotFull;  ///< producers wait here (bounded mode)
+  std::deque<T> Items LALR_GUARDED_BY(Mu);
+  bool Closed LALR_GUARDED_BY(Mu) = false;
 };
 
 } // namespace lalr

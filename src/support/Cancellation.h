@@ -125,6 +125,10 @@ struct BuildLimits {
 /// Shareable cooperative-cancellation handle: a manual cancel flag plus
 /// an optional absolute deadline. Thread-safe; typically held in a
 /// shared_ptr by the requester and polled (via BuildGuard) by the build.
+/// All state is lock-free atomics, so there is nothing for the
+/// support/ThreadSafety.h annotations to guard here — the thread-safety
+/// analysis has no capability model for atomics (see
+/// docs/STATIC_ANALYSIS.md).
 class CancellationToken {
 public:
   CancellationToken() = default;

@@ -13,8 +13,8 @@ namespace lalr {
 static const char *const kAllSites[] = {
     "analysis",   "lr0-build",    "nt-index",   "relations-build",
     "solve-read", "solve-follow", "la-union",   "lr1-build",
-    "pager-build", "table-fill",  "compress",   "service-execute",
-    nullptr};
+    "pager-build", "table-fill",  "compress",   "verify",
+    "service-execute", nullptr};
 
 const char *const *allFailPointSites() { return kAllSites; }
 
@@ -31,6 +31,7 @@ FailPointRegistry::FailPointRegistry() {
   const char *Env = std::getenv("LALR_FAILPOINTS");
   if (!Env || !*Env)
     return;
+  MutexLock Lock(Mu); // uncontended (static-local init), checks cleanly
   std::string Spec(Env);
   size_t Pos = 0;
   while (Pos < Spec.size()) {
@@ -64,7 +65,7 @@ FailPointRegistry::FailPointRegistry() {
 
 void FailPointRegistry::arm(const std::string &Site, FailPointAction Action,
                             uint64_t SkipHits) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = Sites.find(Site);
   if (It == Sites.end()) {
     Sites.emplace(Site, Entry{Action, SkipHits});
@@ -75,7 +76,7 @@ void FailPointRegistry::arm(const std::string &Site, FailPointAction Action,
 }
 
 bool FailPointRegistry::disarm(const std::string &Site) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = Sites.find(Site);
   if (It == Sites.end())
     return false;
@@ -85,14 +86,14 @@ bool FailPointRegistry::disarm(const std::string &Site) {
 }
 
 void FailPointRegistry::disarmAll() {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   ArmedCount.fetch_sub(static_cast<int>(Sites.size()),
                        std::memory_order_relaxed);
   Sites.clear();
 }
 
 std::vector<std::string> FailPointRegistry::armedSites() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   std::vector<std::string> Out;
   Out.reserve(Sites.size());
   for (const auto &KV : Sites)
@@ -103,7 +104,7 @@ std::vector<std::string> FailPointRegistry::armedSites() const {
 void FailPointRegistry::onHit(const char *Site) {
   FailPointAction Action;
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     auto It = Sites.find(Site);
     if (It == Sites.end())
       return;

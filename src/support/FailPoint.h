@@ -10,7 +10,7 @@
 /// Sites (one per stage, matching the stage names in PipelineStats):
 ///   analysis, lr0-build, nt-index, relations-build, solve-read,
 ///   solve-follow, la-union, lr1-build, pager-build, table-fill,
-///   compress, service-execute
+///   compress, verify, service-execute
 ///
 /// The disarmed fast path is a single relaxed atomic load of a global
 /// armed-site count — measured noise even inside the DP inner stages.
@@ -26,9 +26,10 @@
 #ifndef LALR_SUPPORT_FAILPOINT_H
 #define LALR_SUPPORT_FAILPOINT_H
 
+#include "support/ThreadSafety.h"
+
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -80,8 +81,8 @@ private:
     uint64_t SkipHits; ///< hits still to let pass before firing
   };
 
-  mutable std::mutex Mu;
-  std::unordered_map<std::string, Entry> Sites;
+  mutable Mutex Mu;
+  std::unordered_map<std::string, Entry> Sites LALR_GUARDED_BY(Mu);
   std::atomic<int> ArmedCount{0};
   std::atomic<uint64_t> Trips{0};
 };

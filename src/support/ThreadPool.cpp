@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(unsigned Workers) : NumWorkers(Workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> L(Mu);
+    MutexLock L(Mu);
     Stop = true;
   }
-  CvWork.notify_all();
+  CvWork.notifyAll();
   for (std::thread &T : Threads)
     T.join();
 }
@@ -46,7 +46,7 @@ void ThreadPool::runChunks(Job &J) {
     try {
       (*J.Body)(C, Lo, Hi);
     } catch (...) {
-      std::lock_guard<std::mutex> L(J.ErrMu);
+      MutexLock L(J.ErrMu);
       if (!J.Error)
         J.Error = std::current_exception();
       J.Aborted.store(true, std::memory_order_relaxed);
@@ -59,7 +59,7 @@ void ThreadPool::workerLoop() {
   for (;;) {
     Job *J;
     {
-      std::unique_lock<std::mutex> L(Mu);
+      MutexLock L(Mu);
       CvWork.wait(L, [&] { return Stop || (Cur && SeenSeq != JobSeq); });
       if (Stop)
         return;
@@ -69,10 +69,10 @@ void ThreadPool::workerLoop() {
     }
     runChunks(*J);
     {
-      std::lock_guard<std::mutex> L(Mu);
+      MutexLock L(Mu);
       --Attached;
     }
-    CvDone.notify_one();
+    CvDone.notifyOne();
   }
 }
 
@@ -91,11 +91,11 @@ void ThreadPool::parallelFor(size_t Begin, size_t End, const ChunkBody &Body,
   J.NumChunks = NumChunks;
 
   if (!Threads.empty()) {
-    std::lock_guard<std::mutex> L(Mu);
+    MutexLock L(Mu);
     Cur = &J;
     ++JobSeq;
   }
-  CvWork.notify_all();
+  CvWork.notifyAll();
 
   // The calling thread works too; with a 1-worker pool this is the whole
   // loop.
@@ -106,11 +106,20 @@ void ThreadPool::parallelFor(size_t Begin, size_t End, const ChunkBody &Body,
     // worker still inside the job to detach before the stack frame (and
     // the Body) die. Workers that never woke see Cur == nullptr and keep
     // sleeping.
-    std::unique_lock<std::mutex> L(Mu);
+    MutexLock L(Mu);
     Cur = nullptr;
     CvDone.wait(L, [&] { return Attached == 0; });
   }
 
-  if (J.Error)
-    std::rethrow_exception(J.Error);
+  // Every worker has detached, so no writer remains — but take ErrMu
+  // anyway: the happens-before chain through Mu is real, yet an unlocked
+  // read of a guarded member is exactly the discipline slip the analysis
+  // exists to reject.
+  std::exception_ptr Error;
+  {
+    MutexLock L(J.ErrMu);
+    Error = J.Error;
+  }
+  if (Error)
+    std::rethrow_exception(Error);
 }

@@ -16,12 +16,12 @@
 #ifndef LALR_SUPPORT_THREADPOOL_H
 #define LALR_SUPPORT_THREADPOOL_H
 
+#include "support/ThreadSafety.h"
+
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -76,8 +76,8 @@ private:
     size_t Begin = 0, End = 0, NumChunks = 0;
     std::atomic<size_t> NextChunk{0};
     std::atomic<bool> Aborted{false};
-    std::mutex ErrMu;
-    std::exception_ptr Error;
+    Mutex ErrMu;
+    std::exception_ptr Error LALR_GUARDED_BY(ErrMu);
   };
 
   void workerLoop();
@@ -86,13 +86,13 @@ private:
   unsigned NumWorkers;
   std::vector<std::thread> Threads;
 
-  std::mutex Mu;
-  std::condition_variable CvWork; ///< workers wait here for a job
-  std::condition_variable CvDone; ///< parallelFor waits here for detach
-  Job *Cur = nullptr;             ///< guarded by Mu
-  uint64_t JobSeq = 0;            ///< guarded by Mu; bumps per submission
-  size_t Attached = 0;            ///< workers currently inside Cur
-  bool Stop = false;
+  Mutex Mu;
+  CondVar CvWork; ///< workers wait here for a job
+  CondVar CvDone; ///< parallelFor waits here for detach
+  Job *Cur LALR_GUARDED_BY(Mu) = nullptr;
+  uint64_t JobSeq LALR_GUARDED_BY(Mu) = 0; ///< bumps per submission
+  size_t Attached LALR_GUARDED_BY(Mu) = 0; ///< workers currently inside Cur
+  bool Stop LALR_GUARDED_BY(Mu) = false;
 };
 
 } // namespace lalr

@@ -1,0 +1,687 @@
+//===- verify/ArtifactVerifier.cpp - DP invariant cross-checker -----------===//
+
+#include "verify/ArtifactVerifier.h"
+
+#include "lalr/DigraphSolver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string_view>
+
+using namespace lalr;
+
+//===----------------------------------------------------------------------===//
+// VerifyReport rendering
+//===----------------------------------------------------------------------===//
+
+std::string VerifyReport::summary() const {
+  if (ok())
+    return "ok (" + std::to_string(ChecksRun) + " checks)";
+  std::string S = std::to_string(TotalIssues) + " issue" +
+                  (TotalIssues == 1 ? "" : "s") + " in " +
+                  std::to_string(ChecksRun) + " checks";
+  if (!Issues.empty())
+    S += " (first: [" + Issues.front().Check + "] " + Issues.front().Detail +
+         ")";
+  return S;
+}
+
+namespace {
+
+void appendJsonString(std::string &Out, std::string_view S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+} // namespace
+
+std::string VerifyReport::toJson() const {
+  std::string J = "{\"checks_run\": " + std::to_string(ChecksRun) +
+                  ", \"total_issues\": " + std::to_string(TotalIssues) +
+                  ", \"fixpoint_skipped\": " +
+                  (FixpointSkipped ? "true" : "false") +
+                  ", \"issue_counts\": {";
+  for (size_t I = 0; I < IssueCounts.size(); ++I) {
+    if (I)
+      J += ", ";
+    appendJsonString(J, IssueCounts[I].first);
+    J += ": " + std::to_string(IssueCounts[I].second);
+  }
+  J += "}, \"issues\": [";
+  for (size_t I = 0; I < Issues.size(); ++I) {
+    if (I)
+      J += ", ";
+    J += "{\"check\": ";
+    appendJsonString(J, Issues[I].Check);
+    J += ", \"detail\": ";
+    appendJsonString(J, Issues[I].Detail);
+    J += "}";
+  }
+  J += "]}";
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// The checker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Accumulates check results into a VerifyReport, capping verbatim issues
+/// while keeping exact per-check totals.
+class Checker {
+public:
+  Checker(VerifyReport &R, const VerifyOptions &Opts) : R(R), Opts(Opts) {}
+
+  /// Records one comparison; \p Detail is only materialized on failure.
+  template <typename DetailFn>
+  bool check(bool Ok, const char *Check, DetailFn &&Detail) {
+    ++R.ChecksRun;
+    if (Ok)
+      return true;
+    addIssue(Check, Detail());
+    return false;
+  }
+
+  void addIssue(const char *Check, std::string Detail) {
+    ++R.TotalIssues;
+    auto It = std::find_if(R.IssueCounts.begin(), R.IssueCounts.end(),
+                           [&](const auto &E) { return E.first == Check; });
+    if (It == R.IssueCounts.end())
+      R.IssueCounts.emplace_back(Check, 1);
+    else
+      ++It->second;
+    if (R.Issues.size() < Opts.MaxIssues)
+      R.Issues.push_back({Check, std::move(Detail)});
+  }
+
+private:
+  VerifyReport &R;
+  const VerifyOptions &Opts;
+};
+
+/// "nt-transition 12 (state 3 --expr-->)" — the standard way issues name
+/// a transition.
+std::string describeNt(const LalrArtifactsView &V, uint32_t X) {
+  const Grammar &G = V.A->grammar();
+  const NtTransition &T = (*V.NtIdx)[X];
+  std::string S = "nt-transition " + std::to_string(X);
+  if (T.From < V.A->numStates() && T.Nt < G.numSymbols())
+    S += " (state " + std::to_string(T.From) + " --" + G.name(T.Nt) + "-->)";
+  return S;
+}
+
+std::string describeSlot(const LalrArtifactsView &V, uint32_t Slot) {
+  StateId Q = V.RedIdx->stateOf(Slot);
+  ProductionId P = V.RedIdx->prodOf(Slot);
+  return "reduction slot " + std::to_string(Slot) + " (state " +
+         std::to_string(Q) + ", production " + std::to_string(P) + ")";
+}
+
+bool rowInRange(const std::vector<uint32_t> &Row, size_t Bound) {
+  return std::all_of(Row.begin(), Row.end(),
+                     [&](uint32_t E) { return E < Bound; });
+}
+
+/// True when every BitSet of \p Family has universe \p NumBits; universe
+/// mismatches make subsetOf/== assert, so they gate every set check.
+bool universesOk(const std::vector<BitSet> &Family, size_t NumBits) {
+  return std::all_of(Family.begin(), Family.end(),
+                     [&](const BitSet &B) { return B.size() == NumBits; });
+}
+
+bool isReducibleIn(const Lr0Automaton &A, StateId S, ProductionId P) {
+  const std::vector<ProductionId> &Reds = A.state(S).Reductions;
+  return std::binary_search(Reds.begin(), Reds.end(), P);
+}
+
+void sortUnique(std::vector<uint32_t> &Edges) {
+  std::sort(Edges.begin(), Edges.end());
+  Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+}
+
+/// The reduction slot of production 0 in the accept state, or UINT32_MAX
+/// when the automaton lacks it (itself reported by the caller).
+uint32_t acceptSlot(const LalrArtifactsView &V) {
+  StateId Acc = V.A->acceptState();
+  if (Acc >= V.A->numStates() || !isReducibleIn(*V.A, Acc, 0))
+    return UINT32_MAX;
+  return V.RedIdx->slot(Acc, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Individual checks
+//===----------------------------------------------------------------------===//
+
+/// Sizes, universes and edge ranges. Everything downstream indexes
+/// through these, so a failed shape check ends the run (the report says
+/// why). Returns true when the shapes are usable.
+bool checkShapes(const LalrArtifactsView &V, Checker &C, bool &EdgesOk) {
+  const Grammar &G = V.A->grammar();
+  const size_t NumT = G.numTerminals();
+  const size_t NumX = V.NtIdx->size();
+  const size_t NumSlots = V.RedIdx->size();
+
+  auto sized = [&](size_t Actual, size_t Expected, const char *What) {
+    return C.check(Actual == Expected, "set-shapes", [&] {
+      return std::string(What) + " has " + std::to_string(Actual) +
+             " rows, expected " + std::to_string(Expected);
+    });
+  };
+  bool Ok = true;
+  Ok &= sized(V.Rel->DirectRead.size(), NumX, "DirectRead");
+  Ok &= sized(V.Rel->Reads.size(), NumX, "Reads");
+  Ok &= sized(V.Rel->Includes.size(), NumX, "Includes");
+  Ok &= sized(V.Rel->Lookback.size(), NumSlots, "Lookback");
+  Ok &= sized(V.ReadSets->size(), NumX, "Read sets");
+  Ok &= sized(V.FollowSets->size(), NumX, "Follow sets");
+  Ok &= sized(V.LaSets->size(), NumSlots, "LA sets");
+
+  auto universes = [&](const std::vector<BitSet> &F, const char *What) {
+    return C.check(universesOk(F, NumT), "set-shapes", [&] {
+      return std::string(What) +
+             " contains a set whose universe is not the terminal count";
+    });
+  };
+  Ok &= universes(V.Rel->DirectRead, "DirectRead");
+  Ok &= universes(*V.ReadSets, "Read sets");
+  Ok &= universes(*V.FollowSets, "Follow sets");
+  Ok &= universes(*V.LaSets, "LA sets");
+  if (!Ok)
+    return false;
+
+  // Edge targets must be valid rows; a bad edge is reported here and the
+  // checks that would dereference it are skipped (EdgesOk).
+  EdgesOk = true;
+  for (size_t X = 0; X < NumX; ++X) {
+    EdgesOk &= C.check(rowInRange(V.Rel->Reads[X], NumX), "set-shapes", [&] {
+      return "reads row of " + describeNt(V, static_cast<uint32_t>(X)) +
+             " targets an out-of-range transition";
+    });
+    EdgesOk &=
+        C.check(rowInRange(V.Rel->Includes[X], NumX), "set-shapes", [&] {
+          return "includes row of " + describeNt(V, static_cast<uint32_t>(X)) +
+                 " targets an out-of-range transition";
+        });
+  }
+  for (size_t S = 0; S < NumSlots; ++S)
+    EdgesOk &=
+        C.check(rowInRange(V.Rel->Lookback[S], NumX), "set-shapes", [&] {
+          return "lookback row of " + describeSlot(V, static_cast<uint32_t>(S)) +
+                 " targets an out-of-range transition";
+        });
+  return true;
+}
+
+/// The dense nonterminal-transition index against the automaton, both
+/// directions. Fills \p XOk so later recompute checks skip rows whose
+/// index entry is itself broken.
+void checkNtTransitions(const LalrArtifactsView &V, Checker &C,
+                        std::vector<bool> &XOk) {
+  const Lr0Automaton &A = *V.A;
+  const Grammar &G = A.grammar();
+  const size_t NumX = V.NtIdx->size();
+  XOk.assign(NumX, true);
+
+  size_t InAutomaton = 0;
+  for (StateId S = 0; S < A.numStates(); ++S)
+    for (auto [Sym, Target] : A.state(S).Transitions) {
+      (void)Target;
+      if (G.isNonterminal(Sym))
+        ++InAutomaton;
+    }
+  C.check(InAutomaton == NumX, "nt-transitions", [&] {
+    return "index has " + std::to_string(NumX) +
+           " transitions, automaton has " + std::to_string(InAutomaton);
+  });
+
+  for (uint32_t X = 0; X < NumX; ++X) {
+    const NtTransition &T = (*V.NtIdx)[X];
+    bool Valid =
+        C.check(T.From < A.numStates() && T.To < A.numStates() &&
+                    T.Nt < G.numSymbols() && G.isNonterminal(T.Nt),
+                "nt-transitions",
+                [&] {
+                  return "nt-transition " + std::to_string(X) +
+                         " has out-of-range fields";
+                }) &&
+        C.check(A.gotoState(T.From, T.Nt) == T.To, "nt-transitions",
+                [&] {
+                  return describeNt(V, X) + " disagrees with GOTO(" +
+                         std::to_string(T.From) + ", " + G.name(T.Nt) + ")";
+                }) &&
+        C.check(V.NtIdx->indexOf(T.From, T.Nt) == X, "nt-transitions", [&] {
+          return describeNt(V, X) + " is not its own indexOf image";
+        });
+    XOk[X] = Valid;
+  }
+}
+
+/// DR and reads rows, re-derived from the transitions one step past each
+/// (p, A) — equations (1) and "reads" of the paper, including the $end
+/// seed on the start transition.
+void checkDirectReadAndReads(const LalrArtifactsView &V, Checker &C,
+                             const std::vector<bool> &XOk) {
+  const Lr0Automaton &A = *V.A;
+  const Grammar &G = A.grammar();
+  const uint32_t StartX = V.NtIdx->indexOf(A.startState(), G.startSymbol());
+
+  for (uint32_t X = 0; X < V.NtIdx->size(); ++X) {
+    if (!XOk[X])
+      continue;
+    const NtTransition &T = (*V.NtIdx)[X];
+    BitSet ExpDr(G.numTerminals());
+    std::vector<uint32_t> ExpReads;
+    for (auto [Sym, Target] : A.state(T.To).Transitions) {
+      (void)Target;
+      if (G.isTerminal(Sym)) {
+        ExpDr.set(Sym);
+      } else if (V.An->isNullable(Sym)) {
+        uint32_t Y = V.NtIdx->indexOf(T.To, Sym);
+        if (Y != NtTransitionIndex::Missing)
+          ExpReads.push_back(Y);
+        else
+          C.addIssue("reads", "transition (state " + std::to_string(T.To) +
+                                  ", " + G.name(Sym) + ") is not indexed");
+      }
+    }
+    if (X == StartX)
+      ExpDr.set(G.eofSymbol());
+
+    C.check(V.Rel->DirectRead[X] == ExpDr, "direct-read", [&] {
+      return "DR mismatch at " + describeNt(V, X) + ": stored " +
+             std::to_string(V.Rel->DirectRead[X].count()) +
+             " terminals, recomputed " + std::to_string(ExpDr.count());
+    });
+    C.check(V.Rel->Reads[X] == ExpReads, "reads", [&] {
+      return "reads row mismatch at " + describeNt(V, X) + ": stored " +
+             std::to_string(V.Rel->Reads[X].size()) + " edges, recomputed " +
+             std::to_string(ExpReads.size());
+    });
+  }
+}
+
+/// includes and lookback, re-derived by replaying every production body
+/// through the automaton (the paper's definitions verbatim). Rows are
+/// compared in the builder's canonical sorted-unique form.
+void checkIncludesAndLookback(const LalrArtifactsView &V, Checker &C,
+                              const std::vector<bool> &XOk) {
+  const Lr0Automaton &A = *V.A;
+  const Grammar &G = A.grammar();
+  const size_t NumX = V.NtIdx->size();
+
+  std::vector<std::vector<uint32_t>> ExpInc(NumX);
+  std::vector<std::vector<uint32_t>> ExpLb(V.RedIdx->size());
+
+  for (uint32_t X = 0; X < NumX; ++X) {
+    if (!XOk[X])
+      continue;
+    const NtTransition &T = (*V.NtIdx)[X];
+    for (ProductionId PId : G.productionsOf(T.Nt)) {
+      const Production &P = G.production(PId);
+      StateId Cur = T.From;
+      bool Walked = true;
+      for (size_t I = 0, E = P.Rhs.size(); I != E; ++I) {
+        SymbolId S = P.Rhs[I];
+        if (G.isNonterminal(S) &&
+            V.An->isNullableSeq(std::span(P.Rhs).subspan(I + 1))) {
+          uint32_t Inner = V.NtIdx->indexOf(Cur, S);
+          if (Inner != NtTransitionIndex::Missing)
+            ExpInc[Inner].push_back(X);
+          else
+            C.addIssue("includes",
+                       "production " + std::to_string(PId) + " prefix from " +
+                           describeNt(V, X) + " reaches state " +
+                           std::to_string(Cur) + " with no " + G.name(S) +
+                           " transition");
+        }
+        Cur = A.gotoState(Cur, S);
+        if (Cur == InvalidState) {
+          C.addIssue("includes", "production " + std::to_string(PId) +
+                                     " body does not walk from state " +
+                                     std::to_string(T.From));
+          Walked = false;
+          break;
+        }
+      }
+      if (!Walked)
+        continue;
+      if (isReducibleIn(A, Cur, PId))
+        ExpLb[V.RedIdx->slot(Cur, PId)].push_back(X);
+      else
+        C.addIssue("lookback", "production " + std::to_string(PId) +
+                                   " is not reducible in state " +
+                                   std::to_string(Cur) +
+                                   ", the end of its body walk");
+    }
+  }
+
+  for (auto &Row : ExpInc)
+    sortUnique(Row);
+  for (auto &Row : ExpLb)
+    sortUnique(Row);
+
+  for (uint32_t X = 0; X < NumX; ++X) {
+    if (!XOk[X])
+      continue;
+    C.check(V.Rel->Includes[X] == ExpInc[X], "includes", [&] {
+      return "includes row mismatch at " + describeNt(V, X) + ": stored " +
+             std::to_string(V.Rel->Includes[X].size()) +
+             " edges, recomputed " + std::to_string(ExpInc[X].size());
+    });
+  }
+  for (uint32_t S = 0; S < V.RedIdx->size(); ++S) {
+    C.check(V.Rel->Lookback[S] == ExpLb[S], "lookback", [&] {
+      return "lookback row mismatch at " + describeSlot(V, S) + ": stored " +
+             std::to_string(V.Rel->Lookback[S].size()) +
+             " edges, recomputed " + std::to_string(ExpLb[S].size());
+    });
+  }
+}
+
+/// The solution-of-the-equation property: DR subset Read and
+/// Read(y) subset Read(x) for x reads y; then the same shape one level
+/// up for Follow over includes.
+void checkSubsetChains(const LalrArtifactsView &V, Checker &C) {
+  for (uint32_t X = 0; X < V.NtIdx->size(); ++X) {
+    C.check(V.Rel->DirectRead[X].subsetOf((*V.ReadSets)[X]), "read-subset",
+            [&] { return "DR is not within Read at " + describeNt(V, X); });
+    for (uint32_t Y : V.Rel->Reads[X])
+      C.check((*V.ReadSets)[Y].subsetOf((*V.ReadSets)[X]), "read-subset",
+              [&] {
+                return "Read(" + describeNt(V, Y) +
+                       ") is not within Read(" + describeNt(V, X) +
+                       ") despite a reads edge";
+              });
+    C.check((*V.ReadSets)[X].subsetOf((*V.FollowSets)[X]), "follow-subset",
+            [&] { return "Read is not within Follow at " + describeNt(V, X); });
+    for (uint32_t Y : V.Rel->Includes[X])
+      C.check((*V.FollowSets)[Y].subsetOf((*V.FollowSets)[X]),
+              "follow-subset", [&] {
+                return "Follow(" + describeNt(V, Y) +
+                       ") is not within Follow(" + describeNt(V, X) +
+                       ") despite an includes edge";
+              });
+  }
+}
+
+/// The SLR-containment theorem: every DP Follow set refines the
+/// grammar-level FOLLOW of its nonterminal, and every LA set refines the
+/// FOLLOW of the production it reduces to.
+void checkFollowBound(const LalrArtifactsView &V, Checker &C,
+                      const std::vector<bool> &XOk) {
+  const Grammar &G = V.A->grammar();
+  for (uint32_t X = 0; X < V.NtIdx->size(); ++X) {
+    if (!XOk[X])
+      continue;
+    const NtTransition &T = (*V.NtIdx)[X];
+    C.check((*V.FollowSets)[X].subsetOf(V.An->follow(T.Nt)), "follow-bound",
+            [&] {
+              return "Follow exceeds FOLLOW(" + G.name(T.Nt) + ") at " +
+                     describeNt(V, X);
+            });
+  }
+  for (uint32_t S = 0; S < V.RedIdx->size(); ++S) {
+    ProductionId P = V.RedIdx->prodOf(S);
+    if (P >= G.numProductions())
+      continue; // reported by the slot checks
+    SymbolId Lhs = G.production(P).Lhs;
+    C.check((*V.LaSets)[S].subsetOf(V.An->follow(Lhs)), "follow-bound", [&] {
+      return "LA exceeds FOLLOW(" + G.name(Lhs) + ") at " + describeSlot(V, S);
+    });
+  }
+}
+
+/// LA(q, A->w) = union of Follow(p, A) over lookback — equation (2) —
+/// with the accept reduction's explicit {$end} (it has no lookback; the
+/// builder seeds it directly).
+void checkLaUnion(const LalrArtifactsView &V, Checker &C) {
+  const Grammar &G = V.A->grammar();
+  const uint32_t AcceptSlot = acceptSlot(V);
+  C.check(AcceptSlot != UINT32_MAX, "la-union", [&] {
+    return std::string("the accept state cannot reduce production 0");
+  });
+
+  for (uint32_t S = 0; S < V.RedIdx->size(); ++S) {
+    BitSet Exp(G.numTerminals());
+    for (uint32_t X : V.Rel->Lookback[S])
+      Exp.unionWith((*V.FollowSets)[X]);
+    if (S == AcceptSlot)
+      Exp.set(G.eofSymbol());
+    C.check((*V.LaSets)[S] == Exp, "la-union", [&] {
+      return "LA mismatch at " + describeSlot(V, S) + ": stored " +
+             std::to_string((*V.LaSets)[S].count()) +
+             " terminals, lookback union has " + std::to_string(Exp.count());
+    });
+  }
+}
+
+/// Least-fixed-point minimality: an independent naive iterate-to-fixpoint
+/// solve of the same equations must land on exactly the same sets (the
+/// least solution is unique; a digraph bug that over- or under-shoots it
+/// cannot match).
+void checkFixpoint(const LalrArtifactsView &V, Checker &C) {
+  std::vector<BitSet> NaiveRead =
+      solveNaiveFixpoint(V.Rel->Reads, V.Rel->DirectRead);
+  for (uint32_t X = 0; X < V.NtIdx->size(); ++X)
+    C.check(NaiveRead[X] == (*V.ReadSets)[X], "read-fixpoint", [&] {
+      return "Read at " + describeNt(V, X) +
+             " is not the least fixed point of the reads equation";
+    });
+
+  std::vector<BitSet> NaiveFollow =
+      solveNaiveFixpoint(V.Rel->Includes, std::move(NaiveRead));
+  for (uint32_t X = 0; X < V.NtIdx->size(); ++X)
+    C.check(NaiveFollow[X] == (*V.FollowSets)[X], "follow-fixpoint", [&] {
+      return "Follow at " + describeNt(V, X) +
+             " is not the least fixed point of the includes equation";
+    });
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+LalrArtifactsView LalrArtifactsView::of(const Lr0Automaton &A,
+                                        const GrammarAnalysis &An,
+                                        const LalrLookaheads &LA) {
+  LalrArtifactsView V;
+  V.A = &A;
+  V.An = &An;
+  V.NtIdx = &LA.ntTransitions();
+  V.RedIdx = &LA.reductions();
+  V.Rel = &LA.relations();
+  V.ReadSets = &LA.readSets();
+  V.FollowSets = &LA.followSets();
+  V.LaSets = &LA.laSets();
+  return V;
+}
+
+VerifyReport lalr::verifyLalrArtifacts(const LalrArtifactsView &V,
+                                       const VerifyOptions &Opts) {
+  VerifyReport R;
+  Checker C(R, Opts);
+
+  bool EdgesOk = false;
+  if (!checkShapes(V, C, EdgesOk))
+    return R; // nothing below is safe to index
+
+  std::vector<bool> XOk;
+  checkNtTransitions(V, C, XOk);
+  checkDirectReadAndReads(V, C, XOk);
+  checkIncludesAndLookback(V, C, XOk);
+  checkFollowBound(V, C, XOk);
+
+  if (EdgesOk) {
+    checkSubsetChains(V, C);
+    checkLaUnion(V, C);
+    if (Opts.CheckFixpoint && V.NtIdx->size() <= Opts.MaxFixpointNodes)
+      checkFixpoint(V, C);
+    else
+      R.FixpointSkipped = true;
+  } else {
+    R.FixpointSkipped = true;
+  }
+  return R;
+}
+
+void lalr::verifyTableActions(const LalrArtifactsView &V,
+                              const ParseTable &Table, VerifyReport &Report,
+                              const VerifyOptions &Opts) {
+  Checker C(Report, Opts);
+  const Lr0Automaton &A = *V.A;
+  const Grammar &G = A.grammar();
+  const size_t NumT = G.numTerminals();
+
+  if (!C.check(Table.numStates() == A.numStates(), "table-actions", [&] {
+        return "table has " + std::to_string(Table.numStates()) +
+               " states, automaton has " + std::to_string(A.numStates());
+      }))
+    return;
+  if ((*V.LaSets).size() != V.RedIdx->size())
+    return; // shape issue already reported by verifyLalrArtifacts
+
+  // Cells with a recorded conflict are allowed to deviate from their
+  // look-ahead (precedence resolution rewrote them); everything else must
+  // be exactly justified.
+  auto cellKey = [NumT](uint32_t S, SymbolId T) { return S * NumT + T; };
+  std::vector<bool> ConflictCell(Table.numStates() * NumT, false);
+  for (const Conflict &Cf : Table.conflicts()) {
+    bool InRange = C.check(
+        Cf.State < Table.numStates() && Cf.Terminal < NumT, "table-actions",
+        [&] {
+          return "conflict record targets out-of-range cell (" +
+                 std::to_string(Cf.State) + ", " +
+                 std::to_string(Cf.Terminal) + ")";
+        });
+    if (InRange)
+      ConflictCell[cellKey(Cf.State, Cf.Terminal)] = true;
+  }
+
+  // Forward direction: every cell justified by the automaton + LA sets.
+  for (uint32_t S = 0; S < Table.numStates(); ++S) {
+    for (SymbolId T = 0; T < NumT; ++T) {
+      Action Act = Table.action(S, T);
+      switch (Act.Kind) {
+      case ActionKind::Shift:
+        C.check(A.gotoState(S, T) == Act.Value, "table-actions", [&] {
+          return "shift at (" + std::to_string(S) + ", " + G.name(T) +
+                 ") targets state " + std::to_string(Act.Value) +
+                 " but GOTO says " + std::to_string(A.gotoState(S, T));
+        });
+        break;
+      case ActionKind::Reduce: {
+        ProductionId P = Act.Value;
+        bool Known =
+            C.check(P != 0 && P < G.numProductions() &&
+                        isReducibleIn(A, S, P),
+                    "table-actions", [&] {
+                      return "reduce at (" + std::to_string(S) + ", " +
+                             G.name(T) + ") names production " +
+                             std::to_string(P) +
+                             ", which state " + std::to_string(S) +
+                             " cannot reduce";
+                    });
+        if (Known)
+          C.check((*V.LaSets)[V.RedIdx->slot(S, P)].test(T), "table-actions",
+                  [&] {
+                    return "reduce by production " + std::to_string(P) +
+                           " at (" + std::to_string(S) + ", " + G.name(T) +
+                           ") is outside LA";
+                  });
+        break;
+      }
+      case ActionKind::Accept:
+        C.check(S == A.acceptState() && T == G.eofSymbol(), "table-actions",
+                [&] {
+                  return "accept at (" + std::to_string(S) + ", " +
+                         G.name(T) + ") is not (acceptState, $end)";
+                });
+        break;
+      case ActionKind::Error:
+        // An error cell where the automaton can shift must be a recorded
+        // %nonassoc resolution; LA-justified reduces landing on Error are
+        // covered by the coverage pass below.
+        if (A.gotoState(S, T) != InvalidState)
+          C.check(ConflictCell[cellKey(S, T)], "table-actions", [&] {
+            return "error cell at (" + std::to_string(S) + ", " + G.name(T) +
+                   ") hides a shift with no conflict record";
+          });
+        break;
+      }
+    }
+  }
+
+  // GOTO side: one entry per nonterminal transition, nothing else is
+  // reachable, so the dense index is the ground truth to mirror.
+  for (uint32_t X = 0; X < V.NtIdx->size(); ++X) {
+    const NtTransition &T = (*V.NtIdx)[X];
+    if (T.From >= Table.numStates() || T.Nt >= G.numSymbols() ||
+        !G.isNonterminal(T.Nt))
+      continue; // reported by nt-transitions
+    C.check(Table.gotoNt(T.From, T.Nt, G) == T.To, "table-actions", [&] {
+      return "GOTO mismatch at " + describeNt(V, X) + ": table says " +
+             std::to_string(Table.gotoNt(T.From, T.Nt, G)) +
+             ", automaton says " + std::to_string(T.To);
+    });
+  }
+
+  // Coverage direction: every LA terminal of every reduction either took
+  // effect or lost a recorded conflict.
+  for (uint32_t Slot = 0; Slot < V.RedIdx->size(); ++Slot) {
+    StateId Q = V.RedIdx->stateOf(Slot);
+    ProductionId P = V.RedIdx->prodOf(Slot);
+    if (Q >= Table.numStates())
+      continue; // shape issue already reported
+    Action Expected = P == 0 ? Action{ActionKind::Accept, 0}
+                             : Action{ActionKind::Reduce, P};
+    for (size_t T : (*V.LaSets)[Slot]) {
+      Action Act = Table.action(Q, static_cast<SymbolId>(T));
+      C.check(Act == Expected || ConflictCell[cellKey(Q, T)],
+              "table-actions", [&] {
+                return "LA terminal " + G.name(static_cast<SymbolId>(T)) +
+                       " of " + describeSlot(V, Slot) +
+                       " is neither honored nor recorded as a conflict";
+              });
+    }
+  }
+}
+
+VerifyReport lalr::verifyLalrBuild(const Lr0Automaton &A,
+                                   const GrammarAnalysis &An,
+                                   const LalrLookaheads &LA,
+                                   const ParseTable *Table,
+                                   const VerifyOptions &Opts) {
+  LalrArtifactsView V = LalrArtifactsView::of(A, An, LA);
+  VerifyReport R = verifyLalrArtifacts(V, Opts);
+  if (Table)
+    verifyTableActions(V, *Table, R, Opts);
+  return R;
+}

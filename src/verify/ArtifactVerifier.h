@@ -1,0 +1,147 @@
+//===- verify/ArtifactVerifier.h - DP invariant cross-checker ---*- C++ -*-===//
+///
+/// \file
+/// An independent verifier for the DeRemer–Pennello artifact chain: given
+/// the LR(0) automaton, the grammar analysis and the computed look-ahead
+/// artifacts (relations, Read/Follow/LA set families, parse table), it
+/// re-derives every invariant the construction is supposed to satisfy and
+/// reports violations as structured data instead of trusting the builder.
+/// The checks, mapped to the paper's equations (the catalogue lives in
+/// docs/STATIC_ANALYSIS.md):
+///
+///   set-shapes    families sized to the transition/reduction/terminal
+///                 universes; relation edges target valid rows
+///   nt-transitions  the dense index matches the automaton's nonterminal
+///                 transitions exactly (both directions)
+///   direct-read   DR(p,A) = { t : p --A--> r --t--> }, plus the $end
+///                 seed on the start transition
+///   reads         (p,A) reads (r,C) iff p --A--> r --C--> and C nullable
+///   includes      (p,A) includes (p',B) iff B -> beta A gamma,
+///                 gamma =>* eps, p' --beta--> p
+///   lookback      (q, A->w) lookback (p,A) iff p --w--> q
+///   read-subset   DR subset-of Read; Read(y) subset-of Read(x) for
+///                 x reads y (Read is a solution of its equation)
+///   follow-subset Read subset-of Follow; Follow(y) subset-of Follow(x)
+///                 for x includes y
+///   follow-bound  Follow(p,A) subset-of FOLLOW(A), LA(q, A->w)
+///                 subset-of FOLLOW(A) (the SLR-containment theorem)
+///   la-union      LA(q, A->w) = union of Follow over lookback, with the
+///                 accept reduction's explicit {$end}
+///   read-fixpoint / follow-fixpoint
+///                 the digraph solution equals an independent naive
+///                 iterate-to-fixpoint recomputation (least-fixed-point
+///                 minimality; skipped above MaxFixpointNodes)
+///   table-actions every ACTION cell is justified: shifts mirror
+///                 automaton transitions, reduces lie inside LA,
+///                 accept is (acceptState, $end), and any cell that
+///                 deviates from its look-ahead is explained by a
+///                 recorded conflict resolution
+///
+/// The verifier never throws on corrupt input: out-of-range edges and
+/// malformed shapes are themselves reported, and checks that would have
+/// to dereference them are skipped. Wired behind BuildOptions::Verify
+/// (pipeline), BuildService::Options::VerifyBuilds / the manifest
+/// `verify` token (service), and examples/lalr_verify (CLI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_VERIFY_ARTIFACTVERIFIER_H
+#define LALR_VERIFY_ARTIFACTVERIFIER_H
+
+#include "grammar/Analysis.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/ParseTable.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lalr {
+
+/// One invariant violation: which check failed and a human-readable
+/// description naming the offending transition/slot/cell.
+struct VerifyIssue {
+  std::string Check;  ///< check name from the catalogue above
+  std::string Detail; ///< e.g. "DR mismatch at nt-transition 12 (3, expr)"
+};
+
+/// What a verification run found. Issues retains the first
+/// VerifyOptions::MaxIssues violations verbatim; TotalIssues and
+/// IssueCounts keep exact totals beyond the cap.
+struct VerifyReport {
+  /// Individual invariant comparisons performed (deterministic for a
+  /// given artifact set — exported as the verify_checks counter).
+  uint64_t ChecksRun = 0;
+  /// Violations found (>= Issues.size() when capped).
+  uint64_t TotalIssues = 0;
+  /// The first MaxIssues violations, in check order.
+  std::vector<VerifyIssue> Issues;
+  /// Exact violation count per check name, first-seen order.
+  std::vector<std::pair<std::string, uint64_t>> IssueCounts;
+  /// True when the naive fixed-point recomputation was skipped because
+  /// the transition count exceeded VerifyOptions::MaxFixpointNodes.
+  bool FixpointSkipped = false;
+
+  bool ok() const { return TotalIssues == 0; }
+
+  /// One line: "ok (N checks)" or "M issues in N checks (first: ...)".
+  std::string summary() const;
+
+  /// Structured JSON (checks_run, total_issues, issue_counts, issues,
+  /// fixpoint_skipped) for the CLI's --json mode and logs.
+  std::string toJson() const;
+};
+
+/// Tuning knobs; the defaults suit both the corpus sweep and the
+/// in-pipeline gate.
+struct VerifyOptions {
+  /// Cap on verbatim Issues entries (totals stay exact).
+  size_t MaxIssues = 32;
+  /// Node bound above which the naive fixed-point recomputation is
+  /// skipped (it is O(n * |R|) set operations — the exact cost the
+  /// digraph algorithm exists to avoid).
+  size_t MaxFixpointNodes = 20000;
+  /// Master switch for the fixed-point minimality recheck.
+  bool CheckFixpoint = true;
+};
+
+/// Borrowed, read-only views of the artifacts under verification. Tests
+/// corrupt *copies* of relations/sets/tables and point a view at them;
+/// production callers use the LalrLookaheads overload below.
+struct LalrArtifactsView {
+  const Lr0Automaton *A = nullptr;
+  const GrammarAnalysis *An = nullptr;
+  const NtTransitionIndex *NtIdx = nullptr;
+  const ReductionIndex *RedIdx = nullptr;
+  const LalrRelations *Rel = nullptr;
+  const std::vector<BitSet> *ReadSets = nullptr;
+  const std::vector<BitSet> *FollowSets = nullptr;
+  const std::vector<BitSet> *LaSets = nullptr;
+
+  /// View over a computed LalrLookaheads (all pointers borrow; \p LA must
+  /// outlive the view).
+  static LalrArtifactsView of(const Lr0Automaton &A,
+                              const GrammarAnalysis &An,
+                              const LalrLookaheads &LA);
+};
+
+/// Verifies the relation/set chain (everything except table-actions).
+VerifyReport verifyLalrArtifacts(const LalrArtifactsView &V,
+                                 const VerifyOptions &Opts = {});
+
+/// Appends the table-actions check for \p Table (an LR(0)-state-space
+/// LALR table) to \p Report.
+void verifyTableActions(const LalrArtifactsView &V, const ParseTable &Table,
+                        VerifyReport &Report, const VerifyOptions &Opts = {});
+
+/// One-stop verification of a finished LALR(1) build: the artifact chain
+/// plus (when \p Table is non-null) the table-actions check.
+VerifyReport verifyLalrBuild(const Lr0Automaton &A, const GrammarAnalysis &An,
+                             const LalrLookaheads &LA,
+                             const ParseTable *Table = nullptr,
+                             const VerifyOptions &Opts = {});
+
+} // namespace lalr
+
+#endif // LALR_VERIFY_ARTIFACTVERIFIER_H

@@ -39,6 +39,8 @@ BuildOptions optionsReaching(std::string_view Site) {
     O.Kind = TableKind::Lalr1;
   if (Site == "compress")
     O.Compress = true;
+  if (Site == "verify")
+    O.Verify = true;
   return O;
 }
 
@@ -100,11 +102,11 @@ TEST(FailPointRegistryTest, ActionsMapToStatusCodes) {
   }
 }
 
-TEST(FailPointRegistryTest, SiteListCoversTwelveStagesNullTerminated) {
+TEST(FailPointRegistryTest, SiteListCoversThirteenStagesNullTerminated) {
   size_t N = 0;
   for (const char *const *S = allFailPointSites(); *S; ++S)
     ++N;
-  EXPECT_EQ(N, 12u);
+  EXPECT_EQ(N, 13u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,325 @@
+//===- tests/verify_test.cpp - ArtifactVerifier detection power ----------===//
+//
+// Two obligations: the verifier must pass every correctly-built corpus
+// grammar (no false alarms), and it must detect each class of seeded
+// corruption — relation edges, Read/Follow/LA bits, table cells, shape
+// damage — with a structured report naming the violated invariant, never
+// a crash. Corruptions are applied to *copies* of the artifacts through a
+// LalrArtifactsView; the originals (and the context memo) stay pristine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "pipeline/BuildPipeline.h"
+#include "service/BuildService.h"
+#include "service/Manifest.h"
+#include "verify/ArtifactVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+/// Builds one grammar's LALR(1) artifacts and owns mutable copies of
+/// everything a test may want to corrupt. view() points at the copies,
+/// so corruption never leaks into the (memoized) originals.
+struct CorruptibleBuild {
+  explicit CorruptibleBuild(std::string_view Name)
+      : Ctx(loadCorpusGrammar(Name)),
+        Result(BuildPipeline(Ctx).run()),
+        Rel(Ctx.lookaheads().relations()),
+        ReadSets(Ctx.lookaheads().readSets()),
+        FollowSets(Ctx.lookaheads().followSets()),
+        LaSets(Ctx.lookaheads().laSets()) {
+    EXPECT_TRUE(Result.ok()) << Result.Status.Message;
+  }
+
+  LalrArtifactsView view() {
+    LalrArtifactsView V =
+        LalrArtifactsView::of(Ctx.lr0(), Ctx.analysis(), Ctx.lookaheads());
+    V.Rel = &Rel;
+    V.ReadSets = &ReadSets;
+    V.FollowSets = &FollowSets;
+    V.LaSets = &LaSets;
+    return V;
+  }
+
+  BuildContext Ctx;
+  BuildResult Result;
+  LalrRelations Rel;
+  std::vector<BitSet> ReadSets, FollowSets, LaSets;
+};
+
+uint64_t issueCount(const VerifyReport &R, std::string_view Check) {
+  for (const auto &[Name, Count] : R.IssueCounts)
+    if (Name == Check)
+      return Count;
+  return 0;
+}
+
+/// The one assertion shape every corruption test uses: the report flags
+/// the seeded invariant (structured, not a crash) and stays self-
+/// consistent.
+void expectDetected(const VerifyReport &R, std::string_view Check) {
+  EXPECT_FALSE(R.ok());
+  EXPECT_GT(issueCount(R, Check), 0u)
+      << "expected an issue under check '" << Check << "'; summary: "
+      << R.summary();
+  EXPECT_GE(R.TotalIssues, R.Issues.size());
+  for (const VerifyIssue &I : R.Issues)
+    EXPECT_FALSE(I.Detail.empty()) << I.Check;
+}
+
+/// Flips the first clear terminal bit of \p S (there is always one: no
+/// corpus Read/Follow/LA set is the full terminal alphabet).
+void setSpuriousBit(BitSet &S) {
+  for (size_t T = 0; T < S.size(); ++T)
+    if (!S.test(T)) {
+      S.set(T);
+      return;
+    }
+  FAIL() << "set already full";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// No false alarms
+// ---------------------------------------------------------------------------
+
+TEST(VerifyCleanTest, EveryCorpusGrammarVerifiesClean) {
+  for (const CorpusEntry &E : corpusEntries()) {
+    CorruptibleBuild B(E.Name);
+    VerifyReport R = verifyLalrBuild(B.Ctx.lr0(), B.Ctx.analysis(),
+                                     B.Ctx.lookaheads(), &B.Result.Table);
+    EXPECT_TRUE(R.ok()) << E.Name << ": " << R.summary();
+    EXPECT_GT(R.ChecksRun, 0u);
+    EXPECT_FALSE(R.FixpointSkipped) << E.Name;
+  }
+}
+
+TEST(VerifyCleanTest, NaiveSolverArtifactsAlsoVerify) {
+  BuildContext Ctx(loadCorpusGrammar("minipascal"));
+  BuildOptions Opts;
+  Opts.Solver = SolverKind::NaiveFixpoint;
+  BuildResult R = BuildPipeline(Ctx, Opts).run();
+  ASSERT_TRUE(R.ok());
+  VerifyReport Report =
+      verifyLalrBuild(Ctx.lr0(), Ctx.analysis(),
+                      Ctx.lookaheads(SolverKind::NaiveFixpoint), &R.Table);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Seeded corruptions, one invariant at a time
+// ---------------------------------------------------------------------------
+
+TEST(VerifyCorruptionTest, SpuriousReadsEdgeIsCaught) {
+  CorruptibleBuild B("json");
+  // Append a valid-range but wrong edge to the first reads row.
+  B.Rel.Reads[0].push_back(
+      static_cast<uint32_t>(B.Rel.Reads.size() - 1));
+  expectDetected(verifyLalrArtifacts(B.view()), "reads");
+}
+
+TEST(VerifyCorruptionTest, DroppedIncludesEdgeIsCaught) {
+  CorruptibleBuild B("json");
+  for (auto &Row : B.Rel.Includes)
+    if (!Row.empty()) {
+      Row.pop_back();
+      expectDetected(verifyLalrArtifacts(B.view()), "includes");
+      return;
+    }
+  FAIL() << "corpus grammar with no includes edges";
+}
+
+TEST(VerifyCorruptionTest, DroppedLookbackEdgeIsCaught) {
+  CorruptibleBuild B("json");
+  for (auto &Row : B.Rel.Lookback)
+    if (!Row.empty()) {
+      Row.clear();
+      expectDetected(verifyLalrArtifacts(B.view()), "lookback");
+      return;
+    }
+  FAIL() << "corpus grammar with no lookback edges";
+}
+
+TEST(VerifyCorruptionTest, ClearedDirectReadBitIsCaught) {
+  CorruptibleBuild B("json");
+  for (BitSet &Dr : B.Rel.DirectRead)
+    if (Dr.count() > 0) {
+      Dr.reset(*Dr.begin());
+      expectDetected(verifyLalrArtifacts(B.view()), "direct-read");
+      return;
+    }
+  FAIL() << "no nonempty DR set";
+}
+
+TEST(VerifyCorruptionTest, SpuriousReadSetBitBreaksTheFixpoint) {
+  CorruptibleBuild B("json");
+  setSpuriousBit(B.ReadSets[0]);
+  // A Read set above the least fixed point cannot match the naive
+  // recomputation (and usually violates Read subset-of Follow too).
+  expectDetected(verifyLalrArtifacts(B.view()), "read-fixpoint");
+}
+
+TEST(VerifyCorruptionTest, SpuriousFollowSetBitIsCaught) {
+  CorruptibleBuild B("json");
+  setSpuriousBit(B.FollowSets[0]);
+  VerifyReport R = verifyLalrArtifacts(B.view());
+  EXPECT_FALSE(R.ok());
+  // Depending on which transition 0 is, the extra bit surfaces as a
+  // follow-fixpoint/la-union mismatch and often as a follow-bound breach.
+  EXPECT_TRUE(issueCount(R, "follow-fixpoint") > 0 ||
+              issueCount(R, "la-union") > 0 ||
+              issueCount(R, "follow-bound") > 0)
+      << R.summary();
+}
+
+TEST(VerifyCorruptionTest, ClearedLaBitIsCaughtInUnionAndTable) {
+  CorruptibleBuild B("json");
+  for (size_t S = 0; S < B.LaSets.size(); ++S)
+    if (B.LaSets[S].count() > 0) {
+      B.LaSets[S].reset(*B.LaSets[S].begin());
+      VerifyReport R = verifyLalrArtifacts(B.view());
+      expectDetected(R, "la-union");
+      // The built table honors the *real* LA set, so against the
+      // corrupted one its reduce action is now unjustified.
+      verifyTableActions(B.view(), B.Result.Table, R);
+      expectDetected(R, "table-actions");
+      return;
+    }
+  FAIL() << "no nonempty LA set";
+}
+
+TEST(VerifyCorruptionTest, TamperedTableCellIsCaught) {
+  CorruptibleBuild B("json");
+  // An Accept planted anywhere but (acceptState, $end) is unjustifiable.
+  ParseTable Tampered = B.Result.Table;
+  SymbolId NotEof = B.Ctx.grammar().eofSymbol() == 0 ? 1 : 0;
+  Tampered.setAction(0, NotEof, Action{ActionKind::Accept, 0});
+  VerifyReport R = verifyLalrArtifacts(B.view());
+  EXPECT_TRUE(R.ok());
+  verifyTableActions(B.view(), Tampered, R);
+  expectDetected(R, "table-actions");
+}
+
+TEST(VerifyCorruptionTest, OutOfRangeEdgeIsReportedNotDereferenced) {
+  CorruptibleBuild B("json");
+  B.Rel.Includes[0].push_back(1u << 30); // far out of range
+  VerifyReport R = verifyLalrArtifacts(B.view());
+  expectDetected(R, "set-shapes");
+  // The dereferencing checks were skipped, so the naive recomputation
+  // never ran either.
+  EXPECT_TRUE(R.FixpointSkipped);
+}
+
+TEST(VerifyCorruptionTest, TruncatedSetFamilyIsReportedNotCrashed) {
+  CorruptibleBuild B("json");
+  ASSERT_FALSE(B.LaSets.empty());
+  B.LaSets.pop_back();
+  VerifyReport R = verifyLalrArtifacts(B.view());
+  expectDetected(R, "set-shapes");
+}
+
+TEST(VerifyCorruptionTest, IssueCapKeepsExactTotals) {
+  CorruptibleBuild B("json");
+  for (BitSet &La : B.LaSets)
+    setSpuriousBit(La);
+  VerifyOptions Opts;
+  Opts.MaxIssues = 2;
+  VerifyReport R = verifyLalrArtifacts(B.view(), Opts);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Issues.size(), 2u);
+  EXPECT_GT(R.TotalIssues, 2u);
+  std::string Json = R.toJson();
+  EXPECT_NE(Json.find("\"total_issues\""), std::string::npos);
+}
+
+TEST(VerifyCorruptionTest, FixpointLimitSkipsOnlyTheFixpoint) {
+  CorruptibleBuild B("json");
+  VerifyOptions Opts;
+  Opts.MaxFixpointNodes = 0;
+  VerifyReport R = verifyLalrArtifacts(B.view(), Opts);
+  EXPECT_TRUE(R.ok()) << R.summary();
+  EXPECT_TRUE(R.FixpointSkipped);
+  EXPECT_EQ(issueCount(R, "read-fixpoint"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline / service wiring
+// ---------------------------------------------------------------------------
+
+TEST(VerifyPipelineTest, VerifyOptionAttachesReportAndCounters) {
+  BuildContext Ctx(loadCorpusGrammar("expr"));
+  BuildOptions Opts;
+  Opts.Verify = true;
+  BuildResult R = BuildPipeline(Ctx, Opts).run();
+  ASSERT_TRUE(R.ok()) << R.Status.Message;
+  ASSERT_TRUE(R.Verify.has_value());
+  EXPECT_TRUE(R.Verify->ok());
+  EXPECT_EQ(R.Stats.counter("verify_checks"), R.Verify->ChecksRun);
+  EXPECT_EQ(R.Stats.counter("verify_issues"), 0u);
+}
+
+TEST(VerifyPipelineTest, VerifyOffLeavesNoTrace) {
+  BuildContext Ctx(loadCorpusGrammar("expr"));
+  BuildResult R = BuildPipeline(Ctx).run();
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(R.Verify.has_value());
+  EXPECT_EQ(R.Stats.counter("verify_checks"), 0u);
+}
+
+TEST(VerifyPipelineTest, NonLalrKindsIgnoreTheFlag) {
+  BuildContext Ctx(loadCorpusGrammar("expr"));
+  BuildOptions Opts;
+  Opts.Kind = TableKind::Slr1;
+  Opts.Verify = true;
+  BuildResult R = BuildPipeline(Ctx, Opts).run();
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(R.Verify.has_value());
+}
+
+TEST(VerifyPipelineTest, ParallelBuildVerifiesIdentically) {
+  BuildContext Ctx(loadCorpusGrammar("minic"));
+  BuildOptions Opts;
+  Opts.Verify = true;
+  Opts.Threads = 2;
+  BuildResult R = BuildPipeline(Ctx, Opts).run();
+  ASSERT_TRUE(R.ok()) << R.Status.Message;
+  ASSERT_TRUE(R.Verify.has_value());
+  EXPECT_TRUE(R.Verify->ok()) << R.Verify->summary();
+
+  BuildContext SerialCtx(loadCorpusGrammar("minic"));
+  BuildOptions SerialOpts;
+  SerialOpts.Verify = true;
+  SerialOpts.Threads = 0;
+  BuildResult S = BuildPipeline(SerialCtx, SerialOpts).run();
+  ASSERT_TRUE(S.ok());
+  // verify_checks is structural: parallel and serial artifacts are
+  // bit-identical, so the verifier does the identical work.
+  EXPECT_EQ(R.Verify->ChecksRun, S.Verify->ChecksRun);
+}
+
+TEST(VerifyServiceTest, VerifyBuildsOptionAndManifestTokenBothWire) {
+  BuildService::Options SvcOpts;
+  SvcOpts.VerifyBuilds = true;
+  BuildService Svc(SvcOpts);
+  ServiceRequest Req;
+  Req.GrammarName = "json";
+  std::vector<ServiceResponse> Rs = Svc.runBatch({&Req, 1});
+  ASSERT_EQ(Rs.size(), 1u);
+  ASSERT_TRUE(Rs[0].Ok) << Rs[0].Error;
+  ASSERT_TRUE(Rs[0].Result->Verify.has_value());
+  EXPECT_TRUE(Rs[0].Result->Verify->ok());
+
+  std::string Error;
+  auto Entries = parseManifest("build expr lalr1 verify\n", Error);
+  ASSERT_TRUE(Entries.has_value()) << Error;
+  ASSERT_EQ(Entries->size(), 1u);
+  EXPECT_TRUE((*Entries)[0].Request.Options.Verify);
+}
