@@ -35,7 +35,7 @@ int main(int Argc, char **Argv) {
     // happens to suit BFS-numbered includes edges); "adv" is the same
     // solver in descending order — the adversarial case that shows order
     // sensitivity.
-    const std::vector<BitSet> &ReadSets = LA.readSets();
+    const SetSlab &ReadSets = LA.readSets();
 
     DigraphStats DStats, NStats, AStats;
     solveDigraph(R.Includes, ReadSets, &DStats);
@@ -44,15 +44,15 @@ int main(int Argc, char **Argv) {
                        /*ReverseOrder=*/true);
 
     double DgUs = medianTimeUs(Reps, [&] {
-      std::vector<BitSet> Init = ReadSets;
+      SetSlab Init = ReadSets;
       solveDigraph(R.Includes, std::move(Init));
     });
     double NvUs = medianTimeUs(Reps, [&] {
-      std::vector<BitSet> Init = ReadSets;
+      SetSlab Init = ReadSets;
       solveNaiveFixpoint(R.Includes, std::move(Init));
     });
     double AdvUs = medianTimeUs(Reps, [&] {
-      std::vector<BitSet> Init = ReadSets;
+      SetSlab Init = ReadSets;
       solveNaiveFixpoint(R.Includes, std::move(Init), nullptr,
                          /*ReverseOrder=*/true);
     });

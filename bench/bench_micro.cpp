@@ -14,6 +14,7 @@
 #include "corpus/CorpusGrammars.h"
 #include "pipeline/BuildPipeline.h"
 #include "support/BitSet.h"
+#include "support/SetSlab.h"
 #include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
@@ -58,6 +59,45 @@ static void BM_SortedVectorUnion(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SortedVectorUnion)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_DpSetUnion(benchmark::State &State) {
+  // The SetSlab union against the per-set BitSet representation it
+  // replaced, on the largest corpus grammar's Follow family. Each
+  // iteration performs one full family union pass (dst[r] |= src[r] for
+  // every row r). The baseline must walk set by set through separate
+  // heap vectors; the slab's shared geometry lets unionFrom fuse the
+  // whole pass into one contiguous word span — the layout advantage the
+  // ratio measures. Arg 0 = per-set BitSet baseline, arg 1 = slab.
+  BuildContext Ctx(loadCorpusGrammar("ansic"));
+  LalrLookaheads LA = LalrLookaheads::compute(Ctx.lr0(), Ctx.analysis());
+  const SetSlab &Follow = LA.followSets();
+  const size_t Rows = Follow.size();
+  if (State.range(0) == 0) {
+    std::vector<BitSet> Src, Acc;
+    Src.reserve(Rows);
+    for (size_t R = 0; R < Rows; ++R)
+      Src.push_back(BitSet::fromView(Follow[R]));
+    Acc.assign(Rows, BitSet(Follow.universe()));
+    for (auto _ : State) {
+      bool Changed = false;
+      for (size_t R = 0; R < Rows; ++R)
+        Changed |= Acc[R].unionWith(Src[R]);
+      benchmark::DoNotOptimize(Changed);
+    }
+    State.SetLabel("ansic+bitset");
+  } else {
+    SetSlab Acc(Rows, Follow.universe());
+    for (auto _ : State) {
+      bool Changed = Acc.unionFrom(Follow);
+      benchmark::DoNotOptimize(Changed);
+    }
+    State.SetLabel("ansic+slab");
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Rows) *
+                          static_cast<int64_t>(Follow.wordsPerSet()) * 8);
+}
+BENCHMARK(BM_DpSetUnion)->Arg(0)->Arg(1);
 
 // ---------------------------------------------------------------------------
 // Pipeline stages on a realistic grammar

@@ -26,8 +26,8 @@ int main(int Argc, char **Argv) {
     const LalrLookaheads &LA = Ctx.lookaheads();
     const LalrRelations &R = LA.relations();
     size_t DrBits = 0;
-    for (const BitSet &S : R.DirectRead)
-      DrBits += S.count();
+    for (size_t X = 0; X < R.DirectRead.size(); ++X)
+      DrBits += R.DirectRead.count(X);
     size_t Unions = LA.readsSolverStats().UnionOps +
                     LA.includesSolverStats().UnionOps;
     T.row({E.Name, fmt(LA.ntTransitions().size()), fmt(DrBits),

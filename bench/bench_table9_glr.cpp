@@ -34,7 +34,7 @@ int main(int Argc, char **Argv) {
     BuildContext Ctx(loadCorpusGrammar(Name));
     const Grammar &G = Ctx.grammar();
     const LalrLookaheads &LA = Ctx.lookaheads();
-    auto LaFn = [&LA](StateId S, ProductionId P) -> const BitSet & {
+    auto LaFn = [&LA](StateId S, ProductionId P) -> SetView {
       return LA.la(S, P);
     };
     BuildResult Det = BuildPipeline(Ctx).run();

@@ -47,6 +47,10 @@ STRUCTURAL_COUNTERS = {
     # artifacts (parallel == serial), so both its work and its findings
     # are structure; verify_issues must in fact stay 0 everywhere.
     "verify_checks", "verify_issues",
+    # The flat DP layout: the arena census (bytes, set count) and the CSR
+    # edge total are pure functions of the grammar, so any drift means the
+    # relation build or the census changed shape.
+    "slab_bytes", "slab_sets", "relation_csr_edges",
 }
 
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Snapshot a bench-stats directory into a dated BENCH_<date>.json at the
+repo root.
+
+Gathers every PipelineStats JSON written by the bench binaries (the same
+files scripts/compare_stats.py gates) and, optionally, a google-benchmark
+--benchmark_out JSON from bench_micro, into one self-contained record of
+how this commit performed. When the micro results contain the
+BM_DpSetUnion pair the snapshot also derives the slab-vs-bitset union
+throughput ratio explicitly, so the flat-layout speedup is a first-class
+recorded number rather than something readers re-divide by hand.
+
+Typical use, after scripts/check.sh has populated build/bench-stats/:
+
+  ./build/bench/bench_micro --json build/bench-stats/micro.json \
+      --benchmark_filter=BM_DpSetUnion \
+      --benchmark_out=build/micro_gbench.json --benchmark_out_format=json
+  scripts/record_bench.py --micro build/micro_gbench.json
+
+Exit status: 0 on success, 2 on usage/IO errors.
+"""
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def git_commit():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            text=True, stderr=subprocess.DEVNULL).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def load_micro(path):
+    """The benchmark rows of a google-benchmark JSON, trimmed to the
+    fields worth keeping in a long-lived snapshot."""
+    doc = json.loads(path.read_text())
+    rows = []
+    for b in doc.get("benchmarks", []):
+        row = {"name": b["name"]}
+        for key in ("real_time", "cpu_time", "time_unit", "iterations",
+                    "bytes_per_second", "label"):
+            if key in b:
+                row[key] = b[key]
+        rows.append(row)
+    return rows
+
+
+def union_speedup(rows):
+    """slab / bitset throughput ratio from the BM_DpSetUnion pair, or
+    None when either row (or its throughput counter) is absent. Prefers
+    the median aggregate when the run used --benchmark_repetitions."""
+    per = {r["name"]: r for r in rows}
+    for suffix in ("_median", "_mean", ""):
+        base = per.get(f"BM_DpSetUnion/0{suffix}")
+        slab = per.get(f"BM_DpSetUnion/1{suffix}")
+        if (base and slab and base.get("bytes_per_second")
+                and slab.get("bytes_per_second")):
+            return slab["bytes_per_second"] / base["bytes_per_second"]
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--stats-dir", type=Path,
+                    default=Path("build/bench-stats"),
+                    help="directory of PipelineStats JSON arrays "
+                         "(default build/bench-stats)")
+    ap.add_argument("--micro", type=Path,
+                    help="google-benchmark --benchmark_out JSON to fold in")
+    ap.add_argument("--date", default=datetime.date.today().isoformat(),
+                    help="snapshot date (default today, ISO format); "
+                         "names the output file")
+    ap.add_argument("--out", type=Path,
+                    help="output path (default BENCH_<date>.json)")
+    args = ap.parse_args()
+
+    snap = {"date": args.date}
+    commit = git_commit()
+    if commit:
+        snap["commit"] = commit
+
+    stats = {}
+    for f in sorted(args.stats_dir.glob("*.json")):
+        try:
+            stats[f.name] = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot parse {f}: {e}", file=sys.stderr)
+            return 2
+    if not stats:
+        print(f"error: no .json files in {args.stats_dir}", file=sys.stderr)
+        return 2
+    snap["stats"] = stats
+
+    if args.micro:
+        try:
+            rows = load_micro(args.micro)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot parse {args.micro}: {e}", file=sys.stderr)
+            return 2
+        snap["micro"] = rows
+        ratio = union_speedup(rows)
+        if ratio is not None:
+            snap["dp_set_union_speedup"] = round(ratio, 3)
+
+    out = args.out or Path(f"BENCH_{args.date}.json")
+    out.write_text(json.dumps(snap, indent=2) + "\n")
+    n = sum(len(v) for v in stats.values())
+    note = ""
+    if "dp_set_union_speedup" in snap:
+        note = f", dp_set_union_speedup={snap['dp_set_union_speedup']:.2f}x"
+    print(f"wrote {out}: {n} stats entries in {len(stats)} files{note}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,7 @@ ParseTable lalr::buildMergedLalrTable(const Lr0Automaton &A,
                                       const GrammarAnalysis &Analysis) {
   Lr1Automaton L1 = Lr1Automaton::build(A.grammar(), Analysis);
   MergedLalrLookaheads LA = MergedLalrLookaheads::compute(A, L1);
-  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> SetView {
     return LA.la(S, P);
   });
 }

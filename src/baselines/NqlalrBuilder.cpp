@@ -37,9 +37,9 @@ NqlalrLookaheads NqlalrLookaheads::compute(const Lr0Automaton &A,
   for (uint32_t X = 0; X < NtIdx.size(); ++X) {
     uint32_t N = NodeOfTrans[X];
     Dr[N].unionWith(True.DirectRead[X]);
-    for (uint32_t Y : True.Reads[X])
+    for (uint32_t Y : True.Reads.row(X))
       Reads[N].push_back(NodeOfTrans[Y]);
-    for (uint32_t Y : True.Includes[X])
+    for (uint32_t Y : True.Includes.row(X))
       Includes[N].push_back(NodeOfTrans[Y]);
   }
   for (auto &E : Reads) {
@@ -62,7 +62,7 @@ NqlalrLookaheads NqlalrLookaheads::compute(const Lr0Automaton &A,
   StageTimer UnionT(Stats, "nqlalr-la-union");
   Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
   for (uint32_t Slot = 0; Slot < Out.RedIdx->size(); ++Slot)
-    for (uint32_t X : True.Lookback[Slot])
+    for (uint32_t X : True.Lookback.row(Slot))
       Out.LaSets[Slot].unionWith(FollowSets[NodeOfTrans[X]]);
   // The accept reduction's look-ahead is the end marker by definition
   // (no lookback exists for it; see LalrLookaheads::compute).
@@ -76,7 +76,7 @@ NqlalrLookaheads NqlalrLookaheads::compute(const Lr0Automaton &A,
 ParseTable lalr::buildNqlalrTable(const Lr0Automaton &A,
                                   const GrammarAnalysis &Analysis) {
   NqlalrLookaheads LA = NqlalrLookaheads::compute(A, Analysis);
-  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> SetView {
     return LA.la(S, P);
   });
 }

@@ -10,7 +10,7 @@ ParseTable lalr::buildSlrTable(const Lr0Automaton &A,
   const Grammar &G = A.grammar();
   return fillParseTable(
       A,
-      [&](StateId, ProductionId P) -> const BitSet & {
+      [&](StateId, ProductionId P) -> SetView {
         return Analysis.follow(G.production(P).Lhs);
       },
       Guard);

@@ -138,7 +138,7 @@ YaccLalrLookaheads::compute(const Lr0Automaton &A,
 ParseTable lalr::buildYaccLalrTable(const Lr0Automaton &A,
                                     const GrammarAnalysis &Analysis) {
   YaccLalrLookaheads LA = YaccLalrLookaheads::compute(A, Analysis);
-  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> SetView {
     return LA.la(S, P);
   });
 }

@@ -28,7 +28,7 @@ GlrTable GlrTable::build(const Lr0Automaton &A, const LookaheadFn &LA) {
         T.Gotos[S * T.NumNonterminals + G.ntIndex(Sym)] = Target;
     }
     for (ProductionId P : A.state(S).Reductions) {
-      const BitSet &Set = LA(S, P);
+      SetView Set = LA(S, P);
       for (size_t Term : Set) {
         if (P == 0)
           T.Accepts[S * T.NumTerminals + Term] = true;
@@ -208,7 +208,7 @@ GlrResult lalr::glrRecognize(const Grammar &G,
   Lr0Automaton A = Lr0Automaton::build(G);
   LalrLookaheads LA = LalrLookaheads::compute(A, An);
   GlrTable Table = GlrTable::build(
-      A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+      A, [&LA](StateId S, ProductionId P) -> SetView {
         return LA.la(S, P);
       });
   return glrRecognize(G, Table, Input);

@@ -22,16 +22,42 @@ struct Frame {
   bool SelfLoop;    ///< saw an edge Node -> Node
 };
 
-} // namespace
+// The algorithm bodies are templated over two tiny adapters so the
+// CSR+slab form (the DP pipeline) and the ragged+BitSet form (baselines)
+// share one implementation:
+//
+//   EdgesAdapter:  numNodes(), row(X) -> indexable range, hasSelfLoop(X)
+//   FamilyAdapter: unionInto(Dst, Src) -> changed, copyRow(Dst, Src)
 
-std::vector<BitSet>
-lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
-                   std::vector<BitSet> Init, DigraphStats *Stats,
-                   std::vector<bool> *InNontrivialScc,
-                   const BuildGuard *Guard) {
-  const size_t NumNodes = Edges.size();
-  assert(Init.size() == NumNodes && "one initial set per node");
-  std::vector<BitSet> F = std::move(Init);
+struct CsrEdges {
+  const CsrRelation &R;
+  size_t numNodes() const { return R.rows(); }
+  std::span<const uint32_t> row(uint32_t X) const { return R.row(X); }
+};
+
+struct RaggedEdges {
+  const std::vector<std::vector<uint32_t>> &R;
+  size_t numNodes() const { return R.size(); }
+  const std::vector<uint32_t> &row(uint32_t X) const { return R[X]; }
+};
+
+struct SlabFamily {
+  SetSlab &F;
+  bool unionInto(size_t Dst, size_t Src) { return F.unionInto(Dst, Src); }
+  void copyRow(size_t Dst, size_t Src) { F.copyRow(Dst, Src); }
+};
+
+struct BitSetFamily {
+  std::vector<BitSet> &F;
+  bool unionInto(size_t Dst, size_t Src) { return F[Dst].unionWith(F[Src]); }
+  void copyRow(size_t Dst, size_t Src) { F[Dst] = F[Src]; }
+};
+
+template <typename EdgesT, typename FamilyT>
+void solveDigraphImpl(EdgesT Edges, FamilyT F, DigraphStats *Stats,
+                      std::vector<bool> *InNontrivialScc,
+                      const BuildGuard *Guard) {
+  const size_t NumNodes = Edges.numNodes();
 
   constexpr uint32_t Unvisited = 0;
   constexpr uint32_t Done = UINT32_MAX;
@@ -60,8 +86,9 @@ lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
       Frame &Fr = CallStack.back();
       uint32_t X = Fr.Node;
 
-      if (Fr.EdgeIdx < Edges[X].size()) {
-        uint32_t Y = Edges[X][Fr.EdgeIdx++];
+      auto Row = Edges.row(X);
+      if (Fr.EdgeIdx < Row.size()) {
+        uint32_t Y = Row[Fr.EdgeIdx++];
         if (Y == X)
           Fr.SelfLoop = true;
         if (N[Y] == Unvisited) {
@@ -71,14 +98,13 @@ lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
         // Y already visited (on-stack, or completed): fold it in now,
         // exactly as the recursive formulation does after traverse(Y).
         N[X] = std::min(N[X], N[Y]);
-        F[X].unionWith(F[Y]);
+        F.unionInto(X, Y);
         ++LocalStats.UnionOps;
         continue;
       }
 
       // All out-edges of X handled. If X is its component's root, pop the
       // whole SCC and freeze its set.
-      bool PoppedComponent = false;
       if (N[X] == Fr.Depth) {
         bool Nontrivial = Stack.back() != X || Fr.SelfLoop;
         if (Nontrivial) {
@@ -99,12 +125,10 @@ lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
           if (Z == X)
             break;
           // Every member of the component shares the root's solution.
-          F[Z] = F[X];
+          F.copyRow(Z, X);
           ++LocalStats.UnionOps;
         }
-        PoppedComponent = true;
       }
-      (void)PoppedComponent;
 
       uint32_t ChildLow = N[X]; // Done if popped, else X's low-link
       uint32_t Child = X;
@@ -112,7 +136,7 @@ lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
       if (!CallStack.empty()) {
         Frame &Parent = CallStack.back();
         N[Parent.Node] = std::min(N[Parent.Node], ChildLow);
-        F[Parent.Node].unionWith(F[Child]);
+        F.unionInto(Parent.Node, Child);
         ++LocalStats.UnionOps;
       }
     }
@@ -121,28 +145,23 @@ lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
   LocalStats.Sweeps = 1;
   if (Stats)
     *Stats = LocalStats;
-  return F;
 }
 
-namespace {
-
-/// True iff component \p Comp of \p Scc is nontrivial (>= 2 nodes, or a
-/// self-loop on its single node).
-bool isNontrivialComponent(const std::vector<uint32_t> &Comp,
-                           const std::vector<std::vector<uint32_t>> &Edges) {
+/// True iff component \p Comp is nontrivial (>= 2 nodes, or a self-loop
+/// on its single node).
+template <typename EdgesT>
+bool isNontrivialComponent(const std::vector<uint32_t> &Comp, EdgesT Edges) {
   if (Comp.size() >= 2)
     return true;
   uint32_t U = Comp.front();
-  return std::find(Edges[U].begin(), Edges[U].end(), U) != Edges[U].end();
+  auto Row = Edges.row(U);
+  return std::find(Row.begin(), Row.end(), U) != Row.end();
 }
 
-} // namespace
-
-size_t
-lalr::digraphCycleMembers(const std::vector<std::vector<uint32_t>> &Edges,
-                          std::vector<bool> &InNontrivialScc) {
-  InNontrivialScc.assign(Edges.size(), false);
-  SccResult Scc = computeSccs(Edges);
+template <typename EdgesT>
+size_t cycleMembersImpl(EdgesT Edges, const SccResult &Scc,
+                        std::vector<bool> &InNontrivialScc) {
+  InNontrivialScc.assign(Edges.numNodes(), false);
   size_t Nontrivial = 0;
   for (const std::vector<uint32_t> &Comp : Scc.Components) {
     if (!isNontrivialComponent(Comp, Edges))
@@ -154,24 +173,19 @@ lalr::digraphCycleMembers(const std::vector<std::vector<uint32_t>> &Edges,
   return Nontrivial;
 }
 
-std::vector<BitSet>
-lalr::solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
-                           std::vector<BitSet> Init, ThreadPool &Pool,
-                           DigraphStats *Stats,
-                           std::vector<bool> *InNontrivialScc,
-                           const BuildGuard *Guard) {
-  const size_t NumNodes = Edges.size();
-  assert(Init.size() == NumNodes && "one initial set per node");
-  std::vector<BitSet> F = std::move(Init);
+template <typename EdgesT, typename FamilyT>
+void solveDigraphParallelImpl(EdgesT Edges, FamilyT F, ThreadPool &Pool,
+                              DigraphStats *Stats,
+                              std::vector<bool> *InNontrivialScc,
+                              const BuildGuard *Guard, const SccResult &Scc) {
   DigraphStats LocalStats;
   if (InNontrivialScc)
-    InNontrivialScc->assign(NumNodes, false);
+    InNontrivialScc->assign(Edges.numNodes(), false);
 
-  // Condense into SCCs. Components are numbered in reverse topological
-  // order: every successor component of C has an index < C, so one
-  // ascending pass computes both the deduped successor lists and the
-  // wavefront level (longest path to a sink) of every component.
-  SccResult Scc = computeSccs(Edges);
+  // Components are numbered in reverse topological order: every successor
+  // component of C has an index < C, so one ascending pass computes both
+  // the deduped successor lists and the wavefront level (longest path to
+  // a sink) of every component.
   const size_t NumComps = Scc.componentCount();
   std::vector<std::vector<uint32_t>> CompSucc(NumComps);
   std::vector<uint32_t> Level(NumComps, 0);
@@ -180,7 +194,7 @@ lalr::solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
     guardPollStrided(Guard, C);
     std::vector<uint32_t> &Succ = CompSucc[C];
     for (uint32_t U : Scc.Components[C])
-      for (uint32_t V : Edges[U])
+      for (uint32_t V : Edges.row(U))
         if (Scc.ComponentOf[V] != C)
           Succ.push_back(Scc.ComponentOf[V]);
     std::sort(Succ.begin(), Succ.end());
@@ -214,15 +228,15 @@ lalr::solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
         const std::vector<uint32_t> &Members = Scc.Components[Wave[I]];
         uint32_t Rep = Members.front();
         for (size_t M = 1; M < Members.size(); ++M) {
-          F[Rep].unionWith(F[Members[M]]);
+          F.unionInto(Rep, Members[M]);
           ++Ops;
         }
         for (uint32_t D : CompSucc[Wave[I]]) {
-          F[Rep].unionWith(F[Scc.Components[D].front()]);
+          F.unionInto(Rep, Scc.Components[D].front());
           ++Ops;
         }
         for (size_t M = 1; M < Members.size(); ++M) {
-          F[Members[M]] = F[Rep];
+          F.copyRow(Members[M], Rep);
           ++Ops;
         }
       }
@@ -235,16 +249,13 @@ lalr::solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
   LocalStats.Sweeps = 1;
   if (Stats)
     *Stats = LocalStats;
-  return F;
 }
 
-std::vector<BitSet>
-lalr::solveNaiveFixpoint(const std::vector<std::vector<uint32_t>> &Edges,
-                         std::vector<BitSet> Init, DigraphStats *Stats,
-                         bool ReverseOrder, const BuildGuard *Guard) {
-  std::vector<BitSet> F = std::move(Init);
+template <typename EdgesT, typename FamilyT>
+void solveNaiveFixpointImpl(EdgesT Edges, FamilyT F, DigraphStats *Stats,
+                            bool ReverseOrder, const BuildGuard *Guard) {
   DigraphStats LocalStats;
-  const size_t N = Edges.size();
+  const size_t N = Edges.numNodes();
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -252,13 +263,97 @@ lalr::solveNaiveFixpoint(const std::vector<std::vector<uint32_t>> &Edges,
     for (size_t I = 0; I < N; ++I) {
       guardPollStrided(Guard, I);
       size_t X = ReverseOrder ? N - 1 - I : I;
-      for (uint32_t Y : Edges[X]) {
-        Changed |= F[X].unionWith(F[Y]);
+      for (uint32_t Y : Edges.row(static_cast<uint32_t>(X))) {
+        Changed |= F.unionInto(X, Y);
         ++LocalStats.UnionOps;
       }
     }
   }
   if (Stats)
     *Stats = LocalStats;
-  return F;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// CSR + SetSlab forms (the DP pipeline's layout)
+// ---------------------------------------------------------------------------
+
+SetSlab lalr::solveDigraph(const CsrRelation &Edges, SetSlab Init,
+                           DigraphStats *Stats,
+                           std::vector<bool> *InNontrivialScc,
+                           const BuildGuard *Guard) {
+  assert(Init.size() == Edges.rows() && "one initial set per node");
+  solveDigraphImpl(CsrEdges{Edges}, SlabFamily{Init}, Stats, InNontrivialScc,
+                   Guard);
+  return Init;
+}
+
+size_t lalr::digraphCycleMembers(const CsrRelation &Edges,
+                                 std::vector<bool> &InNontrivialScc) {
+  return cycleMembersImpl(CsrEdges{Edges}, computeSccs(Edges),
+                          InNontrivialScc);
+}
+
+SetSlab lalr::solveDigraphParallel(const CsrRelation &Edges, SetSlab Init,
+                                   ThreadPool &Pool, DigraphStats *Stats,
+                                   std::vector<bool> *InNontrivialScc,
+                                   const BuildGuard *Guard) {
+  assert(Init.size() == Edges.rows() && "one initial set per node");
+  solveDigraphParallelImpl(CsrEdges{Edges}, SlabFamily{Init}, Pool, Stats,
+                           InNontrivialScc, Guard, computeSccs(Edges));
+  return Init;
+}
+
+SetSlab lalr::solveNaiveFixpoint(const CsrRelation &Edges, SetSlab Init,
+                                 DigraphStats *Stats, bool ReverseOrder,
+                                 const BuildGuard *Guard) {
+  assert(Init.size() == Edges.rows() && "one initial set per node");
+  solveNaiveFixpointImpl(CsrEdges{Edges}, SlabFamily{Init}, Stats,
+                         ReverseOrder, Guard);
+  return Init;
+}
+
+// ---------------------------------------------------------------------------
+// Ragged + BitSet compatibility forms (baselines, ablations, tests)
+// ---------------------------------------------------------------------------
+
+std::vector<BitSet>
+lalr::solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
+                   std::vector<BitSet> Init, DigraphStats *Stats,
+                   std::vector<bool> *InNontrivialScc,
+                   const BuildGuard *Guard) {
+  assert(Init.size() == Edges.size() && "one initial set per node");
+  solveDigraphImpl(RaggedEdges{Edges}, BitSetFamily{Init}, Stats,
+                   InNontrivialScc, Guard);
+  return Init;
+}
+
+size_t
+lalr::digraphCycleMembers(const std::vector<std::vector<uint32_t>> &Edges,
+                          std::vector<bool> &InNontrivialScc) {
+  return cycleMembersImpl(RaggedEdges{Edges}, computeSccs(Edges),
+                          InNontrivialScc);
+}
+
+std::vector<BitSet>
+lalr::solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
+                           std::vector<BitSet> Init, ThreadPool &Pool,
+                           DigraphStats *Stats,
+                           std::vector<bool> *InNontrivialScc,
+                           const BuildGuard *Guard) {
+  assert(Init.size() == Edges.size() && "one initial set per node");
+  solveDigraphParallelImpl(RaggedEdges{Edges}, BitSetFamily{Init}, Pool,
+                           Stats, InNontrivialScc, Guard, computeSccs(Edges));
+  return Init;
+}
+
+std::vector<BitSet>
+lalr::solveNaiveFixpoint(const std::vector<std::vector<uint32_t>> &Edges,
+                         std::vector<BitSet> Init, DigraphStats *Stats,
+                         bool ReverseOrder, const BuildGuard *Guard) {
+  assert(Init.size() == Edges.size() && "one initial set per node");
+  solveNaiveFixpointImpl(RaggedEdges{Edges}, BitSetFamily{Init}, Stats,
+                         ReverseOrder, Guard);
+  return Init;
 }

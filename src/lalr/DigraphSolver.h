@@ -12,6 +12,15 @@
 /// which is the efficiency claim of the paper. A naive iterate-to-fixpoint
 /// solver is provided as the ablation baseline (Fig. 3).
 ///
+/// Each solver exists in two representations sharing one algorithm body:
+/// the primary form takes the relation as CSR (support/Csr.h) and the set
+/// family as an arena-backed SetSlab (support/SetSlab.h) — the DP
+/// pipeline's layout, where the union loop streams contiguous memory —
+/// and a compatibility form takes ragged adjacency + std::vector<BitSet>
+/// for the baselines (NQLALR's quotient graph, the ablation benches).
+/// The least solution is unique, so both forms produce bit-identical
+/// sets and identical UnionOps counts for the same graph.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LALR_LALR_DIGRAPHSOLVER_H
@@ -19,6 +28,8 @@
 
 #include "support/BitSet.h"
 #include "support/Cancellation.h"
+#include "support/Csr.h"
+#include "support/SetSlab.h"
 
 #include <cstdint>
 #include <vector>
@@ -29,7 +40,7 @@ class ThreadPool;
 
 /// Counters exposed for the evaluation harness.
 struct DigraphStats {
-  /// Number of BitSet::unionWith calls performed.
+  /// Number of set-union operations performed.
   size_t UnionOps = 0;
   /// Number of nontrivial SCCs (>= 2 nodes, or a self-loop) encountered.
   /// A nontrivial SCC in `reads` certifies the grammar is not LR(k).
@@ -38,13 +49,19 @@ struct DigraphStats {
   size_t Sweeps = 0;
 };
 
-/// Solves the equation system over nodes [0, Edges.size()) with initial
+/// Solves the equation system over nodes [0, Edges.rows()) with initial
 /// sets \p Init (consumed and returned as the solution). If \p Stats is
 /// nonnull it is filled; if \p InNontrivialScc is nonnull it is resized
 /// and marks every node lying on a cycle of the relation.
 /// All three solvers poll \p Guard (when non-null) once per node visit /
 /// component / sweep node, so cancellation and deadlines interrupt even
 /// adversarially deep traversals.
+SetSlab solveDigraph(const CsrRelation &Edges, SetSlab Init,
+                     DigraphStats *Stats = nullptr,
+                     std::vector<bool> *InNontrivialScc = nullptr,
+                     const BuildGuard *Guard = nullptr);
+
+/// Ragged/BitSet compatibility form (baseline builders and tests).
 std::vector<BitSet>
 solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
              std::vector<BitSet> Init, DigraphStats *Stats = nullptr,
@@ -57,6 +74,8 @@ solveDigraph(const std::vector<std::vector<uint32_t>> &Edges,
 /// the number of nontrivial SCCs. Used where only the not-LR(k) witness is
 /// wanted — e.g. the naive-fixpoint ablation path, which has the sets but
 /// not the SCC structure.
+size_t digraphCycleMembers(const CsrRelation &Edges,
+                           std::vector<bool> &InNontrivialScc);
 size_t digraphCycleMembers(const std::vector<std::vector<uint32_t>> &Edges,
                            std::vector<bool> &InNontrivialScc);
 
@@ -68,7 +87,14 @@ size_t digraphCycleMembers(const std::vector<std::vector<uint32_t>> &Edges,
 /// traversal above remains the Threads == 0 path; this one pays an extra
 /// O(V+E) condensation pass to expose the parallelism. Stats counters are
 /// deterministic but not identical to the serial traversal's (the
-/// per-component evaluation order differs).
+/// per-component evaluation order differs). Slab rows never share a
+/// 64-bit word, so concurrent chunks touching distinct components are
+/// race-free by construction.
+SetSlab solveDigraphParallel(const CsrRelation &Edges, SetSlab Init,
+                             ThreadPool &Pool, DigraphStats *Stats = nullptr,
+                             std::vector<bool> *InNontrivialScc = nullptr,
+                             const BuildGuard *Guard = nullptr);
+
 std::vector<BitSet>
 solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
                      std::vector<BitSet> Init, ThreadPool &Pool,
@@ -85,6 +111,11 @@ solveDigraphParallel(const std::vector<std::vector<uint32_t>> &Edges,
 /// relation of a BFS-numbered automaton mostly does). The digraph
 /// algorithm above is order-independent — that contrast is the Fig. 3
 /// ablation.
+SetSlab solveNaiveFixpoint(const CsrRelation &Edges, SetSlab Init,
+                           DigraphStats *Stats = nullptr,
+                           bool ReverseOrder = false,
+                           const BuildGuard *Guard = nullptr);
+
 std::vector<BitSet>
 solveNaiveFixpoint(const std::vector<std::vector<uint32_t>> &Edges,
                    std::vector<BitSet> Init, DigraphStats *Stats = nullptr,

@@ -13,10 +13,10 @@ namespace {
 
 /// Largest population count over a family of sets (the paper's evaluation
 /// reports peak set sizes; only computed when someone is listening).
-uint64_t peakBits(const std::vector<BitSet> &Sets) {
+uint64_t peakBits(const SetSlab &Sets) {
   uint64_t Peak = 0;
-  for (const BitSet &S : Sets)
-    Peak = std::max<uint64_t>(Peak, S.count());
+  for (size_t I = 0, E = Sets.size(); I != E; ++I)
+    Peak = std::max<uint64_t>(Peak, Sets.count(I));
   return Peak;
 }
 
@@ -41,13 +41,18 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
 
   // The set families this pipeline allocates: DR + Read over nt
   // transitions, Follow over nt transitions, LA over reduction slots —
-  // each BitSet is numTerminals() wide. Deterministic up-front check, so
-  // MaxSetBits trips before any allocation rather than mid-solve.
+  // each slab row is numTerminals() wide. Deterministic up-front checks
+  // (bit census for MaxSetBits, arena census for MaxSlabBytes), so limits
+  // trip before any allocation rather than mid-solve.
   if (Guard) {
     uint64_t Bits = (3 * uint64_t(Out.NtIdx->size()) +
                      uint64_t(Out.RedIdx->size())) *
                     G.numTerminals();
     Guard->checkSetBits(Bits);
+    uint64_t Bytes =
+        3 * uint64_t(SetSlab::bytesFor(Out.NtIdx->size(), G.numTerminals())) +
+        uint64_t(SetSlab::bytesFor(Out.RedIdx->size(), G.numTerminals()));
+    Guard->checkSlabBytes(Bytes);
   }
 
   {
@@ -61,7 +66,7 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
   {
     StageTimer T(Stats, "solve-read");
     failPoint("solve-read");
-    std::vector<BitSet> Initial = Out.Relations.DirectRead;
+    SetSlab Initial = Out.Relations.DirectRead;
     if (Solver == SolverKind::Digraph) {
       if (Pool)
         Out.ReadSets =
@@ -88,7 +93,7 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
   {
     StageTimer T(Stats, "solve-follow");
     failPoint("solve-follow");
-    std::vector<BitSet> Initial = Out.ReadSets;
+    SetSlab Initial = Out.ReadSets;
     if (Solver == SolverKind::Digraph) {
       if (Pool)
         Out.FollowSets =
@@ -106,16 +111,17 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
   }
 
   // LA(q, A->w) = union of Follow over lookback. Each reduction slot
-  // unions into its own set only, so the pass shards over slot ranges.
+  // unions into its own slab row only (rows never share a word), so the
+  // pass shards over slot ranges.
   {
     StageTimer T(Stats, "la-union");
     failPoint("la-union");
-    Out.LaSets.assign(Out.RedIdx->size(), BitSet(G.numTerminals()));
+    Out.LaSets = SetSlab(Out.RedIdx->size(), G.numTerminals());
     auto UnionSlots = [&](size_t Lo, size_t Hi) {
       for (size_t Slot = Lo; Slot < Hi; ++Slot) {
         guardPollStrided(Guard, Slot);
-        for (uint32_t X : Out.Relations.Lookback[Slot])
-          Out.LaSets[Slot].unionWith(Out.FollowSets[X]);
+        for (uint32_t X : Out.Relations.Lookback.row(Slot))
+          Out.LaSets.unionInto(Slot, Out.FollowSets[X]);
       }
     };
     if (Pool)
@@ -129,7 +135,7 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
     // The accept reduction $accept -> start has no lookback (no state has
     // a $accept transition); its look-ahead is the end marker by
     // definition.
-    Out.LaSets[Out.RedIdx->slot(A.acceptState(), 0)].set(G.eofSymbol());
+    Out.LaSets.set(Out.RedIdx->slot(A.acceptState(), 0), G.eofSymbol());
   }
 
   // Everything below is observability only: counter scans (peak set
@@ -154,6 +160,17 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
     Stats->setCounter("peak_read_bits", peakBits(Out.ReadSets));
     Stats->setCounter("peak_follow_bits", peakBits(Out.FollowSets));
     Stats->setCounter("peak_la_bits", peakBits(Out.LaSets));
+    // Data-layout counters: the arena footprint of the four set slabs
+    // and the flat relation edge total (structural — gated by
+    // scripts/compare_stats.py).
+    Stats->setCounter("slab_bytes", Out.slabBytes());
+    Stats->setCounter("slab_sets",
+                      Out.Relations.DirectRead.size() + Out.ReadSets.size() +
+                          Out.FollowSets.size() + Out.LaSets.size());
+    Stats->setCounter("relation_csr_edges",
+                      Out.Relations.readsEdgeCount() +
+                          Out.Relations.includesEdgeCount() +
+                          Out.Relations.lookbackEdgeCount());
   }
 
   return Out;

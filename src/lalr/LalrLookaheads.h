@@ -14,6 +14,12 @@
 /// are retained: the evaluation section reports their sizes (Table 2) and
 /// the not-LR(k) certificate is a nontrivial SCC in `reads`.
 ///
+/// Set families live in arena-backed SetSlab banks (one contiguous
+/// allocation per family) and the relations are CSR — the flat layout the
+/// solvers stream through; see docs/ALGORITHM.md "Data layout". Consumers
+/// read individual sets as SetView (la() below), which a BitSet also
+/// converts to, so downstream code is representation-agnostic.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LALR_LALR_LALRLOOKAHEADS_H
@@ -42,15 +48,16 @@ public:
   /// Runs the full DP pipeline over \p A. \p Analysis must be for the
   /// same grammar. If \p Stats is nonnull, records the five stages
   /// (nt-index, relations, solve-read, solve-follow, la-union) with
-  /// relation edge counts, solver union-op/SCC counters, and peak set
-  /// sizes. With a non-null \p Pool the relations build, the digraph
-  /// solves and the la-union pass run sharded on the pool; the computed
-  /// sets are bit-identical to the serial path (asserted by
-  /// tests/parallel_test.cpp across the corpus). \p Guard, when non-null,
-  /// is polled throughout every stage (cancellation/deadline) and
-  /// enforces MaxRelationEdges during the relations build and MaxSetBits
-  /// against the total bits the Read/Follow/LA set families will
-  /// allocate, checked up front from the known family sizes.
+  /// relation edge counts, solver union-op/SCC counters, peak set sizes
+  /// and the slab arena footprint. With a non-null \p Pool the relations
+  /// build, the digraph solves and the la-union pass run sharded on the
+  /// pool; the computed sets are bit-identical to the serial path
+  /// (asserted by tests/parallel_test.cpp across the corpus). \p Guard,
+  /// when non-null, is polled throughout every stage
+  /// (cancellation/deadline) and enforces MaxRelationEdges during the
+  /// relations build plus MaxSetBits / MaxSlabBytes against the total
+  /// bits/bytes the Read/Follow/LA set families will allocate, checked up
+  /// front from the known family sizes.
   static LalrLookaheads compute(const Lr0Automaton &A,
                                 const GrammarAnalysis &Analysis,
                                 SolverKind Solver = SolverKind::Digraph,
@@ -59,8 +66,9 @@ public:
                                 const BuildGuard *Guard = nullptr);
 
   /// LA(q, A->w): look-ahead set of reduction (State, Prod), over
-  /// terminal ids. The reduction must exist in that state.
-  const BitSet &la(StateId State, ProductionId Prod) const {
+  /// terminal ids; a view into the LA slab (valid while this object
+  /// lives). The reduction must exist in that state.
+  SetView la(StateId State, ProductionId Prod) const {
     return LaSets[RedIdx->slot(State, Prod)];
   }
 
@@ -73,15 +81,21 @@ public:
   const NtTransitionIndex &ntTransitions() const { return *NtIdx; }
   const ReductionIndex &reductions() const { return *RedIdx; }
   const LalrRelations &relations() const { return Relations; }
-  const std::vector<BitSet> &readSets() const { return ReadSets; }
-  const std::vector<BitSet> &followSets() const { return FollowSets; }
-  const std::vector<BitSet> &laSets() const { return LaSets; }
+  const SetSlab &readSets() const { return ReadSets; }
+  const SetSlab &followSets() const { return FollowSets; }
+  const SetSlab &laSets() const { return LaSets; }
   const DigraphStats &readsSolverStats() const { return ReadsStats; }
   const DigraphStats &includesSolverStats() const { return IncludesStats; }
   /// Nonterminal transitions lying on a `reads` cycle (the not-LR(k)
   /// witnesses).
   const std::vector<bool> &readsCycleMembers() const {
     return ReadsCycleMembers;
+  }
+  /// Total arena bytes across the DR/Read/Follow/LA slabs (the
+  /// slab_bytes counter).
+  uint64_t slabBytes() const {
+    return Relations.DirectRead.bytes() + ReadSets.bytes() +
+           FollowSets.bytes() + LaSets.bytes();
   }
   /// @}
 
@@ -91,9 +105,9 @@ private:
   std::unique_ptr<NtTransitionIndex> NtIdx;
   std::unique_ptr<ReductionIndex> RedIdx;
   LalrRelations Relations;
-  std::vector<BitSet> ReadSets;
-  std::vector<BitSet> FollowSets;
-  std::vector<BitSet> LaSets;
+  SetSlab ReadSets;
+  SetSlab FollowSets;
+  SetSlab LaSets;
   DigraphStats ReadsStats;
   DigraphStats IncludesStats;
   std::vector<bool> ReadsCycleMembers;

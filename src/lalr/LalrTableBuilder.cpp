@@ -6,7 +6,7 @@ using namespace lalr;
 
 ParseTable lalr::buildLalrTable(const Lr0Automaton &A,
                                 const LalrLookaheads &LA) {
-  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+  return fillParseTable(A, [&LA](StateId S, ProductionId P) -> SetView {
     return LA.la(S, P);
   });
 }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <numeric>
 
 using namespace lalr;
 
@@ -35,45 +36,27 @@ StateId ReductionIndex::stateOf(uint32_t Slot) const {
   return static_cast<StateId>(It - Offsets.begin() - 1);
 }
 
-size_t LalrRelations::readsEdgeCount() const {
-  size_t N = 0;
-  for (const auto &E : Reads)
-    N += E.size();
-  return N;
-}
-size_t LalrRelations::includesEdgeCount() const {
-  size_t N = 0;
-  for (const auto &E : Includes)
-    N += E.size();
-  return N;
-}
-size_t LalrRelations::lookbackEdgeCount() const {
-  size_t N = 0;
-  for (const auto &E : Lookback)
-    N += E.size();
-  return N;
-}
-
 namespace {
 
-/// Fills DR[X] and Reads[X] for one nonterminal transition: both look one
-/// transition past (p, A). Writes only to index X, so slices of the
-/// transition range are independent.
+/// Fills DR row X and appends X's reads edges to \p ReadsOut: both look
+/// one transition past (p, A). Writes only to row X of the slab, so
+/// slices of the transition range are independent.
 void buildDrAndReadsRow(uint32_t X, const Lr0Automaton &A, const Grammar &G,
                         const GrammarAnalysis &Analysis,
-                        const NtTransitionIndex &NtIdx, LalrRelations &R) {
+                        const NtTransitionIndex &NtIdx, SetSlab &DirectRead,
+                        std::vector<uint32_t> &ReadsOut) {
   const NtTransition &T = NtIdx[X];
   for (auto [Sym, Target] : A.state(T.To).Transitions) {
     (void)Target;
     if (G.isTerminal(Sym)) {
-      R.DirectRead[X].set(Sym);
+      DirectRead.set(X, Sym);
       continue;
     }
     if (Analysis.isNullable(Sym)) {
       uint32_t Y = NtIdx.indexOf(T.To, Sym);
       assert(Y != NtTransitionIndex::Missing &&
              "transition enumerated from the automaton must be indexed");
-      R.Reads[X].push_back(Y);
+      ReadsOut.push_back(Y);
     }
   }
 }
@@ -127,14 +110,22 @@ void sortUnique(std::vector<uint32_t> &Edges) {
   Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
 }
 
+/// Compacts ragged scratch rows into CSR (one flat pass; the scratch is
+/// the builders' transient working set, the CSR the published artifact).
+CsrRelation compactRows(const std::vector<std::vector<uint32_t>> &Rows) {
+  return CsrRelation::fromRows(Rows);
+}
+
 /// The sharded build: workers own contiguous slices of the transition
-/// range. DR/reads rows are written in place (row X belongs to exactly
-/// one slice); includes/lookback edges target arbitrary rows, so each
-/// slice buffers (target, source) pairs and a second parallel pass merges
-/// them — each merge worker owns a contiguous range of *target* rows and
-/// appends matching pairs in slice order, locklessly. The final
-/// sort+dedup per row (also sharded) canonicalizes edge order, making the
-/// result bit-identical to the serial build.
+/// range. DR rows are written in place (row X belongs to exactly one
+/// slice) and reads edges are buffered flat per slice — a slice's rows
+/// are contiguous, so after a per-row-count prefix sum each slice copies
+/// its buffer verbatim into its CSR segment. includes/lookback edges
+/// target arbitrary rows, so each slice buffers (target, source) pairs
+/// and a second parallel pass merges them — each merge worker owns a
+/// contiguous range of *target* rows and appends matching pairs in slice
+/// order, locklessly, then sort+dedups (the serial build's canonical
+/// order) before a final sharded compaction into CSR.
 void buildShardedRelations(const Lr0Automaton &A, const GrammarAnalysis &An,
                            const NtTransitionIndex &NtIdx,
                            const ReductionIndex &RedIdx, ThreadPool &Pool,
@@ -144,10 +135,12 @@ void buildShardedRelations(const Lr0Automaton &A, const GrammarAnalysis &An,
   const size_t NumChunks = Pool.workerCount();
 
   struct SliceEdges {
+    std::vector<uint32_t> Reads; // flat, rows in slice order
     std::vector<std::pair<uint32_t, uint32_t>> Includes; // (target, source)
     std::vector<std::pair<uint32_t, uint32_t>> Lookback; // (slot, source)
   };
   std::vector<SliceEdges> Slices(NumChunks);
+  std::vector<uint32_t> ReadsCount(NumNt, 0);
 
   // Shared running edge total for MaxRelationEdges: each worker adds its
   // per-row delta (relaxed — the trip point is approximate but the trip
@@ -160,9 +153,13 @@ void buildShardedRelations(const Lr0Automaton &A, const GrammarAnalysis &An,
         SliceEdges &Out = Slices[Chunk];
         for (size_t X = Lo; X < Hi; ++X) {
           guardPollStrided(Guard, X);
+          size_t ReadsBefore = Out.Reads.size();
           size_t Before = Out.Includes.size() + Out.Lookback.size() +
-                          R.Reads[X].size();
-          buildDrAndReadsRow(static_cast<uint32_t>(X), A, G, An, NtIdx, R);
+                          ReadsBefore;
+          buildDrAndReadsRow(static_cast<uint32_t>(X), A, G, An, NtIdx,
+                             R.DirectRead, Out.Reads);
+          ReadsCount[X] =
+              static_cast<uint32_t>(Out.Reads.size() - ReadsBefore);
           replayProductions(
               static_cast<uint32_t>(X), A, G, An, NtIdx, RedIdx,
               [&](uint32_t Inner, uint32_t Src) {
@@ -173,7 +170,7 @@ void buildShardedRelations(const Lr0Automaton &A, const GrammarAnalysis &An,
               });
           if (Guard) {
             size_t After = Out.Includes.size() + Out.Lookback.size() +
-                           R.Reads[X].size();
+                           Out.Reads.size();
             uint64_t Total =
                 EdgeTotal.fetch_add(After - Before,
                                     std::memory_order_relaxed) +
@@ -184,31 +181,77 @@ void buildShardedRelations(const Lr0Automaton &A, const GrammarAnalysis &An,
       },
       NumChunks);
 
+  // reads CSR: prefix-sum the per-row counts, then each slice copies its
+  // flat buffer into its contiguous segment (slice rows are contiguous,
+  // so the segment is [Offsets[Lo], Offsets[Hi])).
+  R.Reads.Offsets.resize(NumNt + 1);
+  R.Reads.Offsets[0] = 0;
+  for (size_t X = 0; X < NumNt; ++X)
+    R.Reads.Offsets[X + 1] = R.Reads.Offsets[X] + ReadsCount[X];
+  R.Reads.Edges.resize(R.Reads.Offsets[NumNt]);
+  Pool.parallelFor(
+      0, NumChunks,
+      [&](size_t, size_t Lo, size_t Hi) {
+        for (size_t Chunk = Lo; Chunk < Hi; ++Chunk) {
+          auto [RowLo, RowHi] =
+              ThreadPool::chunkRange(0, NumNt, NumChunks, Chunk);
+          std::copy(Slices[Chunk].Reads.begin(), Slices[Chunk].Reads.end(),
+                    R.Reads.Edges.begin() + R.Reads.Offsets[RowLo]);
+          (void)RowHi;
+        }
+      },
+      NumChunks);
+
   // Merge: worker W owns target rows [Lo, Hi) and scans every slice in
   // slice order, so each row sees its edges in the same global order the
   // serial build produced them — then canonicalizes by sort+dedup anyway.
+  std::vector<std::vector<uint32_t>> IncludesRows(NumNt);
   Pool.parallelFor(
       0, NumNt,
       [&](size_t, size_t Lo, size_t Hi) {
         for (const SliceEdges &S : Slices)
           for (auto [Target, Src] : S.Includes)
             if (Target >= Lo && Target < Hi)
-              R.Includes[Target].push_back(Src);
+              IncludesRows[Target].push_back(Src);
         for (size_t T = Lo; T < Hi; ++T)
-          sortUnique(R.Includes[T]);
+          sortUnique(IncludesRows[T]);
       },
       NumChunks);
+  std::vector<std::vector<uint32_t>> LookbackRows(RedIdx.size());
   Pool.parallelFor(
       0, RedIdx.size(),
       [&](size_t, size_t Lo, size_t Hi) {
         for (const SliceEdges &S : Slices)
           for (auto [Slot, Src] : S.Lookback)
             if (Slot >= Lo && Slot < Hi)
-              R.Lookback[Slot].push_back(Src);
+              LookbackRows[Slot].push_back(Src);
         for (size_t T = Lo; T < Hi; ++T)
-          sortUnique(R.Lookback[T]);
+          sortUnique(LookbackRows[T]);
       },
       NumChunks);
+
+  // Compaction into CSR, sharded: prefix sums are serial (cheap), the
+  // edge copies run per target range.
+  auto compactParallel = [&](std::vector<std::vector<uint32_t>> &Rows,
+                             CsrRelation &Csr) {
+    const size_t N = Rows.size();
+    Csr.Offsets.resize(N + 1);
+    Csr.Offsets[0] = 0;
+    for (size_t I = 0; I < N; ++I)
+      Csr.Offsets[I + 1] =
+          Csr.Offsets[I] + static_cast<uint32_t>(Rows[I].size());
+    Csr.Edges.resize(Csr.Offsets[N]);
+    Pool.parallelFor(
+        0, N,
+        [&](size_t, size_t Lo, size_t Hi) {
+          for (size_t I = Lo; I < Hi; ++I)
+            std::copy(Rows[I].begin(), Rows[I].end(),
+                      Csr.Edges.begin() + Csr.Offsets[I]);
+        },
+        NumChunks);
+  };
+  compactParallel(IncludesRows, R.Includes);
+  compactParallel(LookbackRows, R.Lookback);
 }
 
 } // namespace
@@ -223,36 +266,40 @@ LalrRelations lalr::buildLalrRelations(const Lr0Automaton &A,
   const Grammar &G = A.grammar();
   const size_t NumNt = NtIdx.size();
   LalrRelations R;
-  R.DirectRead.assign(NumNt, BitSet(G.numTerminals()));
-  R.Reads.resize(NumNt);
-  R.Includes.resize(NumNt);
-  R.Lookback.resize(RedIdx.size());
+  R.DirectRead = SetSlab(NumNt, G.numTerminals());
 
   if (Pool) {
     buildShardedRelations(A, Analysis, NtIdx, RedIdx, *Pool, R, Guard);
   } else {
     uint64_t Edges = 0;
+    std::vector<uint32_t> RowBuf;
     for (uint32_t X = 0; X < NumNt; ++X) {
       guardPollStrided(Guard, X);
-      buildDrAndReadsRow(X, A, G, Analysis, NtIdx, R);
+      RowBuf.clear();
+      buildDrAndReadsRow(X, A, G, Analysis, NtIdx, R.DirectRead, RowBuf);
+      // Rows are discovered in index order, so the reads CSR appends
+      // directly — no scratch adjacency at all for this relation.
+      R.Reads.appendRow(RowBuf.data(), RowBuf.data() + RowBuf.size());
       if (Guard) {
-        Edges += R.Reads[X].size();
+        Edges += RowBuf.size();
         Guard->checkRelationEdges(Edges);
       }
     }
 
     // includes and lookback are both built by replaying every production
     // from every state that carries a transition on its left-hand side.
+    std::vector<std::vector<uint32_t>> IncludesRows(NumNt);
+    std::vector<std::vector<uint32_t>> LookbackRows(RedIdx.size());
     for (uint32_t X = 0; X < NumNt; ++X) {
       guardPollStrided(Guard, X);
       replayProductions(
           X, A, G, Analysis, NtIdx, RedIdx,
           [&](uint32_t Inner, uint32_t Src) {
-            R.Includes[Inner].push_back(Src);
+            IncludesRows[Inner].push_back(Src);
             ++Edges;
           },
           [&](uint32_t Slot, uint32_t Src) {
-            R.Lookback[Slot].push_back(Src);
+            LookbackRows[Slot].push_back(Src);
             ++Edges;
           });
       // The limit bounds construction growth, so count pre-dedup edges.
@@ -262,10 +309,12 @@ LalrRelations lalr::buildLalrRelations(const Lr0Automaton &A,
 
     // Deduplicate includes edges: distinct occurrences of A in one body,
     // or different productions, can generate the same edge.
-    for (auto &Edges : R.Includes)
-      sortUnique(Edges);
-    for (auto &Edges : R.Lookback)
-      sortUnique(Edges);
+    for (auto &Row : IncludesRows)
+      sortUnique(Row);
+    for (auto &Row : LookbackRows)
+      sortUnique(Row);
+    R.Includes = compactRows(IncludesRows);
+    R.Lookback = compactRows(LookbackRows);
   }
 
   // The augmented grammar has no explicit end marker in production 0
@@ -276,7 +325,7 @@ LalrRelations lalr::buildLalrRelations(const Lr0Automaton &A,
     uint32_t StartTrans = NtIdx.indexOf(A.startState(), G.startSymbol());
     assert(StartTrans != NtTransitionIndex::Missing &&
            "the start transition always exists");
-    R.DirectRead[StartTrans].set(G.eofSymbol());
+    R.DirectRead.set(StartTrans, G.eofSymbol());
   }
 
   return R;

@@ -10,8 +10,13 @@
 ///                              p' --beta--> p
 ///   (q, A->w) lookback (p,A) iff p --w--> q
 ///
-/// The relations are pure data (adjacency lists + bitsets); the solving
-/// happens in DigraphSolver/LalrLookaheads.
+/// The relations are pure data; the solving happens in DigraphSolver /
+/// LalrLookaheads. The representation is flat: DR is a SetSlab (all rows
+/// in one aligned arena) and the three adjacencies are CSR
+/// (support/Csr.h), so the solvers walk contiguous memory instead of
+/// per-row heap allocations. Rows are sorted ascending and deduplicated —
+/// the same canonical edge order the old ragged build produced, so
+/// artifacts stay bit-identical across the representation change.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +27,8 @@
 #include "lalr/NtTransitionIndex.h"
 #include "support/BitSet.h"
 #include "support/Cancellation.h"
+#include "support/Csr.h"
+#include "support/SetSlab.h"
 
 #include <cstdint>
 #include <vector>
@@ -53,24 +60,25 @@ private:
 
 /// The assembled relations for one automaton.
 struct LalrRelations {
-  /// Direct read sets, by nonterminal-transition index, over terminals.
-  /// Seeded with $end on the (0, start) transition so that the accept
-  /// action falls out of the ordinary computation.
-  std::vector<BitSet> DirectRead;
+  /// Direct read sets, by nonterminal-transition index, over terminals;
+  /// one arena-backed slab row per transition. Seeded with $end on the
+  /// (0, start) transition so that the accept action falls out of the
+  /// ordinary computation.
+  SetSlab DirectRead;
 
-  /// reads adjacency, by nonterminal-transition index.
-  std::vector<std::vector<uint32_t>> Reads;
+  /// reads adjacency (CSR), by nonterminal-transition index.
+  CsrRelation Reads;
 
-  /// includes adjacency, by nonterminal-transition index.
-  std::vector<std::vector<uint32_t>> Includes;
+  /// includes adjacency (CSR), by nonterminal-transition index.
+  CsrRelation Includes;
 
-  /// lookback: for each reduction slot, the nonterminal transitions whose
-  /// Follow sets union into its LA set.
-  std::vector<std::vector<uint32_t>> Lookback;
+  /// lookback (CSR): for each reduction slot, the nonterminal transitions
+  /// whose Follow sets union into its LA set.
+  CsrRelation Lookback;
 
-  size_t readsEdgeCount() const;
-  size_t includesEdgeCount() const;
-  size_t lookbackEdgeCount() const;
+  size_t readsEdgeCount() const { return Reads.edgeCount(); }
+  size_t includesEdgeCount() const { return Includes.edgeCount(); }
+  size_t lookbackEdgeCount() const { return Lookback.edgeCount(); }
 };
 
 class ThreadPool;
@@ -78,12 +86,12 @@ class ThreadPool;
 /// Builds all four relations. \p Analysis must belong to the automaton's
 /// grammar (only nullability is consulted). With a non-null \p Pool the
 /// build is sharded over contiguous slices of the nonterminal-transition
-/// range (per-slice buffers, lock-free merge); the result is bit-identical
-/// to the serial build. \p Guard, when non-null, is polled once per
-/// transition row and enforces MaxRelationEdges over the running
-/// reads+includes+lookback edge total (exactly on the serial path; via a
-/// shared relaxed counter — so the trip row, not the outcome, may vary —
-/// on the sharded path).
+/// range (per-slice buffers, lock-free merge, CSR compaction by slice
+/// ownership); the result is bit-identical to the serial build. \p Guard,
+/// when non-null, is polled once per transition row and enforces
+/// MaxRelationEdges over the running reads+includes+lookback edge total
+/// (exactly on the serial path; via a shared relaxed counter — so the
+/// trip row, not the outcome, may vary — on the sharded path).
 LalrRelations buildLalrRelations(const Lr0Automaton &A,
                                  const GrammarAnalysis &Analysis,
                                  const NtTransitionIndex &NtIdx,

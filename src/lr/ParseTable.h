@@ -113,10 +113,12 @@ private:
 };
 
 /// Produces per-(state, production) look-ahead terminal sets; the glue
-/// between a look-ahead method and fillParseTable. Implementations:
-/// DP LALR, SLR (FOLLOW), NQLALR, YACC propagation.
-using LookaheadFn =
-    std::function<const BitSet &(StateId State, ProductionId Prod)>;
+/// between a look-ahead method and fillParseTable. Returns a SetView so a
+/// method can hand out slab rows (DP LALR) or plain BitSets (SLR, NQLALR,
+/// YACC propagation — BitSet converts implicitly); the view must stay
+/// valid for the duration of the fill. Implementations: DP LALR, SLR
+/// (FOLLOW), NQLALR, YACC propagation.
+using LookaheadFn = std::function<SetView(StateId State, ProductionId Prod)>;
 
 /// Fills a ParseTable for the LR(0) automaton \p A: shifts/gotos from the
 /// transitions, reduces from \p Lookaheads, accept for production 0 on
@@ -157,7 +159,7 @@ ParseTable fillTableGeneric(const Grammar &G, size_t NumStates,
   }
   for (uint32_t S = 0; S < NumStates; ++S) {
     guardPollStrided(Guard, S);
-    ForEachReduction(S, [&](ProductionId Prod, const BitSet &LA) {
+    ForEachReduction(S, [&](ProductionId Prod, SetView LA) {
       for (size_t T : LA)
         detail::insertReduceAction(Table, G, S, static_cast<SymbolId>(T),
                                    Prod);

@@ -30,7 +30,7 @@ ParseTable buildLr0Table(const Lr0Automaton &A, const BuildGuard *Guard) {
   EofOnly.set(G.eofSymbol());
   return fillParseTable(
       A,
-      [&](StateId, ProductionId P) -> const BitSet & {
+      [&](StateId, ProductionId P) -> SetView {
         return P == 0 ? EofOnly : All;
       },
       Guard);
@@ -95,7 +95,7 @@ BuildResult BuildPipeline::run() {
         StageTimer T(&S, "table-fill");
         return fillParseTable(
             Ctx.lr0(),
-            [&LA](StateId St, ProductionId P) -> const BitSet & {
+            [&LA](StateId St, ProductionId P) -> SetView {
               return LA.la(St, P);
             },
             Guard);
@@ -105,7 +105,7 @@ BuildResult BuildPipeline::run() {
         StageTimer T(&S, "table-fill");
         return fillParseTable(
             Ctx.lr0(),
-            [&LA](StateId St, ProductionId P) -> const BitSet & {
+            [&LA](StateId St, ProductionId P) -> SetView {
               return LA.la(St, P);
             },
             Guard);
@@ -121,7 +121,7 @@ BuildResult BuildPipeline::run() {
         StageTimer T(&S, "table-fill");
         return fillParseTable(
             Ctx.lr0(),
-            [&LA](StateId St, ProductionId P) -> const BitSet & {
+            [&LA](StateId St, ProductionId P) -> SetView {
               return LA.la(St, P);
             },
             Guard);
@@ -135,7 +135,7 @@ BuildResult BuildPipeline::run() {
         StageTimer T(&S, "table-fill");
         return fillParseTable(
             A,
-            [&LA](StateId St, ProductionId P) -> const BitSet & {
+            [&LA](StateId St, ProductionId P) -> SetView {
               return LA.la(St, P);
             },
             Guard);
@@ -146,7 +146,7 @@ BuildResult BuildPipeline::run() {
         StageTimer T(&S, "table-fill");
         return fillParseTable(
             Ctx.lr0(),
-            [&LA](StateId St, ProductionId P) -> const BitSet & {
+            [&LA](StateId St, ProductionId P) -> SetView {
               return LA.la(St, P);
             },
             Guard);

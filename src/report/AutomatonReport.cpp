@@ -8,7 +8,7 @@
 
 using namespace lalr;
 
-std::string lalr::renderTerminalSet(const Grammar &G, const BitSet &Set) {
+std::string lalr::renderTerminalSet(const Grammar &G, SetView Set) {
   std::ostringstream OS;
   OS << "{";
   for (size_t T : Set)
@@ -67,15 +67,15 @@ std::string lalr::reportRelations(const Lr0Automaton &A,
     OS << "    Read   = " << renderTerminalSet(G, LA.readSets()[X]) << "\n";
     OS << "    Follow = " << renderTerminalSet(G, LA.followSets()[X])
        << "\n";
-    if (!R.Reads[X].empty()) {
+    if (R.Reads.rowSize(X)) {
       OS << "    reads:";
-      for (uint32_t Y : R.Reads[X])
+      for (uint32_t Y : R.Reads.row(X))
         OS << ' ' << transName(Y);
       OS << "\n";
     }
-    if (!R.Includes[X].empty()) {
+    if (R.Includes.rowSize(X)) {
       OS << "    includes:";
-      for (uint32_t Y : R.Includes[X])
+      for (uint32_t Y : R.Includes.row(X))
         OS << ' ' << transName(Y);
       OS << "\n";
     }

@@ -30,8 +30,9 @@ std::string reportRelations(const Lr0Automaton &A, const LalrLookaheads &LA);
 /// Renders the conflict list of a table (resolved and unresolved).
 std::string reportConflicts(const Grammar &G, const ParseTable &Table);
 
-/// Renders a compact terminal-set "{ a b c }".
-std::string renderTerminalSet(const Grammar &G, const BitSet &Set);
+/// Renders a compact terminal-set "{ a b c }". Takes a view so BitSets
+/// and slab rows both print.
+std::string renderTerminalSet(const Grammar &G, SetView Set);
 
 /// Renders pipeline stage timings and counters as an aligned two-column
 /// listing (the human-readable companion of PipelineStats::toJson).

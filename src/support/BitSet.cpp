@@ -2,31 +2,17 @@
 
 #include "support/BitSet.h"
 
-#include <bit>
-
 using namespace lalr;
 
-size_t BitSet::count() const {
-  size_t N = 0;
-  for (uint64_t W : Words)
-    N += std::popcount(W);
-  return N;
-}
-
-size_t BitSet::findNext(size_t From) const {
-  if (From >= NumBits)
-    return NumBits;
-  size_t WordIdx = From / 64;
-  uint64_t W = Words[WordIdx] >> (From % 64);
-  if (W)
-    return From + std::countr_zero(W);
-  for (++WordIdx; WordIdx < Words.size(); ++WordIdx)
-    if (Words[WordIdx])
-      return WordIdx * 64 + std::countr_zero(Words[WordIdx]);
-  return NumBits;
-}
-
 std::vector<size_t> BitSet::toVector() const {
+  std::vector<size_t> Out;
+  Out.reserve(count());
+  for (size_t Idx : *this)
+    Out.push_back(Idx);
+  return Out;
+}
+
+std::vector<size_t> SetView::toVector() const {
   std::vector<size_t> Out;
   Out.reserve(count());
   for (size_t Idx : *this)

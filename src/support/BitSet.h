@@ -12,17 +12,155 @@
 /// array of 64-bit words and every union reports whether it changed anything,
 /// which the fixpoint algorithms rely on.
 ///
+/// Two types live here:
+///
+///   * BitSet  — the owning set (one heap allocation per set), the API type
+///     for everything outside the DP hot path: grammar analysis, LR(1)
+///     closure, GLR, reports.
+///   * SetView — a non-owning read-only view over packed words, the common
+///     currency between BitSet and the arena-backed SetSlab
+///     (support/SetSlab.h) that the DP pipeline stores its set families in.
+///     A BitSet converts to a SetView implicitly, so APIs taking SetView
+///     accept either representation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LALR_SUPPORT_BITSET_H
 #define LALR_SUPPORT_BITSET_H
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <cstddef>
 #include <vector>
 
 namespace lalr {
+
+namespace detail {
+
+/// Index of the first set bit at or after \p From in the packed words
+/// \p W over a universe of \p NumBits, or NumBits if there is none.
+inline size_t findNextBit(const uint64_t *W, size_t NumWords, size_t NumBits,
+                          size_t From) {
+  if (From >= NumBits)
+    return NumBits;
+  size_t WordIdx = From / 64;
+  uint64_t Word = W[WordIdx] >> (From % 64);
+  if (Word)
+    return From + std::countr_zero(Word);
+  for (++WordIdx; WordIdx < NumWords; ++WordIdx)
+    if (W[WordIdx])
+      return WordIdx * 64 + std::countr_zero(W[WordIdx]);
+  return NumBits;
+}
+
+} // namespace detail
+
+class BitSet;
+
+/// A non-owning read-only view of a packed bit set: a word pointer plus the
+/// universe size. Cheap to copy (two words); valid only while the owning
+/// BitSet or SetSlab is alive and unresized. This is the type the look-ahead
+/// pipeline hands out (LalrLookaheads::la, LookaheadFn) so that consumers
+/// are agnostic to whether the bits live in a lone BitSet or a slab row.
+class SetView {
+public:
+  SetView() = default;
+
+  /// Views \p NumBits bits starting at word \p Words.
+  SetView(const uint64_t *Words, size_t NumBits)
+      : Data(Words), NumBits(NumBits) {}
+
+  /// Implicit view of a whole BitSet (defined after BitSet below).
+  SetView(const BitSet &Set); // NOLINT(google-explicit-constructor)
+
+  /// Returns the universe size (number of addressable bits).
+  size_t size() const { return NumBits; }
+
+  size_t numWords() const { return (NumBits + 63) / 64; }
+
+  /// Raw packed words; numWords() entries.
+  const uint64_t *words() const { return Data; }
+
+  /// Returns true if no bit is set.
+  bool empty() const {
+    for (size_t I = 0, E = numWords(); I != E; ++I)
+      if (Data[I])
+        return false;
+    return true;
+  }
+
+  /// Returns the number of set bits.
+  size_t count() const {
+    size_t N = 0;
+    for (size_t I = 0, E = numWords(); I != E; ++I)
+      N += std::popcount(Data[I]);
+    return N;
+  }
+
+  /// Tests bit \p Idx.
+  bool test(size_t Idx) const {
+    assert(Idx < NumBits && "SetView::test out of range");
+    return (Data[Idx / 64] >> (Idx % 64)) & 1;
+  }
+
+  /// Returns true if every element of this set is in \p Other.
+  bool subsetOf(SetView Other) const {
+    assert(NumBits == Other.NumBits && "SetView universe mismatch");
+    for (size_t I = 0, E = numWords(); I != E; ++I)
+      if (Data[I] & ~Other.Data[I])
+        return false;
+    return true;
+  }
+
+  bool operator==(SetView Other) const {
+    if (NumBits != Other.NumBits)
+      return false;
+    for (size_t I = 0, E = numWords(); I != E; ++I)
+      if (Data[I] != Other.Data[I])
+        return false;
+    return true;
+  }
+  bool operator!=(SetView Other) const { return !(*this == Other); }
+
+  /// Returns the index of the first set bit at or after \p From, or
+  /// size() if there is none. Drives the iterator.
+  size_t findNext(size_t From) const {
+    return detail::findNextBit(Data, numWords(), NumBits, From);
+  }
+
+  /// Forward iterator over the indices of set bits, smallest first.
+  /// (Holds the raw words, not a SetView — SetView is incomplete here.)
+  class ConstIterator {
+  public:
+    ConstIterator(const uint64_t *Data, size_t NumBits, size_t Idx)
+        : Data(Data), NumBits(NumBits), Idx(Idx) {}
+    size_t operator*() const { return Idx; }
+    ConstIterator &operator++() {
+      Idx = detail::findNextBit(Data, (NumBits + 63) / 64, NumBits, Idx + 1);
+      return *this;
+    }
+    bool operator==(const ConstIterator &O) const { return Idx == O.Idx; }
+    bool operator!=(const ConstIterator &O) const { return Idx != O.Idx; }
+
+  private:
+    const uint64_t *Data;
+    size_t NumBits;
+    size_t Idx;
+  };
+
+  ConstIterator begin() const {
+    return ConstIterator(Data, NumBits, findNext(0));
+  }
+  ConstIterator end() const { return ConstIterator(Data, NumBits, NumBits); }
+
+  /// Collects the set bits into a vector, in increasing order.
+  std::vector<size_t> toVector() const;
+
+private:
+  const uint64_t *Data = nullptr;
+  size_t NumBits = 0;
+};
 
 /// A fixed-universe dynamic bit set over indices [0, size()).
 ///
@@ -37,6 +175,14 @@ public:
   explicit BitSet(size_t NumBits)
       : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
 
+  /// Materializes a view (e.g. a slab row) into an owning set.
+  static BitSet fromView(SetView V) {
+    BitSet S(V.size());
+    for (size_t I = 0, E = S.Words.size(); I != E; ++I)
+      S.Words[I] = V.words()[I];
+    return S;
+  }
+
   /// Returns the universe size (number of addressable bits).
   size_t size() const { return NumBits; }
 
@@ -48,8 +194,13 @@ public:
     return true;
   }
 
-  /// Returns the number of set bits.
-  size_t count() const;
+  /// Returns the number of set bits (one std::popcount per word).
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += std::popcount(W);
+    return N;
+  }
 
   /// Tests bit \p Idx.
   bool test(size_t Idx) const {
@@ -88,6 +239,21 @@ public:
     for (size_t I = 0, E = Words.size(); I != E; ++I) {
       uint64_t Old = Words[I];
       uint64_t New = Old | Other.Words[I];
+      if (New != Old) {
+        Words[I] = New;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  /// Unions a view (e.g. a slab row) over the same universe into this set.
+  bool unionWith(SetView Other) {
+    assert(NumBits == Other.size() && "BitSet universe mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      uint64_t New = Old | Other.words()[I];
       if (New != Old) {
         Words[I] = New;
         Changed = true;
@@ -154,7 +320,9 @@ public:
 
   /// Returns the index of the first set bit at or after \p From, or
   /// size() if there is none. Drives the iterator.
-  size_t findNext(size_t From) const;
+  size_t findNext(size_t From) const {
+    return detail::findNextBit(Words.data(), Words.size(), NumBits, From);
+  }
 
   /// Forward iterator over the indices of set bits, smallest first.
   class ConstIterator {
@@ -188,6 +356,9 @@ private:
   size_t NumBits = 0;
   std::vector<uint64_t> Words;
 };
+
+inline SetView::SetView(const BitSet &Set)
+    : Data(Set.words().data()), NumBits(Set.size()) {}
 
 } // namespace lalr
 

@@ -113,12 +113,16 @@ struct BuildLimits {
   /// Bits allocated for one look-ahead set family (sets x terminals);
   /// checked up front from the known family sizes, before allocation.
   uint64_t MaxSetBits = 0;
+  /// Arena bytes the DP set slabs (DR/Read/Follow/LA banks) may allocate;
+  /// checked up front from the relation census, before allocation — the
+  /// memory ceiling on the look-ahead computation proper.
+  uint64_t MaxSlabBytes = 0;
   /// Wall-clock budget for the whole pipeline run, milliseconds.
   double MaxWallMs = 0;
 
   bool anySet() const {
     return MaxLr0States || MaxLr1States || MaxItems || MaxRelationEdges ||
-           MaxSetBits || MaxWallMs > 0;
+           MaxSetBits || MaxSlabBytes || MaxWallMs > 0;
   }
 };
 
@@ -236,6 +240,9 @@ public:
   }
   void checkSetBits(uint64_t N) const {
     checkLimit("set_bits", N, Limits_.MaxSetBits);
+  }
+  void checkSlabBytes(uint64_t N) const {
+    checkLimit("slab_bytes", N, Limits_.MaxSlabBytes);
   }
   /// @}
 

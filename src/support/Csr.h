@@ -1,0 +1,107 @@
+//===- support/Csr.h - Compressed sparse row adjacency ----------*- C++ -*-===//
+//
+// Part of the lalr project, a reproduction of DeRemer & Pennello,
+// "Efficient computation of LALR(1) look-ahead sets" (SIGPLAN '79).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compressed-sparse-row digraph: row i's successors live in
+/// Edges[Offsets[i] .. Offsets[i+1]), sorted ascending. This replaces the
+/// ragged std::vector<std::vector<uint32_t>> the DP relations used to be —
+/// one flat allocation instead of one per row, so the solvers' edge walks
+/// stream sequentially instead of chasing row pointers. Rows are plain
+/// spans; the struct is aggregate-like on purpose so tests can corrupt
+/// copies directly (the ArtifactVerifier must catch malformed CSR too).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SUPPORT_CSR_H
+#define LALR_SUPPORT_CSR_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lalr {
+
+/// CSR adjacency over nodes [0, rows()). Offsets always has rows()+1
+/// entries (a default-constructed relation has the single 0 and no rows).
+struct CsrRelation {
+  std::vector<uint32_t> Offsets{0};
+  std::vector<uint32_t> Edges;
+
+  /// Number of rows (nodes).
+  size_t rows() const { return Offsets.size() - 1; }
+
+  /// Total edge count.
+  size_t edgeCount() const { return Edges.size(); }
+
+  /// Successors of \p Row, ascending.
+  std::span<const uint32_t> row(size_t Row) const {
+    assert(Row + 1 < Offsets.size() && "CsrRelation row out of range");
+    return {Edges.data() + Offsets[Row],
+            Edges.data() + Offsets[Row + 1]};
+  }
+
+  size_t rowSize(size_t Row) const {
+    assert(Row + 1 < Offsets.size() && "CsrRelation row out of range");
+    return Offsets[Row + 1] - Offsets[Row];
+  }
+
+  /// Appends one row (used by builders that discover rows in order).
+  void appendRow(const uint32_t *Begin, const uint32_t *End) {
+    Edges.insert(Edges.end(), Begin, End);
+    Offsets.push_back(static_cast<uint32_t>(Edges.size()));
+  }
+
+  /// True when the shape invariants hold: Offsets non-empty, starts at 0,
+  /// monotone, and ends at Edges.size(). The verifier gates every
+  /// dereferencing check on this so corrupt artifacts are reported, not
+  /// crashed on.
+  bool wellFormed() const {
+    if (Offsets.empty() || Offsets.front() != 0 ||
+        Offsets.back() != Edges.size())
+      return false;
+    for (size_t I = 1; I < Offsets.size(); ++I)
+      if (Offsets[I] < Offsets[I - 1])
+        return false;
+    return true;
+  }
+
+  /// Converts from a ragged adjacency (rows copied verbatim).
+  static CsrRelation fromRows(const std::vector<std::vector<uint32_t>> &Rows) {
+    CsrRelation R;
+    size_t Total = 0;
+    for (const auto &Row : Rows)
+      Total += Row.size();
+    R.Offsets.reserve(Rows.size() + 1);
+    R.Edges.reserve(Total);
+    for (const auto &Row : Rows)
+      R.appendRow(Row.data(), Row.data() + Row.size());
+    return R;
+  }
+
+  /// Expands back into a ragged adjacency (tests, baselines).
+  std::vector<std::vector<uint32_t>> toRows() const {
+    std::vector<std::vector<uint32_t>> Out(rows());
+    for (size_t I = 0, E = rows(); I != E; ++I) {
+      auto R = row(I);
+      Out[I].assign(R.begin(), R.end());
+    }
+    return Out;
+  }
+
+  bool operator==(const CsrRelation &Other) const {
+    return Offsets == Other.Offsets && Edges == Other.Edges;
+  }
+  bool operator!=(const CsrRelation &Other) const {
+    return !(*this == Other);
+  }
+};
+
+} // namespace lalr
+
+#endif // LALR_SUPPORT_CSR_H

@@ -12,9 +12,9 @@ namespace lalr {
 
 static const char *const kAllSites[] = {
     "analysis",   "lr0-build",    "nt-index",   "relations-build",
-    "solve-read", "solve-follow", "la-union",   "lr1-build",
-    "pager-build", "table-fill",  "compress",   "verify",
-    "service-execute", nullptr};
+    "slab",       "solve-read",   "solve-follow", "la-union",
+    "lr1-build",  "pager-build",  "table-fill", "compress",
+    "verify",     "service-execute", nullptr};
 
 const char *const *allFailPointSites() { return kAllSites; }
 

@@ -7,8 +7,9 @@
 /// proving each abort path produces a clean BuildStatus and never a
 /// poisoned cache entry.
 ///
-/// Sites (one per stage, matching the stage names in PipelineStats):
-///   analysis, lr0-build, nt-index, relations-build, solve-read,
+/// Sites (one per stage, matching the stage names in PipelineStats, plus
+/// the slab arena-allocation site inside the relations/la-union stages):
+///   analysis, lr0-build, nt-index, relations-build, slab, solve-read,
 ///   solve-follow, la-union, lr1-build, pager-build, table-fill,
 ///   compress, verify, service-execute
 ///

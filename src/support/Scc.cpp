@@ -15,10 +15,11 @@ struct Frame {
   size_t EdgeIdx;
 };
 
-} // namespace
-
-SccResult lalr::computeSccs(const std::vector<std::vector<uint32_t>> &Adj) {
-  const size_t N = Adj.size();
+/// The traversal, generic over the adjacency representation: \p NumNodes
+/// nodes, \p Successors(u) returning an indexable range of successor ids.
+template <typename SuccessorsFn>
+SccResult computeSccsImpl(size_t NumNodes, SuccessorsFn Successors) {
+  const size_t N = NumNodes;
   constexpr uint32_t Unvisited = UINT32_MAX;
 
   SccResult Result;
@@ -42,8 +43,9 @@ SccResult lalr::computeSccs(const std::vector<std::vector<uint32_t>> &Adj) {
     while (!CallStack.empty()) {
       Frame &F = CallStack.back();
       uint32_t U = F.Node;
-      if (F.EdgeIdx < Adj[U].size()) {
-        uint32_t V = Adj[U][F.EdgeIdx++];
+      auto Succ = Successors(U);
+      if (F.EdgeIdx < Succ.size()) {
+        uint32_t V = Succ[F.EdgeIdx++];
         if (Index[V] == Unvisited) {
           Index[V] = LowLink[V] = NextIndex++;
           Stack.push_back(V);
@@ -78,6 +80,20 @@ SccResult lalr::computeSccs(const std::vector<std::vector<uint32_t>> &Adj) {
   return Result;
 }
 
+} // namespace
+
+SccResult lalr::computeSccs(const std::vector<std::vector<uint32_t>> &Adj) {
+  return computeSccsImpl(Adj.size(),
+                         [&](uint32_t U) -> const std::vector<uint32_t> & {
+                           return Adj[U];
+                         });
+}
+
+SccResult lalr::computeSccs(const CsrRelation &Adj) {
+  return computeSccsImpl(Adj.rows(),
+                         [&](uint32_t U) { return Adj.row(U); });
+}
+
 size_t SccResult::countNontrivial(
     const std::vector<std::vector<uint32_t>> &Adj) const {
   size_t Count = 0;
@@ -89,6 +105,21 @@ size_t SccResult::countNontrivial(
     // Singleton: nontrivial only with a self-loop.
     uint32_t U = Comp.front();
     if (std::find(Adj[U].begin(), Adj[U].end(), U) != Adj[U].end())
+      ++Count;
+  }
+  return Count;
+}
+
+size_t SccResult::countNontrivial(const CsrRelation &Adj) const {
+  size_t Count = 0;
+  for (const std::vector<uint32_t> &Comp : Components) {
+    if (Comp.size() >= 2) {
+      ++Count;
+      continue;
+    }
+    uint32_t U = Comp.front();
+    auto Row = Adj.row(U);
+    if (std::find(Row.begin(), Row.end(), U) != Row.end())
       ++Count;
   }
   return Count;

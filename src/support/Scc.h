@@ -12,6 +12,8 @@
 #ifndef LALR_SUPPORT_SCC_H
 #define LALR_SUPPORT_SCC_H
 
+#include "support/Csr.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -32,11 +34,16 @@ struct SccResult {
   /// self-loop information must be supplied by the caller via
   /// \c countNontrivial.
   size_t countNontrivial(const std::vector<std::vector<uint32_t>> &Adj) const;
+  size_t countNontrivial(const CsrRelation &Adj) const;
 };
 
 /// Computes the SCCs of the digraph given by \p Adj (Adj[u] lists the
 /// successors of u). Iterative Tarjan; safe for large graphs.
 SccResult computeSccs(const std::vector<std::vector<uint32_t>> &Adj);
+
+/// CSR overload — identical traversal over the flat-edge representation
+/// the DP relations use (same component numbering for the same graph).
+SccResult computeSccs(const CsrRelation &Adj);
 
 } // namespace lalr
 

@@ -1,0 +1,118 @@
+//===- support/SetSlab.cpp - Arena-backed bank of bit sets ------------------===//
+
+#include "support/SetSlab.h"
+
+#include "support/FailPoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+using namespace lalr;
+
+namespace {
+
+std::atomic<uint64_t> LiveBytesCounter{0};
+std::atomic<uint64_t> AllocationCounter{0};
+
+} // namespace
+
+uint64_t SetSlab::liveBytes() {
+  return LiveBytesCounter.load(std::memory_order_relaxed);
+}
+
+uint64_t SetSlab::totalAllocations() {
+  return AllocationCounter.load(std::memory_order_relaxed);
+}
+
+void SetSlab::allocate() {
+  ArenaBytes = bytesFor(NumSets, NumBits);
+  if (ArenaBytes == 0) {
+    Arena = nullptr;
+    return;
+  }
+  // bytesFor rounds up to a multiple of Alignment, as aligned_alloc
+  // requires.
+  Arena = static_cast<uint64_t *>(std::aligned_alloc(Alignment, ArenaBytes));
+  if (!Arena)
+    throw std::bad_alloc();
+  std::memset(Arena, 0, ArenaBytes);
+  LiveBytesCounter.fetch_add(ArenaBytes, std::memory_order_relaxed);
+  AllocationCounter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SetSlab::release() {
+  if (!Arena)
+    return;
+  std::free(Arena);
+  LiveBytesCounter.fetch_sub(ArenaBytes, std::memory_order_relaxed);
+  Arena = nullptr;
+  ArenaBytes = 0;
+}
+
+SetSlab::SetSlab(size_t NumSets, size_t NumBits)
+    : NumSets(NumSets), NumBits(NumBits), WordsPerSet((NumBits + 63) / 64) {
+  // Fault-injection site for the arena allocation path (the 14th site of
+  // the registry); only fired for real allocations so empty slabs stay
+  // free.
+  if (NumSets && WordsPerSet)
+    failPoint("slab");
+  allocate();
+}
+
+SetSlab::SetSlab(const SetSlab &Other)
+    : NumSets(Other.NumSets), NumBits(Other.NumBits),
+      WordsPerSet(Other.WordsPerSet) {
+  allocate();
+  if (Arena)
+    std::memcpy(Arena, Other.Arena, ArenaBytes);
+}
+
+SetSlab &SetSlab::operator=(const SetSlab &Other) {
+  if (this == &Other)
+    return *this;
+  release();
+  NumSets = Other.NumSets;
+  NumBits = Other.NumBits;
+  WordsPerSet = Other.WordsPerSet;
+  allocate();
+  if (Arena)
+    std::memcpy(Arena, Other.Arena, ArenaBytes);
+  return *this;
+}
+
+SetSlab::SetSlab(SetSlab &&Other) noexcept
+    : NumSets(Other.NumSets), NumBits(Other.NumBits),
+      WordsPerSet(Other.WordsPerSet), ArenaBytes(Other.ArenaBytes),
+      Arena(Other.Arena) {
+  Other.Arena = nullptr;
+  Other.ArenaBytes = 0;
+  Other.NumSets = 0;
+}
+
+SetSlab &SetSlab::operator=(SetSlab &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  release();
+  NumSets = Other.NumSets;
+  NumBits = Other.NumBits;
+  WordsPerSet = Other.WordsPerSet;
+  ArenaBytes = Other.ArenaBytes;
+  Arena = Other.Arena;
+  Other.Arena = nullptr;
+  Other.ArenaBytes = 0;
+  Other.NumSets = 0;
+  return *this;
+}
+
+SetSlab::~SetSlab() { release(); }
+
+bool SetSlab::operator==(const SetSlab &Other) const {
+  if (NumSets != Other.NumSets || NumBits != Other.NumBits)
+    return false;
+  if (!Arena || !Other.Arena)
+    return Arena == Other.Arena;
+  return std::memcmp(Arena, Other.Arena, NumSets * WordsPerSet *
+                                             sizeof(uint64_t)) == 0;
+}

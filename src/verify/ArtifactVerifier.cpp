@@ -143,16 +143,14 @@ std::string describeSlot(const LalrArtifactsView &V, uint32_t Slot) {
          std::to_string(Q) + ", production " + std::to_string(P) + ")";
 }
 
-bool rowInRange(const std::vector<uint32_t> &Row, size_t Bound) {
+bool rowInRange(std::span<const uint32_t> Row, size_t Bound) {
   return std::all_of(Row.begin(), Row.end(),
                      [&](uint32_t E) { return E < Bound; });
 }
 
-/// True when every BitSet of \p Family has universe \p NumBits; universe
-/// mismatches make subsetOf/== assert, so they gate every set check.
-bool universesOk(const std::vector<BitSet> &Family, size_t NumBits) {
-  return std::all_of(Family.begin(), Family.end(),
-                     [&](const BitSet &B) { return B.size() == NumBits; });
+bool rowEquals(std::span<const uint32_t> Row,
+               const std::vector<uint32_t> &Exp) {
+  return std::equal(Row.begin(), Row.end(), Exp.begin(), Exp.end());
 }
 
 bool isReducibleIn(const Lr0Automaton &A, StateId S, ProductionId P) {
@@ -187,25 +185,38 @@ bool checkShapes(const LalrArtifactsView &V, Checker &C, bool &EdgesOk) {
   const size_t NumX = V.NtIdx->size();
   const size_t NumSlots = V.RedIdx->size();
 
+  // CSR shape invariants first: row() indexes Edges through Offsets, so a
+  // malformed offset array makes every row access unsafe, not just wrong.
+  auto formed = [&](const CsrRelation &R, const char *What) {
+    return C.check(R.wellFormed(), "set-shapes", [&] {
+      return std::string(What) +
+             " CSR offsets are malformed (must rise from 0 to the edge count)";
+    });
+  };
+  bool Ok = true;
+  Ok &= formed(V.Rel->Reads, "Reads");
+  Ok &= formed(V.Rel->Includes, "Includes");
+  Ok &= formed(V.Rel->Lookback, "Lookback");
+  if (!Ok)
+    return false;
+
   auto sized = [&](size_t Actual, size_t Expected, const char *What) {
     return C.check(Actual == Expected, "set-shapes", [&] {
       return std::string(What) + " has " + std::to_string(Actual) +
              " rows, expected " + std::to_string(Expected);
     });
   };
-  bool Ok = true;
   Ok &= sized(V.Rel->DirectRead.size(), NumX, "DirectRead");
-  Ok &= sized(V.Rel->Reads.size(), NumX, "Reads");
-  Ok &= sized(V.Rel->Includes.size(), NumX, "Includes");
-  Ok &= sized(V.Rel->Lookback.size(), NumSlots, "Lookback");
+  Ok &= sized(V.Rel->Reads.rows(), NumX, "Reads");
+  Ok &= sized(V.Rel->Includes.rows(), NumX, "Includes");
+  Ok &= sized(V.Rel->Lookback.rows(), NumSlots, "Lookback");
   Ok &= sized(V.ReadSets->size(), NumX, "Read sets");
   Ok &= sized(V.FollowSets->size(), NumX, "Follow sets");
   Ok &= sized(V.LaSets->size(), NumSlots, "LA sets");
 
-  auto universes = [&](const std::vector<BitSet> &F, const char *What) {
-    return C.check(universesOk(F, NumT), "set-shapes", [&] {
-      return std::string(What) +
-             " contains a set whose universe is not the terminal count";
+  auto universes = [&](const SetSlab &F, const char *What) {
+    return C.check(F.size() == 0 || F.universe() == NumT, "set-shapes", [&] {
+      return std::string(What) + " universe is not the terminal count";
     });
   };
   Ok &= universes(V.Rel->DirectRead, "DirectRead");
@@ -219,19 +230,20 @@ bool checkShapes(const LalrArtifactsView &V, Checker &C, bool &EdgesOk) {
   // checks that would dereference it are skipped (EdgesOk).
   EdgesOk = true;
   for (size_t X = 0; X < NumX; ++X) {
-    EdgesOk &= C.check(rowInRange(V.Rel->Reads[X], NumX), "set-shapes", [&] {
-      return "reads row of " + describeNt(V, static_cast<uint32_t>(X)) +
-             " targets an out-of-range transition";
-    });
     EdgesOk &=
-        C.check(rowInRange(V.Rel->Includes[X], NumX), "set-shapes", [&] {
+        C.check(rowInRange(V.Rel->Reads.row(X), NumX), "set-shapes", [&] {
+          return "reads row of " + describeNt(V, static_cast<uint32_t>(X)) +
+                 " targets an out-of-range transition";
+        });
+    EdgesOk &=
+        C.check(rowInRange(V.Rel->Includes.row(X), NumX), "set-shapes", [&] {
           return "includes row of " + describeNt(V, static_cast<uint32_t>(X)) +
                  " targets an out-of-range transition";
         });
   }
   for (size_t S = 0; S < NumSlots; ++S)
     EdgesOk &=
-        C.check(rowInRange(V.Rel->Lookback[S], NumX), "set-shapes", [&] {
+        C.check(rowInRange(V.Rel->Lookback.row(S), NumX), "set-shapes", [&] {
           return "lookback row of " + describeSlot(V, static_cast<uint32_t>(S)) +
                  " targets an out-of-range transition";
         });
@@ -313,14 +325,14 @@ void checkDirectReadAndReads(const LalrArtifactsView &V, Checker &C,
     if (X == StartX)
       ExpDr.set(G.eofSymbol());
 
-    C.check(V.Rel->DirectRead[X] == ExpDr, "direct-read", [&] {
+    C.check(V.Rel->DirectRead[X] == SetView(ExpDr), "direct-read", [&] {
       return "DR mismatch at " + describeNt(V, X) + ": stored " +
              std::to_string(V.Rel->DirectRead[X].count()) +
              " terminals, recomputed " + std::to_string(ExpDr.count());
     });
-    C.check(V.Rel->Reads[X] == ExpReads, "reads", [&] {
+    C.check(rowEquals(V.Rel->Reads.row(X), ExpReads), "reads", [&] {
       return "reads row mismatch at " + describeNt(V, X) + ": stored " +
-             std::to_string(V.Rel->Reads[X].size()) + " edges, recomputed " +
+             std::to_string(V.Rel->Reads.rowSize(X)) + " edges, recomputed " +
              std::to_string(ExpReads.size());
     });
   }
@@ -389,16 +401,16 @@ void checkIncludesAndLookback(const LalrArtifactsView &V, Checker &C,
   for (uint32_t X = 0; X < NumX; ++X) {
     if (!XOk[X])
       continue;
-    C.check(V.Rel->Includes[X] == ExpInc[X], "includes", [&] {
+    C.check(rowEquals(V.Rel->Includes.row(X), ExpInc[X]), "includes", [&] {
       return "includes row mismatch at " + describeNt(V, X) + ": stored " +
-             std::to_string(V.Rel->Includes[X].size()) +
+             std::to_string(V.Rel->Includes.rowSize(X)) +
              " edges, recomputed " + std::to_string(ExpInc[X].size());
     });
   }
   for (uint32_t S = 0; S < V.RedIdx->size(); ++S) {
-    C.check(V.Rel->Lookback[S] == ExpLb[S], "lookback", [&] {
+    C.check(rowEquals(V.Rel->Lookback.row(S), ExpLb[S]), "lookback", [&] {
       return "lookback row mismatch at " + describeSlot(V, S) + ": stored " +
-             std::to_string(V.Rel->Lookback[S].size()) +
+             std::to_string(V.Rel->Lookback.rowSize(S)) +
              " edges, recomputed " + std::to_string(ExpLb[S].size());
     });
   }
@@ -411,7 +423,7 @@ void checkSubsetChains(const LalrArtifactsView &V, Checker &C) {
   for (uint32_t X = 0; X < V.NtIdx->size(); ++X) {
     C.check(V.Rel->DirectRead[X].subsetOf((*V.ReadSets)[X]), "read-subset",
             [&] { return "DR is not within Read at " + describeNt(V, X); });
-    for (uint32_t Y : V.Rel->Reads[X])
+    for (uint32_t Y : V.Rel->Reads.row(X))
       C.check((*V.ReadSets)[Y].subsetOf((*V.ReadSets)[X]), "read-subset",
               [&] {
                 return "Read(" + describeNt(V, Y) +
@@ -420,7 +432,7 @@ void checkSubsetChains(const LalrArtifactsView &V, Checker &C) {
               });
     C.check((*V.ReadSets)[X].subsetOf((*V.FollowSets)[X]), "follow-subset",
             [&] { return "Read is not within Follow at " + describeNt(V, X); });
-    for (uint32_t Y : V.Rel->Includes[X])
+    for (uint32_t Y : V.Rel->Includes.row(X))
       C.check((*V.FollowSets)[Y].subsetOf((*V.FollowSets)[X]),
               "follow-subset", [&] {
                 return "Follow(" + describeNt(V, Y) +
@@ -469,11 +481,11 @@ void checkLaUnion(const LalrArtifactsView &V, Checker &C) {
 
   for (uint32_t S = 0; S < V.RedIdx->size(); ++S) {
     BitSet Exp(G.numTerminals());
-    for (uint32_t X : V.Rel->Lookback[S])
+    for (uint32_t X : V.Rel->Lookback.row(S))
       Exp.unionWith((*V.FollowSets)[X]);
     if (S == AcceptSlot)
       Exp.set(G.eofSymbol());
-    C.check((*V.LaSets)[S] == Exp, "la-union", [&] {
+    C.check((*V.LaSets)[S] == SetView(Exp), "la-union", [&] {
       return "LA mismatch at " + describeSlot(V, S) + ": stored " +
              std::to_string((*V.LaSets)[S].count()) +
              " terminals, lookback union has " + std::to_string(Exp.count());
@@ -486,15 +498,14 @@ void checkLaUnion(const LalrArtifactsView &V, Checker &C) {
 /// least solution is unique; a digraph bug that over- or under-shoots it
 /// cannot match).
 void checkFixpoint(const LalrArtifactsView &V, Checker &C) {
-  std::vector<BitSet> NaiveRead =
-      solveNaiveFixpoint(V.Rel->Reads, V.Rel->DirectRead);
+  SetSlab NaiveRead = solveNaiveFixpoint(V.Rel->Reads, V.Rel->DirectRead);
   for (uint32_t X = 0; X < V.NtIdx->size(); ++X)
     C.check(NaiveRead[X] == (*V.ReadSets)[X], "read-fixpoint", [&] {
       return "Read at " + describeNt(V, X) +
              " is not the least fixed point of the reads equation";
     });
 
-  std::vector<BitSet> NaiveFollow =
+  SetSlab NaiveFollow =
       solveNaiveFixpoint(V.Rel->Includes, std::move(NaiveRead));
   for (uint32_t X = 0; X < V.NtIdx->size(); ++X)
     C.check(NaiveFollow[X] == (*V.FollowSets)[X], "follow-fixpoint", [&] {

@@ -115,9 +115,9 @@ struct LalrArtifactsView {
   const NtTransitionIndex *NtIdx = nullptr;
   const ReductionIndex *RedIdx = nullptr;
   const LalrRelations *Rel = nullptr;
-  const std::vector<BitSet> *ReadSets = nullptr;
-  const std::vector<BitSet> *FollowSets = nullptr;
-  const std::vector<BitSet> *LaSets = nullptr;
+  const SetSlab *ReadSets = nullptr;
+  const SetSlab *FollowSets = nullptr;
+  const SetSlab *LaSets = nullptr;
 
   /// View over a computed LalrLookaheads (all pointers borrow; \p LA must
   /// outlive the view).

@@ -219,5 +219,7 @@ TEST(YaccTest, WordBoundaryTerminalCountRegression) {
   Lr0Automaton A = Lr0Automaton::build(*G);
   LalrLookaheads Dp = LalrLookaheads::compute(A, An);
   YaccLalrLookaheads Yacc = YaccLalrLookaheads::compute(A, An);
-  EXPECT_EQ(Dp.laSets(), Yacc.laSets());
+  ASSERT_EQ(Dp.laSets().size(), Yacc.laSets().size());
+  for (uint32_t Slot = 0; Slot < Dp.laSets().size(); ++Slot)
+    EXPECT_EQ(Dp.laSets()[Slot], SetView(Yacc.laSets()[Slot])) << Slot;
 }

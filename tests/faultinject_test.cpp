@@ -102,11 +102,11 @@ TEST(FailPointRegistryTest, ActionsMapToStatusCodes) {
   }
 }
 
-TEST(FailPointRegistryTest, SiteListCoversThirteenStagesNullTerminated) {
+TEST(FailPointRegistryTest, SiteListCoversFourteenStagesNullTerminated) {
   size_t N = 0;
   for (const char *const *S = allFailPointSites(); *S; ++S)
     ++N;
-  EXPECT_EQ(N, 13u);
+  EXPECT_EQ(N, 14u);
 }
 
 // ---------------------------------------------------------------------------

@@ -80,7 +80,7 @@ TEST(GlrTest, AgreesWithEarleyOnEveryCorpusGrammar) {
     Lr0Automaton A = Lr0Automaton::build(G);
     LalrLookaheads LA = LalrLookaheads::compute(A, An);
     GlrTable Table = GlrTable::build(
-        A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+        A, [&LA](StateId S, ProductionId P) -> SetView {
           return LA.la(S, P);
         });
     Rng R(0x61A2);
@@ -109,7 +109,7 @@ TEST(GlrTest, AgreesWithEarleyOnRandomGrammars) {
     Lr0Automaton A = Lr0Automaton::build(G);
     LalrLookaheads LA = LalrLookaheads::compute(A, An);
     GlrTable Table = GlrTable::build(
-        A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+        A, [&LA](StateId S, ProductionId P) -> SetView {
           return LA.la(S, P);
         });
     Rng R(Seed);
@@ -135,7 +135,7 @@ TEST(GlrTest, ConflictCellCountsMatchAdequacy) {
     Lr0Automaton A = Lr0Automaton::build(Clean);
     LalrLookaheads LA = LalrLookaheads::compute(A, An);
     GlrTable T = GlrTable::build(
-        A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+        A, [&LA](StateId S, ProductionId P) -> SetView {
           return LA.la(S, P);
         });
     EXPECT_EQ(T.conflictCells(), 0u);
@@ -146,7 +146,7 @@ TEST(GlrTest, ConflictCellCountsMatchAdequacy) {
     Lr0Automaton A = Lr0Automaton::build(Ambig);
     LalrLookaheads LA = LalrLookaheads::compute(A, An);
     GlrTable T = GlrTable::build(
-        A, [&LA](StateId S, ProductionId P) -> const BitSet & {
+        A, [&LA](StateId S, ProductionId P) -> SetView {
           return LA.la(S, P);
         });
     EXPECT_GT(T.conflictCells(), 0u);

@@ -100,7 +100,7 @@ TEST_P(CorpusInvariantsTest, LookbackTargetsMatchProductionWalks) {
   for (uint32_t Slot = 0; Slot < RedIdx.size(); ++Slot) {
     StateId Q = RedIdx.stateOf(Slot);
     ProductionId P = RedIdx.prodOf(Slot);
-    for (uint32_t X : R.Lookback[Slot]) {
+    for (uint32_t X : R.Lookback.row(Slot)) {
       // (q, A->w) lookback (p, A): the lookback transition's symbol is
       // the production's Lhs, and walking w from p lands on q.
       EXPECT_EQ(NtIdx[X].Nt, G.production(P).Lhs);

@@ -30,7 +30,7 @@ BitSet bits(size_t Universe, std::initializer_list<size_t> Elems) {
   return S;
 }
 
-std::set<std::string> names(const Grammar &G, const BitSet &S) {
+std::set<std::string> names(const Grammar &G, SetView S) {
   std::set<std::string> Out;
   for (size_t T : S)
     Out.insert(G.name(static_cast<SymbolId>(T)));
@@ -258,7 +258,7 @@ TEST(RelationsTest, LookbackConnectsReductionsToTransitions) {
   for (uint32_t Slot = 0; Slot < RedIdx.size(); ++Slot) {
     if (RedIdx.prodOf(Slot) == 0)
       continue;
-    EXPECT_FALSE(R.Lookback[Slot].empty())
+    EXPECT_FALSE(R.Lookback.row(Slot).empty())
         << "reduction of production " << RedIdx.prodOf(Slot)
         << " has no lookback";
   }

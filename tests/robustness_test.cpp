@@ -221,6 +221,18 @@ TEST(BuildLimitsTest, SetBitLimitTripsUpFrontDeterministically) {
       << "the up-front projection is a pure function of the grammar";
 }
 
+TEST(BuildLimitsTest, SlabByteLimitTripsUpFrontDeterministically) {
+  BuildOptions Opts;
+  Opts.Limits.MaxSlabBytes = 256;
+  BuildResult A = runOnce(loadCorpusGrammar("json"), Opts);
+  BuildResult B = runOnce(loadCorpusGrammar("json"), Opts);
+  ASSERT_FALSE(A.ok());
+  EXPECT_EQ(A.Status.Code, BuildStatusCode::LimitExceeded);
+  EXPECT_EQ(A.Status.Which, "slab_bytes");
+  EXPECT_EQ(A.Status.Observed, B.Status.Observed)
+      << "the arena census is a pure function of the grammar";
+}
+
 TEST(BuildLimitsTest, Lr1StateLimitGovernsCanonicalAndPager) {
   for (TableKind K : {TableKind::Clr1, TableKind::Pager}) {
     BuildOptions Opts;

@@ -1,0 +1,256 @@
+//===- tests/slab_test.cpp - SetSlab arena and CSR layout tests --------------===//
+//
+// The flat DP data layout: SetSlab arena invariants (alignment, census
+// sizing, union-changed semantics, accounting), CsrRelation round-trips
+// against the ragged form, and the end-to-end bit-identity guarantee —
+// serial Tarjan, parallel wavefront (2 and 8 workers) and the naive
+// fixpoint all land on the same Read/Follow/LA bits for every corpus
+// grammar, with the ArtifactVerifier passing over each.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "lalr/LalrLookaheads.h"
+#include "lr/Lr0Automaton.h"
+#include "support/Csr.h"
+#include "support/SetSlab.h"
+#include "support/ThreadPool.h"
+#include "verify/ArtifactVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace lalr;
+
+// ---------------------------------------------------------------------------
+// SetSlab arena invariants
+// ---------------------------------------------------------------------------
+
+TEST(SetSlabTest, ArenaIsCacheLineAlignedAndRowsAreContiguous) {
+  SetSlab S(7, 100); // 100 bits -> 2 words per row, unpadded
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(S.rowWords(0)) % SetSlab::Alignment,
+            0u);
+  EXPECT_EQ(S.wordsPerSet(), 2u);
+  for (size_t Row = 0; Row + 1 < S.size(); ++Row)
+    EXPECT_EQ(S.rowWords(Row) + S.wordsPerSet(), S.rowWords(Row + 1))
+        << "rows must be back to back in one arena";
+}
+
+TEST(SetSlabTest, BytesForMatchesCensusSizing) {
+  // 7 rows x 2 words x 8 bytes = 112, rounded up to the 64-byte line.
+  EXPECT_EQ(SetSlab::bytesFor(7, 100), 128u);
+  EXPECT_EQ(SetSlab::bytesFor(0, 100), 0u);
+  EXPECT_EQ(SetSlab::bytesFor(1, 1), 64u);
+  SetSlab S(7, 100);
+  EXPECT_EQ(S.bytes(), SetSlab::bytesFor(7, 100));
+}
+
+TEST(SetSlabTest, StartsEmptyAndSetReportsTransitions) {
+  SetSlab S(3, 70);
+  for (size_t Row = 0; Row < S.size(); ++Row)
+    EXPECT_TRUE(S[Row].empty());
+  EXPECT_TRUE(S.set(1, 69));
+  EXPECT_FALSE(S.set(1, 69)) << "already set";
+  EXPECT_TRUE(S.test(1, 69));
+  EXPECT_FALSE(S.test(0, 69)) << "rows are independent";
+  EXPECT_EQ(S.count(1), 1u);
+}
+
+TEST(SetSlabTest, UnionIntoReportsChangeExactly) {
+  SetSlab S(3, 130); // 3 words per row, exercises the unrolled kernel tail
+  S.set(0, 0);
+  S.set(0, 129);
+  S.set(1, 64);
+  EXPECT_TRUE(S.unionInto(1, 0)) << "bits 0 and 129 are new to row 1";
+  EXPECT_TRUE(S.test(1, 0));
+  EXPECT_TRUE(S.test(1, 64));
+  EXPECT_TRUE(S.test(1, 129));
+  EXPECT_FALSE(S.unionInto(1, 0)) << "second union adds nothing";
+  EXPECT_FALSE(S.unionInto(2, 2)) << "self-union of empty row is a no-op";
+  // External-view overload against a BitSet of the same universe.
+  BitSet B(130);
+  B.set(7);
+  EXPECT_TRUE(S.unionInto(2, SetView(B)));
+  EXPECT_FALSE(S.unionInto(2, SetView(B)));
+}
+
+TEST(SetSlabTest, UnionFromFusesWholeFamilies) {
+  SetSlab A(3, 70), B(3, 70);
+  B.set(0, 1);
+  B.set(2, 69);
+  A.set(0, 1);
+  EXPECT_TRUE(A.unionFrom(B));
+  EXPECT_TRUE(A.test(0, 1));
+  EXPECT_TRUE(A.test(2, 69));
+  EXPECT_FALSE(A.test(1, 1)) << "rows union pairwise, never across rows";
+  EXPECT_FALSE(A.unionFrom(B)) << "second pass adds nothing";
+  SetSlab E1, E2;
+  EXPECT_FALSE(E1.unionFrom(E2)) << "empty banks are a no-op";
+}
+
+TEST(SetSlabTest, UnionWordsKernelMatchesScalarOr) {
+  // Differential check of the unrolled kernel across lengths that cover
+  // every unroll remainder.
+  for (size_t N : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u}) {
+    std::vector<uint64_t> Dst(N), Src(N), Ref(N);
+    uint64_t Seed = 0x9E3779B97F4A7C15ull * (N + 1);
+    for (size_t I = 0; I < N; ++I) {
+      Seed ^= Seed << 13, Seed ^= Seed >> 7, Seed ^= Seed << 17;
+      Dst[I] = Seed;
+      Seed ^= Seed << 13, Seed ^= Seed >> 7, Seed ^= Seed << 17;
+      Src[I] = Seed;
+      Ref[I] = Dst[I] | Src[I];
+    }
+    bool RefChanged = Ref != Dst;
+    EXPECT_EQ(SetSlab::unionWords(Dst.data(), Src.data(), N), RefChanged)
+        << "N=" << N;
+    EXPECT_EQ(Dst, Ref) << "N=" << N;
+    EXPECT_FALSE(SetSlab::unionWords(Dst.data(), Src.data(), N))
+        << "idempotent, N=" << N;
+  }
+}
+
+TEST(SetSlabTest, CopyAndRowAssignmentPreserveBits) {
+  SetSlab S(4, 65);
+  S.set(0, 64);
+  S.set(3, 1);
+  SetSlab Copy = S;
+  EXPECT_EQ(Copy, S);
+  Copy.set(1, 2);
+  EXPECT_NE(Copy, S) << "deep copy: mutating the copy leaves the original";
+  S.copyRow(2, 0);
+  EXPECT_TRUE(S.test(2, 64));
+  BitSet B(65);
+  B.set(5);
+  S.assignRow(2, SetView(B));
+  EXPECT_FALSE(S.test(2, 64));
+  EXPECT_TRUE(S.test(2, 5));
+}
+
+TEST(SetSlabTest, LiveByteAccountingTracksArenas) {
+  uint64_t Before = SetSlab::liveBytes();
+  uint64_t AllocsBefore = SetSlab::totalAllocations();
+  {
+    SetSlab S(16, 200);
+    EXPECT_EQ(SetSlab::liveBytes(), Before + S.bytes());
+    EXPECT_EQ(SetSlab::totalAllocations(), AllocsBefore + 1);
+    SetSlab Copy = S; // second arena
+    EXPECT_EQ(SetSlab::liveBytes(), Before + 2 * S.bytes());
+    SetSlab Moved = std::move(Copy); // move transfers, no new arena
+    EXPECT_EQ(SetSlab::liveBytes(), Before + 2 * S.bytes());
+    EXPECT_EQ(SetSlab::totalAllocations(), AllocsBefore + 2);
+  }
+  EXPECT_EQ(SetSlab::liveBytes(), Before) << "all arenas released";
+}
+
+// ---------------------------------------------------------------------------
+// CsrRelation round-trips
+// ---------------------------------------------------------------------------
+
+TEST(CsrRelationTest, RoundTripsRaggedRows) {
+  std::vector<std::vector<uint32_t>> Rows{{1, 2}, {}, {0}, {0, 1, 2, 3}, {}};
+  CsrRelation R = CsrRelation::fromRows(Rows);
+  EXPECT_TRUE(R.wellFormed());
+  EXPECT_EQ(R.rows(), Rows.size());
+  EXPECT_EQ(R.edgeCount(), 7u);
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    ASSERT_EQ(R.rowSize(I), Rows[I].size());
+    auto Row = R.row(I);
+    EXPECT_TRUE(std::equal(Row.begin(), Row.end(), Rows[I].begin()));
+  }
+  EXPECT_EQ(R.toRows(), Rows);
+  EXPECT_EQ(CsrRelation::fromRows(R.toRows()), R);
+}
+
+TEST(CsrRelationTest, DefaultIsEmptyAndWellFormed) {
+  CsrRelation R;
+  EXPECT_TRUE(R.wellFormed());
+  EXPECT_EQ(R.rows(), 0u);
+  EXPECT_EQ(R.edgeCount(), 0u);
+}
+
+TEST(CsrRelationTest, WellFormedRejectsBrokenOffsets) {
+  CsrRelation R = CsrRelation::fromRows({{1}, {2, 3}});
+  ASSERT_TRUE(R.wellFormed());
+  CsrRelation Bad = R;
+  Bad.Offsets.back() += 1; // no longer ends at Edges.size()
+  EXPECT_FALSE(Bad.wellFormed());
+  Bad = R;
+  Bad.Offsets[1] = 5; // not monotone vs back()
+  EXPECT_FALSE(Bad.wellFormed());
+  Bad = R;
+  Bad.Offsets.clear();
+  EXPECT_FALSE(Bad.wellFormed());
+  Bad = R;
+  Bad.Offsets.front() = 1;
+  EXPECT_FALSE(Bad.wellFormed());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end bit-identity: serial vs parallel vs naive, verifier clean
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void expectIdenticalArtifacts(const LalrLookaheads &A, const LalrLookaheads &B,
+                              const char *Name, const char *Variant) {
+  EXPECT_EQ(A.relations().DirectRead, B.relations().DirectRead)
+      << Name << " " << Variant;
+  EXPECT_EQ(A.relations().Reads, B.relations().Reads) << Name << " "
+                                                      << Variant;
+  EXPECT_EQ(A.relations().Includes, B.relations().Includes)
+      << Name << " " << Variant;
+  EXPECT_EQ(A.relations().Lookback, B.relations().Lookback)
+      << Name << " " << Variant;
+  EXPECT_EQ(A.readSets(), B.readSets()) << Name << " " << Variant;
+  EXPECT_EQ(A.followSets(), B.followSets()) << Name << " " << Variant;
+  EXPECT_EQ(A.laSets(), B.laSets()) << Name << " " << Variant;
+  EXPECT_EQ(A.readsCycleMembers(), B.readsCycleMembers())
+      << Name << " " << Variant << ": cycle certificates must agree";
+  EXPECT_EQ(A.grammarNotLrK(), B.grammarNotLrK()) << Name << " " << Variant;
+}
+
+} // namespace
+
+TEST(SlabBitIdentityTest, AllSolversAgreeAcrossCorpusAndThreadCounts) {
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    LalrLookaheads Serial = LalrLookaheads::compute(A, An);
+    LalrLookaheads Naive =
+        LalrLookaheads::compute(A, An, SolverKind::NaiveFixpoint);
+    expectIdenticalArtifacts(Serial, Naive, E.Name, "naive");
+    for (unsigned Workers : {2u, 8u}) {
+      ThreadPool Pool(Workers);
+      LalrLookaheads Par = LalrLookaheads::compute(
+          A, An, SolverKind::Digraph, nullptr, &Pool);
+      expectIdenticalArtifacts(Serial, Par, E.Name,
+                               Workers == 2 ? "parallel-2" : "parallel-8");
+    }
+  }
+}
+
+TEST(SlabBitIdentityTest, VerifierSweepsCleanOverSlabArtifacts) {
+  for (const CorpusEntry &E : corpusEntries()) {
+    Grammar G = loadCorpusGrammar(E.Name);
+    GrammarAnalysis An(G);
+    Lr0Automaton A = Lr0Automaton::build(G);
+    LalrLookaheads LA = LalrLookaheads::compute(A, An);
+    VerifyReport R = verifyLalrBuild(A, An, LA);
+    EXPECT_TRUE(R.ok()) << E.Name << ": " << R.summary();
+  }
+}
+
+TEST(SlabBitIdentityTest, LookaheadSlabBytesMatchFamilyFootprints) {
+  Grammar G = loadCorpusGrammar("json");
+  GrammarAnalysis An(G);
+  Lr0Automaton A = Lr0Automaton::build(G);
+  LalrLookaheads LA = LalrLookaheads::compute(A, An);
+  EXPECT_EQ(LA.slabBytes(),
+            LA.relations().DirectRead.bytes() + LA.readSets().bytes() +
+                LA.followSets().bytes() + LA.laSets().bytes());
+  EXPECT_GT(LA.slabBytes(), 0u);
+}

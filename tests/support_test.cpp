@@ -215,7 +215,7 @@ TEST(SccTest, TwoComponentsWithBridge) {
 }
 
 TEST(SccTest, EmptyGraph) {
-  SccResult R = computeSccs({});
+  SccResult R = computeSccs(std::vector<std::vector<uint32_t>>{});
   EXPECT_EQ(R.componentCount(), 0u);
 }
 

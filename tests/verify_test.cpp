@@ -51,7 +51,7 @@ struct CorruptibleBuild {
   BuildContext Ctx;
   BuildResult Result;
   LalrRelations Rel;
-  std::vector<BitSet> ReadSets, FollowSets, LaSets;
+  SetSlab ReadSets, FollowSets, LaSets;
 };
 
 uint64_t issueCount(const VerifyReport &R, std::string_view Check) {
@@ -74,15 +74,24 @@ void expectDetected(const VerifyReport &R, std::string_view Check) {
     EXPECT_FALSE(I.Detail.empty()) << I.Check;
 }
 
-/// Flips the first clear terminal bit of \p S (there is always one: no
-/// corpus Read/Follow/LA set is the full terminal alphabet).
-void setSpuriousBit(BitSet &S) {
-  for (size_t T = 0; T < S.size(); ++T)
-    if (!S.test(T)) {
-      S.set(T);
+/// Flips the first clear terminal bit of slab row \p Row (there is always
+/// one: no corpus Read/Follow/LA set is the full terminal alphabet).
+void setSpuriousBit(SetSlab &S, size_t Row) {
+  for (size_t T = 0; T < S.universe(); ++T)
+    if (!S.test(Row, T)) {
+      S.set(Row, T);
       return;
     }
   FAIL() << "set already full";
+}
+
+/// Rebuilds a CSR relation after a ragged mutation; the convenient way
+/// for tests to corrupt individual rows.
+template <typename MutateFn>
+void mutateRows(CsrRelation &R, MutateFn &&Mutate) {
+  std::vector<std::vector<uint32_t>> Rows = R.toRows();
+  Mutate(Rows);
+  R = CsrRelation::fromRows(Rows);
 }
 
 } // namespace
@@ -121,38 +130,47 @@ TEST(VerifyCleanTest, NaiveSolverArtifactsAlsoVerify) {
 TEST(VerifyCorruptionTest, SpuriousReadsEdgeIsCaught) {
   CorruptibleBuild B("json");
   // Append a valid-range but wrong edge to the first reads row.
-  B.Rel.Reads[0].push_back(
-      static_cast<uint32_t>(B.Rel.Reads.size() - 1));
+  mutateRows(B.Rel.Reads, [&](auto &Rows) {
+    Rows[0].push_back(static_cast<uint32_t>(Rows.size() - 1));
+  });
   expectDetected(verifyLalrArtifacts(B.view()), "reads");
 }
 
 TEST(VerifyCorruptionTest, DroppedIncludesEdgeIsCaught) {
   CorruptibleBuild B("json");
-  for (auto &Row : B.Rel.Includes)
-    if (!Row.empty()) {
-      Row.pop_back();
-      expectDetected(verifyLalrArtifacts(B.view()), "includes");
-      return;
-    }
-  FAIL() << "corpus grammar with no includes edges";
+  bool Dropped = false;
+  mutateRows(B.Rel.Includes, [&](auto &Rows) {
+    for (auto &Row : Rows)
+      if (!Row.empty()) {
+        Row.pop_back();
+        Dropped = true;
+        return;
+      }
+  });
+  ASSERT_TRUE(Dropped) << "corpus grammar with no includes edges";
+  expectDetected(verifyLalrArtifacts(B.view()), "includes");
 }
 
 TEST(VerifyCorruptionTest, DroppedLookbackEdgeIsCaught) {
   CorruptibleBuild B("json");
-  for (auto &Row : B.Rel.Lookback)
-    if (!Row.empty()) {
-      Row.clear();
-      expectDetected(verifyLalrArtifacts(B.view()), "lookback");
-      return;
-    }
-  FAIL() << "corpus grammar with no lookback edges";
+  bool Dropped = false;
+  mutateRows(B.Rel.Lookback, [&](auto &Rows) {
+    for (auto &Row : Rows)
+      if (!Row.empty()) {
+        Row.clear();
+        Dropped = true;
+        return;
+      }
+  });
+  ASSERT_TRUE(Dropped) << "corpus grammar with no lookback edges";
+  expectDetected(verifyLalrArtifacts(B.view()), "lookback");
 }
 
 TEST(VerifyCorruptionTest, ClearedDirectReadBitIsCaught) {
   CorruptibleBuild B("json");
-  for (BitSet &Dr : B.Rel.DirectRead)
-    if (Dr.count() > 0) {
-      Dr.reset(*Dr.begin());
+  for (size_t X = 0; X < B.Rel.DirectRead.size(); ++X)
+    if (B.Rel.DirectRead.count(X) > 0) {
+      B.Rel.DirectRead.reset(X, *B.Rel.DirectRead[X].begin());
       expectDetected(verifyLalrArtifacts(B.view()), "direct-read");
       return;
     }
@@ -161,7 +179,7 @@ TEST(VerifyCorruptionTest, ClearedDirectReadBitIsCaught) {
 
 TEST(VerifyCorruptionTest, SpuriousReadSetBitBreaksTheFixpoint) {
   CorruptibleBuild B("json");
-  setSpuriousBit(B.ReadSets[0]);
+  setSpuriousBit(B.ReadSets, 0);
   // A Read set above the least fixed point cannot match the naive
   // recomputation (and usually violates Read subset-of Follow too).
   expectDetected(verifyLalrArtifacts(B.view()), "read-fixpoint");
@@ -169,7 +187,7 @@ TEST(VerifyCorruptionTest, SpuriousReadSetBitBreaksTheFixpoint) {
 
 TEST(VerifyCorruptionTest, SpuriousFollowSetBitIsCaught) {
   CorruptibleBuild B("json");
-  setSpuriousBit(B.FollowSets[0]);
+  setSpuriousBit(B.FollowSets, 0);
   VerifyReport R = verifyLalrArtifacts(B.view());
   EXPECT_FALSE(R.ok());
   // Depending on which transition 0 is, the extra bit surfaces as a
@@ -183,8 +201,8 @@ TEST(VerifyCorruptionTest, SpuriousFollowSetBitIsCaught) {
 TEST(VerifyCorruptionTest, ClearedLaBitIsCaughtInUnionAndTable) {
   CorruptibleBuild B("json");
   for (size_t S = 0; S < B.LaSets.size(); ++S)
-    if (B.LaSets[S].count() > 0) {
-      B.LaSets[S].reset(*B.LaSets[S].begin());
+    if (B.LaSets.count(S) > 0) {
+      B.LaSets.reset(S, *B.LaSets[S].begin());
       VerifyReport R = verifyLalrArtifacts(B.view());
       expectDetected(R, "la-union");
       // The built table honors the *real* LA set, so against the
@@ -210,7 +228,9 @@ TEST(VerifyCorruptionTest, TamperedTableCellIsCaught) {
 
 TEST(VerifyCorruptionTest, OutOfRangeEdgeIsReportedNotDereferenced) {
   CorruptibleBuild B("json");
-  B.Rel.Includes[0].push_back(1u << 30); // far out of range
+  mutateRows(B.Rel.Includes, [](auto &Rows) {
+    Rows[0].push_back(1u << 30); // far out of range
+  });
   VerifyReport R = verifyLalrArtifacts(B.view());
   expectDetected(R, "set-shapes");
   // The dereferencing checks were skipped, so the naive recomputation
@@ -218,18 +238,32 @@ TEST(VerifyCorruptionTest, OutOfRangeEdgeIsReportedNotDereferenced) {
   EXPECT_TRUE(R.FixpointSkipped);
 }
 
+TEST(VerifyCorruptionTest, MalformedCsrOffsetsAreReportedNotCrashed) {
+  CorruptibleBuild B("json");
+  // Break the CSR shape invariant itself: Offsets no longer ends at the
+  // edge count, so no row of Includes is safe to dereference.
+  B.Rel.Includes.Offsets.back() += 1;
+  ASSERT_FALSE(B.Rel.Includes.wellFormed());
+  VerifyReport R = verifyLalrArtifacts(B.view());
+  expectDetected(R, "set-shapes");
+}
+
 TEST(VerifyCorruptionTest, TruncatedSetFamilyIsReportedNotCrashed) {
   CorruptibleBuild B("json");
-  ASSERT_FALSE(B.LaSets.empty());
-  B.LaSets.pop_back();
+  ASSERT_GT(B.LaSets.size(), 0u);
+  // Slabs are fixed-size; "truncate" by rebuilding one row shorter.
+  SetSlab Smaller(B.LaSets.size() - 1, B.LaSets.universe());
+  for (size_t S = 0; S + 1 < B.LaSets.size(); ++S)
+    Smaller.assignRow(S, B.LaSets[S]);
+  B.LaSets = std::move(Smaller);
   VerifyReport R = verifyLalrArtifacts(B.view());
   expectDetected(R, "set-shapes");
 }
 
 TEST(VerifyCorruptionTest, IssueCapKeepsExactTotals) {
   CorruptibleBuild B("json");
-  for (BitSet &La : B.LaSets)
-    setSpuriousBit(La);
+  for (size_t S = 0; S < B.LaSets.size(); ++S)
+    setSpuriousBit(B.LaSets, S);
   VerifyOptions Opts;
   Opts.MaxIssues = 2;
   VerifyReport R = verifyLalrArtifacts(B.view(), Opts);
