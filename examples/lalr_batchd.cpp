@@ -22,6 +22,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/GrammarPrinter.h"
 #include "service/BuildService.h"
 #include "service/Manifest.h"
 #include "support/FailPoint.h"
@@ -31,6 +33,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 using namespace lalr;
@@ -133,7 +136,8 @@ bool parseRequestFlag(const std::string &Value, std::vector<ManifestEntry> &Out,
 }
 
 /// Loads .y-path grammars into inline sources so the service never does
-/// file IO. Corpus names pass through untouched.
+/// file IO. Corpus names pass through untouched. Edit entries resolve
+/// the same way (their target may be a path grammar).
 bool resolvePathGrammars(std::vector<ManifestEntry> &Entries,
                          std::string &Error) {
   for (ManifestEntry &E : Entries) {
@@ -144,6 +148,44 @@ bool resolvePathGrammars(std::vector<ManifestEntry> &Entries,
       Error = "cannot open grammar file '" + E.Request.GrammarName + "'";
       return false;
     }
+  }
+  return true;
+}
+
+/// Per-grammar working sources for manifest `edit` entries. Each edit
+/// target's base text is normalized up front via print(parse(text)):
+/// print-then-parse assigns symbol ids by appearance order in the
+/// printed layout and is idempotent from then on, so successive edits
+/// keep a stable id space and the service's layered-hash classifier sees
+/// exactly the edited layer instead of a spurious structural change.
+bool normalizeEditTargets(std::vector<ManifestEntry> &Entries,
+                          std::unordered_map<std::string, std::string> &Working,
+                          std::string &Error) {
+  for (ManifestEntry &E : Entries) {
+    if (E.Act != ManifestEntry::Action::Edit)
+      continue;
+    auto [It, New] = Working.try_emplace(E.Request.GrammarName);
+    if (!New)
+      continue;
+    std::string_view Base = E.Request.Source;
+    if (Base.empty()) {
+      const CorpusEntry *CE = corpusGrammarByName(E.Request.GrammarName);
+      if (!CE) {
+        Error = "edit target '" + E.Request.GrammarName +
+                "' is not a corpus grammar or .y path";
+        return false;
+      }
+      Base = CE->Source;
+    }
+    DiagnosticEngine Diags;
+    std::optional<Grammar> G =
+        parseGrammar(Base, Diags, E.Request.GrammarName);
+    if (!G) {
+      Error = "edit target '" + E.Request.GrammarName +
+              "' failed to parse:\n" + Diags.render();
+      return false;
+    }
+    It->second = printGrammarText(*G);
   }
   return true;
 }
@@ -257,6 +299,14 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s\n", Error.c_str());
     return 2;
   }
+  // Working copies of every edit target's source (normalized; see
+  // normalizeEditTargets). Build requests for these grammars carry the
+  // current working text as inline source.
+  std::unordered_map<std::string, std::string> Working;
+  if (!normalizeEditTargets(Entries, Working, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 2;
+  }
 
   BuildService Svc(SvcOpts);
   bool AnyFailed = false;
@@ -299,8 +349,45 @@ int main(int Argc, char **Argv) {
                           : "(not cached)");
         continue;
       }
-      for (unsigned R = 0; R < E.Repeat; ++R)
+      if (E.Act == ManifestEntry::Action::Edit) {
+        // Mutates only the driver's working copy; pending requests
+        // already hold their own source snapshots, so no flush is
+        // needed — the cache absorbs the change when the first
+        // post-edit request arrives.
+        std::string &Src = Working[E.Request.GrammarName];
+        DiagnosticEngine Diags;
+        std::optional<Grammar> G =
+            parseGrammar(Src, Diags, E.Request.GrammarName);
+        std::optional<Grammar> Edited =
+            G ? applyGrammarEdit(*G, E.Edit, Diags) : std::nullopt;
+        if (!Edited) {
+          AnyFailed = true;
+          std::fprintf(stderr, "edit %s (line %u) failed:\n%s\n",
+                       E.Request.GrammarName.c_str(), E.Line,
+                       Diags.render().c_str());
+          if (FailFast) {
+            Stopped = true;
+            std::fprintf(stderr,
+                         "stopping: --fail-fast and an edit failed\n");
+          }
+          continue;
+        }
+        GrammarEditClass Class =
+            computeGrammarDelta(*G, *Edited).Class;
+        Src = printGrammarText(*Edited);
+        if (!Quiet)
+          std::printf("edit %-18s applied (%s)\n",
+                      E.Request.GrammarName.c_str(),
+                      grammarEditClassName(Class));
+        continue;
+      }
+      for (unsigned R = 0; R < E.Repeat; ++R) {
         Pending.push_back(E.Request);
+        // Edit targets build from the current working text.
+        auto It = Working.find(E.Request.GrammarName);
+        if (It != Working.end())
+          Pending.back().Source = It->second;
+      }
     }
   }
   Flush();

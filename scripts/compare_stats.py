@@ -51,6 +51,12 @@ STRUCTURAL_COUNTERS = {
     # edge total are pure functions of the grammar, so any drift means the
     # relation build or the census changed shape.
     "slab_bytes", "slab_sets", "relation_csr_edges",
+    # Selective incremental rebuild: how many edits took the patch path
+    # and the dirty-frontier census behind them are pure functions of the
+    # (grammar, edit script) pair — patching is bit-identical to a fresh
+    # build, so a drift here means the delta planner reclassified an edit
+    # or the taint radius changed.
+    "incremental_builds", "dirty_nts", "dirty_sccs", "resolved_sets_reused",
 }
 
 

@@ -5,10 +5,20 @@ repo root.
 Gathers every PipelineStats JSON written by the bench binaries (the same
 files scripts/compare_stats.py gates) and, optionally, a google-benchmark
 --benchmark_out JSON from bench_micro, into one self-contained record of
-how this commit performed. When the micro results contain the
-BM_DpSetUnion pair the snapshot also derives the slab-vs-bitset union
-throughput ratio explicitly, so the flat-layout speedup is a first-class
-recorded number rather than something readers re-divide by hand.
+how this commit performed.
+
+By default the snapshot is COMPACT: per stats file it records the entry
+count, the median and min end-to-end wall time, and the sum of each
+structural counter (the same counter set compare_stats.py gates on) —
+a ~100-line record that diffs meaningfully across commits. The full
+per-entry embedding is available behind --raw for deep-dive archaeology;
+the gate tooling always reads the live build/bench-stats files, never the
+snapshot, so nothing downstream depends on the raw form.
+
+When the micro results contain the BM_DpSetUnion pair the snapshot also
+derives the slab-vs-bitset union throughput ratio explicitly, so the
+flat-layout speedup is a first-class recorded number rather than
+something readers re-divide by hand.
 
 Typical use, after scripts/check.sh has populated build/bench-stats/:
 
@@ -17,15 +27,23 @@ Typical use, after scripts/check.sh has populated build/bench-stats/:
       --benchmark_out=build/micro_gbench.json --benchmark_out_format=json
   scripts/record_bench.py --micro build/micro_gbench.json
 
+An existing raw snapshot can be rewritten compactly in place:
+
+  scripts/record_bench.py --migrate BENCH_2026-08-08.json
+
 Exit status: 0 on success, 2 on usage/IO errors.
 """
 
 import argparse
 import datetime
 import json
+import statistics
 import subprocess
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from compare_stats import STRUCTURAL_COUNTERS  # noqa: E402
 
 
 def git_commit():
@@ -35,6 +53,25 @@ def git_commit():
             text=True, stderr=subprocess.DEVNULL).strip()
     except (OSError, subprocess.CalledProcessError):
         return None
+
+
+def compact_entries(entries):
+    """One summary object for a bench binary's PipelineStats array:
+    entry count, median/min wall, summed structural counters."""
+    walls = [e["total_us"] for e in entries
+             if isinstance(e.get("total_us"), (int, float))]
+    counters = {}
+    for e in entries:
+        for c in e.get("counters", []):
+            if c["name"] in STRUCTURAL_COUNTERS:
+                counters[c["name"]] = counters.get(c["name"], 0) + c["value"]
+    out = {"entries": len(entries)}
+    if walls:
+        out["wall_us"] = {"median": round(statistics.median(walls), 1),
+                          "min": round(min(walls), 1)}
+    if counters:
+        out["counters"] = dict(sorted(counters.items()))
+    return out
 
 
 def load_micro(path):
@@ -66,6 +103,31 @@ def union_speedup(rows):
     return None
 
 
+def migrate(path, out):
+    """Rewrites an existing raw snapshot compactly, keeping every
+    non-stats field (date, commit, micro, derived ratios) verbatim."""
+    try:
+        snap = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot parse {path}: {e}", file=sys.stderr)
+        return 2
+    stats = snap.get("stats")
+    if not isinstance(stats, dict):
+        print(f"error: {path} has no stats object", file=sys.stderr)
+        return 2
+    compacted = {}
+    for fname, entries in sorted(stats.items()):
+        if isinstance(entries, list):
+            compacted[fname] = compact_entries(entries)
+        else:
+            compacted[fname] = entries  # already compact
+    snap["stats"] = compacted
+    target = out or path
+    target.write_text(json.dumps(snap, indent=2) + "\n")
+    print(f"migrated {path} -> {target}: {len(compacted)} files compacted")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--stats-dir", type=Path,
@@ -74,6 +136,12 @@ def main():
                          "(default build/bench-stats)")
     ap.add_argument("--micro", type=Path,
                     help="google-benchmark --benchmark_out JSON to fold in")
+    ap.add_argument("--raw", action="store_true",
+                    help="embed the full per-entry stats arrays instead of "
+                         "the compact per-file summaries")
+    ap.add_argument("--migrate", type=Path,
+                    help="rewrite an existing raw snapshot compactly and "
+                         "exit (ignores the other inputs)")
     ap.add_argument("--date", default=datetime.date.today().isoformat(),
                     help="snapshot date (default today, ISO format); "
                          "names the output file")
@@ -81,18 +149,24 @@ def main():
                     help="output path (default BENCH_<date>.json)")
     args = ap.parse_args()
 
+    if args.migrate:
+        return migrate(args.migrate, args.out)
+
     snap = {"date": args.date}
     commit = git_commit()
     if commit:
         snap["commit"] = commit
 
     stats = {}
+    n_entries = 0
     for f in sorted(args.stats_dir.glob("*.json")):
         try:
-            stats[f.name] = json.loads(f.read_text())
+            entries = json.loads(f.read_text())
         except (OSError, json.JSONDecodeError) as e:
             print(f"error: cannot parse {f}: {e}", file=sys.stderr)
             return 2
+        n_entries += len(entries)
+        stats[f.name] = entries if args.raw else compact_entries(entries)
     if not stats:
         print(f"error: no .json files in {args.stats_dir}", file=sys.stderr)
         return 2
@@ -111,11 +185,12 @@ def main():
 
     out = args.out or Path(f"BENCH_{args.date}.json")
     out.write_text(json.dumps(snap, indent=2) + "\n")
-    n = sum(len(v) for v in stats.values())
     note = ""
     if "dp_set_union_speedup" in snap:
         note = f", dp_set_union_speedup={snap['dp_set_union_speedup']:.2f}x"
-    print(f"wrote {out}: {n} stats entries in {len(stats)} files{note}")
+    form = "raw" if args.raw else "compact"
+    print(f"wrote {out} ({form}): {n_entries} stats entries "
+          f"in {len(stats)} files{note}")
     return 0
 
 

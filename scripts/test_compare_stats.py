@@ -93,6 +93,20 @@ class CompareFunctionTest(unittest.TestCase):
         self.assertIn("counter verify_issues: 0 -> 1 (structural drift)",
                       problems[0])
 
+    def test_incremental_counters_are_structural(self):
+        # The delta planner's dirty-frontier census is deterministic for a
+        # fixed edit script; reclassification shows up as counter drift.
+        base = self.load("base", {"a.json": [entry(
+            "g", {"incremental_builds": 22, "dirty_nts": 3,
+                  "dirty_sccs": 2, "resolved_sets_reused": 140})]})
+        cand = self.load("cand", {"a.json": [entry(
+            "g", {"incremental_builds": 21, "dirty_nts": 3,
+                  "dirty_sccs": 2, "resolved_sets_reused": 97})]})
+        problems = compare_stats.compare(base, cand, 1.5, 100.0)
+        self.assertEqual(len(problems), 2)
+        self.assertIn("counter incremental_builds: 22 -> 21", problems[0])
+        self.assertIn("counter resolved_sets_reused: 140 -> 97", problems[1])
+
     def test_non_structural_counter_drift_is_ignored(self):
         # build_threads varies across configurations by design.
         base = self.load("base", {"a.json": [entry("g", {"build_threads": 0})]})

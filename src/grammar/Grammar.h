@@ -132,6 +132,12 @@ public:
 
 private:
   friend class GrammarBuilder;
+  /// grammar/GrammarEdit.cpp: applyGrammarEdit produces a near-copy with
+  /// identical symbol/production ids, which the builder's canonical
+  /// re-layout cannot guarantee (e.g. mixed associativity within one
+  /// precedence level is representable here but not constructible
+  /// through precedenceLevel()).
+  friend struct GrammarEditAccess;
   Grammar() = default;
 
   std::string GrammarName;

@@ -1,0 +1,456 @@
+//===- grammar/GrammarEdit.cpp - Layered hashes and grammar edits ----------===//
+
+#include "grammar/GrammarEdit.h"
+
+#include <algorithm>
+#include <charconv>
+
+using namespace lalr;
+
+namespace lalr {
+
+/// Private-field access for applyGrammarEdit (befriended by Grammar): the
+/// edits below must preserve symbol and production ids bit-for-bit so the
+/// delta classifier sees only the layer that actually changed, and the
+/// canonicalizing GrammarBuilder cannot express every reachable state
+/// (mixed associativity within one precedence level, preserved level
+/// gaps).
+struct GrammarEditAccess {
+  static std::vector<Precedence> &precedences(Grammar &G) {
+    return G.Precedences;
+  }
+  static std::vector<Production> &productions(Grammar &G) {
+    return G.Productions;
+  }
+  static std::vector<std::vector<ProductionId>> &productionsByNt(Grammar &G) {
+    return G.ProductionsByNt;
+  }
+  static int &expectedSr(Grammar &G) { return G.ExpectedSr; }
+};
+
+} // namespace lalr
+
+//===----------------------------------------------------------------------===//
+// Layered hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t FnvOffset = 1469598103934665603ull;
+constexpr uint64_t FnvPrime = 1099511628211ull;
+
+uint64_t hashBytes(uint64_t H, const void *Data, size_t N) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != N; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+uint64_t hashU64(uint64_t H, uint64_t V) { return hashBytes(H, &V, sizeof V); }
+
+uint64_t hashString(uint64_t H, const std::string &S) {
+  H = hashU64(H, S.size());
+  return hashBytes(H, S.data(), S.size());
+}
+
+uint64_t hashProduction(const Production &P) {
+  uint64_t H = FnvOffset;
+  H = hashU64(H, P.Lhs);
+  H = hashU64(H, P.Rhs.size());
+  for (SymbolId S : P.Rhs)
+    H = hashU64(H, S);
+  return H;
+}
+
+/// The rightmost terminal of \p Rhs — the default %prec a production gets
+/// when none is declared. Mirrors GrammarBuilder::build's inference.
+SymbolId inferredPrecSymbol(const Grammar &G, std::span<const SymbolId> Rhs) {
+  for (size_t I = Rhs.size(); I != 0; --I)
+    if (G.isTerminal(Rhs[I - 1]))
+      return Rhs[I - 1];
+  return InvalidSymbol;
+}
+
+} // namespace
+
+GrammarLayerHashes lalr::computeGrammarLayerHashes(const Grammar &G) {
+  GrammarLayerHashes Out;
+
+  uint64_t H = FnvOffset;
+  H = hashU64(H, G.numTerminals());
+  H = hashU64(H, G.numSymbols());
+  H = hashU64(H, G.startSymbol());
+  for (SymbolId S = 0; S < G.numSymbols(); ++S)
+    H = hashString(H, G.name(S));
+  Out.SymbolsHash = H;
+
+  Out.ProductionHashes.reserve(G.numProductions());
+  H = FnvOffset;
+  for (ProductionId P = 0; P < G.numProductions(); ++P) {
+    uint64_t PH = hashProduction(G.production(P));
+    Out.ProductionHashes.push_back(PH);
+    H = hashU64(H, PH);
+  }
+  Out.ProductionSetHash = H;
+
+  H = FnvOffset;
+  for (SymbolId T = 0; T < G.numTerminals(); ++T) {
+    const Precedence &P = G.precedence(T);
+    H = hashU64(H, P.Level);
+    H = hashU64(H, static_cast<uint64_t>(P.Associativity));
+  }
+  for (ProductionId P = 0; P < G.numProductions(); ++P)
+    H = hashU64(H, G.production(P).PrecSymbol);
+  H = hashU64(H, static_cast<uint64_t>(G.expectedShiftReduce()));
+  Out.ConflictHash = H;
+
+  return Out;
+}
+
+const char *lalr::grammarEditClassName(GrammarEditClass C) {
+  switch (C) {
+  case GrammarEditClass::Identical:
+    return "identical";
+  case GrammarEditClass::ConflictLocal:
+    return "conflict-local";
+  case GrammarEditClass::ProductionLocal:
+    return "production-local";
+  case GrammarEditClass::Structural:
+    return "structural";
+  }
+  return "unknown";
+}
+
+GrammarDelta lalr::computeGrammarDelta(const GrammarLayerHashes &Old,
+                                       const GrammarLayerHashes &New) {
+  GrammarDelta D;
+  D.OldHashes = Old;
+  D.NewHashes = New;
+
+  // A symbol-layer change (or a production removal, which renumbers ids)
+  // invalidates the id spaces every artifact indexes by.
+  if (New.SymbolsHash != Old.SymbolsHash ||
+      New.ProductionHashes.size() < Old.ProductionHashes.size()) {
+    D.Class = GrammarEditClass::Structural;
+    return D;
+  }
+
+  for (size_t P = 0; P < Old.ProductionHashes.size(); ++P)
+    if (New.ProductionHashes[P] != Old.ProductionHashes[P])
+      D.ChangedProductions.push_back(static_cast<ProductionId>(P));
+  for (size_t P = Old.ProductionHashes.size();
+       P < New.ProductionHashes.size(); ++P)
+    D.ChangedProductions.push_back(static_cast<ProductionId>(P));
+
+  if (D.ChangedProductions.empty()) {
+    D.Class = New.ConflictHash == Old.ConflictHash
+                  ? GrammarEditClass::Identical
+                  : GrammarEditClass::ConflictLocal;
+    return D;
+  }
+  if (D.ChangedProductions.size() > MaxProductionLocalEdits) {
+    D.ChangedProductions.clear();
+    D.Class = GrammarEditClass::Structural;
+    return D;
+  }
+  D.Class = GrammarEditClass::ProductionLocal;
+  return D;
+}
+
+GrammarDelta lalr::computeGrammarDelta(const Grammar &Old,
+                                       const Grammar &New) {
+  GrammarDelta D = computeGrammarDelta(computeGrammarLayerHashes(Old),
+                                       computeGrammarLayerHashes(New));
+  if (D.Class == GrammarEditClass::ProductionLocal) {
+    for (ProductionId P : D.ChangedProductions)
+      D.DirtyNts.push_back(New.production(P).Lhs);
+    std::sort(D.DirtyNts.begin(), D.DirtyNts.end());
+    D.DirtyNts.erase(std::unique(D.DirtyNts.begin(), D.DirtyNts.end()),
+                     D.DirtyNts.end());
+  }
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Edit parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool parseUnsigned(const std::string &Tok, uint64_t &Out) {
+  auto [Ptr, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(), Out);
+  return Ec == std::errc() && Ptr == Tok.data() + Tok.size();
+}
+
+bool parseAssoc(const std::string &Tok, Assoc &Out) {
+  if (Tok == "left")
+    Out = Assoc::Left;
+  else if (Tok == "right")
+    Out = Assoc::Right;
+  else if (Tok == "nonassoc")
+    Out = Assoc::NonAssoc;
+  else if (Tok == "none")
+    Out = Assoc::None;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+std::optional<GrammarEdit>
+lalr::parseGrammarEdit(std::span<const std::string> Toks, std::string &Error) {
+  if (Toks.empty()) {
+    Error = "empty edit";
+    return std::nullopt;
+  }
+  GrammarEdit E;
+  const std::string &Op = Toks[0];
+  uint64_t N = 0;
+  if (Op == "prec") {
+    // prec <token> <left|right|nonassoc|none> <level>
+    if (Toks.size() != 4) {
+      Error = "prec wants: prec <token> <assoc> <level>";
+      return std::nullopt;
+    }
+    E.K = GrammarEdit::Kind::SetPrecedence;
+    E.Symbol = Toks[1];
+    if (!parseAssoc(Toks[2], E.Associativity)) {
+      Error = "bad associativity '" + Toks[2] +
+              "' (want left|right|nonassoc|none)";
+      return std::nullopt;
+    }
+    if (!parseUnsigned(Toks[3], N) || N > UINT16_MAX) {
+      Error = "bad precedence level '" + Toks[3] + "'";
+      return std::nullopt;
+    }
+    E.Level = static_cast<uint16_t>(N);
+    return E;
+  }
+  if (Op == "prodprec") {
+    // prodprec <prod-id> <token | '-'>
+    if (Toks.size() != 3 || !parseUnsigned(Toks[1], N)) {
+      Error = "prodprec wants: prodprec <prod-id> <token|->";
+      return std::nullopt;
+    }
+    E.K = GrammarEdit::Kind::SetProductionPrec;
+    E.Prod = static_cast<ProductionId>(N);
+    if (Toks[2] != "-")
+      E.PrecToken = Toks[2];
+    return E;
+  }
+  if (Op == "rhs") {
+    // rhs <prod-id> [sym...]
+    if (Toks.size() < 2 || !parseUnsigned(Toks[1], N)) {
+      Error = "rhs wants: rhs <prod-id> [sym...]";
+      return std::nullopt;
+    }
+    E.K = GrammarEdit::Kind::SetRhs;
+    E.Prod = static_cast<ProductionId>(N);
+    E.Rhs.assign(Toks.begin() + 2, Toks.end());
+    return E;
+  }
+  if (Op == "add-prod") {
+    // add-prod <lhs> [sym...]
+    if (Toks.size() < 2) {
+      Error = "add-prod wants: add-prod <lhs> [sym...]";
+      return std::nullopt;
+    }
+    E.K = GrammarEdit::Kind::AddProduction;
+    E.Symbol = Toks[1];
+    E.Rhs.assign(Toks.begin() + 2, Toks.end());
+    return E;
+  }
+  if (Op == "rm-prod") {
+    if (Toks.size() != 2 || !parseUnsigned(Toks[1], N)) {
+      Error = "rm-prod wants: rm-prod <prod-id>";
+      return std::nullopt;
+    }
+    E.K = GrammarEdit::Kind::RemoveProduction;
+    E.Prod = static_cast<ProductionId>(N);
+    return E;
+  }
+  if (Op == "expect") {
+    if (Toks.size() != 2 || !parseUnsigned(Toks[1], N) || N > INT32_MAX) {
+      Error = "expect wants: expect <n>";
+      return std::nullopt;
+    }
+    E.K = GrammarEdit::Kind::SetExpect;
+    E.Expect = static_cast<int>(N);
+    return E;
+  }
+  Error = "unknown edit op '" + Op +
+          "' (want prec|prodprec|rhs|add-prod|rm-prod|expect)";
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Edit application
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SourceLocation noLoc() { return SourceLocation(); }
+
+/// Resolves a spelled symbol against \p G, reporting when absent. Edits
+/// deliberately cannot introduce new symbols: the symbol layer stays
+/// frozen, which is what keeps small edits out of the Structural class.
+SymbolId resolveSymbol(const Grammar &G, const std::string &Name,
+                       DiagnosticEngine &Diags) {
+  SymbolId S = G.findSymbol(Name);
+  if (S == InvalidSymbol)
+    Diags.error(noLoc(), "edit references unknown symbol '" + Name + "'");
+  return S;
+}
+
+bool checkUserProduction(const Grammar &G, ProductionId P,
+                         DiagnosticEngine &Diags) {
+  if (P == 0) {
+    Diags.error(noLoc(), "production 0 is the augmentation and cannot be "
+                         "edited");
+    return false;
+  }
+  if (P >= G.numProductions()) {
+    Diags.error(noLoc(), "production id " + std::to_string(P) +
+                             " out of range (grammar has " +
+                             std::to_string(G.numProductions()) +
+                             " productions)");
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<SymbolId>>
+resolveRhs(const Grammar &G, const std::vector<std::string> &Names,
+           DiagnosticEngine &Diags) {
+  std::vector<SymbolId> Rhs;
+  Rhs.reserve(Names.size());
+  for (const std::string &N : Names) {
+    SymbolId S = resolveSymbol(G, N, Diags);
+    if (S == InvalidSymbol)
+      return std::nullopt;
+    if (S == G.eofSymbol() || S == G.acceptSymbol()) {
+      Diags.error(noLoc(), "'" + N + "' cannot appear on a right-hand side");
+      return std::nullopt;
+    }
+    Rhs.push_back(S);
+  }
+  return Rhs;
+}
+
+} // namespace
+
+std::optional<Grammar> lalr::applyGrammarEdit(const Grammar &G,
+                                              const GrammarEdit &E,
+                                              DiagnosticEngine &Diags) {
+  Grammar Out = G;
+  switch (E.K) {
+  case GrammarEdit::Kind::SetPrecedence: {
+    SymbolId T = resolveSymbol(G, E.Symbol, Diags);
+    if (T == InvalidSymbol)
+      return std::nullopt;
+    if (!G.isTerminal(T)) {
+      Diags.error(noLoc(),
+                  "precedence of nonterminal '" + E.Symbol + "'");
+      return std::nullopt;
+    }
+    Precedence P;
+    P.Level = E.Level;
+    P.Associativity = E.Level == 0 ? Assoc::None : E.Associativity;
+    GrammarEditAccess::precedences(Out)[T] = P;
+    return Out;
+  }
+
+  case GrammarEdit::Kind::SetProductionPrec: {
+    if (!checkUserProduction(G, E.Prod, Diags))
+      return std::nullopt;
+    Production &P = GrammarEditAccess::productions(Out)[E.Prod];
+    if (E.PrecToken.empty()) {
+      P.PrecSymbol = inferredPrecSymbol(G, P.Rhs);
+    } else {
+      SymbolId T = resolveSymbol(G, E.PrecToken, Diags);
+      if (T == InvalidSymbol)
+        return std::nullopt;
+      if (!G.isTerminal(T)) {
+        Diags.error(noLoc(), "%prec symbol '" + E.PrecToken +
+                                 "' is not a terminal");
+        return std::nullopt;
+      }
+      P.PrecSymbol = T;
+    }
+    return Out;
+  }
+
+  case GrammarEdit::Kind::SetRhs: {
+    if (!checkUserProduction(G, E.Prod, Diags))
+      return std::nullopt;
+    auto Rhs = resolveRhs(G, E.Rhs, Diags);
+    if (!Rhs)
+      return std::nullopt;
+    Production &P = GrammarEditAccess::productions(Out)[E.Prod];
+    // A %prec declared explicitly (detectable as "differs from the
+    // inferred default") survives the rewrite; an inferred one is
+    // re-inferred from the new body — the same rule GrammarPrinter uses
+    // to decide whether %prec must be printed.
+    bool ExplicitPrec = P.PrecSymbol != inferredPrecSymbol(G, P.Rhs);
+    P.Rhs = std::move(*Rhs);
+    if (!ExplicitPrec)
+      P.PrecSymbol = inferredPrecSymbol(G, P.Rhs);
+    return Out;
+  }
+
+  case GrammarEdit::Kind::AddProduction: {
+    SymbolId Lhs = resolveSymbol(G, E.Symbol, Diags);
+    if (Lhs == InvalidSymbol)
+      return std::nullopt;
+    if (!G.isNonterminal(Lhs) || Lhs == G.acceptSymbol()) {
+      Diags.error(noLoc(), "add-prod left-hand side '" + E.Symbol +
+                               "' is not a user nonterminal");
+      return std::nullopt;
+    }
+    auto Rhs = resolveRhs(G, E.Rhs, Diags);
+    if (!Rhs)
+      return std::nullopt;
+    Production P;
+    P.Id = static_cast<ProductionId>(G.numProductions());
+    P.Lhs = Lhs;
+    P.Rhs = std::move(*Rhs);
+    P.PrecSymbol = inferredPrecSymbol(G, P.Rhs);
+    GrammarEditAccess::productionsByNt(Out)[G.ntIndex(Lhs)].push_back(P.Id);
+    GrammarEditAccess::productions(Out).push_back(std::move(P));
+    return Out;
+  }
+
+  case GrammarEdit::Kind::RemoveProduction: {
+    if (!checkUserProduction(G, E.Prod, Diags))
+      return std::nullopt;
+    SymbolId Lhs = G.production(E.Prod).Lhs;
+    if (G.productionsOf(Lhs).size() == 1) {
+      Diags.error(noLoc(), "removing production " + std::to_string(E.Prod) +
+                               " leaves nonterminal '" + G.name(Lhs) +
+                               "' without productions");
+      return std::nullopt;
+    }
+    auto &Prods = GrammarEditAccess::productions(Out);
+    Prods.erase(Prods.begin() + E.Prod);
+    for (size_t I = 0; I < Prods.size(); ++I)
+      Prods[I].Id = static_cast<ProductionId>(I);
+    auto &ByNt = GrammarEditAccess::productionsByNt(Out);
+    for (auto &Row : ByNt) {
+      Row.erase(std::remove(Row.begin(), Row.end(), E.Prod), Row.end());
+      for (ProductionId &P : Row)
+        if (P > E.Prod)
+          --P;
+    }
+    return Out;
+  }
+
+  case GrammarEdit::Kind::SetExpect:
+    GrammarEditAccess::expectedSr(Out) = E.Expect;
+    return Out;
+  }
+  Diags.error(noLoc(), "unhandled edit kind");
+  return std::nullopt;
+}

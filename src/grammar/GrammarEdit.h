@@ -1,0 +1,143 @@
+//===- grammar/GrammarEdit.h - Layered hashes and grammar edits -*- C++ -*-===//
+///
+/// \file
+/// The grammar-side half of selective incremental rebuild. A frozen
+/// Grammar never changes, but interactive traffic edits grammars all the
+/// time; what matters for the build pipeline is *which layer* an edit
+/// touched:
+///
+///   * the symbol layer (token declarations, symbol names, the start
+///     symbol) — feeds everything;
+///   * the production layer (per-production Lhs/Rhs structure) — feeds
+///     the LR(0) automaton and the DeRemer-Pennello relations;
+///   * the conflict layer (precedence levels/associativity, per-production
+///     %prec, %expect) — feeds only conflict resolution in table fill.
+///
+/// computeGrammarLayerHashes() splits the flat source hash into one FNV-1a
+/// hash per layer plus a per-production hash vector, so that
+/// computeGrammarDelta() can classify an old/new grammar pair as
+/// Identical, ConflictLocal (keep every DP artifact, re-run table fill),
+/// ProductionLocal (seed a dirty frontier through reads/includes), or
+/// Structural (full rebuild). GrammarEdit/applyGrammarEdit implement the
+/// small-edit dialect the service manifest exposes (`edit <grammar>
+/// <patch>`), producing the edited frozen Grammar that the delta planner
+/// then classifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_GRAMMAR_GRAMMAREDIT_H
+#define LALR_GRAMMAR_GRAMMAREDIT_H
+
+#include "grammar/Grammar.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lalr {
+
+/// Component hashes of a frozen grammar, one per construction layer.
+struct GrammarLayerHashes {
+  /// Token & symbol declarations: terminal/nonterminal counts, every
+  /// symbol name in id order, and the start symbol.
+  uint64_t SymbolsHash = 0;
+  /// All per-production structure combined (order-sensitive).
+  uint64_t ProductionSetHash = 0;
+  /// Conflict-policy metadata: per-terminal precedence records,
+  /// per-production %prec symbols, and the %expect declaration.
+  uint64_t ConflictHash = 0;
+  /// Per-production structure hash (Lhs + Rhs), by production id.
+  std::vector<uint64_t> ProductionHashes;
+
+  bool operator==(const GrammarLayerHashes &) const = default;
+};
+
+GrammarLayerHashes computeGrammarLayerHashes(const Grammar &G);
+
+/// How invasive an old -> new grammar change is, from least to most.
+enum class GrammarEditClass : uint8_t {
+  /// No semantic difference; every artifact stays valid.
+  Identical,
+  /// Only the conflict layer changed: the LR(0) automaton, relations,
+  /// Read/Follow/LA sets and even the canonical LR(1) automaton all stay
+  /// valid — only conflict resolution and table emission re-run.
+  ConflictLocal,
+  /// A bounded number of productions changed Rhs (or were appended) with
+  /// the symbol space intact: the automaton is rebuilt but the DP solve
+  /// is patched from a dirty frontier at the affected transitions.
+  ProductionLocal,
+  /// Anything else: full rebuild.
+  Structural,
+};
+
+const char *grammarEditClassName(GrammarEditClass C);
+
+/// Classification of one old -> new grammar pair plus the data the patch
+/// planner needs.
+struct GrammarDelta {
+  GrammarEditClass Class = GrammarEditClass::Structural;
+  /// Production ids (new grammar) whose structure hash changed or which
+  /// were appended. Only populated for ProductionLocal.
+  std::vector<ProductionId> ChangedProductions;
+  /// Distinct left-hand sides of the changed productions — the dirty
+  /// frontier seeds. Only populated for ProductionLocal.
+  std::vector<SymbolId> DirtyNts;
+  GrammarLayerHashes OldHashes;
+  GrammarLayerHashes NewHashes;
+};
+
+/// Edits touching more productions than this fall back to Structural;
+/// beyond a handful of dirty frontiers the patch stops paying for itself.
+inline constexpr size_t MaxProductionLocalEdits = 4;
+
+/// Classifies the change from \p Old to \p New by comparing layer hashes.
+GrammarDelta computeGrammarDelta(const Grammar &Old, const Grammar &New);
+GrammarDelta computeGrammarDelta(const GrammarLayerHashes &Old,
+                                 const GrammarLayerHashes &New);
+
+/// One small edit in the manifest dialect. Symbols are referenced by
+/// spelling (resolved against the grammar being edited), productions by
+/// frozen id (production 0 — the augmentation — is never editable).
+struct GrammarEdit {
+  enum class Kind : uint8_t {
+    SetPrecedence,     ///< prec <token> <left|right|nonassoc|none> <level>
+    SetProductionPrec, ///< prodprec <prod-id> <token | '-'>
+    SetRhs,            ///< rhs <prod-id> [sym...]
+    AddProduction,     ///< add-prod <lhs> [sym...]
+    RemoveProduction,  ///< rm-prod <prod-id>
+    SetExpect,         ///< expect <n>
+  };
+
+  Kind K = Kind::SetPrecedence;
+  std::string Symbol;            ///< token (prec) or lhs (add-prod)
+  Assoc Associativity = Assoc::Left; ///< for SetPrecedence
+  uint16_t Level = 0;            ///< for SetPrecedence; 0 removes the decl
+  ProductionId Prod = InvalidProduction;
+  std::vector<std::string> Rhs;  ///< for SetRhs / AddProduction
+  std::string PrecToken;         ///< for SetProductionPrec; empty = infer
+  int Expect = -1;               ///< for SetExpect
+};
+
+/// Parses the whitespace-tokenized tail of a manifest `edit` line (the
+/// part after the grammar name). On failure fills \p Error and returns
+/// std::nullopt.
+std::optional<GrammarEdit> parseGrammarEdit(std::span<const std::string> Toks,
+                                            std::string &Error);
+
+/// Applies \p E to a copy of \p G, returning the edited frozen grammar.
+/// Symbol ids and (except for RemoveProduction) production ids are
+/// preserved verbatim, so computeGrammarDelta over the pair sees exactly
+/// the layer the edit touched. Validation failures (unknown symbol,
+/// out-of-range production, removal that leaves a nonterminal — possibly
+/// the start symbol — without productions) report into \p Diags and
+/// return std::nullopt.
+std::optional<Grammar> applyGrammarEdit(const Grammar &G, const GrammarEdit &E,
+                                        DiagnosticEngine &Diags);
+
+} // namespace lalr
+
+#endif // LALR_GRAMMAR_GRAMMAREDIT_H

@@ -16,13 +16,15 @@ std::string lalr::printGrammarText(const Grammar &G) {
   std::ostringstream OS;
   OS << "%name " << G.grammarName() << "\n";
 
-  // Token declarations: every terminal except $end and pure literals
-  // (literals do not need declaring, but redeclaring them is harmless and
-  // keeps the output stable).
+  // Token declarations: every terminal except $end, in id order — pure
+  // literals included. Literals do not need declaring, but declaring them
+  // here pins every terminal's first appearance to this line, so a
+  // reparse assigns terminal ids in exactly this order no matter how a
+  // precedence edit reshuffles the %left/%right lines below. That
+  // id-stability is what lets the service's layered-hash classifier see a
+  // printed-and-reparsed edit as the local change it is.
   bool AnyToken = false;
   for (SymbolId T = 1; T < G.numTerminals(); ++T) {
-    if (G.name(T).front() == '\'')
-      continue;
     if (!AnyToken) {
       OS << "%token";
       AnyToken = true;
@@ -39,11 +41,18 @@ std::string lalr::printGrammarText(const Grammar &G) {
   for (uint16_t L = 1; L <= MaxLevel; ++L) {
     Assoc A = Assoc::None;
     std::ostringstream Toks;
+    bool Any = false;
     for (SymbolId T = 0; T < G.numTerminals(); ++T)
       if (G.precedence(T).Level == L) {
         A = G.precedence(T).Associativity;
         Toks << ' ' << renderName(G, T);
+        Any = true;
       }
+    // A level can be left empty by a precedence edit; a bare directive
+    // line would not re-parse, so skip it (relative order of the
+    // remaining levels — all conflict resolution uses — is preserved).
+    if (!Any)
+      continue;
     const char *Dir = A == Assoc::Left    ? "%left"
                       : A == Assoc::Right ? "%right"
                                           : "%nonassoc";

@@ -1,0 +1,500 @@
+//===- lalr/IncrementalDp.cpp - Dirty-delta DP re-solve ---------------------===//
+///
+/// LalrLookaheads::patchFrom: re-derive the DP artifacts for an edited
+/// grammar by reusing everything a dirty frontier does not reach.
+///
+/// The plan, in paper terms. Every artifact downstream of the automaton is
+/// indexed by nonterminal transitions (p, A) or reduction slots (q, A->w),
+/// and the relations are *local*: the pairs a transition X = (p', B)
+/// contributes depend only on B's productions and on the automaton within
+/// max|w| GOTO steps of p'. So after matching new states to old states by
+/// kernel, a transition keeps its old includes/lookback pairs verbatim
+/// unless (a) its source state lies within that walk radius of a changed
+/// state, (b) its nonterminal's productions were edited, or (c) it has no
+/// old counterpart. DR and reads look exactly one transition past X and
+/// are cheap (no production replay), so they are recomputed outright.
+///
+/// The solves exploit the least-solution property: Read(x) (and likewise
+/// Follow) is the union of initial sets over everything reachable from x,
+/// so an SCC of the relation whose members all kept their initial sets and
+/// whose successor components all kept their solutions keeps its solution
+/// verbatim — copy the old slab rows. Components are evaluated in the
+/// reverse-topological order computeSccs emits (successors first), each
+/// tainted component from its members' initial sets plus its successors'
+/// final solutions, which is the standard condensation evaluation and
+/// yields the unique least solution. LA slots then copy unless their
+/// lookback row moved or any source transition's Follow set changed.
+///
+/// Bit-identity with a from-scratch compute() is asserted by
+/// tests/incremental_test.cpp over the realistic corpus and a fuzz loop,
+/// and independently re-checked by ArtifactVerifier on every patched
+/// build.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lalr/IncrementalDp.h"
+
+#include "support/Scc.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+using namespace lalr;
+
+namespace {
+
+/// Maps every value of \p NewRow through \p ToOld and compares the result,
+/// as a set, with \p OldRow (both CSR rows are sorted ascending, but the
+/// mapping need not be monotone). False when any value has no old
+/// counterpart.
+bool rowsEqualMapped(std::span<const uint32_t> NewRow,
+                     std::span<const uint32_t> OldRow,
+                     const std::vector<uint32_t> &ToOld,
+                     std::vector<uint32_t> &Scratch) {
+  if (NewRow.size() != OldRow.size())
+    return false;
+  Scratch.clear();
+  for (uint32_t V : NewRow) {
+    uint32_t M = ToOld[V];
+    if (M == NtTransitionIndex::Missing)
+      return false;
+    Scratch.push_back(M);
+  }
+  std::sort(Scratch.begin(), Scratch.end());
+  return std::equal(Scratch.begin(), Scratch.end(), OldRow.begin());
+}
+
+/// One patched digraph solve (shared by the Read and Follow phases).
+/// Components arrive in reverse topological order from computeSccs, so a
+/// linear walk sees every successor before its predecessors. \p Seed
+/// marks nodes whose equation inputs changed (initial set or out-edges);
+/// taint propagates against the edges through the condensation.
+/// \p RowChanged is filled with whether each node's solved row differs
+/// from its old mapped row (the next stage's seed input).
+void solvePatched(const CsrRelation &Edges, const SetSlab &Init,
+                  const SetSlab &OldSol, const std::vector<uint32_t> &ToOld,
+                  const std::vector<bool> &Seed, const SccResult &Scc,
+                  SetSlab &Sol, std::vector<bool> &RowChanged,
+                  DpPatchStats &PS, size_t &UnionOps,
+                  const BuildGuard *Guard) {
+  const size_t NumComps = Scc.Components.size();
+  std::vector<bool> CompTainted(NumComps, false);
+  RowChanged.assign(Edges.rows(), false);
+
+  for (size_t C = 0; C < NumComps; ++C) {
+    guardPollStrided(Guard, C);
+    const std::vector<uint32_t> &Members = Scc.Components[C];
+    bool Tainted = false;
+    for (uint32_t M : Members) {
+      if (Seed[M]) {
+        Tainted = true;
+        break;
+      }
+      for (uint32_t Y : Edges.row(M)) {
+        uint32_t SC = Scc.ComponentOf[Y];
+        if (SC != C && CompTainted[SC]) {
+          Tainted = true;
+          break;
+        }
+      }
+      if (Tainted)
+        break;
+    }
+    CompTainted[C] = Tainted;
+
+    if (!Tainted) {
+      // Every reachable equation input is unchanged: the least solution
+      // of these rows is the old one, verbatim.
+      for (uint32_t M : Members) {
+        Sol.copyFrom(M, OldSol, ToOld[M]);
+        ++PS.ReusedRows;
+      }
+      continue;
+    }
+
+    ++PS.DirtySccs;
+    // Evaluate the component into its first member's row, then replicate:
+    // members of one SCC share a solution.
+    uint32_t R0 = Members[0];
+    for (uint32_t M : Members) {
+      Sol.unionInto(R0, Init[M]);
+      ++UnionOps;
+      for (uint32_t Y : Edges.row(M)) {
+        if (Scc.ComponentOf[Y] == C)
+          continue;
+        // Successor components are final by the processing order.
+        Sol.unionInto(R0, Sol[Y]);
+        ++UnionOps;
+      }
+    }
+    for (uint32_t M : Members) {
+      if (M != R0)
+        Sol.copyRow(M, R0);
+      uint32_t Old = ToOld[M];
+      RowChanged[M] = Old == NtTransitionIndex::Missing ||
+                      !Sol.rowEquals(M, OldSol, Old);
+    }
+  }
+}
+
+/// Cycle certificate from an SCC decomposition: nodes in a component of
+/// size >= 2 or with a self-loop. Identical to digraphCycleMembers (both
+/// define "nontrivial" the same way); computed here from the
+/// decomposition the patch already has. Returns the nontrivial count.
+size_t cycleMembersFromSccs(const CsrRelation &Edges, const SccResult &Scc,
+                            std::vector<bool> &Members) {
+  Members.assign(Edges.rows(), false);
+  size_t Nontrivial = 0;
+  for (const std::vector<uint32_t> &Comp : Scc.Components) {
+    bool Cyclic = Comp.size() >= 2;
+    if (!Cyclic) {
+      auto Row = Edges.row(Comp[0]);
+      Cyclic = std::binary_search(Row.begin(), Row.end(), Comp[0]);
+    }
+    if (!Cyclic)
+      continue;
+    ++Nontrivial;
+    for (uint32_t M : Comp)
+      Members[M] = true;
+  }
+  return Nontrivial;
+}
+
+} // namespace
+
+std::unique_ptr<LalrLookaheads> LalrLookaheads::patchFrom(
+    const Lr0Automaton &OldA, const LalrLookaheads &Old,
+    const Lr0Automaton &NewA, const GrammarAnalysis &NewAn,
+    std::span<const SymbolId> DirtyNts, DpPatchStats &PS,
+    PipelineStats *Stats, const BuildGuard *Guard) {
+  const Grammar &G = NewA.grammar();
+  std::unique_ptr<LalrLookaheads> OutPtr(new LalrLookaheads());
+  LalrLookaheads &Out = *OutPtr;
+
+  const NtTransitionIndex &OldNt = Old.ntTransitions();
+  const ReductionIndex &OldRed = Old.reductions();
+  const LalrRelations &OldR = Old.relations();
+  constexpr uint32_t Missing = NtTransitionIndex::Missing;
+
+  //===--------------------------------------------------------------------===//
+  // Plan: match states, propagate taint, map transitions and slots.
+  //===--------------------------------------------------------------------===//
+  StageTimer PlanT(Stats, "patch-plan");
+
+  const size_t NumNewStates = NewA.numStates();
+  std::map<std::vector<uint64_t>, StateId> OldByKernel;
+  {
+    std::vector<uint64_t> Key;
+    for (StateId S = 0; S < OldA.numStates(); ++S) {
+      guardPollStrided(Guard, S);
+      Key.clear();
+      for (const Lr0Item &I : OldA.state(S).Kernel)
+        Key.push_back(I.packed());
+      OldByKernel.emplace(Key, S);
+    }
+  }
+
+  std::vector<StateId> NewToOld(NumNewStates, InvalidState);
+  {
+    std::vector<uint64_t> Key;
+    for (StateId S = 0; S < NumNewStates; ++S) {
+      guardPollStrided(Guard, S);
+      Key.clear();
+      for (const Lr0Item &I : NewA.state(S).Kernel)
+        Key.push_back(I.packed());
+      auto It = OldByKernel.find(Key);
+      if (It != OldByKernel.end())
+        NewToOld[S] = It->second;
+    }
+  }
+
+  // A new state is "changed" when it has no kernel match or its content
+  // (accessing symbol, reductions, transitions under the state map)
+  // differs from the match.
+  std::vector<bool> ChangedState(NumNewStates, false);
+  for (StateId S = 0; S < NumNewStates; ++S) {
+    StateId OS = NewToOld[S];
+    if (OS == InvalidState) {
+      ChangedState[S] = true;
+      continue;
+    }
+    const Lr0State &N = NewA.state(S);
+    const Lr0State &O = OldA.state(OS);
+    bool Same = N.AccessingSymbol == O.AccessingSymbol &&
+                N.Reductions == O.Reductions &&
+                N.Transitions.size() == O.Transitions.size();
+    for (size_t I = 0; Same && I < N.Transitions.size(); ++I)
+      Same = N.Transitions[I].first == O.Transitions[I].first &&
+             NewToOld[N.Transitions[I].second] == O.Transitions[I].second;
+    ChangedState[S] = !Same;
+  }
+
+  // Taint radius: the includes/lookback pairs of X = (p', B) are decided
+  // by states at most max|rhs| GOTO steps from p' (the production walks)
+  // plus the walk transitions' targets; +1 covers that final hop.
+  size_t Radius = 0;
+  for (ProductionId P = 0; P < G.numProductions(); ++P)
+    Radius = std::max(Radius, G.production(P).Rhs.size());
+  Radius += 1;
+
+  // Reverse BFS from the changed states over the new automaton, bounded
+  // by the radius: TaintedFrom[s] = some changed state within Radius
+  // forward steps of s.
+  std::vector<bool> TaintedFrom(NumNewStates, false);
+  {
+    std::vector<std::vector<StateId>> Preds(NumNewStates);
+    for (StateId S = 0; S < NumNewStates; ++S)
+      for (auto [Sym, T] : NewA.state(S).Transitions) {
+        (void)Sym;
+        Preds[T].push_back(S);
+      }
+    std::vector<StateId> Frontier;
+    for (StateId S = 0; S < NumNewStates; ++S)
+      if (ChangedState[S]) {
+        TaintedFrom[S] = true;
+        Frontier.push_back(S);
+      }
+    for (size_t Depth = 0; Depth < Radius && !Frontier.empty(); ++Depth) {
+      std::vector<StateId> Next;
+      for (StateId S : Frontier)
+        for (StateId P : Preds[S])
+          if (!TaintedFrom[P]) {
+            TaintedFrom[P] = true;
+            Next.push_back(P);
+          }
+      Frontier = std::move(Next);
+    }
+  }
+
+  Out.NtIdx = std::make_unique<NtTransitionIndex>(NewA);
+  Out.RedIdx = std::make_unique<ReductionIndex>(NewA);
+  const NtTransitionIndex &NtIdx = *Out.NtIdx;
+  const ReductionIndex &RedIdx = *Out.RedIdx;
+  const size_t NumNt = NtIdx.size();
+  const size_t NumSlots = RedIdx.size();
+
+  // Transition correspondence: (From, Nt) matches when both endpoints map.
+  std::vector<uint32_t> ToOldNt(NumNt, Missing);
+  std::vector<uint32_t> ToNewNt(OldNt.size(), Missing);
+  for (uint32_t X = 0; X < NumNt; ++X) {
+    const NtTransition &T = NtIdx[X];
+    StateId OS = NewToOld[T.From];
+    if (OS == InvalidState)
+      continue;
+    uint32_t OldX = OldNt.indexOf(OS, T.Nt);
+    if (OldX == Missing || OldNt[OldX].To != NewToOld[T.To])
+      continue;
+    ToOldNt[X] = OldX;
+    ToNewNt[OldX] = X;
+  }
+
+  // Reduction slot correspondence.
+  std::vector<uint32_t> SlotToOld(NumSlots, Missing);
+  std::vector<uint32_t> SlotToNew(OldRed.size(), Missing);
+  for (uint32_t Slot = 0; Slot < NumSlots; ++Slot) {
+    StateId Q = RedIdx.stateOf(Slot);
+    StateId OS = NewToOld[Q];
+    if (OS == InvalidState)
+      continue;
+    ProductionId P = RedIdx.prodOf(Slot);
+    const auto &OldReds = OldA.state(OS).Reductions;
+    if (!std::binary_search(OldReds.begin(), OldReds.end(), P))
+      continue;
+    uint32_t OldSlot = OldRed.slot(OS, P);
+    SlotToOld[Slot] = OldSlot;
+    SlotToNew[OldSlot] = Slot;
+  }
+
+  // The dirty frontier: transitions that must replay their pairs.
+  std::vector<bool> DirtyNtSym(G.numSymbols(), false);
+  for (SymbolId S : DirtyNts)
+    DirtyNtSym[S] = true;
+  std::vector<bool> Dirty(NumNt, false);
+  size_t DirtyCount = 0;
+  for (uint32_t X = 0; X < NumNt; ++X) {
+    const NtTransition &T = NtIdx[X];
+    if (TaintedFrom[T.From] || DirtyNtSym[T.Nt] || ToOldNt[X] == Missing) {
+      Dirty[X] = true;
+      ++DirtyCount;
+    }
+  }
+  PS.DirtySources = DirtyCount;
+
+  // When most of the graph is dirty the patch machinery costs more than
+  // it saves — hand back to the full build.
+  if (DirtyCount * 4 > NumNt * 3)
+    return nullptr;
+  PlanT.stop();
+
+  //===--------------------------------------------------------------------===//
+  // Relations: DR/reads recomputed outright (one-hop, cheap); the
+  // replay-built includes/lookback keep every clean source's pairs.
+  //===--------------------------------------------------------------------===//
+  StageTimer RelT(Stats, "patch-relations");
+  LalrRelations &R = Out.Relations;
+  R.DirectRead = SetSlab(NumNt, G.numTerminals());
+  {
+    std::vector<uint32_t> RowBuf;
+    for (uint32_t X = 0; X < NumNt; ++X) {
+      guardPollStrided(Guard, X);
+      RowBuf.clear();
+      buildDrReadsRow(X, NewA, NewAn, NtIdx, R.DirectRead, RowBuf);
+      R.Reads.appendRow(RowBuf.data(), RowBuf.data() + RowBuf.size());
+    }
+    uint32_t StartTrans = NtIdx.indexOf(NewA.startState(), G.startSymbol());
+    assert(StartTrans != Missing && "the start transition always exists");
+    R.DirectRead.set(StartTrans, G.eofSymbol());
+  }
+
+  {
+    std::vector<std::vector<uint32_t>> IncludesRows(NumNt);
+    std::vector<std::vector<uint32_t>> LookbackRows(NumSlots);
+
+    // Clean sources: remap their old pairs. A clean source's replay walk
+    // is confined to unchanged automaton structure, so the mapped old
+    // pairs are exactly what a fresh replay would emit; an unmappable
+    // target would contradict that, and we fall back rather than guess.
+    for (size_t Inner = 0, E = OldR.Includes.rows(); Inner < E; ++Inner) {
+      guardPollStrided(Guard, Inner);
+      for (uint32_t OldX : OldR.Includes.row(Inner)) {
+        uint32_t X = ToNewNt[OldX];
+        if (X == Missing || Dirty[X])
+          continue;
+        uint32_t NewInner = ToNewNt[Inner];
+        if (NewInner == Missing)
+          return nullptr;
+        IncludesRows[NewInner].push_back(X);
+      }
+    }
+    for (size_t Slot = 0, E = OldR.Lookback.rows(); Slot < E; ++Slot) {
+      guardPollStrided(Guard, Slot);
+      for (uint32_t OldX : OldR.Lookback.row(Slot)) {
+        uint32_t X = ToNewNt[OldX];
+        if (X == Missing || Dirty[X])
+          continue;
+        uint32_t NewSlot = SlotToNew[Slot];
+        if (NewSlot == Missing)
+          return nullptr;
+        LookbackRows[NewSlot].push_back(X);
+      }
+    }
+
+    // Dirty sources: replay their productions against the new automaton.
+    {
+      std::vector<std::pair<uint32_t, uint32_t>> Inc, Lb;
+      for (uint32_t X = 0; X < NumNt; ++X) {
+        if (!Dirty[X])
+          continue;
+        guardPollStrided(Guard, X);
+        Inc.clear();
+        Lb.clear();
+        replayProductionEdges(X, NewA, NewAn, NtIdx, RedIdx, Inc, Lb);
+        for (auto [Target, Src] : Inc)
+          IncludesRows[Target].push_back(Src);
+        for (auto [Slot, Src] : Lb)
+          LookbackRows[Slot].push_back(Src);
+      }
+    }
+
+    for (auto &Row : IncludesRows) {
+      std::sort(Row.begin(), Row.end());
+      Row.erase(std::unique(Row.begin(), Row.end()), Row.end());
+    }
+    for (auto &Row : LookbackRows) {
+      std::sort(Row.begin(), Row.end());
+      Row.erase(std::unique(Row.begin(), Row.end()), Row.end());
+    }
+    R.Includes = CsrRelation::fromRows(IncludesRows);
+    R.Lookback = CsrRelation::fromRows(LookbackRows);
+  }
+  RelT.stop();
+
+  //===--------------------------------------------------------------------===//
+  // Read = digraph(reads, DR), patched.
+  //===--------------------------------------------------------------------===//
+  std::vector<bool> ReadChanged;
+  {
+    StageTimer T(Stats, "patch-solve-read");
+    std::vector<bool> Seed(NumNt, false);
+    std::vector<uint32_t> Scratch;
+    for (uint32_t X = 0; X < NumNt; ++X) {
+      uint32_t OldX = ToOldNt[X];
+      Seed[X] = OldX == Missing ||
+                !R.DirectRead.rowEquals(X, OldR.DirectRead, OldX) ||
+                !rowsEqualMapped(R.Reads.row(X), OldR.Reads.row(OldX),
+                                 ToOldNt, Scratch);
+    }
+    SccResult Scc = computeSccs(R.Reads);
+    Out.ReadSets = SetSlab(NumNt, G.numTerminals());
+    size_t UnionOps = 0;
+    solvePatched(R.Reads, R.DirectRead, Old.readSets(), ToOldNt, Seed, Scc,
+                 Out.ReadSets, ReadChanged, PS, UnionOps, Guard);
+    Out.ReadsStats.UnionOps = UnionOps;
+    Out.ReadsStats.Sweeps = 1;
+    Out.ReadsStats.NontrivialSccs =
+        cycleMembersFromSccs(R.Reads, Scc, Out.ReadsCycleMembers);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Follow = digraph(includes, Read), patched.
+  //===--------------------------------------------------------------------===//
+  std::vector<bool> FollowChanged;
+  {
+    StageTimer T(Stats, "patch-solve-follow");
+    std::vector<bool> Seed(NumNt, false);
+    std::vector<uint32_t> Scratch;
+    for (uint32_t X = 0; X < NumNt; ++X) {
+      uint32_t OldX = ToOldNt[X];
+      Seed[X] = OldX == Missing || ReadChanged[X] ||
+                !rowsEqualMapped(R.Includes.row(X), OldR.Includes.row(OldX),
+                                 ToOldNt, Scratch);
+    }
+    SccResult Scc = computeSccs(R.Includes);
+    Out.FollowSets = SetSlab(NumNt, G.numTerminals());
+    size_t UnionOps = 0;
+    std::vector<bool> CycleScratch;
+    solvePatched(R.Includes, Out.ReadSets, Old.followSets(), ToOldNt, Seed,
+                 Scc, Out.FollowSets, FollowChanged, PS, UnionOps, Guard);
+    Out.IncludesStats.UnionOps = UnionOps;
+    Out.IncludesStats.Sweeps = 1;
+    Out.IncludesStats.NontrivialSccs =
+        cycleMembersFromSccs(R.Includes, Scc, CycleScratch);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // LA = union of Follow over lookback, patched per slot.
+  //===--------------------------------------------------------------------===//
+  {
+    StageTimer T(Stats, "patch-la");
+    Out.LaSets = SetSlab(NumSlots, G.numTerminals());
+    std::vector<uint32_t> Scratch;
+    for (uint32_t Slot = 0; Slot < NumSlots; ++Slot) {
+      guardPollStrided(Guard, Slot);
+      uint32_t OldSlot = SlotToOld[Slot];
+      bool Clean =
+          OldSlot != Missing &&
+          rowsEqualMapped(R.Lookback.row(Slot), OldR.Lookback.row(OldSlot),
+                          ToOldNt, Scratch);
+      if (Clean)
+        for (uint32_t X : R.Lookback.row(Slot))
+          if (FollowChanged[X]) {
+            Clean = false;
+            break;
+          }
+      if (Clean) {
+        Out.LaSets.copyFrom(Slot, Old.laSets(), OldSlot);
+        ++PS.ReusedLaSlots;
+      } else {
+        for (uint32_t X : R.Lookback.row(Slot))
+          Out.LaSets.unionInto(Slot, Out.FollowSets[X]);
+      }
+    }
+    // The accept reduction's LA is {$end} by definition (it has no
+    // lookback); idempotent when the slot was copied clean.
+    Out.LaSets.set(Out.RedIdx->slot(NewA.acceptState(), 0), G.eofSymbol());
+  }
+
+  Out.recordStats(Stats, 0);
+  return OutPtr;
+}

@@ -1,0 +1,40 @@
+//===- lalr/IncrementalDp.h - Dirty-delta DP re-solve -----------*- C++ -*-===//
+///
+/// \file
+/// Counters for LalrLookaheads::patchFrom — the incremental re-derivation
+/// of the DeRemer-Pennello artifacts after a production-local grammar
+/// edit. The relations are defined per nonterminal transition, so an edit
+/// perturbs only the transitions whose source state lies within one
+/// production-walk of a changed automaton region (plus the transitions on
+/// the edited nonterminals themselves); everything else keeps its rows
+/// and its solved Read/Follow/LA sets verbatim. See docs/ALGORITHM.md
+/// "Incremental re-solve" for the dirty-frontier semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_LALR_INCREMENTALDP_H
+#define LALR_LALR_INCREMENTALDP_H
+
+#include "lalr/LalrLookaheads.h"
+
+#include <cstdint>
+
+namespace lalr {
+
+/// What a patchFrom run reused vs recomputed; feeds the incremental_*
+/// pipeline counters.
+struct DpPatchStats {
+  /// Nonterminal transitions whose includes/lookback pairs were replayed
+  /// (the dirty frontier after taint propagation).
+  uint64_t DirtySources = 0;
+  /// Digraph SCCs re-evaluated across the Read and Follow solves.
+  uint64_t DirtySccs = 0;
+  /// Solved Read/Follow rows copied verbatim from the previous build.
+  uint64_t ReusedRows = 0;
+  /// LA slots copied verbatim from the previous build.
+  uint64_t ReusedLaSlots = 0;
+};
+
+} // namespace lalr
+
+#endif // LALR_LALR_INCREMENTALDP_H

@@ -141,37 +141,42 @@ LalrLookaheads LalrLookaheads::compute(const Lr0Automaton &A,
   // Everything below is observability only: counter scans (peak set
   // sizes, edge counts) run strictly under the Stats check so the hot
   // path does zero extra work when nobody is listening.
-  if (Stats) {
-    if (Workers)
-      for (const char *Stage :
-           {"relations", "solve-read", "solve-follow", "la-union"})
-        Stats->setStageThreads(Stage, Workers);
-    Stats->setCounter("build_threads", Workers);
-    Stats->setCounter("nt_transitions", Out.NtIdx->size());
-    Stats->setCounter("reduction_slots", Out.RedIdx->size());
-    Stats->setCounter("reads_edges", Out.Relations.readsEdgeCount());
-    Stats->setCounter("includes_edges", Out.Relations.includesEdgeCount());
-    Stats->setCounter("lookback_edges", Out.Relations.lookbackEdgeCount());
-    Stats->setCounter("read_union_ops", Out.ReadsStats.UnionOps);
-    Stats->setCounter("follow_union_ops", Out.IncludesStats.UnionOps);
-    Stats->setCounter("reads_nontrivial_sccs", Out.ReadsStats.NontrivialSccs);
-    Stats->setCounter("includes_nontrivial_sccs",
-                      Out.IncludesStats.NontrivialSccs);
-    Stats->setCounter("peak_read_bits", peakBits(Out.ReadSets));
-    Stats->setCounter("peak_follow_bits", peakBits(Out.FollowSets));
-    Stats->setCounter("peak_la_bits", peakBits(Out.LaSets));
-    // Data-layout counters: the arena footprint of the four set slabs
-    // and the flat relation edge total (structural — gated by
-    // scripts/compare_stats.py).
-    Stats->setCounter("slab_bytes", Out.slabBytes());
-    Stats->setCounter("slab_sets",
-                      Out.Relations.DirectRead.size() + Out.ReadSets.size() +
-                          Out.FollowSets.size() + Out.LaSets.size());
-    Stats->setCounter("relation_csr_edges",
-                      Out.Relations.readsEdgeCount() +
-                          Out.Relations.includesEdgeCount() +
-                          Out.Relations.lookbackEdgeCount());
-  }
+  Out.recordStats(Stats, Workers);
 
   return Out;
+}
+
+void LalrLookaheads::recordStats(PipelineStats *Stats,
+                                 unsigned Workers) const {
+  if (!Stats)
+    return;
+  if (Workers)
+    for (const char *Stage :
+         {"relations", "solve-read", "solve-follow", "la-union"})
+      Stats->setStageThreads(Stage, Workers);
+  Stats->setCounter("build_threads", Workers);
+  Stats->setCounter("nt_transitions", NtIdx->size());
+  Stats->setCounter("reduction_slots", RedIdx->size());
+  Stats->setCounter("reads_edges", Relations.readsEdgeCount());
+  Stats->setCounter("includes_edges", Relations.includesEdgeCount());
+  Stats->setCounter("lookback_edges", Relations.lookbackEdgeCount());
+  Stats->setCounter("read_union_ops", ReadsStats.UnionOps);
+  Stats->setCounter("follow_union_ops", IncludesStats.UnionOps);
+  Stats->setCounter("reads_nontrivial_sccs", ReadsStats.NontrivialSccs);
+  Stats->setCounter("includes_nontrivial_sccs",
+                    IncludesStats.NontrivialSccs);
+  Stats->setCounter("peak_read_bits", peakBits(ReadSets));
+  Stats->setCounter("peak_follow_bits", peakBits(FollowSets));
+  Stats->setCounter("peak_la_bits", peakBits(LaSets));
+  // Data-layout counters: the arena footprint of the four set slabs
+  // and the flat relation edge total (structural — gated by
+  // scripts/compare_stats.py).
+  Stats->setCounter("slab_bytes", slabBytes());
+  Stats->setCounter("slab_sets",
+                    Relations.DirectRead.size() + ReadSets.size() +
+                        FollowSets.size() + LaSets.size());
+  Stats->setCounter("relation_csr_edges",
+                    Relations.readsEdgeCount() +
+                        Relations.includesEdgeCount() +
+                        Relations.lookbackEdgeCount());
 }

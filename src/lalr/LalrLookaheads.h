@@ -37,6 +37,7 @@
 namespace lalr {
 
 class ThreadPool;
+struct DpPatchStats;
 
 /// Which equation solver to use; the naive fixpoint exists only for the
 /// Fig. 3 ablation.
@@ -64,6 +65,23 @@ public:
                                 PipelineStats *Stats = nullptr,
                                 ThreadPool *Pool = nullptr,
                                 const BuildGuard *Guard = nullptr);
+
+  /// Incrementally re-derives the artifacts for \p NewA from \p Old
+  /// (computed over \p OldA): matches states by kernel, recomputes DR and
+  /// reads rows, replays includes/lookback only for transitions a dirty
+  /// frontier (changed states and \p DirtyNts) reaches, and re-solves only
+  /// the tainted SCCs of the two digraphs, copying every untouched solved
+  /// row from \p Old's slabs. The result is bit-identical to
+  /// compute(NewA, ...) — the least solution is unique, so a row whose
+  /// equation inputs are unchanged keeps its old value verbatim. Returns
+  /// nullptr when the delta is too invasive to pay off (the caller then
+  /// falls back to a full compute). Serial; defined in
+  /// lalr/IncrementalDp.cpp.
+  static std::unique_ptr<LalrLookaheads>
+  patchFrom(const Lr0Automaton &OldA, const LalrLookaheads &Old,
+            const Lr0Automaton &NewA, const GrammarAnalysis &NewAn,
+            std::span<const SymbolId> DirtyNts, DpPatchStats &PS,
+            PipelineStats *Stats, const BuildGuard *Guard);
 
   /// LA(q, A->w): look-ahead set of reduction (State, Prod), over
   /// terminal ids; a view into the LA slab (valid while this object
@@ -101,6 +119,11 @@ public:
 
 private:
   LalrLookaheads() = default;
+
+  /// Writes the structural counters (nt_transitions, *_edges, peak_*_bits,
+  /// slab_bytes, ...) into \p Stats; shared by compute() and patchFrom()
+  /// so patched and fresh builds report identical structure.
+  void recordStats(PipelineStats *Stats, unsigned Workers) const;
 
   std::unique_ptr<NtTransitionIndex> NtIdx;
   std::unique_ptr<ReductionIndex> RedIdx;

@@ -256,6 +256,24 @@ void buildShardedRelations(const Lr0Automaton &A, const GrammarAnalysis &An,
 
 } // namespace
 
+void lalr::buildDrReadsRow(uint32_t X, const Lr0Automaton &A,
+                           const GrammarAnalysis &Analysis,
+                           const NtTransitionIndex &NtIdx, SetSlab &DirectRead,
+                           std::vector<uint32_t> &ReadsOut) {
+  buildDrAndReadsRow(X, A, A.grammar(), Analysis, NtIdx, DirectRead, ReadsOut);
+}
+
+void lalr::replayProductionEdges(
+    uint32_t X, const Lr0Automaton &A, const GrammarAnalysis &Analysis,
+    const NtTransitionIndex &NtIdx, const ReductionIndex &RedIdx,
+    std::vector<std::pair<uint32_t, uint32_t>> &Includes,
+    std::vector<std::pair<uint32_t, uint32_t>> &Lookback) {
+  replayProductions(
+      X, A, A.grammar(), Analysis, NtIdx, RedIdx,
+      [&](uint32_t Inner, uint32_t Src) { Includes.emplace_back(Inner, Src); },
+      [&](uint32_t Slot, uint32_t Src) { Lookback.emplace_back(Slot, Src); });
+}
+
 LalrRelations lalr::buildLalrRelations(const Lr0Automaton &A,
                                        const GrammarAnalysis &Analysis,
                                        const NtTransitionIndex &NtIdx,

@@ -99,6 +99,32 @@ LalrRelations buildLalrRelations(const Lr0Automaton &A,
                                  ThreadPool *Pool = nullptr,
                                  const BuildGuard *Guard = nullptr);
 
+/// \name Row-granular builders (incremental rebuild hooks)
+/// The same per-transition primitives the full build above is made of,
+/// exposed so lalr/IncrementalDp.cpp can recompute exactly the rows a
+/// dirty frontier reaches. Outputs are bit-identical to the corresponding
+/// rows of a full build.
+/// @{
+
+/// Fills DR row \p X of \p DirectRead and appends X's reads successors
+/// (ascending) to \p ReadsOut.
+void buildDrReadsRow(uint32_t X, const Lr0Automaton &A,
+                     const GrammarAnalysis &Analysis,
+                     const NtTransitionIndex &NtIdx, SetSlab &DirectRead,
+                     std::vector<uint32_t> &ReadsOut);
+
+/// Replays the productions of transition X's nonterminal from X's source
+/// state, appending (target row, X) pairs: includes pairs keyed by inner
+/// transition, lookback pairs keyed by reduction slot. Pre-dedup, in the
+/// same emission order as the full serial build.
+void replayProductionEdges(
+    uint32_t X, const Lr0Automaton &A, const GrammarAnalysis &Analysis,
+    const NtTransitionIndex &NtIdx, const ReductionIndex &RedIdx,
+    std::vector<std::pair<uint32_t, uint32_t>> &Includes,
+    std::vector<std::pair<uint32_t, uint32_t>> &Lookback);
+
+/// @}
+
 } // namespace lalr
 
 #endif // LALR_LALR_RELATIONS_H

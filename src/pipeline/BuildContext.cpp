@@ -2,6 +2,7 @@
 
 #include "pipeline/BuildContext.h"
 
+#include "lalr/IncrementalDp.h"
 #include "pipeline/BuildOptions.h"
 #include "support/FailPoint.h"
 #include "support/ThreadPool.h"
@@ -54,6 +55,111 @@ void BuildContext::invalidateArtifacts() {
   DigraphLa.reset();
   NaiveLa.reset();
   L1.reset();
+}
+
+BuildContext::EditOutcome BuildContext::applyEdit(Grammar &&NewG) {
+  GrammarDelta Delta = computeGrammarDelta(*G, NewG);
+  if (Owned) {
+    // Move-assign into the existing object: every artifact references the
+    // grammar by address, so an address-stable swap keeps ConflictLocal
+    // artifacts valid and reading the new precedences.
+    *Owned = std::move(NewG);
+  } else {
+    // A borrowing context's artifacts point at the caller's grammar
+    // object, which we cannot update in place — take ownership of the new
+    // grammar and rebuild from scratch.
+    Owned.emplace(std::move(NewG));
+    G = &*Owned;
+    Delta.Class = GrammarEditClass::Structural;
+  }
+  return applyDelta(Delta);
+}
+
+BuildContext::EditOutcome BuildContext::applyDelta(const GrammarDelta &Delta) {
+  ++Edits;
+  recordGrammarCounters(Stats, *G);
+
+  switch (Delta.Class) {
+  case GrammarEditClass::Identical:
+    return {Delta.Class, true};
+
+  case GrammarEditClass::ConflictLocal:
+    // Precedence / %prec / %expect feed only conflict resolution, which
+    // BuildPipeline re-runs on every table fill anyway: every memoized
+    // artifact (including the canonical LR(1) automaton) stays valid.
+    Stats.addCounter("incremental_builds", 1);
+    ++IncrementalPatches;
+    return {Delta.Class, true};
+
+  case GrammarEditClass::ProductionLocal: {
+    if (!An || !A || !DigraphLa) {
+      // Nothing worth patching was ever built.
+      invalidateArtifacts();
+      return {Delta.Class, false};
+    }
+    // Nullability feeds reads/includes globally; a flip means the clean
+    // old relation rows are not trustworthy — full rebuild.
+    std::unique_ptr<GrammarAnalysis> NewAn;
+    {
+      StageTimer T(&Stats, "analysis");
+      NewAn = std::make_unique<GrammarAnalysis>(*G);
+      ++AnalysisBuilds;
+    }
+    bool NullabilityChanged = false;
+    for (uint32_t I = 0, E = G->numNonterminals(); I < E; ++I)
+      if (An->isNullable(G->ntSymbol(I)) != NewAn->isNullable(G->ntSymbol(I))) {
+        NullabilityChanged = true;
+        break;
+      }
+    if (NullabilityChanged) {
+      invalidateArtifacts();
+      An = std::move(NewAn);
+      return {Delta.Class, false};
+    }
+
+    // The automaton is a function of the production structure, so any
+    // body edit rebuilds it from scratch (state numbering must stay
+    // BFS-canonical for bit-identity); the DP solve is where the paper's
+    // locality pays, and that is what patchFrom reuses.
+    std::unique_ptr<Lr0Automaton> NewA;
+    {
+      StageTimer T(&Stats, "lr0");
+      NewA = std::make_unique<Lr0Automaton>(
+          Lr0Automaton::build(*G, ActiveGuard));
+      ++Lr0Builds;
+      T.stop();
+      Stats.setCounter("lr0_states", NewA->numStates());
+      Stats.setCounter("lr0_transitions", NewA->numTransitions());
+    }
+
+    DpPatchStats PS;
+    std::unique_ptr<LalrLookaheads> Patched = LalrLookaheads::patchFrom(
+        *A, *DigraphLa, *NewA, *NewAn, Delta.DirtyNts, PS, &Stats,
+        ActiveGuard);
+    An = std::move(NewAn);
+    A = std::move(NewA);
+    NaiveLa.reset();
+    L1.reset();
+    if (!Patched) {
+      DigraphLa.reset();
+      return {Delta.Class, false};
+    }
+    DigraphLa = std::move(Patched);
+    ++LookaheadBuilds;
+    ++IncrementalPatches;
+    Stats.addCounter("incremental_builds", 1);
+    Stats.addCounter("dirty_nts", PS.DirtySources);
+    Stats.addCounter("dirty_sccs", PS.DirtySccs);
+    Stats.addCounter("resolved_sets_reused",
+                     PS.ReusedRows + PS.ReusedLaSlots);
+    return {Delta.Class, true};
+  }
+
+  case GrammarEditClass::Structural:
+    break;
+  }
+  invalidateArtifacts();
+  return {GrammarEditClass::Structural, false};
 }
 
 const GrammarAnalysis &BuildContext::analysis() {

@@ -17,6 +17,7 @@
 
 #include "baselines/Lr1Automaton.h"
 #include "grammar/Analysis.h"
+#include "grammar/GrammarEdit.h"
 #include "lalr/LalrLookaheads.h"
 #include "lr/Lr0Automaton.h"
 #include "pipeline/PipelineStats.h"
@@ -99,6 +100,42 @@ public:
   /// ContextCache and future incremental-rebuild tooling).
   void invalidateArtifacts();
 
+  /// What applyEdit / applyDelta did with the memoized artifacts.
+  struct EditOutcome {
+    GrammarEditClass Class = GrammarEditClass::Structural;
+    /// True when artifacts were kept (ConflictLocal) or patched in place
+    /// (ProductionLocal); false means everything was dropped and the next
+    /// build is from scratch.
+    bool Patched = false;
+  };
+
+  /// Replaces the grammar with \p NewG and selectively invalidates: the
+  /// edit is classified by layered hashing (grammar/GrammarEdit.h) and
+  /// only the artifacts the touched layer feeds are dropped or patched.
+  /// A ConflictLocal edit (precedence / %prec / %expect) keeps the
+  /// automaton, relations, look-ahead sets and LR(1) automaton — the next
+  /// pipeline run re-does conflict resolution and table emission only. A
+  /// ProductionLocal edit rebuilds the automaton and patches the DP
+  /// artifacts through LalrLookaheads::patchFrom. Everything else (or a
+  /// patch that declines) is a full invalidation. Only valid on contexts
+  /// constructed with the owning constructor; a borrowing context
+  /// invalidates wholesale (its artifacts reference the caller's grammar
+  /// object, which this call does not own).
+  EditOutcome applyEdit(Grammar &&NewG);
+
+  /// The artifact-side half of applyEdit, for callers that already
+  /// swapped the grammar object in place (the service cache, which must
+  /// keep the Grammar's address stable): applies \p Delta's
+  /// classification to the memo slots. grammar() must already be the new
+  /// grammar.
+  EditOutcome applyDelta(const GrammarDelta &Delta);
+
+  /// \name Edit counters
+  /// @{
+  size_t editCount() const { return Edits; }
+  size_t incrementalPatchCount() const { return IncrementalPatches; }
+  /// @}
+
   /// \name Build counters
   /// How many times each artifact was actually constructed. Memoization
   /// working means these stay at 1 no matter how many builders ran.
@@ -133,6 +170,8 @@ private:
   size_t Lr0Builds = 0;
   size_t LookaheadBuilds = 0;
   size_t Lr1Builds = 0;
+  size_t Edits = 0;
+  size_t IncrementalPatches = 0;
 
   PipelineStats Stats;
 };

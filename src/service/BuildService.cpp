@@ -86,6 +86,7 @@ void BuildService::resolveAndExecute(const ServiceRequest &Request,
     BO.Cancel = Armed.Options.Cancel;
   }
 
+  bool BuildRanOnEntry = false;
   try {
     failPoint("service-execute");
 
@@ -135,6 +136,7 @@ void BuildService::resolveAndExecute(const ServiceRequest &Request,
           // Builds on one grammar take turns: BuildContext memoization is
           // not itself thread-safe.
           MutexLock BuildLock(Entry->BuildMu);
+          BuildRanOnEntry = true;
           Response.Result.emplace(BuildPipeline(Entry->Ctx, BO).run());
           Response.Status = Response.Result->Status;
         }
@@ -172,6 +174,11 @@ void BuildService::resolveAndExecute(const ServiceRequest &Request,
     default:
       break;
     }
+    // A pipeline run that aborted after acquiring a cached entry dropped
+    // that entry's memoized artifacts (BuildPipeline invalidates on
+    // abort) — attribute the invalidation to the abort, not the cache.
+    if (BuildRanOnEntry && !Response.Status.ok())
+      ++AbortInvalidations;
     RequestUs += Response.WallUs;
   }
 }
@@ -316,6 +323,7 @@ ServiceStats BuildService::stats() const {
     S.Expired = Expired;
     S.Cancelled = Cancelled;
     S.LimitKilled = LimitKilled;
+    S.CacheInvalidationsAbort = AbortInvalidations;
     S.RequestUs = RequestUs;
   }
   ContextCache::Counters C = Cache.counters();
@@ -323,6 +331,9 @@ ServiceStats BuildService::stats() const {
   S.CacheMisses = C.Misses;
   S.CacheEvictions = C.Evictions;
   S.CacheInvalidations = C.Invalidations;
+  S.CachePatched = C.Patched;
+  S.CacheInvalidationsSource = C.InvalidationsSource;
+  S.CacheInvalidationsExplicit = C.InvalidationsExplicit;
   S.CachedContexts = Cache.size();
   S.Aggregate.Label = "service";
   Cache.collectStats(S.Aggregate);

@@ -204,6 +204,11 @@ private:
   uint64_t Expired LALR_GUARDED_BY(StatsMu) = 0;
   uint64_t Cancelled LALR_GUARDED_BY(StatsMu) = 0;
   uint64_t LimitKilled LALR_GUARDED_BY(StatsMu) = 0;
+  /// Builds over a cached context that failed after acquiring the entry:
+  /// the pipeline dropped that context's memoized artifacts on abort, so
+  /// the next request pays a cold build. The "why was this invalidated"
+  /// report splits these from source-change and explicit invalidations.
+  uint64_t AbortInvalidations LALR_GUARDED_BY(StatsMu) = 0;
   double RequestUs LALR_GUARDED_BY(StatsMu) = 0;
 
   /// Streaming state. Tickets are handed out under TicketMu; completed

@@ -29,8 +29,11 @@ ContextCache::acquire(std::string_view Key, uint64_t SourceHash,
   std::string K(Key);
 
   auto It = Index.find(K);
+  std::optional<Grammar> G;
+  bool FactoryRan = false;
   if (It != Index.end()) {
-    if ((*It->second)->SourceHash == SourceHash) {
+    std::shared_ptr<CachedGrammar> Entry = *It->second;
+    if (Entry->SourceHash == SourceHash) {
       // Current entry: promote and hand it out.
       Lru.splice(Lru.begin(), Lru, It->second);
       It->second = Lru.begin();
@@ -39,16 +42,54 @@ ContextCache::acquire(std::string_view Key, uint64_t SourceHash,
         *WasHit = true;
       return Lru.front();
     }
-    // The grammar text changed: discard exactly this grammar's artifacts
-    // (holders of the old entry keep it alive) and rebuild below.
+    // The grammar text changed. Parse the new text first so the change
+    // can be classified against the live entry: a conflict-local or
+    // production-local edit is absorbed in place — the entry (and every
+    // response holding it) sees the new grammar at the same address, and
+    // its artifacts are kept or patched — instead of being thrown away.
+    G = Factory();
+    FactoryRan = true;
+    if (G) {
+      GrammarDelta Delta = computeGrammarDelta(Entry->G, *G);
+      if (Delta.Class != GrammarEditClass::Structural) {
+        BuildContext::EditOutcome Out;
+        {
+          // Lock order: BuildMu under the cache mutex is the sanctioned
+          // direction (same as retireLocked's stat fold).
+          MutexLock BuildLock(Entry->BuildMu);
+          Entry->G = std::move(*G);
+          Out = Entry->Ctx.applyDelta(Delta);
+        }
+        Entry->SourceHash = SourceHash;
+        Lru.splice(Lru.begin(), Lru, It->second);
+        It->second = Lru.begin();
+        ++Counts.Hits;
+        if (Out.Patched) {
+          ++Counts.Patched;
+        } else {
+          // The patch declined (e.g. a nullability flip): the artifacts
+          // were dropped, which is an invalidation in all but name.
+          ++Counts.Invalidations;
+          ++Counts.InvalidationsSource;
+        }
+        if (WasHit)
+          *WasHit = true;
+        return Entry;
+      }
+    }
+    // Structural change (or the new text no longer parses): discard
+    // exactly this grammar's artifacts (holders of the old entry keep it
+    // alive) and rebuild below.
     ++Counts.Invalidations;
+    ++Counts.InvalidationsSource;
     retireLocked(It->second);
   }
 
   if (WasHit)
     *WasHit = false;
   ++Counts.Misses;
-  std::optional<Grammar> G = Factory();
+  if (!FactoryRan)
+    G = Factory();
   if (!G)
     return nullptr;
 
@@ -80,6 +121,7 @@ bool ContextCache::invalidate(std::string_view Key) {
     Entry->Ctx.invalidateArtifacts();
   }
   ++Counts.Invalidations;
+  ++Counts.InvalidationsExplicit;
   return true;
 }
 
@@ -89,6 +131,7 @@ bool ContextCache::erase(std::string_view Key) {
   if (It == Index.end())
     return false;
   ++Counts.Invalidations;
+  ++Counts.InvalidationsExplicit;
   retireLocked(It->second);
   return true;
 }

@@ -56,7 +56,10 @@ struct CachedGrammar {
   CachedGrammar &operator=(const CachedGrammar &) = delete;
 
   const std::string Key;
-  const uint64_t SourceHash; ///< hashGrammarSource of the entry's text
+  /// hashGrammarSource of the entry's current text. Updated (under the
+  /// cache lock + BuildMu) when a source change is absorbed by the
+  /// incremental patch path instead of a rebuild.
+  uint64_t SourceHash;
   Grammar G;
   /// Borrows G; destroyed first (declared last). Deliberately NOT
   /// LALR_GUARDED_BY(BuildMu): builds mutate it under BuildMu, but tests
@@ -85,6 +88,16 @@ public:
     uint64_t Misses = 0;        ///< acquire had to build an entry
     uint64_t Evictions = 0;     ///< entries dropped by the LRU bound
     uint64_t Invalidations = 0; ///< explicit + source-change invalidations
+    /// Source changes absorbed in place: the edit classified as
+    /// conflict-local or production-local and the entry's artifacts were
+    /// kept/patched rather than dropped. Counted as a Hit, not an
+    /// invalidation.
+    uint64_t Patched = 0;
+    /// Why artifacts were dropped, summing to Invalidations:
+    /// InvalidationsSource = the grammar text changed structurally (or a
+    /// patch declined); InvalidationsExplicit = invalidate()/erase().
+    uint64_t InvalidationsSource = 0;
+    uint64_t InvalidationsExplicit = 0;
   };
 
   /// Builds the grammar for a cache miss; nullopt = unbuildable (parse
@@ -92,13 +105,17 @@ public:
   using GrammarFactory = std::function<std::optional<Grammar>()>;
 
   /// Returns the entry for \p Key, promoting it to most-recently-used.
-  /// A hit requires the stored source hash to equal \p SourceHash; a
-  /// stale hash counts as an invalidation (the old entry is dropped —
-  /// holders keep it alive — and rebuilt from \p Factory). On a miss the
-  /// factory runs (inside the cache lock: concurrent misses for one key
-  /// must not build twice); a factory failure returns nullptr and caches
-  /// nothing. \p WasHit, when non-null, reports hit vs miss for the
-  /// caller's per-request accounting.
+  /// A hit requires the stored source hash to equal \p SourceHash. A
+  /// stale hash first classifies the change (computeGrammarDelta over the
+  /// factory's new grammar): a conflict-local or production-local edit is
+  /// absorbed in place — the entry keeps its identity and its artifacts
+  /// are kept or patched (counted as Hit + Patched) — while a structural
+  /// change drops the old entry (holders keep it alive; counted as an
+  /// invalidation) and rebuilds. On a miss the factory runs (inside the
+  /// cache lock: concurrent misses for one key must not build twice); a
+  /// factory failure returns nullptr and caches nothing. \p WasHit, when
+  /// non-null, reports hit vs miss for the caller's per-request
+  /// accounting.
   std::shared_ptr<CachedGrammar> acquire(std::string_view Key,
                                          uint64_t SourceHash,
                                          const GrammarFactory &Factory,

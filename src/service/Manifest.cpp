@@ -104,6 +104,22 @@ lalr::parseManifest(std::string_view Text, std::string &Error) {
       }
       Entry.Act = ManifestEntry::Action::Invalidate;
       Entry.Request.GrammarName = std::string(Tokens[1]);
+    } else if (Tokens[0] == "edit") {
+      if (Tokens.size() < 3) {
+        fail(Error, LineNo, "expected: edit <grammar> <patch>");
+        return std::nullopt;
+      }
+      Entry.Act = ManifestEntry::Action::Edit;
+      Entry.Request.GrammarName = std::string(Tokens[1]);
+      std::vector<std::string> PatchToks(Tokens.begin() + 2, Tokens.end());
+      std::string PatchError;
+      std::optional<GrammarEdit> Patch =
+          parseGrammarEdit(PatchToks, PatchError);
+      if (!Patch) {
+        fail(Error, LineNo, std::move(PatchError));
+        return std::nullopt;
+      }
+      Entry.Edit = std::move(*Patch);
     } else if (Tokens[0] == "build") {
       if (Tokens.size() < 3) {
         fail(Error, LineNo, "expected: build <grammar> <kind> [options]");
@@ -124,7 +140,7 @@ lalr::parseManifest(std::string_view Text, std::string &Error) {
     } else {
       fail(Error, LineNo,
            "unknown command '" + std::string(Tokens[0]) +
-               "' (expected build or invalidate)");
+               "' (expected build, edit or invalidate)");
       return std::nullopt;
     }
     Entries.push_back(std::move(Entry));

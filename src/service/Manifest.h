@@ -7,6 +7,20 @@
 ///   build <grammar> <kind> [solver=digraph|naive] [compress] [verify]
 ///                          [require-adequate] [repeat=N] [deadline-ms=N]
 ///   invalidate <grammar>
+///   edit <grammar> <patch>
+///
+/// `<patch>` is one edit in the grammar/GrammarEdit.h dialect:
+///   prec <token> <left|right|nonassoc|none> <level>
+///   prodprec <prod-id> <token | ->
+///   rhs <prod-id> [sym...]
+///   add-prod <lhs> [sym...]
+///   rm-prod <prod-id>
+///   expect <n>
+/// The driver applies the patch to its working copy of the grammar source
+/// and subsequent builds of that grammar carry the edited text; the
+/// service's ContextCache classifies the change (layered hashing) and
+/// keeps or patches the cached artifacts when the edit is conflict-local
+/// or production-local.
 ///
 /// `<grammar>` is a corpus grammar name (see listCorpusGrammars) or a
 /// path ending in `.y` — the driver loads path grammars from disk and
@@ -22,6 +36,7 @@
 #ifndef LALR_SERVICE_MANIFEST_H
 #define LALR_SERVICE_MANIFEST_H
 
+#include "grammar/GrammarEdit.h"
 #include "service/BuildService.h"
 
 #include <optional>
@@ -36,9 +51,11 @@ struct ManifestEntry {
   enum class Action : uint8_t {
     Build,      ///< Request is a full build request
     Invalidate, ///< Request.GrammarName names the grammar to invalidate
+    Edit,       ///< Edit applies to Request.GrammarName's working source
   };
   Action Act = Action::Build;
   ServiceRequest Request;
+  GrammarEdit Edit;    ///< Edit only: the parsed patch
   unsigned Repeat = 1; ///< Build only: expansion count
   unsigned Line = 0;   ///< 1-based source line, for diagnostics
 };

@@ -39,6 +39,10 @@ std::string ServiceStats::toJson(bool Pretty) const {
   Field(Out, "cache_misses", CacheMisses);
   Field(Out, "cache_evictions", CacheEvictions);
   Field(Out, "cache_invalidations", CacheInvalidations);
+  Field(Out, "cache_patched", CachePatched);
+  Field(Out, "cache_invalidations_source", CacheInvalidationsSource);
+  Field(Out, "cache_invalidations_explicit", CacheInvalidationsExplicit);
+  Field(Out, "cache_invalidations_abort", CacheInvalidationsAbort);
   Field(Out, "cached_contexts", CachedContexts);
   Out += Ind;
   Out += "\"cache_hit_ratio\":";
@@ -86,6 +90,13 @@ PipelineStats ServiceStats::toPipelineStats(std::string Label) const {
   Out.setCounter("service_cache_misses", CacheMisses);
   Out.setCounter("service_cache_evictions", CacheEvictions);
   Out.setCounter("service_cache_invalidations", CacheInvalidations);
+  Out.setCounter("service_cache_patched", CachePatched);
+  Out.setCounter("service_cache_invalidations_source",
+                 CacheInvalidationsSource);
+  Out.setCounter("service_cache_invalidations_explicit",
+                 CacheInvalidationsExplicit);
+  Out.setCounter("service_cache_invalidations_abort",
+                 CacheInvalidationsAbort);
   Out.addStage("service-requests", RequestUs);
   return Out;
 }
@@ -123,6 +134,16 @@ std::string lalr::reportServiceStats(const ServiceStats &S) {
                 static_cast<unsigned long long>(S.CacheInvalidations),
                 static_cast<unsigned long long>(S.CachedContexts));
   Out += Buf;
+  if (S.CachePatched || S.CacheInvalidations) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "edits:   %llu patched in place; invalidations: %llu "
+                  "source-change, %llu explicit, %llu build-abort\n",
+                  static_cast<unsigned long long>(S.CachePatched),
+                  static_cast<unsigned long long>(S.CacheInvalidationsSource),
+                  static_cast<unsigned long long>(S.CacheInvalidationsExplicit),
+                  static_cast<unsigned long long>(S.CacheInvalidationsAbort));
+    Out += Buf;
+  }
   std::snprintf(Buf, sizeof(Buf), "build:   %.1f ms total pipeline wall\n",
                 S.Aggregate.totalUs() / 1000.0);
   Out += Buf;

@@ -50,6 +50,15 @@ struct ServiceStats {
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
   uint64_t CacheInvalidations = 0;
+  /// Source changes absorbed in place by the incremental patch path
+  /// (conflict-local / production-local edits); these are cache hits.
+  uint64_t CachePatched = 0;
+  /// Why artifacts were invalidated (source + explicit sum to
+  /// CacheInvalidations; abort invalidations happen inside the pipeline
+  /// on failed builds and are counted separately by the service).
+  uint64_t CacheInvalidationsSource = 0;   ///< grammar text changed
+  uint64_t CacheInvalidationsExplicit = 0; ///< invalidate()/erase() calls
+  uint64_t CacheInvalidationsAbort = 0;    ///< failed build dropped memos
   uint64_t CachedContexts = 0; ///< live entries at snapshot time
   /// @}
 

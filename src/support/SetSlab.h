@@ -152,6 +152,37 @@ public:
       D[I] = S[I];
   }
 
+  /// Copies row \p Src of another slab (same universe) over row \p Dst.
+  /// The cross-bank form the incremental patch path uses to pull solved
+  /// rows from a previous build's slab into the new one.
+  void copyFrom(size_t Dst, const SetSlab &Other, size_t Src) {
+    assert(Other.NumBits == NumBits && "SetSlab universe mismatch");
+    assert(Dst < NumSets && Src < Other.NumSets &&
+           "SetSlab row out of range");
+    uint64_t *D = rowWords(Dst);
+    const uint64_t *S = Other.rowWords(Src);
+    for (size_t I = 0; I != WordsPerSet; ++I)
+      D[I] = S[I];
+  }
+
+  /// Zeroes row \p Row (row-granular reset for in-place patching).
+  void resetRow(size_t Row) {
+    uint64_t *D = rowWords(Row);
+    for (size_t I = 0; I != WordsPerSet; ++I)
+      D[I] = 0;
+  }
+
+  /// True when row \p Dst equals row \p Src of \p Other word-for-word.
+  bool rowEquals(size_t Dst, const SetSlab &Other, size_t Src) const {
+    assert(Other.NumBits == NumBits && "SetSlab universe mismatch");
+    const uint64_t *D = rowWords(Dst);
+    const uint64_t *S = Other.rowWords(Src);
+    for (size_t I = 0; I != WordsPerSet; ++I)
+      if (D[I] != S[I])
+        return false;
+    return true;
+  }
+
   /// Copies an external view (same universe) over row \p Dst.
   void assignRow(size_t Dst, SetView Src) {
     assert(Src.size() == NumBits && "SetSlab universe mismatch");

@@ -1,0 +1,663 @@
+//===- tests/incremental_test.cpp - Selective incremental rebuild ------------===//
+//
+// Bit-identity is the whole contract: after any classified edit, the
+// patched artifacts (relations, Read/Follow/LA slabs, cycle certificates,
+// the filled table) must equal a from-scratch build of the edited grammar
+// under every thread setting. The sweep below drives every realistic
+// corpus grammar through a derived edit script per class, plus targeted
+// edge cases and a deterministic fuzz loop of random single edits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarEdit.h"
+#include "grammar/GrammarParser.h"
+#include "lalr/IncrementalDp.h"
+#include "pipeline/BuildPipeline.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+Grammar mustParse(std::string_view Src) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> G = parseGrammar(Src, Diags);
+  EXPECT_TRUE(G) << Diags.render();
+  if (!G)
+    std::abort();
+  return std::move(*G);
+}
+
+Grammar mustEdit(const Grammar &G, const GrammarEdit &E) {
+  DiagnosticEngine Diags;
+  std::optional<Grammar> New = applyGrammarEdit(G, E, Diags);
+  EXPECT_TRUE(New) << Diags.render();
+  if (!New)
+    std::abort();
+  return std::move(*New);
+}
+
+bool tablesEqual(const ParseTable &A, const ParseTable &B, const Grammar &G) {
+  if (A.numStates() != B.numStates())
+    return false;
+  for (uint32_t S = 0, E = static_cast<uint32_t>(A.numStates()); S != E; ++S) {
+    for (SymbolId T = 0; T < G.numTerminals(); ++T)
+      if (!(A.action(S, T) == B.action(S, T)))
+        return false;
+    for (uint32_t N = 0; N < G.numNonterminals(); ++N)
+      if (A.gotoNt(S, G.ntSymbol(N), G) != B.gotoNt(S, G.ntSymbol(N), G))
+        return false;
+  }
+  return A.unresolvedShiftReduce() == B.unresolvedShiftReduce() &&
+         A.unresolvedReduceReduce() == B.unresolvedReduceReduce();
+}
+
+/// Full DP-artifact comparison: relations CSRs, DR, the three solved
+/// slabs and the reads cycle certificate.
+void expectArtifactsEqual(const LalrLookaheads &Patched,
+                          const LalrLookaheads &Fresh, const char *Ctx) {
+  EXPECT_TRUE(Patched.relations().Reads == Fresh.relations().Reads) << Ctx;
+  EXPECT_TRUE(Patched.relations().Includes == Fresh.relations().Includes)
+      << Ctx;
+  EXPECT_TRUE(Patched.relations().Lookback == Fresh.relations().Lookback)
+      << Ctx;
+  EXPECT_TRUE(Patched.relations().DirectRead == Fresh.relations().DirectRead)
+      << Ctx;
+  EXPECT_TRUE(Patched.readSets() == Fresh.readSets()) << Ctx;
+  EXPECT_TRUE(Patched.followSets() == Fresh.followSets()) << Ctx;
+  EXPECT_TRUE(Patched.laSets() == Fresh.laSets()) << Ctx;
+  EXPECT_EQ(Patched.readsCycleMembers(), Fresh.readsCycleMembers()) << Ctx;
+}
+
+/// A terminal other than $end, preferring one that appears in some
+/// production body (so precedence edits can actually bite).
+SymbolId pickTerminal(const Grammar &G) {
+  for (ProductionId P = 1; P < G.numProductions(); ++P)
+    for (SymbolId S : G.production(P).Rhs)
+      if (G.isTerminal(S) && S != G.eofSymbol())
+        return S;
+  return G.numTerminals() > 1 ? SymbolId(1) : G.eofSymbol();
+}
+
+/// Highest declared precedence level, so derived edits can add a fresh
+/// one above everything.
+uint16_t maxPrecLevel(const Grammar &G) {
+  uint16_t Max = 0;
+  for (SymbolId T = 0; T < G.numTerminals(); ++T)
+    Max = std::max(Max, G.precedence(T).Level);
+  return Max;
+}
+
+/// A production (id > 0) whose body already contains a terminal;
+/// appending that terminal again cannot flip nullability.
+ProductionId pickRhsEditProduction(const Grammar &G, SymbolId *Terminal) {
+  for (ProductionId P = 1; P < G.numProductions(); ++P)
+    for (SymbolId S : G.production(P).Rhs)
+      if (G.isTerminal(S) && S != G.eofSymbol()) {
+        *Terminal = S;
+        return P;
+      }
+  return InvalidProduction;
+}
+
+/// A removable production: id > 0 and its Lhs keeps at least one
+/// alternative afterwards.
+ProductionId pickRemovableProduction(const Grammar &G) {
+  for (ProductionId P = 1; P < G.numProductions(); ++P)
+    if (G.productionsOf(G.production(P).Lhs).size() > 1)
+      return P;
+  return InvalidProduction;
+}
+
+std::vector<std::string> namesOf(const Grammar &G,
+                                 std::span<const SymbolId> Syms) {
+  std::vector<std::string> Out;
+  for (SymbolId S : Syms)
+    Out.push_back(G.name(S));
+  return Out;
+}
+
+/// Builds the table + DP artifacts for \p G from scratch and compares a
+/// patched context's state against them. The patched context must hold
+/// a grammar equal to \p G already. The fresh baseline is a *copy* of
+/// the edited grammar (not a print/parse round-trip, which can permute
+/// symbol ids): applyGrammarEdit preserves ids, so the copy shares the
+/// patched context's id space and the comparison is exact.
+void expectMatchesFresh(BuildContext &Patched, const Grammar &G,
+                        unsigned Threads, const char *Ctx) {
+  BuildContext Fresh((Grammar(G)));
+  Fresh.setThreads(Threads);
+
+  const LalrLookaheads &FreshLa = Fresh.lookaheads();
+  const LalrLookaheads &PatchedLa = Patched.lookaheads();
+  expectArtifactsEqual(PatchedLa, FreshLa, Ctx);
+
+  BuildResult FreshR = BuildPipeline(Fresh).run();
+  BuildOptions VerifyOpts;
+  VerifyOpts.Verify = true; // every patched build goes through the verifier
+  BuildResult PatchedR = BuildPipeline(Patched, VerifyOpts).run();
+  ASSERT_TRUE(FreshR.ok()) << Ctx << ": " << FreshR.Status.Message;
+  ASSERT_TRUE(PatchedR.ok()) << Ctx << ": " << PatchedR.Status.Message;
+  ASSERT_TRUE(PatchedR.Verify && PatchedR.Verify->ok())
+      << Ctx << ": verifier flagged the patched build";
+  EXPECT_TRUE(tablesEqual(PatchedR.Table, FreshR.Table, G)) << Ctx;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Layered hashes
+// ---------------------------------------------------------------------------
+
+TEST(LayerHashesTest, IdenticalGrammarsHashEqual) {
+  Grammar A = loadCorpusGrammar("expr_prec");
+  Grammar B = loadCorpusGrammar("expr_prec");
+  EXPECT_EQ(computeGrammarLayerHashes(A), computeGrammarLayerHashes(B));
+}
+
+TEST(LayerHashesTest, PrecedenceEditTouchesOnlyConflictLayer) {
+  Grammar G = loadCorpusGrammar("expr_prec");
+  GrammarEdit E;
+  E.K = GrammarEdit::Kind::SetPrecedence;
+  E.Symbol = G.name(pickTerminal(G));
+  E.Associativity = Assoc::Right;
+  E.Level = maxPrecLevel(G) + 1;
+  Grammar New = mustEdit(G, E);
+
+  GrammarLayerHashes HOld = computeGrammarLayerHashes(G);
+  GrammarLayerHashes HNew = computeGrammarLayerHashes(New);
+  EXPECT_EQ(HOld.SymbolsHash, HNew.SymbolsHash);
+  EXPECT_EQ(HOld.ProductionSetHash, HNew.ProductionSetHash);
+  EXPECT_EQ(HOld.ProductionHashes, HNew.ProductionHashes);
+  EXPECT_NE(HOld.ConflictHash, HNew.ConflictHash);
+}
+
+TEST(LayerHashesTest, RhsEditTouchesOnlyThatProduction) {
+  Grammar G = loadCorpusGrammar("expr");
+  SymbolId T = 0;
+  ProductionId P = pickRhsEditProduction(G, &T);
+  ASSERT_NE(P, InvalidProduction);
+
+  GrammarEdit E;
+  E.K = GrammarEdit::Kind::SetRhs;
+  E.Prod = P;
+  E.Rhs = namesOf(G, G.production(P).Rhs);
+  E.Rhs.push_back(G.name(T));
+  Grammar New = mustEdit(G, E);
+
+  GrammarLayerHashes HOld = computeGrammarLayerHashes(G);
+  GrammarLayerHashes HNew = computeGrammarLayerHashes(New);
+  EXPECT_EQ(HOld.SymbolsHash, HNew.SymbolsHash);
+  EXPECT_NE(HOld.ProductionSetHash, HNew.ProductionSetHash);
+  ASSERT_EQ(HOld.ProductionHashes.size(), HNew.ProductionHashes.size());
+  for (size_t I = 0; I != HOld.ProductionHashes.size(); ++I) {
+    if (I == P)
+      EXPECT_NE(HOld.ProductionHashes[I], HNew.ProductionHashes[I]);
+    else
+      EXPECT_EQ(HOld.ProductionHashes[I], HNew.ProductionHashes[I]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta classification
+// ---------------------------------------------------------------------------
+
+TEST(GrammarDeltaTest, IdenticalAndConflictLocalAndStructural) {
+  Grammar G = loadCorpusGrammar("expr_prec");
+  EXPECT_EQ(computeGrammarDelta(G, G).Class, GrammarEditClass::Identical);
+
+  GrammarEdit Prec;
+  Prec.K = GrammarEdit::Kind::SetPrecedence;
+  Prec.Symbol = G.name(pickTerminal(G));
+  Prec.Level = maxPrecLevel(G) + 1;
+  Grammar PrecG = mustEdit(G, Prec);
+  EXPECT_EQ(computeGrammarDelta(G, PrecG).Class,
+            GrammarEditClass::ConflictLocal);
+
+  // Removal renumbers production ids: always Structural.
+  ProductionId Rm = pickRemovableProduction(G);
+  ASSERT_NE(Rm, InvalidProduction);
+  GrammarEdit Remove;
+  Remove.K = GrammarEdit::Kind::RemoveProduction;
+  Remove.Prod = Rm;
+  Grammar RmG = mustEdit(G, Remove);
+  EXPECT_EQ(computeGrammarDelta(G, RmG).Class, GrammarEditClass::Structural);
+}
+
+TEST(GrammarDeltaTest, RhsEditIsProductionLocalWithDirtyLhs) {
+  Grammar G = loadCorpusGrammar("expr");
+  SymbolId T = 0;
+  ProductionId P = pickRhsEditProduction(G, &T);
+  ASSERT_NE(P, InvalidProduction);
+
+  GrammarEdit E;
+  E.K = GrammarEdit::Kind::SetRhs;
+  E.Prod = P;
+  E.Rhs = namesOf(G, G.production(P).Rhs);
+  E.Rhs.push_back(G.name(T));
+  Grammar New = mustEdit(G, E);
+
+  GrammarDelta D = computeGrammarDelta(G, New);
+  EXPECT_EQ(D.Class, GrammarEditClass::ProductionLocal);
+  ASSERT_EQ(D.ChangedProductions.size(), 1u);
+  EXPECT_EQ(D.ChangedProductions[0], P);
+  ASSERT_EQ(D.DirtyNts.size(), 1u);
+  EXPECT_EQ(D.DirtyNts[0], G.production(P).Lhs);
+}
+
+TEST(GrammarDeltaTest, TooManyEditsFallBackToStructural) {
+  Grammar G = loadCorpusGrammar("minipascal");
+  Grammar Cur = loadCorpusGrammar("minipascal");
+  SymbolId T = 0;
+  // Touch MaxProductionLocalEdits + 1 distinct productions.
+  size_t Touched = 0;
+  for (ProductionId P = 1;
+       P < Cur.numProductions() && Touched <= MaxProductionLocalEdits; ++P) {
+    const Production &Prod = Cur.production(P);
+    SymbolId Term = InvalidSymbol;
+    for (SymbolId S : Prod.Rhs)
+      if (Cur.isTerminal(S) && S != Cur.eofSymbol()) {
+        Term = S;
+        break;
+      }
+    if (Term == InvalidSymbol)
+      continue;
+    GrammarEdit E;
+    E.K = GrammarEdit::Kind::SetRhs;
+    E.Prod = P;
+    E.Rhs = namesOf(Cur, Prod.Rhs);
+    E.Rhs.push_back(Cur.name(Term));
+    Cur = mustEdit(Cur, E);
+    ++Touched;
+    (void)T;
+  }
+  ASSERT_EQ(Touched, MaxProductionLocalEdits + 1);
+  EXPECT_EQ(computeGrammarDelta(G, Cur).Class, GrammarEditClass::Structural);
+}
+
+// ---------------------------------------------------------------------------
+// Edit dialect parsing
+// ---------------------------------------------------------------------------
+
+TEST(ParseGrammarEditTest, AllForms) {
+  std::string Error;
+  {
+    std::vector<std::string> Toks = {"prec", "PLUS", "left", "3"};
+    auto E = parseGrammarEdit(Toks, Error);
+    ASSERT_TRUE(E) << Error;
+    EXPECT_EQ(E->K, GrammarEdit::Kind::SetPrecedence);
+    EXPECT_EQ(E->Symbol, "PLUS");
+    EXPECT_EQ(E->Associativity, Assoc::Left);
+    EXPECT_EQ(E->Level, 3);
+  }
+  {
+    std::vector<std::string> Toks = {"prodprec", "2", "MINUS"};
+    auto E = parseGrammarEdit(Toks, Error);
+    ASSERT_TRUE(E) << Error;
+    EXPECT_EQ(E->K, GrammarEdit::Kind::SetProductionPrec);
+    EXPECT_EQ(E->Prod, 2u);
+    EXPECT_EQ(E->PrecToken, "MINUS");
+  }
+  {
+    std::vector<std::string> Toks = {"prodprec", "2", "-"};
+    auto E = parseGrammarEdit(Toks, Error);
+    ASSERT_TRUE(E) << Error;
+    EXPECT_TRUE(E->PrecToken.empty());
+  }
+  {
+    std::vector<std::string> Toks = {"rhs", "4", "e", "'+'", "t"};
+    auto E = parseGrammarEdit(Toks, Error);
+    ASSERT_TRUE(E) << Error;
+    EXPECT_EQ(E->K, GrammarEdit::Kind::SetRhs);
+    EXPECT_EQ(E->Prod, 4u);
+    EXPECT_EQ(E->Rhs, (std::vector<std::string>{"e", "'+'", "t"}));
+  }
+  {
+    std::vector<std::string> Toks = {"add-prod", "stmt"};
+    auto E = parseGrammarEdit(Toks, Error);
+    ASSERT_TRUE(E) << Error;
+    EXPECT_EQ(E->K, GrammarEdit::Kind::AddProduction);
+    EXPECT_EQ(E->Symbol, "stmt");
+    EXPECT_TRUE(E->Rhs.empty());
+  }
+  {
+    std::vector<std::string> Toks = {"rm-prod", "7"};
+    auto E = parseGrammarEdit(Toks, Error);
+    ASSERT_TRUE(E) << Error;
+    EXPECT_EQ(E->K, GrammarEdit::Kind::RemoveProduction);
+    EXPECT_EQ(E->Prod, 7u);
+  }
+  {
+    std::vector<std::string> Toks = {"expect", "1"};
+    auto E = parseGrammarEdit(Toks, Error);
+    ASSERT_TRUE(E) << Error;
+    EXPECT_EQ(E->K, GrammarEdit::Kind::SetExpect);
+    EXPECT_EQ(E->Expect, 1);
+  }
+}
+
+TEST(ParseGrammarEditTest, RejectsMalformedLines) {
+  std::string Error;
+  for (std::vector<std::string> Toks : std::vector<std::vector<std::string>>{
+           {},
+           {"frobnicate", "x"},
+           {"prec", "PLUS", "diagonal", "3"},
+           {"prec", "PLUS", "left"},
+           {"prodprec", "notanumber", "X"},
+           {"rm-prod"},
+           {"expect", "many"},
+       }) {
+    Error.clear();
+    EXPECT_FALSE(parseGrammarEdit(Toks, Error));
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// applyGrammarEdit semantics
+// ---------------------------------------------------------------------------
+
+TEST(ApplyEditTest, PreservesIdsAndAppliesPrecedence) {
+  Grammar G = loadCorpusGrammar("expr_prec");
+  SymbolId T = pickTerminal(G);
+  GrammarEdit E;
+  E.K = GrammarEdit::Kind::SetPrecedence;
+  E.Symbol = G.name(T);
+  E.Associativity = Assoc::Right;
+  E.Level = maxPrecLevel(G) + 1;
+  Grammar New = mustEdit(G, E);
+
+  ASSERT_EQ(New.numSymbols(), G.numSymbols());
+  for (SymbolId S = 0; S < G.numSymbols(); ++S)
+    EXPECT_EQ(New.name(S), G.name(S));
+  EXPECT_EQ(New.precedence(T).Level, E.Level);
+  EXPECT_EQ(New.precedence(T).Associativity, Assoc::Right);
+}
+
+TEST(ApplyEditTest, RemovingStartSymbolsOnlyProductionFails) {
+  Grammar G = mustParse(R"(
+%token A
+%%
+s : A ;
+)");
+  GrammarEdit E;
+  E.K = GrammarEdit::Kind::RemoveProduction;
+  E.Prod = 1; // the only s-production
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(applyGrammarEdit(G, E, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ApplyEditTest, AugmentationProductionIsNotEditable) {
+  Grammar G = loadCorpusGrammar("expr");
+  for (GrammarEdit::Kind K : {GrammarEdit::Kind::SetRhs,
+                              GrammarEdit::Kind::RemoveProduction,
+                              GrammarEdit::Kind::SetProductionPrec}) {
+    GrammarEdit E;
+    E.K = K;
+    E.Prod = 0;
+    DiagnosticEngine Diags;
+    EXPECT_FALSE(applyGrammarEdit(G, E, Diags));
+  }
+}
+
+TEST(ApplyEditTest, EmptyGrammarSourceFailsGracefully) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseGrammar("", Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_FALSE(parseGrammar("%%", Diags));
+}
+
+// ---------------------------------------------------------------------------
+// The bit-identity sweep: every realistic grammar, three edit classes,
+// serial / 2 / 8 threads.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class IncrementalSweepTest : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Threads, IncrementalSweepTest,
+                         ::testing::Values(0u, 2u, 8u));
+
+TEST_P(IncrementalSweepTest, PrecedenceEditKeepsAllDpArtifacts) {
+  unsigned Threads = GetParam();
+  for (std::string_view Name : listCorpusGrammars(/*RealisticOnly=*/true)) {
+    Grammar G = loadCorpusGrammar(Name);
+    SymbolId T = pickTerminal(G);
+    if (T == G.eofSymbol())
+      continue;
+    GrammarEdit E;
+    E.K = GrammarEdit::Kind::SetPrecedence;
+    E.Symbol = G.name(T);
+    E.Associativity = Assoc::Right;
+    E.Level = maxPrecLevel(G) + 1;
+    Grammar New = mustEdit(G, E);
+
+    BuildContext Ctx(loadCorpusGrammar(Name));
+    Ctx.setThreads(Threads);
+    (void)BuildPipeline(Ctx).run(); // populate every memo slot
+    size_t Lr0Before = Ctx.lr0BuildCount();
+    size_t LaBefore = Ctx.lookaheadBuildCount();
+    size_t AnBefore = Ctx.analysisBuildCount();
+
+    BuildContext::EditOutcome Out = Ctx.applyEdit(std::move(New));
+    EXPECT_EQ(Out.Class, GrammarEditClass::ConflictLocal) << Name;
+    EXPECT_TRUE(Out.Patched) << Name;
+
+    std::string Ctxt = std::string(Name) + "/prec/t" +
+                       std::to_string(Threads);
+    expectMatchesFresh(Ctx, Ctx.grammar(), Threads, Ctxt.c_str());
+
+    // The whole point: zero LR(0) / relations / analysis work.
+    EXPECT_EQ(Ctx.lr0BuildCount(), Lr0Before) << Name;
+    EXPECT_EQ(Ctx.lookaheadBuildCount(), LaBefore) << Name;
+    EXPECT_EQ(Ctx.analysisBuildCount(), AnBefore) << Name;
+    EXPECT_GE(Ctx.incrementalPatchCount(), 1u) << Name;
+  }
+}
+
+TEST_P(IncrementalSweepTest, SingleProductionEditPatchesDp) {
+  unsigned Threads = GetParam();
+  for (std::string_view Name : listCorpusGrammars(/*RealisticOnly=*/true)) {
+    Grammar G = loadCorpusGrammar(Name);
+    SymbolId T = 0;
+    ProductionId P = pickRhsEditProduction(G, &T);
+    if (P == InvalidProduction)
+      continue;
+    GrammarEdit E;
+    E.K = GrammarEdit::Kind::SetRhs;
+    E.Prod = P;
+    E.Rhs = namesOf(G, G.production(P).Rhs);
+    E.Rhs.push_back(G.name(T));
+    Grammar New = mustEdit(G, E);
+
+    BuildContext Ctx(loadCorpusGrammar(Name));
+    Ctx.setThreads(Threads);
+    (void)BuildPipeline(Ctx).run();
+    size_t Lr0Before = Ctx.lr0BuildCount();
+
+    BuildContext::EditOutcome Out = Ctx.applyEdit(std::move(New));
+    EXPECT_EQ(Out.Class, GrammarEditClass::ProductionLocal) << Name;
+
+    std::string Ctxt = std::string(Name) + "/rhs/t" + std::to_string(Threads);
+    expectMatchesFresh(Ctx, Ctx.grammar(), Threads, Ctxt.c_str());
+    // The automaton is rebuilt exactly once whether or not the DP patch
+    // engaged (a declined patch falls back through the normal accessors).
+    EXPECT_EQ(Ctx.lr0BuildCount(), Lr0Before + 1) << Name;
+    if (Out.Patched) {
+      EXPECT_GE(Ctx.stats().counter("incremental_builds"), 1u) << Name;
+      EXPECT_GE(Ctx.stats().counter("resolved_sets_reused"), 1u) << Name;
+    }
+  }
+}
+
+TEST_P(IncrementalSweepTest, StructuralEditRebuildsFromScratch) {
+  unsigned Threads = GetParam();
+  for (std::string_view Name : listCorpusGrammars(/*RealisticOnly=*/true)) {
+    Grammar G = loadCorpusGrammar(Name);
+    ProductionId Rm = pickRemovableProduction(G);
+    if (Rm == InvalidProduction)
+      continue;
+    GrammarEdit E;
+    E.K = GrammarEdit::Kind::RemoveProduction;
+    E.Prod = Rm;
+    Grammar New = mustEdit(G, E);
+
+    BuildContext Ctx(loadCorpusGrammar(Name));
+    Ctx.setThreads(Threads);
+    (void)BuildPipeline(Ctx).run();
+
+    BuildContext::EditOutcome Out = Ctx.applyEdit(std::move(New));
+    EXPECT_EQ(Out.Class, GrammarEditClass::Structural) << Name;
+    EXPECT_FALSE(Out.Patched) << Name;
+
+    std::string Ctxt = std::string(Name) + "/rm/t" + std::to_string(Threads);
+    expectMatchesFresh(Ctx, Ctx.grammar(), Threads, Ctxt.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conflict-creating precedence edit: the patched table must reproduce the
+// fresh build's unresolved-conflict census, not just its resolved cells.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalEdgeTest, PrecedenceEditThatCreatesConflicts) {
+  // expr_prec resolves its ambiguity entirely through %left/%right;
+  // demoting '+' to "no precedence" resurrects shift/reduce conflicts.
+  Grammar G = loadCorpusGrammar("expr_prec");
+  SymbolId Plus = InvalidSymbol;
+  for (SymbolId T = 0; T < G.numTerminals(); ++T)
+    if (G.precedence(T).Level != 0) {
+      Plus = T;
+      break;
+    }
+  ASSERT_NE(Plus, InvalidSymbol) << "expr_prec lost its declarations?";
+
+  GrammarEdit E;
+  E.K = GrammarEdit::Kind::SetPrecedence;
+  E.Symbol = G.name(Plus);
+  E.Level = 0; // remove the declaration entirely
+  Grammar New = mustEdit(G, E);
+
+  BuildContext Ctx(loadCorpusGrammar("expr_prec"));
+  BuildResult Before = BuildPipeline(Ctx).run();
+  ASSERT_TRUE(Before.ok());
+  EXPECT_EQ(Before.Table.unresolvedShiftReduce(), 0u);
+
+  BuildContext::EditOutcome Out = Ctx.applyEdit(std::move(New));
+  EXPECT_EQ(Out.Class, GrammarEditClass::ConflictLocal);
+  EXPECT_TRUE(Out.Patched);
+
+  BuildResult After = BuildPipeline(Ctx).run();
+  ASSERT_TRUE(After.ok());
+  EXPECT_GT(After.Table.unresolvedShiftReduce(), 0u);
+
+  BuildContext FreshCtx((Grammar(Ctx.grammar())));
+  BuildResult Fresh = BuildPipeline(FreshCtx).run();
+  ASSERT_TRUE(Fresh.ok());
+  EXPECT_TRUE(tablesEqual(After.Table, Fresh.Table, Ctx.grammar()));
+  EXPECT_EQ(After.Table.unresolvedShiftReduce(),
+            Fresh.Table.unresolvedShiftReduce());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fuzz: a long-lived context absorbs a stream of random
+// single edits; after each one its artifacts must match a from-scratch
+// build of the current grammar.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalFuzzTest, RandomEditStreamStaysBitIdentical) {
+  constexpr int Iterations = 40;
+  Rng R(0x1A1121u);
+
+  BuildContext Ctx(loadCorpusGrammar("minipascal"));
+  (void)BuildPipeline(Ctx).run();
+
+  int Applied = 0;
+  for (int I = 0; I < Iterations; ++I) {
+    const Grammar &G = Ctx.grammar();
+    GrammarEdit E;
+    switch (R.below(6)) {
+    case 0: { // precedence shuffle
+      E.K = GrammarEdit::Kind::SetPrecedence;
+      E.Symbol = G.name(SymbolId(R.below(G.numTerminals())));
+      E.Associativity = R.chance(1, 2) ? Assoc::Left : Assoc::Right;
+      E.Level = uint16_t(R.below(6)); // 0 = remove
+      break;
+    }
+    case 1: { // %prec override / clear
+      E.K = GrammarEdit::Kind::SetProductionPrec;
+      E.Prod = ProductionId(R.range(1, G.numProductions() - 1));
+      if (R.chance(1, 3))
+        E.PrecToken.clear();
+      else
+        E.PrecToken = G.name(SymbolId(R.below(G.numTerminals())));
+      break;
+    }
+    case 2: { // append a terminal to a production body
+      E.K = GrammarEdit::Kind::SetRhs;
+      E.Prod = ProductionId(R.range(1, G.numProductions() - 1));
+      E.Rhs = namesOf(G, G.production(E.Prod).Rhs);
+      E.Rhs.push_back(G.name(SymbolId(R.below(G.numTerminals()))));
+      break;
+    }
+    case 3: { // append an alternative
+      E.K = GrammarEdit::Kind::AddProduction;
+      E.Symbol = G.name(G.ntSymbol(uint32_t(R.below(G.numNonterminals()))));
+      E.Rhs.push_back(G.name(SymbolId(R.below(G.numTerminals()))));
+      break;
+    }
+    case 4: { // remove an alternative (may be rejected: sole production)
+      E.K = GrammarEdit::Kind::RemoveProduction;
+      E.Prod = ProductionId(R.range(1, G.numProductions() - 1));
+      break;
+    }
+    default: { // %expect
+      E.K = GrammarEdit::Kind::SetExpect;
+      E.Expect = int(R.below(4));
+      break;
+    }
+    }
+
+    // $accept is never a legal Lhs / edit target; the accept symbol can
+    // surface from ntSymbol. Skip such draws rather than special-case.
+    DiagnosticEngine Diags;
+    std::optional<Grammar> New = applyGrammarEdit(G, E, Diags);
+    if (!New)
+      continue; // invalid draw (e.g. sole production removal): fine
+    ++Applied;
+
+    (void)Ctx.applyEdit(std::move(*New));
+    BuildOptions VerifyOpts;
+    VerifyOpts.Verify = true;
+    BuildResult Patched = BuildPipeline(Ctx, VerifyOpts).run();
+    ASSERT_TRUE(Patched.ok()) << "iter " << I << ": "
+                              << Patched.Status.Message;
+    ASSERT_TRUE(Patched.Verify && Patched.Verify->ok()) << "iter " << I;
+
+    BuildContext Fresh((Grammar(Ctx.grammar())));
+    BuildResult FreshR = BuildPipeline(Fresh).run();
+    ASSERT_TRUE(FreshR.ok()) << "iter " << I;
+    ASSERT_TRUE(tablesEqual(Patched.Table, FreshR.Table, Ctx.grammar()))
+        << "iter " << I << " diverged after "
+        << grammarEditClassName(computeGrammarDelta(Fresh.grammar(),
+                                                    Ctx.grammar())
+                                    .Class);
+    ASSERT_TRUE(Ctx.lookaheads().laSets() == Fresh.lookaheads().laSets())
+        << "iter " << I;
+  }
+  // The stream must actually exercise the machinery.
+  EXPECT_GE(Applied, Iterations / 2);
+  EXPECT_GE(Ctx.editCount(), size_t(Applied));
+  EXPECT_GE(Ctx.incrementalPatchCount(), 1u);
+}

@@ -282,6 +282,135 @@ TEST(ContextCacheTest, CapacityClampedToAtLeastOne) {
   EXPECT_EQ(Cache.capacity(), 1u);
 }
 
+namespace {
+
+/// ExprGrammar with a precedence declaration added: identical symbol and
+/// production layers (the '+' '*' declaration order matches their rule
+/// appearance order, so ids are unchanged) — a conflict-local change.
+const char ExprGrammarPrec[] = R"(
+%token NUM
+%left '+' '*'
+%%
+e : e '+' t | t ;
+t : t '*' f | f ;
+f : '(' e ')' | NUM ;
+)";
+
+} // namespace
+
+TEST(ContextCacheTest, ConflictLocalSourceChangePatchesInPlace) {
+  ContextCache Cache(4);
+  std::shared_ptr<CachedGrammar> Entry =
+      Cache.acquire("g", hashGrammarSource(ExprGrammar), exprFactory());
+  ASSERT_TRUE(Entry);
+  BuildPipeline(Entry->Ctx).run();
+  EXPECT_EQ(Entry->Ctx.lr0BuildCount(), 1u);
+
+  bool Hit = false;
+  std::shared_ptr<CachedGrammar> Same = Cache.acquire(
+      "g", hashGrammarSource(ExprGrammarPrec),
+      [] { return std::optional<Grammar>(mustParse(ExprGrammarPrec)); },
+      &Hit);
+  ASSERT_TRUE(Same);
+  EXPECT_EQ(Same.get(), Entry.get()) << "the entry must be kept, not rebuilt";
+  EXPECT_TRUE(Hit);
+  EXPECT_EQ(Same->SourceHash, hashGrammarSource(ExprGrammarPrec));
+  EXPECT_EQ(Cache.counters().Patched, 1u);
+  EXPECT_EQ(Cache.counters().Invalidations, 0u);
+
+  // The new precedence is live and every DP artifact survived.
+  SymbolId Plus = Entry->Ctx.grammar().findSymbol("'+'");
+  ASSERT_NE(Plus, InvalidSymbol);
+  EXPECT_EQ(Entry->Ctx.grammar().precedence(Plus).Level, 1);
+  BuildResult R = BuildPipeline(Entry->Ctx).run();
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(Entry->Ctx.lr0BuildCount(), 1u)
+      << "a conflict-local edit must not rebuild the automaton";
+}
+
+TEST(ContextCacheTest, ProductionLocalSourceChangePatchesDp) {
+  // A realistic grammar: the tiny Expr fixture would trip the mostly-dirty
+  // fallback in patchFrom, which is the other test's territory. The edited
+  // grammar comes from applyGrammarEdit (id-preserving), handed to acquire
+  // through the factory exactly as lalr_batchd's edit path does.
+  Grammar Base = loadCorpusGrammar("minipascal");
+  ProductionId P = InvalidProduction;
+  SymbolId T = InvalidSymbol;
+  for (ProductionId I = 1; I < Base.numProductions(); ++I) {
+    for (SymbolId S : Base.production(I).Rhs)
+      if (Base.isTerminal(S)) {
+        P = I;
+        T = S;
+        break;
+      }
+    if (P != InvalidProduction)
+      break;
+  }
+  ASSERT_NE(P, InvalidProduction);
+  GrammarEdit E;
+  E.K = GrammarEdit::Kind::SetRhs;
+  E.Prod = P;
+  for (SymbolId S : Base.production(P).Rhs)
+    E.Rhs.push_back(Base.name(S));
+  E.Rhs.push_back(Base.name(T)); // appending a terminal cannot flip nullability
+  DiagnosticEngine Diags;
+  std::optional<Grammar> MaybeEdited = applyGrammarEdit(Base, E, Diags);
+  ASSERT_TRUE(MaybeEdited) << Diags.render();
+  Grammar Edited = std::move(*MaybeEdited);
+
+  ContextCache Cache(4);
+  std::shared_ptr<CachedGrammar> Entry = Cache.acquire(
+      "g", hashGrammarSource("v1"),
+      [&] { return std::optional<Grammar>(Grammar(Base)); });
+  ASSERT_TRUE(Entry);
+  BuildPipeline(Entry->Ctx).run();
+  EXPECT_EQ(Entry->Ctx.lr0BuildCount(), 1u);
+
+  bool Hit = false;
+  std::shared_ptr<CachedGrammar> Same = Cache.acquire(
+      "g", hashGrammarSource("v2"),
+      [&] { return std::optional<Grammar>(Grammar(Edited)); }, &Hit);
+  ASSERT_TRUE(Same);
+  EXPECT_EQ(Same.get(), Entry.get());
+  EXPECT_TRUE(Hit);
+  EXPECT_EQ(Cache.counters().Patched, 1u);
+  EXPECT_EQ(Cache.counters().Invalidations, 0u);
+  EXPECT_EQ(Entry->Ctx.lr0BuildCount(), 2u)
+      << "a production edit rebuilds the automaton (and patches the DP)";
+  EXPECT_GE(Entry->Ctx.stats().counter("resolved_sets_reused"), 1u);
+
+  // The patched artifacts must pass the verifier and match a fresh build.
+  BuildOptions Opts;
+  Opts.Verify = true;
+  BuildResult Patched = BuildPipeline(Entry->Ctx, Opts).run();
+  ASSERT_TRUE(Patched.ok()) << Patched.Status.Message;
+  ASSERT_TRUE(Patched.Verify && Patched.Verify->ok());
+
+  BuildContext Fresh((Grammar(Edited)));
+  BuildResult FreshR = BuildPipeline(Fresh).run();
+  ASSERT_TRUE(FreshR.ok());
+  EXPECT_EQ(Patched.Table.numStates(), FreshR.Table.numStates());
+  EXPECT_TRUE(Entry->Ctx.lookaheads().laSets() == Fresh.lookaheads().laSets());
+}
+
+TEST(ContextCacheTest, InvalidationReasonBreakdown) {
+  ContextCache Cache(4);
+  ASSERT_TRUE(Cache.acquire("g", hashGrammarSource(ExprGrammar),
+                            exprFactory()));
+  // Explicit invalidation.
+  EXPECT_TRUE(Cache.invalidate("g"));
+  // Structural source change (different grammar entirely).
+  ASSERT_TRUE(Cache.acquire(
+      "g", hashGrammarSource(ListGrammar),
+      [] { return std::optional<Grammar>(mustParse(ListGrammar)); }));
+
+  ContextCache::Counters C = Cache.counters();
+  EXPECT_EQ(C.InvalidationsExplicit, 1u);
+  EXPECT_EQ(C.InvalidationsSource, 1u);
+  EXPECT_EQ(C.Invalidations, C.InvalidationsExplicit + C.InvalidationsSource);
+  EXPECT_EQ(C.Patched, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // BuildService: the amortization contract
 // ---------------------------------------------------------------------------
@@ -624,6 +753,40 @@ build grammars/custom.y slr1
       << "repeat=3 must expand; invalidate must not become a request";
 }
 
+TEST(ManifestTest, ParsesEditCommands) {
+  const char Text[] = R"(edit expr_prec prec '+' left 3
+edit expr rhs 2 e '*' e
+build expr_prec lalr1
+edit grammars/custom.y expect 4
+)";
+  std::string Error;
+  std::optional<std::vector<ManifestEntry>> Entries = parseManifest(Text, Error);
+  ASSERT_TRUE(Entries) << Error;
+  ASSERT_EQ(Entries->size(), 4u);
+
+  EXPECT_EQ((*Entries)[0].Act, ManifestEntry::Action::Edit);
+  EXPECT_EQ((*Entries)[0].Request.GrammarName, "expr_prec");
+  EXPECT_EQ((*Entries)[0].Edit.K, GrammarEdit::Kind::SetPrecedence);
+  EXPECT_EQ((*Entries)[0].Edit.Symbol, "'+'");
+  EXPECT_EQ((*Entries)[0].Edit.Associativity, Assoc::Left);
+  EXPECT_EQ((*Entries)[0].Edit.Level, 3u);
+
+  EXPECT_EQ((*Entries)[1].Edit.K, GrammarEdit::Kind::SetRhs);
+  EXPECT_EQ((*Entries)[1].Edit.Prod, 2u);
+  ASSERT_EQ((*Entries)[1].Edit.Rhs.size(), 3u);
+  EXPECT_EQ((*Entries)[1].Edit.Rhs[1], "'*'");
+
+  EXPECT_EQ((*Entries)[2].Act, ManifestEntry::Action::Build);
+
+  EXPECT_EQ((*Entries)[3].Act, ManifestEntry::Action::Edit);
+  EXPECT_TRUE(isGrammarPath((*Entries)[3].Request.GrammarName));
+  EXPECT_EQ((*Entries)[3].Edit.K, GrammarEdit::Kind::SetExpect);
+  EXPECT_EQ((*Entries)[3].Edit.Expect, 4);
+
+  // Edit entries are segment markers, not batch requests.
+  EXPECT_EQ(manifestRequests(*Entries).size(), 1u);
+}
+
 TEST(ManifestTest, RejectsMalformedLinesWithLineNumbers) {
   struct Case {
     const char *Text;
@@ -634,8 +797,8 @@ TEST(ManifestTest, RejectsMalformedLinesWithLineNumbers) {
       {"\nbuild json nosuchkind", "line 2: unknown table kind 'nosuchkind'"},
       {"invalidate", "line 1: expected: invalidate <grammar>"},
       {"invalidate a b", "line 1: expected: invalidate <grammar>"},
-      {"destroy json", "line 1: unknown command 'destroy' (expected build or "
-                       "invalidate)"},
+      {"destroy json", "line 1: unknown command 'destroy' (expected build, "
+                       "edit or invalidate)"},
       {"build json lalr1 solver=qux",
        "line 1: unknown solver 'qux' (expected digraph or naive)"},
       {"build json lalr1 repeat=0",
@@ -643,6 +806,12 @@ TEST(ManifestTest, RejectsMalformedLinesWithLineNumbers) {
       {"build json lalr1 repeat=x",
        "line 1: bad repeat count 'x' (expected a positive integer)"},
       {"build json lalr1 frobnicate", "line 1: unknown option 'frobnicate'"},
+      {"edit json", "line 1: expected: edit <grammar> <patch>"},
+      {"edit json prec '+' left",
+       "line 1: prec wants: prec <token> <assoc> <level>"},
+      {"edit json frob 1",
+       "line 1: unknown edit op 'frob' "
+       "(want prec|prodprec|rhs|add-prod|rm-prod|expect)"},
   };
   for (const Case &C : Cases) {
     std::string Error;
@@ -816,11 +985,16 @@ TEST(ServiceRobustnessTest, DefaultLimitsGovernEveryRequest) {
   EXPECT_EQ(Rs[0].Status.Code, BuildStatusCode::LimitExceeded);
   EXPECT_EQ(Rs[0].Status.Which, "lr0_states");
   EXPECT_EQ(Svc.stats().LimitKilled, 1u);
+  EXPECT_EQ(Svc.stats().CacheInvalidationsAbort, 1u)
+      << "a build that aborts after acquiring its entry dropped that "
+         "entry's memos — the invalidation report must say why";
 
   // A per-request limit overrides the service-wide default.
   Req.Options.Limits.MaxLr0States = 1u << 20;
   Rs = Svc.runBatch({&Req, 1});
   EXPECT_TRUE(Rs[0].Ok) << Rs[0].Error;
+  EXPECT_EQ(Svc.stats().CacheInvalidationsAbort, 1u)
+      << "successful builds must not count as abort invalidations";
 }
 
 TEST(ServiceRobustnessTest, CancelledTokenCountsAsCancelled) {
