@@ -1,0 +1,164 @@
+//===- bench/bench_parse_throughput.cpp - ParseService throughput -----------===//
+///
+/// \file
+/// Reproduction extension (not a paper table): parse-serving throughput
+/// over the four runtime drivers. The paper's evaluation ends at table
+/// construction; this bench measures what the serving layer built on top
+/// of those tables delivers — tokens/second per driver, across the
+/// corpus's ambiguity classes, with the "N parses, one build" snapshot
+/// amortization visible in the table-hit column:
+///
+///   deterministic   json / expr — unambiguous LALR(1); the LR driver's
+///                   home turf, run compressed and dense
+///   prec-ambiguous  expr_prec — ambiguous until %left/%right resolves
+///                   it; LR parses the resolved table, GLR forks on the
+///                   unresolved one
+///   ambiguous       not_lr1_ambiguous — truly ambiguous; GLR/Earley
+///                   only (no deterministic table exists)
+///   non-lrk         palindrome — unambiguous but LR(k) for no k
+///   ll1             lr0_specimen — in LL(1); the predictive driver
+///
+/// Inputs are seeded random sentences of each grammar's own language
+/// (SentenceGen), so every run parses the same corpus and the structural
+/// counters (tokens, forest nodes) are exact across machines. Each
+/// sentence is parsed several times through one ParseService per row:
+/// the first request builds the serving snapshot, the rest hit it.
+///
+/// Emits the standard pipeline-stats JSON (one entry per row via
+/// ParseStats::toPipelineStats) for compare_stats.py / record_bench.py.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "corpus/CorpusGrammars.h"
+#include "grammar/SentenceGen.h"
+#include "parse/ParseService.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace lalr;
+using namespace lalrbench;
+
+namespace {
+
+struct RowSpec {
+  const char *Class;   ///< ambiguity class label
+  const char *Grammar; ///< corpus grammar name
+  ParserKind Driver;
+  bool Dense = false;    ///< LR only: dense vs compressed table
+  size_t MaxLen = 128;   ///< sentence length budget
+  size_t Sentences = 8;  ///< distinct seeded inputs
+  size_t Repeats = 8;    ///< parses per input (amortization)
+};
+
+std::string rowLabel(const RowSpec &Spec) {
+  std::string L = std::string(Spec.Class) + "/" + Spec.Grammar + "/" +
+                  parserKindName(Spec.Driver);
+  if (Spec.Driver == ParserKind::Lr)
+    L += Spec.Dense ? "-dense" : "-compressed";
+  return L;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  StatsSink Sink(Argc, Argv);
+
+  // The sweep: driver x ambiguity class x (compressed | dense) where the
+  // combination is meaningful. GLR/Earley inputs stay short — their work
+  // grows superlinearly on ambiguous inputs, and the bench measures
+  // steady-state serving, not worst-case blowup (the governance tests
+  // cover that).
+  const RowSpec Rows[] = {
+      {"deterministic", "json", ParserKind::Lr, false, 128, 8, 8},
+      {"deterministic", "json", ParserKind::Lr, true, 128, 8, 8},
+      {"deterministic", "expr", ParserKind::Lr, false, 128, 8, 8},
+      {"deterministic", "expr", ParserKind::Lr, true, 128, 8, 8},
+      {"deterministic", "expr", ParserKind::Glr, false, 64, 8, 4},
+      {"deterministic", "expr", ParserKind::Earley, false, 32, 4, 2},
+      {"prec-ambiguous", "expr_prec", ParserKind::Lr, false, 128, 8, 8},
+      {"prec-ambiguous", "expr_prec", ParserKind::Lr, true, 128, 8, 8},
+      {"prec-ambiguous", "expr_prec", ParserKind::Glr, false, 32, 8, 4},
+      {"prec-ambiguous", "expr_prec", ParserKind::Earley, false, 24, 4, 2},
+      {"ambiguous", "not_lr1_ambiguous", ParserKind::Glr, false, 32, 8, 4},
+      {"ambiguous", "not_lr1_ambiguous", ParserKind::Earley, false, 24, 4, 2},
+      {"non-lrk", "palindrome", ParserKind::Glr, false, 32, 8, 4},
+      {"non-lrk", "palindrome", ParserKind::Earley, false, 24, 4, 2},
+      {"ll1", "lr0_specimen", ParserKind::Ll1, false, 64, 8, 8},
+      {"ll1", "lr0_specimen", ParserKind::Lr, false, 64, 8, 8},
+  };
+
+  std::printf("ParseService throughput (reproduction extension; see "
+              "docs/SERVICE.md and EXPERIMENTS.md)\n\n");
+  TablePrinter P({34, 9, 8, 11, 10, 7, 13});
+  P.header({"class/grammar/driver", "requests", "tokens", "tok/s",
+            "mean req", "thits", "forest nodes"});
+
+  int Failures = 0;
+  for (const RowSpec &Spec : Rows) {
+    const CorpusEntry *Entry = corpusGrammarByName(Spec.Grammar);
+    if (!Entry || !corpusGrammarSupportsSentenceGen(*Entry)) {
+      std::fprintf(stderr, "skipping %s: no sentence generation\n",
+                   Spec.Grammar);
+      continue;
+    }
+    Grammar G = loadCorpusGrammar(*Entry);
+
+    // Seeded per row (class+driver vary the stream only through MaxLen),
+    // so the workload is bit-identical across runs and machines.
+    Rng R(0x5eedull ^ (static_cast<uint64_t>(Spec.MaxLen) << 32) ^
+          std::hash<std::string_view>{}(Spec.Grammar));
+    std::vector<std::string> Inputs;
+    for (size_t I = 0; I < Spec.Sentences; ++I)
+      Inputs.push_back(renderSentence(G, randomSentence(G, R, Spec.MaxLen)));
+
+    BuildService::Options BuildOpts;
+    BuildService Build(BuildOpts);
+    ParseService Parser(Build);
+    std::vector<ParseRequest> Requests;
+    for (size_t Rep = 0; Rep < Spec.Repeats; ++Rep)
+      for (const std::string &In : Inputs) {
+        ParseRequest Q;
+        Q.GrammarName = Spec.Grammar;
+        Q.Input = In;
+        Q.Driver = Spec.Driver;
+        Q.Dense = Spec.Dense;
+        Requests.push_back(std::move(Q));
+      }
+
+    Timer T;
+    std::vector<ParseResponse> Responses = Parser.runBatch(Requests);
+    double BatchUs = T.elapsedUs();
+
+    for (const ParseResponse &Resp : Responses)
+      if (!Resp.Ok) {
+        std::fprintf(stderr, "%s: request failed: %s\n",
+                     rowLabel(Spec).c_str(), Resp.Error.c_str());
+        ++Failures;
+      } else if (!Resp.Accepted) {
+        // Seeded sentences are in L(G) by construction; a rejection is a
+        // driver bug, exactly what this bench must not paper over.
+        std::fprintf(stderr, "%s: sentence rejected\n", rowLabel(Spec).c_str());
+        ++Failures;
+      }
+
+    ParseStats S = Parser.stats();
+    char Rate[24];
+    std::snprintf(Rate, sizeof(Rate), "%.0f", S.tokensPerSecond());
+    P.row({rowLabel(Spec), fmt(S.Requests), fmt(S.TokensParsed), Rate,
+           fmtUs(S.Requests ? BatchUs / static_cast<double>(S.Requests) : 0),
+           fmt(S.TableHits), fmt(S.ForestNodes)});
+
+    PipelineStats Stats = S.toPipelineStats("parse-throughput/" +
+                                            rowLabel(Spec));
+    Sink.add(Stats);
+  }
+
+  if (Failures)
+    std::fprintf(stderr, "%d request(s) failed\n", Failures);
+  int SinkRc = Sink.flush();
+  return Failures ? 1 : SinkRc;
+}

@@ -1,12 +1,13 @@
 //===- examples/lalr_batchd.cpp - Batched grammar-build driver --------------===//
 ///
 /// \file
-/// The command-line front end of the grammar-build service: reads a batch
-/// of build requests — from a manifest file (see docs/SERVICE.md for the
-/// dialect) or from repeatable --request flags — runs them through one
-/// BuildService with a shared ContextCache, prints one line per result,
-/// and ends with the aggregate ServiceStats (optionally as JSON for the
-/// compare_stats.py tooling).
+/// The command-line front end of the grammar-build and parse services:
+/// reads a batch of requests — from a manifest file (see docs/SERVICE.md
+/// for the dialect, including the `parse` token) or from repeatable
+/// --request flags — runs them through one BuildService (and, for parse
+/// lines, a ParseService sharing its grammar cache), prints one line per
+/// result, and ends with the aggregate ServiceStats / ParseStats
+/// (optionally as JSON for the compare_stats.py tooling).
 ///
 /// Usage:
 ///   lalr_batchd --manifest FILE            # '-' reads stdin
@@ -24,6 +25,7 @@
 #include "corpus/CorpusGrammars.h"
 #include "grammar/GrammarParser.h"
 #include "grammar/GrammarPrinter.h"
+#include "parse/ParseService.h"
 #include "service/BuildService.h"
 #include "service/Manifest.h"
 #include "support/FailPoint.h"
@@ -46,7 +48,11 @@ int usage() {
       "usage: lalr_batchd --manifest FILE|- [options]\n"
       "       lalr_batchd --request NAME:KIND[:compress][:require-adequate]"
       "[:solver=naive|digraph] ... [options]\n"
-      "       lalr_batchd --list\n"
+      "       lalr_batchd --list   # corpus grammars ([sentencegen] = "
+      "random inputs derivable)\n"
+      "manifest lines: build/edit/invalidate and\n"
+      "  parse <grammar> <lr|glr|ll1|earley> [dense] [kind=K] [options] "
+      "<input|@file>\n"
       "options:\n"
       "  --workers N         batch-level parallelism (default 0 = serial)\n"
       "  --cache-capacity N  LRU bound on cached grammar contexts "
@@ -58,10 +64,11 @@ int usage() {
       "  --quiet             suppress per-request lines\n"
       "  --deadline-ms N     default per-request deadline (manifest "
       "deadline-ms= overrides)\n"
-      "  --limit NAME=N      service-wide build limit; NAME is one of "
-      "lr0_states,\n"
+      "  --limit NAME=N      service-wide build/parse limit; NAME is one "
+      "of lr0_states,\n"
       "                      lr1_states, items, relation_edges, set_bits, "
-      "wall_ms\n"
+      "wall_ms,\n"
+      "                      input_tokens, gss_nodes, earley_items\n"
       "                      (repeatable; per-request limits override)\n"
       "  --fail-fast         stop executing after the first failed "
       "request\n"
@@ -94,6 +101,12 @@ bool parseLimitFlag(const std::string &Value, BuildLimits &Limits) {
     Limits.MaxSetBits = static_cast<uint64_t>(N);
   else if (Name == "wall_ms")
     Limits.MaxWallMs = N;
+  else if (Name == "input_tokens")
+    Limits.MaxInputTokens = static_cast<uint64_t>(N);
+  else if (Name == "gss_nodes")
+    Limits.MaxGssNodes = static_cast<uint64_t>(N);
+  else if (Name == "earley_items")
+    Limits.MaxEarleyItems = static_cast<uint64_t>(N);
   else
     return false;
   return true;
@@ -132,6 +145,25 @@ bool parseRequestFlag(const std::string &Value, std::vector<ManifestEntry> &Out,
     return false;
   for (ManifestEntry &E : *Parsed)
     Out.push_back(std::move(E));
+  return true;
+}
+
+/// Loads `@file` parse inputs into inline sentences so the service never
+/// does file IO (the manifest dialect keeps the whole input on the parse
+/// line otherwise).
+bool resolveParseInputs(std::vector<ManifestEntry> &Entries,
+                        std::string &Error) {
+  for (ManifestEntry &E : Entries) {
+    if (E.Act != ManifestEntry::Action::Parse)
+      continue;
+    if (E.ParseInput.empty() || E.ParseInput[0] != '@')
+      continue;
+    std::string Path = E.ParseInput.substr(1);
+    if (!readFile(Path, E.ParseInput, /*AllowStdin=*/false)) {
+      Error = "cannot open parse input file '" + Path + "'";
+      return false;
+    }
+  }
   return true;
 }
 
@@ -207,6 +239,24 @@ void printResponse(const ServiceRequest &Req, const ServiceResponse &R) {
               R.Result->PolicySatisfied ? "" : " POLICY-VIOLATED");
 }
 
+void printParseResponse(const ParseRequest &Req, const ParseResponse &R) {
+  std::string Driver = std::string("parse/") + parserKindName(Req.Driver);
+  if (!R.Ok) {
+    std::printf("FAIL %-18s %-14s [%s] %s\n", Req.GrammarName.c_str(),
+                Driver.c_str(), buildStatusCodeName(R.Status.Code),
+                R.Error.c_str());
+    return;
+  }
+  char Extra[96] = "";
+  if (R.ForestNodes)
+    std::snprintf(Extra, sizeof(Extra), " %zu forest nodes", R.ForestNodes);
+  std::printf("%-4s %-18s %-14s %5zu tokens %12.1f us %s%s%s\n",
+              R.Accepted ? "acc" : "rej", Req.GrammarName.c_str(),
+              Driver.c_str(), R.Tokens, R.ParseUs,
+              R.TableHit ? "thit " : "tmiss",
+              Req.Dense ? " dense" : "", Extra);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -222,9 +272,14 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--list") {
+      // The [sentencegen] marker flags grammars whose start symbol is
+      // productive — the ones random-input parse workloads can target.
       for (std::string_view Name : listCorpusGrammars()) {
         const CorpusEntry *E = corpusGrammarByName(Name);
-        std::printf("%-22s %s\n", E->Name, E->Description);
+        std::printf("%-22s %s%s\n", E->Name,
+                    corpusGrammarSupportsSentenceGen(*E) ? "[sentencegen] "
+                                                         : "",
+                    E->Description);
       }
       return 0;
     } else if (Arg == "--list-failpoints") {
@@ -299,6 +354,10 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s\n", Error.c_str());
     return 2;
   }
+  if (!resolveParseInputs(Entries, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 2;
+  }
   // Working copies of every edit target's source (normalized; see
   // normalizeEditTargets). Build requests for these grammars carry the
   // current working text as inline source.
@@ -309,6 +368,12 @@ int main(int Argc, char **Argv) {
   }
 
   BuildService Svc(SvcOpts);
+  // Parse lines run through a ParseService sharing Svc's grammar cache;
+  // the service-wide limits and default deadline govern parses too.
+  ParseService::Options ParseOpts;
+  ParseOpts.DefaultLimits = SvcOpts.DefaultLimits;
+  ParseOpts.DefaultDeadlineMs = DeadlineMs;
+  ParseService Parser(Svc, ParseOpts);
   bool AnyFailed = false;
 
   // Replay the entry list --repeat times. Build entries accumulate into
@@ -381,6 +446,37 @@ int main(int Argc, char **Argv) {
                       grammarEditClassName(Class));
         continue;
       }
+      if (E.Act == ManifestEntry::Action::Parse) {
+        // Parses run in manifest order relative to builds: flush the
+        // pending build segment first.
+        Flush();
+        if (Stopped)
+          break;
+        ParseRequest PReq;
+        PReq.GrammarName = E.Request.GrammarName;
+        PReq.Source = E.Request.Source;
+        PReq.Options = E.Request.Options;
+        PReq.DeadlineMs = E.Request.DeadlineMs;
+        PReq.Driver = E.Driver;
+        PReq.Dense = E.ParseDense;
+        PReq.Input = E.ParseInput;
+        // Edit targets parse against the current working text.
+        auto It = Working.find(E.Request.GrammarName);
+        if (It != Working.end())
+          PReq.Source = It->second;
+        for (unsigned R = 0; R < E.Repeat && !Stopped; ++R) {
+          ParseResponse PR = Parser.run(PReq);
+          AnyFailed |= !PR.Ok;
+          if (!Quiet)
+            printParseResponse(PReq, PR);
+          if (FailFast && !PR.Ok) {
+            Stopped = true;
+            std::fprintf(stderr,
+                         "stopping: --fail-fast and a parse failed\n");
+          }
+        }
+        continue;
+      }
       for (unsigned R = 0; R < E.Repeat; ++R) {
         Pending.push_back(E.Request);
         // Edit targets build from the current working text.
@@ -393,10 +489,24 @@ int main(int Argc, char **Argv) {
   Flush();
 
   ServiceStats S = Svc.stats();
+  ParseStats PS = Parser.stats();
   std::printf("%s", reportServiceStats(S).c_str());
+  if (PS.Requests)
+    std::printf("%s", reportParseStats(PS).c_str());
 
   if (!StatsJsonPath.empty()) {
-    std::string Json = S.toJson(/*Pretty=*/true);
+    // Build-only runs keep the historical bare-ServiceStats schema;
+    // once parse traffic ran, the two stat blocks nest under one object.
+    std::string Json;
+    if (PS.Requests) {
+      Json = "{\"service\": ";
+      Json += S.toJson(/*Pretty=*/true);
+      Json += ",\n\"parse\": ";
+      Json += PS.toJson(/*Pretty=*/true);
+      Json += "}";
+    } else {
+      Json = S.toJson(/*Pretty=*/true);
+    }
     Json += '\n';
     if (StatsJsonPath == "-") {
       std::fputs(Json.c_str(), stdout);

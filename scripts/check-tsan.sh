@@ -10,20 +10,24 @@
 # The robustness and fault-injection tests run here too: cancellation
 # tokens racing the parallel solver, bounded-queue close-while-full, and
 # injected aborts unwinding across pool workers are exactly the shapes
-# TSan exists to check.
+# TSan exists to check. The parse test joins them for the serving layer:
+# concurrent GLR/Earley traffic sharing immutable snapshots while other
+# threads cancel the shared token and invalidate the snapshot LRU.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 cmake --build build-tsan --target parallel_test lalr_test pipeline_test \
-  service_test robustness_test faultinject_test
+  service_test parse_test robustness_test faultinject_test
 
 ./build-tsan/tests/parallel_test
 LALR_THREADS=4 ./build-tsan/tests/lalr_test
 LALR_THREADS=4 ./build-tsan/tests/pipeline_test
 ./build-tsan/tests/service_test
 LALR_THREADS=2 ./build-tsan/tests/service_test
+./build-tsan/tests/parse_test
+LALR_THREADS=2 ./build-tsan/tests/parse_test
 LALR_THREADS=2 ./build-tsan/tests/robustness_test
 ./build-tsan/tests/faultinject_test
 LALR_THREADS=4 ./build-tsan/tests/faultinject_test

@@ -57,6 +57,15 @@ STRUCTURAL_COUNTERS = {
     # build, so a drift here means the delta planner reclassified an edit
     # or the taint radius changed.
     "incremental_builds", "dirty_nts", "dirty_sccs", "resolved_sets_reused",
+    # Parse serving: bench_parse_throughput's workload is seeded random
+    # sentences over a fixed sweep, so the request mix, the verdicts, the
+    # token totals, the snapshot build count and the GSS/chart forest
+    # census are all exact — a drift means a driver changed its language
+    # or its work shape. The timing-adjacent counters (table_hits, shed
+    # counts) are deliberately NOT gated: they may vary across runs with
+    # deadlines in play.
+    "parse_requests", "parse_accepted", "parse_rejected", "parse_tokens",
+    "parse_table_builds", "parse_forest_nodes",
 }
 
 

@@ -103,6 +103,30 @@ def union_speedup(rows):
     return None
 
 
+def parse_throughput(stats):
+    """Aggregate parse-serving throughput (tokens/second) from the
+    bench_parse_throughput entries: summed parse_tokens over summed
+    parse-run wall across every parse-throughput/* label. None when no
+    file carries parse traffic — the snapshot then simply omits it."""
+    tokens = 0
+    run_us = 0.0
+    for entries in stats.values():
+        if not isinstance(entries, list):
+            continue  # compact summaries carry no stages
+        for e in entries:
+            if not str(e.get("label", "")).startswith("parse-throughput/"):
+                continue
+            for c in e.get("counters", []):
+                if c["name"] == "parse_tokens":
+                    tokens += c["value"]
+            for s in e.get("stages", []):
+                if s["name"] == "parse-run":
+                    run_us += s["wall_us"]
+    if tokens and run_us > 0:
+        return tokens / (run_us / 1e6)
+    return None
+
+
 def migrate(path, out):
     """Rewrites an existing raw snapshot compactly, keeping every
     non-stats field (date, commit, micro, derived ratios) verbatim."""
@@ -158,6 +182,7 @@ def main():
         snap["commit"] = commit
 
     stats = {}
+    raw = {}
     n_entries = 0
     for f in sorted(args.stats_dir.glob("*.json")):
         try:
@@ -166,11 +191,18 @@ def main():
             print(f"error: cannot parse {f}: {e}", file=sys.stderr)
             return 2
         n_entries += len(entries)
+        raw[f.name] = entries
         stats[f.name] = entries if args.raw else compact_entries(entries)
     if not stats:
         print(f"error: no .json files in {args.stats_dir}", file=sys.stderr)
         return 2
     snap["stats"] = stats
+
+    # Parse-serving throughput, when bench_parse_throughput contributed:
+    # a first-class recorded number like the DP union speedup below.
+    tok_s = parse_throughput(raw)
+    if tok_s is not None:
+        snap["parse_tokens_per_second"] = round(tok_s)
 
     if args.micro:
         try:

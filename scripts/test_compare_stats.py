@@ -107,6 +107,26 @@ class CompareFunctionTest(unittest.TestCase):
         self.assertIn("counter incremental_builds: 22 -> 21", problems[0])
         self.assertIn("counter resolved_sets_reused: 140 -> 97", problems[1])
 
+    def test_parse_counters_are_structural(self):
+        # bench_parse_throughput's workload is seeded, so the verdict mix
+        # and the forest census are exact; a drift means a driver changed
+        # its language or its work shape. Table hits stay ungated.
+        base = self.load("base", {"a.json": [entry(
+            "parse-throughput/ambiguous/glr",
+            {"parse_requests": 32, "parse_accepted": 32, "parse_rejected": 0,
+             "parse_tokens": 312, "parse_table_builds": 1,
+             "parse_forest_nodes": 656, "parse_table_hits": 31})]})
+        cand = self.load("cand", {"a.json": [entry(
+            "parse-throughput/ambiguous/glr",
+            {"parse_requests": 32, "parse_accepted": 31, "parse_rejected": 1,
+             "parse_tokens": 312, "parse_table_builds": 1,
+             "parse_forest_nodes": 640, "parse_table_hits": 7})]})
+        problems = compare_stats.compare(base, cand, 1.5, 100.0)
+        self.assertEqual(len(problems), 3)
+        self.assertIn("counter parse_accepted: 32 -> 31", problems[0])
+        self.assertIn("counter parse_forest_nodes: 656 -> 640", problems[1])
+        self.assertIn("counter parse_rejected: 0 -> 1", problems[2])
+
     def test_non_structural_counter_drift_is_ignored(self):
         # build_threads varies across configurations by design.
         base = self.load("base", {"a.json": [entry("g", {"build_threads": 0})]})

@@ -6,6 +6,7 @@
 #include "corpus/JavaGrammar.h"
 #include "corpus/PascalGrammar.h"
 #include "grammar/GrammarParser.h"
+#include "grammar/SentenceGen.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -1123,4 +1124,10 @@ Grammar lalr::loadCorpusGrammar(std::string_view Name) {
     std::abort();
   }
   return loadCorpusGrammar(*E);
+}
+
+bool lalr::corpusGrammarSupportsSentenceGen(const CorpusEntry &Entry) {
+  Grammar G = loadCorpusGrammar(Entry);
+  std::vector<uint32_t> MinLen = computeMinYieldLengths(G);
+  return MinLen[G.startSymbol()] != UnproductiveLength;
 }

@@ -70,6 +70,13 @@ std::vector<std::string_view> listCorpusGrammars(bool RealisticOnly = false);
 Grammar loadCorpusGrammar(const CorpusEntry &Entry);
 Grammar loadCorpusGrammar(std::string_view Name);
 
+/// True when SentenceGen can derive sentences of the entry's language:
+/// the start symbol is productive (derives some terminal string) per
+/// computeMinYieldLengths. The corpus keeps deliberately defective
+/// specimens, so random-input workloads (bench_parse_throughput,
+/// lalr_batchd --list's "sentencegen" marker) filter through this.
+bool corpusGrammarSupportsSentenceGen(const CorpusEntry &Entry);
+
 } // namespace lalr
 
 #endif // LALR_CORPUS_CORPUSGRAMMARS_H

@@ -26,22 +26,31 @@ struct Item {
 } // namespace
 
 bool lalr::earleyRecognize(const Grammar &G, const GrammarAnalysis &An,
-                           std::span<const SymbolId> Input) {
+                           std::span<const SymbolId> Input,
+                           const BuildGuard *Guard, size_t *TotalItems) {
   const size_t N = Input.size();
   // Chart: one item list + dedup set per position.
   std::vector<std::vector<Item>> Chart(N + 1);
   std::vector<std::unordered_set<uint64_t>> InChart(N + 1);
 
+  size_t Items = 0;
   auto add = [&](size_t Pos, Item It) {
-    if (InChart[Pos].insert(It.packed()).second)
+    if (InChart[Pos].insert(It.packed()).second) {
       Chart[Pos].push_back(It);
+      ++Items;
+      // Work ceiling on the cubic chart growth; no-op when unset.
+      if (Guard)
+        Guard->checkEarleyItems(Items);
+    }
   };
 
   add(0, {0, 0, 0}); // $accept -> . start
 
+  size_t Steps = 0;
   for (size_t Pos = 0; Pos <= N; ++Pos) {
     // Worklist semantics: Chart[Pos] grows while we scan it.
     for (size_t I = 0; I < Chart[Pos].size(); ++I) {
+      guardPollStrided(Guard, Steps++);
       Item It = Chart[Pos][I];
       const Production &P = G.production(It.Prod);
       if (It.Dot < P.Rhs.size()) {
@@ -73,12 +82,15 @@ bool lalr::earleyRecognize(const Grammar &G, const GrammarAnalysis &An,
   }
 
   // Accept iff [$accept -> start . , 0] is in the final set.
+  if (TotalItems)
+    *TotalItems = Items;
   Item Accept{0, 1, 0};
   return InChart[N].count(Accept.packed()) != 0;
 }
 
 bool lalr::earleyRecognize(const Grammar &G,
-                           std::span<const SymbolId> Input) {
+                           std::span<const SymbolId> Input,
+                           const BuildGuard *Guard, size_t *TotalItems) {
   GrammarAnalysis An(G);
-  return earleyRecognize(G, An, Input);
+  return earleyRecognize(G, An, Input, Guard, TotalItems);
 }

@@ -17,18 +17,29 @@
 
 #include "grammar/Analysis.h"
 #include "grammar/Grammar.h"
+#include "support/Cancellation.h"
 
+#include <cstddef>
 #include <span>
 
 namespace lalr {
 
 /// True iff the terminal sequence \p Input (ids of \p G, no $end) is in
 /// L(G). Runs in O(n^3 * |G|) worst case — fine for test workloads.
+/// When \p Guard is set, the chart loops poll it (deadline/cancellation
+/// abort via BuildAbort) and every chart insertion is checked against
+/// BuildLimits::MaxEarleyItems — the work ceiling the parse service
+/// applies to the cubic oracle. \p TotalItems, when non-null, receives
+/// the number of chart items built (a work/forest-size measure).
 bool earleyRecognize(const Grammar &G, const GrammarAnalysis &An,
-                     std::span<const SymbolId> Input);
+                     std::span<const SymbolId> Input,
+                     const BuildGuard *Guard = nullptr,
+                     size_t *TotalItems = nullptr);
 
 /// Convenience overload computing the analysis internally.
-bool earleyRecognize(const Grammar &G, std::span<const SymbolId> Input);
+bool earleyRecognize(const Grammar &G, std::span<const SymbolId> Input,
+                     const BuildGuard *Guard = nullptr,
+                     size_t *TotalItems = nullptr);
 
 } // namespace lalr
 

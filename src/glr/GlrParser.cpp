@@ -83,9 +83,16 @@ struct GssNode {
 } // namespace
 
 GlrResult lalr::glrRecognize(const Grammar &G, const GlrTable &Table,
-                             std::span<const SymbolId> Input) {
+                             std::span<const SymbolId> Input,
+                             const BuildGuard *Guard) {
   GlrResult Result;
   std::vector<GssNode> Pool;
+  // Work-ceiling check for every GSS node allocation: ambiguous grammars
+  // can fork superlinearly, and TotalNodes is the natural work measure.
+  auto checkNodeBudget = [&] {
+    if (Guard)
+      Guard->checkGssNodes(Result.TotalNodes);
+  };
   // Current frontier: node indices, unique per LR state.
   std::vector<uint32_t> Frontier;
 
@@ -111,7 +118,9 @@ GlrResult lalr::glrRecognize(const Grammar &G, const GlrTable &Table,
   Result.PeakFrontier = 1;
 
   const size_t N = Input.size();
+  size_t WorkSteps = 0;
   for (size_t Pos = 0; Pos <= N; ++Pos) {
+    guardPoll(Guard);
     SymbolId Tok = Pos < N ? Input[Pos] : G.eofSymbol();
 
     // Reduce phase: a worklist of (node, production) obligations. When a
@@ -128,6 +137,7 @@ GlrResult lalr::glrRecognize(const Grammar &G, const GlrTable &Table,
 
     std::vector<uint32_t> PathEnds;
     while (!Work.empty()) {
+      guardPollStrided(Guard, WorkSteps++);
       auto [Node, Prod] = Work.back();
       Work.pop_back();
       const size_t Len = G.production(Prod).Rhs.size();
@@ -153,6 +163,7 @@ GlrResult lalr::glrRecognize(const Grammar &G, const GlrTable &Table,
           Pool.push_back({Target, {}});
           Frontier.push_back(W);
           ++Result.TotalNodes;
+          checkNodeBudget();
           addEdge(W, U);
           scheduleAll(W);
         } else if (addEdge(W, U)) {
@@ -189,6 +200,7 @@ GlrResult lalr::glrRecognize(const Grammar &G, const GlrTable &Table,
         Pool.push_back({Target, {}});
         NextFrontier.push_back(W);
         ++Result.TotalNodes;
+        checkNodeBudget();
       }
       addEdge(W, Node);
     }
@@ -203,7 +215,8 @@ GlrResult lalr::glrRecognize(const Grammar &G, const GlrTable &Table,
 }
 
 GlrResult lalr::glrRecognize(const Grammar &G,
-                             std::span<const SymbolId> Input) {
+                             std::span<const SymbolId> Input,
+                             const BuildGuard *Guard) {
   GrammarAnalysis An(G);
   Lr0Automaton A = Lr0Automaton::build(G);
   LalrLookaheads LA = LalrLookaheads::compute(A, An);
@@ -211,5 +224,5 @@ GlrResult lalr::glrRecognize(const Grammar &G,
       A, [&LA](StateId S, ProductionId P) -> SetView {
         return LA.la(S, P);
       });
-  return glrRecognize(G, Table, Input);
+  return glrRecognize(G, Table, Input, Guard);
 }

@@ -20,6 +20,7 @@
 #include "grammar/Analysis.h"
 #include "lr/Lr0Automaton.h"
 #include "lr/ParseTable.h"
+#include "support/Cancellation.h"
 
 #include <span>
 #include <vector>
@@ -80,11 +81,17 @@ struct GlrResult {
 };
 
 /// Recognizes \p Input (terminal ids, no $end) with the GSS algorithm.
+/// When \p Guard is set, the GSS loops poll it (deadline/cancellation
+/// abort via BuildAbort) and every node allocation is checked against
+/// BuildLimits::MaxGssNodes — the work ceiling that bounds ambiguous
+/// blowup under the parse service.
 GlrResult glrRecognize(const Grammar &G, const GlrTable &Table,
-                       std::span<const SymbolId> Input);
+                       std::span<const SymbolId> Input,
+                       const BuildGuard *Guard = nullptr);
 
 /// Convenience: build the table with DP LALR(1) look-aheads and run.
-GlrResult glrRecognize(const Grammar &G, std::span<const SymbolId> Input);
+GlrResult glrRecognize(const Grammar &G, std::span<const SymbolId> Input,
+                       const BuildGuard *Guard = nullptr);
 
 } // namespace lalr
 

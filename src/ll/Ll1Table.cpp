@@ -85,7 +85,8 @@ size_t Ll1Table::firstFollowConflicts() const {
 }
 
 LlParseResult lalr::llParse(const Grammar &G, const Ll1Table &Table,
-                            std::span<const Token> Input) {
+                            std::span<const Token> Input,
+                            const BuildGuard *Guard) {
   LlParseResult Out;
   // Predictive stack: start with [$end-marker is implicit] $accept's
   // body, i.e. just the start symbol.
@@ -96,7 +97,9 @@ LlParseResult lalr::llParse(const Grammar &G, const Ll1Table &Table,
   EofTok.Kind = G.eofSymbol();
   EofTok.Text = "$end";
 
+  size_t Steps = 0;
   while (true) {
+    guardPollStrided(Guard, Steps++);
     const Token &Tok = Pos < Input.size() ? Input[Pos] : EofTok;
     if (Stack.empty()) {
       if (Tok.Kind == G.eofSymbol()) {

@@ -76,13 +76,16 @@ private:
 /// Runs the predictive parser over \p Input using \p Table (which should
 /// be conflict-free for meaningful results). Returns the sequence of
 /// productions of the leftmost derivation, or the first syntax error.
+/// When \p Guard is set, the parse loop polls it so a deadline or
+/// cancellation aborts via BuildAbort like every other governed stage.
 struct LlParseResult {
   bool Accepted = false;
   std::vector<ProductionId> Derivation; // leftmost derivation order
   std::vector<ParseError> Errors;
 };
 LlParseResult llParse(const Grammar &G, const Ll1Table &Table,
-                      std::span<const Token> Input);
+                      std::span<const Token> Input,
+                      const BuildGuard *Guard = nullptr);
 
 /// True if \p G is LL(1) (no table conflicts and no left recursion —
 /// left-recursive grammars always conflict, but the explicit check makes

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 using namespace lalr;
 
@@ -13,6 +14,12 @@ CompressedTable CompressedTable::compress(const ParseTable &Dense,
   const size_t NumStates = Dense.numStates();
   const size_t NumT = G.numTerminals();
   const size_t NumNt = G.numNonterminals();
+
+  // %nonassoc-manufactured error cells must stay explicit (see header).
+  std::set<std::pair<uint32_t, SymbolId>> ForcedErrors;
+  for (const Conflict &C : Dense.conflicts())
+    if (C.Resolution == Conflict::MadeError)
+      ForcedErrors.emplace(C.State, C.Terminal);
 
   Out.Rows.resize(NumStates);
   for (uint32_t S = 0; S < NumStates; ++S) {
@@ -40,8 +47,9 @@ CompressedTable CompressedTable::compress(const ParseTable &Dense,
         continue;
       // Error cells under a reduce default are *not* stored: the default
       // reduction fires there, trading detection latency for space (the
-      // yacc behaviour). Everything else is explicit.
-      if (A.Kind == ActionKind::Error)
+      // yacc behaviour) — except %nonassoc-forced errors, which carry
+      // language, not latency. Everything else is explicit.
+      if (A.Kind == ActionKind::Error && !ForcedErrors.count({S, T}))
         continue;
       R.Explicit.emplace_back(T, A);
     }

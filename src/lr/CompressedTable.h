@@ -31,6 +31,13 @@ public:
   /// explicit; the most frequent Reduce of each row becomes its default
   /// (applied to every terminal without an explicit entry). Rows without
   /// reductions default to Error, preserving immediate detection there.
+  ///
+  /// Error cells that %nonassoc *manufactured* (Conflict::MadeError) are
+  /// kept as explicit Error entries: they reject sentences the automaton
+  /// could otherwise parse, so letting the default reduction fire there
+  /// would eventually shift the forbidden token and accept input the
+  /// dense table rejects — changing the language, not just the error
+  /// latency (bison keeps such cells explicit for the same reason).
   static CompressedTable compress(const ParseTable &Dense,
                                   const Grammar &G);
 

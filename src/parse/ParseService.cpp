@@ -1,0 +1,585 @@
+//===- parse/ParseService.cpp - Parse traffic over cached tables ---------===//
+
+#include "parse/ParseService.h"
+
+#include "corpus/CorpusGrammars.h"
+#include "earley/EarleyParser.h"
+#include "glr/GlrParser.h"
+#include "grammar/GrammarParser.h"
+#include "ll/Ll1Table.h"
+#include "support/FailPoint.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace lalr;
+
+//===----------------------------------------------------------------------===//
+// Serving-table snapshots
+//===----------------------------------------------------------------------===//
+
+/// One immutable serving snapshot: everything a hot parse touches, owned
+/// by the snapshot itself. The Grammar is a *copy* of the cached
+/// context's — in-place edits (the patch path) swap the context's
+/// grammar under its locks, and a snapshot that borrowed it would race
+/// with parses in flight. Copying decouples the hot path completely:
+/// once published, a snapshot is never written again.
+struct ParseService::ServingTable {
+  explicit ServingTable(const Grammar &Gr) : G(Gr) {}
+
+  std::string GrammarName;
+  uint64_t SourceHash = 0;
+  ParserKind Driver = ParserKind::Lr;
+  bool Dense = false;
+
+  Grammar G;
+  /// Over G; engaged for the table-free drivers (LL(1), Earley).
+  std::unique_ptr<GrammarAnalysis> An;
+  /// Exactly one of these is engaged, per Driver/Dense.
+  std::optional<ParseTable> DenseTable;
+  std::optional<CompressedTable> Compressed;
+  std::optional<GlrTable> Glr;
+  std::optional<Ll1Table> Ll;
+
+  /// What building this snapshot cost (the build the later hits skip).
+  double BuildUs = 0;
+};
+
+namespace {
+
+/// Serving-table cache key. Normalized per driver so requests that
+/// cannot observe a knob share a snapshot: the LR driver keys on
+/// (kind, solver, dense); GLR always runs LALR(1) look-aheads so it keys
+/// on the solver only; LL(1) and Earley have one snapshot per grammar.
+std::string servingKey(std::string_view GrammarName, ParserKind Driver,
+                       const BuildOptions &BO, bool Dense) {
+  std::string Key(GrammarName);
+  Key += '\0';
+  Key += parserKindName(Driver);
+  switch (Driver) {
+  case ParserKind::Lr:
+    Key += '/';
+    Key += tableKindName(BO.Kind);
+    Key += '/';
+    Key += std::to_string(static_cast<int>(BO.Solver));
+    Key += Dense ? "/dense" : "/compressed";
+    break;
+  case ParserKind::Glr:
+    Key += '/';
+    Key += std::to_string(static_cast<int>(BO.Solver));
+    break;
+  case ParserKind::Ll1:
+  case ParserKind::Earley:
+    break;
+  }
+  return Key;
+}
+
+/// Arms the request's deadline on its token (creating one when absent),
+/// mirroring BuildService's acceptance-time arming.
+std::shared_ptr<CancellationToken>
+armParseDeadline(std::shared_ptr<CancellationToken> Cancel, double DeadlineMs,
+                 double DefaultDeadlineMs) {
+  double Ms = DeadlineMs > 0 ? DeadlineMs : DefaultDeadlineMs;
+  if (Ms <= 0)
+    return Cancel;
+  if (!Cancel)
+    return CancellationToken::withDeadlineMs(Ms);
+  if (!Cancel->hasDeadline())
+    Cancel->setDeadlineMs(Ms);
+  return Cancel;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ParseService
+//===----------------------------------------------------------------------===//
+
+ParseService::ParseService(BuildService &Build, Options Opts)
+    : Build(Build), Opts(Opts) {}
+
+ParseService::~ParseService() = default;
+
+std::shared_ptr<const ParseService::ServingTable>
+ParseService::acquireTable(const ParseRequest &Request, const BuildOptions &BO,
+                           std::string_view Source, uint64_t Hash,
+                           ParseResponse &Response) {
+  // Resolve the grammar's shared BuildContext first — parse and build
+  // traffic amortize into the same cache entry, and a source-text change
+  // invalidates (or patches) it here before we consult snapshots.
+  std::string Error;
+  bool Hit = false;
+  std::shared_ptr<CachedGrammar> Entry = Build.cache().acquire(
+      Request.GrammarName, Hash,
+      [&]() -> std::optional<Grammar> {
+        DiagnosticEngine Diags;
+        std::optional<Grammar> G =
+            parseGrammar(Source, Diags, Request.GrammarName);
+        if (!G)
+          Error = "grammar '" + Request.GrammarName + "' failed to parse:\n" +
+                  Diags.render();
+        return G;
+      },
+      &Hit);
+  Response.CacheHit = Hit;
+  if (!Entry) {
+    Response.Status = BuildStatus::grammarError(std::move(Error));
+    return nullptr;
+  }
+
+  const std::string Key =
+      servingKey(Request.GrammarName, Request.Driver, BO, Request.Dense);
+
+  auto LookupLocked = [&]() -> std::shared_ptr<const ServingTable> {
+    auto It = TableIndex.find(Key);
+    if (It == TableIndex.end())
+      return nullptr;
+    // A snapshot of stale source is as good as absent: tables are pure
+    // functions of the grammar text, so the hash is the only staleness
+    // signal (explicit context invalidation does not stale snapshots).
+    if (It->second->second->SourceHash != Hash)
+      return nullptr;
+    Tables.splice(Tables.begin(), Tables, It->second); // promote to MRU
+    return It->second->second;
+  };
+
+  {
+    MutexLock Lock(TableMu);
+    if (std::shared_ptr<const ServingTable> S = LookupLocked()) {
+      Response.TableHit = true;
+      MutexLock Stats(StatsMu);
+      ++Counts.TableHits;
+      return S;
+    }
+  }
+
+  // Miss: build under the grammar's BuildMu — the same serialization
+  // pipeline builds use — then double-check the cache (a racing request
+  // may have published the snapshot while we waited for the lock).
+  MutexLock BuildLock(Entry->BuildMu);
+  {
+    MutexLock Lock(TableMu);
+    if (std::shared_ptr<const ServingTable> S = LookupLocked()) {
+      Response.TableHit = true;
+      MutexLock Stats(StatsMu);
+      ++Counts.TableHits;
+      return S;
+    }
+  }
+
+  Timer BuildTimer;
+  auto Snap = std::make_shared<ServingTable>(Entry->G);
+  Snap->GrammarName = Request.GrammarName;
+  Snap->SourceHash = Hash;
+  Snap->Driver = Request.Driver;
+  Snap->Dense = Request.Dense;
+
+  switch (Request.Driver) {
+  case ParserKind::Lr: {
+    BuildOptions TBO = BO;
+    TBO.Compress = !Request.Dense;
+    BuildResult R = BuildPipeline(Entry->Ctx, TBO).run();
+    if (!R.Status.ok()) {
+      Response.Status = R.Status;
+      return nullptr;
+    }
+    if (Request.Dense)
+      Snap->DenseTable.emplace(std::move(R.Table));
+    else
+      Snap->Compressed.emplace(std::move(*R.Compressed));
+    break;
+  }
+  case ParserKind::Glr: {
+    // Materialize the LR(0) automaton and the DP look-ahead sets under
+    // the pipeline's guard/status machinery, then assemble the
+    // multi-action table from the memoized artifacts. GLR always runs
+    // LALR(1) look-aheads — coarser sets only add doomed forks, and the
+    // request's Kind selects a *deterministic* construction, which is
+    // the Lr driver's business.
+    BuildOptions TBO = BO;
+    TBO.Kind = TableKind::Lalr1;
+    TBO.Compress = false;
+    BuildResult R = BuildPipeline(Entry->Ctx, TBO).run();
+    if (!R.Status.ok()) {
+      Response.Status = R.Status;
+      return nullptr;
+    }
+    const LalrLookaheads &LA = Entry->Ctx.lookaheads(TBO.Solver);
+    Snap->Glr.emplace(GlrTable::build(
+        Entry->Ctx.lr0(),
+        [&LA](StateId S, ProductionId P) { return LA.la(S, P); }));
+    break;
+  }
+  case ParserKind::Ll1:
+  case ParserKind::Earley: {
+    // Table-free (or table-cheap) drivers: analysis over the snapshot's
+    // own grammar. A pre-expired deadline still sheds before the work.
+    if (BO.Cancel && BO.Cancel->deadlineExpired()) {
+      Response.Status = BuildStatus::deadlineExceeded(
+          "deadline expired before the table build");
+      return nullptr;
+    }
+    Snap->An = std::make_unique<GrammarAnalysis>(Snap->G);
+    if (Request.Driver == ParserKind::Ll1) {
+      Snap->Ll.emplace(Ll1Table::build(Snap->G, *Snap->An));
+      // A conflicted LL(1) table resolves cells to the lowest production
+      // id, and on a left-recursive grammar that sends the predictive
+      // parser into an expansion loop that never consumes input. The
+      // serving layer refuses such grammars outright: the ll1 driver
+      // only runs grammars it can decide.
+      if (!Snap->Ll->isLl1()) {
+        Response.Status = BuildStatus::grammarError(
+            "grammar is not LL(1): " +
+            std::to_string(Snap->Ll->conflicts().size()) +
+            " predict conflict(s); the ll1 driver refuses conflicted "
+            "tables");
+        return nullptr;
+      }
+    }
+    break;
+  }
+  }
+  Snap->BuildUs = BuildTimer.elapsedUs();
+  Response.TableBuildUs = Snap->BuildUs;
+
+  {
+    MutexLock Lock(TableMu);
+    // Replace any stale same-key snapshot, then publish and bound.
+    auto It = TableIndex.find(Key);
+    if (It != TableIndex.end()) {
+      Tables.erase(It->second);
+      TableIndex.erase(It);
+    }
+    Tables.emplace_front(Key, Snap);
+    TableIndex[Key] = Tables.begin();
+    size_t Capacity = Opts.TableCapacity ? Opts.TableCapacity : 1;
+    uint64_t Evicted = 0;
+    while (Tables.size() > Capacity) {
+      TableIndex.erase(Tables.back().first);
+      Tables.pop_back();
+      ++Evicted;
+    }
+    MutexLock Stats(StatsMu);
+    ++Counts.TableBuilds;
+    Counts.TableEvictions += Evicted;
+    Counts.TableBuildUs += Snap->BuildUs;
+  }
+  return Snap;
+}
+
+void ParseService::execute(const ParseRequest &Request,
+                           ParseResponse &Response) {
+  Timer T;
+  Response.Driver = Request.Driver;
+
+  BuildOptions BO = Request.Options;
+  BO.Limits = mergeBuildLimits(BO.Limits, Opts.DefaultLimits);
+  BO.Cancel = armParseDeadline(BO.Cancel, Request.DeadlineMs,
+                               Opts.DefaultDeadlineMs);
+
+  try {
+    failPoint("parse");
+
+    // Load shedding: a request whose caller already gave up is answered
+    // without resolving, building, or parsing anything.
+    if (BO.Cancel && BO.Cancel->deadlineExpired()) {
+      Response.Status = BuildStatus::deadlineExceeded(
+          "deadline expired before the parse started");
+    } else if (BO.Cancel && BO.Cancel->cancelRequested()) {
+      Response.Status = BuildStatus::cancelled();
+    } else {
+      // Resolve the grammar text: inline source wins, otherwise the
+      // name is looked up in the corpus registry.
+      std::string_view Source = Request.Source;
+      if (Source.empty()) {
+        if (const CorpusEntry *Entry = corpusGrammarByName(Request.GrammarName))
+          Source = Entry->Source;
+        else
+          Response.Status = BuildStatus::grammarError(
+              "unknown grammar '" + Request.GrammarName +
+              "' (not in the corpus registry and no inline source given)");
+      }
+
+      if (!Source.empty()) {
+        std::shared_ptr<const ServingTable> Snap = acquireTable(
+            Request, BO, Source, hashGrammarSource(Source), Response);
+        if (Snap) {
+          // Tokenize against the snapshot's grammar; an unknown lexeme
+          // is a *rejection* (the request executed), not a failure.
+          TokenizeResult Lexed = tokenizeText(Snap->G, Request.Input);
+          if (!Lexed.ok()) {
+            Response.Errors.push_back(Lexed.Error->toParseError());
+          } else {
+            BuildGuard Guard(BO.Limits, BO.Cancel.get());
+            Guard.checkInputTokens(Lexed.Tokens.size());
+            Response.Tokens = Lexed.Tokens.size();
+
+            Timer ParseTimer;
+            switch (Request.Driver) {
+            case ParserKind::Lr: {
+              ParseOptions PO;
+              PO.Recover = false;
+              PO.MaxErrors = 1;
+              PO.Guard = &Guard;
+              ParseOutcome<int> Out =
+                  Snap->Dense
+                      ? recognize(Snap->G, *Snap->DenseTable, Lexed.Tokens, PO)
+                      : recognize(Snap->G, *Snap->Compressed, Lexed.Tokens, PO);
+              Response.Accepted = Out.Accepted;
+              Response.Errors = std::move(Out.Errors);
+              Response.Reductions = Out.Reductions.size();
+              break;
+            }
+            case ParserKind::Glr: {
+              std::vector<SymbolId> Ids;
+              Ids.reserve(Lexed.Tokens.size());
+              for (const Token &Tok : Lexed.Tokens)
+                Ids.push_back(Tok.Kind);
+              GlrResult Out = glrRecognize(Snap->G, *Snap->Glr, Ids, &Guard);
+              Response.Accepted = Out.Accepted;
+              Response.ForestNodes = Out.TotalNodes;
+              Response.PeakFrontier = Out.PeakFrontier;
+              Response.Merges = Out.Merges;
+              break;
+            }
+            case ParserKind::Ll1: {
+              LlParseResult Out =
+                  llParse(Snap->G, *Snap->Ll, Lexed.Tokens, &Guard);
+              Response.Accepted = Out.Accepted;
+              Response.Errors = std::move(Out.Errors);
+              Response.Reductions = Out.Derivation.size();
+              break;
+            }
+            case ParserKind::Earley: {
+              std::vector<SymbolId> Ids;
+              Ids.reserve(Lexed.Tokens.size());
+              for (const Token &Tok : Lexed.Tokens)
+                Ids.push_back(Tok.Kind);
+              size_t Items = 0;
+              Response.Accepted =
+                  earleyRecognize(Snap->G, *Snap->An, Ids, &Guard, &Items);
+              Response.ForestNodes = Items;
+              break;
+            }
+            }
+            Response.ParseUs = ParseTimer.elapsedUs();
+          }
+        }
+      }
+    }
+  } catch (const BuildAbort &Abort) {
+    Response.Status = Abort.status();
+  } catch (const std::exception &E) {
+    Response.Status = BuildStatus::internal(E.what());
+  }
+
+  Response.Ok = Response.Status.ok();
+  if (!Response.Ok)
+    Response.Error = Response.Status.Message;
+
+  Response.WallUs = T.elapsedUs();
+  {
+    MutexLock Lock(StatsMu);
+    ++Counts.Requests;
+    ++Counts.DriverRequests[static_cast<size_t>(Request.Driver)];
+    if (!Response.Ok)
+      ++Counts.Failed;
+    else
+      ++(Response.Accepted ? Counts.Accepted : Counts.Rejected);
+    switch (Response.Status.Code) {
+    case BuildStatusCode::DeadlineExceeded:
+      ++Counts.Expired;
+      break;
+    case BuildStatusCode::Cancelled:
+      ++Counts.Cancelled;
+      break;
+    case BuildStatusCode::LimitExceeded:
+      ++Counts.LimitKilled;
+      break;
+    default:
+      break;
+    }
+    Counts.TokensParsed += Response.Tokens;
+    Counts.ForestNodes += Response.ForestNodes;
+    Counts.ParseUs += Response.ParseUs;
+    Counts.RequestUs += Response.WallUs;
+  }
+}
+
+ParseResponse ParseService::run(const ParseRequest &Request) {
+  ParseResponse Response;
+  execute(Request, Response);
+  return Response;
+}
+
+std::vector<ParseResponse>
+ParseService::runBatch(std::span<const ParseRequest> Requests) {
+  std::vector<ParseResponse> Responses(Requests.size());
+  for (size_t I = 0; I < Requests.size(); ++I)
+    execute(Requests[I], Responses[I]);
+  return Responses;
+}
+
+size_t ParseService::invalidateGrammar(std::string_view GrammarName) {
+  MutexLock Lock(TableMu);
+  size_t Dropped = 0;
+  for (auto It = Tables.begin(); It != Tables.end();) {
+    if (It->second->GrammarName == GrammarName) {
+      TableIndex.erase(It->first);
+      It = Tables.erase(It);
+      ++Dropped;
+    } else {
+      ++It;
+    }
+  }
+  return Dropped;
+}
+
+size_t ParseService::servingTableCount() const {
+  MutexLock Lock(TableMu);
+  return Tables.size();
+}
+
+ParseStats ParseService::stats() const {
+  ParseStats S;
+  {
+    MutexLock Lock(StatsMu);
+    S = Counts;
+  }
+  {
+    MutexLock Lock(TableMu);
+    S.ServingTables = Tables.size();
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// ParseStats
+//===----------------------------------------------------------------------===//
+
+std::string ParseStats::toJson(bool Pretty) const {
+  const char *Nl = Pretty ? "\n" : "";
+  const char *Ind = Pretty ? "  " : "";
+  const char *Sp = Pretty ? " " : "";
+
+  auto Field = [&](std::string &Out, const char *Name, uint64_t V,
+                   bool Comma = true) {
+    Out += Ind;
+    Out += '"';
+    Out += Name;
+    Out += "\":";
+    Out += Sp;
+    Out += std::to_string(V);
+    if (Comma)
+      Out += ',';
+    Out += Nl;
+  };
+  auto TimeField = [&](std::string &Out, const char *Name, double V,
+                       bool Comma = true) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+    Out += Ind;
+    Out += '"';
+    Out += Name;
+    Out += "\":";
+    Out += Sp;
+    Out += Buf;
+    if (Comma)
+      Out += ',';
+    Out += Nl;
+  };
+
+  std::string Out;
+  Out += '{';
+  Out += Nl;
+  Field(Out, "requests", Requests);
+  Field(Out, "accepted", Accepted);
+  Field(Out, "rejected", Rejected);
+  Field(Out, "failed", Failed);
+  Field(Out, "expired", Expired);
+  Field(Out, "cancelled", Cancelled);
+  Field(Out, "limit_killed", LimitKilled);
+  Field(Out, "table_hits", TableHits);
+  Field(Out, "table_builds", TableBuilds);
+  Field(Out, "table_evictions", TableEvictions);
+  Field(Out, "serving_tables", ServingTables);
+  Field(Out, "tokens", TokensParsed);
+  Field(Out, "forest_nodes", ForestNodes);
+  for (ParserKind K : AllParserKinds) {
+    std::string Name = std::string("requests_") + parserKindName(K);
+    Field(Out, Name.c_str(), DriverRequests[static_cast<size_t>(K)]);
+  }
+  TimeField(Out, "parse_us", ParseUs);
+  TimeField(Out, "table_build_us", TableBuildUs);
+  TimeField(Out, "request_us", RequestUs, /*Comma=*/false);
+  Out += '}';
+  return Out;
+}
+
+PipelineStats ParseStats::toPipelineStats(std::string Label) const {
+  PipelineStats Out;
+  Out.Label = std::move(Label);
+  Out.setCounter("parse_requests", Requests);
+  Out.setCounter("parse_accepted", Accepted);
+  Out.setCounter("parse_rejected", Rejected);
+  Out.setCounter("parse_failed", Failed);
+  Out.setCounter("parse_expired", Expired);
+  Out.setCounter("parse_cancelled", Cancelled);
+  Out.setCounter("parse_limit_killed", LimitKilled);
+  Out.setCounter("parse_table_hits", TableHits);
+  Out.setCounter("parse_table_builds", TableBuilds);
+  Out.setCounter("parse_table_evictions", TableEvictions);
+  Out.setCounter("parse_tokens", TokensParsed);
+  Out.setCounter("parse_forest_nodes", ForestNodes);
+  for (ParserKind K : AllParserKinds)
+    Out.setCounter(std::string("parse_requests_") + parserKindName(K),
+                   DriverRequests[static_cast<size_t>(K)]);
+  Out.addStage("parse-requests", RequestUs);
+  Out.addStage("parse-table-build", TableBuildUs);
+  Out.addStage("parse-run", ParseUs);
+  return Out;
+}
+
+std::string lalr::reportParseStats(const ParseStats &S) {
+  char Buf[256];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf),
+                "parse:   %llu request(s): %llu accepted, %llu rejected, "
+                "%llu failed; %llu token(s), %.0f tok/s\n",
+                static_cast<unsigned long long>(S.Requests),
+                static_cast<unsigned long long>(S.Accepted),
+                static_cast<unsigned long long>(S.Rejected),
+                static_cast<unsigned long long>(S.Failed),
+                static_cast<unsigned long long>(S.TokensParsed),
+                S.tokensPerSecond());
+  Out += Buf;
+  if (S.Expired || S.Cancelled || S.LimitKilled) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "shed:    %llu expired, %llu cancelled, %llu limit-killed\n",
+                  static_cast<unsigned long long>(S.Expired),
+                  static_cast<unsigned long long>(S.Cancelled),
+                  static_cast<unsigned long long>(S.LimitKilled));
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "tables:  %llu hit(s), %llu build(s), %llu eviction(s), "
+                "%llu live snapshot(s)\n",
+                static_cast<unsigned long long>(S.TableHits),
+                static_cast<unsigned long long>(S.TableBuilds),
+                static_cast<unsigned long long>(S.TableEvictions),
+                static_cast<unsigned long long>(S.ServingTables));
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "drivers: lr %llu, glr %llu, ll1 %llu, earley %llu\n",
+                static_cast<unsigned long long>(
+                    S.DriverRequests[static_cast<size_t>(ParserKind::Lr)]),
+                static_cast<unsigned long long>(
+                    S.DriverRequests[static_cast<size_t>(ParserKind::Glr)]),
+                static_cast<unsigned long long>(
+                    S.DriverRequests[static_cast<size_t>(ParserKind::Ll1)]),
+                static_cast<unsigned long long>(
+                    S.DriverRequests[static_cast<size_t>(ParserKind::Earley)]));
+  Out += Buf;
+  return Out;
+}

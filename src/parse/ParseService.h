@@ -1,0 +1,281 @@
+//===- parse/ParseService.h - Parse traffic over cached tables --*- C++ -*-===//
+///
+/// \file
+/// The parse-serving layer over BuildService: a ParseService accepts
+/// parse requests ({grammar, input, driver, options}), resolves the
+/// grammar through the shared ContextCache (so N requests against one
+/// grammar pay one table build), and runs the input through one of the
+/// four runtime drivers — the deterministic LR driver (over the
+/// compressed table by default, the dense one on request), the GLR GSS
+/// recognizer, the LL(1) predictive parser, or the Earley oracle.
+///
+/// Hot parses run over immutable *serving tables*: per
+/// (grammar, driver, table kind, solver, dense) snapshots holding their
+/// own Grammar copy plus the built table, cached in a small LRU beside
+/// the context cache. A snapshot is keyed by the grammar's source hash,
+/// so in-place grammar edits (PR 7's patch path) stale exactly the
+/// snapshots of the edited grammar and nothing else — and because a
+/// snapshot owns its grammar, a parse in flight is immune to a
+/// concurrent edit swapping the cached context's grammar underneath it.
+///
+/// Requests are governed like builds: a per-request deadline (or the
+/// service default) is armed on the cancellation token, BuildLimits
+/// ceilings are merged field-by-field under the service defaults
+/// (mergeBuildLimits), and the drivers poll a BuildGuard — so a runaway
+/// GLR/Earley run on an adversarial input dies with a structured
+/// BuildStatus (LimitExceeded naming gss_nodes / earley_items /
+/// input_tokens, or DeadlineExceeded) instead of spinning. Shed and
+/// killed requests are counted in ParseStats, which exports through the
+/// same PipelineStats JSON pipeline as ServiceStats.
+///
+/// Typical use:
+///
+///   BuildService Build({.CacheCapacity = 8});
+///   ParseService Parse(Build);
+///   ParseResponse R = Parse.run({.GrammarName = "json",
+///                                .Input = "'{' string ':' number '}'"});
+///   // R.Accepted, R.Tokens, R.ParseUs, ...
+///
+/// See docs/SERVICE.md for the manifest front end (lalr_batchd's `parse`
+/// token) and the serving-table staleness rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_PARSE_PARSESERVICE_H
+#define LALR_PARSE_PARSESERVICE_H
+
+#include "parse/ParserKind.h"
+#include "parser/ParserDriver.h"
+#include "service/BuildService.h"
+#include "support/ThreadSafety.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lalr {
+
+/// One parse request. The grammar is named by \p GrammarName (the cache
+/// key); \p Source carries its .y text, or is empty to resolve the name
+/// in the corpus registry — the same resolution rule as ServiceRequest.
+struct ParseRequest {
+  std::string GrammarName;
+  std::string Source;
+  /// The sentence to parse: whitespace-separated terminal spellings
+  /// (literals may drop their quotes, "+" finds "'+'"), tokenized by
+  /// tokenizeText against the resolved grammar.
+  std::string Input;
+  /// Which runtime driver runs the input.
+  ParserKind Driver = ParserKind::Lr;
+  /// Table configuration for the Lr driver (Kind, Solver, conflict
+  /// policy) and governance for every driver (Limits, Cancel, Verify).
+  /// Options.Compress is ignored — \p Dense decides the LR
+  /// representation; Options.Threads is ignored like in BuildService.
+  /// Any limit field left at 0 falls back to the service's
+  /// Options::DefaultLimits.
+  BuildOptions Options;
+  /// Run the Lr driver over the dense ParseTable instead of the
+  /// row-compressed CompressedTable (the default). Ignored by the other
+  /// drivers. Dense and compressed runs accept exactly the same inputs;
+  /// the differential tests assert it.
+  bool Dense = false;
+  /// Per-request deadline, milliseconds from acceptance; 0 = none.
+  /// Covers grammar resolution, the table build (on a cold snapshot) and
+  /// the parse itself. Armed on Options.Cancel (created when absent).
+  double DeadlineMs = 0;
+};
+
+/// What one parse request produced. \p Ok distinguishes "the request
+/// executed" from "the input was accepted": a syntactically invalid
+/// input is Ok with Accepted = false and the errors attached, while an
+/// unknown grammar, a failed table build, or a tripped limit/deadline is
+/// not Ok and carries the structured BuildStatus.
+struct ParseResponse {
+  bool Ok = false;
+  std::string Error;
+  /// Structured outcome. Resolution failures are GrammarError; an
+  /// aborted table build or parse carries Cancelled / DeadlineExceeded /
+  /// LimitExceeded / Internal.
+  BuildStatus Status;
+  ParserKind Driver = ParserKind::Lr;
+
+  /// The verdict: input is in L(G) as far as this driver can tell.
+  bool Accepted = false;
+  /// Syntax errors (LR/LL drivers report location + message; a tokenize
+  /// failure surfaces as one error with the unknown lexeme).
+  std::vector<ParseError> Errors;
+
+  /// Whether the grammar's BuildContext was already cached (shared with
+  /// build traffic through the same ContextCache).
+  bool CacheHit = false;
+  /// Whether the serving-table snapshot was already built — the flag the
+  /// "N parses, one build" amortization tests assert on.
+  bool TableHit = false;
+
+  /// Input length in tokens (after tokenization).
+  size_t Tokens = 0;
+  /// LR: reductions performed; LL(1): productions of the leftmost
+  /// derivation. 0 for the recognizer-only drivers.
+  size_t Reductions = 0;
+  /// GLR: total GSS nodes; Earley: total chart items — the parse-forest
+  /// work measure the ambiguity benches report. 0 for LR/LL.
+  size_t ForestNodes = 0;
+  /// GLR only: peak parallel stacks and GSS merges (0 = deterministic).
+  size_t PeakFrontier = 0;
+  size_t Merges = 0;
+
+  /// Time spent building the serving table for this request (0 on a
+  /// table hit), the driver run itself, and the whole request,
+  /// microseconds.
+  double TableBuildUs = 0;
+  double ParseUs = 0;
+  double WallUs = 0;
+};
+
+/// Snapshot of a ParseService's lifetime counters. Plain data: take a
+/// copy via ParseService::stats() and read it without locking.
+struct ParseStats {
+  uint64_t Requests = 0; ///< parse requests executed
+  uint64_t Accepted = 0; ///< input in L(G)
+  uint64_t Rejected = 0; ///< request ran, input not in L(G) (or no lex)
+  uint64_t Failed = 0;   ///< request did not run to a verdict (!Ok)
+
+  /// \name Robustness accounting (each also counted in Failed)
+  /// @{
+  uint64_t Expired = 0;     ///< deadline passed before or during the run
+  uint64_t Cancelled = 0;   ///< token cancelled by the caller
+  uint64_t LimitKilled = 0; ///< a BuildLimits ceiling tripped
+  /// @}
+
+  /// \name Serving-table cache
+  /// @{
+  uint64_t TableHits = 0;      ///< request reused a serving snapshot
+  uint64_t TableBuilds = 0;    ///< request built (or rebuilt) one
+  uint64_t TableEvictions = 0; ///< snapshots dropped by the LRU bound
+  uint64_t ServingTables = 0;  ///< live snapshots at snapshot time
+  /// @}
+
+  /// \name Work measures
+  /// @{
+  uint64_t TokensParsed = 0; ///< input tokens across executed parses
+  uint64_t ForestNodes = 0;  ///< GSS nodes + Earley items across runs
+  /// @}
+
+  /// Requests per driver, indexed by ParserKind.
+  uint64_t DriverRequests[4] = {0, 0, 0, 0};
+
+  /// Driver run time / serving-table build time / whole-request
+  /// wall-clock, microseconds.
+  double ParseUs = 0;
+  double TableBuildUs = 0;
+  double RequestUs = 0;
+
+  /// Mean driver throughput; 0 without traffic.
+  double tokensPerSecond() const {
+    return ParseUs > 0 ? TokensParsed / (ParseUs / 1e6) : 0.0;
+  }
+
+  /// Serializes to one JSON object (all counters + timings; see
+  /// toPipelineStats for the counter-name mapping).
+  std::string toJson(bool Pretty = false) const;
+
+  /// Folds the counters into \p Into as "parse_*" counters plus
+  /// "parse-requests" / "parse-table-build" stages, producing one
+  /// PipelineStats the standard StatsSink machinery can emit. \p Label
+  /// becomes the stats label.
+  PipelineStats toPipelineStats(std::string Label) const;
+};
+
+/// Human-readable multi-line listing (the batch driver's summary block).
+std::string reportParseStats(const ParseStats &S);
+
+/// Parse-serving front end over a BuildService's grammar cache.
+/// Thread-safe: concurrent run() calls against hot grammars share
+/// immutable snapshots lock-free; cold snapshots are built once under
+/// the grammar's BuildMu (the same serialization builds use).
+class ParseService {
+public:
+  struct Options {
+    /// LRU bound on serving-table snapshots (clamped to >= 1). Distinct
+    /// (grammar, driver, kind, solver, dense) combinations occupy
+    /// distinct slots.
+    size_t TableCapacity = 32;
+    /// Service-wide ceilings merged under each request's Options.Limits
+    /// (mergeBuildLimits: a nonzero request field wins; 0 inherits).
+    BuildLimits DefaultLimits = {};
+    /// Deadline applied to requests that carry none of their own
+    /// (milliseconds; 0 = none).
+    double DefaultDeadlineMs = 0;
+  };
+
+  /// Borrows \p Build (which must outlive this service) and shares its
+  /// ContextCache: parse traffic and build traffic against one grammar
+  /// amortize into the same BuildContext.
+  ParseService(BuildService &Build, Options Opts);
+  explicit ParseService(BuildService &Build)
+      : ParseService(Build, Options{}) {}
+  ~ParseService();
+
+  ParseService(const ParseService &) = delete;
+  ParseService &operator=(const ParseService &) = delete;
+
+  /// Executes one request. Never throws; failures become !Ok responses
+  /// with a structured Status.
+  ParseResponse run(const ParseRequest &Request);
+
+  /// Executes every request in order (Responses[i] answers Requests[i]).
+  std::vector<ParseResponse> runBatch(std::span<const ParseRequest> Requests);
+
+  /// The underlying build service (shared cache, build counters).
+  BuildService &buildService() { return Build; }
+
+  /// Drops every serving snapshot of \p GrammarName (all drivers/kinds);
+  /// returns how many were dropped. Source-text changes need no explicit
+  /// call — a request whose source hash differs from the snapshot's
+  /// rebuilds it by itself.
+  size_t invalidateGrammar(std::string_view GrammarName);
+
+  /// Live serving snapshots (tests assert eviction behavior through it).
+  size_t servingTableCount() const;
+
+  /// Snapshot of the aggregate counters.
+  ParseStats stats() const;
+
+private:
+  /// One immutable serving snapshot; defined in the .cpp.
+  struct ServingTable;
+
+  /// Resolves the serving snapshot for (Request, Source, Hash), building
+  /// it under the grammar entry's BuildMu on a miss. Returns nullptr
+  /// with Response.Status set on failure.
+  std::shared_ptr<const ServingTable>
+  acquireTable(const ParseRequest &Request, const BuildOptions &BO,
+               std::string_view Source, uint64_t Hash,
+               ParseResponse &Response);
+
+  /// The one executor behind run(); fills \p Response.
+  void execute(const ParseRequest &Request, ParseResponse &Response);
+
+  BuildService &Build;
+  const Options Opts;
+
+  /// Serving-table LRU: front = most recently used. Snapshots are
+  /// immutable once published; the lock covers only lookup/insert.
+  using TableList =
+      std::list<std::pair<std::string, std::shared_ptr<const ServingTable>>>;
+  mutable Mutex TableMu;
+  TableList Tables LALR_GUARDED_BY(TableMu);
+  std::unordered_map<std::string, TableList::iterator>
+      TableIndex LALR_GUARDED_BY(TableMu);
+
+  mutable Mutex StatsMu;
+  ParseStats Counts LALR_GUARDED_BY(StatsMu);
+};
+
+} // namespace lalr
+
+#endif // LALR_PARSE_PARSESERVICE_H

@@ -1,0 +1,64 @@
+//===- parse/ParserKind.h - Parse-driver vocabulary -------------*- C++ -*-===//
+///
+/// \file
+/// Names the four runtime drivers the parse service can route a request
+/// through, mirroring pipeline/BuildOptions.h's TableKind vocabulary:
+/// a stable kebab-case name per kind plus by-name lookup, so manifests,
+/// CLI flags and stats labels all speak the same strings. Deliberately
+/// dependency-free: service/Manifest.h includes this without pulling the
+/// whole parse service in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_PARSE_PARSERKIND_H
+#define LALR_PARSE_PARSERKIND_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace lalr {
+
+/// Which runtime driver a parse request runs.
+enum class ParserKind : uint8_t {
+  Lr,     ///< deterministic shift-reduce over a (compressed) LR table
+  Glr,    ///< Tomita/Farshi GSS over the multi-action GLR table
+  Ll1,    ///< predictive top-down over the LL(1) table
+  Earley, ///< the chart-parsing oracle (no table)
+};
+
+/// Stable name: "lr", "glr", "ll1", "earley".
+inline const char *parserKindName(ParserKind Kind) {
+  switch (Kind) {
+  case ParserKind::Lr:
+    return "lr";
+  case ParserKind::Glr:
+    return "glr";
+  case ParserKind::Ll1:
+    return "ll1";
+  case ParserKind::Earley:
+    return "earley";
+  }
+  return "?";
+}
+
+/// Inverse of parserKindName; nullopt for unknown names.
+inline std::optional<ParserKind> parserKindByName(std::string_view Name) {
+  if (Name == "lr")
+    return ParserKind::Lr;
+  if (Name == "glr")
+    return ParserKind::Glr;
+  if (Name == "ll1")
+    return ParserKind::Ll1;
+  if (Name == "earley")
+    return ParserKind::Earley;
+  return std::nullopt;
+}
+
+/// All kinds, in declaration order (bench/test sweeps).
+inline constexpr ParserKind AllParserKinds[] = {
+    ParserKind::Lr, ParserKind::Glr, ParserKind::Ll1, ParserKind::Earley};
+
+} // namespace lalr
+
+#endif // LALR_PARSE_PARSERKIND_H

@@ -2,32 +2,65 @@
 
 #include "parser/ParserDriver.h"
 
-#include <sstream>
-
 using namespace lalr;
 
-std::optional<std::vector<Token>>
-lalr::tokenizeSymbols(const Grammar &G, std::string_view Text,
-                      std::string *Error) {
-  std::vector<Token> Out;
-  std::istringstream IS{std::string(Text)};
-  std::string Word;
+std::string TokenizeError::message() const {
+  return "unknown terminal '" + Lexeme + "' at offset " +
+         std::to_string(Offset) + " (token #" + std::to_string(Index) + ")";
+}
+
+ParseError TokenizeError::toParseError() const {
+  ParseError E;
+  E.Loc = {1, static_cast<uint32_t>(Index + 1)};
+  E.Message = message();
+  return E;
+}
+
+TokenizeResult lalr::tokenizeText(const Grammar &G, std::string_view Text) {
+  TokenizeResult Out;
   uint32_t Col = 1;
-  while (IS >> Word) {
+  size_t I = 0;
+  while (I < Text.size()) {
+    while (I < Text.size() &&
+           (Text[I] == ' ' || Text[I] == '\t' || Text[I] == '\n' ||
+            Text[I] == '\r'))
+      ++I;
+    size_t Start = I;
+    while (I < Text.size() && Text[I] != ' ' && Text[I] != '\t' &&
+           Text[I] != '\n' && Text[I] != '\r')
+      ++I;
+    if (I == Start)
+      break;
+    std::string Word(Text.substr(Start, I - Start));
     SymbolId S = G.findSymbol(Word);
     // Allow bare literal spellings: "+" finds "'+'".
     if (S == InvalidSymbol)
       S = G.findSymbol("'" + Word + "'");
     if (S == InvalidSymbol || G.isNonterminal(S)) {
-      if (Error)
-        *Error = "unknown terminal '" + Word + "'";
-      return std::nullopt;
+      TokenizeError E;
+      E.Offset = Start;
+      E.Index = Out.Tokens.size();
+      E.Lexeme = std::move(Word);
+      Out.Error = std::move(E);
+      return Out;
     }
     Token Tok;
     Tok.Kind = S;
-    Tok.Text = Word;
+    Tok.Text = std::move(Word);
     Tok.Loc = {1, Col++};
-    Out.push_back(std::move(Tok));
+    Out.Tokens.push_back(std::move(Tok));
   }
   return Out;
+}
+
+std::optional<std::vector<Token>>
+lalr::tokenizeSymbols(const Grammar &G, std::string_view Text,
+                      std::string *Error) {
+  TokenizeResult R = tokenizeText(G, Text);
+  if (!R.ok()) {
+    if (Error)
+      *Error = R.Error->message();
+    return std::nullopt;
+  }
+  return std::move(R.Tokens);
 }

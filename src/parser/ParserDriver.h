@@ -20,6 +20,7 @@
 #include "grammar/Grammar.h"
 #include "lr/ParseTable.h"
 #include "parser/ParseTree.h"
+#include "support/Cancellation.h"
 #include "support/Diagnostics.h"
 
 #include <cassert>
@@ -50,6 +51,11 @@ struct ParseOptions {
   /// until a token has an action. Falls back to panic mode (discard one
   /// token) when no state on the stack can shift 'error'.
   bool UseErrorToken = true;
+  /// Optional governance for the parse loop itself: when set, the driver
+  /// polls it once per shift/reduce step, so a deadline or cancellation
+  /// aborts a runaway parse with BuildAbort exactly like a build stage.
+  /// Not owned; null = ungoverned (the default, costs nothing).
+  const BuildGuard *Guard = nullptr;
 
   /// Stop at the first error, no recovery — the configuration the
   /// error-detection-latency experiment runs under.
@@ -128,7 +134,9 @@ parseWithActions(const Grammar &G, const TableT &Table,
 
   size_t Pos = 0;
   size_t ReducesOnCurrentToken = 0;
+  size_t Steps = 0;
   while (true) {
+    guardPollStrided(Opts.Guard, Steps++);
     const Token &Tok = Pos < Input.size() ? Input[Pos] : EofTok;
     assert(Tok.Kind < G.numTerminals() && "token kind must be a terminal");
     Action A = Table.action(States.back(), Tok.Kind);
@@ -254,10 +262,43 @@ parseToTree(const Grammar &G, const TableT &Table,
       Opts);
 }
 
-/// Tokenizes a whitespace-separated string of symbol names into Tokens for
-/// the given grammar (convenience for tests/examples; real front ends use
-/// their own lexers). Unknown names produce an empty result and an error
-/// message in \p Error.
+/// Structured tokenization failure: which lexeme was not a terminal of
+/// the grammar, and where it sat in the input text.
+struct TokenizeError {
+  /// Byte offset of the offending lexeme in the input text.
+  size_t Offset = 0;
+  /// 0-based index of the offending lexeme in the token stream.
+  size_t Index = 0;
+  /// The offending lexeme verbatim.
+  std::string Lexeme;
+
+  /// "unknown terminal 'x' at offset 7 (token #2)" — the rendering
+  /// tokenizeSymbols puts in its flat error string and ParseService puts
+  /// in its ParseError.
+  std::string message() const;
+  /// The error as a driver-style ParseError (column = 1-based token
+  /// index, matching the locations tokenizeSymbols assigns to tokens).
+  ParseError toParseError() const;
+};
+
+/// Outcome of tokenizeText: the tokens, or a structured error.
+struct TokenizeResult {
+  std::vector<Token> Tokens;
+  std::optional<TokenizeError> Error;
+
+  bool ok() const { return !Error.has_value(); }
+};
+
+/// Tokenizes a whitespace-separated string of symbol names into Tokens
+/// for the given grammar (convenience for tests/examples and the parse
+/// service; real front ends use their own lexers). Bare literal
+/// spellings are accepted ("+" finds "'+'"). A name that is not a
+/// terminal of \p G stops the scan and reports a structured
+/// TokenizeError (offset + lexeme) instead of a bare failure.
+TokenizeResult tokenizeText(const Grammar &G, std::string_view Text);
+
+/// Flat-error wrapper over tokenizeText, kept for existing callers:
+/// nullopt on failure with the rendered message in \p Error.
 std::optional<std::vector<Token>> tokenizeSymbols(const Grammar &G,
                                                   std::string_view Text,
                                                   std::string *Error = nullptr);

@@ -14,25 +14,6 @@ using namespace lalr;
 
 namespace {
 
-/// Request limits win field-by-field; unset (0) fields inherit the
-/// service-wide ceiling.
-BuildLimits mergeLimits(const BuildLimits &Req, const BuildLimits &Default) {
-  BuildLimits L = Req;
-  if (!L.MaxLr0States)
-    L.MaxLr0States = Default.MaxLr0States;
-  if (!L.MaxLr1States)
-    L.MaxLr1States = Default.MaxLr1States;
-  if (!L.MaxItems)
-    L.MaxItems = Default.MaxItems;
-  if (!L.MaxRelationEdges)
-    L.MaxRelationEdges = Default.MaxRelationEdges;
-  if (!L.MaxSetBits)
-    L.MaxSetBits = Default.MaxSetBits;
-  if (L.MaxWallMs <= 0)
-    L.MaxWallMs = Default.MaxWallMs;
-  return L;
-}
-
 /// Arms the request's deadline on its token (creating one when absent).
 /// Called at acceptance time — submit() for streaming requests, so queue
 /// wait counts against the deadline — and again idempotently at execution
@@ -75,7 +56,7 @@ void BuildService::resolveAndExecute(const ServiceRequest &Request,
   BuildOptions BO = Request.Options;
   BO.Threads = Opts.ContextThreads;
   BO.Verify = BO.Verify || Opts.VerifyBuilds;
-  BO.Limits = mergeLimits(BO.Limits, Opts.DefaultLimits);
+  BO.Limits = mergeBuildLimits(BO.Limits, Opts.DefaultLimits);
   // Streaming requests were armed at submit() (queue wait counts); batch
   // requests are armed here, at execution = acceptance.
   if (!BO.Cancel || !BO.Cancel->hasDeadline()) {

@@ -75,6 +75,67 @@ bool parseBuildOptions(std::span<const std::string_view> Tokens,
   return true;
 }
 
+/// Parses the option tokens of one `parse` line, consuming greedily
+/// until the first token that is not a recognized option; returns the
+/// index of that token (the start of the input sentence) or npos on a
+/// malformed option.
+size_t parseParseOptions(std::span<const std::string_view> Tokens,
+                         unsigned Line, ManifestEntry &Entry,
+                         std::string &Error) {
+  size_t I = 0;
+  for (; I < Tokens.size(); ++I) {
+    std::string_view Tok = Tokens[I];
+    if (Tok == "dense") {
+      Entry.ParseDense = true;
+    } else if (Tok.rfind("kind=", 0) == 0) {
+      std::string_view V = Tok.substr(5);
+      std::optional<TableKind> Kind = tableKindByName(V);
+      if (!Kind) {
+        fail(Error, Line, "unknown table kind '" + std::string(V) + "'");
+        return std::string_view::npos;
+      }
+      Entry.Request.Options.Kind = *Kind;
+    } else if (Tok.rfind("solver=", 0) == 0) {
+      std::string_view V = Tok.substr(7);
+      if (V == "digraph")
+        Entry.Request.Options.Solver = SolverKind::Digraph;
+      else if (V == "naive")
+        Entry.Request.Options.Solver = SolverKind::NaiveFixpoint;
+      else {
+        fail(Error, Line,
+             "unknown solver '" + std::string(V) +
+                 "' (expected digraph or naive)");
+        return std::string_view::npos;
+      }
+    } else if (Tok.rfind("deadline-ms=", 0) == 0) {
+      std::string_view V = Tok.substr(12);
+      double Ms = 0;
+      auto [Ptr, Ec] = std::from_chars(V.data(), V.data() + V.size(), Ms);
+      if (Ec != std::errc() || Ptr != V.data() + V.size() || Ms <= 0) {
+        fail(Error, Line,
+             "bad deadline '" + std::string(V) +
+                 "' (expected a positive millisecond count)");
+        return std::string_view::npos;
+      }
+      Entry.Request.DeadlineMs = Ms;
+    } else if (Tok.rfind("repeat=", 0) == 0) {
+      std::string_view V = Tok.substr(7);
+      unsigned N = 0;
+      auto [Ptr, Ec] = std::from_chars(V.data(), V.data() + V.size(), N);
+      if (Ec != std::errc() || Ptr != V.data() + V.size() || N == 0) {
+        fail(Error, Line,
+             "bad repeat count '" + std::string(V) +
+                 "' (expected a positive integer)");
+        return std::string_view::npos;
+      }
+      Entry.Repeat = N;
+    } else {
+      break; // first input token
+    }
+  }
+  return I;
+}
+
 } // namespace
 
 std::optional<std::vector<ManifestEntry>>
@@ -137,10 +198,40 @@ lalr::parseManifest(std::string_view Text, std::string &Error) {
       if (!parseBuildOptions(std::span(Tokens).subspan(3), LineNo, Entry,
                              Error))
         return std::nullopt;
+    } else if (Tokens[0] == "parse") {
+      if (Tokens.size() < 4) {
+        fail(Error, LineNo,
+             "expected: parse <grammar> <driver> [options] <input...>");
+        return std::nullopt;
+      }
+      Entry.Act = ManifestEntry::Action::Parse;
+      Entry.Request.GrammarName = std::string(Tokens[1]);
+      std::optional<ParserKind> Driver = parserKindByName(Tokens[2]);
+      if (!Driver) {
+        fail(Error, LineNo,
+             "unknown parse driver '" + std::string(Tokens[2]) +
+                 "' (expected lr, glr, ll1 or earley)");
+        return std::nullopt;
+      }
+      Entry.Driver = *Driver;
+      std::span<const std::string_view> Rest = std::span(Tokens).subspan(3);
+      size_t InputStart = parseParseOptions(Rest, LineNo, Entry, Error);
+      if (InputStart == std::string_view::npos)
+        return std::nullopt;
+      if (InputStart >= Rest.size()) {
+        fail(Error, LineNo,
+             "parse line has no input sentence (terminal names or @file)");
+        return std::nullopt;
+      }
+      for (size_t I = InputStart; I < Rest.size(); ++I) {
+        if (I > InputStart)
+          Entry.ParseInput += ' ';
+        Entry.ParseInput += Rest[I];
+      }
     } else {
       fail(Error, LineNo,
            "unknown command '" + std::string(Tokens[0]) +
-               "' (expected build, edit or invalidate)");
+               "' (expected build, edit, invalidate or parse)");
       return std::nullopt;
     }
     Entries.push_back(std::move(Entry));

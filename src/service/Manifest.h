@@ -8,6 +8,17 @@
 ///                          [require-adequate] [repeat=N] [deadline-ms=N]
 ///   invalidate <grammar>
 ///   edit <grammar> <patch>
+///   parse <grammar> <driver> [dense] [kind=K] [solver=S] [deadline-ms=N]
+///                            [repeat=N] <input ... | @file>
+///
+/// `parse` runs a sentence through the ParseService. `<driver>` is a
+/// parserKindName ("lr", "glr", "ll1", "earley"); option tokens are
+/// consumed greedily after it and everything from the first
+/// unrecognized token on is the input sentence (whitespace-separated
+/// terminal spellings). An input of the single token `@path` makes the
+/// driver read the sentence from that file (parsing here stays
+/// IO-free). `dense` runs the LR driver over the dense table instead of
+/// the compressed one; `kind=` selects the LR table construction.
 ///
 /// `<patch>` is one edit in the grammar/GrammarEdit.h dialect:
 ///   prec <token> <left|right|nonassoc|none> <level>
@@ -37,6 +48,7 @@
 #define LALR_SERVICE_MANIFEST_H
 
 #include "grammar/GrammarEdit.h"
+#include "parse/ParserKind.h"
 #include "service/BuildService.h"
 
 #include <optional>
@@ -52,12 +64,23 @@ struct ManifestEntry {
     Build,      ///< Request is a full build request
     Invalidate, ///< Request.GrammarName names the grammar to invalidate
     Edit,       ///< Edit applies to Request.GrammarName's working source
+    Parse,      ///< a ParseService request (driver + input in the fields
+                ///< below; Request carries grammar/options/deadline)
   };
   Action Act = Action::Build;
   ServiceRequest Request;
   GrammarEdit Edit;    ///< Edit only: the parsed patch
-  unsigned Repeat = 1; ///< Build only: expansion count
+  unsigned Repeat = 1; ///< Build/Parse: expansion count
   unsigned Line = 0;   ///< 1-based source line, for diagnostics
+
+  /// \name Parse only
+  /// @{
+  ParserKind Driver = ParserKind::Lr;
+  /// The input sentence verbatim (or "@path" for the driver to load).
+  std::string ParseInput;
+  /// Run the LR driver over the dense table (the `dense` option token).
+  bool ParseDense = false;
+  /// @}
 };
 
 /// True when the manifest grammar token is a .y path (to be loaded by the

@@ -117,14 +117,58 @@ struct BuildLimits {
   /// checked up front from the relation census, before allocation — the
   /// memory ceiling on the look-ahead computation proper.
   uint64_t MaxSlabBytes = 0;
+  /// \name Parse-serving ceilings
+  /// Polled by the runtime drivers (ParseService) rather than the table
+  /// builders: the input-length ceiling is checked once after
+  /// tokenization; the work ceilings bound the superlinear drivers (GLR
+  /// GSS nodes, Earley chart items) on adversarial inputs.
+  /// @{
+  /// Tokens one parse request may submit (checked before the driver runs).
+  uint64_t MaxInputTokens = 0;
+  /// Total GSS nodes one GLR run may allocate.
+  uint64_t MaxGssNodes = 0;
+  /// Total chart items one Earley run may insert.
+  uint64_t MaxEarleyItems = 0;
+  /// @}
   /// Wall-clock budget for the whole pipeline run, milliseconds.
   double MaxWallMs = 0;
 
   bool anySet() const {
     return MaxLr0States || MaxLr1States || MaxItems || MaxRelationEdges ||
-           MaxSetBits || MaxSlabBytes || MaxWallMs > 0;
+           MaxSetBits || MaxSlabBytes || MaxInputTokens || MaxGssNodes ||
+           MaxEarleyItems || MaxWallMs > 0;
   }
 };
+
+/// Field-by-field limit inheritance: a request field set to nonzero wins;
+/// an unset (0) field falls back to \p Default. Shared by BuildService
+/// and ParseService so both layers inherit service-wide ceilings the
+/// same way.
+inline BuildLimits mergeBuildLimits(const BuildLimits &Req,
+                                    const BuildLimits &Default) {
+  BuildLimits L = Req;
+  if (!L.MaxLr0States)
+    L.MaxLr0States = Default.MaxLr0States;
+  if (!L.MaxLr1States)
+    L.MaxLr1States = Default.MaxLr1States;
+  if (!L.MaxItems)
+    L.MaxItems = Default.MaxItems;
+  if (!L.MaxRelationEdges)
+    L.MaxRelationEdges = Default.MaxRelationEdges;
+  if (!L.MaxSetBits)
+    L.MaxSetBits = Default.MaxSetBits;
+  if (!L.MaxSlabBytes)
+    L.MaxSlabBytes = Default.MaxSlabBytes;
+  if (!L.MaxInputTokens)
+    L.MaxInputTokens = Default.MaxInputTokens;
+  if (!L.MaxGssNodes)
+    L.MaxGssNodes = Default.MaxGssNodes;
+  if (!L.MaxEarleyItems)
+    L.MaxEarleyItems = Default.MaxEarleyItems;
+  if (L.MaxWallMs <= 0)
+    L.MaxWallMs = Default.MaxWallMs;
+  return L;
+}
 
 /// Shareable cooperative-cancellation handle: a manual cancel flag plus
 /// an optional absolute deadline. Thread-safe; typically held in a
@@ -243,6 +287,15 @@ public:
   }
   void checkSlabBytes(uint64_t N) const {
     checkLimit("slab_bytes", N, Limits_.MaxSlabBytes);
+  }
+  void checkInputTokens(uint64_t N) const {
+    checkLimit("input_tokens", N, Limits_.MaxInputTokens);
+  }
+  void checkGssNodes(uint64_t N) const {
+    checkLimit("gss_nodes", N, Limits_.MaxGssNodes);
+  }
+  void checkEarleyItems(uint64_t N) const {
+    checkLimit("earley_items", N, Limits_.MaxEarleyItems);
   }
   /// @}
 

@@ -14,7 +14,7 @@ static const char *const kAllSites[] = {
     "analysis",   "lr0-build",    "nt-index",   "relations-build",
     "slab",       "solve-read",   "solve-follow", "la-union",
     "lr1-build",  "pager-build",  "table-fill", "compress",
-    "verify",     "service-execute", nullptr};
+    "verify",     "service-execute", "parse",   nullptr};
 
 const char *const *allFailPointSites() { return kAllSites; }
 

@@ -11,7 +11,7 @@
 /// the slab arena-allocation site inside the relations/la-union stages):
 ///   analysis, lr0-build, nt-index, relations-build, slab, solve-read,
 ///   solve-follow, la-union, lr1-build, pager-build, table-fill,
-///   compress, verify, service-execute
+///   compress, verify, service-execute, parse
 ///
 /// The disarmed fast path is a single relaxed atomic load of a global
 /// armed-site count — measured noise even inside the DP inner stages.

@@ -28,7 +28,7 @@ using namespace lalr;
 namespace {
 
 /// Build options whose pipeline run reaches \p Site (every site except
-/// service-execute, which only the service layer hits).
+/// service-execute and parse, which only the service layers hit).
 BuildOptions optionsReaching(std::string_view Site) {
   BuildOptions O;
   if (Site == "lr1-build")
@@ -102,11 +102,11 @@ TEST(FailPointRegistryTest, ActionsMapToStatusCodes) {
   }
 }
 
-TEST(FailPointRegistryTest, SiteListCoversFourteenStagesNullTerminated) {
+TEST(FailPointRegistryTest, SiteListCoversFifteenStagesNullTerminated) {
   size_t N = 0;
   for (const char *const *S = allFailPointSites(); *S; ++S)
     ++N;
-  EXPECT_EQ(N, 14u);
+  EXPECT_EQ(N, 15u);
 }
 
 // ---------------------------------------------------------------------------
@@ -117,8 +117,9 @@ TEST(FaultSweepTest, EveryPipelineSiteFailsStructuredAndRetriesClean) {
   Grammar G = loadCorpusGrammar("json");
   for (const char *const *S = allFailPointSites(); *S; ++S) {
     std::string Site = *S;
-    if (Site == "service-execute")
-      continue; // service layer only; covered below
+    if (Site == "service-execute" || Site == "parse")
+      continue; // service/parse layers only; covered below and in
+                // parse_test
     BuildOptions Opts = optionsReaching(Site);
     std::vector<uint8_t> Reference = cleanBytes(G, Opts);
 

@@ -1,0 +1,530 @@
+//===- tests/parse_test.cpp - Parse-serving subsystem unit tests -------------===//
+//
+// Covers src/parse/ end to end: the ParserKind vocabulary, the
+// ParseService request path (grammar resolution, serving-table
+// amortization and invalidation, compressed/dense agreement across the
+// corpus, the four drivers' verdicts on generated sentences), the
+// request-governance contract (deadline shedding, input/GSS/chart work
+// ceilings dying with structured BuildStatus, concurrent cancellation
+// under TSan), the structured tokenize error, the `parse` fail-point,
+// and the manifest `parse` token.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/SentenceGen.h"
+#include "parse/ParseService.h"
+#include "service/Manifest.h"
+#include "support/FailPoint.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+/// A service over a fresh cache; most tests want exactly this.
+struct ParseFixture {
+  BuildService Build;
+  ParseService Parser;
+
+  ParseFixture() : Parser(Build) {}
+  explicit ParseFixture(ParseService::Options Opts)
+      : Parser(Build, Opts) {}
+};
+
+ParseRequest corpusParse(std::string Grammar, std::string Input,
+                         ParserKind Driver = ParserKind::Lr) {
+  ParseRequest R;
+  R.GrammarName = std::move(Grammar);
+  R.Input = std::move(Input);
+  R.Driver = Driver;
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ParserKind vocabulary
+//===----------------------------------------------------------------------===//
+
+TEST(ParserKindTest, NamesRoundTrip) {
+  for (ParserKind K : AllParserKinds) {
+    std::optional<ParserKind> Back = parserKindByName(parserKindName(K));
+    ASSERT_TRUE(Back.has_value()) << parserKindName(K);
+    EXPECT_EQ(*Back, K);
+  }
+  EXPECT_FALSE(parserKindByName("lalr").has_value());
+  EXPECT_FALSE(parserKindByName("").has_value());
+  EXPECT_FALSE(parserKindByName("LR").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Basic verdicts
+//===----------------------------------------------------------------------===//
+
+TEST(ParseServiceTest, AcceptsAndRejectsByDriver) {
+  ParseFixture F;
+  // expr is LALR(1): the LR driver decides it; GLR and Earley agree.
+  for (ParserKind K :
+       {ParserKind::Lr, ParserKind::Glr, ParserKind::Earley}) {
+    ParseResponse Good =
+        F.Parser.run(corpusParse("expr", "NUM + NUM * NUM", K));
+    ASSERT_TRUE(Good.Ok) << Good.Error;
+    EXPECT_TRUE(Good.Accepted) << parserKindName(K);
+    EXPECT_EQ(Good.Tokens, 5u);
+
+    ParseResponse Bad = F.Parser.run(corpusParse("expr", "NUM + * NUM", K));
+    ASSERT_TRUE(Bad.Ok) << Bad.Error;
+    EXPECT_FALSE(Bad.Accepted) << parserKindName(K);
+  }
+  // The LR/LL verdicts carry located syntax errors on rejection.
+  ParseResponse Bad = F.Parser.run(corpusParse("expr", "NUM +"));
+  ASSERT_TRUE(Bad.Ok);
+  EXPECT_FALSE(Bad.Accepted);
+  EXPECT_FALSE(Bad.Errors.empty());
+}
+
+TEST(ParseServiceTest, InlineSourceWinsOverCorpusName) {
+  ParseFixture F;
+  ParseRequest R = corpusParse("expr", "ID");
+  R.Source = "%token ID\n%%\ns : ID ;\n";
+  ParseResponse Resp = F.Parser.run(R);
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  EXPECT_TRUE(Resp.Accepted);
+}
+
+TEST(ParseServiceTest, UnknownGrammarIsStructuredGrammarError) {
+  ParseFixture F;
+  ParseResponse R = F.Parser.run(corpusParse("no_such_grammar", "x"));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Status.Code, BuildStatusCode::GrammarError);
+}
+
+TEST(ParseServiceTest, TokenizeErrorCarriesOffsetAndLexeme) {
+  ParseFixture F;
+  ParseResponse R = F.Parser.run(corpusParse("expr", "NUM + BOGUS"));
+  ASSERT_TRUE(R.Ok) << R.Error; // ran to a verdict: rejection
+  EXPECT_FALSE(R.Accepted);
+  ASSERT_EQ(R.Errors.size(), 1u);
+  // Token index 2 (column = 1-based token index), character offset 6,
+  // and the unknown lexeme itself.
+  EXPECT_EQ(R.Errors[0].Loc.Column, 3u);
+  EXPECT_NE(R.Errors[0].Message.find("BOGUS"), std::string::npos);
+  EXPECT_NE(R.Errors[0].Message.find("offset 6"), std::string::npos);
+}
+
+TEST(ParseServiceTest, Ll1DriverRefusesNonLl1Grammars) {
+  ParseFixture F;
+  // expr is left-recursive: a conflicted predict table would loop the
+  // predictive parser forever, so the service must refuse it outright.
+  ParseResponse R =
+      F.Parser.run(corpusParse("expr", "NUM", ParserKind::Ll1));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Status.Code, BuildStatusCode::GrammarError);
+  EXPECT_NE(R.Error.find("LL(1)"), std::string::npos);
+
+  // lr0_specimen is LL(1): the driver runs and agrees with LR.
+  ParseResponse Ok =
+      F.Parser.run(corpusParse("lr0_specimen", "x", ParserKind::Ll1));
+  ASSERT_TRUE(Ok.Ok) << Ok.Error;
+  EXPECT_TRUE(Ok.Accepted);
+  EXPECT_GT(Ok.Reductions, 0u); // leftmost derivation length
+}
+
+//===----------------------------------------------------------------------===//
+// Amortization: N parses, one build
+//===----------------------------------------------------------------------===//
+
+TEST(ParseServiceTest, NRequestsOneTableBuild) {
+  ParseFixture F;
+  constexpr int N = 16;
+  for (int I = 0; I < N; ++I) {
+    ParseResponse R = F.Parser.run(corpusParse("json", "{ }"));
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.Accepted);
+    EXPECT_EQ(R.TableHit, I > 0);
+    EXPECT_EQ(R.TableBuildUs > 0, I == 0)
+        << "only the cold request may pay a table build";
+  }
+  ParseStats S = F.Parser.stats();
+  EXPECT_EQ(S.Requests, static_cast<uint64_t>(N));
+  EXPECT_EQ(S.TableBuilds, 1u);
+  EXPECT_EQ(S.TableHits, static_cast<uint64_t>(N - 1));
+  // One underlying BuildContext too: cache miss only on the first.
+  EXPECT_EQ(F.Build.cache().counters().Misses, 1u);
+}
+
+TEST(ParseServiceTest, DriversGetDistinctSnapshotsSameContext) {
+  ParseFixture F;
+  for (ParserKind K :
+       {ParserKind::Lr, ParserKind::Glr, ParserKind::Earley})
+    ASSERT_TRUE(F.Parser.run(corpusParse("expr", "NUM", K)).Ok);
+  ParseStats S = F.Parser.stats();
+  EXPECT_EQ(S.TableBuilds, 3u); // one snapshot per driver...
+  EXPECT_EQ(F.Build.cache().counters().Misses, 1u); // ...over one context
+  EXPECT_EQ(F.Parser.servingTableCount(), 3u);
+}
+
+TEST(ParseServiceTest, DenseAndCompressedAreDistinctSnapshots) {
+  ParseFixture F;
+  ParseRequest Dense = corpusParse("expr", "NUM");
+  Dense.Dense = true;
+  ASSERT_TRUE(F.Parser.run(corpusParse("expr", "NUM")).Ok);
+  ASSERT_TRUE(F.Parser.run(Dense).Ok);
+  EXPECT_EQ(F.Parser.stats().TableBuilds, 2u);
+}
+
+TEST(ParseServiceTest, InvalidateDropsSnapshotsAndSourceChangeRebuilds) {
+  ParseFixture F;
+  ASSERT_TRUE(F.Parser.run(corpusParse("expr", "NUM")).Ok);
+  ASSERT_TRUE(
+      F.Parser.run(corpusParse("expr", "NUM", ParserKind::Earley)).Ok);
+  EXPECT_EQ(F.Parser.invalidateGrammar("expr"), 2u);
+  EXPECT_EQ(F.Parser.servingTableCount(), 0u);
+
+  // A request whose source hash differs restales the snapshot by itself.
+  ParseRequest A = corpusParse("g", "ID");
+  A.Source = "%token ID\n%%\ns : ID ;\n";
+  ASSERT_TRUE(F.Parser.run(A).Ok);
+  ParseRequest B = corpusParse("g", "ID ID");
+  B.Source = "%token ID\n%%\ns : ID | ID ID ;\n";
+  ParseResponse RB = F.Parser.run(B);
+  ASSERT_TRUE(RB.Ok) << RB.Error;
+  EXPECT_TRUE(RB.Accepted);
+  EXPECT_FALSE(RB.TableHit) << "changed source must rebuild";
+  EXPECT_EQ(F.Parser.stats().TableBuilds, 4u); // expr x2 + g's two sources
+}
+
+TEST(ParseServiceTest, LruBoundEvictsColdSnapshots) {
+  ParseService::Options Opts;
+  Opts.TableCapacity = 2;
+  ParseFixture F(Opts);
+  ASSERT_TRUE(F.Parser.run(corpusParse("expr", "NUM")).Ok);
+  ASSERT_TRUE(F.Parser.run(corpusParse("json", "{ }")).Ok);
+  ASSERT_TRUE(F.Parser.run(corpusParse("xmlish", "TEXT")).Ok);
+  EXPECT_EQ(F.Parser.servingTableCount(), 2u);
+  EXPECT_EQ(F.Parser.stats().TableEvictions, 1u);
+  // expr was evicted (LRU): parsing it again rebuilds.
+  ASSERT_TRUE(F.Parser.run(corpusParse("expr", "NUM")).Ok);
+  EXPECT_EQ(F.Parser.stats().TableBuilds, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Compressed == dense across the corpus, all drivers agree
+//===----------------------------------------------------------------------===//
+
+TEST(ParseServiceTest, CompressedEqualsDenseAcrossCorpus) {
+  ParseFixture F;
+  for (const CorpusEntry &E : corpusEntries()) {
+    if (!corpusGrammarSupportsSentenceGen(E))
+      continue;
+    // Sample input (when the grammar declares one) plus seeded sentences
+    // of its own language, and a mangled variant unlikely to stay in it.
+    Grammar G = loadCorpusGrammar(E);
+    std::vector<std::string> Inputs;
+    if (E.SampleInput)
+      Inputs.push_back(E.SampleInput);
+    Rng R(0xC0FFEEull);
+    for (int I = 0; I < 3; ++I)
+      Inputs.push_back(renderSentence(G, randomSentence(G, R, 24)));
+    for (size_t I = 0, N = Inputs.size(); I < N; ++I)
+      Inputs.push_back(Inputs[I] + " ~#unknown#~");
+
+    for (const std::string &In : Inputs) {
+      ParseRequest Comp = corpusParse(E.Name, In);
+      ParseRequest Dense = corpusParse(E.Name, In);
+      Dense.Dense = true;
+      ParseResponse RC = F.Parser.run(Comp);
+      ParseResponse RD = F.Parser.run(Dense);
+      if (!RC.Ok) {
+        // Conflicted specimens have no deterministic table; both
+        // representations must fail identically.
+        EXPECT_EQ(RC.Status.Code, RD.Status.Code) << E.Name;
+        continue;
+      }
+      ASSERT_TRUE(RD.Ok) << E.Name << ": " << RD.Error;
+      EXPECT_EQ(RC.Accepted, RD.Accepted) << E.Name << " on \"" << In << '"';
+      EXPECT_EQ(RC.Tokens, RD.Tokens) << E.Name;
+      EXPECT_EQ(RC.Reductions, RD.Reductions) << E.Name;
+    }
+  }
+}
+
+TEST(ParseServiceTest, GeneralDriversAcceptWhatLrAccepts) {
+  ParseFixture F;
+  for (const CorpusEntry &E : corpusEntries()) {
+    if (!E.Realistic || !corpusGrammarSupportsSentenceGen(E))
+      continue;
+    Grammar G = loadCorpusGrammar(E);
+    Rng R(0xBEEFull);
+    for (int I = 0; I < 2; ++I) {
+      std::string In = renderSentence(G, randomSentence(G, R, 16));
+      ParseResponse Lr = F.Parser.run(corpusParse(E.Name, In));
+      if (!Lr.Ok || !Lr.Accepted)
+        continue; // precedence-pruned tables may reject; GLR then forks
+      for (ParserKind K : {ParserKind::Glr, ParserKind::Earley}) {
+        ParseResponse General = F.Parser.run(corpusParse(E.Name, In, K));
+        ASSERT_TRUE(General.Ok) << E.Name << ": " << General.Error;
+        EXPECT_TRUE(General.Accepted)
+            << E.Name << '/' << parserKindName(K) << " on \"" << In << '"';
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Governance: deadlines, limits, cancellation, fail-point
+//===----------------------------------------------------------------------===//
+
+TEST(ParseGovernanceTest, ExpiredDeadlineShedsWithStructuredStatus) {
+  ParseFixture F;
+  ParseRequest R = corpusParse("expr", "NUM + NUM");
+  R.Options.Cancel = CancellationToken::withDeadlineMs(-1); // expired
+  ParseResponse Resp = F.Parser.run(R);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Status.Code, BuildStatusCode::DeadlineExceeded);
+  ParseStats S = F.Parser.stats();
+  EXPECT_EQ(S.Expired, 1u);
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.TableBuilds, 0u) << "shed before any work";
+}
+
+TEST(ParseGovernanceTest, ServiceDefaultDeadlineApplies) {
+  ParseService::Options Opts;
+  Opts.DefaultDeadlineMs = 1e-9; // a picosecond: expired on arrival
+  ParseFixture F(Opts);
+  ParseResponse R = F.Parser.run(corpusParse("expr", "NUM"));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Status.Code, BuildStatusCode::DeadlineExceeded);
+}
+
+TEST(ParseGovernanceTest, CancelledTokenIsStructuredNotCrash) {
+  ParseFixture F;
+  ParseRequest R = corpusParse("expr", "NUM");
+  R.Options.Cancel = std::make_shared<CancellationToken>();
+  R.Options.Cancel->cancel();
+  ParseResponse Resp = F.Parser.run(R);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Status.Code, BuildStatusCode::Cancelled);
+  EXPECT_EQ(F.Parser.stats().Cancelled, 1u);
+}
+
+TEST(ParseGovernanceTest, InputTokenCeilingKillsStructurally) {
+  ParseFixture F;
+  ParseRequest R = corpusParse("expr", "NUM + NUM + NUM + NUM");
+  R.Options.Limits.MaxInputTokens = 3;
+  ParseResponse Resp = F.Parser.run(R);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Status.Code, BuildStatusCode::LimitExceeded);
+  EXPECT_EQ(Resp.Status.Which, "input_tokens");
+  EXPECT_EQ(F.Parser.stats().LimitKilled, 1u);
+}
+
+TEST(ParseGovernanceTest, GssNodeCeilingKillsAmbiguousGlrStructurally) {
+  ParseFixture F;
+  // A long truly-ambiguous input: GSS forks per '+' split point, so a
+  // tight node budget trips mid-parse rather than never.
+  std::string In = "a";
+  for (int I = 0; I < 24; ++I)
+    In += " + a";
+  ParseRequest R = corpusParse("not_lr1_ambiguous", In, ParserKind::Glr);
+  R.Options.Limits.MaxGssNodes = 8;
+  ParseResponse Resp = F.Parser.run(R);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Status.Code, BuildStatusCode::LimitExceeded);
+  EXPECT_EQ(Resp.Status.Which, "gss_nodes");
+  EXPECT_EQ(F.Parser.stats().LimitKilled, 1u);
+
+  // The same request unbounded completes with a verdict.
+  ParseResponse Free =
+      F.Parser.run(corpusParse("not_lr1_ambiguous", In, ParserKind::Glr));
+  ASSERT_TRUE(Free.Ok) << Free.Error;
+  EXPECT_TRUE(Free.Accepted);
+  EXPECT_GT(Free.ForestNodes, 8u);
+}
+
+TEST(ParseGovernanceTest, EarleyItemCeilingKillsStructurally) {
+  ParseFixture F;
+  std::string In = "a";
+  for (int I = 0; I < 24; ++I)
+    In += " + a";
+  ParseRequest R = corpusParse("not_lr1_ambiguous", In, ParserKind::Earley);
+  R.Options.Limits.MaxEarleyItems = 16;
+  ParseResponse Resp = F.Parser.run(R);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Status.Code, BuildStatusCode::LimitExceeded);
+  EXPECT_EQ(Resp.Status.Which, "earley_items");
+}
+
+TEST(ParseGovernanceTest, ServiceDefaultLimitsMergeUnderRequest) {
+  ParseService::Options Opts;
+  Opts.DefaultLimits.MaxInputTokens = 2;
+  ParseFixture F(Opts);
+  // Inherits the service ceiling...
+  ParseResponse Shed = F.Parser.run(corpusParse("expr", "NUM + NUM"));
+  EXPECT_FALSE(Shed.Ok);
+  EXPECT_EQ(Shed.Status.Which, "input_tokens");
+  // ...and a nonzero request field overrides it.
+  ParseRequest Wide = corpusParse("expr", "NUM + NUM");
+  Wide.Options.Limits.MaxInputTokens = 100;
+  ParseResponse R = F.Parser.run(Wide);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.Accepted);
+}
+
+TEST(ParseGovernanceTest, ParseFailPointFailsRequestNotProcess) {
+  ParseFixture F;
+  {
+    ScopedFailPoint Armed("parse");
+    ParseResponse R = F.Parser.run(corpusParse("expr", "NUM"));
+    EXPECT_FALSE(R.Ok);
+    EXPECT_EQ(R.Status.Code, BuildStatusCode::Internal);
+    EXPECT_EQ(R.Status.Which, "parse");
+  }
+  // The service survives; the same request then succeeds.
+  ParseResponse R = F.Parser.run(corpusParse("expr", "NUM"));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.Accepted);
+  EXPECT_EQ(F.Parser.stats().Failed, 1u);
+}
+
+TEST(ParseGovernanceTest, ConcurrentCancellationNeverCrashesOrSpins) {
+  // GLR/Earley traffic on the ambiguous grammar while another thread
+  // yanks the shared token and a third invalidates the serving tables:
+  // every response must be a structured verdict or abort. TSan runs this
+  // via scripts/check-tsan.sh.
+  ParseFixture F;
+  auto Token = std::make_shared<CancellationToken>();
+  std::string In = "a";
+  for (int I = 0; I < 16; ++I)
+    In += " + a";
+
+  std::atomic<bool> Stop{false};
+  std::atomic<int> Ran{0};
+  std::vector<std::thread> Workers;
+  for (int W = 0; W < 4; ++W)
+    Workers.emplace_back([&, W] {
+      for (int I = 0; I < 8; ++I) {
+        ParseRequest R = corpusParse(
+            "not_lr1_ambiguous", In,
+            (W + I) % 2 ? ParserKind::Glr : ParserKind::Earley);
+        R.Options.Cancel = Token;
+        R.Options.Limits.MaxGssNodes = 100000;
+        R.Options.Limits.MaxEarleyItems = 100000;
+        ParseResponse Resp = F.Parser.run(R);
+        // Accepted, or a structured cancellation/limit — never a crash.
+        if (!Resp.Ok)
+          EXPECT_NE(Resp.Status.Code, BuildStatusCode::Ok);
+        ++Ran;
+      }
+    });
+  std::thread Canceller([&] {
+    while (Ran.load() < 8 && !Stop.load())
+      std::this_thread::yield();
+    Token->cancel();
+  });
+  std::thread Invalidator([&] {
+    while (Ran.load() < 4 && !Stop.load())
+      std::this_thread::yield();
+    F.Parser.invalidateGrammar("not_lr1_ambiguous");
+  });
+  for (std::thread &T : Workers)
+    T.join();
+  Stop = true;
+  Canceller.join();
+  Invalidator.join();
+  EXPECT_EQ(Ran.load(), 32);
+  EXPECT_EQ(F.Parser.stats().Requests, 32u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch front end and stats export
+//===----------------------------------------------------------------------===//
+
+TEST(ParseServiceTest, RunBatchAnswersInOrder) {
+  ParseFixture F;
+  std::vector<ParseRequest> Requests;
+  Requests.push_back(corpusParse("expr", "NUM"));
+  Requests.push_back(corpusParse("expr", "NUM +"));
+  Requests.push_back(corpusParse("no_such", "x"));
+  std::vector<ParseResponse> Rs = F.Parser.runBatch(Requests);
+  ASSERT_EQ(Rs.size(), 3u);
+  EXPECT_TRUE(Rs[0].Ok && Rs[0].Accepted);
+  EXPECT_TRUE(Rs[1].Ok && !Rs[1].Accepted);
+  EXPECT_FALSE(Rs[2].Ok);
+}
+
+TEST(ParseStatsTest, JsonAndPipelineStatsCarryTheCounters) {
+  ParseFixture F;
+  ASSERT_TRUE(F.Parser.run(corpusParse("expr", "NUM + NUM")).Ok);
+  ASSERT_TRUE(
+      F.Parser.run(corpusParse("expr", "NUM", ParserKind::Earley)).Ok);
+  ParseStats S = F.Parser.stats();
+
+  std::string J = S.toJson();
+  EXPECT_NE(J.find("\"requests\":2"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"requests_lr\":1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"requests_earley\":1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"table_builds\":2"), std::string::npos) << J;
+
+  PipelineStats P = S.toPipelineStats("parse/unit");
+  EXPECT_EQ(P.Label, "parse/unit");
+  std::string PJ = P.toJson();
+  EXPECT_NE(PJ.find("parse_requests"), std::string::npos);
+  EXPECT_NE(PJ.find("parse_tokens"), std::string::npos);
+  EXPECT_NE(PJ.find("parse-run"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest `parse` token
+//===----------------------------------------------------------------------===//
+
+TEST(ParseManifestTest, ParseLineParsesOptionsGreedilyThenInput) {
+  std::string Error;
+  auto Entries = parseManifest(
+      "build expr lalr1\n"
+      "parse expr lr NUM + NUM\n"
+      "parse expr glr dense kind=slr1 solver=naive deadline-ms=250 "
+      "repeat=3 NUM * NUM\n"
+      "parse expr earley @inputs.txt\n",
+      Error);
+  ASSERT_TRUE(Entries.has_value()) << Error;
+  ASSERT_EQ(Entries->size(), 4u);
+
+  const ManifestEntry &Simple = (*Entries)[1];
+  EXPECT_EQ(Simple.Act, ManifestEntry::Action::Parse);
+  EXPECT_EQ(Simple.Driver, ParserKind::Lr);
+  EXPECT_EQ(Simple.ParseInput, "NUM + NUM");
+  EXPECT_FALSE(Simple.ParseDense);
+  EXPECT_EQ(Simple.Repeat, 1u);
+
+  const ManifestEntry &Full = (*Entries)[2];
+  EXPECT_EQ(Full.Driver, ParserKind::Glr);
+  EXPECT_TRUE(Full.ParseDense);
+  EXPECT_EQ(Full.Request.Options.Kind, TableKind::Slr1);
+  EXPECT_EQ(Full.Request.Options.Solver, SolverKind::NaiveFixpoint);
+  EXPECT_EQ(Full.Request.DeadlineMs, 250.0);
+  EXPECT_EQ(Full.Repeat, 3u);
+  EXPECT_EQ(Full.ParseInput, "NUM * NUM");
+
+  EXPECT_EQ((*Entries)[3].ParseInput, "@inputs.txt");
+}
+
+TEST(ParseManifestTest, MalformedParseLinesDiagnose) {
+  std::string Error;
+  EXPECT_FALSE(parseManifest("parse expr\n", Error).has_value());
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(parseManifest("parse expr warp NUM\n", Error).has_value());
+  EXPECT_NE(Error.find("driver"), std::string::npos);
+  EXPECT_FALSE(
+      parseManifest("parse expr lr deadline-ms=abc NUM\n", Error).has_value());
+  EXPECT_FALSE(parseManifest("parse expr lr repeat=0 NUM\n", Error)
+                   .has_value());
+}

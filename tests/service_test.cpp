@@ -798,7 +798,7 @@ TEST(ManifestTest, RejectsMalformedLinesWithLineNumbers) {
       {"invalidate", "line 1: expected: invalidate <grammar>"},
       {"invalidate a b", "line 1: expected: invalidate <grammar>"},
       {"destroy json", "line 1: unknown command 'destroy' (expected build, "
-                       "edit or invalidate)"},
+                       "edit, invalidate or parse)"},
       {"build json lalr1 solver=qux",
        "line 1: unknown solver 'qux' (expected digraph or naive)"},
       {"build json lalr1 repeat=0",
