@@ -14,6 +14,11 @@
 ///             build amortized over 9 tables)
 ///   mixed     realistic corpus x {lalr1, slr1, clr1}, serial vs 2 workers
 ///
+/// With --socket it instead measures the network front end: an
+/// in-process NetServer serving 1/2/4/8 concurrent retrying clients
+/// over real loopback connections — the saturation curve of the wire
+/// path (rows service-throughput/socket-cN).
+///
 /// Emits the standard pipeline-stats JSON (one entry per row via
 /// ServiceStats::toPipelineStats) for the compare_stats.py tooling.
 ///
@@ -21,9 +26,14 @@
 
 #include "BenchUtil.h"
 #include "corpus/CorpusGrammars.h"
+#include "net/NetClient.h"
+#include "net/NetServer.h"
 #include "service/BuildService.h"
 
+#include <atomic>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace lalr;
@@ -60,10 +70,113 @@ RowResult runComposition(const std::vector<ServiceRequest> &Requests,
   return Out;
 }
 
+/// --socket: the saturation curve of the network front end. One
+/// in-process NetServer (lalr_served's engine) per row; 1/2/4/8
+/// concurrent NetClients loop a fixed request mix over real loopback
+/// connections after a warm-up pass, so the measured region is the
+/// serving path — wire framing, admission, single-flight, cache hits —
+/// not first-build cost. Counters that are pure functions of the
+/// workload (net_requests; net_shed and net_drained, both zero by
+/// construction) are emitted under their gated names; concurrency-
+/// dependent ones (how the duplicates coalesced) go out ungated as
+/// socket_flights / socket_coalesced.
+int runSocketSaturation(StatsSink &Sink) {
+  const std::vector<std::string> Mix = {
+      "build json lalr1",   "build expr lalr1",
+      "build ansic lalr1",  "build minic slr1",
+      "parse expr lr NUM + NUM",
+  };
+  constexpr unsigned RequestsPerClient = 200;
+
+  std::printf("Network front-end saturation (loopback wire protocol; see "
+              "docs/SERVICE.md)\n\n");
+  TablePrinter P({9, 10, 11, 12, 11, 7});
+  P.header({"clients", "requests", "req/s", "mean req", "coalesced", "shed"});
+
+  for (unsigned Clients : {1u, 2u, 4u, 8u}) {
+    NetServer::Options Opts;
+    Opts.Build.CacheCapacity = 32;
+    NetServer Server(std::move(Opts));
+    std::string Error;
+    if (!Server.start(Error)) {
+      std::fprintf(stderr, "cannot start server: %s\n", Error.c_str());
+      return 1;
+    }
+
+    // Warm pass: one client populates the build cache and the parse
+    // table snapshots through the wire.
+    {
+      NetClient::Options CO;
+      CO.Port = Server.port();
+      NetClient Warm(CO);
+      for (const std::string &Line : Mix) {
+        WireResponse R;
+        if (!Warm.request(Line, R, Error) || !R.Ok) {
+          std::fprintf(stderr, "warmup '%s' failed: %s\n", Line.c_str(),
+                       (R.Ok ? Error : R.Message).c_str());
+          return 1;
+        }
+      }
+    }
+
+    std::atomic<uint64_t> Failures{0};
+    Timer T;
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&] {
+        NetClient::Options CO;
+        CO.Port = Server.port();
+        NetClient Cli(CO);
+        for (unsigned I = 0; I < RequestsPerClient; ++I) {
+          WireResponse R;
+          std::string Err;
+          if (!Cli.request(Mix[I % Mix.size()], R, Err) || !R.Ok)
+            Failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    for (std::thread &Th : Threads)
+      Th.join();
+    double RunUs = T.elapsedUs();
+    NetStats NS = Server.stats();
+    Server.drain();
+    if (Failures.load() > 0)
+      std::fprintf(stderr, "socket-c%u: %llu request(s) failed\n", Clients,
+                   static_cast<unsigned long long>(Failures.load()));
+
+    uint64_t Measured = static_cast<uint64_t>(Clients) * RequestsPerClient;
+    double ReqPerSec =
+        RunUs > 0 ? 1e6 * static_cast<double>(Measured) / RunUs : 0;
+    char Rate[24];
+    std::snprintf(Rate, sizeof(Rate), "%.0f", ReqPerSec);
+    P.row({fmt(Clients), fmt(Measured), Rate,
+           fmtUs(Measured ? RunUs / static_cast<double>(Measured) : 0),
+           fmt(NS.Coalesced), fmt(NS.Shed)});
+
+    PipelineStats Stats;
+    Stats.Label = "service-throughput/socket-c" + std::to_string(Clients);
+    Stats.addStage("socket-run", RunUs);
+    // Pure functions of the workload -> gated structural names.
+    Stats.setCounter("net_requests", NS.Requests);
+    Stats.setCounter("net_shed", NS.Shed);
+    Stats.setCounter("net_drained", NS.Drained);
+    // Concurrency-dependent -> ungated names.
+    Stats.setCounter("socket_clients", Clients);
+    Stats.setCounter("socket_requests", Measured);
+    Stats.setCounter("socket_flights", NS.Flights);
+    Stats.setCounter("socket_coalesced", NS.Coalesced);
+    Sink.add(Stats);
+  }
+  return Sink.flush();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   StatsSink Sink(Argc, Argv);
+
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--socket") == 0)
+      return runSocketSaturation(Sink);
 
   struct Row {
     std::string Label;

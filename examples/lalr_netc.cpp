@@ -1,0 +1,128 @@
+//===- examples/lalr_netc.cpp - Daemon client CLI ---------------------------===//
+///
+/// \file
+/// Command-line client for lalr_served: sends manifest-dialect request
+/// lines (positional arguments, or a file of lines via --manifest) and
+/// prints one response line each. Retries transport failures and
+/// shed/draining responses with capped exponential backoff + jitter
+/// (net/NetClient.h); exits 0 iff every request was answered `ok`.
+///
+/// Usage:
+///   lalr_netc --port N [--retries N] [--timeout-ms N] [--seed N]
+///             "build json lalr1" "parse json lr NULL" ...
+///   lalr_netc --port N --manifest FILE|-
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/NetClient.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lalr_netc --port N [options] LINE...\n"
+               "       lalr_netc --port N [options] --manifest FILE|-\n"
+               "  --retries N     attempts per request beyond the first "
+               "(default 3)\n"
+               "  --timeout-ms N  per-request response timeout (default "
+               "30000)\n"
+               "  --seed N        jitter seed (deterministic backoff)\n"
+               "  --quiet         suppress response lines\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  NetClient::Options Opts;
+  std::vector<std::string> Lines;
+  std::string ManifestPath;
+  bool Quiet = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--port" && I + 1 < Argc) {
+      Opts.Port = static_cast<uint16_t>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (Arg == "--retries" && I + 1 < Argc) {
+      Opts.MaxAttempts =
+          1 + static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (Arg == "--timeout-ms" && I + 1 < Argc) {
+      Opts.IoTimeoutMs = std::strtod(Argv[++I], nullptr);
+    } else if (Arg == "--seed" && I + 1 < Argc) {
+      Opts.JitterSeed = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--manifest" && I + 1 < Argc) {
+      ManifestPath = Argv[++I];
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      Lines.push_back(Arg);
+    }
+  }
+  if (Opts.Port == 0)
+    return usage();
+
+  if (!ManifestPath.empty()) {
+    std::string Text;
+    if (ManifestPath == "-") {
+      std::ostringstream SS;
+      SS << std::cin.rdbuf();
+      Text = SS.str();
+    } else {
+      std::ifstream In(ManifestPath);
+      if (!In) {
+        std::fprintf(stderr, "cannot open '%s'\n", ManifestPath.c_str());
+        return 2;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Text = SS.str();
+    }
+    std::istringstream LinesIn(Text);
+    std::string Line;
+    while (std::getline(LinesIn, Line)) {
+      // Comments and blanks are manifest-file affordances; the wire
+      // wants only real requests.
+      size_t Start = Line.find_first_not_of(" \t");
+      if (Start == std::string::npos || Line[Start] == '#')
+        continue;
+      Lines.push_back(Line);
+    }
+  }
+  if (Lines.empty())
+    return usage();
+
+  NetClient Client(Opts);
+  bool AnyFailed = false;
+  for (const std::string &Line : Lines) {
+    WireResponse R;
+    std::string Error;
+    if (!Client.request(Line, R, Error)) {
+      AnyFailed = true;
+      std::fprintf(stderr, "FAIL %s: %s\n", Line.c_str(), Error.c_str());
+      continue;
+    }
+    AnyFailed |= !R.Ok;
+    if (Quiet)
+      continue;
+    if (R.Ok)
+      std::printf("ok   %s\n", R.Body.c_str());
+    else
+      std::printf("err  [%s] %s\n", R.Code.c_str(), R.Message.c_str());
+  }
+  if (Client.retries())
+    std::fprintf(stderr, "(%llu retries)\n",
+                 static_cast<unsigned long long>(Client.retries()));
+  return AnyFailed ? 1 : 0;
+}

@@ -1,0 +1,198 @@
+//===- examples/lalr_served.cpp - Loopback serving daemon -------------------===//
+///
+/// \file
+/// The network front end of the build/parse services: listens on
+/// 127.0.0.1, speaks the manifest dialect one request line per
+/// connection turn (see docs/SERVICE.md, "Wire protocol"), and shuts
+/// down gracefully on SIGTERM/SIGINT — in-flight requests finish or are
+/// cancelled with structured statuses, aggregate stats are flushed, and
+/// the process exits 0.
+///
+/// Usage:
+///   lalr_served [--port N]             # 0 (default) = ephemeral; the
+///                                      # chosen port is printed first
+///   lalr_served [--workers N] [--cache-capacity N] [--max-inflight N]
+///               [--queue-depth N] [--admission-timeout-ms N]
+///               [--retry-after-ms N] [--deadline-ms N] [--limit NAME=N]
+///               [--drain-grace-ms N] [--stats-json PATH|-] [--verify]
+///
+/// The first stdout line is always `listening 127.0.0.1:<port>` so
+/// scripts can scrape the ephemeral port.
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/NetServer.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+using namespace lalr;
+
+namespace {
+
+NetServer *GServer = nullptr;
+std::atomic<bool> GDrainRequested{false};
+
+void onSignal(int) {
+  GDrainRequested.store(true, std::memory_order_release);
+  if (GServer)
+    GServer->notifyDrainAsync(); // async-signal-safe
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lalr_served [options]\n"
+      "  --port N                listen port on 127.0.0.1 (default 0 = "
+      "ephemeral;\n"
+      "                          the bound port is printed on stdout)\n"
+      "  --workers N             batch-level build parallelism\n"
+      "  --cache-capacity N      LRU bound on cached grammar contexts\n"
+      "  --table-capacity N      LRU bound on parse serving tables\n"
+      "  --max-inflight N        concurrent request executions (default 8)\n"
+      "  --queue-depth N         admission wait-queue bound (default 16)\n"
+      "  --admission-timeout-ms N  max admission wait before shedding\n"
+      "  --retry-after-ms N      backoff hint in shed/draining responses\n"
+      "  --deadline-ms N         default per-request deadline\n"
+      "  --limit NAME=N          service-wide build/parse limit "
+      "(repeatable)\n"
+      "  --drain-grace-ms N      drain: grace before cancelling in-flight\n"
+      "  --stats-json PATH       flush stats JSON on shutdown ('-' = "
+      "stdout)\n"
+      "  --verify                run the artifact verifier on every build\n");
+  return 2;
+}
+
+/// Same NAME=N limit vocabulary as lalr_batchd.
+bool parseLimitFlag(const std::string &Value, BuildLimits &Limits) {
+  size_t Eq = Value.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  std::string Name = Value.substr(0, Eq);
+  char *End = nullptr;
+  double N = std::strtod(Value.c_str() + Eq + 1, &End);
+  if (!End || *End != '\0' || N <= 0)
+    return false;
+  if (Name == "lr0_states")
+    Limits.MaxLr0States = static_cast<uint64_t>(N);
+  else if (Name == "lr1_states")
+    Limits.MaxLr1States = static_cast<uint64_t>(N);
+  else if (Name == "items")
+    Limits.MaxItems = static_cast<uint64_t>(N);
+  else if (Name == "relation_edges")
+    Limits.MaxRelationEdges = static_cast<uint64_t>(N);
+  else if (Name == "set_bits")
+    Limits.MaxSetBits = static_cast<uint64_t>(N);
+  else if (Name == "wall_ms")
+    Limits.MaxWallMs = N;
+  else if (Name == "input_tokens")
+    Limits.MaxInputTokens = static_cast<uint64_t>(N);
+  else if (Name == "gss_nodes")
+    Limits.MaxGssNodes = static_cast<uint64_t>(N);
+  else if (Name == "earley_items")
+    Limits.MaxEarleyItems = static_cast<uint64_t>(N);
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  NetServer::Options Opts;
+  std::string StatsJsonPath;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextU = [&](auto &Field) {
+      Field = static_cast<std::remove_reference_t<decltype(Field)>>(
+          std::strtoul(Argv[++I], nullptr, 10));
+    };
+    if (Arg == "--port" && I + 1 < Argc) {
+      NextU(Opts.Port);
+    } else if (Arg == "--workers" && I + 1 < Argc) {
+      Opts.Build.Workers = parseBuildThreads(Argv[++I]);
+    } else if (Arg == "--cache-capacity" && I + 1 < Argc) {
+      NextU(Opts.Build.CacheCapacity);
+    } else if (Arg == "--table-capacity" && I + 1 < Argc) {
+      NextU(Opts.Parse.TableCapacity);
+    } else if (Arg == "--max-inflight" && I + 1 < Argc) {
+      NextU(Opts.MaxInflight);
+    } else if (Arg == "--queue-depth" && I + 1 < Argc) {
+      NextU(Opts.MaxQueueDepth);
+    } else if (Arg == "--admission-timeout-ms" && I + 1 < Argc) {
+      Opts.AdmissionTimeoutMs = std::strtod(Argv[++I], nullptr);
+    } else if (Arg == "--retry-after-ms" && I + 1 < Argc) {
+      Opts.RetryAfterMs = std::strtod(Argv[++I], nullptr);
+    } else if (Arg == "--deadline-ms" && I + 1 < Argc) {
+      Opts.DefaultDeadlineMs = std::strtod(Argv[++I], nullptr);
+    } else if (Arg == "--drain-grace-ms" && I + 1 < Argc) {
+      Opts.DrainGraceMs = std::strtod(Argv[++I], nullptr);
+    } else if (Arg == "--limit" && I + 1 < Argc) {
+      if (!parseLimitFlag(Argv[++I], Opts.Build.DefaultLimits)) {
+        std::fprintf(stderr, "--limit %s: expected NAME=N\n", Argv[I]);
+        return 2;
+      }
+      Opts.Parse.DefaultLimits = Opts.Build.DefaultLimits;
+    } else if (Arg == "--stats-json" && I + 1 < Argc) {
+      StatsJsonPath = Argv[++I];
+    } else if (Arg == "--verify") {
+      Opts.Build.VerifyBuilds = true;
+    } else {
+      return usage();
+    }
+  }
+  Opts.Build.DefaultDeadlineMs = Opts.DefaultDeadlineMs;
+  Opts.Parse.DefaultDeadlineMs = Opts.DefaultDeadlineMs;
+
+  NetServer Server(Opts);
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "lalr_served: %s\n", Error.c_str());
+    return 1;
+  }
+  GServer = &Server;
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::printf("listening 127.0.0.1:%u\n", Server.port());
+  std::fflush(stdout);
+
+  // Park until a signal (or an in-process drain) asks for shutdown.
+  while (!Server.draining())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Server.waitDrained();
+  GServer = nullptr;
+
+  NetStats S = Server.stats();
+  std::printf("%s", reportNetStats(S).c_str());
+
+  if (!StatsJsonPath.empty()) {
+    // Nested schema mirroring lalr_batchd's: the daemon's own counters
+    // plus the underlying service/parse rollups.
+    std::string Json = "{\"net\": ";
+    Json += S.toJson(/*Pretty=*/true);
+    Json += ",\n\"service\": ";
+    Json += Server.buildService().stats().toJson(/*Pretty=*/true);
+    Json += ",\n\"parse\": ";
+    Json += Server.parseService().stats().toJson(/*Pretty=*/true);
+    Json += "}\n";
+    if (StatsJsonPath == "-") {
+      std::fputs(Json.c_str(), stdout);
+    } else {
+      std::ofstream Out(StatsJsonPath);
+      if (!Out) {
+        std::fprintf(stderr, "cannot write '%s'\n", StatsJsonPath.c_str());
+        return 1;
+      }
+      Out << Json;
+    }
+  }
+  return 0;
+}

@@ -17,3 +17,10 @@ cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure \
   -E 'example_|CodeGenTest.GeneratedParserCompiles'
+
+# The network front end runs its loopback smoke explicitly (the ctest
+# -E above excludes the example_* smoke tests): daemon + retrying client
+# over real sockets, SIGTERM drain, stats flush — all under ASan+UBSan.
+SERVED_BIN=build-asan/examples/lalr_served \
+  NETC_BIN=build-asan/examples/lalr_netc \
+  scripts/served_smoke.sh

@@ -13,13 +13,15 @@
 # TSan exists to check. The parse test joins them for the serving layer:
 # concurrent GLR/Earley traffic sharing immutable snapshots while other
 # threads cancel the shared token and invalidate the snapshot LRU.
+# The net test closes the sweep: concurrent wire clients racing the
+# single-flight map, admission slots, drain, and injected socket faults.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 cmake --build build-tsan --target parallel_test lalr_test pipeline_test \
-  service_test parse_test robustness_test faultinject_test
+  service_test parse_test robustness_test faultinject_test net_test
 
 ./build-tsan/tests/parallel_test
 LALR_THREADS=4 ./build-tsan/tests/lalr_test
@@ -31,3 +33,5 @@ LALR_THREADS=2 ./build-tsan/tests/parse_test
 LALR_THREADS=2 ./build-tsan/tests/robustness_test
 ./build-tsan/tests/faultinject_test
 LALR_THREADS=4 ./build-tsan/tests/faultinject_test
+./build-tsan/tests/net_test
+LALR_THREADS=2 ./build-tsan/tests/net_test

@@ -35,3 +35,9 @@ mkdir -p build/bench-stats
     fi
   done
 } 2>&1 | tee bench_output.txt
+
+# The network front end's saturation curve (--socket is a mode flag, so
+# the default-args loop above doesn't reach it).
+./build/bench/bench_service_throughput --socket \
+  --json build/bench-stats/bench_service_throughput_socket.json \
+  2>&1 | tee -a bench_output.txt

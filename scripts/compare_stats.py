@@ -66,6 +66,13 @@ STRUCTURAL_COUNTERS = {
     # deadlines in play.
     "parse_requests", "parse_accepted", "parse_rejected", "parse_tokens",
     "parse_table_builds", "parse_forest_nodes",
+    # Network front end: the request count is a pure function of the
+    # workload, shed/drained must stay zero in benches (no saturation or
+    # shutdown inside a measured region), and a coalescing drift in a
+    # deterministic fixture means the single-flight keying changed.
+    # Benches whose coalescing IS timing-dependent emit it under the
+    # ungated socket_coalesced name instead.
+    "net_requests", "net_coalesced", "net_shed", "net_drained",
 }
 
 

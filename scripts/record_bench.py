@@ -127,6 +127,34 @@ def parse_throughput(stats):
     return None
 
 
+def socket_saturation(stats):
+    """The network front end's saturation curve from the
+    bench_service_throughput --socket rows: {client_count:
+    requests_per_second} over every service-throughput/socket-cN entry
+    (measured socket_requests over the socket-run stage wall). None when
+    no file carries socket traffic — the snapshot then omits it."""
+    curve = {}
+    for entries in stats.values():
+        if not isinstance(entries, list):
+            continue  # compact summaries carry no stages
+        for e in entries:
+            label = str(e.get("label", ""))
+            if not label.startswith("service-throughput/socket-c"):
+                continue
+            clients = label.rsplit("socket-c", 1)[1]
+            reqs = 0
+            run_us = 0.0
+            for c in e.get("counters", []):
+                if c["name"] == "socket_requests":
+                    reqs = c["value"]
+            for s in e.get("stages", []):
+                if s["name"] == "socket-run":
+                    run_us = s["wall_us"]
+            if reqs and run_us > 0:
+                curve[clients] = round(reqs / (run_us / 1e6))
+    return curve or None
+
+
 def migrate(path, out):
     """Rewrites an existing raw snapshot compactly, keeping every
     non-stats field (date, commit, micro, derived ratios) verbatim."""
@@ -203,6 +231,12 @@ def main():
     tok_s = parse_throughput(raw)
     if tok_s is not None:
         snap["parse_tokens_per_second"] = round(tok_s)
+
+    # The network front end's saturation curve, when the --socket bench
+    # contributed: clients -> requests/second as a first-class number.
+    curve = socket_saturation(raw)
+    if curve is not None:
+        snap["socket_requests_per_second"] = curve
 
     if args.micro:
         try:

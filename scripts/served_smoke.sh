@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the serving daemon: start lalr_served on an
+# ephemeral port, drive a request mix through the retrying client
+# (lalr_netc), then SIGTERM the daemon and assert a graceful drain —
+# exit 0 and the stats JSON flushed. Run by ctest (example_served_smoke)
+# and explicitly by scripts/check-sanitize.sh under ASan.
+#
+# Env: SERVED_BIN / NETC_BIN point at the built binaries (default: look
+# in ./build/examples relative to the repo root).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SERVED_BIN="${SERVED_BIN:-$ROOT/build/examples/lalr_served}"
+NETC_BIN="${NETC_BIN:-$ROOT/build/examples/lalr_netc}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+STATS="$WORK/served_stats.json"
+OUT="$WORK/served.out"
+
+"$SERVED_BIN" --port 0 --max-inflight 4 --deadline-ms 30000 \
+  --stats-json "$STATS" >"$OUT" 2>&1 &
+SERVED_PID=$!
+
+# Scrape the ephemeral port from the daemon's first stdout line.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$OUT" | head -n1)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVED_PID" 2>/dev/null || { cat "$OUT"; echo "daemon died before listening"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { cat "$OUT"; echo "no listening line"; exit 1; }
+
+"$NETC_BIN" --port "$PORT" \
+  "ping" \
+  "build json lalr1" \
+  "build json lalr1 compress" \
+  "parse expr lr NUM + NUM" \
+  "edit json prec ',' left 1" \
+  "build json lalr1" \
+  "invalidate json" \
+  "build json lalr1" \
+  "stats"
+
+# A second client proves cross-connection reuse of the warm cache.
+"$NETC_BIN" --port "$PORT" "build json lalr1" "parse json lr NULL"
+
+kill -TERM "$SERVED_PID"
+DRAIN_RC=0
+wait "$SERVED_PID" || DRAIN_RC=$?
+if [ "$DRAIN_RC" -ne 0 ]; then
+  cat "$OUT"
+  echo "daemon exited $DRAIN_RC (expected graceful 0 on SIGTERM)"
+  exit 1
+fi
+
+[ -s "$STATS" ] || { cat "$OUT"; echo "stats JSON was not flushed"; exit 1; }
+grep -q '"requests"' "$STATS" || { cat "$STATS"; echo "stats JSON missing counters"; exit 1; }
+
+echo "served smoke OK (port $PORT)"

@@ -127,6 +127,24 @@ class CompareFunctionTest(unittest.TestCase):
         self.assertIn("counter parse_forest_nodes: 656 -> 640", problems[1])
         self.assertIn("counter parse_rejected: 0 -> 1", problems[2])
 
+    def test_net_counters_are_structural(self):
+        # The network front end: the request count is workload-determined
+        # and shed/drained must stay zero in measured regions; the
+        # timing-dependent coalescing of a saturation bench rides under
+        # the ungated socket_coalesced name and may drift freely.
+        base = self.load("base", {"a.json": [entry(
+            "service-throughput/socket-c4",
+            {"net_requests": 805, "net_shed": 0, "net_drained": 0,
+             "socket_coalesced": 17})]})
+        cand = self.load("cand", {"a.json": [entry(
+            "service-throughput/socket-c4",
+            {"net_requests": 805, "net_shed": 2, "net_drained": 0,
+             "socket_coalesced": 92})]})
+        problems = compare_stats.compare(base, cand, 1.5, 100.0)
+        self.assertEqual(len(problems), 1)
+        self.assertIn("counter net_shed: 0 -> 2 (structural drift)",
+                      problems[0])
+
     def test_non_structural_counter_drift_is_ignored(self):
         # build_threads varies across configurations by design.
         base = self.load("base", {"a.json": [entry("g", {"build_threads": 0})]})

@@ -1,0 +1,102 @@
+//===- net/NetClient.cpp - Retrying daemon client -------------------------===//
+
+#include "net/NetClient.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lalr {
+
+bool isIdempotentRequestLine(std::string_view Line) {
+  size_t Start = Line.find_first_not_of(" \t");
+  if (Start == std::string_view::npos)
+    return true;
+  size_t End = Line.find_first_of(" \t", Start);
+  std::string_view Verb = Line.substr(
+      Start, End == std::string_view::npos ? std::string_view::npos
+                                           : End - Start);
+  return Verb != "edit";
+}
+
+void NetClient::backoff(unsigned AttemptIdx, double MinMs) {
+  double Ms = Opts.BackoffBaseMs;
+  for (unsigned I = 0; I < AttemptIdx && Ms < Opts.BackoffCapMs; ++I)
+    Ms *= 2;
+  if (Ms > Opts.BackoffCapMs)
+    Ms = Opts.BackoffCapMs;
+  if (Opts.BackoffBaseMs >= 1)
+    Ms += static_cast<double>(
+        Jitter.below(static_cast<uint64_t>(Opts.BackoffBaseMs)));
+  if (Ms < MinMs)
+    Ms = MinMs;
+  if (Ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(Ms));
+}
+
+NetClient::Attempt NetClient::attemptOnce(std::string_view Line,
+                                          WireResponse &Out,
+                                          std::string &Error) {
+  if (!Chan) {
+    Socket Conn = connectLoopback(Opts.Port, Opts.ConnectTimeoutMs, Error);
+    if (!Conn.valid())
+      return Attempt::NotSent;
+    Chan = std::make_unique<LineChannel>(std::move(Conn));
+  }
+  LineChannel::Io W = Chan->writeLine(Line, Opts.IoTimeoutMs);
+  if (W != LineChannel::Io::Ok) {
+    Error = "request write failed";
+    Chan.reset();
+    // A failed write may still have pushed bytes into the socket before
+    // the connection died; only a failed connect is provably unsent.
+    return Attempt::MaybeSent;
+  }
+  std::string Resp;
+  LineChannel::Io R = Chan->readLine(Resp, Opts.IoTimeoutMs);
+  if (R != LineChannel::Io::Ok) {
+    Error = R == LineChannel::Io::Timeout ? "response timed out"
+            : R == LineChannel::Io::Eof   ? "connection closed mid-response"
+                                          : "response read failed";
+    Chan.reset();
+    return Attempt::MaybeSent;
+  }
+  if (!parseResponseLine(Resp, Out, Error)) {
+    Chan.reset();
+    return Attempt::MaybeSent;
+  }
+  return Attempt::Ok;
+}
+
+bool NetClient::request(std::string_view Line, WireResponse &Out,
+                        std::string &Error) {
+  unsigned MaxAttempts = Opts.MaxAttempts > 0 ? Opts.MaxAttempts : 1;
+  bool Idempotent = isIdempotentRequestLine(Line) || Opts.RetryNonIdempotent;
+  Error.clear();
+  for (unsigned A = 0;; ++A) {
+    std::string AttemptError;
+    Attempt St = attemptOnce(Line, Out, AttemptError);
+    if (St == Attempt::Ok) {
+      // A shed/draining response is an explicit "try again later": the
+      // server did not execute the request, so resending is safe for
+      // every verb. Honor its delay hint as the backoff floor.
+      if (!Out.Ok && Out.retryable() && A + 1 < MaxAttempts) {
+        ++Retries;
+        backoff(A, Out.RetryAfterMs);
+        continue;
+      }
+      return true;
+    }
+    Error = AttemptError;
+    bool CanRetry = Idempotent || St == Attempt::NotSent;
+    if (!CanRetry || A + 1 >= MaxAttempts) {
+      if (!CanRetry)
+        Error += " (not retried: non-idempotent request may have been "
+                 "received)";
+      return false;
+    }
+    ++Retries;
+    backoff(A, 0);
+  }
+}
+
+} // namespace lalr

@@ -1,0 +1,107 @@
+//===- net/NetClient.h - Retrying daemon client -----------------*- C++ -*-===//
+///
+/// \file
+/// The client library for `lalr_served`: sends one manifest-dialect
+/// request line at a time and parses the structured response, with the
+/// retry discipline a flaky wire demands:
+///
+///  * transport failures (refused connect, torn read, mid-response
+///    disconnect) reconnect and retry with capped exponential backoff
+///    plus deterministic jitter (support/Rng — a seeded client replays
+///    its exact backoff schedule);
+///  * `err shed` / `err draining` responses retry after
+///    max(backoff, retry-after-ms) — the server is explicitly asking
+///    for the delay, and it did not execute the request, so even
+///    non-idempotent verbs are safe to resend;
+///  * idempotency is respected: `edit` (the one non-idempotent verb) is
+///    retried after a transport failure only when the request line was
+///    provably never sent (connect failed) — once bytes may have
+///    reached the server, the client reports the failure instead of
+///    risking a double apply. Everything else (build, parse,
+///    invalidate, ping, stats) retries freely: responses carry no
+///    timings or hit/miss markers, so a retry is byte-identical.
+///
+/// The client consults no failpoints — in-process loopback tests inject
+/// faults on the server side only (net/Socket.h), so a client talking
+/// through the same process's registry stays deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_NET_NETCLIENT_H
+#define LALR_NET_NETCLIENT_H
+
+#include "net/Socket.h"
+#include "net/WireProtocol.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace lalr {
+
+/// One connection to a lalr_served daemon with retrying request().
+class NetClient {
+public:
+  struct Options {
+    /// Loopback port the daemon listens on.
+    uint16_t Port = 0;
+    double ConnectTimeoutMs = 2000;
+    /// Per-request response timeout (covers the build/parse itself).
+    double IoTimeoutMs = 30000;
+    /// Total tries per request (1 = no retries; clamped to >= 1).
+    unsigned MaxAttempts = 4;
+    /// Backoff schedule: min(cap, base * 2^attempt) + jitter in
+    /// [0, base), milliseconds.
+    double BackoffBaseMs = 5;
+    double BackoffCapMs = 200;
+    /// Seed for the deterministic jitter stream.
+    uint64_t JitterSeed = 0x6c616c72; // "lalr"
+    /// Retry `edit` even when the request may have reached the server
+    /// (accepts possible double-apply; off by default).
+    bool RetryNonIdempotent = false;
+  };
+
+  explicit NetClient(Options Opts)
+      : Opts(Opts), Jitter(Opts.JitterSeed ? Opts.JitterSeed : 1) {}
+
+  NetClient(const NetClient &) = delete;
+  NetClient &operator=(const NetClient &) = delete;
+
+  /// Sends \p Line and fills \p Out with the parsed response. Returns
+  /// false only when every attempt failed at the transport level (or
+  /// the response was unparseable); \p Error says why. A structured
+  /// `err` response from the server returns true with Out.Ok == false —
+  /// the request was answered.
+  bool request(std::string_view Line, WireResponse &Out, std::string &Error);
+
+  /// Retries performed across all request() calls (test observability).
+  uint64_t retries() const { return Retries; }
+
+  /// Drops the connection (the next request reconnects).
+  void close() { Chan.reset(); }
+
+private:
+  enum class Attempt : uint8_t {
+    Ok,          ///< response parsed into Out
+    NotSent,     ///< transport failed before any request byte went out
+    MaybeSent,   ///< transport failed after the send began
+  };
+  Attempt attemptOnce(std::string_view Line, WireResponse &Out,
+                      std::string &Error);
+  void backoff(unsigned AttemptIdx, double MinMs);
+
+  const Options Opts;
+  Rng Jitter;
+  std::unique_ptr<LineChannel> Chan;
+  uint64_t Retries = 0;
+};
+
+/// True for verbs whose wire responses are byte-identical across
+/// re-execution (everything except `edit`).
+bool isIdempotentRequestLine(std::string_view Line);
+
+} // namespace lalr
+
+#endif // LALR_NET_NETCLIENT_H

@@ -1,0 +1,634 @@
+//===- net/NetServer.cpp - Loopback serving daemon ------------------------===//
+
+#include "net/NetServer.h"
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarEdit.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/GrammarPrinter.h"
+#include "net/WireProtocol.h"
+#include "service/ContextCache.h"
+#include "service/Manifest.h"
+#include "support/FailPoint.h"
+
+#include <chrono>
+#include <poll.h>
+#include <unistd.h>
+
+namespace lalr {
+
+//===----------------------------------------------------------------------===//
+// NetStats
+//===----------------------------------------------------------------------===//
+
+std::string NetStats::toJson(bool Pretty) const {
+  const char *Sep = Pretty ? ",\n  " : ", ";
+  std::string Out = Pretty ? "{\n  " : "{";
+  bool First = true;
+  auto Field = [&](const char *Name, uint64_t V) {
+    if (!First)
+      Out += Sep;
+    First = false;
+    Out += '"';
+    Out += Name;
+    Out += "\": ";
+    Out += std::to_string(V);
+  };
+  Field("connections", Connections);
+  Field("requests", Requests);
+  Field("ok_responses", OkResponses);
+  Field("err_responses", ErrResponses);
+  Field("bad_requests", BadRequests);
+  Field("flights", Flights);
+  Field("coalesced", Coalesced);
+  Field("shed", Shed);
+  Field("drained", Drained);
+  Field("accept_faults", AcceptFaults);
+  Field("read_faults", ReadFaults);
+  Field("write_faults", WriteFaults);
+  Out += Pretty ? "\n}" : "}";
+  return Out;
+}
+
+PipelineStats NetStats::toPipelineStats(std::string Label) const {
+  PipelineStats Out;
+  Out.Label = std::move(Label);
+  Out.setCounter("net_connections", Connections);
+  Out.setCounter("net_requests", Requests);
+  Out.setCounter("net_ok_responses", OkResponses);
+  Out.setCounter("net_err_responses", ErrResponses);
+  Out.setCounter("net_bad_requests", BadRequests);
+  Out.setCounter("net_flights", Flights);
+  Out.setCounter("net_coalesced", Coalesced);
+  Out.setCounter("net_shed", Shed);
+  Out.setCounter("net_drained", Drained);
+  Out.setCounter("net_accept_faults", AcceptFaults);
+  Out.setCounter("net_read_faults", ReadFaults);
+  Out.setCounter("net_write_faults", WriteFaults);
+  return Out;
+}
+
+std::string reportNetStats(const NetStats &S) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "net: %llu connections, %llu requests (%llu ok, %llu err), "
+                "%llu flights + %llu coalesced, %llu shed, %llu drained, "
+                "faults a/r/w %llu/%llu/%llu\n",
+                static_cast<unsigned long long>(S.Connections),
+                static_cast<unsigned long long>(S.Requests),
+                static_cast<unsigned long long>(S.OkResponses),
+                static_cast<unsigned long long>(S.ErrResponses),
+                static_cast<unsigned long long>(S.Flights),
+                static_cast<unsigned long long>(S.Coalesced),
+                static_cast<unsigned long long>(S.Shed),
+                static_cast<unsigned long long>(S.Drained),
+                static_cast<unsigned long long>(S.AcceptFaults),
+                static_cast<unsigned long long>(S.ReadFaults),
+                static_cast<unsigned long long>(S.WriteFaults));
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// NetServer
+//===----------------------------------------------------------------------===//
+
+/// One in-flight single-flight execution. Guarded by the server's
+/// FlightsMu; followers hold the shared_ptr past map erasure.
+struct NetServer::Flight {
+  bool Done = false;
+  std::string Line; ///< the response every attached request receives
+};
+
+namespace {
+
+/// Identity of a coalescable request: everything that decides the
+/// response bytes (grammar name + effective source hash, action,
+/// table/driver configuration, limits, parse input). Deadlines are
+/// deliberately excluded — requests differing only in deadline coalesce
+/// and the leader's governance applies.
+std::string requestFingerprint(const ManifestEntry &E,
+                               std::string_view EffectiveSource) {
+  const BuildOptions &O = E.Request.Options;
+  std::string F = E.Act == ManifestEntry::Action::Parse ? "p|" : "b|";
+  F += E.Request.GrammarName;
+  F += '|';
+  F += std::to_string(hashGrammarSource(EffectiveSource));
+  F += '|';
+  F += tableKindName(O.Kind);
+  F += '|';
+  F += std::to_string(static_cast<int>(O.Solver));
+  F += O.Compress ? 'c' : '-';
+  F += O.Verify ? 'v' : '-';
+  F += O.Conflicts == ConflictPolicy::RequireAdequate ? 'a' : '-';
+  F += '|';
+  const BuildLimits &L = O.Limits;
+  for (uint64_t V : {L.MaxLr0States, L.MaxLr1States, L.MaxItems,
+                     L.MaxRelationEdges, L.MaxSetBits, L.MaxSlabBytes,
+                     L.MaxInputTokens, L.MaxGssNodes, L.MaxEarleyItems}) {
+    F += std::to_string(V);
+    F += ',';
+  }
+  F += std::to_string(L.MaxWallMs);
+  if (E.Act == ManifestEntry::Action::Parse) {
+    F += '|';
+    F += parserKindName(E.Driver);
+    F += E.ParseDense ? 'd' : '-';
+    F += '|';
+    F += E.ParseInput;
+  }
+  return F;
+}
+
+/// Fills in a human-readable message for statuses whose renderer left it
+/// empty (the wire always carries msg=).
+std::string statusLine(BuildStatus Status, const std::string &Fallback) {
+  if (Status.Message.empty())
+    Status.Message = Fallback.empty() ? buildStatusCodeName(Status.Code)
+                                      : Fallback;
+  return formatStatusLine(Status);
+}
+
+} // namespace
+
+NetServer::NetServer(Options O)
+    : Opts(std::move(O)), Build(Opts.Build), Parse(Build, Opts.Parse) {}
+
+NetServer::~NetServer() {
+  if (Started.load(std::memory_order_acquire))
+    drain();
+  if (WakePipe[0] >= 0)
+    ::close(WakePipe[0]);
+  if (WakePipe[1] >= 0)
+    ::close(WakePipe[1]);
+}
+
+bool NetServer::start(std::string &Error) {
+  Listener = listenLoopback(Opts.Port, BoundPort, Error);
+  if (!Listener.valid())
+    return false;
+  if (::pipe(WakePipe) != 0) {
+    Error = "pipe failed";
+    return false;
+  }
+  Started.store(true, std::memory_order_release);
+  AcceptThread = std::thread(&NetServer::acceptLoop, this);
+  return true;
+}
+
+void NetServer::notifyDrainAsync() {
+  Draining.store(true, std::memory_order_release);
+  if (WakePipe[1] >= 0) {
+    char B = 'q';
+    // Best effort; the accept loop also re-checks the flag. The result
+    // is ignored deliberately (async-signal-safe context).
+    [[maybe_unused]] ssize_t N = ::write(WakePipe[1], &B, 1);
+  }
+}
+
+void NetServer::drain() {
+  notifyDrainAsync();
+  waitDrained();
+}
+
+void NetServer::waitDrained() {
+  if (!Started.load(std::memory_order_acquire))
+    return;
+  Draining.store(true, std::memory_order_release);
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  // Wake admission waiters so they shed instead of sitting out their
+  // timeout against a draining server.
+  SlotFree.notifyAll();
+  // Give in-flight executions the grace period, then cancel whatever is
+  // still running; the cancelled builds return structured statuses.
+  bool Idle;
+  {
+    MutexLock Lock(ConnMu);
+    Idle = ConnsIdle.waitFor(
+        Lock, std::chrono::duration<double, std::milli>(Opts.DrainGraceMs),
+        [&]() LALR_REQUIRES(ConnMu) { return ActiveConns == 0; });
+  }
+  if (!Idle) {
+    MutexLock Lock(TokensMu);
+    for (auto &KV : LiveTokens)
+      KV.second->cancel();
+  }
+  std::vector<std::thread> ToJoin;
+  {
+    MutexLock Lock(ConnMu);
+    ToJoin.swap(ConnThreads);
+  }
+  for (std::thread &T : ToJoin)
+    if (T.joinable())
+      T.join();
+}
+
+NetStats NetServer::stats() const {
+  MutexLock Lock(StatsMu);
+  return Counts;
+}
+
+void NetServer::acceptLoop() {
+  while (!draining()) {
+    pollfd Fds[2] = {{Listener.fd(), POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    int N = ::poll(Fds, 2, -1);
+    if (N < 0)
+      continue;
+    if (Fds[1].revents & POLLIN)
+      break;
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+    std::string Error;
+    Socket Conn = acceptOn(Listener, Error);
+    if (!Conn.valid())
+      continue;
+    bool Fault = false;
+    try {
+      failPoint("net_accept");
+    } catch (const BuildAbort &) {
+      Fault = true;
+    }
+    if (Fault) {
+      // Simulated accept failure: the connection is dropped before any
+      // byte is exchanged; the client sees EOF and retries.
+      MutexLock Lock(StatsMu);
+      ++Counts.AcceptFaults;
+      continue;
+    }
+    {
+      MutexLock Lock(StatsMu);
+      ++Counts.Connections;
+    }
+    MutexLock Lock(ConnMu);
+    ++ActiveConns;
+    ConnThreads.emplace_back(&NetServer::handleConnection, this,
+                             std::move(Conn));
+  }
+  Listener.close();
+}
+
+void NetServer::handleConnection(Socket Conn) {
+  LineChannel Chan(std::move(Conn), "net_read", "net_write");
+  constexpr double kSliceMs = 25; ///< drain-reaction latency bound
+  double IdleMs = 0;
+  std::string Line;
+
+  auto Respond = [&](const std::string &Resp) -> bool {
+    {
+      MutexLock Lock(StatsMu);
+      if (Resp.compare(0, 2, "ok") == 0)
+        ++Counts.OkResponses;
+      else
+        ++Counts.ErrResponses;
+    }
+    LineChannel::Io W = Chan.writeLine(Resp, Opts.WriteTimeoutMs);
+    if (W == LineChannel::Io::Fault) {
+      MutexLock Lock(StatsMu);
+      ++Counts.WriteFaults;
+    }
+    return W == LineChannel::Io::Ok;
+  };
+
+  for (;;) {
+    if (draining()) {
+      // Answer every request line already on the wire with a structured
+      // draining status before closing — no silent drops. readLine(0)
+      // returns buffered lines plus whatever is immediately readable.
+      while (Chan.readLine(Line, 0) == LineChannel::Io::Ok) {
+        {
+          MutexLock Lock(StatsMu);
+          ++Counts.Requests;
+          ++Counts.Drained;
+        }
+        if (!Respond(formatErrLine(kWireDraining, "server draining",
+                                   Opts.RetryAfterMs)))
+          break;
+      }
+      break;
+    }
+    LineChannel::Io St = Chan.readLine(Line, kSliceMs);
+    if (St == LineChannel::Io::Timeout) {
+      IdleMs += kSliceMs;
+      if (Opts.IdleTimeoutMs > 0 && IdleMs >= Opts.IdleTimeoutMs)
+        break;
+      continue;
+    }
+    IdleMs = 0;
+    if (St == LineChannel::Io::Eof)
+      break;
+    if (St == LineChannel::Io::Fault) {
+      MutexLock Lock(StatsMu);
+      ++Counts.ReadFaults;
+      break;
+    }
+    {
+      MutexLock Lock(StatsMu);
+      ++Counts.Requests;
+    }
+    if (!Respond(handleRequest(Line)))
+      break;
+  }
+
+  MutexLock Lock(ConnMu);
+  if (--ActiveConns == 0)
+    ConnsIdle.notifyAll();
+}
+
+std::string NetServer::handleRequest(const std::string &Line) {
+  if (Line == "ping")
+    return formatOkLine("pong");
+  if (Line == "stats")
+    return formatOkLine(stats().toJson());
+  if (draining()) {
+    MutexLock Lock(StatsMu);
+    ++Counts.Drained;
+    return formatErrLine(kWireDraining, "server draining", Opts.RetryAfterMs);
+  }
+
+  auto BadRequest = [&](const std::string &Msg) {
+    MutexLock Lock(StatsMu);
+    ++Counts.BadRequests;
+    return formatErrLine(kWireBadRequest, Msg);
+  };
+
+  std::string Error;
+  std::optional<std::vector<ManifestEntry>> Entries =
+      parseManifest(Line, Error);
+  if (!Entries)
+    return BadRequest(Error);
+  if (Entries->size() != 1)
+    return BadRequest("expected exactly one request per line");
+  const ManifestEntry &E = (*Entries)[0];
+  if (E.Repeat != 1)
+    return BadRequest("repeat= is not supported over the wire");
+  if (isGrammarPath(E.Request.GrammarName))
+    return BadRequest("path grammars are not served (the daemon does no "
+                      "file IO); inline the source or use a corpus name");
+  if (E.Act == ManifestEntry::Action::Parse && !E.ParseInput.empty() &&
+      E.ParseInput[0] == '@')
+    return BadRequest("@file parse inputs are not served (the daemon does "
+                      "no file IO); inline the sentence");
+  return dispatchEntry(E);
+}
+
+std::string NetServer::dispatchEntry(const ManifestEntry &E) {
+  // Fast administrative verbs: no admission, no coalescing.
+  if (E.Act == ManifestEntry::Action::Invalidate ||
+      E.Act == ManifestEntry::Action::Edit)
+    return executeEntry(E);
+
+  // Single-flight: followers attach to an in-flight identical request
+  // without consuming an admission slot and receive the leader's
+  // byte-identical response line.
+  std::string EffectiveSource = E.Request.Source;
+  {
+    MutexLock Lock(WorkMu);
+    auto It = Working.find(E.Request.GrammarName);
+    if (It != Working.end())
+      EffectiveSource = It->second;
+  }
+  std::string Key = requestFingerprint(E, EffectiveSource);
+  std::shared_ptr<Flight> F;
+  {
+    MutexLock Lock(FlightsMu);
+    auto It = Flights.find(Key);
+    if (It != Flights.end()) {
+      F = It->second;
+      {
+        MutexLock Stats(StatsMu);
+        ++Counts.Coalesced;
+      }
+      FlightDone.wait(Lock, [&]() LALR_REQUIRES(FlightsMu) { return F->Done; });
+      return F->Line;
+    }
+    F = std::make_shared<Flight>();
+    Flights.emplace(Key, F);
+    MutexLock Stats(StatsMu);
+    ++Counts.Flights;
+  }
+  std::string Resp;
+  try {
+    Resp = executeEntry(E);
+  } catch (...) {
+    Resp = formatErrLine("internal", "unexpected exception executing request");
+  }
+  {
+    MutexLock Lock(FlightsMu);
+    F->Done = true;
+    F->Line = Resp;
+    Flights.erase(Key);
+  }
+  FlightDone.notifyAll();
+  return Resp;
+}
+
+bool NetServer::acquireSlot(const CancellationToken &Token) {
+  size_t Max = Opts.MaxInflight > 0 ? Opts.MaxInflight : 1;
+  MutexLock Lock(AdmitMu);
+  if (Inflight < Max) {
+    ++Inflight;
+    return true;
+  }
+  if (Waiters >= Opts.MaxQueueDepth)
+    return false;
+  ++Waiters;
+  // Slices so an armed deadline or a drain can end the wait promptly
+  // (neither signals the condition variable).
+  double Remaining = Opts.AdmissionTimeoutMs;
+  bool Admitted = false;
+  while (Remaining > 0 && !Token.deadlineExpired() && !draining()) {
+    double Slice = Remaining < 10 ? Remaining : 10;
+    Admitted = SlotFree.waitFor(
+        Lock, std::chrono::duration<double, std::milli>(Slice),
+        [&]() LALR_REQUIRES(AdmitMu) { return Inflight < Max; });
+    if (Admitted)
+      break;
+    Remaining -= Slice;
+  }
+  --Waiters;
+  if (Admitted)
+    ++Inflight;
+  return Admitted;
+}
+
+void NetServer::releaseSlot() {
+  {
+    MutexLock Lock(AdmitMu);
+    --Inflight;
+  }
+  SlotFree.notifyOne();
+}
+
+std::string NetServer::executeEntry(const ManifestEntry &E) {
+  const std::string &Name = E.Request.GrammarName;
+
+  if (E.Act == ManifestEntry::Action::Invalidate) {
+    bool DroppedCtx = Build.invalidateGrammar(Name);
+    size_t DroppedTables = Parse.invalidateGrammar(Name);
+    return formatOkLine("invalidate " + Name + " " +
+                        (DroppedCtx || DroppedTables ? "dropped"
+                                                     : "not-cached"));
+  }
+
+  if (E.Act == ManifestEntry::Action::Edit) {
+    MutexLock Lock(WorkMu);
+    auto It = Working.find(Name);
+    std::string Base;
+    if (It != Working.end()) {
+      Base = It->second;
+    } else {
+      // First edit of this grammar: normalize the base text via
+      // print(parse(text)) so successive edits keep a stable symbol-id
+      // space (same discipline as lalr_batchd's working copies).
+      std::string_view Raw = E.Request.Source;
+      if (Raw.empty()) {
+        const CorpusEntry *CE = corpusGrammarByName(Name);
+        if (!CE)
+          return statusLine(BuildStatus::grammarError(
+                                "edit target '" + Name +
+                                "' is not a corpus grammar"),
+                            {});
+        Raw = CE->Source;
+      }
+      DiagnosticEngine Diags;
+      std::optional<Grammar> G = parseGrammar(Raw, Diags, Name);
+      if (!G)
+        return statusLine(BuildStatus::grammarError(
+                              "edit target '" + Name + "' failed to parse"),
+                          {});
+      Base = printGrammarText(*G);
+    }
+    DiagnosticEngine Diags;
+    std::optional<Grammar> G = parseGrammar(Base, Diags, Name);
+    std::optional<Grammar> Edited =
+        G ? applyGrammarEdit(*G, E.Edit, Diags) : std::nullopt;
+    if (!Edited)
+      return statusLine(
+          BuildStatus::grammarError("edit failed: " + Diags.render()), {});
+    GrammarEditClass Class = computeGrammarDelta(*G, *Edited).Class;
+    Working[Name] = printGrammarText(*Edited);
+    return formatOkLine(std::string("edit ") + Name + " applied " +
+                        grammarEditClassName(Class));
+  }
+
+  // Build / parse: acceptance-time governance. The token is armed the
+  // moment the request is executed-from-the-wire, so admission wait
+  // counts against the deadline; limits merge under the service
+  // defaults inside the services themselves.
+  auto Token = std::make_shared<CancellationToken>();
+  double DeadlineMs =
+      E.Request.DeadlineMs > 0 ? E.Request.DeadlineMs : Opts.DefaultDeadlineMs;
+  if (DeadlineMs > 0)
+    Token->setDeadlineMs(DeadlineMs);
+
+  if (Token->deadlineExpired())
+    return statusLine(
+        BuildStatus::deadlineExceeded("deadline expired before execution"),
+        {});
+
+  if (!acquireSlot(*Token)) {
+    if (Token->deadlineExpired())
+      return statusLine(BuildStatus::deadlineExceeded(
+                            "deadline expired waiting for admission"),
+                        {});
+    if (draining()) {
+      MutexLock Lock(StatsMu);
+      ++Counts.Drained;
+      return formatErrLine(kWireDraining, "server draining",
+                           Opts.RetryAfterMs);
+    }
+    MutexLock Lock(StatsMu);
+    ++Counts.Shed;
+    return formatErrLine(kWireShed, "admission queue full",
+                         Opts.RetryAfterMs);
+  }
+
+  uint64_t TokenId;
+  {
+    MutexLock Lock(TokensMu);
+    TokenId = NextTokenId++;
+    LiveTokens.emplace(TokenId, Token);
+  }
+
+  // Test-determinism hook: the flight is published (followers can
+  // attach and be counted) and the admission slot is held (a blocked
+  // hook saturates admission), but nothing has executed yet.
+  if (Opts.OnLeaderExecute)
+    Opts.OnLeaderExecute();
+
+  std::string Resp;
+  if (E.Act == ManifestEntry::Action::Parse) {
+    ParseRequest PR;
+    PR.GrammarName = Name;
+    PR.Source = E.Request.Source;
+    PR.Options = E.Request.Options;
+    PR.Options.Cancel = Token;
+    PR.Driver = E.Driver;
+    PR.Dense = E.ParseDense;
+    PR.Input = E.ParseInput;
+    {
+      MutexLock Lock(WorkMu);
+      auto It = Working.find(Name);
+      if (It != Working.end())
+        PR.Source = It->second;
+    }
+    ParseResponse R = Parse.run(PR);
+    if (!R.Ok) {
+      Resp = statusLine(R.Status, R.Error);
+    } else {
+      std::string Body = "parse ";
+      Body += Name;
+      Body += ' ';
+      Body += parserKindName(R.Driver);
+      Body += R.Accepted ? " accepted" : " rejected";
+      Body += " tokens=" + std::to_string(R.Tokens);
+      Body += " reductions=" + std::to_string(R.Reductions);
+      if (R.ForestNodes)
+        Body += " forest=" + std::to_string(R.ForestNodes);
+      if (!R.Errors.empty())
+        Body += " errors=" + std::to_string(R.Errors.size());
+      if (E.ParseDense)
+        Body += " dense";
+      Resp = formatOkLine(Body);
+    }
+  } else {
+    ServiceRequest R = E.Request;
+    R.Options.Cancel = Token;
+    R.DeadlineMs = 0; // armed above, at wire acceptance
+    {
+      MutexLock Lock(WorkMu);
+      auto It = Working.find(Name);
+      if (It != Working.end())
+        R.Source = It->second;
+    }
+    std::vector<ServiceResponse> Out = Build.runBatch({&R, 1});
+    const ServiceResponse &SR = Out[0];
+    if (!SR.Ok) {
+      Resp = statusLine(SR.Status, SR.Error);
+    } else {
+      const ParseTable &T = SR.Result->Table;
+      std::string Body = "build ";
+      Body += Name;
+      Body += ' ';
+      Body += tableKindName(R.Options.Kind);
+      Body += " states=" + std::to_string(T.numStates());
+      Body += " conflicts=" + std::to_string(T.conflicts().size());
+      if (SR.Result->Compressed)
+        Body += " compressed";
+      if (SR.Result->Verify)
+        Body += " verified";
+      if (!SR.Result->PolicySatisfied)
+        Body += " policy-violated";
+      Resp = formatOkLine(Body);
+    }
+  }
+
+  {
+    MutexLock Lock(TokensMu);
+    LiveTokens.erase(TokenId);
+  }
+  releaseSlot();
+  return Resp;
+}
+
+} // namespace lalr

@@ -1,0 +1,236 @@
+//===- net/NetServer.h - Loopback serving daemon ----------------*- C++ -*-===//
+///
+/// \file
+/// The fault-tolerant network front end over BuildService/ParseService:
+/// a loopback TCP daemon speaking the manifest dialect one line per
+/// request, one response line per request (net/WireProtocol.h). One
+/// thread per connection; requests on a connection are strictly
+/// serialized (the protocol's ordering guarantee doubles as the
+/// per-connection queue bound — at most one request is ever admitted
+/// per connection, and pipelined bytes beyond it sit in the kernel
+/// socket buffer, which is itself bounded).
+///
+/// Robustness machinery:
+///
+///  * Acceptance-time governance: each request's deadline is armed on a
+///    fresh CancellationToken the moment its line is read, so admission
+///    wait counts against it; BuildLimits merge field-by-field under the
+///    service defaults exactly like in-process requests.
+///  * Admission control: a global in-flight ceiling plus a bounded wait
+///    queue. A request that cannot be admitted within its timeout (or
+///    finds the wait queue full) is shed with `err shed
+///    retry-after-ms=N` — the server never stalls a client silently.
+///  * Single-flight coalescing: identical in-flight requests (same
+///    grammar source hash, action, kind/driver, options, input) across
+///    all connections attach to one execution; followers bypass
+///    admission and receive the leader's byte-identical response line.
+///    NetStats::Coalesced counts the followers, so K concurrent
+///    duplicates prove exactly one build (counters assert it).
+///  * Graceful drain: notifyDrainAsync() (async-signal-safe, called
+///    from SIGTERM handlers) stops the accept loop; connection threads
+///    answer every request line already on the wire with `err draining`
+///    and close; in-flight executions get DrainGraceMs to finish before
+///    their tokens are cancelled — every accepted request ends with a
+///    structured status, never a silent drop.
+///  * Fault injection: the accept loop honors `net_accept` (the
+///    accepted connection is dropped, as if accept failed) and every
+///    connection channel honors `net_read`/`net_write`, so torn reads
+///    and mid-response disconnects are testable; NetClient's retries
+///    survive all three.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_NET_NETSERVER_H
+#define LALR_NET_NETSERVER_H
+
+#include "net/Socket.h"
+#include "parse/ParseService.h"
+#include "service/BuildService.h"
+#include "support/ThreadSafety.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace lalr {
+
+struct ManifestEntry;
+
+/// Snapshot of a NetServer's lifetime counters. Plain data: take a copy
+/// via NetServer::stats() and read it without locking.
+struct NetStats {
+  uint64_t Connections = 0;  ///< connections accepted
+  uint64_t Requests = 0;     ///< request lines read (every disposition)
+  uint64_t OkResponses = 0;  ///< answered `ok`
+  uint64_t ErrResponses = 0; ///< answered `err` (any code)
+  uint64_t BadRequests = 0;  ///< answered `err bad-request`
+  uint64_t Flights = 0;      ///< single-flight groups executed (leaders)
+  uint64_t Coalesced = 0;    ///< followers attached to an in-flight leader
+  uint64_t Shed = 0;         ///< admission control rejected (err shed)
+  uint64_t Drained = 0;      ///< answered `err draining` during drain
+  uint64_t AcceptFaults = 0; ///< net_accept faults (connection dropped)
+  uint64_t ReadFaults = 0;   ///< net_read faults (connection closed)
+  uint64_t WriteFaults = 0;  ///< net_write faults (response torn)
+
+  /// Serializes to one JSON object (all counters).
+  std::string toJson(bool Pretty = false) const;
+
+  /// Folds the counters into a PipelineStats as "net_*" counters
+  /// (net_requests / net_coalesced / net_shed / net_drained are gated
+  /// structural counters in scripts/compare_stats.py).
+  PipelineStats toPipelineStats(std::string Label) const;
+};
+
+/// Human-readable multi-line listing (the daemon's shutdown summary).
+std::string reportNetStats(const NetStats &S);
+
+/// The loopback serving daemon. start() binds and spawns the accept
+/// loop; drain() (or notifyDrainAsync() from a signal handler followed
+/// by waitDrained()) shuts it down gracefully.
+class NetServer {
+public:
+  struct Options {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral; read back via port()).
+    uint16_t Port = 0;
+    /// Configuration for the owned BuildService / ParseService.
+    BuildService::Options Build;
+    ParseService::Options Parse;
+    /// Deadline armed on requests that carry no deadline-ms of their
+    /// own (milliseconds from line read; 0 = none).
+    double DefaultDeadlineMs = 0;
+    /// Global ceiling on concurrently executing requests (admission
+    /// slots; clamped to >= 1).
+    size_t MaxInflight = 8;
+    /// Bound on requests waiting for a slot across all connections;
+    /// a request arriving with the wait queue full is shed at once.
+    size_t MaxQueueDepth = 16;
+    /// How long an admission wait may last before the request is shed
+    /// (milliseconds; an armed request deadline caps it further).
+    double AdmissionTimeoutMs = 100;
+    /// Backoff hint attached to shed/draining responses, milliseconds.
+    double RetryAfterMs = 25;
+    /// Per-operation wire timeouts (milliseconds; <= 0 = no limit).
+    double WriteTimeoutMs = 5000;
+    /// Idle cutoff: a connection with no request line for this long is
+    /// closed (milliseconds; <= 0 = never).
+    double IdleTimeoutMs = 0;
+    /// Drain: how long in-flight executions may keep running after the
+    /// drain began before their cancellation tokens fire.
+    double DrainGraceMs = 2000;
+    /// Test-determinism hook: run by a single-flight leader after its
+    /// flight is published (followers can attach) and its admission
+    /// slot is acquired, before anything executes. Tests block here
+    /// until NetStats::Coalesced reaches the expected count (race-free
+    /// coalescing proof) or to hold the slot and prove shedding.
+    std::function<void()> OnLeaderExecute;
+  };
+
+  explicit NetServer(Options Opts);
+  ~NetServer();
+
+  NetServer(const NetServer &) = delete;
+  NetServer &operator=(const NetServer &) = delete;
+
+  /// Binds the listener and starts the accept loop. False + \p Error on
+  /// bind failure.
+  bool start(std::string &Error);
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Begins a graceful drain. Async-signal-safe: one atomic store plus
+  /// one write() to the accept loop's wake pipe. Call waitDrained() (or
+  /// drain()) from normal context to finish the shutdown.
+  void notifyDrainAsync();
+
+  /// notifyDrainAsync() + waitDrained().
+  void drain();
+
+  /// Blocks until the accept loop and every connection thread have
+  /// exited: in-flight requests finish (or are cancelled after
+  /// DrainGraceMs), queued lines are answered `err draining`, and all
+  /// connections are closed.
+  void waitDrained();
+
+  /// True once a drain has been requested.
+  bool draining() const { return Draining.load(std::memory_order_acquire); }
+
+  NetStats stats() const;
+  BuildService &buildService() { return Build; }
+  ParseService &parseService() { return Parse; }
+
+private:
+  struct Flight;
+
+  void acceptLoop();
+  void handleConnection(Socket Conn);
+
+  /// Parses and executes one request line; returns the response line.
+  std::string handleRequest(const std::string &Line);
+
+  /// Validates the parsed entry for wire use and executes it (through
+  /// the single-flight map for build/parse).
+  std::string dispatchEntry(const ManifestEntry &Entry);
+
+  /// Executes one admitted entry against the services.
+  std::string executeEntry(const ManifestEntry &Entry);
+
+  /// Admission control. True = a slot is held (release with
+  /// releaseSlot()); false = shed (response already decided).
+  bool acquireSlot(const CancellationToken &Token);
+  void releaseSlot();
+
+  const Options Opts;
+  BuildService Build;
+  ParseService Parse;
+
+  Socket Listener;
+  uint16_t BoundPort = 0;
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> Started{false};
+  int WakePipe[2] = {-1, -1};
+  std::thread AcceptThread;
+
+  Mutex ConnMu;
+  std::vector<std::thread> ConnThreads LALR_GUARDED_BY(ConnMu);
+  size_t ActiveConns LALR_GUARDED_BY(ConnMu) = 0;
+  CondVar ConnsIdle;
+
+  /// Admission slots + bounded wait queue.
+  Mutex AdmitMu;
+  CondVar SlotFree;
+  size_t Inflight LALR_GUARDED_BY(AdmitMu) = 0;
+  size_t Waiters LALR_GUARDED_BY(AdmitMu) = 0;
+
+  /// Single-flight: fingerprint -> in-flight execution. Followers hold
+  /// the shared_ptr and wait on FlightDone; the leader publishes the
+  /// response line and erases the map entry.
+  Mutex FlightsMu;
+  CondVar FlightDone;
+  std::unordered_map<std::string, std::shared_ptr<Flight>>
+      Flights LALR_GUARDED_BY(FlightsMu);
+
+  /// Working sources for wire `edit` targets (normalized on first
+  /// edit, exactly like lalr_batchd's working copies).
+  Mutex WorkMu;
+  std::unordered_map<std::string, std::string> Working LALR_GUARDED_BY(WorkMu);
+
+  /// Tokens of requests currently executing, so drain can cancel
+  /// whatever outlives the grace period.
+  Mutex TokensMu;
+  uint64_t NextTokenId LALR_GUARDED_BY(TokensMu) = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<CancellationToken>>
+      LiveTokens LALR_GUARDED_BY(TokensMu);
+
+  mutable Mutex StatsMu;
+  NetStats Counts LALR_GUARDED_BY(StatsMu);
+};
+
+} // namespace lalr
+
+#endif // LALR_NET_NETSERVER_H

@@ -1,0 +1,241 @@
+//===- net/Socket.cpp - Loopback TCP primitives ---------------------------===//
+
+#include "net/Socket.h"
+
+#include "support/Cancellation.h"
+#include "support/FailPoint.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace lalr {
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void Socket::shutdownRead() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RD);
+}
+
+static bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+static std::string errnoMessage(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+Socket listenLoopback(uint16_t Port, uint16_t &BoundPort, std::string &Error) {
+  Socket S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    Error = errnoMessage("socket");
+    return {};
+  }
+  int One = 1;
+  ::setsockopt(S.fd(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(S.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = errnoMessage("bind");
+    return {};
+  }
+  if (::listen(S.fd(), 64) != 0) {
+    Error = errnoMessage("listen");
+    return {};
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(S.fd(), reinterpret_cast<sockaddr *>(&Addr), &Len) != 0) {
+    Error = errnoMessage("getsockname");
+    return {};
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  if (!setNonBlocking(S.fd())) {
+    Error = errnoMessage("fcntl");
+    return {};
+  }
+  return S;
+}
+
+Socket acceptOn(const Socket &Listener, std::string &Error) {
+  int Fd = ::accept(Listener.fd(), nullptr, nullptr);
+  if (Fd < 0) {
+    Error = errnoMessage("accept");
+    return {};
+  }
+  Socket S(Fd);
+  if (!setNonBlocking(Fd)) {
+    Error = errnoMessage("fcntl");
+    return {};
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return S;
+}
+
+Socket connectLoopback(uint16_t Port, double TimeoutMs, std::string &Error) {
+  Socket S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    Error = errnoMessage("socket");
+    return {};
+  }
+  if (!setNonBlocking(S.fd())) {
+    Error = errnoMessage("fcntl");
+    return {};
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(S.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      Error = errnoMessage("connect");
+      return {};
+    }
+    pollfd P{S.fd(), POLLOUT, 0};
+    int N = ::poll(&P, 1, TimeoutMs < 0 ? -1 : static_cast<int>(TimeoutMs));
+    if (N <= 0) {
+      Error = N == 0 ? "connect: timed out" : errnoMessage("poll");
+      return {};
+    }
+    int Err = 0;
+    socklen_t Len = sizeof(Err);
+    if (::getsockopt(S.fd(), SOL_SOCKET, SO_ERROR, &Err, &Len) != 0 ||
+        Err != 0) {
+      errno = Err;
+      Error = errnoMessage("connect");
+      return {};
+    }
+  }
+  int One = 1;
+  ::setsockopt(S.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return S;
+}
+
+int waitReadable(int Fd, double TimeoutMs) {
+  pollfd P{Fd, POLLIN, 0};
+  return ::poll(&P, 1, TimeoutMs < 0 ? -1 : static_cast<int>(TimeoutMs));
+}
+
+/// Consults \p Site (when set) and reports whether an injected fault
+/// fired. The BuildAbort a failpoint throws is translated into the
+/// transport-error return the site simulates.
+static bool injectedFault(const char *Site) {
+  if (!Site)
+    return false;
+  try {
+    failPoint(Site);
+  } catch (const BuildAbort &) {
+    return true;
+  }
+  return false;
+}
+
+/// Milliseconds remaining until \p Deadline (clamped at 0), or -1 for
+/// the wait-forever sentinel.
+static double remainingMs(
+    const std::chrono::steady_clock::time_point *Deadline) {
+  if (!Deadline)
+    return -1;
+  auto Now = std::chrono::steady_clock::now();
+  double Ms =
+      std::chrono::duration<double, std::milli>(*Deadline - Now).count();
+  return Ms > 0 ? Ms : 0;
+}
+
+LineChannel::Io LineChannel::readLine(std::string &Out, double TimeoutMs) {
+  if (injectedFault(ReadSite))
+    return Io::Fault;
+  std::chrono::steady_clock::time_point DeadlineStorage;
+  const std::chrono::steady_clock::time_point *Deadline = nullptr;
+  if (TimeoutMs >= 0) {
+    DeadlineStorage = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(TimeoutMs));
+    Deadline = &DeadlineStorage;
+  }
+  for (;;) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Out.assign(Buf, 0, Nl);
+      if (!Out.empty() && Out.back() == '\r')
+        Out.pop_back();
+      Buf.erase(0, Nl + 1);
+      return Io::Ok;
+    }
+    double Wait = remainingMs(Deadline);
+    int N = waitReadable(Conn.fd(), Wait);
+    if (N == 0)
+      return Io::Timeout;
+    if (N < 0)
+      return errno == EINTR ? Io::Timeout : Io::Fault;
+    char Chunk[4096];
+    ssize_t Got = ::recv(Conn.fd(), Chunk, sizeof(Chunk), 0);
+    if (Got == 0)
+      return Io::Eof;
+    if (Got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        continue;
+      return Io::Fault;
+    }
+    Buf.append(Chunk, static_cast<size_t>(Got));
+  }
+}
+
+LineChannel::Io LineChannel::writeLine(std::string_view Line,
+                                       double TimeoutMs) {
+  if (injectedFault(WriteSite))
+    return Io::Fault;
+  std::string Frame(Line);
+  Frame += '\n';
+  std::chrono::steady_clock::time_point DeadlineStorage;
+  const std::chrono::steady_clock::time_point *Deadline = nullptr;
+  if (TimeoutMs >= 0) {
+    DeadlineStorage = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(TimeoutMs));
+    Deadline = &DeadlineStorage;
+  }
+  size_t Off = 0;
+  while (Off < Frame.size()) {
+    ssize_t Sent = ::send(Conn.fd(), Frame.data() + Off, Frame.size() - Off,
+                          MSG_NOSIGNAL);
+    if (Sent > 0) {
+      Off += static_cast<size_t>(Sent);
+      continue;
+    }
+    if (Sent < 0 && (errno == EPIPE || errno == ECONNRESET))
+      return Io::Eof;
+    if (Sent < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      return Io::Fault;
+    pollfd P{Conn.fd(), POLLOUT, 0};
+    double Wait = remainingMs(Deadline);
+    int N = ::poll(&P, 1, Wait < 0 ? -1 : static_cast<int>(Wait));
+    if (N == 0)
+      return Io::Timeout;
+    if (N < 0 && errno != EINTR)
+      return Io::Fault;
+  }
+  return Io::Ok;
+}
+
+} // namespace lalr

@@ -1,0 +1,122 @@
+//===- net/Socket.h - Loopback TCP primitives -------------------*- C++ -*-===//
+///
+/// \file
+/// The thin POSIX layer under the serving daemon: an RAII socket handle,
+/// loopback-only listen/accept/connect helpers, and a poll-driven
+/// LineChannel that frames the wire protocol's newline-terminated lines
+/// with per-operation timeouts. Everything is non-blocking underneath so
+/// a slow or stalled peer can never wedge a server thread past its
+/// timeout slice (the accept loop and the connection loops poll in
+/// bounded slices and re-check the drain flag between them).
+///
+/// Fault injection: a LineChannel constructed with failpoint site names
+/// consults them (`net_read` / `net_write`) at the top of each
+/// operation and converts an injected BuildAbort into Io::Fault — the
+/// same observable outcome as a torn read or a mid-response disconnect,
+/// which is exactly what the sites simulate. The server passes the site
+/// names; the client passes none, so in-process loopback tests inject
+/// faults into exactly one side of the wire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_NET_SOCKET_H
+#define LALR_NET_SOCKET_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lalr {
+
+/// Move-only RAII file-descriptor handle.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Socket &operator=(Socket &&O) noexcept {
+    if (this != &O) {
+      close();
+      Fd = O.Fd;
+      O.Fd = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  void close();
+
+  /// Half-closes the read side (wakes a blocked peer write with EOF);
+  /// used by drain to refuse further requests without losing the
+  /// response in flight.
+  void shutdownRead();
+
+private:
+  int Fd = -1;
+};
+
+/// Binds and listens on 127.0.0.1:\p Port (0 = ephemeral) and fills
+/// \p BoundPort with the actual port. Invalid socket + \p Error on
+/// failure.
+Socket listenLoopback(uint16_t Port, uint16_t &BoundPort, std::string &Error);
+
+/// Accepts one pending connection (call after poll says readable).
+/// Invalid socket + \p Error when the accept fails or would block.
+Socket acceptOn(const Socket &Listener, std::string &Error);
+
+/// Connects to 127.0.0.1:\p Port, waiting up to \p TimeoutMs. Invalid
+/// socket + \p Error on failure/timeout.
+Socket connectLoopback(uint16_t Port, double TimeoutMs, std::string &Error);
+
+/// Waits up to \p TimeoutMs for \p Fd to become readable. Returns 1 when
+/// readable, 0 on timeout, -1 on error. TimeoutMs < 0 waits forever.
+int waitReadable(int Fd, double TimeoutMs);
+
+/// Newline-framed, poll-driven channel over one connection.
+class LineChannel {
+public:
+  enum class Io : uint8_t {
+    Ok,      ///< line transferred
+    Eof,     ///< peer closed (read) / connection gone (write)
+    Timeout, ///< the per-operation deadline passed
+    Fault,   ///< transport error or an injected net_read/net_write fault
+  };
+
+  /// \p ReadSite / \p WriteSite are failpoint site names consulted at
+  /// the top of readLine/writeLine (nullptr = no injection on this
+  /// side). Must be string literals (not copied).
+  explicit LineChannel(Socket Conn, const char *ReadSite = nullptr,
+                       const char *WriteSite = nullptr)
+      : Conn(std::move(Conn)), ReadSite(ReadSite), WriteSite(WriteSite) {}
+
+  /// Reads one line (newline stripped) into \p Out, waiting up to
+  /// \p TimeoutMs (< 0 = forever; 0 = only what is already buffered or
+  /// immediately readable).
+  Io readLine(std::string &Out, double TimeoutMs);
+
+  /// Writes \p Line plus a newline, waiting up to \p TimeoutMs for the
+  /// socket to drain.
+  Io writeLine(std::string_view Line, double TimeoutMs);
+
+  /// True when a complete line is already buffered (readLine(0) will
+  /// succeed without touching the socket).
+  bool hasBufferedLine() const { return Buf.find('\n') != std::string::npos; }
+
+  Socket &socket() { return Conn; }
+
+private:
+  Socket Conn;
+  std::string Buf; ///< bytes read past the last returned line
+  const char *ReadSite;
+  const char *WriteSite;
+};
+
+} // namespace lalr
+
+#endif // LALR_NET_SOCKET_H

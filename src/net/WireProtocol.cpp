@@ -1,0 +1,164 @@
+//===- net/WireProtocol.cpp - Line protocol for the serving daemon --------===//
+
+#include "net/WireProtocol.h"
+
+#include <charconv>
+
+namespace lalr {
+
+std::string escapeWire(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string unescapeWire(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (size_t I = 0; I < Text.size(); ++I) {
+    if (Text[I] != '\\' || I + 1 == Text.size()) {
+      Out += Text[I];
+      continue;
+    }
+    switch (Text[++I]) {
+    case 'n':
+      Out += '\n';
+      break;
+    case 'r':
+      Out += '\r';
+      break;
+    case '\\':
+      Out += '\\';
+      break;
+    default: // unknown escape: keep both characters
+      Out += '\\';
+      Out += Text[I];
+    }
+  }
+  return Out;
+}
+
+std::string formatOkLine(std::string_view Body) {
+  std::string Out = "ok ";
+  Out += escapeWire(Body);
+  return Out;
+}
+
+std::string formatErrLine(std::string_view Code, std::string_view Message,
+                          double RetryAfterMs) {
+  std::string Out = "err ";
+  Out += Code;
+  if (RetryAfterMs > 0) {
+    Out += " retry-after-ms=";
+    Out += std::to_string(static_cast<uint64_t>(RetryAfterMs));
+  }
+  Out += " msg=";
+  Out += escapeWire(Message);
+  return Out;
+}
+
+std::string formatStatusLine(const BuildStatus &Status) {
+  std::string Out = "err ";
+  Out += buildStatusCodeName(Status.Code);
+  if (!Status.Which.empty()) {
+    Out += " which=";
+    Out += escapeWire(Status.Which);
+  }
+  if (Status.Observed) {
+    Out += " observed=";
+    Out += std::to_string(Status.Observed);
+  }
+  if (Status.Limit) {
+    Out += " limit=";
+    Out += std::to_string(Status.Limit);
+  }
+  Out += " msg=";
+  Out += escapeWire(Status.Message);
+  return Out;
+}
+
+static bool parseU64(std::string_view Text, uint64_t &Out) {
+  const char *B = Text.data(), *E = B + Text.size();
+  auto [P, Ec] = std::from_chars(B, E, Out);
+  return Ec == std::errc() && P == E;
+}
+
+bool parseResponseLine(std::string_view Line, WireResponse &Out,
+                       std::string &Error) {
+  Out = WireResponse{};
+  if (Line.size() >= 3 && Line.substr(0, 3) == "ok ") {
+    Out.Ok = true;
+    Out.Body = unescapeWire(Line.substr(3));
+    return true;
+  }
+  if (Line == "ok") {
+    Out.Ok = true;
+    return true;
+  }
+  if (Line.size() < 4 || Line.substr(0, 4) != "err ") {
+    Error = "malformed response line: '" + std::string(Line) + "'";
+    return false;
+  }
+  std::string_view Rest = Line.substr(4);
+  size_t Sp = Rest.find(' ');
+  Out.Code = std::string(Rest.substr(0, Sp));
+  if (Out.Code.empty()) {
+    Error = "err response with empty code";
+    return false;
+  }
+  Rest = Sp == std::string_view::npos ? std::string_view() : Rest.substr(Sp + 1);
+  // Key=value fields; msg= is last and consumes the remainder.
+  while (!Rest.empty()) {
+    if (Rest.substr(0, 4) == "msg=") {
+      Out.Message = unescapeWire(Rest.substr(4));
+      return true;
+    }
+    size_t End = Rest.find(' ');
+    std::string_view Field = Rest.substr(0, End);
+    Rest = End == std::string_view::npos ? std::string_view()
+                                         : Rest.substr(End + 1);
+    size_t Eq = Field.find('=');
+    if (Eq == std::string_view::npos) {
+      Error = "malformed err field '" + std::string(Field) + "'";
+      return false;
+    }
+    std::string_view Key = Field.substr(0, Eq);
+    std::string_view Val = Field.substr(Eq + 1);
+    uint64_t N = 0;
+    if (Key == "which") {
+      Out.Which = unescapeWire(Val);
+    } else if (Key == "observed" && parseU64(Val, N)) {
+      Out.Observed = N;
+    } else if (Key == "limit" && parseU64(Val, N)) {
+      Out.Limit = N;
+    } else if (Key == "retry-after-ms" && parseU64(Val, N)) {
+      Out.RetryAfterMs = static_cast<double>(N);
+    } else {
+      // Unknown fields are skipped so the protocol can grow; malformed
+      // numeric values in known fields are an error.
+      if (Key == "observed" || Key == "limit" || Key == "retry-after-ms") {
+        Error = "malformed numeric field '" + std::string(Field) + "'";
+        return false;
+      }
+    }
+  }
+  Error = "err response missing msg= field";
+  return false;
+}
+
+} // namespace lalr

@@ -1,0 +1,96 @@
+//===- net/WireProtocol.h - Line protocol for the serving daemon -*- C++ -*-===//
+///
+/// \file
+/// The wire dialect `lalr_served` speaks: requests are single lines in
+/// the existing manifest vocabulary (service/Manifest.h — `build`,
+/// `parse`, `edit`, `invalidate` with the same option tokens), plus the
+/// daemon verbs `ping` and `stats`. Every request gets exactly one
+/// response line:
+///
+///   ok <body>
+///   err <code> [which=W] [observed=N] [limit=N] [retry-after-ms=N]
+///       msg=<escaped text>
+///
+/// `<code>` is a buildStatusCodeName (grammar-error, limit-exceeded,
+/// deadline-exceeded, cancelled, internal) or one of the daemon's own
+/// codes: `shed` (admission control rejected the request; retry after
+/// the hinted delay), `draining` (the server is shutting down; the
+/// request was not executed), `bad-request` (the line did not parse or
+/// used a feature the wire forbids, e.g. file IO). `msg=` is always the
+/// last field and consumes the rest of the line.
+///
+/// Bodies and messages are escaped so a response is always exactly one
+/// line: `\n` -> `\\n`, `\r` -> `\\r`, `\\` -> `\\\\`. Response bodies
+/// deliberately contain no timings and no cache hit/miss markers — a
+/// coalesced follower and a retry after a torn write both receive a
+/// byte-identical line for the same request (the idempotency the retry
+/// tests assert); observability goes through the `stats` verb instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_NET_WIREPROTOCOL_H
+#define LALR_NET_WIREPROTOCOL_H
+
+#include "support/Cancellation.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lalr {
+
+/// \name Daemon-level status codes (beyond BuildStatusCode)
+/// @{
+inline constexpr const char *kWireShed = "shed";
+inline constexpr const char *kWireDraining = "draining";
+inline constexpr const char *kWireBadRequest = "bad-request";
+/// @}
+
+/// Escapes \p Text into a single-line-safe form (newline, carriage
+/// return and backslash become two-character escapes).
+std::string escapeWire(std::string_view Text);
+
+/// Inverse of escapeWire. Unknown escapes pass through verbatim.
+std::string unescapeWire(std::string_view Text);
+
+/// One parsed response line (either form).
+struct WireResponse {
+  bool Ok = false;
+  /// ok: the unescaped body. err: empty.
+  std::string Body;
+  /// err: the status code token ("shed", "grammar-error", ...).
+  std::string Code;
+  /// err: structured LimitExceeded detail when present.
+  std::string Which;
+  uint64_t Observed = 0;
+  uint64_t Limit = 0;
+  /// err: backoff hint for shed/draining, milliseconds; 0 = none.
+  double RetryAfterMs = 0;
+  /// err: the unescaped human-readable message.
+  std::string Message;
+
+  /// True for the two codes a client may always retry (the server did
+  /// not execute the request).
+  bool retryable() const { return Code == kWireShed || Code == kWireDraining; }
+};
+
+/// Renders `ok <body>` (body escaped).
+std::string formatOkLine(std::string_view Body);
+
+/// Renders an `err` line for a daemon-level code. \p RetryAfterMs > 0
+/// adds the backoff hint field.
+std::string formatErrLine(std::string_view Code, std::string_view Message,
+                          double RetryAfterMs = 0);
+
+/// Renders an `err` line from a structured BuildStatus (never call with
+/// an Ok status). Carries which/observed/limit for LimitExceeded.
+std::string formatStatusLine(const BuildStatus &Status);
+
+/// Parses one response line into \p Out. Returns false (with \p Error
+/// set) when the line matches neither form.
+bool parseResponseLine(std::string_view Line, WireResponse &Out,
+                       std::string &Error);
+
+} // namespace lalr
+
+#endif // LALR_NET_WIREPROTOCOL_H

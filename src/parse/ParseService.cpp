@@ -43,6 +43,12 @@ struct ParseService::ServingTable {
 
   /// What building this snapshot cost (the build the later hits skip).
   double BuildUs = 0;
+
+  /// Requests served from this snapshot (the build-use plus every hit).
+  /// Atomic because hits bump it after the snapshot is published
+  /// immutable; folded into the service's retired accumulator when the
+  /// snapshot is dropped, so ParseStats::TableServes survives churn.
+  mutable std::atomic<uint64_t> Serves{0};
 };
 
 namespace {
@@ -141,6 +147,7 @@ ParseService::acquireTable(const ParseRequest &Request, const BuildOptions &BO,
     if (It->second->second->SourceHash != Hash)
       return nullptr;
     Tables.splice(Tables.begin(), Tables, It->second); // promote to MRU
+    It->second->second->Serves.fetch_add(1, std::memory_order_relaxed);
     return It->second->second;
   };
 
@@ -243,29 +250,40 @@ ParseService::acquireTable(const ParseRequest &Request, const BuildOptions &BO,
   Snap->BuildUs = BuildTimer.elapsedUs();
   Response.TableBuildUs = Snap->BuildUs;
 
+  Snap->Serves.fetch_add(1, std::memory_order_relaxed); // the build-use
+
   {
     MutexLock Lock(TableMu);
-    // Replace any stale same-key snapshot, then publish and bound.
+    // Replace any stale same-key snapshot, then publish and bound. Every
+    // dropped snapshot — stale replacement here, LRU trim below — is
+    // retired: its serve count folds into the accumulator and it counts
+    // as an eviction, so the aggregate stats never undercount.
     auto It = TableIndex.find(Key);
     if (It != TableIndex.end()) {
+      retireTableLocked(*It->second->second);
       Tables.erase(It->second);
       TableIndex.erase(It);
     }
     Tables.emplace_front(Key, Snap);
     TableIndex[Key] = Tables.begin();
     size_t Capacity = Opts.TableCapacity ? Opts.TableCapacity : 1;
-    uint64_t Evicted = 0;
     while (Tables.size() > Capacity) {
+      retireTableLocked(*Tables.back().second);
       TableIndex.erase(Tables.back().first);
       Tables.pop_back();
-      ++Evicted;
     }
     MutexLock Stats(StatsMu);
     ++Counts.TableBuilds;
-    Counts.TableEvictions += Evicted;
     Counts.TableBuildUs += Snap->BuildUs;
   }
   return Snap;
+}
+
+void ParseService::retireTableLocked(const ServingTable &Snap) {
+  MutexLock Stats(StatsMu);
+  RetiredServes += Snap.Serves.load(std::memory_order_relaxed);
+  ++RetiredTables;
+  ++Counts.TableEvictions;
 }
 
 void ParseService::execute(const ParseRequest &Request,
@@ -426,6 +444,7 @@ size_t ParseService::invalidateGrammar(std::string_view GrammarName) {
   size_t Dropped = 0;
   for (auto It = Tables.begin(); It != Tables.end();) {
     if (It->second->GrammarName == GrammarName) {
+      retireTableLocked(*It->second);
       TableIndex.erase(It->first);
       It = Tables.erase(It);
       ++Dropped;
@@ -446,10 +465,16 @@ ParseStats ParseService::stats() const {
   {
     MutexLock Lock(StatsMu);
     S = Counts;
+    S.TableServes = RetiredServes;
+    S.RetiredTables = RetiredTables;
   }
   {
     MutexLock Lock(TableMu);
     S.ServingTables = Tables.size();
+    // Live snapshots contribute their current serve counts; retired ones
+    // already folded theirs in above, so the sum is churn-proof.
+    for (const auto &KV : Tables)
+      S.TableServes += KV.second->Serves.load(std::memory_order_relaxed);
   }
   return S;
 }
@@ -504,6 +529,8 @@ std::string ParseStats::toJson(bool Pretty) const {
   Field(Out, "table_builds", TableBuilds);
   Field(Out, "table_evictions", TableEvictions);
   Field(Out, "serving_tables", ServingTables);
+  Field(Out, "table_serves", TableServes);
+  Field(Out, "retired_tables", RetiredTables);
   Field(Out, "tokens", TokensParsed);
   Field(Out, "forest_nodes", ForestNodes);
   for (ParserKind K : AllParserKinds) {
@@ -530,6 +557,8 @@ PipelineStats ParseStats::toPipelineStats(std::string Label) const {
   Out.setCounter("parse_table_hits", TableHits);
   Out.setCounter("parse_table_builds", TableBuilds);
   Out.setCounter("parse_table_evictions", TableEvictions);
+  Out.setCounter("parse_table_serves", TableServes);
+  Out.setCounter("parse_retired_tables", RetiredTables);
   Out.setCounter("parse_tokens", TokensParsed);
   Out.setCounter("parse_forest_nodes", ForestNodes);
   for (ParserKind K : AllParserKinds)

@@ -155,8 +155,17 @@ struct ParseStats {
   /// @{
   uint64_t TableHits = 0;      ///< request reused a serving snapshot
   uint64_t TableBuilds = 0;    ///< request built (or rebuilt) one
-  uint64_t TableEvictions = 0; ///< snapshots dropped by the LRU bound
+  /// Snapshots dropped for any reason — the LRU bound, a stale-source
+  /// replacement, or invalidateGrammar (the three paths sum here, so the
+  /// count never undercounts after churn).
+  uint64_t TableEvictions = 0;
   uint64_t ServingTables = 0;  ///< live snapshots at snapshot time
+  /// Requests served from a snapshot (its build-use plus every hit),
+  /// summed over live snapshots AND the retired accumulator — dropping a
+  /// snapshot folds its serve count in rather than losing it, mirroring
+  /// ContextCache's retired PipelineStats.
+  uint64_t TableServes = 0;
+  uint64_t RetiredTables = 0;  ///< snapshots folded into the accumulator
   /// @}
 
   /// \name Work measures
@@ -272,8 +281,17 @@ private:
   std::unordered_map<std::string, TableList::iterator>
       TableIndex LALR_GUARDED_BY(TableMu);
 
+  /// Folds a dropped snapshot's per-snapshot counters into the retired
+  /// accumulator (ContextCache::retireLocked's parity twin). Lock order:
+  /// TableMu is held by every caller; StatsMu nests inside.
+  void retireTableLocked(const ServingTable &Snap) LALR_REQUIRES(TableMu);
+
   mutable Mutex StatsMu;
   ParseStats Counts LALR_GUARDED_BY(StatsMu);
+  /// Retired accumulator: serve counts of snapshots since dropped, so
+  /// aggregate stats survive LRU churn (TableServes never undercounts).
+  uint64_t RetiredServes LALR_GUARDED_BY(StatsMu) = 0;
+  uint64_t RetiredTables LALR_GUARDED_BY(StatsMu) = 0;
 };
 
 } // namespace lalr

@@ -14,9 +14,17 @@ static const char *const kAllSites[] = {
     "analysis",   "lr0-build",    "nt-index",   "relations-build",
     "slab",       "solve-read",   "solve-follow", "la-union",
     "lr1-build",  "pager-build",  "table-fill", "compress",
-    "verify",     "service-execute", "parse",   nullptr};
+    "verify",     "service-execute", "parse",
+    "net_accept", "net_read",     "net_write",  nullptr};
 
 const char *const *allFailPointSites() { return kAllSites; }
+
+static bool isKnownSite(const std::string &Site) {
+  for (const char *const *S = kAllSites; *S; ++S)
+    if (Site == *S)
+      return true;
+  return false;
+}
 
 FailPointRegistry &FailPointRegistry::instance() {
   static FailPointRegistry R;
@@ -25,9 +33,12 @@ FailPointRegistry &FailPointRegistry::instance() {
 
 FailPointRegistry::FailPointRegistry() {
   // Env arming: LALR_FAILPOINTS=site[=throw|limit|cancel][,site...].
-  // Unknown action names warn and default to throw; unknown sites are
-  // armed as given (they simply never fire) so typos are visible via
-  // armedSites() rather than silently dropped.
+  // Hardened like LALR_THREADS (parseBuildThreads): a malformed item —
+  // unknown site, unknown action, empty site — warns once on stderr and
+  // is IGNORED instead of arming something the user did not ask for.
+  // Silently misconfigured fault injection is worse than none: a typo'd
+  // site would never fire and the test run would "pass" without testing
+  // anything.
   const char *Env = std::getenv("LALR_FAILPOINTS");
   if (!Env || !*Env)
     return;
@@ -46,32 +57,47 @@ FailPointRegistry::FailPointRegistry() {
     if (Eq != std::string::npos) {
       std::string Act = Item.substr(Eq + 1);
       Item.resize(Eq);
-      if (Act == "limit")
+      if (Act == "limit") {
         Action = FailPointAction::Limit;
-      else if (Act == "cancel")
+      } else if (Act == "cancel") {
         Action = FailPointAction::Cancel;
-      else if (Act != "throw" && Act != "")
+      } else if (Act != "throw") {
         std::fprintf(stderr,
                      "lalr: LALR_FAILPOINTS: unknown action '%s' for site "
-                     "'%s'; using 'throw'\n",
+                     "'%s'; ignoring this item (expected throw, limit or "
+                     "cancel)\n",
                      Act.c_str(), Item.c_str());
+        continue;
+      }
     }
-    if (!Item.empty()) {
-      Sites[Item] = Entry{Action, 0};
-      ArmedCount.fetch_add(1, std::memory_order_relaxed);
+    if (Item.empty()) {
+      std::fprintf(stderr,
+                   "lalr: LALR_FAILPOINTS: empty site name in spec '%s'; "
+                   "ignoring this item\n",
+                   Env);
+      continue;
     }
+    if (!isKnownSite(Item)) {
+      std::fprintf(stderr,
+                   "lalr: LALR_FAILPOINTS: unknown site '%s'; ignoring "
+                   "this item (see lalr_batchd --list-failpoints)\n",
+                   Item.c_str());
+      continue;
+    }
+    Sites[Item] = Entry{Action, 0, 0};
+    ArmedCount.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void FailPointRegistry::arm(const std::string &Site, FailPointAction Action,
-                            uint64_t SkipHits) {
+                            uint64_t SkipHits, uint64_t MaxFires) {
   MutexLock Lock(Mu);
   auto It = Sites.find(Site);
   if (It == Sites.end()) {
-    Sites.emplace(Site, Entry{Action, SkipHits});
+    Sites.emplace(Site, Entry{Action, SkipHits, MaxFires});
     ArmedCount.fetch_add(1, std::memory_order_relaxed);
   } else {
-    It->second = Entry{Action, SkipHits};
+    It->second = Entry{Action, SkipHits, MaxFires};
   }
 }
 
@@ -113,6 +139,12 @@ void FailPointRegistry::onHit(const char *Site) {
       return;
     }
     Action = It->second.Action;
+    // One-shot (bounded-fire) sites disarm themselves once exhausted, so
+    // a retry after the injected fault goes through clean.
+    if (It->second.MaxFires > 0 && --It->second.MaxFires == 0) {
+      Sites.erase(It);
+      ArmedCount.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   Trips.fetch_add(1, std::memory_order_relaxed);
   switch (Action) {

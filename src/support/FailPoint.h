@@ -8,10 +8,12 @@
 /// poisoned cache entry.
 ///
 /// Sites (one per stage, matching the stage names in PipelineStats, plus
-/// the slab arena-allocation site inside the relations/la-union stages):
+/// the slab arena-allocation site inside the relations/la-union stages
+/// and the daemon's wire-I/O sites):
 ///   analysis, lr0-build, nt-index, relations-build, slab, solve-read,
 ///   solve-follow, la-union, lr1-build, pager-build, table-fill,
-///   compress, verify, service-execute, parse
+///   compress, verify, service-execute, parse, net_accept, net_read,
+///   net_write
 ///
 /// The disarmed fast path is a single relaxed atomic load of a global
 /// armed-site count — measured noise even inside the DP inner stages.
@@ -21,6 +23,10 @@
 ///   throw  (default) — BuildAbort(Internal, which=site)
 ///   limit  — BuildAbort(LimitExceeded, which=site)
 ///   cancel — BuildAbort(Cancelled)
+/// Hardened like LALR_THREADS: a malformed item — unknown site name,
+/// unknown action, or empty site — warns once on stderr and is ignored,
+/// so a typo cannot silently misconfigure fault injection (programmatic
+/// arm() stays unvalidated: tests may declare ad-hoc sites).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,10 +56,13 @@ public:
   static FailPointRegistry &instance();
 
   /// Arms \p Site. \p SkipHits > 0 lets the first N hits pass (to fail
-  /// on a later traversal of the same site). Re-arming overwrites.
+  /// on a later traversal of the same site). \p MaxFires > 0 auto-disarms
+  /// the site after it has fired that many times — the one-shot mode the
+  /// abort-then-retry tests use (fail exactly once, then let the retry
+  /// through); 0 fires forever. Re-arming overwrites.
   void arm(const std::string &Site,
            FailPointAction Action = FailPointAction::Throw,
-           uint64_t SkipHits = 0);
+           uint64_t SkipHits = 0, uint64_t MaxFires = 0);
 
   /// Disarms \p Site; returns false when it was not armed.
   bool disarm(const std::string &Site);
@@ -80,6 +89,7 @@ private:
   struct Entry {
     FailPointAction Action;
     uint64_t SkipHits; ///< hits still to let pass before firing
+    uint64_t MaxFires; ///< fires left before auto-disarm; 0 = unlimited
   };
 
   mutable Mutex Mu;
@@ -103,9 +113,9 @@ class ScopedFailPoint {
 public:
   explicit ScopedFailPoint(std::string Site,
                            FailPointAction Action = FailPointAction::Throw,
-                           uint64_t SkipHits = 0)
+                           uint64_t SkipHits = 0, uint64_t MaxFires = 0)
       : Site(std::move(Site)) {
-    FailPointRegistry::instance().arm(this->Site, Action, SkipHits);
+    FailPointRegistry::instance().arm(this->Site, Action, SkipHits, MaxFires);
   }
   ~ScopedFailPoint() { FailPointRegistry::instance().disarm(Site); }
 

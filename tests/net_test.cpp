@@ -1,0 +1,494 @@
+//===- tests/net_test.cpp - The fault-tolerant network front end ------------===//
+//
+// Exercises src/net end to end over real loopback sockets: wire-protocol
+// round-trips, the full manifest verb set served over a connection,
+// acceptance-time governance (deadlines, limits), admission-control
+// shedding with retry-after, single-flight coalescing proven by
+// counters (K concurrent duplicates -> exactly one build), graceful
+// drain (every accepted request answered with a structured status), and
+// the three injectable wire faults (net_accept / net_read / net_write)
+// with the retrying client surviving each. The net_write test extends
+// PR 4's abort-then-retry invariant to the network layer: a response
+// torn mid-write leaves no half-built cache state and the retry's
+// response is byte-identical.
+//
+// The concurrent tests (coalescing, shed, drain) run under TSan via
+// scripts/check-tsan.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/NetClient.h"
+#include "net/NetServer.h"
+#include "net/WireProtocol.h"
+#include "support/FailPoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+std::unique_ptr<NetServer> startServer(NetServer::Options Opts) {
+  auto S = std::make_unique<NetServer>(std::move(Opts));
+  std::string Error;
+  EXPECT_TRUE(S->start(Error)) << Error;
+  return S;
+}
+
+NetClient::Options clientOptions(const NetServer &S, unsigned MaxAttempts = 4) {
+  NetClient::Options O;
+  O.Port = S.port();
+  O.MaxAttempts = MaxAttempts;
+  O.BackoffBaseMs = 1;
+  O.BackoffCapMs = 20;
+  return O;
+}
+
+/// Sends one line and requires a transport-level answer.
+WireResponse mustRequest(NetClient &C, const std::string &Line) {
+  WireResponse R;
+  std::string Error;
+  EXPECT_TRUE(C.request(Line, R, Error)) << Line << ": " << Error;
+  return R;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(WireProtocolTest, EscapeRoundTripsControlCharacters) {
+  std::string Raw = "line one\nline two\r\\backslash";
+  std::string Escaped = escapeWire(Raw);
+  EXPECT_EQ(Escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(unescapeWire(Escaped), Raw);
+}
+
+TEST(WireProtocolTest, OkLineRoundTrips) {
+  std::string Line = formatOkLine("build json lalr1 states=24");
+  WireResponse R;
+  std::string Error;
+  ASSERT_TRUE(parseResponseLine(Line, R, Error)) << Error;
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Body, "build json lalr1 states=24");
+}
+
+TEST(WireProtocolTest, ErrLineCarriesRetryAfterAndMessage) {
+  std::string Line = formatErrLine(kWireShed, "admission queue full", 25);
+  WireResponse R;
+  std::string Error;
+  ASSERT_TRUE(parseResponseLine(Line, R, Error)) << Error;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, kWireShed);
+  EXPECT_EQ(R.RetryAfterMs, 25);
+  EXPECT_EQ(R.Message, "admission queue full");
+  EXPECT_TRUE(R.retryable());
+}
+
+TEST(WireProtocolTest, StatusLineCarriesLimitDetail) {
+  BuildStatus S = BuildStatus::limitExceeded("lr0_states", 1001, 1000);
+  WireResponse R;
+  std::string Error;
+  ASSERT_TRUE(parseResponseLine(formatStatusLine(S), R, Error)) << Error;
+  EXPECT_EQ(R.Code, "limit-exceeded");
+  EXPECT_EQ(R.Which, "lr0_states");
+  EXPECT_EQ(R.Observed, 1001u);
+  EXPECT_EQ(R.Limit, 1000u);
+  EXPECT_FALSE(R.retryable());
+}
+
+TEST(WireProtocolTest, MalformedLinesAreRejected) {
+  WireResponse R;
+  std::string Error;
+  EXPECT_FALSE(parseResponseLine("what is this", R, Error));
+  EXPECT_FALSE(parseResponseLine("err", R, Error));
+  EXPECT_FALSE(parseResponseLine("err shed", R, Error)); // msg= required
+  EXPECT_FALSE(parseResponseLine("err shed retry-after-ms=x msg=m", R, Error));
+}
+
+TEST(WireProtocolTest, MultilineMessagesStayOneLine) {
+  std::string Line =
+      formatErrLine("grammar-error", "line 1: bad\nline 2: worse");
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  WireResponse R;
+  std::string Error;
+  ASSERT_TRUE(parseResponseLine(Line, R, Error)) << Error;
+  EXPECT_EQ(R.Message, "line 1: bad\nline 2: worse");
+}
+
+TEST(NetClientTest, EditIsTheOneNonIdempotentVerb) {
+  EXPECT_TRUE(isIdempotentRequestLine("build json lalr1"));
+  EXPECT_TRUE(isIdempotentRequestLine("parse json lr 'null'"));
+  EXPECT_TRUE(isIdempotentRequestLine("invalidate json"));
+  EXPECT_TRUE(isIdempotentRequestLine("ping"));
+  EXPECT_FALSE(isIdempotentRequestLine("edit json prec ',' left 1"));
+  EXPECT_FALSE(isIdempotentRequestLine("  edit json prec ',' left 1"));
+}
+
+// ---------------------------------------------------------------------------
+// Serving the manifest dialect over the wire
+// ---------------------------------------------------------------------------
+
+TEST(NetServerTest, PingAndStatsVerbs) {
+  auto S = startServer({});
+  NetClient C(clientOptions(*S));
+  EXPECT_EQ(mustRequest(C, "ping").Body, "pong");
+  WireResponse Stats = mustRequest(C, "stats");
+  EXPECT_TRUE(Stats.Ok);
+  EXPECT_NE(Stats.Body.find("\"requests\""), std::string::npos);
+}
+
+TEST(NetServerTest, BuildOverWireIsDeterministic) {
+  auto S = startServer({});
+  NetClient C(clientOptions(*S));
+  WireResponse First = mustRequest(C, "build json lalr1");
+  ASSERT_TRUE(First.Ok) << First.Message;
+  EXPECT_NE(First.Body.find("states="), std::string::npos);
+  // Cache hit vs miss must not leak into the body: a repeat (and any
+  // retry) is byte-identical.
+  WireResponse Again = mustRequest(C, "build json lalr1");
+  EXPECT_EQ(First.Body, Again.Body);
+  EXPECT_EQ(S->buildService().stats().CacheHits, 1u);
+}
+
+TEST(NetServerTest, ParseOverWire) {
+  auto S = startServer({});
+  NetClient C(clientOptions(*S));
+  WireResponse Acc = mustRequest(C, "parse expr lr NUM + NUM");
+  ASSERT_TRUE(Acc.Ok) << Acc.Message;
+  EXPECT_NE(Acc.Body.find("accepted"), std::string::npos);
+  WireResponse Rej = mustRequest(C, "parse expr lr + +");
+  ASSERT_TRUE(Rej.Ok) << Rej.Message;
+  EXPECT_NE(Rej.Body.find("rejected"), std::string::npos);
+  EXPECT_EQ(S->parseService().stats().Requests, 2u);
+}
+
+TEST(NetServerTest, EditInvalidateAndRebuildRoundTrip) {
+  auto S = startServer({});
+  NetClient C(clientOptions(*S));
+  WireResponse Base = mustRequest(C, "build json lalr1");
+  ASSERT_TRUE(Base.Ok);
+  WireResponse Edit = mustRequest(C, "edit json prec ',' left 1");
+  ASSERT_TRUE(Edit.Ok) << Edit.Message;
+  EXPECT_NE(Edit.Body.find("applied"), std::string::npos);
+  // Post-edit builds carry the working source.
+  WireResponse After = mustRequest(C, "build json lalr1");
+  ASSERT_TRUE(After.Ok) << After.Message;
+  WireResponse Inv = mustRequest(C, "invalidate json");
+  ASSERT_TRUE(Inv.Ok);
+  EXPECT_NE(Inv.Body.find("dropped"), std::string::npos);
+  WireResponse Rebuilt = mustRequest(C, "build json lalr1");
+  ASSERT_TRUE(Rebuilt.Ok);
+  EXPECT_EQ(Rebuilt.Body, After.Body);
+}
+
+TEST(NetServerTest, BadRequestsGetStructuredRejections) {
+  auto S = startServer({});
+  NetClient C(clientOptions(*S));
+  for (const char *Line : {
+           "frobnicate json",                // unknown verb
+           "build json lalr1 repeat=3",      // repeat is file-manifest only
+           "build grammars/foo.y lalr1",     // no file IO over the wire
+           "parse json lr @input.txt",       // no file IO over the wire
+       }) {
+    WireResponse R = mustRequest(C, Line);
+    EXPECT_FALSE(R.Ok) << Line;
+    EXPECT_EQ(R.Code, kWireBadRequest) << Line;
+    EXPECT_FALSE(R.Message.empty()) << Line;
+  }
+  EXPECT_EQ(S->stats().BadRequests, 4u);
+  // A bad request never reaches the services.
+  EXPECT_EQ(S->buildService().stats().Requests, 0u);
+}
+
+TEST(NetServerTest, DeadlineGovernsOverTheWire) {
+  auto S = startServer({});
+  NetClient C(clientOptions(*S, /*MaxAttempts=*/1));
+  WireResponse R = mustRequest(C, "build ansic clr1 deadline-ms=1");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, "deadline-exceeded");
+  EXPECT_FALSE(R.retryable());
+}
+
+TEST(NetServerTest, ServiceLimitsGovernOverTheWire) {
+  NetServer::Options Opts;
+  Opts.Build.DefaultLimits.MaxLr0States = 10;
+  auto S = startServer(std::move(Opts));
+  NetClient C(clientOptions(*S, /*MaxAttempts=*/1));
+  WireResponse R = mustRequest(C, "build ansic lalr1");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, "limit-exceeded");
+  EXPECT_EQ(R.Which, "lr0_states");
+  EXPECT_EQ(R.Limit, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight coalescing
+// ---------------------------------------------------------------------------
+
+TEST(NetServerTest, SingleFlightCoalescesConcurrentDuplicates) {
+  constexpr unsigned K = 4;
+  NetServer *ServerPtr = nullptr;
+  NetServer::Options Opts;
+  // The leader parks here (flight published, slot held) until every
+  // follower has attached, so the coalescing proof is race-free.
+  Opts.OnLeaderExecute = [&] {
+    for (int Spin = 0; Spin < 20000; ++Spin) {
+      if (ServerPtr->stats().Coalesced >= K - 1)
+        return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  auto S = startServer(std::move(Opts));
+  ServerPtr = S.get();
+
+  std::vector<std::string> Bodies(K);
+  std::vector<std::thread> Clients;
+  for (unsigned I = 0; I < K; ++I)
+    Clients.emplace_back([&, I] {
+      NetClient C(clientOptions(*ServerPtr));
+      WireResponse R = mustRequest(C, "build minic lalr1");
+      EXPECT_TRUE(R.Ok) << R.Message;
+      Bodies[I] = R.Body;
+    });
+  for (std::thread &T : Clients)
+    T.join();
+
+  // K concurrent identical requests -> exactly one execution; every
+  // response byte-identical.
+  NetStats NS = S->stats();
+  EXPECT_EQ(NS.Flights, 1u);
+  EXPECT_EQ(NS.Coalesced, K - 1);
+  ServiceStats BS = S->buildService().stats();
+  EXPECT_EQ(BS.Requests, 1u);
+  EXPECT_EQ(BS.CacheMisses, 1u);
+  EXPECT_EQ(BS.CacheHits, 0u);
+  for (unsigned I = 1; I < K; ++I)
+    EXPECT_EQ(Bodies[I], Bodies[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(NetServerTest, SaturatedAdmissionShedsWithRetryAfter) {
+  std::atomic<bool> Gate{true};
+  std::atomic<unsigned> HookCalls{0};
+  std::atomic<unsigned> Entered{0};
+  NetServer::Options Opts;
+  Opts.MaxInflight = 1;
+  Opts.MaxQueueDepth = 0; // full wait queue: shed immediately
+  Opts.AdmissionTimeoutMs = 0;
+  Opts.RetryAfterMs = 7;
+  Opts.OnLeaderExecute = [&] {
+    if (HookCalls.fetch_add(1) == 0) {
+      ++Entered;
+      while (Gate.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  auto S = startServer(std::move(Opts));
+
+  // Occupy the only slot with a request parked in the hook.
+  std::thread Holder([&] {
+    NetClient C(clientOptions(*S));
+    WireResponse R = mustRequest(C, "build json lalr1");
+    EXPECT_TRUE(R.Ok) << R.Message;
+  });
+  while (Entered.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // A different request (no coalescing) must shed, not stall.
+  {
+    NetClient C(clientOptions(*S, /*MaxAttempts=*/1));
+    WireResponse R = mustRequest(C, "build expr lalr1");
+    EXPECT_FALSE(R.Ok);
+    EXPECT_EQ(R.Code, kWireShed);
+    EXPECT_EQ(R.RetryAfterMs, 7);
+    EXPECT_TRUE(R.retryable());
+  }
+  EXPECT_EQ(S->stats().Shed, 1u);
+
+  // The retrying client survives the saturation window.
+  std::thread Retrier([&] {
+    NetClient C(clientOptions(*S, /*MaxAttempts=*/50));
+    WireResponse R = mustRequest(C, "build minipascal lalr1");
+    EXPECT_TRUE(R.Ok) << R.Code << ": " << R.Message;
+    EXPECT_GE(C.retries(), 1u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Gate.store(false);
+  Holder.join();
+  Retrier.join();
+  EXPECT_GE(S->stats().Shed, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+TEST(NetServerTest, DrainAnswersEveryAcceptedRequestStructured) {
+  std::atomic<bool> Gate{true};
+  std::atomic<unsigned> HookCalls{0};
+  std::atomic<unsigned> Entered{0};
+  NetServer::Options Opts;
+  Opts.OnLeaderExecute = [&] {
+    if (HookCalls.fetch_add(1) == 0) {
+      ++Entered;
+      while (Gate.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  auto S = startServer(std::move(Opts));
+
+  // One raw connection, two pipelined lines: the first occupies the
+  // connection (parked in the hook), the second sits unread on the wire
+  // when the drain begins.
+  std::string Error;
+  Socket Conn = connectLoopback(S->port(), 2000, Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+  LineChannel Chan(std::move(Conn));
+  ASSERT_EQ(Chan.writeLine("build json lalr1", 2000), LineChannel::Io::Ok);
+  ASSERT_EQ(Chan.writeLine("ping", 2000), LineChannel::Io::Ok);
+  while (Entered.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  S->notifyDrainAsync();
+  std::thread Drainer([&] { S->waitDrained(); });
+  Gate.store(false);
+
+  // In-flight request finishes with its real result; the queued line is
+  // answered with a structured draining status — no silent drops.
+  std::string Line;
+  ASSERT_EQ(Chan.readLine(Line, 10000), LineChannel::Io::Ok);
+  WireResponse First;
+  ASSERT_TRUE(parseResponseLine(Line, First, Error)) << Error;
+  EXPECT_TRUE(First.Ok) << First.Message;
+  ASSERT_EQ(Chan.readLine(Line, 10000), LineChannel::Io::Ok);
+  WireResponse Second;
+  ASSERT_TRUE(parseResponseLine(Line, Second, Error)) << Error;
+  EXPECT_FALSE(Second.Ok);
+  EXPECT_EQ(Second.Code, kWireDraining);
+  EXPECT_GT(Second.RetryAfterMs, 0);
+  Drainer.join();
+
+  // The drained server refuses new connections...
+  Socket Refused = connectLoopback(S->port(), 200, Error);
+  EXPECT_FALSE(Refused.valid());
+  // ...and its books balance: every request line read got a response.
+  NetStats NS = S->stats();
+  EXPECT_EQ(NS.Requests, 2u);
+  EXPECT_EQ(NS.Drained, 1u);
+  EXPECT_EQ(NS.Requests, NS.OkResponses + NS.ErrResponses);
+}
+
+// ---------------------------------------------------------------------------
+// Injected wire faults: the retrying client survives all three sites
+// ---------------------------------------------------------------------------
+
+TEST(NetFaultTest, AcceptFaultDropsConnectionAndRetrySucceeds) {
+  auto S = startServer({});
+  ScopedFailPoint Fault("net_accept", FailPointAction::Throw, /*SkipHits=*/0,
+                        /*MaxFires=*/1);
+  NetClient C(clientOptions(*S));
+  WireResponse R = mustRequest(C, "ping");
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Body, "pong");
+  EXPECT_GE(C.retries(), 1u);
+  EXPECT_EQ(S->stats().AcceptFaults, 1u);
+}
+
+TEST(NetFaultTest, ReadFaultClosesConnectionAndRetrySucceeds) {
+  auto S = startServer({});
+  ScopedFailPoint Fault("net_read", FailPointAction::Throw, /*SkipHits=*/0,
+                        /*MaxFires=*/1);
+  NetClient C(clientOptions(*S));
+  WireResponse R = mustRequest(C, "build expr lalr1");
+  EXPECT_TRUE(R.Ok) << R.Message;
+  EXPECT_GE(C.retries(), 1u);
+  EXPECT_EQ(S->stats().ReadFaults, 1u);
+}
+
+TEST(NetFaultTest, WriteFaultRetryIsBitIdenticalWithNoHalfBuiltState) {
+  auto S = startServer({});
+  // The response to the FIRST build is torn mid-write; the cache was
+  // already populated by that execution.
+  ScopedFailPoint Fault("net_write", FailPointAction::Throw, /*SkipHits=*/0,
+                        /*MaxFires=*/1);
+  NetClient C(clientOptions(*S));
+  WireResponse Retried = mustRequest(C, "build json lalr1");
+  ASSERT_TRUE(Retried.Ok) << Retried.Message;
+  EXPECT_NE(Retried.Body.find("states="), std::string::npos);
+  EXPECT_GE(C.retries(), 1u);
+
+  NetStats NS = S->stats();
+  EXPECT_EQ(NS.WriteFaults, 1u);
+
+  // No half-built state: the first (torn) execution left a coherent
+  // cache entry — the retry hit it instead of rebuilding, and both
+  // executions succeeded.
+  ServiceStats BS = S->buildService().stats();
+  EXPECT_EQ(BS.Requests, 2u);
+  EXPECT_EQ(BS.Succeeded, 2u);
+  EXPECT_EQ(BS.CacheMisses, 1u);
+  EXPECT_EQ(BS.CacheHits, 1u);
+
+  // Bit-identical: a fresh request over a clean wire returns the same
+  // bytes the retry did.
+  WireResponse Clean = mustRequest(C, "build json lalr1");
+  ASSERT_TRUE(Clean.Ok);
+  EXPECT_EQ(Clean.Body, Retried.Body);
+}
+
+TEST(NetFaultTest, EditIsNotRetriedAfterPossibleSend) {
+  auto S = startServer({});
+  // Tear the response to an edit: the client must NOT resend (double
+  // apply), it must surface the failure.
+  ScopedFailPoint Fault("net_write", FailPointAction::Throw, /*SkipHits=*/0,
+                        /*MaxFires=*/1);
+  NetClient C(clientOptions(*S));
+  WireResponse R;
+  std::string Error;
+  EXPECT_FALSE(C.request("edit json prec ',' left 1", R, Error));
+  EXPECT_NE(Error.find("non-idempotent"), std::string::npos);
+  // The edit itself was applied server-side exactly once.
+  EXPECT_EQ(S->stats().WriteFaults, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stats export
+// ---------------------------------------------------------------------------
+
+TEST(NetStatsTest, PipelineStatsCarriesGatedCounters) {
+  NetStats S;
+  S.Requests = 10;
+  S.Coalesced = 3;
+  S.Shed = 2;
+  S.Drained = 1;
+  PipelineStats P = S.toPipelineStats("net/test");
+  EXPECT_EQ(P.Label, "net/test");
+  EXPECT_EQ(P.counter("net_requests"), 10u);
+  EXPECT_EQ(P.counter("net_coalesced"), 3u);
+  EXPECT_EQ(P.counter("net_shed"), 2u);
+  EXPECT_EQ(P.counter("net_drained"), 1u);
+}
+
+TEST(NetStatsTest, JsonListsEveryCounter) {
+  NetStats S;
+  S.Connections = 2;
+  S.Requests = 5;
+  std::string Json = S.toJson();
+  EXPECT_NE(Json.find("\"connections\": 2"), std::string::npos);
+  EXPECT_NE(Json.find("\"requests\": 5"), std::string::npos);
+  EXPECT_NE(Json.find("\"coalesced\""), std::string::npos);
+  EXPECT_NE(Json.find("\"shed\""), std::string::npos);
+  EXPECT_NE(Json.find("\"drained\""), std::string::npos);
+}

@@ -211,9 +211,15 @@ TEST(ParseServiceTest, LruBoundEvictsColdSnapshots) {
   ASSERT_TRUE(F.Parser.run(corpusParse("xmlish", "TEXT")).Ok);
   EXPECT_EQ(F.Parser.servingTableCount(), 2u);
   EXPECT_EQ(F.Parser.stats().TableEvictions, 1u);
+  // The evicted snapshot's serve count folded into the retired
+  // accumulator (like ContextCache), so the aggregate never undercounts
+  // after LRU churn: three builds = three first serves so far.
+  EXPECT_EQ(F.Parser.stats().RetiredTables, 1u);
+  EXPECT_EQ(F.Parser.stats().TableServes, 3u);
   // expr was evicted (LRU): parsing it again rebuilds.
   ASSERT_TRUE(F.Parser.run(corpusParse("expr", "NUM")).Ok);
   EXPECT_EQ(F.Parser.stats().TableBuilds, 4u);
+  EXPECT_EQ(F.Parser.stats().TableServes, 4u);
 }
 
 //===----------------------------------------------------------------------===//
