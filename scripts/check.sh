@@ -12,6 +12,12 @@ cmake --build build
 # The bench-stats comparison tool gates CI; validate it before trusting it.
 python3 scripts/test_compare_stats.py
 
+# Cross-layer conformance: validate the lint against seeded defects,
+# then run it for real (lock-graph ranks, failpoint registry/docs,
+# counter gate classes, err-code taxonomy, guard-poll coverage).
+python3 scripts/test_lalr_lint.py
+python3 scripts/lalr_lint.py
+
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
 # Second pass with the parallel DP core forced on: LALR_THREADS seeds
@@ -20,6 +26,14 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 # serial (tests/parallel_test.cpp), so the same expectations must hold.
 LALR_THREADS=2 ctest --test-dir build --output-on-failure 2>&1 \
   | tee test_output_threads.txt
+
+# Third pass with the lock-rank checker armed in abort mode: any
+# acquisition that contradicts the rank table in support/LockRank.h
+# kills the offending test outright, so a green run certifies every
+# exercised interleaving acquires locks in strictly increasing rank
+# order (docs/STATIC_ANALYSIS.md, "Lock ranking").
+LALR_LOCK_CHECK=abort ctest --test-dir build --output-on-failure 2>&1 \
+  | tee test_output_lockcheck.txt
 
 # Each bench also writes its per-stage PipelineStats as JSON under
 # build/bench-stats/ — the machine-readable record behind the tables.

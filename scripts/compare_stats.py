@@ -73,6 +73,59 @@ STRUCTURAL_COUNTERS = {
     # Benches whose coalescing IS timing-dependent emit it under the
     # ungated socket_coalesced name instead.
     "net_requests", "net_coalesced", "net_shed", "net_drained",
+    # Lock-rank checker (support/LockRank.h). Both are 0 in the default
+    # RelWithDebInfo/CI builds (the checker arms only under
+    # LALR_LOCK_CHECK or !NDEBUG), so they are exact across runs; and a
+    # nonzero lock_order_violations anywhere is a deadlock-ordering bug,
+    # never noise.
+    "lock_acquisitions", "lock_order_violations",
+}
+
+# Counters that are deliberately NOT gated: timing-, machine- or
+# scheduling-dependent (cache hit/miss splits under eviction pressure,
+# shed/deadline accounting, peak bit-widths, speedup ratios, ...). Every
+# counter emitted under src/ or bench/ must appear in exactly one of
+# STRUCTURAL_COUNTERS or VOLATILE_COUNTERS — scripts/lalr_lint.py fails
+# the build on any counter that is emitted but classified in neither
+# (silently-ungated counters are how structural drift sneaks past CI).
+VOLATILE_COUNTERS = {
+    # Grammar/DP configuration and work-shape counters that vary with
+    # thread count or build mode.
+    "build_threads", "read_union_ops", "follow_union_ops",
+    "reads_nontrivial_sccs", "includes_nontrivial_sccs",
+    "peak_read_bits", "peak_follow_bits", "peak_la_bits",
+    "compressed_bytes",
+    # Baseline-construction censuses (comparison tables, not gates).
+    "bl_derived_nonterminals", "bl_derived_productions",
+    "nqlalr_nodes", "pager_states", "pager_reprocessed",
+    "yacc_links", "yacc_passes",
+    # Build service: request outcomes and cache dynamics depend on
+    # deadlines, eviction pressure and worker scheduling.
+    "service_requests", "service_succeeded", "service_failed",
+    "service_rejected", "service_expired", "service_cancelled",
+    "service_limit_killed", "service_cache_hits", "service_cache_misses",
+    "service_cache_evictions", "service_cache_invalidations",
+    "service_cache_patched", "service_cache_invalidations_source",
+    "service_cache_invalidations_explicit",
+    "service_cache_invalidations_abort",
+    # Parse service: outcome splits with deadlines/limits in play, the
+    # table-LRU dynamics, and the per-driver request split.
+    "parse_failed", "parse_expired", "parse_cancelled",
+    "parse_limit_killed", "parse_table_hits", "parse_table_serves",
+    "parse_table_evictions", "parse_retired_tables",
+    "parse_requests_lr", "parse_requests_glr", "parse_requests_ll1",
+    "parse_requests_earley",
+    # Network front end: connection/flight/fault accounting varies with
+    # client scheduling; the structural subset is gated above.
+    "net_connections", "net_ok_responses", "net_err_responses",
+    "net_bad_requests", "net_flights", "net_accept_faults",
+    "net_read_faults", "net_write_faults",
+    # Bench-local counters (speedups, worker counts, socket sweeps).
+    "dp_speedup_x1000", "relations_speedup_x1000", "parallel_efficiency",
+    "hardware_threads", "service_workers",
+    "naive_sweeps", "naive_reverse_sweeps", "naive_union_ops",
+    "socket_requests", "socket_clients", "socket_coalesced",
+    "socket_flights",
 }
 
 

@@ -1,0 +1,899 @@
+#!/usr/bin/env python3
+"""lalr_lint: compile-free cross-layer conformance audits over src/.
+
+The serving stack keeps several invariants that no compiler pass can see:
+lock acquisition order, the failpoint-site registry, the stats-counter
+gate lists, the wire `err`-code taxonomy, and guard-poll coverage of the
+hot loops. Each lives in more than one place (C++ code, scripts/, docs/),
+so this lint extracts every side and fails when they disagree. Audits
+(run all by default; `--audit NAME` repeats to select):
+
+  lock-graph   Every `Mutex` member under src/ must be ranked from the
+               support/LockRank.h table; the per-function MutexLock
+               nesting graph must be acyclic and every nesting edge must
+               go from a lower to a strictly higher rank.
+  failpoints   Site names used by `failPoint("...")` in code, the
+               FailPoint.cpp registry (kAllSites), and the site list in
+               docs/SERVICE.md must agree exactly.
+  counters     Every counter emitted via setCounter/addCounter in src/
+               and bench/ must be classified in scripts/compare_stats.py
+               (STRUCTURAL_COUNTERS or VOLATILE_COUNTERS — an ungated
+               counter is an error), must appear in the docs/API.md
+               counter catalogue with the same gate class, and every
+               classified/documented counter must actually be emitted.
+  err-codes    Every `err` code the daemon can emit (formatErrLine
+               literals, kWire* constants, the BuildStatus taxonomy) must
+               be in the WireProtocol taxonomy and in the docs/SERVICE.md
+               wire grammar, and vice versa.
+  guard-polls  In the DP/driver hot files, every loop of >= MIN_LOOP_LINES
+               lines must reach a BuildGuard poll (guardPoll /
+               guardPollStrided / ->poll()) somewhere in its body, or
+               carry an explicit `lalr_lint: no-poll(<reason>)` comment
+               within or just above it.
+
+Exit status: 0 clean, 1 findings, 2 usage/extraction errors. Findings are
+one line each: `audit: file:line: message`.
+
+Self-test: scripts/test_lalr_lint.py seeds one defective fixture per
+audit class and asserts the real tree is clean; scripts/check.sh and the
+CI static-analysis job run both.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Shared extraction helpers
+# --------------------------------------------------------------------------
+
+AUDITS = ("lock-graph", "failpoints", "counters", "err-codes", "guard-polls")
+
+# Hot-path files for the guard-polls audit: every file that implements a
+# stage-level DP/driver loop (the set that polls a BuildGuard today; a new
+# hot file must be added here when it grows its first guarded loop).
+HOT_FILES = [
+    "src/lalr/DigraphSolver.cpp",
+    "src/lalr/LalrLookaheads.cpp",
+    "src/lalr/IncrementalDp.cpp",
+    "src/lalr/Relations.cpp",
+    "src/lr/Lr0Automaton.cpp",
+    "src/lr/ParseTable.h",
+    "src/ll/Ll1Table.cpp",
+    "src/glr/GlrParser.cpp",
+    "src/earley/EarleyParser.cpp",
+    "src/parser/ParserDriver.h",
+    "src/baselines/Lr1Automaton.cpp",
+    "src/baselines/PagerLr1.cpp",
+]
+
+# A loop shorter than this many lines is init/bookkeeping, not a stage
+# loop; it does not need its own poll.
+MIN_LOOP_LINES = 12
+
+# Dynamic counter families: emitted as a computed name with a literal
+# prefix. Maps emission prefix -> (doc row name, expanded names).
+DYNAMIC_COUNTER_FAMILIES = {
+    "parse_requests_": (
+        "parse_requests_<driver>",
+        ["parse_requests_lr", "parse_requests_glr", "parse_requests_ll1",
+         "parse_requests_earley"],
+    ),
+}
+
+
+class Finding:
+    def __init__(self, audit, path, line, message):
+        self.audit = audit
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else f"{self.path}"
+        return f"{self.audit}: {where}: {self.message}"
+
+
+def fatal(msg):
+    print(f"lalr_lint: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def strip_comments(text):
+    """C/C++ comments replaced by spaces (newlines kept: line numbers and
+    string literals survive)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            seg = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            out.append(text[i:j + 1])
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def blank_strings(text):
+    """String/char literal *contents* replaced by spaces (quotes kept),
+    for structural (brace-depth) scanning."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c in "\"'":
+            quote, j = c, i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            seg = text[i + 1:j]
+            out.append(quote)
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            out.append(quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def src_files(root):
+    for p in sorted((root / "src").rglob("*")):
+        if p.suffix in (".h", ".cpp"):
+            yield p
+
+
+def rel(root, path):
+    try:
+        return str(path.relative_to(root))
+    except ValueError:
+        return str(path)
+
+
+# --------------------------------------------------------------------------
+# Audit: lock-graph
+# --------------------------------------------------------------------------
+
+RANK_CONST_RE = re.compile(
+    r"inline\s+constexpr\s+int\s+(\w+)\s*=\s*(\d+)\s*;")
+RANKED_DECL_RE = re.compile(
+    r"(?:mutable\s+)?\bMutex\s+(\w+)\s*\{\s*\"([^\"]+)\"\s*,\s*"
+    r"lockrank::(\w+)\s*\}")
+ANY_DECL_RE = re.compile(r"(?:mutable\s+)?\bMutex\s+(\w+)\s*([;{])")
+ACQUIRE_RE = re.compile(r"\bMutexLock\s+\w+\s*\(([^()]*)\)")
+
+
+def load_rank_table(root):
+    path = root / "src/support/LockRank.h"
+    if not path.is_file():
+        fatal(f"missing {path} (rank table)")
+    text = strip_comments(path.read_text())
+    m = re.search(r"namespace\s+lockrank\s*\{", text)
+    if not m:
+        fatal(f"{path}: no `namespace lockrank` block")
+    end = text.find("}", m.end())
+    body = text[m.end():end if end > 0 else len(text)]
+    return {name: int(val) for name, val in RANK_CONST_RE.findall(body)}
+
+
+class LockDecl:
+    def __init__(self, path, line, member, name, const, rank):
+        self.path = path          # Path of the declaring file
+        self.line = line
+        self.member = member      # C++ member identifier, e.g. "StatsMu"
+        self.name = name          # rank-table name, e.g. "net.stats"
+        self.const = const        # lockrank:: constant name
+        self.rank = rank          # numeric rank (None if const unknown)
+
+
+def audit_lock_graph(root):
+    findings = []
+    ranks = load_rank_table(root)
+
+    skip = {root / "src/support/ThreadSafety.h",
+            root / "src/support/LockRank.h"}
+    decls = []
+    texts = {}
+    for path in src_files(root):
+        if path in skip:
+            continue
+        text = strip_comments(path.read_text())
+        texts[path] = text
+        claimed = set()
+        for m in RANKED_DECL_RE.finditer(text):
+            member, name, const = m.group(1), m.group(2), m.group(3)
+            claimed.add(m.start())
+            if const not in ranks:
+                findings.append(Finding(
+                    "lock-graph", rel(root, path), line_of(text, m.start()),
+                    f"mutex '{member}' uses unknown rank constant "
+                    f"lockrank::{const} (not in support/LockRank.h)"))
+                rank = None
+            else:
+                rank = ranks[const]
+            decls.append(LockDecl(path, line_of(text, m.start()), member,
+                                  name, const, rank))
+        for m in ANY_DECL_RE.finditer(text):
+            if m.start() in claimed:
+                continue
+            # A `{` opener that is not the ranked form: re-check.
+            if m.group(2) == "{" and RANKED_DECL_RE.match(text, m.start()):
+                continue
+            findings.append(Finding(
+                "lock-graph", rel(root, path), line_of(text, m.start()),
+                f"mutex member '{m.group(1)}' is unranked: construct it as "
+                f"Mutex{{\"<name>\", lockrank::<Const>}} "
+                f"(see support/LockRank.h)"))
+
+    # Duplicate rank-table names are an identity clash.
+    by_name = {}
+    for d in decls:
+        by_name.setdefault(d.name, []).append(d)
+    for name, ds in sorted(by_name.items()):
+        if len(ds) > 1:
+            locs = ", ".join(f"{rel(root, d.path)}:{d.line}" for d in ds[1:])
+            findings.append(Finding(
+                "lock-graph", rel(root, ds[0].path), ds[0].line,
+                f"lock name \"{name}\" declared more than once "
+                f"(also at {locs})"))
+
+    by_member = {}
+    for d in decls:
+        by_member.setdefault(d.member, []).append(d)
+
+    def resolve(path, member):
+        """member name at an acquisition site -> LockDecl or None."""
+        cands = by_member.get(member, [])
+        if not cands:
+            return None
+        same_file = [d for d in cands if d.path == path]
+        if len(same_file) == 1:
+            return same_file[0]
+        stem = path.stem
+        same_stem = [d for d in cands if d.path.stem == stem]
+        if len(same_stem) == 1:
+            return same_stem[0]
+        if len(cands) == 1:
+            return cands[0]
+        return "ambiguous"
+
+    # Per-file scope walk: for each MutexLock, every lock still in scope
+    # is an edge source. Brace depth comes from the string-blanked text.
+    edges = {}  # (src LockDecl name, dst name) -> (path, line, ranks)
+    for path, text in texts.items():
+        struct = blank_strings(text)
+        acquisitions = []
+        for m in ACQUIRE_RE.finditer(text):
+            arg = m.group(1)
+            ids = re.findall(r"\w+", arg)
+            if not ids:
+                continue
+            acquisitions.append((m.start(), ids[-1]))
+        if not acquisitions:
+            continue
+        acq_iter = iter(acquisitions)
+        nxt = next(acq_iter, None)
+        depth = 0
+        held = []  # (depth at declaration, LockDecl)
+        for i, ch in enumerate(struct):
+            while nxt is not None and nxt[0] <= i:
+                pos, member = nxt
+                d = resolve(path, member)
+                if d == "ambiguous":
+                    findings.append(Finding(
+                        "lock-graph", rel(root, path), line_of(text, pos),
+                        f"ambiguous lock member '{member}': declared in "
+                        f"multiple classes and none matches this file"))
+                elif d is not None:
+                    for _, h in held:
+                        key = (h.name, d.name)
+                        if key not in edges:
+                            edges[key] = (path, line_of(text, pos),
+                                          h, d)
+                    held.append((depth, d))
+                nxt = next(acq_iter, None)
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                held = [(dd, l) for dd, l in held if dd < depth + 1]
+        # (held lockers drain naturally; per-file scan ends here)
+
+    for (src, dst), (path, line, hd, dd) in sorted(edges.items()):
+        if hd.rank is None or dd.rank is None:
+            continue
+        if src == dst:
+            findings.append(Finding(
+                "lock-graph", rel(root, path), line,
+                f"lock \"{src}\" acquired while already held "
+                f"(self-deadlock)"))
+        elif dd.rank <= hd.rank:
+            findings.append(Finding(
+                "lock-graph", rel(root, path), line,
+                f"lock-order edge contradicts declared ranks: "
+                f"\"{dst}\" (rank {dd.rank}) acquired while holding "
+                f"\"{src}\" (rank {hd.rank}); ranks must strictly "
+                f"increase"))
+
+    # Cycle check over the extracted graph (redundant when every edge is
+    # rank-increasing, decisive when ranks were edited into contradiction).
+    graph = {}
+    for (src, dst) in edges:
+        graph.setdefault(src, set()).add(dst)
+    state = {}
+
+    def dfs(node, stack):
+        state[node] = 1
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if state.get(nxt, 0) == 1:
+                cyc = stack[stack.index(nxt):] + [nxt]
+                findings.append(Finding(
+                    "lock-graph", "src", 0,
+                    "lock-graph cycle: " + " -> ".join(
+                        f'"{x}"' for x in cyc)))
+            elif state.get(nxt, 0) == 0:
+                dfs(nxt, stack)
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(graph):
+        if state.get(node, 0) == 0:
+            dfs(node, [])
+
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Audit: failpoints
+# --------------------------------------------------------------------------
+
+def registry_sites(root):
+    path = root / "src/support/FailPoint.cpp"
+    if not path.is_file():
+        fatal(f"missing {path} (failpoint registry)")
+    text = strip_comments(path.read_text())
+    m = re.search(r"kAllSites\[\]\s*=\s*\{", text)
+    if not m:
+        fatal(f"{path}: no kAllSites initializer")
+    end = text.find("};", m.end())
+    body = text[m.end():end]
+    return re.findall(r"\"([^\"]+)\"", body), path, line_of(text, m.start())
+
+
+def docs_failpoint_sites(root):
+    path = root / "docs/SERVICE.md"
+    if not path.is_file():
+        return None, path, 0
+    text = path.read_text()
+    m = re.search(r"registered sites", text, re.IGNORECASE)
+    if not m:
+        return None, path, 0
+    fence = re.compile(r"```[^\n]*\n(.*?)```", re.DOTALL)
+    f = fence.search(text, m.end())
+    if not f:
+        return None, path, line_of(text, m.start())
+    return re.findall(r"[\w-]+", f.group(1)), path, line_of(text, f.start())
+
+
+def audit_failpoints(root):
+    findings = []
+    registry, reg_path, reg_line = registry_sites(root)
+    reg_set = set(registry)
+
+    dup = {s for s in registry if registry.count(s) > 1}
+    for s in sorted(dup):
+        findings.append(Finding(
+            "failpoints", rel(root, reg_path), reg_line,
+            f"site '{s}' appears more than once in kAllSites"))
+
+    skip = {root / "src/support/FailPoint.h",
+            root / "src/support/FailPoint.cpp"}
+    used = {}   # site -> (path, line) of a failPoint("...") call
+    quoted = set()  # every quoted literal in src/ outside the registry
+    for path in src_files(root):
+        if path in skip:
+            continue
+        text = strip_comments(path.read_text())
+        for m in re.finditer(r"\bfailPoint\(\s*\"([^\"]+)\"", text):
+            used.setdefault(m.group(1), (path, line_of(text, m.start())))
+        for m in re.finditer(r"\"([\w-]+)\"", text):
+            quoted.add(m.group(1))
+
+    for site in sorted(used):
+        if site not in reg_set:
+            path, line = used[site]
+            findings.append(Finding(
+                "failpoints", rel(root, path), line,
+                f"failPoint(\"{site}\") is not a registered site: add it "
+                f"to kAllSites in src/support/FailPoint.cpp"))
+    for site in sorted(reg_set):
+        if site not in used and site not in quoted:
+            findings.append(Finding(
+                "failpoints", rel(root, reg_path), reg_line,
+                f"registered site '{site}' is never referenced under src/ "
+                f"(dead registry entry?)"))
+
+    doc_sites, doc_path, doc_line = docs_failpoint_sites(root)
+    if doc_sites is None:
+        findings.append(Finding(
+            "failpoints", rel(root, doc_path), doc_line,
+            "docs/SERVICE.md has no fenced site list after a 'registered "
+            "sites' marker"))
+    else:
+        doc_set = set(doc_sites)
+        for s in sorted(reg_set - doc_set):
+            findings.append(Finding(
+                "failpoints", rel(root, doc_path), doc_line,
+                f"registered site '{s}' missing from the docs/SERVICE.md "
+                f"site list"))
+        for s in sorted(doc_set - reg_set):
+            findings.append(Finding(
+                "failpoints", rel(root, doc_path), doc_line,
+                f"docs/SERVICE.md lists unknown site '{s}' (not in "
+                f"kAllSites)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Audit: counters
+# --------------------------------------------------------------------------
+
+EMIT_RE = re.compile(r"\b(?:setCounter|addCounter)\(\s*\"([a-z0-9_]+)\"")
+DYN_EMIT_RE = re.compile(
+    r"\b(?:setCounter|addCounter)\(\s*std::string\(\s*\"([a-z0-9_]+)\"\s*\)")
+
+
+def emitted_counters(root):
+    emitted = {}   # name -> (path, line)
+    families = {}  # prefix -> (path, line)
+    dirs = [root / "src", root / "bench"]
+    for d in dirs:
+        if not d.is_dir():
+            continue
+        for path in sorted(d.rglob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            text = strip_comments(path.read_text())
+            for m in EMIT_RE.finditer(text):
+                emitted.setdefault(m.group(1),
+                                   (path, line_of(text, m.start())))
+            for m in DYN_EMIT_RE.finditer(text):
+                families.setdefault(m.group(1),
+                                    (path, line_of(text, m.start())))
+    return emitted, families
+
+
+def gate_sets(root):
+    path = root / "scripts/compare_stats.py"
+    if not path.is_file():
+        fatal(f"missing {path}")
+    text = path.read_text()
+    out = {}
+    for name in ("STRUCTURAL_COUNTERS", "VOLATILE_COUNTERS"):
+        m = re.search(name + r"\s*=\s*\{", text)
+        if m is None:
+            out[name] = None
+            continue
+        end = text.find("}", m.end())
+        out[name] = set(re.findall(r"\"([a-z0-9_]+)\"",
+                                   text[m.end():end]))
+    return out, path
+
+
+CATALOGUE_ROW_RE = re.compile(
+    r"^\|\s*`([a-z0-9_<>]+)`\s*\|\s*(structural|volatile)\s*\|",
+    re.MULTILINE)
+
+
+def docs_counter_catalogue(root):
+    path = root / "docs/API.md"
+    if not path.is_file():
+        return None, path
+    text = path.read_text()
+    rows = {}
+    for m in CATALOGUE_ROW_RE.finditer(text):
+        rows[m.group(1)] = (m.group(2), line_of(text, m.start()))
+    return (rows if rows else None), path
+
+
+def audit_counters(root):
+    findings = []
+    emitted, families = emitted_counters(root)
+    gates, gate_path = gate_sets(root)
+    structural = gates["STRUCTURAL_COUNTERS"]
+    volatile = gates["VOLATILE_COUNTERS"]
+    if structural is None:
+        fatal(f"{gate_path}: no STRUCTURAL_COUNTERS set")
+    if volatile is None:
+        findings.append(Finding(
+            "counters", rel(root, gate_path), 0,
+            "compare_stats.py has no VOLATILE_COUNTERS set: every emitted "
+            "counter must be explicitly classified"))
+        volatile = set()
+
+    # Expand dynamic families into their exact emitted names.
+    doc_alias = {}  # exact name -> catalogue row name
+    for prefix, (path, line) in sorted(families.items()):
+        fam = DYNAMIC_COUNTER_FAMILIES.get(prefix)
+        if fam is None:
+            findings.append(Finding(
+                "counters", rel(root, path), line,
+                f"dynamic counter family '{prefix}<...>' is not declared "
+                f"in DYNAMIC_COUNTER_FAMILIES (scripts/lalr_lint.py)"))
+            continue
+        row_name, names = fam
+        for n in names:
+            emitted.setdefault(n, (path, line))
+            doc_alias[n] = row_name
+
+    for s in sorted(structural & volatile):
+        findings.append(Finding(
+            "counters", rel(root, gate_path), 0,
+            f"counter '{s}' is both STRUCTURAL and VOLATILE in "
+            f"compare_stats.py"))
+
+    classified = structural | volatile
+    for name in sorted(emitted):
+        if name not in classified:
+            path, line = emitted[name]
+            findings.append(Finding(
+                "counters", rel(root, path), line,
+                f"counter '{name}' is emitted but not classified in "
+                f"compare_stats.py (add to STRUCTURAL_COUNTERS if exact "
+                f"across runs, else VOLATILE_COUNTERS)"))
+    for name in sorted(classified - set(emitted)):
+        findings.append(Finding(
+            "counters", rel(root, gate_path), 0,
+            f"counter '{name}' is classified in compare_stats.py but "
+            f"never emitted (stale gate entry)"))
+
+    rows, doc_path = docs_counter_catalogue(root)
+    if rows is None:
+        findings.append(Finding(
+            "counters", rel(root, doc_path), 0,
+            "docs/API.md has no counter catalogue (| `name` | gate | ... | "
+            "table rows)"))
+        return findings
+    documented_names = set(rows)
+    for name in sorted(emitted):
+        doc_name = doc_alias.get(name, name)
+        if doc_name not in rows:
+            path, line = emitted[name]
+            findings.append(Finding(
+                "counters", rel(root, path), line,
+                f"counter '{name}' is emitted but missing from the "
+                f"docs/API.md counter catalogue (row `{doc_name}`)"))
+            continue
+        gate, _ = rows[doc_name]
+        actual = "structural" if name in structural else "volatile"
+        if gate != actual:
+            _, line = rows[doc_name]
+            findings.append(Finding(
+                "counters", rel(root, doc_path), line,
+                f"catalogue row `{doc_name}` says {gate} but "
+                f"compare_stats.py classifies '{name}' as {actual}"))
+    emitted_doc_names = ({doc_alias.get(n, n) for n in emitted})
+    for name in sorted(documented_names - emitted_doc_names):
+        _, line = rows[name]
+        findings.append(Finding(
+            "counters", rel(root, doc_path), line,
+            f"catalogue row `{name}` documents a counter that is never "
+            f"emitted"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Audit: err-codes
+# --------------------------------------------------------------------------
+
+def wire_taxonomy(root):
+    """{code: origin} for every code the taxonomy admits."""
+    codes = {}
+    wp = root / "src/net/WireProtocol.h"
+    if not wp.is_file():
+        fatal(f"missing {wp}")
+    text = strip_comments(wp.read_text())
+    kwire = {}
+    for m in re.finditer(r"kWire(\w+)\s*=\s*\"([^\"]+)\"", text):
+        kwire[m.group(1)] = m.group(2)
+        codes[m.group(2)] = "WireProtocol.h"
+    canc = root / "src/support/Cancellation.cpp"
+    if canc.is_file():
+        ctext = strip_comments(canc.read_text())
+        m = re.search(r"buildStatusCodeName\s*\(", ctext)
+        if m:
+            end = ctext.find("\n}", m.end())
+            body = ctext[m.end():end if end > 0 else len(ctext)]
+            for code in re.findall(r"return\s+\"([a-z-]+)\"", body):
+                if code != "ok":
+                    codes[code] = "BuildStatus taxonomy"
+    return codes, kwire
+
+
+def emitted_err_codes(root, kwire):
+    emitted = {}  # code -> (path, line)
+    net = root / "src/net"
+    if not net.is_dir():
+        return emitted
+    status_codes = None
+    for path in sorted(net.rglob("*")):
+        if path.suffix not in (".h", ".cpp"):
+            continue
+        text = strip_comments(path.read_text())
+        for m in re.finditer(r"\bformatErrLine\(\s*\"([^\"]+)\"", text):
+            emitted.setdefault(m.group(1), (path, line_of(text, m.start())))
+        for m in re.finditer(r"\bformatErrLine\(\s*kWire(\w+)", text):
+            code = kwire.get(m.group(1))
+            if code:
+                emitted.setdefault(code, (path, line_of(text, m.start())))
+        # formatStatusLine / statusLine render a BuildStatus: the whole
+        # non-ok BuildStatus taxonomy is emittable through them.
+        m = re.search(r"\b(?:formatStatusLine|statusLine)\(", text)
+        if m and status_codes is None:
+            status_codes = (path, line_of(text, m.start()))
+    if status_codes is not None:
+        canc = root / "src/support/Cancellation.cpp"
+        if canc.is_file():
+            ctext = strip_comments(canc.read_text())
+            fm = re.search(r"buildStatusCodeName\s*\(", ctext)
+            if fm:
+                end = ctext.find("\n}", fm.end())
+                body = ctext[fm.end():end if end > 0 else len(ctext)]
+                for code in re.findall(r"return\s+\"([a-z-]+)\"", body):
+                    if code != "ok":
+                        emitted.setdefault(code, status_codes)
+    return emitted
+
+
+def docs_err_codes(root):
+    path = root / "docs/SERVICE.md"
+    if not path.is_file():
+        return None, path, 0
+    text = path.read_text()
+    m = re.search(r"^\s*code\s*:=(.*)$", text, re.MULTILINE)
+    if not m:
+        return None, path, 0
+    lines = [m.group(1)]
+    for ln in text[m.end():].split("\n")[1:]:
+        if re.match(r"^\s*\|", ln):
+            lines.append(ln)
+        else:
+            break
+    tokens = []
+    for ln in lines:
+        ln = ln.split("#", 1)[0]
+        tokens.extend(re.findall(r"[a-z][a-z-]*[a-z]", ln))
+    return tokens, path, line_of(text, m.start())
+
+
+def audit_err_codes(root):
+    findings = []
+    taxonomy, kwire = wire_taxonomy(root)
+    emitted = emitted_err_codes(root, kwire)
+
+    for code in sorted(emitted):
+        if code not in taxonomy:
+            path, line = emitted[code]
+            findings.append(Finding(
+                "err-codes", rel(root, path), line,
+                f"err code '{code}' is emitted but not part of the "
+                f"WireProtocol/BuildStatus taxonomy"))
+
+    doc_codes, doc_path, doc_line = docs_err_codes(root)
+    if doc_codes is None:
+        findings.append(Finding(
+            "err-codes", rel(root, doc_path), doc_line,
+            "docs/SERVICE.md has no `code :=` wire grammar"))
+        return findings
+    doc_set = set(doc_codes)
+    for code in sorted(set(taxonomy) - doc_set):
+        findings.append(Finding(
+            "err-codes", rel(root, doc_path), doc_line,
+            f"taxonomy code '{code}' ({taxonomy[code]}) missing from the "
+            f"docs/SERVICE.md wire grammar"))
+    for code in sorted(doc_set - set(taxonomy)):
+        findings.append(Finding(
+            "err-codes", rel(root, doc_path), doc_line,
+            f"docs/SERVICE.md wire grammar lists undocumented-in-code "
+            f"err code '{code}'"))
+    for code in sorted(set(emitted) - doc_set):
+        path, line = emitted[code]
+        findings.append(Finding(
+            "err-codes", rel(root, path), line,
+            f"err code '{code}' is emitted but missing from the "
+            f"docs/SERVICE.md wire grammar"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Audit: guard-polls
+# --------------------------------------------------------------------------
+
+POLL_RE = re.compile(r"guardPoll|guardPollStrided|(?:->|\.)\s*poll\s*\(")
+NO_POLL_RE = re.compile(r"lalr_lint:\s*no-poll")
+LAMBDA_RE = re.compile(r"\bauto\s+(\w+)\s*=\s*\[")
+
+
+def polling_lambdas(text, struct):
+    """Names of local lambdas whose body contains a poll: a loop that
+    calls one reaches a poll through it (DigraphSolver's pushNode)."""
+    names = set()
+    for m in LAMBDA_RE.finditer(struct):
+        brace = struct.find("{", m.end())
+        if brace < 0:
+            continue
+        depth, k, n = 0, brace, len(struct)
+        while k < n:
+            if struct[k] == "{":
+                depth += 1
+            elif struct[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        if POLL_RE.search(text[brace:k + 1]):
+            names.add(m.group(1))
+    return names
+
+
+def find_loops(struct):
+    """(start, body_end) spans of every for/while loop with a braced body
+    in string-blanked text (comments must already be gone)."""
+    loops = []
+    for m in re.finditer(r"\b(for|while)\s*\(", struct):
+        i = m.end() - 1
+        depth = 0
+        n = len(struct)
+        # Matching close paren of the loop header.
+        while i < n:
+            if struct[i] == "(":
+                depth += 1
+            elif struct[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        j = i + 1
+        while j < n and struct[j] in " \t\n":
+            j += 1
+        if j >= n or struct[j] != "{":
+            continue  # single-statement loop body: too small to matter
+        depth = 0
+        k = j
+        while k < n:
+            if struct[k] == "{":
+                depth += 1
+            elif struct[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        loops.append((m.start(), k))
+    return loops
+
+
+def audit_guard_polls(root):
+    findings = []
+    for relpath in HOT_FILES:
+        path = root / relpath
+        if not path.is_file():
+            findings.append(Finding(
+                "guard-polls", relpath, 0,
+                "hot-path file listed in lalr_lint.py HOT_FILES does not "
+                "exist (update the list)"))
+            continue
+        raw = path.read_text()
+        text = strip_comments(raw)
+        struct = blank_strings(text)
+        loops = find_loops(struct)
+        pollers = polling_lambdas(text, struct)
+        poller_call = (re.compile(
+            r"\b(?:" + "|".join(re.escape(p) for p in sorted(pollers)) +
+            r")\s*\(") if pollers else None)
+        # Only outermost loops are stage-level: a poll anywhere in the
+        # nest (the idiom is guardPollStrided at the top of the outer
+        # body) covers every inner loop once per outer iteration.
+        outer = [(s, e) for s, e in loops
+                 if not any(s2 < s and e <= e2 for s2, e2 in loops)]
+        raw_lines = raw.split("\n")
+        for start, end in outer:
+            lines = struct.count("\n", start, end) + 1
+            if lines < MIN_LOOP_LINES:
+                continue
+            body = text[start:end + 1]
+            if POLL_RE.search(body):
+                continue
+            if poller_call is not None and poller_call.search(body):
+                continue
+            # Suppression inside the loop or on the 3 raw lines above it.
+            loop_line = line_of(text, start)
+            ctx = "\n".join(raw_lines[max(0, loop_line - 4):loop_line])
+            if NO_POLL_RE.search(raw[start:end + 1]) or NO_POLL_RE.search(ctx):
+                continue
+            findings.append(Finding(
+                "guard-polls", relpath, loop_line,
+                f"{lines}-line loop in a DP/driver hot path never reaches "
+                f"a BuildGuard poll (add guardPoll/guardPollStrided, or "
+                f"suppress with `// lalr_lint: no-poll(<reason>)`)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+AUDIT_FUNCS = {
+    "lock-graph": audit_lock_graph,
+    "failpoints": audit_failpoints,
+    "counters": audit_counters,
+    "err-codes": audit_err_codes,
+    "guard-polls": audit_guard_polls,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
+                    help="repository root (default: this script's ../)")
+    ap.add_argument("--audit", action="append", choices=AUDITS,
+                    help="run only this audit (repeatable; default: all)")
+    ap.add_argument("--list", action="store_true",
+                    help="list the audits and exit")
+    args = ap.parse_args()
+
+    if args.list:
+        for a in AUDITS:
+            print(a)
+        return 0
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        fatal(f"{root} has no src/ directory")
+
+    selected = args.audit or list(AUDITS)
+    findings = []
+    for name in selected:
+        findings.extend(AUDIT_FUNCS[name](root))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lalr_lint: {len(findings)} finding(s) across "
+              f"{len(selected)} audit(s)", file=sys.stderr)
+        return 1
+    print(f"lalr_lint: OK ({', '.join(selected)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

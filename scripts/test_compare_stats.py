@@ -145,6 +145,23 @@ class CompareFunctionTest(unittest.TestCase):
         self.assertIn("counter net_shed: 0 -> 2 (structural drift)",
                       problems[0])
 
+    def test_lock_counters_are_structural(self):
+        # The lock-rank checker is off in the RelWithDebInfo builds that
+        # produce bench stats, so both counters are exactly 0 across
+        # runs; any nonzero lock_order_violations is a deadlock-ordering
+        # bug, never noise, and must trip the structural gate.
+        base = self.load("base", {"a.json": [entry(
+            "g/lalr1", {"lock_acquisitions": 0,
+                        "lock_order_violations": 0})]})
+        cand = self.load("cand", {"a.json": [entry(
+            "g/lalr1", {"lock_acquisitions": 0,
+                        "lock_order_violations": 1})]})
+        problems = compare_stats.compare(base, cand, 1.5, 100.0)
+        self.assertEqual(len(problems), 1)
+        self.assertIn(
+            "counter lock_order_violations: 0 -> 1 (structural drift)",
+            problems[0])
+
     def test_non_structural_counter_drift_is_ignored(self):
         # build_threads varies across configurations by design.
         base = self.load("base", {"a.json": [entry("g", {"build_threads": 0})]})

@@ -1,0 +1,311 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/lalr_lint.py.
+
+Two halves:
+
+  * The real tree must be CLEAN: every audit returns zero findings (and
+    the CLI exits 0). This is the same invocation CI runs; the test here
+    pins the contract that a green lint means a green static-analysis
+    job.
+
+  * Seeded defects must be CAUGHT: for each audit class the test copies
+    the real tree into a temp fixture, injects exactly one violation of
+    the kind that audit exists to catch (a rank contradiction, a cycle,
+    an unregistered failpoint, an unclassified counter, an off-taxonomy
+    err code, an unpolled hot loop), and asserts the audit reports it.
+    A lint that cannot fail is not a gate.
+
+Run directly (python3 scripts/test_lalr_lint.py) or via scripts/check.sh.
+"""
+
+import importlib.util
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "lalr_lint", ROOT / "scripts" / "lalr_lint.py")
+lalr_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lalr_lint)
+
+
+def fixture_tree(tmp):
+    """Copy of everything the audits read: src/, docs/, bench/ and
+    scripts/compare_stats.py, rooted in a temp directory."""
+    root = Path(tmp) / "tree"
+    for d in ("src", "docs", "bench"):
+        shutil.copytree(ROOT / d, root / d)
+    (root / "scripts").mkdir()
+    shutil.copy2(ROOT / "scripts" / "compare_stats.py", root / "scripts")
+    return root
+
+
+def messages(findings):
+    return [str(f) for f in findings]
+
+
+class SeededFixtureTest(unittest.TestCase):
+    """Base: each test gets a pristine copy of the tree to deface."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="lalr_lint_test_")
+        self.addCleanup(self._tmp.cleanup)
+        self.root = fixture_tree(self._tmp.name)
+
+    def seed(self, relpath, text):
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+    def append(self, relpath, text):
+        path = self.root / relpath
+        path.write_text(path.read_text() + text)
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_every_audit_is_clean_on_the_real_tree(self):
+        for name, func in lalr_lint.AUDIT_FUNCS.items():
+            found = func(ROOT)
+            self.assertEqual(
+                messages(found), [],
+                f"audit '{name}' has findings on the real tree")
+
+    def test_cli_exits_zero_on_the_real_tree(self):
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "scripts" / "lalr_lint.py"),
+             "--root", str(ROOT)],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK", proc.stdout)
+
+    def test_cli_lists_all_audits(self):
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "scripts" / "lalr_lint.py"),
+             "--list"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0)
+        self.assertEqual(proc.stdout.split(), list(lalr_lint.AUDITS))
+
+
+class LockGraphTest(SeededFixtureTest):
+    def test_rank_contradiction_is_reported(self):
+        # CacheMap (30) held while acquiring NetConns (10): the edge
+        # contradicts the declared ranks.
+        self.seed("src/support/DemoInversion.cpp", """
+#include "support/ThreadSafety.h"
+namespace lalr {
+struct DemoInversion {
+  Mutex HighFirst{"demo.high", lockrank::CacheMap};
+  Mutex ThenLow{"demo.low", lockrank::NetConns};
+  void f() {
+    MutexLock L1(HighFirst);
+    MutexLock L2(ThenLow);
+  }
+};
+} // namespace lalr
+""")
+        msgs = messages(lalr_lint.audit_lock_graph(self.root))
+        self.assertTrue(
+            any("contradicts declared ranks" in m and "demo.low" in m
+                and "demo.high" in m for m in msgs),
+            msgs)
+
+    def test_cycle_is_reported_even_without_usable_ranks(self):
+        # Unknown rank constants disable the rank comparison, so only the
+        # DFS over the extracted acquisition graph can catch the A->B,
+        # B->A deadlock shape.
+        self.seed("src/support/DemoCycle.cpp", """
+#include "support/ThreadSafety.h"
+namespace lalr {
+struct DemoCycle {
+  Mutex First{"demo.first", lockrank::DemoNotARank};
+  Mutex Second{"demo.second", lockrank::DemoNotARankEither};
+  void f() {
+    MutexLock L1(First);
+    MutexLock L2(Second);
+  }
+  void g() {
+    MutexLock L1(Second);
+    MutexLock L2(First);
+  }
+};
+} // namespace lalr
+""")
+        msgs = messages(lalr_lint.audit_lock_graph(self.root))
+        self.assertTrue(any("lock-graph cycle" in m for m in msgs), msgs)
+        self.assertTrue(
+            any("unknown rank constant" in m for m in msgs), msgs)
+
+    def test_unranked_member_is_reported(self):
+        self.seed("src/support/DemoUnranked.cpp", """
+#include "support/ThreadSafety.h"
+namespace lalr {
+struct DemoUnranked {
+  Mutex Plain;
+};
+} // namespace lalr
+""")
+        msgs = messages(lalr_lint.audit_lock_graph(self.root))
+        self.assertTrue(
+            any("'Plain' is unranked" in m for m in msgs), msgs)
+
+    def test_duplicate_lock_name_is_reported(self):
+        self.seed("src/support/DemoDupName.cpp", """
+#include "support/ThreadSafety.h"
+namespace lalr {
+struct DemoDupName {
+  Mutex Clash{"net.conns", lockrank::CacheMap};
+};
+} // namespace lalr
+""")
+        msgs = messages(lalr_lint.audit_lock_graph(self.root))
+        self.assertTrue(
+            any("declared more than once" in m and "net.conns" in m
+                for m in msgs),
+            msgs)
+
+
+class FailpointTest(SeededFixtureTest):
+    def test_unregistered_site_is_reported(self):
+        self.seed("src/support/DemoSite.cpp", """
+#include "support/FailPoint.h"
+namespace lalr {
+bool demoTrip() {
+  return FailPointRegistry::instance().failPoint("demo-unregistered-site");
+}
+} // namespace lalr
+""")
+        msgs = messages(lalr_lint.audit_failpoints(self.root))
+        self.assertTrue(
+            any("demo-unregistered-site" in m
+                and "not a registered site" in m for m in msgs),
+            msgs)
+
+    def test_docs_site_drift_is_reported(self):
+        service = self.root / "docs" / "SERVICE.md"
+        text = service.read_text()
+        self.assertIn("analysis", text)
+        # Drop one registered site from the docs' fenced list only.
+        service.write_text(text.replace("analysis", "", 1))
+        msgs = messages(lalr_lint.audit_failpoints(self.root))
+        self.assertTrue(
+            any("missing from the docs/SERVICE.md site list" in m
+                for m in msgs),
+            msgs)
+
+
+class CounterTest(SeededFixtureTest):
+    def test_unclassified_counter_is_reported(self):
+        self.seed("src/support/DemoCounter.cpp", """
+#include "report/PipelineStats.h"
+namespace lalr {
+void demoEmit(PipelineStats &Stats) {
+  Stats.setCounter("demo_mystery_counter", 1);
+}
+} // namespace lalr
+""")
+        msgs = messages(lalr_lint.audit_counters(self.root))
+        self.assertTrue(
+            any("demo_mystery_counter" in m for m in msgs), msgs)
+
+    def test_gate_class_must_match_docs(self):
+        # Flip one structural counter's docs row to volatile: the code
+        # gate and the catalogue now disagree.
+        api = self.root / "docs" / "API.md"
+        text = api.read_text()
+        row = "| `lock_order_violations` | structural |"
+        self.assertIn(row, text)
+        api.write_text(text.replace(
+            row, "| `lock_order_violations` | volatile |"))
+        msgs = messages(lalr_lint.audit_counters(self.root))
+        self.assertTrue(
+            any("lock_order_violations" in m for m in msgs), msgs)
+
+
+class ErrCodeTest(SeededFixtureTest):
+    def test_off_taxonomy_code_is_reported(self):
+        self.seed("src/net/DemoErr.cpp", """
+#include "net/WireProtocol.h"
+namespace lalr {
+std::string demoErr() { return formatErrLine("demo-bad-code", "x"); }
+} // namespace lalr
+""")
+        msgs = messages(lalr_lint.audit_err_codes(self.root))
+        self.assertTrue(
+            any("demo-bad-code" in m and "taxonomy" in m for m in msgs),
+            msgs)
+
+    def test_docs_grammar_drift_is_reported(self):
+        service = self.root / "docs" / "SERVICE.md"
+        text = service.read_text()
+        self.assertIn("draining", text)
+        service.write_text(text.replace("draining", "drainxng"))
+        msgs = messages(lalr_lint.audit_err_codes(self.root))
+        self.assertTrue(
+            any("draining" in m and "missing from" in m for m in msgs),
+            msgs)
+
+
+class GuardPollTest(SeededFixtureTest):
+    UNPOLLED_LOOP = """
+namespace {
+int demoUnpolledSweep(int N) {
+  int Acc = 0;
+  for (int I = 0; I < N; ++I) {
+    Acc += I;
+    Acc ^= I << 1;
+    Acc += I * 3;
+    Acc ^= I << 2;
+    Acc += I * 5;
+    Acc ^= I << 3;
+    Acc += I * 7;
+    Acc ^= I << 4;
+    Acc += I * 11;
+    Acc ^= I << 5;
+    Acc += I * 13;
+  }
+  return Acc;
+}
+} // namespace
+"""
+
+    def test_unpolled_hot_loop_is_reported(self):
+        self.append("src/lalr/Relations.cpp", self.UNPOLLED_LOOP)
+        msgs = messages(lalr_lint.audit_guard_polls(self.root))
+        self.assertTrue(
+            any("src/lalr/Relations.cpp" in m
+                and "never reaches a BuildGuard poll" in m for m in msgs),
+            msgs)
+
+    def test_no_poll_suppression_is_honored(self):
+        suppressed = self.UNPOLLED_LOOP.replace(
+            "  for (int I = 0;",
+            "  // lalr_lint: no-poll(demo fixture)\n  for (int I = 0;")
+        self.append("src/lalr/Relations.cpp", suppressed)
+        self.assertEqual(
+            messages(lalr_lint.audit_guard_polls(self.root)), [])
+
+    def test_polled_loop_is_clean(self):
+        polled = self.UNPOLLED_LOOP.replace(
+            "    Acc += I;",
+            "    guardPollStrided(Guard, I);\n    Acc += I;")
+        self.append("src/lalr/Relations.cpp", polled)
+        self.assertEqual(
+            messages(lalr_lint.audit_guard_polls(self.root)), [])
+
+    def test_missing_hot_file_is_reported(self):
+        (self.root / "src/glr/GlrParser.cpp").unlink()
+        msgs = messages(lalr_lint.audit_guard_polls(self.root))
+        self.assertTrue(
+            any("src/glr/GlrParser.cpp" in m and "does not exist" in m
+                for m in msgs),
+            msgs)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -28,6 +28,8 @@ std::vector<uint64_t> coreKeyOf(const std::vector<Lr0Item> &Items) {
 bool weaklyCompatible(const std::vector<BitSet> &New,
                       const std::vector<BitSet> &Old) {
   const size_t N = New.size();
+  // lalr_lint: no-poll(pure pairwise compatibility check on one state's
+  // lookahead vectors; the worklist loop polls every popped state)
   for (size_t I = 0; I < N; ++I) {
     for (size_t J = I + 1; J < N; ++J) {
       bool CrossDisjoint =
@@ -92,6 +94,8 @@ PagerLr1Automaton PagerLr1Automaton::build(const Grammar &G,
     }
     std::vector<uint64_t> Key = coreKeyOf(SortedItems);
     std::vector<uint32_t> &Candidates = StatesByCore[Key];
+    // lalr_lint: no-poll(intern scan bounded by same-core candidates; the
+    // worklist loop polls every iteration)
     for (uint32_t S : Candidates) {
       if (!weaklyCompatible(SortedLa, A.States[S].KernelLa))
         continue;

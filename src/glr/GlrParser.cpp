@@ -20,6 +20,8 @@ GlrTable GlrTable::build(const Lr0Automaton &A, const LookaheadFn &LA) {
   T.Accepts.assign(T.NumStates * T.NumTerminals, false);
   T.Gotos.assign(T.NumStates * T.NumNonterminals, InvalidState);
 
+  // lalr_lint: no-poll(GlrTable::build takes no guard; the table fill is a
+  // bounded post-pass over an automaton whose construction was guarded)
   for (StateId S = 0; S < A.numStates(); ++S) {
     for (auto [Sym, Target] : A.state(S).Transitions) {
       if (G.isTerminal(Sym))

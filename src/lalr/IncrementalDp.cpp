@@ -146,6 +146,8 @@ size_t cycleMembersFromSccs(const CsrRelation &Edges, const SccResult &Scc,
                             std::vector<bool> &Members) {
   Members.assign(Edges.rows(), false);
   size_t Nontrivial = 0;
+  // lalr_lint: no-poll(pure post-pass over the SCC decomposition; no guard
+  // is plumbed to this helper)
   for (const std::vector<uint32_t> &Comp : Scc.Components) {
     bool Cyclic = Comp.size() >= 2;
     if (!Cyclic) {
@@ -214,6 +216,7 @@ std::unique_ptr<LalrLookaheads> LalrLookaheads::patchFrom(
   // differs from the match.
   std::vector<bool> ChangedState(NumNewStates, false);
   for (StateId S = 0; S < NumNewStates; ++S) {
+    guardPollStrided(Guard, S);
     StateId OS = NewToOld[S];
     if (OS == InvalidState) {
       ChangedState[S] = true;
@@ -293,6 +296,7 @@ std::unique_ptr<LalrLookaheads> LalrLookaheads::patchFrom(
   std::vector<uint32_t> SlotToOld(NumSlots, Missing);
   std::vector<uint32_t> SlotToNew(OldRed.size(), Missing);
   for (uint32_t Slot = 0; Slot < NumSlots; ++Slot) {
+    guardPollStrided(Guard, Slot);
     StateId Q = RedIdx.stateOf(Slot);
     StateId OS = NewToOld[Q];
     if (OS == InvalidState)

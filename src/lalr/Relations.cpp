@@ -46,6 +46,8 @@ void buildDrAndReadsRow(uint32_t X, const Lr0Automaton &A, const Grammar &G,
                         const NtTransitionIndex &NtIdx, SetSlab &DirectRead,
                         std::vector<uint32_t> &ReadsOut) {
   const NtTransition &T = NtIdx[X];
+  // lalr_lint: no-poll(per-row helper; every caller polls per row X before
+  // invoking it)
   for (auto [Sym, Target] : A.state(T.To).Transitions) {
     (void)Target;
     if (G.isTerminal(Sym)) {
@@ -73,6 +75,8 @@ void replayProductions(uint32_t X, const Lr0Automaton &A, const Grammar &G,
                        const ReductionIndex &RedIdx, IncludesFn EmitIncludes,
                        LookbackFn EmitLookback) {
   const NtTransition &T = NtIdx[X]; // (p', B)
+  // lalr_lint: no-poll(per-transition replay helper; every caller polls per
+  // transition X before invoking it)
   for (ProductionId PId : G.productionsOf(T.Nt)) {
     const Production &P = G.production(PId);
     StateId Cur = T.From;

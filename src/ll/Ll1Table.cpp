@@ -34,6 +34,8 @@ Ll1Table Ll1Table::build(const Grammar &G, const GrammarAnalysis &An) {
   // kind: if the terminal is in both productions' FIRST(rhs) it is
   // FIRST/FIRST; otherwise one of them sees it only via FOLLOW
   // (FIRST/FOLLOW).
+  // lalr_lint: no-poll(Ll1Table::build takes no guard; the fill is bounded
+  // by grammar size and runs inside the caller's guarded build stage)
   for (ProductionId PId = 0; PId < G.numProductions(); ++PId) {
     const Production &P = G.production(PId);
     uint32_t NtIdx = G.ntIndex(P.Lhs);

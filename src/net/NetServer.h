@@ -196,13 +196,13 @@ private:
   int WakePipe[2] = {-1, -1};
   std::thread AcceptThread;
 
-  Mutex ConnMu;
+  Mutex ConnMu{"net.conns", lockrank::NetConns};
   std::vector<std::thread> ConnThreads LALR_GUARDED_BY(ConnMu);
   size_t ActiveConns LALR_GUARDED_BY(ConnMu) = 0;
   CondVar ConnsIdle;
 
   /// Admission slots + bounded wait queue.
-  Mutex AdmitMu;
+  Mutex AdmitMu{"net.admit", lockrank::NetAdmit};
   CondVar SlotFree;
   size_t Inflight LALR_GUARDED_BY(AdmitMu) = 0;
   size_t Waiters LALR_GUARDED_BY(AdmitMu) = 0;
@@ -210,24 +210,24 @@ private:
   /// Single-flight: fingerprint -> in-flight execution. Followers hold
   /// the shared_ptr and wait on FlightDone; the leader publishes the
   /// response line and erases the map entry.
-  Mutex FlightsMu;
+  Mutex FlightsMu{"net.flights", lockrank::NetFlights};
   CondVar FlightDone;
   std::unordered_map<std::string, std::shared_ptr<Flight>>
       Flights LALR_GUARDED_BY(FlightsMu);
 
   /// Working sources for wire `edit` targets (normalized on first
   /// edit, exactly like lalr_batchd's working copies).
-  Mutex WorkMu;
+  Mutex WorkMu{"net.work", lockrank::NetWork};
   std::unordered_map<std::string, std::string> Working LALR_GUARDED_BY(WorkMu);
 
   /// Tokens of requests currently executing, so drain can cancel
   /// whatever outlives the grace period.
-  Mutex TokensMu;
+  Mutex TokensMu{"net.tokens", lockrank::NetTokens};
   uint64_t NextTokenId LALR_GUARDED_BY(TokensMu) = 1;
   std::unordered_map<uint64_t, std::shared_ptr<CancellationToken>>
       LiveTokens LALR_GUARDED_BY(TokensMu);
 
-  mutable Mutex StatsMu;
+  mutable Mutex StatsMu{"net.stats", lockrank::NetStats};
   NetStats Counts LALR_GUARDED_BY(StatsMu);
 };
 

@@ -276,7 +276,7 @@ private:
   /// immutable once published; the lock covers only lookup/insert.
   using TableList =
       std::list<std::pair<std::string, std::shared_ptr<const ServingTable>>>;
-  mutable Mutex TableMu;
+  mutable Mutex TableMu{"parse.tables", lockrank::ParseTables};
   TableList Tables LALR_GUARDED_BY(TableMu);
   std::unordered_map<std::string, TableList::iterator>
       TableIndex LALR_GUARDED_BY(TableMu);
@@ -286,7 +286,7 @@ private:
   /// TableMu is held by every caller; StatsMu nests inside.
   void retireTableLocked(const ServingTable &Snap) LALR_REQUIRES(TableMu);
 
-  mutable Mutex StatsMu;
+  mutable Mutex StatsMu{"parse.stats", lockrank::ParseStats};
   ParseStats Counts LALR_GUARDED_BY(StatsMu);
   /// Retired accumulator: serve counts of snapshots since dropped, so
   /// aggregate stats survive LRU churn (TableServes never undercounts).

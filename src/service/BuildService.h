@@ -189,13 +189,13 @@ private:
   /// Batch scheduler. ThreadPool submissions are not concurrency-safe,
   /// so PoolMu serializes whole batches; requests inside one batch still
   /// fan out across the workers.
-  Mutex PoolMu;
+  Mutex PoolMu{"service.pool", lockrank::ServicePool};
   /// Engaged iff Opts.Workers > 1. The pointer itself is set once in the
   /// constructor and never reassigned, so only submissions (parallelFor
   /// calls) need PoolMu — not the pointer reads.
   std::unique_ptr<ThreadPool> Pool;
 
-  mutable Mutex StatsMu;
+  mutable Mutex StatsMu{"service.stats", lockrank::ServiceStats};
   uint64_t Requests LALR_GUARDED_BY(StatsMu) = 0;
   uint64_t Succeeded LALR_GUARDED_BY(StatsMu) = 0;
   uint64_t Failed LALR_GUARDED_BY(StatsMu) = 0;
@@ -213,7 +213,7 @@ private:
 
   /// Streaming state. Tickets are handed out under TicketMu; completed
   /// responses are parked in Completed until wait() claims them.
-  Mutex TicketMu;
+  Mutex TicketMu{"service.tickets", lockrank::ServiceTickets};
   CondVar TicketDone;
   uint64_t NextTicket LALR_GUARDED_BY(TicketMu) = 1;
   std::unordered_map<uint64_t, ServiceResponse> Completed

@@ -71,7 +71,7 @@ struct CachedGrammar {
   /// Lock order: this may be taken while holding the cache mutex (during
   /// eviction/invalidation stat folds); never take the cache mutex while
   /// holding a BuildMu.
-  Mutex BuildMu;
+  Mutex BuildMu{"cache.entry", lockrank::CacheEntry};
 };
 
 /// Keyed, capacity-bounded, thread-safe LRU cache of CachedGrammar
@@ -154,7 +154,7 @@ private:
   void retireLocked(LruList::iterator It) LALR_REQUIRES(Mu);
 
   const size_t Capacity;
-  mutable Mutex Mu;
+  mutable Mutex Mu{"cache.map", lockrank::CacheMap};
   /// Front = most recently used.
   LruList Lru LALR_GUARDED_BY(Mu);
   std::unordered_map<std::string, LruList::iterator> Index LALR_GUARDED_BY(Mu);

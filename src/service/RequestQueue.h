@@ -121,7 +121,7 @@ public:
 
 private:
   const size_t MaxDepth;
-  mutable Mutex Mu;
+  mutable Mutex Mu{"service.queue", lockrank::ServiceQueue};
   CondVar NotEmpty; ///< consumers wait here
   CondVar NotFull;  ///< producers wait here (bounded mode)
   std::deque<T> Items LALR_GUARDED_BY(Mu);

@@ -2,6 +2,8 @@
 
 #include "service/ServiceStats.h"
 
+#include "support/LockRank.h"
+
 #include <cstdio>
 
 using namespace lalr;
@@ -97,6 +99,13 @@ PipelineStats ServiceStats::toPipelineStats(std::string Label) const {
                  CacheInvalidationsExplicit);
   Out.setCounter("service_cache_invalidations_abort",
                  CacheInvalidationsAbort);
+  // Lock-rank checker observability (support/LockRank.h). Process-wide,
+  // snapshotted here so every service-stats JSON carries them. Both are 0
+  // in release builds unless LALR_LOCK_CHECK arms the checker, and
+  // lock_order_violations must be 0 in ANY healthy run — compare_stats.py
+  // gates both as structural.
+  Out.setCounter("lock_acquisitions", LockRank::acquisitions());
+  Out.setCounter("lock_order_violations", LockRank::violations());
   Out.addStage("service-requests", RequestUs);
   return Out;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 namespace lalr {
 
@@ -19,16 +20,31 @@ static const char *const kAllSites[] = {
 
 const char *const *allFailPointSites() { return kAllSites; }
 
-static bool isKnownSite(const std::string &Site) {
-  for (const char *const *S = kAllSites; *S; ++S)
-    if (Site == *S)
+FailPointRegistry &FailPointRegistry::instance() {
+  static FailPointRegistry R;
+  return R;
+}
+
+bool FailPointRegistry::isKnownSiteLocked(const std::string &Site) const {
+  for (const std::string &K : Known)
+    if (K == Site)
       return true;
   return false;
 }
 
-FailPointRegistry &FailPointRegistry::instance() {
-  static FailPointRegistry R;
-  return R;
+bool FailPointRegistry::isKnownSite(const std::string &Site) const {
+  MutexLock Lock(Mu);
+  return isKnownSiteLocked(Site);
+}
+
+void FailPointRegistry::registerSite(const char *Site) {
+  MutexLock Lock(Mu);
+  if (isKnownSiteLocked(Site))
+    throw std::logic_error(
+        std::string("FailPointRegistry::registerSite: duplicate failpoint "
+                    "site '") +
+        Site + "' (every site name must be registered exactly once)");
+  Known.emplace_back(Site);
 }
 
 FailPointRegistry::FailPointRegistry() {
@@ -39,10 +55,12 @@ FailPointRegistry::FailPointRegistry() {
   // Silently misconfigured fault injection is worse than none: a typo'd
   // site would never fire and the test run would "pass" without testing
   // anything.
+  MutexLock Lock(Mu); // uncontended (static-local init), checks cleanly
+  for (const char *const *S = kAllSites; *S; ++S)
+    Known.emplace_back(*S);
   const char *Env = std::getenv("LALR_FAILPOINTS");
   if (!Env || !*Env)
     return;
-  MutexLock Lock(Mu); // uncontended (static-local init), checks cleanly
   std::string Spec(Env);
   size_t Pos = 0;
   while (Pos < Spec.size()) {
@@ -77,7 +95,7 @@ FailPointRegistry::FailPointRegistry() {
                    Env);
       continue;
     }
-    if (!isKnownSite(Item)) {
+    if (!isKnownSiteLocked(Item)) {
       std::fprintf(stderr,
                    "lalr: LALR_FAILPOINTS: unknown site '%s'; ignoring "
                    "this item (see lalr_batchd --list-failpoints)\n",

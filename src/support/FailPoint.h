@@ -55,6 +55,18 @@ class FailPointRegistry {
 public:
   static FailPointRegistry &instance();
 
+  /// Declares \p Site as a known failpoint site, making it armable via
+  /// `LALR_FAILPOINTS`. The built-in per-stage sites (allFailPointSites)
+  /// are registered by the constructor; a new subsystem registers its
+  /// sites at startup. Duplicate registration is a HARD ERROR
+  /// (std::logic_error): two subsystems silently sharing a site name
+  /// would make env arming ambiguous and fire faults in code the test
+  /// never meant to touch.
+  void registerSite(const char *Site);
+
+  /// True when \p Site has been registered (built-in or registerSite).
+  bool isKnownSite(const std::string &Site) const;
+
   /// Arms \p Site. \p SkipHits > 0 lets the first N hits pass (to fail
   /// on a later traversal of the same site). \p MaxFires > 0 auto-disarms
   /// the site after it has fired that many times — the one-shot mode the
@@ -92,8 +104,11 @@ private:
     uint64_t MaxFires; ///< fires left before auto-disarm; 0 = unlimited
   };
 
-  mutable Mutex Mu;
+  bool isKnownSiteLocked(const std::string &Site) const LALR_REQUIRES(Mu);
+
+  mutable Mutex Mu{"failpoint.registry", lockrank::FailPointRegistry};
   std::unordered_map<std::string, Entry> Sites LALR_GUARDED_BY(Mu);
+  std::vector<std::string> Known LALR_GUARDED_BY(Mu);
   std::atomic<int> ArmedCount{0};
   std::atomic<uint64_t> Trips{0};
 };

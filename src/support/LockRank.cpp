@@ -1,0 +1,156 @@
+//===- support/LockRank.cpp - Runtime lock-order enforcement --------------===//
+
+#include "support/LockRank.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace lalr {
+
+namespace {
+
+// Process-wide mode, resolved lazily at the first enabled() query so the
+// env read happens after main() has had no chance to race it (static-init
+// acquisitions resolve it too — CAS makes that safe).
+enum Mode : int { ModeUninit = 0, ModeOff, ModeCheck, ModeCheckAbort };
+
+std::atomic<int> ModeFlag{ModeUninit};
+std::atomic<bool> AbortOverride{false};
+std::atomic<uint64_t> AcquisitionCount{0};
+std::atomic<uint64_t> ViolationCount{0};
+
+// Raw std::mutex (NOT lalr::Mutex): the violation path must never
+// re-enter the checker.
+std::mutex LastViolationMu;
+LockRankViolation LastViolationRecord; // guarded by LastViolationMu
+
+struct HeldLock {
+  const char *Name;
+  int Rank;
+};
+
+std::vector<HeldLock> &heldStack() {
+  static thread_local std::vector<HeldLock> Stack;
+  return Stack;
+}
+
+int computeMode() {
+  const char *Env = std::getenv("LALR_LOCK_CHECK");
+  if (Env && *Env) {
+    if (std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0)
+      return ModeOff;
+    if (std::strcmp(Env, "abort") == 0)
+      return ModeCheckAbort;
+    return ModeCheck;
+  }
+#ifndef NDEBUG
+  return ModeCheck;
+#else
+  return ModeOff;
+#endif
+}
+
+int mode() {
+  int M = ModeFlag.load(std::memory_order_acquire);
+  if (M == ModeUninit) {
+    int Computed = computeMode();
+    if (ModeFlag.compare_exchange_strong(M, Computed,
+                                         std::memory_order_acq_rel))
+      return Computed;
+    return M; // lost the race; M now holds the winner's value
+  }
+  return M;
+}
+
+void reportViolation(const char *Name, int Rank, const HeldLock &Conflict) {
+  ViolationCount.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> G(LastViolationMu);
+    LastViolationRecord.Acquiring = Name;
+    LastViolationRecord.AcquiringRank = Rank;
+    LastViolationRecord.Held = Conflict.Name;
+    LastViolationRecord.HeldRank = Conflict.Rank;
+    LastViolationRecord.Valid = true;
+  }
+  std::fprintf(stderr,
+               "lalr: lock-order violation: acquiring \"%s\" (rank %d) "
+               "while holding \"%s\" (rank %d); ranks must strictly "
+               "increase along every acquisition chain (rank table: "
+               "support/LockRank.h; docs/STATIC_ANALYSIS.md \"Lock "
+               "ranking\")\n",
+               Name, Rank, Conflict.Name, Conflict.Rank);
+  if (AbortOverride.load(std::memory_order_relaxed) ||
+      mode() == ModeCheckAbort) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+} // namespace
+
+bool LockRank::enabled() { return mode() != ModeOff; }
+
+void LockRank::setEnabledForTesting(bool On) {
+  ModeFlag.store(On ? ModeCheck : ModeOff, std::memory_order_release);
+}
+
+void LockRank::setAbortOnViolation(bool On) {
+  AbortOverride.store(On, std::memory_order_relaxed);
+}
+
+void LockRank::onAcquire(const char *Name, int Rank) {
+  AcquisitionCount.fetch_add(1, std::memory_order_relaxed);
+  std::vector<HeldLock> &Stack = heldStack();
+  // Compare against the MAX held rank, not the stack top: after a
+  // tolerated (non-abort) violation the stack is no longer monotonic, and
+  // the max is the lock that actually contradicts this acquisition.
+  const HeldLock *Conflict = nullptr;
+  for (const HeldLock &H : Stack)
+    if (H.Rank >= Rank && (!Conflict || H.Rank > Conflict->Rank))
+      Conflict = &H;
+  if (Conflict)
+    reportViolation(Name, Rank, *Conflict);
+  Stack.push_back(HeldLock{Name, Rank});
+}
+
+void LockRank::onRelease(const char *Name, int Rank) {
+  (void)Rank;
+  std::vector<HeldLock> &Stack = heldStack();
+  // Releases are LIFO in practice (MutexLock is scoped), but search back
+  // to front so a manual lock()/unlock() protocol releases correctly too.
+  for (size_t I = Stack.size(); I > 0; --I) {
+    const HeldLock &H = Stack[I - 1];
+    if (H.Name == Name || std::strcmp(H.Name, Name) == 0) {
+      Stack.erase(Stack.begin() + static_cast<ptrdiff_t>(I - 1));
+      return;
+    }
+  }
+  // Absent entry: checking was enabled between acquire and release (a
+  // test toggled it). Ignoring is the only balanced choice.
+}
+
+uint64_t LockRank::acquisitions() {
+  return AcquisitionCount.load(std::memory_order_relaxed);
+}
+
+uint64_t LockRank::violations() {
+  return ViolationCount.load(std::memory_order_relaxed);
+}
+
+LockRankViolation LockRank::lastViolation() {
+  std::lock_guard<std::mutex> G(LastViolationMu);
+  return LastViolationRecord;
+}
+
+void LockRank::resetForTesting() {
+  AcquisitionCount.store(0, std::memory_order_relaxed);
+  ViolationCount.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> G(LastViolationMu);
+  LastViolationRecord = LockRankViolation{};
+}
+
+} // namespace lalr

@@ -1,0 +1,149 @@
+//===- support/LockRank.h - Runtime lock-order enforcement ------*- C++ -*-===//
+///
+/// \file
+/// Deadlock-freedom by construction: every `lalr::Mutex` in the concurrent
+/// layers is built with a name and a *rank* (`Mutex{"net.flights",
+/// lockrank::NetFlights}`), and a thread may only acquire a mutex whose
+/// rank is strictly greater than every rank it already holds. Acquiring
+/// out of order — or nesting two locks of the same rank — is a structured
+/// violation: reported on stderr with both lock names and ranks, counted
+/// in `lock_order_violations`, and (in abort mode, the default for the
+/// test suite's death tests) fatal via std::abort. Since "ranks strictly
+/// increase along every acquisition chain" implies the global lock graph
+/// is acyclic, a clean run under `LALR_LOCK_CHECK=1` is a per-execution
+/// proof of deadlock freedom — the dynamic complement to the static lock
+/// graph `scripts/lalr_lint.py` extracts from the source.
+///
+/// Enablement (checked once, at the first acquisition):
+///   * `LALR_LOCK_CHECK` unset  — enabled in debug builds (`!NDEBUG`),
+///     disabled in release builds (the default CMake RelWithDebInfo
+///     configuration defines NDEBUG, so benches and CI perf runs pay only
+///     an untaken branch per lock);
+///   * `LALR_LOCK_CHECK=0` / `off` — force-disabled;
+///   * `LALR_LOCK_CHECK=abort` — enabled, violations call std::abort;
+///   * any other non-empty value (canonically `1`) — enabled, violations
+///     are counted and reported but execution continues.
+///
+/// Unranked mutexes (default-constructed `Mutex`) are invisible to the
+/// checker: not counted, not ranked, never a violation. `lalr_lint.py`
+/// separately requires that every `Mutex` member under `src/` *is* ranked,
+/// so "unranked" is a property of scratch locks in tests, not of the tree.
+///
+/// The rank table below is the single source of truth: the constant names
+/// double as machine-readable identities for `scripts/lalr_lint.py`
+/// (which cross-checks every declared nesting edge against them) and for
+/// the table in docs/STATIC_ANALYSIS.md. Ranks are spaced by 2 so a new
+/// mutex can usually slot between two existing ones without renumbering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALR_SUPPORT_LOCKRANK_H
+#define LALR_SUPPORT_LOCKRANK_H
+
+#include <cstdint>
+#include <string>
+
+namespace lalr {
+
+/// The global rank table. A thread must acquire in strictly increasing
+/// rank order, so a lock that is taken while another is held must have the
+/// *larger* rank: outermost locks get the smallest numbers, leaf locks
+/// (stats sinks, taken last and released immediately) the largest.
+///
+/// How to pick a rank for a new mutex (see docs/STATIC_ANALYSIS.md):
+///   1. list every lock that can be held when yours is acquired — your
+///      rank must be greater than all of them;
+///   2. list every lock your critical sections acquire — your rank must
+///      be smaller than all of those;
+///   3. pick an unused even value in that window, name it here, and run
+///      `scripts/lalr_lint.py` + the suite under `LALR_LOCK_CHECK=1`.
+namespace lockrank {
+// Network front end (NetServer): connection registry, admission gate,
+// worker handoff, single-flight coalescing map, drain token ledger.
+inline constexpr int NetConns = 10;
+inline constexpr int NetAdmit = 12;
+inline constexpr int NetWork = 14;
+inline constexpr int NetFlights = 16;
+inline constexpr int NetTokens = 18;
+// Build service: batch worker-pool serialization, ticket issue, queue.
+// ServicePool is held across an entire batch's parallelFor, so every
+// lock the build path can touch (cache, entries, pools, stats) outranks
+// it.
+inline constexpr int ServicePool = 20;
+inline constexpr int ServiceTickets = 22;
+inline constexpr int ServiceQueue = 24;
+// Context cache: map lock, then per-entry build lock — "BuildMu under
+// the cache mutex" is the sanctioned direction (service/ContextCache.h).
+inline constexpr int CacheMap = 30;
+inline constexpr int CacheEntry = 32;
+// Parse serving snapshots: acquired under a per-entry build lock on a
+// miss, so it outranks CacheEntry.
+inline constexpr int ParseTables = 34;
+// Thread pool internals: job publication, then first-error capture.
+// Reached from under CacheEntry (the pipeline's parallel stages run
+// while the entry's build lock is held).
+inline constexpr int PoolJobs = 40;
+inline constexpr int PoolJobError = 42;
+// Fault-injection registry: probed from arbitrary build stages, i.e.
+// under any of the build-side locks above.
+inline constexpr int FailPointRegistry = 50;
+// Stats sinks: leaf locks — taken last, held across a copy, released.
+inline constexpr int ServiceStats = 60;
+inline constexpr int ParseStats = 62;
+inline constexpr int NetStats = 64;
+} // namespace lockrank
+
+/// One recorded lock-order violation: the lock being acquired and the
+/// already-held lock whose rank contradicts it.
+struct LockRankViolation {
+  std::string Acquiring;    ///< name of the lock being acquired
+  int AcquiringRank = 0;    ///< its declared rank
+  std::string Held;         ///< held lock with the conflicting (>=) rank
+  int HeldRank = 0;         ///< its declared rank
+  bool Valid = false;       ///< false until the first violation
+};
+
+/// The per-thread held-rank checker. All state is static: the held stack
+/// is thread_local, the counters and last-violation record are global.
+/// `Mutex`/`MutexLock` (support/ThreadSafety.h) call the on* hooks; user
+/// code only reads the counters (ServiceStats folds them into
+/// `PipelineStats` as `lock_acquisitions` / `lock_order_violations`).
+class LockRank {
+public:
+  /// True when checking is on (env / build-type rule in the file header).
+  static bool enabled();
+
+  /// Force checking on/off for this process, overriding the env rule.
+  /// Test-only: lets lockrank_test exercise both modes deterministically.
+  static void setEnabledForTesting(bool On);
+
+  /// When true, a violation calls std::abort after reporting (what
+  /// `LALR_LOCK_CHECK=abort` sets; death tests set it programmatically).
+  static void setAbortOnViolation(bool On);
+
+  /// Called by MutexLock / Mutex::lock BEFORE blocking on the underlying
+  /// std::mutex, so a would-be deadlock is reported (or aborts) instead
+  /// of hanging. \p Name must outlive the process (it is the Mutex's
+  /// literal); \p Rank is its declared rank.
+  static void onAcquire(const char *Name, int Rank);
+
+  /// Called on release; pops the matching entry from this thread's stack
+  /// (tolerant of a mid-process enable toggle leaving it absent).
+  static void onRelease(const char *Name, int Rank);
+
+  /// Total ranked acquisitions observed while enabled (process-wide).
+  static uint64_t acquisitions();
+
+  /// Total ordering violations observed while enabled (process-wide).
+  static uint64_t violations();
+
+  /// The most recent violation (Valid=false if none yet).
+  static LockRankViolation lastViolation();
+
+  /// Zeroes the counters and the last-violation record. Test-only.
+  static void resetForTesting();
+};
+
+} // namespace lalr
+
+#endif // LALR_SUPPORT_LOCKRANK_H

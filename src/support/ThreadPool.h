@@ -76,7 +76,7 @@ private:
     size_t Begin = 0, End = 0, NumChunks = 0;
     std::atomic<size_t> NextChunk{0};
     std::atomic<bool> Aborted{false};
-    Mutex ErrMu;
+    Mutex ErrMu{"pool.job-error", lockrank::PoolJobError};
     std::exception_ptr Error LALR_GUARDED_BY(ErrMu);
   };
 
@@ -86,7 +86,7 @@ private:
   unsigned NumWorkers;
   std::vector<std::thread> Threads;
 
-  Mutex Mu;
+  Mutex Mu{"pool.jobs", lockrank::PoolJobs};
   CondVar CvWork; ///< workers wait here for a job
   CondVar CvDone; ///< parallelFor waits here for detach
   Job *Cur LALR_GUARDED_BY(Mu) = nullptr;

@@ -30,6 +30,8 @@
 #ifndef LALR_SUPPORT_THREADSAFETY_H
 #define LALR_SUPPORT_THREADSAFETY_H
 
+#include "support/LockRank.h"
+
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -95,33 +97,74 @@ class CondVar;
 /// A std::mutex the analysis knows about. Prefer MutexLock for scoped
 /// acquisition; the raw lock()/unlock() pair exists for the rare manual
 /// protocol (none in-tree today).
+///
+/// Mutexes in the concurrent layers are constructed with a name and a
+/// rank from the global table in support/LockRank.h
+/// (`Mutex{"net.flights", lockrank::NetFlights}`): when lock checking is
+/// enabled (LALR_LOCK_CHECK, or debug builds), every acquisition is
+/// validated against the per-thread held-rank stack — ranks must strictly
+/// increase along every chain, which makes the lock graph provably
+/// acyclic. Default-constructed (unranked) mutexes skip the checker
+/// entirely; `scripts/lalr_lint.py` requires every Mutex member under
+/// src/ to be ranked.
 class LALR_CAPABILITY("mutex") Mutex {
 public:
   Mutex() = default;
+  /// Named, ranked construction. \p Name must be a string literal (it is
+  /// stored, not copied, and appears verbatim in violation reports);
+  /// \p Rank comes from the lockrank:: table.
+  Mutex(const char *Name, int Rank) : Name(Name), Rank(Rank) {}
   Mutex(const Mutex &) = delete;
   Mutex &operator=(const Mutex &) = delete;
 
-  void lock() LALR_ACQUIRE() { M.lock(); }
-  void unlock() LALR_RELEASE() { M.unlock(); }
+  void lock() LALR_ACQUIRE() {
+    if (Name && LockRank::enabled())
+      LockRank::onAcquire(Name, Rank);
+    M.lock();
+  }
+  void unlock() LALR_RELEASE() {
+    M.unlock();
+    if (Name && LockRank::enabled())
+      LockRank::onRelease(Name, Rank);
+  }
+
+  /// Rank-table name, or nullptr for an unranked scratch mutex.
+  const char *rankName() const { return Name; }
+  int rank() const { return Rank; }
 
 private:
   friend class CondVar;
   friend class MutexLock;
   std::mutex M;
+  const char *Name = nullptr;
+  int Rank = 0;
 };
 
 /// Scoped lock over a Mutex (the std::unique_lock underneath lets CondVar
-/// wait on it). Construction acquires, destruction releases.
+/// wait on it). Construction acquires, destruction releases. The rank
+/// check runs BEFORE blocking on the underlying mutex, so an acquisition
+/// that would deadlock is reported (or aborts) instead of hanging.
 class LALR_SCOPED_CAPABILITY MutexLock {
 public:
-  explicit MutexLock(Mutex &Mu) LALR_ACQUIRE(Mu) : L(Mu.M) {}
-  ~MutexLock() LALR_RELEASE() {}
+  explicit MutexLock(Mutex &Mu) LALR_ACQUIRE(Mu)
+      : Mu(&Mu), L(Mu.M, std::defer_lock) {
+    if (Mu.Name && LockRank::enabled())
+      LockRank::onAcquire(Mu.Name, Mu.Rank);
+    L.lock();
+  }
+  ~MutexLock() LALR_RELEASE() {
+    if (L.owns_lock())
+      L.unlock();
+    if (Mu->Name && LockRank::enabled())
+      LockRank::onRelease(Mu->Name, Mu->Rank);
+  }
 
   MutexLock(const MutexLock &) = delete;
   MutexLock &operator=(const MutexLock &) = delete;
 
 private:
   friend class CondVar;
+  Mutex *Mu;
   std::unique_lock<std::mutex> L;
 };
 

@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -109,6 +110,20 @@ TEST(FailPointRegistryTest, SiteListCoversEverySiteNullTerminated) {
   // 15 pipeline/service stages + the three wire sites (net_accept,
   // net_read, net_write — exercised in tests/net_test.cpp).
   EXPECT_EQ(N, 18u);
+}
+
+TEST(FailPointRegistryTest, DuplicateSiteRegistrationIsAHardError) {
+  FailPointRegistry &R = FailPointRegistry::instance();
+  // Every built-in site is already registered by the constructor.
+  EXPECT_TRUE(R.isKnownSite("analysis"));
+  EXPECT_THROW(R.registerSite("analysis"), std::logic_error);
+  // A fresh site registers once, is then armable knowledge, and a second
+  // registration of the same name is the same hard error.
+  ASSERT_FALSE(R.isKnownSite("faultinject-test-adhoc-site"));
+  R.registerSite("faultinject-test-adhoc-site");
+  EXPECT_TRUE(R.isKnownSite("faultinject-test-adhoc-site"));
+  EXPECT_THROW(R.registerSite("faultinject-test-adhoc-site"),
+               std::logic_error);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,191 @@
+//===- tests/lockrank_test.cpp - Lock-rank enforcement -----------------------===//
+//
+// Exercises support/LockRank.h both in isolation (scratch mutexes with
+// deliberately inverted ranks must produce a structured violation naming
+// BOTH locks — as a counted report and as a death) and against the real
+// subsystems (a BuildService batch under forced-on checking must record
+// ranked acquisitions and ZERO violations, which is what proves the rank
+// table in LockRank.h matches every real nesting edge). scripts/check.sh
+// additionally runs the whole suite under LALR_LOCK_CHECK=1, so every
+// net_test / parse_test / service_test interleaving is checked too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LockRank.h"
+#include "support/ThreadSafety.h"
+
+#include "corpus/CorpusGrammars.h"
+#include "grammar/GrammarPrinter.h"
+#include "service/BuildService.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace lalr;
+
+namespace {
+
+/// Forces checking on (non-abort) for one test, restoring the env-derived
+/// default on scope exit so later tests see the configured behavior.
+class ScopedLockCheck {
+public:
+  ScopedLockCheck() {
+    LockRank::setEnabledForTesting(true);
+    LockRank::setAbortOnViolation(false);
+  }
+  ~ScopedLockCheck() {
+    LockRank::setAbortOnViolation(false);
+    LockRank::setEnabledForTesting(false);
+  }
+};
+
+} // namespace
+
+TEST(LockRankTest, InOrderNestingIsCleanAndCounted) {
+  ScopedLockCheck On;
+  LockRank::resetForTesting();
+  Mutex Low{"t.low", 1};
+  Mutex High{"t.high", 2};
+  {
+    MutexLock L1(Low);
+    MutexLock L2(High);
+  }
+  EXPECT_EQ(LockRank::acquisitions(), 2u);
+  EXPECT_EQ(LockRank::violations(), 0u);
+  EXPECT_FALSE(LockRank::lastViolation().Valid);
+}
+
+TEST(LockRankTest, InvertedAcquisitionReportsBothLocks) {
+  ScopedLockCheck On;
+  LockRank::resetForTesting();
+  Mutex Low{"t.low", 1};
+  Mutex High{"t.high", 2};
+  {
+    MutexLock L1(High);
+    MutexLock L2(Low); // inverted: rank 1 while holding rank 2
+  }
+  EXPECT_EQ(LockRank::violations(), 1u);
+  LockRankViolation V = LockRank::lastViolation();
+  ASSERT_TRUE(V.Valid);
+  EXPECT_EQ(V.Acquiring, "t.low");
+  EXPECT_EQ(V.AcquiringRank, 1);
+  EXPECT_EQ(V.Held, "t.high");
+  EXPECT_EQ(V.HeldRank, 2);
+}
+
+TEST(LockRankTest, SameRankNestingIsAViolation) {
+  ScopedLockCheck On;
+  LockRank::resetForTesting();
+  Mutex A{"t.peer-a", 7};
+  Mutex B{"t.peer-b", 7};
+  {
+    MutexLock L1(A);
+    MutexLock L2(B);
+  }
+  EXPECT_EQ(LockRank::violations(), 1u);
+  EXPECT_EQ(LockRank::lastViolation().Held, "t.peer-a");
+  EXPECT_EQ(LockRank::lastViolation().Acquiring, "t.peer-b");
+}
+
+TEST(LockRankTest, SequentialSameRankAcquisitionIsClean) {
+  ScopedLockCheck On;
+  LockRank::resetForTesting();
+  Mutex A{"t.peer-a", 7};
+  Mutex B{"t.peer-b", 7};
+  { MutexLock L1(A); }
+  { MutexLock L2(B); } // not nested: fine
+  EXPECT_EQ(LockRank::violations(), 0u);
+}
+
+TEST(LockRankTest, UnrankedMutexesAreInvisibleToTheChecker) {
+  ScopedLockCheck On;
+  LockRank::resetForTesting();
+  Mutex Scratch; // default-constructed: no name, no rank
+  Mutex High{"t.high", 2};
+  {
+    MutexLock L1(High);
+    MutexLock L2(Scratch); // would be same/lower rank if it were ranked
+  }
+  EXPECT_EQ(LockRank::acquisitions(), 1u) << "only the ranked acquisition";
+  EXPECT_EQ(LockRank::violations(), 0u);
+}
+
+TEST(LockRankTest, HeldStackIsPerThread) {
+  ScopedLockCheck On;
+  LockRank::resetForTesting();
+  Mutex Low{"t.low", 1};
+  Mutex High{"t.high", 2};
+  MutexLock L1(High);
+  // Another thread holds nothing, so acquiring the LOWER rank there is
+  // clean — the stack is thread-local state, not global.
+  std::thread T([&] { MutexLock L2(Low); });
+  T.join();
+  EXPECT_EQ(LockRank::violations(), 0u);
+}
+
+TEST(LockRankTest, RawLockUnlockProtocolIsCheckedToo) {
+  ScopedLockCheck On;
+  LockRank::resetForTesting();
+  Mutex Low{"t.low", 1};
+  Mutex High{"t.high", 2};
+  High.lock();
+  Low.lock(); // inverted through the manual protocol
+  Low.unlock();
+  High.unlock();
+  EXPECT_EQ(LockRank::violations(), 1u);
+  EXPECT_EQ(LockRank::lastViolation().Acquiring, "t.low");
+}
+
+TEST(LockRankDeathTest, AbortModeDiesNamingBothLocks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ScopedLockCheck On;
+  Mutex Low{"t.low", 1};
+  Mutex High{"t.high", 2};
+  EXPECT_DEATH(
+      {
+        LockRank::setAbortOnViolation(true);
+        MutexLock L1(High);
+        MutexLock L2(Low);
+      },
+      "lock-order violation.*\"t\\.low\" \\(rank 1\\).*\"t\\.high\" "
+      "\\(rank 2\\)");
+}
+
+// ---------------------------------------------------------------------------
+// The real tree under the checker: this is the test that FAILS before the
+// subsystem mutexes are ranked (zero ranked acquisitions) and the test
+// that would fail again if a future nesting edge contradicted the table.
+// ---------------------------------------------------------------------------
+
+TEST(LockRankSubsystemTest, ServiceBatchRecordsRankedAcquisitionsNoViolations) {
+  ScopedLockCheck On;
+  LockRank::resetForTesting();
+  BuildService::Options Opts;
+  Opts.Workers = 2;
+  BuildService Service(Opts);
+  Grammar G = loadCorpusGrammar("json");
+  std::string Src = printGrammarText(G);
+  std::vector<ServiceRequest> Requests;
+  for (TableKind K : {TableKind::Lalr1, TableKind::Slr1}) {
+    ServiceRequest R;
+    R.GrammarName = "json";
+    R.Source = Src;
+    R.Options.Kind = K;
+    Requests.push_back(std::move(R));
+  }
+  std::vector<ServiceResponse> Responses = Service.runBatch(Requests);
+  ASSERT_EQ(Responses.size(), 2u);
+  for (const ServiceResponse &R : Responses)
+    EXPECT_TRUE(R.Ok) << R.Error;
+  // The batch path crosses every service-side lock (queue, pool, cache,
+  // entries, stats) plus the thread-pool internals; all of them are
+  // ranked, so acquisitions must be counted and the table must hold.
+  EXPECT_GT(LockRank::acquisitions(), 0u)
+      << "no ranked acquisitions — subsystem mutexes lost their ranks?";
+  EXPECT_EQ(LockRank::violations(), 0u)
+      << "rank table contradicts a real nesting edge: "
+      << LockRank::lastViolation().Acquiring << " acquired under "
+      << LockRank::lastViolation().Held;
+}
